@@ -1,0 +1,80 @@
+// Ablations over Scalia's design choices (DESIGN.md §5).
+//
+// Each row runs the Slashdot and Gallery scenarios with one mechanism
+// disabled and reports the % over-cost versus the ideal oracle and the
+// amount of optimization work performed:
+//   - full            : the complete scheme;
+//   - no-trend-gate   : recompute every object every period (what the
+//                       gate saves, §III-A.3);
+//   - no-migr-gate    : migrate whenever a cheaper set exists, ignoring the
+//                       migration cost-benefit analysis;
+//   - no-class-seed   : first placement ignores class statistics (Fig. 6);
+//   - fixed-D         : decision period never adapted (no D/2-D-2D
+//                       coupling);
+//   - flexible-m      : placements chosen by the threshold-flexible exact
+//                       solver (m may sit below the durability-maximal
+//                       threshold, DESIGN.md §8); the ideal stays
+//                       Algorithm 1, so this row may go *below* 0 %.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/gallery.h"
+#include "workload/slashdot.h"
+
+namespace {
+
+using namespace scalia;
+
+struct Variant {
+  const char* name;
+  void (*apply)(simx::SimPolicyConfig&);
+};
+
+void RunScenario(const char* title, const simx::ScenarioSpec& scenario) {
+  const simx::SimEnvironment env = simx::SimEnvironment::Paper();
+  const Variant variants[] = {
+      {"full", [](simx::SimPolicyConfig&) {}},
+      {"no-trend-gate",
+       [](simx::SimPolicyConfig& c) { c.trend_gate = false; }},
+      {"no-migr-gate",
+       [](simx::SimPolicyConfig& c) { c.migration_gate = false; }},
+      {"no-class-seed",
+       [](simx::SimPolicyConfig& c) { c.class_seed = false; }},
+      {"fixed-D",
+       [](simx::SimPolicyConfig& c) { c.adapt_decision_period = false; }},
+      {"flexible-m",
+       [](simx::SimPolicyConfig& c) { c.threshold_flexible = true; }},
+  };
+
+  simx::SimPolicyConfig base;
+  const simx::CostSimulator ideal_sim(base, env);
+  const simx::RunResult ideal = ideal_sim.RunIdeal(scenario);
+
+  std::printf("%s (ideal total = $%.4f)\n", title, ideal.total.usd());
+  std::printf("  %-15s %10s %10s %14s %12s %10s\n", "variant", "total($)",
+              "over(%)", "recomputations", "migrations", "trendhits");
+  for (const auto& v : variants) {
+    simx::SimPolicyConfig config;
+    v.apply(config);
+    const simx::CostSimulator simulator(config, env);
+    const simx::RunResult run = simulator.RunScalia(scenario);
+    const double over = ideal.total.usd() > 0.0
+                            ? (run.total.usd() - ideal.total.usd()) /
+                                  ideal.total.usd() * 100.0
+                            : 0.0;
+    std::printf("  %-15s %10.4f %10.2f %14zu %12zu %10zu\n", v.name,
+                run.total.usd(), over, run.recomputations, run.migrations,
+                run.trend_changes);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  RunScenario("==== Ablations: Slashdot scenario ====",
+              workload::SlashdotScenario());
+  RunScenario("==== Ablations: Gallery scenario ====",
+              workload::GalleryScenario());
+  return 0;
+}

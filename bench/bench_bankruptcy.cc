@@ -1,0 +1,64 @@
+// Extension experiment: permanent provider exit (bankruptcy).
+//
+// §I: "A provider may end its business ... Therefore, in order to safely
+// host its data and minimize the impact of the migration to a new
+// provider, a user needs to proactively avoid vendor lock-in".  Backup
+// workload as in §IV-D, 400 hours; at hour 200, Rackspace exits the market
+// permanently.  Chunks stored there are lost — unlike the transient outage
+// of Fig. 18, there is no recovery to wait for.
+//
+// Expected shape: Scalia's erasure redundancy absorbs the loss (every
+// object stays reconstructible), a single repair wave at h200 restores
+// full redundancy, and the adaptive policy lands near the ideal.  Static
+// sets containing RS run degraded forever; the erasure margin n - m is
+// what carried every object through.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "simx/overcost.h"
+#include "workload/backup.h"
+
+int main(int argc, char** argv) {
+  using namespace scalia;
+  const auto mode = bench::ParseBillingMode(argc, argv);
+  constexpr std::size_t kExitHour = 200;
+
+  workload::BackupParams params;
+  params.total_hours = 400;
+  const simx::ScenarioSpec scenario = workload::BackupScenario(params);
+
+  simx::SimEnvironment env = simx::SimEnvironment::Paper();
+  env.Bankrupt("RS", static_cast<common::SimTime>(kExitHour) * common::kHour);
+
+  simx::SimPolicyConfig config;
+  config.price.billing = mode;
+  const simx::CostSimulator simulator(config, env);
+
+  std::printf("==== Bankruptcy at h%zu: RS leaves the market (billing=%s) ====\n",
+              kExitHour, provider::BillingModeName(mode));
+  const simx::RunResult scalia = simulator.RunScalia(scenario);
+
+  std::printf("\n==== Scalia repair/migration wave around the exit ====\n");
+  std::size_t shown = 0;
+  for (const auto& e : scalia.events) {
+    if (e.period + 5 < kExitHour && e.reason == "initial") continue;
+    if (shown++ >= 16) break;
+    std::printf("  h%-4zu %-12s %-44s (%s)\n", e.period, e.object.c_str(),
+                e.label.c_str(), e.reason.c_str());
+  }
+  std::printf("  [counters] migrations=%zu repairs=%zu recomputations=%zu\n",
+              scalia.migrations, scalia.repairs, scalia.recomputations);
+
+  std::printf("\n==== %% over cost ====\n");
+  const auto table = simx::ComputeOverCost(
+      simulator, scenario, simx::Fig13Order(provider::PaperCatalog()),
+      &common::ThreadPool::Shared());
+  std::printf("%s", simx::FormatOverCostTable(table).c_str());
+
+  std::printf(
+      "\n[expected shape] one repair wave at h%zu (chunks at RS are gone for "
+      "good); Scalia near ideal; statics containing RS permanently "
+      "degraded.\n",
+      kExitHour);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Fig. 5: per-class lifetime statistics.
+//
+// The paper's example: a class of 20 objects whose lifetimes range from 0
+// to 6 hours.  Left plot — the deletion-time histogram; right plot — the
+// expected time left to live as a function of the object's age, computed
+// from the empirical distribution.  Paper reference points: a brand-new
+// object of that class is expected to live ~3.25 h, a 2-hour-old object
+// ~1.55 h more.
+#include <cstdio>
+
+#include "stats/object_class.h"
+
+int main() {
+  using namespace scalia;
+
+  // A 20-object class with lifetimes spread over 0-6 h, chosen to match the
+  // paper's reference points: E[TTL | age 0] = 3.25 h and
+  // E[TTL | age 2 h] = 1.55 h.
+  stats::ClassStats cls(common::kHour * 8);
+  const double lifetimes_hours[20] = {0.5, 0.5, 2.5, 2.5, 2.5, 2.5, 2.5,
+                                      2.5, 3.5, 3.5, 3.5, 3.5, 3.5, 3.5,
+                                      4.5, 4.5, 4.5, 4.5, 4.5, 5.5};
+  for (double h : lifetimes_hours) {
+    cls.RecordLifetime(common::FromHours(h));
+  }
+
+  std::printf("==== Fig. 5 (left): deletion-time histogram ====\n");
+  std::printf("%s", cls.lifetime_histogram().ToString().c_str());
+
+  std::printf("\n==== Fig. 5 (right): expected hours to live vs age ====\n");
+  std::printf("  age(h)   E[time-left-to-live](h)   P(alive beyond age)\n");
+  for (double age = 0.0; age <= 6.0; age += 0.5) {
+    const auto ttl = cls.ExpectedTimeLeftToLive(common::FromHours(age));
+    std::printf("  %5.1f    %10.2f                %.2f\n", age,
+                common::ToHours(ttl),
+                cls.lifetime_histogram().FractionAbove(age));
+  }
+  std::printf("\n[paper] E[TTL | age 0] = 3.25 h, E[TTL | age 2 h] = 1.55 h "
+              "(for the paper's unpublished 20-object sample)\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Figs. 8 and 9: trend detection on a real-website access
+// pattern.
+//
+// Fig. 8 — sampling period 1 h, decision period 24 h, 7 days (168 samples),
+// ma window 3, limit 0.1.  Fig. 9 — sampling period 1 day, decision period
+// 7 d, 3 months (~90 samples).  The series come from the diurnal traffic
+// model calibrated to the paper's website (2500 visitors/day; EU 62 %,
+// NA 27 %, Asia 6 %).  Output: per-period operations, the detected trend
+// changes, and the placement recomputations they would trigger.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "stats/trend.h"
+#include "workload/diurnal.h"
+
+namespace {
+
+void RunTrendFigure(const char* title, const std::vector<double>& series,
+                    std::size_t stride) {
+  using namespace scalia;
+  stats::TrendDetector detector(stats::TrendConfig{
+      .window = 3, .limit = 0.1, .min_activity = 1.0});
+  std::size_t detected = 0;
+  std::printf("%s\n", title);
+  std::printf("  period     ops   sma      trend-change\n");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const bool fired = detector.Observe(series[i]);
+    if (fired) ++detected;
+    if (i % stride == 0 || fired) {
+      std::printf("  %6zu  %6.0f   %7.1f  %s\n", i, series[i],
+                  detector.CurrentSma(), fired ? "CHANGE -> recompute" : "");
+    }
+  }
+  std::printf("  [total] %zu samples, %zu trend changes detected (placement "
+              "recomputed only at those points)\n\n",
+              series.size(), detected);
+}
+
+}  // namespace
+
+int main() {
+  using namespace scalia;
+  common::Xoshiro256 rng(20120408);
+
+  // Fig. 8: hourly sampling over 7 days.  Reads per hour of a single object
+  // tracking the site's diurnal pattern (the object gets a share of the
+  // traffic).
+  workload::DiurnalTrafficModel traffic(2500.0);
+  std::vector<double> hourly = traffic.SampledSeries(24 * 7, rng);
+  for (auto& v : hourly) v *= 0.8;  // the object draws 80 % of page views
+  RunTrendFigure(
+      "==== Fig. 8: trend detection (ma 3, limit 0.1, s = 1 h, d = 24 h, "
+      "7 days) ====",
+      hourly, 6);
+
+  // Fig. 9: daily sampling over 3 months, with a mid-series popularity
+  // regime shift (the pattern Fig. 9's long-range view shows).
+  std::vector<double> daily;
+  for (std::size_t day = 0; day < 90; ++day) {
+    double mean = 2000.0;
+    if (day >= 30 && day < 45) mean = 5200.0;  // popular fortnight
+    if (day >= 45) mean = 2600.0;
+    daily.push_back(static_cast<double>(rng.NextPoisson(mean)));
+  }
+  RunTrendFigure(
+      "==== Fig. 9: trend detection (ma 3, limit 0.1, s = 1 d, d = 7 d, "
+      "3 months) ====",
+      daily, 7);
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Micro-benchmarks of the substrates: erasure codec throughput, MD5, the
+// metadata store, the cache, and the reliability math of Algorithm 2.
+#include <benchmark/benchmark.h>
+
+#include "api/auth.h"
+#include "cache/cdn.h"
+#include "cache/lru_cache.h"
+#include "common/md5.h"
+#include "common/rng.h"
+#include "config/loaders.h"
+#include "core/reliability.h"
+#include "erasure/chunker.h"
+#include "store/kv_table.h"
+
+namespace {
+
+using namespace scalia;
+
+std::string RandomBlob(std::size_t size, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::string blob(size, '\0');
+  for (auto& c : blob) c = static_cast<char>(rng() & 0xff);
+  return blob;
+}
+
+void BM_ErasureSplit(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const std::string blob = RandomBlob(1 << 20, 7);
+  for (auto _ : state) {
+    auto chunks = erasure::Chunker::Split(blob, m, n);
+    benchmark::DoNotOptimize(chunks);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_ErasureSplit)->Args({1, 2})->Args({2, 3})->Args({3, 4})->Args({4, 5})->Args({8, 12});
+
+void BM_ErasureJoinFromParity(benchmark::State& state) {
+  // Worst case: reconstruct using parity chunks only.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const std::string blob = RandomBlob(1 << 20, 11);
+  auto chunks = erasure::Chunker::Split(blob, m, n);
+  std::vector<erasure::Chunk> parity(chunks->end() - static_cast<long>(m),
+                                     chunks->end());
+  for (auto _ : state) {
+    auto joined = erasure::Chunker::Join(parity);
+    benchmark::DoNotOptimize(joined);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_ErasureJoinFromParity)->Args({2, 4})->Args({3, 6})->Args({4, 8});
+
+void BM_Md5(benchmark::State& state) {
+  const std::string blob =
+      RandomBlob(static_cast<std::size_t>(state.range(0)), 13);
+  for (auto _ : state) {
+    auto digest = common::Md5::Hash(blob);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_KvTablePut(benchmark::State& state) {
+  store::KvTable table;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    table.Put("key" + std::to_string(i % 4096), "value", 0,
+              static_cast<common::SimTime>(i));
+    ++i;
+  }
+}
+BENCHMARK(BM_KvTablePut);
+
+void BM_CacheGetHit(benchmark::State& state) {
+  cache::LruCache cache(64 * common::kMiB);
+  for (int i = 0; i < 1024; ++i) {
+    cache.Put("key" + std::to_string(i), RandomBlob(4096, 17));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto hit = cache.Get("key" + std::to_string(i++ % 1024));
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_CacheGetHit);
+
+void BM_GetThresholdDp(benchmark::State& state) {
+  common::Xoshiro256 rng(19);
+  std::vector<double> durabilities;
+  for (int i = 0; i < state.range(0); ++i) {
+    durabilities.push_back(1.0 - rng.NextUniform(1e-9, 1e-4));
+  }
+  for (auto _ : state) {
+    int th = core::GetThreshold(durabilities, 0.999999);
+    benchmark::DoNotOptimize(th);
+  }
+}
+BENCHMARK(BM_GetThresholdDp)->Arg(5)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_GetThresholdCombinatorial(benchmark::State& state) {
+  common::Xoshiro256 rng(19);
+  std::vector<double> durabilities;
+  for (int i = 0; i < state.range(0); ++i) {
+    durabilities.push_back(1.0 - rng.NextUniform(1e-9, 1e-4));
+  }
+  for (auto _ : state) {
+    int th = core::GetThresholdCombinatorial(durabilities, 0.999999);
+    benchmark::DoNotOptimize(th);
+  }
+}
+BENCHMARK(BM_GetThresholdCombinatorial)->Arg(5)->Arg(10)->Arg(15);
+
+// ---- Newer substrates: JSON config, HMAC auth, CDN edge -------------------
+
+void BM_JsonParseCatalog(benchmark::State& state) {
+  const std::string doc =
+      config::CatalogToJson(provider::PaperCatalog()).Dump(2);
+  for (auto _ : state) {
+    auto parsed = config::ParseJson(doc);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(doc.size()));
+}
+BENCHMARK(BM_JsonParseCatalog);
+
+void BM_GatewaySignVerify(benchmark::State& state) {
+  api::Authenticator auth;
+  const api::Credentials creds{.access_key_id = "K",
+                               .secret = "s3cr3t",
+                               .tenant = "t"};
+  auth.AddCredentials(creds);
+  const api::RequestSigner signer(creds);
+  const std::string body = RandomBlob(static_cast<std::size_t>(state.range(0)),
+                                      23);
+  common::SimTime now = 0;
+  for (auto _ : state) {
+    api::HttpRequest request;
+    request.method = api::HttpMethod::kPut;
+    request.path = "/bucket/key";
+    request.body = body;
+    signer.Sign(&request, ++now);  // fresh timestamp: no replay rejection
+    auto tenant = auth.Verify(request, now);
+    benchmark::DoNotOptimize(tenant);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GatewaySignVerify)->Arg(1024)->Arg(256 * 1024);
+
+void BM_CdnEdgeGet(benchmark::State& state) {
+  cache::Cdn cdn(cache::CdnConfig{.edge_capacity = 64 * common::kMiB,
+                                  .ttl = 0,
+                                  .edge_rtt_ms = 8.0},
+                 [](net::Region, const std::string&) {
+                   return cache::Cdn::OriginReply{.body = std::string(4096, 'x'),
+                                                  .latency_ms = 100.0};
+                 });
+  // Warm 1024 keys, then measure steady-state hits.
+  for (int i = 0; i < 1024; ++i) {
+    (void)cdn.Get(0, net::Region::kEurope, "k" + std::to_string(i));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto fetch = cdn.Get(1, net::Region::kEurope,
+                         "k" + std::to_string(i++ % 1024));
+    benchmark::DoNotOptimize(fetch);
+  }
+}
+BENCHMARK(BM_CdnEdgeGet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,206 @@
+// Placement-search scaling (§III-A.2).
+//
+// The paper notes Algorithm 1 is O(2^|P|) — "as there are currently only a
+// few (less than 15) cloud storage providers available on the market,
+// finding the optimal solution ... is still computationally feasible.  If
+// the number of providers increases, then suboptimal solutions have to be
+// considered."  This benchmark measures the exact search and the greedy
+// heuristic across market sizes, and reports the heuristic's cost gap.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/placement.h"
+#include "core/subset_solver.h"
+
+namespace {
+
+using namespace scalia;
+
+std::vector<provider::ProviderSpec> SyntheticMarket(std::size_t n) {
+  common::Xoshiro256 rng(991 + n);
+  std::vector<provider::ProviderSpec> market;
+  for (std::size_t i = 0; i < n; ++i) {
+    provider::ProviderSpec spec;
+    spec.id = "P" + std::to_string(i);
+    spec.description = "synthetic provider";
+    spec.sla.durability = 1.0 - rng.NextUniform(1e-9, 1e-4);
+    spec.sla.availability = 1.0 - rng.NextUniform(1e-4, 2e-3);
+    spec.zones = {provider::Zone::kEU, provider::Zone::kUS};
+    spec.pricing.storage_gb_month = rng.NextUniform(0.08, 0.18);
+    spec.pricing.bw_in_gb = rng.NextUniform(0.05, 0.12);
+    spec.pricing.bw_out_gb = rng.NextUniform(0.12, 0.20);
+    spec.pricing.ops_per_1000 = rng.NextUniform(0.0, 0.015);
+    market.push_back(std::move(spec));
+  }
+  return market;
+}
+
+core::PlacementRequest Request() {
+  core::PlacementRequest request;
+  request.rule = core::StorageRule{.name = "bench",
+                                   .durability = 0.99999,
+                                   .availability = 0.9999,
+                                   .allowed_zones = provider::ZoneSet::All(),
+                                   .lockin = 0.5,
+                                   .ttl_hint = std::nullopt};
+  request.object_size = common::kMB;
+  request.per_period.storage_gb = 0.001;
+  request.per_period.reads = 10.0;
+  request.per_period.writes = 1.0;  // periodic refresh: ingress + op / member
+  request.per_period.bw_in_gb = 0.001;
+  request.per_period.bw_out_gb = 0.01;
+  request.per_period.ops = 11.0;
+  request.decision_periods = 24;
+  return request;
+}
+
+void BM_ExhaustiveSearch(benchmark::State& state) {
+  const auto market = SyntheticMarket(static_cast<std::size_t>(state.range(0)));
+  const core::PlacementSearch search{core::PriceModel{}};
+  const auto request = Request();
+  for (auto _ : state) {
+    auto decision = search.FindBest(market, request);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.counters["sets"] = std::pow(2.0, static_cast<double>(state.range(0)));
+}
+BENCHMARK(BM_ExhaustiveSearch)->DenseRange(2, 16, 2);
+
+void BM_GreedySearch(benchmark::State& state) {
+  const auto market = SyntheticMarket(static_cast<std::size_t>(state.range(0)));
+  const core::PlacementSearch search{core::PriceModel{}};
+  const auto request = Request();
+  for (auto _ : state) {
+    auto decision = search.FindBestGreedy(market, request);
+    benchmark::DoNotOptimize(decision);
+  }
+  // Report the heuristic's cost gap vs the exact optimum (computable up to
+  // moderate market sizes).
+  if (state.range(0) <= 16) {
+    const auto exact = search.FindBest(market, request);
+    const auto greedy = search.FindBestGreedy(market, request);
+    if (exact.feasible && greedy.feasible &&
+        exact.expected_cost.usd() > 0.0) {
+      state.counters["gap_pct"] =
+          (greedy.expected_cost.usd() - exact.expected_cost.usd()) /
+          exact.expected_cost.usd() * 100.0;
+    }
+  }
+}
+BENCHMARK(BM_GreedySearch)->DenseRange(2, 16, 2)->DenseRange(20, 40, 10);
+
+// A write/storage-dominated profile (nightly 40 MB backup): every member
+// of a candidate set pays real ingress and per-write operations, which is
+// exactly what the branch-and-bound lower bound accumulates.
+core::PlacementRequest ColdBackupRequest() {
+  core::PlacementRequest request;
+  request.rule = core::StorageRule{.name = "bench-cold",
+                                   .durability = 0.99999,
+                                   .availability = 0.9999,
+                                   .allowed_zones = provider::ZoneSet::All(),
+                                   .lockin = 0.5,
+                                   .ttl_hint = std::nullopt};
+  request.object_size = 40 * common::kMB;
+  request.per_period.storage_gb = 0.04;
+  request.per_period.writes = 1.0;
+  request.per_period.bw_in_gb = 0.04;
+  request.per_period.ops = 1.0;
+  request.decision_periods = 24;
+  return request;
+}
+
+// Exact branch-and-bound (core/subset_solver.h): identical results to the
+// exhaustive search; the counters show how much of the 2^|P| tree the
+// additive lower bound discards.  Pruning power depends on the cost
+// structure: read-dominated objects (range arg 0) concentrate cost on m
+// providers and bound weakly; write/storage-dominated objects (arg 1) pay
+// per member and prune hard.
+void BM_BranchAndBound(benchmark::State& state) {
+  const auto market = SyntheticMarket(static_cast<std::size_t>(state.range(0)));
+  const core::SubsetSolver solver{core::PriceModel{}};
+  const auto request = state.range(1) == 0 ? Request() : ColdBackupRequest();
+  core::SolverStats stats;
+  for (auto _ : state) {
+    auto decision = solver.FindBestBranchAndBound(market, request, &stats);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.counters["evaluated"] = static_cast<double>(stats.sets_evaluated);
+  state.counters["pruned"] = static_cast<double>(stats.nodes_pruned);
+  state.counters["full_tree"] =
+      std::pow(2.0, static_cast<double>(state.range(0))) - 1.0;
+}
+BENCHMARK(BM_BranchAndBound)
+    ->ArgsProduct({{4, 8, 12, 16}, {0, 1}})
+    ->Args({20, 1});
+
+// Polynomial DP heuristic (the knapsack-style algorithm the paper sketches
+// and omits, §III-A.2): gap vs the exact optimum where the latter is
+// computable.
+void BM_DpHeuristic(benchmark::State& state) {
+  const auto market = SyntheticMarket(static_cast<std::size_t>(state.range(0)));
+  const core::SubsetSolver solver{core::PriceModel{}};
+  const core::PlacementSearch search{core::PriceModel{}};
+  const auto request = Request();
+  for (auto _ : state) {
+    auto decision = solver.FindBestDp(market, request);
+    benchmark::DoNotOptimize(decision);
+  }
+  if (state.range(0) <= 16) {
+    const auto exact = search.FindBest(market, request);
+    const auto dp = solver.FindBestDp(market, request);
+    if (exact.feasible && dp.feasible && exact.expected_cost.usd() > 0.0) {
+      state.counters["gap_pct"] =
+          (dp.expected_cost.usd() - exact.expected_cost.usd()) /
+          exact.expected_cost.usd() * 100.0;
+    }
+  }
+}
+BENCHMARK(BM_DpHeuristic)->DenseRange(2, 16, 2)->DenseRange(20, 40, 10);
+
+// Exact search over the threshold-flexible space (FindBestFlexible): one
+// branch-and-bound per m with exact per-member base costs.  Despite the
+// larger design space (every (subset, m) pair), the tight bound makes it
+// the fastest exact solver here.
+void BM_FlexibleExact(benchmark::State& state) {
+  const auto market = SyntheticMarket(static_cast<std::size_t>(state.range(0)));
+  const core::SubsetSolver solver{core::PriceModel{}};
+  const auto request = state.range(1) == 0 ? Request() : ColdBackupRequest();
+  core::SolverStats stats;
+  for (auto _ : state) {
+    auto decision = solver.FindBestFlexible(market, request, &stats);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.counters["evaluated"] = static_cast<double>(stats.sets_evaluated);
+  state.counters["pruned"] = static_cast<double>(stats.nodes_pruned);
+}
+BENCHMARK(BM_FlexibleExact)
+    ->ArgsProduct({{4, 8, 12, 16, 20}, {0, 1}});
+
+// The submaximal-threshold extension: how much the richer design space
+// (committing to m below the durability-maximal threshold) saves on an
+// egress-heavy object.
+void BM_DpSubmaximalThreshold(benchmark::State& state) {
+  const auto market = SyntheticMarket(static_cast<std::size_t>(state.range(0)));
+  const core::SubsetSolver solver{core::PriceModel{}};
+  auto request = Request();
+  request.per_period.reads = 150.0;
+  request.per_period.bw_out_gb = 0.15;
+  request.per_period.ops = 150.0;
+  core::SubsetSolver::DpOptions flexible{.allow_submaximal_threshold = true};
+  for (auto _ : state) {
+    auto decision = solver.FindBestDp(market, request, nullptr, flexible);
+    benchmark::DoNotOptimize(decision);
+  }
+  const auto parity = solver.FindBestDp(market, request);
+  const auto flex = solver.FindBestDp(market, request, nullptr, flexible);
+  if (parity.feasible && flex.feasible && parity.expected_cost.usd() > 0.0) {
+    state.counters["saving_pct"] =
+        (parity.expected_cost.usd() - flex.expected_cost.usd()) /
+        parity.expected_cost.usd() * 100.0;
+  }
+}
+BENCHMARK(BM_DpSubmaximalThreshold)->Arg(5)->Arg(10)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

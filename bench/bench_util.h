@@ -1,0 +1,57 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "provider/pricing.h"
+#include "simx/simulator.h"
+
+namespace scalia::bench {
+
+/// Figure benches accept "--billing=prorated|per-period" (default
+/// per-period, the paper's apparent mode; see DESIGN.md §3).
+inline provider::StorageBillingMode ParseBillingMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--billing=prorated") == 0) {
+      return provider::StorageBillingMode::kProrated;
+    }
+    if (std::strcmp(argv[i], "--billing=per-period") == 0) {
+      return provider::StorageBillingMode::kPerPeriod;
+    }
+  }
+  return provider::StorageBillingMode::kPerPeriod;
+}
+
+/// Prints the per-period resource series of a run (Figs. 12/15/17), one row
+/// every `stride` periods.
+inline void PrintResourceSeries(const simx::RunResult& run,
+                                std::size_t stride = 1) {
+  std::printf("  hour   storage_GB     bdw_in_GB    bdw_out_GB\n");
+  for (std::size_t p = 0; p < run.resources.size(); p += stride) {
+    const auto& r = run.resources[p];
+    std::printf("  %4zu   %10.6f   %11.6f   %11.6f\n", p, r.storage_gb,
+                r.bw_in_gb, r.bw_out_gb);
+  }
+}
+
+/// Prints the placement-change log of a run.
+inline void PrintEvents(const simx::RunResult& run, std::size_t limit = 40) {
+  std::size_t shown = 0;
+  for (const auto& e : run.events) {
+    if (shown++ >= limit) {
+      std::printf("  ... (%zu more events)\n", run.events.size() - limit);
+      break;
+    }
+    std::printf("  h%-4zu %-16s %-34s (%s)\n", e.period, e.object.c_str(),
+                e.label.c_str(), e.reason.c_str());
+  }
+  std::printf("  [counters] trend_changes=%zu recomputations=%zu "
+              "migrations=%zu repairs=%zu\n",
+              run.trend_changes, run.recomputations, run.migrations,
+              run.repairs);
+}
+
+}  // namespace scalia::bench

@@ -1,0 +1,131 @@
+// S3-compatible gateway demo: two tenants drive a Scalia cluster through
+// the signed HTTP interface (§III-A's "Amazon S3-like interface"), with a
+// per-provider invoice at the end (§II-B "paying a fair price").
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/s3_gateway_demo
+#include <cstdio>
+
+#include "api/gateway.h"
+#include "billing/invoice.h"
+#include "core/cluster.h"
+#include "provider/spec.h"
+
+using namespace scalia;
+
+namespace {
+
+/// Signs and serves one request; prints the outcome line.
+api::HttpResponse Call(api::S3Gateway& gateway, const api::RequestSigner& who,
+                       common::SimTime now, api::HttpMethod method,
+                       const std::string& target, std::string body = {},
+                       const std::string& mime = {}) {
+  api::HttpRequest request;
+  request.method = method;
+  request.path = target;
+  request.body = std::move(body);
+  if (!mime.empty()) request.headers.Set("content-type", mime);
+  who.Sign(&request, now);
+  api::HttpResponse response = gateway.Handle(now, request);
+  std::printf("  %-6s %-28s -> %d %s\n",
+              std::string(api::MethodName(method)).c_str(), target.c_str(),
+              response.status,
+              std::string(api::StatusText(response.status)).c_str());
+  return response;
+}
+
+}  // namespace
+
+int main() {
+  // 1. The cluster: engines + cache + metadata store + optimizer (Fig. 4).
+  core::ClusterConfig config;
+  config.engine.default_rule =
+      core::StorageRule{.name = "default",
+                        .durability = 0.999999,
+                        .availability = 0.9999,
+                        .allowed_zones = provider::ZoneSet::All(),
+                        .lockin = 0.5,
+                        .ttl_hint = std::nullopt};
+  core::ScaliaCluster cluster(config);
+  const auto catalog = provider::PaperCatalog();
+  for (auto spec : catalog) {
+    if (auto s = cluster.registry().Register(std::move(spec)); !s.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // 2. The gateway: access keys per tenant, HMAC-signed requests with a
+  //    replay window (the §III-E scheme applied to the client API).
+  api::Authenticator auth;
+  const api::Credentials acme{.access_key_id = "ACME-KEY-1",
+                              .secret = "acme-secret",
+                              .tenant = "acme"};
+  const api::Credentials globex{.access_key_id = "GLOBEX-KEY-1",
+                                .secret = "globex-secret",
+                                .tenant = "globex"};
+  auth.AddCredentials(acme);
+  auth.AddCredentials(globex);
+  api::S3Gateway gateway(
+      &auth, [&]() -> core::Engine& { return cluster.RouteRequest(); });
+  // Named rules clients can select per object (Fig. 2).
+  for (auto& rule : core::PaperRules()) gateway.RegisterRule(rule);
+
+  const api::RequestSigner as_acme(acme);
+  const api::RequestSigner as_globex(globex);
+  common::SimTime now = 0;
+
+  std::printf("== acme uploads a gallery ==\n");
+  Call(gateway, as_acme, now, api::HttpMethod::kPut, "/pictures/holiday.gif",
+       std::string(250 * common::kKB, 'g'), "image/gif");
+  Call(gateway, as_acme, now, api::HttpMethod::kPut, "/pictures/logo.png",
+       std::string(40 * common::kKB, 'p'), "image/png");
+
+  std::printf("\n== globex stores a backup under rule2 (EU-only) ==\n");
+  {
+    api::HttpRequest request;
+    request.method = api::HttpMethod::kPut;
+    request.path = "/vault/db-dump.tar";
+    request.body = std::string(800 * common::kKB, 'b');
+    request.headers.Set("content-type", "application/x-tar");
+    request.headers.Set("x-scalia-rule", "rule2");
+    as_globex.Sign(&request, now);
+    const auto response = gateway.Handle(now, request);
+    std::printf("  PUT    /vault/db-dump.tar (rule2)  -> %d\n",
+                response.status);
+  }
+
+  now += common::kHour;
+  std::printf("\n== reads, listing, tenant isolation ==\n");
+  Call(gateway, as_acme, now, api::HttpMethod::kGet, "/pictures/holiday.gif");
+  Call(gateway, as_acme, now, api::HttpMethod::kHead, "/pictures/logo.png");
+  Call(gateway, as_acme, now, api::HttpMethod::kGet, "/pictures");
+  // globex cannot see acme's container: same path, distinct namespace.
+  Call(gateway, as_globex, now, api::HttpMethod::kGet,
+       "/pictures/holiday.gif");
+
+  std::printf("\n== a tampered signature is rejected ==\n");
+  {
+    api::HttpRequest forged;
+    forged.method = api::HttpMethod::kGet;
+    forged.path = "/vault/db-dump.tar";
+    as_globex.Sign(&forged, now);
+    forged.path = "/vault/other.tar";  // body of the theft
+    const auto response = gateway.Handle(now, forged);
+    std::printf("  GET    /vault/other.tar (forged)   -> %d %s\n",
+                response.status, response.body.c_str());
+  }
+
+  // 3. The monthly statement: what each provider actually charged.
+  std::printf("\n== provider invoices ==\n");
+  billing::Ledger ledger;
+  for (const auto& spec : catalog) {
+    auto* store = cluster.registry().Find(spec.id);
+    if (store == nullptr) continue;
+    ledger.Accrue(spec.id, store->meter().Totals(now));
+  }
+  const billing::Statement statement = ledger.Cut(now, catalog);
+  std::printf("%s", statement.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "api/gateway.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/units.h"
+
+namespace scalia::api {
+
+int HttpStatusFor(const common::Status& status) {
+  switch (status.code()) {
+    case common::StatusCode::kOk: return 200;
+    case common::StatusCode::kNotFound: return 404;
+    case common::StatusCode::kUnavailable: return 503;
+    case common::StatusCode::kConflict: return 409;
+    case common::StatusCode::kInvalidArgument: return 400;
+    case common::StatusCode::kFailedPrecondition: return 412;
+    case common::StatusCode::kResourceExhausted: return 429;
+    case common::StatusCode::kUnauthenticated: return 401;
+    case common::StatusCode::kInternal: return 500;
+  }
+  return 500;
+}
+
+S3Gateway::S3Gateway(Authenticator* auth, RouteFn route)
+    : auth_(auth), route_(std::move(route)) {}
+
+void S3Gateway::RegisterRule(core::StorageRule rule) {
+  std::lock_guard lock(rules_mu_);
+  rules_[rule.name] = std::move(rule);
+}
+
+HttpResponse S3Gateway::ErrorResponse(const common::Status& status) {
+  HttpResponse response;
+  response.status = HttpStatusFor(status);
+  response.body = status.ToString();
+  response.headers.Set("content-type", "text/plain");
+  return response;
+}
+
+HttpResponse S3Gateway::Handle(common::SimTime now,
+                               const HttpRequest& request) {
+  auto tenant = auth_->Verify(request, now);
+  if (!tenant.ok()) return ErrorResponse(tenant.status());
+
+  auto target = ParseTarget(request.path);
+  if (!target.ok()) return ErrorResponse(target.status());
+  const auto& segments = target->segments;
+
+  if (segments.empty()) {
+    return ErrorResponse(
+        common::Status::InvalidArgument("container name required"));
+  }
+  // Tenant isolation: the engines see per-tenant container names, so two
+  // tenants' "pictures" containers never collide.
+  const std::string container = *tenant + ":" + segments[0];
+
+  if (segments.size() == 1) {
+    if (request.method != HttpMethod::kGet) {
+      return ErrorResponse(common::Status::InvalidArgument(
+          "only GET (list) is supported on containers"));
+    }
+    return HandleList(now, container);
+  }
+  if (segments.size() != 2) {
+    return ErrorResponse(
+        common::Status::InvalidArgument("expected /container/key"));
+  }
+  const std::string& key = segments[1];
+
+  switch (request.method) {
+    case HttpMethod::kPut:
+      return HandleObjectPut(now, container, key, request);
+    case HttpMethod::kGet:
+      return HandleObjectGet(now, container, key, /*head_only=*/false);
+    case HttpMethod::kHead:
+      return HandleObjectGet(now, container, key, /*head_only=*/true);
+    case HttpMethod::kDelete:
+      return HandleObjectDelete(now, container, key);
+  }
+  return ErrorResponse(common::Status::InvalidArgument("bad method"));
+}
+
+HttpResponse S3Gateway::HandleObjectPut(common::SimTime now,
+                                        const std::string& container,
+                                        const std::string& key,
+                                        const HttpRequest& request) {
+  std::optional<core::StorageRule> rule;
+  if (const std::string* rule_name =
+          request.headers.Find("x-scalia-rule")) {
+    std::lock_guard lock(rules_mu_);
+    auto it = rules_.find(*rule_name);
+    if (it == rules_.end()) {
+      return ErrorResponse(
+          common::Status::InvalidArgument("unknown rule \"" + *rule_name +
+                                          "\""));
+    }
+    rule = it->second;
+  }
+  if (const std::string* ttl_hours =
+          request.headers.Find("x-scalia-ttl-hours")) {
+    double hours = 0.0;
+    try {
+      hours = std::stod(*ttl_hours);
+    } catch (...) {
+      return ErrorResponse(
+          common::Status::InvalidArgument("unparseable x-scalia-ttl-hours"));
+    }
+    if (hours <= 0.0) {
+      return ErrorResponse(
+          common::Status::InvalidArgument("x-scalia-ttl-hours must be > 0"));
+    }
+    if (!rule) rule = core::StorageRule{};  // default rule + TTL hint
+    rule->ttl_hint = common::FromHours(hours);
+  }
+
+  std::string mime = request.headers.Get("content-type");
+  if (mime.empty()) mime = "application/octet-stream";
+
+  const common::Status status =
+      route_().Put(now, container, key, request.body, mime, rule);
+  if (!status.ok()) return ErrorResponse(status);
+
+  HttpResponse response;
+  response.status = 201;
+  return response;
+}
+
+HttpResponse S3Gateway::HandleObjectGet(common::SimTime now,
+                                        const std::string& container,
+                                        const std::string& key,
+                                        bool head_only) {
+  core::Engine& engine = route_();
+  if (head_only) {
+    auto meta = engine.LoadMetadata(now, core::MakeRowKey(container, key));
+    if (!meta.ok()) return ErrorResponse(meta.status());
+    HttpResponse response;
+    response.status = 200;
+    response.headers.Set("content-type", meta->mime);
+    response.headers.Set("content-length", std::to_string(meta->size));
+    response.headers.Set("x-scalia-erasure-m", std::to_string(meta->m));
+    response.headers.Set("x-scalia-erasure-n",
+                         std::to_string(meta->stripes.size()));
+    return response;
+  }
+  auto body = engine.Get(now, container, key);
+  if (!body.ok()) return ErrorResponse(body.status());
+  HttpResponse response;
+  response.status = 200;
+  response.headers.Set("content-length", std::to_string(body->size()));
+  response.body = std::move(body).value();
+  return response;
+}
+
+HttpResponse S3Gateway::HandleObjectDelete(common::SimTime now,
+                                           const std::string& container,
+                                           const std::string& key) {
+  const common::Status status = route_().Delete(now, container, key);
+  if (!status.ok()) return ErrorResponse(status);
+  HttpResponse response;
+  response.status = 204;
+  return response;
+}
+
+HttpResponse S3Gateway::HandleList(common::SimTime now,
+                                   const std::string& container) {
+  auto keys = route_().List(now, container);
+  if (!keys.ok()) return ErrorResponse(keys.status());
+  HttpResponse response;
+  response.status = 200;
+  response.headers.Set("content-type", "text/plain");
+  response.body = common::Join(*keys, "\n");
+  return response;
+}
+
+}  // namespace scalia::api

@@ -1,0 +1,78 @@
+// The S3-compatible gateway: HTTP verbs → engine operations.
+//
+// Implements the engine layer's outward face (§III-A: put, get, list and
+// delete over a key-value model).  Routing:
+//
+//   PUT    /container/key     store body (Content-Type honoured; optional
+//                             x-scalia-rule selects a registered rule,
+//                             x-scalia-ttl-hours hints the lifetime)
+//   GET    /container/key     fetch object
+//   HEAD   /container/key     existence + size/mime without the body
+//   DELETE /container/key     delete object
+//   GET    /container         list keys (newline-separated body)
+//
+// Requests authenticate per api/auth.h; each tenant sees only its own
+// containers (the gateway namespaces container names by tenant before they
+// reach the engines).  Engine statuses map onto HTTP codes: NotFound→404,
+// Unavailable→503, Conflict→409, InvalidArgument→400, Unauthenticated→401,
+// FailedPrecondition→412, ResourceExhausted→429, Internal→500.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "api/auth.h"
+#include "api/http.h"
+#include "common/sim_time.h"
+#include "core/engine.h"
+#include "core/rule.h"
+
+namespace scalia::api {
+
+/// Maps a Status onto the HTTP code the gateway responds with.
+[[nodiscard]] int HttpStatusFor(const common::Status& status);
+
+class S3Gateway {
+ public:
+  /// `route` supplies the engine handling each request (the cluster's
+  /// RouteRequest, or a fixed engine in single-node deployments).
+  using RouteFn = std::function<core::Engine&()>;
+
+  S3Gateway(Authenticator* auth, RouteFn route);
+
+  /// Registers a named storage rule clients may select with x-scalia-rule
+  /// (the paper's per-class / per-object rules, Fig. 2).
+  void RegisterRule(core::StorageRule rule);
+
+  /// Serves one request at simulated time `now`.
+  [[nodiscard]] HttpResponse Handle(common::SimTime now,
+                                    const HttpRequest& request);
+
+ private:
+  [[nodiscard]] HttpResponse HandleObjectPut(common::SimTime now,
+                                             const std::string& container,
+                                             const std::string& key,
+                                             const HttpRequest& request);
+  [[nodiscard]] HttpResponse HandleObjectGet(common::SimTime now,
+                                             const std::string& container,
+                                             const std::string& key,
+                                             bool head_only);
+  [[nodiscard]] HttpResponse HandleObjectDelete(common::SimTime now,
+                                                const std::string& container,
+                                                const std::string& key);
+  [[nodiscard]] HttpResponse HandleList(common::SimTime now,
+                                        const std::string& container);
+
+  [[nodiscard]] static HttpResponse ErrorResponse(
+      const common::Status& status);
+
+  Authenticator* auth_;  // not owned
+  RouteFn route_;
+
+  std::mutex rules_mu_;
+  std::map<std::string, core::StorageRule> rules_;
+};
+
+}  // namespace scalia::api

@@ -1,0 +1,163 @@
+#include "api/http.h"
+
+#include <cctype>
+
+namespace scalia::api {
+
+std::optional<HttpMethod> ParseMethod(std::string_view name) {
+  if (name == "GET") return HttpMethod::kGet;
+  if (name == "PUT") return HttpMethod::kPut;
+  if (name == "DELETE") return HttpMethod::kDelete;
+  if (name == "HEAD") return HttpMethod::kHead;
+  return std::nullopt;
+}
+
+namespace {
+
+[[nodiscard]] std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+[[nodiscard]] int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+void HeaderMap::Set(std::string_view name, std::string value) {
+  headers_[ToLower(name)] = std::move(value);
+}
+
+const std::string* HeaderMap::Find(std::string_view name) const {
+  auto it = headers_.find(ToLower(name));
+  return it == headers_.end() ? nullptr : &it->second;
+}
+
+common::Result<std::string> UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '%') {
+      if (i + 2 >= s.size()) {
+        return common::Status::InvalidArgument("truncated %-escape");
+      }
+      const int hi = HexDigit(s[i + 1]);
+      const int lo = HexDigit(s[i + 2]);
+      if (hi < 0 || lo < 0) {
+        return common::Status::InvalidArgument("malformed %-escape");
+      }
+      out.push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else if (c == '+') {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UrlEncode(std::string_view s) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    const bool unreserved = std::isalnum(u) != 0 || c == '-' || c == '_' ||
+                            c == '.' || c == '~';
+    if (unreserved) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xF]);
+    }
+  }
+  return out;
+}
+
+common::Result<ParsedTarget> ParseTarget(std::string_view target) {
+  if (target.empty() || target[0] != '/') {
+    return common::Status::InvalidArgument("target must start with '/'");
+  }
+  ParsedTarget parsed;
+
+  std::string_view path = target;
+  std::string_view query;
+  if (const auto qpos = target.find('?'); qpos != std::string_view::npos) {
+    path = target.substr(0, qpos);
+    query = target.substr(qpos + 1);
+  }
+
+  // Path segments.
+  std::size_t start = 1;  // skip leading '/'
+  while (start <= path.size()) {
+    std::size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    std::string_view raw = path.substr(start, end - start);
+    if (!raw.empty()) {
+      auto decoded = UrlDecode(raw);
+      if (!decoded.ok()) return decoded.status();
+      if (*decoded == "." || *decoded == "..") {
+        return common::Status::InvalidArgument("path traversal segment");
+      }
+      parsed.segments.push_back(std::move(decoded).value());
+    } else if (end != path.size()) {
+      return common::Status::InvalidArgument("empty path segment");
+    }
+    start = end + 1;
+  }
+
+  // Query parameters.
+  std::size_t qstart = 0;
+  while (qstart < query.size()) {
+    std::size_t qend = query.find('&', qstart);
+    if (qend == std::string_view::npos) qend = query.size();
+    const std::string_view pair = query.substr(qstart, qend - qstart);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      const std::string_view raw_key =
+          eq == std::string_view::npos ? pair : pair.substr(0, eq);
+      const std::string_view raw_val =
+          eq == std::string_view::npos ? std::string_view{}
+                                       : pair.substr(eq + 1);
+      auto key = UrlDecode(raw_key);
+      if (!key.ok()) return key.status();
+      auto val = UrlDecode(raw_val);
+      if (!val.ok()) return val.status();
+      parsed.query[std::move(key).value()] = std::move(val).value();
+    }
+    qstart = qend + 1;
+  }
+
+  return parsed;
+}
+
+std::string_view StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 412: return "Precondition Failed";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace scalia::api

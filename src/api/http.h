@@ -1,0 +1,97 @@
+// Minimal HTTP message model for the S3-compatible interface.
+//
+// §III-A: "The engines provide an Amazon S3-like interface (i.e. compatible
+// to existing solutions employed by the end-users), where the users can
+// put, get, list and delete their data using a key-value data model."
+// This module gives that interface a concrete wire shape — method, percent-
+// encoded path, query string, case-insensitive headers, body — without
+// binding to a socket library: the gateway is exercised in-process by the
+// examples and tests exactly as a network frontend would drive it.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scalia::api {
+
+enum class HttpMethod { kGet, kPut, kDelete, kHead };
+
+[[nodiscard]] constexpr std::string_view MethodName(HttpMethod m) {
+  switch (m) {
+    case HttpMethod::kGet: return "GET";
+    case HttpMethod::kPut: return "PUT";
+    case HttpMethod::kDelete: return "DELETE";
+    case HttpMethod::kHead: return "HEAD";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::optional<HttpMethod> ParseMethod(std::string_view name);
+
+/// Case-insensitive header map (HTTP header names are case-insensitive;
+/// values are kept verbatim).
+class HeaderMap {
+ public:
+  void Set(std::string_view name, std::string value);
+  [[nodiscard]] const std::string* Find(std::string_view name) const;
+  [[nodiscard]] std::string Get(std::string_view name) const {
+    const std::string* v = Find(name);
+    return v == nullptr ? std::string{} : *v;
+  }
+  [[nodiscard]] bool Contains(std::string_view name) const {
+    return Find(name) != nullptr;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return headers_.size(); }
+
+  [[nodiscard]] auto begin() const { return headers_.begin(); }
+  [[nodiscard]] auto end() const { return headers_.end(); }
+
+ private:
+  // Keys stored lower-cased.
+  std::map<std::string, std::string> headers_;
+};
+
+struct HttpRequest {
+  HttpMethod method = HttpMethod::kGet;
+  /// Decoded path segments, e.g. "/pictures/holiday.gif" → {"pictures",
+  /// "holiday.gif"}.  Populated by ParsePath.
+  std::string path;  // raw, percent-encoded
+  std::map<std::string, std::string> query;
+  HeaderMap headers;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  HeaderMap headers;
+  std::string body;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status >= 200 && status < 300;
+  }
+};
+
+/// Percent-decodes a URL component; rejects malformed %-escapes.
+[[nodiscard]] common::Result<std::string> UrlDecode(std::string_view s);
+
+/// Percent-encodes everything outside the URL-safe unreserved set.
+[[nodiscard]] std::string UrlEncode(std::string_view s);
+
+/// Splits `target` ("/bucket/key?x=1&y=2") into decoded path segments and a
+/// decoded query map.  Empty segments (from "//") are rejected, as are
+/// segments of "." or ".." (path traversal).
+struct ParsedTarget {
+  std::vector<std::string> segments;
+  std::map<std::string, std::string> query;
+};
+[[nodiscard]] common::Result<ParsedTarget> ParseTarget(std::string_view target);
+
+/// HTTP status text for the codes the gateway emits.
+[[nodiscard]] std::string_view StatusText(int status);
+
+}  // namespace scalia::api

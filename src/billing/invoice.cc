@@ -1,0 +1,131 @@
+#include "billing/invoice.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace scalia::billing {
+
+namespace {
+
+constexpr double kHoursPerMonth = 720.0;  // 30-day billing month
+
+void AddLine(Invoice* invoice, LineKind kind, double quantity,
+             std::string unit, double unit_price) {
+  LineItem item;
+  item.kind = kind;
+  item.quantity = quantity;
+  item.unit = std::move(unit);
+  item.unit_price = unit_price;
+  item.amount = common::Money(quantity * unit_price);
+  invoice->total += item.amount;
+  invoice->lines.push_back(std::move(item));
+}
+
+}  // namespace
+
+Invoice MakeInvoice(const provider::ProviderSpec& spec,
+                    const provider::PeriodUsage& usage,
+                    common::SimTime window_start,
+                    common::SimTime window_end) {
+  Invoice invoice;
+  invoice.provider = spec.id;
+  invoice.window_start = window_start;
+  invoice.window_end = window_end;
+  AddLine(&invoice, LineKind::kStorage, usage.storage_gb_hours / kHoursPerMonth,
+          "GB-month", spec.pricing.storage_gb_month);
+  AddLine(&invoice, LineKind::kBandwidthIn, usage.bw_in_gb, "GB",
+          spec.pricing.bw_in_gb);
+  AddLine(&invoice, LineKind::kBandwidthOut, usage.bw_out_gb, "GB",
+          spec.pricing.bw_out_gb);
+  // Ops are catalogued per 1000 requests (Fig. 3).
+  AddLine(&invoice, LineKind::kOperations, usage.ops, "requests",
+          spec.pricing.ops_per_1000 / 1000.0);
+  return invoice;
+}
+
+std::string Invoice::ToString() const {
+  std::string out = "Invoice: " + provider + "  [" +
+                    common::FormatSimTime(window_start) + " .. " +
+                    common::FormatSimTime(window_end) + ")\n";
+  for (const LineItem& line : lines) {
+    out += "  ";
+    out += LineKindName(line.kind);
+    out += ": ";
+    out += common::FormatDouble(line.quantity, 6);
+    out += " ";
+    out += line.unit;
+    out += " @ $";
+    out += common::FormatDouble(line.unit_price, 6);
+    out += " = ";
+    out += line.amount.ToString();
+    out += "\n";
+  }
+  out += "  total: " + total.ToString() + "\n";
+  return out;
+}
+
+common::Money Statement::Total() const {
+  common::Money sum;
+  for (const Invoice& inv : invoices) sum += inv.total;
+  return sum;
+}
+
+std::string Statement::ToString() const {
+  std::string out;
+  for (const Invoice& inv : invoices) out += inv.ToString();
+  out += "Statement total: " + Total().ToString() + "\n";
+  return out;
+}
+
+std::string Statement::ToCsv() const {
+  std::string out = "provider,line,quantity,unit,unit_price,amount\n";
+  for (const Invoice& inv : invoices) {
+    for (const LineItem& line : inv.lines) {
+      out += inv.provider;
+      out += ',';
+      out += LineKindName(line.kind);
+      out += ',';
+      out += common::FormatDouble(line.quantity, 9);
+      out += ',';
+      out += line.unit;
+      out += ',';
+      out += common::FormatDouble(line.unit_price, 6);
+      out += ',';
+      out += common::FormatDouble(line.amount.usd(), 9);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void Ledger::Accrue(const provider::ProviderId& provider_id,
+                    const provider::PeriodUsage& usage) {
+  for (auto& [id, acc] : accrued_) {
+    if (id == provider_id) {
+      acc += usage;
+      return;
+    }
+  }
+  accrued_.emplace_back(provider_id, usage);
+}
+
+Statement Ledger::Cut(common::SimTime now,
+                      const std::vector<provider::ProviderSpec>& catalog) {
+  Statement statement;
+  statement.window_start = window_start_;
+  statement.window_end = now;
+  // Deterministic output order regardless of accrual order.
+  std::sort(accrued_.begin(), accrued_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [id, usage] : accrued_) {
+    const provider::ProviderSpec* spec = provider::FindSpec(catalog, id);
+    if (spec == nullptr) continue;
+    statement.invoices.push_back(MakeInvoice(*spec, usage, window_start_, now));
+  }
+  accrued_.clear();
+  window_start_ = now;
+  return statement;
+}
+
+}  // namespace scalia::billing

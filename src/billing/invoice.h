@@ -1,0 +1,101 @@
+// Itemized provider invoices.
+//
+// §II-B frames Scalia's whole purpose as "paying a fair price": the broker
+// must therefore be able to show the data owner exactly what each provider
+// charged and for which resource.  This module renders metered usage into
+// per-provider invoices with one line item per billable resource (storage,
+// bandwidth in, bandwidth out, operations — the four price columns of
+// Fig. 3), aggregates invoices across providers into a billing statement,
+// and exports CSV for downstream cost analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/money.h"
+#include "common/sim_time.h"
+#include "provider/pricing.h"
+#include "provider/spec.h"
+
+namespace scalia::billing {
+
+/// One billable resource on an invoice.
+enum class LineKind { kStorage, kBandwidthIn, kBandwidthOut, kOperations };
+
+[[nodiscard]] constexpr std::string_view LineKindName(LineKind k) {
+  switch (k) {
+    case LineKind::kStorage: return "storage";
+    case LineKind::kBandwidthIn: return "bandwidth-in";
+    case LineKind::kBandwidthOut: return "bandwidth-out";
+    case LineKind::kOperations: return "operations";
+  }
+  return "?";
+}
+
+struct LineItem {
+  LineKind kind = LineKind::kStorage;
+  double quantity = 0.0;     // GB·month, GB, GB, or request count
+  std::string unit;          // "GB-month", "GB", "requests"
+  double unit_price = 0.0;   // catalog rate for the unit
+  common::Money amount;      // quantity x unit_price
+};
+
+/// Everything one provider charged over a billing window.
+struct Invoice {
+  provider::ProviderId provider;
+  common::SimTime window_start = 0;
+  common::SimTime window_end = 0;
+  std::vector<LineItem> lines;
+  common::Money total;
+
+  /// Renders a human-readable invoice block (for examples and reports).
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// A statement aggregates the invoices of every provider in the window.
+struct Statement {
+  common::SimTime window_start = 0;
+  common::SimTime window_end = 0;
+  std::vector<Invoice> invoices;
+
+  [[nodiscard]] common::Money Total() const;
+
+  /// Renders all invoices plus the grand total.
+  [[nodiscard]] std::string ToString() const;
+
+  /// CSV export: provider,line,quantity,unit,unit_price,amount.
+  [[nodiscard]] std::string ToCsv() const;
+};
+
+/// Builds an invoice from usage metered over [window_start, window_end).
+/// Storage is billed per GB·month (prorated mode) — usage carries
+/// GB·hours, so quantity = gb_hours / 720.
+[[nodiscard]] Invoice MakeInvoice(const provider::ProviderSpec& spec,
+                                  const provider::PeriodUsage& usage,
+                                  common::SimTime window_start,
+                                  common::SimTime window_end);
+
+/// A running cost ledger: feed per-period usage per provider, cut monthly
+/// (or arbitrary-window) statements.
+class Ledger {
+ public:
+  /// Accumulates `usage` for `provider_id` in the current window.
+  void Accrue(const provider::ProviderId& provider_id,
+              const provider::PeriodUsage& usage);
+
+  /// Closes the window ending at `now` and returns the statement; the
+  /// ledger then starts a fresh window at `now`.  `catalog` supplies the
+  /// pricing for each accrued provider; unknown providers are skipped.
+  [[nodiscard]] Statement Cut(
+      common::SimTime now, const std::vector<provider::ProviderSpec>& catalog);
+
+  [[nodiscard]] std::size_t ProviderCount() const {
+    return accrued_.size();
+  }
+
+ private:
+  common::SimTime window_start_ = 0;
+  std::vector<std::pair<provider::ProviderId, provider::PeriodUsage>> accrued_;
+};
+
+}  // namespace scalia::billing

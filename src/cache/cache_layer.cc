@@ -1,0 +1,32 @@
+#include "cache/cache_layer.h"
+
+namespace scalia::cache {
+
+void InvalidationBus::Subscribe(CacheLayer* layer) {
+  std::lock_guard lock(mu_);
+  layers_.push_back(layer);
+}
+
+void InvalidationBus::Broadcast(const std::string& key) {
+  std::vector<CacheLayer*> layers;
+  {
+    std::lock_guard lock(mu_);
+    layers = layers_;
+  }
+  for (CacheLayer* l : layers) l->InvalidateLocal(key);
+}
+
+CacheLayer::CacheLayer(common::Bytes capacity, InvalidationBus* bus)
+    : cache_(capacity), bus_(bus) {
+  if (bus_ != nullptr) bus_->Subscribe(this);
+}
+
+void CacheLayer::InvalidateEverywhere(const std::string& key) {
+  if (bus_ != nullptr) {
+    bus_->Broadcast(key);
+  } else {
+    InvalidateLocal(key);
+  }
+}
+
+}  // namespace scalia::cache

@@ -1,0 +1,59 @@
+// Per-datacenter cache layers joined by an invalidation bus.
+//
+// §III-B: "In a multi-datacenter setup, the cache has to be invalidated in
+// all datacenters in order to guarantee the consistency of the read
+// operations."  A write in any datacenter broadcasts the object's row key on
+// the bus; every layer drops its copy.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cache/lru_cache.h"
+
+namespace scalia::cache {
+
+class CacheLayer;
+
+/// Broadcast channel connecting the datacenters' cache layers.
+class InvalidationBus {
+ public:
+  void Subscribe(CacheLayer* layer);
+  /// Invalidates `key` in every subscribed layer (including the caller's —
+  /// idempotent and simpler than excluding it).
+  void Broadcast(const std::string& key);
+
+ private:
+  std::mutex mu_;
+  std::vector<CacheLayer*> layers_;
+};
+
+class CacheLayer {
+ public:
+  CacheLayer(common::Bytes capacity, InvalidationBus* bus);
+
+  /// Local lookup.
+  [[nodiscard]] std::optional<std::string> Get(const std::string& key) {
+    return cache_.Get(key);
+  }
+  /// Local fill after a read reassembled the object (§III-D.2).
+  void Fill(const std::string& key, std::string value) {
+    cache_.Put(key, std::move(value));
+  }
+  /// Called on writes/deletes: drop the object everywhere.
+  void InvalidateEverywhere(const std::string& key);
+  /// Bus-delivered invalidation.
+  void InvalidateLocal(const std::string& key) { cache_.Invalidate(key); }
+
+  [[nodiscard]] CacheStats Stats() const { return cache_.Stats(); }
+  [[nodiscard]] LruCache& cache() noexcept { return cache_; }
+
+ private:
+  LruCache cache_;
+  InvalidationBus* bus_;  // not owned; may be null for single-DC setups
+};
+
+}  // namespace scalia::cache

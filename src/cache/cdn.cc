@@ -1,0 +1,143 @@
+#include "cache/cdn.h"
+
+#include <utility>
+
+namespace scalia::cache {
+
+// ---------------------------------------------------------------------------
+// EdgeCache
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> EdgeCache::Get(common::SimTime now,
+                                          const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.edge_misses;
+    return std::nullopt;
+  }
+  Entry& entry = *it->second;
+  if (ttl_ > 0 && now - entry.filled_at >= ttl_) {
+    bytes_ -= entry.body.size();
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.expirations;
+    ++stats_.edge_misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  ++stats_.edge_hits;
+  return entry.body;
+}
+
+void EdgeCache::Fill(common::SimTime now, const std::string& key,
+                     std::string body) {
+  if (body.size() > capacity_) return;  // never cacheable
+  std::lock_guard lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->body.size();
+    bytes_ += body.size();
+    it->second->body = std::move(body);
+    it->second->filled_at = now;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(body), now});
+    bytes_ += lru_.front().body.size();
+    index_[key] = lru_.begin();
+  }
+  EvictToFitLocked();
+}
+
+void EdgeCache::EvictToFitLocked() {
+  while (bytes_ > capacity_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    bytes_ -= victim.body.size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void EdgeCache::Purge(const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  bytes_ -= it->second->body.size();
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++stats_.purges;
+}
+
+void EdgeCache::Clear() {
+  std::lock_guard lock(mu_);
+  stats_.purges += lru_.size();
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+CdnStats EdgeCache::Stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+common::Bytes EdgeCache::SizeBytes() const {
+  std::lock_guard lock(mu_);
+  return bytes_;
+}
+
+std::size_t EdgeCache::EntryCount() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Cdn
+// ---------------------------------------------------------------------------
+
+Cdn::Cdn(CdnConfig config, OriginFn origin)
+    : config_(config), origin_(std::move(origin)) {
+  for (auto& edge : edges_) {
+    edge = std::make_unique<EdgeCache>(config_.edge_capacity, config_.ttl);
+  }
+}
+
+CdnFetch Cdn::Get(common::SimTime now, net::Region region,
+                  const std::string& key) {
+  EdgeCache& edge = *edges_[static_cast<std::size_t>(region)];
+  if (auto body = edge.Get(now, key)) {
+    return CdnFetch{.found = true,
+                    .edge_hit = true,
+                    .latency_ms = config_.edge_rtt_ms,
+                    .body = std::move(*body)};
+  }
+  OriginReply reply = origin_(region, key);
+  if (!reply.body) {
+    return CdnFetch{.found = false,
+                    .edge_hit = false,
+                    .latency_ms = config_.edge_rtt_ms + reply.latency_ms,
+                    .body = {}};
+  }
+  edge.Fill(now, key, *reply.body);
+  return CdnFetch{.found = true,
+                  .edge_hit = false,
+                  .latency_ms = config_.edge_rtt_ms + reply.latency_ms,
+                  .body = std::move(*reply.body)};
+}
+
+void Cdn::Purge(const std::string& key) {
+  for (auto& edge : edges_) edge->Purge(key);
+}
+
+void Cdn::PurgeAll() {
+  for (auto& edge : edges_) edge->Clear();
+}
+
+CdnStats Cdn::TotalStats() const {
+  CdnStats total;
+  for (const auto& edge : edges_) total += edge->Stats();
+  return total;
+}
+
+}  // namespace scalia::cache

@@ -1,0 +1,148 @@
+// CDN extension of the caching layer (§III-B).
+//
+// "The caching layer can be combined and extended by a CDN to reach even
+// better read performance."  A Cdn fronts the datacenters with one edge
+// cache per client region; reads hit the local edge first (regional RTT),
+// fall back to the origin — the broker's own cache layer or an m-of-n
+// chunk reassembly — on a miss, and fill the edge on the way out.  Edge
+// entries carry a TTL so stale content ages out even without explicit
+// purges; writes purge the object from every edge, mirroring the
+// multi-datacenter invalidation of the cache layer underneath.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/sim_time.h"
+#include "common/units.h"
+#include "net/geo.h"
+
+namespace scalia::cache {
+
+struct CdnConfig {
+  /// Capacity of each regional edge cache.
+  common::Bytes edge_capacity = 256 * common::kMiB;
+  /// Edge entries expire this long after the fill (0 = never expire).
+  common::Duration ttl = common::kHour;
+  /// RTT from a client to its regional edge node (the CDN's whole point is
+  /// that this is small and distance-independent).
+  double edge_rtt_ms = 8.0;
+};
+
+/// Outcome of one CDN read, for tests and the latency benches.
+struct CdnFetch {
+  bool found = false;
+  bool edge_hit = false;
+  double latency_ms = 0.0;
+  std::string body;
+};
+
+/// Per-region counters for the latency benches.
+struct CdnStats {
+  std::uint64_t edge_hits = 0;
+  std::uint64_t edge_misses = 0;
+  std::uint64_t expirations = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t purges = 0;
+
+  [[nodiscard]] double HitRate() const noexcept {
+    const auto total = edge_hits + edge_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(edge_hits) /
+                            static_cast<double>(total);
+  }
+
+  CdnStats& operator+=(const CdnStats& o) noexcept {
+    edge_hits += o.edge_hits;
+    edge_misses += o.edge_misses;
+    expirations += o.expirations;
+    evictions += o.evictions;
+    purges += o.purges;
+    return *this;
+  }
+};
+
+/// A single edge node: byte-bounded LRU with per-entry fill timestamps.
+class EdgeCache {
+ public:
+  explicit EdgeCache(common::Bytes capacity, common::Duration ttl)
+      : capacity_(capacity), ttl_(ttl) {}
+
+  /// Returns the body when present and fresh at `now`; expired entries are
+  /// dropped and counted.
+  [[nodiscard]] std::optional<std::string> Get(common::SimTime now,
+                                               const std::string& key);
+
+  /// Fills `key`; oversized bodies are not cached.
+  void Fill(common::SimTime now, const std::string& key, std::string body);
+
+  /// Removes the entry if present.
+  void Purge(const std::string& key);
+
+  void Clear();
+
+  [[nodiscard]] CdnStats Stats() const;
+  [[nodiscard]] common::Bytes SizeBytes() const;
+  [[nodiscard]] std::size_t EntryCount() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string body;
+    common::SimTime filled_at = 0;
+  };
+
+  void EvictToFitLocked();
+
+  common::Bytes capacity_;
+  common::Duration ttl_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  common::Bytes bytes_ = 0;
+  CdnStats stats_;
+};
+
+class Cdn {
+ public:
+  /// The origin: fetches the object body (from the broker cache or by
+  /// chunk reassembly) and reports the origin-side latency for the
+  /// requesting region.  A null body means the object does not exist.
+  struct OriginReply {
+    std::optional<std::string> body;
+    double latency_ms = 0.0;
+  };
+  using OriginFn =
+      std::function<OriginReply(net::Region, const std::string& key)>;
+
+  Cdn(CdnConfig config, OriginFn origin);
+
+  /// Serves `key` for a client in `region` at time `now`.
+  [[nodiscard]] CdnFetch Get(common::SimTime now, net::Region region,
+                             const std::string& key);
+
+  /// Purges `key` from every edge (the write/delete invalidation path).
+  void Purge(const std::string& key);
+
+  /// Drops everything from every edge.
+  void PurgeAll();
+
+  [[nodiscard]] const EdgeCache& EdgeFor(net::Region region) const {
+    return *edges_[static_cast<std::size_t>(region)];
+  }
+  [[nodiscard]] CdnStats TotalStats() const;
+
+ private:
+  CdnConfig config_;
+  OriginFn origin_;
+  std::array<std::unique_ptr<EdgeCache>, 3> edges_;
+};
+
+}  // namespace scalia::cache

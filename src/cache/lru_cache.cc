@@ -1,0 +1,111 @@
+#include "cache/lru_cache.h"
+
+namespace scalia::cache {
+
+LruCache::LruCache(common::Bytes capacity_bytes, std::size_t shards) {
+  const std::size_t n = shards == 0 ? 1 : shards;
+  shard_capacity_ = capacity_bytes / n;
+  if (shard_capacity_ == 0) shard_capacity_ = capacity_bytes;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+LruCache::Shard& LruCache::ShardFor(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return *shards_[static_cast<std::size_t>(h % shards_.size())];
+}
+
+std::optional<std::string> LruCache::Get(const std::string& key) {
+  Shard& s = ShardFor(key);
+  std::lock_guard lock(s.mu);
+  auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.stats.misses;
+    return std::nullopt;
+  }
+  // Move to MRU position.
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  ++s.stats.hits;
+  return it->second->value;
+}
+
+void LruCache::Put(const std::string& key, std::string value) {
+  Shard& s = ShardFor(key);
+  const auto value_size = static_cast<common::Bytes>(value.size());
+  if (value_size > shard_capacity_) return;  // too large to cache
+  std::lock_guard lock(s.mu);
+  auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    s.bytes -= static_cast<common::Bytes>(it->second->value.size());
+    it->second->value = std::move(value);
+    s.bytes += value_size;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+  } else {
+    s.lru.push_front(Entry{key, std::move(value)});
+    s.index[key] = s.lru.begin();
+    s.bytes += value_size;
+    ++s.stats.insertions;
+  }
+  while (s.bytes > shard_capacity_ && !s.lru.empty()) {
+    const Entry& victim = s.lru.back();
+    s.bytes -= static_cast<common::Bytes>(victim.value.size());
+    s.index.erase(victim.key);
+    s.lru.pop_back();
+    ++s.stats.evictions;
+  }
+}
+
+void LruCache::Invalidate(const std::string& key) {
+  Shard& s = ShardFor(key);
+  std::lock_guard lock(s.mu);
+  auto it = s.index.find(key);
+  if (it == s.index.end()) return;
+  s.bytes -= static_cast<common::Bytes>(it->second->value.size());
+  s.lru.erase(it->second);
+  s.index.erase(it);
+  ++s.stats.invalidations;
+}
+
+void LruCache::Clear() {
+  for (auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    s->lru.clear();
+    s->index.clear();
+    s->bytes = 0;
+  }
+}
+
+CacheStats LruCache::Stats() const {
+  CacheStats total;
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    total += s->stats;
+  }
+  return total;
+}
+
+common::Bytes LruCache::SizeBytes() const {
+  common::Bytes total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    total += s->bytes;
+  }
+  return total;
+}
+
+std::size_t LruCache::EntryCount() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    total += s->index.size();
+  }
+  return total;
+}
+
+}  // namespace scalia::cache

@@ -1,0 +1,85 @@
+// Sharded byte-bounded LRU cache.
+//
+// §III-B: each datacenter runs a distributed cache in front of the storage
+// providers; hits avoid chunk fetches entirely, cutting both latency and the
+// providers' egress/ops bills.  Sharding bounds lock contention when many
+// stateless engines hit the cache concurrently.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+
+namespace scalia::cache {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+
+  [[nodiscard]] double HitRate() const noexcept {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+
+  CacheStats& operator+=(const CacheStats& o) noexcept {
+    hits += o.hits;
+    misses += o.misses;
+    insertions += o.insertions;
+    evictions += o.evictions;
+    invalidations += o.invalidations;
+    return *this;
+  }
+};
+
+class LruCache {
+ public:
+  /// `capacity_bytes` bounds the summed value sizes per shard group.
+  explicit LruCache(common::Bytes capacity_bytes, std::size_t shards = 8);
+
+  /// Returns the cached value or nullopt (counting a hit/miss).
+  [[nodiscard]] std::optional<std::string> Get(const std::string& key);
+
+  /// Inserts/overwrites; evicts LRU entries until the shard fits.  Values
+  /// larger than the shard capacity are not cached.
+  void Put(const std::string& key, std::string value);
+
+  /// Removes the key if present (the invalidation path).
+  void Invalidate(const std::string& key);
+
+  void Clear();
+
+  [[nodiscard]] CacheStats Stats() const;
+  [[nodiscard]] common::Bytes SizeBytes() const;
+  [[nodiscard]] std::size_t EntryCount() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    common::Bytes bytes = 0;
+    CacheStats stats;
+  };
+
+  [[nodiscard]] Shard& ShardFor(const std::string& key);
+
+  common::Bytes shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace scalia::cache

@@ -1,0 +1,87 @@
+// Bounded multi-producer / multi-consumer queue.
+//
+// Used by the statistics pipeline (§III-C.2): log agents at each engine push
+// access records into bounded queues drained by aggregator threads, exactly
+// the Flume/Scribe role in the paper.  Bounding provides back-pressure so a
+// slow aggregator cannot exhaust memory.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace scalia::common {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks until space is available or the queue is closed.
+  /// Returns false (and drops the item) if the queue was closed.
+  bool Push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false if full or closed.
+  bool TryPush(T item) {
+    std::lock_guard lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Closes the queue: producers fail, consumers drain remaining items.
+  void Close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t Size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace scalia::common

@@ -1,0 +1,106 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace scalia::common {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), hi_(hi), bins_(num_bins, 0.0) {
+  if (!(hi > lo) || num_bins == 0) {
+    throw std::invalid_argument("Histogram: require hi > lo and bins > 0");
+  }
+  bin_width_ = (hi - lo) / static_cast<double>(num_bins);
+}
+
+std::size_t Histogram::BinIndex(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return bins_.size() - 1;
+  const auto idx = static_cast<std::size_t>((value - lo_) / bin_width_);
+  return std::min(idx, bins_.size() - 1);
+}
+
+void Histogram::Add(double value, double weight) {
+  bins_[BinIndex(value)] += weight;
+  total_weight_ += weight;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.bins_.size() != bins_.size() || other.lo_ != lo_ ||
+      other.hi_ != hi_) {
+    throw std::invalid_argument("Histogram::Merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  total_weight_ += other.total_weight_;
+}
+
+void Histogram::Clear() {
+  std::fill(bins_.begin(), bins_.end(), 0.0);
+  total_weight_ = 0.0;
+}
+
+double Histogram::BinCenter(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * bin_width_;
+}
+
+double Histogram::Mean() const {
+  if (total_weight_ <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    acc += bins_[i] * BinCenter(i);
+  }
+  return acc / total_weight_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_weight_ <= 0.0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * total_weight_;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (cum + bins_[i] >= target) {
+      const double within =
+          bins_[i] > 0.0 ? (target - cum) / bins_[i] : 0.0;
+      return lo_ + (static_cast<double>(i) + within) * bin_width_;
+    }
+    cum += bins_[i];
+  }
+  return hi_;
+}
+
+double Histogram::ExpectedResidualAbove(double a) const {
+  double mass = 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double c = BinCenter(i);
+    if (c > a && bins_[i] > 0.0) {
+      mass += bins_[i];
+      acc += bins_[i] * (c - a);
+    }
+  }
+  return mass > 0.0 ? acc / mass : 0.0;
+}
+
+double Histogram::FractionAbove(double a) const {
+  if (total_weight_ <= 0.0) return 0.0;
+  double mass = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (BinCenter(i) > a) mass += bins_[i];
+  }
+  return mass / total_weight_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] <= 0.0) continue;
+    os << "[" << (lo_ + static_cast<double>(i) * bin_width_) << ","
+       << (lo_ + static_cast<double>(i + 1) * bin_width_) << "): " << bins_[i]
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace scalia::common

@@ -1,0 +1,60 @@
+// Fixed-bin histogram with quantile and expectation queries.
+//
+// Backs the per-class lifetime distributions of §III-A.1 (Fig. 5): Scalia
+// histograms object deletion times per class and answers "expected time left
+// to live at age a" queries from the empirical distribution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scalia::common {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `num_bins` equal-width bins; samples outside the
+  /// range are clamped into the first/last bin.
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  void Add(double value, double weight = 1.0);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
+  [[nodiscard]] std::size_t num_bins() const noexcept { return bins_.size(); }
+  [[nodiscard]] double bin_weight(std::size_t i) const { return bins_.at(i); }
+  /// Midpoint of bin i.
+  [[nodiscard]] double BinCenter(std::size_t i) const;
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+
+  /// Weighted mean of the samples (by bin centers).
+  [[nodiscard]] double Mean() const;
+
+  /// q-quantile (q in [0,1]) with linear interpolation inside the bin.
+  [[nodiscard]] double Quantile(double q) const;
+
+  /// E[X - a | X > a]: the expected residual above threshold `a`, the exact
+  /// quantity Fig. 5 (right) plots as "expected hours to live" at age a.
+  /// Returns 0 when no mass lies above `a`.
+  [[nodiscard]] double ExpectedResidualAbove(double a) const;
+
+  /// P(X > a).
+  [[nodiscard]] double FractionAbove(double a) const;
+
+  /// Compact textual rendering ("lo..hi: n") for benchmark output.
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  [[nodiscard]] std::size_t BinIndex(double value) const;
+
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<double> bins_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace scalia::common

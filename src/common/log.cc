@@ -1,0 +1,38 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace scalia::common {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_log_mu;
+
+constexpr const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void LogMessage(LogLevel level, std::string_view component,
+                std::string_view message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard lock(g_log_mu);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", LevelName(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace scalia::common

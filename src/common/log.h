@@ -1,0 +1,44 @@
+// Minimal leveled logging.
+//
+// Scalia's components log placement decisions, migrations and failures;
+// tests and benches run with the level raised to keep output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace scalia::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+[[nodiscard]] LogLevel GetLogLevel();
+
+/// Thread-safe write of one log line to stderr.
+void LogMessage(LogLevel level, std::string_view component,
+                std::string_view message);
+
+/// Stream-style helper: LogStream(LogLevel::kInfo, "engine") << "msg";
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogStream() { LogMessage(level_, component_, os_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+#define SCALIA_LOG(level, component) \
+  ::scalia::common::LogStream(level, component)
+
+}  // namespace scalia::common

@@ -1,0 +1,144 @@
+#include "common/md5.h"
+
+#include <cstring>
+
+namespace scalia::common {
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kK = {
+    0xd76aa478u, 0xe8c7b756u, 0x242070dbu, 0xc1bdceeeu, 0xf57c0fafu,
+    0x4787c62au, 0xa8304613u, 0xfd469501u, 0x698098d8u, 0x8b44f7afu,
+    0xffff5bb1u, 0x895cd7beu, 0x6b901122u, 0xfd987193u, 0xa679438eu,
+    0x49b40821u, 0xf61e2562u, 0xc040b340u, 0x265e5a51u, 0xe9b6c7aau,
+    0xd62f105du, 0x02441453u, 0xd8a1e681u, 0xe7d3fbc8u, 0x21e1cde6u,
+    0xc33707d6u, 0xf4d50d87u, 0x455a14edu, 0xa9e3e905u, 0xfcefa3f8u,
+    0x676f02d9u, 0x8d2a4c8au, 0xfffa3942u, 0x8771f681u, 0x6d9d6122u,
+    0xfde5380cu, 0xa4beea44u, 0x4bdecfa9u, 0xf6bb4b60u, 0xbebfbc70u,
+    0x289b7ec6u, 0xeaa127fau, 0xd4ef3085u, 0x04881d05u, 0xd9d4d039u,
+    0xe6db99e5u, 0x1fa27cf8u, 0xc4ac5665u, 0xf4292244u, 0x432aff97u,
+    0xab9423a7u, 0xfc93a039u, 0x655b59c3u, 0x8f0ccc92u, 0xffeff47du,
+    0x85845dd1u, 0x6fa87e4fu, 0xfe2ce6e0u, 0xa3014314u, 0x4e0811a1u,
+    0xf7537e82u, 0xbd3af235u, 0x2ad7d2bbu, 0xeb86d391u};
+
+constexpr std::array<int, 64> kShift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+constexpr std::uint32_t Rotl(std::uint32_t x, int c) noexcept {
+  return (x << c) | (x >> (32 - c));
+}
+
+}  // namespace
+
+Md5::Md5() : state_{0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u} {}
+
+void Md5::Update(std::string_view data) { Update(data.data(), data.size()); }
+
+void Md5::Update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_len_ += len;
+  while (len > 0) {
+    const std::size_t take = std::min(len, buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == buffer_.size()) {
+      ProcessBlock(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+}
+
+void Md5::ProcessBlock(const std::uint8_t* block) {
+  std::array<std::uint32_t, 16> m;
+  for (int i = 0; i < 16; ++i) {
+    m[static_cast<std::size_t>(i)] =
+        static_cast<std::uint32_t>(block[4 * i]) |
+        (static_cast<std::uint32_t>(block[4 * i + 1]) << 8) |
+        (static_cast<std::uint32_t>(block[4 * i + 2]) << 16) |
+        (static_cast<std::uint32_t>(block[4 * i + 3]) << 24);
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (std::size_t i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    std::size_t g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + Rotl(a + f + kK[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+Md5Digest Md5::Finish() {
+  const std::uint64_t bit_len = total_len_ * 8;
+  const std::uint8_t pad = 0x80;
+  Update(&pad, 1);
+  const std::uint8_t zero = 0;
+  while (buffer_len_ != 56) Update(&zero, 1);
+  std::array<std::uint8_t, 8> len_bytes;
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((bit_len >> (8 * i)) & 0xff);
+  }
+  // Update() would recount these 8 bytes into total_len_, but total_len_ is
+  // no longer read after this point.
+  Update(len_bytes.data(), len_bytes.size());
+  Md5Digest out;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      out[static_cast<std::size_t>(4 * i + j)] = static_cast<std::uint8_t>(
+          (state_[static_cast<std::size_t>(i)] >> (8 * j)) & 0xff);
+    }
+  }
+  return out;
+}
+
+Md5Digest Md5::Hash(std::string_view data) {
+  Md5 h;
+  h.Update(data);
+  return h.Finish();
+}
+
+std::string Md5::HexHash(std::string_view data) { return ToHex(Hash(data)); }
+
+std::string ToHex(const Md5Digest& d) {
+  static constexpr char kHexChars[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (std::uint8_t b : d) {
+    out.push_back(kHexChars[b >> 4]);
+    out.push_back(kHexChars[b & 0xf]);
+  }
+  return out;
+}
+
+std::uint64_t Digest64(const Md5Digest& d) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | d[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+}  // namespace scalia::common

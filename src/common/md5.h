@@ -1,0 +1,52 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// Scalia uses MD5 for object-class identifiers C(obj) = MD5(mime |
+// discretize(size)), for chunk storage keys skey = MD5(container | key |
+// UUID), and for metadata row keys row_key = MD5(container | key)
+// (§III-A.1, §III-D.1).  MD5 is used purely as a stable name-hashing
+// function, never for security.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace scalia::common {
+
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+class Md5 {
+ public:
+  Md5();
+
+  /// Feeds `data` into the hash; may be called repeatedly.
+  void Update(std::string_view data);
+  void Update(const void* data, std::size_t len);
+
+  /// Finalizes and returns the 16-byte digest.  The object must not be
+  /// updated afterwards.
+  [[nodiscard]] Md5Digest Finish();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Md5Digest Hash(std::string_view data);
+  /// One-shot digest rendered as 32 lowercase hex characters.
+  [[nodiscard]] static std::string HexHash(std::string_view data);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+/// Renders a digest as lowercase hex.
+[[nodiscard]] std::string ToHex(const Md5Digest& d);
+
+/// First 8 bytes of the digest as a little-endian integer; used where a
+/// compact numeric key is convenient (e.g. hashing class ids into shards).
+[[nodiscard]] std::uint64_t Digest64(const Md5Digest& d);
+
+}  // namespace scalia::common

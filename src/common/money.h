@@ -1,0 +1,69 @@
+// Money: a strong type for USD amounts.
+//
+// Placement decisions in Scalia reduce to price comparisons between provider
+// sets, so prices must accumulate deterministically and compare stably.  We
+// keep amounts as double USD (the magnitudes involved — fractions of a cent
+// up to a few hundred dollars — are far inside double's exact range for the
+// arithmetic performed) and provide tolerant comparisons for tests.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace scalia::common {
+
+class Money {
+ public:
+  constexpr Money() = default;
+  constexpr explicit Money(double usd) : usd_(usd) {}
+
+  [[nodiscard]] constexpr double usd() const noexcept { return usd_; }
+
+  constexpr Money& operator+=(Money o) noexcept {
+    usd_ += o.usd_;
+    return *this;
+  }
+  constexpr Money& operator-=(Money o) noexcept {
+    usd_ -= o.usd_;
+    return *this;
+  }
+  constexpr Money& operator*=(double k) noexcept {
+    usd_ *= k;
+    return *this;
+  }
+
+  friend constexpr Money operator+(Money a, Money b) noexcept {
+    return Money(a.usd_ + b.usd_);
+  }
+  friend constexpr Money operator-(Money a, Money b) noexcept {
+    return Money(a.usd_ - b.usd_);
+  }
+  friend constexpr Money operator*(Money a, double k) noexcept {
+    return Money(a.usd_ * k);
+  }
+  friend constexpr Money operator*(double k, Money a) noexcept {
+    return Money(a.usd_ * k);
+  }
+  friend constexpr double operator/(Money a, Money b) noexcept {
+    return a.usd_ / b.usd_;
+  }
+  friend constexpr auto operator<=>(Money a, Money b) noexcept = default;
+
+  /// True when the two amounts differ by less than `tol` dollars.
+  [[nodiscard]] constexpr bool AlmostEquals(Money o,
+                                            double tol = 1e-9) const noexcept {
+    return std::abs(usd_ - o.usd_) <= tol;
+  }
+
+  /// Renders as "$1.2345".
+  [[nodiscard]] std::string ToString(int decimals = 4) const;
+
+ private:
+  double usd_ = 0.0;
+};
+
+inline constexpr Money kZeroMoney{};
+
+}  // namespace scalia::common

@@ -1,0 +1,136 @@
+// Deterministic random number generation for workloads and simulations.
+//
+// All randomness in Scalia flows from explicitly seeded generators so that
+// every scenario is reproducible bit-for-bit (DESIGN.md §7).  We implement
+// SplitMix64 (seeding / hashing) and xoshiro256** (bulk generation) rather
+// than relying on std::mt19937 so the streams are identical across standard
+// library implementations.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace scalia::common {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer.  Used to expand seeds and as
+/// a general-purpose integer hash.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t Next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mixing of a 64-bit value; handy for deriving per-object seeds.
+[[nodiscard]] constexpr std::uint64_t Mix64(std::uint64_t x) noexcept {
+  return SplitMix64(x).Next();
+}
+
+/// xoshiro256**: fast, high-quality PRNG (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound), mapped through the 53-bit double path;
+  /// bias is negligible for the bounds simulations use (< 2^32).
+  std::uint64_t NextBounded(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    const auto idx =
+        static_cast<std::uint64_t>(NextDouble() * static_cast<double>(bound));
+    return idx >= bound ? bound - 1 : idx;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard exponential with the given rate (mean 1/rate).
+  double NextExponential(double rate) noexcept {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -std::log(u) / rate;
+  }
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64 where Knuth's product underflows).
+  std::uint64_t NextPoisson(double mean) noexcept {
+    if (mean <= 0.0) return 0;
+    if (mean < 64.0) {
+      const double limit = std::exp(-mean);
+      double prod = NextDouble();
+      std::uint64_t n = 0;
+      while (prod > limit) {
+        ++n;
+        prod *= NextDouble();
+      }
+      return n;
+    }
+    const double g = NextGaussian(mean, std::sqrt(mean));
+    return g <= 0.0 ? 0 : static_cast<std::uint64_t>(g + 0.5);
+  }
+
+  /// Gaussian via Box–Muller.
+  double NextGaussian(double mean, double stddev) noexcept {
+    double u1 = NextDouble();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Pareto(shape alpha, scale x_m): support [x_m, inf).  The Gallery
+  /// scenario (§IV-C) draws picture popularity from Pareto(1, 50).
+  double NextPareto(double alpha, double xm) noexcept {
+    double u = NextDouble();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace scalia::common

@@ -1,0 +1,168 @@
+#include "common/sha256.h"
+
+#include <cstring>
+
+namespace scalia::common {
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kK = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+
+constexpr std::uint32_t Rotr(std::uint32_t x, int c) noexcept {
+  return (x >> c) | (x << (32 - c));
+}
+
+}  // namespace
+
+Sha256::Sha256()
+    : state_{0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+             0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u} {}
+
+void Sha256::Update(std::string_view data) {
+  Update(data.data(), data.size());
+}
+
+void Sha256::Update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_len_ += len;
+  while (len > 0) {
+    const std::size_t take = std::min(len, buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == buffer_.size()) {
+      ProcessBlock(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+}
+
+void Sha256::ProcessBlock(const std::uint8_t* block) {
+  std::array<std::uint32_t, 64> w;
+  for (std::size_t i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (std::size_t i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (std::size_t i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
+    const std::uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+Sha256Digest Sha256::Finish() {
+  const std::uint64_t bit_len = total_len_ * 8;
+  const std::uint8_t pad = 0x80;
+  Update(&pad, 1);
+  const std::uint8_t zero = 0;
+  while (buffer_len_ != 56) Update(&zero, 1);
+  std::array<std::uint8_t, 8> len_bytes;
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((bit_len >> (8 * (7 - i))) & 0xff);
+  }
+  Update(len_bytes.data(), len_bytes.size());
+  Sha256Digest out;
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      out[4 * i + j] =
+          static_cast<std::uint8_t>((state_[i] >> (8 * (3 - j))) & 0xff);
+    }
+  }
+  return out;
+}
+
+Sha256Digest Sha256::Hash(std::string_view data) {
+  Sha256 h;
+  h.Update(data);
+  return h.Finish();
+}
+
+std::string Sha256::HexHash(std::string_view data) { return ToHex(Hash(data)); }
+
+std::string ToHex(const Sha256Digest& d) {
+  static constexpr char kHexChars[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (std::uint8_t b : d) {
+    out.push_back(kHexChars[b >> 4]);
+    out.push_back(kHexChars[b & 0xf]);
+  }
+  return out;
+}
+
+Sha256Digest HmacSha256(std::string_view key, std::string_view message) {
+  std::array<std::uint8_t, 64> k_pad{};
+  if (key.size() > 64) {
+    const Sha256Digest kd = Sha256::Hash(key);
+    std::memcpy(k_pad.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(k_pad.data(), key.data(), key.size());
+  }
+  std::array<std::uint8_t, 64> ipad, opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k_pad[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k_pad[i] ^ 0x5c);
+  }
+  Sha256 inner;
+  inner.Update(ipad.data(), ipad.size());
+  inner.Update(message);
+  const Sha256Digest inner_digest = inner.Finish();
+  Sha256 outer;
+  outer.Update(opad.data(), opad.size());
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+bool DigestEquals(const Sha256Digest& a, const Sha256Digest& b) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  }
+  return acc == 0;
+}
+
+}  // namespace scalia::common

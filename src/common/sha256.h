@@ -1,0 +1,49 @@
+// SHA-256 (FIPS 180-4) and HMAC-SHA256 (RFC 2104), implemented from scratch.
+//
+// Private storage resources authenticate Scalia requests by signing them
+// with an HMAC of the request parameters under a private token, plus a
+// timestamp to prevent replay (§III-E).  This header provides the
+// primitives; the request-signing protocol lives in
+// provider/private_resource.h.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace scalia::common {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(std::string_view data);
+  void Update(const void* data, std::size_t len);
+  [[nodiscard]] Sha256Digest Finish();
+
+  [[nodiscard]] static Sha256Digest Hash(std::string_view data);
+  [[nodiscard]] static std::string HexHash(std::string_view data);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+[[nodiscard]] std::string ToHex(const Sha256Digest& d);
+
+/// HMAC-SHA256 of `message` under `key`.
+[[nodiscard]] Sha256Digest HmacSha256(std::string_view key,
+                                      std::string_view message);
+
+/// Constant-time digest comparison (avoids timing side channels in the
+/// private-resource authentication path).
+[[nodiscard]] bool DigestEquals(const Sha256Digest& a, const Sha256Digest& b);
+
+}  // namespace scalia::common

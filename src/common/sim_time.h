@@ -1,0 +1,40 @@
+// Simulated wall-clock time.
+//
+// The whole system is driven by a discrete clock measured in seconds.  The
+// paper's sampling period s is "typically 1 hour" (§III-A); the billing
+// month follows the common cloud convention of 30 days (720 hours).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scalia::common {
+
+/// Absolute simulated time, in seconds since the scenario epoch.
+using SimTime = std::int64_t;
+/// A span of simulated time, in seconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kSecond = 1;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+inline constexpr Duration kWeek = 7 * kDay;
+/// Billing month: 30 days, i.e. 720 hours, the standard cloud proration base.
+inline constexpr Duration kMonth = 30 * kDay;
+
+[[nodiscard]] constexpr double ToHours(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kHour);
+}
+[[nodiscard]] constexpr Duration FromHours(double h) noexcept {
+  return static_cast<Duration>(h * static_cast<double>(kHour) + 0.5);
+}
+/// Fraction of a billing month covered by `d`; used to pro-rate storage.
+[[nodiscard]] constexpr double MonthFraction(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMonth);
+}
+
+/// Renders a time as "123h" / "5d 3h" for logs and benchmark output.
+[[nodiscard]] std::string FormatSimTime(SimTime t);
+
+}  // namespace scalia::common

@@ -1,0 +1,117 @@
+// Lightweight Status / Result types for error propagation.
+//
+// Provider stores, engines and the metadata store return rich errors
+// (unavailable provider, durability constraint unsatisfiable, conflict, …)
+// without exceptions on the hot path.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace scalia::common {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kUnavailable,      // provider or datacenter unreachable
+  kConflict,         // MVCC concurrent-update conflict
+  kInvalidArgument,
+  kFailedPrecondition,
+  kResourceExhausted,  // private resource capacity, queue full
+  kUnauthenticated,    // HMAC signature / replay check failed
+  kInternal,
+};
+
+[[nodiscard]] constexpr std::string_view StatusCodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kConflict: return "CONFLICT";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnauthenticated: return "UNAUTHENTICATED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status NotFound(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status Unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  static Status Conflict(std::string m) {
+    return {StatusCode::kConflict, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status ResourceExhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  static Status Unauthenticated(std::string m) {
+    return {StatusCode::kUnauthenticated, std::move(m)};
+  }
+  static Status Internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+  [[nodiscard]] std::string ToString() const {
+    std::string s{StatusCodeName(code_)};
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return *std::move(value_); }
+
+  [[nodiscard]] T* operator->() { return &*value_; }
+  [[nodiscard]] const T* operator->() const { return &*value_; }
+  [[nodiscard]] T& operator*() & { return *value_; }
+  [[nodiscard]] const T& operator*() const& { return *value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace scalia::common

@@ -1,0 +1,74 @@
+#include "common/string_util.h"
+
+#include <cstdio>
+
+#include "common/money.h"
+#include "common/sim_time.h"
+#include "common/units.h"
+
+namespace scalia::common {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string FormatBytes(Bytes b) {
+  char buf[64];
+  if (b >= kGB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", ToGB(b));
+  } else if (b >= kMB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB",
+                  static_cast<double>(b) / static_cast<double>(kMB));
+  } else if (b >= kKB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB",
+                  static_cast<double>(b) / static_cast<double>(kKB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+std::string FormatSimTime(SimTime t) {
+  char buf[64];
+  const auto days = t / kDay;
+  const auto hours = (t % kDay) / kHour;
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldd %lldh",
+                  static_cast<long long>(days), static_cast<long long>(hours));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldh", static_cast<long long>(hours));
+  }
+  return buf;
+}
+
+std::string Money::ToString(int decimals) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "$%.*f", decimals, usd_);
+  return buf;
+}
+
+}  // namespace scalia::common

@@ -1,0 +1,20 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scalia::common {
+
+/// Joins `parts` with `sep`.
+[[nodiscard]] std::string Join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Splits `s` on `sep` (single character); keeps empty fields.
+[[nodiscard]] std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Fixed-width, right-aligned rendering of a double, for benchmark tables.
+[[nodiscard]] std::string FormatDouble(double v, int decimals);
+
+}  // namespace scalia::common

@@ -1,0 +1,103 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace scalia::common {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  // The calling thread participates and the workers merely help, so a
+  // ParallelFor issued from *inside* a pool task (the optimizer's shard
+  // fan-out nests the engines' parallel chunk IO) completes even when every
+  // worker is busy — the classic nested fork-join deadlock cannot form.
+  // Helpers hold the state via shared_ptr because they may be scheduled
+  // after the caller has already finished every iteration and returned.
+  struct State {
+    explicit State(std::size_t total_items, std::function<void(std::size_t)> f)
+        : total(total_items), body(std::move(f)) {}
+    const std::size_t total;
+    const std::function<void(std::size_t)> body;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<State>(n, fn);
+
+  auto run_items = [](const std::shared_ptr<State>& s) {
+    for (;;) {
+      const std::size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->total) return;
+      try {
+        s->body(i);
+      } catch (...) {
+        std::lock_guard lock(s->mu);
+        if (!s->first_error) s->first_error = std::current_exception();
+      }
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->total) {
+        std::lock_guard lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(n - 1, num_threads());
+  if (helpers > 0) {
+    {
+      std::lock_guard lock(mu_);
+      for (std::size_t p = 0; p < helpers; ++p) {
+        queue_.emplace_back([state, run_items] { run_items(state); });
+      }
+    }
+    cv_.notify_all();
+  }
+
+  run_items(state);
+
+  std::unique_lock lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() >= state->total; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace scalia::common

@@ -1,0 +1,67 @@
+// Fixed-size thread pool.
+//
+// Backs the parallel pieces of Scalia: the periodic optimizer fans per-engine
+// key shards out to workers (Fig. 7), map-reduce statistics jobs aggregate
+// class statistics in parallel (§III-C.2), and engines upload/download the n
+// chunks of an object concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scalia::common {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (min 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution; returns a future for its completion.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [0, n), partitioned across the pool, and blocks
+  /// until all iterations complete.  Exceptions propagate from the first
+  /// failing partition.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return workers_.size();
+  }
+
+  /// A process-wide pool sized to the hardware concurrency, for callers that
+  /// do not manage their own.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace scalia::common

@@ -1,0 +1,49 @@
+// Byte-size and data-volume units used throughout Scalia.
+//
+// Cloud providers bill in decimal gigabytes (1 GB = 1e9 bytes); all
+// conversions in this header follow that convention, matching the pricing
+// catalog of the paper (Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scalia::common {
+
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKB = 1000ull;
+inline constexpr Bytes kMB = 1000ull * kKB;
+inline constexpr Bytes kGB = 1000ull * kMB;
+inline constexpr Bytes kTB = 1000ull * kGB;
+
+// Binary units, used only for in-memory capacity accounting (cache sizes).
+inline constexpr Bytes kKiB = 1024ull;
+inline constexpr Bytes kMiB = 1024ull * kKiB;
+inline constexpr Bytes kGiB = 1024ull * kMiB;
+
+/// Converts a byte count to decimal gigabytes (the billing unit).
+[[nodiscard]] constexpr double ToGB(Bytes b) noexcept {
+  return static_cast<double>(b) / static_cast<double>(kGB);
+}
+
+/// Converts decimal gigabytes to bytes, rounding to the nearest byte.
+[[nodiscard]] constexpr Bytes FromGB(double gb) noexcept {
+  return static_cast<Bytes>(gb * static_cast<double>(kGB) + 0.5);
+}
+
+/// Integer division rounding up; used for chunk sizing (ceil(size / m)).
+[[nodiscard]] constexpr Bytes CeilDiv(Bytes num, Bytes den) noexcept {
+  return den == 0 ? 0 : (num + den - 1) / den;
+}
+
+/// Human-readable rendering, e.g. "1.50 MB".
+[[nodiscard]] std::string FormatBytes(Bytes b);
+
+namespace literals {
+constexpr Bytes operator""_KB(unsigned long long v) { return v * kKB; }
+constexpr Bytes operator""_MB(unsigned long long v) { return v * kMB; }
+constexpr Bytes operator""_GB(unsigned long long v) { return v * kGB; }
+}  // namespace literals
+
+}  // namespace scalia::common

@@ -1,0 +1,71 @@
+// UUIDs for MVCC versioning.
+//
+// Every write operation allocates a fresh UUID; the chunk storage key is
+// skey = MD5(container | key | UUID), so concurrent updates never collide
+// at the providers (§III-D.1).  UUIDs here are version-4, drawn from an
+// explicitly seeded generator to keep simulations reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+
+namespace scalia::common {
+
+class Uuid {
+ public:
+  constexpr Uuid() = default;
+  constexpr Uuid(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  /// Draws a fresh version-4 UUID from `rng`.
+  static Uuid Generate(Xoshiro256& rng) {
+    std::uint64_t hi = rng();
+    std::uint64_t lo = rng();
+    // Set version (4) and variant (10xx) bits per RFC 4122.
+    hi = (hi & 0xffffffffffff0fffull) | 0x0000000000004000ull;
+    lo = (lo & 0x3fffffffffffffffull) | 0x8000000000000000ull;
+    return Uuid(hi, lo);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t hi() const noexcept { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const noexcept { return lo_; }
+  [[nodiscard]] constexpr bool IsNil() const noexcept {
+    return hi_ == 0 && lo_ == 0;
+  }
+
+  friend constexpr auto operator<=>(const Uuid&, const Uuid&) = default;
+
+  /// Canonical 8-4-4-4-12 lowercase hex rendering.
+  [[nodiscard]] std::string ToString() const {
+    static constexpr char kHexChars[] = "0123456789abcdef";
+    std::array<std::uint8_t, 16> bytes;
+    for (int i = 0; i < 8; ++i) {
+      bytes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((hi_ >> (8 * (7 - i))) & 0xff);
+      bytes[static_cast<std::size_t>(8 + i)] =
+          static_cast<std::uint8_t>((lo_ >> (8 * (7 - i))) & 0xff);
+    }
+    std::string out;
+    out.reserve(36);
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (i == 4 || i == 6 || i == 8 || i == 10) out.push_back('-');
+      out.push_back(kHexChars[bytes[i] >> 4]);
+      out.push_back(kHexChars[bytes[i] & 0xf]);
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+struct UuidHash {
+  std::size_t operator()(const Uuid& u) const noexcept {
+    return static_cast<std::size_t>(Mix64(u.hi() ^ Mix64(u.lo())));
+  }
+};
+
+}  // namespace scalia::common

@@ -1,0 +1,499 @@
+#include "config/json.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace scalia::config {
+namespace {
+
+constexpr int kMaxDepth = 128;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JsonObject
+// ---------------------------------------------------------------------------
+
+JsonObject::JsonObject(const JsonObject& other) {
+  entries_.reserve(other.entries_.size());
+  for (const auto& [k, v] : other.entries_) {
+    entries_.emplace_back(k, std::make_unique<JsonValue>(*v));
+  }
+}
+
+JsonObject& JsonObject::operator=(const JsonObject& other) {
+  if (this != &other) *this = JsonObject(other);
+  return *this;
+}
+
+void JsonObject::Set(std::string key, JsonValue value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      *v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(key),
+                        std::make_unique<JsonValue>(std::move(value)));
+}
+
+const JsonValue* JsonObject::Find(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v.get();
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Typed extraction
+// ---------------------------------------------------------------------------
+
+common::Result<bool> JsonValue::GetBool() const {
+  if (!is_bool()) {
+    return common::Status::InvalidArgument(
+        std::string("expected bool, got ") +
+        std::string(JsonTypeName(type())));
+  }
+  return AsBool();
+}
+
+common::Result<double> JsonValue::GetNumber() const {
+  if (!is_number()) {
+    return common::Status::InvalidArgument(
+        std::string("expected number, got ") +
+        std::string(JsonTypeName(type())));
+  }
+  return AsNumber();
+}
+
+common::Result<std::string> JsonValue::GetString() const {
+  if (!is_string()) {
+    return common::Status::InvalidArgument(
+        std::string("expected string, got ") +
+        std::string(JsonTypeName(type())));
+  }
+  return AsString();
+}
+
+common::Result<const JsonValue*> JsonValue::GetMember(
+    std::string_view key) const {
+  if (!is_object()) {
+    return common::Status::InvalidArgument(
+        std::string("expected object, got ") +
+        std::string(JsonTypeName(type())));
+  }
+  const JsonValue* v = AsObject().Find(key);
+  if (v == nullptr) {
+    return common::Status::NotFound(std::string("missing member \"") +
+                                    std::string(key) + "\"");
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendNumber(std::string* out, double d) {
+  if (std::isnan(d) || std::isinf(d)) {
+    *out += "null";  // JSON has no NaN/Inf; null is the conventional fallback
+    return;
+  }
+  // Integers inside the exactly-representable range print without a decimal
+  // point, so byte counts and request counts round-trip as written.
+  if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+    std::array<char, 32> buf{};
+    auto [p, ec] = std::to_chars(buf.data(), buf.data() + buf.size(),
+                                 static_cast<long long>(d));
+    (void)ec;
+    out->append(buf.data(), static_cast<std::size_t>(p - buf.data()));
+    return;
+  }
+  std::array<char, 64> buf{};
+  auto [p, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), d);
+  (void)ec;
+  out->append(buf.data(), static_cast<std::size_t>(p - buf.data()));
+}
+
+void AppendIndent(std::string* out, int indent, int depth) {
+  out->push_back('\n');
+  out->append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+              ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type()) {
+    case JsonType::kNull:
+      *out += "null";
+      return;
+    case JsonType::kBool:
+      *out += AsBool() ? "true" : "false";
+      return;
+    case JsonType::kNumber:
+      AppendNumber(out, AsNumber());
+      return;
+    case JsonType::kString:
+      out->push_back('"');
+      *out += JsonEscape(AsString());
+      out->push_back('"');
+      return;
+    case JsonType::kArray: {
+      const JsonArray& arr = AsArray();
+      if (arr.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& v : arr) {
+        if (!first) out->push_back(',');
+        first = false;
+        if (indent >= 0) AppendIndent(out, indent, depth + 1);
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) AppendIndent(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case JsonType::kObject: {
+      const JsonObject& obj = AsObject();
+      if (obj.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj) {
+        if (!first) out->push_back(',');
+        first = false;
+        if (indent >= 0) AppendIndent(out, indent, depth + 1);
+        out->push_back('"');
+        *out += JsonEscape(k);
+        *out += indent >= 0 ? "\": " : "\":";
+        v->DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) AppendIndent(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  common::Result<JsonValue> ParseDocument() {
+    SkipWs();
+    auto value = ParseValue(0);
+    if (!value.ok()) return value.status();
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after JSON document");
+    }
+    return std::move(value).value();
+  }
+
+ private:
+  common::Status Error(std::string_view what) const {
+    return common::Status::InvalidArgument(
+        "offset " + std::to_string(pos_) + ": " + std::string(what));
+  }
+
+  [[nodiscard]] bool AtEnd() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char Peek() const noexcept { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (!AtEnd() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  common::Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (AtEnd()) return Error("unexpected end of input");
+    switch (Peek()) {
+      case 'n':
+        if (ConsumeWord("null")) return JsonValue(nullptr);
+        return Error("invalid literal");
+      case 't':
+        if (ConsumeWord("true")) return JsonValue(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeWord("false")) return JsonValue(false);
+        return Error("invalid literal");
+      case '"':
+        return ParseString();
+      case '[':
+        return ParseArray(depth);
+      case '{':
+        return ParseObject(depth);
+      default:
+        return ParseNumber();
+    }
+  }
+
+  common::Result<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed
+    }
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      pos_ = start;
+      return Error("invalid number");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("digit expected after decimal point");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("digit expected in exponent");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    double out = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    auto [p, ec] = std::from_chars(first, last, out);
+    if (ec != std::errc{} || p != last) {
+      return Error("unparseable number");
+    }
+    return JsonValue(out);
+  }
+
+  static void AppendUtf8(std::string* out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  common::Result<std::uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  common::Result<JsonValue> ParseString() {
+    auto raw = ParseRawString();
+    if (!raw.ok()) return raw.status();
+    return JsonValue(std::move(raw).value());
+  }
+
+  common::Result<std::string> ParseRawString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    for (;;) {
+      if (AtEnd()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Error("truncated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          auto hi = ParseHex4();
+          if (!hi.ok()) return hi.status();
+          std::uint32_t cp = *hi;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (!ConsumeWord("\\u")) {
+              return Error("unpaired high surrogate");
+            }
+            auto lo = ParseHex4();
+            if (!lo.ok()) return lo.status();
+            if (*lo < 0xDC00 || *lo > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (*lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(&out, cp);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  common::Result<JsonValue> ParseArray(int depth) {
+    if (!Consume('[')) return Error("expected '['");
+    JsonArray arr;
+    SkipWs();
+    if (Consume(']')) return JsonValue(std::move(arr));
+    for (;;) {
+      SkipWs();
+      auto v = ParseValue(depth + 1);
+      if (!v.ok()) return v.status();
+      arr.push_back(std::move(v).value());
+      SkipWs();
+      if (Consume(']')) return JsonValue(std::move(arr));
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  common::Result<JsonValue> ParseObject(int depth) {
+    if (!Consume('{')) return Error("expected '{'");
+    JsonObject obj;
+    SkipWs();
+    if (Consume('}')) return JsonValue(std::move(obj));
+    for (;;) {
+      SkipWs();
+      auto key = ParseRawString();
+      if (!key.ok()) return key.status();
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWs();
+      auto v = ParseValue(depth + 1);
+      if (!v.ok()) return v.status();
+      obj.Set(std::move(key).value(), std::move(v).value());
+      SkipWs();
+      if (Consume('}')) return JsonValue(std::move(obj));
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+common::Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+common::Result<JsonValue> ParseJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return common::Status::NotFound("cannot open JSON file " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseJson(buf.str());
+}
+
+}  // namespace scalia::config

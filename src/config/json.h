@@ -1,0 +1,165 @@
+// A small, strict JSON value model and parser (RFC 8259 subset).
+//
+// Scalia deployments are configured with provider catalogs, storage rules
+// and scenario files; this module gives them a dependency-free JSON
+// substrate.  The parser is strict (no comments, no trailing commas), has a
+// nesting-depth guard, decodes \uXXXX escapes (including surrogate pairs)
+// to UTF-8, and reports the byte offset of the first error.  Serialization
+// is deterministic: object keys keep their insertion order, so a parse →
+// dump round trip is stable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scalia::config {
+
+class JsonValue;
+
+/// An ordered JSON object: preserves insertion order for deterministic
+/// round trips while still giving O(log n) key lookup.
+class JsonObject {
+ public:
+  JsonObject() = default;
+  // Deep-copying: entries are held by unique_ptr only because JsonValue is
+  // incomplete here; semantically the object owns plain values.
+  JsonObject(const JsonObject& other);
+  JsonObject& operator=(const JsonObject& other);
+  JsonObject(JsonObject&&) noexcept = default;
+  JsonObject& operator=(JsonObject&&) noexcept = default;
+  ~JsonObject() = default;
+
+  /// Inserts or overwrites `key`; overwrite keeps the original position.
+  void Set(std::string key, JsonValue value);
+
+  /// nullptr when the key is absent.
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const;
+
+  [[nodiscard]] bool Contains(std::string_view key) const {
+    return Find(key) != nullptr;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  [[nodiscard]] auto begin() const { return entries_.begin(); }
+  [[nodiscard]] auto end() const { return entries_.end(); }
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<JsonValue>>> entries_;
+};
+
+using JsonArray = std::vector<JsonValue>;
+
+enum class JsonType { kNull, kBool, kNumber, kString, kArray, kObject };
+
+[[nodiscard]] constexpr std::string_view JsonTypeName(JsonType t) {
+  switch (t) {
+    case JsonType::kNull: return "null";
+    case JsonType::kBool: return "bool";
+    case JsonType::kNumber: return "number";
+    case JsonType::kString: return "string";
+    case JsonType::kArray: return "array";
+    case JsonType::kObject: return "object";
+  }
+  return "?";
+}
+
+/// A JSON document node.  Numbers are stored as double (adequate for the
+/// catalog prices, SLA fractions and byte counts Scalia configures; byte
+/// counts stay exact below 2^53).
+class JsonValue {
+ public:
+  JsonValue() : data_(nullptr) {}
+  JsonValue(std::nullptr_t) : data_(nullptr) {}        // NOLINT
+  JsonValue(bool b) : data_(b) {}                      // NOLINT
+  JsonValue(double d) : data_(d) {}                    // NOLINT
+  JsonValue(int i) : data_(static_cast<double>(i)) {}  // NOLINT
+  JsonValue(std::int64_t i) : data_(static_cast<double>(i)) {}    // NOLINT
+  JsonValue(std::uint64_t u) : data_(static_cast<double>(u)) {}   // NOLINT
+  JsonValue(const char* s) : data_(std::string(s)) {}  // NOLINT
+  JsonValue(std::string s) : data_(std::move(s)) {}    // NOLINT
+  JsonValue(JsonArray a) : data_(std::move(a)) {}      // NOLINT
+  JsonValue(JsonObject o) : data_(std::move(o)) {}     // NOLINT
+
+  [[nodiscard]] JsonType type() const noexcept {
+    return static_cast<JsonType>(data_.index());
+  }
+  [[nodiscard]] bool is_null() const noexcept {
+    return type() == JsonType::kNull;
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return type() == JsonType::kBool;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type() == JsonType::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type() == JsonType::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return type() == JsonType::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type() == JsonType::kObject;
+  }
+
+  // Checked accessors: the caller asserts the type (UB via std::get
+  // otherwise, as with std::variant).  Use the Get* helpers for fallible
+  // extraction.
+  [[nodiscard]] bool AsBool() const { return std::get<bool>(data_); }
+  [[nodiscard]] double AsNumber() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& AsString() const {
+    return std::get<std::string>(data_);
+  }
+  [[nodiscard]] const JsonArray& AsArray() const {
+    return std::get<JsonArray>(data_);
+  }
+  [[nodiscard]] const JsonObject& AsObject() const {
+    return std::get<JsonObject>(data_);
+  }
+  [[nodiscard]] JsonArray& AsArray() { return std::get<JsonArray>(data_); }
+  [[nodiscard]] JsonObject& AsObject() { return std::get<JsonObject>(data_); }
+
+  // ---- Fallible typed extraction (for loaders) --------------------------
+
+  [[nodiscard]] common::Result<bool> GetBool() const;
+  [[nodiscard]] common::Result<double> GetNumber() const;
+  [[nodiscard]] common::Result<std::string> GetString() const;
+
+  /// Object member lookup: error when this is not an object or the key is
+  /// missing.
+  [[nodiscard]] common::Result<const JsonValue*> GetMember(
+      std::string_view key) const;
+
+  /// Serializes this value.  `indent < 0` renders compact one-line JSON;
+  /// `indent >= 0` pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string Dump(int indent = -1) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      data_;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+/// Errors carry a byte offset ("offset 17: expected ':'").
+[[nodiscard]] common::Result<JsonValue> ParseJson(std::string_view text);
+
+/// Reads and parses a JSON file.
+[[nodiscard]] common::Result<JsonValue> ParseJsonFile(const std::string& path);
+
+/// Escapes a string per JSON rules (quotes, control characters).
+[[nodiscard]] std::string JsonEscape(std::string_view s);
+
+}  // namespace scalia::config

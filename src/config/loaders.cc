@@ -1,0 +1,338 @@
+#include "config/loaders.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/sim_time.h"
+#include "common/units.h"
+
+namespace scalia::config {
+namespace {
+
+/// Fetches a required numeric member constrained to [lo, hi].
+common::Result<double> RequireNumber(const JsonObject& obj,
+                                     std::string_view key, double lo,
+                                     double hi) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    return common::Status::InvalidArgument("missing member \"" +
+                                           std::string(key) + "\"");
+  }
+  auto num = v->GetNumber();
+  if (!num.ok()) {
+    return common::Status::InvalidArgument(std::string(key) + ": " +
+                                           num.status().message());
+  }
+  if (!(*num >= lo && *num <= hi)) {
+    return common::Status::InvalidArgument(
+        std::string(key) + " out of range [" + std::to_string(lo) + ", " +
+        std::to_string(hi) + "]");
+  }
+  return *num;
+}
+
+common::Result<std::string> RequireString(const JsonObject& obj,
+                                          std::string_view key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    return common::Status::InvalidArgument("missing member \"" +
+                                           std::string(key) + "\"");
+  }
+  auto s = v->GetString();
+  if (!s.ok()) {
+    return common::Status::InvalidArgument(std::string(key) + ": " +
+                                           s.status().message());
+  }
+  return std::move(s).value();
+}
+
+/// Parses an optional non-negative byte count; integral values only.
+common::Result<std::optional<common::Bytes>> OptionalBytes(
+    const JsonObject& obj, std::string_view key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return std::optional<common::Bytes>{};
+  auto num = v->GetNumber();
+  if (!num.ok()) {
+    return common::Status::InvalidArgument(std::string(key) + ": " +
+                                           num.status().message());
+  }
+  if (*num < 0 || *num != std::floor(*num) || *num > 9.007199254740992e15) {
+    return common::Status::InvalidArgument(
+        std::string(key) + " must be a non-negative integer byte count");
+  }
+  return std::optional<common::Bytes>{static_cast<common::Bytes>(*num)};
+}
+
+common::Result<provider::Zone> ParseZoneName(const std::string& name) {
+  using provider::Zone;
+  if (name == "EU") return Zone::kEU;
+  if (name == "US") return Zone::kUS;
+  if (name == "APAC") return Zone::kAPAC;
+  if (name == "OnPrem") return Zone::kOnPrem;
+  return common::Status::InvalidArgument("unknown zone \"" + name + "\"");
+}
+
+}  // namespace
+
+common::Result<provider::ZoneSet> LoadZones(const JsonValue& value) {
+  if (value.is_string() && value.AsString() == "all") {
+    return provider::ZoneSet::All();
+  }
+  if (!value.is_array()) {
+    return common::Status::InvalidArgument(
+        "zones must be an array of zone names or the string \"all\"");
+  }
+  provider::ZoneSet zones;
+  for (const JsonValue& z : value.AsArray()) {
+    auto name = z.GetString();
+    if (!name.ok()) {
+      return common::Status::InvalidArgument("zones: " +
+                                             name.status().message());
+    }
+    auto zone = ParseZoneName(*name);
+    if (!zone.ok()) return zone.status();
+    zones.Add(*zone);
+  }
+  if (zones.Empty()) {
+    return common::Status::InvalidArgument("zones must not be empty");
+  }
+  return zones;
+}
+
+common::Result<provider::ProviderSpec> LoadProviderSpec(
+    const JsonValue& value) {
+  if (!value.is_object()) {
+    return common::Status::InvalidArgument("provider must be an object");
+  }
+  const JsonObject& obj = value.AsObject();
+  provider::ProviderSpec spec;
+
+  auto id = RequireString(obj, "id");
+  if (!id.ok()) return id.status();
+  if (id->empty()) {
+    return common::Status::InvalidArgument("provider id must not be empty");
+  }
+  spec.id = std::move(id).value();
+
+  if (const JsonValue* d = obj.Find("description")) {
+    auto s = d->GetString();
+    if (!s.ok()) {
+      return common::Status::InvalidArgument("description: " +
+                                             s.status().message());
+    }
+    spec.description = std::move(s).value();
+  } else {
+    spec.description = spec.id;
+  }
+
+  // SLA fractions are open below 1.0 for availability but durability may be
+  // arbitrarily many nines; both must be < 1 (a perfect SLA breaks the
+  // failure-probability arithmetic of Algorithm 2) and >= 0.5 (sanity).
+  auto dura = RequireNumber(obj, "durability", 0.5, 1.0 - 1e-15);
+  if (!dura.ok()) return dura.status();
+  auto avail = RequireNumber(obj, "availability", 0.5, 1.0 - 1e-15);
+  if (!avail.ok()) return avail.status();
+  spec.sla = provider::Sla{.durability = *dura, .availability = *avail};
+
+  auto zones_member = value.GetMember("zones");
+  if (!zones_member.ok()) return zones_member.status();
+  auto zones = LoadZones(**zones_member);
+  if (!zones.ok()) return zones.status();
+  spec.zones = *zones;
+
+  auto storage = RequireNumber(obj, "storage_gb_month", 0.0, 1e6);
+  if (!storage.ok()) return storage.status();
+  auto bw_in = RequireNumber(obj, "bw_in_gb", 0.0, 1e6);
+  if (!bw_in.ok()) return bw_in.status();
+  auto bw_out = RequireNumber(obj, "bw_out_gb", 0.0, 1e6);
+  if (!bw_out.ok()) return bw_out.status();
+  auto ops = RequireNumber(obj, "ops_per_1000", 0.0, 1e6);
+  if (!ops.ok()) return ops.status();
+  spec.pricing = provider::PricingPolicy{.storage_gb_month = *storage,
+                                         .bw_in_gb = *bw_in,
+                                         .bw_out_gb = *bw_out,
+                                         .ops_per_1000 = *ops};
+
+  if (obj.Contains("read_latency_ms")) {
+    auto lat = RequireNumber(obj, "read_latency_ms", 0.0, 1e6);
+    if (!lat.ok()) return lat.status();
+    spec.read_latency_ms = *lat;
+  }
+
+  auto max_chunk = OptionalBytes(obj, "max_chunk_size");
+  if (!max_chunk.ok()) return max_chunk.status();
+  spec.max_chunk_size = *max_chunk;
+
+  auto capacity = OptionalBytes(obj, "capacity");
+  if (!capacity.ok()) return capacity.status();
+  spec.capacity = *capacity;
+
+  return spec;
+}
+
+common::Result<std::vector<provider::ProviderSpec>> LoadCatalog(
+    const JsonValue& value) {
+  auto providers = value.GetMember("providers");
+  if (!providers.ok()) return providers.status();
+  if (!(*providers)->is_array()) {
+    return common::Status::InvalidArgument("\"providers\" must be an array");
+  }
+  std::vector<provider::ProviderSpec> catalog;
+  std::set<std::string> seen;
+  for (const JsonValue& entry : (*providers)->AsArray()) {
+    auto spec = LoadProviderSpec(entry);
+    if (!spec.ok()) return spec.status();
+    if (!seen.insert(spec->id).second) {
+      return common::Status::InvalidArgument("duplicate provider id \"" +
+                                             spec->id + "\"");
+    }
+    catalog.push_back(std::move(spec).value());
+  }
+  return catalog;
+}
+
+common::Result<std::vector<provider::ProviderSpec>> LoadCatalogFromText(
+    std::string_view text) {
+  auto doc = ParseJson(text);
+  if (!doc.ok()) return doc.status();
+  return LoadCatalog(*doc);
+}
+
+common::Result<std::vector<provider::ProviderSpec>> LoadCatalogFromFile(
+    const std::string& path) {
+  auto doc = ParseJsonFile(path);
+  if (!doc.ok()) return doc.status();
+  return LoadCatalog(*doc);
+}
+
+common::Result<core::StorageRule> LoadStorageRule(const JsonValue& value) {
+  if (!value.is_object()) {
+    return common::Status::InvalidArgument("rule must be an object");
+  }
+  const JsonObject& obj = value.AsObject();
+  core::StorageRule rule;
+
+  auto name = RequireString(obj, "name");
+  if (!name.ok()) return name.status();
+  rule.name = std::move(name).value();
+
+  auto dura = RequireNumber(obj, "durability", 0.0, 1.0 - 1e-15);
+  if (!dura.ok()) return dura.status();
+  rule.durability = *dura;
+
+  auto avail = RequireNumber(obj, "availability", 0.0, 1.0 - 1e-15);
+  if (!avail.ok()) return avail.status();
+  rule.availability = *avail;
+
+  if (const JsonValue* z = obj.Find("zones")) {
+    auto zones = LoadZones(*z);
+    if (!zones.ok()) return zones.status();
+    rule.allowed_zones = *zones;
+  } else {
+    rule.allowed_zones = provider::ZoneSet::All();
+  }
+
+  auto lockin = RequireNumber(obj, "lockin", 1e-6, 1.0);
+  if (!lockin.ok()) return lockin.status();
+  rule.lockin = *lockin;
+
+  if (obj.Contains("ttl_hours")) {
+    auto ttl = RequireNumber(obj, "ttl_hours", 0.0, 1e9);
+    if (!ttl.ok()) return ttl.status();
+    rule.ttl_hint = common::FromHours(*ttl);
+  }
+
+  return rule;
+}
+
+common::Result<std::vector<core::StorageRule>> LoadRules(
+    const JsonValue& value) {
+  auto rules_member = value.GetMember("rules");
+  if (!rules_member.ok()) return rules_member.status();
+  if (!(*rules_member)->is_array()) {
+    return common::Status::InvalidArgument("\"rules\" must be an array");
+  }
+  std::vector<core::StorageRule> rules;
+  std::set<std::string> seen;
+  for (const JsonValue& entry : (*rules_member)->AsArray()) {
+    auto rule = LoadStorageRule(entry);
+    if (!rule.ok()) return rule.status();
+    if (!seen.insert(rule->name).second) {
+      return common::Status::InvalidArgument("duplicate rule name \"" +
+                                             rule->name + "\"");
+    }
+    rules.push_back(std::move(rule).value());
+  }
+  return rules;
+}
+
+common::Result<std::vector<core::StorageRule>> LoadRulesFromText(
+    std::string_view text) {
+  auto doc = ParseJson(text);
+  if (!doc.ok()) return doc.status();
+  return LoadRules(*doc);
+}
+
+namespace {
+
+JsonValue ZonesToJson(provider::ZoneSet zones) {
+  if (zones == provider::ZoneSet::All()) return JsonValue("all");
+  JsonArray arr;
+  using provider::Zone;
+  for (Zone z : {Zone::kEU, Zone::kUS, Zone::kAPAC, Zone::kOnPrem}) {
+    if (zones.Contains(z)) arr.emplace_back(provider::ZoneName(z));
+  }
+  return JsonValue(std::move(arr));
+}
+
+}  // namespace
+
+JsonValue ProviderSpecToJson(const provider::ProviderSpec& spec) {
+  JsonObject obj;
+  obj.Set("id", spec.id);
+  obj.Set("description", spec.description);
+  obj.Set("durability", spec.sla.durability);
+  obj.Set("availability", spec.sla.availability);
+  obj.Set("zones", ZonesToJson(spec.zones));
+  obj.Set("storage_gb_month", spec.pricing.storage_gb_month);
+  obj.Set("bw_in_gb", spec.pricing.bw_in_gb);
+  obj.Set("bw_out_gb", spec.pricing.bw_out_gb);
+  obj.Set("ops_per_1000", spec.pricing.ops_per_1000);
+  obj.Set("read_latency_ms", spec.read_latency_ms);
+  if (spec.max_chunk_size) obj.Set("max_chunk_size", *spec.max_chunk_size);
+  if (spec.capacity) obj.Set("capacity", *spec.capacity);
+  return JsonValue(std::move(obj));
+}
+
+JsonValue CatalogToJson(const std::vector<provider::ProviderSpec>& catalog) {
+  JsonArray arr;
+  arr.reserve(catalog.size());
+  for (const auto& spec : catalog) arr.push_back(ProviderSpecToJson(spec));
+  JsonObject doc;
+  doc.Set("providers", JsonValue(std::move(arr)));
+  return JsonValue(std::move(doc));
+}
+
+JsonValue StorageRuleToJson(const core::StorageRule& rule) {
+  JsonObject obj;
+  obj.Set("name", rule.name);
+  obj.Set("durability", rule.durability);
+  obj.Set("availability", rule.availability);
+  obj.Set("zones", ZonesToJson(rule.allowed_zones));
+  obj.Set("lockin", rule.lockin);
+  if (rule.ttl_hint) {
+    obj.Set("ttl_hours", common::ToHours(*rule.ttl_hint));
+  }
+  return JsonValue(std::move(obj));
+}
+
+JsonValue RulesToJson(const std::vector<core::StorageRule>& rules) {
+  JsonArray arr;
+  arr.reserve(rules.size());
+  for (const auto& rule : rules) arr.push_back(StorageRuleToJson(rule));
+  JsonObject doc;
+  doc.Set("rules", JsonValue(std::move(arr)));
+  return JsonValue(std::move(doc));
+}
+
+}  // namespace scalia::config

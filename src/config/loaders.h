@@ -1,0 +1,92 @@
+// Loaders mapping JSON documents to Scalia domain objects.
+//
+// A deployment describes its provider market and its storage rules in JSON
+// (the broker's equivalent of the paper's Figs. 2 and 3); these loaders
+// validate the documents field-by-field and produce the strongly-typed
+// catalog/rule objects the engine layer consumes.  Serializers for the
+// reverse direction keep the files round-trippable.
+//
+// Catalog document shape:
+//
+//   { "providers": [ {
+//       "id": "S3(h)", "description": "Amazon S3 (High)",
+//       "durability": 0.99999999999, "availability": 0.999,
+//       "zones": ["EU", "US", "APAC"],
+//       "storage_gb_month": 0.14, "bw_in_gb": 0.1, "bw_out_gb": 0.15,
+//       "ops_per_1000": 0.01,
+//       "read_latency_ms": 50.0,          // optional
+//       "max_chunk_size": 1000000,        // optional, bytes
+//       "capacity": 50000000000           // optional, bytes (private)
+//   } ] }
+//
+// Rules document shape:
+//
+//   { "rules": [ {
+//       "name": "rule1", "durability": 0.999999, "availability": 0.9999,
+//       "zones": ["EU", "US"],            // omitted or "all" = all zones
+//       "lockin": 0.3,
+//       "ttl_hours": 24                   // optional lifetime hint
+//   } ] }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "config/json.h"
+#include "core/rule.h"
+#include "provider/spec.h"
+
+namespace scalia::config {
+
+/// Parses a single provider object.
+[[nodiscard]] common::Result<provider::ProviderSpec> LoadProviderSpec(
+    const JsonValue& value);
+
+/// Parses a catalog document ({"providers": [...]}).  Duplicate provider
+/// ids are rejected.
+[[nodiscard]] common::Result<std::vector<provider::ProviderSpec>> LoadCatalog(
+    const JsonValue& value);
+
+/// Parses a catalog from JSON text.
+[[nodiscard]] common::Result<std::vector<provider::ProviderSpec>>
+LoadCatalogFromText(std::string_view text);
+
+/// Parses a catalog from a file.
+[[nodiscard]] common::Result<std::vector<provider::ProviderSpec>>
+LoadCatalogFromFile(const std::string& path);
+
+/// Parses a single storage rule object.
+[[nodiscard]] common::Result<core::StorageRule> LoadStorageRule(
+    const JsonValue& value);
+
+/// Parses a rules document ({"rules": [...]}).  Duplicate names are
+/// rejected.
+[[nodiscard]] common::Result<std::vector<core::StorageRule>> LoadRules(
+    const JsonValue& value);
+
+/// Parses rules from JSON text.
+[[nodiscard]] common::Result<std::vector<core::StorageRule>> LoadRulesFromText(
+    std::string_view text);
+
+/// Serializes a provider to the loader's document shape.
+[[nodiscard]] JsonValue ProviderSpecToJson(const provider::ProviderSpec& spec);
+
+/// Serializes a full catalog document.
+[[nodiscard]] JsonValue CatalogToJson(
+    const std::vector<provider::ProviderSpec>& catalog);
+
+/// Serializes a storage rule.
+[[nodiscard]] JsonValue StorageRuleToJson(const core::StorageRule& rule);
+
+/// Serializes a rules document.
+[[nodiscard]] JsonValue RulesToJson(
+    const std::vector<core::StorageRule>& rules);
+
+/// Parses a zone list ("EU", "US", "APAC", "OnPrem", or the wildcard
+/// "all"); an absent/empty list is an error for providers but callers may
+/// default it for rules.
+[[nodiscard]] common::Result<provider::ZoneSet> LoadZones(
+    const JsonValue& value);
+
+}  // namespace scalia::config

@@ -1,0 +1,99 @@
+// Budget maintenance by constraint relaxation (§I, optimization goal a).
+//
+// "Other optimization goals for data placement are also conceivable, such
+// as maintaining a certain monthly budget by relaxing some constraints,
+// such as lock-in or availability."  The BudgetGuard tracks the projected
+// monthly spend and, when it exceeds the budget, relaxes the storage rule
+// one level at a time — lock-in first (fewer providers is cheaper), then
+// availability, then durability — until the projected spend fits or no
+// relaxation remains.
+#pragma once
+
+#include <optional>
+
+#include "common/money.h"
+#include "core/placement.h"
+#include "core/rule.h"
+
+namespace scalia::core {
+
+/// One relaxation ladder step applied to a rule.  Level 0 is the rule
+/// itself; each level loosens one more constraint.
+[[nodiscard]] inline StorageRule RelaxRule(const StorageRule& rule,
+                                           int level) {
+  StorageRule relaxed = rule;
+  if (level >= 1) relaxed.lockin = 1.0;          // drop the lock-in bound
+  if (level >= 2) {
+    // One nine less of availability (e.g. 0.9999 -> 0.999).
+    relaxed.availability = 1.0 - (1.0 - relaxed.availability) * 10.0;
+    if (relaxed.availability < 0.0) relaxed.availability = 0.0;
+  }
+  if (level >= 3) {
+    // One nine less of durability.
+    relaxed.durability = 1.0 - (1.0 - relaxed.durability) * 10.0;
+    if (relaxed.durability < 0.0) relaxed.durability = 0.0;
+  }
+  return relaxed;
+}
+
+inline constexpr int kMaxRelaxationLevel = 3;
+
+struct BudgetedPlacement {
+  PlacementDecision decision;
+  int relaxation_level = 0;   // 0 = original rule held
+  bool within_budget = false;
+};
+
+class BudgetGuard {
+ public:
+  /// `monthly_budget` bounds the projected spend for the object(s) the
+  /// guard watches; `sampling_period` converts per-period costs to monthly.
+  BudgetGuard(common::Money monthly_budget, common::Duration sampling_period)
+      : budget_(monthly_budget), sampling_period_(sampling_period) {}
+
+  [[nodiscard]] common::Money monthly_budget() const noexcept {
+    return budget_;
+  }
+
+  /// Projects a per-decision-period expected cost to a monthly rate.
+  [[nodiscard]] common::Money ProjectMonthly(
+      const PlacementDecision& decision,
+      std::size_t decision_periods) const {
+    if (!decision.feasible || decision_periods == 0) return {};
+    const double periods_per_month =
+        static_cast<double>(common::kMonth) /
+        static_cast<double>(sampling_period_);
+    return decision.expected_cost *
+           (periods_per_month / static_cast<double>(decision_periods));
+  }
+
+  /// Finds the cheapest placement honouring the tightest rule whose
+  /// projected monthly spend fits the budget, walking the relaxation
+  /// ladder only as far as needed.  When even the loosest rule exceeds the
+  /// budget, the loosest feasible placement is returned with
+  /// `within_budget = false` so callers can alert the owner.
+  [[nodiscard]] BudgetedPlacement PlaceWithinBudget(
+      const PlacementSearch& search,
+      std::span<const provider::ProviderSpec> providers,
+      PlacementRequest request) const {
+    BudgetedPlacement out;
+    for (int level = 0; level <= kMaxRelaxationLevel; ++level) {
+      PlacementRequest relaxed = request;
+      relaxed.rule = RelaxRule(request.rule, level);
+      const PlacementDecision decision = search.FindBest(providers, relaxed);
+      if (!decision.feasible) continue;
+      out.decision = decision;
+      out.relaxation_level = level;
+      out.within_budget =
+          ProjectMonthly(decision, relaxed.decision_periods) <= budget_;
+      if (out.within_budget) return out;
+    }
+    return out;  // best effort: loosest feasible, possibly over budget
+  }
+
+ private:
+  common::Money budget_;
+  common::Duration sampling_period_;
+};
+
+}  // namespace scalia::core

@@ -1,0 +1,103 @@
+#include "core/cluster.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace scalia::core {
+
+ScaliaCluster::ScaliaCluster(ClusterConfig config) : config_(config) {
+  if (config_.num_datacenters == 0 || config_.engines_per_dc == 0) {
+    throw std::invalid_argument("cluster needs >= 1 datacenter and engine");
+  }
+  db_ = std::make_unique<store::ReplicatedStore>(config_.num_datacenters);
+  stats_db_ = std::make_unique<stats::StatsDb>(db_.get(), /*dc=*/0);
+  pool_ = std::make_unique<common::ThreadPool>(config_.worker_threads);
+  optimizer_ = std::make_unique<PeriodicOptimizer>(config_.optimizer,
+                                                   stats_db_.get(), pool_.get());
+
+  common::SplitMix64 seeder(config_.seed);
+  datacenters_.resize(config_.num_datacenters);
+  for (std::size_t dc = 0; dc < config_.num_datacenters; ++dc) {
+    Datacenter& d = datacenters_[dc];
+    if (config_.enable_cache) {
+      d.cache = std::make_unique<cache::CacheLayer>(config_.cache_capacity,
+                                                    &bus_);
+    }
+    d.aggregator = std::make_unique<stats::LogAggregator>();
+    for (std::size_t e = 0; e < config_.engines_per_dc; ++e) {
+      d.agents.push_back(
+          std::make_unique<stats::LogAgent>(d.aggregator.get()));
+      const std::string id = "dc" + std::to_string(dc) + "-engine" +
+                             std::to_string(e);
+      engines_.push_back(std::make_unique<Engine>(
+          id, &registry_, db_.get(), static_cast<store::ReplicaId>(dc),
+          d.cache.get(), stats_db_.get(), d.agents.back().get(), pool_.get(),
+          config_.engine, seeder.Next()));
+      optimizer_->AddEngine(engines_.back().get());
+    }
+  }
+}
+
+ScaliaCluster::~ScaliaCluster() = default;
+
+Engine& ScaliaCluster::EngineAt(std::size_t dc, std::size_t index) {
+  return *engines_.at(dc * config_.engines_per_dc + index);
+}
+
+Engine& ScaliaCluster::RouteRequest() {
+  // Round-robin across all engines of all datacenters, skipping engines in
+  // down datacenters ("a client can send requests indifferently to each
+  // datacenter").
+  for (std::size_t attempts = 0; attempts < engines_.size(); ++attempts) {
+    Engine& engine = *engines_[route_counter_++ % engines_.size()];
+    if (db_->IsDatacenterUp(engine.datacenter())) return engine;
+  }
+  return *engines_[route_counter_++ % engines_.size()];
+}
+
+cache::CacheStats ScaliaCluster::CacheStats() const {
+  cache::CacheStats total;
+  for (const auto& dc : datacenters_) {
+    if (dc.cache) total += dc.cache->Stats();
+  }
+  return total;
+}
+
+void ScaliaCluster::EndSamplingPeriod(common::SimTime now) {
+  // Drain the log pipeline of every datacenter and merge the per-object
+  // aggregates of the closing period.
+  std::unordered_map<std::string, stats::PeriodStats> merged;
+  for (auto& dc : datacenters_) {
+    dc.aggregator->Pump();
+    for (auto& [row_key, s] : dc.aggregator->Flush()) {
+      merged[row_key] += s;
+    }
+  }
+  // Every live object accrues a period entry: accessed objects get their
+  // aggregate, silent ones a storage-only row (the storage dimension always
+  // reflects the object's footprint).
+  for (const auto& row_key : stats_db_->AccessedSince(0)) {
+    auto rec = stats_db_->GetObject(row_key);
+    if (!rec) continue;
+    stats::PeriodStats s;
+    if (auto it = merged.find(row_key); it != merged.end()) s = it->second;
+    s.storage_gb = common::ToGB(rec->size);
+    stats_db_->AppendPeriodStats(row_key, period_counter_, s, now);
+  }
+  ++period_counter_;
+
+  // Housekeeping that rides the period boundary.
+  for (auto& engine : engines_) engine->ProcessPendingDeletes(now);
+  db_->SyncAll();
+}
+
+void ScaliaCluster::SetDatacenterUp(std::size_t dc, bool up) {
+  db_->SetDatacenterUp(static_cast<store::ReplicaId>(dc), up);
+  for (std::size_t e = 0; e < config_.engines_per_dc; ++e) {
+    optimizer_->election().SetAlive(
+        EngineAt(dc, e).id(), up);
+  }
+}
+
+}  // namespace scalia::core

@@ -1,0 +1,108 @@
+// ScaliaCluster: the full multi-datacenter deployment of Fig. 4.
+//
+// Wires together every layer the paper describes: per-datacenter stateless
+// engines, a per-datacenter cache joined by an invalidation bus, per-engine
+// log agents feeding per-datacenter aggregators, the replicated metadata /
+// statistics database, the provider registry, and the periodic optimizer
+// with its leader election.  Clients route requests to any engine
+// indifferently (RouteRequest()).
+//
+// Time advances in sampling periods: the embedding (example, test or
+// simulation) calls EndSamplingPeriod() at each boundary, which drains the
+// log pipeline into per-object histories, and RunOptimizationProcedure()
+// for each optimization round.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_layer.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/optimizer.h"
+#include "provider/registry.h"
+#include "stats/pipeline.h"
+#include "stats/stats_db.h"
+#include "store/replicated_store.h"
+
+namespace scalia::core {
+
+struct ClusterConfig {
+  std::size_t num_datacenters = 2;
+  std::size_t engines_per_dc = 2;
+  bool enable_cache = true;  // the caching layer "is not mandatory" (§III-B)
+  common::Bytes cache_capacity = 256 * common::kMiB;
+  EngineConfig engine;
+  OptimizerConfig optimizer;
+  std::size_t worker_threads = 4;
+  std::uint64_t seed = 42;
+};
+
+class ScaliaCluster {
+ public:
+  explicit ScaliaCluster(ClusterConfig config = {});
+  ~ScaliaCluster();
+
+  ScaliaCluster(const ScaliaCluster&) = delete;
+  ScaliaCluster& operator=(const ScaliaCluster&) = delete;
+
+  [[nodiscard]] provider::ProviderRegistry& registry() noexcept {
+    return registry_;
+  }
+  [[nodiscard]] store::ReplicatedStore& metadata_store() noexcept {
+    return *db_;
+  }
+  [[nodiscard]] stats::StatsDb& stats_db() noexcept { return *stats_db_; }
+  [[nodiscard]] PeriodicOptimizer& optimizer() noexcept { return *optimizer_; }
+  [[nodiscard]] common::ThreadPool& pool() noexcept { return *pool_; }
+
+  [[nodiscard]] std::size_t EngineCount() const noexcept {
+    return engines_.size();
+  }
+  [[nodiscard]] Engine& EngineAt(std::size_t dc, std::size_t index);
+  /// Client-side routing: requests go to every datacenter indifferently.
+  [[nodiscard]] Engine& RouteRequest();
+
+  /// Aggregate cache statistics across datacenters.
+  [[nodiscard]] cache::CacheStats CacheStats() const;
+
+  /// Closes the sampling period ending at `now`: drains log agents, folds
+  /// aggregates + storage footprints into per-object histories, retries
+  /// deferred deletes, and delivers pending database replication.
+  void EndSamplingPeriod(common::SimTime now);
+
+  /// One periodic optimization procedure (Fig. 7).  Replication is drained
+  /// afterwards so migrations (which re-key chunks) become visible in every
+  /// datacenter before the deleted chunks could be requested there.
+  OptimizationReport RunOptimizationProcedure(common::SimTime now) {
+    auto report = optimizer_->Run(now);
+    db_->SyncAll();
+    return report;
+  }
+
+  /// Simulates a datacenter outage: engines there leave the election and
+  /// its database replica stops serving.
+  void SetDatacenterUp(std::size_t dc, bool up);
+
+ private:
+  struct Datacenter {
+    std::unique_ptr<cache::CacheLayer> cache;
+    std::unique_ptr<stats::LogAggregator> aggregator;
+    std::vector<std::unique_ptr<stats::LogAgent>> agents;
+  };
+
+  ClusterConfig config_;
+  provider::ProviderRegistry registry_;
+  std::unique_ptr<store::ReplicatedStore> db_;
+  std::unique_ptr<stats::StatsDb> stats_db_;
+  std::unique_ptr<common::ThreadPool> pool_;
+  cache::InvalidationBus bus_;
+  std::vector<Datacenter> datacenters_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::unique_ptr<PeriodicOptimizer> optimizer_;
+  std::uint64_t period_counter_ = 0;
+  std::size_t route_counter_ = 0;
+};
+
+}  // namespace scalia::core

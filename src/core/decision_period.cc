@@ -1,0 +1,75 @@
+#include "core/decision_period.h"
+
+#include <algorithm>
+#include <array>
+
+namespace scalia::core {
+
+std::size_t DecisionPeriodController::Clamp(std::size_t candidate,
+                                            std::size_t history_periods,
+                                            std::size_t ttl_periods) const {
+  // The paper bounds the dichotomic search by min(TTL_obj, |H_obj|): a
+  // placement should not be planned past the object's expected deletion,
+  // nor on more history than exists.
+  std::size_t hi = config_.max_periods;
+  if (ttl_periods > 0) hi = std::min(hi, ttl_periods);
+  if (history_periods > 0) hi = std::min(hi, history_periods);
+  hi = std::max(hi, config_.min_periods);
+  return std::clamp(candidate, config_.min_periods, hi);
+}
+
+std::size_t DecisionPeriodController::OnOptimization(
+    std::size_t history_periods, std::size_t ttl_periods,
+    const Evaluator& evaluate) {
+  ++optimizations_since_coupling_;
+  if (optimizations_since_coupling_ < coupling_interval_) {
+    decision_periods_ = Clamp(decision_periods_, history_periods, ttl_periods);
+    return decision_periods_;
+  }
+  optimizations_since_coupling_ = 0;
+  ++couplings_run_;
+
+  const std::size_t d = decision_periods_;
+  const std::array<std::size_t, 3> raw = {std::max<std::size_t>(1, d / 2), d,
+                                          2 * d};
+  // Evaluate D/2, D and 2D in parallel ("coupling") and keep the length
+  // whose best placement is cheapest per sampling period.
+  std::size_t best_d = 0;
+  double best_rate = 0.0;
+  bool have_best = false;
+  std::size_t previous_clamped = Clamp(d, history_periods, ttl_periods);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::size_t candidate = Clamp(raw[i], history_periods, ttl_periods);
+    if (have_best && candidate == best_d) continue;
+    const PlacementDecision decision = evaluate(candidate);
+    if (!decision.feasible) continue;
+    const double rate =
+        decision.expected_cost.usd() / static_cast<double>(candidate);
+    // Strictly-better wins; ties keep the earlier (smaller) candidate
+    // except that the incumbent D is preferred on exact ties with it.
+    if (!have_best || rate < best_rate - 1e-15 ||
+        (std::abs(rate - best_rate) <= 1e-15 && candidate == previous_clamped)) {
+      best_rate = rate;
+      best_d = candidate;
+      have_best = true;
+    }
+  }
+
+  if (!have_best) {
+    decision_periods_ = previous_clamped;
+    coupling_interval_ = 1;
+    return decision_periods_;
+  }
+
+  if (best_d == previous_clamped) {
+    // D was adequate: double T (capped).
+    coupling_interval_ =
+        std::min(coupling_interval_ * 2, config_.max_coupling_interval);
+  } else {
+    decision_periods_ = best_d;
+    coupling_interval_ = 1;
+  }
+  return decision_periods_;
+}
+
+}  // namespace scalia::core

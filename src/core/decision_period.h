@@ -1,0 +1,71 @@
+// Adaptive decision period D_obj (§III-A).
+//
+// The decision period is the suffix of the access history used to forecast
+// the next period's usage.  It is tuned by a dichotomic "coupling" search:
+// every T optimization procedures, the placements computed with histories of
+// length D/2, D and 2D are compared and D jumps to the length that produced
+// the cheapest (per-period) placement.  When D was already the best, T
+// doubles (up to a cap, "a period of weeks"); otherwise T resets to 1.
+// Candidates are clamped to [1, min(TTL_obj, |H_obj|)].
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/placement.h"
+
+namespace scalia::core {
+
+struct DecisionPeriodConfig {
+  std::size_t initial_periods = 24;  // one day of hourly samples
+  std::size_t min_periods = 1;
+  std::size_t max_periods = 24 * 7 * 8;       // 8 weeks
+  std::size_t max_coupling_interval = 64;     // cap on T
+};
+
+class DecisionPeriodController {
+ public:
+  explicit DecisionPeriodController(DecisionPeriodConfig config = {})
+      : config_(config), decision_periods_(config.initial_periods) {}
+
+  /// Evaluator: maps a candidate decision-period length (sampling periods)
+  /// to the best placement found using that much history.
+  using Evaluator = std::function<PlacementDecision(std::size_t)>;
+
+  /// Called once per optimization procedure of the object.  Returns the
+  /// decision period to use for this optimization (possibly just updated by
+  /// the coupling search).
+  std::size_t OnOptimization(std::size_t history_periods,
+                             std::size_t ttl_periods,
+                             const Evaluator& evaluate);
+
+  /// Forces the coupling search to run at the next OnOptimization call.
+  /// Callers invoke this when a trend change was detected: a changed access
+  /// pattern is direct evidence that the current D may be inadequate.
+  void ForceCouplingNext() noexcept {
+    optimizations_since_coupling_ = coupling_interval_;
+  }
+
+  [[nodiscard]] std::size_t current() const noexcept {
+    return decision_periods_;
+  }
+  [[nodiscard]] std::size_t coupling_interval() const noexcept {
+    return coupling_interval_;
+  }
+  [[nodiscard]] std::size_t couplings_run() const noexcept {
+    return couplings_run_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t Clamp(std::size_t candidate,
+                                  std::size_t history_periods,
+                                  std::size_t ttl_periods) const;
+
+  DecisionPeriodConfig config_;
+  std::size_t decision_periods_;
+  std::size_t coupling_interval_ = 1;  // T, initially 1
+  std::size_t optimizations_since_coupling_ = 0;
+  std::size_t couplings_run_ = 0;
+};
+
+}  // namespace scalia::core

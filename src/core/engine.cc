@@ -1,0 +1,666 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.h"
+#include "erasure/chunker.h"
+
+namespace scalia::core {
+
+namespace {
+
+PriceModel MakeModel(const EngineConfig& config) {
+  return PriceModel(
+      PriceModelConfig{.sampling_period = config.sampling_period,
+                       .billing = config.billing});
+}
+
+}  // namespace
+
+Engine::Engine(std::string id, provider::ProviderRegistry* registry,
+               store::ReplicatedStore* db, store::ReplicaId dc,
+               cache::CacheLayer* cache, stats::StatsDb* stats_db,
+               stats::LogAgent* log_agent, common::ThreadPool* pool,
+               EngineConfig config, std::uint64_t seed)
+    : id_(std::move(id)),
+      registry_(registry),
+      db_(db),
+      dc_(dc),
+      cache_(cache),
+      stats_db_(stats_db),
+      log_agent_(log_agent),
+      pool_(pool),
+      config_(config),
+      search_(MakeModel(config)),
+      migration_(MakeModel(config)),
+      uuid_rng_(seed) {}
+
+std::vector<common::Bytes> Engine::FreeCapacities(
+    const std::vector<provider::ProviderSpec>& specs) const {
+  bool any_limited = false;
+  std::vector<common::Bytes> free;
+  free.reserve(specs.size());
+  for (const auto& spec : specs) {
+    if (!spec.capacity) {
+      free.push_back(std::numeric_limits<common::Bytes>::max());
+      continue;
+    }
+    any_limited = true;
+    const auto* store = registry_->Find(spec.id);
+    const common::Bytes used = store != nullptr ? store->StoredBytes() : 0;
+    free.push_back(*spec.capacity > used ? *spec.capacity - used : 0);
+  }
+  return any_limited ? free : std::vector<common::Bytes>{};
+}
+
+stats::PeriodStats Engine::ForecastUsage(const std::string& row_key,
+                                         const std::string& class_id,
+                                         common::Bytes size) const {
+  const stats::AccessHistory history = stats_db_->GetHistory(row_key);
+  if (!history.empty()) {
+    return history.AverageOver(config_.default_decision_periods);
+  }
+  // First placement: fall back to the class statistics (Fig. 6) so the
+  // probability that the first placement is already optimal increases.
+  if (const auto* cls = stats_db_->classes().Find(class_id)) {
+    if (auto mean = cls->MeanUsage()) {
+      stats::PeriodStats forecast = *mean;
+      forecast.storage_gb = common::ToGB(size);  // this object's footprint
+      return forecast;
+    }
+  }
+  // No statistics at all: a storage-only guess (cold data until proven hot).
+  stats::PeriodStats forecast;
+  forecast.storage_gb = common::ToGB(size);
+  return forecast;
+}
+
+PlacementDecision Engine::ChoosePlacement(
+    common::SimTime now, const StorageRule& rule, common::Bytes size,
+    const stats::PeriodStats& per_period, std::size_t decision_periods,
+    const std::vector<provider::ProviderId>& exclude) const {
+  std::vector<provider::ProviderSpec> specs = registry_->AvailableSpecs(now);
+  if (!exclude.empty()) {
+    std::erase_if(specs, [&](const provider::ProviderSpec& s) {
+      return std::find(exclude.begin(), exclude.end(), s.id) != exclude.end();
+    });
+  }
+  PlacementRequest request;
+  request.rule = rule;
+  request.object_size = size;
+  request.per_period = per_period;
+  request.decision_periods = decision_periods;
+  request.free_capacity = FreeCapacities(specs);
+  return search_.FindBest(specs, request);
+}
+
+common::Result<std::vector<StripeEntry>> Engine::WriteChunks(
+    common::SimTime now, const PlacementDecision& decision,
+    const std::string& skey, const std::string& data) {
+  auto chunks = erasure::Chunker::Split(
+      data, static_cast<std::size_t>(decision.m), decision.providers.size());
+  if (!chunks.ok()) return chunks.status();
+
+  std::vector<StripeEntry> stripes(decision.providers.size());
+  std::vector<common::Status> statuses(decision.providers.size());
+  auto write_one = [&](std::size_t i) {
+    const auto& spec = decision.providers[i];
+    auto* store = registry_->Find(spec.id);
+    if (store == nullptr) {
+      statuses[i] = common::Status::NotFound("provider " + spec.id + " gone");
+      return;
+    }
+    const std::string chunk_key =
+        skey + "." + std::to_string((*chunks)[i].index);
+    statuses[i] = store->Put(now, chunk_key, (*chunks)[i].Serialize());
+    stripes[i] =
+        StripeEntry{.chunk_index = (*chunks)[i].index, .provider = spec.id};
+  };
+  if (pool_ != nullptr && decision.providers.size() > 1) {
+    pool_->ParallelFor(decision.providers.size(), write_one);
+  } else {
+    for (std::size_t i = 0; i < decision.providers.size(); ++i) write_one(i);
+  }
+  for (const auto& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return stripes;
+}
+
+common::Status Engine::Put(common::SimTime now, const std::string& container,
+                           const std::string& key, std::string data,
+                           const std::string& mime,
+                           std::optional<StorageRule> rule) {
+  const std::string row_key = MakeRowKey(container, key);
+  const StorageRule effective_rule = rule.value_or(config_.default_rule);
+  const auto size = static_cast<common::Bytes>(data.size());
+  const std::string class_id = stats::ClassifyObject(mime, size);
+
+  // Decision horizon: the user's TTL hint, else the class's expected
+  // lifetime, else the configured default.
+  std::size_t decision_periods = config_.default_decision_periods;
+  if (effective_rule.ttl_hint) {
+    decision_periods = static_cast<std::size_t>(std::max<common::Duration>(
+        1, *effective_rule.ttl_hint / config_.sampling_period));
+  } else if (const auto* cls = stats_db_->classes().Find(class_id);
+             cls != nullptr && cls->lifetime_samples() > 0) {
+    decision_periods = static_cast<std::size_t>(std::max<common::Duration>(
+        1, cls->ExpectedLifetime() / config_.sampling_period));
+  }
+
+  const stats::PeriodStats forecast = ForecastUsage(row_key, class_id, size);
+
+  // Place, tolerating provider failures during the writes: on a failed
+  // write, recompute the best placement without the faulty provider
+  // (§III-D.3) and retry.
+  std::vector<provider::ProviderId> exclude;
+  PlacementDecision decision;
+  std::vector<StripeEntry> stripes;
+  common::Uuid uuid;
+  std::string skey;
+  for (;;) {
+    decision = ChoosePlacement(now, effective_rule, size, forecast,
+                               decision_periods, exclude);
+    if (!decision.feasible) {
+      return common::Status::FailedPrecondition(
+          "no provider set satisfies rule '" + effective_rule.name +
+          "' for object " + container + "/" + key);
+    }
+    {
+      std::lock_guard lock(uuid_mu_);
+      uuid = common::Uuid::Generate(uuid_rng_);
+    }
+    skey = MakeStorageKey(container, key, uuid);
+    auto written = WriteChunks(now, decision, skey, data);
+    if (written.ok()) {
+      stripes = std::move(*written);
+      break;
+    }
+    if (written.status().code() != common::StatusCode::kUnavailable) {
+      return written.status();
+    }
+    // Identify newly faulty providers and retry without them.
+    bool excluded_any = false;
+    for (const auto& spec : decision.providers) {
+      auto* store = registry_->Find(spec.id);
+      if (store != nullptr && !store->IsAvailable(now)) {
+        if (std::find(exclude.begin(), exclude.end(), spec.id) ==
+            exclude.end()) {
+          exclude.push_back(spec.id);
+          excluded_any = true;
+        }
+      }
+    }
+    if (!excluded_any) return written.status();
+  }
+
+  // Load any previous version so its chunks can be garbage-collected.
+  auto previous = LoadMetadata(now, row_key);
+
+  ObjectMetadata meta;
+  meta.container = container;
+  meta.key = key;
+  meta.mime = mime;
+  meta.size = size;
+  meta.checksum_hex = common::Md5::HexHash(data);
+  meta.rule_name = effective_rule.name;
+  meta.class_id = class_id;
+  meta.uuid = uuid;
+  meta.skey = skey;
+  meta.m = decision.m;
+  meta.stripes = std::move(stripes);
+  meta.created_at = previous.ok() ? previous->created_at : now;
+  meta.updated_at = now;
+
+  if (auto s = db_->Put(dc_, "metadata", row_key, meta.Serialize(), now);
+      !s.ok()) {
+    return s;
+  }
+
+  if (previous.ok()) {
+    // Update: discard the older chunks (§III-D.1).
+    DeleteChunks(now, *previous);
+  } else {
+    stats_db_->RecordObjectCreated(row_key, class_id, size, now);
+  }
+  stats_db_->TouchObject(row_key, now);
+
+  if (cache_ != nullptr) cache_->InvalidateEverywhere(row_key);
+  if (log_agent_ != nullptr) {
+    log_agent_->Log({.row_key = row_key,
+                     .kind = stats::AccessKind::kWrite,
+                     .bytes = size,
+                     .timestamp = now});
+  }
+  SCALIA_LOG(common::LogLevel::kInfo, "engine")
+      << id_ << " put " << container << "/" << key << " -> "
+      << decision.Label();
+  return common::Status::Ok();
+}
+
+common::Result<ObjectMetadata> Engine::LoadMetadata(
+    common::SimTime now, const std::string& row_key) {
+  auto read = db_->Get(dc_, "metadata", row_key);
+  if (!read.ok()) return read.status();
+  if (read->tombstone) {
+    return common::Status::NotFound("object deleted");
+  }
+  if (read->conflict) {
+    // Concurrent writes in different datacenters: resolve last-writer-wins
+    // and GC the losing versions' chunks (Fig. 10).
+    auto losers = db_->Resolve(dc_, "metadata", row_key);
+    if (losers.ok()) {
+      for (const auto& loser : *losers) {
+        if (loser.tombstone) continue;
+        if (auto meta = ObjectMetadata::Parse(loser.value); meta.ok()) {
+          DeleteChunks(now, *meta);
+        }
+      }
+    }
+    read = db_->Get(dc_, "metadata", row_key);
+    if (!read.ok()) return read.status();
+  }
+  return ObjectMetadata::Parse(read->value);
+}
+
+common::Result<std::string> Engine::ReadChunks(common::SimTime now,
+                                               const ObjectMetadata& meta) {
+  // Rank stripe providers by read cost; fetch the m cheapest reachable,
+  // falling back to the rest ("other criteria can be considered").
+  std::vector<provider::ProviderSpec> specs;
+  std::vector<std::uint32_t> chunk_indices;
+  for (const auto& stripe : meta.stripes) {
+    auto* store = registry_->Find(stripe.provider);
+    if (store == nullptr) continue;
+    specs.push_back(store->spec());
+    chunk_indices.push_back(stripe.chunk_index);
+  }
+  const auto m = static_cast<std::size_t>(meta.m);
+  if (specs.size() < m) {
+    return common::Status::Unavailable("fewer than m providers known");
+  }
+  const double chunk_gb =
+      common::ToGB(common::CeilDiv(meta.size, static_cast<common::Bytes>(
+                                                  std::max(1, meta.m))));
+  const PriceModel& model = search_.model();
+  auto order = model.CheapestReadProviders(specs, static_cast<int>(specs.size()),
+                                           chunk_gb);
+
+  std::vector<erasure::Chunk> chunks;
+  for (std::size_t rank : order) {
+    if (chunks.size() >= m) break;
+    auto* store = registry_->Find(specs[rank].id);
+    if (store == nullptr || !store->IsAvailable(now)) continue;
+    auto blob = store->Get(now, meta.ChunkKey(chunk_indices[rank]));
+    if (!blob.ok()) continue;
+    auto chunk = erasure::Chunk::Deserialize(*blob);
+    if (!chunk.ok()) continue;
+    chunks.push_back(std::move(*chunk));
+  }
+  if (chunks.size() < m) {
+    return common::Status::Unavailable(
+        "only " + std::to_string(chunks.size()) + " of required " +
+        std::to_string(m) + " chunks reachable");
+  }
+  return erasure::Chunker::Join(chunks);
+}
+
+common::Result<std::string> Engine::Get(common::SimTime now,
+                                        const std::string& container,
+                                        const std::string& key) {
+  const std::string row_key = MakeRowKey(container, key);
+  if (cache_ != nullptr) {
+    if (auto hit = cache_->Get(row_key)) {
+      if (log_agent_ != nullptr) {
+        log_agent_->Log({.row_key = row_key,
+                         .kind = stats::AccessKind::kRead,
+                         .bytes = static_cast<common::Bytes>(hit->size()),
+                         .timestamp = now});
+      }
+      stats_db_->TouchObject(row_key, now);
+      return *hit;
+    }
+  }
+  auto meta = LoadMetadata(now, row_key);
+  if (!meta.ok()) return meta.status();
+  auto data = ReadChunks(now, *meta);
+  if (!data.ok()) return data.status();
+  if (cache_ != nullptr) cache_->Fill(row_key, *data);
+  if (log_agent_ != nullptr) {
+    log_agent_->Log({.row_key = row_key,
+                     .kind = stats::AccessKind::kRead,
+                     .bytes = static_cast<common::Bytes>(data->size()),
+                     .timestamp = now});
+  }
+  stats_db_->TouchObject(row_key, now);
+  return data;
+}
+
+void Engine::DeleteChunks(common::SimTime now, const ObjectMetadata& meta) {
+  for (const auto& stripe : meta.stripes) {
+    auto* store = registry_->Find(stripe.provider);
+    const std::string chunk_key = meta.ChunkKey(stripe.chunk_index);
+    if (store == nullptr || !store->IsAvailable(now)) {
+      std::lock_guard lock(pending_mu_);
+      pending_deletes_.push_back({stripe.provider, chunk_key});
+      continue;
+    }
+    const auto status = store->Delete(now, chunk_key);
+    if (status.code() == common::StatusCode::kUnavailable) {
+      std::lock_guard lock(pending_mu_);
+      pending_deletes_.push_back({stripe.provider, chunk_key});
+    }
+  }
+}
+
+common::Status Engine::Delete(common::SimTime now,
+                              const std::string& container,
+                              const std::string& key) {
+  const std::string row_key = MakeRowKey(container, key);
+  auto meta = LoadMetadata(now, row_key);
+  if (!meta.ok()) return meta.status();
+  DeleteChunks(now, *meta);
+  if (auto s = db_->Delete(dc_, "metadata", row_key, now); !s.ok()) return s;
+  stats_db_->RecordObjectDeleted(row_key, now);
+  if (cache_ != nullptr) cache_->InvalidateEverywhere(row_key);
+  if (log_agent_ != nullptr) {
+    log_agent_->Log({.row_key = row_key,
+                     .kind = stats::AccessKind::kDelete,
+                     .bytes = 0,
+                     .timestamp = now});
+  }
+  return common::Status::Ok();
+}
+
+common::Result<std::vector<std::string>> Engine::List(
+    common::SimTime now, const std::string& container) {
+  // The metadata table is keyed by MD5(container|key), so enumerate via the
+  // stats index (objects carry their container in metadata).
+  (void)now;
+  const store::KvTable* table = db_->Table(dc_, "metadata");
+  if (table == nullptr) return std::vector<std::string>{};
+  std::vector<std::string> keys;
+  for (std::size_t shard = 0; shard < store::KvTable::kShards; ++shard) {
+    table->VisitShard(shard, [&](const std::string&, const store::Version& v) {
+      auto meta = ObjectMetadata::Parse(v.value);
+      if (meta.ok() && meta->container == container) {
+        keys.push_back(meta->key);
+      }
+    });
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+common::Result<PlacementDecision> Engine::EvaluatePlacement(
+    common::SimTime now, const std::string& row_key,
+    std::size_t decision_periods) {
+  auto meta = LoadMetadata(now, row_key);
+  if (!meta.ok()) return meta.status();
+  const stats::AccessHistory history = stats_db_->GetHistory(row_key);
+  stats::PeriodStats per_period = history.AverageOver(decision_periods);
+  if (history.empty()) {
+    per_period = ForecastUsage(row_key, meta->class_id, meta->size);
+  }
+  per_period.storage_gb = common::ToGB(meta->size);
+  StorageRule rule = config_.default_rule;
+  for (const auto& candidate : PaperRules()) {
+    if (candidate.name == meta->rule_name) {
+      rule = candidate;
+      break;
+    }
+  }
+  return ChoosePlacement(now, rule, meta->size, per_period, decision_periods,
+                         {});
+}
+
+common::Result<bool> Engine::ReoptimizeObject(common::SimTime now,
+                                              const std::string& row_key,
+                                              std::size_t decision_periods) {
+  auto meta = LoadMetadata(now, row_key);
+  if (!meta.ok()) return meta.status();
+
+  const stats::AccessHistory history = stats_db_->GetHistory(row_key);
+  stats::PeriodStats per_period = history.AverageOver(decision_periods);
+  if (history.empty()) {
+    per_period = ForecastUsage(row_key, meta->class_id, meta->size);
+  }
+  per_period.storage_gb = common::ToGB(meta->size);
+
+  // Rule reconstruction: the engine stores the rule name with the object;
+  // the default rule applies unless a named paper rule matches.
+  StorageRule rule = config_.default_rule;
+  for (const auto& candidate : PaperRules()) {
+    if (candidate.name == meta->rule_name) {
+      rule = candidate;
+      break;
+    }
+  }
+
+  PlacementDecision target = ChoosePlacement(now, rule, meta->size, per_period,
+                                             decision_periods, {});
+  if (!target.feasible) {
+    return common::Status::FailedPrecondition("no feasible placement");
+  }
+
+  // Current set's specs (as currently registered).
+  std::vector<provider::ProviderSpec> current;
+  for (const auto& stripe : meta->stripes) {
+    if (auto* store = registry_->Find(stripe.provider)) {
+      current.push_back(store->spec());
+    }
+  }
+  PlacementDecision current_decision;
+  current_decision.feasible = true;
+  current_decision.providers = current;
+  current_decision.m = meta->m;
+  if (target.SamePlacement(current_decision)) return false;
+
+  // Expected remaining lifetime from the class statistics.
+  std::size_t remaining = decision_periods;
+  if (const auto* cls = stats_db_->classes().Find(meta->class_id);
+      cls != nullptr && cls->lifetime_samples() > 0) {
+    const common::Duration ttl =
+        cls->ExpectedTimeLeftToLive(now - meta->created_at);
+    remaining = static_cast<std::size_t>(std::max<common::Duration>(
+        1, ttl / config_.sampling_period));
+  }
+
+  std::vector<provider::ProviderSpec> readable;
+  for (const auto& spec : current) {
+    auto* store = registry_->Find(spec.id);
+    if (store != nullptr && store->IsAvailable(now)) readable.push_back(spec);
+  }
+  const MigrationAssessment assessment =
+      migration_.Assess(current, meta->m, target, readable, meta->size,
+                        per_period, remaining);
+  if (!assessment.worthwhile) return false;
+
+  // Perform the migration: reassemble and re-write under the new placement.
+  auto data = ReadChunks(now, *meta);
+  if (!data.ok()) return data.status();
+
+  common::Uuid uuid;
+  {
+    std::lock_guard lock(uuid_mu_);
+    uuid = common::Uuid::Generate(uuid_rng_);
+  }
+  const std::string skey = MakeStorageKey(meta->container, meta->key, uuid);
+  auto stripes = WriteChunks(now, target, skey, *data);
+  if (!stripes.ok()) return stripes.status();
+
+  ObjectMetadata updated = *meta;
+  updated.uuid = uuid;
+  updated.skey = skey;
+  updated.m = target.m;
+  updated.stripes = std::move(*stripes);
+  updated.updated_at = now;
+  if (auto s = db_->Put(dc_, "metadata", row_key, updated.Serialize(), now);
+      !s.ok()) {
+    return s;
+  }
+  DeleteChunks(now, *meta);
+  SCALIA_LOG(common::LogLevel::kInfo, "engine")
+      << id_ << " migrated " << meta->container << "/" << meta->key << " to "
+      << target.Label();
+  return true;
+}
+
+common::Status Engine::RepairObject(common::SimTime now,
+                                    const std::string& row_key) {
+  auto meta = LoadMetadata(now, row_key);
+  if (!meta.ok()) return meta.status();
+
+  // Which stripes are on failed providers?
+  std::vector<std::size_t> broken;
+  std::vector<erasure::Chunk> healthy;
+  for (std::size_t i = 0; i < meta->stripes.size(); ++i) {
+    auto* store = registry_->Find(meta->stripes[i].provider);
+    if (store == nullptr || !store->IsAvailable(now)) {
+      broken.push_back(i);
+      continue;
+    }
+    if (healthy.size() <
+        static_cast<std::size_t>(meta->m)) {  // fetch only what decode needs
+      auto blob = store->Get(now, meta->ChunkKey(meta->stripes[i].chunk_index));
+      if (blob.ok()) {
+        if (auto chunk = erasure::Chunk::Deserialize(*blob); chunk.ok()) {
+          healthy.push_back(std::move(*chunk));
+        }
+      }
+    }
+  }
+  if (broken.empty()) return common::Status::Ok();
+  if (healthy.size() < static_cast<std::size_t>(meta->m)) {
+    return common::Status::Unavailable("not enough healthy chunks to repair");
+  }
+
+  // Candidate replacement providers: registered, reachable, not already in
+  // the stripe set, rule-compatible by construction of the original set.
+  std::set<provider::ProviderId> in_use;
+  for (const auto& s : meta->stripes) in_use.insert(s.provider);
+  std::vector<provider::ProviderSpec> candidates;
+  for (const auto& spec : registry_->AvailableSpecs(now)) {
+    if (!in_use.contains(spec.id)) candidates.push_back(spec);
+  }
+  // Cheapest-storage-first replacement choice keeps the repair cost low.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const provider::ProviderSpec& a,
+               const provider::ProviderSpec& b) {
+              if (a.pricing.storage_gb_month != b.pricing.storage_gb_month) {
+                return a.pricing.storage_gb_month < b.pricing.storage_gb_month;
+              }
+              return a.id < b.id;
+            });
+  if (candidates.size() < broken.size()) {
+    // No spare providers for a same-structure swap: fall back to a full
+    // re-placement over the reachable market (structure may change).
+    auto data = erasure::Chunker::Join(healthy);
+    if (!data.ok()) return data.status();
+    StorageRule rule = config_.default_rule;
+    for (const auto& candidate_rule : PaperRules()) {
+      if (candidate_rule.name == meta->rule_name) {
+        rule = candidate_rule;
+        break;
+      }
+    }
+    const stats::PeriodStats forecast =
+        ForecastUsage(row_key, meta->class_id, meta->size);
+    PlacementDecision target =
+        ChoosePlacement(now, rule, meta->size, forecast,
+                        config_.default_decision_periods, {});
+    if (!target.feasible) {
+      return common::Status::Unavailable(
+          "no replacement providers and no feasible re-placement");
+    }
+    common::Uuid uuid;
+    {
+      std::lock_guard lock(uuid_mu_);
+      uuid = common::Uuid::Generate(uuid_rng_);
+    }
+    const std::string skey = MakeStorageKey(meta->container, meta->key, uuid);
+    auto stripes = WriteChunks(now, target, skey, *data);
+    if (!stripes.ok()) return stripes.status();
+    ObjectMetadata replaced = *meta;
+    replaced.uuid = uuid;
+    replaced.skey = skey;
+    replaced.m = target.m;
+    replaced.stripes = std::move(*stripes);
+    replaced.updated_at = now;
+    if (auto s = db_->Put(dc_, "metadata", row_key, replaced.Serialize(), now);
+        !s.ok()) {
+      return s;
+    }
+    DeleteChunks(now, *meta);
+    if (cache_ != nullptr) cache_->InvalidateEverywhere(row_key);
+    return common::Status::Ok();
+  }
+
+  ObjectMetadata updated = *meta;
+  for (std::size_t b = 0; b < broken.size(); ++b) {
+    const std::size_t stripe_idx = broken[b];
+    const auto target_index = meta->stripes[stripe_idx].chunk_index;
+    auto rebuilt = erasure::Chunker::Repair(healthy, target_index);
+    if (!rebuilt.ok()) return rebuilt.status();
+    const auto& replacement = candidates[b];
+    auto* store = registry_->Find(replacement.id);
+    const std::string chunk_key = meta->ChunkKey(target_index);
+    if (auto s = store->Put(now, chunk_key, rebuilt->Serialize()); !s.ok()) {
+      return s;
+    }
+    // The old chunk at the faulty provider is deleted when it recovers.
+    {
+      std::lock_guard lock(pending_mu_);
+      pending_deletes_.push_back(
+          {meta->stripes[stripe_idx].provider, chunk_key});
+    }
+    updated.stripes[stripe_idx].provider = replacement.id;
+  }
+  updated.updated_at = now;
+  if (auto s = db_->Put(dc_, "metadata", row_key, updated.Serialize(), now);
+      !s.ok()) {
+    return s;
+  }
+  SCALIA_LOG(common::LogLevel::kInfo, "engine")
+      << id_ << " repaired " << broken.size() << " chunk(s) of "
+      << meta->container << "/" << meta->key;
+  return common::Status::Ok();
+}
+
+std::size_t Engine::ProcessPendingDeletes(common::SimTime now) {
+  std::vector<PendingDelete> pending;
+  {
+    std::lock_guard lock(pending_mu_);
+    pending.swap(pending_deletes_);
+  }
+  std::size_t completed = 0;
+  std::vector<PendingDelete> still_pending;
+  for (auto& pd : pending) {
+    auto* store = registry_->Find(pd.provider);
+    if (store == nullptr) {
+      ++completed;  // provider gone for good; nothing left to delete
+      continue;
+    }
+    if (!store->IsAvailable(now)) {
+      still_pending.push_back(std::move(pd));
+      continue;
+    }
+    const auto status = store->Delete(now, pd.chunk_key);
+    if (status.ok() || status.code() == common::StatusCode::kNotFound) {
+      ++completed;
+    } else {
+      still_pending.push_back(std::move(pd));
+    }
+  }
+  std::lock_guard lock(pending_mu_);
+  for (auto& pd : still_pending) pending_deletes_.push_back(std::move(pd));
+  return completed;
+}
+
+std::size_t Engine::PendingDeleteCount() const {
+  std::lock_guard lock(pending_mu_);
+  return pending_deletes_.size();
+}
+
+}  // namespace scalia::core

@@ -1,0 +1,161 @@
+// The stateless Scalia engine (§III-A).
+//
+// An engine is a proxy between clients and the storage providers: it offers
+// the S3-like put/get/list/delete interface, computes the best provider set
+// per object, splits/reassembles objects with the erasure codec, serves
+// reads through the cache, persists metadata in the replicated database and
+// streams access logs into the statistics pipeline.  Engines keep no
+// per-object state, so a deployment scales by adding engines.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache_layer.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/metadata.h"
+#include "core/migration.h"
+#include "core/placement.h"
+#include "core/rule.h"
+#include "provider/registry.h"
+#include "stats/pipeline.h"
+#include "stats/stats_db.h"
+#include "store/replicated_store.h"
+
+namespace scalia::core {
+
+struct EngineConfig {
+  StorageRule default_rule;
+  common::Duration sampling_period = common::kHour;
+  provider::StorageBillingMode billing =
+      provider::StorageBillingMode::kPerPeriod;
+  /// Decision-period length (sampling periods) assumed for brand-new
+  /// objects with no class statistics.
+  std::size_t default_decision_periods = 24;
+  /// Chunk uploads/downloads per object issued concurrently.
+  std::size_t parallel_chunk_io = 4;
+};
+
+/// A chunk delete that could not run because its provider was unreachable;
+/// retried until the provider recovers (§III-D.3: "the deletion of the
+/// chunk residing at a faulty provider is postponed").
+struct PendingDelete {
+  provider::ProviderId provider;
+  std::string chunk_key;
+};
+
+class Engine {
+ public:
+  Engine(std::string id, provider::ProviderRegistry* registry,
+         store::ReplicatedStore* db, store::ReplicaId dc,
+         cache::CacheLayer* cache, stats::StatsDb* stats_db,
+         stats::LogAgent* log_agent, common::ThreadPool* pool,
+         EngineConfig config, std::uint64_t seed);
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] store::ReplicaId datacenter() const noexcept { return dc_; }
+
+  /// Stores (or updates) an object.  `rule` overrides the default; a
+  /// per-object TTL hint may ride on the rule (§III-A).
+  common::Status Put(common::SimTime now, const std::string& container,
+                     const std::string& key, std::string data,
+                     const std::string& mime,
+                     std::optional<StorageRule> rule = std::nullopt);
+
+  /// Reads an object (cache first, then m-of-n chunk reassembly).
+  common::Result<std::string> Get(common::SimTime now,
+                                  const std::string& container,
+                                  const std::string& key);
+
+  /// Deletes an object (metadata tombstone + chunk deletion, deferred at
+  /// unreachable providers).
+  common::Status Delete(common::SimTime now, const std::string& container,
+                        const std::string& key);
+
+  /// Keys currently stored in `container` (from the metadata layer).
+  common::Result<std::vector<std::string>> List(common::SimTime now,
+                                                const std::string& container);
+
+  // ---- Optimizer-facing operations -------------------------------------
+
+  /// Loads (and conflict-resolves) the object's metadata.
+  common::Result<ObjectMetadata> LoadMetadata(common::SimTime now,
+                                              const std::string& row_key);
+
+  /// Runs Algorithm 1 for `row_key` with a history window of
+  /// `decision_periods` sampling periods, without migrating anything.  Used
+  /// by the decision-period coupling search (D/2, D, 2D in parallel).
+  common::Result<PlacementDecision> EvaluatePlacement(
+      common::SimTime now, const std::string& row_key,
+      std::size_t decision_periods);
+
+  /// Recomputes the best placement for `row_key` from its access history
+  /// and migrates if the cost-benefit analysis approves.  Returns true when
+  /// a migration was performed.
+  common::Result<bool> ReoptimizeObject(common::SimTime now,
+                                        const std::string& row_key,
+                                        std::size_t decision_periods);
+
+  /// Rebuilds chunks lost to a failed provider onto the best replacement
+  /// while keeping the (m, n) structure — the active repair of §IV-E.
+  common::Status RepairObject(common::SimTime now, const std::string& row_key);
+
+  /// Retries deferred chunk deletions whose providers recovered.
+  std::size_t ProcessPendingDeletes(common::SimTime now);
+
+  [[nodiscard]] std::size_t PendingDeleteCount() const;
+
+ private:
+  /// Places a brand-new or re-placed object; honours class statistics for
+  /// first placement (Fig. 6) and excludes `exclude` (faulty providers).
+  [[nodiscard]] PlacementDecision ChoosePlacement(
+      common::SimTime now, const StorageRule& rule, common::Bytes size,
+      const stats::PeriodStats& per_period, std::size_t decision_periods,
+      const std::vector<provider::ProviderId>& exclude) const;
+
+  /// Writes the chunks of `data` per `decision`; returns stripe entries.
+  common::Result<std::vector<StripeEntry>> WriteChunks(
+      common::SimTime now, const PlacementDecision& decision,
+      const std::string& skey, const std::string& data);
+
+  /// Fetches >= m chunks of `meta`, cheapest providers first.
+  common::Result<std::string> ReadChunks(common::SimTime now,
+                                         const ObjectMetadata& meta);
+
+  /// Deletes the chunks of `meta`, deferring unreachable providers.
+  void DeleteChunks(common::SimTime now, const ObjectMetadata& meta);
+
+  /// Expected per-period usage for an object: history average when it has
+  /// history, class mean for fresh objects, else a storage-only guess.
+  [[nodiscard]] stats::PeriodStats ForecastUsage(
+      const std::string& row_key, const std::string& class_id,
+      common::Bytes size) const;
+
+  [[nodiscard]] std::vector<common::Bytes> FreeCapacities(
+      const std::vector<provider::ProviderSpec>& specs) const;
+
+  std::string id_;
+  provider::ProviderRegistry* registry_;
+  store::ReplicatedStore* db_;
+  store::ReplicaId dc_;
+  cache::CacheLayer* cache_;      // may be null (cache layer is optional)
+  stats::StatsDb* stats_db_;
+  stats::LogAgent* log_agent_;    // may be null
+  common::ThreadPool* pool_;      // may be null => serial chunk IO
+  EngineConfig config_;
+  PlacementSearch search_;
+  MigrationPlanner migration_;
+
+  mutable std::mutex uuid_mu_;
+  common::Xoshiro256 uuid_rng_;
+
+  mutable std::mutex pending_mu_;
+  std::vector<PendingDelete> pending_deletes_;
+};
+
+}  // namespace scalia::core

@@ -1,0 +1,76 @@
+// Leader election among engines.
+//
+// The periodic optimization procedure is coordinated by "a leader, elected
+// among all engines from all datacenters" (Fig. 7).  Engines are stateless
+// and equivalent, so a deterministic bully-style election suffices: the
+// alive member with the smallest id leads; any member's failure immediately
+// yields a new leader on the next query.
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace scalia::core {
+
+class LeaderElection {
+ public:
+  void RegisterMember(const std::string& id) {
+    std::lock_guard lock(mu_);
+    for (const auto& m : members_) {
+      if (m.id == id) return;
+    }
+    members_.push_back({id, true});
+    std::sort(members_.begin(), members_.end(),
+              [](const Member& a, const Member& b) { return a.id < b.id; });
+  }
+
+  void SetAlive(const std::string& id, bool alive) {
+    std::lock_guard lock(mu_);
+    for (auto& m : members_) {
+      if (m.id == id) {
+        m.alive = alive;
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool IsAlive(const std::string& id) const {
+    std::lock_guard lock(mu_);
+    for (const auto& m : members_) {
+      if (m.id == id) return m.alive;
+    }
+    return false;
+  }
+
+  /// The current leader: smallest-id alive member; nullopt if none alive.
+  [[nodiscard]] std::optional<std::string> Leader() const {
+    std::lock_guard lock(mu_);
+    for (const auto& m : members_) {
+      if (m.alive) return m.id;
+    }
+    return std::nullopt;
+  }
+
+  /// All alive members, in id order (the optimizer's worker set E).
+  [[nodiscard]] std::vector<std::string> AliveMembers() const {
+    std::lock_guard lock(mu_);
+    std::vector<std::string> out;
+    for (const auto& m : members_) {
+      if (m.alive) out.push_back(m.id);
+    }
+    return out;
+  }
+
+ private:
+  struct Member {
+    std::string id;
+    bool alive = true;
+  };
+  mutable std::mutex mu_;
+  std::vector<Member> members_;
+};
+
+}  // namespace scalia::core

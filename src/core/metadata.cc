@@ -1,0 +1,110 @@
+#include "core/metadata.h"
+
+#include <charconv>
+
+#include "common/string_util.h"
+
+namespace scalia::core {
+
+std::string MakeRowKey(const std::string& container, const std::string& key) {
+  return common::Md5::HexHash(container + "|" + key);
+}
+
+std::string MakeStorageKey(const std::string& container,
+                           const std::string& key, const common::Uuid& uuid) {
+  return common::Md5::HexHash(container + "|" + key + "|" + uuid.ToString());
+}
+
+std::string ObjectMetadata::Serialize() const {
+  std::string out;
+  auto emit = [&out](const std::string& k, const std::string& v) {
+    out += k;
+    out += '=';
+    out += v;
+    out += '\n';
+  };
+  emit("container", container);
+  emit("key", key);
+  emit("mime", mime);
+  emit("size", std::to_string(size));
+  emit("checksum", checksum_hex);
+  emit("policy", rule_name);
+  emit("class", class_id);
+  emit("uuid", uuid.ToString());
+  emit("skey", skey);
+  emit("m", std::to_string(m));
+  emit("created", std::to_string(created_at));
+  emit("updated", std::to_string(updated_at));
+  std::string stripe_str;
+  for (const auto& s : stripes) {
+    if (!stripe_str.empty()) stripe_str += ";";
+    stripe_str += std::to_string(s.chunk_index) + ":" + s.provider;
+  }
+  emit("stripes", stripe_str);
+  return out;
+}
+
+common::Result<ObjectMetadata> ObjectMetadata::Parse(
+    const std::string& serialized) {
+  ObjectMetadata meta;
+  bool saw_skey = false;
+  for (const auto& line : common::Split(serialized, '\n')) {
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return common::Status::InvalidArgument("bad metadata line: " + line);
+    }
+    const std::string k = line.substr(0, eq);
+    const std::string v = line.substr(eq + 1);
+    auto to_i64 = [](const std::string& s) {
+      long long value = 0;
+      std::from_chars(s.data(), s.data() + s.size(), value);
+      return value;
+    };
+    if (k == "container") {
+      meta.container = v;
+    } else if (k == "key") {
+      meta.key = v;
+    } else if (k == "mime") {
+      meta.mime = v;
+    } else if (k == "size") {
+      meta.size = static_cast<common::Bytes>(to_i64(v));
+    } else if (k == "checksum") {
+      meta.checksum_hex = v;
+    } else if (k == "policy") {
+      meta.rule_name = v;
+    } else if (k == "class") {
+      meta.class_id = v;
+    } else if (k == "uuid") {
+      // The UUID string form is informational; skey carries the identity.
+    } else if (k == "skey") {
+      meta.skey = v;
+      saw_skey = true;
+    } else if (k == "m") {
+      meta.m = static_cast<int>(to_i64(v));
+    } else if (k == "created") {
+      meta.created_at = to_i64(v);
+    } else if (k == "updated") {
+      meta.updated_at = to_i64(v);
+    } else if (k == "stripes") {
+      for (const auto& part : common::Split(v, ';')) {
+        if (part.empty()) continue;
+        const auto colon = part.find(':');
+        if (colon == std::string::npos) {
+          return common::Status::InvalidArgument("bad stripe: " + part);
+        }
+        StripeEntry entry;
+        entry.chunk_index =
+            static_cast<std::uint32_t>(to_i64(part.substr(0, colon)));
+        entry.provider = part.substr(colon + 1);
+        meta.stripes.push_back(std::move(entry));
+      }
+    }
+  }
+  if (!saw_skey || meta.m <= 0 || meta.stripes.empty()) {
+    return common::Status::InvalidArgument("incomplete metadata record");
+  }
+  return meta;
+}
+
+}  // namespace scalia::core

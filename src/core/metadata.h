@@ -1,0 +1,73 @@
+// Object metadata, as stored in the database layer (Fig. 11).
+//
+// One metadata record couples the file metadata (name, MIME, checksum,
+// size, policy) with the striping metadata (chunk -> provider mapping, the
+// threshold m, and the storage key skey).  Keys follow §III-D.1:
+//   row_key = MD5(container | key)
+//   skey    = MD5(container | key | UUID)
+// and chunks live at the providers under "<skey>.<chunk_index>".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/md5.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "common/uuid.h"
+#include "provider/types.h"
+
+namespace scalia::core {
+
+struct StripeEntry {
+  std::uint32_t chunk_index = 0;
+  provider::ProviderId provider;
+};
+
+struct ObjectMetadata {
+  std::string container;
+  std::string key;
+  std::string mime;
+  common::Bytes size = 0;
+  std::string checksum_hex;  // MD5 of the object bytes
+  std::string rule_name;
+  std::string class_id;
+  common::Uuid uuid;
+  std::string skey;
+  int m = 0;
+  std::vector<StripeEntry> stripes;
+  common::SimTime created_at = 0;
+  common::SimTime updated_at = 0;
+
+  [[nodiscard]] std::size_t n() const noexcept { return stripes.size(); }
+
+  /// Key of chunk `index` at its provider.
+  [[nodiscard]] std::string ChunkKey(std::uint32_t index) const {
+    return skey + "." + std::to_string(index);
+  }
+
+  /// Providers in stripe order.
+  [[nodiscard]] std::vector<provider::ProviderId> Providers() const {
+    std::vector<provider::ProviderId> out;
+    out.reserve(stripes.size());
+    for (const auto& s : stripes) out.push_back(s.provider);
+    return out;
+  }
+
+  /// Line-oriented key=value serialization for the metadata table.
+  [[nodiscard]] std::string Serialize() const;
+  [[nodiscard]] static common::Result<ObjectMetadata> Parse(
+      const std::string& serialized);
+};
+
+/// row_key = MD5(container | key).
+[[nodiscard]] std::string MakeRowKey(const std::string& container,
+                                     const std::string& key);
+
+/// skey = MD5(container | key | UUID).
+[[nodiscard]] std::string MakeStorageKey(const std::string& container,
+                                         const std::string& key,
+                                         const common::Uuid& uuid);
+
+}  // namespace scalia::core

@@ -1,0 +1,88 @@
+#include "core/migration.h"
+
+#include <algorithm>
+#include <set>
+
+namespace scalia::core {
+
+MigrationAssessment MigrationPlanner::CostOnly(
+    std::span<const provider::ProviderSpec> current_set, int current_m,
+    const PlacementDecision& target,
+    std::span<const provider::ProviderSpec> readable,
+    common::Bytes object_size) const {
+  MigrationAssessment out;
+
+  std::set<provider::ProviderId> old_ids;
+  for (const auto& p : current_set) old_ids.insert(p.id);
+  std::set<provider::ProviderId> new_ids;
+  for (const auto& p : target.providers) new_ids.insert(p.id);
+
+  if (current_m == target.m && old_ids == new_ids) {
+    return out;  // nothing to do
+  }
+  out.structure_changed = current_m != target.m ||
+                          current_set.size() != target.providers.size();
+
+  const double old_chunk_gb =
+      current_m > 0 ? common::ToGB(common::CeilDiv(
+                          object_size, static_cast<common::Bytes>(current_m)))
+                    : 0.0;
+  const double new_chunk_gb = common::ToGB(common::CeilDiv(
+      object_size, static_cast<common::Bytes>(std::max(1, target.m))));
+
+  double cost = 0.0;
+
+  // Read m chunks from the cheapest readable sources to reconstruct.
+  const auto readers =
+      model_.CheapestReadProviders(readable, current_m, old_chunk_gb);
+  for (std::size_t idx : readers) {
+    const auto& pricing = readable[idx].pricing;
+    cost += pricing.bw_out_gb * old_chunk_gb + pricing.ops_per_1000 / 1000.0;
+    ++out.chunks_read;
+  }
+
+  // Write chunks: all of them when the structure changed, else only the
+  // providers that newly joined the set.
+  for (const auto& p : target.providers) {
+    const bool needs_write = out.structure_changed || !old_ids.contains(p.id);
+    if (!needs_write) continue;
+    cost += p.pricing.bw_in_gb * new_chunk_gb + p.pricing.ops_per_1000 / 1000.0;
+    ++out.chunks_written;
+  }
+
+  // Delete obsolete chunks: all old ones on a re-encode, otherwise only at
+  // providers leaving the set.  Deletes at currently unreachable providers
+  // are postponed (§III-D.3) but will still be billed one op eventually.
+  for (const auto& p : current_set) {
+    const bool needs_delete = out.structure_changed || !new_ids.contains(p.id);
+    if (!needs_delete) continue;
+    cost += p.pricing.ops_per_1000 / 1000.0;
+    ++out.chunks_deleted;
+  }
+
+  out.migration_cost = common::Money(cost);
+  return out;
+}
+
+MigrationAssessment MigrationPlanner::Assess(
+    std::span<const provider::ProviderSpec> current_set, int current_m,
+    const PlacementDecision& target,
+    std::span<const provider::ProviderSpec> readable,
+    common::Bytes object_size, const stats::PeriodStats& per_period,
+    std::size_t remaining_periods) const {
+  MigrationAssessment out =
+      CostOnly(current_set, current_m, target, readable, object_size);
+  if (out.chunks_written == 0 && out.chunks_deleted == 0) {
+    return out;  // same placement; never worthwhile
+  }
+  const common::Money current_rate =
+      model_.PeriodCost(current_set, current_m, per_period);
+  const common::Money target_rate =
+      model_.PeriodCost(target.providers, target.m, per_period);
+  out.benefit =
+      (current_rate - target_rate) * static_cast<double>(remaining_periods);
+  out.worthwhile = out.benefit > out.migration_cost;
+  return out;
+}
+
+}  // namespace scalia::core

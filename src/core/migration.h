@@ -1,0 +1,60 @@
+// Migration cost-benefit analysis (§III-A.3, §IV-E).
+//
+// A better provider set is adopted only "if the cost of migration is
+// covered by the benefits of migrating to the new provider".  The planner
+// prices the chunk movements a migration implies:
+//   * same (m, n) structure — only the chunks of providers leaving the set
+//     are rebuilt: read m chunks from the cheapest readable sources, write
+//     |new \ old| chunks (the cheap "active repair" path);
+//   * changed structure — the object is re-encoded: read m chunks, write
+//     all n' new chunks, delete the old ones;
+// and compares that one-off cost with the per-period savings integrated
+// over the object's expected remaining lifetime.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/money.h"
+#include "core/placement.h"
+#include "core/price_model.h"
+
+namespace scalia::core {
+
+struct MigrationAssessment {
+  bool worthwhile = false;          // benefit > cost
+  bool structure_changed = false;   // m or n differ => full re-encode
+  common::Money migration_cost;
+  common::Money benefit;            // savings over remaining lifetime
+  std::size_t chunks_written = 0;
+  std::size_t chunks_read = 0;
+  std::size_t chunks_deleted = 0;
+};
+
+class MigrationPlanner {
+ public:
+  explicit MigrationPlanner(PriceModel model) : model_(std::move(model)) {}
+
+  /// Prices moving the object from (current_set, current_m) to `target`.
+  /// `readable` lists the providers chunks can currently be fetched from
+  /// (excludes failed providers); `per_period` and `remaining_periods`
+  /// drive the benefit side.
+  [[nodiscard]] MigrationAssessment Assess(
+      std::span<const provider::ProviderSpec> current_set, int current_m,
+      const PlacementDecision& target,
+      std::span<const provider::ProviderSpec> readable,
+      common::Bytes object_size, const stats::PeriodStats& per_period,
+      std::size_t remaining_periods) const;
+
+  /// Pure migration cost (the one-off part of Assess).
+  [[nodiscard]] MigrationAssessment CostOnly(
+      std::span<const provider::ProviderSpec> current_set, int current_m,
+      const PlacementDecision& target,
+      std::span<const provider::ProviderSpec> readable,
+      common::Bytes object_size) const;
+
+ private:
+  PriceModel model_;
+};
+
+}  // namespace scalia::core

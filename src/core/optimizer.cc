@@ -1,0 +1,128 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/log.h"
+
+namespace scalia::core {
+
+PeriodicOptimizer::ObjectControl& PeriodicOptimizer::ControlFor(
+    const std::string& row_key) {
+  std::lock_guard lock(mu_);
+  auto it = controls_.find(row_key);
+  if (it == controls_.end()) {
+    it = controls_
+             .emplace(row_key, std::make_unique<ObjectControl>(config_))
+             .first;
+  }
+  return *it->second;
+}
+
+std::size_t PeriodicOptimizer::TrackedObjects() const {
+  std::lock_guard lock(mu_);
+  return controls_.size();
+}
+
+OptimizationReport PeriodicOptimizer::Run(common::SimTime now) {
+  OptimizationReport report;
+  const auto leader = election_.Leader();
+  if (!leader) return report;  // no engine alive anywhere
+  report.leader = *leader;
+
+  // Alive engines are the worker set E.
+  std::vector<Engine*> workers;
+  for (Engine* e : engines_) {
+    if (election_.IsAlive(e->id())) workers.push_back(e);
+  }
+  if (workers.empty()) return report;
+
+  // Step 1-2: the leader retrieves A = accessed/modified since last run,
+  // extended with still-warm objects (see header).
+  std::vector<std::string> candidates = stats_db_->AccessedSince(last_run_);
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& key : warm_) {
+      if (std::find(candidates.begin(), candidates.end(), key) ==
+          candidates.end()) {
+        candidates.push_back(key);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  report.candidates = candidates.size();
+  last_run_ = now;
+  if (candidates.empty()) return report;
+
+  // Step 3-4: split A into |E| shards, one per engine.
+  std::vector<std::vector<std::string>> shards(workers.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    shards[i % workers.size()].push_back(candidates[i]);
+  }
+
+  std::atomic<std::size_t> trend_changes{0};
+  std::atomic<std::size_t> recomputations{0};
+  std::atomic<std::size_t> migrations{0};
+
+  // Step 5: each engine processes its shard; the fan-out runs on the pool
+  // (each engine is an independent worker in the paper's deployment).
+  auto process_shard = [&](std::size_t worker_idx) {
+    Engine* engine = workers[worker_idx];
+    for (const std::string& row_key : shards[worker_idx]) {
+      const stats::AccessHistory history = stats_db_->GetHistory(row_key);
+      if (history.empty()) continue;
+      ObjectControl& control = ControlFor(row_key);
+      const double activity = history.Latest().ops;
+      const bool changed = control.trend.Observe(activity);
+      {
+        std::lock_guard lock(mu_);
+        if (control.trend.CurrentSma() > 0.0) {
+          warm_.insert(row_key);
+        } else {
+          warm_.erase(row_key);
+        }
+      }
+      if (!changed) continue;
+      trend_changes.fetch_add(1, std::memory_order_relaxed);
+
+      // Expected remaining lifetime (in periods) bounds the coupling search.
+      std::size_t ttl_periods = 0;
+      if (auto rec = stats_db_->GetObject(row_key)) {
+        if (const auto* cls = stats_db_->classes().Find(rec->class_id);
+            cls != nullptr && cls->lifetime_samples() > 0) {
+          const common::Duration ttl =
+              cls->ExpectedTimeLeftToLive(now - rec->created_at);
+          ttl_periods = static_cast<std::size_t>(
+              std::max<common::Duration>(1, ttl / common::kHour));
+        }
+      }
+      const std::size_t decision_periods = control.decision.OnOptimization(
+          history.size(), ttl_periods, [&](std::size_t d) {
+            auto evaluated = engine->EvaluatePlacement(now, row_key, d);
+            return evaluated.ok() ? *evaluated : PlacementDecision{};
+          });
+
+      recomputations.fetch_add(1, std::memory_order_relaxed);
+      auto migrated = engine->ReoptimizeObject(now, row_key, decision_periods);
+      if (migrated.ok() && *migrated) {
+        migrations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  if (pool_ != nullptr && workers.size() > 1) {
+    pool_->ParallelFor(workers.size(), process_shard);
+  } else {
+    for (std::size_t i = 0; i < workers.size(); ++i) process_shard(i);
+  }
+
+  report.trend_changes = trend_changes.load();
+  report.recomputations = recomputations.load();
+  report.migrations = migrations.load();
+  SCALIA_LOG(common::LogLevel::kInfo, "optimizer")
+      << "leader=" << report.leader << " candidates=" << report.candidates
+      << " trend_changes=" << report.trend_changes
+      << " migrations=" << report.migrations;
+  return report;
+}
+
+}  // namespace scalia::core

@@ -1,0 +1,89 @@
+// The periodic optimization procedure (§III-A.3, Fig. 7).
+//
+// Periodically, the elected leader retrieves from the statistics database
+// the set A of object keys accessed or modified since the last procedure,
+// splits A into |E| equal shards, and assigns one shard per engine.  Each
+// engine applies the detect() gate — the SMA-momentum trend detector — and
+// recomputes the placement (Algorithm 1 + migration cost-benefit) only for
+// objects whose access pattern changed considerably.  Objects with no
+// access or a stable pattern are never touched, which is what keeps the
+// procedure cheap enough to run every few minutes.
+//
+// One refinement over the literal text: objects whose trend window is still
+// "warm" (nonzero moving average) stay in the candidate set for a few
+// periods after their last access, so a flash crowd's *end* also triggers a
+// recomputation (cf. the post-peak recomputation points of Fig. 8).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/decision_period.h"
+#include "core/engine.h"
+#include "core/leader.h"
+#include "stats/trend.h"
+
+namespace scalia::core {
+
+struct OptimizerConfig {
+  stats::TrendConfig trend;
+  DecisionPeriodConfig decision_period;
+};
+
+struct OptimizationReport {
+  std::string leader;
+  std::size_t candidates = 0;        // |A|
+  std::size_t trend_changes = 0;     // detect() fired
+  std::size_t recomputations = 0;    // Algorithm 1 runs
+  std::size_t migrations = 0;        // chunk movements performed
+};
+
+class PeriodicOptimizer {
+ public:
+  PeriodicOptimizer(OptimizerConfig config, stats::StatsDb* stats_db,
+                    common::ThreadPool* pool)
+      : config_(config), stats_db_(stats_db), pool_(pool) {}
+
+  /// Engines register with the election on creation.
+  void AddEngine(Engine* engine) {
+    engines_.push_back(engine);
+    election_.RegisterMember(engine->id());
+  }
+
+  [[nodiscard]] LeaderElection& election() noexcept { return election_; }
+
+  /// Runs one optimization procedure at `now`.
+  OptimizationReport Run(common::SimTime now);
+
+  /// Number of per-object control blocks currently tracked.
+  [[nodiscard]] std::size_t TrackedObjects() const;
+
+ private:
+  struct ObjectControl {
+    stats::TrendDetector trend;
+    DecisionPeriodController decision;
+    explicit ObjectControl(const OptimizerConfig& config)
+        : trend(config.trend), decision(config.decision_period) {}
+  };
+
+  ObjectControl& ControlFor(const std::string& row_key);
+
+  OptimizerConfig config_;
+  stats::StatsDb* stats_db_;
+  common::ThreadPool* pool_;
+  std::vector<Engine*> engines_;
+  LeaderElection election_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<ObjectControl>> controls_;
+  std::unordered_set<std::string> warm_;  // nonzero SMA after last access
+  common::SimTime last_run_ = 0;
+};
+
+}  // namespace scalia::core

@@ -1,0 +1,227 @@
+#include "core/placement.h"
+
+#include <algorithm>
+
+#include "core/reliability.h"
+
+namespace scalia::core {
+
+std::string PlacementDecision::Label() const {
+  std::string label;
+  for (const auto& p : providers) {
+    if (!label.empty()) label += "-";
+    label += p.id;
+  }
+  if (label.empty()) label = "(none)";
+  label += "; m:" + std::to_string(m);
+  return label;
+}
+
+std::vector<provider::ProviderId> PlacementDecision::ProviderIds() const {
+  std::vector<provider::ProviderId> ids;
+  ids.reserve(providers.size());
+  for (const auto& p : providers) ids.push_back(p.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool PlacementDecision::SamePlacement(const PlacementDecision& o) const {
+  return m == o.m && ProviderIds() == o.ProviderIds();
+}
+
+bool PlacementSearch::Better(const PlacementDecision& a,
+                             const PlacementDecision& b) {
+  if (a.feasible != b.feasible) return a.feasible;
+  if (!a.feasible) return false;
+  // Relative epsilon keeps the choice stable under floating-point noise.
+  const double tol =
+      1e-12 * std::max(1.0, std::max(std::abs(a.expected_cost.usd()),
+                                     std::abs(b.expected_cost.usd())));
+  if (std::abs(a.expected_cost.usd() - b.expected_cost.usd()) > tol) {
+    return a.expected_cost < b.expected_cost;
+  }
+  if (a.m != b.m) return a.m > b.m;
+  if (a.providers.size() != b.providers.size()) {
+    return a.providers.size() < b.providers.size();
+  }
+  return a.Label() < b.Label();
+}
+
+PlacementDecision PlacementSearch::EvaluateSet(
+    std::span<const provider::ProviderSpec> pset,
+    const PlacementRequest& request,
+    std::span<const common::Bytes> free_capacity,
+    bool reduce_m_for_availability) const {
+  PlacementDecision decision;
+  decision.sets_evaluated = 1;
+  if (pset.empty()) return decision;
+
+  // Lock-in: 1/|pset| must not exceed the rule's bound (Alg. 1 line 6).
+  const double lockin = 1.0 / static_cast<double>(pset.size());
+  if (lockin > request.rule.lockin + 1e-12) return decision;
+
+  // Zone eligibility: every member must operate in an allowed zone.
+  for (const auto& p : pset) {
+    if (!request.rule.ZoneEligible(p.zones)) return decision;
+  }
+
+  // Durability threshold (Alg. 1 lines 7-8).
+  std::vector<double> durabilities;
+  durabilities.reserve(pset.size());
+  for (const auto& p : pset) durabilities.push_back(p.sla.durability);
+  int th = GetThreshold(durabilities, request.rule.durability);
+  if (th <= 0) return decision;
+
+  // Availability at that threshold (Alg. 1 lines 9-10).
+  std::vector<double> availabilities;
+  availabilities.reserve(pset.size());
+  for (const auto& p : pset) availabilities.push_back(p.sla.availability);
+  while (GetAvailability(availabilities, th) < request.rule.availability) {
+    if (!reduce_m_for_availability || th <= 1) return decision;
+    --th;  // static baselines accept extra redundancy to stay available
+  }
+
+  // Chunk-size and capacity constraints (§III-A.2, §III-E).
+  const common::Bytes chunk = common::CeilDiv(
+      request.object_size, static_cast<common::Bytes>(th));
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    if (pset[i].max_chunk_size && chunk > *pset[i].max_chunk_size) {
+      return decision;
+    }
+    if (i < free_capacity.size() && chunk > free_capacity[i]) {
+      return decision;
+    }
+  }
+
+  decision.feasible = true;
+  decision.sets_feasible = 1;
+  decision.providers.assign(pset.begin(), pset.end());
+  decision.m = th;
+  decision.expected_cost = model_.ExpectedCost(
+      pset, th, request.per_period, request.decision_periods);
+  // Best achievable read latency: reads can route to the m lowest-latency
+  // members; the parallel chunk fetches complete when the slowest of those
+  // m returns.
+  std::vector<double> latencies;
+  latencies.reserve(pset.size());
+  for (const auto& p : pset) latencies.push_back(p.read_latency_ms);
+  std::nth_element(latencies.begin(),
+                   latencies.begin() + (th - 1), latencies.end());
+  decision.expected_read_latency_ms =
+      latencies[static_cast<std::size_t>(th - 1)];
+  return decision;
+}
+
+bool PlacementSearch::BetterForObjective(const PlacementRequest& request,
+                                         const PlacementDecision& a,
+                                         const PlacementDecision& b) {
+  if (request.objective == PlacementObjective::kMinimizeCost) {
+    return Better(a, b);
+  }
+  if (a.feasible != b.feasible) return a.feasible;
+  if (!a.feasible) return false;
+  if (a.expected_read_latency_ms != b.expected_read_latency_ms) {
+    return a.expected_read_latency_ms < b.expected_read_latency_ms;
+  }
+  return Better(a, b);  // cost breaks latency ties
+}
+
+PlacementDecision PlacementSearch::FindBest(
+    std::span<const provider::ProviderSpec> providers,
+    const PlacementRequest& request) const {
+  PlacementDecision best;
+  const std::size_t n = providers.size();
+  std::size_t evaluated = 0;
+  std::size_t feasible = 0;
+  if (n == 0 || n > 63) return best;
+
+  // The latency objective with a cost cap needs the cheapest feasible cost
+  // first; resolve it with a cost-objective pre-pass.
+  std::optional<double> cost_cap;
+  if (request.objective == PlacementObjective::kMinimizeLatency &&
+      request.cost_cap_factor) {
+    PlacementRequest cost_request = request;
+    cost_request.objective = PlacementObjective::kMinimizeCost;
+    cost_request.cost_cap_factor = std::nullopt;
+    const PlacementDecision cheapest = FindBest(providers, cost_request);
+    if (cheapest.feasible) {
+      cost_cap = cheapest.expected_cost.usd() * *request.cost_cap_factor;
+    }
+  }
+
+  std::vector<provider::ProviderSpec> subset;
+  std::vector<common::Bytes> subset_capacity;
+  for (std::uint64_t mask = 1; mask < (1ull << n); ++mask) {
+    subset.clear();
+    subset_capacity.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) {
+        subset.push_back(providers[i]);
+        if (!request.free_capacity.empty()) {
+          subset_capacity.push_back(request.free_capacity[i]);
+        }
+      }
+    }
+    PlacementDecision candidate =
+        EvaluateSet(subset, request, subset_capacity);
+    ++evaluated;
+    feasible += candidate.sets_feasible;
+    if (cost_cap && candidate.feasible &&
+        candidate.expected_cost.usd() > *cost_cap + 1e-12) {
+      continue;  // too expensive for the latency objective's budget
+    }
+    if (BetterForObjective(request, candidate, best)) {
+      best = std::move(candidate);
+    }
+  }
+  best.sets_evaluated = evaluated;
+  best.sets_feasible = feasible;
+  return best;
+}
+
+PlacementDecision PlacementSearch::FindBestGreedy(
+    std::span<const provider::ProviderSpec> providers,
+    const PlacementRequest& request) const {
+  const std::size_t n = providers.size();
+  PlacementDecision best;
+  std::size_t evaluated = 0;
+  if (n == 0) return best;
+
+  std::vector<bool> in_set(n, false);
+  std::vector<provider::ProviderSpec> current;
+  std::vector<common::Bytes> current_capacity;
+
+  // Greedily add the provider that yields the best (cheapest feasible, or
+  // first feasible) decision; keep the best decision ever seen.
+  for (std::size_t round = 0; round < n; ++round) {
+    PlacementDecision round_best;
+    std::size_t round_pick = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_set[i]) continue;
+      current.push_back(providers[i]);
+      if (!request.free_capacity.empty()) {
+        current_capacity.push_back(request.free_capacity[i]);
+      }
+      PlacementDecision candidate =
+          EvaluateSet(current, request, current_capacity);
+      ++evaluated;
+      current.pop_back();
+      if (!request.free_capacity.empty()) current_capacity.pop_back();
+      if (round_pick == n || Better(candidate, round_best)) {
+        round_best = std::move(candidate);
+        round_pick = i;
+      }
+    }
+    if (round_pick == n) break;
+    in_set[round_pick] = true;
+    current.push_back(providers[round_pick]);
+    if (!request.free_capacity.empty()) {
+      current_capacity.push_back(request.free_capacity[round_pick]);
+    }
+    if (Better(round_best, best)) best = round_best;
+  }
+  best.sets_evaluated = evaluated;
+  return best;
+}
+
+}  // namespace scalia::core

@@ -1,0 +1,122 @@
+// Algorithm 1: the placement search.
+//
+// Enumerates provider subsets and returns the cheapest feasible one, where
+// feasible means: lock-in factor 1/|pset| within the rule's bound, a
+// positive durability threshold (Alg. 2), availability at that threshold
+// meeting the rule, zone eligibility, per-provider chunk-size constraints
+// and private-resource capacity limits.  Exact search is O(2^|P|) as the
+// paper notes; a greedy heuristic covers larger provider markets.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/money.h"
+#include "common/units.h"
+#include "core/price_model.h"
+#include "core/rule.h"
+#include "provider/spec.h"
+#include "stats/period_stats.h"
+
+namespace scalia::core {
+
+/// Optimization objectives beyond cost minimization (§I lists both:
+/// "minimizing query latency by promoting the most high-performing
+/// providers" is the latency objective here; budget maintenance is handled
+/// by core/budget.h's rule relaxation).
+enum class PlacementObjective {
+  kMinimizeCost,     // the default: cheapest feasible set (Algorithm 1)
+  kMinimizeLatency,  // fastest feasible set, optionally cost-capped
+};
+
+struct PlacementRequest {
+  StorageRule rule;
+  common::Bytes object_size = 0;
+  /// Expected per-sampling-period usage (the forecast from H(obj) or, for a
+  /// new object, from its class statistics, Fig. 6).
+  stats::PeriodStats per_period;
+  /// |D_obj| in sampling periods.
+  std::size_t decision_periods = 24;
+  /// Free capacity per provider, parallel to the provider span; empty means
+  /// unlimited everywhere.  Private resources use this (§III-E).
+  std::vector<common::Bytes> free_capacity;
+
+  PlacementObjective objective = PlacementObjective::kMinimizeCost;
+  /// With kMinimizeLatency: only consider sets whose expected cost stays
+  /// within `cost_cap_factor` times the cheapest feasible set's cost
+  /// (1.0 = cost-optimal sets only; no value = latency at any price).
+  std::optional<double> cost_cap_factor;
+};
+
+struct PlacementDecision {
+  bool feasible = false;
+  std::vector<provider::ProviderSpec> providers;  // chosen set, input order
+  int m = 0;                                      // erasure threshold
+  common::Money expected_cost;  // over the decision period
+  /// Expected object read latency: max over the m chunk fetches, from the
+  /// providers a read would actually use.
+  double expected_read_latency_ms = 0.0;
+  std::size_t sets_evaluated = 0;
+  std::size_t sets_feasible = 0;
+
+  /// Human-readable label, e.g. "S3(h)-S3(l)-Azu; m:2".
+  [[nodiscard]] std::string Label() const;
+
+  /// Sorted provider ids, for set comparisons.
+  [[nodiscard]] std::vector<provider::ProviderId> ProviderIds() const;
+
+  /// True when both decisions use the same provider set and threshold.
+  [[nodiscard]] bool SamePlacement(const PlacementDecision& o) const;
+};
+
+class PlacementSearch {
+ public:
+  explicit PlacementSearch(PriceModel model) : model_(std::move(model)) {}
+
+  [[nodiscard]] const PriceModel& model() const noexcept { return model_; }
+
+  /// Evaluates one specific provider set against the request; used both by
+  /// the exhaustive search and by the static baselines of the evaluation.
+  /// With `reduce_m_for_availability`, a set whose availability falls short
+  /// at the durability threshold is retried with smaller m (more redundancy
+  /// raises availability); Algorithm 1 proper never does this — it simply
+  /// skips the set — but the static baselines of Figs. 14/16 must stripe on
+  /// *every* listed set, so they take the best m the set supports.
+  [[nodiscard]] PlacementDecision EvaluateSet(
+      std::span<const provider::ProviderSpec> pset,
+      const PlacementRequest& request,
+      std::span<const common::Bytes> free_capacity = {},
+      bool reduce_m_for_availability = false) const;
+
+  /// Algorithm 1: exhaustive search over all subsets of `providers`.
+  [[nodiscard]] PlacementDecision FindBest(
+      std::span<const provider::ProviderSpec> providers,
+      const PlacementRequest& request) const;
+
+  /// Greedy heuristic (the knapsack-style relaxation the paper sketches for
+  /// large |P|): grows the set by the locally best provider; O(|P|^2)
+  /// evaluations.
+  [[nodiscard]] PlacementDecision FindBestGreedy(
+      std::span<const provider::ProviderSpec> providers,
+      const PlacementRequest& request) const;
+
+  /// Deterministic preference order between two candidate decisions:
+  /// cheaper wins; ties prefer the larger threshold (less lock-in and less
+  /// storage overhead, §III-A.2), then the smaller set, then the
+  /// lexicographically smaller label.
+  [[nodiscard]] static bool Better(const PlacementDecision& a,
+                                   const PlacementDecision& b);
+
+  /// Objective-aware comparison: cost objective delegates to Better();
+  /// latency objective prefers the lower expected read latency, with cost
+  /// as the tie-break.
+  [[nodiscard]] static bool BetterForObjective(const PlacementRequest& request,
+                                               const PlacementDecision& a,
+                                               const PlacementDecision& b);
+
+ private:
+  PriceModel model_;
+};
+
+}  // namespace scalia::core

@@ -1,0 +1,103 @@
+#include "core/price_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace scalia::core {
+
+std::vector<std::size_t> PriceModel::CheapestReadProviders(
+    std::span<const provider::ProviderSpec> pset, int m,
+    double chunk_gb) const {
+  std::vector<std::size_t> order(pset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const auto& pa = pset[a].pricing;
+                     const auto& pb = pset[b].pricing;
+                     const double ca =
+                         pa.bw_out_gb * chunk_gb + pa.ops_per_1000 / 1000.0;
+                     const double cb =
+                         pb.bw_out_gb * chunk_gb + pb.ops_per_1000 / 1000.0;
+                     if (ca != cb) return ca < cb;
+                     return pset[a].id < pset[b].id;  // deterministic ties
+                   });
+  order.resize(std::min<std::size_t>(order.size(),
+                                     static_cast<std::size_t>(std::max(m, 0))));
+  return order;
+}
+
+ExpandedUsage PriceModel::Expand(std::span<const provider::ProviderSpec> pset,
+                                 int m, const stats::PeriodStats& period,
+                                 const std::vector<bool>& reachable) const {
+  ExpandedUsage usage;
+  usage.per_provider.resize(pset.size());
+  if (pset.empty() || m <= 0) return usage;
+  const double inv_m = 1.0 / static_cast<double>(m);
+  const double hours = common::ToHours(config_.sampling_period);
+
+  // Storage and writes touch every provider in the set.
+  const double chunk_storage_gb = period.storage_gb * inv_m;
+  const double chunk_write_gb = period.bw_in_gb * inv_m;
+  const double other_ops =
+      std::max(0.0, period.ops - period.reads - period.writes);
+  for (auto& u : usage.per_provider) {
+    u.storage_gb_hours = chunk_storage_gb * hours;
+    u.bw_in_gb = chunk_write_gb;
+    u.ops = period.writes + other_ops;
+  }
+
+  // Reads are served by the m cheapest reachable providers.
+  if (period.reads > 0.0 || period.bw_out_gb > 0.0) {
+    std::vector<provider::ProviderSpec> readable;
+    std::vector<std::size_t> readable_to_set;
+    if (reachable.empty()) {
+      readable.assign(pset.begin(), pset.end());
+      readable_to_set.resize(pset.size());
+      std::iota(readable_to_set.begin(), readable_to_set.end(), 0);
+    } else {
+      for (std::size_t i = 0; i < pset.size(); ++i) {
+        if (i < reachable.size() && reachable[i]) {
+          readable.push_back(pset[i]);
+          readable_to_set.push_back(i);
+        }
+      }
+    }
+    if (readable.size() >= static_cast<std::size_t>(m)) {
+      const double chunk_read_gb_per_read =
+          period.reads > 0.0 ? (period.bw_out_gb / period.reads) * inv_m : 0.0;
+      const auto readers =
+          CheapestReadProviders(readable, m, chunk_read_gb_per_read);
+      const double chunk_read_gb = period.bw_out_gb * inv_m;
+      for (std::size_t r : readers) {
+        const std::size_t idx = readable_to_set[r];
+        usage.per_provider[idx].bw_out_gb += chunk_read_gb;
+        usage.per_provider[idx].ops += period.reads;
+      }
+    }
+  }
+  return usage;
+}
+
+common::Money PriceModel::PeriodCost(
+    std::span<const provider::ProviderSpec> pset, int m,
+    const stats::PeriodStats& period,
+    const std::vector<bool>& reachable) const {
+  const ExpandedUsage usage = Expand(pset, m, period, reachable);
+  common::Money total;
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    total += provider::CostOf(pset[i].pricing, usage.per_provider[i],
+                              config_.sampling_period, config_.billing);
+  }
+  return total;
+}
+
+common::Money PriceModel::ExpectedCost(
+    std::span<const provider::ProviderSpec> pset, int m,
+    const stats::PeriodStats& per_period_avg,
+    std::size_t decision_periods) const {
+  const std::size_t periods = std::max<std::size_t>(1, decision_periods);
+  return PeriodCost(pset, m, per_period_avg) *
+         static_cast<double>(periods);
+}
+
+}  // namespace scalia::core

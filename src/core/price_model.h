@@ -1,0 +1,84 @@
+// computePrice(): expected cost of storing an object at a provider set.
+//
+// §III-A.2: "given the access history of an object, the function
+// computePrice() returns the expected cost that a user may have to pay in
+// the next decision period if the object is stored at the provider set
+// taken as parameter."
+//
+// The cost model expands the object's *logical* per-period statistics into
+// per-provider billing under an (m, n = |pset|) erasure coding:
+//   * storage  — each of the n providers stores one chunk = 1/m of the
+//                object's bytes;
+//   * writes   — every write pushes all n chunks: ingress of 1/m of the
+//                written bytes plus one operation at each provider;
+//   * reads    — every read fetches the m chunks from the m providers that
+//                are cheapest for reads ("retrieves the m out of |P(obj)|
+//                chunks from the cheapest providers", §III-D.2): egress of
+//                1/m of the read bytes plus one operation at each chosen
+//                provider;
+//   * deletes and other ops — one operation at every provider.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/money.h"
+#include "provider/pricing.h"
+#include "stats/period_stats.h"
+
+namespace scalia::core {
+
+struct PriceModelConfig {
+  common::Duration sampling_period = common::kHour;
+  provider::StorageBillingMode billing =
+      provider::StorageBillingMode::kPerPeriod;
+};
+
+/// Per-provider usage a given placement implies for one sampling period.
+struct ExpandedUsage {
+  std::vector<provider::PeriodUsage> per_provider;  // parallel to pset
+};
+
+class PriceModel {
+ public:
+  explicit PriceModel(PriceModelConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const PriceModelConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Expands logical per-period stats into per-provider billing usage for
+  /// the set `pset` with threshold `m`.  `reachable` (parallel to pset;
+  /// empty = all reachable) routes reads to the m cheapest *reachable*
+  /// providers; storage and write traffic bill on the whole set.  When
+  /// fewer than m providers are reachable, reads go unserved and unbilled.
+  [[nodiscard]] ExpandedUsage Expand(
+      std::span<const provider::ProviderSpec> pset, int m,
+      const stats::PeriodStats& period,
+      const std::vector<bool>& reachable = {}) const;
+
+  /// Cost of one sampling period with the given logical usage.
+  [[nodiscard]] common::Money PeriodCost(
+      std::span<const provider::ProviderSpec> pset, int m,
+      const stats::PeriodStats& period,
+      const std::vector<bool>& reachable = {}) const;
+
+  /// computePrice: expected cost over the next `decision_periods` sampling
+  /// periods, assuming the per-period usage equals `per_period_avg` (the
+  /// persistence forecast derived from H(obj)).
+  [[nodiscard]] common::Money ExpectedCost(
+      std::span<const provider::ProviderSpec> pset, int m,
+      const stats::PeriodStats& per_period_avg,
+      std::size_t decision_periods) const;
+
+  /// Indices (into pset) of the m providers a read should fetch from,
+  /// ranked by per-read cost (egress price x chunk + op price).
+  [[nodiscard]] std::vector<std::size_t> CheapestReadProviders(
+      std::span<const provider::ProviderSpec> pset, int m,
+      double chunk_gb) const;
+
+ private:
+  PriceModelConfig config_;
+};
+
+}  // namespace scalia::core

@@ -1,0 +1,121 @@
+#include "core/reliability.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace scalia::core {
+
+std::vector<double> PoissonBinomialPmf(std::span<const double> p_up) {
+  // pmf[k] = P(exactly k of the independent Bernoulli(p_up[i]) are 1).
+  std::vector<double> pmf(p_up.size() + 1, 0.0);
+  pmf[0] = 1.0;
+  std::size_t considered = 0;
+  for (double p : p_up) {
+    ++considered;
+    for (std::size_t k = considered; k-- > 0;) {
+      pmf[k + 1] += pmf[k] * p;
+      pmf[k] *= (1.0 - p);
+    }
+  }
+  return pmf;
+}
+
+int GetThreshold(std::span<const double> durabilities, double required) {
+  const int n = static_cast<int>(durabilities.size());
+  if (n == 0) return 0;
+  // No finite provider set delivers certainty; guard explicitly because the
+  // accumulated CDF rounds to 1.0 in double precision.
+  if (required >= 1.0) return 0;
+  // Distribution of the number of *failed* providers: failure probability
+  // of provider i is 1 - durability_i.
+  std::vector<double> p_fail;
+  p_fail.reserve(durabilities.size());
+  for (double d : durabilities) p_fail.push_back(1.0 - d);
+  const std::vector<double> pmf = PoissonBinomialPmf(p_fail);
+
+  double cdf = 0.0;
+  for (int failures_ok = 0; failures_ok < n; ++failures_ok) {
+    cdf += pmf[static_cast<std::size_t>(failures_ok)];
+    if (cdf >= required) return n - failures_ok;
+  }
+  return 0;  // even tolerating n-1 failures cannot reach the target
+}
+
+namespace {
+
+/// Enumerates all k-subsets of {0..n-1}, invoking `fn` with each subset as
+/// a membership bitmask.
+template <typename Fn>
+void ForEachCombination(int n, int k, Fn&& fn) {
+  if (k > n) return;
+  std::vector<int> idx(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) idx[static_cast<std::size_t>(i)] = i;
+  for (;;) {
+    std::uint64_t mask = 0;
+    for (int i : idx) mask |= (1ull << static_cast<unsigned>(i));
+    fn(mask);
+    // Advance to the next combination.
+    int i = k - 1;
+    while (i >= 0 &&
+           idx[static_cast<std::size_t>(i)] == i + n - k) {
+      --i;
+    }
+    if (i < 0) break;
+    ++idx[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+int GetThresholdCombinatorial(std::span<const double> durabilities,
+                              double required) {
+  // Direct transcription of Algorithm 2: `dura` accumulates the probability
+  // that at most `failuresOK` providers fail; the loop stops once the
+  // durability target is met or every provider is allowed to fail.
+  const int n = static_cast<int>(durabilities.size());
+  if (n == 0) return 0;
+  if (required >= 1.0) return 0;
+  double dura = 0.0;
+  int failures_ok = -1;
+  while (dura < required && failures_ok < n) {
+    ++failures_ok;
+    if (failures_ok == n) break;
+    double up_p = 0.0;
+    ForEachCombination(n, failures_ok, [&](std::uint64_t failed_mask) {
+      double up_p_comb = 1.0;
+      for (int p = 0; p < n; ++p) {
+        const double d = durabilities[static_cast<std::size_t>(p)];
+        if (failed_mask & (1ull << static_cast<unsigned>(p))) {
+          up_p_comb *= (1.0 - d);
+        } else {
+          up_p_comb *= d;
+        }
+      }
+      up_p += up_p_comb;
+    });
+    dura += up_p;
+  }
+  if (dura < required) return 0;
+  return n - failures_ok;
+}
+
+double ProbAtLeastKUp(std::span<const double> p_up, int k) {
+  if (k <= 0) return 1.0;
+  if (static_cast<std::size_t>(k) > p_up.size()) return 0.0;
+  const std::vector<double> pmf = PoissonBinomialPmf(p_up);
+  double tail = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(k); i < pmf.size(); ++i) {
+    tail += pmf[i];
+  }
+  return std::min(1.0, tail);
+}
+
+double GetAvailability(std::span<const double> availabilities,
+                       int threshold_m) {
+  return ProbAtLeastKUp(availabilities, threshold_m);
+}
+
+}  // namespace scalia::core

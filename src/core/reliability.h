@@ -1,0 +1,45 @@
+// Durability thresholds and availability of provider sets.
+//
+// Implements Algorithm 2 of the paper (getThreshold) twice:
+//  * GetThresholdCombinatorial — the literal pseudo-code, enumerating
+//    failure combinations (exponential; kept as the executable spec);
+//  * GetThreshold — an equivalent O(n²) Poisson-binomial dynamic program
+//    (the distribution of the number of failed providers is computed by
+//    convolution instead of subset enumeration).
+// Tests assert the two agree on exhaustive sweeps.
+//
+// getAvailability computes P(object reassemblable) = P(at least m of the n
+// providers reachable), from the per-provider SLA availabilities.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace scalia::core {
+
+/// The largest erasure threshold m such that the probability that at most
+/// n - m providers fail (per their SLA durabilities) is >= `required`.
+/// Returns 0 when the set cannot satisfy the constraint (Alg. 1 line 8
+/// treats th <= 0 as infeasible).
+[[nodiscard]] int GetThreshold(std::span<const double> durabilities,
+                               double required);
+
+/// Literal Algorithm 2 as printed in the paper.
+[[nodiscard]] int GetThresholdCombinatorial(
+    std::span<const double> durabilities, double required);
+
+/// Probability that at least `k` of the providers are up, where
+/// `p_up[i]` is provider i's availability (Poisson-binomial tail).
+[[nodiscard]] double ProbAtLeastKUp(std::span<const double> p_up, int k);
+
+/// getAvailability(pset, th): probability that the object can be
+/// reassembled, i.e. at least m = th providers are reachable.
+[[nodiscard]] double GetAvailability(std::span<const double> availabilities,
+                                     int threshold_m);
+
+/// Full probability mass function of the number of "up" providers
+/// (index k = P(exactly k up)); exposed for tests and diagnostics.
+[[nodiscard]] std::vector<double> PoissonBinomialPmf(
+    std::span<const double> p_up);
+
+}  // namespace scalia::core

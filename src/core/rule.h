@@ -1,0 +1,71 @@
+// Storage rules: the customer-facing SLA knobs (§II-B, Fig. 2).
+//
+// A rule specifies the minimum durability and availability, the permitted
+// geographic zones, and the lock-in factor obj[lockin] = 1/N_obj where
+// N_obj is the minimum number of distinct providers the object must span
+// (Eq. 1).  Rules can be attached as a default, per object class, or per
+// object.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "provider/types.h"
+
+namespace scalia::core {
+
+struct StorageRule {
+  std::string name = "default";
+  double durability = 0.9999;     // required fraction, e.g. 0.999999
+  double availability = 0.999;    // required fraction
+  provider::ZoneSet allowed_zones = provider::ZoneSet::All();
+  double lockin = 1.0;            // max lock-in factor in (0, 1]
+
+  /// Optional lifetime indication the user may provide at write time
+  /// (§III-A: "An indication of the object lifetime may be provided by the
+  /// end user at write time").
+  std::optional<common::Duration> ttl_hint;
+
+  /// Minimum number of distinct providers implied by the lock-in factor:
+  /// the smallest N with 1/N <= lockin.
+  [[nodiscard]] std::size_t MinProviders() const {
+    if (lockin >= 1.0) return 1;
+    return static_cast<std::size_t>(std::ceil(1.0 / lockin - 1e-12));
+  }
+
+  /// Whether `zones` (a provider's operating zones) satisfies this rule.
+  /// A provider is eligible when it operates in at least one allowed zone.
+  [[nodiscard]] bool ZoneEligible(provider::ZoneSet zones) const {
+    return allowed_zones.Intersects(zones);
+  }
+};
+
+/// The three example rules of Fig. 2.
+[[nodiscard]] inline std::vector<StorageRule> PaperRules() {
+  using provider::Zone;
+  return {
+      StorageRule{.name = "rule1",
+                  .durability = 0.999999,
+                  .availability = 0.9999,
+                  .allowed_zones = {Zone::kEU, Zone::kUS},
+                  .lockin = 0.3,
+                  .ttl_hint = std::nullopt},
+      StorageRule{.name = "rule2",
+                  .durability = 0.99999,
+                  .availability = 0.9999,
+                  .allowed_zones = {Zone::kEU},
+                  .lockin = 1.0,
+                  .ttl_hint = std::nullopt},
+      StorageRule{.name = "rule3",
+                  .durability = 0.9999,
+                  .availability = 0.9999,
+                  .allowed_zones = provider::ZoneSet::All(),
+                  .lockin = 0.2,
+                  .ttl_hint = std::nullopt},
+  };
+}
+
+}  // namespace scalia::core

@@ -1,0 +1,497 @@
+#include "core/subset_solver.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/reliability.h"
+
+namespace scalia::core {
+namespace {
+
+/// Per-member cost floor: the member's bill at the largest conceivable
+/// threshold (chunks cannot get smaller than size / |P|) with no read duty.
+/// Any superset containing the member costs at least this much for it.
+common::Money MemberFloor(const PriceModel& model,
+                          const provider::ProviderSpec& spec,
+                          const PlacementRequest& request,
+                          std::size_t max_threshold) {
+  stats::PeriodStats floor_usage = request.per_period;
+  const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(
+                               1, max_threshold));
+  floor_usage.storage_gb *= inv;
+  floor_usage.bw_in_gb *= inv;
+  floor_usage.bw_out_gb = 0.0;  // read duty is not guaranteed
+  // Drop the read operations from the total too, or Expand would rebill
+  // them as per-member "other ops" and overstate the floor.
+  floor_usage.ops = std::max(0.0, floor_usage.ops - floor_usage.reads);
+  floor_usage.reads = 0.0;
+  const provider::ProviderSpec one[] = {spec};
+  return model.ExpectedCost(one, 1, floor_usage, request.decision_periods);
+}
+
+struct IndexedProvider {
+  std::size_t original_index = 0;
+  common::Money floor;
+};
+
+}  // namespace
+
+PlacementDecision SubsetSolver::EvaluateAtThreshold(
+    std::span<const provider::ProviderSpec> pset, int m,
+    const PlacementRequest& request,
+    std::span<const common::Bytes> free_capacity) const {
+  PlacementDecision decision;
+  decision.sets_evaluated = 1;
+  if (pset.empty() || m <= 0 || static_cast<std::size_t>(m) > pset.size()) {
+    return decision;
+  }
+
+  const double lockin = 1.0 / static_cast<double>(pset.size());
+  if (lockin > request.rule.lockin + 1e-12) return decision;
+
+  for (const auto& p : pset) {
+    if (!request.rule.ZoneEligible(p.zones)) return decision;
+  }
+
+  // Durability must hold with m as the stripe threshold: the maximal
+  // feasible threshold of the set must be at least m.
+  std::vector<double> durabilities;
+  durabilities.reserve(pset.size());
+  for (const auto& p : pset) durabilities.push_back(p.sla.durability);
+  if (GetThreshold(durabilities, request.rule.durability) < m) {
+    return decision;
+  }
+
+  std::vector<double> availabilities;
+  availabilities.reserve(pset.size());
+  for (const auto& p : pset) availabilities.push_back(p.sla.availability);
+  if (GetAvailability(availabilities, m) < request.rule.availability) {
+    return decision;
+  }
+
+  const common::Bytes chunk =
+      common::CeilDiv(request.object_size, static_cast<common::Bytes>(m));
+  for (std::size_t i = 0; i < pset.size(); ++i) {
+    if (pset[i].max_chunk_size && chunk > *pset[i].max_chunk_size) {
+      return decision;
+    }
+    if (i < free_capacity.size() && chunk > free_capacity[i]) {
+      return decision;
+    }
+  }
+
+  decision.feasible = true;
+  decision.sets_feasible = 1;
+  decision.providers.assign(pset.begin(), pset.end());
+  decision.m = m;
+  decision.expected_cost =
+      model_.ExpectedCost(pset, m, request.per_period,
+                          request.decision_periods);
+  std::vector<double> latencies;
+  latencies.reserve(pset.size());
+  for (const auto& p : pset) latencies.push_back(p.read_latency_ms);
+  std::nth_element(latencies.begin(),
+                   latencies.begin() + (m - 1), latencies.end());
+  decision.expected_read_latency_ms =
+      latencies[static_cast<std::size_t>(m - 1)];
+  return decision;
+}
+
+PlacementDecision SubsetSolver::FindBestBranchAndBound(
+    std::span<const provider::ProviderSpec> providers,
+    const PlacementRequest& request, SolverStats* stats) const {
+  PlacementDecision best;
+  SolverStats local;
+  const std::size_t n = providers.size();
+  if (n == 0) {
+    if (stats != nullptr) *stats = local;
+    return best;
+  }
+
+  // Zone-ineligible providers can never appear in a feasible set; dropping
+  // them up front shrinks the tree (EvaluateSet would reject them anyway).
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (request.rule.ZoneEligible(providers[i].zones)) eligible.push_back(i);
+  }
+
+  // The achievable threshold is monotone in set growth (an extra provider
+  // can only raise P(>= m chunks survive)), so the full eligible pool's
+  // threshold caps every subset's.  A cap of zero means no subset can meet
+  // the durability rule at all.
+  std::vector<double> pool_durabilities;
+  pool_durabilities.reserve(eligible.size());
+  for (std::size_t i : eligible) {
+    pool_durabilities.push_back(providers[i].sla.durability);
+  }
+  const int m_cap = GetThreshold(pool_durabilities, request.rule.durability);
+  if (m_cap <= 0) {
+    if (stats != nullptr) *stats = local;
+    return best;
+  }
+
+  std::vector<IndexedProvider> order;
+  order.reserve(eligible.size());
+  for (std::size_t i : eligible) {
+    order.push_back(IndexedProvider{
+        .original_index = i,
+        .floor = MemberFloor(model_, providers[i], request,
+                             static_cast<std::size_t>(m_cap))});
+  }
+  // Ascending floors make the prune an early break: once one sibling's
+  // bound exceeds the incumbent, every later sibling's does too.
+  std::sort(order.begin(), order.end(), [&](const IndexedProvider& a,
+                                            const IndexedProvider& b) {
+    if (a.floor.usd() != b.floor.usd()) return a.floor < b.floor;
+    return providers[a.original_index].id < providers[b.original_index].id;
+  });
+
+  // Read traffic is disjoint from the member floors (those exclude read
+  // duty), so a global read floor — the whole read volume billed at the
+  // pool's cheapest egress/ops rates — adds to every bound soundly.
+  common::Money read_floor;
+  if (request.per_period.bw_out_gb > 0.0 || request.per_period.reads > 0.0) {
+    double min_egress = std::numeric_limits<double>::infinity();
+    double min_ops = std::numeric_limits<double>::infinity();
+    for (std::size_t i : eligible) {
+      min_egress = std::min(min_egress, providers[i].pricing.bw_out_gb);
+      min_ops = std::min(min_ops, providers[i].pricing.ops_per_1000);
+    }
+    const double periods = static_cast<double>(
+        std::max<std::size_t>(1, request.decision_periods));
+    read_floor = common::Money(
+        periods * (request.per_period.bw_out_gb * min_egress +
+                   request.per_period.reads * min_ops / 1000.0));
+  }
+
+  std::vector<provider::ProviderSpec> chosen;
+  std::vector<common::Bytes> chosen_capacity;
+  const bool has_capacity = !request.free_capacity.empty();
+
+  // DFS over subsets in canonical order: each subset is evaluated exactly
+  // once, at the node that appends its highest-ranked member.
+  auto visit = [&](auto&& self, std::size_t from,
+                   common::Money bound) -> void {
+    for (std::size_t j = from; j < order.size(); ++j) {
+      const common::Money child_bound = bound + order[j].floor;
+      // Strictly-greater prune keeps equal-cost candidates alive so the
+      // tie-breaks of Better() resolve identically to the exhaustive search.
+      if (best.feasible &&
+          child_bound.usd() > best.expected_cost.usd() + 1e-12) {
+        // Floors are sorted ascending, so every later sibling (and its
+        // subtree) is bounded at least this high.
+        local.nodes_pruned += order.size() - j;
+        return;
+      }
+      const std::size_t oi = order[j].original_index;
+      chosen.push_back(providers[oi]);
+      if (has_capacity) chosen_capacity.push_back(request.free_capacity[oi]);
+
+      PlacementDecision candidate =
+          search_.EvaluateSet(chosen, request, chosen_capacity);
+      ++local.sets_evaluated;
+      if (PlacementSearch::Better(candidate, best)) {
+        best = std::move(candidate);
+      }
+      self(self, j + 1, child_bound);
+
+      chosen.pop_back();
+      if (has_capacity) chosen_capacity.pop_back();
+    }
+  };
+  visit(visit, 0, read_floor);
+
+  best.sets_evaluated = local.sets_evaluated;
+  if (stats != nullptr) *stats = local;
+  return best;
+}
+
+PlacementDecision SubsetSolver::FindBestFlexible(
+    std::span<const provider::ProviderSpec> providers,
+    const PlacementRequest& request, SolverStats* stats) const {
+  PlacementDecision best;
+  SolverStats local;
+
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < providers.size(); ++i) {
+    if (request.rule.ZoneEligible(providers[i].zones)) eligible.push_back(i);
+  }
+  if (eligible.empty()) {
+    if (stats != nullptr) *stats = local;
+    return best;
+  }
+
+  std::vector<double> pool_durabilities, pool_availabilities;
+  pool_durabilities.reserve(eligible.size());
+  pool_availabilities.reserve(eligible.size());
+  double min_egress = std::numeric_limits<double>::infinity();
+  double min_ops = std::numeric_limits<double>::infinity();
+  for (std::size_t i : eligible) {
+    pool_durabilities.push_back(providers[i].sla.durability);
+    pool_availabilities.push_back(providers[i].sla.availability);
+    min_egress = std::min(min_egress, providers[i].pricing.bw_out_gb);
+    min_ops = std::min(min_ops, providers[i].pricing.ops_per_1000);
+  }
+  // Both feasibility caps are monotone: growth raises the survivable
+  // threshold and the reachability tail, so the full pool bounds every
+  // subset's m from above.
+  const int m_cap = GetThreshold(pool_durabilities, request.rule.durability);
+  if (m_cap <= 0) {
+    if (stats != nullptr) *stats = local;
+    return best;
+  }
+
+  const auto& usage = request.per_period;
+  const double periods = static_cast<double>(
+      std::max<std::size_t>(1, request.decision_periods));
+  const double hours = common::ToHours(model_.config().sampling_period);
+  const double other_ops = std::max(0.0, usage.ops - usage.reads - usage.writes);
+  const bool has_capacity = !request.free_capacity.empty();
+
+  for (int m = 1; m <= m_cap; ++m) {
+    // Availability shrinks as m grows; once the whole pool cannot reach
+    // the rule at m, no subset can, at this or any larger m.
+    if (GetAvailability(pool_availabilities, m) < request.rule.availability) {
+      break;
+    }
+    const double inv_m = 1.0 / static_cast<double>(m);
+
+    // Exact per-member base cost at this m (storage + ingress + write and
+    // other ops); reads are bounded globally below.
+    struct Member {
+      std::size_t original_index;
+      double base;
+    };
+    std::vector<Member> order;
+    order.reserve(eligible.size());
+    for (std::size_t i : eligible) {
+      const auto& pricing = providers[i].pricing;
+      const double storage_cost =
+          model_.config().billing == provider::StorageBillingMode::kPerPeriod
+              ? usage.storage_gb * inv_m * pricing.storage_gb_month
+              : usage.storage_gb * inv_m * hours / 720.0 *
+                    pricing.storage_gb_month;
+      const double base =
+          periods * (storage_cost + usage.bw_in_gb * inv_m * pricing.bw_in_gb +
+                     (usage.writes + other_ops) * pricing.ops_per_1000 /
+                         1000.0);
+      order.push_back(Member{.original_index = i, .base = base});
+    }
+    std::sort(order.begin(), order.end(), [&](const Member& a,
+                                              const Member& b) {
+      if (a.base != b.base) return a.base < b.base;
+      return providers[a.original_index].id < providers[b.original_index].id;
+    });
+
+    // Read floor for this m: the full read volume at the pool's cheapest
+    // egress rate plus m operations per read at the cheapest ops rate.
+    const common::Money read_floor(
+        periods * (usage.bw_out_gb * min_egress +
+                   usage.reads * static_cast<double>(m) * min_ops / 1000.0));
+
+    std::vector<provider::ProviderSpec> chosen;
+    std::vector<common::Bytes> chosen_capacity;
+    auto visit = [&](auto&& self, std::size_t from,
+                     common::Money bound) -> void {
+      for (std::size_t j = from; j < order.size(); ++j) {
+        const common::Money child_bound =
+            bound + common::Money(order[j].base);
+        if (best.feasible &&
+            child_bound.usd() > best.expected_cost.usd() + 1e-12) {
+          local.nodes_pruned += order.size() - j;
+          return;
+        }
+        const std::size_t oi = order[j].original_index;
+        chosen.push_back(providers[oi]);
+        if (has_capacity) {
+          chosen_capacity.push_back(request.free_capacity[oi]);
+        }
+        if (chosen.size() >= static_cast<std::size_t>(m)) {
+          PlacementDecision candidate =
+              EvaluateAtThreshold(chosen, m, request, chosen_capacity);
+          ++local.sets_evaluated;
+          if (PlacementSearch::Better(candidate, best)) {
+            best = std::move(candidate);
+          }
+        }
+        self(self, j + 1, child_bound);
+        chosen.pop_back();
+        if (has_capacity) chosen_capacity.pop_back();
+      }
+    };
+    visit(visit, 0, read_floor);
+  }
+
+  best.sets_evaluated = local.sets_evaluated;
+  if (stats != nullptr) *stats = local;
+  return best;
+}
+
+PlacementDecision SubsetSolver::FindBestDp(
+    std::span<const provider::ProviderSpec> providers,
+    const PlacementRequest& request, SolverStats* stats,
+    DpOptions options) const {
+  PlacementDecision best;
+  SolverStats local;
+  const std::size_t total = providers.size();
+
+  // Eligible pool (zone filter), remembering original indices for the
+  // capacity span.
+  std::vector<std::size_t> pool;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (request.rule.ZoneEligible(providers[i].zones)) pool.push_back(i);
+  }
+  const std::size_t p = pool.size();
+  if (p == 0) {
+    if (stats != nullptr) *stats = local;
+    return best;
+  }
+
+  const std::size_t min_n = std::max<std::size_t>(1, request.rule.MinProviders());
+  const double periods =
+      static_cast<double>(std::max<std::size_t>(1, request.decision_periods));
+  const double hours = common::ToHours(model_.config().sampling_period);
+  const auto& usage = request.per_period;
+  const double other_ops = std::max(0.0, usage.ops - usage.reads - usage.writes);
+
+  // Evaluates one reconstructed candidate (with optional durability-swap
+  // repair) and folds it into `best`.  In parity mode the verification step
+  // is Algorithm 1's own EvaluateSet (durability-maximal threshold), so the
+  // heuristic answers the same question as the exhaustive search; the
+  // extension mode commits to the DP's own m.
+  auto consider = [&](std::vector<std::size_t> members, int m) {
+    auto evaluate = [&](const std::vector<std::size_t>& idx) {
+      std::vector<provider::ProviderSpec> pset;
+      std::vector<common::Bytes> caps;
+      pset.reserve(idx.size());
+      for (std::size_t i : idx) {
+        pset.push_back(providers[i]);
+        if (!request.free_capacity.empty()) {
+          caps.push_back(request.free_capacity[i]);
+        }
+      }
+      ++local.sets_evaluated;
+      if (options.allow_submaximal_threshold) {
+        return EvaluateAtThreshold(pset, m, request, caps);
+      }
+      return search_.EvaluateSet(pset, request, caps);
+    };
+
+    PlacementDecision candidate = evaluate(members);
+    if (!candidate.feasible) {
+      // Greedy repair: swap the lowest-durability member for the
+      // highest-durability outsider until feasible or out of swaps.
+      std::vector<std::size_t> outside;
+      for (std::size_t i : pool) {
+        if (std::find(members.begin(), members.end(), i) == members.end()) {
+          outside.push_back(i);
+        }
+      }
+      std::sort(outside.begin(), outside.end(), [&](std::size_t a,
+                                                    std::size_t b) {
+        return providers[a].sla.durability > providers[b].sla.durability;
+      });
+      for (std::size_t swap = 0;
+           swap < outside.size() && !candidate.feasible; ++swap) {
+        auto weakest = std::min_element(
+            members.begin(), members.end(), [&](std::size_t a, std::size_t b) {
+              return providers[a].sla.durability <
+                     providers[b].sla.durability;
+            });
+        if (providers[outside[swap]].sla.durability <=
+            providers[*weakest].sla.durability) {
+          break;  // no stronger outsider left
+        }
+        *weakest = outside[swap];
+        candidate = evaluate(members);
+      }
+    }
+    if (candidate.feasible && PlacementSearch::Better(candidate, best)) {
+      best = std::move(candidate);
+    }
+  };
+
+  for (std::size_t n_sel = min_n; n_sel <= p; ++n_sel) {
+    for (int m = 1; m <= static_cast<int>(n_sel); ++m) {
+      const double inv_m = 1.0 / static_cast<double>(m);
+      const double chunk_read_gb_per_read =
+          usage.reads > 0.0 ? (usage.bw_out_gb / usage.reads) * inv_m : 0.0;
+
+      // Additive member costs for this (n, m): base (storage + ingress +
+      // write/other ops) and reader extra (egress + read ops), both over
+      // the decision period.  Mirrors PriceModel::Expand.
+      std::vector<double> base(p), extra(p), read_metric(p);
+      for (std::size_t k = 0; k < p; ++k) {
+        const auto& pricing = providers[pool[k]].pricing;
+        const double storage_gb_hours = usage.storage_gb * inv_m * hours;
+        const double storage_cost =
+            model_.config().billing == provider::StorageBillingMode::kPerPeriod
+                ? usage.storage_gb * inv_m * pricing.storage_gb_month
+                : storage_gb_hours / 720.0 * pricing.storage_gb_month;
+        base[k] = periods * (storage_cost +
+                             usage.bw_in_gb * inv_m * pricing.bw_in_gb +
+                             (usage.writes + other_ops) *
+                                 pricing.ops_per_1000 / 1000.0);
+        extra[k] = periods * (usage.bw_out_gb * inv_m * pricing.bw_out_gb +
+                              usage.reads * pricing.ops_per_1000 / 1000.0);
+        read_metric[k] = pricing.bw_out_gb * chunk_read_gb_per_read +
+                         pricing.ops_per_1000 / 1000.0;
+      }
+
+      // Sorted by read metric, the first m selected members are exactly the
+      // set's read servers (PriceModel::CheapestReadProviders ranking).
+      std::vector<std::size_t> sorted(p);
+      std::iota(sorted.begin(), sorted.end(), 0);
+      std::stable_sort(sorted.begin(), sorted.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         if (read_metric[a] != read_metric[b]) {
+                           return read_metric[a] < read_metric[b];
+                         }
+                         return providers[pool[a]].id < providers[pool[b]].id;
+                       });
+
+      // dp[k] = cheapest cost of selecting k members among the prefix,
+      // parent[] for reconstruction.
+      constexpr double kInf = std::numeric_limits<double>::infinity();
+      std::vector<double> dp(n_sel + 1, kInf);
+      std::vector<std::vector<bool>> take(
+          p, std::vector<bool>(n_sel + 1, false));
+      dp[0] = 0.0;
+      for (std::size_t i = 0; i < p; ++i) {
+        const std::size_t k_idx = sorted[i];
+        for (std::size_t k = std::min(n_sel, i + 1); k >= 1; --k) {
+          if (dp[k - 1] == kInf) continue;
+          const double reader_extra =
+              (k - 1) < static_cast<std::size_t>(m) ? extra[k_idx] : 0.0;
+          const double cost = dp[k - 1] + base[k_idx] + reader_extra;
+          if (cost < dp[k]) {
+            dp[k] = cost;
+            take[i][k] = true;
+          }
+        }
+      }
+      if (dp[n_sel] == kInf) continue;
+
+      // Reconstruct the chosen original indices.
+      std::vector<std::size_t> members;
+      {
+        std::size_t k = n_sel;
+        for (std::size_t i = p; i-- > 0 && k > 0;) {
+          if (take[i][k]) {
+            members.push_back(pool[sorted[i]]);
+            --k;
+          }
+        }
+        if (k != 0) continue;  // reconstruction failed (shouldn't happen)
+      }
+      consider(std::move(members), m);
+    }
+  }
+
+  best.sets_evaluated = local.sets_evaluated;
+  if (stats != nullptr) *stats = local;
+  return best;
+}
+
+}  // namespace scalia::core

@@ -1,0 +1,108 @@
+// Scalable placement solvers beyond the exhaustive Algorithm 1.
+//
+// §III-A.2: "If the number of providers increases, then suboptimal
+// solutions have to be considered.  Actually, this optimization problem
+// resembles the multi-dimensional knapsack problem … For any fixed number
+// of constraints, the knapsack problem does admit a pseudo-polynomial time
+// algorithm … and a polynomial-time approximation scheme.  Such a heuristic
+// would render Scalia highly scalable.  The presentation of this algorithm
+// is omitted for brevity reasons."  This module supplies the omitted
+// algorithms:
+//
+//  * FindBestBranchAndBound — exact (identical result to the exhaustive
+//    search) but prunes with an additive lower bound: under the (m, n)
+//    expansion of the price model, every member of any superset contributes
+//    at least its cost at the maximum conceivable threshold (smallest
+//    chunks, no read duty), so a partial selection whose bound already
+//    exceeds the incumbent can discard its whole subtree.  Providers are
+//    visited in ascending bound order, turning the prune into an early
+//    `break`.
+//
+//  * FindBestDp — the knapsack-style polynomial heuristic.  For each fixed
+//    (n, m) the expected cost is additive per member: every member pays its
+//    storage/ingress/ops share, and the m members cheapest by per-read cost
+//    additionally pay the read traffic (exactly the routing of
+//    PriceModel::Expand).  Processing providers sorted by that read metric,
+//    "the first m selected serve reads" holds for every subset, so a
+//    classic O(|P| · n) choose-k DP finds the cost-optimal n-set per (n, m).
+//    The reliability constraints (durability, availability) are *checked*
+//    on the reconstructed set; a greedy durability-swap repair handles near
+//    misses.  Total O(|P|^4) — polynomial, per the paper's remark — against
+//    O(2^|P|) for the exact search.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/placement.h"
+
+namespace scalia::core {
+
+struct SolverStats {
+  std::size_t sets_evaluated = 0;  // full constraint+price evaluations
+  std::size_t nodes_pruned = 0;    // subtrees discarded by the bound
+};
+
+class SubsetSolver {
+ public:
+  explicit SubsetSolver(PriceModel model)
+      : model_(std::move(model)), search_(model_) {}
+
+  /// Exact search, provably equal to PlacementSearch::FindBest (tests sweep
+  /// the equivalence); `stats` (optional) reports the pruning behaviour.
+  [[nodiscard]] PlacementDecision FindBestBranchAndBound(
+      std::span<const provider::ProviderSpec> providers,
+      const PlacementRequest& request, SolverStats* stats = nullptr) const;
+
+  struct DpOptions {
+    /// Algorithm 1 always stripes at the durability-maximal threshold.  With
+    /// this flag the DP may also commit to a *smaller* m than the set could
+    /// sustain — fewer read operations and all read egress routed to the
+    /// cheapest members — a design-space extension that can undercut the
+    /// paper's optimum on egress-heavy objects (measured by the ablation
+    /// bench).  Off by default: the heuristic then answers the same question
+    /// as the exhaustive search.
+    bool allow_submaximal_threshold = false;
+  };
+
+  /// Polynomial-time heuristic; may return a slightly costlier set than the
+  /// optimum (the bench measures the gap) or, rarely, miss feasibility when
+  /// only reliability-exotic mixtures are feasible.
+  [[nodiscard]] PlacementDecision FindBestDp(
+      std::span<const provider::ProviderSpec> providers,
+      const PlacementRequest& request, SolverStats* stats,
+      DpOptions options) const;
+
+  [[nodiscard]] PlacementDecision FindBestDp(
+      std::span<const provider::ProviderSpec> providers,
+      const PlacementRequest& request, SolverStats* stats = nullptr) const {
+    return FindBestDp(providers, request, stats, DpOptions{});
+  }
+
+  /// Exact optimum over the *threshold-flexible* design space: every
+  /// (subset, m) pair with m at or below the subset's durability-maximal
+  /// threshold.  A superset of Algorithm 1's space (which pins m to the
+  /// maximum), so the result costs at most FindBest's.  Runs one
+  /// branch-and-bound per candidate m; with m fixed the per-member base
+  /// cost is exact, so the bound is tight and the tree collapses — this is
+  /// the scalable exact counterpart of the FindBestDp heuristic in
+  /// submaximal-threshold mode.
+  [[nodiscard]] PlacementDecision FindBestFlexible(
+      std::span<const provider::ProviderSpec> providers,
+      const PlacementRequest& request, SolverStats* stats = nullptr) const;
+
+  /// Evaluates `pset` at an *imposed* threshold m (EvaluateSet always picks
+  /// the durability-maximal threshold; the DP needs to price intermediate
+  /// ones).  Feasible iff durability holds at (m, n), availability at m
+  /// clears the rule, and chunk/capacity constraints fit.
+  [[nodiscard]] PlacementDecision EvaluateAtThreshold(
+      std::span<const provider::ProviderSpec> pset, int m,
+      const PlacementRequest& request,
+      std::span<const common::Bytes> free_capacity = {}) const;
+
+ private:
+  PriceModel model_;
+  PlacementSearch search_;
+};
+
+}  // namespace scalia::core

@@ -1,0 +1,178 @@
+#include "erasure/chunker.h"
+
+#include <cstring>
+
+#include "erasure/reed_solomon.h"
+
+namespace scalia::erasure {
+namespace {
+
+constexpr std::uint32_t kChunkMagic = 0x53434c43;  // "SCLC"
+
+void AppendU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t ReadU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t ReadU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::string Chunk::Serialize() const {
+  std::string out;
+  out.reserve(4 * 4 + 8 + 16 + 16 + payload.size());
+  AppendU32(out, kChunkMagic);
+  AppendU32(out, index);
+  AppendU32(out, m);
+  AppendU32(out, n);
+  AppendU64(out, object_size);
+  out.append(reinterpret_cast<const char*>(object_checksum.data()),
+             object_checksum.size());
+  out.append(reinterpret_cast<const char*>(shard_checksum.data()),
+             shard_checksum.size());
+  out.append(reinterpret_cast<const char*>(payload.data()), payload.size());
+  return out;
+}
+
+common::Result<Chunk> Chunk::Deserialize(std::string_view bytes) {
+  constexpr std::size_t kHeader = 4 * 4 + 8 + 16 + 16;
+  if (bytes.size() < kHeader) {
+    return common::Status::InvalidArgument("chunk too short");
+  }
+  const auto* p = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  if (ReadU32(p) != kChunkMagic) {
+    return common::Status::InvalidArgument("bad chunk magic");
+  }
+  Chunk c;
+  c.index = ReadU32(p + 4);
+  c.m = ReadU32(p + 8);
+  c.n = ReadU32(p + 12);
+  c.object_size = ReadU64(p + 16);
+  std::memcpy(c.object_checksum.data(), p + 24, 16);
+  std::memcpy(c.shard_checksum.data(), p + 40, 16);
+  c.payload.assign(p + kHeader, p + bytes.size());
+  return c;
+}
+
+common::Result<std::vector<Chunk>> Chunker::Split(std::string_view object,
+                                                  std::size_t m,
+                                                  std::size_t n) {
+  auto codec = ReedSolomon::Create(m, n);
+  if (!codec.ok()) return codec.status();
+
+  const auto object_size = static_cast<common::Bytes>(object.size());
+  const common::Bytes shard_len = ChunkPayloadSize(object_size, m);
+  // Degenerate empty object: keep one byte of padding so shards are non-empty.
+  const std::size_t len = std::max<std::size_t>(1, shard_len);
+
+  std::vector<Shard> data(m, Shard(len, 0));
+  for (std::size_t i = 0; i < object.size(); ++i) {
+    data[i / len][i % len] = static_cast<std::uint8_t>(object[i]);
+  }
+  auto shards = codec->Encode(data);
+  if (!shards.ok()) return shards.status();
+
+  const common::Md5Digest object_checksum = common::Md5::Hash(object);
+  std::vector<Chunk> chunks;
+  chunks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Chunk c;
+    c.index = static_cast<std::uint32_t>(i);
+    c.m = static_cast<std::uint32_t>(m);
+    c.n = static_cast<std::uint32_t>(n);
+    c.object_size = object_size;
+    c.object_checksum = object_checksum;
+    c.payload = std::move((*shards)[i]);
+    c.shard_checksum = common::Md5::Hash(std::string_view(
+        reinterpret_cast<const char*>(c.payload.data()), c.payload.size()));
+    chunks.push_back(std::move(c));
+  }
+  return chunks;
+}
+
+common::Result<std::string> Chunker::Join(const std::vector<Chunk>& chunks) {
+  if (chunks.empty()) {
+    return common::Status::InvalidArgument("no chunks");
+  }
+  const std::uint32_t m = chunks[0].m;
+  const std::uint32_t n = chunks[0].n;
+  const common::Bytes object_size = chunks[0].object_size;
+  std::vector<Shard> shards;
+  std::vector<std::size_t> indices;
+  for (const Chunk& c : chunks) {
+    if (c.m != m || c.n != n || c.object_size != object_size) {
+      return common::Status::InvalidArgument("chunks from different objects");
+    }
+    const auto digest = common::Md5::Hash(std::string_view(
+        reinterpret_cast<const char*>(c.payload.data()), c.payload.size()));
+    if (digest != c.shard_checksum) {
+      return common::Status::Internal("chunk payload corrupted");
+    }
+    shards.push_back(c.payload);
+    indices.push_back(c.index);
+  }
+  auto codec = ReedSolomon::Create(m, n);
+  if (!codec.ok()) return codec.status();
+  auto data = codec->Decode(shards, indices);
+  if (!data.ok()) return data.status();
+
+  std::string object;
+  object.reserve(object_size);
+  const std::size_t len = (*data)[0].size();
+  for (common::Bytes i = 0; i < object_size; ++i) {
+    object.push_back(static_cast<char>((*data)[i / len][i % len]));
+  }
+  if (common::Md5::Hash(object) != chunks[0].object_checksum) {
+    return common::Status::Internal("object checksum mismatch after decode");
+  }
+  return object;
+}
+
+common::Result<Chunk> Chunker::Repair(const std::vector<Chunk>& chunks,
+                                      std::size_t target_index) {
+  if (chunks.empty()) {
+    return common::Status::InvalidArgument("no chunks");
+  }
+  const std::uint32_t m = chunks[0].m;
+  const std::uint32_t n = chunks[0].n;
+  auto codec = ReedSolomon::Create(m, n);
+  if (!codec.ok()) return codec.status();
+  std::vector<Shard> shards;
+  std::vector<std::size_t> indices;
+  for (const Chunk& c : chunks) {
+    shards.push_back(c.payload);
+    indices.push_back(c.index);
+  }
+  auto shard = codec->RepairShard(shards, indices, target_index);
+  if (!shard.ok()) return shard.status();
+
+  Chunk out;
+  out.index = static_cast<std::uint32_t>(target_index);
+  out.m = m;
+  out.n = n;
+  out.object_size = chunks[0].object_size;
+  out.object_checksum = chunks[0].object_checksum;
+  out.payload = std::move(*shard);
+  out.shard_checksum = common::Md5::Hash(std::string_view(
+      reinterpret_cast<const char*>(out.payload.data()), out.payload.size()));
+  return out;
+}
+
+}  // namespace scalia::erasure

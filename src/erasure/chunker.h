@@ -1,0 +1,65 @@
+// Object <-> chunk conversion on top of the Reed–Solomon codec.
+//
+// The engine stores each object as n self-describing chunks (§III-A): a
+// chunk carries its encoding index, the (m, n) parameters, the original
+// object size, and integrity checksums, so reassembly needs nothing but any
+// m chunks.  Chunk payloads are padded to ceil(size / m) bytes, matching the
+// cost model's chunk size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/md5.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace scalia::erasure {
+
+struct Chunk {
+  std::uint32_t index = 0;  // encoding index in [0, n)
+  std::uint32_t m = 0;      // threshold
+  std::uint32_t n = 0;      // total chunks
+  common::Bytes object_size = 0;
+  common::Md5Digest object_checksum{};  // MD5 of the original object bytes
+  common::Md5Digest shard_checksum{};   // MD5 of `payload`
+  std::vector<std::uint8_t> payload;
+
+  /// Billable size of this chunk (payload only; headers ride for free in the
+  /// simulation, as metadata does in real providers).
+  [[nodiscard]] common::Bytes size() const noexcept {
+    return static_cast<common::Bytes>(payload.size());
+  }
+
+  /// Binary serialization, e.g. for handing to a provider as an opaque blob.
+  [[nodiscard]] std::string Serialize() const;
+  [[nodiscard]] static common::Result<Chunk> Deserialize(
+      std::string_view bytes);
+};
+
+class Chunker {
+ public:
+  /// Splits `object` into n chunks, any m of which reconstruct it.
+  [[nodiscard]] static common::Result<std::vector<Chunk>> Split(
+      std::string_view object, std::size_t m, std::size_t n);
+
+  /// Reassembles the object from any >= m chunks (chunks may arrive in any
+  /// order; integrity is verified per shard and for the whole object).
+  [[nodiscard]] static common::Result<std::string> Join(
+      const std::vector<Chunk>& chunks);
+
+  /// Rebuilds the single chunk `target_index` from any >= m surviving
+  /// chunks (active repair, §IV-E).
+  [[nodiscard]] static common::Result<Chunk> Repair(
+      const std::vector<Chunk>& chunks, std::size_t target_index);
+
+  /// Size of each chunk payload for an (m,n) encoding of `object_size`
+  /// bytes; this is what providers bill for.
+  [[nodiscard]] static common::Bytes ChunkPayloadSize(
+      common::Bytes object_size, std::size_t m) {
+    return common::CeilDiv(object_size, static_cast<common::Bytes>(m));
+  }
+};
+
+}  // namespace scalia::erasure

@@ -1,0 +1,101 @@
+// Arithmetic over GF(2^8), the base field of Scalia's erasure code.
+//
+// The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1) (polynomial 0x11d),
+// the conventional choice for Reed–Solomon storage codes.  Multiplication
+// and inversion run through exp/log tables computed once at namespace-scope
+// constant initialization.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace scalia::erasure {
+
+namespace detail {
+
+inline constexpr std::uint16_t kPrimitivePoly = 0x11d;
+
+struct GfTables {
+  // exp_ is doubled so Mul can skip a modulo: exp[log[a] + log[b]] is always
+  // in range.
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint8_t, 256> log{};
+};
+
+consteval GfTables BuildTables() {
+  GfTables t{};
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPrimitivePoly;
+  }
+  for (int i = 255; i < 512; ++i) {
+    t.exp[static_cast<std::size_t>(i)] =
+        t.exp[static_cast<std::size_t>(i - 255)];
+  }
+  t.log[0] = 0;  // log(0) is undefined; callers must special-case zero.
+  return t;
+}
+
+inline constexpr GfTables kTables = BuildTables();
+
+}  // namespace detail
+
+/// a + b and a - b coincide in characteristic 2.
+[[nodiscard]] constexpr std::uint8_t GfAdd(std::uint8_t a,
+                                           std::uint8_t b) noexcept {
+  return a ^ b;
+}
+
+[[nodiscard]] constexpr std::uint8_t GfMul(std::uint8_t a,
+                                           std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  return detail::kTables
+      .exp[static_cast<std::size_t>(detail::kTables.log[a]) +
+           static_cast<std::size_t>(detail::kTables.log[b])];
+}
+
+/// Multiplicative inverse; precondition a != 0.
+[[nodiscard]] constexpr std::uint8_t GfInv(std::uint8_t a) noexcept {
+  return detail::kTables.exp[255 - detail::kTables.log[a]];
+}
+
+/// a / b; precondition b != 0.
+[[nodiscard]] constexpr std::uint8_t GfDiv(std::uint8_t a,
+                                           std::uint8_t b) noexcept {
+  if (a == 0) return 0;
+  return detail::kTables.exp[static_cast<std::size_t>(
+                                 detail::kTables.log[a]) +
+                             255 - detail::kTables.log[b]];
+}
+
+/// a^power (power >= 0).
+[[nodiscard]] constexpr std::uint8_t GfPow(std::uint8_t a,
+                                           unsigned power) noexcept {
+  if (power == 0) return 1;
+  if (a == 0) return 0;
+  const unsigned l =
+      (static_cast<unsigned>(detail::kTables.log[a]) * power) % 255;
+  return detail::kTables.exp[l];
+}
+
+/// Row of the 256x256 multiplication table for `a`; lets bulk encoders do
+/// one table lookup per byte.
+[[nodiscard]] inline const std::uint8_t* GfMulRow(std::uint8_t a) noexcept {
+  // Table built lazily on first use; 64 KiB, read-only afterwards.
+  static const auto* table = [] {
+    auto* t = new std::array<std::array<std::uint8_t, 256>, 256>();
+    for (int i = 0; i < 256; ++i) {
+      for (int j = 0; j < 256; ++j) {
+        (*t)[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            GfMul(static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(j));
+      }
+    }
+    return t;
+  }();
+  return (*table)[a].data();
+}
+
+}  // namespace scalia::erasure

@@ -1,0 +1,93 @@
+#include "erasure/matrix.h"
+
+#include "erasure/gf256.h"
+
+namespace scalia::erasure {
+
+GfMatrix GfMatrix::Identity(std::size_t n) {
+  GfMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.At(i, i) = 1;
+  return m;
+}
+
+GfMatrix GfMatrix::Multiply(const GfMatrix& other) const {
+  GfMatrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const std::uint8_t v = At(r, k);
+      if (v == 0) continue;
+      const std::uint8_t* mul_row = GfMulRow(v);
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.At(r, c) = GfAdd(out.At(r, c), mul_row[other.At(k, c)]);
+      }
+    }
+  }
+  return out;
+}
+
+GfMatrix GfMatrix::SelectRows(const std::vector<std::size_t>& rows) const {
+  GfMatrix out(rows.size(), cols_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.At(i, c) = At(rows[i], c);
+    }
+  }
+  return out;
+}
+
+common::Result<GfMatrix> GfMatrix::Inverted() const {
+  if (rows_ != cols_) {
+    return common::Status::InvalidArgument("matrix not square");
+  }
+  const std::size_t n = rows_;
+  GfMatrix work = *this;
+  GfMatrix inv = Identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot at or below the diagonal.
+    std::size_t pivot = col;
+    while (pivot < n && work.At(pivot, col) == 0) ++pivot;
+    if (pivot == n) {
+      return common::Status::InvalidArgument("singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work.At(pivot, c), work.At(col, c));
+        std::swap(inv.At(pivot, c), inv.At(col, c));
+      }
+    }
+    // Normalize the pivot row.
+    const std::uint8_t inv_pivot = GfInv(work.At(col, col));
+    const std::uint8_t* norm_row = GfMulRow(inv_pivot);
+    for (std::size_t c = 0; c < n; ++c) {
+      work.At(col, c) = norm_row[work.At(col, c)];
+      inv.At(col, c) = norm_row[inv.At(col, c)];
+    }
+    // Eliminate the column from every other row.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = work.At(r, col);
+      if (factor == 0) continue;
+      const std::uint8_t* mul_row = GfMulRow(factor);
+      for (std::size_t c = 0; c < n; ++c) {
+        work.At(r, c) = GfAdd(work.At(r, c), mul_row[work.At(col, c)]);
+        inv.At(r, c) = GfAdd(inv.At(r, c), mul_row[inv.At(col, c)]);
+      }
+    }
+  }
+  return inv;
+}
+
+GfMatrix BuildCauchyEncodingMatrix(std::size_t m, std::size_t n) {
+  GfMatrix mat(n, m);
+  for (std::size_t i = 0; i < m; ++i) mat.At(i, i) = 1;
+  for (std::size_t r = m; r < n; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      const auto x = static_cast<std::uint8_t>(r);
+      const auto y = static_cast<std::uint8_t>(c);
+      mat.At(r, c) = GfInv(GfAdd(x, y));
+    }
+  }
+  return mat;
+}
+
+}  // namespace scalia::erasure

@@ -1,0 +1,61 @@
+// Dense matrices over GF(2^8) with Gauss–Jordan inversion.
+//
+// Reed–Solomon decoding inverts the m×m submatrix of the encoding matrix
+// that corresponds to the surviving chunks; the MDS (Cauchy) construction
+// guarantees that submatrix is invertible for any m-subset.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scalia::erasure {
+
+class GfMatrix {
+ public:
+  GfMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] std::uint8_t& At(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] std::uint8_t At(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const std::uint8_t* Row(std::size_t r) const {
+    return &data_[r * cols_];
+  }
+
+  [[nodiscard]] static GfMatrix Identity(std::size_t n);
+
+  /// this * other.
+  [[nodiscard]] GfMatrix Multiply(const GfMatrix& other) const;
+
+  /// Returns a matrix consisting of the given rows of this matrix.
+  [[nodiscard]] GfMatrix SelectRows(const std::vector<std::size_t>& rows) const;
+
+  /// Gauss–Jordan inverse; fails with InvalidArgument for singular or
+  /// non-square matrices.
+  [[nodiscard]] common::Result<GfMatrix> Inverted() const;
+
+  [[nodiscard]] bool operator==(const GfMatrix& other) const = default;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Builds the n×m systematic encoding matrix used by the (m, n) code: the
+/// top m rows are the identity (data chunks are plain data shards) and the
+/// n−m parity rows form a Cauchy matrix a[i][j] = 1/(x_i ⊕ y_j) with
+/// x_i = m + i and y_j = j.  Any m rows of the result are linearly
+/// independent, which is exactly the paper's requirement that "any m-subset
+/// of the n chunks contains a complete copy of the data" (Fig. 1).
+[[nodiscard]] GfMatrix BuildCauchyEncodingMatrix(std::size_t m, std::size_t n);
+
+}  // namespace scalia::erasure

@@ -1,0 +1,122 @@
+#include "erasure/reed_solomon.h"
+
+#include <algorithm>
+
+#include "erasure/gf256.h"
+
+namespace scalia::erasure {
+
+common::Result<ReedSolomon> ReedSolomon::Create(std::size_t m, std::size_t n) {
+  if (m == 0 || n < m || n > 128) {
+    return common::Status::InvalidArgument(
+        "ReedSolomon requires 1 <= m <= n <= 128");
+  }
+  return ReedSolomon(m, n, BuildCauchyEncodingMatrix(m, n));
+}
+
+void ReedSolomon::MatMulShards(const GfMatrix& rows,
+                               const std::vector<const Shard*>& inputs,
+                               std::vector<Shard>& out) {
+  const std::size_t shard_len = inputs.empty() ? 0 : inputs[0]->size();
+  out.assign(rows.rows(), Shard(shard_len, 0));
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    Shard& dst = out[r];
+    for (std::size_t j = 0; j < rows.cols(); ++j) {
+      const std::uint8_t coef = rows.At(r, j);
+      if (coef == 0) continue;
+      const std::uint8_t* mul_row = GfMulRow(coef);
+      const Shard& src = *inputs[j];
+      if (coef == 1) {
+        for (std::size_t b = 0; b < shard_len; ++b) dst[b] ^= src[b];
+      } else {
+        for (std::size_t b = 0; b < shard_len; ++b) dst[b] ^= mul_row[src[b]];
+      }
+    }
+  }
+}
+
+common::Result<std::vector<Shard>> ReedSolomon::Encode(
+    const std::vector<Shard>& data) const {
+  if (data.size() != m_) {
+    return common::Status::InvalidArgument("expected m data shards");
+  }
+  const std::size_t shard_len = data[0].size();
+  for (const Shard& s : data) {
+    if (s.size() != shard_len) {
+      return common::Status::InvalidArgument("unequal shard sizes");
+    }
+  }
+  std::vector<Shard> out;
+  out.reserve(n_);
+  // Systematic part: the data shards pass through unchanged.
+  for (const Shard& s : data) out.push_back(s);
+  if (n_ == m_) return out;
+
+  std::vector<std::size_t> parity_rows;
+  for (std::size_t r = m_; r < n_; ++r) parity_rows.push_back(r);
+  const GfMatrix parity = matrix_.SelectRows(parity_rows);
+  std::vector<const Shard*> inputs;
+  inputs.reserve(m_);
+  for (const Shard& s : data) inputs.push_back(&s);
+  std::vector<Shard> parity_shards;
+  MatMulShards(parity, inputs, parity_shards);
+  for (Shard& s : parity_shards) out.push_back(std::move(s));
+  return out;
+}
+
+common::Result<std::vector<Shard>> ReedSolomon::Decode(
+    const std::vector<Shard>& shards,
+    const std::vector<std::size_t>& indices) const {
+  if (shards.size() != indices.size()) {
+    return common::Status::InvalidArgument("shards/indices size mismatch");
+  }
+  if (shards.size() < m_) {
+    return common::Status::FailedPrecondition(
+        "need at least m shards to reconstruct");
+  }
+  // Use the first m shards with distinct, valid indices.
+  std::vector<std::size_t> rows;
+  std::vector<const Shard*> inputs;
+  const std::size_t shard_len = shards[0].size();
+  for (std::size_t i = 0; i < shards.size() && rows.size() < m_; ++i) {
+    if (indices[i] >= n_) {
+      return common::Status::InvalidArgument("shard index out of range");
+    }
+    if (shards[i].size() != shard_len) {
+      return common::Status::InvalidArgument("unequal shard sizes");
+    }
+    if (std::find(rows.begin(), rows.end(), indices[i]) != rows.end()) {
+      continue;  // duplicate index
+    }
+    rows.push_back(indices[i]);
+    inputs.push_back(&shards[i]);
+  }
+  if (rows.size() < m_) {
+    return common::Status::FailedPrecondition("fewer than m distinct shards");
+  }
+  auto inverse = matrix_.SelectRows(rows).Inverted();
+  if (!inverse.ok()) return inverse.status();
+  std::vector<Shard> data;
+  MatMulShards(*inverse, inputs, data);
+  return data;
+}
+
+common::Result<Shard> ReedSolomon::RepairShard(
+    const std::vector<Shard>& shards, const std::vector<std::size_t>& indices,
+    std::size_t target) const {
+  if (target >= n_) {
+    return common::Status::InvalidArgument("target index out of range");
+  }
+  auto data = Decode(shards, indices);
+  if (!data.ok()) return data.status();
+  if (target < m_) return std::move((*data)[target]);
+  const GfMatrix row = matrix_.SelectRows({target});
+  std::vector<const Shard*> inputs;
+  inputs.reserve(m_);
+  for (const Shard& s : *data) inputs.push_back(&s);
+  std::vector<Shard> out;
+  MatMulShards(row, inputs, out);
+  return std::move(out[0]);
+}
+
+}  // namespace scalia::erasure

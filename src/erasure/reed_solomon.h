@@ -1,0 +1,68 @@
+// Systematic (m, n) Reed–Solomon codec over GF(2^8).
+//
+// This is the erasure code of §II-A.1: an object is split into m data
+// shards; n−m parity shards are computed so that *any* m of the n shards
+// reconstruct the object.  The rate r = m/n and the storage blow-up 1/r
+// follow directly.  RAID-1 is (m=1), RAID-5 is (m=k, n=k+1).
+//
+// The code is MDS by construction (Cauchy parity rows, see matrix.h), for
+// any 1 <= m <= n <= 128.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "erasure/matrix.h"
+
+namespace scalia::erasure {
+
+using Shard = std::vector<std::uint8_t>;
+
+class ReedSolomon {
+ public:
+  /// Creates a codec with m data shards and n total shards.
+  /// Requires 1 <= m <= n <= 128 (x and y coordinate spaces of the Cauchy
+  /// construction must stay disjoint inside GF(256)).
+  static common::Result<ReedSolomon> Create(std::size_t m, std::size_t n);
+
+  [[nodiscard]] std::size_t data_shards() const noexcept { return m_; }
+  [[nodiscard]] std::size_t total_shards() const noexcept { return n_; }
+
+  /// Encodes m equally-sized data shards into n shards (the first m are the
+  /// data shards themselves, the rest parity).
+  [[nodiscard]] common::Result<std::vector<Shard>> Encode(
+      const std::vector<Shard>& data) const;
+
+  /// Reconstructs the m data shards from any m (or more) surviving shards.
+  /// `shards[i]` must be the shard with encoding index `indices[i]`.
+  [[nodiscard]] common::Result<std::vector<Shard>> Decode(
+      const std::vector<Shard>& shards,
+      const std::vector<std::size_t>& indices) const;
+
+  /// Re-creates the single shard with encoding index `target` from any m
+  /// surviving shards — the "active repair" fast path of §IV-E, where only
+  /// the chunk of the failed provider is rebuilt and re-written.
+  [[nodiscard]] common::Result<Shard> RepairShard(
+      const std::vector<Shard>& shards,
+      const std::vector<std::size_t>& indices, std::size_t target) const;
+
+  [[nodiscard]] const GfMatrix& encoding_matrix() const noexcept {
+    return matrix_;
+  }
+
+ private:
+  ReedSolomon(std::size_t m, std::size_t n, GfMatrix matrix)
+      : m_(m), n_(n), matrix_(std::move(matrix)) {}
+
+  /// out[r] = sum_j rows.At(r, j) * inputs[j], bytewise over shard length.
+  static void MatMulShards(const GfMatrix& rows,
+                           const std::vector<const Shard*>& inputs,
+                           std::vector<Shard>& out);
+
+  std::size_t m_;
+  std::size_t n_;
+  GfMatrix matrix_;  // n x m systematic encoding matrix
+};
+
+}  // namespace scalia::erasure

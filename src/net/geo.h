@@ -1,0 +1,82 @@
+// Client geography: the regions requests originate from.
+//
+// The paper's gallery/trend workloads are driven by a real website whose
+// visitors come "mainly from Europe (62%), North America (27%) and Asia
+// (6%)" (§III-A.3); this module names those regions, carries the traffic
+// mix, and maps regions onto the provider zones of Fig. 3 so the latency
+// model and the CDN can reason about distance.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "provider/types.h"
+
+namespace scalia::net {
+
+/// Where a client request originates.
+enum class Region : std::uint8_t {
+  kEurope = 0,
+  kNorthAmerica = 1,
+  kAsia = 2,
+};
+
+inline constexpr std::array<Region, 3> kAllRegions = {
+    Region::kEurope, Region::kNorthAmerica, Region::kAsia};
+
+[[nodiscard]] constexpr std::string_view RegionName(Region r) {
+  switch (r) {
+    case Region::kEurope: return "EU";
+    case Region::kNorthAmerica: return "NA";
+    case Region::kAsia: return "Asia";
+  }
+  return "?";
+}
+
+/// The paper's visitor mix, normalized over the three named regions
+/// (62 / 27 / 6 renormalized to sum to 1).
+struct TrafficMix {
+  std::array<double, 3> share = {0.6526, 0.2842, 0.0632};
+
+  [[nodiscard]] double Share(Region r) const {
+    return share[static_cast<std::size_t>(r)];
+  }
+
+  /// Picks the region a uniform draw u in [0,1) falls into.
+  [[nodiscard]] Region Pick(double u) const {
+    double acc = 0.0;
+    for (Region r : kAllRegions) {
+      acc += Share(r);
+      if (u < acc) return r;
+    }
+    return Region::kAsia;
+  }
+};
+
+/// The provider zone geographically closest to a client region.  OnPrem
+/// resources sit at the customer premises; we locate the premises via the
+/// deployment's home region (§III: appliance "located directly in the
+/// customer's data center").
+[[nodiscard]] constexpr provider::Zone HomeZone(Region r) {
+  switch (r) {
+    case Region::kEurope: return provider::Zone::kEU;
+    case Region::kNorthAmerica: return provider::Zone::kUS;
+    case Region::kAsia: return provider::Zone::kAPAC;
+  }
+  return provider::Zone::kUS;
+}
+
+/// The client region whose traffic a provider zone serves most locally.
+[[nodiscard]] constexpr Region NearestRegion(provider::Zone z) {
+  switch (z) {
+    case provider::Zone::kEU: return Region::kEurope;
+    case provider::Zone::kUS: return Region::kNorthAmerica;
+    case provider::Zone::kAPAC: return Region::kAsia;
+    case provider::Zone::kOnPrem: return Region::kEurope;
+  }
+  return Region::kEurope;
+}
+
+}  // namespace scalia::net

@@ -1,0 +1,96 @@
+#include "net/latency.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scalia::net {
+
+namespace {
+
+/// Default RTTs (ms) from client regions (rows: EU, NA, Asia) to provider
+/// zones (cols: EU, US, APAC, OnPrem-in-home-region).
+constexpr double kDefaultRtt[3][4] = {
+    // EU        US     APAC   OnPrem
+    {15.0, 95.0, 230.0, 2.0},    // from Europe
+    {95.0, 20.0, 160.0, 95.0},   // from North America
+    {230.0, 160.0, 30.0, 230.0}  // from Asia
+};
+
+constexpr double kDefaultThroughputMbps = 200.0;
+
+}  // namespace
+
+LatencyModel::LatencyModel() : links_(3 * 4) {
+  for (Region from : kAllRegions) {
+    for (provider::Zone to :
+         {provider::Zone::kEU, provider::Zone::kUS, provider::Zone::kAPAC,
+          provider::Zone::kOnPrem}) {
+      links_[Index(from, to)] =
+          LinkSpec{.rtt_ms = kDefaultRtt[static_cast<std::size_t>(from)]
+                                        [static_cast<std::size_t>(to)],
+                   .throughput_mbps = kDefaultThroughputMbps};
+    }
+  }
+}
+
+const LinkSpec& LatencyModel::Link(Region from, provider::Zone to) const {
+  // The OnPrem column is authored relative to the home region: a client in
+  // the home region reaches the appliance on the LAN; everyone else pays
+  // the WAN RTT to the home region's zone.
+  if (to == provider::Zone::kOnPrem && from != home_) {
+    return links_[Index(from, HomeZone(home_))];
+  }
+  return links_[Index(from, to)];
+}
+
+void LatencyModel::SetLink(Region from, provider::Zone to, LinkSpec link) {
+  links_[Index(from, to)] = link;
+}
+
+provider::Zone LatencyModel::ServingZone(
+    Region from, const provider::ProviderSpec& spec) const {
+  provider::Zone best = provider::Zone::kUS;
+  double best_rtt = -1.0;
+  for (provider::Zone z :
+       {provider::Zone::kEU, provider::Zone::kUS, provider::Zone::kAPAC,
+        provider::Zone::kOnPrem}) {
+    if (!spec.zones.Contains(z)) continue;
+    const double rtt = Link(from, z).rtt_ms;
+    if (best_rtt < 0.0 || rtt < best_rtt) {
+      best_rtt = rtt;
+      best = z;
+    }
+  }
+  assert(best_rtt >= 0.0 && "provider must operate in at least one zone");
+  return best;
+}
+
+double LatencyModel::ChunkFetchMs(Region from,
+                                  const provider::ProviderSpec& spec,
+                                  common::Bytes chunk_bytes) const {
+  const LinkSpec& link = Link(from, ServingZone(from, spec));
+  const double transfer_ms = static_cast<double>(chunk_bytes) * 8.0 /
+                             (link.throughput_mbps * 1000.0);
+  return link.rtt_ms + spec.read_latency_ms + transfer_ms;
+}
+
+double LatencyModel::ObjectReadMs(Region from,
+                                  std::span<const provider::ProviderSpec> pset,
+                                  int m, common::Bytes object_bytes) const {
+  if (pset.empty() || m <= 0 || static_cast<std::size_t>(m) > pset.size()) {
+    return 0.0;
+  }
+  const common::Bytes chunk =
+      common::CeilDiv(object_bytes, static_cast<common::Bytes>(m));
+  std::vector<double> fetch;
+  fetch.reserve(pset.size());
+  for (const auto& spec : pset) {
+    fetch.push_back(ChunkFetchMs(from, spec, chunk));
+  }
+  // Reads hit the m fastest providers in parallel; the read completes when
+  // the slowest of those m returns, i.e. at the m-th smallest latency.
+  std::nth_element(fetch.begin(), fetch.begin() + (m - 1), fetch.end());
+  return fetch[static_cast<std::size_t>(m - 1)];
+}
+
+}  // namespace scalia::net

@@ -1,0 +1,75 @@
+// Wide-area latency model for reads through Scalia.
+//
+// The paper defers "the evaluation of the latency overhead … to future
+// work" but names latency minimization as an explicit optimization goal
+// (§I: "minimizing query latency by promoting the most high-performing
+// providers").  This model supplies the physics for that goal and for the
+// CDN extension of §III-B: a region-to-zone round-trip-time matrix, a
+// per-link throughput, and the m-parallel-fetch composition rule — an
+// erasure-coded read completes when the slowest of its m chunk fetches
+// completes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "net/geo.h"
+#include "provider/spec.h"
+
+namespace scalia::net {
+
+/// One client-region → provider-zone link.
+struct LinkSpec {
+  double rtt_ms = 50.0;
+  double throughput_mbps = 100.0;  // sustained transfer rate, megabits/s
+
+  friend bool operator==(const LinkSpec&, const LinkSpec&) = default;
+};
+
+/// Latency matrix between the three client regions and the four provider
+/// zones.  Defaults are representative public-internet figures: ~10–30 ms
+/// intra-continental, ~90–120 ms trans-Atlantic, ~150–250 ms to/from APAC,
+/// ~2 ms to an on-premise resource in the home region.
+class LatencyModel {
+ public:
+  LatencyModel();
+
+  /// The deployment's home region, where OnPrem resources live.
+  void set_home_region(Region r) noexcept { home_ = r; }
+  [[nodiscard]] Region home_region() const noexcept { return home_; }
+
+  [[nodiscard]] const LinkSpec& Link(Region from, provider::Zone to) const;
+  void SetLink(Region from, provider::Zone to, LinkSpec link);
+
+  /// The zone of `spec` nearest to `from` (providers operating in several
+  /// zones serve from the closest one, like real multi-region clouds).
+  [[nodiscard]] provider::Zone ServingZone(Region from,
+                                           const provider::ProviderSpec& spec)
+      const;
+
+  /// Latency of fetching one `chunk_bytes` chunk of `spec` from `from`:
+  /// link RTT + the provider's time-to-first-byte + transfer time.
+  [[nodiscard]] double ChunkFetchMs(Region from,
+                                    const provider::ProviderSpec& spec,
+                                    common::Bytes chunk_bytes) const;
+
+  /// Latency of an object read striped over `pset` with threshold m: the m
+  /// *fastest* providers are fetched in parallel, so the read completes at
+  /// the m-th smallest chunk latency.
+  [[nodiscard]] double ObjectReadMs(Region from,
+                                    std::span<const provider::ProviderSpec>
+                                        pset,
+                                    int m, common::Bytes object_bytes) const;
+
+ private:
+  [[nodiscard]] static std::size_t Index(Region from, provider::Zone to) {
+    return static_cast<std::size_t>(from) * 4u +
+           static_cast<std::size_t>(to);
+  }
+
+  Region home_ = Region::kEurope;
+  std::vector<LinkSpec> links_;  // 3 regions x 4 zones
+};
+
+}  // namespace scalia::net

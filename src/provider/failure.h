@@ -1,0 +1,56 @@
+// Provider failure schedules.
+//
+// The evaluation injects transient provider outages (S3(l) unreachable from
+// hour 60 to hour 120 in §IV-E) and permanent events such as new-provider
+// arrival.  A FailureSchedule is an ordered list of half-open outage windows
+// [from, to); a provider is reachable at time t iff t lies in no window.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace scalia::provider {
+
+class FailureSchedule {
+ public:
+  FailureSchedule() = default;
+
+  /// Adds outage window [from, to).
+  void AddOutage(common::SimTime from, common::SimTime to) {
+    if (to <= from) return;
+    windows_.push_back({from, to});
+    std::sort(windows_.begin(), windows_.end());
+  }
+
+  [[nodiscard]] bool IsAvailable(common::SimTime t) const noexcept {
+    for (const auto& w : windows_) {
+      if (t >= w.from && t < w.to) return false;
+      if (w.from > t) break;
+    }
+    return true;
+  }
+
+  /// Earliest time >= t at which the provider is available again; returns t
+  /// itself if already available.
+  [[nodiscard]] common::SimTime NextAvailable(common::SimTime t) const {
+    common::SimTime cur = t;
+    for (const auto& w : windows_) {
+      if (cur >= w.from && cur < w.to) cur = w.to;
+    }
+    return cur;
+  }
+
+  [[nodiscard]] bool Empty() const noexcept { return windows_.empty(); }
+
+ private:
+  struct Window {
+    common::SimTime from;
+    common::SimTime to;
+    friend constexpr auto operator<=>(const Window&, const Window&) = default;
+  };
+  std::vector<Window> windows_;
+};
+
+}  // namespace scalia::provider

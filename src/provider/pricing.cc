@@ -1,0 +1,27 @@
+#include "provider/pricing.h"
+
+namespace scalia::provider {
+
+common::Money CostOf(const PricingPolicy& pricing, const PeriodUsage& usage,
+                     common::Duration period, StorageBillingMode mode) {
+  const double hours = common::ToHours(period);
+  const double avg_gb = hours > 0.0 ? usage.storage_gb_hours / hours : 0.0;
+  double storage_cost;
+  switch (mode) {
+    case StorageBillingMode::kProrated:
+      storage_cost =
+          avg_gb * pricing.storage_gb_month * common::MonthFraction(period);
+      break;
+    case StorageBillingMode::kPerPeriod:
+      storage_cost = avg_gb * pricing.storage_gb_month;
+      break;
+    default:
+      storage_cost = 0.0;
+  }
+  const double bw_cost =
+      usage.bw_in_gb * pricing.bw_in_gb + usage.bw_out_gb * pricing.bw_out_gb;
+  const double ops_cost = usage.ops / 1000.0 * pricing.ops_per_1000;
+  return common::Money(storage_cost + bw_cost + ops_cost);
+}
+
+}  // namespace scalia::provider

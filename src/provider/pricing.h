@@ -1,0 +1,47 @@
+// Cost computation: pricing policy x metered usage.
+//
+// Storage can be billed in two modes (DESIGN.md §3):
+//  * kProrated  — the catalog GB·month rate pro-rated by the fraction of a
+//                 billing month the sampling period covers (physically
+//                 correct cloud billing).
+//  * kPerPeriod — the catalog rate charged per GB per sampling period; this
+//                 reproduces the absolute magnitudes of the paper's Fig. 18.
+// Relative (percent-over-ideal) results are reported in both modes by the
+// benches.
+#pragma once
+
+#include "common/money.h"
+#include "common/sim_time.h"
+#include "provider/spec.h"
+
+namespace scalia::provider {
+
+enum class StorageBillingMode { kProrated, kPerPeriod };
+
+[[nodiscard]] constexpr const char* BillingModeName(StorageBillingMode m) {
+  return m == StorageBillingMode::kProrated ? "prorated" : "per-period";
+}
+
+/// Usage of one provider over one sampling period, in billing units.
+struct PeriodUsage {
+  double storage_gb_hours = 0.0;  // integral of stored GB over the period
+  double bw_in_gb = 0.0;
+  double bw_out_gb = 0.0;
+  double ops = 0.0;  // request count
+
+  PeriodUsage& operator+=(const PeriodUsage& o) {
+    storage_gb_hours += o.storage_gb_hours;
+    bw_in_gb += o.bw_in_gb;
+    bw_out_gb += o.bw_out_gb;
+    ops += o.ops;
+    return *this;
+  }
+};
+
+/// Cost of `usage` under `pricing` for a sampling period of length `period`.
+[[nodiscard]] common::Money CostOf(const PricingPolicy& pricing,
+                                   const PeriodUsage& usage,
+                                   common::Duration period,
+                                   StorageBillingMode mode);
+
+}  // namespace scalia::provider

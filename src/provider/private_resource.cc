@@ -1,0 +1,107 @@
+#include "provider/private_resource.h"
+
+#include "common/string_util.h"
+
+namespace scalia::provider {
+
+std::string CanonicalString(const SignedRequest& req) {
+  std::string s;
+  s += req.verb;
+  s += '|';
+  s += req.key;
+  s += '|';
+  s += std::to_string(req.timestamp);
+  s += '|';
+  s += common::Sha256::HexHash(req.body);
+  return s;
+}
+
+SignedRequest RequestSigner::Sign(std::string verb, std::string key,
+                                  std::string body,
+                                  common::SimTime now) const {
+  SignedRequest req;
+  req.verb = std::move(verb);
+  req.key = std::move(key);
+  req.body = std::move(body);
+  req.timestamp = now;
+  req.signature_hex =
+      common::ToHex(common::HmacSha256(token_, CanonicalString(req)));
+  return req;
+}
+
+common::Status PrivateResourceService::Authenticate(const SignedRequest& req,
+                                                    common::SimTime now) {
+  // Freshness: reject timestamps outside the replay window (either stale or
+  // from the future beyond clock-skew tolerance).
+  if (req.timestamp > now + replay_window_ ||
+      req.timestamp + replay_window_ < now) {
+    return common::Status::Unauthenticated("request timestamp outside window");
+  }
+  const common::Sha256Digest expected =
+      common::HmacSha256(token_, CanonicalString(req));
+  const std::string expected_hex = common::ToHex(expected);
+  // Compare as fixed-length hex through the constant-time digest routine.
+  if (expected_hex.size() != req.signature_hex.size()) {
+    return common::Status::Unauthenticated("bad signature length");
+  }
+  common::Sha256Digest got{};
+  bool parse_ok = req.signature_hex.size() == 64;
+  if (parse_ok) {
+    auto nibble = [&parse_ok](char c) -> std::uint8_t {
+      if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+      if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+      parse_ok = false;
+      return 0;
+    };
+    for (std::size_t i = 0; i < 32; ++i) {
+      got[i] = static_cast<std::uint8_t>(
+          (nibble(req.signature_hex[2 * i]) << 4) |
+          nibble(req.signature_hex[2 * i + 1]));
+    }
+  }
+  if (!parse_ok || !common::DigestEquals(expected, got)) {
+    return common::Status::Unauthenticated("signature mismatch");
+  }
+  // Replay protection: a given signature is accepted at most once within the
+  // window.
+  std::lock_guard lock(mu_);
+  while (!seen_order_.empty() &&
+         seen_order_.front().first + replay_window_ < now) {
+    seen_signatures_.erase(seen_order_.front().second);
+    seen_order_.pop_front();
+  }
+  if (!seen_signatures_.insert(req.signature_hex).second) {
+    return common::Status::Unauthenticated("replayed request");
+  }
+  seen_order_.emplace_back(req.timestamp, req.signature_hex);
+  return common::Status::Ok();
+}
+
+common::Status PrivateResourceService::Handle(const SignedRequest& req,
+                                              common::SimTime now,
+                                              std::string* response_body) {
+  if (auto s = Authenticate(req, now); !s.ok()) return s;
+  if (req.verb == "PUT") {
+    return store_.Put(now, req.key, req.body);
+  }
+  if (req.verb == "GET") {
+    auto blob = store_.Get(now, req.key);
+    if (!blob.ok()) return blob.status();
+    if (response_body != nullptr) *response_body = std::move(*blob);
+    return common::Status::Ok();
+  }
+  if (req.verb == "DELETE") {
+    return store_.Delete(now, req.key);
+  }
+  if (req.verb == "LIST") {
+    auto keys = store_.List(now, req.key);
+    if (!keys.ok()) return keys.status();
+    if (response_body != nullptr) {
+      *response_body = common::Join(*keys, "\n");
+    }
+    return common::Status::Ok();
+  }
+  return common::Status::InvalidArgument("unknown verb " + req.verb);
+}
+
+}  // namespace scalia::provider

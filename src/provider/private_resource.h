@@ -1,0 +1,80 @@
+// Private storage resources with an authenticated S3-compatible interface.
+//
+// §III-E: a corporate resource (workstation, NAS, dedicated server) exposes
+// a lightweight web service with an S3-like REST interface.  Requests are
+// authenticated by an HMAC of the request parameters under a private token;
+// a timestamp in the signed payload prevents replay.  This module implements
+// that protocol faithfully over the in-process store: the client signs
+// requests, the service verifies signature + timestamp freshness + replay
+// cache before touching the store.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "common/sha256.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "provider/store.h"
+
+namespace scalia::provider {
+
+/// A signed request as it would travel over the wire.
+struct SignedRequest {
+  std::string verb;       // "PUT" | "GET" | "DELETE" | "LIST"
+  std::string key;        // object key (or prefix for LIST)
+  std::string body;       // payload for PUT, empty otherwise
+  common::SimTime timestamp = 0;
+  std::string signature_hex;  // HMAC-SHA256 over the canonical string
+};
+
+/// Canonical string-to-sign: verb|key|timestamp|SHA256(body).
+[[nodiscard]] std::string CanonicalString(const SignedRequest& req);
+
+/// Client-side signer holding the private token.
+class RequestSigner {
+ public:
+  explicit RequestSigner(std::string token) : token_(std::move(token)) {}
+
+  [[nodiscard]] SignedRequest Sign(std::string verb, std::string key,
+                                   std::string body,
+                                   common::SimTime now) const;
+
+ private:
+  std::string token_;
+};
+
+/// The standalone web service deployed on the private resource.
+class PrivateResourceService {
+ public:
+  /// `replay_window` bounds how old a signed timestamp may be; requests
+  /// outside it (or replayed inside it) are rejected.
+  PrivateResourceService(ProviderSpec spec, std::string token,
+                         common::Duration replay_window = common::kMinute * 5)
+      : store_(std::move(spec)),
+        token_(std::move(token)),
+        replay_window_(replay_window) {}
+
+  /// Verifies authentication and dispatches to the store.  On success for
+  /// GET, `response_body` receives the object bytes; for LIST it receives
+  /// the newline-joined keys.
+  common::Status Handle(const SignedRequest& req, common::SimTime now,
+                        std::string* response_body);
+
+  [[nodiscard]] SimulatedProviderStore& store() noexcept { return store_; }
+
+ private:
+  common::Status Authenticate(const SignedRequest& req, common::SimTime now);
+
+  SimulatedProviderStore store_;
+  std::string token_;
+  common::Duration replay_window_;
+  std::mutex mu_;
+  // Recent signatures within the replay window, with eviction order.
+  std::unordered_set<std::string> seen_signatures_;
+  std::deque<std::pair<common::SimTime, std::string>> seen_order_;
+};
+
+}  // namespace scalia::provider

@@ -1,0 +1,73 @@
+#include "provider/registry.h"
+
+#include <algorithm>
+
+namespace scalia::provider {
+
+common::Status ProviderRegistry::Register(ProviderSpec spec) {
+  std::lock_guard lock(mu_);
+  for (auto& [id, entry] : entries_) {
+    if (id == spec.id) {
+      if (entry.registered) {
+        return common::Status::Conflict("provider " + spec.id +
+                                        " already registered");
+      }
+      entry.registered = true;  // re-registration after an unregister
+      return common::Status::Ok();
+    }
+  }
+  ProviderId id = spec.id;
+  Entry entry;
+  entry.store = std::make_unique<SimulatedProviderStore>(std::move(spec));
+  entries_.emplace_back(std::move(id), std::move(entry));
+  return common::Status::Ok();
+}
+
+common::Status ProviderRegistry::Unregister(const ProviderId& id) {
+  std::lock_guard lock(mu_);
+  for (auto& [eid, entry] : entries_) {
+    if (eid == id && entry.registered) {
+      entry.registered = false;
+      return common::Status::Ok();
+    }
+  }
+  return common::Status::NotFound("provider " + id + " not registered");
+}
+
+SimulatedProviderStore* ProviderRegistry::Find(const ProviderId& id) {
+  std::lock_guard lock(mu_);
+  for (auto& [eid, entry] : entries_) {
+    if (eid == id) return entry.store.get();
+  }
+  return nullptr;
+}
+
+std::vector<ProviderSpec> ProviderRegistry::Specs() const {
+  std::lock_guard lock(mu_);
+  std::vector<ProviderSpec> out;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.registered) out.push_back(entry.store->spec());
+  }
+  return out;
+}
+
+std::vector<ProviderSpec> ProviderRegistry::AvailableSpecs(
+    common::SimTime now) const {
+  std::lock_guard lock(mu_);
+  std::vector<ProviderSpec> out;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.registered && entry.store->IsAvailable(now)) {
+      out.push_back(entry.store->spec());
+    }
+  }
+  return out;
+}
+
+std::size_t ProviderRegistry::Count() const {
+  std::lock_guard lock(mu_);
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const auto& e) { return e.second.registered; }));
+}
+
+}  // namespace scalia::provider

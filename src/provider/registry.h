@@ -1,0 +1,58 @@
+// ProviderRegistry: the dynamic, non-static set of storage resources.
+//
+// Scalia orchestrates "a non-static set of public cloud and corporate-owned
+// private storage resources" (§I): providers appear (CheapStor at hour 400
+// in §IV-D), disappear, and fail transiently.  The registry owns one
+// SimulatedProviderStore per provider and hands the placement engine
+// immutable snapshots of the currently registered specs.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "provider/store.h"
+
+namespace scalia::provider {
+
+class ProviderRegistry {
+ public:
+  ProviderRegistry() = default;
+
+  /// Registers a provider; fails with Conflict when the id already exists.
+  common::Status Register(ProviderSpec spec);
+
+  /// Unregisters a provider (e.g. business shutdown).  Chunks stored there
+  /// become unreachable; the caller is responsible for repairs.
+  common::Status Unregister(const ProviderId& id);
+
+  /// Provider store lookup; nullptr when unknown.  The pointer stays valid
+  /// for the registry's lifetime (stores are never destroyed, matching the
+  /// real world where a vanished provider's data is simply unreachable).
+  [[nodiscard]] SimulatedProviderStore* Find(const ProviderId& id);
+
+  /// Snapshot of the currently registered specs, in registration order.
+  [[nodiscard]] std::vector<ProviderSpec> Specs() const;
+
+  /// Specs of providers registered *and* reachable at `now`; this is the
+  /// P(obj) the placement algorithm sees during failures (§III-D.3: "Scalia
+  /// will choose the best placement that does not include the faulty
+  /// provider").
+  [[nodiscard]] std::vector<ProviderSpec> AvailableSpecs(
+      common::SimTime now) const;
+
+  [[nodiscard]] std::size_t Count() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<SimulatedProviderStore> store;
+    bool registered = true;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<ProviderId, Entry>> entries_;
+};
+
+}  // namespace scalia::provider

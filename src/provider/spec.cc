@@ -1,0 +1,93 @@
+#include "provider/spec.h"
+
+namespace scalia::provider {
+
+std::vector<ProviderSpec> PaperCatalog() {
+  std::vector<ProviderSpec> catalog;
+  catalog.push_back(ProviderSpec{
+      .id = "S3(h)",
+      .description = "Amazon S3 (High)",
+      .sla = {.durability = 0.99999999999, .availability = 0.999},
+      .zones = {Zone::kEU, Zone::kUS, Zone::kAPAC},
+      .pricing = {.storage_gb_month = 0.14,
+                  .bw_in_gb = 0.10,
+                  .bw_out_gb = 0.15,
+                  .ops_per_1000 = 0.01},
+      .read_latency_ms = 45.0,
+      .max_chunk_size = std::nullopt,
+      .capacity = std::nullopt});
+  catalog.push_back(ProviderSpec{
+      .id = "S3(l)",
+      .description = "Amazon S3 (Low)",
+      .sla = {.durability = 0.9999, .availability = 0.999},
+      .zones = {Zone::kEU, Zone::kUS, Zone::kAPAC},
+      .pricing = {.storage_gb_month = 0.093,
+                  .bw_in_gb = 0.10,
+                  .bw_out_gb = 0.15,
+                  .ops_per_1000 = 0.01},
+      .read_latency_ms = 60.0,
+      .max_chunk_size = std::nullopt,
+      .capacity = std::nullopt});
+  catalog.push_back(ProviderSpec{
+      .id = "RS",
+      .description = "Rackspace CloudFiles",
+      .sla = {.durability = 0.999999, .availability = 0.999},
+      .zones = {Zone::kUS},
+      .pricing = {.storage_gb_month = 0.15,
+                  .bw_in_gb = 0.08,
+                  .bw_out_gb = 0.18,
+                  .ops_per_1000 = 0.0},
+      .read_latency_ms = 80.0,
+      .max_chunk_size = std::nullopt,
+      .capacity = std::nullopt});
+  catalog.push_back(ProviderSpec{
+      .id = "Azu",
+      .description = "Microsoft Azure",
+      .sla = {.durability = 0.999999, .availability = 0.999},
+      .zones = {Zone::kUS},
+      .pricing = {.storage_gb_month = 0.15,
+                  .bw_in_gb = 0.10,
+                  .bw_out_gb = 0.15,
+                  .ops_per_1000 = 0.01},
+      .read_latency_ms = 55.0,
+      .max_chunk_size = std::nullopt,
+      .capacity = std::nullopt});
+  catalog.push_back(ProviderSpec{
+      .id = "Ggl",
+      .description = "Google Storage",
+      .sla = {.durability = 0.999999, .availability = 0.999},
+      .zones = {Zone::kUS},
+      .pricing = {.storage_gb_month = 0.17,
+                  .bw_in_gb = 0.10,
+                  .bw_out_gb = 0.15,
+                  .ops_per_1000 = 0.01},
+      .read_latency_ms = 40.0,
+      .max_chunk_size = std::nullopt,
+      .capacity = std::nullopt});
+  return catalog;
+}
+
+ProviderSpec CheapStorSpec() {
+  return ProviderSpec{
+      .id = "CheapStor",
+      .description = "CheapStor (registered at hour 400, §IV-D)",
+      .sla = {.durability = 0.999999, .availability = 0.999},
+      .zones = {Zone::kUS},
+      .pricing = {.storage_gb_month = 0.09,
+                  .bw_in_gb = 0.10,
+                  .bw_out_gb = 0.15,
+                  .ops_per_1000 = 0.01},
+      .read_latency_ms = 120.0,
+      .max_chunk_size = std::nullopt,
+      .capacity = std::nullopt};
+}
+
+const ProviderSpec* FindSpec(const std::vector<ProviderSpec>& catalog,
+                             const ProviderId& id) {
+  for (const auto& spec : catalog) {
+    if (spec.id == id) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace scalia::provider

@@ -1,0 +1,74 @@
+// Provider specifications: SLA, pricing, zones, and constraints.
+//
+// Mirrors the catalog of Fig. 3.  Prices are USD per GB for storage (per
+// GB·month), bandwidth in and out (per GB moved), and USD per 1000 requests
+// for operations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/money.h"
+#include "common/units.h"
+#include "provider/types.h"
+
+namespace scalia::provider {
+
+/// Service-level agreement, as advertised fractions (0.999 = 99.9 %).
+struct Sla {
+  double durability = 0.0;
+  double availability = 0.0;
+};
+
+/// Catalog prices, Fig. 3 units.
+struct PricingPolicy {
+  double storage_gb_month = 0.0;  // USD per GB per billing month
+  double bw_in_gb = 0.0;          // USD per GB uploaded
+  double bw_out_gb = 0.0;         // USD per GB downloaded
+  double ops_per_1000 = 0.0;      // USD per 1000 requests
+
+  friend bool operator==(const PricingPolicy&, const PricingPolicy&) = default;
+};
+
+/// A public cloud storage provider or a registered private resource.
+struct ProviderSpec {
+  ProviderId id;
+  std::string description;
+  Sla sla;
+  ZoneSet zones;
+  PricingPolicy pricing;
+
+  /// Typical time-to-first-byte for a chunk GET, used by the
+  /// latency-minimizing placement objective (§I: "minimizing query latency
+  /// by promoting the most high-performing providers").  Chunk fetches run
+  /// in parallel, so an object read's latency is the max over the m chunks.
+  double read_latency_ms = 50.0;
+
+  /// Providers may constrain chunk sizes (§III-A.2); a set containing a
+  /// provider whose max chunk size is exceeded is evaluated against the
+  /// alternative of excluding that provider.
+  std::optional<common::Bytes> max_chunk_size;
+
+  /// Private resources (§III-E) advertise a hard capacity the placement
+  /// must not exceed ("will never grow beyond the limit set in the
+  /// properties of the resource").
+  std::optional<common::Bytes> capacity;
+
+  [[nodiscard]] bool is_private() const noexcept {
+    return zones.Contains(Zone::kOnPrem);
+  }
+};
+
+/// The five public providers of the paper's evaluation (Fig. 3), in the
+/// paper's order: S3(h), S3(l), RS, Azu, Ggl.
+[[nodiscard]] std::vector<ProviderSpec> PaperCatalog();
+
+/// The "CheapStor" provider registered at hour 400 of §IV-D.
+[[nodiscard]] ProviderSpec CheapStorSpec();
+
+/// Looks a provider up by id in a catalog; nullptr when absent.
+[[nodiscard]] const ProviderSpec* FindSpec(
+    const std::vector<ProviderSpec>& catalog, const ProviderId& id);
+
+}  // namespace scalia::provider

@@ -1,0 +1,99 @@
+#include "provider/store.h"
+
+namespace scalia::provider {
+
+common::Status SimulatedProviderStore::CheckReachable(
+    common::SimTime now) const {
+  if (!failures_.IsAvailable(now)) {
+    return common::Status::Unavailable("provider " + spec_.id +
+                                       " is unreachable");
+  }
+  return common::Status::Ok();
+}
+
+common::Status SimulatedProviderStore::Put(common::SimTime now,
+                                           const std::string& key,
+                                           std::string blob) {
+  if (auto s = CheckReachable(now); !s.ok()) return s;
+  if (spec_.max_chunk_size && blob.size() > *spec_.max_chunk_size) {
+    return common::Status::InvalidArgument(
+        "blob exceeds max chunk size of provider " + spec_.id);
+  }
+  const auto blob_size = static_cast<common::Bytes>(blob.size());
+  {
+    std::lock_guard lock(mu_);
+    common::Bytes new_total = stored_bytes_ + blob_size;
+    if (auto it = objects_.find(key); it != objects_.end()) {
+      new_total -= static_cast<common::Bytes>(it->second.size());
+    }
+    if (spec_.capacity && new_total > *spec_.capacity) {
+      return common::Status::ResourceExhausted(
+          "capacity of private resource " + spec_.id + " exceeded");
+    }
+    auto it = objects_.find(key);
+    if (it != objects_.end()) {
+      stored_bytes_ -= static_cast<common::Bytes>(it->second.size());
+      it->second = std::move(blob);
+    } else {
+      objects_.emplace(key, std::move(blob));
+    }
+    stored_bytes_ += blob_size;
+    meter_.RecordPut(now, blob_size);
+    meter_.SetStoredBytes(now, stored_bytes_);
+  }
+  return common::Status::Ok();
+}
+
+common::Result<std::string> SimulatedProviderStore::Get(
+    common::SimTime now, const std::string& key) {
+  if (auto s = CheckReachable(now); !s.ok()) return s;
+  std::lock_guard lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return common::Status::NotFound("key " + key + " not at provider " +
+                                    spec_.id);
+  }
+  meter_.RecordGet(now, static_cast<common::Bytes>(it->second.size()));
+  return it->second;
+}
+
+common::Status SimulatedProviderStore::Delete(common::SimTime now,
+                                              const std::string& key) {
+  if (auto s = CheckReachable(now); !s.ok()) return s;
+  std::lock_guard lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return common::Status::NotFound("key " + key + " not at provider " +
+                                    spec_.id);
+  }
+  stored_bytes_ -= static_cast<common::Bytes>(it->second.size());
+  objects_.erase(it);
+  meter_.RecordOp(now);
+  meter_.SetStoredBytes(now, stored_bytes_);
+  return common::Status::Ok();
+}
+
+common::Result<std::vector<std::string>> SimulatedProviderStore::List(
+    common::SimTime now, const std::string& prefix) {
+  if (auto s = CheckReachable(now); !s.ok()) return s;
+  std::lock_guard lock(mu_);
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  meter_.RecordOp(now);
+  return keys;
+}
+
+std::size_t SimulatedProviderStore::ObjectCount() const {
+  std::lock_guard lock(mu_);
+  return objects_.size();
+}
+
+common::Bytes SimulatedProviderStore::StoredBytes() const {
+  std::lock_guard lock(mu_);
+  return stored_bytes_;
+}
+
+}  // namespace scalia::provider

@@ -1,0 +1,76 @@
+// Basic provider-domain vocabulary: identifiers and geographic zones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scalia::provider {
+
+/// Providers are identified by short stable names, e.g. "S3(h)", "RS".
+using ProviderId = std::string;
+
+/// Geographic zones a provider operates in (Fig. 3's "Zones" column).
+enum class Zone : std::uint8_t {
+  kEU = 0,
+  kUS = 1,
+  kAPAC = 2,
+  kOnPrem = 3,  // private storage resources at the customer premises
+};
+
+[[nodiscard]] constexpr const char* ZoneName(Zone z) {
+  switch (z) {
+    case Zone::kEU: return "EU";
+    case Zone::kUS: return "US";
+    case Zone::kAPAC: return "APAC";
+    case Zone::kOnPrem: return "OnPrem";
+  }
+  return "?";
+}
+
+/// A small bitmask set of zones.
+class ZoneSet {
+ public:
+  constexpr ZoneSet() = default;
+  constexpr ZoneSet(std::initializer_list<Zone> zones) {
+    for (Zone z : zones) Add(z);
+  }
+
+  constexpr void Add(Zone z) noexcept {
+    bits_ |= static_cast<std::uint8_t>(1u << static_cast<unsigned>(z));
+  }
+  [[nodiscard]] constexpr bool Contains(Zone z) const noexcept {
+    return (bits_ >> static_cast<unsigned>(z)) & 1u;
+  }
+  [[nodiscard]] constexpr bool Intersects(ZoneSet o) const noexcept {
+    return (bits_ & o.bits_) != 0;
+  }
+  /// True when every zone in `o` is present in this set.
+  [[nodiscard]] constexpr bool Covers(ZoneSet o) const noexcept {
+    return (bits_ & o.bits_) == o.bits_;
+  }
+  [[nodiscard]] constexpr bool Empty() const noexcept { return bits_ == 0; }
+  [[nodiscard]] constexpr std::uint8_t bits() const noexcept { return bits_; }
+
+  friend constexpr bool operator==(ZoneSet, ZoneSet) = default;
+
+  /// The "all zones" wildcard of the paper's Rule 3.
+  [[nodiscard]] static constexpr ZoneSet All() {
+    return ZoneSet{Zone::kEU, Zone::kUS, Zone::kAPAC, Zone::kOnPrem};
+  }
+
+  [[nodiscard]] std::string ToString() const {
+    std::string out;
+    for (Zone z : {Zone::kEU, Zone::kUS, Zone::kAPAC, Zone::kOnPrem}) {
+      if (!Contains(z)) continue;
+      if (!out.empty()) out += ",";
+      out += ZoneName(z);
+    }
+    return out.empty() ? "none" : out;
+  }
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+}  // namespace scalia::provider

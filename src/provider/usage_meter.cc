@@ -1,0 +1,72 @@
+#include "provider/usage_meter.h"
+
+namespace scalia::provider {
+
+void UsageMeter::AccrueStorageLocked(common::SimTime now) {
+  if (now <= last_storage_change_) return;
+  const double hours = common::ToHours(now - last_storage_change_);
+  const double byte_hours = static_cast<double>(stored_) * hours;
+  period_byte_hours_ += byte_hours;
+  total_byte_hours_ += byte_hours;
+  last_storage_change_ = now;
+}
+
+void UsageMeter::RecordPut(common::SimTime now, common::Bytes bytes) {
+  std::lock_guard lock(mu_);
+  AccrueStorageLocked(now);
+  const double gb = common::ToGB(bytes);
+  period_.bw_in_gb += gb;
+  period_.ops += 1.0;
+  totals_.bw_in_gb += gb;
+  totals_.ops += 1.0;
+}
+
+void UsageMeter::RecordGet(common::SimTime now, common::Bytes bytes) {
+  std::lock_guard lock(mu_);
+  AccrueStorageLocked(now);
+  const double gb = common::ToGB(bytes);
+  period_.bw_out_gb += gb;
+  period_.ops += 1.0;
+  totals_.bw_out_gb += gb;
+  totals_.ops += 1.0;
+}
+
+void UsageMeter::RecordOp(common::SimTime now) {
+  std::lock_guard lock(mu_);
+  AccrueStorageLocked(now);
+  period_.ops += 1.0;
+  totals_.ops += 1.0;
+}
+
+void UsageMeter::SetStoredBytes(common::SimTime now, common::Bytes bytes) {
+  std::lock_guard lock(mu_);
+  AccrueStorageLocked(now);
+  stored_ = bytes;
+}
+
+common::Bytes UsageMeter::stored_bytes() const {
+  std::lock_guard lock(mu_);
+  return stored_;
+}
+
+PeriodUsage UsageMeter::EndPeriod(common::SimTime now) {
+  std::lock_guard lock(mu_);
+  AccrueStorageLocked(now);
+  PeriodUsage out = period_;
+  out.storage_gb_hours =
+      period_byte_hours_ / static_cast<double>(common::kGB);
+  period_ = PeriodUsage{};
+  period_byte_hours_ = 0.0;
+  period_start_ = now;
+  return out;
+}
+
+PeriodUsage UsageMeter::Totals(common::SimTime now) const {
+  std::lock_guard lock(mu_);
+  const_cast<UsageMeter*>(this)->AccrueStorageLocked(now);
+  PeriodUsage out = totals_;
+  out.storage_gb_hours = total_byte_hours_ / static_cast<double>(common::kGB);
+  return out;
+}
+
+}  // namespace scalia::provider

@@ -1,0 +1,53 @@
+// Per-provider usage metering.
+//
+// The evaluation figures 12/15/17 plot "total amount of resources from the
+// storage providers used by Scalia" — storage, bandwidth in, bandwidth out —
+// per sampling period.  The meter integrates stored bytes over time
+// (byte-hours) and counts transfer volumes and operations, then rolls the
+// counters into a PeriodUsage at each sampling boundary.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/units.h"
+#include "provider/pricing.h"
+
+namespace scalia::provider {
+
+class UsageMeter {
+ public:
+  explicit UsageMeter(common::SimTime start = 0)
+      : period_start_(start), last_storage_change_(start) {}
+
+  /// Records an upload of `bytes` (one PUT operation).
+  void RecordPut(common::SimTime now, common::Bytes bytes);
+  /// Records a download of `bytes` (one GET operation).
+  void RecordGet(common::SimTime now, common::Bytes bytes);
+  /// Records an operation with no payload (DELETE, LIST, HEAD).
+  void RecordOp(common::SimTime now);
+  /// Updates the currently stored byte count (after a put or delete).
+  void SetStoredBytes(common::SimTime now, common::Bytes bytes);
+  [[nodiscard]] common::Bytes stored_bytes() const;
+
+  /// Closes the sampling period ending at `now` and returns its usage.
+  PeriodUsage EndPeriod(common::SimTime now);
+
+  /// Running totals since construction (for the resource plots).
+  [[nodiscard]] PeriodUsage Totals(common::SimTime now) const;
+
+ private:
+  void AccrueStorageLocked(common::SimTime now);
+
+  mutable std::mutex mu_;
+  common::SimTime period_start_;
+  common::SimTime last_storage_change_;
+  common::Bytes stored_ = 0;
+  double period_byte_hours_ = 0.0;
+  PeriodUsage period_{};
+  PeriodUsage totals_{};
+  double total_byte_hours_ = 0.0;
+};
+
+}  // namespace scalia::provider

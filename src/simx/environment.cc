@@ -1,0 +1,91 @@
+#include "simx/environment.h"
+
+#include <algorithm>
+
+namespace scalia::simx {
+
+SimEnvironment SimEnvironment::Paper() {
+  std::vector<ProviderTimeline> timelines;
+  for (auto& spec : provider::PaperCatalog()) {
+    timelines.push_back(ProviderTimeline{.spec = std::move(spec),
+                                         .available_from = 0,
+                                         .available_until = std::nullopt,
+                                         .outages = {},
+                                         .price_changes = {}});
+  }
+  return SimEnvironment(std::move(timelines));
+}
+
+void SimEnvironment::Reprice(const provider::ProviderId& id,
+                             common::SimTime at,
+                             provider::PricingPolicy pricing) {
+  for (auto& t : providers_) {
+    if (t.spec.id != id) continue;
+    t.price_changes.push_back(PricingChange{.at = at, .pricing = pricing});
+    // Keep the schedule time-ordered so PricedAt can scan front to back.
+    std::stable_sort(t.price_changes.begin(), t.price_changes.end(),
+                     [](const PricingChange& a, const PricingChange& b) {
+                       return a.at < b.at;
+                     });
+    return;
+  }
+}
+
+void SimEnvironment::Bankrupt(const provider::ProviderId& id,
+                              common::SimTime at) {
+  for (auto& t : providers_) {
+    if (t.spec.id != id) continue;
+    t.available_until = at;
+    return;
+  }
+}
+
+provider::ProviderSpec SimEnvironment::PricedAt(const ProviderTimeline& t,
+                                                common::SimTime now) {
+  provider::ProviderSpec spec = t.spec;
+  for (const auto& change : t.price_changes) {
+    if (change.at > now) break;
+    spec.pricing = change.pricing;
+  }
+  return spec;
+}
+
+std::vector<provider::ProviderSpec> SimEnvironment::SpecsAt(
+    common::SimTime now) const {
+  std::vector<provider::ProviderSpec> out;
+  for (const auto& t : providers_) {
+    if (InMarket(t, now)) out.push_back(PricedAt(t, now));
+  }
+  return out;
+}
+
+std::vector<provider::ProviderSpec> SimEnvironment::ReachableAt(
+    common::SimTime now) const {
+  std::vector<provider::ProviderSpec> out;
+  for (const auto& t : providers_) {
+    if (InMarket(t, now) && t.outages.IsAvailable(now)) {
+      out.push_back(PricedAt(t, now));
+    }
+  }
+  return out;
+}
+
+bool SimEnvironment::IsReachable(const provider::ProviderId& id,
+                                 common::SimTime now) const {
+  for (const auto& t : providers_) {
+    if (t.spec.id == id) {
+      return InMarket(t, now) && t.outages.IsAvailable(now);
+    }
+  }
+  return false;
+}
+
+std::optional<provider::ProviderSpec> SimEnvironment::FindSpec(
+    const provider::ProviderId& id, common::SimTime now) const {
+  for (const auto& t : providers_) {
+    if (t.spec.id == id && InMarket(t, now)) return PricedAt(t, now);
+  }
+  return std::nullopt;
+}
+
+}  // namespace scalia::simx

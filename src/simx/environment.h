@@ -1,0 +1,96 @@
+// The simulated provider market over time.
+//
+// §IV's scenarios change the provider world mid-run: CheapStor registers at
+// hour 400 (§IV-D), S3(l) is unreachable between hours 60 and 120 (§IV-E).
+// The introduction motivates two further dynamics this module also models:
+// pricing policies "may change over time to adapt to the market" (a
+// provider may "suddenly increase its pricing policy") and "a provider may
+// end its business".  A SimEnvironment is therefore the provider catalog
+// plus, per provider: an arrival time, an optional permanent exit time
+// (bankruptcy), a schedule of transient outages, and a schedule of pricing
+// changes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "provider/failure.h"
+#include "provider/spec.h"
+
+namespace scalia::simx {
+
+/// A repricing event: `pricing` takes effect at time `at`.
+struct PricingChange {
+  common::SimTime at = 0;
+  provider::PricingPolicy pricing;
+};
+
+struct ProviderTimeline {
+  provider::ProviderSpec spec;
+  common::SimTime available_from = 0;  // registration time
+  /// Permanent market exit (bankruptcy, §I): from this time on the provider
+  /// is neither reachable nor offered to the placement algorithm, and never
+  /// recovers.  Unlike a transient outage, chunks left there are lost.
+  std::optional<common::SimTime> available_until;
+  provider::FailureSchedule outages;
+  /// Pricing changes, applied in time order on top of spec.pricing.
+  std::vector<PricingChange> price_changes;
+};
+
+class SimEnvironment {
+ public:
+  SimEnvironment() = default;
+  explicit SimEnvironment(std::vector<ProviderTimeline> providers)
+      : providers_(std::move(providers)) {}
+
+  /// The paper's five-provider market (Fig. 3), all present from t = 0.
+  [[nodiscard]] static SimEnvironment Paper();
+
+  void Add(ProviderTimeline timeline) {
+    providers_.push_back(std::move(timeline));
+  }
+
+  /// Registers a pricing change for `id`; no-op if the provider is unknown.
+  void Reprice(const provider::ProviderId& id, common::SimTime at,
+               provider::PricingPolicy pricing);
+
+  /// Schedules a permanent exit for `id` at `at`.
+  void Bankrupt(const provider::ProviderId& id, common::SimTime at);
+
+  [[nodiscard]] const std::vector<ProviderTimeline>& providers() const {
+    return providers_;
+  }
+
+  /// Providers registered and not exited at `now` (regardless of transient
+  /// outages), with the pricing in force at `now`.
+  [[nodiscard]] std::vector<provider::ProviderSpec> SpecsAt(
+      common::SimTime now) const;
+
+  /// Providers registered *and* reachable at `now` — P(obj) during failures.
+  [[nodiscard]] std::vector<provider::ProviderSpec> ReachableAt(
+      common::SimTime now) const;
+
+  [[nodiscard]] bool IsReachable(const provider::ProviderId& id,
+                                 common::SimTime now) const;
+
+  /// The provider's spec with the pricing in force at `now`; nullopt when
+  /// unknown or exited by `now`.
+  [[nodiscard]] std::optional<provider::ProviderSpec> FindSpec(
+      const provider::ProviderId& id, common::SimTime now) const;
+
+ private:
+  [[nodiscard]] bool InMarket(const ProviderTimeline& t,
+                              common::SimTime now) const {
+    return t.available_from <= now &&
+           (!t.available_until || now < *t.available_until);
+  }
+
+  /// spec with the latest price change at or before `now` applied.
+  [[nodiscard]] static provider::ProviderSpec PricedAt(
+      const ProviderTimeline& t, common::SimTime now);
+
+  std::vector<ProviderTimeline> providers_;
+};
+
+}  // namespace scalia::simx

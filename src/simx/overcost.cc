@@ -1,0 +1,137 @@
+#include "simx/overcost.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace scalia::simx {
+
+std::vector<provider::ProviderSpec> Fig13Order(
+    const std::vector<provider::ProviderSpec>& catalog) {
+  const std::vector<provider::ProviderId> order = {"S3(h)", "S3(l)", "Azu",
+                                                   "Ggl", "RS"};
+  std::vector<provider::ProviderSpec> out;
+  for (const auto& id : order) {
+    if (const auto* spec = provider::FindSpec(catalog, id)) {
+      out.push_back(*spec);
+    }
+  }
+  // Any provider outside the canonical five (e.g. CheapStor) appends in
+  // catalog order.
+  for (const auto& spec : catalog) {
+    if (std::none_of(out.begin(), out.end(),
+                     [&](const auto& s) { return s.id == spec.id; })) {
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+const OverCostRow& OverCostTable::BestStatic() const {
+  // Prefer rule-compliant rows: a degraded static set may be cheap only
+  // because it billed fewer chunks than the rule demands.
+  const OverCostRow* best = nullptr;
+  for (bool require_compliant : {true, false}) {
+    for (const auto& row : rows) {
+      if (row.label == "Scalia" || !row.feasible) continue;
+      if (require_compliant && row.noncompliant_periods > 0) continue;
+      if (best == nullptr || row.total < best->total) best = &row;
+    }
+    if (best != nullptr) break;
+  }
+  return best != nullptr ? *best : rows.front();
+}
+
+const OverCostRow& OverCostTable::WorstStatic() const {
+  const OverCostRow* worst = nullptr;
+  for (const auto& row : rows) {
+    if (row.label == "Scalia" || !row.feasible) continue;
+    if (worst == nullptr || row.total > worst->total) worst = &row;
+  }
+  return worst != nullptr ? *worst : rows.front();
+}
+
+OverCostTable ComputeOverCost(
+    const CostSimulator& simulator, const ScenarioSpec& scenario,
+    const std::vector<provider::ProviderSpec>& set_catalog,
+    common::ThreadPool* pool) {
+  OverCostTable table;
+  table.scenario = scenario.name;
+  table.ideal = simulator.RunIdeal(scenario);
+  table.ideal_total = table.ideal.total;
+
+  const auto sets = StaticSets(set_catalog);
+  std::vector<RunResult> static_runs(sets.size());
+  auto run_static = [&](std::size_t i) {
+    static_runs[i] = simulator.RunStatic(scenario, sets[i]);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(sets.size(), run_static);
+  } else {
+    for (std::size_t i = 0; i < sets.size(); ++i) run_static(i);
+  }
+  table.scalia = simulator.RunScalia(scenario);
+
+  auto over_pct = [&](common::Money total) {
+    return table.ideal_total.usd() > 0.0
+               ? (total - table.ideal_total) / table.ideal_total * 100.0
+               : 0.0;
+  };
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    OverCostRow row;
+    row.index = i + 1;
+    row.label = SetLabel(sets[i]);
+    row.feasible = static_runs[i].feasible;
+    row.total = static_runs[i].total;
+    row.over_pct = over_pct(row.total);
+    row.noncompliant_periods = static_runs[i].noncompliant_object_periods;
+    table.rows.push_back(std::move(row));
+  }
+  OverCostRow scalia_row;
+  scalia_row.index = sets.size() + 1;
+  scalia_row.label = "Scalia";
+  scalia_row.feasible = table.scalia.feasible;
+  scalia_row.total = table.scalia.total;
+  scalia_row.over_pct = over_pct(scalia_row.total);
+  scalia_row.noncompliant_periods = table.scalia.noncompliant_object_periods;
+  table.rows.push_back(std::move(scalia_row));
+  return table;
+}
+
+std::string FormatOverCostTable(const OverCostTable& table) {
+  std::ostringstream os;
+  os << "# " << table.scenario
+     << " — % over cost vs ideal placement (ideal total = "
+     << table.ideal_total.ToString() << ")\n";
+  os << "#  set  label                          total($)    over-cost(%)\n";
+  bool any_noncompliant = false;
+  for (const auto& row : table.rows) {
+    char buf[160];
+    if (row.feasible) {
+      const bool flagged = row.noncompliant_periods > 0;
+      any_noncompliant |= flagged;
+      std::snprintf(buf, sizeof(buf), "  %4zu  %-28s %11.4f   %9.2f%s\n",
+                    row.index, row.label.c_str(), row.total.usd(),
+                    row.over_pct, flagged ? " !" : "");
+    } else {
+      std::snprintf(buf, sizeof(buf), "  %4zu  %-28s %11s   %9s\n", row.index,
+                    row.label.c_str(), "n/a", "infeasible");
+    }
+    os << buf;
+  }
+  if (any_noncompliant) {
+    os << "#  ! = billed object-periods while rule-noncompliant (degraded "
+          "by an outage or provider exit)\n";
+  }
+  const auto& best = table.BestStatic();
+  const auto& worst = table.WorstStatic();
+  os << "# Scalia: " << common::FormatDouble(table.ScaliaRow().over_pct, 2)
+     << "% over ideal;  best static: " << best.label << " ("
+     << common::FormatDouble(best.over_pct, 2)
+     << "%);  worst static: " << worst.label << " ("
+     << common::FormatDouble(worst.over_pct, 2) << "%)\n";
+  return os.str();
+}
+
+}  // namespace scalia::simx

@@ -1,0 +1,57 @@
+// Over-cost tables (Figs. 14, 16, and the §IV-D/§IV-E percentages).
+//
+// For a scenario, runs the ideal oracle, the 26 static sets of Fig. 13 and
+// Scalia over identical load, and reports each policy's percent over-cost
+// relative to the ideal placement:
+//     over% = (cost_policy - cost_ideal) / cost_ideal * 100.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "simx/simulator.h"
+#include "simx/static_sets.h"
+
+namespace scalia::simx {
+
+/// The Fig. 13 enumeration order of the paper's catalog:
+/// S3(h), S3(l), Azu, Ggl, RS.
+[[nodiscard]] std::vector<provider::ProviderSpec> Fig13Order(
+    const std::vector<provider::ProviderSpec>& catalog);
+
+struct OverCostRow {
+  std::size_t index = 0;    // Fig. 13 row number (1-26; 27 = Scalia)
+  std::string label;
+  bool feasible = true;
+  common::Money total;
+  double over_pct = 0.0;
+  /// Object-periods billed while rule-noncompliant (degraded static sets);
+  /// such rows are flagged in the table and excluded from the "best static"
+  /// headline when a compliant alternative exists.
+  std::size_t noncompliant_periods = 0;
+};
+
+struct OverCostTable {
+  std::string scenario;
+  common::Money ideal_total;
+  std::vector<OverCostRow> rows;  // statics in Fig. 13 order, then Scalia
+  RunResult ideal;
+  RunResult scalia;
+
+  [[nodiscard]] const OverCostRow& ScaliaRow() const { return rows.back(); }
+  /// Cheapest / costliest feasible *static* rows.
+  [[nodiscard]] const OverCostRow& BestStatic() const;
+  [[nodiscard]] const OverCostRow& WorstStatic() const;
+};
+
+/// Runs all 27 policies; static baselines fan out on `pool` when given.
+[[nodiscard]] OverCostTable ComputeOverCost(
+    const CostSimulator& simulator, const ScenarioSpec& scenario,
+    const std::vector<provider::ProviderSpec>& set_catalog,
+    common::ThreadPool* pool = nullptr);
+
+/// Renders the table in the layout of Figs. 14/16 (one row per set).
+[[nodiscard]] std::string FormatOverCostTable(const OverCostTable& table);
+
+}  // namespace scalia::simx

@@ -1,0 +1,72 @@
+// Scenario specifications for the evaluation simulator.
+//
+// A scenario is a set of logical objects with per-sampling-period read
+// timelines (writes happen once, at each object's creation period; §IV's
+// scenarios never update objects in place).  The same ScenarioSpec drives
+// the Scalia policy, every static baseline, and the ideal oracle, so all 27
+// rows of Figs. 14/16 price exactly the same load.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/units.h"
+#include "core/rule.h"
+#include "stats/period_stats.h"
+
+namespace scalia::simx {
+
+struct SimObject {
+  std::string name;
+  common::Bytes size = 0;
+  std::string mime = "application/octet-stream";
+  core::StorageRule rule;
+  std::size_t created_period = 0;
+  std::optional<std::size_t> deleted_period;  // exclusive: gone from here on
+
+  /// Reads per sampling period; indexed from created_period (index 0 is the
+  /// creation period).  Missing entries mean zero reads.
+  std::vector<double> reads;
+
+  [[nodiscard]] bool AliveAt(std::size_t period) const {
+    if (period < created_period) return false;
+    return !deleted_period || period < *deleted_period;
+  }
+
+  [[nodiscard]] double ReadsAt(std::size_t period) const {
+    if (!AliveAt(period)) return 0.0;
+    const std::size_t idx = period - created_period;
+    return idx < reads.size() ? reads[idx] : 0.0;
+  }
+
+  /// The logical usage of this object during `period`.
+  [[nodiscard]] stats::PeriodStats StatsAt(std::size_t period) const {
+    stats::PeriodStats s;
+    if (!AliveAt(period)) return s;
+    const double gb = common::ToGB(size);
+    s.storage_gb = gb;
+    s.reads = ReadsAt(period);
+    s.bw_out_gb = s.reads * gb;
+    if (period == created_period) {
+      s.writes = 1.0;
+      s.bw_in_gb = gb;
+    }
+    s.ops = s.reads + s.writes;
+    return s;
+  }
+};
+
+struct ScenarioSpec {
+  std::string name;
+  common::Duration sampling_period = common::kHour;
+  std::size_t num_periods = 0;
+  std::vector<SimObject> objects;
+
+  [[nodiscard]] common::SimTime PeriodStart(std::size_t period) const {
+    return static_cast<common::SimTime>(period) * sampling_period;
+  }
+};
+
+}  // namespace scalia::simx

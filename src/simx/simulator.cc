@@ -1,0 +1,586 @@
+#include "simx/simulator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/reliability.h"
+
+namespace scalia::simx {
+
+namespace {
+
+/// Physical resource view of an expanded usage (sums over providers).
+PeriodResources ResourcesOf(const core::ExpandedUsage& usage,
+                            common::Duration period) {
+  PeriodResources res;
+  const double hours = common::ToHours(period);
+  for (const auto& u : usage.per_provider) {
+    res.storage_gb += hours > 0.0 ? u.storage_gb_hours / hours : 0.0;
+    res.bw_in_gb += u.bw_in_gb;
+    res.bw_out_gb += u.bw_out_gb;
+  }
+  return res;
+}
+
+std::vector<bool> ReachabilityMask(const SimEnvironment& env,
+                                   const core::PlacementDecision& placement,
+                                   common::SimTime now) {
+  std::vector<bool> mask(placement.providers.size());
+  for (std::size_t i = 0; i < placement.providers.size(); ++i) {
+    mask[i] = env.IsReachable(placement.providers[i].id, now);
+  }
+  return mask;
+}
+
+}  // namespace
+
+common::Money CostSimulator::ChargePeriod(
+    const core::PlacementDecision& placement, const stats::PeriodStats& s,
+    common::SimTime now, PeriodResources* res) const {
+  if (!placement.feasible || placement.providers.empty()) {
+    return common::kZeroMoney;
+  }
+  const std::vector<bool> mask = ReachabilityMask(env_, placement, now);
+  const core::ExpandedUsage usage =
+      model_.Expand(placement.providers, placement.m, s, mask);
+  common::Money total;
+  for (std::size_t i = 0; i < placement.providers.size(); ++i) {
+    // Bill at the pricing in force *now*, not the pricing captured when the
+    // placement was decided — repricing events (§I) hit stored objects too.
+    // A provider that left the market permanently no longer stores the
+    // chunk and no longer bills (unlike a transient outage, where storage
+    // accrues throughout).
+    const auto current =
+        env_.FindSpec(placement.providers[i].id, now);
+    if (!current) continue;
+    total += provider::CostOf(current->pricing, usage.per_provider[i],
+                              config_.price.sampling_period,
+                              config_.price.billing);
+  }
+  if (res != nullptr) *res += ResourcesOf(usage, config_.price.sampling_period);
+  return total;
+}
+
+common::Money CostSimulator::ChargeMigration(
+    const core::MigrationAssessment& assessment,
+    const core::PlacementDecision& from, const core::PlacementDecision& to,
+    common::Bytes size, PeriodResources* res) const {
+  if (res != nullptr) {
+    const double old_chunk_gb =
+        from.m > 0 ? common::ToGB(common::CeilDiv(
+                         size, static_cast<common::Bytes>(from.m)))
+                   : 0.0;
+    const double new_chunk_gb = common::ToGB(
+        common::CeilDiv(size, static_cast<common::Bytes>(std::max(1, to.m))));
+    res->bw_out_gb += static_cast<double>(assessment.chunks_read) * old_chunk_gb;
+    res->bw_in_gb +=
+        static_cast<double>(assessment.chunks_written) * new_chunk_gb;
+  }
+  return assessment.migration_cost;
+}
+
+bool CostSimulator::PlacementCompliant(
+    const core::PlacementDecision& placement, const core::StorageRule& rule,
+    common::SimTime now) const {
+  // Restrict the placement to reachable members; the surviving stripe must
+  // still satisfy durability (with the existing threshold m) and
+  // availability, and the lock-in bound must hold on the reachable spread.
+  std::vector<double> durabilities;
+  std::vector<double> availabilities;
+  for (const auto& p : placement.providers) {
+    if (!env_.IsReachable(p.id, now)) continue;
+    durabilities.push_back(p.sla.durability);
+    availabilities.push_back(p.sla.availability);
+  }
+  if (durabilities.size() < static_cast<std::size_t>(placement.m)) {
+    return false;  // object not even reconstructible
+  }
+  if (durabilities.size() <
+      static_cast<std::size_t>(rule.MinProviders())) {
+    return false;
+  }
+  const int max_m = core::GetThreshold(durabilities, rule.durability);
+  if (max_m < placement.m) return false;
+  return core::GetAvailability(availabilities, placement.m) >=
+         rule.availability;
+}
+
+core::PlacementDecision CostSimulator::RepairSwap(
+    const core::PlacementDecision& placement, const core::StorageRule& rule,
+    const stats::PeriodStats& forecast, std::size_t decision_periods,
+    common::SimTime now) const {
+  // Keep the (m, n) structure; replace each unreachable member with the
+  // reachable non-member that minimizes the expected cost, then validate
+  // the resulting set against the rule.
+  core::PlacementDecision repaired = placement;
+  std::vector<provider::ProviderSpec> candidates = env_.ReachableAt(now);
+  std::erase_if(candidates, [&](const provider::ProviderSpec& c) {
+    return !rule.ZoneEligible(c.zones) ||
+           std::any_of(placement.providers.begin(), placement.providers.end(),
+                       [&](const auto& p) { return p.id == c.id; });
+  });
+  for (auto& member : repaired.providers) {
+    if (env_.IsReachable(member.id, now)) continue;
+    std::size_t best = candidates.size();
+    common::Money best_cost;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      provider::ProviderSpec saved = member;
+      member = candidates[c];
+      const common::Money cost = model_.ExpectedCost(
+          repaired.providers, repaired.m, forecast, decision_periods);
+      if (best == candidates.size() || cost < best_cost) {
+        best = c;
+        best_cost = cost;
+      }
+      member = saved;
+    }
+    if (best == candidates.size()) {
+      repaired.feasible = false;
+      return repaired;
+    }
+    member = candidates[best];
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  // Validate the swapped set.
+  std::vector<double> durabilities, availabilities;
+  for (const auto& p : repaired.providers) {
+    durabilities.push_back(p.sla.durability);
+    availabilities.push_back(p.sla.availability);
+  }
+  const int max_m = core::GetThreshold(durabilities, rule.durability);
+  repaired.feasible =
+      max_m >= repaired.m &&
+      core::GetAvailability(availabilities, repaired.m) >= rule.availability;
+  repaired.expected_cost = model_.ExpectedCost(
+      repaired.providers, repaired.m, forecast, decision_periods);
+  return repaired;
+}
+
+// ---------------------------------------------------------------------------
+// Scalia policy
+// ---------------------------------------------------------------------------
+
+struct CostSimulator::ObjState {
+  const SimObject* obj = nullptr;
+  core::PlacementDecision placement;
+  stats::AccessHistory history{24 * 7 * 8};
+  stats::TrendDetector trend;
+  core::DecisionPeriodController dctl;
+  stats::ClassId class_id;
+  bool placed = false;
+  bool pending_reopt = false;
+  /// Periods since the last detected trend change.  History older than the
+  /// change point describes a pattern that no longer holds, so forecast
+  /// windows are capped at this age ("we can reasonably suppose that the
+  /// access pattern in the near future will be similar to the current").
+  std::size_t periods_since_change = 0;
+
+  [[nodiscard]] std::size_t Window(std::size_t d) const {
+    return std::max<std::size_t>(1, std::min(d, periods_since_change));
+  }
+
+  ObjState(const SimObject* o, const SimPolicyConfig& config)
+      : obj(o),
+        trend(config.trend),
+        dctl(config.decision_period),
+        class_id(stats::ClassifyObject(o->mime, o->size)) {}
+};
+
+RunResult CostSimulator::RunScalia(const ScenarioSpec& scenario) const {
+  RunResult result;
+  result.policy = "Scalia";
+  result.cost_per_period.assign(scenario.num_periods, common::kZeroMoney);
+  result.resources.assign(scenario.num_periods, PeriodResources{});
+
+  std::vector<ObjState> states;
+  states.reserve(scenario.objects.size());
+  for (const auto& obj : scenario.objects) {
+    states.emplace_back(&obj, config_);
+  }
+  stats::ClassRegistry classes(
+      static_cast<common::Duration>(scenario.num_periods + 1) *
+      scenario.sampling_period);
+
+  // Market signature: reachable provider ids *and* their pricing.  A
+  // repricing event changes the economics exactly like a provider swap, so
+  // it must trigger the provider-change reoptimization path too ("the
+  // provider set of an object will change only if its access history varies
+  // significantly or if the set of storage providers P(obj) changes",
+  // §III-A.3 — with prices being part of what a provider *is* here).
+  auto reachable_ids = [&](common::SimTime now) {
+    std::vector<std::string> sig;
+    for (const auto& p : env_.ReachableAt(now)) {
+      sig.push_back(p.id + "|" + std::to_string(p.pricing.storage_gb_month) +
+                    "," + std::to_string(p.pricing.bw_in_gb) + "," +
+                    std::to_string(p.pricing.bw_out_gb) + "," +
+                    std::to_string(p.pricing.ops_per_1000));
+    }
+    std::sort(sig.begin(), sig.end());
+    return sig;
+  };
+  std::vector<std::string> prev_reachable =
+      reachable_ids(scenario.PeriodStart(0));
+
+  for (std::size_t p = 0; p < scenario.num_periods; ++p) {
+    const common::SimTime now = scenario.PeriodStart(p);
+    const auto reachable_now = reachable_ids(now);
+    const bool env_changed = reachable_now != prev_reachable;
+    prev_reachable = reachable_now;
+    const std::vector<provider::ProviderSpec> reachable =
+        env_.ReachableAt(now);
+
+    for (ObjState& st : states) {
+      if (!st.obj->AliveAt(p)) continue;
+      const stats::PeriodStats actual = st.obj->StatsAt(p);
+
+      // --- Initial placement --------------------------------------------
+      if (!st.placed) {
+        // Forecast: this period's write, plus the class's mean usage when
+        // class seeding is enabled and statistics exist (Fig. 6).
+        stats::PeriodStats forecast = actual;
+        if (config_.class_seed) {
+          if (const auto* cls = classes.Find(st.class_id)) {
+            if (auto mean = cls->MeanUsage()) {
+              forecast = *mean;
+              forecast.storage_gb = common::ToGB(st.obj->size);
+              forecast.writes = std::max(forecast.writes, 1.0);
+              forecast.bw_in_gb =
+                  std::max(forecast.bw_in_gb, common::ToGB(st.obj->size));
+              forecast.ops = forecast.reads + forecast.writes;
+            }
+          }
+        }
+        std::size_t d0 = config_.default_decision_periods;
+        if (st.obj->rule.ttl_hint) {
+          d0 = static_cast<std::size_t>(std::max<common::Duration>(
+              1, *st.obj->rule.ttl_hint / scenario.sampling_period));
+        } else if (const auto* cls = classes.Find(st.class_id);
+                   cls != nullptr && cls->lifetime_samples() > 0) {
+          d0 = static_cast<std::size_t>(std::max<common::Duration>(
+              1, cls->ExpectedLifetime() / scenario.sampling_period));
+        }
+        core::PlacementRequest request;
+        request.rule = st.obj->rule;
+        request.object_size = st.obj->size;
+        request.per_period = forecast;
+        request.decision_periods = d0;
+        st.placement = FindPlacement(reachable, request);
+        st.placed = true;
+        result.recomputations += 1;
+        if (!st.placement.feasible) {
+          result.feasible = false;
+          continue;
+        }
+        result.events.push_back(
+            {p, st.obj->name, st.placement.Label(), "initial"});
+      } else {
+        // --- Failure / provider-change handling -------------------------
+        // The stored decision captured each member's pricing as of placement
+        // time; migration economics must compare against the pricing in
+        // force *now* (a gouging provider must not keep looking cheap).
+        for (auto& member : st.placement.providers) {
+          if (const auto current = env_.FindSpec(member.id, now)) {
+            member.pricing = current->pricing;
+          }
+        }
+        const bool member_down = std::any_of(
+            st.placement.providers.begin(), st.placement.providers.end(),
+            [&](const auto& m) { return !env_.IsReachable(m.id, now); });
+        const bool compliant =
+            !member_down || PlacementCompliant(st.placement, st.obj->rule, now);
+
+        if (member_down || env_changed || st.pending_reopt) {
+          stats::PeriodStats forecast =
+              st.history.AverageOver(st.Window(st.dctl.current()));
+          forecast.storage_gb = common::ToGB(st.obj->size);
+
+          std::size_t ttl_periods = 0;
+          if (const auto* cls = classes.Find(st.class_id);
+              cls != nullptr && cls->lifetime_samples() > 0) {
+            const common::Duration age =
+                static_cast<common::Duration>(p - st.obj->created_period) *
+                scenario.sampling_period;
+            ttl_periods = static_cast<std::size_t>(std::max<common::Duration>(
+                1, cls->ExpectedTimeLeftToLive(age) /
+                       scenario.sampling_period));
+          }
+
+          std::size_t decision_periods = st.dctl.current();
+          if (st.pending_reopt) {
+            // The adaptive decision period couples D/2, D, 2D (§III-A).
+            auto evaluator = [&](std::size_t d) {
+              core::PlacementRequest r;
+              r.rule = st.obj->rule;
+              r.object_size = st.obj->size;
+              r.per_period = st.history.AverageOver(st.Window(d));
+              r.per_period.storage_gb = common::ToGB(st.obj->size);
+              r.decision_periods = d;
+              return FindPlacement(reachable, r);
+            };
+            decision_periods =
+                config_.adapt_decision_period
+                    ? st.dctl.OnOptimization(st.history.size(), ttl_periods,
+                                             evaluator)
+                    : config_.default_decision_periods;
+          }
+          // Benefit horizon: the class TTL estimate when one exists, else a
+          // conservative default — with no deletion statistics the object is
+          // presumed to live at least the default decision horizon.
+          const std::size_t remaining =
+              ttl_periods > 0
+                  ? ttl_periods
+                  : std::max(decision_periods,
+                             config_.default_decision_periods);
+
+          core::PlacementRequest request;
+          request.rule = st.obj->rule;
+          request.object_size = st.obj->size;
+          request.per_period = forecast;
+          request.decision_periods = decision_periods;
+          core::PlacementDecision target =
+              FindPlacement(reachable, request);
+          result.recomputations += 1;
+
+          std::vector<provider::ProviderSpec> readable;
+          for (const auto& m : st.placement.providers) {
+            if (env_.IsReachable(m.id, now)) readable.push_back(m);
+          }
+
+          if (!compliant) {
+            // Constraint violated: active repair is mandatory; pick the
+            // cheaper of swap-in-place and full re-placement (§IV-E).
+            core::PlacementDecision swap =
+                RepairSwap(st.placement, st.obj->rule, forecast,
+                           decision_periods, now);
+            core::PlacementDecision chosen;
+            core::MigrationAssessment chosen_cost;
+            bool have = false;
+            for (const core::PlacementDecision* cand : {&swap, &target}) {
+              if (!cand->feasible) continue;
+              const auto assess = migration_.CostOnly(
+                  st.placement.providers, st.placement.m, *cand, readable,
+                  st.obj->size);
+              const common::Money total =
+                  assess.migration_cost +
+                  model_.PeriodCost(cand->providers, cand->m, forecast) *
+                      static_cast<double>(remaining);
+              if (!have ||
+                  total < chosen_cost.migration_cost +
+                              model_.PeriodCost(chosen.providers, chosen.m,
+                                                forecast) *
+                                  static_cast<double>(remaining)) {
+                chosen = *cand;
+                chosen_cost = assess;
+                have = true;
+              }
+            }
+            if (have && readable.size() >=
+                            static_cast<std::size_t>(st.placement.m)) {
+              result.cost_per_period[p] += ChargeMigration(
+                  chosen_cost, st.placement, chosen, st.obj->size,
+                  &result.resources[p]);
+              st.placement = chosen;
+              result.repairs += 1;
+              result.events.push_back(
+                  {p, st.obj->name, st.placement.Label(), "repair"});
+            }
+            // else: fewer than m chunks reachable; wait for recovery.
+          } else if (target.feasible &&
+                     !target.SamePlacement(st.placement)) {
+            const auto assessment = migration_.Assess(
+                st.placement.providers, st.placement.m, target, readable,
+                st.obj->size, forecast, remaining);
+            // Hysteresis: cyclic patterns (diurnal swings) make the
+            // recent-window forecast oscillate; require the move to also
+            // pay off under the smoothed decision-period forecast unless
+            // the recent benefit is overwhelming.
+            bool approved = assessment.worthwhile;
+            bool rejected_by_smoothing = false;
+            if (approved && config_.migration_gate) {
+              const double margin =
+                  assessment.migration_cost.usd() > 0.0
+                      ? assessment.benefit.usd() /
+                            assessment.migration_cost.usd()
+                      : std::numeric_limits<double>::infinity();
+              if (margin < config_.migration_hysteresis) {
+                stats::PeriodStats smoothed =
+                    st.history.AverageOver(st.dctl.current());
+                smoothed.storage_gb = common::ToGB(st.obj->size);
+                const auto full_assessment = migration_.Assess(
+                    st.placement.providers, st.placement.m, target, readable,
+                    st.obj->size, smoothed, remaining);
+                approved = full_assessment.worthwhile;
+                rejected_by_smoothing = !approved;
+              }
+            }
+            if ((!config_.migration_gate || approved) &&
+                readable.size() >=
+                    static_cast<std::size_t>(st.placement.m)) {
+              result.cost_per_period[p] +=
+                  ChargeMigration(assessment, st.placement, target,
+                                  st.obj->size, &result.resources[p]);
+              st.placement = target;
+              result.migrations += 1;
+              result.events.push_back(
+                  {p, st.obj->name, st.placement.Label(),
+                   st.pending_reopt ? "trend" : "provider-change"});
+            }
+            // A move the recent window wants but the smoothed forecast
+            // still vetoes is re-examined next period: as the stale pattern
+            // slides out of the decision window the two converge.
+            st.pending_reopt = rejected_by_smoothing;
+          } else {
+            st.pending_reopt = false;
+          }
+        }
+      }
+
+      // --- Bill the period ----------------------------------------------
+      result.cost_per_period[p] +=
+          ChargePeriod(st.placement, actual, now, &result.resources[p]);
+      if (st.placement.feasible &&
+          !PlacementCompliant(st.placement, st.obj->rule, now)) {
+        result.noncompliant_object_periods += 1;
+      }
+
+      // --- End-of-period bookkeeping -------------------------------------
+      st.history.Append(actual);
+      classes.ForClass(st.class_id).RecordUsage(actual);
+      const bool fired = st.trend.Observe(actual.ops);
+      ++st.periods_since_change;
+      if (fired) {
+        result.trend_changes += 1;
+        st.periods_since_change = 1;  // this period is the new regime
+        // A changed pattern is evidence the decision period is inadequate:
+        // run the D/2-D-2D coupling at the next optimization.
+        st.dctl.ForceCouplingNext();
+      }
+      if (fired || !config_.trend_gate) st.pending_reopt = true;
+      if (st.obj->deleted_period && p + 1 == *st.obj->deleted_period) {
+        classes.ForClass(st.class_id)
+            .RecordLifetime(
+                static_cast<common::Duration>(p + 1 - st.obj->created_period) *
+                scenario.sampling_period);
+      }
+    }
+  }
+  for (const auto& c : result.cost_per_period) result.total += c;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Static policy
+// ---------------------------------------------------------------------------
+
+RunResult CostSimulator::RunStatic(
+    const ScenarioSpec& scenario,
+    const std::vector<provider::ProviderId>& set) const {
+  RunResult result;
+  result.policy = "static";
+  result.cost_per_period.assign(scenario.num_periods, common::kZeroMoney);
+  result.resources.assign(scenario.num_periods, PeriodResources{});
+
+  struct StaticState {
+    core::PlacementDecision placement;
+    bool placed = false;
+  };
+  std::vector<StaticState> states(scenario.objects.size());
+
+  auto specs_of = [&](common::SimTime now,
+                      bool reachable_only) -> std::vector<provider::ProviderSpec> {
+    std::vector<provider::ProviderSpec> out;
+    for (const auto& id : set) {
+      auto spec = env_.FindSpec(id, now);
+      if (!spec) continue;
+      if (reachable_only && !env_.IsReachable(id, now)) continue;
+      out.push_back(*spec);
+    }
+    return out;
+  };
+
+  for (std::size_t p = 0; p < scenario.num_periods; ++p) {
+    const common::SimTime now = scenario.PeriodStart(p);
+    for (std::size_t o = 0; o < scenario.objects.size(); ++o) {
+      const SimObject& obj = scenario.objects[o];
+      if (!obj.AliveAt(p)) continue;
+      StaticState& st = states[o];
+      const stats::PeriodStats actual = obj.StatsAt(p);
+
+      if (!st.placed) {
+        // Stripe over the set's currently reachable members with the
+        // maximal feasible threshold; never moves afterwards.
+        const auto members = specs_of(now, /*reachable_only=*/true);
+        core::PlacementRequest request;
+        request.rule = obj.rule;
+        request.object_size = obj.size;
+        request.per_period = actual;
+        request.decision_periods = 1;
+        st.placement = search_.EvaluateSet(members, request, {},
+                                           /*reduce_m_for_availability=*/true);
+        st.placed = true;
+        if (!st.placement.feasible) {
+          // Distinguish "this set can never work" from "degraded by an
+          // outage": validate the full set under perfect conditions.
+          const auto full = specs_of(now, /*reachable_only=*/false);
+          core::PlacementDecision check = search_.EvaluateSet(
+              full, request, {}, /*reduce_m_for_availability=*/true);
+          if (!check.feasible) {
+            result.feasible = false;
+            continue;
+          }
+          // Outage-degraded: store on what is reachable, RAID-1 style.
+          st.placement.providers = members;
+          st.placement.m = 1;
+          st.placement.feasible = !members.empty();
+          result.events.push_back(
+              {p, obj.name, st.placement.Label(), "degraded"});
+        } else {
+          result.events.push_back(
+              {p, obj.name, st.placement.Label(), "initial"});
+        }
+      }
+      result.cost_per_period[p] +=
+          ChargePeriod(st.placement, actual, now, &result.resources[p]);
+      if (st.placement.feasible &&
+          !PlacementCompliant(st.placement, obj.rule, now)) {
+        result.noncompliant_object_periods += 1;
+      }
+    }
+  }
+  for (const auto& c : result.cost_per_period) result.total += c;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Ideal oracle
+// ---------------------------------------------------------------------------
+
+RunResult CostSimulator::RunIdeal(const ScenarioSpec& scenario) const {
+  RunResult result;
+  result.policy = "ideal";
+  result.cost_per_period.assign(scenario.num_periods, common::kZeroMoney);
+  result.resources.assign(scenario.num_periods, PeriodResources{});
+
+  for (std::size_t p = 0; p < scenario.num_periods; ++p) {
+    const common::SimTime now = scenario.PeriodStart(p);
+    const auto reachable = env_.ReachableAt(now);
+    for (const SimObject& obj : scenario.objects) {
+      if (!obj.AliveAt(p)) continue;
+      const stats::PeriodStats actual = obj.StatsAt(p);
+      core::PlacementRequest request;
+      request.rule = obj.rule;
+      request.object_size = obj.size;
+      request.per_period = actual;  // known a priori (§IV-A)
+      request.decision_periods = 1;
+      const core::PlacementDecision best =
+          search_.FindBest(reachable, request);
+      if (!best.feasible) continue;
+      result.cost_per_period[p] +=
+          ChargePeriod(best, actual, now, &result.resources[p]);
+    }
+  }
+  for (const auto& c : result.cost_per_period) result.total += c;
+  return result;
+}
+
+}  // namespace scalia::simx

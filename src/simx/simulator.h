@@ -1,0 +1,172 @@
+// The evaluation cost simulator (§IV-A).
+//
+// Drives a ScenarioSpec through three policies over the same provider
+// environment and the same sampling-period clock:
+//
+//   * RunScalia  — the full adaptive scheme: class-seeded first placement,
+//     per-period trend detection gating Algorithm-1 recomputations, the
+//     adaptive decision period (coupled D/2, D, 2D), migration cost-benefit
+//     analysis, and constraint-driven active repair when providers fail.
+//     Migration chunk movements are billed in the period they happen — the
+//     small premium that keeps Scalia slightly above the ideal (Fig. 14).
+//
+//   * RunStatic  — a fixed provider set (one of Fig. 13's 26): each object
+//     is striped at creation over the set's reachable members with the
+//     maximal feasible threshold, and never moves.
+//
+//   * RunIdeal   — the oracle baseline: for every sampling period, the
+//     cheapest feasible set for that period's *actual* usage, known a
+//     priori, with free reconfiguration.
+//
+// All three report total and per-period cost plus per-period resource
+// consumption (storage / bandwidth-in / bandwidth-out; Figs. 12, 15, 17).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/decision_period.h"
+#include "core/migration.h"
+#include "core/placement.h"
+#include "core/subset_solver.h"
+#include "simx/environment.h"
+#include "simx/scenario.h"
+#include "stats/access_history.h"
+#include "stats/object_class.h"
+#include "stats/trend.h"
+
+namespace scalia::simx {
+
+struct SimPolicyConfig {
+  core::PriceModelConfig price;
+  stats::TrendConfig trend;
+  core::DecisionPeriodConfig decision_period;
+  /// Decision horizon (sampling periods) for objects whose class gives no
+  /// lifetime estimate.
+  std::size_t default_decision_periods = 24;
+  /// A migration driven by a *recent* pattern change is approved when it is
+  /// also worthwhile under the full decision-period forecast, or when the
+  /// recent-window benefit exceeds `migration_hysteresis` times the
+  /// migration cost (an unambiguous regime shift, e.g. a flash crowd).
+  /// This keeps periodic (diurnal) swings from thrashing chunks back and
+  /// forth while reacting to real shifts within one period.
+  double migration_hysteresis = 5.0;
+  // ---- Ablation switches (DESIGN.md §5) --------------------------------
+  bool trend_gate = true;        // false: recompute placement every period
+  bool migration_gate = true;    // false: always migrate to the best set
+  bool class_seed = true;        // false: naive first placement
+  bool adapt_decision_period = true;  // false: fixed D
+  /// true: place with the threshold-flexible exact solver (any m at or
+  /// below a set's durability-maximal threshold) instead of Algorithm 1's
+  /// max-threshold rule — the DESIGN.md §8 extension.  The ideal baseline
+  /// stays Algorithm 1, so this variant can land *below* 0 % over-cost on
+  /// egress-heavy workloads.
+  bool threshold_flexible = false;
+};
+
+struct PeriodResources {
+  double storage_gb = 0.0;  // physical chunk bytes stored (avg over period)
+  double bw_in_gb = 0.0;
+  double bw_out_gb = 0.0;
+
+  PeriodResources& operator+=(const PeriodResources& o) {
+    storage_gb += o.storage_gb;
+    bw_in_gb += o.bw_in_gb;
+    bw_out_gb += o.bw_out_gb;
+    return *this;
+  }
+};
+
+struct PlacementEvent {
+  std::size_t period = 0;
+  std::string object;
+  std::string label;  // e.g. "S3(h)-S3(l); m:1"
+  std::string reason;  // "initial" | "trend" | "repair" | "provider-change"
+};
+
+struct RunResult {
+  std::string policy;
+  bool feasible = true;
+  common::Money total;
+  std::vector<common::Money> cost_per_period;
+  std::vector<PeriodResources> resources;
+  std::size_t trend_changes = 0;
+  std::size_t recomputations = 0;
+  std::size_t migrations = 0;
+  std::size_t repairs = 0;
+  /// Object-periods billed while the live placement no longer satisfied the
+  /// object's rule (static sets degraded by outages or provider exits run —
+  /// and bill — in this state; Scalia repairs out of it).  A cheap but
+  /// noncompliant run is not a fair cost comparison, so the over-cost
+  /// tables flag it.
+  std::size_t noncompliant_object_periods = 0;
+  std::vector<PlacementEvent> events;
+};
+
+class CostSimulator {
+ public:
+  CostSimulator(SimPolicyConfig config, SimEnvironment env)
+      : config_(config),
+        env_(std::move(env)),
+        model_(config.price),
+        search_(core::PriceModel(config.price)),
+        solver_(core::PriceModel(config.price)),
+        migration_(core::PriceModel(config.price)) {}
+
+  [[nodiscard]] const SimEnvironment& environment() const { return env_; }
+  [[nodiscard]] const SimPolicyConfig& config() const { return config_; }
+
+  [[nodiscard]] RunResult RunScalia(const ScenarioSpec& scenario) const;
+  [[nodiscard]] RunResult RunStatic(
+      const ScenarioSpec& scenario,
+      const std::vector<provider::ProviderId>& set) const;
+  [[nodiscard]] RunResult RunIdeal(const ScenarioSpec& scenario) const;
+
+ private:
+  struct ObjState;
+
+  /// Bills one object-period on `placement`, routing reads around outages,
+  /// and accumulates the physical resource usage.
+  common::Money ChargePeriod(const core::PlacementDecision& placement,
+                             const stats::PeriodStats& s, common::SimTime now,
+                             PeriodResources* res) const;
+
+  /// Bills a migration's chunk movements and accumulates resources.
+  common::Money ChargeMigration(const core::MigrationAssessment& assessment,
+                                const core::PlacementDecision& from,
+                                const core::PlacementDecision& to,
+                                common::Bytes size,
+                                PeriodResources* res) const;
+
+  /// True when `placement`, restricted to reachable providers, still meets
+  /// the object's rule (drives active repair, §IV-E).
+  [[nodiscard]] bool PlacementCompliant(
+      const core::PlacementDecision& placement, const core::StorageRule& rule,
+      common::SimTime now) const;
+
+  /// Best same-structure repair: unreachable members replaced by the
+  /// cheapest feasible substitutes.  Infeasible decision when impossible.
+  [[nodiscard]] core::PlacementDecision RepairSwap(
+      const core::PlacementDecision& placement, const core::StorageRule& rule,
+      const stats::PeriodStats& forecast, std::size_t decision_periods,
+      common::SimTime now) const;
+
+  /// The Scalia policy's placement engine: Algorithm 1's exhaustive search,
+  /// or the threshold-flexible exact solver under that ablation.
+  [[nodiscard]] core::PlacementDecision FindPlacement(
+      std::span<const provider::ProviderSpec> providers,
+      const core::PlacementRequest& request) const {
+    return config_.threshold_flexible ? solver_.FindBestFlexible(providers,
+                                                                 request)
+                                      : search_.FindBest(providers, request);
+  }
+
+  SimPolicyConfig config_;
+  SimEnvironment env_;
+  core::PriceModel model_;
+  core::PlacementSearch search_;
+  core::SubsetSolver solver_;
+  core::MigrationPlanner migration_;
+};
+
+}  // namespace scalia::simx

@@ -1,0 +1,38 @@
+#include "simx/static_sets.h"
+
+namespace scalia::simx {
+
+namespace {
+
+void Extend(const std::vector<provider::ProviderSpec>& catalog,
+            std::size_t next, std::size_t min_size,
+            std::vector<provider::ProviderId>& current,
+            std::vector<std::vector<provider::ProviderId>>& out) {
+  for (std::size_t i = next; i < catalog.size(); ++i) {
+    current.push_back(catalog[i].id);
+    if (current.size() >= min_size) out.push_back(current);
+    Extend(catalog, i + 1, min_size, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<provider::ProviderId>> StaticSets(
+    const std::vector<provider::ProviderSpec>& catalog, std::size_t min_size) {
+  std::vector<std::vector<provider::ProviderId>> out;
+  std::vector<provider::ProviderId> current;
+  Extend(catalog, 0, min_size, current, out);
+  return out;
+}
+
+std::string SetLabel(const std::vector<provider::ProviderId>& set) {
+  std::string label;
+  for (const auto& id : set) {
+    if (!label.empty()) label += "-";
+    label += id;
+  }
+  return label;
+}
+
+}  // namespace scalia::simx

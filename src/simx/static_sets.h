@@ -1,0 +1,25 @@
+// The static provider sets of Fig. 13.
+//
+// The evaluation compares Scalia (row 27) with every fixed provider subset
+// of size >= 2 over the five-provider market — 26 sets, enumerated
+// depth-first in catalog order, exactly reproducing Fig. 13's numbering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "provider/spec.h"
+
+namespace scalia::simx {
+
+/// All subsets of `catalog` (by id) with at least `min_size` members, in
+/// Fig. 13's depth-first lexicographic order.
+[[nodiscard]] std::vector<std::vector<provider::ProviderId>> StaticSets(
+    const std::vector<provider::ProviderSpec>& catalog,
+    std::size_t min_size = 2);
+
+/// "S3(h)-S3(l)-Azu" style label.
+[[nodiscard]] std::string SetLabel(
+    const std::vector<provider::ProviderId>& set);
+
+}  // namespace scalia::simx

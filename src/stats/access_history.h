@@ -1,0 +1,64 @@
+// Bounded access history H(obj) of a data object.
+//
+// §III-A.2: H(obj) = {s_t, s_{t-1}, ..., s_{t-|D_obj|}} is the list of
+// per-sampling-period statistics.  The ring keeps up to `max_periods`
+// entries (the paper's H_obj); the decision period D_obj <= |H| selects the
+// suffix used by the placement algorithm.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "stats/period_stats.h"
+
+namespace scalia::stats {
+
+class AccessHistory {
+ public:
+  explicit AccessHistory(std::size_t max_periods = 24 * 7 * 4)
+      : max_periods_(max_periods) {}
+
+  /// Appends the statistics of the just-finished sampling period.
+  void Append(const PeriodStats& s) {
+    periods_.push_back(s);
+    if (periods_.size() > max_periods_) periods_.pop_front();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return periods_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return periods_.empty(); }
+
+  /// The most recent period's stats, or zeros when empty.
+  [[nodiscard]] PeriodStats Latest() const {
+    return periods_.empty() ? PeriodStats{} : periods_.back();
+  }
+
+  /// Most recent `n` periods, oldest first (fewer if history is shorter).
+  [[nodiscard]] std::vector<PeriodStats> LastPeriods(std::size_t n) const {
+    const std::size_t take = std::min(n, periods_.size());
+    return {periods_.end() - static_cast<std::ptrdiff_t>(take),
+            periods_.end()};
+  }
+
+  /// Per-period average over the last `n` periods — the expected usage of
+  /// the next period under the paper's persistence assumption ("we can
+  /// reasonably suppose that the access pattern of the data in the near
+  /// future will be similar to the current").
+  [[nodiscard]] PeriodStats AverageOver(std::size_t n) const {
+    PeriodStats sum;
+    const std::size_t take = std::min(n, periods_.size());
+    if (take == 0) return sum;
+    for (std::size_t i = periods_.size() - take; i < periods_.size(); ++i) {
+      sum += periods_[i];
+    }
+    sum.Scale(1.0 / static_cast<double>(take));
+    return sum;
+  }
+
+  void Clear() { periods_.clear(); }
+
+ private:
+  std::size_t max_periods_;
+  std::deque<PeriodStats> periods_;
+};
+
+}  // namespace scalia::stats

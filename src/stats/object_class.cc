@@ -1,0 +1,85 @@
+#include "stats/object_class.h"
+
+namespace scalia::stats {
+
+namespace {
+// Hourly bins over the configured lifetime horizon.
+std::size_t BinCount(common::Duration max_lifetime) {
+  const auto hours = static_cast<std::size_t>(max_lifetime / common::kHour);
+  return std::max<std::size_t>(1, hours);
+}
+}  // namespace
+
+ClassStats::ClassStats(common::Duration max_lifetime)
+    : lifetimes_(0.0, common::ToHours(max_lifetime), BinCount(max_lifetime)) {}
+
+void ClassStats::RecordLifetime(common::Duration lifetime) {
+  std::lock_guard lock(mu_);
+  lifetimes_.Add(common::ToHours(lifetime));
+  ++lifetime_count_;
+}
+
+void ClassStats::RecordUsage(const PeriodStats& s) {
+  std::lock_guard lock(mu_);
+  usage_sum_ += s;
+  ++usage_count_;
+}
+
+common::Duration ClassStats::ExpectedLifetime() const {
+  std::lock_guard lock(mu_);
+  if (lifetime_count_ == 0) return 0;
+  return common::FromHours(lifetimes_.Mean());
+}
+
+common::Duration ClassStats::ExpectedTimeLeftToLive(
+    common::Duration age) const {
+  std::lock_guard lock(mu_);
+  if (lifetime_count_ == 0) return 0;
+  const double age_h = common::ToHours(age);
+  const double residual = lifetimes_.ExpectedResidualAbove(age_h);
+  if (residual > 0.0) return common::FromHours(residual);
+  // No observed lifetime exceeds this age: the object has outlived its
+  // class; fall back to the unconditional mean as a conservative estimate.
+  return common::FromHours(lifetimes_.Mean());
+}
+
+std::optional<PeriodStats> ClassStats::MeanUsage() const {
+  std::lock_guard lock(mu_);
+  if (usage_count_ == 0) return std::nullopt;
+  PeriodStats mean = usage_sum_;
+  mean.Scale(1.0 / static_cast<double>(usage_count_));
+  return mean;
+}
+
+std::uint64_t ClassStats::lifetime_samples() const {
+  std::lock_guard lock(mu_);
+  return lifetime_count_;
+}
+
+std::uint64_t ClassStats::usage_samples() const {
+  std::lock_guard lock(mu_);
+  return usage_count_;
+}
+
+ClassStats& ClassRegistry::ForClass(const ClassId& cls) {
+  std::lock_guard lock(mu_);
+  auto it = classes_.find(cls);
+  if (it == classes_.end()) {
+    it = classes_.emplace(cls, std::make_unique<ClassStats>(max_lifetime_))
+             .first;
+  }
+  return *it->second;
+}
+
+const ClassStats* ClassRegistry::Find(const ClassId& cls) const {
+  std::lock_guard lock(mu_);
+  auto it = classes_.find(cls);
+  return it == classes_.end() ? nullptr : it->second.get();
+}
+
+std::size_t ClassRegistry::ClassCount() const {
+  std::lock_guard lock(mu_);
+  return classes_.size();
+}
+
+}  // namespace scalia::stats

@@ -1,0 +1,98 @@
+// Object classification and per-class statistics.
+//
+// §III-A.1: an object's class is C(obj) = MD5(obj[mime] |
+// discretize(obj[size])), where discretize rounds the size up to the closest
+// megabyte.  Scalia aggregates, per class, the lifetime distribution and the
+// mean per-period resource usage, and uses them to (a) seed the first
+// placement of brand-new objects (Fig. 6) and (b) predict the time left to
+// live for decision-period sizing (Fig. 5).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/histogram.h"
+#include "common/md5.h"
+#include "common/sim_time.h"
+#include "common/units.h"
+#include "stats/period_stats.h"
+
+namespace scalia::stats {
+
+using ClassId = std::string;  // 32-char hex MD5
+
+/// Rounds a size up to the closest megabyte (the paper's discretize()).
+[[nodiscard]] inline common::Bytes DiscretizeSize(common::Bytes size) {
+  return common::CeilDiv(size, common::kMB) * common::kMB;
+}
+
+/// C(obj) = MD5(mime | discretize(size)).
+[[nodiscard]] inline ClassId ClassifyObject(const std::string& mime,
+                                            common::Bytes size) {
+  return common::Md5::HexHash(mime + "|" +
+                              std::to_string(DiscretizeSize(size)));
+}
+
+/// Statistics of one object class.
+class ClassStats {
+ public:
+  /// Lifetime histogram spans [0, max_lifetime) with hourly bins.
+  explicit ClassStats(common::Duration max_lifetime = common::kDay * 90);
+
+  /// Records the observed lifetime of a deleted object of this class.
+  void RecordLifetime(common::Duration lifetime);
+
+  /// Records one sampling period's usage of one object of this class.
+  void RecordUsage(const PeriodStats& s);
+
+  /// Expected lifetime of a brand-new object (Fig. 5 right, age 0).
+  [[nodiscard]] common::Duration ExpectedLifetime() const;
+
+  /// Expected remaining lifetime of an object aged `age` — E[L - a | L > a].
+  /// Falls back to the unconditional mean when no observation exceeds `age`.
+  [[nodiscard]] common::Duration ExpectedTimeLeftToLive(
+      common::Duration age) const;
+
+  /// Mean per-period usage of an object in this class; the statistically
+  /// best guess for a new object with no history (Fig. 6).  nullopt until
+  /// at least one usage sample was recorded.
+  [[nodiscard]] std::optional<PeriodStats> MeanUsage() const;
+
+  [[nodiscard]] std::uint64_t lifetime_samples() const;
+  [[nodiscard]] std::uint64_t usage_samples() const;
+  [[nodiscard]] const common::Histogram& lifetime_histogram() const {
+    return lifetimes_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  common::Histogram lifetimes_;
+  std::uint64_t lifetime_count_ = 0;
+  PeriodStats usage_sum_;
+  std::uint64_t usage_count_ = 0;
+};
+
+/// Registry of all known classes; thread-safe.
+class ClassRegistry {
+ public:
+  explicit ClassRegistry(common::Duration max_lifetime = common::kDay * 90)
+      : max_lifetime_(max_lifetime) {}
+
+  /// Gets (creating on demand) the stats of `cls`.
+  [[nodiscard]] ClassStats& ForClass(const ClassId& cls);
+
+  /// Read-only lookup; nullptr when the class was never seen.
+  [[nodiscard]] const ClassStats* Find(const ClassId& cls) const;
+
+  [[nodiscard]] std::size_t ClassCount() const;
+
+ private:
+  common::Duration max_lifetime_;
+  mutable std::mutex mu_;
+  std::unordered_map<ClassId, std::unique_ptr<ClassStats>> classes_;
+};
+
+}  // namespace scalia::stats

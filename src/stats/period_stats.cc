@@ -1,0 +1,32 @@
+#include "stats/period_stats.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace scalia::stats {
+
+std::string PeriodStats::ToCsv() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%.9g,%.9g,%.9g,%.9g,%.9g,%.9g", storage_gb,
+                bw_in_gb, bw_out_gb, ops, reads, writes);
+  return buf;
+}
+
+PeriodStats PeriodStats::FromCsv(const std::string& csv) {
+  PeriodStats s;
+  const auto fields = common::Split(csv, ',');
+  auto get = [&fields](std::size_t i) {
+    return i < fields.size() ? std::strtod(fields[i].c_str(), nullptr) : 0.0;
+  };
+  s.storage_gb = get(0);
+  s.bw_in_gb = get(1);
+  s.bw_out_gb = get(2);
+  s.ops = get(3);
+  s.reads = get(4);
+  s.writes = get(5);
+  return s;
+}
+
+}  // namespace scalia::stats

@@ -1,0 +1,57 @@
+// Per-object, per-sampling-period access statistics.
+//
+// §III-A.2: "For a sampling period s_i at time i, statistics of a data
+// object obj are collected, such as the used storage s_i[storage], the
+// incoming bandwidth s_i[bwdin], the outgoing bandwidth s_i[bwdout] as well
+// as the number of operations s_i[ops]."  These are *logical* quantities of
+// the object itself (raw object bytes moved), independent of which provider
+// set stores it; the price model expands them into per-provider billing for
+// a candidate set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace scalia::stats {
+
+struct PeriodStats {
+  double storage_gb = 0.0;  // average object bytes stored during the period
+  double bw_in_gb = 0.0;    // object bytes written (ingress)
+  double bw_out_gb = 0.0;   // object bytes read (egress)
+  double ops = 0.0;         // total operations (reads + writes + deletes)
+  double reads = 0.0;       // read operation count
+  double writes = 0.0;      // write operation count
+
+  PeriodStats& operator+=(const PeriodStats& o) noexcept {
+    storage_gb += o.storage_gb;
+    bw_in_gb += o.bw_in_gb;
+    bw_out_gb += o.bw_out_gb;
+    ops += o.ops;
+    reads += o.reads;
+    writes += o.writes;
+    return *this;
+  }
+
+  PeriodStats& Scale(double k) noexcept {
+    storage_gb *= k;
+    bw_in_gb *= k;
+    bw_out_gb *= k;
+    ops *= k;
+    reads *= k;
+    writes *= k;
+    return *this;
+  }
+
+  [[nodiscard]] bool IsZero() const noexcept {
+    return storage_gb == 0.0 && bw_in_gb == 0.0 && bw_out_gb == 0.0 &&
+           ops == 0.0;
+  }
+
+  /// CSV round trip for persistence in the statistics database.
+  [[nodiscard]] std::string ToCsv() const;
+  [[nodiscard]] static PeriodStats FromCsv(const std::string& csv);
+};
+
+}  // namespace scalia::stats

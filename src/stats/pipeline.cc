@@ -1,0 +1,78 @@
+#include "stats/pipeline.h"
+
+namespace scalia::stats {
+
+void LogAgent::Log(const AccessEvent& event) {
+  if (!aggregator_->queue().TryPush(event)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+LogAggregator::LogAggregator(std::size_t queue_capacity)
+    : queue_(queue_capacity) {}
+
+LogAggregator::~LogAggregator() {
+  stopping_.store(true);
+  queue_.Close();
+  if (background_.joinable()) background_.join();
+}
+
+void LogAggregator::StartBackground() {
+  if (background_.joinable()) return;
+  background_ = std::thread([this] { DrainLoop(); });
+}
+
+void LogAggregator::DrainLoop() {
+  while (!stopping_.load()) {
+    auto event = queue_.Pop();
+    if (!event) return;  // queue closed and drained
+    Fold(*event);
+  }
+}
+
+void LogAggregator::Pump() {
+  while (auto event = queue_.TryPop()) {
+    Fold(*event);
+  }
+}
+
+void LogAggregator::Fold(const AccessEvent& e) {
+  std::lock_guard lock(mu_);
+  PeriodStats& s = aggregates_[e.row_key];
+  const double gb = common::ToGB(e.bytes);
+  switch (e.kind) {
+    case AccessKind::kRead:
+      s.bw_out_gb += gb;
+      s.reads += 1.0;
+      s.ops += 1.0;
+      break;
+    case AccessKind::kWrite:
+      s.bw_in_gb += gb;
+      s.writes += 1.0;
+      s.ops += 1.0;
+      break;
+    case AccessKind::kDelete:
+    case AccessKind::kList:
+      s.ops += 1.0;
+      break;
+  }
+  touched_[e.row_key] = true;
+}
+
+std::unordered_map<std::string, PeriodStats> LogAggregator::Flush() {
+  std::lock_guard lock(mu_);
+  auto out = std::move(aggregates_);
+  aggregates_.clear();
+  return out;
+}
+
+std::vector<std::string> LogAggregator::TakeTouched() {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(touched_.size());
+  for (const auto& [k, v] : touched_) keys.push_back(k);
+  touched_.clear();
+  return keys;
+}
+
+}  // namespace scalia::stats

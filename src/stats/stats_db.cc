@@ -1,0 +1,152 @@
+#include "stats/stats_db.h"
+
+#include "common/string_util.h"
+#include "store/mapreduce.h"
+
+namespace scalia::stats {
+
+void StatsDb::WriteThrough(const std::string& key, const std::string& value,
+                           common::SimTime now) {
+  if (store_ == nullptr) return;
+  // Statistics rows use globally-unique keys, so these writes never
+  // conflict in the database (§III-D.1).
+  (void)store_->Put(dc_, "stats", key, value, now);
+}
+
+void StatsDb::RecordObjectCreated(const std::string& row_key,
+                                  const ClassId& cls, common::Bytes size,
+                                  common::SimTime now) {
+  {
+    std::lock_guard lock(mu_);
+    ObjectRecord rec;
+    rec.class_id = cls;
+    rec.size = size;
+    rec.created_at = now;
+    rec.last_access = now;
+    objects_[row_key] = rec;
+    histories_.emplace(row_key, AccessHistory(max_history_));
+  }
+  WriteThrough("ometa|" + row_key,
+               cls + "," + std::to_string(size) + "," + std::to_string(now),
+               now);
+}
+
+void StatsDb::RecordObjectDeleted(const std::string& row_key,
+                                  common::SimTime now) {
+  ClassId cls;
+  common::Duration lifetime = 0;
+  {
+    std::lock_guard lock(mu_);
+    auto it = objects_.find(row_key);
+    if (it == objects_.end()) return;
+    cls = it->second.class_id;
+    lifetime = now - it->second.created_at;
+    objects_.erase(it);
+    histories_.erase(row_key);
+  }
+  classes_.ForClass(cls).RecordLifetime(lifetime);
+  WriteThrough("odel|" + row_key, cls + "," + std::to_string(lifetime), now);
+}
+
+void StatsDb::AppendPeriodStats(const std::string& row_key,
+                                std::uint64_t period, const PeriodStats& stats,
+                                common::SimTime now) {
+  ClassId cls;
+  {
+    std::lock_guard lock(mu_);
+    auto hit = histories_.find(row_key);
+    if (hit == histories_.end()) return;  // deleted or unknown object
+    hit->second.Append(stats);
+    auto oit = objects_.find(row_key);
+    if (oit != objects_.end()) {
+      if (!stats.IsZero()) oit->second.last_access = now;
+      cls = oit->second.class_id;
+    }
+  }
+  if (!cls.empty() && !stats.IsZero()) {
+    classes_.ForClass(cls).RecordUsage(stats);
+  }
+  WriteThrough("ostat|" + row_key + "|" + std::to_string(period),
+               cls + ";" + stats.ToCsv(), now);
+}
+
+void StatsDb::TouchObject(const std::string& row_key, common::SimTime now) {
+  std::lock_guard lock(mu_);
+  auto it = objects_.find(row_key);
+  if (it != objects_.end()) it->second.last_access = now;
+}
+
+std::optional<ObjectRecord> StatsDb::GetObject(
+    const std::string& row_key) const {
+  std::lock_guard lock(mu_);
+  auto it = objects_.find(row_key);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+AccessHistory StatsDb::GetHistory(const std::string& row_key) const {
+  std::lock_guard lock(mu_);
+  auto it = histories_.find(row_key);
+  if (it == histories_.end()) return AccessHistory(max_history_);
+  return it->second;
+}
+
+std::vector<std::string> StatsDb::AccessedSince(common::SimTime since) const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> keys;
+  for (const auto& [key, rec] : objects_) {
+    if (rec.last_access >= since) keys.push_back(key);
+  }
+  return keys;
+}
+
+std::size_t StatsDb::ObjectCount() const {
+  std::lock_guard lock(mu_);
+  return objects_.size();
+}
+
+std::size_t StatsDb::RefreshClassStatsMapReduce(common::ThreadPool& pool) {
+  if (store_ == nullptr) return 0;
+  const store::KvTable* table = store_->Table(dc_, "stats");
+  if (table == nullptr) return 0;
+
+  // Map: every "ostat|..." row emits (class_id, stats); reduce: sum + count
+  // into the class mean.
+  struct Acc {
+    PeriodStats sum;
+    std::uint64_t count = 0;
+  };
+  store::MapReduceJob<ClassId, Acc> job(
+      [](const std::string& key, const store::Version& v,
+         const std::function<void(ClassId, Acc)>& emit) {
+        if (key.rfind("ostat|", 0) != 0) return;
+        const auto sep = v.value.find(';');
+        if (sep == std::string::npos) return;
+        ClassId cls = v.value.substr(0, sep);
+        if (cls.empty()) return;
+        Acc acc;
+        acc.sum = PeriodStats::FromCsv(v.value.substr(sep + 1));
+        acc.count = 1;
+        emit(std::move(cls), std::move(acc));
+      },
+      [](const ClassId&, std::vector<Acc>& values) {
+        Acc total;
+        for (auto& a : values) {
+          total.sum += a.sum;
+          total.count += a.count;
+        }
+        return total;
+      });
+
+  const auto result = job.Run(*table, pool);
+  for (const auto& [cls, acc] : result) {
+    if (acc.count == 0) continue;
+    PeriodStats mean = acc.sum;
+    mean.Scale(1.0 / static_cast<double>(acc.count));
+    // Re-seed the class usage aggregate with the freshly reduced mean.
+    classes_.ForClass(cls).RecordUsage(mean);
+  }
+  return result.size();
+}
+
+}  // namespace scalia::stats

@@ -1,0 +1,95 @@
+// The statistics database (the stats half of §III-C).
+//
+// Stores, per object: its access history (one row per sampling period, keyed
+// "ostat|<row_key>|<period>"), its metadata timestamps, and the per-class
+// aggregates (lifetime distribution, mean usage) that map-reduce jobs
+// refresh periodically.  Rows are written through to the replicated NoSQL
+// store — statistics writes use globally-unique keys so they never conflict
+// (§III-D.1) — while an in-memory index keeps placement queries fast.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+#include "stats/access_history.h"
+#include "stats/object_class.h"
+#include "stats/period_stats.h"
+#include "store/replicated_store.h"
+
+namespace scalia::stats {
+
+struct ObjectRecord {
+  ClassId class_id;
+  common::Bytes size = 0;
+  common::SimTime created_at = 0;
+  common::SimTime last_access = 0;
+};
+
+class StatsDb {
+ public:
+  /// `store` may be null for purely in-memory operation (simulations);
+  /// when set, rows are written through to table "stats" at replica `dc`.
+  StatsDb(store::ReplicatedStore* store, store::ReplicaId dc,
+          std::size_t max_history_periods = 24 * 7 * 5)
+      : store_(store), dc_(dc), max_history_(max_history_periods) {}
+
+  /// Registers a new object (at first write).
+  void RecordObjectCreated(const std::string& row_key, const ClassId& cls,
+                           common::Bytes size, common::SimTime now);
+
+  /// Removes the object and records its lifetime in its class's stats.
+  void RecordObjectDeleted(const std::string& row_key, common::SimTime now);
+
+  /// Appends one sampling period's stats to the object's history.
+  void AppendPeriodStats(const std::string& row_key, std::uint64_t period,
+                         const PeriodStats& stats, common::SimTime now);
+
+  /// Marks an access (updates last_access) without waiting for the period
+  /// flush; used by the optimizer's changed-set query.
+  void TouchObject(const std::string& row_key, common::SimTime now);
+
+  [[nodiscard]] std::optional<ObjectRecord> GetObject(
+      const std::string& row_key) const;
+
+  /// The access history of an object (empty when unknown).
+  [[nodiscard]] AccessHistory GetHistory(const std::string& row_key) const;
+
+  /// Row keys of objects accessed or modified at or after `since` — the set
+  /// A the optimization leader retrieves (Fig. 7).
+  [[nodiscard]] std::vector<std::string> AccessedSince(
+      common::SimTime since) const;
+
+  [[nodiscard]] ClassRegistry& classes() noexcept { return classes_; }
+  [[nodiscard]] const ClassRegistry& classes() const noexcept {
+    return classes_;
+  }
+
+  /// Recomputes per-class mean usage from all per-object histories with a
+  /// map-reduce job over the replicated stats table (§III-C.2).  Returns
+  /// the number of classes refreshed.  Requires a backing store.
+  std::size_t RefreshClassStatsMapReduce(common::ThreadPool& pool);
+
+  [[nodiscard]] std::size_t ObjectCount() const;
+
+ private:
+  void WriteThrough(const std::string& key, const std::string& value,
+                    common::SimTime now);
+
+  store::ReplicatedStore* store_;
+  store::ReplicaId dc_;
+  std::size_t max_history_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ObjectRecord> objects_;
+  std::unordered_map<std::string, AccessHistory> histories_;
+  ClassRegistry classes_;
+};
+
+}  // namespace scalia::stats

@@ -1,0 +1,52 @@
+#include "stats/trend.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scalia::stats {
+
+bool TrendDetector::Observe(double activity) {
+  ++observation_count_;
+  window_.push_back(activity);
+  if (window_.size() > config_.window) window_.pop_front();
+
+  double sum = 0.0;
+  for (double v : window_) sum += v;
+  const double new_sma = sum / static_cast<double>(window_.size());
+
+  const bool had_previous = has_previous_sma_;
+  previous_sma_ = sma_;
+  sma_ = new_sma;
+  has_previous_sma_ = true;
+
+  if (!had_previous) {
+    // First observation: no momentum yet.  A nonzero start is itself a
+    // trend (a brand-new object receiving traffic).
+    return new_sma >= config_.min_activity;
+  }
+
+  // Going fully cold is a trend change when the object was genuinely active
+  // before: the decayed tail of a flash crowd must trigger one final
+  // recomputation (the post-peak points of Fig. 8) even though the absolute
+  // momentum is tiny.  Trickle traffic pausing (SMA below the activity
+  // floor) is not a trend.
+  if (previous_sma_ >= config_.min_activity && sma_ == 0.0) return true;
+
+  const double momentum = std::abs(sma_ - previous_sma_);
+  // Both averages under the floor: the object is idle either way.
+  if (sma_ < config_.min_activity && previous_sma_ < config_.min_activity) {
+    return false;
+  }
+  const double base = std::max(previous_sma_, config_.min_activity);
+  return momentum > config_.limit * base;
+}
+
+void TrendDetector::Reset() {
+  window_.clear();
+  sma_ = 0.0;
+  previous_sma_ = 0.0;
+  has_previous_sma_ = false;
+  observation_count_ = 0;
+}
+
+}  // namespace scalia::stats

@@ -1,0 +1,53 @@
+// Access-pattern trend detection (§III-A.3, Figs. 8-9).
+//
+// A statistics window of w = 3 sampling periods feeds a simple moving
+// average of the object's activity; the *momentum* (change in the SMA) is
+// compared against a threshold `limit` (10 % was "experimentally found to
+// perform adequately").  Only objects whose momentum exceeds the limit get
+// their placement recomputed — the key to running the optimization procedure
+// frequently at scale.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace scalia::stats {
+
+struct TrendConfig {
+  std::size_t window = 3;   // "ma: 3"
+  double limit = 0.1;       // "limit: 0.1" — relative momentum threshold
+  /// Activity below this floor is treated as zero (avoids triggering on
+  /// 1-vs-2-request noise for near-idle objects).
+  double min_activity = 1.0;
+};
+
+class TrendDetector {
+ public:
+  explicit TrendDetector(TrendConfig config = {}) : config_(config) {}
+
+  /// Feeds the activity (operation count) of the just-finished sampling
+  /// period; returns true when a trend change is detected at this period.
+  bool Observe(double activity);
+
+  /// Dynamically adjusts the limit — the paper determines it per object
+  /// class as the minimum momentum that would change the best provider set.
+  void SetLimit(double limit) { config_.limit = limit; }
+  [[nodiscard]] double limit() const noexcept { return config_.limit; }
+
+  [[nodiscard]] double CurrentSma() const noexcept { return sma_; }
+  [[nodiscard]] std::size_t Observations() const noexcept {
+    return observation_count_;
+  }
+
+  void Reset();
+
+ private:
+  TrendConfig config_;
+  std::deque<double> window_;
+  double sma_ = 0.0;
+  bool has_previous_sma_ = false;
+  double previous_sma_ = 0.0;
+  std::size_t observation_count_ = 0;
+};
+
+}  // namespace scalia::stats

@@ -1,0 +1,127 @@
+#include "store/kv_table.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace scalia::store {
+
+std::size_t KvTable::ShardIndex(const std::string& key) const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h % kShards);
+}
+
+std::vector<Version> KvTable::Apply(const std::string& key, Version v) {
+  Shard& shard = shards_[ShardIndex(key)];
+  std::lock_guard lock(shard.mu);
+  return shard.rows[key].Apply(std::move(v));
+}
+
+std::vector<Version> KvTable::Put(const std::string& key, std::string value,
+                                  ReplicaId replica,
+                                  common::SimTime timestamp) {
+  Shard& shard = shards_[ShardIndex(key)];
+  std::lock_guard lock(shard.mu);
+  MvccRow& row = shard.rows[key];
+  Version v;
+  v.value = std::move(value);
+  v.timestamp = timestamp;
+  v.origin = replica;
+  // Register semantics: the new version causally follows everything this
+  // replica has seen for the row.
+  for (const auto& live : row.live()) v.clock.Merge(live.clock);
+  v.clock.Increment(replica);
+  return row.Apply(std::move(v));
+}
+
+std::vector<Version> KvTable::Delete(const std::string& key, ReplicaId replica,
+                                     common::SimTime timestamp) {
+  Shard& shard = shards_[ShardIndex(key)];
+  std::lock_guard lock(shard.mu);
+  MvccRow& row = shard.rows[key];
+  Version v;
+  v.timestamp = timestamp;
+  v.origin = replica;
+  v.tombstone = true;
+  for (const auto& live : row.live()) v.clock.Merge(live.clock);
+  v.clock.Increment(replica);
+  return row.Apply(std::move(v));
+}
+
+std::optional<ReadResult> KvTable::Get(const std::string& key,
+                                       bool include_tombstones) const {
+  const Shard& shard = shards_[ShardIndex(key)];
+  std::lock_guard lock(shard.mu);
+  auto it = shard.rows.find(key);
+  if (it == shard.rows.end()) return std::nullopt;
+  auto latest = it->second.Latest();
+  if (!latest) return std::nullopt;
+  if (latest->tombstone && !include_tombstones) return std::nullopt;
+  ReadResult r;
+  r.value = latest->value;
+  r.timestamp = latest->timestamp;
+  r.tombstone = latest->tombstone;
+  r.conflict = it->second.HasConflict();
+  return r;
+}
+
+std::vector<Version> KvTable::ResolveConflict(const std::string& key) {
+  Shard& shard = shards_[ShardIndex(key)];
+  std::lock_guard lock(shard.mu);
+  auto it = shard.rows.find(key);
+  if (it == shard.rows.end()) return {};
+  return it->second.ResolveLastWriterWins();
+}
+
+std::vector<Version> KvTable::LiveVersions(const std::string& key) const {
+  const Shard& shard = shards_[ShardIndex(key)];
+  std::lock_guard lock(shard.mu);
+  auto it = shard.rows.find(key);
+  if (it == shard.rows.end()) return {};
+  return it->second.live();
+}
+
+std::vector<std::string> KvTable::ScanKeys(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (auto it = shard.rows.lower_bound(prefix); it != shard.rows.end();
+         ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      auto latest = it->second.Latest();
+      if (latest && !latest->tombstone) out.push_back(it->first);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void KvTable::VisitShard(
+    std::size_t shard_index,
+    const std::function<void(const std::string&, const Version&)>& visitor)
+    const {
+  const Shard& shard = shards_[shard_index % kShards];
+  std::lock_guard lock(shard.mu);
+  for (const auto& [key, row] : shard.rows) {
+    auto latest = row.Latest();
+    if (latest && !latest->tombstone) visitor(key, *latest);
+  }
+}
+
+std::size_t KvTable::KeyCount() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (const auto& [key, row] : shard.rows) {
+      auto latest = row.Latest();
+      if (latest && !latest->tombstone) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace scalia::store

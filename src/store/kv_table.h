@@ -1,0 +1,81 @@
+// A sharded, thread-safe MVCC key-value table (one Cassandra column family).
+//
+// Keys are strings (MD5 row keys in Scalia); values are opaque serialized
+// rows.  The table exposes versioned writes, conflict inspection and prefix
+// scans; replication across datacenters sits one level up (ReplicatedStore).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/mvcc.h"
+
+namespace scalia::store {
+
+struct ReadResult {
+  std::string value;
+  common::SimTime timestamp = 0;
+  bool tombstone = false;
+  bool conflict = false;  // more than one live version existed at read time
+};
+
+class KvTable {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  KvTable() = default;
+
+  /// Applies a versioned write.  Returns the superseded versions (for chunk
+  /// GC at the providers).
+  std::vector<Version> Apply(const std::string& key, Version v);
+
+  /// Convenience: writes `value` originating at `replica`, advancing the
+  /// row's merged clock (read-modify-write register semantics).
+  std::vector<Version> Put(const std::string& key, std::string value,
+                           ReplicaId replica, common::SimTime timestamp);
+
+  /// Tombstone write.
+  std::vector<Version> Delete(const std::string& key, ReplicaId replica,
+                              common::SimTime timestamp);
+
+  /// Freshest version for `key`; nullopt when absent or deleted (unless
+  /// `include_tombstones`).
+  [[nodiscard]] std::optional<ReadResult> Get(
+      const std::string& key, bool include_tombstones = false) const;
+
+  /// Resolves any conflict on `key` last-writer-wins; returns loser values.
+  std::vector<Version> ResolveConflict(const std::string& key);
+
+  /// All live versions for `key` (conflict inspection, Fig. 10).
+  [[nodiscard]] std::vector<Version> LiveVersions(const std::string& key) const;
+
+  /// Keys beginning with `prefix`, across all shards, sorted.
+  [[nodiscard]] std::vector<std::string> ScanKeys(
+      const std::string& prefix) const;
+
+  /// Visits every (key, latest-version) pair; the backbone of the map phase
+  /// of statistics jobs.  `shard_index` lets callers process shards in
+  /// parallel; visit order inside a shard is key order.
+  void VisitShard(std::size_t shard_index,
+                  const std::function<void(const std::string&, const Version&)>&
+                      visitor) const;
+
+  [[nodiscard]] std::size_t KeyCount() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, MvccRow> rows;
+  };
+
+  [[nodiscard]] std::size_t ShardIndex(const std::string& key) const;
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace scalia::store

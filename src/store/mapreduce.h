@@ -1,0 +1,67 @@
+// Map-reduce over KvTable shards.
+//
+// §III-C.2: "statistics are obtained using map-reduce jobs on the database,
+// so as to aggregate the statistics of each individual object" — e.g. the
+// per-class lifetime distributions and mean resource usage of Fig. 5/6.
+// The map phase runs one task per table shard on a thread pool; emitted
+// (key, value) pairs are grouped and reduced.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "store/kv_table.h"
+
+namespace scalia::store {
+
+template <typename K2, typename V2>
+class MapReduceJob {
+ public:
+  /// Emits intermediate pairs from one (row key, latest version).
+  using MapFn = std::function<void(
+      const std::string& key, const Version& version,
+      const std::function<void(K2, V2)>& emit)>;
+  /// Folds all values of one intermediate key into the result value.
+  using ReduceFn = std::function<V2(const K2& key, std::vector<V2>& values)>;
+
+  MapReduceJob(MapFn map_fn, ReduceFn reduce_fn)
+      : map_fn_(std::move(map_fn)), reduce_fn_(std::move(reduce_fn)) {}
+
+  /// Runs the job over `table` using `pool`; returns reduced results.
+  std::map<K2, V2> Run(const KvTable& table, common::ThreadPool& pool) const {
+    std::mutex merge_mu;
+    std::map<K2, std::vector<V2>> groups;
+
+    pool.ParallelFor(KvTable::kShards, [&](std::size_t shard) {
+      std::map<K2, std::vector<V2>> local;
+      table.VisitShard(shard, [&](const std::string& key, const Version& v) {
+        map_fn_(key, v,
+                [&local](K2 k, V2 val) {
+                  local[std::move(k)].push_back(std::move(val));
+                });
+      });
+      std::lock_guard lock(merge_mu);
+      for (auto& [k, vals] : local) {
+        auto& dst = groups[k];
+        dst.insert(dst.end(), std::make_move_iterator(vals.begin()),
+                   std::make_move_iterator(vals.end()));
+      }
+    });
+
+    std::map<K2, V2> result;
+    for (auto& [k, vals] : groups) {
+      result.emplace(k, reduce_fn_(k, vals));
+    }
+    return result;
+  }
+
+ private:
+  MapFn map_fn_;
+  ReduceFn reduce_fn_;
+};
+
+}  // namespace scalia::store

@@ -1,0 +1,59 @@
+#include "store/mvcc.h"
+
+#include <algorithm>
+
+namespace scalia::store {
+
+std::vector<Version> MvccRow::Apply(Version v) {
+  std::vector<Version> superseded;
+  std::vector<Version> kept;
+  bool dominated = false;
+  for (auto& existing : live_) {
+    switch (v.clock.Compare(existing.clock)) {
+      case ClockOrder::kAfter:
+        // The incoming write causally supersedes this version.
+        superseded.push_back(std::move(existing));
+        break;
+      case ClockOrder::kBefore:
+      case ClockOrder::kEqual:
+        // Incoming write is stale (or a replay); keep existing.
+        dominated = true;
+        kept.push_back(std::move(existing));
+        break;
+      case ClockOrder::kConcurrent:
+        kept.push_back(std::move(existing));
+        break;
+    }
+  }
+  live_ = std::move(kept);
+  if (!dominated) live_.push_back(std::move(v));
+  return superseded;
+}
+
+std::vector<Version> MvccRow::ResolveLastWriterWins() {
+  if (live_.size() <= 1) return {};
+  auto freshest = std::max_element(
+      live_.begin(), live_.end(),
+      [](const Version& a, const Version& b) { return b.FresherThan(a); });
+  Version winner = std::move(*freshest);
+  std::vector<Version> losers;
+  for (auto& v : live_) {
+    if (&v != &*freshest) losers.push_back(std::move(v));
+  }
+  // The winner's clock absorbs the losers' so later writes supersede all.
+  for (const auto& l : losers) winner.clock.Merge(l.clock);
+  live_.clear();
+  live_.push_back(std::move(winner));
+  return losers;
+}
+
+std::optional<Version> MvccRow::Latest() const {
+  if (live_.empty()) return std::nullopt;
+  const Version* best = &live_[0];
+  for (const auto& v : live_) {
+    if (v.FresherThan(*best)) best = &v;
+  }
+  return *best;
+}
+
+}  // namespace scalia::store

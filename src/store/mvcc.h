@@ -1,0 +1,57 @@
+// Multi-version rows.
+//
+// An update never overwrites in place: it appends a new version; obsolete
+// versions are marked and garbage-collected after conflict resolution, and
+// the discarded versions are reported so the engine can delete the
+// corresponding chunks from the storage providers (Fig. 10).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "store/vector_clock.h"
+
+namespace scalia::store {
+
+struct Version {
+  std::string value;
+  common::SimTime timestamp = 0;  // NTP-synchronized wall time (§III-D)
+  ReplicaId origin = 0;           // tie-break for equal timestamps
+  VectorClock clock;
+  bool tombstone = false;  // deletion marker
+
+  /// "Freshest wins": later timestamp, then higher origin id.
+  [[nodiscard]] bool FresherThan(const Version& o) const noexcept {
+    if (timestamp != o.timestamp) return timestamp > o.timestamp;
+    return origin > o.origin;
+  }
+};
+
+class MvccRow {
+ public:
+  /// Applies a version: drops live versions that are causally dominated,
+  /// keeps concurrent ones (the conflict Fig. 10 illustrates).  Returns the
+  /// values of versions this write superseded, for provider-side chunk GC.
+  std::vector<Version> Apply(Version v);
+
+  /// All currently live (non-superseded) versions.  Size > 1 <=> conflict.
+  [[nodiscard]] const std::vector<Version>& live() const noexcept {
+    return live_;
+  }
+
+  [[nodiscard]] bool HasConflict() const noexcept { return live_.size() > 1; }
+
+  /// Resolves a conflict by keeping only the freshest version; returns the
+  /// losers (Scalia removes their chunks from the providers, §III-D.1).
+  std::vector<Version> ResolveLastWriterWins();
+
+  /// Freshest live version, tombstones included; nullopt for an empty row.
+  [[nodiscard]] std::optional<Version> Latest() const;
+
+ private:
+  std::vector<Version> live_;
+};
+
+}  // namespace scalia::store

@@ -1,0 +1,187 @@
+#include "store/replicated_store.h"
+
+namespace scalia::store {
+
+ReplicatedStore::ReplicatedStore(std::size_t num_datacenters)
+    : replicas_(num_datacenters) {}
+
+void ReplicatedStore::SetDatacenterUp(ReplicaId dc, bool up) {
+  std::lock_guard lock(mu_);
+  replicas_.at(dc).up = up;
+}
+
+bool ReplicatedStore::IsDatacenterUp(ReplicaId dc) const {
+  std::lock_guard lock(mu_);
+  return replicas_.at(dc).up;
+}
+
+KvTable& ReplicatedStore::TableRef(Replica& r, const std::string& table) {
+  auto it = r.tables.find(table);
+  if (it == r.tables.end()) {
+    it = r.tables.emplace(table, std::make_unique<KvTable>()).first;
+  }
+  return *it->second;
+}
+
+void ReplicatedStore::EnqueueReplication(ReplicaId source,
+                                         const std::string& table,
+                                         const std::string& key,
+                                         const Version& v) {
+  for (ReplicaId dc = 0; dc < replicas_.size(); ++dc) {
+    if (dc == source) continue;
+    queue_.push_back(ReplicationRecord{dc, table, key, v});
+  }
+}
+
+common::Status ReplicatedStore::Put(ReplicaId dc, const std::string& table,
+                                    const std::string& key, std::string value,
+                                    common::SimTime timestamp) {
+  KvTable* t = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    Replica& r = replicas_.at(dc);
+    if (!r.up) {
+      return common::Status::Unavailable("datacenter " + std::to_string(dc) +
+                                         " is down");
+    }
+    t = &TableRef(r, table);
+  }
+  t->Put(key, std::move(value), dc, timestamp);
+  // Replicate the version we just created.
+  auto latest = t->LiveVersions(key);
+  std::lock_guard lock(mu_);
+  for (const auto& v : latest) {
+    if (v.origin == dc && v.timestamp == timestamp) {
+      EnqueueReplication(dc, table, key, v);
+      break;
+    }
+  }
+  return common::Status::Ok();
+}
+
+common::Status ReplicatedStore::Delete(ReplicaId dc, const std::string& table,
+                                       const std::string& key,
+                                       common::SimTime timestamp) {
+  KvTable* t = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    Replica& r = replicas_.at(dc);
+    if (!r.up) {
+      return common::Status::Unavailable("datacenter " + std::to_string(dc) +
+                                         " is down");
+    }
+    t = &TableRef(r, table);
+  }
+  t->Delete(key, dc, timestamp);
+  auto latest = t->LiveVersions(key);
+  std::lock_guard lock(mu_);
+  for (const auto& v : latest) {
+    if (v.origin == dc && v.timestamp == timestamp && v.tombstone) {
+      EnqueueReplication(dc, table, key, v);
+      break;
+    }
+  }
+  return common::Status::Ok();
+}
+
+common::Result<ReadResult> ReplicatedStore::Get(ReplicaId dc,
+                                                const std::string& table,
+                                                const std::string& key) const {
+  const KvTable* t = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    const Replica& r = replicas_.at(dc);
+    if (!r.up) {
+      return common::Status::Unavailable("datacenter " + std::to_string(dc) +
+                                         " is down");
+    }
+    auto it = r.tables.find(table);
+    if (it == r.tables.end()) {
+      return common::Status::NotFound("table " + table + " empty at dc");
+    }
+    t = it->second.get();
+  }
+  auto result = t->Get(key);
+  if (!result) return common::Status::NotFound("key " + key);
+  return *result;
+}
+
+common::Result<std::vector<Version>> ReplicatedStore::Resolve(
+    ReplicaId dc, const std::string& table, const std::string& key) {
+  KvTable* t = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    Replica& r = replicas_.at(dc);
+    if (!r.up) {
+      return common::Status::Unavailable("datacenter down");
+    }
+    t = &TableRef(r, table);
+  }
+  std::vector<Version> losers = t->ResolveConflict(key);
+  if (!losers.empty()) {
+    // Replicate the resolution so every replica converges on the winner.
+    auto winner = t->LiveVersions(key);
+    std::lock_guard lock(mu_);
+    for (const auto& v : winner) EnqueueReplication(dc, table, key, v);
+  }
+  return losers;
+}
+
+std::size_t ReplicatedStore::Pump(std::size_t max_records) {
+  std::size_t applied = 0;
+  while (applied < max_records) {
+    ReplicationRecord rec;
+    KvTable* t = nullptr;
+    {
+      std::lock_guard lock(mu_);
+      // Find the first record whose target DC is up; leave records for down
+      // DCs queued (they deliver after recovery — eventual consistency).
+      auto it = queue_.begin();
+      while (it != queue_.end() && !replicas_.at(it->target).up) ++it;
+      if (it == queue_.end()) break;
+      rec = std::move(*it);
+      queue_.erase(it);
+      t = &TableRef(replicas_.at(rec.target), rec.table);
+    }
+    t->Apply(rec.key, std::move(rec.version));
+    ++applied;
+  }
+  return applied;
+}
+
+void ReplicatedStore::SyncAll() {
+  while (true) {
+    {
+      std::lock_guard lock(mu_);
+      bool any_deliverable = false;
+      for (const auto& rec : queue_) {
+        if (replicas_.at(rec.target).up) {
+          any_deliverable = true;
+          break;
+        }
+      }
+      if (!any_deliverable) return;
+    }
+    Pump(1024);
+  }
+}
+
+std::size_t ReplicatedStore::PendingReplication() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+const KvTable* ReplicatedStore::Table(ReplicaId dc,
+                                      const std::string& table) const {
+  std::lock_guard lock(mu_);
+  const Replica& r = replicas_.at(dc);
+  auto it = r.tables.find(table);
+  return it == r.tables.end() ? nullptr : it->second.get();
+}
+
+KvTable* ReplicatedStore::MutableTable(ReplicaId dc, const std::string& table) {
+  std::lock_guard lock(mu_);
+  return &TableRef(replicas_.at(dc), table);
+}
+
+}  // namespace scalia::store

@@ -1,0 +1,98 @@
+// Multi-datacenter, multi-master replicated store.
+//
+// §III-C: clients' requests are routed to all datacenters indifferently, so
+// the metadata/statistics database must accept writes at every replica
+// (multi-master), keep working when a datacenter is down, and converge to a
+// consistent state when it recovers ("eventually consistent").  This class
+// implements that contract over one KvTable per (table, datacenter):
+//
+//   * a write at DC i applies locally and enqueues async replication to all
+//     other DCs; while a DC is down its queue simply grows;
+//   * Pump() delivers queued replication records (tests call SyncAll());
+//   * concurrent writes in different DCs surface as MVCC conflicts, resolved
+//     last-writer-wins with the losers reported for chunk GC (Fig. 10).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "store/kv_table.h"
+
+namespace scalia::store {
+
+class ReplicatedStore {
+ public:
+  /// Creates a store spanning `num_datacenters` replicas of each table.
+  explicit ReplicatedStore(std::size_t num_datacenters);
+
+  [[nodiscard]] std::size_t num_datacenters() const noexcept {
+    return replicas_.size();
+  }
+
+  /// Marks a datacenter down/up.  Writes and reads at a down DC fail with
+  /// Unavailable; replication to it queues until recovery.
+  void SetDatacenterUp(ReplicaId dc, bool up);
+  [[nodiscard]] bool IsDatacenterUp(ReplicaId dc) const;
+
+  /// Writes `value` under `key` in `table` at datacenter `dc`.
+  common::Status Put(ReplicaId dc, const std::string& table,
+                     const std::string& key, std::string value,
+                     common::SimTime timestamp);
+
+  /// Tombstones `key`.
+  common::Status Delete(ReplicaId dc, const std::string& table,
+                        const std::string& key, common::SimTime timestamp);
+
+  /// Reads the freshest version visible at datacenter `dc`.
+  common::Result<ReadResult> Get(ReplicaId dc, const std::string& table,
+                                 const std::string& key) const;
+
+  /// Resolves a conflict at `dc` last-writer-wins and replicates the winner;
+  /// returns the losing values (their chunks must be GC'ed by the caller).
+  common::Result<std::vector<Version>> Resolve(ReplicaId dc,
+                                               const std::string& table,
+                                               const std::string& key);
+
+  /// Delivers up to `max_records` queued replication records to live DCs;
+  /// returns how many were applied.
+  std::size_t Pump(std::size_t max_records = SIZE_MAX);
+
+  /// Pumps until every queue to a live DC is drained.
+  void SyncAll();
+
+  [[nodiscard]] std::size_t PendingReplication() const;
+
+  /// Direct access to a replica table (read-mostly: scans, map-reduce).
+  [[nodiscard]] const KvTable* Table(ReplicaId dc,
+                                     const std::string& table) const;
+  [[nodiscard]] KvTable* MutableTable(ReplicaId dc, const std::string& table);
+
+ private:
+  struct ReplicationRecord {
+    ReplicaId target;
+    std::string table;
+    std::string key;
+    Version version;
+  };
+
+  struct Replica {
+    bool up = true;
+    // table name -> table
+    std::unordered_map<std::string, std::unique_ptr<KvTable>> tables;
+  };
+
+  KvTable& TableRef(Replica& r, const std::string& table);
+  void EnqueueReplication(ReplicaId source, const std::string& table,
+                          const std::string& key, const Version& v);
+
+  mutable std::mutex mu_;  // guards replicas_ map shape + queue + up flags
+  std::vector<Replica> replicas_;
+  std::deque<ReplicationRecord> queue_;
+};
+
+}  // namespace scalia::store

@@ -1,0 +1,83 @@
+// Vector clocks for MVCC conflict detection.
+//
+// §III-C.1: concurrent updates of the same metadata row in different
+// datacenters must be *detected* (not silently lost); the database keeps
+// both versions until conflict resolution picks the freshest (Fig. 10).
+// Vector clocks provide the happens-before partial order: a version is
+// replaced only by causally later writes, concurrent writes coexist.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace scalia::store {
+
+/// Replicas (one per datacenter) are identified by small integers.
+using ReplicaId = std::uint32_t;
+
+enum class ClockOrder { kBefore, kAfter, kEqual, kConcurrent };
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  void Increment(ReplicaId r) { ++entries_[r]; }
+
+  [[nodiscard]] std::uint64_t Get(ReplicaId r) const {
+    auto it = entries_.find(r);
+    return it == entries_.end() ? 0 : it->second;
+  }
+
+  /// Pointwise maximum, used after merging replicated state.
+  void Merge(const VectorClock& o) {
+    for (const auto& [r, v] : o.entries_) {
+      auto& mine = entries_[r];
+      if (v > mine) mine = v;
+    }
+  }
+
+  /// Happens-before comparison.
+  [[nodiscard]] ClockOrder Compare(const VectorClock& o) const {
+    bool less = false, greater = false;
+    auto a = entries_.begin();
+    auto b = o.entries_.begin();
+    while (a != entries_.end() || b != o.entries_.end()) {
+      std::uint64_t va = 0, vb = 0;
+      if (b == o.entries_.end() || (a != entries_.end() && a->first < b->first)) {
+        va = a->second;
+        ++a;
+      } else if (a == entries_.end() || b->first < a->first) {
+        vb = b->second;
+        ++b;
+      } else {
+        va = a->second;
+        vb = b->second;
+        ++a;
+        ++b;
+      }
+      if (va < vb) less = true;
+      if (va > vb) greater = true;
+    }
+    if (less && greater) return ClockOrder::kConcurrent;
+    if (less) return ClockOrder::kBefore;
+    if (greater) return ClockOrder::kAfter;
+    return ClockOrder::kEqual;
+  }
+
+  [[nodiscard]] std::string ToString() const {
+    std::string s = "{";
+    for (const auto& [r, v] : entries_) {
+      if (s.size() > 1) s += ",";
+      s += std::to_string(r) + ":" + std::to_string(v);
+    }
+    return s + "}";
+  }
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+ private:
+  std::map<ReplicaId, std::uint64_t> entries_;
+};
+
+}  // namespace scalia::store

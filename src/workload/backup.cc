@@ -1,0 +1,62 @@
+#include "workload/backup.h"
+
+namespace scalia::workload {
+
+simx::ScenarioSpec BackupScenario(const BackupParams& params) {
+  simx::ScenarioSpec scenario;
+  scenario.name = "backup";
+  scenario.sampling_period = common::kHour;
+  scenario.num_periods = params.total_hours;
+
+  const core::StorageRule rule{.name = "backup",
+                               .durability = params.durability,
+                               .availability = params.availability,
+                               .allowed_zones = provider::ZoneSet::All(),
+                               .lockin = params.lockin,
+                               .ttl_hint = std::nullopt};
+
+  std::size_t index = 0;
+  for (std::size_t h = 0; h < params.total_hours; h += params.interval_hours) {
+    simx::SimObject obj;
+    obj.name = "backup-" + std::to_string(index++);
+    obj.size = params.object_size;
+    obj.mime = "application/x-tar";
+    obj.rule = rule;
+    obj.created_period = h;
+    scenario.objects.push_back(std::move(obj));
+  }
+  return scenario;
+}
+
+simx::SimEnvironment AddProviderEnvironment(std::size_t cheapstor_hour) {
+  simx::SimEnvironment env = simx::SimEnvironment::Paper();
+  env.Add(simx::ProviderTimeline{
+      .spec = provider::CheapStorSpec(),
+      .available_from =
+          static_cast<common::SimTime>(cheapstor_hour) * common::kHour,
+      .available_until = std::nullopt,
+      .outages = {},
+      .price_changes = {}});
+  return env;
+}
+
+simx::SimEnvironment TransientFailureEnvironment(std::size_t failure_from,
+                                                 std::size_t failure_to) {
+  std::vector<simx::ProviderTimeline> timelines;
+  for (auto& spec : provider::PaperCatalog()) {
+    simx::ProviderTimeline t{.spec = std::move(spec),
+                             .available_from = 0,
+                             .available_until = std::nullopt,
+                             .outages = {},
+                             .price_changes = {}};
+    if (t.spec.id == "S3(l)") {
+      t.outages.AddOutage(
+          static_cast<common::SimTime>(failure_from) * common::kHour,
+          static_cast<common::SimTime>(failure_to) * common::kHour);
+    }
+    timelines.push_back(std::move(t));
+  }
+  return simx::SimEnvironment(std::move(timelines));
+}
+
+}  // namespace scalia::workload

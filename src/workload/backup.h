@@ -1,0 +1,39 @@
+// Backup scenarios (§IV-D "Adding Storage Resources", Fig. 17, and §IV-E
+// "Active repair", Fig. 18).
+//
+// A new 40 MB object is stored every 5 hours.  The data owner's priority is
+// avoiding vendor lock-in: each object must span at least two providers
+// (lock-in factor 0.5), with high durability.  Fig. 17 runs 600 hours and
+// registers CheapStor at hour 400; Fig. 18 runs 180 hours with S3(l)
+// unreachable between hours 60 and 120.
+#pragma once
+
+#include "common/units.h"
+#include "simx/environment.h"
+#include "simx/scenario.h"
+
+namespace scalia::workload {
+
+struct BackupParams {
+  std::size_t total_hours = 600;
+  std::size_t interval_hours = 5;
+  common::Bytes object_size = 40 * common::kMB;
+  double lockin = 0.5;          // at least 2 distinct providers
+  double durability = 0.999999; // 6 nines — backups are long-lived
+  double availability = 0.9999;
+};
+
+[[nodiscard]] simx::ScenarioSpec BackupScenario(
+    const BackupParams& params = {});
+
+/// The Fig. 17 environment: the paper's five providers plus CheapStor
+/// arriving at `cheapstor_hour` (default 400).
+[[nodiscard]] simx::SimEnvironment AddProviderEnvironment(
+    std::size_t cheapstor_hour = 400);
+
+/// The Fig. 18 environment: the paper's five providers with S3(l)
+/// unreachable during [failure_from, failure_to) hours.
+[[nodiscard]] simx::SimEnvironment TransientFailureEnvironment(
+    std::size_t failure_from = 60, std::size_t failure_to = 120);
+
+}  // namespace scalia::workload

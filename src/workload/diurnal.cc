@@ -1,0 +1,72 @@
+#include "workload/diurnal.h"
+
+#include <cmath>
+
+namespace scalia::workload {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+
+double Profile(const RegionProfile& r, double utc_hour) {
+  const double local = utc_hour + r.utc_offset_hours;
+  const double phase = kTwoPi * (local - r.peak_local_hour) / 24.0;
+  return std::exp(r.concentration * std::cos(phase));
+}
+}  // namespace
+
+std::vector<RegionProfile> PaperRegions() {
+  return {
+      {.name = "EU", .weight = 0.62, .utc_offset_hours = 1.0,
+       .peak_local_hour = 14.0, .concentration = 1.5},
+      {.name = "NA", .weight = 0.27, .utc_offset_hours = -6.0,
+       .peak_local_hour = 14.0, .concentration = 1.5},
+      {.name = "Asia", .weight = 0.06, .utc_offset_hours = 8.0,
+       .peak_local_hour = 14.0, .concentration = 1.5},
+      {.name = "other", .weight = 0.05, .utc_offset_hours = 0.0,
+       .peak_local_hour = 14.0, .concentration = 0.0},  // uniform
+  };
+}
+
+DiurnalTrafficModel::DiurnalTrafficModel(double visits_per_day,
+                                         std::vector<RegionProfile> regions)
+    : visits_per_day_(visits_per_day), regions_(std::move(regions)) {
+  region_norms_.reserve(regions_.size());
+  for (const auto& r : regions_) {
+    double daily = 0.0;
+    for (int h = 0; h < 24; ++h) daily += Profile(r, static_cast<double>(h));
+    region_norms_.push_back(daily > 0.0 ? daily : 1.0);
+  }
+}
+
+double DiurnalTrafficModel::ExpectedVisitsInHour(double utc_hour) const {
+  double visits = 0.0;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    const auto& r = regions_[i];
+    visits += visits_per_day_ * r.weight * Profile(r, utc_hour) /
+              region_norms_[i];
+  }
+  return visits;
+}
+
+std::vector<double> DiurnalTrafficModel::ExpectedSeries(
+    std::size_t num_hours) const {
+  std::vector<double> out;
+  out.reserve(num_hours);
+  for (std::size_t h = 0; h < num_hours; ++h) {
+    out.push_back(ExpectedVisitsInHour(static_cast<double>(h)));
+  }
+  return out;
+}
+
+std::vector<double> DiurnalTrafficModel::SampledSeries(
+    std::size_t num_hours, common::Xoshiro256& rng) const {
+  std::vector<double> out;
+  out.reserve(num_hours);
+  for (std::size_t h = 0; h < num_hours; ++h) {
+    out.push_back(static_cast<double>(
+        rng.NextPoisson(ExpectedVisitsInHour(static_cast<double>(h)))));
+  }
+  return out;
+}
+
+}  // namespace scalia::workload

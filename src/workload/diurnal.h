@@ -1,0 +1,58 @@
+// Diurnal website traffic model.
+//
+// The Gallery scenario and the trend-detection figures use "the daily
+// pattern of a real website which has around 2500 visitors per day mainly
+// coming from Europe (62%), North America (27%) and Asia (6%)" (§IV-C).
+// We synthesize that pattern as a mixture of per-region day/night profiles:
+// each region contributes a von-Mises-shaped daily curve peaking in its
+// local afternoon, weighted by its share of the visitors; the remaining 5 %
+// arrive uniformly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace scalia::workload {
+
+struct RegionProfile {
+  std::string name;
+  double weight = 0.0;          // share of daily visitors
+  double utc_offset_hours = 0;  // representative timezone of the region
+  double peak_local_hour = 14.0;
+  double concentration = 1.5;   // larger = sharper day/night contrast
+};
+
+/// EU 62 %, NA 27 %, Asia 6 %, plus a 5 % uniform remainder.
+[[nodiscard]] std::vector<RegionProfile> PaperRegions();
+
+class DiurnalTrafficModel {
+ public:
+  explicit DiurnalTrafficModel(double visits_per_day,
+                               std::vector<RegionProfile> regions =
+                                   PaperRegions());
+
+  /// Expected visits during the hour starting at `utc_hour` (may exceed 24;
+  /// only the hour-of-day matters).
+  [[nodiscard]] double ExpectedVisitsInHour(double utc_hour) const;
+
+  /// Expected hourly series of length `num_hours` starting at UTC hour 0.
+  [[nodiscard]] std::vector<double> ExpectedSeries(
+      std::size_t num_hours) const;
+
+  /// Poisson-sampled hourly series (deterministic under `rng`'s seed).
+  [[nodiscard]] std::vector<double> SampledSeries(
+      std::size_t num_hours, common::Xoshiro256& rng) const;
+
+  [[nodiscard]] double visits_per_day() const noexcept {
+    return visits_per_day_;
+  }
+
+ private:
+  double visits_per_day_;
+  std::vector<RegionProfile> regions_;
+  std::vector<double> region_norms_;  // per-region daily normalization
+};
+
+}  // namespace scalia::workload

@@ -1,0 +1,57 @@
+#include "workload/gallery.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "workload/diurnal.h"
+
+namespace scalia::workload {
+
+simx::ScenarioSpec GalleryScenario(const GalleryParams& params) {
+  simx::ScenarioSpec scenario;
+  scenario.name = "gallery";
+  scenario.sampling_period = common::kHour;
+  scenario.num_periods = params.total_hours;
+
+  common::Xoshiro256 rng(params.seed);
+
+  // Popularity weights ~ truncated Pareto.
+  std::vector<double> weights(params.num_pictures);
+  double weight_sum = 0.0;
+  for (auto& w : weights) {
+    w = std::min(params.pareto_cap,
+                 rng.NextPareto(params.pareto_shape, params.pareto_scale));
+    weight_sum += w;
+  }
+
+  // Hourly site traffic (shared by all pictures).
+  const DiurnalTrafficModel traffic(params.visits_per_day);
+  const std::vector<double> visits =
+      traffic.SampledSeries(params.total_hours, rng);
+
+  const core::StorageRule rule{.name = "gallery",
+                               .durability = params.durability,
+                               .availability = params.availability,
+                               .allowed_zones = provider::ZoneSet::All(),
+                               .lockin = 1.0,
+                               .ttl_hint = std::nullopt};
+
+  for (std::size_t i = 0; i < params.num_pictures; ++i) {
+    simx::SimObject obj;
+    obj.name = "picture-" + std::to_string(i);
+    obj.size = params.picture_size;
+    obj.mime = "image/jpeg";
+    obj.rule = rule;
+    obj.created_period = 0;
+    obj.reads.assign(params.total_hours, 0.0);
+    const double share = weights[i] / weight_sum;
+    for (std::size_t h = 0; h < params.total_hours; ++h) {
+      const double mean = visits[h] * share * params.reads_per_visit;
+      obj.reads[h] = static_cast<double>(rng.NextPoisson(mean));
+    }
+    scenario.objects.push_back(std::move(obj));
+  }
+  return scenario;
+}
+
+}  // namespace scalia::workload

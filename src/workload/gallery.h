@@ -1,0 +1,34 @@
+// The Gallery scenario (§IV-C, Figs. 15 and 16).
+//
+// 200 pictures of 250 KB each, served to ~2500 visitors/day following the
+// diurnal pattern of a real website (EU 62 % / NA 27 % / Asia 6 %); picture
+// popularity is Pareto(1, 50)-distributed, so a few pictures draw most of
+// the traffic while the long tail sits cold.  Minimum availability 99.99 %.
+#pragma once
+
+#include "common/units.h"
+#include "simx/scenario.h"
+
+namespace scalia::workload {
+
+struct GalleryParams {
+  std::size_t num_pictures = 200;
+  common::Bytes picture_size = 250 * common::kKB;
+  std::size_t total_hours = 180;  // 7.5 days
+  double visits_per_day = 2500.0;
+  /// "Pareto (1,50)": shape 1, truncated at weight 50 (keeps the heaviest
+  /// head bounded, as a 200-sample draw from an untruncated Pareto(1) would
+  /// be dominated by a single outlier).
+  double pareto_shape = 1.0;
+  double pareto_scale = 1.0;
+  double pareto_cap = 50.0;
+  double reads_per_visit = 1.0;
+  double availability = 0.9999;
+  double durability = 0.99999;
+  std::uint64_t seed = 20120407;
+};
+
+[[nodiscard]] simx::ScenarioSpec GalleryScenario(
+    const GalleryParams& params = {});
+
+}  // namespace scalia::workload

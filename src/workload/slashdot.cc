@@ -1,0 +1,44 @@
+#include "workload/slashdot.h"
+
+namespace scalia::workload {
+
+simx::ScenarioSpec SlashdotScenario(const SlashdotParams& params) {
+  simx::ScenarioSpec scenario;
+  scenario.name = "slashdot";
+  scenario.sampling_period = common::kHour;
+  scenario.num_periods = params.total_hours;
+
+  simx::SimObject obj;
+  obj.name = "article-asset";
+  obj.size = params.object_size;
+  obj.mime = "image/png";
+  obj.rule = core::StorageRule{.name = "slashdot",
+                               .durability = params.durability,
+                               .availability = params.availability,
+                               .allowed_zones = provider::ZoneSet::All(),
+                               .lockin = 1.0,
+                               .ttl_hint = std::nullopt};
+  obj.created_period = 0;
+  obj.reads.assign(params.total_hours, 0.0);
+
+  // Ramp: 0 -> peak within ramp_hours.
+  for (std::size_t i = 0; i < params.ramp_hours; ++i) {
+    const std::size_t h = params.quiet_hours + i;
+    if (h >= params.total_hours) break;
+    obj.reads[h] = params.peak_reads_per_hour *
+                   static_cast<double>(i + 1) /
+                   static_cast<double>(params.ramp_hours);
+  }
+  // Decay: peak - k * decay until zero.
+  double rate = params.peak_reads_per_hour;
+  for (std::size_t h = params.quiet_hours + params.ramp_hours;
+       h < params.total_hours && rate > 0.0; ++h) {
+    rate -= params.decay_per_hour;
+    if (rate <= 0.0) break;
+    obj.reads[h] = rate;
+  }
+  scenario.objects.push_back(std::move(obj));
+  return scenario;
+}
+
+}  // namespace scalia::workload

@@ -1,0 +1,28 @@
+// The Slashdot-effect scenario (§IV-B, Figs. 12 and 14).
+//
+// One 1 MB object sits idle for 48 hours; read traffic then ramps from 0 to
+// 150 requests/hour within 3 hours and decays at 2 requests/hour back to
+// zero.  Total horizon 180 hours (7.5 days).  Constraints: availability
+// 99.99 %, durability 99.999 %.
+#pragma once
+
+#include "common/units.h"
+#include "simx/scenario.h"
+
+namespace scalia::workload {
+
+struct SlashdotParams {
+  std::size_t total_hours = 180;
+  std::size_t quiet_hours = 48;
+  std::size_t ramp_hours = 3;
+  double peak_reads_per_hour = 150.0;
+  double decay_per_hour = 2.0;
+  common::Bytes object_size = common::kMB;
+  double availability = 0.9999;
+  double durability = 0.99999;
+};
+
+[[nodiscard]] simx::ScenarioSpec SlashdotScenario(
+    const SlashdotParams& params = {});
+
+}  // namespace scalia::workload

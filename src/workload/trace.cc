@@ -1,0 +1,88 @@
+#include "workload/trace.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace scalia::workload {
+
+common::Result<simx::ScenarioSpec> LoadTrace(std::istream& in,
+                                             const core::StorageRule& rule,
+                                             std::size_t num_periods) {
+  std::map<std::string, simx::SimObject> objects;
+  std::map<std::string, std::map<std::size_t, double>> reads;
+  std::size_t max_period = 0;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = common::Split(line, ',');
+    if (fields.size() != 6) {
+      if (line_no == 1) continue;  // header row
+      return common::Status::InvalidArgument(
+          "trace line " + std::to_string(line_no) + ": expected 6 fields");
+    }
+    const std::string& name = fields[0];
+    char* end = nullptr;
+    const auto size =
+        static_cast<common::Bytes>(std::strtoull(fields[1].c_str(), &end, 10));
+    if (end == fields[1].c_str()) {
+      if (line_no == 1) continue;  // header row
+      return common::Status::InvalidArgument(
+          "trace line " + std::to_string(line_no) + ": bad size");
+    }
+    const std::string& mime = fields[2];
+    const auto created =
+        static_cast<std::size_t>(std::strtoull(fields[3].c_str(), nullptr, 10));
+    const auto period =
+        static_cast<std::size_t>(std::strtoull(fields[4].c_str(), nullptr, 10));
+    const double count = std::strtod(fields[5].c_str(), nullptr);
+
+    auto [it, inserted] = objects.try_emplace(name);
+    if (inserted) {
+      it->second.name = name;
+      it->second.size = size;
+      it->second.mime = mime;
+      it->second.rule = rule;
+      it->second.created_period = created;
+    }
+    if (count > 0.0) reads[name][period] += count;
+    max_period = std::max(max_period, period);
+  }
+  if (objects.empty()) {
+    return common::Status::InvalidArgument("empty trace");
+  }
+
+  simx::ScenarioSpec scenario;
+  scenario.name = "trace";
+  scenario.num_periods = num_periods > 0 ? num_periods : max_period + 1;
+  for (auto& [name, obj] : objects) {
+    obj.reads.assign(scenario.num_periods - obj.created_period, 0.0);
+    if (auto it = reads.find(name); it != reads.end()) {
+      for (const auto& [period, count] : it->second) {
+        if (period >= obj.created_period &&
+            period < scenario.num_periods) {
+          obj.reads[period - obj.created_period] = count;
+        }
+      }
+    }
+    scenario.objects.push_back(std::move(obj));
+  }
+  return scenario;
+}
+
+common::Result<simx::ScenarioSpec> LoadTraceFile(const std::string& path,
+                                                 const core::StorageRule& rule,
+                                                 std::size_t num_periods) {
+  std::ifstream in(path);
+  if (!in) {
+    return common::Status::NotFound("cannot open trace file " + path);
+  }
+  return LoadTrace(in, rule, num_periods);
+}
+
+}  // namespace scalia::workload

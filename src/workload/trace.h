@@ -1,0 +1,30 @@
+// Trace replay: build a scenario from a CSV access trace.
+//
+// Lets users replay their own workloads through the simulator.  Format
+// (header optional, '#' comments ignored):
+//
+//     object,size_bytes,mime,created_period,period,reads
+//
+// Each (object, period) line adds `reads` read operations in that sampling
+// period; the object row metadata (size/mime/created) is taken from the
+// first line mentioning the object.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "common/status.h"
+#include "core/rule.h"
+#include "simx/scenario.h"
+
+namespace scalia::workload {
+
+[[nodiscard]] common::Result<simx::ScenarioSpec> LoadTrace(
+    std::istream& in, const core::StorageRule& rule,
+    std::size_t num_periods = 0 /* 0 = max period in trace + 1 */);
+
+[[nodiscard]] common::Result<simx::ScenarioSpec> LoadTraceFile(
+    const std::string& path, const core::StorageRule& rule,
+    std::size_t num_periods = 0);
+
+}  // namespace scalia::workload

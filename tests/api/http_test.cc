@@ -1,0 +1,118 @@
+#include "api/http.h"
+
+#include <gtest/gtest.h>
+
+namespace scalia::api {
+namespace {
+
+TEST(MethodTest, ParseAndName) {
+  EXPECT_EQ(ParseMethod("GET"), HttpMethod::kGet);
+  EXPECT_EQ(ParseMethod("PUT"), HttpMethod::kPut);
+  EXPECT_EQ(ParseMethod("DELETE"), HttpMethod::kDelete);
+  EXPECT_EQ(ParseMethod("HEAD"), HttpMethod::kHead);
+  EXPECT_FALSE(ParseMethod("POST").has_value());
+  EXPECT_FALSE(ParseMethod("get").has_value());
+  EXPECT_EQ(MethodName(HttpMethod::kDelete), "DELETE");
+}
+
+TEST(HeaderMapTest, CaseInsensitiveNames) {
+  HeaderMap headers;
+  headers.Set("Content-Type", "image/gif");
+  EXPECT_EQ(headers.Get("content-type"), "image/gif");
+  EXPECT_EQ(headers.Get("CONTENT-TYPE"), "image/gif");
+  EXPECT_TRUE(headers.Contains("Content-type"));
+  EXPECT_FALSE(headers.Contains("content-length"));
+  headers.Set("CONTENT-TYPE", "text/plain");
+  EXPECT_EQ(headers.Get("Content-Type"), "text/plain");
+  EXPECT_EQ(headers.size(), 1u);
+}
+
+TEST(UrlCodecTest, DecodeBasics) {
+  EXPECT_EQ(UrlDecode("abc").value(), "abc");
+  EXPECT_EQ(UrlDecode("a%20b").value(), "a b");
+  EXPECT_EQ(UrlDecode("a+b").value(), "a b");
+  EXPECT_EQ(UrlDecode("%2Fetc%2Fpasswd").value(), "/etc/passwd");
+  EXPECT_EQ(UrlDecode("%C3%A9").value(), "\xC3\xA9");
+}
+
+TEST(UrlCodecTest, DecodeRejectsMalformedEscapes) {
+  EXPECT_FALSE(UrlDecode("%").ok());
+  EXPECT_FALSE(UrlDecode("%2").ok());
+  EXPECT_FALSE(UrlDecode("%zz").ok());
+  EXPECT_FALSE(UrlDecode("ok%2").ok());
+}
+
+TEST(UrlCodecTest, EncodeDecodeRoundTrip) {
+  const std::string inputs[] = {"plain", "with space", "slash/and?query=1",
+                                "unicode \xC3\xA9", "percent%sign",
+                                "key.with-safe_chars~"};
+  for (const auto& s : inputs) {
+    auto decoded = UrlDecode(UrlEncode(s));
+    ASSERT_TRUE(decoded.ok()) << s;
+    EXPECT_EQ(*decoded, s);
+  }
+}
+
+TEST(UrlCodecTest, EncodeLeavesUnreservedAlone) {
+  EXPECT_EQ(UrlEncode("AZaz09-_.~"), "AZaz09-_.~");
+  EXPECT_EQ(UrlEncode("a b"), "a%20b");
+  EXPECT_EQ(UrlEncode("a/b"), "a%2Fb");
+}
+
+TEST(ParseTargetTest, PathAndQuery) {
+  auto parsed = ParseTarget("/pictures/holiday%20pic.gif?x=1&y=two%20words");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->segments.size(), 2u);
+  EXPECT_EQ(parsed->segments[0], "pictures");
+  EXPECT_EQ(parsed->segments[1], "holiday pic.gif");
+  EXPECT_EQ(parsed->query.at("x"), "1");
+  EXPECT_EQ(parsed->query.at("y"), "two words");
+}
+
+TEST(ParseTargetTest, RootAndSingleSegment) {
+  auto root = ParseTarget("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->segments.empty());
+
+  auto one = ParseTarget("/bucket");
+  ASSERT_TRUE(one.ok());
+  ASSERT_EQ(one->segments.size(), 1u);
+  EXPECT_EQ(one->segments[0], "bucket");
+
+  auto trailing = ParseTarget("/bucket/");
+  ASSERT_TRUE(trailing.ok());
+  EXPECT_EQ(trailing->segments.size(), 1u);
+}
+
+TEST(ParseTargetTest, RejectsTraversalAndMalformedPaths) {
+  EXPECT_FALSE(ParseTarget("").ok());
+  EXPECT_FALSE(ParseTarget("bucket/key").ok());
+  EXPECT_FALSE(ParseTarget("/a//b").ok());
+  EXPECT_FALSE(ParseTarget("/a/../b").ok());
+  EXPECT_FALSE(ParseTarget("/%2E%2E/b").ok());  // encoded ".."
+  EXPECT_FALSE(ParseTarget("/a/%zz").ok());
+}
+
+TEST(ParseTargetTest, QueryEdgeCases) {
+  auto no_value = ParseTarget("/b?flag");
+  ASSERT_TRUE(no_value.ok());
+  EXPECT_EQ(no_value->query.at("flag"), "");
+
+  auto empty_query = ParseTarget("/b?");
+  ASSERT_TRUE(empty_query.ok());
+  EXPECT_TRUE(empty_query->query.empty());
+
+  auto multi = ParseTarget("/b?a=1&&b=2");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi->query.size(), 2u);
+}
+
+TEST(StatusTextTest, KnownCodes) {
+  EXPECT_EQ(StatusText(200), "OK");
+  EXPECT_EQ(StatusText(404), "Not Found");
+  EXPECT_EQ(StatusText(503), "Service Unavailable");
+  EXPECT_EQ(StatusText(999), "Unknown");
+}
+
+}  // namespace
+}  // namespace scalia::api

@@ -1,0 +1,115 @@
+#include "billing/invoice.h"
+
+#include <gtest/gtest.h>
+
+#include "provider/spec.h"
+
+namespace scalia::billing {
+namespace {
+
+using common::kHour;
+
+provider::ProviderSpec S3h() {
+  for (auto& spec : provider::PaperCatalog()) {
+    if (spec.id == "S3(h)") return spec;
+  }
+  return {};
+}
+
+provider::PeriodUsage SampleUsage() {
+  // 720 GB-hours = exactly one GB-month at the 30-day convention.
+  return provider::PeriodUsage{.storage_gb_hours = 720.0,
+                               .bw_in_gb = 2.0,
+                               .bw_out_gb = 3.0,
+                               .ops = 4000.0};
+}
+
+TEST(InvoiceTest, LineItemsMatchFig3Pricing) {
+  const Invoice invoice = MakeInvoice(S3h(), SampleUsage(), 0, 720 * kHour);
+  ASSERT_EQ(invoice.lines.size(), 4u);
+
+  // storage: 1 GB-month @ 0.14.
+  EXPECT_EQ(invoice.lines[0].kind, LineKind::kStorage);
+  EXPECT_NEAR(invoice.lines[0].quantity, 1.0, 1e-12);
+  EXPECT_NEAR(invoice.lines[0].amount.usd(), 0.14, 1e-12);
+  // bw in: 2 GB @ 0.1.
+  EXPECT_NEAR(invoice.lines[1].amount.usd(), 0.2, 1e-12);
+  // bw out: 3 GB @ 0.15.
+  EXPECT_NEAR(invoice.lines[2].amount.usd(), 0.45, 1e-12);
+  // ops: 4000 requests @ 0.01 / 1000.
+  EXPECT_NEAR(invoice.lines[3].amount.usd(), 0.04, 1e-12);
+
+  EXPECT_NEAR(invoice.total.usd(), 0.14 + 0.2 + 0.45 + 0.04, 1e-12);
+}
+
+TEST(InvoiceTest, ZeroUsageBillsZero) {
+  const Invoice invoice = MakeInvoice(S3h(), {}, 0, kHour);
+  EXPECT_NEAR(invoice.total.usd(), 0.0, 1e-15);
+}
+
+TEST(InvoiceTest, ToStringMentionsEveryLine) {
+  const std::string text =
+      MakeInvoice(S3h(), SampleUsage(), 0, 720 * kHour).ToString();
+  EXPECT_NE(text.find("S3(h)"), std::string::npos);
+  EXPECT_NE(text.find("storage"), std::string::npos);
+  EXPECT_NE(text.find("bandwidth-in"), std::string::npos);
+  EXPECT_NE(text.find("bandwidth-out"), std::string::npos);
+  EXPECT_NE(text.find("operations"), std::string::npos);
+  EXPECT_NE(text.find("total:"), std::string::npos);
+}
+
+TEST(LedgerTest, AccruesAcrossPeriodsAndCutsStatement) {
+  Ledger ledger;
+  const auto catalog = provider::PaperCatalog();
+  for (int period = 0; period < 3; ++period) {
+    ledger.Accrue("S3(h)", provider::PeriodUsage{.storage_gb_hours = 10.0,
+                                                 .bw_in_gb = 1.0,
+                                                 .bw_out_gb = 0.0,
+                                                 .ops = 100.0});
+    ledger.Accrue("RS", provider::PeriodUsage{.storage_gb_hours = 5.0,
+                                              .bw_in_gb = 0.5,
+                                              .bw_out_gb = 0.25,
+                                              .ops = 50.0});
+  }
+  EXPECT_EQ(ledger.ProviderCount(), 2u);
+
+  const Statement statement = ledger.Cut(3 * kHour, catalog);
+  ASSERT_EQ(statement.invoices.size(), 2u);
+  EXPECT_EQ(statement.window_start, 0);
+  EXPECT_EQ(statement.window_end, 3 * kHour);
+  // Alphabetical provider order for determinism.
+  EXPECT_EQ(statement.invoices[0].provider, "RS");
+  EXPECT_EQ(statement.invoices[1].provider, "S3(h)");
+  // 3 periods x 1 GB in @ 0.1 for S3(h).
+  EXPECT_NEAR(statement.invoices[1].lines[1].amount.usd(), 0.3, 1e-12);
+  EXPECT_GT(statement.Total().usd(), 0.0);
+
+  // The cut resets the window.
+  const Statement empty = ledger.Cut(4 * kHour, catalog);
+  EXPECT_TRUE(empty.invoices.empty());
+  EXPECT_EQ(empty.window_start, 3 * kHour);
+}
+
+TEST(LedgerTest, UnknownProvidersSkipped) {
+  Ledger ledger;
+  ledger.Accrue("NoSuchCloud", provider::PeriodUsage{.storage_gb_hours = 1.0,
+                                                     .bw_in_gb = 0.0,
+                                                     .bw_out_gb = 0.0,
+                                                     .ops = 0.0});
+  const Statement statement = ledger.Cut(kHour, provider::PaperCatalog());
+  EXPECT_TRUE(statement.invoices.empty());
+}
+
+TEST(StatementTest, CsvHasHeaderAndOneRowPerLine) {
+  Ledger ledger;
+  ledger.Accrue("S3(h)", SampleUsage());
+  const Statement statement = ledger.Cut(kHour, provider::PaperCatalog());
+  const std::string csv = statement.ToCsv();
+  EXPECT_EQ(csv.find("provider,line,quantity,unit,unit_price,amount"), 0u);
+  // Header + 4 lines -> 5 newlines.
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 5);
+  EXPECT_NE(csv.find("S3(h),storage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalia::billing

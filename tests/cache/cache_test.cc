@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache_layer.h"
+#include "cache/lru_cache.h"
+
+namespace scalia::cache {
+namespace {
+
+TEST(LruCacheTest, HitAndMiss) {
+  LruCache cache(1 * common::kMiB, 1);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  cache.Put("a", "value");
+  auto hit = cache.Get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "value");
+  const auto stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(LruCacheTest, OverwriteUpdatesValueAndBytes) {
+  LruCache cache(1 * common::kMiB, 1);
+  cache.Put("a", "12345678");
+  cache.Put("a", "123");
+  EXPECT_EQ(*cache.Get("a"), "123");
+  EXPECT_EQ(cache.SizeBytes(), 3u);
+  EXPECT_EQ(cache.EntryCount(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(10, 1);  // ten bytes, single shard
+  cache.Put("a", "1234");
+  cache.Put("b", "1234");
+  // Touch "a" so "b" becomes the LRU victim.
+  ASSERT_TRUE(cache.Get("a").has_value());
+  cache.Put("c", "1234");  // exceeds capacity -> evict "b"
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_GE(cache.Stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, OversizedValueNotCached) {
+  LruCache cache(8, 1);
+  cache.Put("big", "123456789");  // larger than the whole cache
+  EXPECT_FALSE(cache.Get("big").has_value());
+  EXPECT_EQ(cache.SizeBytes(), 0u);
+}
+
+TEST(LruCacheTest, InvalidateRemoves) {
+  LruCache cache(1 * common::kMiB);
+  cache.Put("a", "v");
+  cache.Invalidate("a");
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.Stats().invalidations, 1u);
+  cache.Invalidate("absent");  // idempotent
+}
+
+TEST(LruCacheTest, ClearEmptiesEverything) {
+  LruCache cache(1 * common::kMiB);
+  for (int i = 0; i < 50; ++i) cache.Put("k" + std::to_string(i), "v");
+  cache.Clear();
+  EXPECT_EQ(cache.EntryCount(), 0u);
+  EXPECT_EQ(cache.SizeBytes(), 0u);
+}
+
+TEST(LruCacheTest, ShardedCapacityRoughlyBounded) {
+  LruCache cache(1000, 4);
+  for (int i = 0; i < 100; ++i) {
+    cache.Put("key" + std::to_string(i), std::string(100, 'x'));
+  }
+  // Each of the 4 shards is capped at 250 bytes => at most 2 entries each.
+  EXPECT_LE(cache.EntryCount(), 8u);
+  EXPECT_LE(cache.SizeBytes(), 1000u);
+}
+
+TEST(CacheLayerTest, CrossDatacenterInvalidation) {
+  // §III-B: "the cache has to be invalidated in all datacenters".
+  InvalidationBus bus;
+  CacheLayer dc0(1 * common::kMiB, &bus);
+  CacheLayer dc1(1 * common::kMiB, &bus);
+  dc0.Fill("obj", "v0");
+  dc1.Fill("obj", "v0");
+
+  dc0.InvalidateEverywhere("obj");
+  EXPECT_FALSE(dc0.Get("obj").has_value());
+  EXPECT_FALSE(dc1.Get("obj").has_value());
+}
+
+TEST(CacheLayerTest, FillAndLocalGet) {
+  CacheLayer layer(1 * common::kMiB, nullptr);
+  layer.Fill("k", "v");
+  EXPECT_EQ(*layer.Get("k"), "v");
+  layer.InvalidateEverywhere("k");  // no bus: local invalidation
+  EXPECT_FALSE(layer.Get("k").has_value());
+}
+
+TEST(CacheStatsTest, Accumulate) {
+  CacheStats a{.hits = 1, .misses = 2, .insertions = 3, .evictions = 4,
+               .invalidations = 5};
+  CacheStats b = a;
+  a += b;
+  EXPECT_EQ(a.hits, 2u);
+  EXPECT_EQ(a.misses, 4u);
+  EXPECT_EQ(a.insertions, 6u);
+  EXPECT_EQ(a.evictions, 8u);
+  EXPECT_EQ(a.invalidations, 10u);
+  EXPECT_DOUBLE_EQ(CacheStats{}.HitRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace scalia::cache

@@ -1,0 +1,72 @@
+// CDN thread-safety: concurrent gets, fills and purges across regions must
+// neither crash nor corrupt bodies (each key's body is a pure function of
+// the key here, so any mixed-up cache entry is detectable).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cache/cdn.h"
+
+namespace scalia::cache {
+namespace {
+
+TEST(CdnConcurrencyTest, HammeredGetsAndPurgesStayConsistent) {
+  Cdn cdn(CdnConfig{.edge_capacity = 64 * common::kKiB,
+                    .ttl = 0,
+                    .edge_rtt_ms = 1.0},
+          [](net::Region, const std::string& key) {
+            return Cdn::OriginReply{.body = "body:" + key,
+                                    .latency_ms = 2.0};
+          });
+
+  std::atomic<int> mismatches{0};
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 3000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const net::Region region =
+          net::kAllRegions[static_cast<std::size_t>(t) % 3];
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "k" + std::to_string((t * 31 + i) % 64);
+        if (i % 97 == 0) {
+          cdn.Purge(key);
+          continue;
+        }
+        const CdnFetch fetch = cdn.Get(
+            static_cast<common::SimTime>(i), region, key);
+        if (!fetch.found || fetch.body != "body:" + key) ++mismatches;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const CdnStats total = cdn.TotalStats();
+  EXPECT_GT(total.edge_hits, 0u);
+  EXPECT_GT(total.edge_misses, 0u);
+}
+
+TEST(CdnConcurrencyTest, EvictionUnderConcurrentPressureRespectsCapacity) {
+  EdgeCache edge(8 * common::kKiB, /*ttl=*/0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        edge.Fill(i, "k" + std::to_string(t * 2000 + i),
+                  std::string(512, 'x'));
+        (void)edge.Get(i, "k" + std::to_string(i % 100));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(edge.SizeBytes(), 8 * common::kKiB);
+  EXPECT_GT(edge.Stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace scalia::cache

@@ -1,0 +1,167 @@
+#include "cache/cdn.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace scalia::cache {
+namespace {
+
+using common::kHour;
+using net::Region;
+
+CdnConfig SmallConfig() {
+  return CdnConfig{.edge_capacity = 1000,
+                   .ttl = kHour,
+                   .edge_rtt_ms = 8.0};
+}
+
+TEST(EdgeCacheTest, FillGetPurge) {
+  EdgeCache edge(1000, kHour);
+  EXPECT_FALSE(edge.Get(0, "k").has_value());
+  edge.Fill(0, "k", "body");
+  auto got = edge.Get(1, "k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "body");
+  edge.Purge("k");
+  EXPECT_FALSE(edge.Get(2, "k").has_value());
+  EXPECT_EQ(edge.Stats().purges, 1u);
+}
+
+TEST(EdgeCacheTest, TtlExpiryCountsAndDrops) {
+  EdgeCache edge(1000, kHour);
+  edge.Fill(0, "k", "body");
+  EXPECT_TRUE(edge.Get(kHour - 1, "k").has_value());
+  EXPECT_FALSE(edge.Get(kHour, "k").has_value());  // expired exactly at TTL
+  EXPECT_EQ(edge.Stats().expirations, 1u);
+  EXPECT_EQ(edge.EntryCount(), 0u);
+}
+
+TEST(EdgeCacheTest, ZeroTtlNeverExpires) {
+  EdgeCache edge(1000, /*ttl=*/0);
+  edge.Fill(0, "k", "body");
+  EXPECT_TRUE(edge.Get(1000 * kHour, "k").has_value());
+}
+
+TEST(EdgeCacheTest, LruEvictionUnderCapacity) {
+  EdgeCache edge(10, /*ttl=*/0);
+  edge.Fill(0, "a", "11111");  // 5 bytes
+  edge.Fill(0, "b", "22222");  // 5 bytes, at capacity
+  ASSERT_TRUE(edge.Get(1, "a").has_value());  // touch a => b is LRU
+  edge.Fill(1, "c", "33333");
+  EXPECT_TRUE(edge.Get(2, "a").has_value());
+  EXPECT_FALSE(edge.Get(2, "b").has_value()) << "LRU victim";
+  EXPECT_TRUE(edge.Get(2, "c").has_value());
+  EXPECT_EQ(edge.Stats().evictions, 1u);
+  EXPECT_LE(edge.SizeBytes(), 10u);
+}
+
+TEST(EdgeCacheTest, OversizedBodyNotCached) {
+  EdgeCache edge(10, /*ttl=*/0);
+  edge.Fill(0, "big", std::string(11, 'x'));
+  EXPECT_FALSE(edge.Get(0, "big").has_value());
+  EXPECT_EQ(edge.EntryCount(), 0u);
+}
+
+TEST(EdgeCacheTest, RefillUpdatesBodyAndTimestamp) {
+  EdgeCache edge(1000, kHour);
+  edge.Fill(0, "k", "v1");
+  edge.Fill(kHour / 2, "k", "v2");
+  auto got = edge.Get(kHour + kHour / 4, "k");  // fresh relative to refill
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "v2");
+}
+
+TEST(CdnTest, MissFillsEdgeThenHits) {
+  std::atomic<int> origin_calls{0};
+  Cdn cdn(SmallConfig(), [&](Region, const std::string& key) {
+    ++origin_calls;
+    return Cdn::OriginReply{.body = "body-of-" + key, .latency_ms = 100.0};
+  });
+
+  auto first = cdn.Get(0, Region::kEurope, "k");
+  EXPECT_TRUE(first.found);
+  EXPECT_FALSE(first.edge_hit);
+  EXPECT_DOUBLE_EQ(first.latency_ms, 108.0);  // edge RTT + origin
+  EXPECT_EQ(first.body, "body-of-k");
+  EXPECT_EQ(origin_calls.load(), 1);
+
+  auto second = cdn.Get(1, Region::kEurope, "k");
+  EXPECT_TRUE(second.edge_hit);
+  EXPECT_DOUBLE_EQ(second.latency_ms, 8.0);
+  EXPECT_EQ(second.body, "body-of-k");
+  EXPECT_EQ(origin_calls.load(), 1) << "served from the edge";
+}
+
+TEST(CdnTest, EdgesAreRegional) {
+  std::atomic<int> origin_calls{0};
+  Cdn cdn(SmallConfig(), [&](Region, const std::string&) {
+    ++origin_calls;
+    return Cdn::OriginReply{.body = "b", .latency_ms = 50.0};
+  });
+  (void)cdn.Get(0, Region::kEurope, "k");
+  EXPECT_EQ(origin_calls.load(), 1);
+  // A different region's edge is cold: the origin is hit again.
+  (void)cdn.Get(0, Region::kAsia, "k");
+  EXPECT_EQ(origin_calls.load(), 2);
+  // Both edges now serve locally.
+  EXPECT_TRUE(cdn.Get(1, Region::kEurope, "k").edge_hit);
+  EXPECT_TRUE(cdn.Get(1, Region::kAsia, "k").edge_hit);
+  EXPECT_EQ(origin_calls.load(), 2);
+}
+
+TEST(CdnTest, MissingObjectIsNotCached) {
+  Cdn cdn(SmallConfig(), [](Region, const std::string&) {
+    return Cdn::OriginReply{.body = std::nullopt, .latency_ms = 40.0};
+  });
+  auto fetch = cdn.Get(0, Region::kEurope, "ghost");
+  EXPECT_FALSE(fetch.found);
+  EXPECT_FALSE(fetch.edge_hit);
+  EXPECT_DOUBLE_EQ(fetch.latency_ms, 48.0);
+  EXPECT_EQ(cdn.EdgeFor(Region::kEurope).EntryCount(), 0u);
+}
+
+TEST(CdnTest, PurgeInvalidatesEveryEdge) {
+  std::atomic<int> origin_calls{0};
+  Cdn cdn(SmallConfig(), [&](Region, const std::string&) {
+    ++origin_calls;
+    return Cdn::OriginReply{.body = "b", .latency_ms = 50.0};
+  });
+  (void)cdn.Get(0, Region::kEurope, "k");
+  (void)cdn.Get(0, Region::kNorthAmerica, "k");
+  EXPECT_EQ(origin_calls.load(), 2);
+
+  cdn.Purge("k");  // the write path: content changed
+
+  EXPECT_FALSE(cdn.Get(1, Region::kEurope, "k").edge_hit);
+  EXPECT_FALSE(cdn.Get(1, Region::kNorthAmerica, "k").edge_hit);
+  EXPECT_EQ(origin_calls.load(), 4);
+}
+
+TEST(CdnTest, StatsAggregateAcrossEdges) {
+  Cdn cdn(SmallConfig(), [](Region, const std::string&) {
+    return Cdn::OriginReply{.body = "b", .latency_ms = 50.0};
+  });
+  (void)cdn.Get(0, Region::kEurope, "a");   // miss
+  (void)cdn.Get(0, Region::kEurope, "a");   // hit
+  (void)cdn.Get(0, Region::kAsia, "a");     // miss
+  const CdnStats total = cdn.TotalStats();
+  EXPECT_EQ(total.edge_hits, 1u);
+  EXPECT_EQ(total.edge_misses, 2u);
+  EXPECT_NEAR(total.HitRate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(CdnTest, PurgeAllClearsEverything) {
+  Cdn cdn(SmallConfig(), [](Region, const std::string&) {
+    return Cdn::OriginReply{.body = "b", .latency_ms = 1.0};
+  });
+  (void)cdn.Get(0, Region::kEurope, "a");
+  (void)cdn.Get(0, Region::kAsia, "b");
+  cdn.PurgeAll();
+  for (Region r : net::kAllRegions) {
+    EXPECT_EQ(cdn.EdgeFor(r).EntryCount(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace scalia::cache

@@ -1,0 +1,111 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace scalia::common {
+namespace {
+
+TEST(HistogramTest, RejectsBadShape) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);    // bin 0
+  h.Add(9.5);    // bin 9
+  h.Add(-3.0);   // clamped to bin 0
+  h.Add(42.0);   // clamped to bin 9
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(9), 2.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(0.5, 3.0);
+  h.Add(2.5, 1.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), (0.5 * 3.0 + 2.5 * 1.0) / 4.0);
+}
+
+TEST(HistogramTest, MeanUsesBinCenters) {
+  Histogram h(0.0, 6.0, 6);
+  h.Add(1.2);  // center 1.5
+  h.Add(4.9);  // center 4.5
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+}
+
+TEST(HistogramTest, MeanOfEmptyIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, Quantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.Add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.Quantile(1.0), 10.0, 1e-9);
+  // Quantiles are monotone.
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, ExpectedResidualAbove) {
+  Histogram h(0.0, 8.0, 8);
+  h.Add(2.5);
+  h.Add(4.5);
+  h.Add(6.5);
+  // Above 3: centers 4.5 and 6.5 -> residuals 1.5 and 3.5, mean 2.5.
+  EXPECT_DOUBLE_EQ(h.ExpectedResidualAbove(3.0), 2.5);
+  // Above everything: zero.
+  EXPECT_DOUBLE_EQ(h.ExpectedResidualAbove(7.0), 0.0);
+}
+
+TEST(HistogramTest, FractionAbove) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(2.5);
+  h.Add(3.5);
+  EXPECT_DOUBLE_EQ(h.FractionAbove(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.FractionAbove(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionAbove(10.0), 0.0);
+}
+
+TEST(HistogramTest, MergeAddsWeights) {
+  Histogram a(0.0, 4.0, 4);
+  Histogram b(0.0, 4.0, 4);
+  a.Add(0.5);
+  b.Add(0.5);
+  b.Add(3.5);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.bin_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(a.bin_weight(3), 1.0);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 3.0);
+}
+
+TEST(HistogramTest, MergeRejectsShapeMismatch) {
+  Histogram a(0.0, 4.0, 4);
+  Histogram b(0.0, 4.0, 8);
+  EXPECT_THROW(a.Merge(b), std::invalid_argument);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(1.0);
+  h.Clear();
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace scalia::common

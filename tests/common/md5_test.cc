@@ -1,0 +1,81 @@
+#include "common/md5.h"
+
+#include <gtest/gtest.h>
+
+namespace scalia::common {
+namespace {
+
+// RFC 1321 appendix A.5 test suite.
+struct Rfc1321Case {
+  const char* input;
+  const char* digest;
+};
+
+class Md5Rfc1321Test : public ::testing::TestWithParam<Rfc1321Case> {};
+
+TEST_P(Md5Rfc1321Test, MatchesReferenceDigest) {
+  const auto& param = GetParam();
+  EXPECT_EQ(Md5::HexHash(param.input), param.digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ReferenceVectors, Md5Rfc1321Test,
+    ::testing::Values(
+        Rfc1321Case{"", "d41d8cd98f00b204e9800998ecf8427e"},
+        Rfc1321Case{"a", "0cc175b9c0f1b6a831c399e269772661"},
+        Rfc1321Case{"abc", "900150983cd24fb0d6963f7d28e17f72"},
+        Rfc1321Case{"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+        Rfc1321Case{"abcdefghijklmnopqrstuvwxyz",
+                    "c3fcd3d76192e4007dfb496cca67e13b"},
+        Rfc1321Case{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz01234"
+                    "56789",
+                    "d174ab98d277d9f5a5611c2c9f419d9f"},
+        Rfc1321Case{"1234567890123456789012345678901234567890123456789012345678"
+                    "9012345678901234567890",
+                    "57edf4a22be3c955ac49da2e2107b67a"}));
+
+TEST(Md5Test, IncrementalUpdateMatchesOneShot) {
+  const std::string data =
+      "the quick brown fox jumps over the lazy dog, repeatedly";
+  Md5 incremental;
+  for (char c : data) incremental.Update(std::string_view(&c, 1));
+  EXPECT_EQ(ToHex(incremental.Finish()), Md5::HexHash(data));
+}
+
+TEST(Md5Test, ChunkedUpdateAcrossBlockBoundary) {
+  // Exercise the 64-byte block boundary handling.
+  std::string data(200, 'x');
+  Md5 h;
+  h.Update(data.substr(0, 63));
+  h.Update(data.substr(63, 2));   // straddles the first block
+  h.Update(data.substr(65));
+  EXPECT_EQ(ToHex(h.Finish()), Md5::HexHash(data));
+}
+
+TEST(Md5Test, LargeInputDoesNotCrashAndIsStable) {
+  const std::string big(1 << 20, 'z');
+  EXPECT_EQ(Md5::HexHash(big), Md5::HexHash(big));
+}
+
+TEST(Md5Test, DistinctInputsYieldDistinctDigests) {
+  EXPECT_NE(Md5::HexHash("container|key1"), Md5::HexHash("container|key2"));
+  EXPECT_NE(Md5::HexHash("a|bc"), Md5::HexHash("ab|c"));
+}
+
+TEST(Md5Test, Digest64IsStableAndDifferentiates) {
+  const auto d1 = Md5::Hash("alpha");
+  const auto d2 = Md5::Hash("beta");
+  EXPECT_EQ(Digest64(d1), Digest64(Md5::Hash("alpha")));
+  EXPECT_NE(Digest64(d1), Digest64(d2));
+}
+
+TEST(Md5Test, HexIs32LowercaseChars) {
+  const std::string hex = Md5::HexHash("anything");
+  ASSERT_EQ(hex.size(), 32u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+}  // namespace
+}  // namespace scalia::common

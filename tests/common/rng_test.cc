@@ -1,0 +1,122 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scalia::common {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, Deterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextBoundedStaysInBounds) {
+  Xoshiro256 rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(Xoshiro256Test, UniformMeanIsCentered) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextUniform(2.0, 4.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Xoshiro256Test, ExponentialMeanMatchesRate) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Xoshiro256Test, PoissonMeanSmall) {
+  Xoshiro256 rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.NextPoisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Xoshiro256Test, PoissonMeanLargeUsesGaussianPath) {
+  Xoshiro256 rng(19);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.NextPoisson(200.0));
+  }
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Xoshiro256Test, PoissonZeroMeanIsZero) {
+  Xoshiro256 rng(23);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+  EXPECT_EQ(rng.NextPoisson(-1.0), 0u);
+}
+
+TEST(Xoshiro256Test, ParetoRespectsScaleAndTail) {
+  Xoshiro256 rng(29);
+  int above_double_scale = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextPareto(/*alpha=*/2.0, /*xm=*/1.5);
+    EXPECT_GE(v, 1.5);
+    if (v > 3.0) ++above_double_scale;
+  }
+  // P(X > 2*xm) = (1/2)^alpha = 0.25 for alpha = 2.
+  EXPECT_NEAR(static_cast<double>(above_double_scale) / n, 0.25, 0.01);
+}
+
+TEST(Xoshiro256Test, GaussianMoments) {
+  Xoshiro256 rng(31);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(Mix64Test, StableAndSpreads) {
+  EXPECT_EQ(Mix64(123), Mix64(123));
+  EXPECT_NE(Mix64(123), Mix64(124));
+}
+
+}  // namespace
+}  // namespace scalia::common

@@ -1,0 +1,92 @@
+#include "common/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace scalia::common {
+namespace {
+
+struct ShaCase {
+  const char* input;
+  const char* digest;
+};
+
+class Sha256VectorTest : public ::testing::TestWithParam<ShaCase> {};
+
+// FIPS 180-4 / NIST reference vectors.
+TEST_P(Sha256VectorTest, MatchesReferenceDigest) {
+  EXPECT_EQ(Sha256::HexHash(GetParam().input), GetParam().digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ReferenceVectors, Sha256VectorTest,
+    ::testing::Values(
+        ShaCase{"",
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852"
+                "b855"},
+        ShaCase{"abc",
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f200"
+                "15ad"},
+        ShaCase{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db"
+                "06c1"}));
+
+TEST(Sha256Test, MillionAs) {
+  const std::string million(1000000, 'a');
+  EXPECT_EQ(
+      Sha256::HexHash(million),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string data(777, 'q');
+  Sha256 h;
+  h.Update(data.substr(0, 100));
+  h.Update(data.substr(100));
+  EXPECT_EQ(ToHex(h.Finish()), Sha256::HexHash(data));
+}
+
+// RFC 4231 HMAC-SHA256 test cases.
+TEST(HmacSha256Test, Rfc4231Case1) {
+  const std::string key(20, '\x0b');
+  EXPECT_EQ(
+      ToHex(HmacSha256(key, "Hi There")),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  EXPECT_EQ(
+      ToHex(HmacSha256("Jefe", "what do ya want for nothing?")),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, Rfc4231Case3) {
+  const std::string key(20, '\xaa');
+  const std::string msg(50, '\xdd');
+  EXPECT_EQ(
+      ToHex(HmacSha256(key, msg)),
+      "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256Test, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const std::string key(131, '\xaa');
+  EXPECT_EQ(
+      ToHex(HmacSha256(key, "Test Using Larger Than Block-Size Key - Hash "
+                            "Key First")),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256Test, DifferentKeysDifferentMacs) {
+  EXPECT_NE(ToHex(HmacSha256("key1", "msg")), ToHex(HmacSha256("key2", "msg")));
+}
+
+TEST(DigestEqualsTest, EqualAndUnequal) {
+  const Sha256Digest a = Sha256::Hash("same");
+  const Sha256Digest b = Sha256::Hash("same");
+  const Sha256Digest c = Sha256::Hash("different");
+  EXPECT_TRUE(DigestEquals(a, b));
+  EXPECT_FALSE(DigestEquals(a, c));
+}
+
+}  // namespace
+}  // namespace scalia::common

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/money.h"
+#include "common/sim_time.h"
+#include "common/units.h"
+
+namespace scalia::common {
+namespace {
+
+using namespace scalia::common::literals;
+
+TEST(UnitsTest, DecimalConversions) {
+  EXPECT_EQ(kKB, 1000u);
+  EXPECT_EQ(kMB, 1000u * 1000u);
+  EXPECT_EQ(kGB, 1000u * 1000u * 1000u);
+  EXPECT_DOUBLE_EQ(ToGB(kGB), 1.0);
+  EXPECT_DOUBLE_EQ(ToGB(250 * kMB), 0.25);
+  EXPECT_EQ(FromGB(0.25), 250 * kMB);
+  EXPECT_EQ(FromGB(ToGB(123456789)), 123456789u);
+}
+
+TEST(UnitsTest, Literals) {
+  EXPECT_EQ(1_MB, kMB);
+  EXPECT_EQ(40_MB, 40 * kMB);
+  EXPECT_EQ(2_GB, 2 * kGB);
+}
+
+TEST(UnitsTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(5, 0), 0u);  // guarded
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1500), "1.50 KB");
+  EXPECT_EQ(FormatBytes(40 * kMB), "40.00 MB");
+  EXPECT_EQ(FormatBytes(3 * kGB), "3.00 GB");
+}
+
+TEST(SimTimeTest, Constants) {
+  EXPECT_EQ(kHour, 3600);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_EQ(kMonth, 720 * kHour);  // 30-day billing month
+}
+
+TEST(SimTimeTest, HourConversions) {
+  EXPECT_DOUBLE_EQ(ToHours(kHour), 1.0);
+  EXPECT_DOUBLE_EQ(ToHours(kDay), 24.0);
+  EXPECT_EQ(FromHours(2.5), 2 * kHour + 30 * kMinute);
+}
+
+TEST(SimTimeTest, MonthFraction) {
+  EXPECT_DOUBLE_EQ(MonthFraction(kMonth), 1.0);
+  EXPECT_DOUBLE_EQ(MonthFraction(kHour), 1.0 / 720.0);
+}
+
+TEST(SimTimeTest, Format) {
+  EXPECT_EQ(FormatSimTime(3 * kHour), "3h");
+  EXPECT_EQ(FormatSimTime(2 * kDay + 5 * kHour), "2d 5h");
+}
+
+TEST(MoneyTest, Arithmetic) {
+  Money a(1.5);
+  Money b(0.25);
+  EXPECT_DOUBLE_EQ((a + b).usd(), 1.75);
+  EXPECT_DOUBLE_EQ((a - b).usd(), 1.25);
+  EXPECT_DOUBLE_EQ((a * 2.0).usd(), 3.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).usd(), 3.0);
+  EXPECT_DOUBLE_EQ(a / b, 6.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.usd(), 1.75);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a.usd(), 1.5);
+  a *= 4.0;
+  EXPECT_DOUBLE_EQ(a.usd(), 6.0);
+}
+
+TEST(MoneyTest, Comparison) {
+  EXPECT_LT(Money(1.0), Money(2.0));
+  EXPECT_GT(Money(2.0), Money(1.0));
+  EXPECT_EQ(Money(1.0), Money(1.0));
+  EXPECT_TRUE(Money(1.0).AlmostEquals(Money(1.0 + 1e-12)));
+  EXPECT_FALSE(Money(1.0).AlmostEquals(Money(1.1)));
+}
+
+TEST(MoneyTest, Formatting) {
+  EXPECT_EQ(Money(1.23456).ToString(4), "$1.2346");
+  EXPECT_EQ(Money(0.5).ToString(2), "$0.50");
+}
+
+TEST(MoneyTest, ZeroConstant) {
+  EXPECT_DOUBLE_EQ(kZeroMoney.usd(), 0.0);
+  EXPECT_EQ(kZeroMoney + Money(3.0), Money(3.0));
+}
+
+}  // namespace
+}  // namespace scalia::common

@@ -1,0 +1,57 @@
+#include "common/uuid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace scalia::common {
+namespace {
+
+TEST(UuidTest, NilByDefault) {
+  Uuid u;
+  EXPECT_TRUE(u.IsNil());
+  EXPECT_EQ(u.ToString(), "00000000-0000-0000-0000-000000000000");
+}
+
+TEST(UuidTest, GenerateSetsVersionAndVariantBits) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Uuid u = Uuid::Generate(rng);
+    const std::string s = u.ToString();
+    ASSERT_EQ(s.size(), 36u);
+    EXPECT_EQ(s[14], '4');  // version 4
+    EXPECT_TRUE(s[19] == '8' || s[19] == '9' || s[19] == 'a' || s[19] == 'b')
+        << s;  // variant 10xx
+  }
+}
+
+TEST(UuidTest, CanonicalFormat) {
+  Xoshiro256 rng(2);
+  const std::string s = Uuid::Generate(rng).ToString();
+  ASSERT_EQ(s.size(), 36u);
+  for (std::size_t i : {8u, 13u, 18u, 23u}) EXPECT_EQ(s[i], '-');
+}
+
+TEST(UuidTest, DeterministicUnderSeed) {
+  Xoshiro256 a(7), b(7);
+  EXPECT_EQ(Uuid::Generate(a), Uuid::Generate(b));
+}
+
+TEST(UuidTest, ManyGeneratedAreDistinct) {
+  Xoshiro256 rng(3);
+  std::set<std::string> seen;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(Uuid::Generate(rng).ToString()).second);
+  }
+}
+
+TEST(UuidTest, OrderingAndHash) {
+  const Uuid a(1, 2);
+  const Uuid b(1, 3);
+  EXPECT_LT(a, b);
+  EXPECT_NE(UuidHash{}(a), UuidHash{}(b));
+  EXPECT_EQ(UuidHash{}(a), UuidHash{}(Uuid(1, 2)));
+}
+
+}  // namespace
+}  // namespace scalia::common

@@ -1,0 +1,76 @@
+// File-based configuration round trips: write a catalog/rules document to
+// disk, load it back through the file APIs, and compare.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "config/loaders.h"
+#include "provider/spec.h"
+
+namespace scalia::config {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& contents) {
+    path_ = std::string(::testing::TempDir()) + "scalia_cfg_" +
+            std::to_string(counter_++) + ".json";
+    std::ofstream out(path_, std::ios::binary);
+    out << contents;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+TEST(FileRoundTripTest, CatalogThroughDisk) {
+  auto catalog = provider::PaperCatalog();
+  catalog.push_back(provider::CheapStorSpec());
+  const TempFile file(CatalogToJson(catalog).Dump(2));
+
+  auto loaded = LoadCatalogFromFile(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].id, catalog[i].id);
+    EXPECT_EQ((*loaded)[i].pricing, catalog[i].pricing);
+    EXPECT_EQ((*loaded)[i].zones, catalog[i].zones);
+  }
+}
+
+TEST(FileRoundTripTest, MalformedFileReportsParseError) {
+  const TempFile file("{ not json ]");
+  auto loaded = LoadCatalogFromFile(file.path());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(FileRoundTripTest, ValidJsonWrongShapeReportsLoaderError) {
+  const TempFile file(R"({"not_providers": []})");
+  auto loaded = LoadCatalogFromFile(file.path());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(FileRoundTripTest, PrettyAndCompactDumpsLoadIdentically) {
+  const auto catalog = provider::PaperCatalog();
+  const TempFile pretty(CatalogToJson(catalog).Dump(4));
+  const TempFile compact(CatalogToJson(catalog).Dump());
+  auto a = LoadCatalogFromFile(pretty.path());
+  auto b = LoadCatalogFromFile(compact.path());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].id, (*b)[i].id);
+    EXPECT_EQ((*a)[i].pricing, (*b)[i].pricing);
+  }
+}
+
+}  // namespace
+}  // namespace scalia::config

@@ -1,0 +1,170 @@
+#include "config/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace scalia::config {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->AsBool());
+  EXPECT_FALSE(ParseJson("false")->AsBool());
+  EXPECT_DOUBLE_EQ(ParseJson("0")->AsNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-12.5")->AsNumber(), -12.5);
+  EXPECT_DOUBLE_EQ(ParseJson("1e3")->AsNumber(), 1000.0);
+  EXPECT_DOUBLE_EQ(ParseJson("2.5E-2")->AsNumber(), 0.025);
+  EXPECT_EQ(ParseJson("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  auto v = ParseJson("  \t\n { \"a\" : [ 1 , 2 ] } \r\n ");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->AsObject().Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->AsArray().size(), 2u);
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  auto v = ParseJson(R"({"a": {"b": [1, {"c": "d"}]}, "e": null})");
+  ASSERT_TRUE(v.ok());
+  const JsonValue* a = v->AsObject().Find("a");
+  ASSERT_NE(a, nullptr);
+  const JsonValue* b = a->AsObject().Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->AsArray().size(), 2u);
+  EXPECT_DOUBLE_EQ(b->AsArray()[0].AsNumber(), 1.0);
+  EXPECT_EQ(b->AsArray()[1].AsObject().Find("c")->AsString(), "d");
+  EXPECT_TRUE(v->AsObject().Find("e")->is_null());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\/d\b\f\n\r\t")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "a\"b\\c/d\b\f\n\r\t");
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  // U+00E9 (é), U+20AC (€), and a surrogate pair for U+1F600.
+  EXPECT_EQ(ParseJson(R"("é")")->AsString(), "\xC3\xA9");
+  EXPECT_EQ(ParseJson(R"("€")")->AsString(), "\xE2\x82\xAC");
+  EXPECT_EQ(ParseJson(R"("😀")")->AsString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, RejectsUnpairedSurrogates) {
+  EXPECT_FALSE(ParseJson(R"("\uD83D")").ok());
+  EXPECT_FALSE(ParseJson(R"("\uDE00")").ok());
+  EXPECT_FALSE(ParseJson(R"("\uD83Dxx")").ok());
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",           "{",          "[1,",       "{\"a\":}",   "{\"a\" 1}",
+      "[1 2]",      "tru",        "nulll",     "01",         "1.",
+      "1e",         "+1",         "\"unterminated", "{\"a\":1,}",
+      "[1,2,]",     "\"\\x\"",    "{'a':1}",   "[1] trailing",
+  };
+  for (const char* doc : bad) {
+    EXPECT_FALSE(ParseJson(doc).ok()) << "should reject: " << doc;
+  }
+}
+
+TEST(JsonParseTest, RejectsRawControlCharactersInStrings) {
+  std::string doc = "\"a\nb\"";
+  EXPECT_FALSE(ParseJson(doc).ok());
+}
+
+TEST(JsonParseTest, DepthGuardStopsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+  std::string shallow(50, '[');
+  shallow += std::string(50, ']');
+  EXPECT_TRUE(ParseJson(shallow).ok());
+}
+
+TEST(JsonParseTest, ErrorsCarryByteOffset) {
+  auto v = ParseJson("{\"a\" 1}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("offset 5"), std::string::npos)
+      << v.status().message();
+}
+
+TEST(JsonParseTest, DuplicateKeysLastWins) {
+  auto v = ParseJson(R"({"a": 1, "a": 2})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsObject().size(), 1u);
+  EXPECT_DOUBLE_EQ(v->AsObject().Find("a")->AsNumber(), 2.0);
+}
+
+TEST(JsonDumpTest, CompactAndPretty) {
+  JsonObject obj;
+  obj.Set("b", 1);
+  obj.Set("a", JsonArray{JsonValue(true), JsonValue(nullptr)});
+  const JsonValue v(std::move(obj));
+  EXPECT_EQ(v.Dump(), R"({"b":1,"a":[true,null]})");
+  EXPECT_EQ(v.Dump(2),
+            "{\n  \"b\": 1,\n  \"a\": [\n    true,\n    null\n  ]\n}");
+}
+
+TEST(JsonDumpTest, IntegersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(JsonValue(42).Dump(), "42");
+  EXPECT_EQ(JsonValue(40000000000.0).Dump(), "40000000000");
+  EXPECT_EQ(JsonValue(2.5).Dump(), "2.5");
+}
+
+TEST(JsonDumpTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonValue("a\"b\\c\nd\x01").Dump(),
+            "\"a\\\"b\\\\c\\nd\\u0001\"");
+}
+
+TEST(JsonDumpTest, InsertionOrderPreserved) {
+  JsonObject obj;
+  obj.Set("z", 1);
+  obj.Set("a", 2);
+  obj.Set("m", 3);
+  obj.Set("a", 4);  // overwrite keeps position
+  EXPECT_EQ(JsonValue(std::move(obj)).Dump(), R"({"z":1,"a":4,"m":3})");
+}
+
+TEST(JsonRoundTripTest, ParseDumpParseIsStable) {
+  const char* docs[] = {
+      R"json({"providers":[{"id":"S3(h)","durability":0.99999999999}]})json",
+      R"json([1,2.5,-3,"x",true,null,{"nested":[[]]}])json",
+      R"json({"unicode":"héllo €","esc":"line\nbreak"})json",
+  };
+  for (const char* doc : docs) {
+    auto first = ParseJson(doc);
+    ASSERT_TRUE(first.ok()) << doc;
+    const std::string dumped = first->Dump();
+    auto second = ParseJson(dumped);
+    ASSERT_TRUE(second.ok()) << dumped;
+    EXPECT_EQ(second->Dump(), dumped) << doc;
+  }
+}
+
+TEST(JsonValueTest, TypedExtractionReportsTypeErrors) {
+  const JsonValue v(42);
+  EXPECT_TRUE(v.GetNumber().ok());
+  EXPECT_FALSE(v.GetString().ok());
+  EXPECT_FALSE(v.GetBool().ok());
+  EXPECT_FALSE(v.GetMember("x").ok());
+
+  auto obj = ParseJson(R"({"a": 1})");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_TRUE(obj->GetMember("a").ok());
+  auto missing = obj->GetMember("b");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(JsonFileTest, MissingFileIsNotFound) {
+  auto v = ParseJsonFile("/nonexistent/path/config.json");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), common::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace scalia::config

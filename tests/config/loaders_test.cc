@@ -1,0 +1,228 @@
+#include "config/loaders.h"
+
+#include <gtest/gtest.h>
+
+#include "provider/spec.h"
+
+namespace scalia::config {
+namespace {
+
+using provider::Zone;
+
+constexpr const char* kCatalogDoc = R"json({
+  "providers": [
+    {
+      "id": "S3(h)", "description": "Amazon S3 (High)",
+      "durability": 0.99999999999, "availability": 0.999,
+      "zones": ["EU", "US", "APAC"],
+      "storage_gb_month": 0.14, "bw_in_gb": 0.1, "bw_out_gb": 0.15,
+      "ops_per_1000": 0.01
+    },
+    {
+      "id": "NAS-1", "description": "Basement NAS",
+      "durability": 0.9999, "availability": 0.995,
+      "zones": ["OnPrem"],
+      "storage_gb_month": 0.02, "bw_in_gb": 0.0, "bw_out_gb": 0.0,
+      "ops_per_1000": 0.0,
+      "read_latency_ms": 4.5,
+      "max_chunk_size": 1000000,
+      "capacity": 2000000000000
+    }
+  ]
+})json";
+
+TEST(CatalogLoaderTest, LoadsFullCatalog) {
+  auto catalog = LoadCatalogFromText(kCatalogDoc);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  ASSERT_EQ(catalog->size(), 2u);
+
+  const auto& s3 = (*catalog)[0];
+  EXPECT_EQ(s3.id, "S3(h)");
+  EXPECT_DOUBLE_EQ(s3.sla.durability, 0.99999999999);
+  EXPECT_DOUBLE_EQ(s3.sla.availability, 0.999);
+  EXPECT_TRUE(s3.zones.Contains(Zone::kEU));
+  EXPECT_TRUE(s3.zones.Contains(Zone::kAPAC));
+  EXPECT_FALSE(s3.zones.Contains(Zone::kOnPrem));
+  EXPECT_DOUBLE_EQ(s3.pricing.storage_gb_month, 0.14);
+  EXPECT_DOUBLE_EQ(s3.pricing.ops_per_1000, 0.01);
+  EXPECT_FALSE(s3.max_chunk_size.has_value());
+  EXPECT_FALSE(s3.capacity.has_value());
+
+  const auto& nas = (*catalog)[1];
+  EXPECT_TRUE(nas.is_private());
+  EXPECT_DOUBLE_EQ(nas.read_latency_ms, 4.5);
+  ASSERT_TRUE(nas.max_chunk_size.has_value());
+  EXPECT_EQ(*nas.max_chunk_size, 1000000u);
+  ASSERT_TRUE(nas.capacity.has_value());
+  EXPECT_EQ(*nas.capacity, 2000000000000u);
+}
+
+TEST(CatalogLoaderTest, PaperCatalogRoundTrips) {
+  const auto original = provider::PaperCatalog();
+  const std::string dumped = CatalogToJson(original).Dump(2);
+  auto reloaded = LoadCatalogFromText(dumped);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_EQ(reloaded->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*reloaded)[i].id, original[i].id);
+    EXPECT_EQ((*reloaded)[i].zones, original[i].zones);
+    EXPECT_EQ((*reloaded)[i].pricing, original[i].pricing);
+    EXPECT_DOUBLE_EQ((*reloaded)[i].sla.durability, original[i].sla.durability);
+    EXPECT_DOUBLE_EQ((*reloaded)[i].sla.availability,
+                     original[i].sla.availability);
+  }
+}
+
+TEST(CatalogLoaderTest, RejectsDuplicateIds) {
+  auto catalog = LoadCatalogFromText(R"({"providers": [
+    {"id": "A", "durability": 0.999, "availability": 0.99,
+     "zones": ["US"], "storage_gb_month": 0.1, "bw_in_gb": 0.1,
+     "bw_out_gb": 0.1, "ops_per_1000": 0.01},
+    {"id": "A", "durability": 0.999, "availability": 0.99,
+     "zones": ["US"], "storage_gb_month": 0.1, "bw_in_gb": 0.1,
+     "bw_out_gb": 0.1, "ops_per_1000": 0.01}
+  ]})");
+  ASSERT_FALSE(catalog.ok());
+  EXPECT_NE(catalog.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(CatalogLoaderTest, RejectsMissingAndInvalidFields) {
+  // Missing durability.
+  EXPECT_FALSE(LoadCatalogFromText(R"({"providers": [
+    {"id": "A", "availability": 0.99, "zones": ["US"],
+     "storage_gb_month": 0.1, "bw_in_gb": 0.1, "bw_out_gb": 0.1,
+     "ops_per_1000": 0.01}]})")
+                   .ok());
+  // Durability of exactly 1.0 breaks Algorithm 2's failure arithmetic.
+  EXPECT_FALSE(LoadCatalogFromText(R"({"providers": [
+    {"id": "A", "durability": 1.0, "availability": 0.99, "zones": ["US"],
+     "storage_gb_month": 0.1, "bw_in_gb": 0.1, "bw_out_gb": 0.1,
+     "ops_per_1000": 0.01}]})")
+                   .ok());
+  // Unknown zone.
+  EXPECT_FALSE(LoadCatalogFromText(R"({"providers": [
+    {"id": "A", "durability": 0.999, "availability": 0.99,
+     "zones": ["MARS"], "storage_gb_month": 0.1, "bw_in_gb": 0.1,
+     "bw_out_gb": 0.1, "ops_per_1000": 0.01}]})")
+                   .ok());
+  // Negative price.
+  EXPECT_FALSE(LoadCatalogFromText(R"({"providers": [
+    {"id": "A", "durability": 0.999, "availability": 0.99, "zones": ["US"],
+     "storage_gb_month": -0.1, "bw_in_gb": 0.1, "bw_out_gb": 0.1,
+     "ops_per_1000": 0.01}]})")
+                   .ok());
+  // Fractional byte capacity.
+  EXPECT_FALSE(LoadCatalogFromText(R"({"providers": [
+    {"id": "A", "durability": 0.999, "availability": 0.99, "zones": ["US"],
+     "storage_gb_month": 0.1, "bw_in_gb": 0.1, "bw_out_gb": 0.1,
+     "ops_per_1000": 0.01, "capacity": 1.5}]})")
+                   .ok());
+  // Empty id / empty zone list / not-an-array providers.
+  EXPECT_FALSE(LoadCatalogFromText(R"({"providers": [
+    {"id": "", "durability": 0.999, "availability": 0.99, "zones": ["US"],
+     "storage_gb_month": 0.1, "bw_in_gb": 0.1, "bw_out_gb": 0.1,
+     "ops_per_1000": 0.01}]})")
+                   .ok());
+  EXPECT_FALSE(LoadCatalogFromText(R"({"providers": [
+    {"id": "A", "durability": 0.999, "availability": 0.99, "zones": [],
+     "storage_gb_month": 0.1, "bw_in_gb": 0.1, "bw_out_gb": 0.1,
+     "ops_per_1000": 0.01}]})")
+                   .ok());
+  EXPECT_FALSE(LoadCatalogFromText(R"({"providers": 5})").ok());
+  EXPECT_FALSE(LoadCatalogFromText(R"({})").ok());
+}
+
+TEST(ZoneLoaderTest, WildcardAndLists) {
+  auto all = LoadZones(JsonValue("all"));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, provider::ZoneSet::All());
+
+  auto eu_us = LoadZones(ParseJson(R"(["EU", "US"])").value());
+  ASSERT_TRUE(eu_us.ok());
+  EXPECT_TRUE(eu_us->Contains(Zone::kEU));
+  EXPECT_TRUE(eu_us->Contains(Zone::kUS));
+  EXPECT_FALSE(eu_us->Contains(Zone::kAPAC));
+
+  EXPECT_FALSE(LoadZones(JsonValue("some")).ok());
+  EXPECT_FALSE(LoadZones(JsonValue(3)).ok());
+}
+
+constexpr const char* kRulesDoc = R"({
+  "rules": [
+    {"name": "rule1", "durability": 0.999999, "availability": 0.9999,
+     "zones": ["EU", "US"], "lockin": 0.3},
+    {"name": "rule2", "durability": 0.99999, "availability": 0.9999,
+     "zones": ["EU"], "lockin": 1},
+    {"name": "rule3", "durability": 0.9999, "availability": 0.9999,
+     "zones": "all", "lockin": 0.2, "ttl_hours": 72}
+  ]
+})";
+
+TEST(RulesLoaderTest, LoadsPaperRules) {
+  auto rules = LoadRulesFromText(kRulesDoc);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_EQ(rules->size(), 3u);
+
+  const auto& r1 = (*rules)[0];
+  EXPECT_EQ(r1.name, "rule1");
+  EXPECT_DOUBLE_EQ(r1.durability, 0.999999);
+  EXPECT_DOUBLE_EQ(r1.lockin, 0.3);
+  EXPECT_EQ(r1.MinProviders(), 4u);  // ceil(1 / 0.3)
+  EXPECT_FALSE(r1.ttl_hint.has_value());
+
+  const auto& r3 = (*rules)[2];
+  EXPECT_EQ(r3.allowed_zones, provider::ZoneSet::All());
+  ASSERT_TRUE(r3.ttl_hint.has_value());
+  EXPECT_EQ(*r3.ttl_hint, 72 * common::kHour);
+}
+
+TEST(RulesLoaderTest, MatchesPaperRulesHelper) {
+  // The JSON encoding of core::PaperRules() loads back identical.
+  const auto original = core::PaperRules();
+  auto reloaded = LoadRules(RulesToJson(original));
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*reloaded)[i].name, original[i].name);
+    EXPECT_DOUBLE_EQ((*reloaded)[i].durability, original[i].durability);
+    EXPECT_DOUBLE_EQ((*reloaded)[i].availability, original[i].availability);
+    EXPECT_EQ((*reloaded)[i].allowed_zones, original[i].allowed_zones);
+    EXPECT_DOUBLE_EQ((*reloaded)[i].lockin, original[i].lockin);
+  }
+}
+
+TEST(RulesLoaderTest, DefaultsZonesToAll) {
+  auto rules = LoadRulesFromText(R"({"rules": [
+    {"name": "r", "durability": 0.99, "availability": 0.99, "lockin": 0.5}
+  ]})");
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ((*rules)[0].allowed_zones, provider::ZoneSet::All());
+}
+
+TEST(RulesLoaderTest, RejectsBadRules) {
+  // Lock-in of 0 would demand infinitely many providers.
+  EXPECT_FALSE(LoadRulesFromText(R"({"rules": [
+    {"name": "r", "durability": 0.99, "availability": 0.99, "lockin": 0}
+  ]})")
+                   .ok());
+  // Lock-in above 1 is outside (0, 1].
+  EXPECT_FALSE(LoadRulesFromText(R"({"rules": [
+    {"name": "r", "durability": 0.99, "availability": 0.99, "lockin": 1.5}
+  ]})")
+                   .ok());
+  // Duplicate names.
+  EXPECT_FALSE(LoadRulesFromText(R"({"rules": [
+    {"name": "r", "durability": 0.99, "availability": 0.99, "lockin": 1},
+    {"name": "r", "durability": 0.99, "availability": 0.99, "lockin": 1}
+  ]})")
+                   .ok());
+  // Negative TTL.
+  EXPECT_FALSE(LoadRulesFromText(R"({"rules": [
+    {"name": "r", "durability": 0.99, "availability": 0.99, "lockin": 1,
+     "ttl_hours": -5}
+  ]})")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace scalia::config

@@ -1,0 +1,199 @@
+#include "core/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "core/leader.h"
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+using common::kHour;
+
+TEST(LeaderElectionTest, SmallestAliveIdLeads) {
+  LeaderElection election;
+  election.RegisterMember("dc1-engine0");
+  election.RegisterMember("dc0-engine1");
+  election.RegisterMember("dc0-engine0");
+  EXPECT_EQ(election.Leader(), "dc0-engine0");
+  election.SetAlive("dc0-engine0", false);
+  EXPECT_EQ(election.Leader(), "dc0-engine1");
+  election.SetAlive("dc0-engine1", false);
+  EXPECT_EQ(election.Leader(), "dc1-engine0");
+  election.SetAlive("dc1-engine0", false);
+  EXPECT_EQ(election.Leader(), std::nullopt);
+  election.SetAlive("dc0-engine0", true);
+  EXPECT_EQ(election.Leader(), "dc0-engine0");
+}
+
+TEST(LeaderElectionTest, AliveMembersListed) {
+  LeaderElection election;
+  election.RegisterMember("b");
+  election.RegisterMember("a");
+  election.SetAlive("b", false);
+  EXPECT_EQ(election.AliveMembers(), (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(election.IsAlive("a"));
+  EXPECT_FALSE(election.IsAlive("b"));
+  EXPECT_FALSE(election.IsAlive("unknown"));
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest() {
+    ClusterConfig config;
+    config.num_datacenters = 2;
+    config.engines_per_dc = 2;
+    config.worker_threads = 2;
+    config.engine.default_rule =
+        StorageRule{.name = "default",
+                    .durability = 0.99999,
+                    .availability = 0.9999,
+                    .allowed_zones = provider::ZoneSet::All(),
+                    .lockin = 1.0,
+                    .ttl_hint = std::nullopt};
+    cluster_ = std::make_unique<ScaliaCluster>(config);
+    for (auto& spec : provider::PaperCatalog()) {
+      EXPECT_TRUE(cluster_->registry().Register(std::move(spec)).ok());
+    }
+  }
+
+  std::unique_ptr<ScaliaCluster> cluster_;
+};
+
+TEST_F(ClusterTest, AnyEngineServesAnyObject) {
+  // Engines are stateless: write through one, read through every other.
+  const std::string data(64 * common::kKB, 'd');
+  ASSERT_TRUE(
+      cluster_->EngineAt(0, 0).Put(0, "c", "k", data, "image/png").ok());
+  cluster_->metadata_store().SyncAll();
+  for (std::size_t dc = 0; dc < 2; ++dc) {
+    for (std::size_t e = 0; e < 2; ++e) {
+      auto got = cluster_->EngineAt(dc, e).Get(kHour, "c", "k");
+      ASSERT_TRUE(got.ok()) << "dc" << dc << " engine" << e;
+      EXPECT_EQ(*got, data);
+    }
+  }
+}
+
+TEST_F(ClusterTest, RouteRequestRoundRobins) {
+  const std::string& first = cluster_->RouteRequest().id();
+  const std::string& second = cluster_->RouteRequest().id();
+  EXPECT_NE(first, second);
+}
+
+TEST_F(ClusterTest, SamplingPeriodBuildsHistories) {
+  ASSERT_TRUE(cluster_->RouteRequest()
+                  .Put(0, "c", "k", std::string(10 * common::kKB, 'x'),
+                       "image/png")
+                  .ok());
+  const std::string row_key = MakeRowKey("c", "k");
+  for (int period = 0; period < 3; ++period) {
+    const auto now = static_cast<common::SimTime>(period + 1) * kHour;
+    ASSERT_TRUE(cluster_->RouteRequest().Get(now, "c", "k").ok());
+    cluster_->EndSamplingPeriod(now);
+  }
+  const auto history = cluster_->stats_db().GetHistory(row_key);
+  EXPECT_EQ(history.size(), 3u);
+  EXPECT_GE(history.Latest().ops, 1.0);
+  EXPECT_GT(history.Latest().storage_gb, 0.0);
+}
+
+TEST_F(ClusterTest, OptimizationProcedureRunsViaLeader) {
+  ASSERT_TRUE(cluster_->RouteRequest()
+                  .Put(0, "c", "k", std::string(common::kMB, 'x'),
+                       "video/mp4")
+                  .ok());
+  cluster_->metadata_store().SyncAll();
+  // Generate read traffic over several periods so the trend gate fires.
+  for (int period = 0; period < 5; ++period) {
+    const auto now = static_cast<common::SimTime>(period + 1) * kHour;
+    for (int r = 0; r < 20 * (period + 1); ++r) {
+      ASSERT_TRUE(cluster_->RouteRequest().Get(now, "c", "k").ok());
+    }
+    cluster_->EndSamplingPeriod(now);
+    const auto report = cluster_->RunOptimizationProcedure(now);
+    EXPECT_EQ(report.leader, "dc0-engine0");
+    EXPECT_GE(report.candidates, 1u);
+  }
+  EXPECT_GE(cluster_->optimizer().TrackedObjects(), 1u);
+}
+
+TEST_F(ClusterTest, DatacenterOutageFailsOverLeaderAndServes) {
+  ASSERT_TRUE(cluster_->RouteRequest()
+                  .Put(0, "c", "k", std::string(20 * common::kKB, 'x'),
+                       "image/png")
+                  .ok());
+  cluster_->EndSamplingPeriod(kHour);
+  cluster_->SetDatacenterUp(0, false);
+
+  // Requests keep being served by DC 1 engines.
+  auto& engine = cluster_->RouteRequest();
+  EXPECT_EQ(engine.datacenter(), 1u);
+  EXPECT_TRUE(engine.Get(2 * kHour, "c", "k").ok());
+
+  // The optimizer leader moves to a DC-1 engine.
+  const auto report = cluster_->RunOptimizationProcedure(2 * kHour);
+  EXPECT_EQ(report.leader, "dc1-engine0");
+
+  // Recovery restores the original leader.
+  cluster_->SetDatacenterUp(0, true);
+  cluster_->metadata_store().SyncAll();
+  const auto report2 = cluster_->RunOptimizationProcedure(3 * kHour);
+  EXPECT_EQ(report2.leader, "dc0-engine0");
+}
+
+TEST_F(ClusterTest, ConcurrentCrossDcWritesResolveToFreshest) {
+  // Fig. 10: the same object written in both DCs before replication syncs.
+  auto& e0 = cluster_->EngineAt(0, 0);
+  auto& e1 = cluster_->EngineAt(1, 0);
+  ASSERT_TRUE(e0.Put(10 * kHour, "c", "k", std::string(1000, 'A'),
+                     "text/plain")
+                  .ok());
+  ASSERT_TRUE(e1.Put(11 * kHour, "c", "k", std::string(1000, 'B'),
+                     "text/plain")
+                  .ok());
+  cluster_->metadata_store().SyncAll();
+
+  // Reading through either DC resolves the conflict to the freshest write
+  // and garbage-collects the loser's chunks.
+  auto got = e0.Get(12 * kHour, "c", "k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)[0], 'B');
+  cluster_->metadata_store().SyncAll();
+  auto got1 = e1.Get(13 * kHour, "c", "k");
+  ASSERT_TRUE(got1.ok());
+  EXPECT_EQ((*got1)[0], 'B');
+}
+
+TEST_F(ClusterTest, CacheInvalidationSpansDatacenters) {
+  const std::string v1(30 * common::kKB, '1');
+  const std::string v2(30 * common::kKB, '2');
+  ASSERT_TRUE(
+      cluster_->EngineAt(0, 0).Put(0, "c", "k", v1, "image/png").ok());
+  cluster_->metadata_store().SyncAll();
+  // Warm both DC caches.
+  ASSERT_TRUE(cluster_->EngineAt(0, 0).Get(kHour, "c", "k").ok());
+  ASSERT_TRUE(cluster_->EngineAt(1, 0).Get(kHour, "c", "k").ok());
+
+  // An update through DC 0 must not leave DC 1 serving the stale copy.
+  ASSERT_TRUE(
+      cluster_->EngineAt(0, 0).Put(2 * kHour, "c", "k", v2, "image/png").ok());
+  cluster_->metadata_store().SyncAll();
+  auto got = cluster_->EngineAt(1, 0).Get(3 * kHour, "c", "k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, v2);
+}
+
+TEST_F(ClusterTest, CacheStatsAggregate) {
+  ASSERT_TRUE(cluster_->RouteRequest()
+                  .Put(0, "c", "k", std::string(1000, 'x'), "text/plain")
+                  .ok());
+  cluster_->metadata_store().SyncAll();
+  ASSERT_TRUE(cluster_->RouteRequest().Get(kHour, "c", "k").ok());
+  ASSERT_TRUE(cluster_->RouteRequest().Get(kHour, "c", "k").ok());
+  const auto stats = cluster_->CacheStats();
+  EXPECT_GE(stats.hits + stats.misses, 2u);
+}
+
+}  // namespace
+}  // namespace scalia::core

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "core/decision_period.h"
+#include "core/migration.h"
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+PlacementDecision FakeDecision(double cost_per_period, std::size_t periods) {
+  PlacementDecision d;
+  d.feasible = true;
+  d.m = 1;
+  d.expected_cost = common::Money(cost_per_period *
+                                  static_cast<double>(periods));
+  return d;
+}
+
+TEST(DecisionPeriodTest, FirstOptimizationRunsCoupling) {
+  DecisionPeriodController ctl(
+      DecisionPeriodConfig{.initial_periods = 24,
+                           .min_periods = 1,
+                           .max_periods = 200,
+                           .max_coupling_interval = 64});
+  std::vector<std::size_t> evaluated;
+  // Cheapest per-period rate at 2D -> D doubles (T is 1 initially).
+  const std::size_t d = ctl.OnOptimization(
+      /*history=*/200, /*ttl=*/0, [&](std::size_t candidate) {
+        evaluated.push_back(candidate);
+        return FakeDecision(candidate == 48 ? 1.0 : 2.0, candidate);
+      });
+  EXPECT_EQ(d, 48u);
+  EXPECT_EQ(evaluated, (std::vector<std::size_t>{12, 24, 48}));
+  EXPECT_EQ(ctl.coupling_interval(), 1u);  // D changed -> T reset
+}
+
+TEST(DecisionPeriodTest, AdequateDoublesT) {
+  DecisionPeriodController ctl(
+      DecisionPeriodConfig{.initial_periods = 24,
+                           .min_periods = 1,
+                           .max_periods = 200,
+                           .max_coupling_interval = 8});
+  auto evaluate = [](std::size_t candidate) {
+    // The incumbent D = 24 is always cheapest per period.
+    return FakeDecision(candidate == 24 ? 1.0 : 5.0, candidate);
+  };
+  EXPECT_EQ(ctl.OnOptimization(200, 0, evaluate), 24u);
+  EXPECT_EQ(ctl.coupling_interval(), 2u);
+  // Next optimization is below T: no coupling.
+  const std::size_t couplings = ctl.couplings_run();
+  EXPECT_EQ(ctl.OnOptimization(200, 0, evaluate), 24u);
+  EXPECT_EQ(ctl.couplings_run(), couplings);
+  // Second call reaches T = 2: coupling runs, T doubles to 4.
+  EXPECT_EQ(ctl.OnOptimization(200, 0, evaluate), 24u);
+  EXPECT_EQ(ctl.coupling_interval(), 4u);
+}
+
+TEST(DecisionPeriodTest, TCappedAtMax) {
+  DecisionPeriodController ctl(
+      DecisionPeriodConfig{.initial_periods = 8,
+                           .min_periods = 1,
+                           .max_periods = 64,
+                           .max_coupling_interval = 4});
+  auto evaluate = [](std::size_t candidate) {
+    return FakeDecision(candidate == 8 ? 1.0 : 3.0, candidate);
+  };
+  for (int i = 0; i < 40; ++i) ctl.OnOptimization(64, 0, evaluate);
+  EXPECT_LE(ctl.coupling_interval(), 4u);
+}
+
+TEST(DecisionPeriodTest, CandidatesClampedByTtlAndHistory) {
+  DecisionPeriodController ctl(
+      DecisionPeriodConfig{.initial_periods = 24,
+                           .min_periods = 1,
+                           .max_periods = 200,
+                           .max_coupling_interval = 64});
+  std::vector<std::size_t> evaluated;
+  // TTL of 10 periods: the paper bounds the search by min(TTL, |H|).
+  ctl.OnOptimization(/*history=*/100, /*ttl=*/10, [&](std::size_t candidate) {
+    evaluated.push_back(candidate);
+    return FakeDecision(1.0, candidate);
+  });
+  for (std::size_t c : evaluated) EXPECT_LE(c, 10u);
+}
+
+TEST(DecisionPeriodTest, ForceCouplingTriggersImmediately) {
+  DecisionPeriodController ctl(
+      DecisionPeriodConfig{.initial_periods = 24,
+                           .min_periods = 1,
+                           .max_periods = 200,
+                           .max_coupling_interval = 64});
+  auto adequate = [](std::size_t candidate) {
+    return FakeDecision(candidate == 24 ? 1.0 : 5.0, candidate);
+  };
+  ctl.OnOptimization(200, 0, adequate);  // T -> 2
+  const std::size_t couplings = ctl.couplings_run();
+  ctl.ForceCouplingNext();
+  ctl.OnOptimization(200, 0, adequate);
+  EXPECT_EQ(ctl.couplings_run(), couplings + 1);
+}
+
+TEST(DecisionPeriodTest, InfeasibleEvaluationsKeepCurrentD) {
+  DecisionPeriodController ctl(
+      DecisionPeriodConfig{.initial_periods = 24,
+                           .min_periods = 1,
+                           .max_periods = 200,
+                           .max_coupling_interval = 64});
+  const std::size_t d = ctl.OnOptimization(
+      200, 0, [](std::size_t) { return PlacementDecision{}; });
+  EXPECT_EQ(d, 24u);
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<provider::ProviderSpec> Specs(
+    const std::vector<std::string>& ids) {
+  const auto catalog = provider::PaperCatalog();
+  std::vector<provider::ProviderSpec> out;
+  for (const auto& id : ids) out.push_back(*provider::FindSpec(catalog, id));
+  return out;
+}
+
+MigrationPlanner Planner() {
+  return MigrationPlanner(PriceModel(PriceModelConfig{
+      .sampling_period = common::kHour,
+      .billing = provider::StorageBillingMode::kPerPeriod}));
+}
+
+PlacementDecision Target(const std::vector<std::string>& ids, int m) {
+  PlacementDecision d;
+  d.feasible = true;
+  d.providers = Specs(ids);
+  d.m = m;
+  return d;
+}
+
+TEST(MigrationTest, SamePlacementCostsNothing) {
+  const auto current = Specs({"S3(h)", "S3(l)"});
+  const auto assessment = Planner().CostOnly(
+      current, 1, Target({"S3(h)", "S3(l)"}, 1), current, common::kMB);
+  EXPECT_DOUBLE_EQ(assessment.migration_cost.usd(), 0.0);
+  EXPECT_EQ(assessment.chunks_written, 0u);
+  EXPECT_FALSE(assessment.worthwhile);
+}
+
+TEST(MigrationTest, SameStructureSwapWritesOnlyNewChunks) {
+  // [S3(h), S3(l), Azu; m:2] -> [S3(h), Ggl, Azu; m:2]: the §IV-E repair —
+  // one chunk rebuilt and written, one deferred delete.
+  const auto current = Specs({"S3(h)", "S3(l)", "Azu"});
+  const auto readable = Specs({"S3(h)", "Azu"});  // S3(l) is down
+  const auto assessment = Planner().CostOnly(
+      current, 2, Target({"S3(h)", "Ggl", "Azu"}, 2), readable,
+      40 * common::kMB);
+  EXPECT_FALSE(assessment.structure_changed);
+  EXPECT_EQ(assessment.chunks_read, 2u);
+  EXPECT_EQ(assessment.chunks_written, 1u);   // only Ggl
+  EXPECT_EQ(assessment.chunks_deleted, 1u);   // only S3(l)
+  // Cost: read 2 x 20 MB from S3(h)+Azu egress, write 20 MB to Ggl.
+  const double chunk_gb = 0.02;
+  const double expected = 2 * (0.15 * chunk_gb + 0.01 / 1000.0) +
+                          (0.10 * chunk_gb + 0.01 / 1000.0) + 0.01 / 1000.0;
+  EXPECT_NEAR(assessment.migration_cost.usd(), expected, 1e-12);
+}
+
+TEST(MigrationTest, StructureChangeRewritesEverything) {
+  const auto current = Specs({"S3(h)", "S3(l)"});
+  const auto assessment = Planner().CostOnly(
+      current, 1, Target({"S3(h)", "S3(l)", "RS", "Azu", "Ggl"}, 4), current,
+      common::kMB);
+  EXPECT_TRUE(assessment.structure_changed);
+  EXPECT_EQ(assessment.chunks_read, 1u);      // m = 1
+  EXPECT_EQ(assessment.chunks_written, 5u);   // full re-encode
+  EXPECT_EQ(assessment.chunks_deleted, 2u);   // both old chunks replaced
+}
+
+TEST(MigrationTest, BenefitGate) {
+  const auto current = Specs({"S3(h)", "S3(l)"});
+  stats::PeriodStats cold;
+  cold.storage_gb = 0.001;
+  const auto target = Target({"S3(h)", "S3(l)", "RS", "Azu", "Ggl"}, 4);
+
+  // Over one period the storage saving cannot repay the chunk moves.
+  const auto short_horizon =
+      Planner().Assess(current, 1, target, current, common::kMB, cold, 1);
+  EXPECT_FALSE(short_horizon.worthwhile);
+  // Over a long horizon it does.
+  const auto long_horizon =
+      Planner().Assess(current, 1, target, current, common::kMB, cold, 2000);
+  EXPECT_TRUE(long_horizon.worthwhile);
+  EXPECT_GT(long_horizon.benefit, long_horizon.migration_cost);
+}
+
+TEST(MigrationTest, NegativeBenefitNeverWorthwhile) {
+  // Moving a hot object from the read-optimal pair to the wide stripe.
+  const auto current = Specs({"S3(h)", "S3(l)"});
+  stats::PeriodStats hot;
+  hot.storage_gb = 0.001;
+  hot.reads = 150;
+  hot.ops = 150;
+  hot.bw_out_gb = 0.15;
+  const auto target = Target({"S3(h)", "S3(l)", "RS", "Azu", "Ggl"}, 4);
+  const auto assessment =
+      Planner().Assess(current, 1, target, current, common::kMB, hot, 1000);
+  EXPECT_FALSE(assessment.worthwhile);
+  EXPECT_LT(assessment.benefit.usd(), 0.0);
+}
+
+}  // namespace
+}  // namespace scalia::core

@@ -1,0 +1,141 @@
+// Failure injection on the engine's client-facing paths (§III-D.3).
+//
+// The engine_test file covers single-provider faults; these tests push
+// harder: total market outage, outage-through-cache serving, and metadata
+// hygiene after failed writes.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+using common::kHour;
+
+class EngineFailureTest : public ::testing::Test {
+ protected:
+  EngineFailureTest()
+      : db_(1),
+        stats_db_(&db_, 0),
+        cache_(16 * common::kMiB, nullptr),
+        agent_(&aggregator_),
+        pool_(2) {
+    for (auto& spec : provider::PaperCatalog()) {
+      EXPECT_TRUE(registry_.Register(std::move(spec)).ok());
+    }
+    EngineConfig config;
+    config.default_rule = StorageRule{.name = "default",
+                                      .durability = 0.999999,
+                                      .availability = 0.9999,
+                                      .allowed_zones =
+                                          provider::ZoneSet::All(),
+                                      .lockin = 1.0,
+                                      .ttl_hint = std::nullopt};
+    engine_ = std::make_unique<Engine>("e0", &registry_, &db_, 0, &cache_,
+                                       &stats_db_, &agent_, &pool_, config,
+                                       /*seed=*/11);
+  }
+
+  void OutageEverywhere(common::SimTime from, common::SimTime to) {
+    for (const auto& spec : provider::PaperCatalog()) {
+      registry_.Find(spec.id)->failures().AddOutage(from, to);
+    }
+  }
+
+  provider::ProviderRegistry registry_;
+  store::ReplicatedStore db_;
+  stats::StatsDb stats_db_;
+  cache::CacheLayer cache_;
+  stats::LogAggregator aggregator_;
+  stats::LogAgent agent_;
+  common::ThreadPool pool_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(EngineFailureTest, PutFailsCleanlyWhenAllProvidersDown) {
+  OutageEverywhere(0, 10 * kHour);
+  const auto status =
+      engine_->Put(kHour, "b", "doomed", std::string(100 * common::kKB, 'x'),
+                   "image/png");
+  ASSERT_FALSE(status.ok());
+  // No metadata ghost: the key neither reads back nor lists.
+  EXPECT_FALSE(engine_->Get(kHour, "b", "doomed").ok());
+  auto keys = engine_->List(kHour, "b");
+  if (keys.ok()) {
+    EXPECT_TRUE(std::find(keys->begin(), keys->end(), "doomed") ==
+                keys->end());
+  }
+}
+
+TEST_F(EngineFailureTest, CacheServesThroughTotalOutage) {
+  const std::string data(200 * common::kKB, 'c');
+  ASSERT_TRUE(engine_->Put(0, "b", "obj", data, "image/png").ok());
+  // Prime the cache.
+  ASSERT_TRUE(engine_->Get(kHour, "b", "obj").ok());
+
+  OutageEverywhere(2 * kHour, 20 * kHour);
+  // Every provider is dark, yet the read is served (from the cache).
+  auto got = engine_->Get(3 * kHour, "b", "obj");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, data);
+}
+
+TEST_F(EngineFailureTest, UncachedReadFailsDuringTotalOutage) {
+  const std::string data(200 * common::kKB, 'd');
+  ASSERT_TRUE(engine_->Put(0, "b", "obj", data, "image/png").ok());
+  cache_.cache().Clear();
+  OutageEverywhere(kHour, 20 * kHour);
+  const auto got = engine_->Get(2 * kHour, "b", "obj");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), common::StatusCode::kUnavailable);
+  // After recovery, the same read works again.
+  auto recovered = engine_->Get(21 * kHour, "b", "obj");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, data);
+}
+
+TEST_F(EngineFailureTest, RepeatedFailuresLeaveNoDanglingPendingDeletes) {
+  const std::string data(150 * common::kKB, 'e');
+  ASSERT_TRUE(engine_->Put(0, "b", "obj", data, "image/png").ok());
+  auto meta = engine_->LoadMetadata(0, MakeRowKey("b", "obj"));
+  ASSERT_TRUE(meta.ok());
+
+  // Take one stripe member down, delete the object: that chunk's deletion
+  // defers; everything else flushes immediately.
+  const auto faulty = meta->stripes.front().provider;
+  registry_.Find(faulty)->failures().AddOutage(kHour, 5 * kHour);
+  ASSERT_TRUE(engine_->Delete(2 * kHour, "b", "obj").ok());
+  EXPECT_GT(engine_->PendingDeleteCount(), 0u);
+
+  // Before recovery, processing flushes nothing.
+  EXPECT_EQ(engine_->ProcessPendingDeletes(3 * kHour), 0u);
+  // After recovery, the deferred chunk is reaped and the queue drains.
+  EXPECT_GT(engine_->ProcessPendingDeletes(6 * kHour), 0u);
+  EXPECT_EQ(engine_->PendingDeleteCount(), 0u);
+  // The chunk blob is actually gone from the recovered provider.
+  EXPECT_FALSE(
+      registry_.Find(faulty)
+          ->Get(6 * kHour, meta->ChunkKey(meta->stripes.front().chunk_index))
+          .ok());
+}
+
+TEST_F(EngineFailureTest, WriteDuringPartialOutageAvoidsDownProviders) {
+  registry_.Find("S3(h)")->failures().AddOutage(0, 10 * kHour);
+  registry_.Find("Ggl")->failures().AddOutage(0, 10 * kHour);
+  ASSERT_TRUE(engine_
+                  ->Put(kHour, "b", "obj",
+                        std::string(100 * common::kKB, 'f'), "image/png")
+                  .ok());
+  auto meta = engine_->LoadMetadata(kHour, MakeRowKey("b", "obj"));
+  ASSERT_TRUE(meta.ok());
+  for (const auto& stripe : meta->stripes) {
+    EXPECT_NE(stripe.provider, "S3(h)");
+    EXPECT_NE(stripe.provider, "Ggl");
+  }
+  // And the write is durable: readable after the outage ends too.
+  EXPECT_TRUE(engine_->Get(11 * kHour, "b", "obj").ok());
+}
+
+}  // namespace
+}  // namespace scalia::core

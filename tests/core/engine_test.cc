@@ -1,0 +1,302 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+using common::kHour;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : db_(2),
+        stats_db_(&db_, 0),
+        cache_(16 * common::kMiB, nullptr),
+        aggregator_(),
+        agent_(&aggregator_),
+        pool_(2) {
+    for (auto& spec : provider::PaperCatalog()) {
+      EXPECT_TRUE(registry_.Register(std::move(spec)).ok());
+    }
+    EngineConfig config;
+    // Six nines of durability: like §IV-E's rule, this keeps S3(l)-free
+    // sets feasible, which the failure-handling tests rely on.
+    config.default_rule = StorageRule{.name = "default",
+                                      .durability = 0.999999,
+                                      .availability = 0.9999,
+                                      .allowed_zones =
+                                          provider::ZoneSet::All(),
+                                      .lockin = 1.0,
+                                      .ttl_hint = std::nullopt};
+    engine_ = std::make_unique<Engine>("e0", &registry_, &db_, 0, &cache_,
+                                       &stats_db_, &agent_, &pool_, config,
+                                       /*seed=*/7);
+  }
+
+  std::string Payload(std::size_t size, char fill = 'x') {
+    return std::string(size, fill);
+  }
+
+  provider::ProviderRegistry registry_;
+  store::ReplicatedStore db_;
+  stats::StatsDb stats_db_;
+  cache::CacheLayer cache_;
+  stats::LogAggregator aggregator_;
+  stats::LogAgent agent_;
+  common::ThreadPool pool_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(EngineTest, PutGetRoundTrip) {
+  const std::string data = Payload(512 * common::kKB, 'a');
+  ASSERT_TRUE(engine_->Put(0, "bucket", "obj", data, "image/png").ok());
+  auto got = engine_->Get(kHour, "bucket", "obj");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data);
+}
+
+TEST_F(EngineTest, ChunksAreActuallyDistributed) {
+  ASSERT_TRUE(
+      engine_->Put(0, "b", "o", Payload(100 * common::kKB), "image/png").ok());
+  auto meta = engine_->LoadMetadata(0, MakeRowKey("b", "o"));
+  ASSERT_TRUE(meta.ok());
+  EXPECT_GE(meta->n(), 2u);
+  EXPECT_GE(meta->m, 1);
+  // Every stripe provider really holds the chunk blob.
+  for (const auto& stripe : meta->stripes) {
+    auto* store = registry_.Find(stripe.provider);
+    ASSERT_NE(store, nullptr);
+    EXPECT_TRUE(store->Get(0, meta->ChunkKey(stripe.chunk_index)).ok());
+  }
+}
+
+TEST_F(EngineTest, GetMissingIsNotFound) {
+  EXPECT_EQ(engine_->Get(0, "b", "missing").status().code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST_F(EngineTest, SecondReadServedFromCache) {
+  const std::string data = Payload(64 * common::kKB);
+  ASSERT_TRUE(engine_->Put(0, "b", "o", data, "image/png").ok());
+  ASSERT_TRUE(engine_->Get(kHour, "b", "o").ok());  // fills the cache
+
+  // Count provider GETs, then read again: no new provider traffic.
+  double ops_before = 0;
+  for (const auto& spec : registry_.Specs()) {
+    ops_before += registry_.Find(spec.id)->meter().Totals(kHour).ops;
+  }
+  auto got = engine_->Get(2 * kHour, "b", "o");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data);
+  double ops_after = 0;
+  for (const auto& spec : registry_.Specs()) {
+    ops_after += registry_.Find(spec.id)->meter().Totals(2 * kHour).ops;
+  }
+  EXPECT_DOUBLE_EQ(ops_after, ops_before);
+  EXPECT_GE(cache_.Stats().hits, 1u);
+}
+
+TEST_F(EngineTest, UpdateDeletesOldChunks) {
+  ASSERT_TRUE(engine_->Put(0, "b", "o", Payload(80 * common::kKB, 'a'),
+                           "image/png")
+                  .ok());
+  auto old_meta = engine_->LoadMetadata(0, MakeRowKey("b", "o"));
+  ASSERT_TRUE(old_meta.ok());
+
+  ASSERT_TRUE(engine_->Put(kHour, "b", "o", Payload(80 * common::kKB, 'b'),
+                           "image/png")
+                  .ok());
+  auto got = engine_->Get(2 * kHour, "b", "o");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)[0], 'b');
+
+  // The previous version's chunks are gone from the providers (§III-D.1).
+  for (const auto& stripe : old_meta->stripes) {
+    auto* store = registry_.Find(stripe.provider);
+    EXPECT_EQ(
+        store->Get(2 * kHour, old_meta->ChunkKey(stripe.chunk_index))
+            .status()
+            .code(),
+        common::StatusCode::kNotFound);
+  }
+}
+
+TEST_F(EngineTest, DeleteRemovesEverything) {
+  ASSERT_TRUE(
+      engine_->Put(0, "b", "o", Payload(50 * common::kKB), "text/plain").ok());
+  auto meta = engine_->LoadMetadata(0, MakeRowKey("b", "o"));
+  ASSERT_TRUE(meta.ok());
+  ASSERT_TRUE(engine_->Delete(kHour, "b", "o").ok());
+  EXPECT_EQ(engine_->Get(kHour, "b", "o").status().code(),
+            common::StatusCode::kNotFound);
+  for (const auto& stripe : meta->stripes) {
+    auto* store = registry_.Find(stripe.provider);
+    EXPECT_FALSE(
+        store->Get(kHour, meta->ChunkKey(stripe.chunk_index)).ok());
+  }
+  // The lifetime landed in class statistics.
+  EXPECT_EQ(stats_db_.ObjectCount(), 0u);
+}
+
+TEST_F(EngineTest, ListReturnsContainerKeys) {
+  ASSERT_TRUE(engine_->Put(0, "photos", "a.png", Payload(10), "image/png").ok());
+  ASSERT_TRUE(engine_->Put(0, "photos", "b.png", Payload(10), "image/png").ok());
+  ASSERT_TRUE(engine_->Put(0, "docs", "c.txt", Payload(10), "text/plain").ok());
+  auto keys = engine_->List(0, "photos");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(*keys, (std::vector<std::string>{"a.png", "b.png"}));
+}
+
+TEST_F(EngineTest, WriteExcludesFaultyProvider) {
+  // §III-D.3: during a write, the faulty provider is excluded and the best
+  // remaining placement chosen.
+  registry_.Find("S3(l)")->failures().AddOutage(0, 10 * kHour);
+  ASSERT_TRUE(
+      engine_->Put(kHour, "b", "o", Payload(100 * common::kKB), "image/png")
+          .ok());
+  auto meta = engine_->LoadMetadata(kHour, MakeRowKey("b", "o"));
+  ASSERT_TRUE(meta.ok());
+  for (const auto& stripe : meta->stripes) {
+    EXPECT_NE(stripe.provider, "S3(l)");
+  }
+}
+
+TEST_F(EngineTest, ReadSurvivesUpToNMinusMFailures) {
+  const std::string data = Payload(200 * common::kKB, 'r');
+  ASSERT_TRUE(engine_->Put(0, "b", "o", data, "image/png").ok());
+  auto meta = engine_->LoadMetadata(0, MakeRowKey("b", "o"));
+  ASSERT_TRUE(meta.ok());
+  const std::size_t tolerable =
+      meta->n() - static_cast<std::size_t>(meta->m);
+  ASSERT_GE(tolerable, 1u);
+  // Knock out exactly n - m stripe providers.
+  for (std::size_t i = 0; i < tolerable; ++i) {
+    registry_.Find(meta->stripes[i].provider)
+        ->failures()
+        .AddOutage(kHour, 10 * kHour);
+  }
+  auto got = engine_->Get(2 * kHour, "b", "o");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data);
+}
+
+TEST_F(EngineTest, RepairSwapsToSpareProviderKeepingStructure) {
+  // With a spare provider registered (CheapStor), repair keeps (m, n) and
+  // only replaces the faulty member — the cheap path of §IV-E.
+  ASSERT_TRUE(registry_.Register(provider::CheapStorSpec()).ok());
+  const std::string data = Payload(300 * common::kKB, 'q');
+  ASSERT_TRUE(engine_->Put(0, "b", "o", data, "image/png").ok());
+  auto before = engine_->LoadMetadata(0, MakeRowKey("b", "o"));
+  ASSERT_TRUE(before.ok());
+  ASSERT_LT(before->n(), registry_.Count());  // a spare exists
+  const auto faulty = before->stripes[0].provider;
+  registry_.Find(faulty)->failures().AddOutage(kHour, 100 * kHour);
+
+  ASSERT_TRUE(engine_->RepairObject(2 * kHour, MakeRowKey("b", "o")).ok());
+  auto after = engine_->LoadMetadata(2 * kHour, MakeRowKey("b", "o"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->m, before->m);
+  EXPECT_EQ(after->n(), before->n());
+  for (const auto& stripe : after->stripes) {
+    EXPECT_NE(stripe.provider, faulty);
+  }
+  // Data still reconstructs (cache bypassed by reading after invalidation).
+  cache_.cache().Clear();
+  auto got = engine_->Get(3 * kHour, "b", "o");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data);
+  // The dead provider's chunk deletion is deferred until recovery.
+  EXPECT_GE(engine_->PendingDeleteCount(), 1u);
+}
+
+TEST_F(EngineTest, RepairWithoutSpareFallsBackToReplacement) {
+  // All five providers carry a chunk; when one fails there is no spare, so
+  // repair re-places the object over the four reachable providers.
+  const std::string data = Payload(300 * common::kKB, 'q');
+  ASSERT_TRUE(engine_->Put(0, "b", "o", data, "image/png").ok());
+  auto before = engine_->LoadMetadata(0, MakeRowKey("b", "o"));
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->n(), 5u);
+  const auto faulty = before->stripes[0].provider;
+  registry_.Find(faulty)->failures().AddOutage(kHour, 100 * kHour);
+
+  ASSERT_TRUE(engine_->RepairObject(2 * kHour, MakeRowKey("b", "o")).ok());
+  auto after = engine_->LoadMetadata(2 * kHour, MakeRowKey("b", "o"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_LE(after->n(), 4u);
+  for (const auto& stripe : after->stripes) {
+    EXPECT_NE(stripe.provider, faulty);
+  }
+  cache_.cache().Clear();
+  auto got = engine_->Get(3 * kHour, "b", "o");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data);
+}
+
+TEST_F(EngineTest, PendingDeletesFlushAfterRecovery) {
+  ASSERT_TRUE(
+      engine_->Put(0, "b", "o", Payload(100 * common::kKB), "image/png").ok());
+  auto meta = engine_->LoadMetadata(0, MakeRowKey("b", "o"));
+  ASSERT_TRUE(meta.ok());
+  const auto faulty = meta->stripes[0].provider;
+  registry_.Find(faulty)->failures().AddOutage(kHour, 5 * kHour);
+
+  // Delete while one provider is down: that chunk's delete is deferred.
+  ASSERT_TRUE(engine_->Delete(2 * kHour, "b", "o").ok());
+  EXPECT_EQ(engine_->PendingDeleteCount(), 1u);
+  EXPECT_EQ(engine_->ProcessPendingDeletes(3 * kHour), 0u);  // still down
+  EXPECT_EQ(engine_->ProcessPendingDeletes(6 * kHour), 1u);  // recovered
+  EXPECT_EQ(engine_->PendingDeleteCount(), 0u);
+  EXPECT_EQ(registry_.Find(faulty)->ObjectCount(), 0u);
+}
+
+TEST_F(EngineTest, ReoptimizeMigratesColdObjectToWideStripe) {
+  // Store with a read-heavy history, then feed a cold history: the engine
+  // should migrate to the storage-optimal all-five stripe.
+  const std::string row_key = MakeRowKey("b", "o");
+  ASSERT_TRUE(
+      engine_->Put(0, "b", "o", Payload(common::kMB), "video/mp4").ok());
+  // Build 48 cold periods so the average forecast is storage-only.
+  for (std::uint64_t p = 0; p < 48; ++p) {
+    stats::PeriodStats s;
+    s.storage_gb = 0.001;
+    stats_db_.AppendPeriodStats(row_key, p,
+                                s, static_cast<common::SimTime>(p) * kHour);
+  }
+  auto migrated = engine_->ReoptimizeObject(49 * kHour, row_key, 24);
+  ASSERT_TRUE(migrated.ok());
+  auto meta = engine_->LoadMetadata(49 * kHour, row_key);
+  ASSERT_TRUE(meta.ok());
+  if (*migrated) {
+    EXPECT_EQ(meta->n(), 5u);
+    EXPECT_EQ(meta->m, 4);
+  }
+  // Either way the object remains readable.
+  cache_.cache().Clear();
+  EXPECT_TRUE(engine_->Get(50 * kHour, "b", "o").ok());
+}
+
+TEST_F(EngineTest, EvaluatePlacementReportsFeasibleSet) {
+  ASSERT_TRUE(
+      engine_->Put(0, "b", "o", Payload(common::kMB), "video/mp4").ok());
+  auto decision =
+      engine_->EvaluatePlacement(kHour, MakeRowKey("b", "o"), 24);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->feasible);
+  EXPECT_GE(decision->providers.size(), 2u);
+}
+
+TEST_F(EngineTest, InfeasibleRuleRejected) {
+  StorageRule impossible;
+  impossible.name = "impossible";
+  impossible.durability = 1.0;
+  EXPECT_EQ(engine_->Put(0, "b", "o", Payload(10), "text/plain", impossible)
+                .code(),
+            common::StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace scalia::core

@@ -1,0 +1,94 @@
+#include "core/metadata.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scalia::core {
+namespace {
+
+ObjectMetadata SampleMeta() {
+  common::Xoshiro256 rng(1);
+  ObjectMetadata meta;
+  meta.container = "pictures";
+  meta.key = "myvacation.gif";
+  meta.mime = "image/gif";
+  meta.size = 342 * common::kKB;
+  meta.checksum_hex = "ce944a11a4ce944a11a4ce944a11a4ab";
+  meta.rule_name = "rule3";
+  meta.class_id = "deadbeef";
+  meta.uuid = common::Uuid::Generate(rng);
+  meta.skey = MakeStorageKey(meta.container, meta.key, meta.uuid);
+  meta.m = 3;
+  meta.stripes = {{0, "provider_2"},
+                  {1, "provider_5"},
+                  {2, "provider_7"},
+                  {3, "provider_1"}};
+  meta.created_at = 100;
+  meta.updated_at = 200;
+  return meta;
+}
+
+TEST(MetadataTest, SerializeParseRoundTrip) {
+  const ObjectMetadata meta = SampleMeta();
+  auto parsed = ObjectMetadata::Parse(meta.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->container, meta.container);
+  EXPECT_EQ(parsed->key, meta.key);
+  EXPECT_EQ(parsed->mime, meta.mime);
+  EXPECT_EQ(parsed->size, meta.size);
+  EXPECT_EQ(parsed->checksum_hex, meta.checksum_hex);
+  EXPECT_EQ(parsed->rule_name, meta.rule_name);
+  EXPECT_EQ(parsed->class_id, meta.class_id);
+  EXPECT_EQ(parsed->skey, meta.skey);
+  EXPECT_EQ(parsed->m, meta.m);
+  EXPECT_EQ(parsed->created_at, meta.created_at);
+  EXPECT_EQ(parsed->updated_at, meta.updated_at);
+  ASSERT_EQ(parsed->stripes.size(), 4u);
+  EXPECT_EQ(parsed->stripes[2].chunk_index, 2u);
+  EXPECT_EQ(parsed->stripes[2].provider, "provider_7");
+}
+
+TEST(MetadataTest, ChunkKeyAndProviders) {
+  const ObjectMetadata meta = SampleMeta();
+  EXPECT_EQ(meta.ChunkKey(2), meta.skey + ".2");
+  EXPECT_EQ(meta.n(), 4u);
+  const auto providers = meta.Providers();
+  EXPECT_EQ(providers.size(), 4u);
+  EXPECT_EQ(providers[0], "provider_2");
+}
+
+TEST(MetadataTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ObjectMetadata::Parse("").ok());
+  EXPECT_FALSE(ObjectMetadata::Parse("not-a-kv-line\n").ok());
+  EXPECT_FALSE(ObjectMetadata::Parse("container=c\nkey=k\n").ok());  // no skey
+}
+
+TEST(MetadataTest, ParseRejectsBadStripe) {
+  std::string serialized = SampleMeta().Serialize();
+  const auto pos = serialized.find("stripes=");
+  serialized = serialized.substr(0, pos) + "stripes=0provider\n";
+  EXPECT_FALSE(ObjectMetadata::Parse(serialized).ok());
+}
+
+TEST(MetadataTest, RowKeyIsMd5OfContainerAndKey) {
+  // §III-D.1: row_key = MD5(container | key).
+  const std::string rk = MakeRowKey("pictures", "myvacation.gif");
+  EXPECT_EQ(rk.size(), 32u);
+  EXPECT_EQ(rk, MakeRowKey("pictures", "myvacation.gif"));
+  EXPECT_NE(rk, MakeRowKey("pictures", "other.gif"));
+  EXPECT_NE(rk, MakeRowKey("other", "myvacation.gif"));
+}
+
+TEST(MetadataTest, StorageKeyVariesWithUuid) {
+  // §III-D.1: skey = MD5(container | key | UUID) — concurrent updates of
+  // the same object never collide at the providers.
+  common::Xoshiro256 rng(2);
+  const auto u1 = common::Uuid::Generate(rng);
+  const auto u2 = common::Uuid::Generate(rng);
+  EXPECT_NE(MakeStorageKey("c", "k", u1), MakeStorageKey("c", "k", u2));
+  EXPECT_EQ(MakeStorageKey("c", "k", u1), MakeStorageKey("c", "k", u1));
+}
+
+}  // namespace
+}  // namespace scalia::core

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/budget.h"
+#include "core/placement.h"
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+PlacementSearch Search() {
+  return PlacementSearch(PriceModel(PriceModelConfig{
+      .sampling_period = common::kHour,
+      .billing = provider::StorageBillingMode::kPerPeriod}));
+}
+
+PlacementRequest BaseRequest() {
+  PlacementRequest request;
+  request.rule = StorageRule{.name = "t",
+                             .durability = 0.99999,
+                             .availability = 0.9999,
+                             .allowed_zones = provider::ZoneSet::All(),
+                             .lockin = 1.0,
+                             .ttl_hint = std::nullopt};
+  request.object_size = common::kMB;
+  request.per_period.storage_gb = 0.001;
+  request.per_period.reads = 20;
+  request.per_period.ops = 20;
+  request.per_period.bw_out_gb = 0.02;
+  request.decision_periods = 24;
+  return request;
+}
+
+TEST(LatencyObjectiveTest, DecisionCarriesExpectedLatency) {
+  const auto decision =
+      Search().FindBest(provider::PaperCatalog(), BaseRequest());
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_GT(decision.expected_read_latency_ms, 0.0);
+}
+
+TEST(LatencyObjectiveTest, LatencyObjectiveNeverSlowerThanCostObjective) {
+  PlacementRequest cost_request = BaseRequest();
+  PlacementRequest latency_request = BaseRequest();
+  latency_request.objective = PlacementObjective::kMinimizeLatency;
+  const auto by_cost =
+      Search().FindBest(provider::PaperCatalog(), cost_request);
+  const auto by_latency =
+      Search().FindBest(provider::PaperCatalog(), latency_request);
+  ASSERT_TRUE(by_cost.feasible);
+  ASSERT_TRUE(by_latency.feasible);
+  EXPECT_LE(by_latency.expected_read_latency_ms,
+            by_cost.expected_read_latency_ms);
+  // And symmetrically, the cost objective is never more expensive.
+  EXPECT_LE(by_cost.expected_cost.usd(), by_latency.expected_cost.usd());
+}
+
+TEST(LatencyObjectiveTest, PrefersFastProviders) {
+  // Ggl (40 ms) and S3(h) (45 ms) are the fastest; a latency-optimal m=1
+  // placement should avoid RS (80 ms) as a read source.
+  PlacementRequest request = BaseRequest();
+  request.objective = PlacementObjective::kMinimizeLatency;
+  const auto decision =
+      Search().FindBest(provider::PaperCatalog(), request);
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_LE(decision.expected_read_latency_ms, 45.0);
+}
+
+TEST(LatencyObjectiveTest, CostCapBoundsTheLatencyHunt) {
+  PlacementRequest request = BaseRequest();
+  request.objective = PlacementObjective::kMinimizeLatency;
+  request.cost_cap_factor = 1.05;  // at most 5 % dearer than optimal
+  const auto capped = Search().FindBest(provider::PaperCatalog(), request);
+  const auto cheapest =
+      Search().FindBest(provider::PaperCatalog(), BaseRequest());
+  ASSERT_TRUE(capped.feasible);
+  EXPECT_LE(capped.expected_cost.usd(),
+            cheapest.expected_cost.usd() * 1.05 + 1e-12);
+  // The uncapped latency hunt is at least as fast as the capped one.
+  request.cost_cap_factor = std::nullopt;
+  const auto uncapped = Search().FindBest(provider::PaperCatalog(), request);
+  EXPECT_LE(uncapped.expected_read_latency_ms,
+            capped.expected_read_latency_ms);
+}
+
+TEST(RelaxRuleTest, LadderLoosensMonotonically) {
+  StorageRule rule{.name = "strict",
+                   .durability = 0.999999,
+                   .availability = 0.9999,
+                   .allowed_zones = provider::ZoneSet::All(),
+                   .lockin = 0.25,
+                   .ttl_hint = std::nullopt};
+  const auto l0 = RelaxRule(rule, 0);
+  const auto l1 = RelaxRule(rule, 1);
+  const auto l2 = RelaxRule(rule, 2);
+  const auto l3 = RelaxRule(rule, 3);
+  EXPECT_DOUBLE_EQ(l0.lockin, 0.25);
+  EXPECT_DOUBLE_EQ(l1.lockin, 1.0);
+  EXPECT_DOUBLE_EQ(l1.availability, rule.availability);
+  EXPECT_NEAR(l2.availability, 0.999, 1e-9);
+  EXPECT_DOUBLE_EQ(l2.durability, rule.durability);
+  EXPECT_NEAR(l3.durability, 0.99999, 1e-9);
+}
+
+TEST(BudgetGuardTest, GenerousBudgetKeepsStrictRule) {
+  BudgetGuard guard(common::Money(1000.0), common::kHour);
+  PlacementRequest request = BaseRequest();
+  request.rule.lockin = 0.25;  // at least 4 providers
+  const auto placed =
+      guard.PlaceWithinBudget(Search(), provider::PaperCatalog(), request);
+  ASSERT_TRUE(placed.decision.feasible);
+  EXPECT_TRUE(placed.within_budget);
+  EXPECT_EQ(placed.relaxation_level, 0);
+  EXPECT_GE(placed.decision.providers.size(), 4u);
+}
+
+TEST(BudgetGuardTest, TightBudgetRelaxesLockin) {
+  // A strict 4-provider spread is dearer than the relaxed 2-provider one;
+  // pick a budget between the two projected monthly costs.
+  const auto search = Search();
+  PlacementRequest strict = BaseRequest();
+  strict.rule.lockin = 0.25;
+  const auto strict_decision =
+      search.FindBest(provider::PaperCatalog(), strict);
+  PlacementRequest loose = BaseRequest();
+  const auto loose_decision = search.FindBest(provider::PaperCatalog(), loose);
+  ASSERT_TRUE(strict_decision.feasible);
+  ASSERT_TRUE(loose_decision.feasible);
+  ASSERT_LT(loose_decision.expected_cost.usd(),
+            strict_decision.expected_cost.usd());
+
+  BudgetGuard probe(common::Money(0), common::kHour);
+  const auto strict_monthly = probe.ProjectMonthly(strict_decision, 24);
+  const auto loose_monthly = probe.ProjectMonthly(loose_decision, 24);
+  const common::Money budget =
+      (strict_monthly + loose_monthly) * 0.5;  // between the two
+
+  BudgetGuard guard(budget, common::kHour);
+  const auto placed =
+      guard.PlaceWithinBudget(search, provider::PaperCatalog(), strict);
+  ASSERT_TRUE(placed.decision.feasible);
+  EXPECT_TRUE(placed.within_budget);
+  EXPECT_GE(placed.relaxation_level, 1);
+  EXPECT_LT(placed.decision.providers.size(),
+            strict_decision.providers.size());
+}
+
+TEST(BudgetGuardTest, ImpossibleBudgetReportsOverrun) {
+  BudgetGuard guard(common::Money(1e-9), common::kHour);
+  const auto placed = guard.PlaceWithinBudget(
+      Search(), provider::PaperCatalog(), BaseRequest());
+  ASSERT_TRUE(placed.decision.feasible);  // best effort placement
+  EXPECT_FALSE(placed.within_budget);     // but the owner must be told
+}
+
+}  // namespace
+}  // namespace scalia::core

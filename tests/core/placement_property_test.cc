@@ -1,0 +1,231 @@
+// Economic monotonicity properties of the placement search.
+//
+// These are the invariants a broker's customers implicitly rely on: a
+// bigger market can only help, a price drop can only help, and a stricter
+// rule can only cost more.  Each property is swept over seeded random
+// markets and both cold and hot usage profiles.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/placement.h"
+#include "core/subset_solver.h"
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+using common::kMB;
+
+std::vector<provider::ProviderSpec> RandomMarket(std::size_t n,
+                                                 std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  auto uniform = [&](double lo, double hi) {
+    return lo + (hi - lo) * rng.NextDouble();
+  };
+  std::vector<provider::ProviderSpec> market;
+  for (std::size_t i = 0; i < n; ++i) {
+    provider::ProviderSpec spec;
+    spec.id = "P" + std::to_string(i);
+    spec.description = spec.id;
+    spec.sla.durability = 1.0 - std::pow(10.0, -uniform(4.0, 10.0));
+    spec.sla.availability = 1.0 - std::pow(10.0, -uniform(2.5, 4.0));
+    spec.zones = provider::ZoneSet::All();
+    spec.pricing = provider::PricingPolicy{
+        .storage_gb_month = uniform(0.05, 0.2),
+        .bw_in_gb = uniform(0.0, 0.12),
+        .bw_out_gb = uniform(0.08, 0.2),
+        .ops_per_1000 = uniform(0.0, 0.02)};
+    market.push_back(std::move(spec));
+  }
+  return market;
+}
+
+PlacementRequest BaseRequest(bool hot) {
+  PlacementRequest request;
+  request.rule = StorageRule{.name = "prop",
+                             .durability = 0.99999,
+                             .availability = 0.999,
+                             .allowed_zones = provider::ZoneSet::All(),
+                             .lockin = 0.5,
+                             .ttl_hint = std::nullopt};
+  request.object_size = 5 * kMB;
+  request.per_period.storage_gb = 0.005;
+  if (hot) {
+    request.per_period.reads = 80.0;
+    request.per_period.bw_out_gb = 0.4;
+    request.per_period.ops = 80.0;
+  } else {
+    request.per_period.writes = 1.0;
+    request.per_period.bw_in_gb = 0.005;
+    request.per_period.ops = 1.0;
+  }
+  request.decision_periods = 24;
+  return request;
+}
+
+class PlacementPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  const PlacementSearch search_{PriceModel{}};
+};
+
+TEST_P(PlacementPropertyTest, MarketGrowthNeverRaisesOptimalCost) {
+  const std::uint64_t seed = GetParam();
+  auto market = RandomMarket(5, seed);
+  for (bool hot : {false, true}) {
+    const PlacementRequest request = BaseRequest(hot);
+    const PlacementDecision before = search_.FindBest(market, request);
+    auto grown = market;
+    auto extras = RandomMarket(2, seed ^ 0xfeedfaceULL);
+    for (auto& e : extras) {
+      e.id = "X" + e.id;
+      grown.push_back(e);
+    }
+    const PlacementDecision after = search_.FindBest(grown, request);
+    if (!before.feasible) continue;  // growth can only add feasibility
+    ASSERT_TRUE(after.feasible);
+    EXPECT_LE(after.expected_cost.usd(), before.expected_cost.usd() + 1e-9)
+        << "hot=" << hot;
+  }
+}
+
+TEST_P(PlacementPropertyTest, PriceDropNeverRaisesOptimalCost) {
+  const std::uint64_t seed = GetParam();
+  auto market = RandomMarket(5, seed * 3 + 1);
+  for (bool hot : {false, true}) {
+    const PlacementRequest request = BaseRequest(hot);
+    const PlacementDecision before = search_.FindBest(market, request);
+    if (!before.feasible) continue;
+    // Halve every price of one provider (rotating with the seed).
+    auto discounted = market;
+    auto& lucky = discounted[seed % discounted.size()];
+    lucky.pricing.storage_gb_month *= 0.5;
+    lucky.pricing.bw_in_gb *= 0.5;
+    lucky.pricing.bw_out_gb *= 0.5;
+    lucky.pricing.ops_per_1000 *= 0.5;
+    const PlacementDecision after = search_.FindBest(discounted, request);
+    ASSERT_TRUE(after.feasible);
+    EXPECT_LE(after.expected_cost.usd(), before.expected_cost.usd() + 1e-9)
+        << "hot=" << hot;
+  }
+}
+
+TEST_P(PlacementPropertyTest, StricterAvailabilityOrLockinNeverCheapens) {
+  // Raising the availability floor or tightening the lock-in bound only
+  // *removes* candidates from Algorithm 1's search (a set either passes at
+  // its durability-maximal threshold or is skipped), so the optimum cannot
+  // get cheaper.
+  const std::uint64_t seed = GetParam();
+  const auto market = RandomMarket(6, seed * 7 + 5);
+  for (bool hot : {false, true}) {
+    const PlacementRequest loose = BaseRequest(hot);
+    const PlacementDecision base = search_.FindBest(market, loose);
+    if (!base.feasible) continue;
+    {
+      PlacementRequest tight = loose;
+      tight.rule.availability =
+          1.0 - (1.0 - tight.rule.availability) / 10.0;
+      const PlacementDecision d = search_.FindBest(market, tight);
+      if (d.feasible) {
+        EXPECT_GE(d.expected_cost.usd(), base.expected_cost.usd() - 1e-9)
+            << "availability, hot=" << hot;
+      }
+    }
+    {
+      PlacementRequest tight = loose;
+      tight.rule.lockin = 0.25;  // at least four providers
+      const PlacementDecision d = search_.FindBest(market, tight);
+      if (d.feasible) {
+        EXPECT_GE(d.expected_cost.usd(), base.expected_cost.usd() - 1e-9)
+            << "lockin, hot=" << hot;
+      }
+    }
+  }
+}
+
+TEST_P(PlacementPropertyTest, DurabilityMonotoneOnlyInTheFlexibleSpace) {
+  // Durability is different: Algorithm 1 pins every set's threshold to the
+  // durability-maximal m, so *raising* the durability floor pushes m down —
+  // and for egress-heavy objects a smaller m is cheaper (fewer read ops,
+  // reads concentrated on the cheapest members).  Algorithm 1's optimum is
+  // therefore NOT monotone in the durability requirement.  The
+  // threshold-flexible solver decouples m from the constraint, restoring
+  // monotonicity: a stricter floor only removes (set, m) pairs.
+  const std::uint64_t seed = GetParam();
+  const auto market = RandomMarket(6, seed * 7 + 5);
+  const SubsetSolver solver{PriceModel{}};
+  for (bool hot : {false, true}) {
+    const PlacementRequest loose = BaseRequest(hot);
+    PlacementRequest tight = loose;
+    tight.rule.durability =
+        1.0 - (1.0 - tight.rule.durability) / 100.0;  // two more nines
+
+    const PlacementDecision flex_loose =
+        solver.FindBestFlexible(market, loose);
+    const PlacementDecision flex_tight =
+        solver.FindBestFlexible(market, tight);
+    if (!flex_loose.feasible || !flex_tight.feasible) continue;
+    EXPECT_GE(flex_tight.expected_cost.usd(),
+              flex_loose.expected_cost.usd() - 1e-9)
+        << "hot=" << hot;
+
+    // And the flexible optimum dominates Algorithm 1 under either rule.
+    const PlacementDecision alg1 = search_.FindBest(market, tight);
+    if (alg1.feasible) {
+      EXPECT_LE(flex_tight.expected_cost.usd(),
+                alg1.expected_cost.usd() + 1e-9);
+    }
+  }
+}
+
+TEST_P(PlacementPropertyTest, ExpectedCostLinearInDecisionPeriods) {
+  const std::uint64_t seed = GetParam();
+  const auto market = RandomMarket(5, seed * 11 + 3);
+  PlacementRequest request = BaseRequest(true);
+  request.decision_periods = 6;
+  const PlacementDecision d6 = search_.FindBest(market, request);
+  if (!d6.feasible) return;
+  request.decision_periods = 18;
+  const PlacementDecision d18 =
+      search_.EvaluateSet(d6.providers, request);
+  ASSERT_TRUE(d18.feasible);
+  EXPECT_NEAR(d18.expected_cost.usd(), 3.0 * d6.expected_cost.usd(), 1e-9);
+}
+
+TEST_P(PlacementPropertyTest, GreedyAndDecisionInvariants) {
+  const std::uint64_t seed = GetParam();
+  const auto market = RandomMarket(6, seed * 13 + 11);
+  for (bool hot : {false, true}) {
+    const PlacementRequest request = BaseRequest(hot);
+    const PlacementDecision exact = search_.FindBest(market, request);
+    const PlacementDecision greedy = search_.FindBestGreedy(market, request);
+    if (!exact.feasible) {
+      EXPECT_FALSE(greedy.feasible);
+      continue;
+    }
+    if (!greedy.feasible) continue;  // greedy may miss; it must not invent
+    // The greedy result is a real evaluated subset: re-evaluating it yields
+    // the same decision, and it cannot undercut the optimum.
+    const PlacementDecision recheck =
+        search_.EvaluateSet(greedy.providers, request);
+    ASSERT_TRUE(recheck.feasible);
+    EXPECT_EQ(recheck.m, greedy.m);
+    EXPECT_NEAR(recheck.expected_cost.usd(), greedy.expected_cost.usd(),
+                1e-9);
+    EXPECT_GE(greedy.expected_cost.usd(), exact.expected_cost.usd() - 1e-9);
+    // Feasible decisions respect the rule's lock-in bound.
+    EXPECT_GE(greedy.providers.size(), request.rule.MinProviders());
+    EXPECT_GE(greedy.m, 1);
+    EXPECT_LE(static_cast<std::size_t>(greedy.m), greedy.providers.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           std::string name = "seed";
+                           name += std::to_string(i.param);
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace scalia::core

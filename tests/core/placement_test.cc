@@ -1,0 +1,280 @@
+#include "core/placement.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+using common::literals::operator""_MB;
+
+std::vector<provider::ProviderSpec> Catalog() {
+  return provider::PaperCatalog();
+}
+
+PlacementSearch Search() {
+  return PlacementSearch(PriceModel(PriceModelConfig{
+      .sampling_period = common::kHour,
+      .billing = provider::StorageBillingMode::kPerPeriod}));
+}
+
+PlacementRequest SlashdotRequest() {
+  PlacementRequest request;
+  request.rule = StorageRule{.name = "slashdot",
+                             .durability = 0.99999,
+                             .availability = 0.9999,
+                             .allowed_zones = provider::ZoneSet::All(),
+                             .lockin = 1.0,
+                             .ttl_hint = std::nullopt};
+  request.object_size = 1_MB;
+  request.per_period.storage_gb = 0.001;
+  request.decision_periods = 24;
+  return request;
+}
+
+TEST(PlacementTest, ColdObjectGetsAllFiveM4) {
+  // §IV-B: after the flash crowd, Scalia chooses [all five; m:4].
+  const auto decision = Search().FindBest(Catalog(), SlashdotRequest());
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_EQ(decision.providers.size(), 5u);
+  EXPECT_EQ(decision.m, 4);
+}
+
+TEST(PlacementTest, HotObjectGetsS3PairM1) {
+  // §IV-B: during the peak, [S3(h), S3(l); m:1] is cheapest.
+  PlacementRequest request = SlashdotRequest();
+  request.per_period.reads = 150;
+  request.per_period.ops = 150;
+  request.per_period.bw_out_gb = 0.15;
+  const auto decision = Search().FindBest(Catalog(), request);
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_EQ(decision.Label(), "S3(h)-S3(l); m:1");
+}
+
+TEST(PlacementTest, WriteHeavyForecastPrefersRackspaceSet) {
+  // §IV-B: before the crowd (forecast dominated by the initial write),
+  // Scalia used [S3(h), S3(l), Azu, RS; m:3] — RS has cheap ingress and
+  // free operations.
+  PlacementRequest request = SlashdotRequest();
+  request.per_period.writes = 1;
+  request.per_period.ops = 1;
+  request.per_period.bw_in_gb = 0.001;
+  const auto decision = Search().FindBest(Catalog(), request);
+  ASSERT_TRUE(decision.feasible);
+  const auto ids = decision.ProviderIds();
+  EXPECT_EQ(ids, (std::vector<provider::ProviderId>{"Azu", "RS", "S3(h)",
+                                                    "S3(l)"}));
+  EXPECT_EQ(decision.m, 3);
+}
+
+TEST(PlacementTest, AvailabilityRequiresTwoProviders) {
+  // §IV-B: "the availability constraint requires at least 2 providers" —
+  // no single-provider set may win.
+  const auto decision = Search().FindBest(Catalog(), SlashdotRequest());
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_GE(decision.providers.size(), 2u);
+  // Verify directly: every singleton is infeasible.
+  for (const auto& spec : Catalog()) {
+    const auto single = Search().EvaluateSet(
+        std::vector<provider::ProviderSpec>{spec}, SlashdotRequest());
+    EXPECT_FALSE(single.feasible) << spec.id;
+  }
+}
+
+TEST(PlacementTest, LockinBoundsMinimumProviders) {
+  PlacementRequest request = SlashdotRequest();
+  request.rule.lockin = 0.3;  // 1/N <= 0.3 -> N >= 4
+  const auto decision = Search().FindBest(Catalog(), request);
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_GE(decision.providers.size(), 4u);
+  // A 3-provider set must be rejected on lock-in alone.
+  const auto catalog = Catalog();
+  std::vector<provider::ProviderSpec> three(catalog.begin(),
+                                            catalog.begin() + 3);
+  EXPECT_FALSE(Search().EvaluateSet(three, request).feasible);
+}
+
+TEST(PlacementTest, ZoneEligibilityFiltersProviders) {
+  PlacementRequest request = SlashdotRequest();
+  request.rule.allowed_zones = {provider::Zone::kEU};
+  // Only the two S3 offerings operate in the EU (Fig. 3).
+  const auto decision = Search().FindBest(Catalog(), request);
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_EQ(decision.ProviderIds(),
+            (std::vector<provider::ProviderId>{"S3(h)", "S3(l)"}));
+}
+
+TEST(PlacementTest, DurabilityDrivesThreshold) {
+  PlacementRequest request = SlashdotRequest();
+  request.rule.durability = 0.999999;  // 6 nines
+  const auto decision = Search().FindBest(Catalog(), request);
+  ASSERT_TRUE(decision.feasible);
+  // All-five still feasible but with m = 4 (one tolerated failure).
+  EXPECT_EQ(decision.m, static_cast<int>(decision.providers.size()) - 1);
+}
+
+TEST(PlacementTest, ImpossibleDurabilityInfeasible) {
+  PlacementRequest request = SlashdotRequest();
+  request.rule.durability = 1.0;  // no finite set reaches certainty
+  const auto decision = Search().FindBest(Catalog(), request);
+  EXPECT_FALSE(decision.feasible);
+}
+
+TEST(PlacementTest, MaxChunkSizeExcludesConstrainedProvider) {
+  // §III-A.2: inclusion (smaller chunks) vs exclusion of a constraining
+  // provider are both evaluated — here the constraint is unsatisfiable for
+  // the constrained provider at any feasible m, so it must be excluded.
+  auto catalog = Catalog();
+  for (auto& spec : catalog) {
+    if (spec.id == "S3(l)") spec.max_chunk_size = 100;  // 100 bytes
+  }
+  // Six-nines durability keeps S3(l)-free sets feasible (their threshold
+  // drops below n, so the availability check can pass).
+  PlacementRequest request = SlashdotRequest();
+  request.rule.durability = 0.999999;
+  const auto decision = Search().FindBest(catalog, request);
+  ASSERT_TRUE(decision.feasible);
+  for (const auto& p : decision.providers) {
+    EXPECT_NE(p.id, "S3(l)");
+  }
+}
+
+TEST(PlacementTest, CapacityExcludesFullProvider) {
+  PlacementRequest request = SlashdotRequest();
+  request.free_capacity = {/*S3h*/ 100, /*S3l*/ 1_MB, /*RS*/ 1_MB,
+                           /*Azu*/ 1_MB, /*Ggl*/ 1_MB};
+  const auto decision = Search().FindBest(Catalog(), request);
+  ASSERT_TRUE(decision.feasible);
+  for (const auto& p : decision.providers) {
+    EXPECT_NE(p.id, "S3(h)") << "full provider must be excluded";
+  }
+}
+
+TEST(PlacementTest, ReduceMForAvailabilityFallback) {
+  // [S3(h), Azu] with m = 2 fails 99.99 % availability (0.999^2); the
+  // static-baseline fallback lowers m to 1.
+  const auto catalog = Catalog();
+  std::vector<provider::ProviderSpec> pair = {
+      *provider::FindSpec(catalog, "S3(h)"),
+      *provider::FindSpec(catalog, "Azu")};
+  PlacementRequest request = SlashdotRequest();
+  const auto strict = Search().EvaluateSet(pair, request);
+  EXPECT_FALSE(strict.feasible);
+  const auto relaxed = Search().EvaluateSet(pair, request, {}, true);
+  ASSERT_TRUE(relaxed.feasible);
+  EXPECT_EQ(relaxed.m, 1);
+}
+
+TEST(PlacementTest, BetterPrefersCheaperThenLargerM) {
+  PlacementDecision cheap;
+  cheap.feasible = true;
+  cheap.expected_cost = common::Money(1.0);
+  cheap.m = 1;
+  PlacementDecision expensive = cheap;
+  expensive.expected_cost = common::Money(2.0);
+  EXPECT_TRUE(PlacementSearch::Better(cheap, expensive));
+  EXPECT_FALSE(PlacementSearch::Better(expensive, cheap));
+
+  PlacementDecision same_cost_higher_m = cheap;
+  same_cost_higher_m.m = 3;
+  EXPECT_TRUE(PlacementSearch::Better(same_cost_higher_m, cheap));
+
+  PlacementDecision infeasible;
+  EXPECT_TRUE(PlacementSearch::Better(cheap, infeasible));
+  EXPECT_FALSE(PlacementSearch::Better(infeasible, cheap));
+}
+
+TEST(PlacementTest, SearchCountsSets) {
+  const auto decision = Search().FindBest(Catalog(), SlashdotRequest());
+  EXPECT_EQ(decision.sets_evaluated, 31u);  // 2^5 - 1
+  EXPECT_GT(decision.sets_feasible, 0u);
+  EXPECT_LT(decision.sets_feasible, 31u);
+}
+
+TEST(PlacementTest, GreedyMatchesExactOnPaperCatalog) {
+  for (double reads : {0.0, 5.0, 50.0, 150.0}) {
+    PlacementRequest request = SlashdotRequest();
+    request.per_period.reads = reads;
+    request.per_period.ops = reads;
+    request.per_period.bw_out_gb = reads * 0.001;
+    const auto exact = Search().FindBest(Catalog(), request);
+    const auto greedy = Search().FindBestGreedy(Catalog(), request);
+    ASSERT_TRUE(exact.feasible);
+    ASSERT_TRUE(greedy.feasible);
+    // Greedy is a heuristic: it must be feasible and within 10 % of exact
+    // on this small market (it is in fact optimal here for most loads).
+    EXPECT_LE(greedy.expected_cost.usd(),
+              exact.expected_cost.usd() * 1.10 + 1e-12)
+        << "reads=" << reads;
+  }
+}
+
+class GreedyGapTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property sweep: on random markets the greedy heuristic always returns a
+// feasible decision whenever the exact search finds one, and never beats
+// the optimum.
+TEST_P(GreedyGapTest, FeasibleAndNeverBelowOptimum) {
+  common::Xoshiro256 rng(GetParam());
+  std::vector<provider::ProviderSpec> market;
+  const std::uint64_t n = 4 + rng.NextBounded(5);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    provider::ProviderSpec spec;
+    spec.id = "P" + std::to_string(i);
+    spec.sla.durability = 1.0 - rng.NextUniform(1e-9, 1e-4);
+    spec.sla.availability = 1.0 - rng.NextUniform(1e-4, 1e-3);
+    spec.zones = provider::ZoneSet::All();
+    spec.pricing.storage_gb_month = rng.NextUniform(0.08, 0.2);
+    spec.pricing.bw_in_gb = rng.NextUniform(0.05, 0.12);
+    spec.pricing.bw_out_gb = rng.NextUniform(0.1, 0.2);
+    spec.pricing.ops_per_1000 = rng.NextUniform(0.0, 0.02);
+    market.push_back(std::move(spec));
+  }
+  PlacementRequest request = SlashdotRequest();
+  request.per_period.reads = rng.NextUniform(0.0, 100.0);
+  request.per_period.bw_out_gb = request.per_period.reads * 0.001;
+  request.per_period.ops = request.per_period.reads;
+
+  const auto exact = Search().FindBest(market, request);
+  const auto greedy = Search().FindBestGreedy(market, request);
+  if (exact.feasible) {
+    ASSERT_TRUE(greedy.feasible);
+    EXPECT_GE(greedy.expected_cost.usd(),
+              exact.expected_cost.usd() - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Markets, GreedyGapTest,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+TEST(PlacementTest, LabelFormat) {
+  PlacementDecision d;
+  EXPECT_EQ(d.Label(), "(none); m:0");
+  d.providers = {*provider::FindSpec(Catalog(), "S3(h)"),
+                 *provider::FindSpec(Catalog(), "RS")};
+  d.m = 2;
+  EXPECT_EQ(d.Label(), "S3(h)-RS; m:2");
+}
+
+TEST(PlacementTest, SamePlacementIgnoresOrder) {
+  const auto catalog = Catalog();
+  PlacementDecision a, b;
+  a.m = b.m = 2;
+  a.providers = {*provider::FindSpec(catalog, "S3(h)"),
+                 *provider::FindSpec(catalog, "RS")};
+  b.providers = {*provider::FindSpec(catalog, "RS"),
+                 *provider::FindSpec(catalog, "S3(h)")};
+  EXPECT_TRUE(a.SamePlacement(b));
+  b.m = 1;
+  EXPECT_FALSE(a.SamePlacement(b));
+}
+
+TEST(PlacementTest, EmptyMarketInfeasible) {
+  const auto decision = Search().FindBest({}, SlashdotRequest());
+  EXPECT_FALSE(decision.feasible);
+}
+
+}  // namespace
+}  // namespace scalia::core

@@ -1,0 +1,186 @@
+#include "core/price_model.h"
+
+#include <gtest/gtest.h>
+
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+std::vector<provider::ProviderSpec> Specs(
+    const std::vector<std::string>& ids) {
+  const auto catalog = provider::PaperCatalog();
+  std::vector<provider::ProviderSpec> out;
+  for (const auto& id : ids) out.push_back(*provider::FindSpec(catalog, id));
+  return out;
+}
+
+PriceModel PerPeriodModel() {
+  return PriceModel(PriceModelConfig{
+      .sampling_period = common::kHour,
+      .billing = provider::StorageBillingMode::kPerPeriod});
+}
+
+TEST(PriceModelTest, StorageOnlyObjectCost) {
+  // 1 MB object on [S3(h), S3(l); m:1]: two full replicas.
+  const auto pset = Specs({"S3(h)", "S3(l)"});
+  stats::PeriodStats period;
+  period.storage_gb = 0.001;
+  const auto cost = PerPeriodModel().PeriodCost(pset, 1, period);
+  EXPECT_NEAR(cost.usd(), 0.001 * (0.14 + 0.093), 1e-12);
+}
+
+TEST(PriceModelTest, ErasureStorageOverheadScalesWithM) {
+  // All five with m = 4: each provider stores 1/4 of the object.
+  const auto pset = Specs({"S3(h)", "S3(l)", "RS", "Azu", "Ggl"});
+  stats::PeriodStats period;
+  period.storage_gb = 0.001;
+  const auto cost = PerPeriodModel().PeriodCost(pset, 4, period);
+  EXPECT_NEAR(cost.usd(), 0.001 / 4 * (0.14 + 0.093 + 0.15 + 0.15 + 0.17),
+              1e-12);
+}
+
+TEST(PriceModelTest, WriteBillsEveryProvider) {
+  const auto pset = Specs({"S3(h)", "S3(l)", "RS"});
+  stats::PeriodStats period;
+  period.writes = 1;
+  period.ops = 1;
+  period.bw_in_gb = 0.003;  // 3 MB written
+  const auto usage = PerPeriodModel().Expand(pset, 2, period);
+  ASSERT_EQ(usage.per_provider.size(), 3u);
+  for (const auto& u : usage.per_provider) {
+    EXPECT_NEAR(u.bw_in_gb, 0.0015, 1e-12);  // one half-size chunk each
+    EXPECT_DOUBLE_EQ(u.ops, 1.0);
+  }
+  const auto cost = PerPeriodModel().PeriodCost(pset, 2, period);
+  // Ingress: 0.0015*(0.10+0.10+0.08); ops: 2 paid (RS ops are free).
+  EXPECT_NEAR(cost.usd(), 0.0015 * 0.28 + 2.0 * 0.01 / 1000.0, 1e-12);
+}
+
+TEST(PriceModelTest, ReadsRouteToCheapestMProviders) {
+  // [S3(h), S3(l), RS; m:1]: reads must hit an S3 (egress 0.15), never RS
+  // (egress 0.18).
+  const auto pset = Specs({"S3(h)", "S3(l)", "RS"});
+  stats::PeriodStats period;
+  period.reads = 100;
+  period.ops = 100;
+  period.bw_out_gb = 0.1;
+  const auto usage = PerPeriodModel().Expand(pset, 1, period);
+  EXPECT_DOUBLE_EQ(usage.per_provider[2].bw_out_gb, 0.0);  // RS untouched
+  EXPECT_NEAR(usage.per_provider[0].bw_out_gb +
+                  usage.per_provider[1].bw_out_gb,
+              0.1, 1e-12);
+}
+
+TEST(PriceModelTest, CheapestReadProvidersAccountsForOps) {
+  // With tiny chunks, RS's free operations beat the S3 egress advantage:
+  // per read, RS costs 0.18*chunk vs S3's 0.15*chunk + 1e-5.
+  const auto pset = Specs({"S3(h)", "RS"});
+  const auto tiny = PerPeriodModel().CheapestReadProviders(pset, 1, 1e-6);
+  ASSERT_EQ(tiny.size(), 1u);
+  EXPECT_EQ(pset[tiny[0]].id, "RS");
+  // With large chunks, egress dominates and S3 wins.
+  const auto large = PerPeriodModel().CheapestReadProviders(pset, 1, 0.1);
+  EXPECT_EQ(pset[large[0]].id, "S3(h)");
+}
+
+TEST(PriceModelTest, ReachabilityMaskReroutesReads) {
+  const auto pset = Specs({"S3(h)", "S3(l)", "RS"});
+  stats::PeriodStats period;
+  period.reads = 10;
+  period.ops = 10;
+  period.bw_out_gb = 0.01;
+  // S3(l) (cheapest with S3(h)) is down: reads fall back to S3(h) + RS.
+  const std::vector<bool> reachable = {true, false, true};
+  const auto usage = PerPeriodModel().Expand(pset, 2, period, reachable);
+  EXPECT_DOUBLE_EQ(usage.per_provider[1].bw_out_gb, 0.0);
+  EXPECT_GT(usage.per_provider[0].bw_out_gb, 0.0);
+  EXPECT_GT(usage.per_provider[2].bw_out_gb, 0.0);
+}
+
+TEST(PriceModelTest, UnservableReadsNotBilled) {
+  const auto pset = Specs({"S3(h)", "S3(l)"});
+  stats::PeriodStats period;
+  period.reads = 10;
+  period.ops = 10;
+  period.bw_out_gb = 0.01;
+  period.storage_gb = 0.001;
+  // m = 2 but only one provider reachable: reads cannot be served.
+  const std::vector<bool> reachable = {true, false};
+  const auto usage = PerPeriodModel().Expand(pset, 2, period, reachable);
+  for (const auto& u : usage.per_provider) {
+    EXPECT_DOUBLE_EQ(u.bw_out_gb, 0.0);
+  }
+  // Storage still accrues on the whole set.
+  EXPECT_GT(usage.per_provider[0].storage_gb_hours, 0.0);
+  EXPECT_GT(usage.per_provider[1].storage_gb_hours, 0.0);
+}
+
+TEST(PriceModelTest, ExpectedCostScalesWithDecisionPeriods) {
+  const auto pset = Specs({"S3(h)", "S3(l)"});
+  stats::PeriodStats period;
+  period.storage_gb = 0.001;
+  const PriceModel model = PerPeriodModel();
+  const auto one = model.ExpectedCost(pset, 1, period, 1);
+  const auto day = model.ExpectedCost(pset, 1, period, 24);
+  EXPECT_NEAR(day.usd(), 24.0 * one.usd(), 1e-12);
+  // Zero decision periods is clamped to one.
+  EXPECT_NEAR(model.ExpectedCost(pset, 1, period, 0).usd(), one.usd(), 1e-15);
+}
+
+TEST(PriceModelTest, ProratedVsPerPeriodStorage) {
+  const auto pset = Specs({"S3(h)"});
+  stats::PeriodStats period;
+  period.storage_gb = 1.0;
+  const PriceModel per_period = PerPeriodModel();
+  const PriceModel prorated(PriceModelConfig{
+      .sampling_period = common::kHour,
+      .billing = provider::StorageBillingMode::kProrated});
+  // Per-period charges the monthly rate each hour; prorated divides by 720.
+  EXPECT_NEAR(per_period.PeriodCost(pset, 1, period).usd(), 0.14, 1e-12);
+  EXPECT_NEAR(prorated.PeriodCost(pset, 1, period).usd(), 0.14 / 720.0,
+              1e-12);
+}
+
+TEST(PriceModelTest, SlashdotPeakPreference) {
+  // At 150 reads/h of a 1 MB object, [S3(h),S3(l); m:1] must beat both the
+  // all-five m:4 set (ops overhead) and [S3(h),S3(l),Azu; m:2] — the §IV-B
+  // result.
+  stats::PeriodStats peak;
+  peak.storage_gb = 0.001;
+  peak.reads = 150;
+  peak.ops = 150;
+  peak.bw_out_gb = 0.15;
+  const PriceModel model = PerPeriodModel();
+  const auto two = model.PeriodCost(Specs({"S3(h)", "S3(l)"}), 1, peak);
+  const auto three =
+      model.PeriodCost(Specs({"S3(h)", "S3(l)", "Azu"}), 2, peak);
+  const auto five = model.PeriodCost(
+      Specs({"S3(h)", "S3(l)", "RS", "Azu", "Ggl"}), 4, peak);
+  EXPECT_LT(two, three);
+  EXPECT_LT(three, five);
+}
+
+TEST(PriceModelTest, ColdObjectPrefersWideStriping) {
+  // With no traffic, the all-five m:4 set has the lowest storage overhead —
+  // the paper's post-crowd placement.
+  stats::PeriodStats cold;
+  cold.storage_gb = 0.001;
+  const PriceModel model = PerPeriodModel();
+  const auto two = model.PeriodCost(Specs({"S3(h)", "S3(l)"}), 1, cold);
+  const auto five = model.PeriodCost(
+      Specs({"S3(h)", "S3(l)", "RS", "Azu", "Ggl"}), 4, cold);
+  EXPECT_LT(five, two);
+}
+
+TEST(PriceModelTest, EmptySetAndZeroMAreFree) {
+  const PriceModel model = PerPeriodModel();
+  stats::PeriodStats period;
+  period.storage_gb = 1.0;
+  EXPECT_DOUBLE_EQ(model.PeriodCost({}, 1, period).usd(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      model.PeriodCost(Specs({"S3(h)"}), 0, period).usd(), 0.0);
+}
+
+}  // namespace
+}  // namespace scalia::core

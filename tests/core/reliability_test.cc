@@ -1,0 +1,152 @@
+#include "core/reliability.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+std::vector<double> CatalogDurabilities(
+    const std::vector<std::string>& ids) {
+  const auto catalog = provider::PaperCatalog();
+  std::vector<double> out;
+  for (const auto& id : ids) {
+    out.push_back(provider::FindSpec(catalog, id)->sla.durability);
+  }
+  return out;
+}
+
+TEST(PoissonBinomialTest, PmfSumsToOne) {
+  const std::vector<double> p = {0.1, 0.5, 0.9, 0.3};
+  const auto pmf = PoissonBinomialPmf(p);
+  ASSERT_EQ(pmf.size(), 5u);
+  EXPECT_NEAR(std::accumulate(pmf.begin(), pmf.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(PoissonBinomialTest, MatchesBinomialForEqualProbabilities) {
+  const std::vector<double> p(4, 0.5);
+  const auto pmf = PoissonBinomialPmf(p);
+  // Binomial(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16.
+  EXPECT_NEAR(pmf[0], 1.0 / 16, 1e-12);
+  EXPECT_NEAR(pmf[1], 4.0 / 16, 1e-12);
+  EXPECT_NEAR(pmf[2], 6.0 / 16, 1e-12);
+  EXPECT_NEAR(pmf[3], 4.0 / 16, 1e-12);
+  EXPECT_NEAR(pmf[4], 1.0 / 16, 1e-12);
+}
+
+TEST(PoissonBinomialTest, DegenerateCases) {
+  EXPECT_EQ(PoissonBinomialPmf({}).size(), 1u);
+  const std::vector<double> ones = {1.0, 1.0};
+  const auto certain = PoissonBinomialPmf(ones);
+  EXPECT_NEAR(certain[2], 1.0, 1e-12);
+  const std::vector<double> zeros = {0.0, 0.0};
+  const auto never = PoissonBinomialPmf(zeros);
+  EXPECT_NEAR(never[0], 1.0, 1e-12);
+}
+
+TEST(GetThresholdTest, SingleHighDurabilityProvider) {
+  // One provider at 6 nines satisfies 99.99 % alone with m = 1.
+  EXPECT_EQ(GetThreshold(std::vector<double>{0.999999}, 0.9999), 1);
+  // But cannot satisfy a requirement above its own durability.
+  EXPECT_EQ(GetThreshold(std::vector<double>{0.999999}, 0.9999999), 0);
+}
+
+TEST(GetThresholdTest, PaperSlashdotSets) {
+  // Durability 99.999 % (§IV-B).  [S3(h), S3(l)]: P(no failure) ~ 0.9999 <
+  // target, P(<=1 failure) ~ 1 -> threshold m = 1.
+  EXPECT_EQ(GetThreshold(CatalogDurabilities({"S3(h)", "S3(l)"}), 0.99999), 1);
+  // All five: one tolerated failure suffices -> m = 4.
+  EXPECT_EQ(GetThreshold(
+                CatalogDurabilities({"S3(h)", "S3(l)", "RS", "Azu", "Ggl"}),
+                0.99999),
+            4);
+  // [S3(h), S3(l), Azu, RS]: m = 3 (the paper's pre-crowd placement).
+  EXPECT_EQ(GetThreshold(CatalogDurabilities({"S3(h)", "S3(l)", "Azu", "RS"}),
+                         0.99999),
+            3);
+}
+
+TEST(GetThresholdTest, PaperBackupSets) {
+  // Durability 99.9999 % (§IV-E): 2-provider sets degrade to m = 1 ...
+  EXPECT_EQ(GetThreshold(CatalogDurabilities({"S3(h)", "Azu"}), 0.999999), 1);
+  // ... 3-provider sets support m = 2 ...
+  EXPECT_EQ(GetThreshold(CatalogDurabilities({"S3(h)", "S3(l)", "Azu"}),
+                         0.999999),
+            2);
+  // ... and the full five m = 4, matching §IV-D.
+  EXPECT_EQ(GetThreshold(
+                CatalogDurabilities({"S3(h)", "S3(l)", "RS", "Azu", "Ggl"}),
+                0.999999),
+            4);
+}
+
+TEST(GetThresholdTest, EmptySetInfeasible) {
+  EXPECT_EQ(GetThreshold({}, 0.9), 0);
+}
+
+class ThresholdEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+// Property: the O(n^2) Poisson-binomial DP computes exactly what the
+// paper's combinatorial Algorithm 2 computes, for random provider sets and
+// random durability targets.
+TEST_P(ThresholdEquivalenceTest, DpMatchesCombinatorial) {
+  common::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto n = 1 + rng.NextBounded(8);
+    std::vector<double> durabilities;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      // Mix of realistic (many-nines) and sloppy durabilities.
+      durabilities.push_back(rng.NextDouble() < 0.5
+                                 ? 1.0 - rng.NextUniform(1e-11, 1e-4)
+                                 : rng.NextUniform(0.9, 0.9999));
+    }
+    const double required = rng.NextUniform(0.9, 0.9999999);
+    EXPECT_EQ(GetThreshold(durabilities, required),
+              GetThresholdCombinatorial(durabilities, required))
+        << "n=" << n << " required=" << required;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThresholdEquivalenceTest,
+                         ::testing::Range(1, 9));
+
+TEST(GetAvailabilityTest, PaperValues) {
+  const auto catalog = provider::PaperCatalog();
+  std::vector<double> avail5;
+  for (const auto& spec : catalog) avail5.push_back(spec.sla.availability);
+  // All five at 99.9 %, m = 4: availability ~ 99.999 % (>= 99.99 %).
+  const double av = GetAvailability(avail5, 4);
+  EXPECT_GT(av, 0.9999);
+  EXPECT_LT(av, 0.999999);
+  // Single provider at 99.9 % fails a 99.99 % requirement.
+  EXPECT_LT(GetAvailability(std::vector<double>{0.999}, 1), 0.9999);
+  // Two at 99.9 %, m = 1: 1 - 1e-6.
+  EXPECT_NEAR(GetAvailability(std::vector<double>{0.999, 0.999}, 1),
+              1.0 - 1e-6, 1e-12);
+}
+
+TEST(GetAvailabilityTest, MonotoneInThreshold) {
+  const std::vector<double> avail(5, 0.99);
+  double prev = 1.0;
+  for (int m = 0; m <= 5; ++m) {
+    const double av = ProbAtLeastKUp(avail, m);
+    EXPECT_LE(av, prev + 1e-15) << "m=" << m;
+    prev = av;
+  }
+  EXPECT_DOUBLE_EQ(ProbAtLeastKUp(avail, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ProbAtLeastKUp(avail, 6), 0.0);
+}
+
+TEST(GetAvailabilityTest, ExactSmallCase) {
+  // Two providers p1 = 0.9, p2 = 0.8.
+  const std::vector<double> p = {0.9, 0.8};
+  EXPECT_NEAR(ProbAtLeastKUp(p, 2), 0.72, 1e-12);
+  EXPECT_NEAR(ProbAtLeastKUp(p, 1), 0.98, 1e-12);
+}
+
+}  // namespace
+}  // namespace scalia::core

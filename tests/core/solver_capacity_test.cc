@@ -1,0 +1,113 @@
+// Capacity- and chunk-constraint handling in the scalable solvers: the
+// branch-and-bound must honour the same free-capacity and max-chunk-size
+// limits as Algorithm 1 (§III-A.2, §III-E), and agree with it under them.
+#include <gtest/gtest.h>
+
+#include "core/subset_solver.h"
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+using common::kMB;
+
+PlacementRequest ArchiveRequest() {
+  PlacementRequest request;
+  request.rule = StorageRule{.name = "cap",
+                             .durability = 0.9999,
+                             .availability = 0.99,
+                             .allowed_zones = provider::ZoneSet::All(),
+                             .lockin = 0.5,
+                             .ttl_hint = std::nullopt};
+  request.object_size = 40 * kMB;
+  request.per_period.storage_gb = 0.04;
+  request.per_period.writes = 1.0;
+  request.per_period.bw_in_gb = 0.04;
+  request.per_period.ops = 1.0;
+  request.decision_periods = 24;
+  return request;
+}
+
+TEST(SolverCapacityTest, BranchAndBoundHonoursFreeCapacity) {
+  auto market = provider::PaperCatalog();
+  const PriceModel model;
+  const PlacementSearch exhaustive(model);
+  const SubsetSolver solver(model);
+
+  PlacementRequest request = ArchiveRequest();
+  // S3(l) — the cheapest storage — has no room left; everyone else has
+  // plenty.  Chunk size at m=1 is 40 MB, so S3(l) is unusable.
+  request.free_capacity.assign(market.size(), 100 * kMB);
+  for (std::size_t i = 0; i < market.size(); ++i) {
+    if (market[i].id == "S3(l)") request.free_capacity[i] = 1 * kMB;
+  }
+
+  const PlacementDecision expected = exhaustive.FindBest(market, request);
+  const PlacementDecision actual =
+      solver.FindBestBranchAndBound(market, request);
+  ASSERT_TRUE(expected.feasible);
+  ASSERT_TRUE(actual.feasible);
+  EXPECT_TRUE(actual.SamePlacement(expected));
+  for (const auto& member : actual.providers) {
+    EXPECT_NE(member.id, "S3(l)") << "capacity-full provider chosen";
+  }
+}
+
+TEST(SolverCapacityTest, TightCapacityForcesWiderStripes) {
+  auto market = provider::PaperCatalog();
+  const SubsetSolver solver{PriceModel{}};
+
+  PlacementRequest request = ArchiveRequest();
+  // Nobody can hold more than 15 MB: a 40 MB object needs m >= 3, hence at
+  // least a 3-provider stripe.
+  request.free_capacity.assign(market.size(), 15 * kMB);
+  const PlacementDecision decision =
+      solver.FindBestBranchAndBound(market, request);
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_GE(decision.m, 3);
+  EXPECT_GE(decision.providers.size(), 3u);
+}
+
+TEST(SolverCapacityTest, MaxChunkSizeAgreesWithAlgorithmOne) {
+  auto market = provider::PaperCatalog();
+  // Azure refuses chunks above 12 MB (§III-A.2's provider constraint).
+  for (auto& spec : market) {
+    if (spec.id == "Azu") spec.max_chunk_size = 12 * kMB;
+  }
+  const PriceModel model;
+  const PlacementSearch exhaustive(model);
+  const SubsetSolver solver(model);
+  const PlacementRequest request = ArchiveRequest();
+
+  const PlacementDecision expected = exhaustive.FindBest(market, request);
+  const PlacementDecision actual =
+      solver.FindBestBranchAndBound(market, request);
+  ASSERT_EQ(actual.feasible, expected.feasible);
+  if (expected.feasible) {
+    EXPECT_TRUE(actual.SamePlacement(expected));
+    // If Azure is in the set, the chunk must fit its limit.
+    for (const auto& member : actual.providers) {
+      if (member.id == "Azu") {
+        EXPECT_LE(common::CeilDiv(request.object_size,
+                                  static_cast<common::Bytes>(actual.m)),
+                  12 * kMB);
+      }
+    }
+  }
+}
+
+TEST(SolverCapacityTest, InfeasibleCapacityReportedEverywhere) {
+  auto market = provider::PaperCatalog();
+  const PriceModel model;
+  const PlacementSearch exhaustive(model);
+  const SubsetSolver solver(model);
+  PlacementRequest request = ArchiveRequest();
+  // 5 providers, max chunk 40/5 = 8 MB, but nobody can store even 5 MB.
+  request.free_capacity.assign(market.size(), 5 * kMB);
+  EXPECT_FALSE(exhaustive.FindBest(market, request).feasible);
+  EXPECT_FALSE(solver.FindBestBranchAndBound(market, request).feasible);
+  EXPECT_FALSE(solver.FindBestFlexible(market, request).feasible);
+}
+
+}  // namespace
+}  // namespace scalia::core

@@ -1,0 +1,362 @@
+#include "core/subset_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+using common::kMB;
+
+/// Deterministic random market of `n` providers.
+std::vector<provider::ProviderSpec> RandomMarket(std::size_t n,
+                                                 std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  auto uniform = [&](double lo, double hi) {
+    return lo + (hi - lo) * rng.NextDouble();
+  };
+  std::vector<provider::ProviderSpec> market;
+  market.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    provider::ProviderSpec spec;
+    spec.id = "P" + std::to_string(i);
+    spec.description = spec.id;
+    // Durability between three and eleven nines; availability 99–99.99 %.
+    spec.sla.durability = 1.0 - std::pow(10.0, -uniform(3.0, 11.0));
+    spec.sla.availability = 1.0 - std::pow(10.0, -uniform(2.0, 4.0));
+    spec.zones = provider::ZoneSet::All();
+    spec.pricing = provider::PricingPolicy{
+        .storage_gb_month = uniform(0.05, 0.2),
+        .bw_in_gb = uniform(0.0, 0.12),
+        .bw_out_gb = uniform(0.08, 0.2),
+        .ops_per_1000 = uniform(0.0, 0.02)};
+    spec.read_latency_ms = uniform(20.0, 120.0);
+    market.push_back(std::move(spec));
+  }
+  return market;
+}
+
+stats::PeriodStats ColdUsage() {
+  stats::PeriodStats usage;
+  usage.storage_gb = 0.04;  // 40 MB at rest
+  usage.bw_in_gb = 0.0;
+  usage.bw_out_gb = 0.0;
+  usage.reads = 0.0;
+  usage.writes = 0.0;
+  usage.ops = 0.0;
+  return usage;
+}
+
+stats::PeriodStats HotUsage() {
+  stats::PeriodStats usage;
+  usage.storage_gb = 0.001;
+  usage.bw_in_gb = 0.0;
+  usage.bw_out_gb = 0.1;  // egress-dominated
+  usage.reads = 100.0;
+  usage.writes = 0.0;
+  usage.ops = 100.0;
+  return usage;
+}
+
+PlacementRequest RequestFor(const stats::PeriodStats& usage,
+                            double durability, double availability,
+                            double lockin) {
+  PlacementRequest request;
+  request.rule = StorageRule{.name = "r",
+                             .durability = durability,
+                             .availability = availability,
+                             .allowed_zones = provider::ZoneSet::All(),
+                             .lockin = lockin,
+                             .ttl_hint = std::nullopt};
+  request.object_size = 40 * kMB;
+  request.per_period = usage;
+  request.decision_periods = 24;
+  return request;
+}
+
+class SolverEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverEquivalenceTest, BranchAndBoundMatchesExhaustive) {
+  const std::uint64_t seed = GetParam();
+  const auto market = RandomMarket(4 + seed % 5, seed);  // 4..8 providers
+  const PriceModel model;
+  const PlacementSearch exhaustive(model);
+  const SubsetSolver solver(model);
+
+  const stats::PeriodStats usages[] = {ColdUsage(), HotUsage()};
+  const double durabilities[] = {0.999, 0.999999};
+  const double lockins[] = {1.0, 0.5, 0.34};
+  for (const auto& usage : usages) {
+    for (double dura : durabilities) {
+      for (double lockin : lockins) {
+        const PlacementRequest request =
+            RequestFor(usage, dura, 0.99, lockin);
+        const PlacementDecision expected =
+            exhaustive.FindBest(market, request);
+        SolverStats stats;
+        const PlacementDecision actual =
+            solver.FindBestBranchAndBound(market, request, &stats);
+        ASSERT_EQ(actual.feasible, expected.feasible)
+            << "dura=" << dura << " lockin=" << lockin;
+        if (!expected.feasible) continue;
+        EXPECT_NEAR(actual.expected_cost.usd(), expected.expected_cost.usd(),
+                    1e-9)
+            << actual.Label() << " vs " << expected.Label();
+        EXPECT_TRUE(actual.SamePlacement(expected))
+            << actual.Label() << " vs " << expected.Label();
+      }
+    }
+  }
+}
+
+TEST_P(SolverEquivalenceTest, DpHeuristicFeasibleAndNeverBeatsExact) {
+  const std::uint64_t seed = GetParam();
+  const auto market = RandomMarket(5 + seed % 4, seed * 31 + 7);
+  const PriceModel model;
+  const PlacementSearch exhaustive(model);
+  const SubsetSolver solver(model);
+
+  for (const auto& usage : {ColdUsage(), HotUsage()}) {
+    const PlacementRequest request = RequestFor(usage, 0.9999, 0.99, 0.5);
+    const PlacementDecision expected = exhaustive.FindBest(market, request);
+    const PlacementDecision heuristic = solver.FindBestDp(market, request);
+    if (!expected.feasible) {
+      // The heuristic must not invent feasibility the exact search lacks.
+      EXPECT_FALSE(heuristic.feasible);
+      continue;
+    }
+    ASSERT_TRUE(heuristic.feasible)
+        << "heuristic missed a feasible market, seed " << seed;
+    // A heuristic result is a real subset evaluated under the same
+    // constraints, so it can never undercut the exhaustive optimum.
+    EXPECT_GE(heuristic.expected_cost.usd(),
+              expected.expected_cost.usd() - 1e-9);
+    // And its claimed placement must itself verify.
+    const PlacementDecision recheck = solver.EvaluateAtThreshold(
+        heuristic.providers, heuristic.m, request);
+    ASSERT_TRUE(recheck.feasible);
+    EXPECT_NEAR(recheck.expected_cost.usd(), heuristic.expected_cost.usd(),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Markets, SolverEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           std::string name = "seed";
+                           name += std::to_string(i.param);
+                           return name;
+                         });
+
+TEST(SubsetSolverTest, PaperCatalogExactParity) {
+  auto market = provider::PaperCatalog();
+  market.push_back(provider::CheapStorSpec());
+  const PriceModel model;
+  const PlacementSearch exhaustive(model);
+  const SubsetSolver solver(model);
+
+  // The Slashdot rule (§IV-B): availability 99.99, durability 99.999.
+  for (const auto& usage : {ColdUsage(), HotUsage()}) {
+    PlacementRequest request = RequestFor(usage, 0.99999, 0.9999, 1.0);
+    request.object_size = 1 * kMB;
+    const PlacementDecision expected = exhaustive.FindBest(market, request);
+    const PlacementDecision bnb =
+        solver.FindBestBranchAndBound(market, request);
+    ASSERT_TRUE(expected.feasible);
+    EXPECT_TRUE(bnb.SamePlacement(expected));
+
+    const PlacementDecision dp = solver.FindBestDp(market, request);
+    ASSERT_TRUE(dp.feasible);
+    // On the paper's market the polynomial heuristic lands on the optimum.
+    EXPECT_NEAR(dp.expected_cost.usd(), expected.expected_cost.usd(), 1e-9)
+        << dp.Label() << " vs " << expected.Label();
+  }
+}
+
+TEST(SubsetSolverTest, SubmaximalThresholdExtensionNeverWorse) {
+  // With allow_submaximal_threshold the DP may commit to a smaller m than
+  // Algorithm 1 would (fewer read ops, reads routed to the cheapest
+  // members) — it explores a superset of the design space, so its result is
+  // never worse than the parity-mode result, and on egress-heavy objects it
+  // can be strictly better.
+  const PriceModel model;
+  const SubsetSolver solver(model);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto market = RandomMarket(6, seed * 131);
+    for (const auto& usage : {ColdUsage(), HotUsage()}) {
+      const PlacementRequest request = RequestFor(usage, 0.9999, 0.99, 1.0);
+      const PlacementDecision parity = solver.FindBestDp(market, request);
+      const PlacementDecision flexible = solver.FindBestDp(
+          market, request, nullptr,
+          SubsetSolver::DpOptions{.allow_submaximal_threshold = true});
+      if (!parity.feasible) continue;
+      ASSERT_TRUE(flexible.feasible);
+      EXPECT_LE(flexible.expected_cost.usd(),
+                parity.expected_cost.usd() + 1e-9);
+      // The flexible decision verifies at its own threshold.
+      const PlacementDecision recheck = solver.EvaluateAtThreshold(
+          flexible.providers, flexible.m, request);
+      ASSERT_TRUE(recheck.feasible);
+      EXPECT_NEAR(recheck.expected_cost.usd(),
+                  flexible.expected_cost.usd(), 1e-9);
+    }
+  }
+}
+
+/// Brute force over the threshold-flexible space: every subset at every
+/// m up to the subset's durability-maximal threshold.
+PlacementDecision BruteForceFlexible(
+    const SubsetSolver& solver,
+    const std::vector<provider::ProviderSpec>& market,
+    const PlacementRequest& request) {
+  PlacementDecision best;
+  const std::size_t n = market.size();
+  std::vector<provider::ProviderSpec> subset;
+  for (std::uint64_t mask = 1; mask < (1ull << n); ++mask) {
+    subset.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) subset.push_back(market[i]);
+    }
+    for (int m = 1; m <= static_cast<int>(subset.size()); ++m) {
+      PlacementDecision candidate =
+          solver.EvaluateAtThreshold(subset, m, request);
+      if (PlacementSearch::Better(candidate, best)) {
+        best = std::move(candidate);
+      }
+    }
+  }
+  return best;
+}
+
+class FlexibleSolverTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlexibleSolverTest, MatchesBruteForceOverExtendedSpace) {
+  const std::uint64_t seed = GetParam();
+  const auto market = RandomMarket(4 + seed % 4, seed * 977 + 3);
+  const PriceModel model;
+  const SubsetSolver solver(model);
+  for (const auto& usage : {ColdUsage(), HotUsage()}) {
+    for (double lockin : {1.0, 0.5}) {
+      const PlacementRequest request = RequestFor(usage, 0.9999, 0.99, lockin);
+      const PlacementDecision expected =
+          BruteForceFlexible(solver, market, request);
+      const PlacementDecision actual =
+          solver.FindBestFlexible(market, request);
+      ASSERT_EQ(actual.feasible, expected.feasible);
+      if (!expected.feasible) continue;
+      EXPECT_NEAR(actual.expected_cost.usd(), expected.expected_cost.usd(),
+                  1e-9)
+          << actual.Label() << " vs " << expected.Label();
+    }
+  }
+}
+
+TEST_P(FlexibleSolverTest, NeverWorseThanAlgorithmOne) {
+  const std::uint64_t seed = GetParam();
+  const auto market = RandomMarket(6, seed * 131 + 17);
+  const PriceModel model;
+  const PlacementSearch exhaustive(model);
+  const SubsetSolver solver(model);
+  for (const auto& usage : {ColdUsage(), HotUsage()}) {
+    const PlacementRequest request = RequestFor(usage, 0.9999, 0.99, 1.0);
+    const PlacementDecision alg1 = exhaustive.FindBest(market, request);
+    const PlacementDecision flexible =
+        solver.FindBestFlexible(market, request);
+    if (!alg1.feasible) continue;
+    ASSERT_TRUE(flexible.feasible);
+    EXPECT_LE(flexible.expected_cost.usd(),
+              alg1.expected_cost.usd() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Markets, FlexibleSolverTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           std::string name = "seed";
+                           name += std::to_string(i.param);
+                           return name;
+                         });
+
+TEST(SubsetSolverTest, FlexiblePrunesHard) {
+  const auto market = RandomMarket(14, 42);
+  const PriceModel model;
+  const SubsetSolver solver(model);
+  const PlacementRequest request = RequestFor(ColdUsage(), 0.9999, 0.99, 1.0);
+  SolverStats stats;
+  const PlacementDecision best =
+      solver.FindBestFlexible(market, request, &stats);
+  ASSERT_TRUE(best.feasible);
+  // The flexible space holds sum over m of C(14, >=m) configurations — far
+  // beyond 2^14; the per-m exact base bound must cut it to a small fraction.
+  EXPECT_LT(stats.sets_evaluated, 1u << 14);
+  EXPECT_GT(stats.nodes_pruned, 0u);
+}
+
+TEST(SubsetSolverTest, BoundActuallyPrunes) {
+  const auto market = RandomMarket(12, 99);
+  const PriceModel model;
+  const SubsetSolver solver(model);
+  const PlacementRequest request = RequestFor(ColdUsage(), 0.9999, 0.99, 1.0);
+  SolverStats stats;
+  const PlacementDecision best =
+      solver.FindBestBranchAndBound(market, request, &stats);
+  ASSERT_TRUE(best.feasible);
+  // 2^12 - 1 = 4095 subsets; the bound must have cut a sizable share.
+  EXPECT_LT(stats.sets_evaluated, 4095u);
+  EXPECT_GT(stats.nodes_pruned, 0u);
+}
+
+TEST(SubsetSolverTest, DpPolynomialEvaluationCount) {
+  const auto market = RandomMarket(14, 5);
+  const PriceModel model;
+  const SubsetSolver solver(model);
+  const PlacementRequest request = RequestFor(HotUsage(), 0.9999, 0.99, 1.0);
+  SolverStats stats;
+  const PlacementDecision best = solver.FindBestDp(market, request, &stats);
+  ASSERT_TRUE(best.feasible);
+  // At most one candidate evaluation per (n, m) pair plus repair swaps —
+  // polynomial, nowhere near 2^14.
+  EXPECT_LT(stats.sets_evaluated, 14u * 14u * 14u);
+}
+
+TEST(SubsetSolverTest, EvaluateAtThresholdRejectsInfeasibleM) {
+  const auto market = provider::PaperCatalog();
+  const PriceModel model;
+  const SubsetSolver solver(model);
+  PlacementRequest request = RequestFor(ColdUsage(), 0.999999999, 0.999, 1.0);
+
+  // Single S3(l) (durability 99.99): cannot offer nine nines at m=1.
+  std::vector<provider::ProviderSpec> weak = {market[1]};
+  EXPECT_FALSE(solver.EvaluateAtThreshold(weak, 1, request).feasible);
+  // m out of range.
+  EXPECT_FALSE(solver.EvaluateAtThreshold(market, 0, request).feasible);
+  EXPECT_FALSE(
+      solver
+          .EvaluateAtThreshold(market, static_cast<int>(market.size()) + 1,
+                               request)
+          .feasible);
+}
+
+TEST(SubsetSolverTest, EvaluateAtThresholdPricesIntermediateM) {
+  const auto market = provider::PaperCatalog();
+  const PriceModel model;
+  const SubsetSolver solver(model);
+  const PlacementRequest request = RequestFor(ColdUsage(), 0.99, 0.99, 1.0);
+
+  // Cold data on the full set: larger m means smaller chunks and cheaper
+  // storage, monotonically.
+  double prev = std::numeric_limits<double>::infinity();
+  for (int m = 1; m <= static_cast<int>(market.size()); ++m) {
+    const PlacementDecision d = solver.EvaluateAtThreshold(market, m, request);
+    if (!d.feasible) continue;
+    EXPECT_LT(d.expected_cost.usd(), prev) << "m=" << m;
+    prev = d.expected_cost.usd();
+  }
+  EXPECT_LT(prev, std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace scalia::core

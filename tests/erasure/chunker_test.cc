@@ -1,0 +1,153 @@
+#include "erasure/chunker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scalia::erasure {
+namespace {
+
+std::string RandomObject(std::size_t size, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::string s(size, '\0');
+  for (auto& c : s) c = static_cast<char>(rng() & 0xff);
+  return s;
+}
+
+struct SplitCase {
+  std::size_t size;
+  std::size_t m;
+  std::size_t n;
+};
+
+class ChunkerRoundTripTest : public ::testing::TestWithParam<SplitCase> {};
+
+TEST_P(ChunkerRoundTripTest, SplitJoinRoundTrip) {
+  const auto [size, m, n] = GetParam();
+  const std::string object = RandomObject(size, size + m * 31 + n);
+  auto chunks = Chunker::Split(object, m, n);
+  ASSERT_TRUE(chunks.ok());
+  ASSERT_EQ(chunks->size(), n);
+  // Every chunk has the advertised payload size.
+  const common::Bytes expected_payload = std::max<common::Bytes>(
+      1, Chunker::ChunkPayloadSize(size, m));
+  for (const auto& c : *chunks) {
+    EXPECT_EQ(c.size(), expected_payload);
+    EXPECT_EQ(c.m, m);
+    EXPECT_EQ(c.n, n);
+    EXPECT_EQ(c.object_size, size);
+  }
+  // Join from the first m chunks and from the last m chunks.
+  std::vector<Chunk> head(chunks->begin(),
+                          chunks->begin() + static_cast<long>(m));
+  auto joined = Chunker::Join(head);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(*joined, object);
+
+  std::vector<Chunk> tail(chunks->end() - static_cast<long>(m),
+                          chunks->end());
+  auto joined_tail = Chunker::Join(tail);
+  ASSERT_TRUE(joined_tail.ok());
+  EXPECT_EQ(*joined_tail, object);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndShapes, ChunkerRoundTripTest,
+    ::testing::Values(SplitCase{0, 1, 2}, SplitCase{1, 1, 2},
+                      SplitCase{1, 3, 5}, SplitCase{10, 3, 4},
+                      SplitCase{1000, 1, 1}, SplitCase{1000, 4, 5},
+                      SplitCase{65537, 3, 4}, SplitCase{250000, 2, 3},
+                      SplitCase{1000000, 4, 5}, SplitCase{7, 5, 8}),
+    [](const ::testing::TestParamInfo<SplitCase>& tpi) {
+      std::string name = "s";
+      name += std::to_string(tpi.param.size);
+      name += 'm';
+      name += std::to_string(tpi.param.m);
+      name += 'n';
+      name += std::to_string(tpi.param.n);
+      return name;
+    });
+
+TEST(ChunkerTest, ChunkPayloadSizeCeil) {
+  EXPECT_EQ(Chunker::ChunkPayloadSize(10, 3), 4u);
+  EXPECT_EQ(Chunker::ChunkPayloadSize(9, 3), 3u);
+  EXPECT_EQ(Chunker::ChunkPayloadSize(1, 4), 1u);
+}
+
+TEST(ChunkerTest, CorruptedPayloadDetected) {
+  const std::string object = RandomObject(5000, 42);
+  auto chunks = Chunker::Split(object, 2, 4);
+  ASSERT_TRUE(chunks.ok());
+  (*chunks)[0].payload[10] ^= 0xff;
+  std::vector<Chunk> subset = {(*chunks)[0], (*chunks)[1]};
+  auto joined = Chunker::Join(subset);
+  EXPECT_FALSE(joined.ok());
+  EXPECT_EQ(joined.status().code(), common::StatusCode::kInternal);
+}
+
+TEST(ChunkerTest, MixedObjectsRejected) {
+  auto a = Chunker::Split(RandomObject(100, 1), 2, 3);
+  auto b = Chunker::Split(RandomObject(100, 2), 2, 3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Same shape but different object checksums/payloads: shard checksum of
+  // each is fine, but object checksum differs -> decode mismatch reported.
+  std::vector<Chunk> mixed = {(*a)[0], (*b)[1]};
+  auto joined = Chunker::Join(mixed);
+  EXPECT_FALSE(joined.ok());
+}
+
+TEST(ChunkerTest, JoinNeedsChunks) {
+  EXPECT_FALSE(Chunker::Join({}).ok());
+}
+
+TEST(ChunkerTest, SerializeDeserializeRoundTrip) {
+  const std::string object = RandomObject(1234, 3);
+  auto chunks = Chunker::Split(object, 3, 5);
+  ASSERT_TRUE(chunks.ok());
+  for (const auto& c : *chunks) {
+    auto parsed = Chunk::Deserialize(c.Serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->index, c.index);
+    EXPECT_EQ(parsed->m, c.m);
+    EXPECT_EQ(parsed->n, c.n);
+    EXPECT_EQ(parsed->object_size, c.object_size);
+    EXPECT_EQ(parsed->payload, c.payload);
+    EXPECT_EQ(parsed->shard_checksum, c.shard_checksum);
+    EXPECT_EQ(parsed->object_checksum, c.object_checksum);
+  }
+}
+
+TEST(ChunkerTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Chunk::Deserialize("").ok());
+  EXPECT_FALSE(Chunk::Deserialize("short").ok());
+  std::string bad(100, 'x');
+  EXPECT_FALSE(Chunk::Deserialize(bad).ok());
+}
+
+TEST(ChunkerTest, RepairRebuildsChunk) {
+  const std::string object = RandomObject(4096, 4);
+  auto chunks = Chunker::Split(object, 3, 5);
+  ASSERT_TRUE(chunks.ok());
+  // Chunk 4 is lost; rebuild from chunks {0, 2, 3}.
+  std::vector<Chunk> survivors = {(*chunks)[0], (*chunks)[2], (*chunks)[3]};
+  auto rebuilt = Chunker::Repair(survivors, 4);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->payload, (*chunks)[4].payload);
+  EXPECT_EQ(rebuilt->index, 4u);
+  EXPECT_EQ(rebuilt->shard_checksum, (*chunks)[4].shard_checksum);
+
+  // The repaired stripe still reconstructs the object.
+  std::vector<Chunk> with_repaired = {(*chunks)[1], *rebuilt, (*chunks)[0]};
+  auto joined = Chunker::Join(with_repaired);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(*joined, object);
+}
+
+TEST(ChunkerTest, InvalidShapeRejected) {
+  EXPECT_FALSE(Chunker::Split("data", 0, 3).ok());
+  EXPECT_FALSE(Chunker::Split("data", 4, 3).ok());
+}
+
+}  // namespace
+}  // namespace scalia::erasure

@@ -1,0 +1,138 @@
+#include "erasure/gf256.h"
+
+#include <gtest/gtest.h>
+
+namespace scalia::erasure {
+namespace {
+
+TEST(Gf256Test, AdditionIsXor) {
+  EXPECT_EQ(GfAdd(0x53, 0xca), 0x53 ^ 0xca);
+  EXPECT_EQ(GfAdd(7, 7), 0);  // characteristic 2: x + x = 0
+}
+
+TEST(Gf256Test, MultiplicationIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(GfMul(x, 1), x);
+    EXPECT_EQ(GfMul(1, x), x);
+    EXPECT_EQ(GfMul(x, 0), 0);
+    EXPECT_EQ(GfMul(0, x), 0);
+  }
+}
+
+TEST(Gf256Test, MultiplicationCommutes) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 0; b < 256; b += 11) {
+      EXPECT_EQ(GfMul(static_cast<std::uint8_t>(a),
+                      static_cast<std::uint8_t>(b)),
+                GfMul(static_cast<std::uint8_t>(b),
+                      static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256Test, MultiplicationAssociates) {
+  for (int a = 1; a < 256; a += 31) {
+    for (int b = 1; b < 256; b += 29) {
+      for (int c = 1; c < 256; c += 37) {
+        const auto x = static_cast<std::uint8_t>(a);
+        const auto y = static_cast<std::uint8_t>(b);
+        const auto z = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(GfMul(GfMul(x, y), z), GfMul(x, GfMul(y, z)));
+      }
+    }
+  }
+}
+
+TEST(Gf256Test, DistributesOverAddition) {
+  for (int a = 0; a < 256; a += 13) {
+    for (int b = 0; b < 256; b += 17) {
+      for (int c = 0; c < 256; c += 19) {
+        const auto x = static_cast<std::uint8_t>(a);
+        const auto y = static_cast<std::uint8_t>(b);
+        const auto z = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(GfMul(x, GfAdd(y, z)), GfAdd(GfMul(x, y), GfMul(x, z)));
+      }
+    }
+  }
+}
+
+TEST(Gf256Test, EveryNonzeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(GfMul(x, GfInv(x)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256Test, DivisionInvertsMultiplication) {
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 1; b < 256; b += 7) {
+      const auto x = static_cast<std::uint8_t>(a);
+      const auto y = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(GfMul(GfDiv(x, y), y), x);
+    }
+  }
+}
+
+namespace {
+// Schoolbook carry-less multiply modulo x^8 + x^4 + x^3 + x^2 + 1 (0x11d),
+// the reference implementation the table-driven GfMul must match.
+std::uint8_t SlowMul(std::uint8_t a, std::uint8_t b) {
+  std::uint16_t product = 0;
+  std::uint16_t shifted = a;
+  for (int bit = 0; bit < 8; ++bit) {
+    if (b & (1u << bit)) product ^= static_cast<std::uint16_t>(shifted << bit);
+  }
+  for (int bit = 15; bit >= 8; --bit) {
+    if (product & (1u << bit)) {
+      product ^= static_cast<std::uint16_t>(0x11d << (bit - 8));
+    }
+  }
+  return static_cast<std::uint8_t>(product);
+}
+}  // namespace
+
+TEST(Gf256Test, TableMultiplicationMatchesSchoolbook) {
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 0; b < 256; b += 5) {
+      const auto x = static_cast<std::uint8_t>(a);
+      const auto y = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(GfMul(x, y), SlowMul(x, y)) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Gf256Test, PowMatchesRepeatedMultiplication) {
+  for (int a = 1; a < 256; a += 23) {
+    const auto x = static_cast<std::uint8_t>(a);
+    std::uint8_t acc = 1;
+    for (unsigned p = 0; p < 10; ++p) {
+      EXPECT_EQ(GfPow(x, p), acc) << "a=" << a << " p=" << p;
+      acc = GfMul(acc, x);
+    }
+  }
+  EXPECT_EQ(GfPow(0, 0), 1);
+  EXPECT_EQ(GfPow(0, 5), 0);
+}
+
+TEST(Gf256Test, GeneratorHasFullOrder) {
+  // x = 2 generates the multiplicative group: 2^255 = 1 and no smaller
+  // power of 255's prime factors (3, 5, 17) gives 1.
+  EXPECT_EQ(GfPow(2, 255), 1);
+  EXPECT_NE(GfPow(2, 85), 1);
+  EXPECT_NE(GfPow(2, 51), 1);
+  EXPECT_NE(GfPow(2, 15), 1);
+}
+
+TEST(Gf256Test, MulRowMatchesGfMul) {
+  for (int a = 0; a < 256; a += 9) {
+    const std::uint8_t* row = GfMulRow(static_cast<std::uint8_t>(a));
+    for (int b = 0; b < 256; b += 3) {
+      EXPECT_EQ(row[b], GfMul(static_cast<std::uint8_t>(a),
+                              static_cast<std::uint8_t>(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scalia::erasure

@@ -1,0 +1,146 @@
+#include "erasure/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "erasure/gf256.h"
+
+namespace scalia::erasure {
+namespace {
+
+GfMatrix RandomMatrix(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  GfMatrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      m.At(r, c) = static_cast<std::uint8_t>(rng() & 0xff);
+    }
+  }
+  return m;
+}
+
+TEST(GfMatrixTest, IdentityMultiplication) {
+  const GfMatrix id = GfMatrix::Identity(4);
+  const GfMatrix m = RandomMatrix(4, 1);
+  EXPECT_EQ(id.Multiply(m), m);
+  EXPECT_EQ(m.Multiply(id), m);
+}
+
+TEST(GfMatrixTest, IdentityInverseIsIdentity) {
+  const GfMatrix id = GfMatrix::Identity(5);
+  auto inv = id.Inverted();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(*inv, id);
+}
+
+TEST(GfMatrixTest, InverseRoundTripProperty) {
+  // Random square matrices are invertible with probability ~0.996 over
+  // GF(256); skip the singular draws.
+  int verified = 0;
+  for (std::uint64_t seed = 0; seed < 40 && verified < 25; ++seed) {
+    for (std::size_t n : {1u, 2u, 3u, 5u, 8u}) {
+      const GfMatrix m = RandomMatrix(n, seed * 10 + n);
+      auto inv = m.Inverted();
+      if (!inv.ok()) continue;
+      EXPECT_EQ(m.Multiply(*inv), GfMatrix::Identity(n));
+      EXPECT_EQ(inv->Multiply(m), GfMatrix::Identity(n));
+      ++verified;
+    }
+  }
+  EXPECT_GE(verified, 25);
+}
+
+TEST(GfMatrixTest, SingularMatrixReported) {
+  GfMatrix m(2, 2);  // all zeros
+  auto inv = m.Inverted();
+  EXPECT_FALSE(inv.ok());
+  EXPECT_EQ(inv.status().code(), common::StatusCode::kInvalidArgument);
+
+  // Duplicate rows are singular too.
+  GfMatrix dup(2, 2);
+  dup.At(0, 0) = 3;
+  dup.At(0, 1) = 7;
+  dup.At(1, 0) = 3;
+  dup.At(1, 1) = 7;
+  EXPECT_FALSE(dup.Inverted().ok());
+}
+
+TEST(GfMatrixTest, NonSquareInversionRejected) {
+  GfMatrix m(2, 3);
+  EXPECT_FALSE(m.Inverted().ok());
+}
+
+TEST(GfMatrixTest, SelectRows) {
+  GfMatrix m(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      m.At(r, c) = static_cast<std::uint8_t>(10 * r + c);
+    }
+  }
+  const GfMatrix sel = m.SelectRows({2, 0});
+  EXPECT_EQ(sel.rows(), 2u);
+  EXPECT_EQ(sel.At(0, 0), 20);
+  EXPECT_EQ(sel.At(1, 1), 1);
+}
+
+struct CauchyCase {
+  std::size_t m;
+  std::size_t n;
+};
+
+class CauchyMatrixTest : public ::testing::TestWithParam<CauchyCase> {};
+
+// The MDS property: *every* m-subset of the n encoding rows must be
+// invertible — the paper's "any m-subset of the n chunks contains a
+// complete copy of the data" (Fig. 1).
+TEST_P(CauchyMatrixTest, EveryRowSubsetInvertible) {
+  const auto [m, n] = GetParam();
+  const GfMatrix enc = BuildCauchyEncodingMatrix(m, n);
+  ASSERT_EQ(enc.rows(), n);
+  ASSERT_EQ(enc.cols(), m);
+
+  // Enumerate all m-subsets of rows.
+  std::vector<std::size_t> idx(m);
+  for (std::size_t i = 0; i < m; ++i) idx[i] = i;
+  for (;;) {
+    auto sub = enc.SelectRows(idx);
+    EXPECT_TRUE(sub.Inverted().ok())
+        << "singular submatrix for m=" << m << " n=" << n;
+    // next combination
+    std::size_t i = m;
+    while (i-- > 0) {
+      if (idx[i] != i + n - m) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < m; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CauchyMatrixTest,
+    ::testing::Values(CauchyCase{1, 2}, CauchyCase{1, 4}, CauchyCase{2, 3},
+                      CauchyCase{2, 4}, CauchyCase{3, 4}, CauchyCase{3, 5},
+                      CauchyCase{4, 5}, CauchyCase{4, 8}, CauchyCase{5, 9},
+                      CauchyCase{2, 10}),
+    [](const ::testing::TestParamInfo<CauchyCase>& tpi) {
+      std::string name = "m";
+      name += std::to_string(tpi.param.m);
+      name += 'n';
+      name += std::to_string(tpi.param.n);
+      return name;
+    });
+
+TEST(CauchyMatrixTest, TopIsIdentity) {
+  const GfMatrix enc = BuildCauchyEncodingMatrix(3, 5);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(enc.At(r, c), r == c ? 1 : 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scalia::erasure

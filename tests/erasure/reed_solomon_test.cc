@@ -1,0 +1,191 @@
+#include "erasure/reed_solomon.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scalia::erasure {
+namespace {
+
+std::vector<Shard> RandomShards(std::size_t m, std::size_t len,
+                                std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<Shard> shards(m, Shard(len));
+  for (auto& s : shards) {
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng() & 0xff);
+  }
+  return shards;
+}
+
+TEST(ReedSolomonTest, CreateValidation) {
+  EXPECT_FALSE(ReedSolomon::Create(0, 4).ok());
+  EXPECT_FALSE(ReedSolomon::Create(5, 4).ok());
+  EXPECT_FALSE(ReedSolomon::Create(4, 129).ok());
+  EXPECT_TRUE(ReedSolomon::Create(1, 1).ok());
+  EXPECT_TRUE(ReedSolomon::Create(4, 128).ok());
+}
+
+TEST(ReedSolomonTest, SystematicEncoding) {
+  auto codec = ReedSolomon::Create(2, 4);
+  ASSERT_TRUE(codec.ok());
+  const auto data = RandomShards(2, 64, 1);
+  auto encoded = codec->Encode(data);
+  ASSERT_TRUE(encoded.ok());
+  ASSERT_EQ(encoded->size(), 4u);
+  EXPECT_EQ((*encoded)[0], data[0]);  // data shards pass through
+  EXPECT_EQ((*encoded)[1], data[1]);
+}
+
+TEST(ReedSolomonTest, EncodeRejectsBadInput) {
+  auto codec = ReedSolomon::Create(2, 4);
+  ASSERT_TRUE(codec.ok());
+  EXPECT_FALSE(codec->Encode(RandomShards(3, 8, 2)).ok());  // wrong count
+  std::vector<Shard> unequal = {Shard(8, 0), Shard(9, 0)};
+  EXPECT_FALSE(codec->Encode(unequal).ok());
+}
+
+struct RsCase {
+  std::size_t m;
+  std::size_t n;
+};
+
+class ReedSolomonAllSubsetsTest : public ::testing::TestWithParam<RsCase> {};
+
+// The defining property of the (m, n) code: decode succeeds from *every*
+// m-subset of the n shards and reproduces the data exactly.
+TEST_P(ReedSolomonAllSubsetsTest, DecodesFromEveryMSubset) {
+  const auto [m, n] = GetParam();
+  auto codec = ReedSolomon::Create(m, n);
+  ASSERT_TRUE(codec.ok());
+  const auto data = RandomShards(m, 96, 17 * m + n);
+  auto encoded = codec->Encode(data);
+  ASSERT_TRUE(encoded.ok());
+
+  std::vector<std::size_t> idx(m);
+  for (std::size_t i = 0; i < m; ++i) idx[i] = i;
+  for (;;) {
+    std::vector<Shard> subset;
+    for (std::size_t i : idx) subset.push_back((*encoded)[i]);
+    auto decoded = codec->Decode(subset, idx);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, data) << "subset failed";
+    std::size_t i = m;
+    bool advanced = false;
+    while (i-- > 0) {
+      if (idx[i] != i + n - m) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < m; ++j) idx[j] = idx[j - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReedSolomonAllSubsetsTest,
+    ::testing::Values(RsCase{1, 2}, RsCase{1, 5}, RsCase{2, 3}, RsCase{2, 5},
+                      RsCase{3, 4}, RsCase{3, 6}, RsCase{4, 5}, RsCase{4, 8},
+                      RsCase{5, 7}),
+    [](const ::testing::TestParamInfo<RsCase>& tpi) {
+      std::string name = "m";
+      name += std::to_string(tpi.param.m);
+      name += 'n';
+      name += std::to_string(tpi.param.n);
+      return name;
+    });
+
+TEST(ReedSolomonTest, DecodeInAnyOrder) {
+  auto codec = ReedSolomon::Create(3, 5);
+  ASSERT_TRUE(codec.ok());
+  const auto data = RandomShards(3, 32, 5);
+  auto encoded = codec->Encode(data);
+  ASSERT_TRUE(encoded.ok());
+  // Shards out of order, parity first.
+  std::vector<Shard> shards = {(*encoded)[4], (*encoded)[1], (*encoded)[3]};
+  auto decoded = codec->Decode(shards, {4, 1, 3});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomonTest, DecodeIgnoresDuplicateIndices) {
+  auto codec = ReedSolomon::Create(2, 4);
+  ASSERT_TRUE(codec.ok());
+  const auto data = RandomShards(2, 16, 6);
+  auto encoded = codec->Encode(data);
+  ASSERT_TRUE(encoded.ok());
+  std::vector<Shard> shards = {(*encoded)[2], (*encoded)[2], (*encoded)[0]};
+  auto decoded = codec->Decode(shards, {2, 2, 0});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomonTest, DecodeFailsWithTooFewShards) {
+  auto codec = ReedSolomon::Create(3, 5);
+  ASSERT_TRUE(codec.ok());
+  const auto data = RandomShards(3, 16, 7);
+  auto encoded = codec->Encode(data);
+  ASSERT_TRUE(encoded.ok());
+  std::vector<Shard> shards = {(*encoded)[0], (*encoded)[1]};
+  EXPECT_FALSE(codec->Decode(shards, {0, 1}).ok());
+  // Duplicates don't count toward m distinct shards.
+  std::vector<Shard> dup = {(*encoded)[0], (*encoded)[0], (*encoded)[0]};
+  EXPECT_FALSE(codec->Decode(dup, {0, 0, 0}).ok());
+}
+
+TEST(ReedSolomonTest, DecodeRejectsOutOfRangeIndex) {
+  auto codec = ReedSolomon::Create(2, 3);
+  ASSERT_TRUE(codec.ok());
+  const auto data = RandomShards(2, 16, 8);
+  auto encoded = codec->Encode(data);
+  std::vector<Shard> shards = {(*encoded)[0], (*encoded)[1]};
+  EXPECT_FALSE(codec->Decode(shards, {0, 9}).ok());
+}
+
+TEST(ReedSolomonTest, RepairRebuildsAnyShard) {
+  auto codec = ReedSolomon::Create(3, 6);
+  ASSERT_TRUE(codec.ok());
+  const auto data = RandomShards(3, 48, 9);
+  auto encoded = codec->Encode(data);
+  ASSERT_TRUE(encoded.ok());
+  // Rebuild every shard from a fixed 3-subset that excludes it.
+  for (std::size_t target = 0; target < 6; ++target) {
+    std::vector<Shard> sources;
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < 6 && sources.size() < 3; ++i) {
+      if (i == target) continue;
+      sources.push_back((*encoded)[i]);
+      indices.push_back(i);
+    }
+    auto rebuilt = codec->RepairShard(sources, indices, target);
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ(*rebuilt, (*encoded)[target]) << "target " << target;
+  }
+}
+
+TEST(ReedSolomonTest, MEqualsNIsPureStriping) {
+  auto codec = ReedSolomon::Create(3, 3);
+  ASSERT_TRUE(codec.ok());
+  const auto data = RandomShards(3, 16, 10);
+  auto encoded = codec->Encode(data);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(*encoded, data);
+}
+
+TEST(ReedSolomonTest, MOneIsReplication) {
+  // RAID-1 (§II-A.1): m = 1 means every chunk alone rebuilds the object.
+  auto codec = ReedSolomon::Create(1, 3);
+  ASSERT_TRUE(codec.ok());
+  const auto data = RandomShards(1, 32, 11);
+  auto encoded = codec->Encode(data);
+  ASSERT_TRUE(encoded.ok());
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto decoded = codec->Decode({(*encoded)[i]}, {i});
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ((*decoded)[0], data[0]);
+  }
+}
+
+}  // namespace
+}  // namespace scalia::erasure

@@ -1,0 +1,200 @@
+// End-to-end integration: the live cluster runs a scaled-down version of
+// the paper's evaluation scenarios with real erasure-coded bytes flowing
+// through real engines, caches, the replicated metadata store and the
+// periodic optimizer — and every object must survive, bit-exact, through
+// traffic shifts, migrations, provider failure and recovery.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "provider/spec.h"
+
+namespace scalia {
+namespace {
+
+using common::kHour;
+
+core::ClusterConfig IntegrationConfig() {
+  core::ClusterConfig config;
+  config.num_datacenters = 2;
+  config.engines_per_dc = 2;
+  config.worker_threads = 4;
+  config.engine.default_rule =
+      core::StorageRule{.name = "default",
+                        .durability = 0.999999,
+                        .availability = 0.9999,
+                        .allowed_zones = provider::ZoneSet::All(),
+                        .lockin = 0.5,
+                        .ttl_hint = std::nullopt};
+  return config;
+}
+
+std::string DeterministicBlob(std::size_t size, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::string blob(size, '\0');
+  for (auto& c : blob) c = static_cast<char>('a' + (rng() % 26));
+  return blob;
+}
+
+TEST(IntegrationTest, FlashCrowdLifecycleKeepsDataIntact) {
+  core::ScaliaCluster cluster(IntegrationConfig());
+  for (auto& spec : provider::PaperCatalog()) {
+    ASSERT_TRUE(cluster.registry().Register(std::move(spec)).ok());
+  }
+
+  // 12 objects of varying sizes and types.
+  std::vector<std::pair<std::string, std::string>> objects;
+  for (int i = 0; i < 12; ++i) {
+    const std::string key = "asset-" + std::to_string(i);
+    const std::string blob = DeterministicBlob(
+        (static_cast<std::size_t>(i) % 4 + 1) * 100 * common::kKB,
+        static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(cluster.RouteRequest()
+                    .Put(0, "site", key, blob,
+                         i % 2 == 0 ? "image/png" : "video/mp4")
+                    .ok());
+    objects.emplace_back(key, blob);
+  }
+  cluster.metadata_store().SyncAll();
+
+  // 12 sampling periods with a flash crowd on object 0 in the middle.
+  common::SimTime now = 0;
+  for (int period = 0; period < 12; ++period) {
+    now += kHour;
+    const int reads_of_zero = (period >= 4 && period < 8) ? 60 : 1;
+    for (int r = 0; r < reads_of_zero; ++r) {
+      auto got = cluster.RouteRequest().Get(now, "site", objects[0].first);
+      ASSERT_TRUE(got.ok()) << "period " << period;
+      ASSERT_EQ(*got, objects[0].second);
+    }
+    // Background reads of two other objects.
+    for (int i = 1; i <= 2; ++i) {
+      auto got = cluster.RouteRequest().Get(now, "site", objects[static_cast<std::size_t>(i)].first);
+      ASSERT_TRUE(got.ok());
+    }
+    cluster.EndSamplingPeriod(now);
+    (void)cluster.RunOptimizationProcedure(now);
+  }
+
+  // Every object is intact after whatever migrations happened.
+  for (const auto& [key, blob] : objects) {
+    auto got = cluster.RouteRequest().Get(now, "site", key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, blob) << key;
+  }
+  // The optimizer tracked the accessed objects.
+  EXPECT_GE(cluster.optimizer().TrackedObjects(), 3u);
+}
+
+TEST(IntegrationTest, ProviderFailureRecoveryCycle) {
+  core::ScaliaCluster cluster(IntegrationConfig());
+  for (auto& spec : provider::PaperCatalog()) {
+    ASSERT_TRUE(cluster.registry().Register(std::move(spec)).ok());
+  }
+  ASSERT_TRUE(cluster.registry().Register(provider::CheapStorSpec()).ok());
+
+  std::vector<std::pair<std::string, std::string>> objects;
+  for (int i = 0; i < 6; ++i) {
+    const std::string key = "backup-" + std::to_string(i);
+    const std::string blob =
+        DeterministicBlob(500 * common::kKB, 100 + static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(cluster.RouteRequest()
+                    .Put(0, "vault", key, blob, "application/x-tar")
+                    .ok());
+    objects.emplace_back(key, blob);
+  }
+  cluster.metadata_store().SyncAll();
+
+  // S3(l) fails for 10 hours.
+  cluster.registry().Find("S3(l)")->failures().AddOutage(kHour,
+                                                         11 * kHour);
+
+  // Reads keep working throughout the outage (m-of-n reconstruction).
+  common::SimTime now = 2 * kHour;
+  for (const auto& [key, blob] : objects) {
+    auto got = cluster.RouteRequest().Get(now, "vault", key);
+    ASSERT_TRUE(got.ok()) << key << " unreadable during outage";
+    EXPECT_EQ(*got, blob);
+  }
+
+  // Repair all stripes touching the faulty provider.
+  for (const auto& [key, blob] : objects) {
+    const std::string row_key = core::MakeRowKey("vault", key);
+    auto meta = cluster.EngineAt(0, 0).LoadMetadata(now, row_key);
+    ASSERT_TRUE(meta.ok());
+    bool touches = false;
+    for (const auto& s : meta->stripes) touches |= (s.provider == "S3(l)");
+    if (touches) {
+      ASSERT_TRUE(cluster.EngineAt(0, 0).RepairObject(now, row_key).ok())
+          << key;
+    }
+  }
+  cluster.metadata_store().SyncAll();
+
+  // After repair no stripe references the faulty provider.
+  for (const auto& [key, blob] : objects) {
+    auto meta = cluster.EngineAt(1, 0).LoadMetadata(
+        now, core::MakeRowKey("vault", key));
+    ASSERT_TRUE(meta.ok());
+    for (const auto& s : meta->stripes) EXPECT_NE(s.provider, "S3(l)");
+  }
+
+  // Deferred deletes flush once the provider recovers.
+  now = 12 * kHour;
+  std::size_t flushed = 0;
+  for (std::size_t dc = 0; dc < 2; ++dc) {
+    for (std::size_t e = 0; e < 2; ++e) {
+      flushed += cluster.EngineAt(dc, e).ProcessPendingDeletes(now);
+    }
+  }
+  EXPECT_GT(flushed, 0u);
+
+  // Everything still reads back bit-exact after recovery.
+  for (const auto& [key, blob] : objects) {
+    auto got = cluster.RouteRequest().Get(now, "vault", key);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, blob);
+  }
+}
+
+TEST(IntegrationTest, ConcurrentClientsAcrossDatacenters) {
+  core::ScaliaCluster cluster(IntegrationConfig());
+  for (auto& spec : provider::PaperCatalog()) {
+    ASSERT_TRUE(cluster.registry().Register(std::move(spec)).ok());
+  }
+  // 4 client threads hammer puts and gets through all engines.
+  constexpr int kObjectsPerClient = 12;
+  common::ThreadPool clients(4);
+  std::atomic<int> failures{0};
+  clients.ParallelFor(4, [&](std::size_t client) {
+    for (int i = 0; i < kObjectsPerClient; ++i) {
+      const std::string key =
+          "c" + std::to_string(client) + "-o" + std::to_string(i);
+      const std::string blob = DeterministicBlob(
+          50 * common::kKB, client * 1000 + static_cast<std::uint64_t>(i));
+      auto& engine = cluster.EngineAt(client % 2, client / 2 % 2);
+      if (!engine.Put(0, "shared", key, blob, "text/plain").ok()) {
+        ++failures;
+      }
+    }
+  });
+  ASSERT_EQ(failures.load(), 0);
+  cluster.metadata_store().SyncAll();
+
+  clients.ParallelFor(4, [&](std::size_t client) {
+    for (int i = 0; i < kObjectsPerClient; ++i) {
+      const std::string key =
+          "c" + std::to_string(client) + "-o" + std::to_string(i);
+      const std::string expected = DeterministicBlob(
+          50 * common::kKB, client * 1000 + static_cast<std::uint64_t>(i));
+      auto& engine = cluster.EngineAt((client + 1) % 2, client / 2 % 2);
+      auto got = engine.Get(kHour, "shared", key);
+      if (!got.ok() || *got != expected) ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cluster.stats_db().ObjectCount(), 4u * kObjectsPerClient);
+}
+
+}  // namespace
+}  // namespace scalia

@@ -1,0 +1,146 @@
+#include "net/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "net/geo.h"
+#include "provider/spec.h"
+
+namespace scalia::net {
+namespace {
+
+using common::kMB;
+using provider::Zone;
+
+provider::ProviderSpec ZonedSpec(std::string id, provider::ZoneSet zones,
+                                 double ttfb_ms = 10.0) {
+  provider::ProviderSpec spec;
+  spec.id = std::move(id);
+  spec.sla = {.durability = 0.9999, .availability = 0.999};
+  spec.zones = zones;
+  spec.read_latency_ms = ttfb_ms;
+  return spec;
+}
+
+TEST(TrafficMixTest, SharesSumToOne) {
+  TrafficMix mix;
+  double sum = 0.0;
+  for (Region r : kAllRegions) sum += mix.Share(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // The paper's ordering: Europe dominates, then NA, then Asia.
+  EXPECT_GT(mix.Share(Region::kEurope), mix.Share(Region::kNorthAmerica));
+  EXPECT_GT(mix.Share(Region::kNorthAmerica), mix.Share(Region::kAsia));
+}
+
+TEST(TrafficMixTest, PickCoversAllRegionsAndRespectsBoundaries) {
+  TrafficMix mix;
+  EXPECT_EQ(mix.Pick(0.0), Region::kEurope);
+  EXPECT_EQ(mix.Pick(mix.Share(Region::kEurope) + 1e-6),
+            Region::kNorthAmerica);
+  EXPECT_EQ(mix.Pick(0.999999), Region::kAsia);
+}
+
+TEST(GeoTest, HomeZoneAndNearestRegionAreInverse) {
+  for (Region r : kAllRegions) {
+    EXPECT_EQ(NearestRegion(HomeZone(r)), r);
+  }
+}
+
+TEST(LatencyModelTest, IntraRegionBeatsCrossRegion) {
+  const LatencyModel model;
+  for (Region r : kAllRegions) {
+    const double local = model.Link(r, HomeZone(r)).rtt_ms;
+    for (Zone z : {Zone::kEU, Zone::kUS, Zone::kAPAC}) {
+      if (z == HomeZone(r)) continue;
+      EXPECT_LT(local, model.Link(r, z).rtt_ms)
+          << RegionName(r) << " -> " << provider::ZoneName(z);
+    }
+  }
+}
+
+TEST(LatencyModelTest, OnPremIsLanOnlyFromHomeRegion) {
+  LatencyModel model;
+  model.set_home_region(Region::kEurope);
+  // LAN at home.
+  EXPECT_LT(model.Link(Region::kEurope, Zone::kOnPrem).rtt_ms, 5.0);
+  // Everyone else pays the WAN RTT to the home region's zone.
+  EXPECT_DOUBLE_EQ(model.Link(Region::kAsia, Zone::kOnPrem).rtt_ms,
+                   model.Link(Region::kAsia, Zone::kEU).rtt_ms);
+  EXPECT_DOUBLE_EQ(model.Link(Region::kNorthAmerica, Zone::kOnPrem).rtt_ms,
+                   model.Link(Region::kNorthAmerica, Zone::kEU).rtt_ms);
+}
+
+TEST(LatencyModelTest, ServingZonePicksNearestOperatedZone) {
+  const LatencyModel model;
+  const auto multi = ZonedSpec("multi", {Zone::kEU, Zone::kUS, Zone::kAPAC});
+  EXPECT_EQ(model.ServingZone(Region::kEurope, multi), Zone::kEU);
+  EXPECT_EQ(model.ServingZone(Region::kNorthAmerica, multi), Zone::kUS);
+  EXPECT_EQ(model.ServingZone(Region::kAsia, multi), Zone::kAPAC);
+
+  const auto us_only = ZonedSpec("us", {Zone::kUS});
+  EXPECT_EQ(model.ServingZone(Region::kEurope, us_only), Zone::kUS);
+}
+
+TEST(LatencyModelTest, ChunkFetchGrowsWithSizeAndDistance) {
+  const LatencyModel model;
+  const auto eu = ZonedSpec("eu", {Zone::kEU});
+  // Monotone in chunk size.
+  const double small = model.ChunkFetchMs(Region::kEurope, eu, 100 * kMB / 100);
+  const double large = model.ChunkFetchMs(Region::kEurope, eu, 100 * kMB);
+  EXPECT_LT(small, large);
+  // Monotone in distance for the same payload.
+  EXPECT_LT(model.ChunkFetchMs(Region::kEurope, eu, kMB),
+            model.ChunkFetchMs(Region::kAsia, eu, kMB));
+}
+
+TEST(LatencyModelTest, TtfbContributes) {
+  const LatencyModel model;
+  const auto fast = ZonedSpec("fast", {Zone::kEU}, 5.0);
+  const auto slow = ZonedSpec("slow", {Zone::kEU}, 80.0);
+  EXPECT_NEAR(model.ChunkFetchMs(Region::kEurope, slow, 0) -
+                  model.ChunkFetchMs(Region::kEurope, fast, 0),
+              75.0, 1e-9);
+}
+
+TEST(LatencyModelTest, ObjectReadIsMThSmallestFetch) {
+  const LatencyModel model;
+  const std::vector<provider::ProviderSpec> pset = {
+      ZonedSpec("eu", {Zone::kEU}, 10.0),
+      ZonedSpec("us", {Zone::kUS}, 10.0),
+      ZonedSpec("apac", {Zone::kAPAC}, 10.0),
+  };
+  const common::Bytes size = 3 * kMB;
+  // m=1 from Europe: only the EU chunk is needed.
+  const double m1 = model.ObjectReadMs(Region::kEurope, pset, 1, size);
+  EXPECT_NEAR(m1, model.ChunkFetchMs(Region::kEurope, pset[0], size), 1e-9);
+  // m=2: EU+US in parallel; the US fetch dominates.
+  const double m2 = model.ObjectReadMs(Region::kEurope, pset, 2, size);
+  const common::Bytes half = common::CeilDiv(size, 2);
+  EXPECT_NEAR(m2, model.ChunkFetchMs(Region::kEurope, pset[1], half), 1e-9);
+  // m=3: APAC dominates.
+  const double m3 = model.ObjectReadMs(Region::kEurope, pset, 3, size);
+  const common::Bytes third = common::CeilDiv(size, 3);
+  EXPECT_NEAR(m3, model.ChunkFetchMs(Region::kEurope, pset[2], third), 1e-9);
+  // Larger m trades smaller chunks against slower stragglers; here the
+  // straggler wins every time.
+  EXPECT_LT(m1, m2);
+  EXPECT_LT(m2, m3);
+}
+
+TEST(LatencyModelTest, ObjectReadDegenerateInputs) {
+  const LatencyModel model;
+  const std::vector<provider::ProviderSpec> pset = {
+      ZonedSpec("eu", {Zone::kEU})};
+  EXPECT_DOUBLE_EQ(model.ObjectReadMs(Region::kEurope, {}, 1, kMB), 0.0);
+  EXPECT_DOUBLE_EQ(model.ObjectReadMs(Region::kEurope, pset, 0, kMB), 0.0);
+  EXPECT_DOUBLE_EQ(model.ObjectReadMs(Region::kEurope, pset, 2, kMB), 0.0);
+}
+
+TEST(LatencyModelTest, SetLinkOverridesDefaults) {
+  LatencyModel model;
+  model.SetLink(Region::kEurope, Zone::kEU,
+                LinkSpec{.rtt_ms = 1.0, .throughput_mbps = 10000.0});
+  EXPECT_DOUBLE_EQ(model.Link(Region::kEurope, Zone::kEU).rtt_ms, 1.0);
+}
+
+}  // namespace
+}  // namespace scalia::net

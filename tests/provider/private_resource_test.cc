@@ -1,0 +1,146 @@
+#include "provider/private_resource.h"
+
+#include <gtest/gtest.h>
+
+namespace scalia::provider {
+namespace {
+
+ProviderSpec PrivateSpec() {
+  ProviderSpec spec;
+  spec.id = "nas-1";
+  spec.sla = {.durability = 0.99999, .availability = 0.99};
+  spec.zones = {Zone::kOnPrem};
+  spec.pricing = {.storage_gb_month = 0.01,
+                  .bw_in_gb = 0.0,
+                  .bw_out_gb = 0.0,
+                  .ops_per_1000 = 0.0};
+  spec.capacity = 100 * common::kMB;
+  return spec;
+}
+
+class PrivateResourceTest : public ::testing::Test {
+ protected:
+  PrivateResourceService service_{PrivateSpec(), "secret-token"};
+  RequestSigner signer_{"secret-token"};
+};
+
+TEST_F(PrivateResourceTest, SignedPutGetRoundTrip) {
+  auto put = signer_.Sign("PUT", "backup/file1", "payload-bytes", 100);
+  EXPECT_TRUE(service_.Handle(put, 100, nullptr).ok());
+
+  auto get = signer_.Sign("GET", "backup/file1", "", 200);
+  std::string body;
+  EXPECT_TRUE(service_.Handle(get, 200, &body).ok());
+  EXPECT_EQ(body, "payload-bytes");
+}
+
+TEST_F(PrivateResourceTest, ListAndDelete) {
+  ASSERT_TRUE(service_.Handle(signer_.Sign("PUT", "a/1", "x", 1), 1, nullptr).ok());
+  ASSERT_TRUE(service_.Handle(signer_.Sign("PUT", "a/2", "y", 2), 2, nullptr).ok());
+  std::string listing;
+  ASSERT_TRUE(
+      service_.Handle(signer_.Sign("LIST", "a/", "", 3), 3, &listing).ok());
+  EXPECT_EQ(listing, "a/1\na/2");
+  ASSERT_TRUE(
+      service_.Handle(signer_.Sign("DELETE", "a/1", "", 4), 4, nullptr).ok());
+  std::string listing2;
+  ASSERT_TRUE(
+      service_.Handle(signer_.Sign("LIST", "a/", "", 5), 5, &listing2).ok());
+  EXPECT_EQ(listing2, "a/2");
+}
+
+TEST_F(PrivateResourceTest, WrongTokenRejected) {
+  RequestSigner wrong("other-token");
+  auto req = wrong.Sign("PUT", "k", "v", 100);
+  EXPECT_EQ(service_.Handle(req, 100, nullptr).code(),
+            common::StatusCode::kUnauthenticated);
+}
+
+TEST_F(PrivateResourceTest, TamperedRequestRejected) {
+  auto req = signer_.Sign("PUT", "k", "v", 100);
+  req.body = "tampered";  // signature no longer covers the body
+  EXPECT_EQ(service_.Handle(req, 100, nullptr).code(),
+            common::StatusCode::kUnauthenticated);
+
+  auto req2 = signer_.Sign("GET", "k", "", 100);
+  req2.key = "other-key";
+  EXPECT_EQ(service_.Handle(req2, 100, nullptr).code(),
+            common::StatusCode::kUnauthenticated);
+}
+
+TEST_F(PrivateResourceTest, ReplayRejected) {
+  auto req = signer_.Sign("PUT", "k", "v", 100);
+  EXPECT_TRUE(service_.Handle(req, 100, nullptr).ok());
+  // The identical signed request is rejected the second time.
+  EXPECT_EQ(service_.Handle(req, 101, nullptr).code(),
+            common::StatusCode::kUnauthenticated);
+}
+
+TEST_F(PrivateResourceTest, StaleTimestampRejected) {
+  auto req = signer_.Sign("PUT", "k", "v", 100);
+  const common::SimTime late = 100 + common::kMinute * 6;  // window is 5 min
+  EXPECT_EQ(service_.Handle(req, late, nullptr).code(),
+            common::StatusCode::kUnauthenticated);
+}
+
+TEST_F(PrivateResourceTest, FutureTimestampRejected) {
+  auto req =
+      signer_.Sign("PUT", "k", "v", 100 + common::kMinute * 10);
+  EXPECT_EQ(service_.Handle(req, 100, nullptr).code(),
+            common::StatusCode::kUnauthenticated);
+}
+
+TEST_F(PrivateResourceTest, ReplayWindowExpiryAllowsFreshSignature) {
+  auto req = signer_.Sign("PUT", "k", "v", 100);
+  EXPECT_TRUE(service_.Handle(req, 100, nullptr).ok());
+  // A *new* request (new timestamp -> new signature) goes through later.
+  auto req2 = signer_.Sign("PUT", "k", "v2", 100 + common::kMinute * 10);
+  EXPECT_TRUE(
+      service_.Handle(req2, 100 + common::kMinute * 10, nullptr).ok());
+}
+
+TEST_F(PrivateResourceTest, UnknownVerbRejected) {
+  auto req = signer_.Sign("PATCH", "k", "v", 100);
+  EXPECT_EQ(service_.Handle(req, 100, nullptr).code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(PrivateResourceTest, MalformedSignatureRejected) {
+  auto req = signer_.Sign("PUT", "k", "v", 100);
+  req.signature_hex = "zz" + req.signature_hex.substr(2);
+  EXPECT_EQ(service_.Handle(req, 100, nullptr).code(),
+            common::StatusCode::kUnauthenticated);
+  req.signature_hex = "abc";  // wrong length
+  EXPECT_EQ(service_.Handle(req, 100, nullptr).code(),
+            common::StatusCode::kUnauthenticated);
+}
+
+TEST_F(PrivateResourceTest, CapacityEnforcedThroughService) {
+  // 100 MB capacity: a 60 MB object fits, a second one does not.
+  const std::string big(60 * common::kMB, 'b');
+  EXPECT_TRUE(
+      service_.Handle(signer_.Sign("PUT", "b1", big, 10), 10, nullptr).ok());
+  EXPECT_EQ(
+      service_.Handle(signer_.Sign("PUT", "b2", big, 20), 20, nullptr).code(),
+      common::StatusCode::kResourceExhausted);
+}
+
+TEST(CanonicalStringTest, CoversAllFields) {
+  SignedRequest a{.verb = "PUT", .key = "k", .body = "b", .timestamp = 1,
+                  .signature_hex = ""};
+  SignedRequest b = a;
+  b.verb = "GET";
+  EXPECT_NE(CanonicalString(a), CanonicalString(b));
+  b = a;
+  b.key = "k2";
+  EXPECT_NE(CanonicalString(a), CanonicalString(b));
+  b = a;
+  b.body = "B";
+  EXPECT_NE(CanonicalString(a), CanonicalString(b));
+  b = a;
+  b.timestamp = 2;
+  EXPECT_NE(CanonicalString(a), CanonicalString(b));
+}
+
+}  // namespace
+}  // namespace scalia::provider

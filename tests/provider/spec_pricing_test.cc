@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "provider/pricing.h"
+#include "provider/spec.h"
+
+namespace scalia::provider {
+namespace {
+
+TEST(PaperCatalogTest, MatchesFig3) {
+  const auto catalog = PaperCatalog();
+  ASSERT_EQ(catalog.size(), 5u);
+
+  const ProviderSpec* s3h = FindSpec(catalog, "S3(h)");
+  ASSERT_NE(s3h, nullptr);
+  EXPECT_DOUBLE_EQ(s3h->sla.durability, 0.99999999999);
+  EXPECT_DOUBLE_EQ(s3h->sla.availability, 0.999);
+  EXPECT_DOUBLE_EQ(s3h->pricing.storage_gb_month, 0.14);
+  EXPECT_DOUBLE_EQ(s3h->pricing.bw_in_gb, 0.10);
+  EXPECT_DOUBLE_EQ(s3h->pricing.bw_out_gb, 0.15);
+  EXPECT_DOUBLE_EQ(s3h->pricing.ops_per_1000, 0.01);
+  EXPECT_TRUE(s3h->zones.Contains(Zone::kEU));
+  EXPECT_TRUE(s3h->zones.Contains(Zone::kUS));
+  EXPECT_TRUE(s3h->zones.Contains(Zone::kAPAC));
+
+  const ProviderSpec* s3l = FindSpec(catalog, "S3(l)");
+  ASSERT_NE(s3l, nullptr);
+  EXPECT_DOUBLE_EQ(s3l->sla.durability, 0.9999);
+  EXPECT_DOUBLE_EQ(s3l->pricing.storage_gb_month, 0.093);
+
+  const ProviderSpec* rs = FindSpec(catalog, "RS");
+  ASSERT_NE(rs, nullptr);
+  EXPECT_DOUBLE_EQ(rs->pricing.bw_in_gb, 0.08);
+  EXPECT_DOUBLE_EQ(rs->pricing.bw_out_gb, 0.18);
+  EXPECT_DOUBLE_EQ(rs->pricing.ops_per_1000, 0.0);
+  EXPECT_FALSE(rs->zones.Contains(Zone::kEU));
+  EXPECT_TRUE(rs->zones.Contains(Zone::kUS));
+
+  const ProviderSpec* ggl = FindSpec(catalog, "Ggl");
+  ASSERT_NE(ggl, nullptr);
+  EXPECT_DOUBLE_EQ(ggl->pricing.storage_gb_month, 0.17);
+}
+
+TEST(PaperCatalogTest, CheapStor) {
+  const ProviderSpec spec = CheapStorSpec();
+  EXPECT_EQ(spec.id, "CheapStor");
+  EXPECT_DOUBLE_EQ(spec.pricing.storage_gb_month, 0.09);
+  EXPECT_DOUBLE_EQ(spec.pricing.bw_in_gb, 0.10);
+  EXPECT_DOUBLE_EQ(spec.pricing.bw_out_gb, 0.15);
+  EXPECT_DOUBLE_EQ(spec.pricing.ops_per_1000, 0.01);
+}
+
+TEST(PaperCatalogTest, FindSpecMissing) {
+  const auto catalog = PaperCatalog();
+  EXPECT_EQ(FindSpec(catalog, "NoSuch"), nullptr);
+}
+
+TEST(ZoneSetTest, Operations) {
+  ZoneSet eu_us{Zone::kEU, Zone::kUS};
+  ZoneSet us{Zone::kUS};
+  ZoneSet apac{Zone::kAPAC};
+  EXPECT_TRUE(eu_us.Intersects(us));
+  EXPECT_FALSE(eu_us.Intersects(apac));
+  EXPECT_TRUE(eu_us.Covers(us));
+  EXPECT_FALSE(us.Covers(eu_us));
+  EXPECT_TRUE(ZoneSet::All().Covers(eu_us));
+  EXPECT_TRUE(ZoneSet{}.Empty());
+  EXPECT_EQ(eu_us.ToString(), "EU,US");
+}
+
+TEST(CostOfTest, BandwidthAndOps) {
+  PricingPolicy pricing{.storage_gb_month = 0.0,
+                        .bw_in_gb = 0.10,
+                        .bw_out_gb = 0.15,
+                        .ops_per_1000 = 0.01};
+  PeriodUsage usage{.storage_gb_hours = 0.0,
+                    .bw_in_gb = 2.0,
+                    .bw_out_gb = 4.0,
+                    .ops = 3000.0};
+  const auto cost = CostOf(pricing, usage, common::kHour,
+                           StorageBillingMode::kProrated);
+  EXPECT_NEAR(cost.usd(), 2.0 * 0.10 + 4.0 * 0.15 + 3.0 * 0.01, 1e-12);
+}
+
+TEST(CostOfTest, StorageProrated) {
+  PricingPolicy pricing{.storage_gb_month = 0.14,
+                        .bw_in_gb = 0.0,
+                        .bw_out_gb = 0.0,
+                        .ops_per_1000 = 0.0};
+  // 10 GB stored for one full hour.
+  PeriodUsage usage{.storage_gb_hours = 10.0,
+                    .bw_in_gb = 0.0,
+                    .bw_out_gb = 0.0,
+                    .ops = 0.0};
+  const auto prorated =
+      CostOf(pricing, usage, common::kHour, StorageBillingMode::kProrated);
+  EXPECT_NEAR(prorated.usd(), 10.0 * 0.14 / 720.0, 1e-12);
+}
+
+TEST(CostOfTest, StoragePerPeriod) {
+  PricingPolicy pricing{.storage_gb_month = 0.14,
+                        .bw_in_gb = 0.0,
+                        .bw_out_gb = 0.0,
+                        .ops_per_1000 = 0.0};
+  PeriodUsage usage{.storage_gb_hours = 10.0,
+                    .bw_in_gb = 0.0,
+                    .bw_out_gb = 0.0,
+                    .ops = 0.0};
+  // Per-period mode charges the catalog rate per GB per sampling period.
+  const auto per_period =
+      CostOf(pricing, usage, common::kHour, StorageBillingMode::kPerPeriod);
+  EXPECT_NEAR(per_period.usd(), 10.0 * 0.14, 1e-12);
+}
+
+TEST(CostOfTest, StorageAveragesOverPeriod) {
+  PricingPolicy pricing{.storage_gb_month = 0.10,
+                        .bw_in_gb = 0.0,
+                        .bw_out_gb = 0.0,
+                        .ops_per_1000 = 0.0};
+  // 6 GB·h over a 2-hour period = 3 GB average.
+  PeriodUsage usage{.storage_gb_hours = 6.0,
+                    .bw_in_gb = 0.0,
+                    .bw_out_gb = 0.0,
+                    .ops = 0.0};
+  const auto cost = CostOf(pricing, usage, 2 * common::kHour,
+                           StorageBillingMode::kPerPeriod);
+  EXPECT_NEAR(cost.usd(), 3.0 * 0.10, 1e-12);
+}
+
+TEST(PeriodUsageTest, Accumulates) {
+  PeriodUsage a{.storage_gb_hours = 1, .bw_in_gb = 2, .bw_out_gb = 3, .ops = 4};
+  PeriodUsage b{.storage_gb_hours = 10, .bw_in_gb = 20, .bw_out_gb = 30, .ops = 40};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.storage_gb_hours, 11);
+  EXPECT_DOUBLE_EQ(a.bw_in_gb, 22);
+  EXPECT_DOUBLE_EQ(a.bw_out_gb, 33);
+  EXPECT_DOUBLE_EQ(a.ops, 44);
+}
+
+}  // namespace
+}  // namespace scalia::provider

@@ -1,0 +1,172 @@
+#include "provider/store.h"
+
+#include <gtest/gtest.h>
+
+#include "provider/registry.h"
+
+namespace scalia::provider {
+namespace {
+
+using common::kHour;
+
+ProviderSpec TestSpec(std::string id = "test") {
+  ProviderSpec spec;
+  spec.id = std::move(id);
+  spec.sla = {.durability = 0.999999, .availability = 0.999};
+  spec.zones = {Zone::kUS};
+  spec.pricing = {.storage_gb_month = 0.1,
+                  .bw_in_gb = 0.1,
+                  .bw_out_gb = 0.1,
+                  .ops_per_1000 = 0.01};
+  return spec;
+}
+
+TEST(SimulatedProviderStoreTest, PutGetDeleteRoundTrip) {
+  SimulatedProviderStore store(TestSpec());
+  EXPECT_TRUE(store.Put(0, "k1", "hello").ok());
+  auto got = store.Get(kHour, "k1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello");
+  EXPECT_TRUE(store.Delete(2 * kHour, "k1").ok());
+  EXPECT_EQ(store.Get(3 * kHour, "k1").status().code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(SimulatedProviderStoreTest, OverwriteReplacesAndAdjustsBytes) {
+  SimulatedProviderStore store(TestSpec());
+  ASSERT_TRUE(store.Put(0, "k", "aaaa").ok());
+  EXPECT_EQ(store.StoredBytes(), 4u);
+  ASSERT_TRUE(store.Put(0, "k", "bb").ok());
+  EXPECT_EQ(store.StoredBytes(), 2u);
+  EXPECT_EQ(*store.Get(0, "k"), "bb");
+  EXPECT_EQ(store.ObjectCount(), 1u);
+}
+
+TEST(SimulatedProviderStoreTest, DeleteMissingIsNotFound) {
+  SimulatedProviderStore store(TestSpec());
+  EXPECT_EQ(store.Delete(0, "nope").code(), common::StatusCode::kNotFound);
+}
+
+TEST(SimulatedProviderStoreTest, OutageWindowBlocksAllOps) {
+  SimulatedProviderStore store(TestSpec());
+  ASSERT_TRUE(store.Put(0, "k", "v").ok());
+  store.failures().AddOutage(10 * kHour, 20 * kHour);
+  EXPECT_TRUE(store.IsAvailable(9 * kHour));
+  EXPECT_FALSE(store.IsAvailable(10 * kHour));
+  EXPECT_FALSE(store.IsAvailable(19 * kHour));
+  EXPECT_TRUE(store.IsAvailable(20 * kHour));
+
+  EXPECT_EQ(store.Get(15 * kHour, "k").status().code(),
+            common::StatusCode::kUnavailable);
+  EXPECT_EQ(store.Put(15 * kHour, "k2", "v").code(),
+            common::StatusCode::kUnavailable);
+  EXPECT_EQ(store.Delete(15 * kHour, "k").code(),
+            common::StatusCode::kUnavailable);
+  EXPECT_EQ(store.List(15 * kHour, "").status().code(),
+            common::StatusCode::kUnavailable);
+  // Recovers afterwards.
+  EXPECT_TRUE(store.Get(21 * kHour, "k").ok());
+}
+
+TEST(SimulatedProviderStoreTest, CapacityEnforced) {
+  ProviderSpec spec = TestSpec("private");
+  spec.capacity = 10;
+  SimulatedProviderStore store(spec);
+  EXPECT_TRUE(store.Put(0, "a", "12345").ok());
+  EXPECT_TRUE(store.Put(0, "b", "12345").ok());
+  EXPECT_EQ(store.Put(0, "c", "x").code(),
+            common::StatusCode::kResourceExhausted);
+  // Replacing an object within capacity is fine.
+  EXPECT_TRUE(store.Put(0, "a", "123").ok());
+  EXPECT_TRUE(store.Put(0, "c", "xy").ok());
+}
+
+TEST(SimulatedProviderStoreTest, MaxChunkSizeEnforced) {
+  ProviderSpec spec = TestSpec();
+  spec.max_chunk_size = 4;
+  SimulatedProviderStore store(spec);
+  EXPECT_TRUE(store.Put(0, "ok", "1234").ok());
+  EXPECT_EQ(store.Put(0, "big", "12345").code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(SimulatedProviderStoreTest, ListByPrefix) {
+  SimulatedProviderStore store(TestSpec());
+  ASSERT_TRUE(store.Put(0, "abc.0", "1").ok());
+  ASSERT_TRUE(store.Put(0, "abc.1", "2").ok());
+  ASSERT_TRUE(store.Put(0, "xyz.0", "3").ok());
+  auto keys = store.List(0, "abc.");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(*keys, (std::vector<std::string>{"abc.0", "abc.1"}));
+  auto all = store.List(0, "");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+}
+
+TEST(SimulatedProviderStoreTest, MeteringTracksTraffic) {
+  SimulatedProviderStore store(TestSpec());
+  ASSERT_TRUE(store.Put(0, "k", std::string(common::kMB, 'x')).ok());
+  auto got = store.Get(kHour, "k");
+  ASSERT_TRUE(got.ok());
+  const auto usage = store.meter().Totals(kHour);
+  EXPECT_NEAR(usage.bw_in_gb, 0.001, 1e-9);
+  EXPECT_NEAR(usage.bw_out_gb, 0.001, 1e-9);
+  EXPECT_DOUBLE_EQ(usage.ops, 2.0);
+  // 1 MB held for 1 hour = 0.001 GB·h.
+  EXPECT_NEAR(usage.storage_gb_hours, 0.001, 1e-9);
+}
+
+TEST(UsageMeterTest, PeriodBoundariesResetCounters) {
+  UsageMeter meter(0);
+  meter.RecordPut(0, common::kMB);
+  meter.SetStoredBytes(0, common::kMB);
+  const auto p1 = meter.EndPeriod(kHour);
+  EXPECT_NEAR(p1.bw_in_gb, 0.001, 1e-9);
+  EXPECT_NEAR(p1.storage_gb_hours, 0.001, 1e-9);
+  // Second period: no traffic, storage continues to accrue.
+  const auto p2 = meter.EndPeriod(2 * kHour);
+  EXPECT_DOUBLE_EQ(p2.bw_in_gb, 0.0);
+  EXPECT_DOUBLE_EQ(p2.ops, 0.0);
+  EXPECT_NEAR(p2.storage_gb_hours, 0.001, 1e-9);
+}
+
+TEST(UsageMeterTest, StorageIntegratesChanges) {
+  UsageMeter meter(0);
+  meter.SetStoredBytes(0, 2 * common::kGB);
+  meter.SetStoredBytes(kHour, 4 * common::kGB);  // 2 GB for the first hour
+  const auto usage = meter.EndPeriod(2 * kHour);  // 4 GB for the second
+  EXPECT_NEAR(usage.storage_gb_hours, 2.0 + 4.0, 1e-9);
+}
+
+TEST(RegistryTest, RegisterFindUnregister) {
+  ProviderRegistry registry;
+  EXPECT_TRUE(registry.Register(TestSpec("p1")).ok());
+  EXPECT_TRUE(registry.Register(TestSpec("p2")).ok());
+  EXPECT_EQ(registry.Count(), 2u);
+  EXPECT_EQ(registry.Register(TestSpec("p1")).code(),
+            common::StatusCode::kConflict);
+  ASSERT_NE(registry.Find("p1"), nullptr);
+  EXPECT_EQ(registry.Find("p3"), nullptr);
+
+  EXPECT_TRUE(registry.Unregister("p1").ok());
+  EXPECT_EQ(registry.Count(), 1u);
+  EXPECT_EQ(registry.Unregister("p1").code(), common::StatusCode::kNotFound);
+  // Data survives unregistration; re-registration restores visibility.
+  EXPECT_TRUE(registry.Register(TestSpec("p1")).ok());
+  EXPECT_EQ(registry.Count(), 2u);
+}
+
+TEST(RegistryTest, AvailableSpecsExcludesOutages) {
+  ProviderRegistry registry;
+  ASSERT_TRUE(registry.Register(TestSpec("up")).ok());
+  ASSERT_TRUE(registry.Register(TestSpec("down")).ok());
+  registry.Find("down")->failures().AddOutage(0, 10 * kHour);
+  const auto available = registry.AvailableSpecs(5 * kHour);
+  ASSERT_EQ(available.size(), 1u);
+  EXPECT_EQ(available[0].id, "up");
+  EXPECT_EQ(registry.AvailableSpecs(11 * kHour).size(), 2u);
+  EXPECT_EQ(registry.Specs().size(), 2u);  // Specs() ignores reachability
+}
+
+}  // namespace
+}  // namespace scalia::provider

@@ -1,0 +1,149 @@
+// Market dynamics: repricing and permanent provider exit (§I motivations),
+// plus end-to-end checks that the Scalia policy reacts to both.
+#include <gtest/gtest.h>
+
+#include "simx/environment.h"
+#include "simx/simulator.h"
+#include "workload/backup.h"
+
+namespace scalia::simx {
+namespace {
+
+using common::kHour;
+
+TEST(EnvironmentPricingTest, RepriceTakesEffectAtScheduledTime) {
+  SimEnvironment env = SimEnvironment::Paper();
+  auto pricier = env.FindSpec("S3(l)", 0)->pricing;
+  pricier.storage_gb_month *= 3.0;
+  env.Reprice("S3(l)", 100 * kHour, pricier);
+
+  EXPECT_DOUBLE_EQ(env.FindSpec("S3(l)", 99 * kHour)->pricing.storage_gb_month,
+                   0.093);
+  EXPECT_DOUBLE_EQ(
+      env.FindSpec("S3(l)", 100 * kHour)->pricing.storage_gb_month,
+      0.093 * 3.0);
+  // Other providers are untouched.
+  EXPECT_DOUBLE_EQ(
+      env.FindSpec("S3(h)", 200 * kHour)->pricing.storage_gb_month, 0.14);
+}
+
+TEST(EnvironmentPricingTest, MultipleChangesApplyInOrder) {
+  SimEnvironment env = SimEnvironment::Paper();
+  auto p1 = env.FindSpec("RS", 0)->pricing;
+  auto p2 = p1;
+  p1.bw_out_gb = 0.5;
+  p2.bw_out_gb = 0.05;
+  // Registered out of order; the environment sorts by time.
+  env.Reprice("RS", 200 * kHour, p2);
+  env.Reprice("RS", 50 * kHour, p1);
+
+  EXPECT_DOUBLE_EQ(env.FindSpec("RS", 0)->pricing.bw_out_gb, 0.18);
+  EXPECT_DOUBLE_EQ(env.FindSpec("RS", 60 * kHour)->pricing.bw_out_gb, 0.5);
+  EXPECT_DOUBLE_EQ(env.FindSpec("RS", 300 * kHour)->pricing.bw_out_gb, 0.05);
+}
+
+TEST(EnvironmentPricingTest, SpecsAtAndReachableAtCarryCurrentPricing) {
+  SimEnvironment env = SimEnvironment::Paper();
+  auto pricing = env.FindSpec("Ggl", 0)->pricing;
+  pricing.storage_gb_month = 0.01;
+  env.Reprice("Ggl", 10 * kHour, pricing);
+  for (const auto& spec : env.SpecsAt(20 * kHour)) {
+    if (spec.id == "Ggl") {
+      EXPECT_DOUBLE_EQ(spec.pricing.storage_gb_month, 0.01);
+    }
+  }
+  for (const auto& spec : env.ReachableAt(20 * kHour)) {
+    if (spec.id == "Ggl") {
+      EXPECT_DOUBLE_EQ(spec.pricing.storage_gb_month, 0.01);
+    }
+  }
+}
+
+TEST(EnvironmentBankruptcyTest, ExitedProviderLeavesTheMarketForGood) {
+  SimEnvironment env = SimEnvironment::Paper();
+  env.Bankrupt("RS", 300 * kHour);
+
+  EXPECT_TRUE(env.IsReachable("RS", 299 * kHour));
+  EXPECT_FALSE(env.IsReachable("RS", 300 * kHour));
+  EXPECT_FALSE(env.IsReachable("RS", 10000 * kHour)) << "never recovers";
+  EXPECT_TRUE(env.FindSpec("RS", 299 * kHour).has_value());
+  EXPECT_FALSE(env.FindSpec("RS", 300 * kHour).has_value());
+  EXPECT_EQ(env.SpecsAt(299 * kHour).size(), 5u);
+  EXPECT_EQ(env.SpecsAt(300 * kHour).size(), 4u);
+}
+
+TEST(EnvironmentBankruptcyTest, DistinctFromTransientOutage) {
+  SimEnvironment env = workload::TransientFailureEnvironment(60, 120);
+  // Transient: the provider stays in the market (placement may still plan
+  // around its return) but is unreachable during the window.
+  EXPECT_TRUE(env.FindSpec("S3(l)", 80 * kHour).has_value());
+  EXPECT_FALSE(env.IsReachable("S3(l)", 80 * kHour));
+  EXPECT_TRUE(env.IsReachable("S3(l)", 120 * kHour));
+}
+
+SimPolicyConfig FastConfig() {
+  SimPolicyConfig config;
+  config.price.billing = provider::StorageBillingMode::kPerPeriod;
+  return config;
+}
+
+TEST(PriceChangeScenarioTest, ScaliaMigratesOffRepricedProvider) {
+  // Backup workload; at hour 100, S3(l) multiplies its storage price by 10.
+  workload::BackupParams params;
+  params.total_hours = 200;
+  const ScenarioSpec scenario = workload::BackupScenario(params);
+
+  SimEnvironment env = SimEnvironment::Paper();
+  auto gouged = env.FindSpec("S3(l)", 0)->pricing;
+  gouged.storage_gb_month *= 10.0;
+  env.Reprice("S3(l)", 100 * kHour, gouged);
+
+  const CostSimulator simulator(FastConfig(), env);
+  const RunResult scalia = simulator.RunScalia(scenario);
+  ASSERT_TRUE(scalia.feasible);
+
+  // A provider-change event fires at hour 100 and the stored objects leave
+  // S3(l): from some post-change period on, no placement event mentions it
+  // and migrations were performed.
+  EXPECT_GT(scalia.migrations, 0u);
+  bool post_change_uses_s3l = false;
+  for (const auto& e : scalia.events) {
+    if (e.period >= 101 && e.reason == "provider-change" &&
+        e.label.find("S3(l)") != std::string::npos) {
+      post_change_uses_s3l = true;
+    }
+  }
+  EXPECT_FALSE(post_change_uses_s3l)
+      << "re-placements after the gouging must avoid S3(l)";
+
+  // Against a static set that contains S3(l), Scalia is strictly cheaper.
+  const RunResult stuck =
+      simulator.RunStatic(scenario, {"S3(h)", "S3(l)", "Azu"});
+  ASSERT_TRUE(stuck.feasible);
+  EXPECT_LT(scalia.total.usd(), stuck.total.usd());
+}
+
+TEST(BankruptcyScenarioTest, ScaliaRepairsAndAbandonsBankruptProvider) {
+  workload::BackupParams params;
+  params.total_hours = 200;
+  const ScenarioSpec scenario = workload::BackupScenario(params);
+
+  SimEnvironment env = SimEnvironment::Paper();
+  env.Bankrupt("RS", 100 * kHour);
+
+  const CostSimulator simulator(FastConfig(), env);
+  const RunResult scalia = simulator.RunScalia(scenario);
+  ASSERT_TRUE(scalia.feasible);
+  // Stripes that touched RS must be repaired (or re-placed) at hour 100.
+  EXPECT_GT(scalia.repairs + scalia.migrations, 0u);
+  for (const auto& e : scalia.events) {
+    if (e.period >= 101) {
+      EXPECT_EQ(e.label.find("RS"), std::string::npos)
+          << "placement after the exit still names RS: " << e.label
+          << " (period " << e.period << ", " << e.reason << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scalia::simx

@@ -1,0 +1,241 @@
+#include "simx/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "simx/overcost.h"
+#include "simx/static_sets.h"
+#include "workload/backup.h"
+#include "workload/slashdot.h"
+
+namespace scalia::simx {
+namespace {
+
+SimPolicyConfig PerPeriodConfig() {
+  SimPolicyConfig config;
+  config.price.billing = provider::StorageBillingMode::kPerPeriod;
+  return config;
+}
+
+ScenarioSpec TinyColdScenario(std::size_t periods = 10) {
+  ScenarioSpec scenario;
+  scenario.name = "tiny";
+  scenario.num_periods = periods;
+  SimObject obj;
+  obj.name = "o";
+  obj.size = common::kMB;
+  obj.rule = core::StorageRule{.name = "t",
+                               .durability = 0.99999,
+                               .availability = 0.9999,
+                               .allowed_zones = provider::ZoneSet::All(),
+                               .lockin = 1.0,
+                               .ttl_hint = std::nullopt};
+  obj.created_period = 0;
+  scenario.objects.push_back(std::move(obj));
+  return scenario;
+}
+
+TEST(EnvironmentTest, ArrivalAndOutage) {
+  SimEnvironment env = workload::AddProviderEnvironment(400);
+  EXPECT_EQ(env.SpecsAt(0).size(), 5u);
+  EXPECT_EQ(env.SpecsAt(400 * common::kHour).size(), 6u);
+
+  SimEnvironment failure = workload::TransientFailureEnvironment(60, 120);
+  EXPECT_TRUE(failure.IsReachable("S3(l)", 59 * common::kHour));
+  EXPECT_FALSE(failure.IsReachable("S3(l)", 60 * common::kHour));
+  EXPECT_FALSE(failure.IsReachable("S3(l)", 119 * common::kHour));
+  EXPECT_TRUE(failure.IsReachable("S3(l)", 120 * common::kHour));
+  EXPECT_EQ(failure.ReachableAt(80 * common::kHour).size(), 4u);
+  EXPECT_FALSE(failure.IsReachable("NoSuch", 0));
+  EXPECT_FALSE(failure.FindSpec("NoSuch", 0).has_value());
+}
+
+TEST(ScenarioTest, ObjectStatsAtPeriods) {
+  SimObject obj;
+  obj.size = common::kMB;
+  obj.created_period = 5;
+  obj.deleted_period = 8;
+  obj.reads = {0.0, 10.0, 20.0};
+  EXPECT_FALSE(obj.AliveAt(4));
+  EXPECT_TRUE(obj.AliveAt(5));
+  EXPECT_TRUE(obj.AliveAt(7));
+  EXPECT_FALSE(obj.AliveAt(8));
+
+  const auto creation = obj.StatsAt(5);
+  EXPECT_DOUBLE_EQ(creation.writes, 1.0);
+  EXPECT_NEAR(creation.bw_in_gb, 0.001, 1e-12);
+  EXPECT_DOUBLE_EQ(creation.reads, 0.0);
+
+  const auto busy = obj.StatsAt(6);
+  EXPECT_DOUBLE_EQ(busy.writes, 0.0);
+  EXPECT_DOUBLE_EQ(busy.reads, 10.0);
+  EXPECT_NEAR(busy.bw_out_gb, 0.01, 1e-12);
+
+  EXPECT_TRUE(obj.StatsAt(9).IsZero());
+}
+
+TEST(StaticSetsTest, Fig13EnumerationOrder) {
+  const auto ordered = Fig13Order(provider::PaperCatalog());
+  ASSERT_EQ(ordered.size(), 5u);
+  EXPECT_EQ(ordered[0].id, "S3(h)");
+  EXPECT_EQ(ordered[2].id, "Azu");
+  EXPECT_EQ(ordered[4].id, "RS");
+
+  const auto sets = StaticSets(ordered);
+  ASSERT_EQ(sets.size(), 26u);  // all >= 2 subsets of 5 providers
+  // Spot-check the paper's numbering (Fig. 13).
+  EXPECT_EQ(SetLabel(sets[0]), "S3(h)-S3(l)");                  // #1
+  EXPECT_EQ(SetLabel(sets[3]), "S3(h)-S3(l)-Azu-Ggl-RS");       // #4
+  EXPECT_EQ(SetLabel(sets[8]), "S3(h)-Azu");                    // #9
+  EXPECT_EQ(SetLabel(sets[15]), "S3(l)-Azu");                   // #16
+  EXPECT_EQ(SetLabel(sets[25]), "Ggl-RS");                      // #26
+}
+
+TEST(SimulatorTest, ColdObjectCostMatchesHandComputation) {
+  const CostSimulator sim(PerPeriodConfig(), SimEnvironment::Paper());
+  const auto scenario = TinyColdScenario(10);
+  const RunResult run =
+      sim.RunStatic(scenario, {"S3(h)", "S3(l)", "Azu", "Ggl", "RS"});
+  ASSERT_TRUE(run.feasible);
+  // Placement: all five, m = 4 (durability 99.999).  Per period: storage
+  // 0.001/4 GB per provider; creation adds ingress + 5 ops.
+  const double storage_rate = 0.001 / 4 * (0.14 + 0.093 + 0.15 + 0.17 + 0.15);
+  const double write_cost =
+      0.001 / 4 * (0.10 * 4 + 0.08) + 4.0 * 0.01 / 1000.0;
+  EXPECT_NEAR(run.cost_per_period[0].usd(), storage_rate + write_cost, 1e-12);
+  EXPECT_NEAR(run.cost_per_period[5].usd(), storage_rate, 1e-12);
+  EXPECT_NEAR(run.total.usd(), 10 * storage_rate + write_cost, 1e-12);
+}
+
+TEST(SimulatorTest, ResourcesTrackPhysicalChunks) {
+  const CostSimulator sim(PerPeriodConfig(), SimEnvironment::Paper());
+  const auto scenario = TinyColdScenario(4);
+  const RunResult run =
+      sim.RunStatic(scenario, {"S3(h)", "S3(l)", "Azu", "Ggl", "RS"});
+  // 1 MB object striped 5-of-4: 1.25 MB of physical chunks.
+  EXPECT_NEAR(run.resources[1].storage_gb, 0.00125, 1e-9);
+  EXPECT_NEAR(run.resources[0].bw_in_gb, 0.00125, 1e-9);
+  EXPECT_DOUBLE_EQ(run.resources[2].bw_out_gb, 0.0);
+}
+
+TEST(SimulatorTest, IdealNeverAboveAnyPolicy) {
+  // The oracle lower-bounds every feasible policy on every scenario.
+  const CostSimulator sim(PerPeriodConfig(), SimEnvironment::Paper());
+  const auto scenario = workload::SlashdotScenario();
+  const RunResult ideal = sim.RunIdeal(scenario);
+  const RunResult scalia = sim.RunScalia(scenario);
+  EXPECT_LE(ideal.total.usd(), scalia.total.usd() + 1e-9);
+  for (const auto& set : StaticSets(Fig13Order(provider::PaperCatalog()))) {
+    const RunResult fixed = sim.RunStatic(scenario, set);
+    if (!fixed.feasible) continue;
+    EXPECT_LE(ideal.total.usd(), fixed.total.usd() + 1e-9)
+        << SetLabel(set);
+  }
+}
+
+TEST(SimulatorTest, ScaliaBeatsEveryStaticOnSlashdot) {
+  // The headline property of Fig. 14.
+  const CostSimulator sim(PerPeriodConfig(), SimEnvironment::Paper());
+  const auto scenario = workload::SlashdotScenario();
+  const auto table = ComputeOverCost(sim, scenario,
+                                     Fig13Order(provider::PaperCatalog()));
+  EXPECT_LE(table.ScaliaRow().total.usd(),
+            table.BestStatic().total.usd() + 1e-9);
+  // And the worst static is dramatically worse (paper: 16 %).
+  EXPECT_GT(table.WorstStatic().over_pct, 10.0);
+  EXPECT_LT(table.ScaliaRow().over_pct, 2.0);
+}
+
+TEST(SimulatorTest, InfeasibleStaticSetReported) {
+  const CostSimulator sim(PerPeriodConfig(), SimEnvironment::Paper());
+  auto scenario = TinyColdScenario(4);
+  scenario.objects[0].rule.lockin = 0.3;  // needs >= 4 providers
+  const RunResult two = sim.RunStatic(scenario, {"S3(h)", "S3(l)"});
+  EXPECT_FALSE(two.feasible);
+}
+
+TEST(SimulatorTest, ActiveRepairKeepsScaliaCheaperThanStatic) {
+  // §IV-E / Fig. 18, at test scale: 60 hours, outage h20-h40.
+  workload::BackupParams params;
+  params.total_hours = 60;
+  const auto scenario = workload::BackupScenario(params);
+  const CostSimulator sim(PerPeriodConfig(),
+                          workload::TransientFailureEnvironment(20, 40));
+  const RunResult scalia = sim.RunScalia(scenario);
+  const RunResult fixed = sim.RunStatic(scenario, {"S3(h)", "S3(l)", "Azu"});
+  ASSERT_TRUE(scalia.feasible);
+  ASSERT_TRUE(fixed.feasible);
+  EXPECT_GT(scalia.repairs, 0u);
+  EXPECT_LT(scalia.total.usd(), fixed.total.usd());
+  // After recovery Scalia migrates back to an S3(l)-bearing set.
+  bool returned = false;
+  for (const auto& e : scalia.events) {
+    if (e.period >= 40 && e.label.find("S3(l)") != std::string::npos) {
+      returned = true;
+    }
+  }
+  EXPECT_TRUE(returned);
+}
+
+TEST(SimulatorTest, ProviderArrivalTriggersAdoption) {
+  // §IV-D at test scale: CheapStor arrives at hour 30 of 60.
+  workload::BackupParams params;
+  params.total_hours = 60;
+  const auto scenario = workload::BackupScenario(params);
+  const CostSimulator sim(PerPeriodConfig(),
+                          workload::AddProviderEnvironment(30));
+  const RunResult run = sim.RunScalia(scenario);
+  ASSERT_TRUE(run.feasible);
+  bool adopted = false;
+  for (const auto& e : run.events) {
+    if (e.label.find("CheapStor") != std::string::npos) adopted = true;
+  }
+  EXPECT_TRUE(adopted);
+  EXPECT_GT(run.migrations, 0u);
+}
+
+TEST(SimulatorTest, TrendGateCutsRecomputations) {
+  const auto scenario = workload::SlashdotScenario();
+  const CostSimulator gated(PerPeriodConfig(), SimEnvironment::Paper());
+  SimPolicyConfig always_config = PerPeriodConfig();
+  always_config.trend_gate = false;
+  const CostSimulator always(always_config, SimEnvironment::Paper());
+  const RunResult gated_run = gated.RunScalia(scenario);
+  const RunResult always_run = always.RunScalia(scenario);
+  EXPECT_LT(gated_run.recomputations, always_run.recomputations / 2);
+  // At similar cost.
+  EXPECT_NEAR(gated_run.total.usd(), always_run.total.usd(),
+              0.05 * always_run.total.usd());
+}
+
+TEST(SimulatorTest, MigrationChargesAppearInCosts) {
+  SimPolicyConfig config = PerPeriodConfig();
+  const CostSimulator sim(config, SimEnvironment::Paper());
+  const auto scenario = workload::SlashdotScenario();
+  const RunResult run = sim.RunScalia(scenario);
+  EXPECT_GT(run.migrations, 0u);
+  // Scalia is above the ideal precisely because migrations are billed.
+  const RunResult ideal = sim.RunIdeal(scenario);
+  EXPECT_GT(run.total.usd(), ideal.total.usd());
+}
+
+TEST(OverCostTest, TableShapeAndConsistency) {
+  const CostSimulator sim(PerPeriodConfig(), SimEnvironment::Paper());
+  const auto scenario = TinyColdScenario(6);
+  common::ThreadPool pool(4);
+  const auto table = ComputeOverCost(sim, scenario,
+                                     Fig13Order(provider::PaperCatalog()),
+                                     &pool);
+  ASSERT_EQ(table.rows.size(), 27u);
+  EXPECT_EQ(table.rows.back().label, "Scalia");
+  for (const auto& row : table.rows) {
+    if (!row.feasible) continue;
+    EXPECT_GE(row.total.usd() + 1e-12, table.ideal_total.usd()) << row.label;
+    EXPECT_GE(row.over_pct, -1e-9) << row.label;
+  }
+  const std::string rendered = FormatOverCostTable(table);
+  EXPECT_NE(rendered.find("Scalia"), std::string::npos);
+  EXPECT_NE(rendered.find("S3(h)-S3(l)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalia::simx

@@ -1,0 +1,190 @@
+#include "stats/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "stats/stats_db.h"
+
+namespace scalia::stats {
+namespace {
+
+TEST(PipelineTest, FoldsEventsIntoPeriodStats) {
+  LogAggregator aggregator;
+  LogAgent agent(&aggregator);
+  agent.Log({.row_key = "obj1", .kind = AccessKind::kRead,
+             .bytes = common::kMB, .timestamp = 0});
+  agent.Log({.row_key = "obj1", .kind = AccessKind::kRead,
+             .bytes = common::kMB, .timestamp = 10});
+  agent.Log({.row_key = "obj1", .kind = AccessKind::kWrite,
+             .bytes = 2 * common::kMB, .timestamp = 20});
+  agent.Log({.row_key = "obj2", .kind = AccessKind::kDelete, .bytes = 0,
+             .timestamp = 30});
+  aggregator.Pump();
+
+  auto flushed = aggregator.Flush();
+  ASSERT_EQ(flushed.size(), 2u);
+  const PeriodStats& s1 = flushed.at("obj1");
+  EXPECT_DOUBLE_EQ(s1.reads, 2.0);
+  EXPECT_DOUBLE_EQ(s1.writes, 1.0);
+  EXPECT_DOUBLE_EQ(s1.ops, 3.0);
+  EXPECT_NEAR(s1.bw_out_gb, 0.002, 1e-9);
+  EXPECT_NEAR(s1.bw_in_gb, 0.002, 1e-9);
+  const PeriodStats& s2 = flushed.at("obj2");
+  EXPECT_DOUBLE_EQ(s2.ops, 1.0);
+  EXPECT_DOUBLE_EQ(s2.reads, 0.0);
+}
+
+TEST(PipelineTest, FlushClearsAggregates) {
+  LogAggregator aggregator;
+  LogAgent agent(&aggregator);
+  agent.Log({.row_key = "o", .kind = AccessKind::kRead, .bytes = 1,
+             .timestamp = 0});
+  aggregator.Pump();
+  EXPECT_EQ(aggregator.Flush().size(), 1u);
+  EXPECT_TRUE(aggregator.Flush().empty());
+}
+
+TEST(PipelineTest, TouchedSetTracksAndClears) {
+  LogAggregator aggregator;
+  LogAgent agent(&aggregator);
+  agent.Log({.row_key = "a", .kind = AccessKind::kRead, .bytes = 1,
+             .timestamp = 0});
+  agent.Log({.row_key = "b", .kind = AccessKind::kWrite, .bytes = 1,
+             .timestamp = 0});
+  agent.Log({.row_key = "a", .kind = AccessKind::kRead, .bytes = 1,
+             .timestamp = 1});
+  aggregator.Pump();
+  auto touched = aggregator.TakeTouched();
+  std::sort(touched.begin(), touched.end());
+  EXPECT_EQ(touched, (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(aggregator.TakeTouched().empty());
+}
+
+TEST(PipelineTest, BackgroundThreadDrains) {
+  LogAggregator aggregator;
+  aggregator.StartBackground();
+  LogAgent agent(&aggregator);
+  for (int i = 0; i < 1000; ++i) {
+    agent.Log({.row_key = "obj", .kind = AccessKind::kRead, .bytes = 100,
+               .timestamp = i});
+  }
+  // Wait for the background drain to catch up.
+  for (int spin = 0; spin < 100; ++spin) {
+    if (aggregator.queue().Size() == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  aggregator.Pump();
+  const auto flushed = aggregator.Flush();
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_DOUBLE_EQ(flushed.at("obj").reads, 1000.0);
+  EXPECT_EQ(agent.dropped(), 0u);
+}
+
+TEST(PipelineTest, SaturationDropsInsteadOfBlocking) {
+  LogAggregator aggregator(/*queue_capacity=*/4);
+  LogAgent agent(&aggregator);
+  for (int i = 0; i < 10; ++i) {
+    agent.Log({.row_key = "o", .kind = AccessKind::kRead, .bytes = 1,
+               .timestamp = i});
+  }
+  EXPECT_EQ(agent.dropped(), 6u);
+  aggregator.Pump();
+  EXPECT_DOUBLE_EQ(aggregator.Flush().at("o").reads, 4.0);
+}
+
+TEST(StatsDbTest, ObjectLifecycle) {
+  StatsDb db(nullptr, 0);
+  db.RecordObjectCreated("rk", "cls", common::kMB, 10 * common::kHour);
+  auto rec = db.GetObject("rk");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->class_id, "cls");
+  EXPECT_EQ(rec->size, common::kMB);
+  EXPECT_EQ(db.ObjectCount(), 1u);
+
+  db.RecordObjectDeleted("rk", 14 * common::kHour);
+  EXPECT_FALSE(db.GetObject("rk").has_value());
+  // The 4-hour lifetime landed in the class statistics.
+  const auto* cls = db.classes().Find("cls");
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(cls->lifetime_samples(), 1u);
+  EXPECT_NEAR(common::ToHours(cls->ExpectedLifetime()), 4.0, 0.55);
+}
+
+TEST(StatsDbTest, HistoryAppendsAndClassUsageAccrues) {
+  StatsDb db(nullptr, 0);
+  db.RecordObjectCreated("rk", "cls", common::kMB, 0);
+  PeriodStats s{.storage_gb = 0.001, .bw_in_gb = 0, .bw_out_gb = 0.01,
+                .ops = 10, .reads = 10, .writes = 0};
+  db.AppendPeriodStats("rk", 0, s, common::kHour);
+  db.AppendPeriodStats("rk", 1, s, 2 * common::kHour);
+  const auto history = db.GetHistory("rk");
+  EXPECT_EQ(history.size(), 2u);
+  EXPECT_DOUBLE_EQ(history.Latest().ops, 10.0);
+  const auto* cls = db.classes().Find("cls");
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(cls->usage_samples(), 2u);
+}
+
+TEST(StatsDbTest, AccessedSinceFiltersByTime) {
+  StatsDb db(nullptr, 0);
+  db.RecordObjectCreated("early", "c", 1, 0);
+  db.RecordObjectCreated("late", "c", 1, 0);
+  db.TouchObject("early", 5 * common::kHour);
+  db.TouchObject("late", 10 * common::kHour);
+  auto all = db.AccessedSince(0);
+  EXPECT_EQ(all.size(), 2u);
+  auto recent = db.AccessedSince(7 * common::kHour);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0], "late");
+}
+
+TEST(StatsDbTest, WriteThroughPersistsRows) {
+  store::ReplicatedStore backing(2);
+  StatsDb db(&backing, 0);
+  db.RecordObjectCreated("rk", "cls", common::kMB, 0);
+  PeriodStats s{.storage_gb = 0.001, .bw_in_gb = 0, .bw_out_gb = 0.01,
+                .ops = 5, .reads = 5, .writes = 0};
+  db.AppendPeriodStats("rk", 7, s, common::kHour);
+  auto row = backing.Get(0, "stats", "ostat|rk|7");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->value.substr(0, 4), "cls;");
+  // Statistics rows replicate like any other row.
+  backing.SyncAll();
+  EXPECT_TRUE(backing.Get(1, "stats", "ostat|rk|7").ok());
+}
+
+TEST(StatsDbTest, MapReduceRefreshRebuildsClassMeans) {
+  store::ReplicatedStore backing(1);
+  StatsDb db(&backing, 0);
+  db.RecordObjectCreated("o1", "clsA", common::kMB, 0);
+  db.RecordObjectCreated("o2", "clsA", common::kMB, 0);
+  PeriodStats hot{.storage_gb = 0.001, .bw_in_gb = 0, .bw_out_gb = 0.1,
+                  .ops = 100, .reads = 100, .writes = 0};
+  PeriodStats cold{.storage_gb = 0.001, .bw_in_gb = 0, .bw_out_gb = 0,
+                   .ops = 2, .reads = 2, .writes = 0};
+  db.AppendPeriodStats("o1", 0, hot, common::kHour);
+  db.AppendPeriodStats("o2", 0, cold, common::kHour);
+
+  common::ThreadPool pool(4);
+  const std::size_t refreshed = db.RefreshClassStatsMapReduce(pool);
+  EXPECT_EQ(refreshed, 1u);
+  const auto* cls = db.classes().Find("clsA");
+  ASSERT_NE(cls, nullptr);
+  const auto mean = cls->MeanUsage();
+  ASSERT_TRUE(mean.has_value());
+  EXPECT_GT(mean->ops, 0.0);
+}
+
+TEST(StatsDbTest, UnknownObjectQueriesAreSafe) {
+  StatsDb db(nullptr, 0);
+  EXPECT_FALSE(db.GetObject("nope").has_value());
+  EXPECT_TRUE(db.GetHistory("nope").empty());
+  db.TouchObject("nope", 1);                      // no-op
+  db.AppendPeriodStats("nope", 0, {}, 1);         // no-op
+  db.RecordObjectDeleted("nope", 1);              // no-op
+  EXPECT_EQ(db.ObjectCount(), 0u);
+}
+
+}  // namespace
+}  // namespace scalia::stats

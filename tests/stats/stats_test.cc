@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "stats/access_history.h"
+#include "stats/object_class.h"
+#include "stats/period_stats.h"
+
+namespace scalia::stats {
+namespace {
+
+TEST(PeriodStatsTest, CsvRoundTrip) {
+  PeriodStats s{.storage_gb = 1.5,
+                .bw_in_gb = 0.25,
+                .bw_out_gb = 2.75,
+                .ops = 100,
+                .reads = 90,
+                .writes = 10};
+  const PeriodStats parsed = PeriodStats::FromCsv(s.ToCsv());
+  EXPECT_DOUBLE_EQ(parsed.storage_gb, 1.5);
+  EXPECT_DOUBLE_EQ(parsed.bw_in_gb, 0.25);
+  EXPECT_DOUBLE_EQ(parsed.bw_out_gb, 2.75);
+  EXPECT_DOUBLE_EQ(parsed.ops, 100);
+  EXPECT_DOUBLE_EQ(parsed.reads, 90);
+  EXPECT_DOUBLE_EQ(parsed.writes, 10);
+}
+
+TEST(PeriodStatsTest, AccumulateAndScale) {
+  PeriodStats a{.storage_gb = 1, .bw_in_gb = 2, .bw_out_gb = 3, .ops = 4,
+                .reads = 3, .writes = 1};
+  PeriodStats b = a;
+  a += b;
+  a.Scale(0.5);
+  EXPECT_DOUBLE_EQ(a.storage_gb, 1);
+  EXPECT_DOUBLE_EQ(a.ops, 4);
+  EXPECT_TRUE(PeriodStats{}.IsZero());
+  EXPECT_FALSE(a.IsZero());
+}
+
+TEST(AccessHistoryTest, RingBounded) {
+  AccessHistory h(3);
+  for (int i = 1; i <= 5; ++i) {
+    h.Append(PeriodStats{.storage_gb = 0, .bw_in_gb = 0, .bw_out_gb = 0,
+                         .ops = static_cast<double>(i), .reads = 0,
+                         .writes = 0});
+  }
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_DOUBLE_EQ(h.Latest().ops, 5);
+  const auto last2 = h.LastPeriods(2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_DOUBLE_EQ(last2[0].ops, 4);  // oldest first
+  EXPECT_DOUBLE_EQ(last2[1].ops, 5);
+}
+
+TEST(AccessHistoryTest, AverageOverWindow) {
+  AccessHistory h(10);
+  for (double v : {10.0, 20.0, 30.0}) {
+    h.Append(PeriodStats{.storage_gb = 0, .bw_in_gb = 0, .bw_out_gb = 0,
+                         .ops = v, .reads = 0, .writes = 0});
+  }
+  EXPECT_DOUBLE_EQ(h.AverageOver(2).ops, 25.0);
+  EXPECT_DOUBLE_EQ(h.AverageOver(3).ops, 20.0);
+  EXPECT_DOUBLE_EQ(h.AverageOver(100).ops, 20.0);  // clamped to size
+  EXPECT_DOUBLE_EQ(AccessHistory(5).AverageOver(3).ops, 0.0);
+  EXPECT_DOUBLE_EQ(AccessHistory(5).Latest().ops, 0.0);
+}
+
+TEST(ObjectClassTest, DiscretizeRoundsUpToMegabyte) {
+  EXPECT_EQ(DiscretizeSize(1), common::kMB);
+  EXPECT_EQ(DiscretizeSize(common::kMB), common::kMB);
+  EXPECT_EQ(DiscretizeSize(common::kMB + 1), 2 * common::kMB);
+  EXPECT_EQ(DiscretizeSize(0), 0u);
+}
+
+TEST(ObjectClassTest, ClassificationGroupsSimilarObjects) {
+  // Same MIME and same discretized size -> same class.
+  EXPECT_EQ(ClassifyObject("image/gif", 300 * common::kKB),
+            ClassifyObject("image/gif", 700 * common::kKB));
+  // Different MIME or size bucket -> different class.
+  EXPECT_NE(ClassifyObject("image/gif", 300 * common::kKB),
+            ClassifyObject("image/png", 300 * common::kKB));
+  EXPECT_NE(ClassifyObject("image/gif", 300 * common::kKB),
+            ClassifyObject("image/gif", 5 * common::kMB));
+}
+
+TEST(ClassStatsTest, Fig5ReferenceExample) {
+  // The Fig. 5 class: 20 objects, lifetimes 0-6 h, E[TTL|0] = 3.25 h and
+  // E[TTL|2h] = 1.55 h.
+  ClassStats cls(common::kHour * 8);
+  const double lifetimes[20] = {0.5, 0.5, 2.5, 2.5, 2.5, 2.5, 2.5,
+                                2.5, 3.5, 3.5, 3.5, 3.5, 3.5, 3.5,
+                                4.5, 4.5, 4.5, 4.5, 4.5, 5.5};
+  for (double h : lifetimes) cls.RecordLifetime(common::FromHours(h));
+  EXPECT_EQ(cls.lifetime_samples(), 20u);
+  EXPECT_NEAR(common::ToHours(cls.ExpectedLifetime()), 3.25, 0.01);
+  EXPECT_NEAR(
+      common::ToHours(cls.ExpectedTimeLeftToLive(2 * common::kHour)), 1.56,
+      0.01);
+}
+
+TEST(ClassStatsTest, ResidualDecreasesWithAge) {
+  ClassStats cls(common::kHour * 100);
+  for (int i = 1; i <= 50; ++i) {
+    cls.RecordLifetime(common::FromHours(static_cast<double>(i)));
+  }
+  common::Duration prev = cls.ExpectedTimeLeftToLive(0);
+  for (double age = 5; age <= 40; age += 5) {
+    const auto ttl = cls.ExpectedTimeLeftToLive(common::FromHours(age));
+    EXPECT_LE(ttl, prev + common::kHour);  // monotone modulo binning
+    prev = ttl;
+    EXPECT_GT(ttl, 0);
+  }
+}
+
+TEST(ClassStatsTest, OutlivedClassFallsBackToMean) {
+  ClassStats cls(common::kHour * 10);
+  cls.RecordLifetime(common::FromHours(2.0));
+  // An object older than every recorded lifetime still gets an estimate.
+  const auto ttl = cls.ExpectedTimeLeftToLive(common::FromHours(9.0));
+  EXPECT_GT(ttl, 0);
+}
+
+TEST(ClassStatsTest, NoSamplesMeansZeroEstimates) {
+  ClassStats cls;
+  EXPECT_EQ(cls.ExpectedLifetime(), 0);
+  EXPECT_EQ(cls.ExpectedTimeLeftToLive(common::kHour), 0);
+  EXPECT_FALSE(cls.MeanUsage().has_value());
+}
+
+TEST(ClassStatsTest, MeanUsage) {
+  ClassStats cls;
+  cls.RecordUsage(PeriodStats{.storage_gb = 1, .bw_in_gb = 0, .bw_out_gb = 4,
+                              .ops = 10, .reads = 10, .writes = 0});
+  cls.RecordUsage(PeriodStats{.storage_gb = 1, .bw_in_gb = 0, .bw_out_gb = 2,
+                              .ops = 20, .reads = 20, .writes = 0});
+  const auto mean = cls.MeanUsage();
+  ASSERT_TRUE(mean.has_value());
+  EXPECT_DOUBLE_EQ(mean->bw_out_gb, 3.0);
+  EXPECT_DOUBLE_EQ(mean->ops, 15.0);
+  EXPECT_EQ(cls.usage_samples(), 2u);
+}
+
+TEST(ClassRegistryTest, CreatesAndFinds) {
+  ClassRegistry registry;
+  EXPECT_EQ(registry.Find("unknown"), nullptr);
+  ClassStats& cls = registry.ForClass("abc");
+  cls.RecordLifetime(common::kHour);
+  EXPECT_EQ(registry.Find("abc"), &cls);
+  EXPECT_EQ(registry.ClassCount(), 1u);
+  (void)registry.ForClass("def");
+  EXPECT_EQ(registry.ClassCount(), 2u);
+}
+
+}  // namespace
+}  // namespace scalia::stats

@@ -1,0 +1,145 @@
+#include "stats/trend.h"
+
+#include <gtest/gtest.h>
+
+namespace scalia::stats {
+namespace {
+
+TEST(TrendDetectorTest, FlatSeriesNeverFiresAfterStart) {
+  TrendDetector detector;
+  detector.Observe(100.0);  // first observation of an active object fires
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(detector.Observe(100.0)) << "period " << i;
+  }
+}
+
+TEST(TrendDetectorTest, IdleObjectNeverFires) {
+  TrendDetector detector;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(detector.Observe(0.0));
+  }
+}
+
+TEST(TrendDetectorTest, StepUpFires) {
+  TrendDetector detector;
+  detector.Observe(0.0);
+  detector.Observe(0.0);
+  EXPECT_TRUE(detector.Observe(100.0));  // flash crowd onset
+}
+
+TEST(TrendDetectorTest, StepDownFires) {
+  TrendDetector detector;
+  for (int i = 0; i < 5; ++i) detector.Observe(100.0);
+  EXPECT_TRUE(detector.Observe(10.0));
+}
+
+TEST(TrendDetectorTest, SmallFluctuationsBelowLimitIgnored) {
+  TrendDetector detector(TrendConfig{.window = 3, .limit = 0.1,
+                                     .min_activity = 1.0});
+  detector.Observe(100.0);
+  detector.Observe(100.0);
+  detector.Observe(100.0);
+  // SMA moves by < 10 %: 100,100,104 -> 101.3 (1.3 % momentum).
+  EXPECT_FALSE(detector.Observe(104.0));
+  EXPECT_FALSE(detector.Observe(98.0));
+}
+
+TEST(TrendDetectorTest, GoingColdFiresOnce) {
+  TrendDetector detector;
+  for (double v : {50.0, 40.0, 30.0}) detector.Observe(v);
+  // Decay to zero: the last transition to SMA == 0 must fire (the post-peak
+  // recomputation of Fig. 8).
+  bool fired_cold = false;
+  for (int i = 0; i < 6; ++i) {
+    if (detector.Observe(0.0)) fired_cold = true;
+  }
+  EXPECT_TRUE(fired_cold);
+  // Once cold, stays quiet.
+  EXPECT_FALSE(detector.Observe(0.0));
+}
+
+TEST(TrendDetectorTest, TricklePauseDoesNotFireCold) {
+  // Sub-floor activity (SMA < min_activity) pausing is not a trend change.
+  TrendDetector detector(TrendConfig{.window = 3, .limit = 0.1,
+                                     .min_activity = 1.0});
+  detector.Observe(0.0);
+  detector.Observe(1.0);  // SMA 0.5, below the floor
+  EXPECT_FALSE(detector.Observe(0.0));
+  EXPECT_FALSE(detector.Observe(0.0));
+  EXPECT_FALSE(detector.Observe(0.0));
+}
+
+TEST(TrendDetectorTest, WindowSmoothsSpikes) {
+  // w = 3 means a single-period spike moves the SMA by only a third.
+  TrendDetector w3(TrendConfig{.window = 3, .limit = 0.5,
+                               .min_activity = 1.0});
+  w3.Observe(90.0);
+  w3.Observe(90.0);
+  w3.Observe(90.0);
+  EXPECT_FALSE(w3.Observe(120.0));  // SMA 90 -> 100: 11 % < 50 %
+
+  TrendDetector w1(TrendConfig{.window = 1, .limit = 0.25,
+                               .min_activity = 1.0});
+  w1.Observe(90.0);
+  EXPECT_TRUE(w1.Observe(120.0));  // SMA 90 -> 120: 33 % > 25 %
+}
+
+TEST(TrendDetectorTest, DynamicLimitAdjustment) {
+  TrendDetector detector(TrendConfig{.window = 3, .limit = 0.5,
+                                     .min_activity = 1.0});
+  detector.Observe(100.0);
+  detector.Observe(100.0);
+  EXPECT_FALSE(detector.Observe(130.0));  // 10 % momentum < 50 % limit
+  detector.SetLimit(0.05);
+  EXPECT_DOUBLE_EQ(detector.limit(), 0.05);
+  EXPECT_TRUE(detector.Observe(160.0));  // now above the tightened limit
+}
+
+TEST(TrendDetectorTest, CurrentSmaTracksWindow) {
+  TrendDetector detector;
+  detector.Observe(30.0);
+  EXPECT_DOUBLE_EQ(detector.CurrentSma(), 30.0);
+  detector.Observe(60.0);
+  EXPECT_DOUBLE_EQ(detector.CurrentSma(), 45.0);
+  detector.Observe(90.0);
+  EXPECT_DOUBLE_EQ(detector.CurrentSma(), 60.0);
+  detector.Observe(90.0);  // window slides: (60+90+90)/3
+  EXPECT_DOUBLE_EQ(detector.CurrentSma(), 80.0);
+}
+
+TEST(TrendDetectorTest, ResetForgetsEverything) {
+  TrendDetector detector;
+  for (int i = 0; i < 5; ++i) detector.Observe(100.0);
+  detector.Reset();
+  EXPECT_EQ(detector.Observations(), 0u);
+  EXPECT_DOUBLE_EQ(detector.CurrentSma(), 0.0);
+  EXPECT_TRUE(detector.Observe(100.0));  // first active observation again
+}
+
+class TrendLimitSweepTest : public ::testing::TestWithParam<double> {};
+
+// Property: a larger limit never detects more changes than a smaller one on
+// the same series.
+TEST_P(TrendLimitSweepTest, MonotoneInLimit) {
+  const double limit = GetParam();
+  auto count_changes = [](double lim) {
+    TrendDetector d(TrendConfig{.window = 3, .limit = lim,
+                                .min_activity = 1.0});
+    std::size_t fired = 0;
+    // A bursty deterministic series.
+    for (int i = 0; i < 200; ++i) {
+      double v = 50.0 + 40.0 * ((i / 10) % 2);
+      if (i > 150) v = 5.0;
+      if (d.Observe(v)) ++fired;
+    }
+    return fired;
+  };
+  EXPECT_GE(count_changes(limit / 2), count_changes(limit));
+  EXPECT_GE(count_changes(limit), count_changes(limit * 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, TrendLimitSweepTest,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4));
+
+}  // namespace
+}  // namespace scalia::stats

@@ -1,0 +1,133 @@
+#include "store/kv_table.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace scalia::store {
+namespace {
+
+TEST(KvTableTest, PutGetRoundTrip) {
+  KvTable table;
+  table.Put("key", "value", 0, 100);
+  auto got = table.Get("key");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->value, "value");
+  EXPECT_EQ(got->timestamp, 100);
+  EXPECT_FALSE(got->conflict);
+}
+
+TEST(KvTableTest, MissingKeyIsNullopt) {
+  KvTable table;
+  EXPECT_FALSE(table.Get("missing").has_value());
+}
+
+TEST(KvTableTest, SequentialUpdatesSupersede) {
+  KvTable table;
+  table.Put("k", "v1", 0, 1);
+  const auto superseded = table.Put("k", "v2", 0, 2);
+  ASSERT_EQ(superseded.size(), 1u);
+  EXPECT_EQ(superseded[0].value, "v1");
+  EXPECT_EQ(table.Get("k")->value, "v2");
+}
+
+TEST(KvTableTest, CrossReplicaSequentialUpdatesSupersede) {
+  // The register semantics absorb the live clocks, so a later write at a
+  // *different* replica that has seen the current state still dominates.
+  KvTable table;
+  table.Put("k", "v1", 0, 1);
+  table.Put("k", "v2", 1, 2);
+  EXPECT_EQ(table.Get("k")->value, "v2");
+  EXPECT_FALSE(table.Get("k")->conflict);
+}
+
+TEST(KvTableTest, ConcurrentRemoteVersionsConflict) {
+  KvTable table;
+  table.Put("k", "local", 0, 10);
+  // A replication record from a replica that had NOT seen the local write.
+  Version remote;
+  remote.value = "remote";
+  remote.timestamp = 12;
+  remote.origin = 1;
+  remote.clock.Increment(1);
+  table.Apply("k", remote);
+  auto got = table.Get("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->conflict);
+  EXPECT_EQ(table.LiveVersions("k").size(), 2u);
+
+  const auto losers = table.ResolveConflict("k");
+  ASSERT_EQ(losers.size(), 1u);
+  EXPECT_EQ(losers[0].value, "local");
+  EXPECT_EQ(table.Get("k")->value, "remote");
+  EXPECT_FALSE(table.Get("k")->conflict);
+}
+
+TEST(KvTableTest, DeleteTombstones) {
+  KvTable table;
+  table.Put("k", "v", 0, 1);
+  const auto superseded = table.Delete("k", 0, 2);
+  ASSERT_EQ(superseded.size(), 1u);
+  EXPECT_FALSE(table.Get("k").has_value());
+  auto with_tombstone = table.Get("k", /*include_tombstones=*/true);
+  ASSERT_TRUE(with_tombstone.has_value());
+  EXPECT_TRUE(with_tombstone->tombstone);
+}
+
+TEST(KvTableTest, ScanKeysSortedAndFiltered) {
+  KvTable table;
+  table.Put("b", "1", 0, 1);
+  table.Put("a", "2", 0, 1);
+  table.Put("ab", "3", 0, 1);
+  table.Put("c", "4", 0, 1);
+  table.Delete("c", 0, 2);
+  EXPECT_EQ(table.ScanKeys(""), (std::vector<std::string>{"a", "ab", "b"}));
+  EXPECT_EQ(table.ScanKeys("a"), (std::vector<std::string>{"a", "ab"}));
+}
+
+TEST(KvTableTest, KeyCountExcludesTombstones) {
+  KvTable table;
+  table.Put("a", "1", 0, 1);
+  table.Put("b", "2", 0, 1);
+  table.Delete("a", 0, 2);
+  EXPECT_EQ(table.KeyCount(), 1u);
+}
+
+TEST(KvTableTest, VisitShardCoversEverything) {
+  KvTable table;
+  for (int i = 0; i < 100; ++i) {
+    table.Put("key" + std::to_string(i), "v", 0, 1);
+  }
+  std::size_t visited = 0;
+  for (std::size_t s = 0; s < KvTable::kShards; ++s) {
+    table.VisitShard(s, [&](const std::string&, const Version&) { ++visited; });
+  }
+  EXPECT_EQ(visited, 100u);
+}
+
+TEST(KvTableTest, ConcurrentWritersDontCorrupt) {
+  KvTable table;
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, t] {
+      for (int i = 0; i < kKeys; ++i) {
+        table.Put("key" + std::to_string(i),
+                  "value-from-" + std::to_string(t),
+                  static_cast<ReplicaId>(t), t * 1000 + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(table.KeyCount(), static_cast<std::size_t>(kKeys));
+  for (int i = 0; i < kKeys; ++i) {
+    auto got = table.Get("key" + std::to_string(i));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(got->value.rfind("value-from-", 0) == 0);
+  }
+}
+
+}  // namespace
+}  // namespace scalia::store

@@ -1,0 +1,92 @@
+#include "store/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+namespace scalia::store {
+namespace {
+
+TEST(MapReduceTest, WordCountStyleAggregation) {
+  KvTable table;
+  // Rows: "class|object" -> usage value.
+  table.Put("alpha|o1", "3", 0, 1);
+  table.Put("alpha|o2", "4", 0, 1);
+  table.Put("beta|o3", "10", 0, 1);
+  table.Put("beta|o4", "20", 0, 1);
+  table.Put("gamma|o5", "7", 0, 1);
+
+  MapReduceJob<std::string, double> job(
+      [](const std::string& key, const Version& v,
+         const std::function<void(std::string, double)>& emit) {
+        const auto sep = key.find('|');
+        emit(key.substr(0, sep), std::stod(v.value));
+      },
+      [](const std::string&, std::vector<double>& values) {
+        double sum = 0;
+        for (double d : values) sum += d;
+        return sum;
+      });
+
+  common::ThreadPool pool(4);
+  const auto result = job.Run(table, pool);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.at("alpha"), 7.0);
+  EXPECT_DOUBLE_EQ(result.at("beta"), 30.0);
+  EXPECT_DOUBLE_EQ(result.at("gamma"), 7.0);
+}
+
+TEST(MapReduceTest, TombstonedRowsExcluded) {
+  KvTable table;
+  table.Put("k1", "1", 0, 1);
+  table.Put("k2", "1", 0, 1);
+  table.Delete("k2", 0, 2);
+
+  MapReduceJob<std::string, int> job(
+      [](const std::string&, const Version&,
+         const std::function<void(std::string, int)>& emit) {
+        emit("all", 1);
+      },
+      [](const std::string&, std::vector<int>& values) {
+        return static_cast<int>(values.size());
+      });
+  common::ThreadPool pool(2);
+  const auto result = job.Run(table, pool);
+  EXPECT_EQ(result.at("all"), 1);
+}
+
+TEST(MapReduceTest, LargeTableParallelConsistency) {
+  KvTable table;
+  long long expected = 0;
+  for (int i = 0; i < 5000; ++i) {
+    table.Put("row" + std::to_string(i), std::to_string(i), 0, 1);
+    expected += i;
+  }
+  MapReduceJob<int, long long> job(
+      [](const std::string&, const Version& v,
+         const std::function<void(int, long long)>& emit) {
+        emit(0, std::stoll(v.value));
+      },
+      [](const int&, std::vector<long long>& values) {
+        long long sum = 0;
+        for (long long d : values) sum += d;
+        return sum;
+      });
+  common::ThreadPool pool(8);
+  // Run twice: results must be identical regardless of scheduling.
+  const auto r1 = job.Run(table, pool);
+  const auto r2 = job.Run(table, pool);
+  EXPECT_EQ(r1.at(0), expected);
+  EXPECT_EQ(r2.at(0), expected);
+}
+
+TEST(MapReduceTest, EmptyTableYieldsEmptyResult) {
+  KvTable table;
+  MapReduceJob<int, int> job(
+      [](const std::string&, const Version&,
+         const std::function<void(int, int)>& emit) { emit(0, 1); },
+      [](const int&, std::vector<int>& v) { return static_cast<int>(v.size()); });
+  common::ThreadPool pool(2);
+  EXPECT_TRUE(job.Run(table, pool).empty());
+}
+
+}  // namespace
+}  // namespace scalia::store

@@ -1,0 +1,164 @@
+#include "store/mvcc.h"
+
+#include <gtest/gtest.h>
+
+#include "store/vector_clock.h"
+
+namespace scalia::store {
+namespace {
+
+TEST(VectorClockTest, CompareOrders) {
+  VectorClock a, b;
+  EXPECT_EQ(a.Compare(b), ClockOrder::kEqual);
+  a.Increment(0);
+  EXPECT_EQ(a.Compare(b), ClockOrder::kAfter);
+  EXPECT_EQ(b.Compare(a), ClockOrder::kBefore);
+  b.Increment(1);
+  EXPECT_EQ(a.Compare(b), ClockOrder::kConcurrent);
+  EXPECT_EQ(b.Compare(a), ClockOrder::kConcurrent);
+}
+
+TEST(VectorClockTest, MergeTakesPointwiseMax) {
+  VectorClock a, b;
+  a.Increment(0);
+  a.Increment(0);
+  b.Increment(0);
+  b.Increment(1);
+  a.Merge(b);
+  EXPECT_EQ(a.Get(0), 2u);
+  EXPECT_EQ(a.Get(1), 1u);
+  EXPECT_EQ(a.Compare(b), ClockOrder::kAfter);
+}
+
+TEST(VectorClockTest, DominanceAfterMergeIncrement) {
+  VectorClock a, b;
+  a.Increment(0);
+  b.Increment(1);
+  VectorClock c = a;
+  c.Merge(b);
+  c.Increment(0);
+  EXPECT_EQ(c.Compare(a), ClockOrder::kAfter);
+  EXPECT_EQ(c.Compare(b), ClockOrder::kAfter);
+}
+
+Version MakeVersion(std::string value, common::SimTime ts, ReplicaId origin,
+                    VectorClock clock) {
+  Version v;
+  v.value = std::move(value);
+  v.timestamp = ts;
+  v.origin = origin;
+  v.clock = std::move(clock);
+  return v;
+}
+
+TEST(MvccRowTest, CausallyLaterWriteSupersedes) {
+  MvccRow row;
+  VectorClock c1;
+  c1.Increment(0);
+  auto superseded = row.Apply(MakeVersion("v1", 10, 0, c1));
+  EXPECT_TRUE(superseded.empty());
+
+  VectorClock c2 = c1;
+  c2.Increment(0);
+  superseded = row.Apply(MakeVersion("v2", 20, 0, c2));
+  ASSERT_EQ(superseded.size(), 1u);
+  EXPECT_EQ(superseded[0].value, "v1");  // reported for chunk GC
+  ASSERT_EQ(row.live().size(), 1u);
+  EXPECT_EQ(row.live()[0].value, "v2");
+}
+
+TEST(MvccRowTest, StaleWriteIgnored) {
+  MvccRow row;
+  VectorClock c1;
+  c1.Increment(0);
+  VectorClock c2 = c1;
+  c2.Increment(0);
+  row.Apply(MakeVersion("new", 20, 0, c2));
+  const auto superseded = row.Apply(MakeVersion("old", 10, 0, c1));
+  EXPECT_TRUE(superseded.empty());
+  ASSERT_EQ(row.live().size(), 1u);
+  EXPECT_EQ(row.live()[0].value, "new");
+}
+
+TEST(MvccRowTest, DuplicateReplicationIsIdempotent) {
+  MvccRow row;
+  VectorClock c;
+  c.Increment(0);
+  row.Apply(MakeVersion("v", 10, 0, c));
+  row.Apply(MakeVersion("v", 10, 0, c));  // replayed replication record
+  EXPECT_EQ(row.live().size(), 1u);
+}
+
+TEST(MvccRowTest, ConcurrentWritesCoexist) {
+  // Fig. 10: two datacenters update the same row concurrently.
+  MvccRow row;
+  VectorClock c0, c1;
+  c0.Increment(0);
+  c1.Increment(1);
+  row.Apply(MakeVersion("dc0", 10, 0, c0));
+  const auto superseded = row.Apply(MakeVersion("dc1", 12, 1, c1));
+  EXPECT_TRUE(superseded.empty());
+  EXPECT_TRUE(row.HasConflict());
+  EXPECT_EQ(row.live().size(), 2u);
+}
+
+TEST(MvccRowTest, LastWriterWinsResolution) {
+  MvccRow row;
+  VectorClock c0, c1;
+  c0.Increment(0);
+  c1.Increment(1);
+  row.Apply(MakeVersion("older", 10, 0, c0));
+  row.Apply(MakeVersion("fresher", 12, 1, c1));
+  const auto losers = row.ResolveLastWriterWins();
+  ASSERT_EQ(losers.size(), 1u);
+  EXPECT_EQ(losers[0].value, "older");  // its chunks get deleted (Fig. 10)
+  EXPECT_FALSE(row.HasConflict());
+  ASSERT_TRUE(row.Latest().has_value());
+  EXPECT_EQ(row.Latest()->value, "fresher");
+  // The winner's clock absorbed the loser's: later writes dominate both.
+  EXPECT_EQ(row.live()[0].clock.Get(0), 1u);
+  EXPECT_EQ(row.live()[0].clock.Get(1), 1u);
+}
+
+TEST(MvccRowTest, EqualTimestampTieBreaksByOrigin) {
+  MvccRow row;
+  VectorClock c0, c1;
+  c0.Increment(0);
+  c1.Increment(1);
+  row.Apply(MakeVersion("origin0", 10, 0, c0));
+  row.Apply(MakeVersion("origin1", 10, 1, c1));
+  row.ResolveLastWriterWins();
+  EXPECT_EQ(row.Latest()->value, "origin1");  // higher origin wins ties
+}
+
+TEST(MvccRowTest, ResolveWithoutConflictIsNoop) {
+  MvccRow row;
+  VectorClock c;
+  c.Increment(0);
+  row.Apply(MakeVersion("v", 10, 0, c));
+  EXPECT_TRUE(row.ResolveLastWriterWins().empty());
+  EXPECT_TRUE(row.Latest().has_value());
+}
+
+TEST(MvccRowTest, TombstoneIsAVersion) {
+  MvccRow row;
+  VectorClock c1;
+  c1.Increment(0);
+  row.Apply(MakeVersion("v", 10, 0, c1));
+  VectorClock c2 = c1;
+  c2.Increment(0);
+  Version del = MakeVersion("", 20, 0, c2);
+  del.tombstone = true;
+  const auto superseded = row.Apply(del);
+  ASSERT_EQ(superseded.size(), 1u);
+  ASSERT_TRUE(row.Latest().has_value());
+  EXPECT_TRUE(row.Latest()->tombstone);
+}
+
+TEST(MvccRowTest, EmptyRowHasNoLatest) {
+  MvccRow row;
+  EXPECT_FALSE(row.Latest().has_value());
+}
+
+}  // namespace
+}  // namespace scalia::store

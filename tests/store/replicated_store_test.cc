@@ -1,0 +1,119 @@
+#include "store/replicated_store.h"
+
+#include <gtest/gtest.h>
+
+namespace scalia::store {
+namespace {
+
+TEST(ReplicatedStoreTest, WriteReplicatesToAllDatacenters) {
+  ReplicatedStore store(3);
+  ASSERT_TRUE(store.Put(0, "meta", "k", "v", 100).ok());
+  // Before pumping, only the origin sees the write.
+  EXPECT_TRUE(store.Get(0, "meta", "k").ok());
+  EXPECT_FALSE(store.Get(1, "meta", "k").ok());
+  EXPECT_EQ(store.PendingReplication(), 2u);
+
+  store.SyncAll();
+  for (ReplicaId dc = 0; dc < 3; ++dc) {
+    auto got = store.Get(dc, "meta", "k");
+    ASSERT_TRUE(got.ok()) << "dc " << dc;
+    EXPECT_EQ(got->value, "v");
+  }
+}
+
+TEST(ReplicatedStoreTest, DownDatacenterRejectsOperations) {
+  ReplicatedStore store(2);
+  store.SetDatacenterUp(1, false);
+  EXPECT_FALSE(store.IsDatacenterUp(1));
+  EXPECT_EQ(store.Put(1, "meta", "k", "v", 1).code(),
+            common::StatusCode::kUnavailable);
+  EXPECT_EQ(store.Get(1, "meta", "k").status().code(),
+            common::StatusCode::kUnavailable);
+  // The other DC keeps serving (§III-D.3: reads can always be served).
+  EXPECT_TRUE(store.Put(0, "meta", "k", "v", 1).ok());
+}
+
+TEST(ReplicatedStoreTest, EventualConsistencyAfterRecovery) {
+  ReplicatedStore store(2);
+  store.SetDatacenterUp(1, false);
+  ASSERT_TRUE(store.Put(0, "meta", "k1", "v1", 1).ok());
+  ASSERT_TRUE(store.Put(0, "meta", "k2", "v2", 2).ok());
+  store.SyncAll();  // cannot deliver to the down DC
+  EXPECT_EQ(store.PendingReplication(), 2u);
+
+  store.SetDatacenterUp(1, true);
+  store.SyncAll();
+  EXPECT_EQ(store.PendingReplication(), 0u);
+  EXPECT_EQ(store.Get(1, "meta", "k1")->value, "v1");
+  EXPECT_EQ(store.Get(1, "meta", "k2")->value, "v2");
+}
+
+TEST(ReplicatedStoreTest, ConcurrentWritesDetectedAndResolved) {
+  // Fig. 10's scenario: the same row updated concurrently in two DCs.
+  ReplicatedStore store(2);
+  ASSERT_TRUE(store.Put(0, "meta", "row", "from-dc0", 10).ok());
+  ASSERT_TRUE(store.Put(1, "meta", "row", "from-dc1", 12).ok());
+  store.SyncAll();
+
+  auto read0 = store.Get(0, "meta", "row");
+  ASSERT_TRUE(read0.ok());
+  EXPECT_TRUE(read0->conflict);
+
+  auto losers = store.Resolve(0, "meta", "row");
+  ASSERT_TRUE(losers.ok());
+  ASSERT_EQ(losers->size(), 1u);
+  EXPECT_EQ((*losers)[0].value, "from-dc0");  // older timestamp loses
+
+  store.SyncAll();
+  for (ReplicaId dc = 0; dc < 2; ++dc) {
+    auto read = store.Get(dc, "meta", "row");
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read->value, "from-dc1");
+    EXPECT_FALSE(read->conflict) << "dc " << dc;
+  }
+}
+
+TEST(ReplicatedStoreTest, DeleteReplicates) {
+  ReplicatedStore store(2);
+  ASSERT_TRUE(store.Put(0, "meta", "k", "v", 1).ok());
+  store.SyncAll();
+  ASSERT_TRUE(store.Delete(1, "meta", "k", 2).ok());
+  store.SyncAll();
+  EXPECT_FALSE(store.Get(0, "meta", "k").ok());
+  EXPECT_FALSE(store.Get(1, "meta", "k").ok());
+}
+
+TEST(ReplicatedStoreTest, TablesAreIndependent) {
+  ReplicatedStore store(1);
+  ASSERT_TRUE(store.Put(0, "metadata", "k", "meta-v", 1).ok());
+  ASSERT_TRUE(store.Put(0, "stats", "k", "stats-v", 1).ok());
+  EXPECT_EQ(store.Get(0, "metadata", "k")->value, "meta-v");
+  EXPECT_EQ(store.Get(0, "stats", "k")->value, "stats-v");
+}
+
+TEST(ReplicatedStoreTest, PumpBoundedDelivery) {
+  ReplicatedStore store(2);
+  for (int i = 0; i < 10; ++i) {
+    std::string key = "k";
+    key += std::to_string(i);
+    ASSERT_TRUE(store.Put(0, "t", key, "v", i).ok());
+  }
+  EXPECT_EQ(store.PendingReplication(), 10u);
+  EXPECT_EQ(store.Pump(3), 3u);
+  EXPECT_EQ(store.PendingReplication(), 7u);
+  store.SyncAll();
+  EXPECT_EQ(store.PendingReplication(), 0u);
+}
+
+TEST(ReplicatedStoreTest, TableAccessors) {
+  ReplicatedStore store(2);
+  ASSERT_TRUE(store.Put(0, "t", "k", "v", 1).ok());
+  EXPECT_NE(store.Table(0, "t"), nullptr);
+  EXPECT_EQ(store.Table(1, "t"), nullptr);  // not yet created at dc1
+  store.SyncAll();
+  EXPECT_NE(store.Table(1, "t"), nullptr);
+  EXPECT_EQ(store.Table(0, "absent"), nullptr);
+}
+
+}  // namespace
+}  // namespace scalia::store

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "workload/backup.h"
+#include "workload/diurnal.h"
+#include "workload/gallery.h"
+#include "workload/slashdot.h"
+#include "workload/trace.h"
+
+namespace scalia::workload {
+namespace {
+
+TEST(DiurnalTest, DailyVolumeMatchesVisitsPerDay) {
+  const DiurnalTrafficModel traffic(2500.0);
+  const auto series = traffic.ExpectedSeries(24);
+  const double daily = std::accumulate(series.begin(), series.end(), 0.0);
+  EXPECT_NEAR(daily, 2500.0, 1.0);
+}
+
+TEST(DiurnalTest, PatternIsPeriodicAndPeaked) {
+  const DiurnalTrafficModel traffic(2500.0);
+  const auto series = traffic.ExpectedSeries(48);
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_NEAR(series[static_cast<std::size_t>(h)],
+                series[static_cast<std::size_t>(h + 24)], 1e-9);
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(series.begin(), series.begin() + 24);
+  // Pronounced day/night contrast (EU-dominated afternoon peak).
+  EXPECT_GT(*max_it, 2.0 * *min_it);
+  // The peak lands in the EU afternoon (13:00 UTC ~ 14:00 CET).
+  const auto peak_hour = std::distance(series.begin(), max_it);
+  EXPECT_GE(peak_hour, 10);
+  EXPECT_LE(peak_hour, 16);
+}
+
+TEST(DiurnalTest, SampledSeriesDeterministicAndNearExpected) {
+  const DiurnalTrafficModel traffic(2500.0);
+  common::Xoshiro256 rng1(7), rng2(7);
+  const auto a = traffic.SampledSeries(24 * 7, rng1);
+  const auto b = traffic.SampledSeries(24 * 7, rng2);
+  EXPECT_EQ(a, b);
+  const double total = std::accumulate(a.begin(), a.end(), 0.0);
+  EXPECT_NEAR(total, 2500.0 * 7, 2500.0 * 7 * 0.05);
+}
+
+TEST(SlashdotTest, RampAndDecayShape) {
+  const auto scenario = SlashdotScenario();
+  EXPECT_EQ(scenario.num_periods, 180u);
+  ASSERT_EQ(scenario.objects.size(), 1u);
+  const auto& obj = scenario.objects[0];
+  EXPECT_EQ(obj.size, common::kMB);
+  // Quiet for the first 48 hours.
+  for (std::size_t h = 0; h < 48; ++h) EXPECT_EQ(obj.ReadsAt(h), 0.0);
+  // Ramp reaches 150 requests/hour at hour 50 (within 3 hours).
+  EXPECT_NEAR(obj.ReadsAt(48), 50.0, 1e-9);
+  EXPECT_NEAR(obj.ReadsAt(50), 150.0, 1e-9);
+  // Decay at 2 requests/hour.
+  EXPECT_NEAR(obj.ReadsAt(51), 148.0, 1e-9);
+  EXPECT_NEAR(obj.ReadsAt(52), 146.0, 1e-9);
+  // Eventually silent again.
+  EXPECT_EQ(obj.ReadsAt(179), 0.0);
+  // The §IV-B constraints.
+  EXPECT_DOUBLE_EQ(obj.rule.availability, 0.9999);
+  EXPECT_DOUBLE_EQ(obj.rule.durability, 0.99999);
+}
+
+TEST(GalleryTest, ShapeAndDeterminism) {
+  const auto scenario = GalleryScenario();
+  EXPECT_EQ(scenario.objects.size(), 200u);
+  for (const auto& obj : scenario.objects) {
+    EXPECT_EQ(obj.size, 250 * common::kKB);
+    EXPECT_EQ(obj.created_period, 0u);
+  }
+  // Deterministic under the same seed.
+  const auto again = GalleryScenario();
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(scenario.objects[i].reads, again.objects[i].reads);
+  }
+}
+
+TEST(GalleryTest, PopularityIsHeavyTailed) {
+  const auto scenario = GalleryScenario();
+  std::vector<double> totals;
+  double grand_total = 0.0;
+  for (const auto& obj : scenario.objects) {
+    const double t =
+        std::accumulate(obj.reads.begin(), obj.reads.end(), 0.0);
+    totals.push_back(t);
+    grand_total += t;
+  }
+  std::sort(totals.rbegin(), totals.rend());
+  // The top 20 pictures draw a disproportionate share of the traffic.
+  const double top20 =
+      std::accumulate(totals.begin(), totals.begin() + 20, 0.0);
+  EXPECT_GT(top20 / grand_total, 0.3);
+  // Total volume tracks 2500 visits/day over 7.5 days.
+  EXPECT_NEAR(grand_total, 2500.0 * 7.5, 2500.0 * 7.5 * 0.1);
+}
+
+TEST(BackupTest, CadenceAndRule) {
+  BackupParams params;
+  params.total_hours = 50;
+  params.interval_hours = 5;
+  const auto scenario = BackupScenario(params);
+  EXPECT_EQ(scenario.objects.size(), 10u);
+  for (std::size_t i = 0; i < scenario.objects.size(); ++i) {
+    EXPECT_EQ(scenario.objects[i].created_period, i * 5);
+    EXPECT_EQ(scenario.objects[i].size, 40 * common::kMB);
+    EXPECT_DOUBLE_EQ(scenario.objects[i].rule.lockin, 0.5);
+    EXPECT_EQ(scenario.objects[i].rule.MinProviders(), 2u);
+  }
+}
+
+TEST(TraceTest, ParsesCsv) {
+  std::istringstream in(
+      "object,size_bytes,mime,created_period,period,reads\n"
+      "img1,250000,image/jpeg,0,0,5\n"
+      "img1,250000,image/jpeg,0,1,7\n"
+      "doc1,1000000,application/pdf,2,3,1\n");
+  const core::StorageRule rule;
+  auto scenario = LoadTrace(in, rule);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario->objects.size(), 2u);
+  EXPECT_EQ(scenario->num_periods, 4u);
+  const auto* img = &scenario->objects[1];  // map order: doc1, img1
+  if (scenario->objects[0].name == "img1") img = &scenario->objects[0];
+  EXPECT_EQ(img->size, 250000u);
+  EXPECT_DOUBLE_EQ(img->ReadsAt(0), 5.0);
+  EXPECT_DOUBLE_EQ(img->ReadsAt(1), 7.0);
+}
+
+TEST(TraceTest, CommentsAndErrors) {
+  std::istringstream with_comments(
+      "# a comment\n"
+      "obj,100,text/plain,0,0,1\n");
+  EXPECT_TRUE(LoadTrace(with_comments, core::StorageRule{}).ok());
+
+  std::istringstream empty("");
+  EXPECT_FALSE(LoadTrace(empty, core::StorageRule{}).ok());
+
+  std::istringstream bad("obj,100,text/plain,0,0,1\nbroken-line\n");
+  EXPECT_FALSE(LoadTrace(bad, core::StorageRule{}).ok());
+
+  EXPECT_FALSE(
+      LoadTraceFile("/no/such/file.csv", core::StorageRule{}).ok());
+}
+
+TEST(TraceTest, NumPeriodsOverride) {
+  std::istringstream in("obj,100,text/plain,0,0,1\n");
+  auto scenario = LoadTrace(in, core::StorageRule{}, 10);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario->num_periods, 10u);
+  EXPECT_TRUE(scenario->objects[0].AliveAt(9));
+}
+
+}  // namespace
+}  // namespace scalia::workload
