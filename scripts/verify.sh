@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification for CI: the exact ROADMAP.md command, then the ASan/UBSan
+# configuration. Usage: scripts/verify.sh [--skip-asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_ASAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-asan) SKIP_ASAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> tier-1: Release build + full ctest"
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$SKIP_ASAN" -eq 0 ]]; then
+  echo "==> ASan/UBSan: Debug build + full ctest"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DSCALIA_SANITIZE=ON
+  cmake --build build-asan -j
+  (cd build-asan && ctest --output-on-failure -j "$(nproc)")
+fi
+
+echo "==> verify OK"
