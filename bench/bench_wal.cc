@@ -1,0 +1,85 @@
+// WAL append throughput: synchronous appends vs group commit.
+//
+// The engine journals every metadata mutation, so WAL append cost bounds
+// the write path.  This bench measures appends/s for (a) synchronous
+// appends (one write+flush per record) and (b) group commit (concurrent
+// appenders batched by the committer thread), across appender counts.
+// fsync is off so the numbers measure the batching machinery, not the
+// device (matching how the simulation harnesses run).
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "durability/wal.h"
+
+using namespace scalia;
+
+namespace {
+
+constexpr std::size_t kRecords = 20000;
+constexpr std::size_t kPayloadBytes = 256;
+
+double AppendsPerSecond(durability::Wal& wal, std::size_t appenders) {
+  const std::string payload(kPayloadBytes, 'x');
+  const std::size_t per_thread = kRecords / appenders;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(appenders);
+  for (std::size_t t = 0; t < appenders; ++t) {
+    threads.emplace_back([&wal, &payload, per_thread] {
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        if (!wal.Append(payload).ok()) return;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return static_cast<double>(per_thread * appenders) / elapsed.count();
+}
+
+}  // namespace
+
+int main() {
+  const auto dir = std::filesystem::temp_directory_path() / "scalia-bench-wal";
+
+  std::printf("==== WAL append throughput (%zu records x %zu B) ====\n",
+              kRecords, kPayloadBytes);
+  std::printf("  %-22s %10s %15s\n", "mode", "appenders", "appends/s");
+
+  for (const std::size_t appenders : {1, 2, 4, 8}) {
+    std::filesystem::remove_all(dir);
+    durability::WalConfig config;
+    config.dir = dir.string();
+    config.sync_on_commit = false;
+    auto wal = durability::Wal::Open(config);
+    if (!wal.ok()) {
+      std::fprintf(stderr, "open: %s\n", wal.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-22s %10zu %15.0f\n", "synchronous", appenders,
+                AppendsPerSecond(**wal, appenders));
+  }
+
+  for (const std::size_t appenders : {1, 2, 4, 8}) {
+    std::filesystem::remove_all(dir);
+    durability::WalConfig config;
+    config.dir = dir.string();
+    config.sync_on_commit = false;
+    common::ThreadPool commit_pool(1);
+    auto wal = durability::Wal::Open(config, &commit_pool);
+    if (!wal.ok()) {
+      std::fprintf(stderr, "open: %s\n", wal.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-22s %10zu %15.0f\n", "group-commit", appenders,
+                AppendsPerSecond(**wal, appenders));
+    (*wal)->Close();
+  }
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Perf-trajectory datapoint: runs bench_catalog and bench_placement_scaling
+# and emits BENCH_PR2.json (schema documented in BUILD.md, "Bench report").
+#
+# Usage: scripts/bench_report.sh [output.json]   (default: BENCH_PR2.json)
+# Env:   BUILD_DIR=build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_PR2.json}
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+fi
+# bench_placement_scaling needs Google Benchmark and is skipped (with a
+# configure-time warning) when it is absent; build whatever exists.
+cmake --build "$BUILD_DIR" -j --target bench_catalog >/dev/null
+if ! cmake --build "$BUILD_DIR" -j --target bench_placement_scaling >/dev/null 2>&1; then
+  echo "note: bench_placement_scaling unavailable (Google Benchmark not found)" >&2
+fi
+
+now_ms() { date +%s%3N; }
+
+# --- bench_catalog: wall clock only (it prints configuration tables; there
+# --- is no object-throughput figure to extract).
+CATALOG_START=$(now_ms)
+"$BUILD_DIR/bench/bench_catalog" >/dev/null
+CATALOG_MS=$(( $(now_ms) - CATALOG_START ))
+
+# --- bench_placement_scaling: wall clock + placement throughput from the
+# --- Google Benchmark JSON (objects placed per second = 1e9 / real_time ns
+# --- of the largest exact-search case, BM_ExhaustiveSearch/16).
+SCALING_MS=null
+SCALING_OBJ_S=null
+SCALING_SKIPPED=true
+if [[ -x "$BUILD_DIR/bench/bench_placement_scaling" ]]; then
+  SCALING_SKIPPED=false
+  GBENCH_JSON=$(mktemp)
+  trap 'rm -f "$GBENCH_JSON"' EXIT
+  SCALING_START=$(now_ms)
+  # (unsuffixed --benchmark_min_time: the packaged Google Benchmark predates
+  # the "0.05s" duration syntax)
+  "$BUILD_DIR/bench/bench_placement_scaling" \
+    --benchmark_format=json --benchmark_min_time=0.05 \
+    >"$GBENCH_JSON" 2>/dev/null
+  SCALING_MS=$(( $(now_ms) - SCALING_START ))
+  SCALING_OBJ_S=$(python3 - "$GBENCH_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+best = None
+for bench in data.get("benchmarks", []):
+    if bench.get("name") == "BM_ExhaustiveSearch/16":
+        best = 1e9 / bench["real_time"]
+print(f"{best:.2f}" if best is not None else "null")
+EOF
+)
+fi
+
+cat >"$OUT" <<EOF
+{
+  "schema": "scalia-bench-report/1",
+  "generated_by": "scripts/bench_report.sh",
+  "suites": [
+    {
+      "suite": "bench_catalog",
+      "wall_ms": $CATALOG_MS,
+      "objects_per_s": null,
+      "skipped": false
+    },
+    {
+      "suite": "bench_placement_scaling",
+      "wall_ms": $SCALING_MS,
+      "objects_per_s": $SCALING_OBJ_S,
+      "skipped": $SCALING_SKIPPED
+    }
+  ]
+}
+EOF
+echo "wrote $OUT"

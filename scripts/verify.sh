@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verification for CI: the exact ROADMAP.md command, then the ASan/UBSan
-# configuration. Usage: scripts/verify.sh [--skip-asan]
+# Tier-1 verification for CI: the exact ROADMAP.md command, then the `asan`
+# preset (Debug + ASan/UBSan, build-asan/). Usage: scripts/verify.sh [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,10 +18,10 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 if [[ "$SKIP_ASAN" -eq 0 ]]; then
-  echo "==> ASan/UBSan: Debug build + full ctest"
-  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DSCALIA_SANITIZE=ON
-  cmake --build build-asan -j
-  (cd build-asan && ctest --output-on-failure -j "$(nproc)")
+  echo "==> ASan/UBSan: asan preset build + full ctest"
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)"
+  ctest --preset asan
 fi
 
 echo "==> verify OK"

@@ -1,0 +1,121 @@
+// Little-endian binary encode/decode helpers.
+//
+// The durability subsystem frames WAL records and checkpoint sections in a
+// fixed-width little-endian binary format; these helpers keep the encoding
+// identical across modules (stats, provider, durability) without each of
+// them hand-rolling byte shuffling.  A BinaryReader never throws: any
+// out-of-bounds read flips `ok()` to false and yields zero values, so
+// parsers of possibly-torn bytes stay total.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace scalia::common {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::string* out) : out_(out) {}
+
+  void PutU8(std::uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void PutU32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  void PutU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  void PutI64(std::int64_t v) { PutU64(static_cast<std::uint64_t>(v)); }
+
+  void PutDouble(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  /// u32 length prefix + raw bytes.
+  void PutString(std::string_view s) {
+    PutU32(static_cast<std::uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+ private:
+  std::string* out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return ok_ ? data_.size() - pos_ : 0;
+  }
+
+  std::uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t U32() {
+    if (!Need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t U64() {
+    if (!Need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+
+  double Double() {
+    const std::uint64_t bits = U64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string String() {
+    const std::uint32_t len = U32();
+    if (!Need(len)) return {};
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  bool Need(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace scalia::common

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Frames every write-ahead-log record so replay can tell a torn tail (the
+// partially flushed last record of a crashed process) from good data.  The
+// incremental form lets a frame checksum cover header fields and payload
+// without concatenating them first.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace scalia::common {
+
+/// CRC-32 of `data`, continuing from `crc` (pass 0 to start a new sum).
+[[nodiscard]] std::uint32_t Crc32(std::string_view data, std::uint32_t crc = 0);
+
+}  // namespace scalia::common

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/log.h"
+#include "durability/journal.h"
 #include "erasure/chunker.h"
 
 namespace scalia::core {
@@ -213,14 +214,24 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
   meta.created_at = previous.ok() ? previous->created_at : now;
   meta.updated_at = now;
 
-  if (auto s = db_->Put(dc_, "metadata", row_key, meta.Serialize(), now);
-      !s.ok()) {
+  const std::string serialized = meta.Serialize();
+  if (auto s = db_->Put(dc_, "metadata", row_key, serialized, now); !s.ok()) {
     return s;
+  }
+  // Journal the committed mutation *before* the destructive side effect
+  // below: were the old chunks deleted first and the record lost, recovery
+  // would resurrect metadata pointing at chunks that no longer exist.  A
+  // journal failure therefore skips only the old-chunk GC (a bounded leak);
+  // the mutation is committed, so every other post-commit effect — stats,
+  // cache invalidation, access logging — must still happen.
+  common::Status journaled = common::Status::Ok();
+  if (journal_ != nullptr) {
+    journaled = journal_->LogUpsert(row_key, serialized, now);
   }
 
   if (previous.ok()) {
     // Update: discard the older chunks (§III-D.1).
-    DeleteChunks(now, *previous);
+    if (journaled.ok()) DeleteChunks(now, *previous);
   } else {
     stats_db_->RecordObjectCreated(row_key, class_id, size, now);
   }
@@ -236,7 +247,7 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
   SCALIA_LOG(common::LogLevel::kInfo, "engine")
       << id_ << " put " << container << "/" << key << " -> "
       << decision.Label();
-  return common::Status::Ok();
+  return journaled;
 }
 
 common::Result<ObjectMetadata> Engine::LoadMetadata(
@@ -360,8 +371,17 @@ common::Status Engine::Delete(common::SimTime now,
   const std::string row_key = MakeRowKey(container, key);
   auto meta = LoadMetadata(now, row_key);
   if (!meta.ok()) return meta.status();
-  DeleteChunks(now, *meta);
+  // Tombstone and journal first, then delete chunks: the WAL must know the
+  // object is gone before its chunks are (chunk deletion at unreachable
+  // providers is deferred anyway).  On a journal failure the chunks stay (a
+  // recovery without the tombstone record resurrects the object intact),
+  // but the committed tombstone's other effects still apply.
   if (auto s = db_->Delete(dc_, "metadata", row_key, now); !s.ok()) return s;
+  common::Status journaled = common::Status::Ok();
+  if (journal_ != nullptr) {
+    journaled = journal_->LogDelete(row_key, now);
+  }
+  if (journaled.ok()) DeleteChunks(now, *meta);
   stats_db_->RecordObjectDeleted(row_key, now);
   if (cache_ != nullptr) cache_->InvalidateEverywhere(row_key);
   if (log_agent_ != nullptr) {
@@ -370,7 +390,7 @@ common::Status Engine::Delete(common::SimTime now,
                      .bytes = 0,
                      .timestamp = now});
   }
-  return common::Status::Ok();
+  return journaled;
 }
 
 common::Result<std::vector<std::string>> Engine::List(
@@ -496,14 +516,22 @@ common::Result<bool> Engine::ReoptimizeObject(common::SimTime now,
   updated.m = target.m;
   updated.stripes = std::move(*stripes);
   updated.updated_at = now;
-  if (auto s = db_->Put(dc_, "metadata", row_key, updated.Serialize(), now);
-      !s.ok()) {
+  const std::string serialized = updated.Serialize();
+  if (auto s = db_->Put(dc_, "metadata", row_key, serialized, now); !s.ok()) {
     return s;
   }
-  DeleteChunks(now, *meta);
+  // Journal before the old chunks go away (write-ahead of the destructive
+  // side effect); on failure, keep the old chunks so an un-journaled
+  // migration stays readable after recovery.
+  common::Status journaled = common::Status::Ok();
+  if (journal_ != nullptr) {
+    journaled = journal_->LogMigrate(row_key, serialized, now);
+  }
+  if (journaled.ok()) DeleteChunks(now, *meta);
   SCALIA_LOG(common::LogLevel::kInfo, "engine")
       << id_ << " migrated " << meta->container << "/" << meta->key << " to "
       << target.Label();
+  if (!journaled.ok()) return journaled;
   return true;
 }
 
@@ -588,16 +616,25 @@ common::Status Engine::RepairObject(common::SimTime now,
     replaced.m = target.m;
     replaced.stripes = std::move(*stripes);
     replaced.updated_at = now;
-    if (auto s = db_->Put(dc_, "metadata", row_key, replaced.Serialize(), now);
+    const std::string serialized = replaced.Serialize();
+    if (auto s = db_->Put(dc_, "metadata", row_key, serialized, now);
         !s.ok()) {
       return s;
     }
-    DeleteChunks(now, *meta);
+    common::Status journaled = common::Status::Ok();
+    if (journal_ != nullptr) {
+      journaled = journal_->LogRepair(row_key, serialized, now);
+    }
+    if (journaled.ok()) DeleteChunks(now, *meta);
     if (cache_ != nullptr) cache_->InvalidateEverywhere(row_key);
-    return common::Status::Ok();
+    return journaled;
   }
 
   ObjectMetadata updated = *meta;
+  // Old chunks at the faulty providers are deleted when those recover —
+  // but only queued once the repair is journaled, so recovery can never
+  // see pre-repair metadata whose chunks the queue already destroyed.
+  std::vector<PendingDelete> deferred;
   for (std::size_t b = 0; b < broken.size(); ++b) {
     const std::size_t stripe_idx = broken[b];
     const auto target_index = meta->stripes[stripe_idx].chunk_index;
@@ -609,18 +646,22 @@ common::Status Engine::RepairObject(common::SimTime now,
     if (auto s = store->Put(now, chunk_key, rebuilt->Serialize()); !s.ok()) {
       return s;
     }
-    // The old chunk at the faulty provider is deleted when it recovers.
-    {
-      std::lock_guard lock(pending_mu_);
-      pending_deletes_.push_back(
-          {meta->stripes[stripe_idx].provider, chunk_key});
-    }
+    deferred.push_back({meta->stripes[stripe_idx].provider, chunk_key});
     updated.stripes[stripe_idx].provider = replacement.id;
   }
   updated.updated_at = now;
-  if (auto s = db_->Put(dc_, "metadata", row_key, updated.Serialize(), now);
-      !s.ok()) {
+  const std::string serialized = updated.Serialize();
+  if (auto s = db_->Put(dc_, "metadata", row_key, serialized, now); !s.ok()) {
     return s;
+  }
+  if (journal_ != nullptr) {
+    if (auto s = journal_->LogRepair(row_key, serialized, now); !s.ok()) {
+      return s;
+    }
+  }
+  {
+    std::lock_guard lock(pending_mu_);
+    for (auto& pd : deferred) pending_deletes_.push_back(std::move(pd));
   }
   SCALIA_LOG(common::LogLevel::kInfo, "engine")
       << id_ << " repaired " << broken.size() << " chunk(s) of "

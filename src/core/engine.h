@@ -27,6 +27,10 @@
 #include "stats/stats_db.h"
 #include "store/replicated_store.h"
 
+namespace scalia::durability {
+class Journal;
+}  // namespace scalia::durability
+
 namespace scalia::core {
 
 struct EngineConfig {
@@ -59,6 +63,13 @@ class Engine {
 
   [[nodiscard]] const std::string& id() const noexcept { return id_; }
   [[nodiscard]] store::ReplicaId datacenter() const noexcept { return dc_; }
+
+  /// Journals every committed metadata mutation (put/delete/migration/
+  /// repair) to the durability write-ahead log.  Null (the default)
+  /// disables journaling.  The journal must outlive the engine.
+  void AttachJournal(durability::Journal* journal) noexcept {
+    journal_ = journal;
+  }
 
   /// Stores (or updates) an object.  `rule` overrides the default; a
   /// per-object TTL hint may ride on the rule (§III-A).
@@ -147,6 +158,7 @@ class Engine {
   stats::StatsDb* stats_db_;
   stats::LogAgent* log_agent_;    // may be null
   common::ThreadPool* pool_;      // may be null => serial chunk IO
+  durability::Journal* journal_ = nullptr;  // may be null (no journaling)
   EngineConfig config_;
   PlacementSearch search_;
   MigrationPlanner migration_;

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/log.h"
+#include "durability/manager.h"
 
 namespace scalia::core {
 
@@ -25,6 +26,20 @@ std::size_t PeriodicOptimizer::TrackedObjects() const {
 }
 
 OptimizationReport PeriodicOptimizer::Run(common::SimTime now) {
+  OptimizationReport report = RunInner(now);
+  // The run just finished: no placement mutation is in flight, which makes
+  // this the quiesce point the checkpoint writer requires.
+  if (durability_ != nullptr) {
+    auto written = durability_->MaybeCheckpoint(now);
+    if (!written.ok()) {
+      SCALIA_LOG(common::LogLevel::kWarning, "optimizer")
+          << "checkpoint failed: " << written.status().ToString();
+    }
+  }
+  return report;
+}
+
+OptimizationReport PeriodicOptimizer::RunInner(common::SimTime now) {
   OptimizationReport report;
   const auto leader = election_.Leader();
   if (!leader) return report;  // no engine alive anywhere

@@ -29,6 +29,10 @@
 #include "core/leader.h"
 #include "stats/trend.h"
 
+namespace scalia::durability {
+class DurabilityManager;
+}  // namespace scalia::durability
+
 namespace scalia::core {
 
 struct OptimizerConfig {
@@ -58,7 +62,15 @@ class PeriodicOptimizer {
 
   [[nodiscard]] LeaderElection& election() noexcept { return election_; }
 
-  /// Runs one optimization procedure at `now`.
+  /// Checkpoints engine state after each optimization run (the paper's
+  /// decision-period boundary is the natural quiesce point).  Null (the
+  /// default) disables checkpointing.
+  void AttachDurability(durability::DurabilityManager* durability) noexcept {
+    durability_ = durability;
+  }
+
+  /// Runs one optimization procedure at `now`, then lets the attached
+  /// durability manager checkpoint if its cadence elapsed.
   OptimizationReport Run(common::SimTime now);
 
   /// Number of per-object control blocks currently tracked.
@@ -74,9 +86,12 @@ class PeriodicOptimizer {
 
   ObjectControl& ControlFor(const std::string& row_key);
 
+  OptimizationReport RunInner(common::SimTime now);
+
   OptimizerConfig config_;
   stats::StatsDb* stats_db_;
   common::ThreadPool* pool_;
+  durability::DurabilityManager* durability_ = nullptr;
   std::vector<Engine*> engines_;
   LeaderElection election_;
 

@@ -1,0 +1,293 @@
+#include "durability/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/binary_codec.h"
+#include "common/log.h"
+#include "common/sha256.h"
+
+namespace scalia::durability {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x504B4353;  // "SCKP"
+constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr const char* kCheckpointPrefix = "checkpoint-";
+constexpr const char* kCheckpointSuffix = ".ckpt";
+
+std::string CheckpointName(Lsn wal_lsn) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%020" PRIu64 "%s", kCheckpointPrefix,
+                wal_lsn, kCheckpointSuffix);
+  return buf;
+}
+
+/// One metadata-table row as captured from the replicated store.
+struct MetadataRow {
+  std::string key;
+  std::string value;
+  common::SimTime timestamp = 0;
+  bool tombstone = false;
+};
+
+std::vector<MetadataRow> CaptureMetadata(const store::ReplicatedStore& db,
+                                         store::ReplicaId dc) {
+  std::vector<MetadataRow> rows;
+  const store::KvTable* table = db.Table(dc, "metadata");
+  if (table == nullptr) return rows;
+  for (std::size_t shard = 0; shard < store::KvTable::kShards; ++shard) {
+    table->VisitShard(shard,
+                      [&](const std::string& key, const store::Version& v) {
+                        rows.push_back({key, v.value, v.timestamp,
+                                        v.tombstone});
+                      });
+  }
+  // Shard iteration order is hash order; sort for a deterministic file.
+  std::sort(rows.begin(), rows.end(),
+            [](const MetadataRow& a, const MetadataRow& b) {
+              return a.key < b.key;
+            });
+  return rows;
+}
+
+}  // namespace
+
+common::Result<CheckpointInfo> CheckpointWriter::Write(
+    const EngineStateRefs& state, Lsn wal_lsn, common::SimTime now) const {
+  if (state.db == nullptr || state.stats == nullptr) {
+    return common::Status::InvalidArgument(
+        "checkpoint requires a replicated store and a stats db");
+  }
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return common::Status::Internal("cannot create checkpoint dir " + dir_ +
+                                    ": " + ec.message());
+  }
+
+  std::string body;
+  common::BinaryWriter w(&body);
+  w.PutU32(kCheckpointMagic);
+  w.PutU32(kCheckpointVersion);
+  w.PutU64(wal_lsn);
+  w.PutI64(now);
+
+  // Section 1: the metadata table.  Tombstoned rows are simply absent
+  // (VisitShard skips them): the WAL is truncated at the checkpoint, so no
+  // earlier record survives that could resurrect a deleted object.  The
+  // tombstone flag stays in the format for loaders of future snapshots
+  // that may capture them.
+  const auto rows = CaptureMetadata(*state.db, state.dc);
+  w.PutU32(static_cast<std::uint32_t>(rows.size()));
+  for (const auto& row : rows) {
+    w.PutString(row.key);
+    w.PutString(row.value);
+    w.PutI64(row.timestamp);
+    w.PutU8(row.tombstone ? 1 : 0);
+  }
+
+  // Section 2: the statistics database.
+  state.stats->SerializeTo(w);
+
+  // Section 3: per-provider billing meters (absent registry => zero).
+  if (state.registry != nullptr) {
+    const auto specs = state.registry->Specs();
+    w.PutU32(static_cast<std::uint32_t>(specs.size()));
+    for (const auto& spec : specs) {
+      auto* store = state.registry->Find(spec.id);
+      const provider::UsageMeterSnapshot snap =
+          store != nullptr ? store->meter().Snapshot()
+                           : provider::UsageMeterSnapshot{};
+      w.PutString(spec.id);
+      w.PutI64(snap.period_start);
+      w.PutI64(snap.last_storage_change);
+      w.PutU64(snap.stored);
+      w.PutDouble(snap.period_byte_hours);
+      w.PutDouble(snap.total_byte_hours);
+      w.PutDouble(snap.period.storage_gb_hours);
+      w.PutDouble(snap.period.bw_in_gb);
+      w.PutDouble(snap.period.bw_out_gb);
+      w.PutDouble(snap.period.ops);
+      w.PutDouble(snap.totals.storage_gb_hours);
+      w.PutDouble(snap.totals.bw_in_gb);
+      w.PutDouble(snap.totals.bw_out_gb);
+      w.PutDouble(snap.totals.ops);
+    }
+  } else {
+    w.PutU32(0);
+  }
+
+  // Integrity trailer over everything above.
+  const common::Sha256Digest digest = common::Sha256::Hash(body);
+  body.append(reinterpret_cast<const char*>(digest.data()), digest.size());
+
+  const fs::path final_path = fs::path(dir_) / CheckpointName(wal_lsn);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    if (!out) {
+      return common::Status::Internal("cannot write checkpoint " +
+                                      tmp_path.string());
+    }
+  }
+  // fsync contents before the rename and the directory after it, so the
+  // published name can never point at unflushed bytes after a power loss
+  // (the WAL behind this snapshot is truncated on the strength of it).
+  {
+    const int fd = ::open(tmp_path.c_str(), O_RDONLY);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      if (fd >= 0) ::close(fd);
+      return common::Status::Internal("cannot fsync checkpoint " +
+                                      tmp_path.string());
+    }
+    ::close(fd);
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return common::Status::Internal("cannot publish checkpoint " +
+                                    final_path.string() + ": " + ec.message());
+  }
+  {
+    const int fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      if (fd >= 0) ::close(fd);
+      return common::Status::Internal("cannot fsync checkpoint dir " + dir_);
+    }
+    ::close(fd);
+  }
+  SCALIA_LOG(common::LogLevel::kInfo, "checkpoint")
+      << "wrote " << final_path.filename().string() << " (" << body.size()
+      << " bytes, " << rows.size() << " metadata rows, lsn " << wal_lsn << ")";
+  return CheckpointInfo{final_path.string(), wal_lsn, now};
+}
+
+std::optional<Lsn> CheckpointLsnFromPath(const std::string& path) {
+  const std::string name = fs::path(path).filename().string();
+  if (name.rfind(kCheckpointPrefix, 0) != 0) return std::nullopt;
+  Lsn lsn = 0;
+  if (std::sscanf(name.c_str() + std::strlen(kCheckpointPrefix),
+                  "%" SCNu64, &lsn) != 1) {
+    return std::nullopt;
+  }
+  return lsn;
+}
+
+std::vector<std::string> CheckpointLoader::List() const {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kCheckpointPrefix, 0) == 0 &&
+        name.size() > std::strlen(kCheckpointSuffix) &&
+        name.substr(name.size() - std::strlen(kCheckpointSuffix)) ==
+            kCheckpointSuffix) {
+      files.push_back(entry.path().string());
+    }
+  }
+  // Names embed the zero-padded LSN, so lexicographic descending order is
+  // newest first.
+  std::sort(files.rbegin(), files.rend());
+  return files;
+}
+
+common::Result<CheckpointInfo> CheckpointLoader::LoadInto(
+    const std::string& path, const EngineStateRefs& state) const {
+  if (state.db == nullptr || state.stats == nullptr) {
+    return common::Status::InvalidArgument(
+        "recovery requires a replicated store and a stats db");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return common::Status::NotFound("cannot open checkpoint " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  constexpr std::size_t kDigestBytes = 32;
+  if (bytes.size() < kDigestBytes + 24) {
+    return common::Status::InvalidArgument("checkpoint too small: " + path);
+  }
+  const std::string_view body(bytes.data(), bytes.size() - kDigestBytes);
+  common::Sha256Digest want;
+  std::memcpy(want.data(), bytes.data() + body.size(), kDigestBytes);
+  if (!common::DigestEquals(common::Sha256::Hash(body), want)) {
+    return common::Status::InvalidArgument("checkpoint digest mismatch: " +
+                                           path);
+  }
+
+  common::BinaryReader r(body);
+  if (r.U32() != kCheckpointMagic) {
+    return common::Status::InvalidArgument("bad checkpoint magic: " + path);
+  }
+  const std::uint32_t version = r.U32();
+  if (version != kCheckpointVersion) {
+    return common::Status::InvalidArgument(
+        "unsupported checkpoint version " + std::to_string(version));
+  }
+  CheckpointInfo info;
+  info.path = path;
+  info.wal_lsn = r.U64();
+  info.created_at = r.I64();
+
+  // Section 1: metadata rows.
+  const std::uint32_t num_rows = r.U32();
+  for (std::uint32_t i = 0; i < num_rows; ++i) {
+    const std::string key = r.String();
+    const std::string value = r.String();
+    const common::SimTime timestamp = r.I64();
+    const bool tombstone = r.U8() != 0;
+    if (!r.ok()) {
+      return common::Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+    const common::Status s =
+        tombstone
+            ? state.db->Delete(state.dc, "metadata", key, timestamp)
+            : state.db->Put(state.dc, "metadata", key, value, timestamp);
+    if (!s.ok()) return s;
+  }
+
+  // Section 2: the statistics database.
+  if (auto s = state.stats->RestoreFrom(r); !s.ok()) return s;
+
+  // Section 3: billing meters (ignored when no registry was supplied —
+  // e.g. when the simulated providers, and thus their meters, survived).
+  const std::uint32_t num_meters = r.U32();
+  for (std::uint32_t i = 0; i < num_meters; ++i) {
+    const std::string id = r.String();
+    provider::UsageMeterSnapshot snap;
+    snap.period_start = r.I64();
+    snap.last_storage_change = r.I64();
+    snap.stored = r.U64();
+    snap.period_byte_hours = r.Double();
+    snap.total_byte_hours = r.Double();
+    snap.period.storage_gb_hours = r.Double();
+    snap.period.bw_in_gb = r.Double();
+    snap.period.bw_out_gb = r.Double();
+    snap.period.ops = r.Double();
+    snap.totals.storage_gb_hours = r.Double();
+    snap.totals.bw_in_gb = r.Double();
+    snap.totals.bw_out_gb = r.Double();
+    snap.totals.ops = r.Double();
+    if (!r.ok()) {
+      return common::Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+    if (state.registry != nullptr) {
+      if (auto* store = state.registry->Find(id)) {
+        store->meter().Restore(snap);
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace scalia::durability

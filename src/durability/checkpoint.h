@@ -1,0 +1,80 @@
+// Checkpoint/snapshot writer and loader for engine state.
+//
+// A checkpoint captures, at one WAL position, everything the adaptive
+// scheme needs to survive a restart warm: the metadata table of the
+// replicated store (object -> stripes), the statistics database (object
+// index, per-object access histories, per-class aggregates) and the
+// per-provider billing meters.  The file is a versioned little-endian
+// binary blob with a SHA-256 trailer over every preceding byte; a loader
+// rejects any file whose digest does not match, so recovery can fall back
+// to an older checkpoint instead of restoring silently corrupted state.
+// After a checkpoint is durable the WAL is truncated behind it.
+//
+// File name: "checkpoint-<wal_lsn>.ckpt"; written to a temp file and
+// renamed so a crash mid-write never leaves a half-checkpoint under the
+// final name.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "durability/wal.h"
+#include "provider/registry.h"
+#include "stats/stats_db.h"
+#include "store/replicated_store.h"
+
+namespace scalia::durability {
+
+/// The engine-state components a checkpoint covers; also the targets a
+/// recovery restores into.  `registry` may be null when billing meters are
+/// provider-side (simulations where the provider stores survive a crash).
+struct EngineStateRefs {
+  store::ReplicatedStore* db = nullptr;
+  store::ReplicaId dc = 0;
+  stats::StatsDb* stats = nullptr;
+  provider::ProviderRegistry* registry = nullptr;
+};
+
+struct CheckpointInfo {
+  std::string path;
+  Lsn wal_lsn = 0;
+  common::SimTime created_at = 0;
+};
+
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Serializes `state` as of WAL position `wal_lsn` and atomically
+  /// publishes it.  The caller must quiesce mutations for the duration
+  /// (checkpoints run at decision-period boundaries, between workloads).
+  common::Result<CheckpointInfo> Write(const EngineStateRefs& state,
+                                       Lsn wal_lsn, common::SimTime now) const;
+
+ private:
+  std::string dir_;
+};
+
+/// The WAL LSN encoded in a checkpoint file name; nullopt when `path` is
+/// not a checkpoint file.
+[[nodiscard]] std::optional<Lsn> CheckpointLsnFromPath(const std::string& path);
+
+class CheckpointLoader {
+ public:
+  explicit CheckpointLoader(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Checkpoint files present in the directory, newest (highest LSN) first.
+  [[nodiscard]] std::vector<std::string> List() const;
+
+  /// Verifies `path`'s digest and restores its contents into `state`.
+  common::Result<CheckpointInfo> LoadInto(const std::string& path,
+                                          const EngineStateRefs& state) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace scalia::durability

@@ -1,0 +1,79 @@
+// The engine's journaling facade over the WAL.
+//
+// Engines call these helpers at each commit point (right after the
+// replicated-store write succeeds, and *before* destructive side effects
+// such as old-chunk deletion), so the log is a faithful redo stream of
+// engine-state mutations.  The facade owns no state beyond the Wal pointer;
+// a null Wal turns every call into a no-op, which keeps durability strictly
+// opt-in for simulations that do not want disk IO.
+#pragma once
+
+#include <string>
+
+#include "durability/record.h"
+#include "durability/wal.h"
+
+namespace scalia::durability {
+
+class Journal {
+ public:
+  explicit Journal(Wal* wal) : wal_(wal) {}
+
+  [[nodiscard]] Wal* wal() const noexcept { return wal_; }
+
+  common::Status Append(const WalRecord& record) {
+    if (wal_ == nullptr) return common::Status::Ok();
+    auto lsn = wal_->Append(record.Encode());
+    return lsn.ok() ? common::Status::Ok() : lsn.status();
+  }
+
+  common::Status LogUpsert(const std::string& row_key,
+                           std::string serialized_meta, common::SimTime at) {
+    return Append({.kind = WalRecordKind::kUpsert,
+                   .at = at,
+                   .row_key = row_key,
+                   .aux = 0,
+                   .payload = std::move(serialized_meta)});
+  }
+
+  common::Status LogDelete(const std::string& row_key, common::SimTime at) {
+    return Append({.kind = WalRecordKind::kDelete,
+                   .at = at,
+                   .row_key = row_key,
+                   .aux = 0,
+                   .payload = {}});
+  }
+
+  common::Status LogMigrate(const std::string& row_key,
+                            std::string serialized_meta, common::SimTime at) {
+    return Append({.kind = WalRecordKind::kMigrate,
+                   .at = at,
+                   .row_key = row_key,
+                   .aux = 0,
+                   .payload = std::move(serialized_meta)});
+  }
+
+  common::Status LogRepair(const std::string& row_key,
+                           std::string serialized_meta, common::SimTime at) {
+    return Append({.kind = WalRecordKind::kRepair,
+                   .at = at,
+                   .row_key = row_key,
+                   .aux = 0,
+                   .payload = std::move(serialized_meta)});
+  }
+
+  common::Status LogPeriodStats(const std::string& row_key,
+                                std::uint64_t period, std::string stats_csv,
+                                common::SimTime at) {
+    return Append({.kind = WalRecordKind::kPeriodStats,
+                   .at = at,
+                   .row_key = row_key,
+                   .aux = period,
+                   .payload = std::move(stats_csv)});
+  }
+
+ private:
+  Wal* wal_;
+};
+
+}  // namespace scalia::durability

@@ -1,0 +1,92 @@
+#include "durability/manager.h"
+
+#include <filesystem>
+
+namespace scalia::durability {
+
+DurabilityManager::DurabilityManager(DurabilityConfig config,
+                                     EngineStateRefs state)
+    : config_(std::move(config)), state_(state) {}
+
+DurabilityManager::~DurabilityManager() {
+  if (wal_ != nullptr) wal_->Close();
+}
+
+common::Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
+    DurabilityConfig config, EngineStateRefs state) {
+  if (config.dir.empty()) {
+    return common::Status::InvalidArgument("DurabilityConfig.dir is empty");
+  }
+  std::unique_ptr<DurabilityManager> mgr(
+      new DurabilityManager(std::move(config), state));
+  if (mgr->config_.group_commit) {
+    // A dedicated pool: the committer loop parks on the queue for the
+    // manager's whole lifetime, which must not starve a shared pool.
+    mgr->commit_pool_ = std::make_unique<common::ThreadPool>(1);
+  }
+  WalConfig wal_config = mgr->config_.wal;
+  wal_config.dir =
+      (std::filesystem::path(mgr->config_.dir) / "wal").string();
+  auto wal = Wal::Open(std::move(wal_config), mgr->commit_pool_.get());
+  if (!wal.ok()) return wal.status();
+  mgr->wal_ = std::move(*wal);
+  mgr->journal_ = std::make_unique<Journal>(mgr->wal_.get());
+  mgr->checkpoint_writer_ = std::make_unique<CheckpointWriter>(mgr->config_.dir);
+  return mgr;
+}
+
+common::Result<RecoveryReport> DurabilityManager::Recover(common::SimTime now) {
+  const RecoveryManager recovery(config_.dir);
+  auto report = recovery.Recover(state_, now);
+  if (!report.ok()) return report;
+  // Wal::Open() already truncated the torn tail off disk; surface what it
+  // dropped, since the post-truncation replay above saw a clean log.
+  report->wal_bytes_discarded += wal_->open_report().discarded_bytes;
+  if (report->checkpoint_loaded) {
+    last_checkpoint_at_ = report->checkpoint_created_at;
+    // New records must be numbered past the checkpoint, or the next
+    // recovery would skip them as already-covered.
+    if (auto s = wal_->EnsureNextLsnAtLeast(report->checkpoint_lsn + 1);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return report;
+}
+
+common::Result<bool> DurabilityManager::MaybeCheckpoint(common::SimTime now) {
+  // Pure cadence from the epoch (or from the recovered checkpoint): the
+  // first checkpoint lands one full period in, not on the first call.
+  if (now - last_checkpoint_at_ < config_.checkpoint_every) return false;
+  if (auto s = Checkpoint(now); !s.ok()) return s;
+  return true;
+}
+
+common::Status DurabilityManager::Checkpoint(common::SimTime now) {
+  // Roll first: the snapshot then covers every record in the closed
+  // segments, and the whole pre-checkpoint log becomes truncatable.
+  if (auto s = wal_->RollSegment(); !s.ok()) return s;
+  const Lsn lsn = wal_->last_lsn();
+  auto info = checkpoint_writer_->Write(state_, lsn, now);
+  if (!info.ok()) return info.status();
+  last_checkpoint_at_ = now;
+  // Keep the newest two checkpoints: one live, one fallback in case the
+  // live one turns out corrupt at the next recovery.
+  const auto files = CheckpointLoader(config_.dir).List();
+  for (std::size_t i = 2; i < files.size(); ++i) {
+    std::error_code ec;
+    std::filesystem::remove(files[i], ec);
+  }
+  // Truncate only through the *fallback* (second-newest) checkpoint: the
+  // records between the two checkpoints are exactly what a fall-back
+  // recovery replays on top of the older snapshot.  Truncating through the
+  // snapshot just written would make its retained fallback useless.
+  if (files.size() >= 2) {
+    if (const auto fallback_lsn = CheckpointLsnFromPath(files[1])) {
+      return wal_->TruncateThrough(*fallback_lsn);
+    }
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace scalia::durability

@@ -1,0 +1,87 @@
+// DurabilityManager: one handle for the whole durability subsystem.
+//
+// Owns the WAL (plus the single-thread commit pool backing its group
+// commits), the journal facade engines write through, the checkpoint
+// writer, and the checkpoint cadence.  Layout under `config.dir`:
+//
+//   <dir>/checkpoint-<lsn>.ckpt   versioned snapshots, newest wins
+//   <dir>/wal/wal-<lsn>.seg       CRC32-framed log segments
+//
+// Lifecycle: Open() -> Recover() once, before serving -> attach journal()
+// to the engines -> MaybeCheckpoint() at decision-period boundaries (the
+// PeriodicOptimizer calls it after each run when attached).  Checkpointing
+// rolls the WAL to a fresh segment, snapshots the state, publishes the
+// checkpoint atomically and truncates the log behind it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "durability/checkpoint.h"
+#include "durability/journal.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
+
+namespace scalia::durability {
+
+struct DurabilityConfig {
+  /// Durability root directory (created on demand).
+  std::string dir;
+  /// WAL tuning; `wal.dir` is derived from `dir` and ignored if set.
+  WalConfig wal;
+  /// Checkpoint when this much simulated time passed since the last one.
+  /// The default matches the paper's daily decision period.
+  common::Duration checkpoint_every = common::kDay;
+  /// Run group commits on an internal single-thread pool.  When false,
+  /// appends are synchronous (one fsync each) — simpler for tests.
+  bool group_commit = true;
+};
+
+class DurabilityManager {
+ public:
+  /// Opens (creating if needed) the durability directory and the WAL.
+  /// `state` references the live engine state to checkpoint and recover;
+  /// all pointers must outlive the manager.
+  static common::Result<std::unique_ptr<DurabilityManager>> Open(
+      DurabilityConfig config, EngineStateRefs state);
+
+  ~DurabilityManager();
+
+  /// Restores `state` from the latest checkpoint + WAL replay.  Call once,
+  /// before the engines serve traffic.  Folds the torn-tail bytes the WAL
+  /// truncated at Open() into the report.
+  common::Result<RecoveryReport> Recover(common::SimTime now);
+
+  /// The journal engines append their mutations through.
+  [[nodiscard]] Journal* journal() noexcept { return journal_.get(); }
+  [[nodiscard]] Wal* wal() noexcept { return wal_.get(); }
+
+  /// Writes a checkpoint when the cadence elapsed; returns whether one was
+  /// written.  Must be called quiesced (decision-period boundary).
+  common::Result<bool> MaybeCheckpoint(common::SimTime now);
+
+  /// Unconditional checkpoint + WAL truncation behind it.
+  common::Status Checkpoint(common::SimTime now);
+
+  [[nodiscard]] common::SimTime last_checkpoint_at() const noexcept {
+    return last_checkpoint_at_;
+  }
+  [[nodiscard]] const DurabilityConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  DurabilityManager(DurabilityConfig config, EngineStateRefs state);
+
+  DurabilityConfig config_;
+  EngineStateRefs state_;
+  // Declaration order doubles as teardown order in reverse: the WAL (and
+  // its blocked committer task) must close before the pool joins.
+  std::unique_ptr<common::ThreadPool> commit_pool_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<Journal> journal_;
+  std::unique_ptr<CheckpointWriter> checkpoint_writer_;
+  common::SimTime last_checkpoint_at_ = 0;
+};
+
+}  // namespace scalia::durability

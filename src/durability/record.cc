@@ -1,0 +1,44 @@
+#include "durability/record.h"
+
+#include "common/binary_codec.h"
+
+namespace scalia::durability {
+
+namespace {
+// Bumped when the record layout changes; replay skips newer versions rather
+// than misparsing them.
+constexpr std::uint8_t kRecordVersion = 1;
+}  // namespace
+
+std::string WalRecord::Encode() const {
+  std::string out;
+  common::BinaryWriter w(&out);
+  w.PutU8(kRecordVersion);
+  w.PutU8(static_cast<std::uint8_t>(kind));
+  w.PutI64(at);
+  w.PutU64(aux);
+  w.PutString(row_key);
+  w.PutString(payload);
+  return out;
+}
+
+common::Result<WalRecord> WalRecord::Decode(std::string_view bytes) {
+  common::BinaryReader r(bytes);
+  const std::uint8_t version = r.U8();
+  if (version != kRecordVersion) {
+    return common::Status::InvalidArgument(
+        "unsupported WAL record version " + std::to_string(version));
+  }
+  WalRecord rec;
+  rec.kind = static_cast<WalRecordKind>(r.U8());
+  rec.at = r.I64();
+  rec.aux = r.U64();
+  rec.row_key = r.String();
+  rec.payload = r.String();
+  if (!r.ok()) {
+    return common::Status::InvalidArgument("truncated WAL record");
+  }
+  return rec;
+}
+
+}  // namespace scalia::durability

@@ -1,0 +1,51 @@
+// Logical WAL records: the engine mutations that must survive a crash.
+//
+// Each record captures one *committed* engine-state mutation — a metadata
+// upsert from a put, a tombstone from a delete, a migration or repair
+// re-placement, or one sampling period's statistics append.  The payload is
+// the already-serialized row (ObjectMetadata::Serialize() text, or a
+// PeriodStats CSV), kept opaque here so this layer depends on no core/stats
+// types.  Records travel inside CRC32-framed WAL frames (wal.h); this codec
+// only needs to be self-describing enough for forward-compatible replay
+// (unknown kinds are skipped, not fatal).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+
+namespace scalia::durability {
+
+enum class WalRecordKind : std::uint8_t {
+  kUpsert = 1,       // put: metadata row created or replaced
+  kDelete = 2,       // delete: metadata tombstone + class lifetime sample
+  kMigrate = 3,      // re-optimization moved the object's chunks
+  kRepair = 4,       // active repair re-wrote part or all of the stripes
+  kPeriodStats = 5,  // one sampling period appended to the access history
+};
+
+[[nodiscard]] constexpr std::string_view WalRecordKindName(WalRecordKind k) {
+  switch (k) {
+    case WalRecordKind::kUpsert: return "upsert";
+    case WalRecordKind::kDelete: return "delete";
+    case WalRecordKind::kMigrate: return "migrate";
+    case WalRecordKind::kRepair: return "repair";
+    case WalRecordKind::kPeriodStats: return "period-stats";
+  }
+  return "unknown";
+}
+
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kUpsert;
+  common::SimTime at = 0;    // mutation time (drives lifetimes and LWW)
+  std::string row_key;       // MD5 metadata row key
+  std::uint64_t aux = 0;     // kPeriodStats: the sampling period index
+  std::string payload;       // serialized metadata row / PeriodStats CSV
+
+  [[nodiscard]] std::string Encode() const;
+  [[nodiscard]] static common::Result<WalRecord> Decode(std::string_view bytes);
+};
+
+}  // namespace scalia::durability

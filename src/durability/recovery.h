@@ -1,0 +1,57 @@
+// Crash recovery: latest checkpoint + WAL replay.
+//
+// Recovery restores the newest checkpoint whose SHA-256 trailer verifies
+// (falling back to older ones past corrupted files), then replays every WAL
+// record with an LSN beyond the checkpoint, re-applying metadata upserts,
+// tombstones, migrations, repairs and per-period statistics appends.  The
+// returned RecoveryReport quantifies the outcome: records replayed, bytes
+// discarded at the torn tail, and the age of the checkpoint the warm state
+// came from.
+#pragma once
+
+#include <string>
+
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
+
+namespace scalia::durability {
+
+struct RecoveryReport {
+  /// True when a verified checkpoint was restored (false on a cold start —
+  /// valid when the deployment is younger than its first checkpoint).
+  bool checkpoint_loaded = false;
+  std::string checkpoint_path;
+  Lsn checkpoint_lsn = 0;
+  common::SimTime checkpoint_created_at = 0;
+  /// now - checkpoint_created_at (0 without a checkpoint).
+  common::Duration checkpoint_age = 0;
+  /// Corrupt checkpoint files skipped before one verified.
+  std::uint64_t checkpoints_rejected = 0;
+  std::uint64_t records_replayed = 0;
+  /// Records ignored: already covered by the checkpoint, or unknown kind.
+  std::uint64_t records_skipped = 0;
+  /// Bytes dropped at the WAL's torn tail.
+  common::Bytes wal_bytes_discarded = 0;
+  Lsn wal_last_lsn = 0;
+};
+
+class RecoveryManager {
+ public:
+  /// `dir` is the durability root: checkpoints live in it, WAL segments in
+  /// `dir`/wal (the DurabilityManager layout).
+  explicit RecoveryManager(std::string dir);
+
+  /// Restores `state` to latest-checkpoint-plus-WAL-replay.  Never fails on
+  /// a torn WAL tail (that is the expected crash signature); fails only on
+  /// unreadable directories or when a record cannot be applied.
+  common::Result<RecoveryReport> Recover(const EngineStateRefs& state,
+                                         common::SimTime now) const;
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::string wal_dir() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace scalia::durability

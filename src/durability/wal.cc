@@ -1,0 +1,436 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/binary_codec.h"
+#include "common/crc32.h"
+#include "common/log.h"
+
+namespace scalia::durability {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kSegmentPrefix = "wal-";
+constexpr const char* kSegmentSuffix = ".seg";
+
+std::string SegmentName(Lsn first_lsn) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%020" PRIu64 "%s", kSegmentPrefix,
+                first_lsn, kSegmentSuffix);
+  return buf;
+}
+
+/// Segment files in `dir`, sorted by first LSN (encoded in the name).
+common::Result<std::vector<std::pair<Lsn, fs::path>>> ListSegments(
+    const std::string& dir) {
+  std::vector<std::pair<Lsn, fs::path>> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kSegmentPrefix, 0) != 0 ||
+        name.size() <= std::strlen(kSegmentPrefix) +
+                           std::strlen(kSegmentSuffix) ||
+        name.substr(name.size() - std::strlen(kSegmentSuffix)) !=
+            kSegmentSuffix) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(std::strlen(kSegmentPrefix),
+                    name.size() - std::strlen(kSegmentPrefix) -
+                        std::strlen(kSegmentSuffix));
+    Lsn first = 0;
+    if (std::sscanf(digits.c_str(), "%" SCNu64, &first) != 1) continue;
+    segments.emplace_back(first, entry.path());
+  }
+  if (ec) {
+    return common::Status::Internal("cannot list WAL dir " + dir + ": " +
+                                    ec.message());
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+/// fsyncs a directory so freshly created/renamed entries survive power
+/// loss; file-content fsync alone does not persist the directory entry.
+common::Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return common::Status::Internal("cannot open dir " + dir + " for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return common::Status::Internal("fsync failed on dir " + dir);
+  }
+  return common::Status::Ok();
+}
+
+std::string EncodeFrameHeader(Lsn lsn, std::string_view payload) {
+  // CRC covers lsn + payload_len + payload so a frame cannot be spliced.
+  std::string crc_head;
+  common::BinaryWriter crc_writer(&crc_head);
+  crc_writer.PutU64(lsn);
+  crc_writer.PutU32(static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t crc = common::Crc32(crc_head);
+  crc = common::Crc32(payload, crc);
+
+  std::string header;
+  common::BinaryWriter writer(&header);
+  writer.PutU32(Wal::kFrameMagic);
+  writer.PutU64(lsn);
+  writer.PutU32(static_cast<std::uint32_t>(payload.size()));
+  writer.PutU32(crc);
+  return header;
+}
+
+}  // namespace
+
+struct Wal::PendingAppend {
+  std::string payload;
+  std::promise<common::Result<Lsn>> done;
+};
+
+Wal::Wal(WalConfig config) : config_(std::move(config)) {}
+
+common::Result<std::unique_ptr<Wal>> Wal::Open(WalConfig config,
+                                               common::ThreadPool* pool) {
+  if (config.dir.empty()) {
+    return common::Status::InvalidArgument("WalConfig.dir is empty");
+  }
+  std::error_code ec;
+  fs::create_directories(config.dir, ec);
+  if (ec) {
+    return common::Status::Internal("cannot create WAL dir " + config.dir +
+                                    ": " + ec.message());
+  }
+
+  // Scan what is already there: the next LSN continues after the last good
+  // record.  A torn tail must then be *removed*: replay stops at the first
+  // bad frame, so garbage left mid-log would shadow every record this
+  // incarnation appends after it.  (Recovery replays the directory once
+  // more after this scan; both passes are bounded by checkpoint truncation,
+  // which keeps the live log to roughly one cadence worth of records.)
+  auto scan = Replay(config.dir, nullptr);
+  if (!scan.ok()) return scan.status();
+  if (!scan->torn_segment.empty()) {
+    std::error_code trunc_ec;
+    if (scan->torn_offset == 0) {
+      fs::remove(scan->torn_segment, trunc_ec);
+    } else {
+      fs::resize_file(scan->torn_segment, scan->torn_offset, trunc_ec);
+    }
+    if (trunc_ec) {
+      return common::Status::Internal("cannot truncate torn WAL tail " +
+                                      scan->torn_segment + ": " +
+                                      trunc_ec.message());
+    }
+    for (const auto& path : scan->untrusted_segments) {
+      fs::remove(path, trunc_ec);
+      if (trunc_ec) {
+        return common::Status::Internal("cannot remove untrusted WAL segment " +
+                                        path + ": " + trunc_ec.message());
+      }
+    }
+  }
+
+  std::unique_ptr<Wal> wal(new Wal(std::move(config)));
+  wal->open_report_ = *scan;
+  // Continue after the last good record — but never regress below the LSN
+  // encoded in any surviving segment name.  A checkpoint rolls to a fresh
+  // (still empty) segment and truncates everything before it; after a
+  // restart the scan then sees zero records, and deriving next_lsn_ from
+  // the scan alone would restart numbering below the checkpoint's LSN,
+  // making the next recovery skip every new record as "already folded in".
+  Lsn next = scan->last_lsn + 1;
+  auto survivors = ListSegments(wal->config_.dir);
+  if (!survivors.ok()) return survivors.status();
+  for (const auto& [first_lsn, path] : *survivors) {
+    next = std::max(next, first_lsn);
+  }
+  wal->next_lsn_ = next;
+  wal->commit_pool_ = pool;
+  {
+    std::lock_guard lock(wal->io_mu_);
+    if (auto s = wal->OpenSegmentLocked(wal->next_lsn_); !s.ok()) return s;
+  }
+  if (pool != nullptr) {
+    wal->queue_ =
+        std::make_unique<common::BoundedQueue<std::shared_ptr<PendingAppend>>>(
+            wal->config_.queue_capacity);
+    Wal* raw = wal.get();
+    wal->committer_done_ = pool->Submit([raw] { raw->CommitterLoop(); });
+  }
+  return wal;
+}
+
+Wal::~Wal() { Close(); }
+
+common::Status Wal::OpenSegmentLocked(Lsn first_lsn) {
+  if (active_ != nullptr) {
+    std::fclose(active_);
+    active_ = nullptr;
+  }
+  active_path_ =
+      (fs::path(config_.dir) / SegmentName(first_lsn)).string();
+  // "wb": a fresh segment is always truncated.  No live data can be lost —
+  // a file of this name could only hold records with LSN >= first_lsn, and
+  // those do not exist yet (Open() already truncated any torn tail).
+  active_ = std::fopen(active_path_.c_str(), "wb");
+  if (active_ == nullptr) {
+    return common::Status::Internal("cannot open WAL segment " + active_path_);
+  }
+  active_bytes_ = 0;
+  // Persist the new directory entry, or a power loss after acked appends
+  // could make the whole segment vanish without even a torn tail.
+  if (config_.sync_on_commit) return SyncDir(config_.dir);
+  return common::Status::Ok();
+}
+
+common::Status Wal::WriteFrameLocked(Lsn lsn, std::string_view payload) {
+  const std::string header = EncodeFrameHeader(lsn, payload);
+  if (std::fwrite(header.data(), 1, header.size(), active_) != header.size() ||
+      (!payload.empty() &&
+       std::fwrite(payload.data(), 1, payload.size(), active_) !=
+           payload.size())) {
+    return common::Status::Internal("short write to " + active_path_);
+  }
+  active_bytes_ += header.size() + payload.size();
+  return common::Status::Ok();
+}
+
+common::Status Wal::SyncLocked() {
+  if (std::fflush(active_) != 0) {
+    return common::Status::Internal("fflush failed on " + active_path_);
+  }
+  if (config_.sync_on_commit && ::fsync(fileno(active_)) != 0) {
+    return common::Status::Internal("fsync failed on " + active_path_);
+  }
+  return common::Status::Ok();
+}
+
+common::Result<Lsn> Wal::AppendSync(std::string payload) {
+  std::lock_guard lock(io_mu_);
+  if (closed_ || failed_ || active_ == nullptr) {
+    return common::Status::FailedPrecondition("WAL is closed or failed");
+  }
+  if (active_bytes_ >= config_.segment_bytes) {
+    if (auto s = OpenSegmentLocked(next_lsn_); !s.ok()) return s;
+  }
+  const Lsn lsn = next_lsn_++;
+  auto s = WriteFrameLocked(lsn, payload);
+  if (s.ok()) s = SyncLocked();
+  if (!s.ok()) {
+    // A failed write may have left a torn frame mid-segment.  Replay stops
+    // at the first bad frame, so anything appended after it would be
+    // acknowledged yet silently discarded at recovery — latch the log shut
+    // instead; reopening truncates the tear and continues safely.
+    failed_ = true;
+    return s;
+  }
+  return lsn;
+}
+
+void Wal::CommitterLoop() {
+  for (;;) {
+    auto first = queue_->Pop();
+    if (!first) return;  // closed and drained
+
+    std::vector<std::shared_ptr<PendingAppend>> batch;
+    batch.push_back(std::move(*first));
+    while (batch.size() < config_.group_commit_max) {
+      auto next = queue_->TryPop();
+      if (!next) break;
+      batch.push_back(std::move(*next));
+    }
+
+    std::lock_guard lock(io_mu_);
+    common::Status batch_status = common::Status::Ok();
+    std::vector<Lsn> lsns(batch.size(), 0);
+    if (failed_ || active_ == nullptr) {
+      batch_status = common::Status::FailedPrecondition("WAL is closed or failed");
+    } else {
+      if (active_bytes_ >= config_.segment_bytes) {
+        batch_status = OpenSegmentLocked(next_lsn_);
+      }
+      for (std::size_t i = 0; batch_status.ok() && i < batch.size(); ++i) {
+        lsns[i] = next_lsn_++;
+        batch_status = WriteFrameLocked(lsns[i], batch[i]->payload);
+      }
+      if (batch_status.ok()) batch_status = SyncLocked();
+      // See AppendSync: a torn frame mid-segment would shadow every later
+      // append at replay, so the log latches shut on the first IO error.
+      if (!batch_status.ok()) failed_ = true;
+    }
+    // One fsync covers the whole batch; only now do the appenders unblock.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch_status.ok()) {
+        batch[i]->done.set_value(lsns[i]);
+      } else {
+        batch[i]->done.set_value(batch_status);
+      }
+    }
+  }
+}
+
+common::Result<Lsn> Wal::Append(std::string payload) {
+  if (queue_ == nullptr) return AppendSync(std::move(payload));
+  auto pending = std::make_shared<PendingAppend>();
+  pending->payload = std::move(payload);
+  auto fut = pending->done.get_future();
+  if (!queue_->Push(pending)) {
+    return common::Status::FailedPrecondition("WAL is closed");
+  }
+  return fut.get();
+}
+
+Lsn Wal::last_lsn() const {
+  std::lock_guard lock(io_mu_);
+  return next_lsn_ - 1;
+}
+
+common::Status Wal::RollSegment() {
+  std::lock_guard lock(io_mu_);
+  if (closed_ || failed_ || active_ == nullptr) {
+    return common::Status::FailedPrecondition("WAL is closed or failed");
+  }
+  if (active_bytes_ == 0) return common::Status::Ok();  // already fresh
+  return OpenSegmentLocked(next_lsn_);
+}
+
+common::Status Wal::EnsureNextLsnAtLeast(Lsn next_min) {
+  std::lock_guard lock(io_mu_);
+  if (closed_ || failed_ || active_ == nullptr) {
+    return common::Status::FailedPrecondition("WAL is closed or failed");
+  }
+  if (next_min <= next_lsn_) return common::Status::Ok();
+  const std::string old_path = active_path_;
+  const bool old_empty = active_bytes_ == 0;
+  next_lsn_ = next_min;
+  if (auto s = OpenSegmentLocked(next_lsn_); !s.ok()) return s;
+  if (old_empty && old_path != active_path_) {
+    std::error_code ec;
+    fs::remove(old_path, ec);  // drop the misnamed empty segment
+  }
+  return common::Status::Ok();
+}
+
+common::Status Wal::TruncateThrough(Lsn through) {
+  std::lock_guard lock(io_mu_);
+  auto segments = ListSegments(config_.dir);
+  if (!segments.ok()) return segments.status();
+  // A segment is deletable when its successor starts at or before
+  // `through` + 1 (every record it holds is then <= `through`).  The last
+  // (active) segment always stays.
+  for (std::size_t i = 0; i + 1 < segments->size(); ++i) {
+    if ((*segments)[i + 1].first <= through + 1 &&
+        (*segments)[i].second.string() != active_path_) {
+      std::error_code ec;
+      fs::remove((*segments)[i].second, ec);
+      if (ec) {
+        return common::Status::Internal(
+            "cannot remove WAL segment " + (*segments)[i].second.string() +
+            ": " + ec.message());
+      }
+    }
+  }
+  return common::Status::Ok();
+}
+
+void Wal::Close() {
+  if (queue_ != nullptr) {
+    // The queue object must outlive Close(): a concurrent Append() may be
+    // inside Push() right now, and resetting the unique_ptr would destroy
+    // the mutex under it.  Closing the queue fails those pushes cleanly;
+    // the queue itself is freed with the Wal.
+    queue_->Close();
+    if (committer_done_.valid()) committer_done_.wait();
+  }
+  std::lock_guard lock(io_mu_);
+  if (active_ != nullptr) {
+    std::fflush(active_);
+    std::fclose(active_);
+    active_ = nullptr;
+  }
+  closed_ = true;
+}
+
+common::Result<WalReplayReport> Wal::Replay(
+    const std::string& dir,
+    const std::function<void(Lsn, std::string_view)>& fn) {
+  WalReplayReport report;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return report;  // nothing yet: empty log
+
+  auto segments = ListSegments(dir);
+  if (!segments.ok()) return segments.status();
+
+  bool stop = false;
+  for (std::size_t seg = 0; seg < segments->size(); ++seg) {
+    const fs::path& path = (*segments)[seg].second;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return common::Status::Internal("cannot read WAL segment " +
+                                      path.string());
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (stop) {
+      // Everything after the first bad frame is untrusted.
+      report.discarded_bytes += bytes.size();
+      report.untrusted_segments.push_back(path.string());
+      continue;
+    }
+    ++report.segments;
+
+    std::size_t offset = 0;
+    while (offset < bytes.size()) {
+      if (bytes.size() - offset < kFrameHeaderBytes) break;  // torn header
+      common::BinaryReader header(
+          std::string_view(bytes).substr(offset, kFrameHeaderBytes));
+      const std::uint32_t magic = header.U32();
+      const Lsn lsn = header.U64();
+      const std::uint32_t len = header.U32();
+      const std::uint32_t crc = header.U32();
+      if (magic != kFrameMagic) break;                        // corrupt
+      if (bytes.size() - offset - kFrameHeaderBytes < len) break;  // torn
+      const std::string_view payload =
+          std::string_view(bytes).substr(offset + kFrameHeaderBytes, len);
+      std::string crc_head;
+      common::BinaryWriter crc_writer(&crc_head);
+      crc_writer.PutU64(lsn);
+      crc_writer.PutU32(len);
+      std::uint32_t want = common::Crc32(crc_head);
+      want = common::Crc32(payload, want);
+      if (want != crc) break;                                 // torn/corrupt
+      if (lsn <= report.last_lsn) break;  // regression: untrusted from here
+      if (fn) fn(lsn, payload);
+      report.last_lsn = lsn;
+      ++report.records;
+      offset += kFrameHeaderBytes + len;
+    }
+    if (offset < bytes.size()) {
+      report.discarded_bytes += bytes.size() - offset;
+      report.torn_segment = path.string();
+      report.torn_offset = offset;
+      stop = true;  // drop the rest of the log; it is after the torn point
+    }
+  }
+  if (report.discarded_bytes > 0) {
+    SCALIA_LOG(common::LogLevel::kWarning, "wal")
+        << "torn tail: discarded " << report.discarded_bytes
+        << " byte(s) after lsn " << report.last_lsn;
+  }
+  return report;
+}
+
+}  // namespace scalia::durability

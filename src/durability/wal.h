@@ -1,0 +1,158 @@
+// Segmented, CRC32-framed write-ahead log.
+//
+// The engine journals every committed metadata mutation here before it
+// performs destructive side effects (old-chunk deletion), so a process death
+// never silently resets the adaptive state the paper's scheme depends on.
+//
+// Layout: a directory of segment files "wal-<first_lsn>.seg", each a
+// sequence of frames
+//
+//   [magic u32][lsn u64][payload_len u32][crc32 u32][payload bytes]
+//
+// where the CRC covers lsn, payload_len and the payload.  Replay scans
+// segments in LSN order and stops at the first bad frame: an incomplete or
+// checksum-failing tail is a *torn write* (the normal aftermath of a crash)
+// and is reported as discarded bytes, never an error.
+//
+// Appends group-commit: concurrent Append() calls enqueue onto a
+// common::BoundedQueue drained by a committer task on a common::ThreadPool;
+// the committer batches whatever is queued, writes one contiguous run of
+// frames, issues a single fsync, and only then releases the blocked
+// appenders.  Without a pool, appends are synchronous (one fsync each).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+
+namespace scalia::durability {
+
+/// Log sequence number: 1-based, strictly increasing across segments.
+using Lsn = std::uint64_t;
+
+struct WalConfig {
+  std::string dir;
+  /// Roll to a new segment once the active one reaches this size.
+  common::Bytes segment_bytes = 4ull * 1024 * 1024;
+  /// Pending-append queue capacity (back-pressure bound).
+  std::size_t queue_capacity = 1024;
+  /// Max records folded into one group commit.
+  std::size_t group_commit_max = 64;
+  /// fsync after every commit batch.  Tests may disable for speed; the
+  /// production default is on.
+  bool sync_on_commit = true;
+};
+
+struct WalReplayReport {
+  std::uint64_t records = 0;
+  std::uint64_t segments = 0;
+  /// Bytes dropped at the torn tail (and anything unreadable after it).
+  common::Bytes discarded_bytes = 0;
+  /// Highest LSN successfully replayed (0 when the log is empty).
+  Lsn last_lsn = 0;
+  /// Where the torn tail starts: the offending segment (empty when the log
+  /// is clean), the count of good bytes before the tear, and any later
+  /// segments that are untrusted because they follow it.
+  std::string torn_segment;
+  common::Bytes torn_offset = 0;
+  std::vector<std::string> untrusted_segments;
+};
+
+class Wal {
+ public:
+  /// Frame header: magic + lsn + payload_len + crc32.
+  static constexpr std::size_t kFrameHeaderBytes = 4 + 8 + 4 + 4;
+  static constexpr std::uint32_t kFrameMagic = 0x314C4157;  // "WAL1"
+
+  /// Opens (creating if needed) the log in `config.dir`.  Existing segments
+  /// are scanned to find the next LSN, and a torn tail from a previous
+  /// incarnation is truncated away (were it left in place, a later replay
+  /// would stop at the tear and discard every record appended after it).
+  /// The pre-truncation scan — including the discarded byte count — stays
+  /// available via open_report().  `commit_pool` hosts the group-commit
+  /// loop; pass nullptr for synchronous appends.  The pool must outlive
+  /// Close()/destruction.
+  static common::Result<std::unique_ptr<Wal>> Open(
+      WalConfig config, common::ThreadPool* commit_pool = nullptr);
+
+  /// The scan performed by Open(), before the torn tail was truncated.
+  [[nodiscard]] const WalReplayReport& open_report() const noexcept {
+    return open_report_;
+  }
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one record; blocks until it is durable (group-committed with
+  /// any concurrent appends).  Returns the record's LSN.
+  common::Result<Lsn> Append(std::string payload);
+
+  /// LSN of the last durable record (0 when none).
+  [[nodiscard]] Lsn last_lsn() const;
+
+  /// Closes the active segment and starts a new one; the old segment
+  /// becomes eligible for TruncateThrough.  Called before a checkpoint.
+  common::Status RollSegment();
+
+  /// Raises the next LSN to at least `next_min` (no-op when already
+  /// there).  Recovery calls this with checkpoint_lsn + 1 so freshly
+  /// journaled records can never be numbered at or below the checkpoint —
+  /// even if the log directory was wiped while checkpoints survived.
+  common::Status EnsureNextLsnAtLeast(Lsn next_min);
+
+  /// Deletes whole segments whose records all have LSN <= `through` (the
+  /// checkpoint's LSN).  The active segment is never deleted.
+  common::Status TruncateThrough(Lsn through);
+
+  /// Stops the committer and closes the active segment.  Idempotent.
+  void Close();
+
+  /// Scans the log in `dir`, invoking `fn(lsn, payload)` per good record in
+  /// LSN order.  Detects and quantifies the torn tail.  `fn` may be empty.
+  static common::Result<WalReplayReport> Replay(
+      const std::string& dir,
+      const std::function<void(Lsn, std::string_view)>& fn);
+
+  [[nodiscard]] const WalConfig& config() const noexcept { return config_; }
+
+ private:
+  struct PendingAppend;
+
+  explicit Wal(WalConfig config);
+
+  common::Status OpenSegmentLocked(Lsn first_lsn);
+  common::Status WriteFrameLocked(Lsn lsn, std::string_view payload);
+  common::Status SyncLocked();
+  void CommitterLoop();
+  common::Result<Lsn> AppendSync(std::string payload);
+
+  WalConfig config_;
+  WalReplayReport open_report_;
+  common::ThreadPool* commit_pool_ = nullptr;
+  std::unique_ptr<common::BoundedQueue<std::shared_ptr<PendingAppend>>> queue_;
+  std::future<void> committer_done_;
+
+  mutable std::mutex io_mu_;  // guards the active segment + next_lsn_
+  std::FILE* active_ = nullptr;
+  std::string active_path_;
+  common::Bytes active_bytes_ = 0;
+  Lsn next_lsn_ = 1;
+  bool closed_ = false;
+  /// Latched on the first frame-write/sync error: a torn frame mid-segment
+  /// would shadow every later append at replay, so the log refuses further
+  /// appends until reopened (which truncates the tear).
+  bool failed_ = false;
+};
+
+}  // namespace scalia::durability

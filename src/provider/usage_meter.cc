@@ -61,6 +61,30 @@ PeriodUsage UsageMeter::EndPeriod(common::SimTime now) {
   return out;
 }
 
+UsageMeterSnapshot UsageMeter::Snapshot() const {
+  std::lock_guard lock(mu_);
+  UsageMeterSnapshot snap;
+  snap.period_start = period_start_;
+  snap.last_storage_change = last_storage_change_;
+  snap.stored = stored_;
+  snap.period_byte_hours = period_byte_hours_;
+  snap.total_byte_hours = total_byte_hours_;
+  snap.period = period_;
+  snap.totals = totals_;
+  return snap;
+}
+
+void UsageMeter::Restore(const UsageMeterSnapshot& snapshot) {
+  std::lock_guard lock(mu_);
+  period_start_ = snapshot.period_start;
+  last_storage_change_ = snapshot.last_storage_change;
+  stored_ = snapshot.stored;
+  period_byte_hours_ = snapshot.period_byte_hours;
+  total_byte_hours_ = snapshot.total_byte_hours;
+  period_ = snapshot.period;
+  totals_ = snapshot.totals;
+}
+
 PeriodUsage UsageMeter::Totals(common::SimTime now) const {
   std::lock_guard lock(mu_);
   const_cast<UsageMeter*>(this)->AccrueStorageLocked(now);

@@ -16,6 +16,18 @@
 
 namespace scalia::provider {
 
+/// The meter's complete internal state, for checkpointing the billing
+/// counters across process restarts (durability subsystem).
+struct UsageMeterSnapshot {
+  common::SimTime period_start = 0;
+  common::SimTime last_storage_change = 0;
+  common::Bytes stored = 0;
+  double period_byte_hours = 0.0;
+  double total_byte_hours = 0.0;
+  PeriodUsage period{};
+  PeriodUsage totals{};
+};
+
 class UsageMeter {
  public:
   explicit UsageMeter(common::SimTime start = 0)
@@ -36,6 +48,10 @@ class UsageMeter {
 
   /// Running totals since construction (for the resource plots).
   [[nodiscard]] PeriodUsage Totals(common::SimTime now) const;
+
+  /// Checkpoint support: captures / replaces the full counter state.
+  [[nodiscard]] UsageMeterSnapshot Snapshot() const;
+  void Restore(const UsageMeterSnapshot& snapshot);
 
  private:
   void AccrueStorageLocked(common::SimTime now);

@@ -1,0 +1,281 @@
+#include "simx/crash_injection.h"
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/optimizer.h"
+#include "durability/manager.h"
+#include "provider/registry.h"
+#include "provider/spec.h"
+#include "stats/stats_db.h"
+#include "store/replicated_store.h"
+
+namespace scalia::simx {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kContainer = "sim";
+
+/// Deterministic object payload: both runs must store identical bytes.
+std::string PayloadFor(const SimObject& obj) {
+  const char fill =
+      static_cast<char>('a' + (common::Mix64(std::hash<std::string>{}(
+                                   obj.name)) %
+                               26));
+  return std::string(static_cast<std::size_t>(obj.size), fill);
+}
+
+}  // namespace
+
+/// One incarnation of the engine process: everything here dies with a
+/// crash.  The provider registry lives *outside* (remote clouds survive).
+struct CrashInjectionHarness::World {
+  World(provider::ProviderRegistry* registry_in, const std::string& dir,
+        const CrashInjectionConfig& config)
+      : registry(registry_in), db(1), stats(&db, 0) {
+    durability::DurabilityConfig dconfig;
+    dconfig.dir = dir;
+    dconfig.checkpoint_every = config.checkpoint_every;
+    dconfig.wal.sync_on_commit = config.sync_on_commit;
+    // Meters live with the (surviving) provider stores, so they are not a
+    // recovery target here; registry == nullptr skips their restore.
+    auto opened = durability::DurabilityManager::Open(
+        dconfig, durability::EngineStateRefs{.db = &db,
+                                             .dc = 0,
+                                             .stats = &stats,
+                                             .registry = nullptr});
+    open_status = opened.ok() ? common::Status::Ok() : opened.status();
+    if (!opened.ok()) return;
+    durability = std::move(*opened);
+
+    core::EngineConfig engine_config;
+    engine = std::make_unique<core::Engine>(
+        "e0", registry, &db, 0, /*cache=*/nullptr, &stats,
+        /*log_agent=*/nullptr, /*pool=*/nullptr, engine_config, /*seed=*/7);
+    engine->AttachJournal(durability->journal());
+
+    optimizer = std::make_unique<core::PeriodicOptimizer>(
+        core::OptimizerConfig{}, &stats, /*pool=*/nullptr);
+    optimizer->AddEngine(engine.get());
+    optimizer->AttachDurability(durability.get());
+  }
+
+  provider::ProviderRegistry* registry;
+  store::ReplicatedStore db;
+  stats::StatsDb stats;
+  std::unique_ptr<durability::DurabilityManager> durability;
+  std::unique_ptr<core::Engine> engine;
+  std::unique_ptr<core::PeriodicOptimizer> optimizer;
+  common::Status open_status = common::Status::Ok();
+};
+
+CrashInjectionHarness::CrashInjectionHarness(ScenarioSpec spec,
+                                             CrashInjectionConfig config)
+    : spec_(std::move(spec)), config_(std::move(config)) {}
+
+common::Result<CrashRunResult> CrashInjectionHarness::RunBaseline() {
+  return Run(/*crash=*/false);
+}
+
+common::Result<CrashRunResult> CrashInjectionHarness::RunWithCrash() {
+  return Run(/*crash=*/true);
+}
+
+common::Result<CrashRunResult> CrashInjectionHarness::Run(bool crash) {
+  const std::string dir =
+      (fs::path(config_.dir) / (crash ? "crash" : "baseline")).string();
+  std::error_code ec;
+  fs::remove_all(dir, ec);  // each run starts from an empty durability dir
+
+  provider::ProviderRegistry registry;
+  for (auto& spec : provider::PaperCatalog()) {
+    if (auto s = registry.Register(std::move(spec)); !s.ok()) return s;
+  }
+
+  CrashRunResult result;
+  auto world = std::make_unique<World>(&registry, dir, config_);
+  if (!world->open_status.ok()) return world->open_status;
+  if (auto r = world->durability->Recover(0); !r.ok()) return r.status();
+
+  auto drive_period = [&](World& w, std::size_t p) -> common::Status {
+    const common::SimTime now = spec_.PeriodStart(p);
+    for (const auto& obj : spec_.objects) {
+      if (obj.created_period == p && obj.AliveAt(p)) {
+        if (auto s = w.engine->Put(now, kContainer, obj.name, PayloadFor(obj),
+                                   obj.mime, obj.rule);
+            !s.ok()) {
+          return s;
+        }
+      }
+      if (obj.deleted_period && *obj.deleted_period == p) {
+        if (auto s = w.engine->Delete(now, kContainer, obj.name); !s.ok()) {
+          return s;
+        }
+      }
+    }
+    // Period-end statistics flush: the deterministic workload is the single
+    // source of per-period stats, journaled like any other state mutation.
+    const common::SimTime flush = spec_.PeriodStart(p + 1) - 1;
+    for (const auto& obj : spec_.objects) {
+      if (!obj.AliveAt(p)) continue;
+      const std::string row = core::MakeRowKey(kContainer, obj.name);
+      const stats::PeriodStats s = obj.StatsAt(p);
+      w.stats.AppendPeriodStats(row, p, s, flush);
+      if (auto js = w.durability->journal()->LogPeriodStats(row, p, s.ToCsv(),
+                                                            flush);
+          !js.ok()) {
+        return js;
+      }
+    }
+    // Decision-period boundary: trend gate + reoptimization + checkpoint.
+    w.optimizer->Run(spec_.PeriodStart(p + 1));
+    return common::Status::Ok();
+  };
+
+  for (std::size_t p = 0; p < spec_.num_periods; ++p) {
+    if (auto s = drive_period(*world, p); !s.ok()) return s;
+
+    if (crash && p == config_.crash_after_period) {
+      // ---- Simulated process death -----------------------------------
+      // The destructor closes the WAL cleanly, so every record reached
+      // disk; the torn write is then injected by truncating the active
+      // segment at a random offset, exactly what an OS-level kill in the
+      // middle of a batched write leaves behind.
+      world.reset();
+      const std::string wal_dir = (fs::path(dir) / "wal").string();
+      std::vector<fs::path> segments;
+      for (const auto& entry : fs::directory_iterator(wal_dir)) {
+        if (entry.path().extension() == ".seg" &&
+            entry.file_size() > 0) {
+          segments.push_back(entry.path());
+        }
+      }
+      std::sort(segments.begin(), segments.end());
+      if (!segments.empty()) {
+        common::Xoshiro256 rng(config_.seed);
+        const auto size = fs::file_size(segments.back());
+        const std::uintmax_t keep = rng() % size;  // [0, size-1]
+        fs::resize_file(segments.back(), keep);
+      }
+      result.crashed = true;
+
+      // ---- Recovery ---------------------------------------------------
+      world = std::make_unique<World>(&registry, dir, config_);
+      if (!world->open_status.ok()) return world->open_status;
+      const common::SimTime now = spec_.PeriodStart(p + 1);
+      auto recovered = world->durability->Recover(now);
+      if (!recovered.ok()) return recovered.status();
+      result.recovery = *recovered;
+
+      // ---- Reconciliation --------------------------------------------
+      // Mutations lost with the torn tail were never acknowledged; the
+      // deterministic workload (standing in for the client) re-issues
+      // them: lost puts, lost deletes, and the missing stats appends.
+      for (const auto& obj : spec_.objects) {
+        if (obj.created_period > p) continue;  // not born yet
+        const std::string row = core::MakeRowKey(kContainer, obj.name);
+        auto meta = world->engine->LoadMetadata(now, row);
+        if (obj.AliveAt(p)) {
+          bool need_put = !meta.ok();
+          if (!need_put) {
+            // A lost migration/repair record can leave recovered metadata
+            // pointing at chunks the pre-crash run already GC'ed.
+            need_put = !world->engine->Get(now, kContainer, obj.name).ok();
+          }
+          if (need_put) {
+            if (auto s = world->engine->Put(
+                    spec_.PeriodStart(obj.created_period), kContainer,
+                    obj.name, PayloadFor(obj), obj.mime, obj.rule);
+                !s.ok()) {
+              return s;
+            }
+            ++result.reputs;
+          }
+          const std::size_t have = world->stats.GetHistory(row).size();
+          for (std::size_t q = obj.created_period + have; q <= p; ++q) {
+            const stats::PeriodStats s = obj.StatsAt(q);
+            const common::SimTime flush = spec_.PeriodStart(q + 1) - 1;
+            world->stats.AppendPeriodStats(row, q, s, flush);
+            if (auto js = world->durability->journal()->LogPeriodStats(
+                    row, q, s.ToCsv(), flush);
+                !js.ok()) {
+              return js;
+            }
+          }
+        } else if (meta.ok()) {
+          // Deleted before the crash, but the tombstone was torn away.
+          if (auto s = world->engine->Delete(
+                  spec_.PeriodStart(*obj.deleted_period), kContainer,
+                  obj.name);
+              !s.ok()) {
+            return s;
+          }
+          ++result.redeletes;
+        }
+      }
+    }
+  }
+
+  // ---- Final state ----------------------------------------------------
+  const common::SimTime end = spec_.PeriodStart(spec_.num_periods);
+  for (const auto& obj : spec_.objects) {
+    if (!obj.AliveAt(spec_.num_periods - 1)) continue;
+    const std::string row = core::MakeRowKey(kContainer, obj.name);
+    if (!world->engine->Get(end, kContainer, obj.name).ok()) {
+      ++result.unreadable;
+    }
+    auto eval = world->engine->EvaluatePlacement(
+        end, row, core::EngineConfig{}.default_decision_periods);
+    result.placements[obj.name] =
+        eval.ok() ? eval->Label() : "<" + eval.status().ToString() + ">";
+    result.histories[obj.name] =
+        world->stats.GetHistory(row)
+            .AverageOver(core::EngineConfig{}.default_decision_periods)
+            .ToCsv();
+  }
+  return result;
+}
+
+std::string CrashInjectionHarness::Compare(const CrashRunResult& baseline,
+                                           const CrashRunResult& crashed) {
+  std::string diff;
+  auto note = [&diff](const std::string& line) {
+    if (diff.size() < 2000) diff += line + "\n";
+  };
+  if (baseline.unreadable != 0) {
+    note("baseline has " + std::to_string(baseline.unreadable) +
+         " unreadable object(s)");
+  }
+  if (crashed.unreadable != 0) {
+    note("crash run has " + std::to_string(crashed.unreadable) +
+         " unreadable object(s)");
+  }
+  if (baseline.placements.size() != crashed.placements.size()) {
+    note("object count diverged: " +
+         std::to_string(baseline.placements.size()) + " vs " +
+         std::to_string(crashed.placements.size()));
+  }
+  for (const auto& [name, label] : baseline.placements) {
+    auto it = crashed.placements.find(name);
+    if (it == crashed.placements.end()) {
+      note("missing after recovery: " + name);
+    } else if (it->second != label) {
+      note("placement diverged for " + name + ": " + label + " vs " +
+           it->second);
+    }
+  }
+  for (const auto& [name, csv] : baseline.histories) {
+    auto it = crashed.histories.find(name);
+    if (it != crashed.histories.end() && it->second != csv) {
+      note("history diverged for " + name + ": " + csv + " vs " + it->second);
+    }
+  }
+  return diff;
+}
+
+}  // namespace scalia::simx

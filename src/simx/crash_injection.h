@@ -1,0 +1,82 @@
+// Crash-injection scenario: kill the engine mid-run, recover, converge.
+//
+// Drives a *real* engine stack (providers, replicated metadata store,
+// statistics database, periodic optimizer) through a ScenarioSpec with the
+// durability subsystem attached, then simulates a process death: all
+// engine-side state (metadata store, stats db) is discarded, the WAL's tail
+// is truncated at a random byte offset (the torn write a crash leaves
+// behind), and a fresh stack recovers from latest-checkpoint-plus-replay.
+// The simulated provider stores survive — they model remote clouds whose
+// data does not vanish with the engine process.
+//
+// After recovery the harness reconciles exactly as an operator would: any
+// object whose committed put was lost with the torn tail is re-stored (the
+// client never got an ack), lost tombstones are re-applied, and the
+// deterministic workload supplies the missing per-period statistics.  The
+// run then continues to the end.  A crash run *converges* when its final
+// placement decisions (Algorithm 1 on the final statistics) and access
+// histories match the uninterrupted baseline for the same RNG seed.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "durability/recovery.h"
+#include "simx/scenario.h"
+
+namespace scalia::simx {
+
+struct CrashInjectionConfig {
+  /// Durability root; each run uses its own subdirectory.
+  std::string dir;
+  /// Crash right after this period's optimizer run (must be < num_periods).
+  std::size_t crash_after_period = 0;
+  /// Seeds the torn-tail offset; the engine's UUID stream is fixed.
+  std::uint64_t seed = 1;
+  /// Checkpoint cadence handed to the DurabilityManager.
+  common::Duration checkpoint_every = 4 * common::kHour;
+  /// fsync on every group commit (off keeps the fuzzing loops fast; the
+  /// files are still fully written since the process does not really die).
+  bool sync_on_commit = false;
+};
+
+/// Final state of one run, reduced to what convergence is judged on.
+struct CrashRunResult {
+  bool crashed = false;
+  durability::RecoveryReport recovery;  // meaningful when `crashed`
+  /// Objects re-stored / re-deleted during post-recovery reconciliation.
+  std::size_t reputs = 0;
+  std::size_t redeletes = 0;
+  /// Objects alive at the end whose Get() failed (must be 0).
+  std::size_t unreadable = 0;
+  /// object name -> Algorithm 1's placement label on the final statistics.
+  std::map<std::string, std::string> placements;
+  /// object name -> CSV of the decision-window average usage.
+  std::map<std::string, std::string> histories;
+};
+
+class CrashInjectionHarness {
+ public:
+  CrashInjectionHarness(ScenarioSpec spec, CrashInjectionConfig config);
+
+  /// The uninterrupted run (durability attached, never killed).
+  common::Result<CrashRunResult> RunBaseline();
+
+  /// The killed-and-recovered run.
+  common::Result<CrashRunResult> RunWithCrash();
+
+  /// Empty string when `crashed` converged with `baseline`; otherwise a
+  /// human-readable description of the first few divergences.
+  static std::string Compare(const CrashRunResult& baseline,
+                             const CrashRunResult& crashed);
+
+ private:
+  struct World;
+
+  common::Result<CrashRunResult> Run(bool crash);
+
+  ScenarioSpec spec_;
+  CrashInjectionConfig config_;
+};
+
+}  // namespace scalia::simx

@@ -51,6 +51,62 @@ std::optional<PeriodStats> ClassStats::MeanUsage() const {
   return mean;
 }
 
+void ClassStats::SerializeTo(common::BinaryWriter& out) const {
+  std::lock_guard lock(mu_);
+  out.PutU64(lifetime_count_);
+  out.PutU64(usage_count_);
+  out.PutDouble(usage_sum_.storage_gb);
+  out.PutDouble(usage_sum_.bw_in_gb);
+  out.PutDouble(usage_sum_.bw_out_gb);
+  out.PutDouble(usage_sum_.ops);
+  out.PutDouble(usage_sum_.reads);
+  out.PutDouble(usage_sum_.writes);
+  out.PutDouble(lifetimes_.lo());
+  out.PutDouble(lifetimes_.hi());
+  out.PutU32(static_cast<std::uint32_t>(lifetimes_.num_bins()));
+  for (std::size_t i = 0; i < lifetimes_.num_bins(); ++i) {
+    out.PutDouble(lifetimes_.bin_weight(i));
+  }
+}
+
+common::Status ClassStats::RestoreFrom(common::BinaryReader& in) {
+  std::lock_guard lock(mu_);
+  lifetime_count_ = in.U64();
+  usage_count_ = in.U64();
+  usage_sum_.storage_gb = in.Double();
+  usage_sum_.bw_in_gb = in.Double();
+  usage_sum_.bw_out_gb = in.Double();
+  usage_sum_.ops = in.Double();
+  usage_sum_.reads = in.Double();
+  usage_sum_.writes = in.Double();
+  // The serialized histogram may have different bounds than ours (the
+  // max-lifetime knob can change between runs): replay each bin's mass at
+  // its center, letting Add() clamp into our range.
+  const double lo = in.Double();
+  const double hi = in.Double();
+  const std::uint32_t bins = in.U32();
+  // The digest only proves integrity, not sanity: bound the loop by the
+  // bytes actually present so a bogus bin count cannot spin for billions
+  // of iterations.
+  if (!in.ok() || hi <= lo || bins == 0 ||
+      static_cast<std::uint64_t>(bins) * 8 > in.remaining()) {
+    return common::Status::InvalidArgument("corrupt class-stats snapshot");
+  }
+  const double width = (hi - lo) / static_cast<double>(bins);
+  lifetimes_.Clear();
+  for (std::uint32_t i = 0; i < bins; ++i) {
+    const double weight = in.Double();
+    if (!in.ok()) break;
+    if (weight > 0.0) {
+      lifetimes_.Add(lo + (static_cast<double>(i) + 0.5) * width, weight);
+    }
+  }
+  if (!in.ok()) {
+    return common::Status::InvalidArgument("corrupt class-stats snapshot");
+  }
+  return common::Status::Ok();
+}
+
 std::uint64_t ClassStats::lifetime_samples() const {
   std::lock_guard lock(mu_);
   return lifetime_count_;
@@ -80,6 +136,31 @@ const ClassStats* ClassRegistry::Find(const ClassId& cls) const {
 std::size_t ClassRegistry::ClassCount() const {
   std::lock_guard lock(mu_);
   return classes_.size();
+}
+
+void ClassRegistry::SerializeTo(common::BinaryWriter& out) const {
+  std::lock_guard lock(mu_);
+  out.PutU32(static_cast<std::uint32_t>(classes_.size()));
+  for (const auto& [cls, stats] : classes_) {
+    out.PutString(cls);
+    stats->SerializeTo(out);
+  }
+}
+
+common::Status ClassRegistry::RestoreFrom(common::BinaryReader& in) {
+  std::lock_guard lock(mu_);
+  classes_.clear();
+  const std::uint32_t count = in.U32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ClassId cls = in.String();
+    auto stats = std::make_unique<ClassStats>(max_lifetime_);
+    if (auto s = stats->RestoreFrom(in); !s.ok()) return s;
+    classes_.emplace(std::move(cls), std::move(stats));
+  }
+  if (!in.ok()) {
+    return common::Status::InvalidArgument("corrupt class-registry snapshot");
+  }
+  return common::Status::Ok();
 }
 
 }  // namespace scalia::stats

@@ -14,9 +14,11 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/binary_codec.h"
 #include "common/histogram.h"
 #include "common/md5.h"
 #include "common/sim_time.h"
+#include "common/status.h"
 #include "common/units.h"
 #include "stats/period_stats.h"
 
@@ -67,6 +69,12 @@ class ClassStats {
     return lifetimes_;
   }
 
+  /// Checkpoint support: binary-appends this class's aggregates (lifetime
+  /// histogram, usage sum and both sample counts) / restores them,
+  /// replacing the current contents.
+  void SerializeTo(common::BinaryWriter& out) const;
+  common::Status RestoreFrom(common::BinaryReader& in);
+
  private:
   mutable std::mutex mu_;
   common::Histogram lifetimes_;
@@ -88,6 +96,11 @@ class ClassRegistry {
   [[nodiscard]] const ClassStats* Find(const ClassId& cls) const;
 
   [[nodiscard]] std::size_t ClassCount() const;
+
+  /// Checkpoint support: binary-appends every class's aggregates / rebuilds
+  /// the registry from them (dropping any current contents).
+  void SerializeTo(common::BinaryWriter& out) const;
+  common::Status RestoreFrom(common::BinaryReader& in);
 
  private:
   common::Duration max_lifetime_;

@@ -105,6 +105,73 @@ std::size_t StatsDb::ObjectCount() const {
   return objects_.size();
 }
 
+void StatsDb::SerializeTo(common::BinaryWriter& out) const {
+  std::lock_guard lock(mu_);
+  out.PutU32(static_cast<std::uint32_t>(objects_.size()));
+  for (const auto& [row_key, rec] : objects_) {
+    out.PutString(row_key);
+    out.PutString(rec.class_id);
+    out.PutU64(rec.size);
+    out.PutI64(rec.created_at);
+    out.PutI64(rec.last_access);
+  }
+  out.PutU32(static_cast<std::uint32_t>(histories_.size()));
+  for (const auto& [row_key, history] : histories_) {
+    out.PutString(row_key);
+    const auto periods = history.LastPeriods(history.size());
+    out.PutU32(static_cast<std::uint32_t>(periods.size()));
+    for (const auto& s : periods) {
+      out.PutDouble(s.storage_gb);
+      out.PutDouble(s.bw_in_gb);
+      out.PutDouble(s.bw_out_gb);
+      out.PutDouble(s.ops);
+      out.PutDouble(s.reads);
+      out.PutDouble(s.writes);
+    }
+  }
+  classes_.SerializeTo(out);
+}
+
+common::Status StatsDb::RestoreFrom(common::BinaryReader& in) {
+  std::lock_guard lock(mu_);
+  objects_.clear();
+  histories_.clear();
+  const std::uint32_t num_objects = in.U32();
+  for (std::uint32_t i = 0; i < num_objects; ++i) {
+    std::string row_key = in.String();
+    ObjectRecord rec;
+    rec.class_id = in.String();
+    rec.size = in.U64();
+    rec.created_at = in.I64();
+    rec.last_access = in.I64();
+    if (!in.ok()) {
+      return common::Status::InvalidArgument("corrupt stats-db snapshot");
+    }
+    objects_.emplace(std::move(row_key), std::move(rec));
+  }
+  const std::uint32_t num_histories = in.U32();
+  for (std::uint32_t i = 0; i < num_histories; ++i) {
+    std::string row_key = in.String();
+    AccessHistory history(max_history_);
+    const std::uint32_t periods = in.U32();
+    for (std::uint32_t p = 0; p < periods; ++p) {
+      PeriodStats s;
+      s.storage_gb = in.Double();
+      s.bw_in_gb = in.Double();
+      s.bw_out_gb = in.Double();
+      s.ops = in.Double();
+      s.reads = in.Double();
+      s.writes = in.Double();
+      history.Append(s);
+    }
+    if (!in.ok()) {
+      return common::Status::InvalidArgument("corrupt stats-db snapshot");
+    }
+    histories_.emplace(std::move(row_key), std::move(history));
+  }
+  return classes_.RestoreFrom(in);
+}
+
 std::size_t StatsDb::RefreshClassStatsMapReduce(common::ThreadPool& pool) {
   if (store_ == nullptr) return 0;
   const store::KvTable* table = store_->Table(dc_, "stats");

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_codec.h"
 #include "common/sim_time.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
@@ -77,6 +78,13 @@ class StatsDb {
   std::size_t RefreshClassStatsMapReduce(common::ThreadPool& pool);
 
   [[nodiscard]] std::size_t ObjectCount() const;
+
+  /// Checkpoint support: binary-appends the object index, every access
+  /// history and the class registry / rebuilds them (replacing the current
+  /// in-memory state; the replicated write-through rows are *not* restored
+  /// here — they are derived data the next period flush regenerates).
+  void SerializeTo(common::BinaryWriter& out) const;
+  common::Status RestoreFrom(common::BinaryReader& in);
 
  private:
   void WriteThrough(const std::string& key, const std::string& value,

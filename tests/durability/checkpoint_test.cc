@@ -1,0 +1,197 @@
+#include "durability/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "durability/recovery.h"
+#include "provider/spec.h"
+#include "stats/object_class.h"
+
+namespace scalia::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A self-contained engine-state fixture (1 DC, paper providers).
+struct StateFixture {
+  StateFixture() : db(1), stats(&db, 0) {
+    for (auto& spec : provider::PaperCatalog()) {
+      EXPECT_TRUE(registry.Register(std::move(spec)).ok());
+    }
+  }
+
+  [[nodiscard]] EngineStateRefs Refs() {
+    return {.db = &db, .dc = 0, .stats = &stats, .registry = &registry};
+  }
+
+  store::ReplicatedStore db;
+  stats::StatsDb stats;
+  provider::ProviderRegistry registry;
+};
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest() {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("ckpt_test_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  ~CheckpointTest() override { fs::remove_all(dir_); }
+
+  /// Populates every checkpointed component with distinctive state.
+  static void Populate(StateFixture& state) {
+    ASSERT_TRUE(state.db.Put(0, "metadata", "row-a", "meta-a", 100).ok());
+    ASSERT_TRUE(state.db.Put(0, "metadata", "row-b", "meta-b", 200).ok());
+    ASSERT_TRUE(state.db.Delete(0, "metadata", "row-gone", 300).ok());
+
+    state.stats.RecordObjectCreated("row-a", "class-1", 4096, 100);
+    state.stats.RecordObjectCreated("row-b", "class-2", 8192, 200);
+    stats::PeriodStats usage;
+    usage.storage_gb = 0.5;
+    usage.reads = 3;
+    usage.bw_out_gb = 1.5;
+    usage.ops = 3;
+    state.stats.AppendPeriodStats("row-a", 0, usage, 3600);
+    usage.reads = 7;
+    state.stats.AppendPeriodStats("row-a", 1, usage, 7200);
+    state.stats.classes().ForClass("class-1").RecordLifetime(common::kDay);
+    state.stats.classes().ForClass("class-1").RecordLifetime(2 * common::kDay);
+
+    auto* s3 = state.registry.Find(provider::PaperCatalog()[0].id);
+    ASSERT_NE(s3, nullptr);
+    s3->meter().RecordPut(100, 1 << 20);
+    s3->meter().SetStoredBytes(100, 1 << 20);
+    s3->meter().RecordGet(1800, 1 << 19);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, WriteThenRestoreRoundTripsEveryComponent) {
+  StateFixture source;
+  Populate(source);
+
+  const CheckpointWriter writer(dir_);
+  auto info = writer.Write(source.Refs(), /*wal_lsn=*/42, /*now=*/7200);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->wal_lsn, 42u);
+
+  StateFixture restored;
+  const CheckpointLoader loader(dir_);
+  auto loaded = loader.LoadInto(info->path, restored.Refs());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->wal_lsn, 42u);
+  EXPECT_EQ(loaded->created_at, 7200);
+
+  // Metadata rows, including the tombstone.
+  auto a = restored.db.Get(0, "metadata", "row-a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->value, "meta-a");
+  EXPECT_EQ(a->timestamp, 100);
+  // The deleted row stays deleted: tombstones need not travel in the
+  // checkpoint (the WAL is truncated at it), they are simply absent.
+  EXPECT_FALSE(restored.db.Get(0, "metadata", "row-gone").ok());
+
+  // Stats: object index, history, class aggregates.
+  auto rec = restored.stats.GetObject("row-a");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->class_id, "class-1");
+  EXPECT_EQ(rec->size, 4096u);
+  EXPECT_EQ(rec->created_at, 100);
+  const auto history = restored.stats.GetHistory("row-a");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_DOUBLE_EQ(history.Latest().reads, 7.0);
+  const auto* cls = restored.stats.classes().Find("class-1");
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(cls->lifetime_samples(), 2u);
+  EXPECT_EQ(cls->ExpectedLifetime(),
+            source.stats.classes().Find("class-1")->ExpectedLifetime());
+  ASSERT_TRUE(cls->MeanUsage().has_value());
+  EXPECT_DOUBLE_EQ(cls->MeanUsage()->reads, 5.0);
+
+  // Billing meters.
+  const auto id = provider::PaperCatalog()[0].id;
+  const auto src_totals = source.registry.Find(id)->meter().Totals(7200);
+  const auto got_totals = restored.registry.Find(id)->meter().Totals(7200);
+  EXPECT_DOUBLE_EQ(got_totals.bw_in_gb, src_totals.bw_in_gb);
+  EXPECT_DOUBLE_EQ(got_totals.bw_out_gb, src_totals.bw_out_gb);
+  EXPECT_DOUBLE_EQ(got_totals.ops, src_totals.ops);
+  EXPECT_DOUBLE_EQ(got_totals.storage_gb_hours, src_totals.storage_gb_hours);
+  EXPECT_EQ(restored.registry.Find(id)->meter().stored_bytes(),
+            static_cast<common::Bytes>(1 << 20));
+}
+
+TEST_F(CheckpointTest, FlippedByteFailsTheDigestCheck) {
+  StateFixture source;
+  Populate(source);
+  auto info = CheckpointWriter(dir_).Write(source.Refs(), 1, 3600);
+  ASSERT_TRUE(info.ok());
+
+  // Corrupt one byte mid-file.
+  std::fstream file(info->path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(static_cast<std::streamoff>(fs::file_size(info->path) / 2));
+  char byte = 0;
+  file.seekg(file.tellp());
+  file.get(byte);
+  file.seekp(-1, std::ios::cur);
+  file.put(static_cast<char>(byte ^ 0x1));
+  file.close();
+
+  StateFixture restored;
+  auto loaded = CheckpointLoader(dir_).LoadInto(info->path, restored.Refs());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(CheckpointTest, RecoveryFallsBackPastACorruptCheckpoint) {
+  StateFixture source;
+  Populate(source);
+  const CheckpointWriter writer(dir_);
+  auto old_info = writer.Write(source.Refs(), 10, 3600);
+  ASSERT_TRUE(old_info.ok());
+
+  // A newer checkpoint exists but is corrupt.
+  ASSERT_TRUE(source.db.Put(0, "metadata", "row-c", "meta-c", 400).ok());
+  auto new_info = writer.Write(source.Refs(), 20, 7200);
+  ASSERT_TRUE(new_info.ok());
+  {
+    std::ofstream file(new_info->path,
+                       std::ios::binary | std::ios::app);
+    file << "trailing garbage";
+  }
+
+  StateFixture restored;
+  const RecoveryManager recovery(dir_);
+  auto report = recovery.Recover(restored.Refs(), 10000);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->checkpoint_loaded);
+  EXPECT_EQ(report->checkpoint_lsn, 10u);
+  EXPECT_EQ(report->checkpoints_rejected, 1u);
+  EXPECT_EQ(report->checkpoint_age, 10000 - 3600);
+  // The fallback predates row-c.
+  EXPECT_FALSE(restored.db.Get(0, "metadata", "row-c").ok());
+  EXPECT_TRUE(restored.db.Get(0, "metadata", "row-a").ok());
+}
+
+TEST_F(CheckpointTest, ListReturnsNewestFirst) {
+  StateFixture source;
+  const CheckpointWriter writer(dir_);
+  ASSERT_TRUE(writer.Write(source.Refs(), 5, 100).ok());
+  ASSERT_TRUE(writer.Write(source.Refs(), 50, 200).ok());
+  ASSERT_TRUE(writer.Write(source.Refs(), 500, 300).ok());
+  const auto files = CheckpointLoader(dir_).List();
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_NE(files[0].find("checkpoint-00000000000000000500"),
+            std::string::npos);
+  EXPECT_NE(files[2].find("checkpoint-00000000000000000005"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalia::durability

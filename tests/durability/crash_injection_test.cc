@@ -1,0 +1,144 @@
+#include "simx/crash_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace scalia::simx {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A small but non-trivial workload: a hot object cooling down, a flash
+/// crowd, a cold archive, a short-lived object deleted mid-run, and a
+/// late-created object — enough to exercise puts, deletes, trend-gated
+/// migrations and class statistics.
+ScenarioSpec TestScenario() {
+  ScenarioSpec spec;
+  spec.name = "crash-injection";
+  spec.sampling_period = common::kHour;
+  spec.num_periods = 12;
+
+  SimObject hot;
+  hot.name = "hot.png";
+  hot.size = 40 * 1024;
+  hot.mime = "image/png";
+  hot.reads = {120, 140, 110, 80, 40, 20, 10, 5, 2, 1, 1, 1};
+  spec.objects.push_back(hot);
+
+  SimObject flash;
+  flash.name = "flash.html";
+  flash.size = 24 * 1024;
+  flash.mime = "text/html";
+  flash.created_period = 2;
+  flash.reads = {2, 3, 250, 300, 260, 20, 4, 2, 1, 1};
+  spec.objects.push_back(flash);
+
+  SimObject archive;
+  archive.name = "archive.tar";
+  archive.size = 200 * 1024;
+  archive.mime = "application/x-tar";
+  archive.reads = {0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 1};
+  spec.objects.push_back(archive);
+
+  SimObject ephemeral;
+  ephemeral.name = "temp.bin";
+  ephemeral.size = 16 * 1024;
+  ephemeral.mime = "application/octet-stream";
+  ephemeral.created_period = 1;
+  ephemeral.deleted_period = 7;
+  ephemeral.reads = {10, 8, 6, 4, 2, 1};
+  spec.objects.push_back(ephemeral);
+
+  SimObject late;
+  late.name = "late.jpg";
+  late.size = 64 * 1024;
+  late.mime = "image/jpeg";
+  late.created_period = 8;
+  late.reads = {30, 40, 35, 25};
+  spec.objects.push_back(late);
+
+  return spec;
+}
+
+class CrashInjectionTest : public ::testing::Test {
+ protected:
+  CrashInjectionTest() {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("crash_injection_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  ~CrashInjectionTest() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(CrashInjectionTest, BaselineRunIsHealthy) {
+  CrashInjectionConfig config;
+  config.dir = dir_;
+  CrashInjectionHarness harness(TestScenario(), config);
+  auto baseline = harness.RunBaseline();
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_FALSE(baseline->crashed);
+  EXPECT_EQ(baseline->unreadable, 0u);
+  EXPECT_EQ(baseline->placements.size(), 4u);  // temp.bin deleted mid-run
+  for (const auto& [name, label] : baseline->placements) {
+    EXPECT_EQ(label.find('<'), std::string::npos)
+        << name << " has no feasible placement: " << label;
+  }
+}
+
+TEST_F(CrashInjectionTest, RecoveredRunConvergesAtRandomTornOffsets) {
+  const ScenarioSpec spec = TestScenario();
+  CrashInjectionConfig config;
+  config.dir = dir_;
+  config.crash_after_period = 5;
+  CrashInjectionHarness harness(spec, config);
+  auto baseline = harness.RunBaseline();
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    CrashInjectionConfig crash_config = config;
+    crash_config.seed = seed;
+    CrashInjectionHarness crash_harness(spec, crash_config);
+    auto crashed = crash_harness.RunWithCrash();
+    ASSERT_TRUE(crashed.ok())
+        << "seed " << seed << ": " << crashed.status().ToString();
+    EXPECT_TRUE(crashed->crashed);
+    EXPECT_EQ(crashed->unreadable, 0u) << "seed " << seed;
+    const std::string diff = CrashInjectionHarness::Compare(*baseline,
+                                                            *crashed);
+    EXPECT_TRUE(diff.empty()) << "seed " << seed << " diverged:\n" << diff;
+    // With a 4h checkpoint cadence and a crash after period 5, recovery
+    // starts from a real checkpoint.
+    EXPECT_TRUE(crashed->recovery.checkpoint_loaded) << "seed " << seed;
+  }
+}
+
+TEST_F(CrashInjectionTest, CrashWithNoCheckpointRecoversFromWalAlone) {
+  const ScenarioSpec spec = TestScenario();
+  CrashInjectionConfig config;
+  config.dir = dir_;
+  config.crash_after_period = 9;
+  config.checkpoint_every = 100 * common::kHour;  // cadence never elapses
+  CrashInjectionHarness harness(spec, config);
+  auto baseline = harness.RunBaseline();
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  CrashInjectionConfig crash_config = config;
+  crash_config.seed = 99;
+  CrashInjectionHarness crash_harness(spec, crash_config);
+  auto crashed = crash_harness.RunWithCrash();
+  ASSERT_TRUE(crashed.ok()) << crashed.status().ToString();
+  EXPECT_FALSE(crashed->recovery.checkpoint_loaded);
+  EXPECT_GT(crashed->recovery.records_replayed, 0u);
+  EXPECT_EQ(crashed->unreadable, 0u);
+  const std::string diff = CrashInjectionHarness::Compare(*baseline, *crashed);
+  EXPECT_TRUE(diff.empty()) << "diverged:\n" << diff;
+}
+
+}  // namespace
+}  // namespace scalia::simx

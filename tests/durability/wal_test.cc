@@ -1,0 +1,266 @@
+#include "durability/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace scalia::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  WalTest() {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("wal_test_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  ~WalTest() override { fs::remove_all(dir_); }
+
+  WalConfig Config() {
+    WalConfig config;
+    config.dir = dir_;
+    config.sync_on_commit = false;  // keep the suite fast
+    return config;
+  }
+
+  /// All (lsn, payload) pairs currently replayable from the directory.
+  std::vector<std::pair<Lsn, std::string>> ReplayAll(
+      WalReplayReport* report = nullptr) {
+    std::vector<std::pair<Lsn, std::string>> records;
+    auto r = Wal::Replay(dir_, [&](Lsn lsn, std::string_view payload) {
+      records.emplace_back(lsn, std::string(payload));
+    });
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (report != nullptr && r.ok()) *report = *r;
+    return records;
+  }
+
+  /// Path of the last (lexicographically greatest) non-empty segment.
+  fs::path LastSegment() {
+    std::vector<fs::path> segments;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      if (entry.path().extension() == ".seg" && entry.file_size() > 0) {
+        segments.push_back(entry.path());
+      }
+    }
+    std::sort(segments.begin(), segments.end());
+    EXPECT_FALSE(segments.empty());
+    return segments.back();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalTest, AppendReplayRoundTrip) {
+  auto wal = Wal::Open(Config());
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  for (int i = 0; i < 10; ++i) {
+    auto lsn = (*wal)->Append("record-" + std::to_string(i));
+    ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+    EXPECT_EQ(*lsn, static_cast<Lsn>(i + 1));
+  }
+  (*wal)->Close();
+
+  WalReplayReport report;
+  const auto records = ReplayAll(&report);
+  ASSERT_EQ(records.size(), 10u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].first, i + 1);
+    EXPECT_EQ(records[i].second, "record-" + std::to_string(i));
+  }
+  EXPECT_EQ(report.discarded_bytes, 0u);
+  EXPECT_EQ(report.last_lsn, 10u);
+}
+
+TEST_F(WalTest, GroupCommitManyConcurrentAppenders) {
+  common::ThreadPool commit_pool(1);
+  auto wal = Wal::Open(Config(), &commit_pool);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> appenders;
+  appenders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    appenders.emplace_back([&wal, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto lsn = (*wal)->Append("t" + std::to_string(t) + "-" +
+                                  std::to_string(i));
+        ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+      }
+    });
+  }
+  for (auto& th : appenders) th.join();
+  EXPECT_EQ((*wal)->last_lsn(), static_cast<Lsn>(kThreads * kPerThread));
+  (*wal)->Close();
+
+  const auto records = ReplayAll();
+  ASSERT_EQ(records.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  // LSNs are dense and ordered even though appends raced.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].first, i + 1);
+  }
+}
+
+TEST_F(WalTest, SegmentsRollAndTruncateBehindCheckpoint) {
+  WalConfig config = Config();
+  config.segment_bytes = 256;  // force frequent rolls
+  auto wal = Wal::Open(config);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE((*wal)->Append(std::string(32, 'x')).ok());
+  }
+  std::size_t segments_before = 0;
+  for ([[maybe_unused]] const auto& entry : fs::directory_iterator(dir_)) {
+    ++segments_before;
+  }
+  EXPECT_GT(segments_before, 2u);
+
+  ASSERT_TRUE((*wal)->RollSegment().ok());
+  ASSERT_TRUE((*wal)->TruncateThrough(20).ok());
+  (*wal)->Close();
+
+  // Records 21.. survive (whole-segment granularity keeps some earlier).
+  const auto records = ReplayAll();
+  ASSERT_FALSE(records.empty());
+  EXPECT_LE(records.front().first, 21u);
+  EXPECT_EQ(records.back().first, 40u);
+  Lsn prev = 0;
+  for (const auto& [lsn, payload] : records) {
+    EXPECT_GT(lsn, prev);
+    prev = lsn;
+  }
+
+  // Truncating through the very last record keeps only the active segment.
+  auto reopened = Wal::Open(config);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE((*reopened)->TruncateThrough(40).ok());
+}
+
+TEST_F(WalTest, LsnNeverRegressesAfterCheckpointStyleTruncation) {
+  // The checkpoint flow: roll, truncate everything behind, restart.  The
+  // restarted log sees zero records but must keep numbering past the
+  // truncation point (else the next recovery skips the new records as
+  // already covered by the checkpoint).
+  {
+    auto wal = Wal::Open(Config());
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*wal)->Append("r" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*wal)->RollSegment().ok());
+    ASSERT_TRUE((*wal)->TruncateThrough(5).ok());
+  }
+  auto wal = Wal::Open(Config());
+  ASSERT_TRUE(wal.ok());
+  auto lsn = (*wal)->Append("after-restart");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 6u);
+}
+
+TEST_F(WalTest, EnsureNextLsnAtLeastBumpsAndRenamesEmptySegment) {
+  auto wal = Wal::Open(Config());
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->EnsureNextLsnAtLeast(100).ok());
+  ASSERT_TRUE((*wal)->EnsureNextLsnAtLeast(50).ok());  // no-op, no regression
+  auto lsn = (*wal)->Append("bumped");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 100u);
+  (*wal)->Close();
+  const auto records = ReplayAll();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].first, 100u);
+}
+
+TEST_F(WalTest, ReopenContinuesLsnSequence) {
+  {
+    auto wal = Wal::Open(Config());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("first").ok());
+    ASSERT_TRUE((*wal)->Append("second").ok());
+  }
+  {
+    auto wal = Wal::Open(Config());
+    ASSERT_TRUE(wal.ok());
+    auto lsn = (*wal)->Append("third");
+    ASSERT_TRUE(lsn.ok());
+    EXPECT_EQ(*lsn, 3u);
+  }
+  const auto records = ReplayAll();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2].second, "third");
+}
+
+TEST_F(WalTest, TornTailIsDetectedQuantifiedAndTruncatedOnReopen) {
+  {
+    auto wal = Wal::Open(Config());
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*wal)->Append("payload-" + std::to_string(i)).ok());
+    }
+  }
+  // Tear 7 bytes off the tail: the final record becomes unreadable.
+  const fs::path segment = LastSegment();
+  const auto size = fs::file_size(segment);
+  fs::resize_file(segment, size - 7);
+
+  WalReplayReport report;
+  auto records = ReplayAll(&report);
+  EXPECT_EQ(records.size(), 4u);
+  EXPECT_EQ(report.last_lsn, 4u);
+  const auto frame_bytes = Wal::kFrameHeaderBytes + std::strlen("payload-4");
+  EXPECT_EQ(report.discarded_bytes, frame_bytes - 7);
+  EXPECT_EQ(report.torn_segment, segment.string());
+
+  // Reopen truncates the tear; new appends replay cleanly after it.
+  {
+    auto wal = Wal::Open(Config());
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ(wal.value()->open_report().discarded_bytes, frame_bytes - 7);
+    auto lsn = (*wal)->Append("after-crash");
+    ASSERT_TRUE(lsn.ok());
+    EXPECT_EQ(*lsn, 5u);  // the torn record's LSN is reused
+  }
+  records = ReplayAll(&report);
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records.back().second, "after-crash");
+  EXPECT_EQ(report.discarded_bytes, 0u);
+}
+
+TEST_F(WalTest, CorruptedByteStopsReplayAtTheBadFrame) {
+  {
+    auto wal = Wal::Open(Config());
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*wal)->Append(std::string(40, static_cast<char>('a' + i)))
+                      .ok());
+    }
+  }
+  // Flip one payload byte of the middle record.
+  const fs::path segment = LastSegment();
+  std::fstream file(segment, std::ios::binary | std::ios::in | std::ios::out);
+  const auto frame = Wal::kFrameHeaderBytes + 40;
+  file.seekp(static_cast<std::streamoff>(frame + Wal::kFrameHeaderBytes + 10));
+  file.put('Z');
+  file.close();
+
+  WalReplayReport report;
+  const auto records = ReplayAll(&report);
+  ASSERT_EQ(records.size(), 1u);  // only the record before the corruption
+  EXPECT_EQ(records[0].first, 1u);
+  EXPECT_EQ(report.discarded_bytes, 2u * frame);  // bad frame + everything after
+}
+
+}  // namespace
+}  // namespace scalia::durability
