@@ -1,0 +1,291 @@
+// Closed-loop load generator against a loopback net::HttpServer — the
+// end-to-end hot path (client socket → epoll loop → HTTP parse → gateway →
+// engine → erasure → provider stores → response) every future scaling PR
+// gets measured on.
+//
+// N client threads, each with one keep-alive connection, drive a mixed
+// PUT/GET/DELETE workload (GET-heavy, the paper's read-mostly web serving
+// profile of §IV) over a configurable object-size mix, closed-loop: the
+// next request leaves only when the response arrived.  Reports total
+// req/s and latency percentiles, plus a machine-readable RESULT line that
+// scripts/bench_report.sh folds into BENCH_PR3.json.
+//
+// Requests run under the gateway's anonymous (public-bucket) mode: per-op
+// HMAC signing would make the *generator* the subject under test, and the
+// replay cache would hold every signature of the run.
+//
+// Usage: bench_server_throughput [--connections N] [--duration-s S]
+//          [--pool-threads N] [--object-bytes CSV] [--keys-per-conn K]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/auth.h"
+#include "api/gateway.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/cluster.h"
+#include "net/client.h"
+#include "net/server/server.h"
+#include "provider/spec.h"
+
+using namespace scalia;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Options {
+  std::size_t connections = 16;
+  double duration_s = 5.0;
+  std::size_t pool_threads = std::thread::hardware_concurrency();
+  std::vector<std::size_t> object_bytes = {1024, 4096, 16384};
+  std::size_t keys_per_conn = 32;
+};
+
+Options ParseOptions(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--connections") {
+      if (const char* v = next()) options.connections = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--duration-s") {
+      if (const char* v = next()) options.duration_s = std::strtod(v, nullptr);
+    } else if (arg == "--pool-threads") {
+      if (const char* v = next()) options.pool_threads = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--keys-per-conn") {
+      if (const char* v = next()) options.keys_per_conn = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--object-bytes") {
+      if (const char* v = next()) {
+        options.object_bytes.clear();
+        for (const char* p = v; *p != '\0';) {
+          options.object_bytes.push_back(std::strtoul(p, nullptr, 10));
+          p = std::strchr(p, ',');
+          if (p == nullptr) break;
+          ++p;
+        }
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (options.connections == 0 || options.object_bytes.empty() ||
+      options.keys_per_conn == 0 || options.duration_s <= 0) {
+    std::fprintf(stderr, "bad options\n");
+    std::exit(2);
+  }
+  if (options.pool_threads == 0) options.pool_threads = 4;
+  return options;
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_us;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+};
+
+[[nodiscard]] double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = ParseOptions(argc, argv);
+
+  // --- the server under load: full cluster behind the gateway.
+  core::ClusterConfig cluster_config;
+  cluster_config.num_datacenters = 1;
+  cluster_config.engines_per_dc = 2;
+  cluster_config.engine.default_rule =
+      core::StorageRule{.name = "default",
+                        .durability = 0.999999,
+                        .availability = 0.9999,
+                        .allowed_zones = provider::ZoneSet::All(),
+                        .lockin = 0.5,
+                        .ttl_hint = std::nullopt};
+  core::ScaliaCluster cluster(cluster_config);
+  for (auto& spec : provider::PaperCatalog()) {
+    if (auto s = cluster.registry().Register(std::move(spec)); !s.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  api::Authenticator auth;
+  auth.AllowAnonymous("bench");
+  api::S3Gateway gateway(
+      &auth, [&]() -> core::Engine& { return cluster.RouteRequest(); });
+
+  common::ThreadPool pool(options.pool_threads);
+  net::ServerConfig server_config;
+  server_config.pool = &pool;
+  server_config.max_connections = options.connections + 8;
+  server_config.clock = [] { return common::SimTime{0}; };
+  net::HttpServer server(
+      std::move(server_config),
+      [&gateway](common::SimTime now, const api::HttpRequest& request) {
+        return gateway.Handle(now, request);
+      });
+  if (auto s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("bench_server_throughput: %zu connections, %.1fs, "
+              "%zu pool threads, %zu keys/conn, sizes {",
+              options.connections, options.duration_s, options.pool_threads,
+              options.keys_per_conn);
+  for (std::size_t i = 0; i < options.object_bytes.size(); ++i) {
+    std::printf("%s%zu", i == 0 ? "" : ",", options.object_bytes[i]);
+  }
+  std::printf("} B on 127.0.0.1:%u\n", server.port());
+
+  // --- pre-populate each connection's keyspace so GETs always hit.
+  {
+    net::HttpClient seeder("127.0.0.1", server.port());
+    for (std::size_t c = 0; c < options.connections; ++c) {
+      for (std::size_t k = 0; k < options.keys_per_conn; ++k) {
+        const std::size_t size =
+            options.object_bytes[k % options.object_bytes.size()];
+        api::HttpRequest request;
+        request.method = api::HttpMethod::kPut;
+        request.path =
+            "/bench/c" + std::to_string(c) + "-k" + std::to_string(k);
+        request.body.assign(size, static_cast<char>('a' + k % 26));
+        const auto response = seeder.RoundTrip(request);
+        if (!response.ok() || response->status != 201) {
+          std::fprintf(stderr, "seed PUT failed\n");
+          return 1;
+        }
+      }
+    }
+  }
+  cluster.metadata_store().SyncAll();
+
+  // --- closed-loop workers: 80% GET / 15% PUT / 5% DELETE+rePUT.
+  std::atomic<bool> stop{false};
+  std::vector<WorkerResult> results(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  const auto bench_start = Clock::now();
+  for (std::size_t c = 0; c < options.connections; ++c) {
+    workers.emplace_back([&, c] {
+      WorkerResult& result = results[c];
+      result.latencies_us.reserve(1 << 16);
+      common::Xoshiro256 rng(0x5ca11a + c);
+      net::HttpClient client("127.0.0.1", server.port());
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t k = rng() % options.keys_per_conn;
+        const std::size_t size =
+            options.object_bytes[rng() % options.object_bytes.size()];
+        const std::string path =
+            "/bench/c" + std::to_string(c) + "-k" + std::to_string(k);
+        const std::uint64_t dice = rng() % 100;
+
+        // Each worker owns its keys and is strictly closed-loop (a DELETE
+        // re-PUTs before the next op), so a 404 on GET would mean the
+        // server lost a write — count it as an error.
+        api::HttpRequest request;
+        request.path = path;
+        int expected = 200;
+        if (dice < 80) {
+          request.method = api::HttpMethod::kGet;
+        } else if (dice < 95) {
+          request.method = api::HttpMethod::kPut;
+          request.body.assign(size, static_cast<char>('A' + dice % 26));
+          expected = 201;
+        } else {
+          request.method = api::HttpMethod::kDelete;
+          expected = 204;
+        }
+
+        const auto op_start = Clock::now();
+        const auto response = client.RoundTrip(request);
+        const auto op_end = Clock::now();
+        ++result.requests;
+        result.latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(op_end - op_start)
+                .count());
+        if (!response.ok() || response->status != expected) {
+          ++result.errors;
+        }
+        if (request.method == api::HttpMethod::kDelete) {
+          // Keep the keyspace stable: immediately re-PUT the key.
+          api::HttpRequest reput;
+          reput.method = api::HttpMethod::kPut;
+          reput.path = path;
+          reput.body.assign(size, 'r');
+          const auto reput_start = Clock::now();
+          const auto reput_response = client.RoundTrip(reput);
+          ++result.requests;
+          result.latencies_us.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() -
+                                                        reput_start)
+                  .count());
+          if (!reput_response.ok() || reput_response->status != 201) {
+            ++result.errors;
+          }
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(options.duration_s));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& worker : workers) worker.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - bench_start).count();
+
+  // --- aggregate.
+  std::uint64_t requests = 0, errors = 0;
+  std::vector<double> latencies;
+  for (const auto& result : results) {
+    requests += result.requests;
+    errors += result.errors;
+    latencies.insert(latencies.end(), result.latencies_us.begin(),
+                     result.latencies_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double req_per_s = static_cast<double>(requests) / elapsed_s;
+  const double p50 = Percentile(latencies, 0.50);
+  const double p95 = Percentile(latencies, 0.95);
+  const double p99 = Percentile(latencies, 0.99);
+
+  const net::ServerStats stats = server.stats();
+  std::printf("\n  %-22s %12llu\n", "requests", static_cast<unsigned long long>(requests));
+  std::printf("  %-22s %12.1f\n", "elapsed (s)", elapsed_s);
+  std::printf("  %-22s %12.1f\n", "throughput (req/s)", req_per_s);
+  std::printf("  %-22s %12.1f\n", "p50 latency (us)", p50);
+  std::printf("  %-22s %12.1f\n", "p95 latency (us)", p95);
+  std::printf("  %-22s %12.1f\n", "p99 latency (us)", p99);
+  std::printf("  %-22s %12llu\n", "errors", static_cast<unsigned long long>(errors));
+  std::printf("  %-22s %12.1f\n", "server MiB in",
+              static_cast<double>(stats.bytes_in) / (1024.0 * 1024.0));
+  std::printf("  %-22s %12.1f\n", "server MiB out",
+              static_cast<double>(stats.bytes_out) / (1024.0 * 1024.0));
+
+  // Machine-readable line for scripts/bench_report.sh.
+  std::printf(
+      "RESULT suite=bench_server_throughput requests=%llu elapsed_s=%.3f "
+      "req_per_s=%.1f p50_us=%.1f p95_us=%.1f p99_us=%.1f errors=%llu\n",
+      static_cast<unsigned long long>(requests), elapsed_s, req_per_s, p50,
+      p95, p99, static_cast<unsigned long long>(errors));
+
+  server.Stop();
+  return errors == 0 ? 0 : 1;
+}

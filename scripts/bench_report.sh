@@ -1,21 +1,24 @@
 #!/usr/bin/env bash
-# Perf-trajectory datapoint: runs bench_catalog and bench_placement_scaling
-# and emits BENCH_PR2.json (schema documented in BUILD.md, "Bench report").
+# Perf-trajectory datapoint: runs bench_catalog, bench_placement_scaling and
+# bench_server_throughput (the loopback TCP serving loop) and emits
+# BENCH_PR3.json (schema documented in BUILD.md, "Bench report").
 #
-# Usage: scripts/bench_report.sh [output.json]   (default: BENCH_PR2.json)
+# Usage: scripts/bench_report.sh [output.json]   (default: BENCH_PR3.json)
 # Env:   BUILD_DIR=build
+#        SERVER_BENCH_ARGS="--connections 16 --duration-s 5"  (override)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-OUT=${1:-BENCH_PR2.json}
+OUT=${1:-BENCH_PR3.json}
+SERVER_BENCH_ARGS=${SERVER_BENCH_ARGS:---connections 16 --duration-s 5 --object-bytes 1024,4096}
 
 if [[ ! -d "$BUILD_DIR" ]]; then
   cmake -B "$BUILD_DIR" -S .
 fi
 # bench_placement_scaling needs Google Benchmark and is skipped (with a
 # configure-time warning) when it is absent; build whatever exists.
-cmake --build "$BUILD_DIR" -j --target bench_catalog >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_catalog bench_server_throughput >/dev/null
 if ! cmake --build "$BUILD_DIR" -j --target bench_placement_scaling >/dev/null 2>&1; then
   echo "note: bench_placement_scaling unavailable (Google Benchmark not found)" >&2
 fi
@@ -58,9 +61,33 @@ EOF
 )
 fi
 
+# --- bench_server_throughput: loopback closed-loop load generation; the
+# --- RESULT line carries req/s + latency percentiles.
+SERVER_START=$(now_ms)
+# The bench exits 1 when errors>0; the report must still capture that run
+# (the errors field exists precisely for it), so don't let set -e abort.
+# shellcheck disable=SC2086
+SERVER_RESULT=$({ "$BUILD_DIR/bench/bench_server_throughput" $SERVER_BENCH_ARGS || true; } | grep '^RESULT ' || true)
+SERVER_MS=$(( $(now_ms) - SERVER_START ))
+result_field() {  # result_field <key> -> value (or null)
+  local v
+  v=$(sed -n "s/.*[[:space:]]$1=\([^[:space:]]*\).*/\1/p" <<<"$SERVER_RESULT")
+  echo "${v:-null}"
+}
+SERVER_REQ_S=$(result_field req_per_s)
+SERVER_P50=$(result_field p50_us)
+SERVER_P95=$(result_field p95_us)
+SERVER_P99=$(result_field p99_us)
+SERVER_ERRORS=$(result_field errors)
+SERVER_SKIPPED=false
+if [[ -z "$SERVER_RESULT" ]]; then
+  echo "note: bench_server_throughput produced no RESULT line" >&2
+  SERVER_SKIPPED=true
+fi
+
 cat >"$OUT" <<EOF
 {
-  "schema": "scalia-bench-report/1",
+  "schema": "scalia-bench-report/2",
   "generated_by": "scripts/bench_report.sh",
   "suites": [
     {
@@ -74,6 +101,16 @@ cat >"$OUT" <<EOF
       "wall_ms": $SCALING_MS,
       "objects_per_s": $SCALING_OBJ_S,
       "skipped": $SCALING_SKIPPED
+    },
+    {
+      "suite": "bench_server_throughput",
+      "wall_ms": $SERVER_MS,
+      "req_per_s": $SERVER_REQ_S,
+      "p50_us": $SERVER_P50,
+      "p95_us": $SERVER_P95,
+      "p99_us": $SERVER_P99,
+      "errors": $SERVER_ERRORS,
+      "skipped": $SERVER_SKIPPED
     }
   ]
 }

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification for CI: the exact ROADMAP.md command, then the `asan`
-# preset (Debug + ASan/UBSan, build-asan/). Usage: scripts/verify.sh [--skip-asan]
+# preset (Debug + ASan/UBSan, build-asan/), then — with --tsan — the `tsan`
+# preset running the net/ server suites (the concurrent serving loop) under
+# ThreadSanitizer.
+# Usage: scripts/verify.sh [--skip-asan] [--tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_ASAN=0
+RUN_TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) SKIP_ASAN=1 ;;
+    --tsan) RUN_TSAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -22,6 +27,13 @@ if [[ "$SKIP_ASAN" -eq 0 ]]; then
   cmake --preset asan
   cmake --build --preset asan -j "$(nproc)"
   ctest --preset asan
+fi
+
+if [[ "$RUN_TSAN" -eq 1 ]]; then
+  echo "==> TSan: tsan preset build + net/ server suites"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  ctest --preset tsan -L '^net$'
 fi
 
 echo "==> verify OK"

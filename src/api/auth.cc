@@ -56,9 +56,18 @@ std::size_t Authenticator::KeyCount() const {
   return keys_.size();
 }
 
+void Authenticator::AllowAnonymous(std::string tenant) {
+  std::lock_guard lock(mu_);
+  anonymous_tenant_ = std::move(tenant);
+}
+
 common::Result<std::string> Authenticator::Verify(const HttpRequest& request,
                                                   common::SimTime now) {
   const std::string auth = request.headers.Get("authorization");
+  if (auth.empty()) {
+    std::lock_guard lock(mu_);
+    if (anonymous_tenant_) return *anonymous_tenant_;
+  }
   constexpr std::string_view kScheme = "SCALIA ";
   if (auth.substr(0, kScheme.size()) != kScheme) {
     return common::Status::Unauthenticated("missing SCALIA authorization");
@@ -82,10 +91,18 @@ common::Result<std::string> Authenticator::Verify(const HttpRequest& request,
     return common::Status::Unauthenticated("unparseable timestamp");
   }
 
-  std::lock_guard lock(mu_);
-  auto it = keys_.find(key_id);
-  if (it == keys_.end()) {
-    return common::Status::Unauthenticated("unknown access key " + key_id);
+  // Credentials are copied out so the body hash + HMAC below run without
+  // the lock: Verify is called concurrently from the serving loop's handler
+  // threads, and hashing a max_body_bytes PUT under a global mutex would
+  // serialize every signed request.
+  Credentials creds;
+  {
+    std::lock_guard lock(mu_);
+    auto it = keys_.find(key_id);
+    if (it == keys_.end()) {
+      return common::Status::Unauthenticated("unknown access key " + key_id);
+    }
+    creds = it->second;
   }
 
   // Clock-skew bound: stale or future-dated requests are rejected, which
@@ -96,7 +113,7 @@ common::Result<std::string> Authenticator::Verify(const HttpRequest& request,
 
   const std::string canonical = StringToSign(request);
   const common::Sha256Digest expected =
-      common::HmacSha256(it->second.secret, canonical);
+      common::HmacSha256(creds.secret, canonical);
   // Re-derive a digest from the presented hex via constant-time comparison
   // of the hex strings' underlying digests: compare hex case-insensitively
   // by recomputing ToHex(expected).
@@ -116,17 +133,20 @@ common::Result<std::string> Authenticator::Verify(const HttpRequest& request,
   }
 
   // Replay rejection inside the skew window.
-  while (!seen_order_.empty() &&
-         seen_order_.front().first < now - 2 * max_skew_) {
-    seen_signatures_.erase(seen_order_.front().second);
-    seen_order_.pop_front();
+  {
+    std::lock_guard lock(mu_);
+    while (!seen_order_.empty() &&
+           seen_order_.front().first < now - 2 * max_skew_) {
+      seen_signatures_.erase(seen_order_.front().second);
+      seen_order_.pop_front();
+    }
+    if (!seen_signatures_.insert(presented_hex).second) {
+      return common::Status::Unauthenticated("replayed signature");
+    }
+    seen_order_.emplace_back(now, presented_hex);
   }
-  if (!seen_signatures_.insert(presented_hex).second) {
-    return common::Status::Unauthenticated("replayed signature");
-  }
-  seen_order_.emplace_back(now, presented_hex);
 
-  return it->second.tenant;
+  return creds.tenant;
 }
 
 }  // namespace scalia::api

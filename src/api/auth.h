@@ -67,6 +67,12 @@ class Authenticator {
   void AddCredentials(Credentials creds);
   common::Status RevokeKey(const std::string& access_key_id);
 
+  /// Accepts *unsigned* requests (no Authorization header at all) as
+  /// `tenant` — the public-bucket mode of real S3 frontends, used by the
+  /// scalia_server example so plain curl can drive the gateway.  A request
+  /// that does present an Authorization header is still fully verified.
+  void AllowAnonymous(std::string tenant);
+
   /// Verifies the request at `now`; returns the tenant on success.
   [[nodiscard]] common::Result<std::string> Verify(const HttpRequest& request,
                                                    common::SimTime now);
@@ -76,6 +82,7 @@ class Authenticator {
  private:
   common::Duration max_skew_;
   mutable std::mutex mu_;
+  std::optional<std::string> anonymous_tenant_;
   std::unordered_map<std::string, Credentials> keys_;
   std::unordered_set<std::string> seen_signatures_;
   std::deque<std::pair<common::SimTime, std::string>> seen_order_;

@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "common/string_util.h"
+
 namespace scalia::api {
 
 std::optional<HttpMethod> ParseMethod(std::string_view name) {
@@ -14,14 +16,6 @@ std::optional<HttpMethod> ParseMethod(std::string_view name) {
 
 namespace {
 
-[[nodiscard]] std::string ToLower(std::string_view s) {
-  std::string out(s);
-  for (char& c : out) {
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  }
-  return out;
-}
-
 [[nodiscard]] int HexDigit(char c) {
   if (c >= '0' && c <= '9') return c - '0';
   if (c >= 'a' && c <= 'f') return c - 'a' + 10;
@@ -32,11 +26,11 @@ namespace {
 }  // namespace
 
 void HeaderMap::Set(std::string_view name, std::string value) {
-  headers_[ToLower(name)] = std::move(value);
+  headers_[common::AsciiLower(name)] = std::move(value);
 }
 
 const std::string* HeaderMap::Find(std::string_view name) const {
-  auto it = headers_.find(ToLower(name));
+  auto it = headers_.find(common::AsciiLower(name));
   return it == headers_.end() ? nullptr : &it->second;
 }
 
@@ -116,7 +110,16 @@ common::Result<ParsedTarget> ParseTarget(std::string_view target) {
     start = end + 1;
   }
 
-  // Query parameters.
+  auto query_map = ParseQueryString(query);
+  if (!query_map.ok()) return query_map.status();
+  parsed.query = std::move(query_map).value();
+
+  return parsed;
+}
+
+common::Result<std::map<std::string, std::string>> ParseQueryString(
+    std::string_view query) {
+  std::map<std::string, std::string> out;
   std::size_t qstart = 0;
   while (qstart < query.size()) {
     std::size_t qend = query.find('&', qstart);
@@ -133,12 +136,11 @@ common::Result<ParsedTarget> ParseTarget(std::string_view target) {
       if (!key.ok()) return key.status();
       auto val = UrlDecode(raw_val);
       if (!val.ok()) return val.status();
-      parsed.query[std::move(key).value()] = std::move(val).value();
+      out[std::move(key).value()] = std::move(val).value();
     }
     qstart = qend + 1;
   }
-
-  return parsed;
+  return out;
 }
 
 std::string_view StatusText(int status) {
@@ -152,10 +154,16 @@ std::string_view StatusText(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 409: return "Conflict";
+    case 411: return "Length Required";
     case 412: return "Precondition Failed";
+    case 413: return "Content Too Large";
     case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
     default: return "Unknown";
   }
 }

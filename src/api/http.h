@@ -91,6 +91,12 @@ struct ParsedTarget {
 };
 [[nodiscard]] common::Result<ParsedTarget> ParseTarget(std::string_view target);
 
+/// Decodes a raw query string ("x=1&y=2", no leading '?') into a map.
+/// Shared by ParseTarget and the wire parser (net/server/http_parser.h),
+/// which must agree on the decoding for request signatures to verify.
+[[nodiscard]] common::Result<std::map<std::string, std::string>>
+ParseQueryString(std::string_view query);
+
 /// HTTP status text for the codes the gateway emits.
 [[nodiscard]] std::string_view StatusText(int status);
 

@@ -1,5 +1,6 @@
 #include "common/string_util.h"
 
+#include <cctype>
 #include <cstdio>
 
 #include "common/money.h"
@@ -25,6 +26,14 @@ std::vector<std::string> Split(std::string_view s, char sep) {
       out.emplace_back(s.substr(start, i - start));
       start = i + 1;
     }
+  }
+  return out;
+}
+
+std::string AsciiLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   }
   return out;
 }

@@ -14,6 +14,9 @@ namespace scalia::common {
 /// Splits `s` on `sep` (single character); keeps empty fields.
 [[nodiscard]] std::vector<std::string> Split(std::string_view s, char sep);
 
+/// ASCII lower-casing (HTTP header names, Connection tokens — locale-free).
+[[nodiscard]] std::string AsciiLower(std::string_view s);
+
 /// Fixed-width, right-aligned rendering of a double, for benchmark tables.
 [[nodiscard]] std::string FormatDouble(double v, int decimals);
 

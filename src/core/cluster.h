@@ -13,6 +13,7 @@
 // for each optimization round.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -102,7 +103,9 @@ class ScaliaCluster {
   std::vector<std::unique_ptr<Engine>> engines_;
   std::unique_ptr<PeriodicOptimizer> optimizer_;
   std::uint64_t period_counter_ = 0;
-  std::size_t route_counter_ = 0;
+  // Atomic: RouteRequest() is called concurrently from the serving loop's
+  // handler threads (net/server/), one per in-flight request.
+  std::atomic<std::size_t> route_counter_{0};
 };
 
 }  // namespace scalia::core

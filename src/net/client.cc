@@ -1,0 +1,160 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace scalia::net {
+
+namespace {
+
+[[nodiscard]] std::string ErrnoString() {
+  return std::strerror(errno);
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, std::uint16_t port, Options options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port)
+    : HttpClient(std::move(host), port, Options{}) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+common::Status HttpClient::Connect() {
+  if (connected()) return common::Status::Ok();
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return common::Status::Internal("socket(): " + ErrnoString());
+
+  if (options_.timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.timeout_ms / 1000;
+    tv.tv_usec = (options_.timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  const std::string numeric = host_ == "localhost" ? "127.0.0.1" : host_;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return common::Status::InvalidArgument("unparseable host \"" + host_ +
+                                           "\" (IPv4 literal expected)");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string err = ErrnoString();
+    Close();
+    return common::Status::Unavailable("connect(" + numeric + ":" +
+                                       std::to_string(port_) + "): " + err);
+  }
+  return common::Status::Ok();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+common::Status HttpClient::WriteAll(std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return common::Status::Unavailable("send(): " + ErrnoString());
+  }
+  return common::Status::Ok();
+}
+
+common::Result<api::HttpResponse> HttpClient::ReadResponse(
+    bool head_response, bool* eof_before_any_bytes) {
+  ResponseParser parser(options_.limits);
+  char buf[64 * 1024];
+  bool received_any = false;
+  for (;;) {
+    if (auto parsed = parser.Next(head_response)) {
+      if (!parsed->keep_alive) Close();
+      return std::move(parsed->response);
+    }
+    if (parser.error_status() != 0) {
+      Close();
+      return common::Status::Internal("bad response: " +
+                                      parser.error_message());
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      received_any = true;
+      parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    if (n == 0) {
+      if (!received_any && eof_before_any_bytes != nullptr) {
+        *eof_before_any_bytes = true;
+      }
+      return common::Status::Unavailable(
+          "connection closed mid-response");
+    }
+    return common::Status::Unavailable("recv(): " + ErrnoString());
+  }
+}
+
+common::Result<api::HttpResponse> HttpClient::RoundTrip(
+    const api::HttpRequest& request) {
+  const bool was_connected = connected();
+  if (common::Status s = Connect(); !s.ok()) return s;
+
+  // A kept-alive connection the server closed between requests surfaces
+  // either as a write failure or — when the bytes fit the socket buffer
+  // before the RST/FIN is seen — as EOF before any response bytes.  Both
+  // are safe to retry exactly once on a fresh connection.
+  const std::string wire = SerializeRequest(request, /*keep_alive=*/true);
+  bool redialed = false;
+  common::Status written = WriteAll(wire);
+  if (!written.ok() && was_connected) {
+    Close();
+    if (common::Status s = Connect(); !s.ok()) return s;
+    redialed = true;
+    written = WriteAll(wire);
+  }
+  if (!written.ok()) {
+    Close();
+    return written;
+  }
+
+  const bool head = request.method == api::HttpMethod::kHead;
+  bool eof_before_any_bytes = false;
+  auto response = ReadResponse(
+      head, was_connected && !redialed ? &eof_before_any_bytes : nullptr);
+  if (!response.ok() && eof_before_any_bytes) {
+    if (common::Status s = Connect(); !s.ok()) return s;
+    if (common::Status s = WriteAll(wire); !s.ok()) {
+      Close();
+      return s;
+    }
+    return ReadResponse(head, nullptr);
+  }
+  return response;
+}
+
+}  // namespace scalia::net

@@ -1,0 +1,61 @@
+// Small blocking HTTP/1.1 client for driving the networked gateway.
+//
+// The counterpart of net::HttpServer on the other end of the wire: used by
+// the closed-loop load generator (bench/bench_server_throughput.cc) and the
+// loopback tests.  One HttpClient owns one TCP connection and reuses it
+// across requests (keep-alive); a stale connection — the server closed it
+// between requests — is re-dialed once transparently.  Strictly one request
+// in flight: RoundTrip() blocks until the full response is parsed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/http.h"
+#include "common/status.h"
+#include "net/server/http_parser.h"
+
+namespace scalia::net {
+
+class HttpClient {
+ public:
+  struct Options {
+    /// Send/receive timeout per socket operation (0 = OS default).
+    int timeout_ms = 30'000;
+    ParserLimits limits;
+  };
+
+  /// `host` is a dotted-quad IPv4 address, or "localhost".
+  HttpClient(std::string host, std::uint16_t port, Options options);
+  HttpClient(std::string host, std::uint16_t port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Dials if not already connected.  Idempotent.
+  [[nodiscard]] common::Status Connect();
+  void Close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends `request` and blocks for the response.  Reconnects once if the
+  /// kept-alive connection turns out to be dead at write time.  Closes the
+  /// connection when the server answers `Connection: close`.
+  [[nodiscard]] common::Result<api::HttpResponse> RoundTrip(
+      const api::HttpRequest& request);
+
+ private:
+  [[nodiscard]] common::Status WriteAll(std::string_view data);
+  /// `eof_before_any_bytes` (optional) is set when the server closed the
+  /// connection before sending anything — the stale keep-alive signature
+  /// RoundTrip retries on.
+  [[nodiscard]] common::Result<api::HttpResponse> ReadResponse(
+      bool head_response, bool* eof_before_any_bytes);
+
+  std::string host_;
+  std::uint16_t port_;
+  Options options_;
+  int fd_ = -1;
+};
+
+}  // namespace scalia::net

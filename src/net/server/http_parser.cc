@@ -1,0 +1,398 @@
+#include "net/server/http_parser.h"
+
+#include "common/string_util.h"
+
+namespace scalia::net {
+
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+constexpr std::string_view kHeaderEnd = "\r\n\r\n";
+
+[[nodiscard]] std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Whether the Connection header value lists `token` (comma-separated,
+/// case-insensitive).
+[[nodiscard]] bool ConnectionLists(std::string_view value,
+                                   std::string_view token) {
+  const std::string lowered = common::AsciiLower(value);
+  std::size_t start = 0;
+  while (start <= lowered.size()) {
+    std::size_t end = lowered.find(',', start);
+    if (end == std::string::npos) end = lowered.size();
+    if (TrimOws(std::string_view(lowered).substr(start, end - start)) ==
+        token) {
+      return true;
+    }
+    start = end + 1;
+  }
+  return false;
+}
+
+/// Strict non-negative decimal parse for Content-Length; rejects signs,
+/// whitespace and overflow.
+[[nodiscard]] std::optional<std::size_t> ParseContentLength(
+    std::string_view s) {
+  if (s.empty() || s.size() > 18) return std::nullopt;
+  std::size_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return value;
+}
+
+/// keep-alive from version + Connection header: HTTP/1.1 defaults to
+/// persistent, HTTP/1.0 must opt in.
+[[nodiscard]] bool KeepAliveFor(bool http_1_0, const api::HeaderMap& headers) {
+  const std::string* connection = headers.Find("connection");
+  if (http_1_0) {
+    return connection != nullptr && ConnectionLists(*connection, "keep-alive");
+  }
+  return connection == nullptr || !ConnectionLists(*connection, "close");
+}
+
+/// Parses header lines (everything after the start line) into `headers`;
+/// returns an error message on malformed lines, empty string on success.
+[[nodiscard]] std::string ParseHeaderLines(std::string_view block,
+                                           api::HeaderMap* headers) {
+  std::size_t start = 0;
+  while (start < block.size()) {
+    std::size_t end = block.find(kCrlf, start);
+    if (end == std::string_view::npos) end = block.size();
+    const std::string_view line = block.substr(start, end - start);
+    start = end + kCrlf.size();
+    if (line.empty()) continue;
+    if (line.front() == ' ' || line.front() == '\t') {
+      return "obsolete header line folding";
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return "header line without ':'";
+    const std::string_view name = line.substr(0, colon);
+    if (name.empty() || TrimOws(name).size() != name.size()) {
+      return "malformed header name";
+    }
+    // Duplicate Content-Length is a request-smuggling vector (RFC 9112
+    // §6.3): last-wins framing here could disagree with a first-wins
+    // intermediary, desyncing the pipeline.  Reject outright.
+    if (common::AsciiLower(name) == "content-length" &&
+        headers->Contains("content-length")) {
+      return "duplicate content-length";
+    }
+    headers->Set(name, std::string(TrimOws(line.substr(colon + 1))));
+  }
+  return {};
+}
+
+}  // namespace
+
+void RequestParser::Feed(std::string_view data) {
+  if (error_status_ != 0) return;
+  // Compact before growing: drop the consumed prefix once it dominates.
+  if (consumed_ > 0 && (consumed_ == buffer_.size() || consumed_ > 64 * 1024)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data);
+}
+
+void RequestParser::Fail(int status, std::string message) {
+  error_status_ = status;
+  error_message_ = std::move(message);
+}
+
+bool RequestParser::ParseHeaderBlock(std::string_view block) {
+  pending_ = ParsedRequest{};
+
+  std::size_t line_end = block.find(kCrlf);
+  if (line_end == std::string_view::npos) line_end = block.size();
+  const std::string_view request_line = block.substr(0, line_end);
+
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  const std::string_view method = request_line.substr(0, sp1);
+  const std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+
+  bool http_1_0 = false;
+  if (version == "HTTP/1.0") {
+    http_1_0 = true;
+  } else if (version != "HTTP/1.1") {
+    if (version.substr(0, 5) == "HTTP/") {
+      Fail(505, "unsupported HTTP version");
+    } else {
+      Fail(400, "malformed HTTP version");
+    }
+    return false;
+  }
+  if (target.empty() || target.front() != '/') {
+    Fail(400, "request target must be origin-form");
+    return false;
+  }
+  const auto parsed_method = api::ParseMethod(method);
+  if (!parsed_method) {
+    Fail(405, "unsupported method \"" + std::string(method) + "\"");
+    return false;
+  }
+
+  pending_.request.method = *parsed_method;
+  // The query string is split off and decoded here so the wire form matches
+  // the in-process convention (path without query + decoded query map) the
+  // request signature covers.  The path stays percent-encoded; decoding and
+  // traversal checks are api::ParseTarget's job in the gateway.
+  std::string_view path = target;
+  if (const std::size_t qpos = target.find('?');
+      qpos != std::string_view::npos) {
+    path = target.substr(0, qpos);
+    auto query = api::ParseQueryString(target.substr(qpos + 1));
+    if (!query.ok()) {
+      Fail(400, "malformed query string: " + query.status().message());
+      return false;
+    }
+    pending_.request.query = std::move(query).value();
+  }
+  pending_.request.path = std::string(path);
+  if (std::string err = ParseHeaderLines(block.substr(line_end),
+                                         &pending_.request.headers);
+      !err.empty()) {
+    Fail(400, std::move(err));
+    return false;
+  }
+
+  if (pending_.request.headers.Contains("transfer-encoding")) {
+    Fail(501, "transfer-encoding is not supported");
+    return false;
+  }
+  body_length_ = 0;
+  if (const std::string* cl = pending_.request.headers.Find("content-length")) {
+    const auto length = ParseContentLength(*cl);
+    if (!length) {
+      Fail(400, "malformed content-length");
+      return false;
+    }
+    if (*length > limits_.max_body_bytes) {
+      Fail(413, "content-length exceeds " +
+                    std::to_string(limits_.max_body_bytes) + " bytes");
+      return false;
+    }
+    body_length_ = *length;
+  }
+  pending_.keep_alive = KeepAliveFor(http_1_0, pending_.request.headers);
+  return true;
+}
+
+std::optional<ParsedRequest> RequestParser::Next() {
+  if (error_status_ != 0) return std::nullopt;
+
+  if (state_ == State::kHeaders) {
+    const std::size_t block_end = buffer_.find(kHeaderEnd, consumed_);
+    if (block_end == std::string::npos) {
+      if (buffered_bytes() > limits_.max_header_bytes) {
+        Fail(431, "request headers exceed " +
+                      std::to_string(limits_.max_header_bytes) + " bytes");
+      }
+      return std::nullopt;
+    }
+    const std::size_t block_size = block_end + kHeaderEnd.size() - consumed_;
+    if (block_size > limits_.max_header_bytes) {
+      Fail(431, "request headers exceed " +
+                    std::to_string(limits_.max_header_bytes) + " bytes");
+      return std::nullopt;
+    }
+    if (!ParseHeaderBlock(
+            std::string_view(buffer_).substr(consumed_, block_size -
+                                                            kHeaderEnd.size()))) {
+      return std::nullopt;
+    }
+    consumed_ += block_size;
+    state_ = State::kBody;
+  }
+
+  if (buffered_bytes() < body_length_) return std::nullopt;
+  pending_.request.body = buffer_.substr(consumed_, body_length_);
+  consumed_ += body_length_;
+  state_ = State::kHeaders;
+  ParsedRequest done = std::move(pending_);
+  pending_ = ParsedRequest{};
+  return done;
+}
+
+void ResponseParser::Feed(std::string_view data) {
+  if (error_status_ != 0) return;
+  if (consumed_ > 0 && (consumed_ == buffer_.size() || consumed_ > 64 * 1024)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data);
+}
+
+void ResponseParser::Fail(std::string message) {
+  error_status_ = 502;  // what a gateway would report: bad upstream response
+  error_message_ = std::move(message);
+}
+
+std::optional<ParsedResponse> ResponseParser::Next(bool head_response) {
+  if (error_status_ != 0) return std::nullopt;
+
+  if (state_ == State::kHeaders) {
+    const std::size_t block_end = buffer_.find(kHeaderEnd, consumed_);
+    if (block_end == std::string::npos) {
+      if (buffered_bytes() > limits_.max_header_bytes) {
+        Fail("response headers too large");
+      }
+      return std::nullopt;
+    }
+    const std::size_t block_size = block_end + kHeaderEnd.size() - consumed_;
+    if (block_size > limits_.max_header_bytes) {
+      Fail("response headers too large");
+      return std::nullopt;
+    }
+    const std::string_view block = std::string_view(buffer_).substr(
+        consumed_, block_size - kHeaderEnd.size());
+
+    pending_ = ParsedResponse{};
+    std::size_t line_end = block.find(kCrlf);
+    if (line_end == std::string_view::npos) line_end = block.size();
+    const std::string_view status_line = block.substr(0, line_end);
+
+    // Status line: HTTP/1.x SP 3-digit-code SP reason-phrase.
+    const std::size_t sp1 = status_line.find(' ');
+    if (sp1 == std::string_view::npos ||
+        status_line.substr(0, 5) != "HTTP/") {
+      Fail("malformed status line");
+      return std::nullopt;
+    }
+    std::size_t sp2 = status_line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos) sp2 = status_line.size();
+    const std::string_view code = status_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (code.size() != 3 || code[0] < '1' || code[0] > '5') {
+      Fail("malformed status code");
+      return std::nullopt;
+    }
+    int status = 0;
+    for (char c : code) {
+      if (c < '0' || c > '9') {
+        Fail("malformed status code");
+        return std::nullopt;
+      }
+      status = status * 10 + (c - '0');
+    }
+    pending_.response.status = status;
+
+    if (std::string err = ParseHeaderLines(block.substr(line_end),
+                                           &pending_.response.headers);
+        !err.empty()) {
+      Fail(std::move(err));
+      return std::nullopt;
+    }
+    const bool http_1_0 = status_line.substr(0, 8) == "HTTP/1.0";
+    pending_.keep_alive = KeepAliveFor(http_1_0, pending_.response.headers);
+
+    body_length_ = 0;
+    if (!head_response) {
+      if (const std::string* cl =
+              pending_.response.headers.Find("content-length")) {
+        const auto length = ParseContentLength(*cl);
+        if (!length || *length > limits_.max_body_bytes) {
+          Fail("malformed or oversized content-length");
+          return std::nullopt;
+        }
+        body_length_ = *length;
+      }
+    }
+    consumed_ += block_size;
+    state_ = State::kBody;
+  }
+
+  if (buffered_bytes() < body_length_) return std::nullopt;
+  pending_.response.body = buffer_.substr(consumed_, body_length_);
+  consumed_ += body_length_;
+  state_ = State::kHeaders;
+  ParsedResponse done = std::move(pending_);
+  pending_ = ParsedResponse{};
+  return done;
+}
+
+std::string SerializeResponse(const api::HttpResponse& response,
+                              bool keep_alive) {
+  std::string wire;
+  wire.reserve(128 + response.body.size());
+  wire += "HTTP/1.1 ";
+  wire += std::to_string(response.status);
+  wire += ' ';
+  wire += api::StatusText(response.status);
+  wire += kCrlf;
+  bool has_content_length = false;
+  for (const auto& [name, value] : response.headers) {
+    if (name == "connection") continue;  // the server owns this header
+    if (name == "content-length") has_content_length = true;
+    wire += name;
+    wire += ": ";
+    wire += value;
+    wire += kCrlf;
+  }
+  if (!has_content_length) {
+    wire += "content-length: ";
+    wire += std::to_string(response.body.size());
+    wire += kCrlf;
+  }
+  wire += keep_alive ? "connection: keep-alive" : "connection: close";
+  wire += kCrlf;
+  wire += kCrlf;
+  wire += response.body;
+  return wire;
+}
+
+std::string SerializeRequest(const api::HttpRequest& request,
+                             bool keep_alive) {
+  std::string wire;
+  wire.reserve(128 + request.body.size());
+  wire += api::MethodName(request.method);
+  wire += ' ';
+  wire += request.path;
+  char sep = '?';
+  for (const auto& [key, value] : request.query) {
+    wire += sep;
+    sep = '&';
+    wire += api::UrlEncode(key);
+    wire += '=';
+    wire += api::UrlEncode(value);
+  }
+  wire += " HTTP/1.1";
+  wire += kCrlf;
+  bool has_content_length = false;
+  for (const auto& [name, value] : request.headers) {
+    if (name == "connection") continue;
+    if (name == "content-length") has_content_length = true;
+    wire += name;
+    wire += ": ";
+    wire += value;
+    wire += kCrlf;
+  }
+  if (!has_content_length) {
+    wire += "content-length: ";
+    wire += std::to_string(request.body.size());
+    wire += kCrlf;
+  }
+  wire += keep_alive ? "connection: keep-alive" : "connection: close";
+  wire += kCrlf;
+  wire += kCrlf;
+  wire += request.body;
+  return wire;
+}
+
+}  // namespace scalia::net

@@ -1,0 +1,137 @@
+// Incremental HTTP/1.1 wire parsing for the networked S3 gateway.
+//
+// api/http.h models the messages; this module binds them to the wire.  The
+// RequestParser consumes bytes exactly as recv() delivers them — a request
+// line split across ten reads is as valid as one arriving whole — and
+// yields complete api::HttpRequest values plus the keep-alive decision.
+// Protocol violations surface as an HTTP status (400/405/411 tree) instead
+// of an exception, so the server can answer on the wire before closing:
+//
+//   431  request line + headers exceed max_header_bytes
+//   413  declared Content-Length exceeds max_body_bytes
+//   501  Transfer-Encoding (chunked uploads are not supported)
+//   505  an HTTP/x.y version other than 1.0 / 1.1
+//   405  a syntactically valid but unsupported method (POST, PATCH, …)
+//   400  everything malformed (bad request line, bad Content-Length, …)
+//
+// The ResponseParser is the client-side mirror (status line instead of a
+// request line), used by net::HttpClient and the loopback tests.  Bodies
+// are delimited by Content-Length only; percent-encoded targets are kept
+// raw — decoding and traversal checks stay in api::ParseTarget.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/http.h"
+
+namespace scalia::net {
+
+struct ParserLimits {
+  /// Bound on the request line + header block, including the blank line.
+  std::size_t max_header_bytes = 16 * 1024;
+  /// Bound on the declared Content-Length.
+  std::size_t max_body_bytes = 64ull * 1024 * 1024;
+};
+
+struct ParsedRequest {
+  api::HttpRequest request;
+  /// Whether the connection may serve another request afterwards
+  /// (HTTP/1.1 default, overridden by Connection; HTTP/1.0 opts in).
+  bool keep_alive = true;
+};
+
+class RequestParser {
+ public:
+  explicit RequestParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  /// Appends bytes received from the wire.
+  void Feed(std::string_view data);
+
+  /// Extracts the next complete request, nullopt when more bytes are
+  /// needed.  After a protocol error, always nullopt (see error_status).
+  [[nodiscard]] std::optional<ParsedRequest> Next();
+
+  /// 0 while the stream is healthy; otherwise the HTTP status the server
+  /// should answer with before closing the connection.
+  [[nodiscard]] int error_status() const noexcept { return error_status_; }
+  [[nodiscard]] const std::string& error_message() const noexcept {
+    return error_message_;
+  }
+
+  /// Bytes buffered but not yet consumed into a request (back-pressure
+  /// signal: the server stops reading when this grows too large).
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  enum class State { kHeaders, kBody };
+
+  void Fail(int status, std::string message);
+  /// Parses the request line + header lines into pending_; returns false
+  /// after calling Fail().
+  bool ParseHeaderBlock(std::string_view block);
+
+  ParserLimits limits_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  State state_ = State::kHeaders;
+  ParsedRequest pending_;
+  std::size_t body_length_ = 0;
+  int error_status_ = 0;
+  std::string error_message_;
+};
+
+struct ParsedResponse {
+  api::HttpResponse response;
+  bool keep_alive = true;
+};
+
+class ResponseParser {
+ public:
+  explicit ResponseParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  void Feed(std::string_view data);
+
+  /// `head_response` skips the body (HEAD answers carry Content-Length
+  /// describing the object but no payload).
+  [[nodiscard]] std::optional<ParsedResponse> Next(bool head_response);
+
+  [[nodiscard]] int error_status() const noexcept { return error_status_; }
+  [[nodiscard]] const std::string& error_message() const noexcept {
+    return error_message_;
+  }
+
+ private:
+  enum class State { kHeaders, kBody };
+
+  void Fail(std::string message);
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+  ParserLimits limits_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  State state_ = State::kHeaders;
+  ParsedResponse pending_;
+  std::size_t body_length_ = 0;
+  int error_status_ = 0;
+  std::string error_message_;
+};
+
+/// Renders a response to the wire.  Emits Content-Length (preserving an
+/// explicit one, e.g. a HEAD answer describing the object's size) and a
+/// Connection header matching `keep_alive`.
+[[nodiscard]] std::string SerializeResponse(const api::HttpResponse& response,
+                                            bool keep_alive);
+
+/// Renders a request to the wire: request line (path + re-encoded query),
+/// headers, Content-Length, Connection.
+[[nodiscard]] std::string SerializeRequest(const api::HttpRequest& request,
+                                           bool keep_alive);
+
+}  // namespace scalia::net

@@ -1,0 +1,494 @@
+#include "net/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <utility>
+
+#include "common/log.h"
+
+namespace scalia::net {
+
+namespace {
+
+constexpr std::uint64_t kListenerId = 0;
+constexpr std::uint64_t kWakeId = 1;
+
+[[nodiscard]] std::string ErrnoString() {
+  return std::strerror(errno);
+}
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer(ServerConfig config, Handler handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {
+  if (!config_.clock) {
+    config_.clock = [] {
+      return static_cast<common::SimTime>(::time(nullptr));
+    };
+  }
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+common::Status HttpServer::Start() {
+  if (started_) {
+    return common::Status::FailedPrecondition("server already started");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return common::Status::Internal("socket(): " + ErrnoString());
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    CloseFd(listen_fd_);
+    return common::Status::InvalidArgument("unparseable bind address \"" +
+                                           config_.bind_address + "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    const std::string err = ErrnoString();
+    CloseFd(listen_fd_);
+    return common::Status::Unavailable("bind(" + config_.bind_address + ":" +
+                                       std::to_string(config_.port) +
+                                       "): " + err);
+  }
+  if (::listen(listen_fd_, 256) != 0) {
+    const std::string err = ErrnoString();
+    CloseFd(listen_fd_);
+    return common::Status::Internal("listen(): " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const std::string err = ErrnoString();
+    CloseFd(listen_fd_);
+    return common::Status::Internal("getsockname(): " + err);
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    CloseFd(listen_fd_);
+    CloseFd(epoll_fd_);
+    CloseFd(wake_fd_);
+    return common::Status::Internal("epoll/eventfd setup: " + ErrnoString());
+  }
+  epoll_event listen_ev{};
+  listen_ev.events = EPOLLIN;
+  listen_ev.data.u64 = kListenerId;
+  epoll_event wake_ev{};
+  wake_ev.events = EPOLLIN;
+  wake_ev.data.u64 = kWakeId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &listen_ev) != 0 ||
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake_ev) != 0) {
+    CloseFd(listen_fd_);
+    CloseFd(epoll_fd_);
+    CloseFd(wake_fd_);
+    return common::Status::Internal("epoll_ctl(): " + ErrnoString());
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  started_ = true;
+  io_thread_ = std::thread([this] { IoLoop(); });
+  SCALIA_LOG(common::LogLevel::kInfo, "net.server")
+      << "listening on " << config_.bind_address << ":" << port_;
+  return common::Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  WakeIo();
+  if (io_thread_.joinable()) io_thread_.join();
+  {
+    std::unique_lock lock(in_flight_mu_);
+    in_flight_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+  // The I/O thread is gone and no handler is running: flush whatever
+  // responses completed during shutdown, best-effort, then tear down.
+  DrainCompletions();
+  for (auto& [id, conn] : conns_) CloseFd(conn->fd);
+  conns_.clear();
+  CloseFd(listen_fd_);
+  CloseFd(epoll_fd_);
+  CloseFd(wake_fd_);
+  started_ = false;
+}
+
+ServerStats HttpServer::stats() const {
+  ServerStats s;
+  s.connections_accepted = stat_accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected = stat_rejected_.load(std::memory_order_relaxed);
+  s.requests_served = stat_requests_.load(std::memory_order_relaxed);
+  s.protocol_errors = stat_protocol_errors_.load(std::memory_order_relaxed);
+  s.bytes_in = stat_bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = stat_bytes_out_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void HttpServer::WakeIo() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void HttpServer::IoLoop() {
+  std::array<epoll_event, 64> events;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SCALIA_LOG(common::LogLevel::kError, "net.server")
+          << "epoll_wait(): " << ErrnoString();
+      break;
+    }
+    for (int i = 0; i < n && !stopping_.load(std::memory_order_acquire);
+         ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      if (id == kListenerId) {
+        AcceptReady();
+      } else if (id == kWakeId) {
+        std::uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof drained) > 0) {
+        }
+        DrainCompletions();
+      } else {
+        HandleEvent(id, events[i].events);
+      }
+    }
+  }
+}
+
+void HttpServer::AcceptReady() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of file descriptors: mask the listener so the level-triggered
+        // epoll does not busy-spin; CloseConnection re-arms it when an fd
+        // frees up.
+        SCALIA_LOG(common::LogLevel::kWarning, "net.server")
+            << "accept4(): out of file descriptors; pausing accepts";
+        epoll_event ev{};
+        ev.data.u64 = kListenerId;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev) == 0) {
+          accept_paused_ = true;
+        }
+        return;
+      }
+      SCALIA_LOG(common::LogLevel::kError, "net.server")
+          << "accept4(): " << ErrnoString();
+      return;
+    }
+    if (conns_.size() >= config_.max_connections) {
+      stat_rejected_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    conn->parser = RequestParser(config_.limits);
+    conn->epoll_events = EPOLLIN;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    stat_accepted_.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void HttpServer::HandleEvent(std::uint64_t conn_id, std::uint32_t events) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // raced with a close
+  Connection& conn = *it->second;
+
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    CloseConnection(conn_id);
+    return;
+  }
+  if ((events & EPOLLIN) != 0) {
+    if (!ReadReady(conn)) {
+      CloseConnection(conn_id);
+      return;
+    }
+  }
+  // Two rounds: the second dispatch picks up a request that was held back
+  // by write-side back-pressure which the first flush just relieved.
+  for (int round = 0; round < 2; ++round) {
+    DispatchNext(conn);
+    if (!FlushWrites(conn)) return;
+  }
+  UpdateInterest(conn);
+}
+
+bool HttpServer::ReadReady(Connection& conn) {
+  char buf[64 * 1024];
+  if (conn.draining) {
+    // Lingering close: discard whatever the client is still sending (e.g.
+    // the body of a 413-rejected upload) so close() finds an empty receive
+    // buffer and the error answer is not wiped out by an RST.  Bounded by
+    // drain_budget against a client that streams forever.
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        const auto discarded = static_cast<std::size_t>(n);
+        if (discarded >= conn.drain_budget) return false;  // budget spent
+        conn.drain_budget -= discarded;
+        continue;
+      }
+      if (n == 0) {
+        conn.peer_eof = true;
+        return true;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+  }
+  // Back-pressure: stop reading once the parser holds a full request's
+  // worth of unconsumed bytes (a complete request always fits below the
+  // threshold, so parsing can always progress).  EPOLLIN is masked by
+  // UpdateInterest, so level-triggered epoll does not spin, and reading
+  // resumes as dispatches drain the buffer.
+  const std::size_t pause_at =
+      config_.limits.max_header_bytes + config_.limits.max_body_bytes;
+  for (;;) {
+    if (conn.parser.buffered_bytes() >= pause_at) return true;
+    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      stat_bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                               std::memory_order_relaxed);
+      conn.parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      if (static_cast<std::size_t>(n) < sizeof buf) return true;
+      continue;
+    }
+    if (n == 0) {
+      conn.peer_eof = true;
+      return true;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    return false;  // reset or another fatal error
+  }
+}
+
+void HttpServer::DispatchNext(Connection& conn) {
+  if (conn.busy || conn.close_after_flush ||
+      stopping_.load(std::memory_order_acquire)) {
+    return;
+  }
+  // Write-side back-pressure: a client that pipelines requests without
+  // reading responses must not grow outbuf unboundedly.  A response body
+  // is at most max_body_bytes (PUT-bounded), so gating here caps the
+  // backlog at roughly twice that.  Dispatch resumes from the EPOLLOUT
+  // path once the client drains.
+  if (conn.outbuf.size() - conn.outbuf_off >= config_.limits.max_body_bytes) {
+    conn.dispatch_deferred = true;
+    return;
+  }
+  conn.dispatch_deferred = false;
+  auto parsed = conn.parser.Next();
+  if (!parsed) {
+    if (conn.parser.error_status() != 0) {
+      stat_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      api::HttpResponse error;
+      error.status = conn.parser.error_status();
+      error.body = conn.parser.error_message() + "\n";
+      error.headers.Set("content-type", "text/plain");
+      conn.outbuf += SerializeResponse(error, /*keep_alive=*/false);
+      conn.close_after_flush = true;
+      conn.error_close = true;
+    }
+    return;
+  }
+
+  conn.busy = true;
+  const std::uint64_t conn_id = conn.id;
+  const bool keep_alive = parsed->keep_alive;
+  {
+    std::lock_guard lock(in_flight_mu_);
+    ++in_flight_;
+  }
+  pool().Submit([this, conn_id, keep_alive,
+                 request = std::move(parsed->request)] {
+    api::HttpResponse response;
+    try {
+      response = handler_(config_.clock(), request);
+    } catch (const std::exception& e) {
+      response = api::HttpResponse{};
+      response.status = 500;
+      response.body = std::string("handler exception: ") + e.what();
+    } catch (...) {
+      response = api::HttpResponse{};
+      response.status = 500;
+      response.body = "handler exception";
+    }
+    // HEAD answers describe the body without carrying it (RFC 9110 §9.3.2):
+    // keep the length, drop the bytes — otherwise a kept-alive client that
+    // rightly skips the body would desync on, e.g., a 404 error body.
+    if (request.method == api::HttpMethod::kHead && !response.body.empty()) {
+      if (!response.headers.Contains("content-length")) {
+        response.headers.Set("content-length",
+                             std::to_string(response.body.size()));
+      }
+      response.body.clear();
+    }
+    Completion completion{conn_id, SerializeResponse(response, keep_alive),
+                          keep_alive};
+    {
+      std::lock_guard lock(completions_mu_);
+      completions_.push_back(std::move(completion));
+    }
+    WakeIo();
+    {
+      // Notify under the lock: Stop() may destroy this server the moment
+      // it observes in_flight_ == 0, so the broadcast must complete before
+      // the mutex is released.
+      std::lock_guard lock(in_flight_mu_);
+      --in_flight_;
+      in_flight_cv_.notify_all();
+    }
+  });
+}
+
+void HttpServer::DrainCompletions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard lock(completions_mu_);
+    done.swap(completions_);
+  }
+  for (auto& completion : done) {
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // connection died while handling
+    Connection& conn = *it->second;
+    conn.busy = false;
+    conn.outbuf += completion.wire;
+    stat_requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!completion.keep_alive) conn.close_after_flush = true;
+    // Two rounds, like HandleEvent: a pipelined request may already be
+    // buffered, and the second dispatch picks up one that write-side
+    // back-pressure held until the first flush drained outbuf.
+    bool alive = true;
+    for (int round = 0; round < 2; ++round) {
+      DispatchNext(conn);
+      if (!FlushWrites(conn)) {
+        alive = false;
+        break;
+      }
+    }
+    if (alive) UpdateInterest(conn);
+  }
+}
+
+bool HttpServer::FlushWrites(Connection& conn) {
+  while (conn.outbuf_off < conn.outbuf.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.outbuf_off,
+               conn.outbuf.size() - conn.outbuf_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbuf_off += static_cast<std::size_t>(n);
+      stat_bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return true;  // UpdateInterest arms EPOLLOUT for the rest
+    }
+    CloseConnection(conn.id);
+    return false;
+  }
+  conn.outbuf.clear();
+  conn.outbuf_off = 0;
+  if (conn.close_after_flush ||
+      (conn.peer_eof && !conn.busy && !conn.dispatch_deferred)) {
+    if (conn.error_close && !conn.peer_eof) {
+      // Answer flushed after a protocol error, but the client may still be
+      // mid-send: half-close and drain instead of closing outright.
+      if (!conn.draining) {
+        ::shutdown(conn.fd, SHUT_WR);
+        conn.draining = true;
+        conn.drain_budget = config_.limits.max_body_bytes;
+      }
+      return true;
+    }
+    CloseConnection(conn.id);
+    return false;
+  }
+  return true;
+}
+
+void HttpServer::UpdateInterest(Connection& conn) {
+  const std::size_t pause_at =
+      config_.limits.max_header_bytes + config_.limits.max_body_bytes;
+  const bool paused = conn.parser.buffered_bytes() >= pause_at;
+  std::uint32_t want = 0;
+  if (conn.draining) {
+    want |= EPOLLIN;  // keep discarding until peer EOF
+  } else if (!paused && !conn.close_after_flush && !conn.peer_eof) {
+    want |= EPOLLIN;
+  }
+  if (conn.outbuf_off < conn.outbuf.size()) want |= EPOLLOUT;
+  if (want == conn.epoll_events) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn.id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0) {
+    conn.epoll_events = want;
+  }
+}
+
+void HttpServer::CloseConnection(std::uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  if (accept_paused_) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenerId;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev) == 0) {
+      accept_paused_ = false;
+    }
+  }
+}
+
+}  // namespace scalia::net

@@ -1,0 +1,173 @@
+// Networked front door for the S3-compatible gateway.
+//
+// §III-A's engines are "simple stateless web services"; this server is the
+// serving loop that makes ours one.  A single I/O thread owns a listening
+// TCP socket and an epoll set of non-blocking connections: it accepts,
+// reads, and feeds bytes to each connection's incremental RequestParser.
+// Complete requests are dispatched to the shared common::ThreadPool — the
+// same pool the optimizer and chunk transfers use — where the handler
+// (typically api::S3Gateway::Handle via core::ScaliaCluster::RouteRequest)
+// produces the response; the serialized bytes are handed back to the I/O
+// thread over a completion queue + eventfd wakeup and flushed to the wire,
+// honouring keep-alive and pipelining (one request in flight per
+// connection; later pipelined requests wait buffered, so responses can
+// never reorder).
+//
+// Protocol errors answer on the wire (431/413/400/405/501/505, see
+// http_parser.h) and then close.  Stop() is graceful: the listener closes,
+// in-flight handlers drain, and every worker joins before it returns.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/http.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/server/http_parser.h"
+
+namespace scalia::net {
+
+struct ServerConfig {
+  /// Dotted-quad address to bind ("0.0.0.0" to serve beyond loopback).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Accepted connections beyond this are closed immediately.
+  std::size_t max_connections = 1024;
+  ParserLimits limits;
+  /// Handler pool; nullptr uses common::ThreadPool::Shared().
+  common::ThreadPool* pool = nullptr;
+  /// Timestamp handed to the handler per request; defaults to the wall
+  /// clock in seconds (examples) — tests pin it for deterministic auth.
+  std::function<common::SimTime()> clock;
+};
+
+/// Monotonic counters, readable while serving.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  // over max_connections
+  std::uint64_t requests_served = 0;       // handler responses written
+  std::uint64_t protocol_errors = 0;       // parser-level error answers
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class HttpServer {
+ public:
+  using Handler =
+      std::function<api::HttpResponse(common::SimTime, const api::HttpRequest&)>;
+
+  HttpServer(ServerConfig config, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and starts the I/O thread.  Fails on an unparseable
+  /// address or an occupied port.
+  [[nodiscard]] common::Status Start();
+
+  /// Graceful shutdown: stops accepting, lets in-flight handlers finish,
+  /// closes every connection and joins the I/O thread.  Idempotent.
+  void Stop();
+
+  /// The bound port (resolves port 0 after Start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Connection {
+    std::uint64_t id = 0;
+    int fd = -1;
+    RequestParser parser;
+    std::string outbuf;
+    std::size_t outbuf_off = 0;
+    bool busy = false;              // one request is with the thread pool
+    /// Write-side back-pressure deferred a dispatch; a complete request
+    /// may still be buffered, so a peer EOF must not close the connection
+    /// before it is served.
+    bool dispatch_deferred = false;
+    bool close_after_flush = false;
+    bool error_close = false;       // closing because of a protocol error
+    /// Lingering close: response flushed + SHUT_WR sent; reads are being
+    /// discarded until peer EOF (or budget), so the client can read the
+    /// error answer before any RST.
+    bool draining = false;
+    std::size_t drain_budget = 0;
+    bool peer_eof = false;
+    std::uint32_t epoll_events = 0;  // currently armed interest set
+  };
+
+  /// A handler result crossing back from a pool thread to the I/O thread.
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::string wire;
+    bool keep_alive = true;
+  };
+
+  void IoLoop();
+  void AcceptReady();
+  void HandleEvent(std::uint64_t conn_id, std::uint32_t events);
+  /// Reads until EAGAIN (or back-pressure pause); false on a fatal socket
+  /// error — the caller closes.
+  [[nodiscard]] bool ReadReady(Connection& conn);
+  /// Starts the next buffered request if the connection is idle; emits the
+  /// protocol-error answer when the parser has failed.
+  void DispatchNext(Connection& conn);
+  /// Writes what the socket accepts; arms EPOLLOUT on short writes and
+  /// closes once drained if the connection is finished.  False when the
+  /// connection was closed.
+  [[nodiscard]] bool FlushWrites(Connection& conn);
+  void DrainCompletions();
+  void UpdateInterest(Connection& conn);
+  void CloseConnection(std::uint64_t conn_id);
+  void WakeIo();
+
+  [[nodiscard]] common::ThreadPool& pool() const noexcept {
+    return config_.pool != nullptr ? *config_.pool
+                                   : common::ThreadPool::Shared();
+  }
+
+  ServerConfig config_;
+  Handler handler_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::thread io_thread_;
+  std::atomic<bool> stopping_{false};
+
+  // I/O-thread-only state.
+  std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake eventfd
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  bool accept_paused_ = false;  // listener masked after EMFILE/ENFILE
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  std::mutex in_flight_mu_;
+  std::condition_variable in_flight_cv_;
+  std::size_t in_flight_ = 0;
+
+  std::atomic<std::uint64_t> stat_accepted_{0};
+  std::atomic<std::uint64_t> stat_rejected_{0};
+  std::atomic<std::uint64_t> stat_requests_{0};
+  std::atomic<std::uint64_t> stat_protocol_errors_{0};
+  std::atomic<std::uint64_t> stat_bytes_in_{0};
+  std::atomic<std::uint64_t> stat_bytes_out_{0};
+};
+
+}  // namespace scalia::net

@@ -1,0 +1,366 @@
+// HTTP/1.1 wire-parsing edge cases: split reads across recv boundaries,
+// header/body limits, keep-alive semantics, pipelining, and the
+// client-side response parser + serializers round-tripping.
+#include "net/server/http_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/http.h"
+
+namespace scalia::net {
+namespace {
+
+ParsedRequest MustParse(RequestParser& parser) {
+  auto parsed = parser.Next();
+  EXPECT_EQ(parser.error_status(), 0) << parser.error_message();
+  EXPECT_TRUE(parsed.has_value());
+  return parsed.value_or(ParsedRequest{});
+}
+
+TEST(RequestParserTest, SimpleGetInOneFeed) {
+  RequestParser parser;
+  parser.Feed(
+      "GET /pictures/holiday.gif HTTP/1.1\r\n"
+      "Host: example.test\r\n"
+      "X-Scalia-Timestamp: 42\r\n"
+      "\r\n");
+  const ParsedRequest parsed = MustParse(parser);
+  EXPECT_EQ(parsed.request.method, api::HttpMethod::kGet);
+  EXPECT_EQ(parsed.request.path, "/pictures/holiday.gif");
+  EXPECT_EQ(parsed.request.headers.Get("host"), "example.test");
+  EXPECT_EQ(parsed.request.headers.Get("x-scalia-timestamp"), "42");
+  EXPECT_TRUE(parsed.request.body.empty());
+  EXPECT_TRUE(parsed.keep_alive);
+  EXPECT_FALSE(parser.Next().has_value());  // nothing further buffered
+}
+
+TEST(RequestParserTest, SplitAcrossEveryRecvBoundary) {
+  const std::string wire =
+      "PUT /bucket/key HTTP/1.1\r\n"
+      "Content-Length: 11\r\n"
+      "Content-Type: text/plain\r\n"
+      "\r\n"
+      "hello world";
+  // Feed one byte at a time: the request must complete exactly once, at
+  // the final byte, regardless of where recv() boundaries fall.
+  RequestParser parser;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    parser.Feed(wire.substr(i, 1));
+    ASSERT_FALSE(parser.Next().has_value()) << "completed early at byte " << i;
+    ASSERT_EQ(parser.error_status(), 0) << parser.error_message();
+  }
+  parser.Feed(wire.substr(wire.size() - 1));
+  const ParsedRequest parsed = MustParse(parser);
+  EXPECT_EQ(parsed.request.method, api::HttpMethod::kPut);
+  EXPECT_EQ(parsed.request.body, "hello world");
+}
+
+TEST(RequestParserTest, SplitInTwoAtEveryBoundary) {
+  const std::string wire =
+      "DELETE /bucket/old%20file HTTP/1.0\r\n"
+      "Connection: keep-alive\r\n"
+      "\r\n";
+  for (std::size_t split = 1; split < wire.size(); ++split) {
+    RequestParser parser;
+    parser.Feed(wire.substr(0, split));
+    parser.Feed(wire.substr(split));
+    const ParsedRequest parsed = MustParse(parser);
+    EXPECT_EQ(parsed.request.method, api::HttpMethod::kDelete);
+    EXPECT_EQ(parsed.request.path, "/bucket/old%20file") << "split " << split;
+    EXPECT_TRUE(parsed.keep_alive);  // HTTP/1.0 opted in
+  }
+}
+
+TEST(RequestParserTest, PipelinedRequestsComeOutInOrder) {
+  RequestParser parser;
+  parser.Feed(
+      "PUT /b/one HTTP/1.1\r\ncontent-length: 3\r\n\r\nAAA"
+      "GET /b/two HTTP/1.1\r\n\r\n"
+      "DELETE /b/three HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(MustParse(parser).request.path, "/b/one");
+  EXPECT_EQ(MustParse(parser).request.path, "/b/two");
+  EXPECT_EQ(MustParse(parser).request.path, "/b/three");
+  EXPECT_FALSE(parser.Next().has_value());
+  EXPECT_EQ(parser.error_status(), 0);
+}
+
+TEST(RequestParserTest, MissingContentLengthMeansEmptyBody) {
+  RequestParser parser;
+  parser.Feed("PUT /b/k HTTP/1.1\r\n\r\n");
+  const ParsedRequest parsed = MustParse(parser);
+  EXPECT_TRUE(parsed.request.body.empty());
+}
+
+TEST(RequestParserTest, ZeroContentLength) {
+  RequestParser parser;
+  parser.Feed("PUT /b/k HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  const ParsedRequest parsed = MustParse(parser);
+  EXPECT_TRUE(parsed.request.body.empty());
+  EXPECT_FALSE(parsed.request.headers.Get("content-length").empty());
+}
+
+TEST(RequestParserTest, OversizedHeadersRejected431) {
+  ParserLimits limits;
+  limits.max_header_bytes = 256;
+  RequestParser parser(limits);
+  parser.Feed("GET /b/k HTTP/1.1\r\nx-padding: " + std::string(300, 'p'));
+  EXPECT_FALSE(parser.Next().has_value());
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParserTest, CompleteHeaderBlockOverLimitRejected431) {
+  // The terminator arrives in the same feed, but the block itself is over
+  // the limit — must still be rejected.
+  ParserLimits limits;
+  limits.max_header_bytes = 128;
+  RequestParser parser(limits);
+  parser.Feed("GET /b/k HTTP/1.1\r\nx-padding: " + std::string(150, 'p') +
+              "\r\n\r\n");
+  EXPECT_FALSE(parser.Next().has_value());
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParserTest, OversizedBodyRejected413BeforeTheBodyArrives) {
+  ParserLimits limits;
+  limits.max_body_bytes = 1024;
+  RequestParser parser(limits);
+  parser.Feed("PUT /b/k HTTP/1.1\r\nContent-Length: 2048\r\n\r\n");
+  EXPECT_FALSE(parser.Next().has_value());
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(RequestParserTest, MalformedContentLengthRejected400) {
+  // (" 5" / "5 " are accepted: optional whitespace around header values is
+  // trimmed per RFC 9110 §5.5 before the value is parsed.)
+  for (const char* bad : {"abc", "-1", "1e3", "", "0x10", "+5"}) {
+    RequestParser parser;
+    parser.Feed(std::string("PUT /b/k HTTP/1.1\r\nContent-Length: ") + bad +
+                "\r\n\r\n");
+    EXPECT_FALSE(parser.Next().has_value()) << bad;
+    EXPECT_EQ(parser.error_status(), 400) << bad;
+  }
+}
+
+TEST(RequestParserTest, DuplicateContentLengthRejected400) {
+  // Request-smuggling guard (RFC 9112 §6.3): two Content-Length headers
+  // must not be silently collapsed to last-wins framing.
+  RequestParser parser;
+  parser.Feed(
+      "PUT /b/k HTTP/1.1\r\n"
+      "Content-Length: 5\r\n"
+      "Content-Length: 15\r\n"
+      "\r\n");
+  EXPECT_FALSE(parser.Next().has_value());
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParserTest, TransferEncodingRejected501) {
+  RequestParser parser;
+  parser.Feed(
+      "PUT /b/k HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  EXPECT_FALSE(parser.Next().has_value());
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(RequestParserTest, MalformedRequestLineRejected400) {
+  for (const char* bad :
+       {"GET /\r\n\r\n",                       // missing version
+        "GET  / HTTP/1.1\r\n\r\n",             // double space → 4 tokens
+        "GET / HTTP/1.1 extra\r\n\r\n",        // trailing token
+        "GET bucket/key HTTP/1.1\r\n\r\n",     // not origin-form
+        "GET / HTCPCP/1.0\r\n\r\n"}) {         // not an HTTP version
+    RequestParser parser;
+    parser.Feed(bad);
+    EXPECT_FALSE(parser.Next().has_value()) << bad;
+    EXPECT_EQ(parser.error_status(), 400) << bad;
+  }
+}
+
+TEST(RequestParserTest, UnsupportedMethodRejected405) {
+  RequestParser parser;
+  parser.Feed("POST /b/k HTTP/1.1\r\n\r\n");
+  EXPECT_FALSE(parser.Next().has_value());
+  EXPECT_EQ(parser.error_status(), 405);
+}
+
+TEST(RequestParserTest, UnsupportedHttpVersionRejected505) {
+  RequestParser parser;
+  parser.Feed("GET /b/k HTTP/2.0\r\n\r\n");
+  EXPECT_FALSE(parser.Next().has_value());
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(RequestParserTest, HeaderLineWithoutColonRejected400) {
+  RequestParser parser;
+  parser.Feed("GET /b/k HTTP/1.1\r\nnot-a-header\r\n\r\n");
+  EXPECT_EQ(parser.error_status(), 0);  // only detected when parsed
+  EXPECT_FALSE(parser.Next().has_value());
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParserTest, ObsoleteLineFoldingRejected400) {
+  RequestParser parser;
+  parser.Feed("GET /b/k HTTP/1.1\r\nx-a: 1\r\n folded\r\n\r\n");
+  EXPECT_FALSE(parser.Next().has_value());
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParserTest, ConnectionCloseAndHttp10Defaults) {
+  {
+    RequestParser parser;
+    parser.Feed("GET /b/k HTTP/1.1\r\nConnection: close\r\n\r\n");
+    EXPECT_FALSE(MustParse(parser).keep_alive);
+  }
+  {
+    RequestParser parser;
+    parser.Feed("GET /b/k HTTP/1.0\r\n\r\n");
+    EXPECT_FALSE(MustParse(parser).keep_alive);  // 1.0 defaults to close
+  }
+  {
+    RequestParser parser;  // token list, mixed case
+    parser.Feed("GET /b/k HTTP/1.1\r\nConnection: Keep-Alive, Close\r\n\r\n");
+    EXPECT_FALSE(MustParse(parser).keep_alive);
+  }
+}
+
+TEST(RequestParserTest, PercentEncodedPathKeptRawForTheGateway) {
+  RequestParser parser;
+  parser.Feed("GET /bucket/a%20b%2Fc HTTP/1.1\r\n\r\n");
+  const ParsedRequest parsed = MustParse(parser);
+  EXPECT_EQ(parsed.request.path, "/bucket/a%20b%2Fc");
+  // The gateway's target parser decodes it.
+  const auto target = api::ParseTarget(parsed.request.path);
+  ASSERT_TRUE(target.ok());
+  ASSERT_EQ(target->segments.size(), 2u);
+  EXPECT_EQ(target->segments[1], "a b/c");
+}
+
+TEST(RequestParserTest, QueryStringSplitAndDecodedIntoTheRequestMap) {
+  RequestParser parser;
+  parser.Feed("GET /bucket/key?n=41&tag=a%20b HTTP/1.1\r\n\r\n");
+  const ParsedRequest parsed = MustParse(parser);
+  EXPECT_EQ(parsed.request.path, "/bucket/key");  // query split off
+  ASSERT_EQ(parsed.request.query.size(), 2u);
+  EXPECT_EQ(parsed.request.query.at("n"), "41");
+  EXPECT_EQ(parsed.request.query.at("tag"), "a b");
+}
+
+TEST(RequestParserTest, MalformedQueryStringRejected400) {
+  RequestParser parser;
+  parser.Feed("GET /bucket/key?x=%ZZ HTTP/1.1\r\n\r\n");
+  EXPECT_FALSE(parser.Next().has_value());
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParserTest, BodyBytesAreNotScannedForHeaders) {
+  // A body containing CRLFCRLF and request-line-looking text must pass
+  // through opaquely.
+  std::string body = "\r\n\r\nGET /fake HTTP/1.1\r\n\r\nbinary";
+  body.push_back('\0');
+  body += "data";
+  RequestParser parser;
+  parser.Feed("PUT /b/k HTTP/1.1\r\ncontent-length: " +
+              std::to_string(body.size()) + "\r\n\r\n" + body);
+  const ParsedRequest parsed = MustParse(parser);
+  EXPECT_EQ(parsed.request.body, body);
+  EXPECT_FALSE(parser.Next().has_value());
+  EXPECT_EQ(parser.error_status(), 0);
+}
+
+TEST(ResponseSerializationTest, RoundTripsThroughTheResponseParser) {
+  api::HttpResponse response;
+  response.status = 201;
+  response.headers.Set("x-scalia-thing", "yes");
+  response.body = "payload";
+  const std::string wire = SerializeResponse(response, /*keep_alive=*/true);
+
+  ResponseParser parser;
+  parser.Feed(wire);
+  auto parsed = parser.Next(/*head_response=*/false);
+  ASSERT_TRUE(parsed.has_value()) << parser.error_message();
+  EXPECT_EQ(parsed->response.status, 201);
+  EXPECT_EQ(parsed->response.body, "payload");
+  EXPECT_EQ(parsed->response.headers.Get("x-scalia-thing"), "yes");
+  EXPECT_EQ(parsed->response.headers.Get("content-length"), "7");
+  EXPECT_TRUE(parsed->keep_alive);
+}
+
+TEST(ResponseSerializationTest, ExplicitContentLengthPreservedForHead) {
+  // A HEAD answer describes the object's size without carrying the body.
+  api::HttpResponse response;
+  response.status = 200;
+  response.headers.Set("content-length", "123456");
+  const std::string wire = SerializeResponse(response, /*keep_alive=*/true);
+  EXPECT_NE(wire.find("content-length: 123456"), std::string::npos);
+
+  ResponseParser parser;
+  parser.Feed(wire);
+  auto parsed = parser.Next(/*head_response=*/true);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->response.headers.Get("content-length"), "123456");
+  EXPECT_TRUE(parsed->response.body.empty());
+}
+
+TEST(ResponseSerializationTest, ConnectionCloseSignalled) {
+  api::HttpResponse response;
+  response.status = 400;
+  const std::string wire = SerializeResponse(response, /*keep_alive=*/false);
+  ResponseParser parser;
+  parser.Feed(wire);
+  auto parsed = parser.Next(false);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->keep_alive);
+}
+
+TEST(RequestSerializationTest, RoundTripsThroughTheRequestParser) {
+  api::HttpRequest request;
+  request.method = api::HttpMethod::kPut;
+  request.path = "/bucket/key";
+  request.query["n"] = "7";
+  request.query["tag"] = "a b";
+  request.headers.Set("x-scalia-rule", "rule2");
+  request.body = "body bytes";
+  const std::string wire = SerializeRequest(request, /*keep_alive=*/true);
+
+  RequestParser parser;
+  parser.Feed(wire);
+  const ParsedRequest parsed = MustParse(parser);
+  EXPECT_EQ(parsed.request.method, api::HttpMethod::kPut);
+  EXPECT_EQ(parsed.request.path, "/bucket/key");
+  EXPECT_EQ(parsed.request.query, request.query);
+  EXPECT_EQ(parsed.request.headers.Get("x-scalia-rule"), "rule2");
+  EXPECT_EQ(parsed.request.body, "body bytes");
+}
+
+TEST(ResponseParserTest, PipelinedResponsesAndByteWiseFeeding) {
+  api::HttpResponse first;
+  first.status = 200;
+  first.body = "one";
+  api::HttpResponse second;
+  second.status = 404;
+  second.body = "two!";
+  const std::string wire =
+      SerializeResponse(first, true) + SerializeResponse(second, true);
+
+  ResponseParser parser;
+  int seen = 0;
+  for (char c : wire) {
+    parser.Feed(std::string_view(&c, 1));
+    while (auto parsed = parser.Next(false)) {
+      if (seen == 0) {
+        EXPECT_EQ(parsed->response.status, 200);
+        EXPECT_EQ(parsed->response.body, "one");
+      } else {
+        EXPECT_EQ(parsed->response.status, 404);
+        EXPECT_EQ(parsed->response.body, "two!");
+      }
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 2);
+}
+
+}  // namespace
+}  // namespace scalia::net
