@@ -14,8 +14,18 @@
 // HMAC signing would make the *generator* the subject under test, and the
 // replay cache would hold every signature of the run.
 //
+// With --optimize-every N, a maintenance thread closes a sampling period
+// every --period-ms milliseconds and runs the periodic optimization
+// procedure (Fig. 7) every N periods *while the load is running* — the
+// paper's live adaptation racing foreground writes.  Halfway through, the
+// §IV-D CheapStor provider is registered so re-placement becomes genuinely
+// attractive and migrations actually move chunks mid-load.  The RESULT
+// line then reports migrations and CAS conflicts next to the usual
+// throughput figures, so BENCH_PR4.json records live-migration-on vs -off.
+//
 // Usage: bench_server_throughput [--connections N] [--duration-s S]
 //          [--pool-threads N] [--object-bytes CSV] [--keys-per-conn K]
+//          [--optimize-every N] [--period-ms M]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -46,6 +56,11 @@ struct Options {
   std::size_t pool_threads = std::thread::hardware_concurrency();
   std::vector<std::size_t> object_bytes = {1024, 4096, 16384};
   std::size_t keys_per_conn = 32;
+  /// Run the optimization procedure every N sampling periods during the
+  /// load (0 = maintenance loop off, the pre-PR4 behavior).
+  std::size_t optimize_every = 0;
+  /// Sampling-period length for the maintenance loop, in milliseconds.
+  std::size_t period_ms = 500;
 };
 
 Options ParseOptions(int argc, char** argv) {
@@ -63,6 +78,10 @@ Options ParseOptions(int argc, char** argv) {
       if (const char* v = next()) options.pool_threads = std::strtoul(v, nullptr, 10);
     } else if (arg == "--keys-per-conn") {
       if (const char* v = next()) options.keys_per_conn = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--optimize-every") {
+      if (const char* v = next()) options.optimize_every = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--period-ms") {
+      if (const char* v = next()) options.period_ms = std::strtoul(v, nullptr, 10);
     } else if (arg == "--object-bytes") {
       if (const char* v = next()) {
         options.object_bytes.clear();
@@ -79,7 +98,8 @@ Options ParseOptions(int argc, char** argv) {
     }
   }
   if (options.connections == 0 || options.object_bytes.empty() ||
-      options.keys_per_conn == 0 || options.duration_s <= 0) {
+      options.keys_per_conn == 0 || options.duration_s <= 0 ||
+      options.period_ms == 0) {
     std::fprintf(stderr, "bad options\n");
     std::exit(2);
   }
@@ -134,7 +154,17 @@ int main(int argc, char** argv) {
   net::ServerConfig server_config;
   server_config.pool = &pool;
   server_config.max_connections = options.connections + 8;
-  server_config.clock = [] { return common::SimTime{0}; };
+  // Wall-clock seconds since process start: the maintenance loop (sampling
+  // periods, optimizer rounds) and the request handlers must share one
+  // advancing timeline for access histories to mean anything.
+  const auto clock_epoch = Clock::now();
+  auto bench_clock = [clock_epoch] {
+    return static_cast<common::SimTime>(
+        std::chrono::duration_cast<std::chrono::seconds>(Clock::now() -
+                                                         clock_epoch)
+            .count());
+  };
+  server_config.clock = bench_clock;
   net::HttpServer server(
       std::move(server_config),
       [&gateway](common::SimTime now, const api::HttpRequest& request) {
@@ -244,10 +274,45 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Maintenance loop: sampling-period closes + live optimizer rounds racing
+  // the foreground load (the daemon's §III-A loop, compressed in time).
+  std::uint64_t migrations = 0, conflicts = 0, optimizer_errors = 0;
+  std::thread maintenance;
+  if (options.optimize_every > 0) {
+    maintenance = std::thread([&] {
+      std::uint64_t periods = 0;
+      bool cheapstor_registered = false;
+      const auto half_way = bench_start + std::chrono::duration_cast<
+                                              Clock::duration>(
+                                std::chrono::duration<double>(
+                                    options.duration_s / 2.0));
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.period_ms));
+        const common::SimTime now = bench_clock();
+        cluster.EndSamplingPeriod(now);
+        ++periods;
+        if (!cheapstor_registered && Clock::now() >= half_way) {
+          // §IV-D: a cheaper provider appears mid-run, making re-placement
+          // worthwhile — live migrations now race the writers.
+          cheapstor_registered = true;
+          (void)cluster.registry().Register(provider::CheapStorSpec());
+        }
+        if (periods % options.optimize_every == 0) {
+          const auto report = cluster.RunOptimizationProcedure(now);
+          migrations += report.migrations;
+          conflicts += report.conflicts;
+          optimizer_errors += report.errors;
+        }
+      }
+    });
+  }
+
   std::this_thread::sleep_for(
       std::chrono::duration<double>(options.duration_s));
   stop.store(true, std::memory_order_relaxed);
   for (auto& worker : workers) worker.join();
+  if (maintenance.joinable()) maintenance.join();
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - bench_start).count();
 
@@ -274,6 +339,14 @@ int main(int argc, char** argv) {
   std::printf("  %-22s %12.1f\n", "p95 latency (us)", p95);
   std::printf("  %-22s %12.1f\n", "p99 latency (us)", p99);
   std::printf("  %-22s %12llu\n", "errors", static_cast<unsigned long long>(errors));
+  if (options.optimize_every > 0) {
+    std::printf("  %-22s %12llu\n", "migrations",
+                static_cast<unsigned long long>(migrations));
+    std::printf("  %-22s %12llu\n", "CAS conflicts",
+                static_cast<unsigned long long>(conflicts));
+    std::printf("  %-22s %12llu\n", "optimizer errors",
+                static_cast<unsigned long long>(optimizer_errors));
+  }
   std::printf("  %-22s %12.1f\n", "server MiB in",
               static_cast<double>(stats.bytes_in) / (1024.0 * 1024.0));
   std::printf("  %-22s %12.1f\n", "server MiB out",
@@ -282,9 +355,12 @@ int main(int argc, char** argv) {
   // Machine-readable line for scripts/bench_report.sh.
   std::printf(
       "RESULT suite=bench_server_throughput requests=%llu elapsed_s=%.3f "
-      "req_per_s=%.1f p50_us=%.1f p95_us=%.1f p99_us=%.1f errors=%llu\n",
+      "req_per_s=%.1f p50_us=%.1f p95_us=%.1f p99_us=%.1f errors=%llu "
+      "optimize_every=%zu migrations=%llu conflicts=%llu\n",
       static_cast<unsigned long long>(requests), elapsed_s, req_per_s, p50,
-      p95, p99, static_cast<unsigned long long>(errors));
+      p95, p99, static_cast<unsigned long long>(errors),
+      options.optimize_every, static_cast<unsigned long long>(migrations),
+      static_cast<unsigned long long>(conflicts));
 
   server.Stop();
   return errors == 0 ? 0 : 1;

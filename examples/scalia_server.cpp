@@ -50,12 +50,12 @@ struct Flags {
   std::size_t threads = std::thread::hardware_concurrency();
   std::size_t max_body_mb = 64;
   std::size_t max_connections = 1024;
+  long idle_timeout_s = 60;     // 0 disables the read/idle deadline
   long sampling_period_s = 60;  // 0 disables the maintenance loop
-  // Periods per optimization run; 0 (default) keeps the optimizer off:
-  // Engine's migrate path has no per-object synchronization against a
-  // concurrent PUT of the same key, so live-traffic optimization needs a
-  // quiesce step the daemon does not have yet (see ROADMAP.md).
-  long optimize_every_periods = 0;
+  // Periods per optimization run.  On by default: migrations commit via
+  // CAS-on-version, so a migration racing a concurrent PUT of the same key
+  // aborts and the acked write always survives (0 turns adaptation off).
+  long optimize_every_periods = 1;
   bool anonymous = true;
 };
 
@@ -68,12 +68,15 @@ void Usage(const char* argv0) {
       "  --threads N            handler thread-pool size (default: cores)\n"
       "  --max-body-mb N        reject larger uploads with 413 (default 64)\n"
       "  --max-connections N    concurrent connection cap (default 1024)\n"
+      "  --idle-timeout-s N     read/idle deadline: connections silent for\n"
+      "                         N seconds answer 408 and close (default 60;\n"
+      "                         0 disables)\n"
       "  --sampling-period-s N  seconds between sampling-period closes;\n"
       "                         0 disables (default 60)\n"
       "  --optimize-every N     run the placement optimizer every N periods\n"
-      "                         (default 0 = off: migrations are not yet\n"
-      "                         safe against concurrent writes to the same\n"
-      "                         key; enable only for read-mostly traffic)\n"
+      "                         (default 1; 0 = off). Migrations commit via\n"
+      "                         CAS-on-version, so a concurrent PUT always\n"
+      "                         survives a racing migration\n"
       "  --no-anonymous         require signed requests (demo keys below)\n"
       "  --help                 this text\n",
       argv0);
@@ -102,6 +105,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->max_body_mb = static_cast<std::size_t>(value);
     } else if (arg == "--max-connections" && next_value(&value) && value > 0) {
       flags->max_connections = static_cast<std::size_t>(value);
+    } else if (arg == "--idle-timeout-s" && next_value(&value) && value >= 0) {
+      flags->idle_timeout_s = value;
     } else if (arg == "--sampling-period-s" && next_value(&value)) {
       flags->sampling_period_s = value;
     } else if (arg == "--optimize-every" && next_value(&value) && value >= 0) {
@@ -177,6 +182,7 @@ int main(int argc, char** argv) {
   server_config.bind_address = flags.bind;
   server_config.port = flags.port;
   server_config.max_connections = flags.max_connections;
+  server_config.idle_timeout_ms = flags.idle_timeout_s * 1000;
   server_config.limits.max_body_bytes = flags.max_body_mb * 1024 * 1024;
   server_config.pool = &pool;
   server_config.clock = WallClock;
@@ -211,11 +217,11 @@ int main(int argc, char** argv) {
 
   // 4. The sampling-period loop of §III-A, driven by the wall clock: close
   //    a period (drain log agents into per-object histories) every
-  //    --sampling-period-s seconds.  The periodic optimization procedure
-  //    (Fig. 7) only runs when opted in via --optimize-every: its migrate
-  //    path (load → re-place → store) is not yet synchronized against a
-  //    concurrent PUT of the same key, so under live writes it could
-  //    revert an acknowledged update (ROADMAP open item).
+  //    --sampling-period-s seconds, and run the periodic optimization
+  //    procedure (Fig. 7) every --optimize-every periods.  Migrations
+  //    commit via CAS-on-version: one racing a concurrent PUT/DELETE of
+  //    the same key aborts (counted in the per-round conflict counter) and
+  //    the acked write always survives, so adaptation is on by default.
   common::SimTime last_period = WallClock();
   std::uint64_t periods = 0;
   while (g_stop == 0) {
@@ -233,7 +239,9 @@ int main(int argc, char** argv) {
         SCALIA_LOG(common::LogLevel::kInfo, "scalia_server")
             << "optimization round: " << report.candidates << " candidates, "
             << report.recomputations << " recomputations, "
-            << report.migrations << " migrations";
+            << report.migrations << " migrations, "
+            << report.conflicts << " CAS conflicts, "
+            << report.errors << " errors";
       }
     }
   }
@@ -242,10 +250,12 @@ int main(int argc, char** argv) {
   server.Stop();
   const net::ServerStats stats = server.stats();
   std::printf("served %llu requests on %llu connections "
-              "(%llu protocol errors, %.1f MiB in, %.1f MiB out)\n",
+              "(%llu protocol errors, %llu idle timeouts, "
+              "%.1f MiB in, %.1f MiB out)\n",
               static_cast<unsigned long long>(stats.requests_served),
               static_cast<unsigned long long>(stats.connections_accepted),
               static_cast<unsigned long long>(stats.protocol_errors),
+              static_cast<unsigned long long>(stats.connections_timed_out),
               static_cast<double>(stats.bytes_in) / (1024.0 * 1024.0),
               static_cast<double>(stats.bytes_out) / (1024.0 * 1024.0));
 

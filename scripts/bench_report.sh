@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
 # Perf-trajectory datapoint: runs bench_catalog, bench_placement_scaling and
-# bench_server_throughput (the loopback TCP serving loop) and emits
-# BENCH_PR3.json (schema documented in BUILD.md, "Bench report").
+# bench_server_throughput — the latter twice, optimizer off and with live
+# migration enabled (--optimize-every) — and emits BENCH_PR4.json (schema
+# scalia-bench-report/3, documented in BUILD.md, "Bench report").
 #
-# Usage: scripts/bench_report.sh [output.json]   (default: BENCH_PR3.json)
+# Usage: scripts/bench_report.sh [output.json]   (default: BENCH_PR4.json)
 # Env:   BUILD_DIR=build
 #        SERVER_BENCH_ARGS="--connections 16 --duration-s 5"  (override)
+#        OPTIMIZE_BENCH_ARGS="--optimize-every 1 --period-ms 500"  (override)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-OUT=${1:-BENCH_PR3.json}
+OUT=${1:-BENCH_PR4.json}
 SERVER_BENCH_ARGS=${SERVER_BENCH_ARGS:---connections 16 --duration-s 5 --object-bytes 1024,4096}
+OPTIMIZE_BENCH_ARGS=${OPTIMIZE_BENCH_ARGS:---optimize-every 1 --period-ms 500}
 
 if [[ ! -d "$BUILD_DIR" ]]; then
   cmake -B "$BUILD_DIR" -S .
@@ -62,32 +65,40 @@ EOF
 fi
 
 # --- bench_server_throughput: loopback closed-loop load generation; the
-# --- RESULT line carries req/s + latency percentiles.
-SERVER_START=$(now_ms)
-# The bench exits 1 when errors>0; the report must still capture that run
-# (the errors field exists precisely for it), so don't let set -e abort.
-# shellcheck disable=SC2086
-SERVER_RESULT=$({ "$BUILD_DIR/bench/bench_server_throughput" $SERVER_BENCH_ARGS || true; } | grep '^RESULT ' || true)
-SERVER_MS=$(( $(now_ms) - SERVER_START ))
-result_field() {  # result_field <key> -> value (or null)
+# --- RESULT line carries req/s + latency percentiles.  Two runs: optimizer
+# --- off (baseline) and live migration enabled, so the report shows what
+# --- adaptation costs under load.
+result_field() {  # result_field <result-line> <key> -> value (or null)
   local v
-  v=$(sed -n "s/.*[[:space:]]$1=\([^[:space:]]*\).*/\1/p" <<<"$SERVER_RESULT")
+  v=$(sed -n "s/.*[[:space:]]$2=\([^[:space:]]*\).*/\1/p" <<<"$1")
   echo "${v:-null}"
 }
-SERVER_REQ_S=$(result_field req_per_s)
-SERVER_P50=$(result_field p50_us)
-SERVER_P95=$(result_field p95_us)
-SERVER_P99=$(result_field p99_us)
-SERVER_ERRORS=$(result_field errors)
-SERVER_SKIPPED=false
-if [[ -z "$SERVER_RESULT" ]]; then
-  echo "note: bench_server_throughput produced no RESULT line" >&2
-  SERVER_SKIPPED=true
-fi
+run_server_bench() {  # run_server_bench <extra-args...>; sets RESULT/MS
+  local start
+  start=$(now_ms)
+  # The bench exits 1 when errors>0; the report must still capture that run
+  # (the errors field exists precisely for it), so don't let set -e abort.
+  # shellcheck disable=SC2086
+  SERVER_RESULT=$({ "$BUILD_DIR/bench/bench_server_throughput" "$@" || true; } | grep '^RESULT ' || true)
+  SERVER_MS=$(( $(now_ms) - start ))
+  if [[ -z "$SERVER_RESULT" ]]; then
+    echo "note: bench_server_throughput produced no RESULT line" >&2
+  fi
+}
+
+# shellcheck disable=SC2086
+run_server_bench $SERVER_BENCH_ARGS
+BASE_RESULT=$SERVER_RESULT; BASE_MS=$SERVER_MS
+BASE_SKIPPED=false; [[ -z "$BASE_RESULT" ]] && BASE_SKIPPED=true
+
+# shellcheck disable=SC2086
+run_server_bench $SERVER_BENCH_ARGS $OPTIMIZE_BENCH_ARGS
+OPT_RESULT=$SERVER_RESULT; OPT_MS=$SERVER_MS
+OPT_SKIPPED=false; [[ -z "$OPT_RESULT" ]] && OPT_SKIPPED=true
 
 cat >"$OUT" <<EOF
 {
-  "schema": "scalia-bench-report/2",
+  "schema": "scalia-bench-report/3",
   "generated_by": "scripts/bench_report.sh",
   "suites": [
     {
@@ -104,13 +115,29 @@ cat >"$OUT" <<EOF
     },
     {
       "suite": "bench_server_throughput",
-      "wall_ms": $SERVER_MS,
-      "req_per_s": $SERVER_REQ_S,
-      "p50_us": $SERVER_P50,
-      "p95_us": $SERVER_P95,
-      "p99_us": $SERVER_P99,
-      "errors": $SERVER_ERRORS,
-      "skipped": $SERVER_SKIPPED
+      "wall_ms": $BASE_MS,
+      "req_per_s": $(result_field "$BASE_RESULT" req_per_s),
+      "p50_us": $(result_field "$BASE_RESULT" p50_us),
+      "p95_us": $(result_field "$BASE_RESULT" p95_us),
+      "p99_us": $(result_field "$BASE_RESULT" p99_us),
+      "errors": $(result_field "$BASE_RESULT" errors),
+      "optimize_every": 0,
+      "migrations": 0,
+      "conflicts": 0,
+      "skipped": $BASE_SKIPPED
+    },
+    {
+      "suite": "bench_server_throughput_optimized",
+      "wall_ms": $OPT_MS,
+      "req_per_s": $(result_field "$OPT_RESULT" req_per_s),
+      "p50_us": $(result_field "$OPT_RESULT" p50_us),
+      "p95_us": $(result_field "$OPT_RESULT" p95_us),
+      "p99_us": $(result_field "$OPT_RESULT" p99_us),
+      "errors": $(result_field "$OPT_RESULT" errors),
+      "optimize_every": $(result_field "$OPT_RESULT" optimize_every),
+      "migrations": $(result_field "$OPT_RESULT" migrations),
+      "conflicts": $(result_field "$OPT_RESULT" conflicts),
+      "skipped": $OPT_SKIPPED
     }
   ]
 }

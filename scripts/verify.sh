@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification for CI: the exact ROADMAP.md command, then the `asan`
 # preset (Debug + ASan/UBSan, build-asan/), then — with --tsan — the `tsan`
-# preset running the net/ server suites (the concurrent serving loop) under
-# ThreadSanitizer.
+# preset running the net/ server suites (the concurrent serving loop) plus
+# every `tsan`-labeled race/conflict suite (migration-vs-Put CAS races,
+# concurrent ApplyIfLatest) under ThreadSanitizer.
 # Usage: scripts/verify.sh [--skip-asan] [--tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,10 +31,13 @@ if [[ "$SKIP_ASAN" -eq 0 ]]; then
 fi
 
 if [[ "$RUN_TSAN" -eq 1 ]]; then
-  echo "==> TSan: tsan preset build + net/ server suites"
+  echo "==> TSan: tsan preset build + net/ server and race/conflict suites"
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)"
+  # The net/ suites by label, plus the CAS race/conflict suites (core/store
+  # labels) by name — migration-vs-Put commits, concurrent ApplyIfLatest.
   ctest --preset tsan -L '^net$'
+  ctest --preset tsan -R '(Race|Conflict)'
 fi
 
 echo "==> verify OK"

@@ -153,6 +153,7 @@ std::string_view StatusText(int status) {
     case 403: return "Forbidden";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 409: return "Conflict";
     case 411: return "Length Required";
     case 412: return "Precondition Failed";

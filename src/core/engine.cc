@@ -178,6 +178,16 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
       stripes = std::move(*written);
       break;
     }
+    // A failed attempt may have landed some chunks at healthy providers;
+    // sweep them before retrying under a fresh storage key (or bailing),
+    // or they leak as billed-but-unreferenced storage.
+    {
+      ObjectMetadata attempt;
+      attempt.container = container;
+      attempt.key = key;
+      attempt.skey = skey;
+      SweepPartialStage(now, std::move(attempt), decision);
+    }
     if (written.status().code() != common::StatusCode::kUnavailable) {
       return written.status();
     }
@@ -196,7 +206,10 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
     if (!excluded_any) return written.status();
   }
 
-  // Load any previous version so its chunks can be garbage-collected.
+  // The previous state only decides created_at and created-vs-updated
+  // statistics; chunk GC below works off what the commit *actually*
+  // superseded, because a migration may commit a fresher placement between
+  // this load and the write below.
   auto previous = LoadMetadata(now, row_key);
 
   ObjectMetadata meta;
@@ -215,8 +228,9 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
   meta.updated_at = now;
 
   const std::string serialized = meta.Serialize();
-  if (auto s = db_->Put(dc_, "metadata", row_key, serialized, now); !s.ok()) {
-    return s;
+  auto superseded = db_->Put(dc_, "metadata", row_key, serialized, now);
+  if (!superseded.ok()) {
+    return superseded.status();
   }
   // Journal the committed mutation *before* the destructive side effect
   // below: were the old chunks deleted first and the record lost, recovery
@@ -226,13 +240,22 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
   // cache invalidation, access logging — must still happen.
   common::Status journaled = common::Status::Ok();
   if (journal_ != nullptr) {
-    journaled = journal_->LogUpsert(row_key, serialized, now);
+    journaled = journal_->LogUpsert(row_key, serialized, now,
+                                    superseded->committed.clock);
   }
 
-  if (previous.ok()) {
-    // Update: discard the older chunks (§III-D.1).
-    if (journaled.ok()) DeleteChunks(now, *previous);
-  } else {
+  if (journaled.ok()) {
+    // Update: discard the chunks of exactly the placements this commit
+    // superseded (§III-D.1) — not a pre-read snapshot, which a migration
+    // committing in between would make stale (orphaning its chunks).
+    for (const auto& old : superseded->superseded) {
+      if (old.tombstone) continue;
+      if (auto old_meta = ObjectMetadata::Parse(old.value); old_meta.ok()) {
+        DeleteChunks(now, *old_meta);
+      }
+    }
+  }
+  if (!previous.ok()) {
     stats_db_->RecordObjectCreated(row_key, class_id, size, now);
   }
   stats_db_->TouchObject(row_key, now);
@@ -251,6 +274,13 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
 }
 
 common::Result<ObjectMetadata> Engine::LoadMetadata(
+    common::SimTime now, const std::string& row_key) {
+  auto versioned = LoadMetadataVersioned(now, row_key);
+  if (!versioned.ok()) return versioned.status();
+  return std::move(versioned->meta);
+}
+
+common::Result<Engine::VersionedMetadata> Engine::LoadMetadataVersioned(
     common::SimTime now, const std::string& row_key) {
   auto read = db_->Get(dc_, "metadata", row_key);
   if (!read.ok()) return read.status();
@@ -271,8 +301,13 @@ common::Result<ObjectMetadata> Engine::LoadMetadata(
     }
     read = db_->Get(dc_, "metadata", row_key);
     if (!read.ok()) return read.status();
+    if (read->tombstone) {
+      return common::Status::NotFound("object deleted");
+    }
   }
-  return ObjectMetadata::Parse(read->value);
+  auto meta = ObjectMetadata::Parse(read->value);
+  if (!meta.ok()) return meta.status();
+  return VersionedMetadata{std::move(*meta), std::move(read->clock)};
 }
 
 common::Result<std::string> Engine::ReadChunks(common::SimTime now,
@@ -365,6 +400,71 @@ void Engine::DeleteChunks(common::SimTime now, const ObjectMetadata& meta) {
   }
 }
 
+void Engine::SweepPartialStage(common::SimTime now, ObjectMetadata staged,
+                               const PlacementDecision& target) {
+  // Mirrors WriteChunks' convention: chunk index i goes to target provider
+  // i (erasure::Chunker::Split numbers chunks by position).
+  staged.stripes.clear();
+  for (std::size_t i = 0; i < target.providers.size(); ++i) {
+    staged.stripes.push_back(
+        StripeEntry{.chunk_index = static_cast<std::uint32_t>(i),
+                    .provider = target.providers[i].id});
+  }
+  DeleteChunks(now, staged);
+}
+
+common::Status Engine::CommitReplacement(common::SimTime now,
+                                         const std::string& row_key,
+                                         const ObjectMetadata& staged,
+                                         const ObjectMetadata& staged_gc,
+                                         const store::VectorClock& expected,
+                                         bool is_repair) {
+  if (commit_race_hook_) commit_race_hook_();
+  const std::string serialized = staged.Serialize();
+  auto cas =
+      db_->PutIfLatest(dc_, "metadata", row_key, serialized, now, expected);
+  if (!cas.ok()) {
+    // The commit never reached the table (e.g. datacenter down): the staged
+    // chunks are unreferenced — sweep them and surface the error.
+    DeleteChunks(now, staged_gc);
+    return cas.status();
+  }
+  if (!cas->applied) {
+    // Lost the race: a causally-fresher Put/Delete of this key committed
+    // after our snapshot.  Journal the abort before the sweep (a crash in
+    // between leaves a record of what to sweep, and replay must never apply
+    // the staged placement), then GC only the *staged* chunks — the acked
+    // write's chunks are untouched.  The record carries `staged_gc`, the
+    // exact sweep set: for a swap repair that is only the rebuilt stripes,
+    // never the healthy chunks sharing the storage key.
+    if (journal_ != nullptr) {
+      (void)journal_->LogMigrateAbort(row_key, staged_gc.Serialize(), now);
+    }
+    DeleteChunks(now, staged_gc);
+    SCALIA_LOG(common::LogLevel::kInfo, "engine")
+        << id_ << (is_repair ? " repair of " : " migration of ") << row_key
+        << " aborted: lost CAS commit to a concurrent write";
+    return common::Status::Conflict(
+        std::string(is_repair ? "repair" : "migration") +
+        " lost the race to a concurrent write of " + row_key);
+  }
+  // Committed.  Journal before the caller's destructive old-chunk GC
+  // (write-ahead of the destructive side effect); a journal failure keeps
+  // the old chunks so an un-journaled re-placement stays recoverable.  The
+  // committed clock rides along so replay stays causal even when a racing
+  // writer's record reaches the WAL first.
+  if (journal_ != nullptr) {
+    const store::VectorClock& clock = cas->committed->clock;
+    if (auto s =
+            is_repair ? journal_->LogRepair(row_key, serialized, now, clock)
+                      : journal_->LogMigrate(row_key, serialized, now, clock);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return common::Status::Ok();
+}
+
 common::Status Engine::Delete(common::SimTime now,
                               const std::string& container,
                               const std::string& key) {
@@ -376,12 +476,23 @@ common::Status Engine::Delete(common::SimTime now,
   // providers is deferred anyway).  On a journal failure the chunks stay (a
   // recovery without the tombstone record resurrects the object intact),
   // but the committed tombstone's other effects still apply.
-  if (auto s = db_->Delete(dc_, "metadata", row_key, now); !s.ok()) return s;
+  auto superseded = db_->Delete(dc_, "metadata", row_key, now);
+  if (!superseded.ok()) return superseded.status();
   common::Status journaled = common::Status::Ok();
   if (journal_ != nullptr) {
-    journaled = journal_->LogDelete(row_key, now);
+    journaled =
+        journal_->LogDelete(row_key, now, superseded->committed.clock);
   }
-  if (journaled.ok()) DeleteChunks(now, *meta);
+  if (journaled.ok()) {
+    // GC what the tombstone actually superseded, which may be a placement
+    // a migration committed after our load (see Put).
+    for (const auto& old : superseded->superseded) {
+      if (old.tombstone) continue;
+      if (auto old_meta = ObjectMetadata::Parse(old.value); old_meta.ok()) {
+        DeleteChunks(now, *old_meta);
+      }
+    }
+  }
   stats_db_->RecordObjectDeleted(row_key, now);
   if (cache_ != nullptr) cache_->InvalidateEverywhere(row_key);
   if (log_agent_ != nullptr) {
@@ -438,27 +549,30 @@ common::Result<PlacementDecision> Engine::EvaluatePlacement(
 common::Result<bool> Engine::ReoptimizeObject(common::SimTime now,
                                               const std::string& row_key,
                                               std::size_t decision_periods) {
-  auto meta = LoadMetadata(now, row_key);
-  if (!meta.ok()) return meta.status();
+  // Snapshot the metadata *and* its row version: the snapshot clock is the
+  // CAS expectation everything below commits against.
+  auto versioned = LoadMetadataVersioned(now, row_key);
+  if (!versioned.ok()) return versioned.status();
+  const ObjectMetadata& meta = versioned->meta;
 
   const stats::AccessHistory history = stats_db_->GetHistory(row_key);
   stats::PeriodStats per_period = history.AverageOver(decision_periods);
   if (history.empty()) {
-    per_period = ForecastUsage(row_key, meta->class_id, meta->size);
+    per_period = ForecastUsage(row_key, meta.class_id, meta.size);
   }
-  per_period.storage_gb = common::ToGB(meta->size);
+  per_period.storage_gb = common::ToGB(meta.size);
 
   // Rule reconstruction: the engine stores the rule name with the object;
   // the default rule applies unless a named paper rule matches.
   StorageRule rule = config_.default_rule;
   for (const auto& candidate : PaperRules()) {
-    if (candidate.name == meta->rule_name) {
+    if (candidate.name == meta.rule_name) {
       rule = candidate;
       break;
     }
   }
 
-  PlacementDecision target = ChoosePlacement(now, rule, meta->size, per_period,
+  PlacementDecision target = ChoosePlacement(now, rule, meta.size, per_period,
                                              decision_periods, {});
   if (!target.feasible) {
     return common::Status::FailedPrecondition("no feasible placement");
@@ -466,7 +580,7 @@ common::Result<bool> Engine::ReoptimizeObject(common::SimTime now,
 
   // Current set's specs (as currently registered).
   std::vector<provider::ProviderSpec> current;
-  for (const auto& stripe : meta->stripes) {
+  for (const auto& stripe : meta.stripes) {
     if (auto* store = registry_->Find(stripe.provider)) {
       current.push_back(store->spec());
     }
@@ -474,15 +588,15 @@ common::Result<bool> Engine::ReoptimizeObject(common::SimTime now,
   PlacementDecision current_decision;
   current_decision.feasible = true;
   current_decision.providers = current;
-  current_decision.m = meta->m;
+  current_decision.m = meta.m;
   if (target.SamePlacement(current_decision)) return false;
 
   // Expected remaining lifetime from the class statistics.
   std::size_t remaining = decision_periods;
-  if (const auto* cls = stats_db_->classes().Find(meta->class_id);
+  if (const auto* cls = stats_db_->classes().Find(meta.class_id);
       cls != nullptr && cls->lifetime_samples() > 0) {
     const common::Duration ttl =
-        cls->ExpectedTimeLeftToLive(now - meta->created_at);
+        cls->ExpectedTimeLeftToLive(now - meta.created_at);
     remaining = static_cast<std::size_t>(std::max<common::Duration>(
         1, ttl / config_.sampling_period));
   }
@@ -493,12 +607,14 @@ common::Result<bool> Engine::ReoptimizeObject(common::SimTime now,
     if (store != nullptr && store->IsAvailable(now)) readable.push_back(spec);
   }
   const MigrationAssessment assessment =
-      migration_.Assess(current, meta->m, target, readable, meta->size,
+      migration_.Assess(current, meta.m, target, readable, meta.size,
                         per_period, remaining);
   if (!assessment.worthwhile) return false;
 
-  // Perform the migration: reassemble and re-write under the new placement.
-  auto data = ReadChunks(now, *meta);
+  // Stage the migration: reassemble and write the chunks under a *fresh*
+  // storage key.  Until the CAS below commits, nothing references them, so
+  // an abort only ever garbage-collects staged data.
+  auto data = ReadChunks(now, meta);
   if (!data.ok()) return data.status();
 
   common::Uuid uuid;
@@ -506,52 +622,51 @@ common::Result<bool> Engine::ReoptimizeObject(common::SimTime now,
     std::lock_guard lock(uuid_mu_);
     uuid = common::Uuid::Generate(uuid_rng_);
   }
-  const std::string skey = MakeStorageKey(meta->container, meta->key, uuid);
-  auto stripes = WriteChunks(now, target, skey, *data);
-  if (!stripes.ok()) return stripes.status();
-
-  ObjectMetadata updated = *meta;
+  const std::string skey = MakeStorageKey(meta.container, meta.key, uuid);
+  ObjectMetadata updated = meta;
   updated.uuid = uuid;
   updated.skey = skey;
   updated.m = target.m;
-  updated.stripes = std::move(*stripes);
   updated.updated_at = now;
-  const std::string serialized = updated.Serialize();
-  if (auto s = db_->Put(dc_, "metadata", row_key, serialized, now); !s.ok()) {
+  auto stripes = WriteChunks(now, target, skey, *data);
+  if (!stripes.ok()) {
+    SweepPartialStage(now, updated, target);
+    return stripes.status();
+  }
+  updated.stripes = std::move(*stripes);
+
+  // Commit via CAS-on-version; a lost race aborts the migration and GCs
+  // the staged chunks (never the acked object's).
+  if (auto s = CommitReplacement(now, row_key, updated, updated,
+                                 versioned->clock, /*is_repair=*/false);
+      !s.ok()) {
     return s;
   }
-  // Journal before the old chunks go away (write-ahead of the destructive
-  // side effect); on failure, keep the old chunks so an un-journaled
-  // migration stays readable after recovery.
-  common::Status journaled = common::Status::Ok();
-  if (journal_ != nullptr) {
-    journaled = journal_->LogMigrate(row_key, serialized, now);
-  }
-  if (journaled.ok()) DeleteChunks(now, *meta);
+  DeleteChunks(now, meta);
   SCALIA_LOG(common::LogLevel::kInfo, "engine")
-      << id_ << " migrated " << meta->container << "/" << meta->key << " to "
+      << id_ << " migrated " << meta.container << "/" << meta.key << " to "
       << target.Label();
-  if (!journaled.ok()) return journaled;
   return true;
 }
 
 common::Status Engine::RepairObject(common::SimTime now,
                                     const std::string& row_key) {
-  auto meta = LoadMetadata(now, row_key);
-  if (!meta.ok()) return meta.status();
+  auto versioned = LoadMetadataVersioned(now, row_key);
+  if (!versioned.ok()) return versioned.status();
+  const ObjectMetadata& meta = versioned->meta;
 
   // Which stripes are on failed providers?
   std::vector<std::size_t> broken;
   std::vector<erasure::Chunk> healthy;
-  for (std::size_t i = 0; i < meta->stripes.size(); ++i) {
-    auto* store = registry_->Find(meta->stripes[i].provider);
+  for (std::size_t i = 0; i < meta.stripes.size(); ++i) {
+    auto* store = registry_->Find(meta.stripes[i].provider);
     if (store == nullptr || !store->IsAvailable(now)) {
       broken.push_back(i);
       continue;
     }
     if (healthy.size() <
-        static_cast<std::size_t>(meta->m)) {  // fetch only what decode needs
-      auto blob = store->Get(now, meta->ChunkKey(meta->stripes[i].chunk_index));
+        static_cast<std::size_t>(meta.m)) {  // fetch only what decode needs
+      auto blob = store->Get(now, meta.ChunkKey(meta.stripes[i].chunk_index));
       if (blob.ok()) {
         if (auto chunk = erasure::Chunk::Deserialize(*blob); chunk.ok()) {
           healthy.push_back(std::move(*chunk));
@@ -560,14 +675,14 @@ common::Status Engine::RepairObject(common::SimTime now,
     }
   }
   if (broken.empty()) return common::Status::Ok();
-  if (healthy.size() < static_cast<std::size_t>(meta->m)) {
+  if (healthy.size() < static_cast<std::size_t>(meta.m)) {
     return common::Status::Unavailable("not enough healthy chunks to repair");
   }
 
   // Candidate replacement providers: registered, reachable, not already in
   // the stripe set, rule-compatible by construction of the original set.
   std::set<provider::ProviderId> in_use;
-  for (const auto& s : meta->stripes) in_use.insert(s.provider);
+  for (const auto& s : meta.stripes) in_use.insert(s.provider);
   std::vector<provider::ProviderSpec> candidates;
   for (const auto& spec : registry_->AvailableSpecs(now)) {
     if (!in_use.contains(spec.id)) candidates.push_back(spec);
@@ -583,20 +698,22 @@ common::Status Engine::RepairObject(common::SimTime now,
             });
   if (candidates.size() < broken.size()) {
     // No spare providers for a same-structure swap: fall back to a full
-    // re-placement over the reachable market (structure may change).
+    // re-placement over the reachable market (structure may change).  The
+    // new chunks are staged under a fresh storage key and committed via
+    // CAS, exactly like a migration.
     auto data = erasure::Chunker::Join(healthy);
     if (!data.ok()) return data.status();
     StorageRule rule = config_.default_rule;
     for (const auto& candidate_rule : PaperRules()) {
-      if (candidate_rule.name == meta->rule_name) {
+      if (candidate_rule.name == meta.rule_name) {
         rule = candidate_rule;
         break;
       }
     }
     const stats::PeriodStats forecast =
-        ForecastUsage(row_key, meta->class_id, meta->size);
+        ForecastUsage(row_key, meta.class_id, meta.size);
     PlacementDecision target =
-        ChoosePlacement(now, rule, meta->size, forecast,
+        ChoosePlacement(now, rule, meta.size, forecast,
                         config_.default_decision_periods, {});
     if (!target.feasible) {
       return common::Status::Unavailable(
@@ -607,57 +724,62 @@ common::Status Engine::RepairObject(common::SimTime now,
       std::lock_guard lock(uuid_mu_);
       uuid = common::Uuid::Generate(uuid_rng_);
     }
-    const std::string skey = MakeStorageKey(meta->container, meta->key, uuid);
-    auto stripes = WriteChunks(now, target, skey, *data);
-    if (!stripes.ok()) return stripes.status();
-    ObjectMetadata replaced = *meta;
+    const std::string skey = MakeStorageKey(meta.container, meta.key, uuid);
+    ObjectMetadata replaced = meta;
     replaced.uuid = uuid;
     replaced.skey = skey;
     replaced.m = target.m;
-    replaced.stripes = std::move(*stripes);
     replaced.updated_at = now;
-    const std::string serialized = replaced.Serialize();
-    if (auto s = db_->Put(dc_, "metadata", row_key, serialized, now);
+    auto stripes = WriteChunks(now, target, skey, *data);
+    if (!stripes.ok()) {
+      SweepPartialStage(now, replaced, target);
+      return stripes.status();
+    }
+    replaced.stripes = std::move(*stripes);
+    if (auto s = CommitReplacement(now, row_key, replaced, replaced,
+                                   versioned->clock, /*is_repair=*/true);
         !s.ok()) {
       return s;
     }
-    common::Status journaled = common::Status::Ok();
-    if (journal_ != nullptr) {
-      journaled = journal_->LogRepair(row_key, serialized, now);
-    }
-    if (journaled.ok()) DeleteChunks(now, *meta);
+    DeleteChunks(now, meta);
     if (cache_ != nullptr) cache_->InvalidateEverywhere(row_key);
-    return journaled;
+    return common::Status::Ok();
   }
 
-  ObjectMetadata updated = *meta;
+  ObjectMetadata updated = meta;
   // Old chunks at the faulty providers are deleted when those recover —
   // but only queued once the repair is journaled, so recovery can never
   // see pre-repair metadata whose chunks the queue already destroyed.
   std::vector<PendingDelete> deferred;
+  // The swap keeps the storage key, so the staged writes are only the
+  // rebuilt chunks at the replacement providers; a CAS abort must sweep
+  // exactly those (the surviving object's chunks stay untouched).
+  ObjectMetadata staged_gc = meta;
+  staged_gc.stripes.clear();
   for (std::size_t b = 0; b < broken.size(); ++b) {
     const std::size_t stripe_idx = broken[b];
-    const auto target_index = meta->stripes[stripe_idx].chunk_index;
+    const auto target_index = meta.stripes[stripe_idx].chunk_index;
     auto rebuilt = erasure::Chunker::Repair(healthy, target_index);
-    if (!rebuilt.ok()) return rebuilt.status();
+    if (!rebuilt.ok()) {
+      DeleteChunks(now, staged_gc);  // partial stage: sweep what landed
+      return rebuilt.status();
+    }
     const auto& replacement = candidates[b];
     auto* store = registry_->Find(replacement.id);
-    const std::string chunk_key = meta->ChunkKey(target_index);
+    const std::string chunk_key = meta.ChunkKey(target_index);
     if (auto s = store->Put(now, chunk_key, rebuilt->Serialize()); !s.ok()) {
+      DeleteChunks(now, staged_gc);  // partial stage: sweep what landed
       return s;
     }
-    deferred.push_back({meta->stripes[stripe_idx].provider, chunk_key});
+    deferred.push_back({meta.stripes[stripe_idx].provider, chunk_key});
     updated.stripes[stripe_idx].provider = replacement.id;
+    staged_gc.stripes.push_back(updated.stripes[stripe_idx]);
   }
   updated.updated_at = now;
-  const std::string serialized = updated.Serialize();
-  if (auto s = db_->Put(dc_, "metadata", row_key, serialized, now); !s.ok()) {
+  if (auto s = CommitReplacement(now, row_key, updated, staged_gc,
+                                 versioned->clock, /*is_repair=*/true);
+      !s.ok()) {
     return s;
-  }
-  if (journal_ != nullptr) {
-    if (auto s = journal_->LogRepair(row_key, serialized, now); !s.ok()) {
-      return s;
-    }
   }
   {
     std::lock_guard lock(pending_mu_);
@@ -665,7 +787,7 @@ common::Status Engine::RepairObject(common::SimTime now,
   }
   SCALIA_LOG(common::LogLevel::kInfo, "engine")
       << id_ << " repaired " << broken.size() << " chunk(s) of "
-      << meta->container << "/" << meta->key;
+      << meta.container << "/" << meta.key;
   return common::Status::Ok();
 }
 

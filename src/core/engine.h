@@ -8,6 +8,7 @@
 // per-object state, so a deployment scales by adding engines.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -98,6 +99,18 @@ class Engine {
   common::Result<ObjectMetadata> LoadMetadata(common::SimTime now,
                                               const std::string& row_key);
 
+  /// Metadata together with its row-version snapshot: the clock a
+  /// migration/repair hands back to the store as the CAS expectation when
+  /// committing a re-placement.
+  struct VersionedMetadata {
+    ObjectMetadata meta;
+    store::VectorClock clock;
+  };
+
+  /// LoadMetadata plus the version snapshot the CAS commit needs.
+  common::Result<VersionedMetadata> LoadMetadataVersioned(
+      common::SimTime now, const std::string& row_key);
+
   /// Runs Algorithm 1 for `row_key` with a history window of
   /// `decision_periods` sampling periods, without migrating anything.  Used
   /// by the decision-period coupling search (D/2, D, 2D in parallel).
@@ -107,14 +120,28 @@ class Engine {
 
   /// Recomputes the best placement for `row_key` from its access history
   /// and migrates if the cost-benefit analysis approves.  Returns true when
-  /// a migration was performed.
+  /// a migration was performed.  The commit is optimistic: the new chunks
+  /// are staged under a fresh storage key and the metadata is applied only
+  /// via CAS-on-version; when a concurrent Put/Delete of the same key wins
+  /// the race the migration aborts with kConflict, the *staged* chunks are
+  /// garbage-collected, and the acked write stays untouched.
   common::Result<bool> ReoptimizeObject(common::SimTime now,
                                         const std::string& row_key,
                                         std::size_t decision_periods);
 
   /// Rebuilds chunks lost to a failed provider onto the best replacement
   /// while keeping the (m, n) structure — the active repair of §IV-E.
+  /// Commits via the same CAS-on-version protocol as ReoptimizeObject;
+  /// kConflict means a concurrent write won and the rebuilt chunks were
+  /// garbage-collected.
   common::Status RepairObject(common::SimTime now, const std::string& row_key);
+
+  /// Test hook: runs after a migration/repair has staged its chunks and
+  /// immediately before the metadata CAS commit, so tests can interleave a
+  /// racing Put deterministically.  Not for production use.
+  void SetCommitRaceHook(std::function<void()> hook) {
+    commit_race_hook_ = std::move(hook);
+  }
 
   /// Retries deferred chunk deletions whose providers recovered.
   std::size_t ProcessPendingDeletes(common::SimTime now);
@@ -141,6 +168,27 @@ class Engine {
   /// Deletes the chunks of `meta`, deferring unreachable providers.
   void DeleteChunks(common::SimTime now, const ObjectMetadata& meta);
 
+  /// Best-effort sweep after WriteChunks failed mid-stage: deletes every
+  /// chunk key the stage *could* have written (chunk i at provider i of
+  /// `target`, under `staged`'s storage key); missing ones answer NotFound.
+  void SweepPartialStage(common::SimTime now, ObjectMetadata staged,
+                         const PlacementDecision& target);
+
+  /// Commits a staged re-placement via CAS against `expected`.  Returns Ok
+  /// when the CAS applied and the success record journaled (the caller may
+  /// GC the replaced chunks); kConflict when a concurrent write won the
+  /// race (the abort is journaled and the chunks of `staged_gc` — the
+  /// staged, never-committed writes — are garbage-collected); the journal
+  /// error when the CAS applied but journaling failed (committed, but the
+  /// caller must skip destructive GC); any other error when the commit
+  /// could not be attempted (staged chunks GC'd).
+  common::Status CommitReplacement(common::SimTime now,
+                                   const std::string& row_key,
+                                   const ObjectMetadata& staged,
+                                   const ObjectMetadata& staged_gc,
+                                   const store::VectorClock& expected,
+                                   bool is_repair);
+
   /// Expected per-period usage for an object: history average when it has
   /// history, class mean for fresh objects, else a storage-only guess.
   [[nodiscard]] stats::PeriodStats ForecastUsage(
@@ -159,6 +207,7 @@ class Engine {
   stats::LogAgent* log_agent_;    // may be null
   common::ThreadPool* pool_;      // may be null => serial chunk IO
   durability::Journal* journal_ = nullptr;  // may be null (no journaling)
+  std::function<void()> commit_race_hook_;  // test-only, see SetCommitRaceHook
   EngineConfig config_;
   PlacementSearch search_;
   MigrationPlanner migration_;

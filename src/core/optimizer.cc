@@ -78,6 +78,8 @@ OptimizationReport PeriodicOptimizer::RunInner(common::SimTime now) {
   std::atomic<std::size_t> trend_changes{0};
   std::atomic<std::size_t> recomputations{0};
   std::atomic<std::size_t> migrations{0};
+  std::atomic<std::size_t> conflicts{0};
+  std::atomic<std::size_t> errors{0};
 
   // Step 5: each engine processes its shard; the fan-out runs on the pool
   // (each engine is an independent worker in the paper's deployment).
@@ -119,8 +121,16 @@ OptimizationReport PeriodicOptimizer::RunInner(common::SimTime now) {
 
       recomputations.fetch_add(1, std::memory_order_relaxed);
       auto migrated = engine->ReoptimizeObject(now, row_key, decision_periods);
-      if (migrated.ok() && *migrated) {
-        migrations.fetch_add(1, std::memory_order_relaxed);
+      if (migrated.ok()) {
+        if (*migrated) migrations.fetch_add(1, std::memory_order_relaxed);
+      } else if (migrated.status().code() == common::StatusCode::kConflict) {
+        // A concurrent write of the same key won the CAS commit: the
+        // migration aborted, the staged chunks are gone, the write stands.
+        conflicts.fetch_add(1, std::memory_order_relaxed);
+      } else if (migrated.status().code() != common::StatusCode::kNotFound) {
+        // NotFound just means the object was deleted since the candidate
+        // list was drawn — benign, not an error.
+        errors.fetch_add(1, std::memory_order_relaxed);
       }
     }
   };
@@ -133,10 +143,13 @@ OptimizationReport PeriodicOptimizer::RunInner(common::SimTime now) {
   report.trend_changes = trend_changes.load();
   report.recomputations = recomputations.load();
   report.migrations = migrations.load();
+  report.conflicts = conflicts.load();
+  report.errors = errors.load();
   SCALIA_LOG(common::LogLevel::kInfo, "optimizer")
       << "leader=" << report.leader << " candidates=" << report.candidates
       << " trend_changes=" << report.trend_changes
-      << " migrations=" << report.migrations;
+      << " migrations=" << report.migrations
+      << " conflicts=" << report.conflicts << " errors=" << report.errors;
   return report;
 }
 

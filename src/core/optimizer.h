@@ -46,6 +46,12 @@ struct OptimizationReport {
   std::size_t trend_changes = 0;     // detect() fired
   std::size_t recomputations = 0;    // Algorithm 1 runs
   std::size_t migrations = 0;        // chunk movements performed
+  /// Migrations aborted because a concurrent Put/Delete of the same key won
+  /// the CAS-on-version commit.  Nonzero under live write traffic is
+  /// normal; the acked write always survives and the staged chunks are
+  /// garbage-collected.
+  std::size_t conflicts = 0;
+  std::size_t errors = 0;            // migrations failed for other reasons
 };
 
 class PeriodicOptimizer {

@@ -249,11 +249,11 @@ common::Result<CheckpointInfo> CheckpointLoader::LoadInto(
     if (!r.ok()) {
       return common::Status::InvalidArgument("truncated checkpoint: " + path);
     }
-    const common::Status s =
+    const auto applied =
         tombstone
             ? state.db->Delete(state.dc, "metadata", key, timestamp)
             : state.db->Put(state.dc, "metadata", key, value, timestamp);
-    if (!s.ok()) return s;
+    if (!applied.ok()) return applied.status();
   }
 
   // Section 2: the statistics database.

@@ -27,39 +27,65 @@ class Journal {
     return lsn.ok() ? common::Status::Ok() : lsn.status();
   }
 
+  /// `clock` is the committed row version's vector clock: replay applies
+  /// the record causally with it, so two commits racing to the WAL in
+  /// either append order still converge on the causally-fresher one.
   common::Status LogUpsert(const std::string& row_key,
-                           std::string serialized_meta, common::SimTime at) {
+                           std::string serialized_meta, common::SimTime at,
+                           store::VectorClock clock) {
     return Append({.kind = WalRecordKind::kUpsert,
                    .at = at,
                    .row_key = row_key,
                    .aux = 0,
-                   .payload = std::move(serialized_meta)});
+                   .payload = std::move(serialized_meta),
+                   .clock = std::move(clock)});
   }
 
-  common::Status LogDelete(const std::string& row_key, common::SimTime at) {
+  common::Status LogDelete(const std::string& row_key, common::SimTime at,
+                           store::VectorClock clock) {
     return Append({.kind = WalRecordKind::kDelete,
                    .at = at,
                    .row_key = row_key,
                    .aux = 0,
-                   .payload = {}});
+                   .payload = {},
+                   .clock = std::move(clock)});
   }
 
   common::Status LogMigrate(const std::string& row_key,
-                            std::string serialized_meta, common::SimTime at) {
+                            std::string serialized_meta, common::SimTime at,
+                            store::VectorClock clock) {
     return Append({.kind = WalRecordKind::kMigrate,
                    .at = at,
                    .row_key = row_key,
                    .aux = 0,
-                   .payload = std::move(serialized_meta)});
+                   .payload = std::move(serialized_meta),
+                   .clock = std::move(clock)});
+  }
+
+  /// A migration/repair lost its CAS commit to a concurrent write: the
+  /// staged placement (`staged_meta`) was never applied and its chunks are
+  /// garbage.  Logged *before* the staged-chunk GC so a crash between abort
+  /// and GC leaves a record of what to sweep, and so replay knows this
+  /// placement must never reach the metadata table.
+  common::Status LogMigrateAbort(const std::string& row_key,
+                                 std::string staged_meta, common::SimTime at) {
+    return Append({.kind = WalRecordKind::kMigrateAbort,
+                   .at = at,
+                   .row_key = row_key,
+                   .aux = 0,
+                   .payload = std::move(staged_meta),
+                   .clock = {}});
   }
 
   common::Status LogRepair(const std::string& row_key,
-                           std::string serialized_meta, common::SimTime at) {
+                           std::string serialized_meta, common::SimTime at,
+                           store::VectorClock clock) {
     return Append({.kind = WalRecordKind::kRepair,
                    .at = at,
                    .row_key = row_key,
                    .aux = 0,
-                   .payload = std::move(serialized_meta)});
+                   .payload = std::move(serialized_meta),
+                   .clock = std::move(clock)});
   }
 
   common::Status LogPeriodStats(const std::string& row_key,
@@ -69,7 +95,8 @@ class Journal {
                    .at = at,
                    .row_key = row_key,
                    .aux = period,
-                   .payload = std::move(stats_csv)});
+                   .payload = std::move(stats_csv),
+                   .clock = {}});
   }
 
  private:

@@ -6,8 +6,9 @@ namespace scalia::durability {
 
 namespace {
 // Bumped when the record layout changes; replay skips newer versions rather
-// than misparsing them.
-constexpr std::uint8_t kRecordVersion = 1;
+// than misparsing them.  v2 (PR 4) appended the committed row version's
+// vector clock so replay is causal; v1 records still decode (empty clock).
+constexpr std::uint8_t kRecordVersion = 2;
 }  // namespace
 
 std::string WalRecord::Encode() const {
@@ -19,13 +20,18 @@ std::string WalRecord::Encode() const {
   w.PutU64(aux);
   w.PutString(row_key);
   w.PutString(payload);
+  w.PutU32(static_cast<std::uint32_t>(clock.entries().size()));
+  for (const auto& [replica, value] : clock.entries()) {
+    w.PutU32(replica);
+    w.PutU64(value);
+  }
   return out;
 }
 
 common::Result<WalRecord> WalRecord::Decode(std::string_view bytes) {
   common::BinaryReader r(bytes);
   const std::uint8_t version = r.U8();
-  if (version != kRecordVersion) {
+  if (version == 0 || version > kRecordVersion) {
     return common::Status::InvalidArgument(
         "unsupported WAL record version " + std::to_string(version));
   }
@@ -35,6 +41,14 @@ common::Result<WalRecord> WalRecord::Decode(std::string_view bytes) {
   rec.aux = r.U64();
   rec.row_key = r.String();
   rec.payload = r.String();
+  if (version >= 2) {
+    const std::uint32_t entries = r.U32();
+    for (std::uint32_t i = 0; i < entries && r.ok(); ++i) {
+      const std::uint32_t replica = r.U32();
+      const std::uint64_t value = r.U64();
+      rec.clock.Set(replica, value);
+    }
+  }
   if (!r.ok()) {
     return common::Status::InvalidArgument("truncated WAL record");
   }

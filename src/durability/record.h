@@ -15,6 +15,7 @@
 
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "store/vector_clock.h"
 
 namespace scalia::durability {
 
@@ -24,6 +25,10 @@ enum class WalRecordKind : std::uint8_t {
   kMigrate = 3,      // re-optimization moved the object's chunks
   kRepair = 4,       // active repair re-wrote part or all of the stripes
   kPeriodStats = 5,  // one sampling period appended to the access history
+  kMigrateAbort = 6,  // a migration/repair lost its CAS commit; the payload
+                      // is the *staged* (never-committed) placement whose
+                      // chunks were garbage-collected — replay must never
+                      // apply it to the metadata table
 };
 
 [[nodiscard]] constexpr std::string_view WalRecordKindName(WalRecordKind k) {
@@ -33,6 +38,7 @@ enum class WalRecordKind : std::uint8_t {
     case WalRecordKind::kMigrate: return "migrate";
     case WalRecordKind::kRepair: return "repair";
     case WalRecordKind::kPeriodStats: return "period-stats";
+    case WalRecordKind::kMigrateAbort: return "migrate-abort";
   }
   return "unknown";
 }
@@ -43,6 +49,14 @@ struct WalRecord {
   std::string row_key;       // MD5 metadata row key
   std::uint64_t aux = 0;     // kPeriodStats: the sampling period index
   std::string payload;       // serialized metadata row / PeriodStats CSV
+  /// The committed row version's vector clock (empty for kPeriodStats /
+  /// kMigrateAbort and for legacy v1 records).  Replay applies metadata
+  /// records *causally* with this clock instead of as blind writes, so the
+  /// WAL's append order need not match the metadata table's commit order:
+  /// journal appends race each other outside the table's shard lock, and a
+  /// dominated record replayed last must still lose to the write that
+  /// superseded it in the live table.
+  store::VectorClock clock;
 
   [[nodiscard]] std::string Encode() const;
   [[nodiscard]] static common::Result<WalRecord> Decode(std::string_view bytes);

@@ -11,6 +11,32 @@ namespace scalia::durability {
 
 namespace {
 
+/// Re-applies a metadata record.  v2 records carry the committed version's
+/// vector clock and replay *causally*: journal appends race each other
+/// outside the table's shard lock, so the WAL's append order may invert the
+/// table's commit order — a dominated record replayed last must still lose
+/// to the record of the write that superseded it.  Legacy v1 records (no
+/// clock) fall back to the old blind register write.
+common::Status ReplayMetadataWrite(const WalRecord& rec,
+                                   const EngineStateRefs& state,
+                                   bool tombstone) {
+  if (rec.clock.empty()) {
+    auto s = tombstone ? state.db->Delete(state.dc, "metadata", rec.row_key,
+                                          rec.at)
+                       : state.db->Put(state.dc, "metadata", rec.row_key,
+                                       rec.payload, rec.at);
+    return s.ok() ? common::Status::Ok() : s.status();
+  }
+  store::Version v;
+  v.value = rec.payload;
+  v.timestamp = rec.at;
+  v.origin = state.dc;
+  v.clock = rec.clock;
+  v.tombstone = tombstone;
+  return state.db->ApplyVersion(state.dc, "metadata", rec.row_key,
+                                std::move(v));
+}
+
 /// Applies one decoded WAL record to the engine state.  Returns false when
 /// the record kind is unknown (skipped, forward compatibility).
 common::Result<bool> ApplyRecord(const WalRecord& rec,
@@ -19,8 +45,7 @@ common::Result<bool> ApplyRecord(const WalRecord& rec,
     case WalRecordKind::kUpsert:
     case WalRecordKind::kMigrate:
     case WalRecordKind::kRepair: {
-      if (auto s = state.db->Put(state.dc, "metadata", rec.row_key,
-                                 rec.payload, rec.at);
+      if (auto s = ReplayMetadataWrite(rec, state, /*tombstone=*/false);
           !s.ok()) {
         return s;
       }
@@ -38,7 +63,7 @@ common::Result<bool> ApplyRecord(const WalRecord& rec,
       return true;
     }
     case WalRecordKind::kDelete: {
-      if (auto s = state.db->Delete(state.dc, "metadata", rec.row_key, rec.at);
+      if (auto s = ReplayMetadataWrite(rec, state, /*tombstone=*/true);
           !s.ok()) {
         return s;
       }
@@ -49,6 +74,25 @@ common::Result<bool> ApplyRecord(const WalRecord& rec,
       state.stats->AppendPeriodStats(rec.row_key, rec.aux,
                                      stats::PeriodStats::FromCsv(rec.payload),
                                      rec.at);
+      return true;
+    }
+    case WalRecordKind::kMigrateAbort: {
+      // The payload is a placement that *lost* its CAS commit: it never
+      // reached the metadata table, so nothing is applied — resurrecting it
+      // would revert the write that won the race.  Its *staged* chunks may
+      // have survived a crash between the abort and the engine's sweep;
+      // finish that sweep here when the providers are reachable.
+      if (state.registry != nullptr) {
+        if (auto staged = core::ObjectMetadata::Parse(rec.payload);
+            staged.ok()) {
+          for (const auto& stripe : staged->stripes) {
+            if (auto* store = state.registry->Find(stripe.provider)) {
+              // Best-effort: NotFound just means the engine got there first.
+              (void)store->Delete(rec.at, staged->ChunkKey(stripe.chunk_index));
+            }
+          }
+        }
+      }
       return true;
     }
   }

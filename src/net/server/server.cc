@@ -8,11 +8,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <ctime>
 #include <utility>
+#include <vector>
 
 #include "common/log.h"
 
@@ -145,6 +148,7 @@ ServerStats HttpServer::stats() const {
   ServerStats s;
   s.connections_accepted = stat_accepted_.load(std::memory_order_relaxed);
   s.connections_rejected = stat_rejected_.load(std::memory_order_relaxed);
+  s.connections_timed_out = stat_timed_out_.load(std::memory_order_relaxed);
   s.requests_served = stat_requests_.load(std::memory_order_relaxed);
   s.protocol_errors = stat_protocol_errors_.load(std::memory_order_relaxed);
   s.bytes_in = stat_bytes_in_.load(std::memory_order_relaxed);
@@ -161,7 +165,8 @@ void HttpServer::IoLoop() {
   std::array<epoll_event, 64> events;
   while (!stopping_.load(std::memory_order_acquire)) {
     const int n = ::epoll_wait(epoll_fd_, events.data(),
-                               static_cast<int>(events.size()), -1);
+                               static_cast<int>(events.size()),
+                               NextDeadlineMs());
     if (n < 0) {
       if (errno == EINTR) continue;
       SCALIA_LOG(common::LogLevel::kError, "net.server")
@@ -182,6 +187,66 @@ void HttpServer::IoLoop() {
         HandleEvent(id, events[i].events);
       }
     }
+    if (!stopping_.load(std::memory_order_acquire)) SweepIdleConnections();
+  }
+}
+
+int HttpServer::NextDeadlineMs() const {
+  if (config_.idle_timeout_ms <= 0 || conns_.empty()) return -1;
+  // Wake when the sweep is next due.  `idle_scan_due_` may be in the past
+  // (a deadline crossed since the last sweep, or the epoch default before
+  // the first one); the clamp turns that into an immediate wake.
+  const long remaining =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          idle_scan_due_ - std::chrono::steady_clock::now())
+          .count();
+  // Cap the sleep (a sweep pass is cheap) so the int cast can never
+  // overflow on an absurd configured timeout.
+  return static_cast<int>(std::clamp(remaining, 1L, 60'000L));
+}
+
+void HttpServer::SweepIdleConnections() {
+  if (config_.idle_timeout_ms <= 0 || conns_.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  // O(1) on the hot path: the full scan runs only once the earliest
+  // deadline found by the previous scan has passed.  Client activity only
+  // pushes deadlines later, so the cache may wake us early, never late.
+  if (now < idle_scan_due_) return;
+  const auto timeout = std::chrono::milliseconds(config_.idle_timeout_ms);
+  auto earliest = now + timeout;  // upper bound: a fresh connection's due
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->busy) continue;
+    const auto due = conn->last_activity + timeout;
+    if (due <= now) {
+      expired.push_back(id);
+    } else if (due < earliest) {
+      earliest = due;
+    }
+  }
+  idle_scan_due_ = earliest;
+  for (const std::uint64_t id : expired) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Connection& conn = *it->second;
+    if (conn.timed_out || conn.draining) {
+      // Already answered (408 or a protocol error) and the client is still
+      // silent: stop lingering and reclaim the slot.
+      CloseConnection(id);
+      continue;
+    }
+    // First expiry: answer 408, then linger so the client can read it.
+    stat_timed_out_.fetch_add(1, std::memory_order_relaxed);
+    api::HttpResponse timeout;
+    timeout.status = 408;
+    timeout.body = "read/idle deadline exceeded\n";
+    timeout.headers.Set("content-type", "text/plain");
+    conn.outbuf += SerializeResponse(timeout, /*keep_alive=*/false);
+    conn.close_after_flush = true;
+    conn.error_close = true;
+    conn.timed_out = true;
+    conn.last_activity = now;  // restart the clock for the linger phase
+    if (FlushWrites(conn)) UpdateInterest(conn);
   }
 }
 
@@ -221,6 +286,7 @@ void HttpServer::AcceptReady() {
     conn->id = next_conn_id_++;
     conn->fd = fd;
     conn->parser = RequestParser(config_.limits);
+    conn->last_activity = std::chrono::steady_clock::now();
     conn->epoll_events = EPOLLIN;
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -260,6 +326,12 @@ void HttpServer::HandleEvent(std::uint64_t conn_id, std::uint32_t events) {
 
 bool HttpServer::ReadReady(Connection& conn) {
   char buf[64 * 1024];
+  // Once a connection is lingering (408 sent or protocol-error drain),
+  // incoming bytes no longer count as progress: a client trickling one
+  // byte per deadline must not dodge the force-close.
+  if (!conn.draining && !conn.timed_out) {
+    conn.last_activity = std::chrono::steady_clock::now();
+  }
   if (conn.draining) {
     // Lingering close: discard whatever the client is still sending (e.g.
     // the body of a 413-rejected upload) so close() finds an empty receive
@@ -399,6 +471,7 @@ void HttpServer::DrainCompletions() {
     if (it == conns_.end()) continue;  // connection died while handling
     Connection& conn = *it->second;
     conn.busy = false;
+    conn.last_activity = std::chrono::steady_clock::now();
     conn.outbuf += completion.wire;
     stat_requests_.fetch_add(1, std::memory_order_relaxed);
     if (!completion.keep_alive) conn.close_after_flush = true;
@@ -426,6 +499,11 @@ bool HttpServer::FlushWrites(Connection& conn) {
       conn.outbuf_off += static_cast<std::size_t>(n);
       stat_bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
                                 std::memory_order_relaxed);
+      // Like ReadReady: once the connection is lingering, send progress is
+      // not client progress — a trickle-reader must not stretch the linger.
+      if (!conn.draining && !conn.timed_out) {
+        conn.last_activity = std::chrono::steady_clock::now();
+      }
       continue;
     }
     if (errno == EINTR) continue;

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -44,6 +45,11 @@ struct ServerConfig {
   std::uint16_t port = 0;
   /// Accepted connections beyond this are closed immediately.
   std::size_t max_connections = 1024;
+  /// Read/idle deadline: a connection that makes no progress — sends no
+  /// byte of a pending request and has none in flight — for this long is
+  /// answered `408 Request Timeout` and closed, so a slowloris or idle
+  /// client cannot pin a connection slot.  0 disables the deadline.
+  long idle_timeout_ms = 60'000;
   ParserLimits limits;
   /// Handler pool; nullptr uses common::ThreadPool::Shared().
   common::ThreadPool* pool = nullptr;
@@ -56,6 +62,7 @@ struct ServerConfig {
 struct ServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_rejected = 0;  // over max_connections
+  std::uint64_t connections_timed_out = 0;  // idle/read deadline expiries
   std::uint64_t requests_served = 0;       // handler responses written
   std::uint64_t protocol_errors = 0;       // parser-level error answers
   std::uint64_t bytes_in = 0;
@@ -106,6 +113,10 @@ class HttpServer {
     bool draining = false;
     std::size_t drain_budget = 0;
     bool peer_eof = false;
+    bool timed_out = false;  // 408 sent; the next expiry force-closes
+    /// Last client progress (accept, bytes read, response written, flush
+    /// progress) against which the idle deadline is measured.
+    std::chrono::steady_clock::time_point last_activity;
     std::uint32_t epoll_events = 0;  // currently armed interest set
   };
 
@@ -118,6 +129,14 @@ class HttpServer {
 
   void IoLoop();
   void AcceptReady();
+  /// Milliseconds until the next idle sweep is due (epoll_wait timeout);
+  /// -1 when deadlines are disabled or no connections exist.  O(1): reads
+  /// the deadline cached by the last sweep.
+  [[nodiscard]] int NextDeadlineMs() const;
+  /// Expires idle connections: first expiry answers 408 + lingering close,
+  /// a second expiry (client still silent) force-closes.  Scans the
+  /// connection map only when the cached earliest deadline has passed.
+  void SweepIdleConnections();
   void HandleEvent(std::uint64_t conn_id, std::uint32_t events);
   /// Reads until EAGAIN (or back-pressure pause); false on a fatal socket
   /// error — the caller closes.
@@ -154,6 +173,10 @@ class HttpServer {
   std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake eventfd
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
   bool accept_paused_ = false;  // listener masked after EMFILE/ENFILE
+  /// When the next idle sweep is due (earliest connection deadline found by
+  /// the last sweep).  Activity only pushes deadlines later, so the cache
+  /// can be early but never late; the epoch default forces a first scan.
+  std::chrono::steady_clock::time_point idle_scan_due_{};
 
   std::mutex completions_mu_;
   std::vector<Completion> completions_;
@@ -164,6 +187,7 @@ class HttpServer {
 
   std::atomic<std::uint64_t> stat_accepted_{0};
   std::atomic<std::uint64_t> stat_rejected_{0};
+  std::atomic<std::uint64_t> stat_timed_out_{0};
   std::atomic<std::uint64_t> stat_requests_{0};
   std::atomic<std::uint64_t> stat_protocol_errors_{0};
   std::atomic<std::uint64_t> stat_bytes_in_{0};

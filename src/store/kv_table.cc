@@ -24,6 +24,12 @@ std::vector<Version> KvTable::Apply(const std::string& key, Version v) {
 std::vector<Version> KvTable::Put(const std::string& key, std::string value,
                                   ReplicaId replica,
                                   common::SimTime timestamp) {
+  return PutVersioned(key, std::move(value), replica, timestamp).superseded;
+}
+
+WriteOutcome KvTable::PutVersioned(const std::string& key, std::string value,
+                                   ReplicaId replica,
+                                   common::SimTime timestamp) {
   Shard& shard = shards_[ShardIndex(key)];
   std::lock_guard lock(shard.mu);
   MvccRow& row = shard.rows[key];
@@ -35,11 +41,20 @@ std::vector<Version> KvTable::Put(const std::string& key, std::string value,
   // replica has seen for the row.
   for (const auto& live : row.live()) v.clock.Merge(live.clock);
   v.clock.Increment(replica);
-  return row.Apply(std::move(v));
+  WriteOutcome outcome;
+  outcome.committed = v;
+  outcome.superseded = row.Apply(std::move(v));
+  return outcome;
 }
 
 std::vector<Version> KvTable::Delete(const std::string& key, ReplicaId replica,
                                      common::SimTime timestamp) {
+  return DeleteVersioned(key, replica, timestamp).superseded;
+}
+
+WriteOutcome KvTable::DeleteVersioned(const std::string& key,
+                                      ReplicaId replica,
+                                      common::SimTime timestamp) {
   Shard& shard = shards_[ShardIndex(key)];
   std::lock_guard lock(shard.mu);
   MvccRow& row = shard.rows[key];
@@ -49,7 +64,31 @@ std::vector<Version> KvTable::Delete(const std::string& key, ReplicaId replica,
   v.tombstone = true;
   for (const auto& live : row.live()) v.clock.Merge(live.clock);
   v.clock.Increment(replica);
-  return row.Apply(std::move(v));
+  WriteOutcome outcome;
+  outcome.committed = v;
+  outcome.superseded = row.Apply(std::move(v));
+  return outcome;
+}
+
+CasOutcome KvTable::PutIfLatest(const std::string& key, std::string value,
+                                ReplicaId replica, common::SimTime timestamp,
+                                const VectorClock& expected) {
+  Shard& shard = shards_[ShardIndex(key)];
+  std::lock_guard lock(shard.mu);
+  Version v;
+  v.value = std::move(value);
+  v.timestamp = timestamp;
+  v.origin = replica;
+  // ApplyIfLatest merges the live clocks and increments `replica` itself,
+  // atomically with the freshness check.
+  return shard.rows[key].ApplyIfLatest(expected, std::move(v));
+}
+
+CasOutcome KvTable::ApplyIfLatest(const std::string& key,
+                                  const VectorClock& expected, Version v) {
+  Shard& shard = shards_[ShardIndex(key)];
+  std::lock_guard lock(shard.mu);
+  return shard.rows[key].ApplyIfLatest(expected, std::move(v));
 }
 
 std::optional<ReadResult> KvTable::Get(const std::string& key,
@@ -66,6 +105,7 @@ std::optional<ReadResult> KvTable::Get(const std::string& key,
   r.timestamp = latest->timestamp;
   r.tombstone = latest->tombstone;
   r.conflict = it->second.HasConflict();
+  r.clock = latest->clock;
   return r;
 }
 

@@ -22,6 +22,17 @@ struct ReadResult {
   common::SimTime timestamp = 0;
   bool tombstone = false;
   bool conflict = false;  // more than one live version existed at read time
+  /// The read version's vector clock: the snapshot a later CAS commit
+  /// (PutIfLatest) compares against.
+  VectorClock clock;
+};
+
+/// What an unconditional write did: the version it created (clock built
+/// under the shard lock — the value a journal record must carry) and the
+/// versions it replaced (whose chunks the caller must GC).
+struct WriteOutcome {
+  Version committed;
+  std::vector<Version> superseded;
 };
 
 class KvTable {
@@ -39,9 +50,33 @@ class KvTable {
   std::vector<Version> Put(const std::string& key, std::string value,
                            ReplicaId replica, common::SimTime timestamp);
 
+  /// Put, also returning the committed version (for replication fan-out
+  /// and causal journaling) — all derived atomically under the shard lock.
+  WriteOutcome PutVersioned(const std::string& key, std::string value,
+                            ReplicaId replica, common::SimTime timestamp);
+
   /// Tombstone write.
   std::vector<Version> Delete(const std::string& key, ReplicaId replica,
                               common::SimTime timestamp);
+
+  /// Delete, also returning the committed tombstone version.
+  WriteOutcome DeleteVersioned(const std::string& key, ReplicaId replica,
+                               common::SimTime timestamp);
+
+  /// CAS-on-version write: commits `value` only when no version fresher
+  /// than (or concurrent with) `expected` landed since the caller read the
+  /// row — check and commit run atomically under the shard lock.  The typed
+  /// conflict result (`applied == false`) reports the version that won.
+  CasOutcome PutIfLatest(const std::string& key, std::string value,
+                         ReplicaId replica, common::SimTime timestamp,
+                         const VectorClock& expected);
+
+  /// CAS form of Put for a caller-assembled Version.  NOT for replication:
+  /// like PutIfLatest, the commit re-merges the live clocks and advances
+  /// `v.origin`, minting a *new* version identity — replicated versions
+  /// must keep their original clock and go through Apply instead.
+  CasOutcome ApplyIfLatest(const std::string& key, const VectorClock& expected,
+                           Version v);
 
   /// Freshest version for `key`; nullopt when absent or deleted (unless
   /// `include_tombstones`).

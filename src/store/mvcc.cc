@@ -30,6 +30,25 @@ std::vector<Version> MvccRow::Apply(Version v) {
   return superseded;
 }
 
+CasOutcome MvccRow::ApplyIfLatest(const VectorClock& expected, Version v) {
+  CasOutcome outcome;
+  for (const auto& existing : live_) {
+    if (expected.DominatesOrEquals(existing.clock)) continue;
+    // A version the snapshot has not seen: the CAS loses.  Report the
+    // freshest such version so the caller knows what won.
+    if (!outcome.conflicting || existing.FresherThan(*outcome.conflicting)) {
+      outcome.conflicting = existing;
+    }
+  }
+  if (outcome.conflicting) return outcome;
+  for (const auto& existing : live_) v.clock.Merge(existing.clock);
+  v.clock.Increment(v.origin);
+  outcome.committed = v;
+  outcome.superseded = Apply(std::move(v));
+  outcome.applied = true;
+  return outcome;
+}
+
 std::vector<Version> MvccRow::ResolveLastWriterWins() {
   if (live_.size() <= 1) return {};
   auto freshest = std::max_element(

@@ -29,12 +29,31 @@ struct Version {
   }
 };
 
+/// Outcome of a conditional (CAS-on-version) apply.  `applied == false` is
+/// the typed conflict result: a causally-fresher or concurrent version
+/// landed after the caller snapshotted its expected clock, and `conflicting`
+/// names the freshest such version so the caller can see what won the race.
+struct CasOutcome {
+  bool applied = false;
+  std::vector<Version> superseded;     // replaced versions (chunk GC), applied
+  std::optional<Version> committed;    // the version written, when applied
+  std::optional<Version> conflicting;  // freshest blocking version, otherwise
+};
+
 class MvccRow {
  public:
   /// Applies a version: drops live versions that are causally dominated,
   /// keeps concurrent ones (the conflict Fig. 10 illustrates).  Returns the
   /// values of versions this write superseded, for provider-side chunk GC.
   std::vector<Version> Apply(Version v);
+
+  /// Conditional apply: commits `v` only when every live version is causally
+  /// dominated by (or equal to) `expected` — i.e. nothing fresher landed
+  /// since the caller read the row and snapshotted `expected`.  On success
+  /// `v`'s clock absorbs the live clocks and advances at `v.origin`
+  /// (register semantics), so the commit supersedes the whole row.  On
+  /// conflict the row is left untouched.
+  CasOutcome ApplyIfLatest(const VectorClock& expected, Version v);
 
   /// All currently live (non-superseded) versions.  Size > 1 <=> conflict.
   [[nodiscard]] const std::vector<Version>& live() const noexcept {

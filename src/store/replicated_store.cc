@@ -33,9 +33,11 @@ void ReplicatedStore::EnqueueReplication(ReplicaId source,
   }
 }
 
-common::Status ReplicatedStore::Put(ReplicaId dc, const std::string& table,
-                                    const std::string& key, std::string value,
-                                    common::SimTime timestamp) {
+common::Result<WriteOutcome> ReplicatedStore::Put(ReplicaId dc,
+                                                  const std::string& table,
+                                                  const std::string& key,
+                                                  std::string value,
+                                                  common::SimTime timestamp) {
   KvTable* t = nullptr;
   {
     std::lock_guard lock(mu_);
@@ -46,22 +48,59 @@ common::Status ReplicatedStore::Put(ReplicaId dc, const std::string& table,
     }
     t = &TableRef(r, table);
   }
-  t->Put(key, std::move(value), dc, timestamp);
-  // Replicate the version we just created.
-  auto latest = t->LiveVersions(key);
+  WriteOutcome outcome = t->PutVersioned(key, std::move(value), dc, timestamp);
+  // Replicate the version we just created (the committed copy is taken
+  // under the shard lock, so a concurrent superseding write cannot hide it).
   std::lock_guard lock(mu_);
-  for (const auto& v : latest) {
-    if (v.origin == dc && v.timestamp == timestamp) {
-      EnqueueReplication(dc, table, key, v);
-      break;
+  EnqueueReplication(dc, table, key, outcome.committed);
+  return outcome;
+}
+
+common::Result<WriteOutcome> ReplicatedStore::Delete(ReplicaId dc,
+                                                     const std::string& table,
+                                                     const std::string& key,
+                                                     common::SimTime timestamp) {
+  KvTable* t = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    Replica& r = replicas_.at(dc);
+    if (!r.up) {
+      return common::Status::Unavailable("datacenter " + std::to_string(dc) +
+                                         " is down");
     }
+    t = &TableRef(r, table);
   }
+  WriteOutcome outcome = t->DeleteVersioned(key, dc, timestamp);
+  std::lock_guard lock(mu_);
+  EnqueueReplication(dc, table, key, outcome.committed);
+  return outcome;
+}
+
+common::Status ReplicatedStore::ApplyVersion(ReplicaId dc,
+                                             const std::string& table,
+                                             const std::string& key,
+                                             Version v) {
+  KvTable* t = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    Replica& r = replicas_.at(dc);
+    if (!r.up) {
+      return common::Status::Unavailable("datacenter " + std::to_string(dc) +
+                                         " is down");
+    }
+    t = &TableRef(r, table);
+  }
+  Version replicated = v;
+  t->Apply(key, std::move(v));
+  std::lock_guard lock(mu_);
+  EnqueueReplication(dc, table, key, replicated);
   return common::Status::Ok();
 }
 
-common::Status ReplicatedStore::Delete(ReplicaId dc, const std::string& table,
-                                       const std::string& key,
-                                       common::SimTime timestamp) {
+common::Result<CasOutcome> ReplicatedStore::PutIfLatest(
+    ReplicaId dc, const std::string& table, const std::string& key,
+    std::string value, common::SimTime timestamp,
+    const VectorClock& expected) {
   KvTable* t = nullptr;
   {
     std::lock_guard lock(mu_);
@@ -72,16 +111,13 @@ common::Status ReplicatedStore::Delete(ReplicaId dc, const std::string& table,
     }
     t = &TableRef(r, table);
   }
-  t->Delete(key, dc, timestamp);
-  auto latest = t->LiveVersions(key);
-  std::lock_guard lock(mu_);
-  for (const auto& v : latest) {
-    if (v.origin == dc && v.timestamp == timestamp && v.tombstone) {
-      EnqueueReplication(dc, table, key, v);
-      break;
-    }
+  CasOutcome outcome =
+      t->PutIfLatest(key, std::move(value), dc, timestamp, expected);
+  if (outcome.applied && outcome.committed) {
+    std::lock_guard lock(mu_);
+    EnqueueReplication(dc, table, key, *outcome.committed);
   }
-  return common::Status::Ok();
+  return outcome;
 }
 
 common::Result<ReadResult> ReplicatedStore::Get(ReplicaId dc,

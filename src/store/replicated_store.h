@@ -39,14 +39,37 @@ class ReplicatedStore {
   void SetDatacenterUp(ReplicaId dc, bool up);
   [[nodiscard]] bool IsDatacenterUp(ReplicaId dc) const;
 
-  /// Writes `value` under `key` in `table` at datacenter `dc`.
-  common::Status Put(ReplicaId dc, const std::string& table,
-                     const std::string& key, std::string value,
-                     common::SimTime timestamp);
+  /// Writes `value` under `key` in `table` at datacenter `dc`.  The
+  /// outcome carries (a) the committed version, whose clock the caller
+  /// journals so WAL replay stays causal, and (b) the versions this write
+  /// superseded at `dc`: chunk GC must work off exactly that set — a
+  /// concurrent migration may have committed a placement the caller never
+  /// read, and sweeping a stale pre-read instead would orphan it.
+  common::Result<WriteOutcome> Put(ReplicaId dc, const std::string& table,
+                                   const std::string& key, std::string value,
+                                   common::SimTime timestamp);
 
-  /// Tombstones `key`.
-  common::Status Delete(ReplicaId dc, const std::string& table,
-                        const std::string& key, common::SimTime timestamp);
+  /// Tombstones `key`; outcome semantics as for Put.
+  common::Result<WriteOutcome> Delete(ReplicaId dc, const std::string& table,
+                                      const std::string& key,
+                                      common::SimTime timestamp);
+
+  /// Applies a pre-built version (with its clock) at `dc` and replicates
+  /// it — the causal-replay primitive crash recovery uses.
+  common::Status ApplyVersion(ReplicaId dc, const std::string& table,
+                              const std::string& key, Version v);
+
+  /// CAS-on-version write: commits only when no version fresher than (or
+  /// concurrent with) `expected` landed at `dc` since the caller's read —
+  /// the migration/repair commit primitive.  The error Status covers
+  /// datacenter-down; a lost race comes back ok() with `applied == false`
+  /// and the winning version in `conflicting`.  An applied commit is
+  /// replicated to the other datacenters like any Put.
+  common::Result<CasOutcome> PutIfLatest(ReplicaId dc, const std::string& table,
+                                         const std::string& key,
+                                         std::string value,
+                                         common::SimTime timestamp,
+                                         const VectorClock& expected);
 
   /// Reads the freshest version visible at datacenter `dc`.
   common::Result<ReadResult> Get(ReplicaId dc, const std::string& table,

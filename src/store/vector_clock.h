@@ -29,6 +29,20 @@ class VectorClock {
     return it == entries_.end() ? 0 : it->second;
   }
 
+  /// Raw entries, for serialization (WAL records, checkpoints).
+  [[nodiscard]] const std::map<ReplicaId, std::uint64_t>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Deserialization counterpart of entries(); zero values are dropped so
+  /// decoded clocks compare equal to their originals.
+  void Set(ReplicaId r, std::uint64_t v) {
+    if (v > 0) entries_[r] = v;
+  }
+
   /// Pointwise maximum, used after merging replicated state.
   void Merge(const VectorClock& o) {
     for (const auto& [r, v] : o.entries_) {
@@ -64,6 +78,18 @@ class VectorClock {
     if (greater) return ClockOrder::kAfter;
     return ClockOrder::kEqual;
   }
+
+  /// True when this clock causally dominates `o` or equals it — i.e. `o`
+  /// carries no event this clock has not seen.  This is the CAS freshness
+  /// predicate: an expected snapshot that DominatesOrEquals() every live
+  /// version's clock proves no fresher write landed since the snapshot.
+  [[nodiscard]] bool DominatesOrEquals(const VectorClock& o) const {
+    const ClockOrder order = Compare(o);
+    return order == ClockOrder::kAfter || order == ClockOrder::kEqual;
+  }
+
+  /// Entry-by-entry equality (the "same version" check of a CAS commit).
+  [[nodiscard]] bool EqualTo(const VectorClock& o) const { return *this == o; }
 
   [[nodiscard]] std::string ToString() const {
     std::string s = "{";

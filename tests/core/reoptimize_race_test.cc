@@ -1,0 +1,569 @@
+// Migration-vs-Put races (PR 4): the CAS-on-version commit protocol.
+//
+// Deterministic half: the engine's commit-race hook interleaves an acked
+// Put (or Delete) between a migration's chunk staging and its metadata CAS,
+// asserting the migration aborts with kConflict, the acked write survives,
+// the *staged* chunks are garbage-collected (idempotently), the abort is
+// journaled, and crash recovery never resurrects the lost-race placement.
+//
+// Concurrent half: N writer threads drive PUTs through the real loopback
+// serving stack (net::HttpClient -> HttpServer -> S3Gateway -> cluster)
+// while a migrator thread continuously re-optimizes the same keys between
+// two alternating ultra-cheap providers.  Afterwards every acked PUT must
+// read back exactly, and no provider may hold an orphaned staged chunk.
+// Runs under TSan via scripts/verify.sh --tsan (ctest label `tsan`).
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/auth.h"
+#include "api/gateway.h"
+#include "common/thread_pool.h"
+#include "core/cluster.h"
+#include "durability/manager.h"
+#include "net/client.h"
+#include "net/server/server.h"
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+using common::kHour;
+
+/// An ultra-cheap, ultra-durable provider: registering one after an object
+/// was placed makes re-placement both different and worthwhile, so
+/// ReoptimizeObject deterministically reaches its CAS commit.
+provider::ProviderSpec UltraCheap(const std::string& id) {
+  provider::ProviderSpec spec;
+  spec.id = id;
+  spec.description = "ultra-cheap test provider";
+  spec.sla = {.durability = 0.9999999999, .availability = 0.9999};
+  spec.zones = provider::ZoneSet::All();
+  spec.pricing = {.storage_gb_month = 1e-4,
+                  .bw_in_gb = 1e-4,
+                  .bw_out_gb = 1e-4,
+                  .ops_per_1000 = 1e-5};
+  spec.read_latency_ms = 5.0;
+  return spec;
+}
+
+StorageRule DefaultRule() {
+  return StorageRule{.name = "default",
+                     .durability = 0.999999,
+                     .availability = 0.9999,
+                     .allowed_zones = provider::ZoneSet::All(),
+                     .lockin = 1.0,
+                     .ttl_hint = std::nullopt};
+}
+
+/// Every chunk stored across all registered providers whose storage key is
+/// not referenced by any metadata row in `referenced_skeys`.
+std::vector<std::string> OrphanedChunks(
+    provider::ProviderRegistry& registry,
+    const std::set<std::string>& referenced_skeys, common::SimTime now) {
+  std::vector<std::string> orphans;
+  for (const auto& spec : registry.Specs()) {
+    auto* store = registry.Find(spec.id);
+    if (store == nullptr) continue;
+    auto keys = store->List(now, "");
+    if (!keys.ok()) continue;
+    for (const auto& chunk_key : *keys) {
+      const auto dot = chunk_key.rfind('.');
+      const std::string skey =
+          dot == std::string::npos ? chunk_key : chunk_key.substr(0, dot);
+      if (!referenced_skeys.contains(skey)) {
+        orphans.push_back(spec.id + "/" + chunk_key);
+      }
+    }
+  }
+  return orphans;
+}
+
+class ReoptimizeRaceTest : public ::testing::Test {
+ protected:
+  ReoptimizeRaceTest() : db_(1), stats_db_(&db_, 0), pool_(2) {
+    for (auto& spec : provider::PaperCatalog()) {
+      EXPECT_TRUE(registry_.Register(std::move(spec)).ok());
+    }
+    EngineConfig config;
+    config.default_rule = DefaultRule();
+    engine_ = std::make_unique<Engine>("e0", &registry_, &db_, 0, nullptr,
+                                       &stats_db_, nullptr, &pool_, config,
+                                       /*seed=*/7);
+  }
+
+  /// Puts an object and returns its row key.
+  std::string PutObject(const std::string& key, const std::string& data) {
+    EXPECT_TRUE(engine_->Put(0, "race", key, data, "image/png").ok());
+    return MakeRowKey("race", key);
+  }
+
+  std::set<std::string> ReferencedSkeys(common::SimTime now,
+                                        const std::vector<std::string>& rks) {
+    std::set<std::string> skeys;
+    for (const auto& rk : rks) {
+      auto meta = engine_->LoadMetadata(now, rk);
+      if (meta.ok()) skeys.insert(meta->skey);
+    }
+    return skeys;
+  }
+
+  provider::ProviderRegistry registry_;
+  store::ReplicatedStore db_;
+  stats::StatsDb stats_db_;
+  common::ThreadPool pool_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(ReoptimizeRaceTest, MigrationWithoutRaceCommitsAndSweepsOldChunks) {
+  const std::string data(64 * 1024, 'a');
+  const std::string rk = PutObject("obj", data);
+  auto before = engine_->LoadMetadata(0, rk);
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_TRUE(registry_.Register(UltraCheap("Ultra")).ok());
+  auto migrated = engine_->ReoptimizeObject(kHour, rk, /*decision_periods=*/500);
+  ASSERT_TRUE(migrated.ok()) << migrated.status().ToString();
+  EXPECT_TRUE(*migrated);
+
+  auto after = engine_->LoadMetadata(kHour, rk);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->skey, before->skey);
+  auto got = engine_->Get(kHour, "race", "obj");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data);
+  // The superseded placement's chunks are gone everywhere.
+  EXPECT_TRUE(OrphanedChunks(registry_, {after->skey}, kHour).empty());
+}
+
+TEST_F(ReoptimizeRaceTest, AckedPutSurvivesRacingMigration) {
+  const std::string rk = PutObject("obj", std::string(64 * 1024, 'a'));
+  ASSERT_TRUE(registry_.Register(UltraCheap("Ultra")).ok());
+
+  // The hook lands an acked Put between chunk staging and the CAS commit:
+  // the exact interleaving that silently reverted the write before PR 4.
+  const std::string acked(32 * 1024, 'W');
+  engine_->SetCommitRaceHook([&] {
+    ASSERT_TRUE(engine_->Put(kHour, "race", "obj", acked, "image/png").ok());
+  });
+  auto migrated = engine_->ReoptimizeObject(kHour, rk, 500);
+  engine_->SetCommitRaceHook(nullptr);
+
+  ASSERT_FALSE(migrated.ok());
+  EXPECT_EQ(migrated.status().code(), common::StatusCode::kConflict);
+  // The acked write is intact...
+  auto got = engine_->Get(2 * kHour, "race", "obj");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, acked);
+  // ...and the aborted migration's staged chunks were garbage-collected:
+  // only the acked placement's chunks remain anywhere.
+  auto meta = engine_->LoadMetadata(2 * kHour, rk);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(OrphanedChunks(registry_, {meta->skey}, 2 * kHour).empty());
+}
+
+TEST_F(ReoptimizeRaceTest, ConcurrentDeleteAbortsMigrationWithoutResurrection) {
+  const std::string rk = PutObject("obj", std::string(64 * 1024, 'a'));
+  ASSERT_TRUE(registry_.Register(UltraCheap("Ultra")).ok());
+
+  engine_->SetCommitRaceHook(
+      [&] { ASSERT_TRUE(engine_->Delete(kHour, "race", "obj").ok()); });
+  auto migrated = engine_->ReoptimizeObject(kHour, rk, 500);
+  engine_->SetCommitRaceHook(nullptr);
+
+  ASSERT_FALSE(migrated.ok());
+  EXPECT_EQ(migrated.status().code(), common::StatusCode::kConflict);
+  // The tombstone stands — the migration must not resurrect the object —
+  // and neither the old nor the staged chunks survive.
+  EXPECT_EQ(engine_->Get(2 * kHour, "race", "obj").status().code(),
+            common::StatusCode::kNotFound);
+  EXPECT_TRUE(OrphanedChunks(registry_, {}, 2 * kHour).empty());
+}
+
+TEST_F(ReoptimizeRaceTest, AbortedMigrationGcIsIdempotent) {
+  const std::string rk = PutObject("obj", std::string(64 * 1024, 'a'));
+  ASSERT_TRUE(registry_.Register(UltraCheap("Ultra")).ok());
+
+  // Lose the race repeatedly: every abort sweeps its own staged chunks and
+  // never disturbs the acked object, no matter how often it happens.  The
+  // racing Put lands inside a brief Ultra outage so the acked placement
+  // stays Ultra-free and the next attempt wants to migrate again.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto t = static_cast<common::SimTime>(attempt + 1) * kHour;
+    registry_.Find("Ultra")->failures().AddOutage(t + kHour / 4,
+                                                  t + kHour / 2);
+    const std::string acked = "acked-" + std::to_string(attempt) +
+                              std::string(16 * 1024, 'w');
+    engine_->SetCommitRaceHook([&] {
+      ASSERT_TRUE(
+          engine_->Put(t + kHour / 3, "race", "obj", acked, "image/png").ok());
+    });
+    auto migrated = engine_->ReoptimizeObject(t, rk, 500);
+    engine_->SetCommitRaceHook(nullptr);
+    ASSERT_FALSE(migrated.ok()) << "attempt " << attempt;
+    EXPECT_EQ(migrated.status().code(), common::StatusCode::kConflict);
+    const auto after = t + kHour * 3 / 4;  // outage over, everything readable
+    auto got = engine_->Get(after, "race", "obj");
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, acked);
+    auto meta = engine_->LoadMetadata(after, rk);
+    ASSERT_TRUE(meta.ok());
+    EXPECT_TRUE(OrphanedChunks(registry_, {meta->skey}, after).empty())
+        << "attempt " << attempt;
+  }
+  // With no race, the migration then goes through.
+  auto migrated = engine_->ReoptimizeObject(10 * kHour, rk, 500);
+  ASSERT_TRUE(migrated.ok()) << migrated.status().ToString();
+  EXPECT_TRUE(*migrated);
+}
+
+TEST_F(ReoptimizeRaceTest, RepairLosesCasToConcurrentPut) {
+  const std::string data(64 * 1024, 'a');
+  const std::string rk = PutObject("obj", data);
+  auto meta = engine_->LoadMetadata(0, rk);
+  ASSERT_TRUE(meta.ok());
+  // Break one stripe provider so RepairObject stages a rebuilt chunk.
+  const auto faulty = meta->stripes[0].provider;
+  registry_.Find(faulty)->failures().AddOutage(kHour, 10 * kHour);
+
+  const std::string acked(32 * 1024, 'R');
+  engine_->SetCommitRaceHook([&] {
+    ASSERT_TRUE(
+        engine_->Put(2 * kHour, "race", "obj", acked, "image/png").ok());
+  });
+  const auto repaired = engine_->RepairObject(2 * kHour, rk);
+  engine_->SetCommitRaceHook(nullptr);
+
+  EXPECT_EQ(repaired.code(), common::StatusCode::kConflict);
+  auto got = engine_->Get(3 * kHour, "race", "obj");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, acked);
+  // Once the faulty provider recovers and deferred deletes drain, only the
+  // acked placement's chunks remain (the rebuilt chunk was swept).
+  while (engine_->ProcessPendingDeletes(11 * kHour) > 0) {
+  }
+  ASSERT_EQ(engine_->PendingDeleteCount(), 0u);
+  auto final_meta = engine_->LoadMetadata(11 * kHour, rk);
+  ASSERT_TRUE(final_meta.ok());
+  EXPECT_TRUE(
+      OrphanedChunks(registry_, {final_meta->skey}, 11 * kHour).empty());
+}
+
+TEST(ReoptimizeRaceRecoveryTest, RecoveryNeverResurrectsLostRacePlacement) {
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / "reoptimize_race_recovery").string();
+  fs::remove_all(dir);
+  provider::ProviderRegistry registry;
+  for (auto& spec : provider::PaperCatalog()) {
+    ASSERT_TRUE(registry.Register(std::move(spec)).ok());
+  }
+
+  const std::string rk = MakeRowKey("race", "obj");
+  const std::string acked(32 * 1024, 'W');
+  std::string committed_serialized;
+  {
+    // Incarnation 1: journaled engine loses a migration race.
+    store::ReplicatedStore db(1);
+    stats::StatsDb stats(&db, 0);
+    durability::DurabilityConfig config;
+    config.dir = dir;
+    config.wal.sync_on_commit = false;
+    config.group_commit = false;
+    auto durability = durability::DurabilityManager::Open(
+        config, durability::EngineStateRefs{
+                    .db = &db, .dc = 0, .stats = &stats, .registry = nullptr});
+    ASSERT_TRUE(durability.ok()) << durability.status().ToString();
+    EngineConfig engine_config;
+    engine_config.default_rule = DefaultRule();
+    Engine engine("e0", &registry, &db, 0, nullptr, &stats, nullptr, nullptr,
+                  engine_config, /*seed=*/11);
+    engine.AttachJournal((*durability)->journal());
+
+    ASSERT_TRUE(
+        engine.Put(0, "race", "obj", std::string(64 * 1024, 'a'), "image/png")
+            .ok());
+    // Ultra appears only after the initial placement, so the migration has
+    // somewhere better to go.
+    ASSERT_TRUE(registry.Register(UltraCheap("Ultra")).ok());
+    engine.SetCommitRaceHook([&] {
+      ASSERT_TRUE(engine.Put(kHour, "race", "obj", acked, "image/png").ok());
+    });
+    auto migrated = engine.ReoptimizeObject(kHour, rk, 500);
+    ASSERT_FALSE(migrated.ok());
+    EXPECT_EQ(migrated.status().code(), common::StatusCode::kConflict);
+    auto meta = engine.LoadMetadata(2 * kHour, rk);
+    ASSERT_TRUE(meta.ok());
+    committed_serialized = meta->skey;
+  }
+  {
+    // Incarnation 2: replaying the WAL (upserts + the migrate-abort record)
+    // must restore the *acked* placement, not the staged one.
+    store::ReplicatedStore db(1);
+    stats::StatsDb stats(&db, 0);
+    durability::DurabilityConfig config;
+    config.dir = dir;
+    config.wal.sync_on_commit = false;
+    config.group_commit = false;
+    auto durability = durability::DurabilityManager::Open(
+        config, durability::EngineStateRefs{
+                    .db = &db, .dc = 0, .stats = &stats, .registry = nullptr});
+    ASSERT_TRUE(durability.ok()) << durability.status().ToString();
+    auto report = (*durability)->Recover(2 * kHour);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_GE(report->records_replayed, 2u);
+
+    EngineConfig engine_config;
+    engine_config.default_rule = DefaultRule();
+    Engine engine("e0", &registry, &db, 0, nullptr, &stats, nullptr, nullptr,
+                  engine_config, /*seed=*/12);
+    auto meta = engine.LoadMetadata(3 * kHour, rk);
+    ASSERT_TRUE(meta.ok());
+    EXPECT_EQ(meta->skey, committed_serialized);
+    auto got = engine.Get(3 * kHour, "race", "obj");
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, acked);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ReoptimizeRaceRecoveryTest, InvertedWalOrderStillConvergesOnSuperseder) {
+  // Journal appends happen outside the metadata table's shard lock, so two
+  // racing commits can reach the WAL in the opposite of table order: the
+  // acked Put that *superseded* a migration may be logged first.  Records
+  // carry their committed vector clocks precisely so replay is causal and
+  // the dominated migrate record still loses, whatever the append order.
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / "reoptimize_race_inverted").string();
+  fs::remove_all(dir);
+  const std::string rk = "row-inverted";
+  {
+    store::ReplicatedStore db(1);
+    stats::StatsDb stats(&db, 0);
+    durability::DurabilityConfig config;
+    config.dir = dir;
+    config.wal.sync_on_commit = false;
+    config.group_commit = false;
+    auto durability = durability::DurabilityManager::Open(
+        config, durability::EngineStateRefs{
+                    .db = &db, .dc = 0, .stats = &stats, .registry = nullptr});
+    ASSERT_TRUE(durability.ok()) << durability.status().ToString();
+    durability::Journal* journal = (*durability)->journal();
+
+    store::VectorClock c1, c_migrate, c_put;
+    c1.Set(0, 1);         // the original object version
+    c_migrate.Set(0, 2);  // the migration's CAS commit (table order 2nd)
+    c_put.Set(0, 3);      // the acked Put that superseded it (table order 3rd)
+    ASSERT_TRUE(journal->LogUpsert(rk, "v1", 10, c1).ok());
+    // Inverted append order: the superseding Put logs before the migration.
+    ASSERT_TRUE(journal->LogUpsert(rk, "acked", 30, c_put).ok());
+    ASSERT_TRUE(journal->LogMigrate(rk, "migrated-stale", 20, c_migrate).ok());
+  }
+  {
+    store::ReplicatedStore db(1);
+    stats::StatsDb stats(&db, 0);
+    durability::DurabilityConfig config;
+    config.dir = dir;
+    config.wal.sync_on_commit = false;
+    config.group_commit = false;
+    auto durability = durability::DurabilityManager::Open(
+        config, durability::EngineStateRefs{
+                    .db = &db, .dc = 0, .stats = &stats, .registry = nullptr});
+    ASSERT_TRUE(durability.ok()) << durability.status().ToString();
+    auto report = (*durability)->Recover(100);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->records_replayed, 3u);
+
+    auto read = db.Get(0, "metadata", rk);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(read->value, "acked");
+    EXPECT_FALSE(read->conflict);  // the stale migrate fully lost, no fork
+  }
+  fs::remove_all(dir);
+}
+
+// The headline scenario of ISSUE 4: writer threads over the real loopback
+// serving stack racing a continuously-migrating optimizer.  Invariants:
+// every acked PUT reads back exactly afterwards, and aborted migrations
+// leave no orphaned staged chunks.
+TEST(ReoptimizeLoopbackRaceTest, WritersNeverLoseAckedPutsUnderMigration) {
+  constexpr std::size_t kWriters = 4;
+  constexpr std::size_t kKeysPerWriter = 3;
+  // Rounds are paced by observed progress (a sanitizer-loaded machine can
+  // starve writers for whole rounds): run at least kMinRounds, stop once
+  // enough migrations/conflicts accumulated, give up at kMaxRounds.
+  constexpr int kMinRounds = 8;
+  constexpr int kMaxRounds = 96;
+  constexpr std::uint64_t kEnoughEvents = 6;  // migrations + conflicts
+  constexpr std::size_t kObjectBytes = 32 * 1024;
+
+  ClusterConfig cluster_config;
+  cluster_config.num_datacenters = 1;
+  cluster_config.engines_per_dc = 2;
+  cluster_config.enable_cache = false;  // force every read through chunks
+  cluster_config.engine.default_rule = DefaultRule();
+  ScaliaCluster cluster(cluster_config);
+  for (auto& spec : provider::PaperCatalog()) {
+    ASSERT_TRUE(cluster.registry().Register(std::move(spec)).ok());
+  }
+  // Two cheap providers, one much cheaper than the other, the cheapest one
+  // flapping on even rounds: objects PUT while it is out land on the mid
+  // tier, and the next odd round wants a genuinely worthwhile migration
+  // back — a continuous stream of real migrations racing the writers.
+  ASSERT_TRUE(cluster.registry().Register(UltraCheap("FlipCheap")).ok());
+  auto mid = UltraCheap("FlipMid");
+  mid.pricing.storage_gb_month = 0.05;  // 500x the cheapest, 1/2 the papers
+  ASSERT_TRUE(cluster.registry().Register(std::move(mid)).ok());
+  for (int round = 0; round < kMaxRounds; round += 2) {
+    const auto start = static_cast<common::SimTime>(round + 1);
+    cluster.registry().Find("FlipCheap")->failures().AddOutage(start,
+                                                               start + 1);
+  }
+
+  // The serving stack: anonymous gateway behind the epoll loop, timestamped
+  // by the shared race clock the migrator advances.  The gateway namespaces
+  // containers per tenant, so the engines see "race:race".
+  const std::string kContainer = "race:race";
+  std::atomic<common::SimTime> race_clock{0};
+  api::Authenticator auth;
+  auth.AllowAnonymous("race");
+  api::S3Gateway gateway(&auth,
+                         [&]() -> Engine& { return cluster.RouteRequest(); });
+  common::ThreadPool pool(4);
+  net::ServerConfig server_config;
+  server_config.pool = &pool;
+  server_config.clock = [&race_clock] {
+    return race_clock.load(std::memory_order_relaxed);
+  };
+  net::HttpServer server(
+      std::move(server_config),
+      [&gateway](common::SimTime now, const api::HttpRequest& request) {
+        return gateway.Handle(now, request);
+      });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Writers: each owns its keys, writes monotonically-versioned bodies over
+  // the wire, and records the last acked body.
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<std::string>> last_acked(
+      kWriters, std::vector<std::string>(kKeysPerWriter));
+  std::atomic<std::uint64_t> acked_puts{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      net::HttpClient client("127.0.0.1", server.port());
+      std::uint64_t version = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t k = version % kKeysPerWriter;
+        std::string body = "w" + std::to_string(w) + "-k" + std::to_string(k) +
+                           "-v" + std::to_string(version) + "|";
+        body.resize(kObjectBytes, static_cast<char>('a' + version % 26));
+        api::HttpRequest request;
+        request.method = api::HttpMethod::kPut;
+        request.path = "/race/w" + std::to_string(w) + "-k" + std::to_string(k);
+        request.body = body;
+        const auto response = client.RoundTrip(request);
+        if (response.ok() && response->status == 201) {
+          last_acked[w][k] = std::move(body);
+          acked_puts.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++version;
+      }
+    });
+  }
+
+  // Migrator: re-optimizes every key each round while the writers hammer
+  // the same keys through the server.
+  std::vector<std::string> row_keys;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    for (std::size_t k = 0; k < kKeysPerWriter; ++k) {
+      row_keys.push_back(MakeRowKey(
+          kContainer, "w" + std::to_string(w) + "-k" + std::to_string(k)));
+    }
+  }
+  // Let every writer land at least one acked PUT before migrating, so the
+  // migrator never spins on not-yet-created rows.
+  for (int i = 0; i < 1000 && acked_puts.load() < kWriters; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  std::uint64_t migrations = 0, conflicts = 0;
+  int rounds_run = 0;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    const auto now = static_cast<common::SimTime>(round + 1);
+    race_clock.store(now, std::memory_order_relaxed);
+    Engine& engine = cluster.EngineAt(0, 0);
+    for (const auto& rk : row_keys) {
+      auto migrated = engine.ReoptimizeObject(now, rk, /*decision_periods=*/500);
+      if (migrated.ok() && *migrated) {
+        ++migrations;
+      } else if (!migrated.ok() &&
+                 migrated.status().code() == common::StatusCode::kConflict) {
+        ++conflicts;
+      }
+    }
+    rounds_run = round + 1;
+    if (round + 1 >= kMinRounds && migrations + conflicts >= kEnoughEvents) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& writer : writers) writer.join();
+  server.Stop();
+
+  ASSERT_GT(acked_puts.load(), 0u);
+  EXPECT_GT(migrations, 0u) << "the race never exercised a real migration";
+
+  // Quiesce: no outage is scheduled beyond kMaxRounds+1, so every provider
+  // is reachable and all deferred deletes can drain.
+  const auto final_now = static_cast<common::SimTime>(kMaxRounds + 2);
+  for (std::size_t e = 0; e < cluster.EngineCount(); ++e) {
+    Engine& engine = cluster.EngineAt(0, e);
+    while (engine.ProcessPendingDeletes(final_now) > 0) {
+    }
+    EXPECT_EQ(engine.PendingDeleteCount(), 0u);
+  }
+
+  // Invariant 1: every acked PUT is readable afterwards, byte-exact.
+  Engine& reader = cluster.EngineAt(0, 1);
+  std::set<std::string> referenced;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    for (std::size_t k = 0; k < kKeysPerWriter; ++k) {
+      if (last_acked[w][k].empty()) continue;  // never acked (unlikely)
+      const std::string key =
+          "w" + std::to_string(w) + "-k" + std::to_string(k);
+      auto got = reader.Get(final_now, kContainer, key);
+      ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+      EXPECT_EQ(*got, last_acked[w][k]) << "lost acked write on " << key;
+      auto meta = reader.LoadMetadata(final_now, MakeRowKey(kContainer, key));
+      ASSERT_TRUE(meta.ok());
+      referenced.insert(meta->skey);
+    }
+  }
+
+  // Invariant 2: aborted migrations left no orphaned staged chunks.
+  const auto orphans = OrphanedChunks(cluster.registry(), referenced, final_now);
+  EXPECT_TRUE(orphans.empty()) << orphans.size() << " orphans, first: "
+                               << (orphans.empty() ? "" : orphans.front());
+
+  // Telemetry for the curious: how hard did the race actually hit?
+  std::printf("loopback race: %llu acked puts, %llu migrations, "
+              "%llu CAS conflicts in %d rounds\n",
+              static_cast<unsigned long long>(acked_puts.load()),
+              static_cast<unsigned long long>(migrations),
+              static_cast<unsigned long long>(conflicts), rounds_run);
+}
+
+}  // namespace
+}  // namespace scalia::core

@@ -1,0 +1,211 @@
+// Read/idle deadline coverage for the epoll serving loop (PR 4): a client
+// that stalls mid-request (slowloris) or never sends one is answered
+// `408 Request Timeout` and its slot reclaimed, while connections that keep
+// making progress are never expired.
+#include "net/server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "net/client.h"
+
+namespace scalia::net {
+namespace {
+
+constexpr common::SimTime kNow = 1000;
+
+/// Raw blocking loopback socket: deliberately stalls mid-request, which
+/// net::HttpClient is too well-behaved to do.
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof addr) == 0;
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  [[nodiscard]] bool connected() const { return connected_; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  void Send(std::string_view data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Blocks until the server closes the connection; returns all bytes read.
+  [[nodiscard]] std::string ReadUntilEof() {
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+class ServerTimeoutTest : public ::testing::Test {
+ protected:
+  ServerTimeoutTest() : pool_(2) {}
+
+  void StartServer(long idle_timeout_ms) {
+    ServerConfig config;
+    config.pool = &pool_;
+    config.clock = [] { return kNow; };
+    config.idle_timeout_ms = idle_timeout_ms;
+    server_ = std::make_unique<HttpServer>(
+        std::move(config),
+        [](common::SimTime, const api::HttpRequest& request) {
+          api::HttpResponse response;
+          response.status = 200;
+          response.body = "echo " + request.path;
+          return response;
+        });
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  common::ThreadPool pool_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(ServerTimeoutTest, SlowlorisMidRequestGets408AndClose) {
+  StartServer(/*idle_timeout_ms=*/200);
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  // A request that never finishes: headers trickle in, then silence.
+  conn.Send("GET /stalled HTTP/1.1\r\nHost: x\r\nX-Slow");
+  const std::string answer = conn.ReadUntilEof();  // blocks until close
+  EXPECT_NE(answer.find("408"), std::string::npos) << answer;
+  EXPECT_NE(answer.find("deadline"), std::string::npos) << answer;
+  EXPECT_GE(server_->stats().connections_timed_out, 1u);
+}
+
+TEST_F(ServerTimeoutTest, IdleConnectionWithNoBytesIsExpired) {
+  StartServer(/*idle_timeout_ms=*/200);
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  // Send nothing at all: the slot must still be reclaimed.
+  const std::string answer = conn.ReadUntilEof();
+  EXPECT_NE(answer.find("408"), std::string::npos) << answer;
+}
+
+TEST_F(ServerTimeoutTest, ManyStalledClientsAllReclaimed) {
+  StartServer(/*idle_timeout_ms=*/200);
+  std::vector<std::unique_ptr<RawConn>> stalled;
+  for (int i = 0; i < 8; ++i) {
+    stalled.push_back(std::make_unique<RawConn>(server_->port()));
+    ASSERT_TRUE(stalled.back()->connected());
+    stalled.back()->Send("PUT /b/k HTTP/1.1\r\ncontent-length: 100\r\n\r\nxx");
+  }
+  for (auto& conn : stalled) {
+    EXPECT_NE(conn->ReadUntilEof().find("408"), std::string::npos);
+  }
+  EXPECT_GE(server_->stats().connections_timed_out, 8u);
+  // The serving loop is healthy afterwards: a real request still works.
+  HttpClient client("127.0.0.1", server_->port());
+  api::HttpRequest request;
+  request.method = api::HttpMethod::kGet;
+  request.path = "/after";
+  const auto response = client.RoundTrip(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+}
+
+TEST_F(ServerTimeoutTest, ActiveKeepAliveConnectionIsNeverExpired) {
+  StartServer(/*idle_timeout_ms=*/600);
+  HttpClient client("127.0.0.1", server_->port());
+  // Each request renews the deadline; total wall time far exceeds the
+  // timeout, but the gaps never do.
+  for (int i = 0; i < 6; ++i) {
+    api::HttpRequest request;
+    request.method = api::HttpMethod::kGet;
+    request.path = "/tick-" + std::to_string(i);
+    const auto response = client.RoundTrip(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  EXPECT_EQ(server_->stats().connections_timed_out, 0u);
+}
+
+TEST_F(ServerTimeoutTest, ZeroDisablesTheDeadline) {
+  StartServer(/*idle_timeout_ms=*/0);
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  // Still serveable after sitting idle: no deadline fired.
+  conn.Send("GET /alive HTTP/1.1\r\nconnection: close\r\n\r\n");
+  const std::string answer = conn.ReadUntilEof();
+  EXPECT_NE(answer.find("200"), std::string::npos) << answer;
+  EXPECT_EQ(server_->stats().connections_timed_out, 0u);
+}
+
+TEST_F(ServerTimeoutTest, ByteTricklingAfter408CannotDodgeForceClose) {
+  StartServer(/*idle_timeout_ms=*/200);
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  conn.Send("GET /x HTTP/1.1\r\nX-Slow");
+  // Wait for the 408 to land, then keep trickling bytes faster than the
+  // deadline: once lingering, bytes are not progress, so the force-close
+  // one deadline later must still happen.
+  std::thread trickler([&] {
+    for (int i = 0; i < 40; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (::send(conn.fd(), "y", 1, MSG_NOSIGNAL) <= 0) return;
+    }
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const std::string answer = conn.ReadUntilEof();  // returns on force-close
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  trickler.join();
+  EXPECT_NE(answer.find("408"), std::string::npos);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            10);
+}
+
+TEST_F(ServerTimeoutTest, SilentTimedOutClientIsForceClosedEventually) {
+  StartServer(/*idle_timeout_ms=*/150);
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  conn.Send("GET /x HTTP/1.1\r\nX-Half");
+  // Do not read: the server sends 408, half-closes, lingers one more
+  // deadline, then force-closes.  ReadUntilEof must terminate either way.
+  const auto start = std::chrono::steady_clock::now();
+  const std::string answer = conn.ReadUntilEof();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_NE(answer.find("408"), std::string::npos);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30);
+}
+
+}  // namespace
+}  // namespace scalia::net

@@ -1,0 +1,222 @@
+// CAS-on-version conflict paths (PR 4): the conditional-apply primitive the
+// engine's migration/repair commits ride on.  Covers the typed conflict
+// result at every layer (MvccRow, KvTable, ReplicatedStore), concurrent
+// ApplyIfLatest from two replicas, conflict-then-resolve ordering, and the
+// idempotence the staged-chunk GC after an aborted migration relies on.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "store/kv_table.h"
+#include "store/mvcc.h"
+#include "store/replicated_store.h"
+
+namespace scalia::store {
+namespace {
+
+TEST(CasConflictTest, CommitsAgainstUnchangedRow) {
+  KvTable table;
+  table.Put("k", "v1", /*replica=*/0, /*timestamp=*/10);
+  const auto read = table.Get("k");
+  ASSERT_TRUE(read.has_value());
+
+  const CasOutcome outcome =
+      table.PutIfLatest("k", "v2", /*replica=*/0, /*timestamp=*/20,
+                        read->clock);
+  EXPECT_TRUE(outcome.applied);
+  ASSERT_EQ(outcome.superseded.size(), 1u);
+  EXPECT_EQ(outcome.superseded[0].value, "v1");
+  EXPECT_FALSE(outcome.conflicting.has_value());
+  // The committed version's clock strictly advances past the expectation.
+  ASSERT_TRUE(outcome.committed.has_value());
+  EXPECT_FALSE(outcome.committed->clock.EqualTo(read->clock));
+  EXPECT_TRUE(outcome.committed->clock.DominatesOrEquals(read->clock));
+  EXPECT_EQ(table.Get("k")->value, "v2");
+}
+
+TEST(CasConflictTest, FailsAfterFresherWriteLanded) {
+  KvTable table;
+  table.Put("k", "v1", 0, 10);
+  const auto snapshot = table.Get("k");
+  ASSERT_TRUE(snapshot.has_value());
+
+  // A foreground Put lands after the snapshot — the CAS must lose, report
+  // the winner, and leave the row untouched.
+  table.Put("k", "acked", 0, 15);
+  const CasOutcome outcome =
+      table.PutIfLatest("k", "stale-migration", 0, 20, snapshot->clock);
+  EXPECT_FALSE(outcome.applied);
+  EXPECT_TRUE(outcome.superseded.empty());
+  ASSERT_TRUE(outcome.conflicting.has_value());
+  EXPECT_EQ(outcome.conflicting->value, "acked");
+  EXPECT_EQ(table.Get("k")->value, "acked");
+}
+
+TEST(CasConflictTest, FailsAfterConcurrentTombstone) {
+  KvTable table;
+  table.Put("k", "v1", 0, 10);
+  const auto snapshot = table.Get("k");
+  ASSERT_TRUE(snapshot.has_value());
+
+  table.Delete("k", 0, 15);
+  const CasOutcome outcome =
+      table.PutIfLatest("k", "resurrection", 0, 20, snapshot->clock);
+  EXPECT_FALSE(outcome.applied);
+  ASSERT_TRUE(outcome.conflicting.has_value());
+  EXPECT_TRUE(outcome.conflicting->tombstone);
+  // The deletion stands: no readable value.
+  EXPECT_FALSE(table.Get("k").has_value());
+}
+
+TEST(CasConflictTest, EmptyRowCommitsAgainstEmptyExpectation) {
+  KvTable table;
+  const CasOutcome outcome =
+      table.PutIfLatest("fresh", "v1", 0, 10, VectorClock{});
+  EXPECT_TRUE(outcome.applied);
+  EXPECT_TRUE(outcome.superseded.empty());
+  EXPECT_EQ(table.Get("fresh")->value, "v1");
+}
+
+TEST(CasConflictTest, ExactlyOneOfManyConcurrentCasCommits) {
+  KvTable table;
+  table.Put("k", "base", 0, 10);
+  const auto snapshot = table.Get("k");
+  ASSERT_TRUE(snapshot.has_value());
+
+  // N threads race ApplyIfLatest with the *same* expected version: the
+  // shard lock serializes them, the first wins, every later one observes
+  // the winner's fresher clock and fails.
+  constexpr int kThreads = 8;
+  std::atomic<int> applied{0};
+  std::vector<std::thread> racers;
+  racers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    racers.emplace_back([&table, &snapshot, &applied, t] {
+      const CasOutcome outcome = table.PutIfLatest(
+          "k", "winner-" + std::to_string(t), /*replica=*/0,
+          /*timestamp=*/static_cast<common::SimTime>(100 + t),
+          snapshot->clock);
+      if (outcome.applied) applied.fetch_add(1);
+    });
+  }
+  for (auto& r : racers) r.join();
+  EXPECT_EQ(applied.load(), 1);
+  EXPECT_EQ(table.LiveVersions("k").size(), 1u);
+}
+
+TEST(CasConflictTest, ConcurrentReplicaVersionsBlockUntilResolved) {
+  KvTable table;
+  // Two replicas write concurrently (neither clock dominates): the row
+  // holds both, and a CAS against either snapshot must fail — committing
+  // would silently drop the other replica's write.
+  Version a;
+  a.value = "from-dc0";
+  a.timestamp = 10;
+  a.origin = 0;
+  a.clock.Increment(0);
+  Version b;
+  b.value = "from-dc1";
+  b.timestamp = 11;
+  b.origin = 1;
+  b.clock.Increment(1);
+  table.Apply("k", a);
+  table.Apply("k", b);
+  ASSERT_EQ(table.LiveVersions("k").size(), 2u);
+
+  EXPECT_FALSE(table.ApplyIfLatest("k", a.clock, a).applied);
+  EXPECT_FALSE(table.ApplyIfLatest("k", b.clock, b).applied);
+
+  // Conflict-then-resolve ordering: after last-writer-wins resolution the
+  // winner's clock absorbs the losers', and a CAS against the *resolved*
+  // snapshot commits.
+  const auto losers = table.ResolveConflict("k");
+  EXPECT_EQ(losers.size(), 1u);
+  const auto resolved = table.Get("k");
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->value, "from-dc1");  // fresher timestamp won
+  const CasOutcome outcome =
+      table.PutIfLatest("k", "post-resolve", 0, 20, resolved->clock);
+  EXPECT_TRUE(outcome.applied);
+  EXPECT_EQ(table.Get("k")->value, "post-resolve");
+}
+
+TEST(CasConflictTest, ReplicatedStoreCommitReplicatesAndConflictDoesNot) {
+  ReplicatedStore db(2);
+  ASSERT_TRUE(db.Put(0, "metadata", "k", "v1", 10).ok());
+  db.SyncAll();
+  const auto snapshot = db.Get(0, "metadata", "k");
+  ASSERT_TRUE(snapshot.ok());
+
+  // Applied CAS replicates like a Put.
+  auto committed = db.PutIfLatest(0, "metadata", "k", "v2", 20,
+                                  snapshot->clock);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_TRUE(committed->applied);
+  db.SyncAll();
+  EXPECT_EQ(db.Get(1, "metadata", "k")->value, "v2");
+
+  // A CAS against the now-stale snapshot fails and enqueues nothing.
+  const std::size_t pending_before = db.PendingReplication();
+  auto lost = db.PutIfLatest(0, "metadata", "k", "v3", 30, snapshot->clock);
+  ASSERT_TRUE(lost.ok());
+  EXPECT_FALSE(lost->applied);
+  ASSERT_TRUE(lost->conflicting.has_value());
+  EXPECT_EQ(lost->conflicting->value, "v2");
+  EXPECT_EQ(db.PendingReplication(), pending_before);
+  EXPECT_EQ(db.Get(0, "metadata", "k")->value, "v2");
+}
+
+TEST(CasConflictTest, ReplicatedStoreCasAtDownDatacenterIsUnavailable) {
+  ReplicatedStore db(2);
+  ASSERT_TRUE(db.Put(0, "metadata", "k", "v1", 10).ok());
+  const auto snapshot = db.Get(0, "metadata", "k");
+  ASSERT_TRUE(snapshot.ok());
+  db.SetDatacenterUp(0, false);
+  auto outcome = db.PutIfLatest(0, "metadata", "k", "v2", 20,
+                                snapshot->clock);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), common::StatusCode::kUnavailable);
+}
+
+TEST(CasConflictTest, RepeatedLostCasIsIdempotent) {
+  // The engine GCs staged chunks after every aborted commit; the store side
+  // of that abort must be re-runnable without disturbing the winner (e.g. a
+  // crashed-and-retried migration aborting twice).
+  KvTable table;
+  table.Put("k", "base", 0, 10);
+  const auto snapshot = table.Get("k");
+  ASSERT_TRUE(snapshot.has_value());
+  table.Put("k", "acked", 0, 15);
+
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const CasOutcome outcome =
+        table.PutIfLatest("k", "stale", 0, 20, snapshot->clock);
+    EXPECT_FALSE(outcome.applied);
+    EXPECT_EQ(table.Get("k")->value, "acked");
+    EXPECT_EQ(table.LiveVersions("k").size(), 1u);
+  }
+}
+
+TEST(CasConflictTest, MvccRowConflictLeavesRowUntouched) {
+  MvccRow row;
+  Version v1;
+  v1.value = "v1";
+  v1.timestamp = 10;
+  v1.origin = 0;
+  v1.clock.Increment(0);
+  row.Apply(v1);
+  // Stale expectation: empty clock while v1 is live.
+  Version v2;
+  v2.value = "v2";
+  v2.timestamp = 20;
+  v2.origin = 1;
+  const CasOutcome outcome = row.ApplyIfLatest(VectorClock{}, v2);
+  EXPECT_FALSE(outcome.applied);
+  ASSERT_EQ(row.live().size(), 1u);
+  EXPECT_EQ(row.live()[0].value, "v1");
+}
+
+}  // namespace
+}  // namespace scalia::store

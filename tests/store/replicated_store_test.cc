@@ -25,7 +25,7 @@ TEST(ReplicatedStoreTest, DownDatacenterRejectsOperations) {
   ReplicatedStore store(2);
   store.SetDatacenterUp(1, false);
   EXPECT_FALSE(store.IsDatacenterUp(1));
-  EXPECT_EQ(store.Put(1, "meta", "k", "v", 1).code(),
+  EXPECT_EQ(store.Put(1, "meta", "k", "v", 1).status().code(),
             common::StatusCode::kUnavailable);
   EXPECT_EQ(store.Get(1, "meta", "k").status().code(),
             common::StatusCode::kUnavailable);
