@@ -23,8 +23,17 @@
 // line then reports migrations and CAS conflicts next to the usual
 // throughput figures, so BENCH_PR4.json records live-migration-on vs -off.
 //
+// The engine layer under test is a core::ShardedEngine: --shards N sets
+// the number of key-hash partitions of the metadata table / statistics
+// pipeline / cache, and --threads N the handler pool size, so one binary
+// measures the whole scaling curve (1 shard serializes every request on
+// one metadata mutex; N shards route without a global lock).  The RESULT
+// line reports both so scripts/bench_report.sh can record req/s per
+// (shards, threads) point.
+//
 // Usage: bench_server_throughput [--connections N] [--duration-s S]
-//          [--pool-threads N] [--object-bytes CSV] [--keys-per-conn K]
+//          [--threads N | --pool-threads N] [--shards N]
+//          [--object-bytes CSV] [--keys-per-conn K]
 //          [--optimize-every N] [--period-ms M]
 #include <algorithm>
 #include <atomic>
@@ -40,7 +49,7 @@
 #include "api/gateway.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
-#include "core/cluster.h"
+#include "core/sharded_engine.h"
 #include "net/client.h"
 #include "net/server/server.h"
 #include "provider/spec.h"
@@ -54,6 +63,8 @@ struct Options {
   std::size_t connections = 16;
   double duration_s = 5.0;
   std::size_t pool_threads = std::thread::hardware_concurrency();
+  /// Engine shards (key-hash partitions); 1 = the unsharded baseline.
+  std::size_t shards = 1;
   std::vector<std::size_t> object_bytes = {1024, 4096, 16384};
   std::size_t keys_per_conn = 32;
   /// Run the optimization procedure every N sampling periods during the
@@ -74,8 +85,10 @@ Options ParseOptions(int argc, char** argv) {
       if (const char* v = next()) options.connections = std::strtoul(v, nullptr, 10);
     } else if (arg == "--duration-s") {
       if (const char* v = next()) options.duration_s = std::strtod(v, nullptr);
-    } else if (arg == "--pool-threads") {
+    } else if (arg == "--pool-threads" || arg == "--threads") {
       if (const char* v = next()) options.pool_threads = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--shards") {
+      if (const char* v = next()) options.shards = std::strtoul(v, nullptr, 10);
     } else if (arg == "--keys-per-conn") {
       if (const char* v = next()) options.keys_per_conn = std::strtoul(v, nullptr, 10);
     } else if (arg == "--optimize-every") {
@@ -99,7 +112,7 @@ Options ParseOptions(int argc, char** argv) {
   }
   if (options.connections == 0 || options.object_bytes.empty() ||
       options.keys_per_conn == 0 || options.duration_s <= 0 ||
-      options.period_ms == 0) {
+      options.period_ms == 0 || options.shards == 0) {
     std::fprintf(stderr, "bad options\n");
     std::exit(2);
   }
@@ -127,30 +140,29 @@ struct WorkerResult {
 int main(int argc, char** argv) {
   const Options options = ParseOptions(argc, argv);
 
-  // --- the server under load: full cluster behind the gateway.
-  core::ClusterConfig cluster_config;
-  cluster_config.num_datacenters = 1;
-  cluster_config.engines_per_dc = 2;
-  cluster_config.engine.default_rule =
+  // --- the server under load: the sharded engine behind the gateway.
+  provider::ProviderRegistry registry;
+  common::ThreadPool pool(options.pool_threads);
+  core::ShardedEngineConfig engine_config;
+  engine_config.num_shards = options.shards;
+  engine_config.engine.default_rule =
       core::StorageRule{.name = "default",
                         .durability = 0.999999,
                         .availability = 0.9999,
                         .allowed_zones = provider::ZoneSet::All(),
                         .lockin = 0.5,
                         .ttl_hint = std::nullopt};
-  core::ScaliaCluster cluster(cluster_config);
+  core::ShardedEngine engine(engine_config, &registry, &pool);
   for (auto& spec : provider::PaperCatalog()) {
-    if (auto s = cluster.registry().Register(std::move(spec)); !s.ok()) {
+    if (auto s = registry.Register(std::move(spec)); !s.ok()) {
       std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
       return 1;
     }
   }
   api::Authenticator auth;
   auth.AllowAnonymous("bench");
-  api::S3Gateway gateway(
-      &auth, [&]() -> core::Engine& { return cluster.RouteRequest(); });
-
-  common::ThreadPool pool(options.pool_threads);
+  api::S3Gateway gateway(&auth,
+                         [&]() -> core::EngineApi& { return engine; });
   net::ServerConfig server_config;
   server_config.pool = &pool;
   server_config.max_connections = options.connections + 8;
@@ -176,9 +188,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("bench_server_throughput: %zu connections, %.1fs, "
-              "%zu pool threads, %zu keys/conn, sizes {",
+              "%zu pool threads, %zu shards, %zu keys/conn, sizes {",
               options.connections, options.duration_s, options.pool_threads,
-              options.keys_per_conn);
+              options.shards, options.keys_per_conn);
   for (std::size_t i = 0; i < options.object_bytes.size(); ++i) {
     std::printf("%s%zu", i == 0 ? "" : ",", options.object_bytes[i]);
   }
@@ -204,7 +216,9 @@ int main(int argc, char** argv) {
       }
     }
   }
-  cluster.metadata_store().SyncAll();
+  for (std::size_t s = 0; s < engine.num_shards(); ++s) {
+    engine.shard_store(s).SyncAll();
+  }
 
   // --- closed-loop workers: 80% GET / 15% PUT / 5% DELETE+rePUT.
   std::atomic<bool> stop{false};
@@ -290,16 +304,16 @@ int main(int argc, char** argv) {
         std::this_thread::sleep_for(
             std::chrono::milliseconds(options.period_ms));
         const common::SimTime now = bench_clock();
-        cluster.EndSamplingPeriod(now);
+        engine.EndSamplingPeriod(now);
         ++periods;
         if (!cheapstor_registered && Clock::now() >= half_way) {
           // §IV-D: a cheaper provider appears mid-run, making re-placement
           // worthwhile — live migrations now race the writers.
           cheapstor_registered = true;
-          (void)cluster.registry().Register(provider::CheapStorSpec());
+          (void)registry.Register(provider::CheapStorSpec());
         }
         if (periods % options.optimize_every == 0) {
-          const auto report = cluster.RunOptimizationProcedure(now);
+          const auto report = engine.RunOptimizationProcedure(now);
           migrations += report.migrations;
           conflicts += report.conflicts;
           optimizer_errors += report.errors;
@@ -356,11 +370,13 @@ int main(int argc, char** argv) {
   std::printf(
       "RESULT suite=bench_server_throughput requests=%llu elapsed_s=%.3f "
       "req_per_s=%.1f p50_us=%.1f p95_us=%.1f p99_us=%.1f errors=%llu "
-      "optimize_every=%zu migrations=%llu conflicts=%llu\n",
+      "optimize_every=%zu migrations=%llu conflicts=%llu "
+      "shards=%zu threads=%zu\n",
       static_cast<unsigned long long>(requests), elapsed_s, req_per_s, p50,
       p95, p99, static_cast<unsigned long long>(errors),
       options.optimize_every, static_cast<unsigned long long>(migrations),
-      static_cast<unsigned long long>(conflicts));
+      static_cast<unsigned long long>(conflicts), options.shards,
+      options.pool_threads);
 
   server.Stop();
   return errors == 0 ? 0 : 1;

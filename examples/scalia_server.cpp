@@ -1,14 +1,22 @@
 // scalia_server: the reproduction as a runnable network service.
 //
-// The successor of the in-process s3_gateway_demo: a Scalia cluster behind
-// the real TCP serving loop (net::HttpServer), speaking the §III-A
+// The successor of the in-process s3_gateway_demo: a sharded Scalia engine
+// behind the real TCP serving loop (net::HttpServer), speaking the §III-A
 // "Amazon S3-like interface" over HTTP/1.1 to any client.  Anonymous
 // requests are accepted by default (the public-bucket mode) so plain curl
 // works; signed multi-tenant access uses the demo keys printed at startup.
 //
+// The engine layer is a core::ShardedEngine: --shards N key-hash partitions
+// of the metadata table, statistics pipeline and (with --data-dir) WAL
+// stream, so the serving path scales with cores instead of serializing on
+// one metadata mutex.  Requests route to their shard by key hash — no
+// global lock.  With --data-dir every shard journals its mutations to its
+// own WAL segment stream and the server recovers warm (per-shard journals
+// replayed in parallel) after a crash or restart.
+//
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/scalia_server --port 8080
+//   ./build/examples/scalia_server --port 8080 --shards 4
 //
 // Then, from another shell:
 //   curl -X PUT  --data-binary @photo.gif http://127.0.0.1:8080/pictures/photo.gif
@@ -32,7 +40,8 @@
 #include "billing/invoice.h"
 #include "common/log.h"
 #include "common/thread_pool.h"
-#include "core/cluster.h"
+#include "core/sharded_engine.h"
+#include "durability/sharded_manager.h"
 #include "net/server/server.h"
 #include "provider/spec.h"
 
@@ -48,6 +57,12 @@ struct Flags {
   std::uint16_t port = 8080;
   std::string bind = "127.0.0.1";
   std::size_t threads = std::thread::hardware_concurrency();
+  // Engine shards: key-hash partitions of metadata + stats + WAL.  Default
+  // matches the handler threads so the serving path scales with cores —
+  // unless an existing --data-dir manifest pins a count, which wins over
+  // the machine-dependent default (explicit --shards still must match it).
+  std::size_t shards = std::thread::hardware_concurrency();
+  bool shards_explicit = false;
   std::size_t max_body_mb = 64;
   std::size_t max_connections = 1024;
   long idle_timeout_s = 60;     // 0 disables the read/idle deadline
@@ -56,6 +71,11 @@ struct Flags {
   // CAS-on-version, so a migration racing a concurrent PUT of the same key
   // aborts and the acked write always survives (0 turns adaptation off).
   long optimize_every_periods = 1;
+  // Durability root; empty disables journaling (in-memory operation).
+  std::string data_dir;
+  // Seconds between checkpoint opportunities (rides the sampling-period
+  // loop, so it needs --sampling-period-s > 0 to fire).
+  long checkpoint_every_s = 600;
   bool anonymous = true;
 };
 
@@ -66,6 +86,18 @@ void Usage(const char* argv0) {
       "  --bind ADDR            bind address (default 127.0.0.1;\n"
       "                         0.0.0.0 to serve beyond loopback)\n"
       "  --threads N            handler thread-pool size (default: cores)\n"
+      "  --shards N             engine shards: key-hash partitions of the\n"
+      "                         metadata table, statistics and WAL stream\n"
+      "                         (default: cores). A durability dir pins the\n"
+      "                         count; reopen with the same N\n"
+      "  --data-dir DIR         journal every mutation to per-shard WAL\n"
+      "                         streams under DIR and recover warm on start\n"
+      "                         (default: off, in-memory only). An existing\n"
+      "                         DIR's manifest supplies the shard count when\n"
+      "                         --shards is not given\n"
+      "  --checkpoint-every-s N checkpoint cadence in seconds (default 600;\n"
+      "                         checkpoints ride the sampling-period loop,\n"
+      "                         so --sampling-period-s 0 also disables them)\n"
       "  --max-body-mb N        reject larger uploads with 413 (default 64)\n"
       "  --max-connections N    concurrent connection cap (default 1024)\n"
       "  --idle-timeout-s N     read/idle deadline: connections silent for\n"
@@ -101,6 +133,14 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->bind = argv[++i];
     } else if (arg == "--threads" && next_value(&value) && value > 0) {
       flags->threads = static_cast<std::size_t>(value);
+    } else if (arg == "--shards" && next_value(&value) && value > 0) {
+      flags->shards = static_cast<std::size_t>(value);
+      flags->shards_explicit = true;
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      flags->data_dir = argv[++i];
+    } else if (arg == "--checkpoint-every-s" && next_value(&value) &&
+               value > 0) {
+      flags->checkpoint_every_s = value;
     } else if (arg == "--max-body-mb" && next_value(&value) && value > 0) {
       flags->max_body_mb = static_cast<std::size_t>(value);
     } else if (arg == "--max-connections" && next_value(&value) && value > 0) {
@@ -122,6 +162,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       return false;
     }
   }
+  if (flags->threads == 0) flags->threads = 4;
+  if (flags->shards == 0) flags->shards = 1;
   return true;
 }
 
@@ -135,32 +177,89 @@ int main(int argc, char** argv) {
   Flags flags;
   if (!ParseFlags(argc, argv, &flags)) return 2;
 
-  // 1. The cluster: engines + cache + metadata store + optimizer (Fig. 4).
-  //    One datacenter: all engines share one metadata replica, so every
-  //    request sees each write immediately.  (Multi-DC deployments
-  //    replicate lazily — per sampling period — which would make a HEAD
-  //    routed to another DC miss a just-PUT object; that mode lives in the
-  //    cluster tests and the simulator.)
-  core::ClusterConfig cluster_config;
-  cluster_config.num_datacenters = 1;
-  cluster_config.engines_per_dc = 4;
-  cluster_config.engine.default_rule =
+  // A persisted topology beats a machine-dependent default: when the data
+  // dir already pins a shard count and --shards was not given, adopt it
+  // (an explicit mismatch is still refused at Open, with the full story).
+  if (!flags.data_dir.empty() && !flags.shards_explicit) {
+    if (const std::size_t pinned =
+            durability::ShardedDurabilityManager::PinnedShards(flags.data_dir);
+        pinned > 0 && pinned != flags.shards) {
+      std::printf("adopting %zu shard(s) pinned by %s (pass --shards to "
+                  "override)\n", pinned, flags.data_dir.c_str());
+      flags.shards = pinned;
+    }
+  }
+
+  // 1. The engine layer: N key-hash shards, each owning its slice of the
+  //    metadata table, statistics pipeline and cache (Fig. 4 collapsed to
+  //    one datacenter; multi-DC replication lives in ScaliaCluster and the
+  //    simulator).  The provider registry — the outside world — is shared.
+  provider::ProviderRegistry registry;
+  common::ThreadPool pool(flags.threads);
+  core::ShardedEngineConfig engine_config;
+  engine_config.num_shards = flags.shards;
+  engine_config.engine.default_rule =
       core::StorageRule{.name = "default",
                         .durability = 0.999999,
                         .availability = 0.9999,
                         .allowed_zones = provider::ZoneSet::All(),
                         .lockin = 0.5,
                         .ttl_hint = std::nullopt};
-  core::ScaliaCluster cluster(cluster_config);
+  core::ShardedEngine engine(engine_config, &registry, &pool);
   const auto catalog = provider::PaperCatalog();
   for (auto spec : catalog) {
-    if (auto s = cluster.registry().Register(std::move(spec)); !s.ok()) {
+    if (auto s = registry.Register(std::move(spec)); !s.ok()) {
       std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
       return 1;
     }
   }
 
-  // 2. The gateway: anonymous public-bucket access for curl, plus demo
+  // 2. Durability (opt-in): per-shard WAL streams + checkpoints under
+  //    --data-dir, recovered warm (journals replayed in parallel) before
+  //    the server starts accepting traffic.
+  std::unique_ptr<durability::ShardedDurabilityManager> durability;
+  if (!flags.data_dir.empty()) {
+    durability::ShardedDurabilityConfig durability_config;
+    durability_config.dir = flags.data_dir;
+    durability_config.num_shards = flags.shards;
+    durability_config.checkpoint_every = flags.checkpoint_every_s;
+    std::vector<durability::EngineStateRefs> state(flags.shards);
+    for (std::size_t s = 0; s < flags.shards; ++s) {
+      state[s].db = &engine.shard_store(s);
+      state[s].dc = 0;
+      state[s].stats = &engine.shard_stats(s);
+      // Billing meters are global; restoring them into every shard would
+      // multiply the counters, so only shard 0 snapshots the registry.
+      state[s].registry = s == 0 ? &registry : nullptr;
+      // Aborted-migration sweeps (kMigrateAbort replay) target globally
+      // unique chunk keys — every shard needs them.
+      state[s].sweep_registry = &registry;
+    }
+    auto opened = durability::ShardedDurabilityManager::Open(
+        std::move(durability_config), std::move(state));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "durability open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    durability = std::move(*opened);
+    auto recovered = durability->Recover(WallClock(), &pool);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("recovered %llu shard journal(s): %llu checkpoint(s), "
+                "%llu record(s) replayed, %llu torn byte(s) discarded\n",
+                static_cast<unsigned long long>(recovered->shards),
+                static_cast<unsigned long long>(recovered->checkpoints_loaded),
+                static_cast<unsigned long long>(recovered->records_replayed),
+                static_cast<unsigned long long>(
+                    recovered->wal_bytes_discarded));
+    engine.AttachJournals(durability->journals());
+  }
+
+  // 3. The gateway: anonymous public-bucket access for curl, plus demo
   //    tenants with HMAC-signed requests (§III-E applied to the client API).
   api::Authenticator auth;
   const api::Credentials acme{.access_key_id = "ACME-KEY-1",
@@ -172,12 +271,13 @@ int main(int argc, char** argv) {
   auth.AddCredentials(acme);
   auth.AddCredentials(globex);
   if (flags.anonymous) auth.AllowAnonymous("anonymous");
-  api::S3Gateway gateway(
-      &auth, [&]() -> core::Engine& { return cluster.RouteRequest(); });
+  api::S3Gateway gateway(&auth,
+                         [&]() -> core::EngineApi& { return engine; });
   for (auto& rule : core::PaperRules()) gateway.RegisterRule(rule);
 
-  // 3. The serving loop: epoll front door on a shared thread pool.
-  common::ThreadPool pool(flags.threads);
+  // 4. The serving loop: epoll front door on a shared thread pool.  The
+  //    gateway hands every request to the sharded engine, which routes it
+  //    to its shard by key hash — no global lock on the request path.
   net::ServerConfig server_config;
   server_config.bind_address = flags.bind;
   server_config.port = flags.port;
@@ -199,8 +299,11 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
 
-  std::printf("scalia_server listening on %s:%u (%zu handler threads)\n",
-              flags.bind.c_str(), server.port(), pool.num_threads());
+  std::printf("scalia_server listening on %s:%u "
+              "(%zu handler threads, %zu engine shards%s)\n",
+              flags.bind.c_str(), server.port(), pool.num_threads(),
+              engine.num_shards(),
+              durability ? ", durable" : "");
   std::printf("try:\n");
   std::printf("  curl -X PUT --data-binary 'hello scalia' "
               "http://127.0.0.1:%u/demo/hello.txt\n", server.port());
@@ -215,13 +318,14 @@ int main(int argc, char** argv) {
   }
   std::printf("Ctrl-C for graceful shutdown\n");
 
-  // 4. The sampling-period loop of §III-A, driven by the wall clock: close
+  // 5. The sampling-period loop of §III-A, driven by the wall clock: close
   //    a period (drain log agents into per-object histories) every
   //    --sampling-period-s seconds, and run the periodic optimization
-  //    procedure (Fig. 7) every --optimize-every periods.  Migrations
-  //    commit via CAS-on-version: one racing a concurrent PUT/DELETE of
-  //    the same key aborts (counted in the per-round conflict counter) and
-  //    the acked write always survives, so adaptation is on by default.
+  //    procedure (Fig. 7) every --optimize-every periods.  Each shard
+  //    closes and optimizes independently (in parallel on the pool);
+  //    migrations commit via CAS-on-version, so one racing a concurrent
+  //    PUT/DELETE of the same key aborts (counted in the per-round conflict
+  //    counter) and the acked write always survives.
   common::SimTime last_period = WallClock();
   std::uint64_t periods = 0;
   while (g_stop == 0) {
@@ -230,18 +334,28 @@ int main(int argc, char** argv) {
     if (flags.sampling_period_s > 0 &&
         now - last_period >= flags.sampling_period_s) {
       last_period = now;
-      cluster.EndSamplingPeriod(now);
+      engine.EndSamplingPeriod(now);
       ++periods;
       if (flags.optimize_every_periods > 0 &&
           periods % static_cast<std::uint64_t>(
                         flags.optimize_every_periods) == 0) {
-        const auto report = cluster.RunOptimizationProcedure(now);
+        const auto report = engine.RunOptimizationProcedure(now);
         SCALIA_LOG(common::LogLevel::kInfo, "scalia_server")
             << "optimization round: " << report.candidates << " candidates, "
             << report.recomputations << " recomputations, "
             << report.migrations << " migrations, "
             << report.conflicts << " CAS conflicts, "
             << report.errors << " errors";
+      }
+      // Checkpoint on the period boundary (the quiesce-ish point), on its
+      // own cadence — the WAL must not grow unboundedly just because the
+      // optimizer is off.
+      if (durability) {
+        auto written = durability->MaybeCheckpoint(now);
+        if (!written.ok()) {
+          SCALIA_LOG(common::LogLevel::kWarning, "scalia_server")
+              << "checkpoint failed: " << written.status().ToString();
+        }
       }
     }
   }
@@ -259,11 +373,11 @@ int main(int argc, char** argv) {
               static_cast<double>(stats.bytes_in) / (1024.0 * 1024.0),
               static_cast<double>(stats.bytes_out) / (1024.0 * 1024.0));
 
-  // 5. The monthly statement: what each provider would have charged.
+  // 6. The monthly statement: what each provider would have charged.
   const common::SimTime now = WallClock();
   billing::Ledger ledger;
   for (const auto& spec : catalog) {
-    auto* store = cluster.registry().Find(spec.id);
+    auto* store = registry.Find(spec.id);
     if (store == nullptr) continue;
     ledger.Accrue(spec.id, store->meter().Totals(now));
   }

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# CI bench-regression gate: the smoke-label ctest suites plus a short
+# bench_server_throughput pass, compared against the committed baseline
+# report.  Fails (exit 1) when loopback throughput regresses more than
+# REGRESSION_PCT percent below the baseline's bench_server_throughput
+# req_per_s — the tripwire for "this PR made the serving path slower".
+#
+# The gate tolerates absolute-speed differences between machines only as
+# far as the threshold allows; on shared CI runners keep REGRESSION_PCT
+# generous (default 20, per the PR-5 issue).  The default workload matches
+# the one scripts/bench_report.sh records baselines with (16 connections,
+# 5 s, 1–4 KiB objects) so the comparison measures the code, not a
+# workload mismatch.
+#
+# Usage: scripts/bench_gate.sh [baseline.json]   (default: BENCH_PR4.json)
+# Env:   BUILD_DIR=build
+#        REGRESSION_PCT=20         allowed drop vs baseline, in percent
+#        GATE_BENCH_ARGS="--connections 16 --duration-s 5 --object-bytes 1024,4096"
+#        SKIP_SMOKE=0              1 skips the ctest smoke pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+BASELINE=${1:-BENCH_PR4.json}
+REGRESSION_PCT=${REGRESSION_PCT:-20}
+# Must mirror bench_report.sh's SERVER_BENCH_ARGS default: the committed
+# baseline was recorded with this workload.
+GATE_BENCH_ARGS=${GATE_BENCH_ARGS:---connections 16 --duration-s 5 --object-bytes 1024,4096}
+SKIP_SMOKE=${SKIP_SMOKE:-0}
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "bench_gate: baseline $BASELINE not found" >&2
+  exit 2
+fi
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+fi
+cmake --build "$BUILD_DIR" -j --target bench_server_throughput >/dev/null
+
+if [[ "$SKIP_SMOKE" -ne 1 ]]; then
+  echo "==> bench gate: smoke-label ctest"
+  # The smoke suites need their binaries; build everything the label covers.
+  cmake --build "$BUILD_DIR" -j >/dev/null
+  (cd "$BUILD_DIR" && ctest --output-on-failure -L '^smoke$')
+fi
+
+echo "==> bench gate: short bench_server_throughput pass"
+# shellcheck disable=SC2086
+RESULT=$({ "$BUILD_DIR/bench/bench_server_throughput" $GATE_BENCH_ARGS || true; } \
+         | grep '^RESULT ' || true)
+if [[ -z "$RESULT" ]]; then
+  echo "bench_gate: bench_server_throughput produced no RESULT line" >&2
+  exit 1
+fi
+CURRENT=$(sed -n 's/.*[[:space:]]req_per_s=\([^[:space:]]*\).*/\1/p' <<<"$RESULT")
+ERRORS=$(sed -n 's/.*[[:space:]]errors=\([^[:space:]]*\).*/\1/p' <<<"$RESULT")
+if [[ "$ERRORS" != "0" ]]; then
+  echo "bench_gate: bench reported $ERRORS request error(s)" >&2
+  exit 1
+fi
+
+python3 - "$BASELINE" "$CURRENT" "$REGRESSION_PCT" <<'EOF'
+import json, sys
+
+baseline_path, current, allowed_pct = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+with open(baseline_path) as f:
+    report = json.load(f)
+
+baseline = None
+for suite in report.get("suites", []):
+    if suite.get("suite") == "bench_server_throughput" and not suite.get("skipped"):
+        baseline = suite.get("req_per_s")
+        break
+if baseline is None:
+    # A baseline without the suite (or with it skipped) cannot gate; treat
+    # as a configuration error rather than a silent pass.
+    sys.exit(f"bench_gate: no usable bench_server_throughput suite in {baseline_path}")
+
+floor = baseline * (1.0 - allowed_pct / 100.0)
+verdict = "PASS" if current >= floor else "FAIL"
+print(f"bench_gate: baseline={baseline:.1f} req/s, floor={floor:.1f} "
+      f"(-{allowed_pct:.0f}%), current={current:.1f} -> {verdict}")
+if current < floor:
+    sys.exit(1)
+EOF
+echo "==> bench gate OK"

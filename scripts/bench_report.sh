@@ -1,20 +1,47 @@
 #!/usr/bin/env bash
 # Perf-trajectory datapoint: runs bench_catalog, bench_placement_scaling and
-# bench_server_throughput — the latter twice, optimizer off and with live
-# migration enabled (--optimize-every) — and emits BENCH_PR4.json (schema
-# scalia-bench-report/3, documented in BUILD.md, "Bench report").
+# bench_server_throughput — the latter four times: optimizer off (the
+# 1-shard baseline), with live migration enabled (--optimize-every), and
+# sharded (--shards 8 --threads 8, with and without the optimizer) so the
+# report records the multi-core scaling curve next to the adaptation cost.
 #
-# Usage: scripts/bench_report.sh [output.json]   (default: BENCH_PR4.json)
+# The output schema is an argument (--schema), not a hardcoded constant, so
+# the CI bench gate (scripts/bench_gate.sh) can parse reports from any PR;
+# RESULT lines are validated before their fields reach the JSON — a bench
+# that prints a malformed line is recorded as skipped, never as NaN soup.
+#
+# Usage: scripts/bench_report.sh [--schema N|NAME/N] [output.json]
+#        (default schema: scalia-bench-report/4, output: BENCH_PR5.json)
 # Env:   BUILD_DIR=build
 #        SERVER_BENCH_ARGS="--connections 16 --duration-s 5"  (override)
 #        OPTIMIZE_BENCH_ARGS="--optimize-every 1 --period-ms 500"  (override)
+#        SHARDED_BENCH_ARGS="--shards 8 --threads 8"  (override)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-OUT=${1:-BENCH_PR4.json}
+SCHEMA="scalia-bench-report/4"
+OUT=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --schema)
+      [[ $# -ge 2 ]] || { echo "--schema needs a value" >&2; exit 2; }
+      SCHEMA="$2"; shift 2
+      # Bare number: expand to the canonical name.
+      [[ "$SCHEMA" =~ ^[0-9]+$ ]] && SCHEMA="scalia-bench-report/$SCHEMA"
+      ;;
+    --help)
+      sed -n '2,18p' "$0"; exit 0 ;;
+    -*)
+      echo "unknown flag: $1" >&2; exit 2 ;;
+    *)
+      OUT="$1"; shift ;;
+  esac
+done
+OUT=${OUT:-BENCH_PR5.json}
 SERVER_BENCH_ARGS=${SERVER_BENCH_ARGS:---connections 16 --duration-s 5 --object-bytes 1024,4096}
 OPTIMIZE_BENCH_ARGS=${OPTIMIZE_BENCH_ARGS:---optimize-every 1 --period-ms 500}
+SHARDED_BENCH_ARGS=${SHARDED_BENCH_ARGS:---shards 8 --threads 8}
 
 if [[ ! -d "$BUILD_DIR" ]]; then
   cmake -B "$BUILD_DIR" -S .
@@ -65,13 +92,26 @@ EOF
 fi
 
 # --- bench_server_throughput: loopback closed-loop load generation; the
-# --- RESULT line carries req/s + latency percentiles.  Two runs: optimizer
-# --- off (baseline) and live migration enabled, so the report shows what
-# --- adaptation costs under load.
+# --- RESULT line carries req/s + latency percentiles + shard/thread counts.
 result_field() {  # result_field <result-line> <key> -> value (or null)
   local v
   v=$(sed -n "s/.*[[:space:]]$2=\([^[:space:]]*\).*/\1/p" <<<"$1")
   echo "${v:-null}"
+}
+# A RESULT line is usable only when every numeric field the report emits
+# actually parses as a number; anything else records the run as skipped.
+validate_result() {  # validate_result <result-line> -> 0 ok / 1 bad
+  local line=$1 key value
+  [[ "$line" == RESULT\ suite=bench_server_throughput* ]] || return 1
+  for key in requests elapsed_s req_per_s p50_us p95_us p99_us errors \
+             optimize_every migrations conflicts shards threads; do
+    value=$(result_field "$line" "$key")
+    [[ "$value" =~ ^[0-9]+(\.[0-9]+)?$ ]] || {
+      echo "note: RESULT field $key=\"$value\" is not numeric; run skipped" >&2
+      return 1
+    }
+  done
+  return 0
 }
 run_server_bench() {  # run_server_bench <extra-args...>; sets RESULT/MS
   local start
@@ -83,23 +123,67 @@ run_server_bench() {  # run_server_bench <extra-args...>; sets RESULT/MS
   SERVER_MS=$(( $(now_ms) - start ))
   if [[ -z "$SERVER_RESULT" ]]; then
     echo "note: bench_server_throughput produced no RESULT line" >&2
+  elif ! validate_result "$SERVER_RESULT"; then
+    SERVER_RESULT=""
   fi
+}
+# Emits one bench_server_throughput suite object (sans trailing comma).
+emit_server_suite() {  # emit_server_suite <name> <result-line> <wall-ms>
+  local name=$1 line=$2 wall=$3 skipped=false
+  [[ -z "$line" ]] && skipped=true
+  cat <<EOF
+    {
+      "suite": "$name",
+      "wall_ms": $wall,
+      "req_per_s": $(result_field "$line" req_per_s),
+      "p50_us": $(result_field "$line" p50_us),
+      "p95_us": $(result_field "$line" p95_us),
+      "p99_us": $(result_field "$line" p99_us),
+      "errors": $(result_field "$line" errors),
+      "optimize_every": $(result_field "$line" optimize_every),
+      "migrations": $(result_field "$line" migrations),
+      "conflicts": $(result_field "$line" conflicts),
+      "shards": $(result_field "$line" shards),
+      "threads": $(result_field "$line" threads),
+      "skipped": $skipped
+    }
+EOF
 }
 
 # shellcheck disable=SC2086
 run_server_bench $SERVER_BENCH_ARGS
 BASE_RESULT=$SERVER_RESULT; BASE_MS=$SERVER_MS
-BASE_SKIPPED=false; [[ -z "$BASE_RESULT" ]] && BASE_SKIPPED=true
 
 # shellcheck disable=SC2086
 run_server_bench $SERVER_BENCH_ARGS $OPTIMIZE_BENCH_ARGS
 OPT_RESULT=$SERVER_RESULT; OPT_MS=$SERVER_MS
-OPT_SKIPPED=false; [[ -z "$OPT_RESULT" ]] && OPT_SKIPPED=true
+
+# shellcheck disable=SC2086
+run_server_bench $SERVER_BENCH_ARGS $SHARDED_BENCH_ARGS
+SHARD_RESULT=$SERVER_RESULT; SHARD_MS=$SERVER_MS
+
+# shellcheck disable=SC2086
+run_server_bench $SERVER_BENCH_ARGS $SHARDED_BENCH_ARGS $OPTIMIZE_BENCH_ARGS
+SHARD_OPT_RESULT=$SERVER_RESULT; SHARD_OPT_MS=$SERVER_MS
+
+# Shards-over-baseline speedup; meaningless (null) when either run skipped.
+SCALE_X=$(python3 - "$(result_field "$BASE_RESULT" req_per_s)" \
+                    "$(result_field "$SHARD_RESULT" req_per_s)" <<'EOF'
+import sys
+try:
+    base, sharded = float(sys.argv[1]), float(sys.argv[2])
+    print(f"{sharded / base:.2f}" if base > 0 else "null")
+except ValueError:
+    print("null")
+EOF
+)
 
 cat >"$OUT" <<EOF
 {
-  "schema": "scalia-bench-report/3",
+  "schema": "$SCHEMA",
   "generated_by": "scripts/bench_report.sh",
+  "host_cores": $(nproc),
+  "sharded_speedup_x": $SCALE_X,
   "suites": [
     {
       "suite": "bench_catalog",
@@ -113,33 +197,13 @@ cat >"$OUT" <<EOF
       "objects_per_s": $SCALING_OBJ_S,
       "skipped": $SCALING_SKIPPED
     },
-    {
-      "suite": "bench_server_throughput",
-      "wall_ms": $BASE_MS,
-      "req_per_s": $(result_field "$BASE_RESULT" req_per_s),
-      "p50_us": $(result_field "$BASE_RESULT" p50_us),
-      "p95_us": $(result_field "$BASE_RESULT" p95_us),
-      "p99_us": $(result_field "$BASE_RESULT" p99_us),
-      "errors": $(result_field "$BASE_RESULT" errors),
-      "optimize_every": 0,
-      "migrations": 0,
-      "conflicts": 0,
-      "skipped": $BASE_SKIPPED
-    },
-    {
-      "suite": "bench_server_throughput_optimized",
-      "wall_ms": $OPT_MS,
-      "req_per_s": $(result_field "$OPT_RESULT" req_per_s),
-      "p50_us": $(result_field "$OPT_RESULT" p50_us),
-      "p95_us": $(result_field "$OPT_RESULT" p95_us),
-      "p99_us": $(result_field "$OPT_RESULT" p99_us),
-      "errors": $(result_field "$OPT_RESULT" errors),
-      "optimize_every": $(result_field "$OPT_RESULT" optimize_every),
-      "migrations": $(result_field "$OPT_RESULT" migrations),
-      "conflicts": $(result_field "$OPT_RESULT" conflicts),
-      "skipped": $OPT_SKIPPED
-    }
+$(emit_server_suite bench_server_throughput "$BASE_RESULT" "$BASE_MS"),
+$(emit_server_suite bench_server_throughput_optimized "$OPT_RESULT" "$OPT_MS"),
+$(emit_server_suite bench_server_throughput_sharded "$SHARD_RESULT" "$SHARD_MS"),
+$(emit_server_suite bench_server_throughput_sharded_optimized "$SHARD_OPT_RESULT" "$SHARD_OPT_MS")
   ]
 }
 EOF
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OUT" \
+  || { echo "internal error: $OUT is not valid JSON" >&2; exit 1; }
 echo "wrote $OUT"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Formatting lint for CI: checks every C++ source under src/ tests/ bench/
+# examples/ against the repo's .clang-format with --dry-run — the tree is
+# never rewritten, violations fail the job with clang-format's diagnostics.
+#
+# Usage: scripts/format_check.sh [path...]   (default: the four source dirs)
+# Env:   CLANG_FORMAT=clang-format           (override the binary, e.g. a
+#                                             versioned clang-format-18)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT=${CLANG_FORMAT:-clang-format}
+if ! command -v "$CLANG_FORMAT" >/dev/null; then
+  echo "format_check: $CLANG_FORMAT not found (set CLANG_FORMAT, or apt-get" \
+       "install clang-format)" >&2
+  exit 2
+fi
+"$CLANG_FORMAT" --version
+
+DIRS=("$@")
+[[ ${#DIRS[@]} -eq 0 ]] && DIRS=(src tests bench examples)
+
+mapfile -t FILES < <(find "${DIRS[@]}" \
+  -name '*.h' -o -name '*.cc' -o -name '*.cpp' | sort)
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "format_check: no sources found under: ${DIRS[*]}" >&2
+  exit 2
+fi
+
+echo "format_check: checking ${#FILES[@]} file(s)"
+"$CLANG_FORMAT" --dry-run --Werror "${FILES[@]}"
+echo "format_check: OK"

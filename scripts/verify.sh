@@ -2,28 +2,44 @@
 # Tier-1 verification for CI: the exact ROADMAP.md command, then the `asan`
 # preset (Debug + ASan/UBSan, build-asan/), then — with --tsan — the `tsan`
 # preset running the net/ server suites (the concurrent serving loop) plus
-# every `tsan`-labeled race/conflict suite (migration-vs-Put CAS races,
-# concurrent ApplyIfLatest) under ThreadSanitizer.
-# Usage: scripts/verify.sh [--skip-asan] [--tsan]
+# every race/conflict suite (migration-vs-Put CAS races, concurrent
+# ApplyIfLatest, the sharded optimizer sweep) under ThreadSanitizer.
+#
+# The GitHub Actions matrix (.github/workflows/ci.yml) runs one pass per
+# job via --only; locally the default remains Release + ASan.
+# Usage: scripts/verify.sh [--skip-asan] [--tsan] [--only release|asan|tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SKIP_ASAN=0
+RUN_RELEASE=1
+RUN_ASAN=1
 RUN_TSAN=0
-for arg in "$@"; do
-  case "$arg" in
-    --skip-asan) SKIP_ASAN=1 ;;
-    --tsan) RUN_TSAN=1 ;;
-    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --skip-asan) RUN_ASAN=0; shift ;;
+    --tsan) RUN_TSAN=1; shift ;;
+    --only)
+      [[ $# -ge 2 ]] || { echo "--only needs release|asan|tsan" >&2; exit 2; }
+      RUN_RELEASE=0; RUN_ASAN=0; RUN_TSAN=0
+      case "$2" in
+        release) RUN_RELEASE=1 ;;
+        asan) RUN_ASAN=1 ;;
+        tsan) RUN_TSAN=1 ;;
+        *) echo "unknown --only mode: $2" >&2; exit 2 ;;
+      esac
+      shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
 
-echo "==> tier-1: Release build + full ctest"
-cmake -B build -S .
-cmake --build build -j
-(cd build && ctest --output-on-failure -j "$(nproc)")
+if [[ "$RUN_RELEASE" -eq 1 ]]; then
+  echo "==> tier-1: Release build + full ctest"
+  cmake -B build -S .
+  cmake --build build -j
+  (cd build && ctest --output-on-failure -j "$(nproc)")
+fi
 
-if [[ "$SKIP_ASAN" -eq 0 ]]; then
+if [[ "$RUN_ASAN" -eq 1 ]]; then
   echo "==> ASan/UBSan: asan preset build + full ctest"
   cmake --preset asan
   cmake --build --preset asan -j "$(nproc)"
@@ -35,7 +51,8 @@ if [[ "$RUN_TSAN" -eq 1 ]]; then
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)"
   # The net/ suites by label, plus the CAS race/conflict suites (core/store
-  # labels) by name — migration-vs-Put commits, concurrent ApplyIfLatest.
+  # labels) by name — migration-vs-Put commits, concurrent ApplyIfLatest,
+  # the sharded optimizer sweep racing writers.
   ctest --preset tsan -L '^net$'
   ctest --preset tsan -R '(Race|Conflict)'
 fi

@@ -130,7 +130,7 @@ HttpResponse S3Gateway::HandleObjectGet(common::SimTime now,
                                         const std::string& container,
                                         const std::string& key,
                                         bool head_only) {
-  core::Engine& engine = route_();
+  core::EngineApi& engine = route_();
   if (head_only) {
     auto meta = engine.LoadMetadata(now, core::MakeRowKey(container, key));
     if (!meta.ok()) return ErrorResponse(meta.status());

@@ -26,7 +26,8 @@
 #include "api/auth.h"
 #include "api/http.h"
 #include "common/sim_time.h"
-#include "core/engine.h"
+#include "core/engine_api.h"
+#include "core/metadata.h"
 #include "core/rule.h"
 
 namespace scalia::api {
@@ -36,9 +37,11 @@ namespace scalia::api {
 
 class S3Gateway {
  public:
-  /// `route` supplies the engine handling each request (the cluster's
-  /// RouteRequest, or a fixed engine in single-node deployments).
-  using RouteFn = std::function<core::Engine&()>;
+  /// `route` supplies the engine handling each request: the cluster's
+  /// RouteRequest, a fixed engine in single-node deployments, or a
+  /// ShardedEngine facade (which routes each call to its shards by key
+  /// hash internally).
+  using RouteFn = std::function<core::EngineApi&()>;
 
   S3Gateway(Authenticator* auth, RouteFn route);
 

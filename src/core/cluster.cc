@@ -65,8 +65,9 @@ cache::CacheStats ScaliaCluster::CacheStats() const {
 }
 
 void ScaliaCluster::EndSamplingPeriod(common::SimTime now) {
-  // Drain the log pipeline of every datacenter and merge the per-object
-  // aggregates of the closing period.
+  // Drain the log pipeline of every datacenter, merge the per-object
+  // aggregates of the closing period and fold them into the histories
+  // (silent objects accrue their storage-only row).
   std::unordered_map<std::string, stats::PeriodStats> merged;
   for (auto& dc : datacenters_) {
     dc.aggregator->Pump();
@@ -74,17 +75,7 @@ void ScaliaCluster::EndSamplingPeriod(common::SimTime now) {
       merged[row_key] += s;
     }
   }
-  // Every live object accrues a period entry: accessed objects get their
-  // aggregate, silent ones a storage-only row (the storage dimension always
-  // reflects the object's footprint).
-  for (const auto& row_key : stats_db_->AccessedSince(0)) {
-    auto rec = stats_db_->GetObject(row_key);
-    if (!rec) continue;
-    stats::PeriodStats s;
-    if (auto it = merged.find(row_key); it != merged.end()) s = it->second;
-    s.storage_gb = common::ToGB(rec->size);
-    stats_db_->AppendPeriodStats(row_key, period_counter_, s, now);
-  }
+  stats_db_->AppendPeriodForAllObjects(merged, period_counter_, now);
   ++period_counter_;
 
   // Housekeeping that rides the period boundary.

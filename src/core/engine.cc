@@ -615,7 +615,25 @@ common::Result<bool> Engine::ReoptimizeObject(common::SimTime now,
   // storage key.  Until the CAS below commits, nothing references them, so
   // an abort only ever garbage-collects staged data.
   auto data = ReadChunks(now, meta);
-  if (!data.ok()) return data.status();
+  if (!data.ok()) {
+    // The snapshot's chunks may be gone because a concurrent Put/Delete
+    // superseded the row and GC'd them between the snapshot and this read.
+    // That is a lost race, not a fault: report it as the conflict the CAS
+    // commit would have hit, so optimizer error counters stay meaningful.
+    // Only *observed* supersession counts — a row re-read that fails for
+    // any reason other than NotFound (replica down, say) must surface the
+    // original error, not masquerade as a benign conflict.
+    auto current = db_->Get(dc_, "metadata", row_key);
+    const bool superseded =
+        current.ok() ? (current->tombstone ||
+                        !(current->clock == versioned->clock))
+                     : current.status().code() == common::StatusCode::kNotFound;
+    if (superseded) {
+      return common::Status::Conflict(
+          "placement superseded by a concurrent write while staging");
+    }
+    return data.status();
+  }
 
   common::Uuid uuid;
   {

@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/engine_api.h"
 #include "core/metadata.h"
 #include "core/migration.h"
 #include "core/placement.h"
@@ -54,7 +55,7 @@ struct PendingDelete {
   std::string chunk_key;
 };
 
-class Engine {
+class Engine : public EngineApi {
  public:
   Engine(std::string id, provider::ProviderRegistry* registry,
          store::ReplicatedStore* db, store::ReplicaId dc,
@@ -77,27 +78,27 @@ class Engine {
   common::Status Put(common::SimTime now, const std::string& container,
                      const std::string& key, std::string data,
                      const std::string& mime,
-                     std::optional<StorageRule> rule = std::nullopt);
+                     std::optional<StorageRule> rule = std::nullopt) override;
 
   /// Reads an object (cache first, then m-of-n chunk reassembly).
   common::Result<std::string> Get(common::SimTime now,
                                   const std::string& container,
-                                  const std::string& key);
+                                  const std::string& key) override;
 
   /// Deletes an object (metadata tombstone + chunk deletion, deferred at
   /// unreachable providers).
   common::Status Delete(common::SimTime now, const std::string& container,
-                        const std::string& key);
+                        const std::string& key) override;
 
   /// Keys currently stored in `container` (from the metadata layer).
-  common::Result<std::vector<std::string>> List(common::SimTime now,
-                                                const std::string& container);
+  common::Result<std::vector<std::string>> List(
+      common::SimTime now, const std::string& container) override;
 
   // ---- Optimizer-facing operations -------------------------------------
 
   /// Loads (and conflict-resolves) the object's metadata.
-  common::Result<ObjectMetadata> LoadMetadata(common::SimTime now,
-                                              const std::string& row_key);
+  common::Result<ObjectMetadata> LoadMetadata(
+      common::SimTime now, const std::string& row_key) override;
 
   /// Metadata together with its row-version snapshot: the clock a
   /// migration/repair hands back to the store as the CAS expectation when

@@ -1,0 +1,66 @@
+// The engine layer's outward face, as an abstract interface.
+//
+// Everything that serves client traffic — the S3 gateway, the network
+// daemon, the benches — programs against this interface instead of the
+// concrete Engine, so a deployment can swap the engine topology without
+// call-site churn:
+//
+//   * Engine             one engine over one metadata replica (the paper's
+//                        stateless proxy, §III-A);
+//   * ShardedEngine      N key-hash-partitioned engine shards behind one
+//                        facade (sharded_engine.h), each owning its slice
+//                        of the metadata table, statistics and WAL stream.
+//
+// The interface is exactly the paper's put/get/list/delete key-value model
+// plus the metadata read the gateway's HEAD handler needs.  Optimizer-facing
+// operations (EvaluatePlacement, ReoptimizeObject, RepairObject) are *not*
+// part of it: the periodic optimizer always sweeps concrete engines — one
+// per shard — because candidate sets are drawn from each shard's own
+// statistics database.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "core/rule.h"
+
+namespace scalia::core {
+
+struct ObjectMetadata;
+
+class EngineApi {
+ public:
+  virtual ~EngineApi() = default;
+
+  /// Stores (or updates) an object.  `rule` overrides the default; a
+  /// per-object TTL hint may ride on the rule (§III-A).
+  virtual common::Status Put(common::SimTime now, const std::string& container,
+                             const std::string& key, std::string data,
+                             const std::string& mime,
+                             std::optional<StorageRule> rule = std::nullopt) = 0;
+
+  /// Reads an object (cache first, then m-of-n chunk reassembly).
+  virtual common::Result<std::string> Get(common::SimTime now,
+                                          const std::string& container,
+                                          const std::string& key) = 0;
+
+  /// Deletes an object (metadata tombstone + chunk deletion, deferred at
+  /// unreachable providers).
+  virtual common::Status Delete(common::SimTime now,
+                                const std::string& container,
+                                const std::string& key) = 0;
+
+  /// Keys currently stored in `container` (from the metadata layer).
+  virtual common::Result<std::vector<std::string>> List(
+      common::SimTime now, const std::string& container) = 0;
+
+  /// Loads (and conflict-resolves) the object's metadata; `row_key` is
+  /// MakeRowKey(container, key).  Serves the gateway's HEAD handler.
+  virtual common::Result<ObjectMetadata> LoadMetadata(
+      common::SimTime now, const std::string& row_key) = 0;
+};
+
+}  // namespace scalia::core

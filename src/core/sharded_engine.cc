@@ -1,0 +1,220 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "core/metadata.h"
+#include "durability/journal.h"
+
+namespace scalia::core {
+
+ShardedEngine::ShardedEngine(ShardedEngineConfig config,
+                             provider::ProviderRegistry* registry,
+                             common::ThreadPool* pool)
+    : config_(config), registry_(registry), pool_(pool) {
+  if (config_.num_shards == 0) {
+    throw std::invalid_argument("ShardedEngine needs >= 1 shard");
+  }
+  common::SplitMix64 seeder(config_.seed);
+  const common::Bytes cache_per_shard =
+      config_.cache_capacity / config_.num_shards;
+  shards_.reserve(config_.num_shards);
+  for (std::size_t s = 0; s < config_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // One replica per shard: the shard *is* the partition, replication
+    // across datacenters stays the ScaliaCluster's concern.
+    shard->db = std::make_unique<store::ReplicatedStore>(1);
+    shard->stats = std::make_unique<stats::StatsDb>(shard->db.get(), /*dc=*/0);
+    shard->aggregator = std::make_unique<stats::LogAggregator>();
+    shard->agent = std::make_unique<stats::LogAgent>(shard->aggregator.get());
+    if (config_.enable_cache) {
+      // No invalidation bus: keys partition, so a shard's writes only ever
+      // concern its own cache.
+      shard->cache =
+          std::make_unique<cache::CacheLayer>(cache_per_shard, nullptr);
+    }
+    shard->engine = std::make_unique<Engine>(
+        "shard" + std::to_string(s), registry_, shard->db.get(), /*dc=*/0,
+        shard->cache.get(), shard->stats.get(), shard->agent.get(), pool_,
+        config_.engine, seeder.Next());
+    shard->optimizer = std::make_unique<PeriodicOptimizer>(
+        config_.optimizer, shard->stats.get(), /*pool=*/nullptr);
+    shard->optimizer->AddEngine(shard->engine.get());
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+std::size_t ShardedEngine::ShardForRowKey(const std::string& row_key,
+                                          std::size_t num_shards) {
+  // FNV-1a 64: stable across builds and restarts (no per-process salt), and
+  // uniform enough over MD5-hex row keys.  Keep in sync with the routing
+  // section of docs/ARCHITECTURE.md.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : row_key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return num_shards <= 1 ? 0 : static_cast<std::size_t>(h % num_shards);
+}
+
+common::Status ShardedEngine::Put(common::SimTime now,
+                                  const std::string& container,
+                                  const std::string& key, std::string data,
+                                  const std::string& mime,
+                                  std::optional<StorageRule> rule) {
+  const std::size_t s = ShardFor(MakeRowKey(container, key));
+  return shards_[s]->engine->Put(now, container, key, std::move(data), mime,
+                                 std::move(rule));
+}
+
+common::Result<std::string> ShardedEngine::Get(common::SimTime now,
+                                               const std::string& container,
+                                               const std::string& key) {
+  const std::size_t s = ShardFor(MakeRowKey(container, key));
+  return shards_[s]->engine->Get(now, container, key);
+}
+
+common::Status ShardedEngine::Delete(common::SimTime now,
+                                     const std::string& container,
+                                     const std::string& key) {
+  const std::size_t s = ShardFor(MakeRowKey(container, key));
+  return shards_[s]->engine->Delete(now, container, key);
+}
+
+common::Result<std::vector<std::string>> ShardedEngine::List(
+    common::SimTime now, const std::string& container) {
+  std::vector<std::string> merged;
+  for (auto& shard : shards_) {
+    auto keys = shard->engine->List(now, container);
+    if (!keys.ok()) return keys.status();
+    merged.insert(merged.end(), keys->begin(), keys->end());
+  }
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
+common::Result<ObjectMetadata> ShardedEngine::LoadMetadata(
+    common::SimTime now, const std::string& row_key) {
+  return shards_[ShardFor(row_key)]->engine->LoadMetadata(now, row_key);
+}
+
+common::Result<bool> ShardedEngine::ReoptimizeObject(
+    common::SimTime now, const std::string& row_key,
+    std::size_t decision_periods) {
+  return shards_[ShardFor(row_key)]->engine->ReoptimizeObject(
+      now, row_key, decision_periods);
+}
+
+common::Status ShardedEngine::RepairObject(common::SimTime now,
+                                           const std::string& row_key) {
+  return shards_[ShardFor(row_key)]->engine->RepairObject(now, row_key);
+}
+
+void ShardedEngine::ForEachShard(
+    const std::function<void(std::size_t)>& fn) {
+  if (pool_ != nullptr && shards_.size() > 1) {
+    pool_->ParallelFor(shards_.size(), fn);
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) fn(s);
+  }
+}
+
+void ShardedEngine::EndSamplingPeriod(common::SimTime now) {
+  ForEachShard([&](std::size_t s) {
+    Shard& shard = *shards_[s];
+    shard.aggregator->Pump();
+    // Durable shards journal every appended period row: the access
+    // histories drive the adaptive scheme, so a crash between checkpoints
+    // must not reset them to "silent object".
+    durability::Journal* journal = shard.journal;
+    shard.stats->AppendPeriodForAllObjects(
+        shard.aggregator->Flush(), shard.period_counter, now,
+        journal == nullptr
+            ? std::function<void(const std::string&,
+                                 const stats::PeriodStats&)>{}
+            : [&](const std::string& row_key, const stats::PeriodStats& row) {
+                (void)journal->LogPeriodStats(row_key, shard.period_counter,
+                                              row.ToCsv(), now);
+              });
+    ++shard.period_counter;
+    shard.engine->ProcessPendingDeletes(now);
+    shard.db->SyncAll();
+  });
+}
+
+OptimizationReport ShardedEngine::RunOptimizationProcedure(
+    common::SimTime now) {
+  std::vector<OptimizationReport> reports(shards_.size());
+  ForEachShard([&](std::size_t s) {
+    reports[s] = shards_[s]->optimizer->Run(now);
+    shards_[s]->db->SyncAll();
+  });
+  OptimizationReport merged;
+  for (const auto& report : reports) {
+    if (merged.leader.empty()) merged.leader = report.leader;
+    merged.candidates += report.candidates;
+    merged.trend_changes += report.trend_changes;
+    merged.recomputations += report.recomputations;
+    merged.migrations += report.migrations;
+    merged.conflicts += report.conflicts;
+    merged.errors += report.errors;
+  }
+  return merged;
+}
+
+std::size_t ShardedEngine::ProcessPendingDeletes(common::SimTime now) {
+  std::size_t total = 0;
+  for (auto& shard : shards_) {
+    total += shard->engine->ProcessPendingDeletes(now);
+  }
+  return total;
+}
+
+void ShardedEngine::AttachJournals(
+    const std::vector<durability::Journal*>& journals) {
+  if (journals.size() != shards_.size()) {
+    throw std::invalid_argument("AttachJournals: expected " +
+                                std::to_string(shards_.size()) +
+                                " journals, got " +
+                                std::to_string(journals.size()));
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->engine->AttachJournal(journals[s]);
+    shards_[s]->journal = journals[s];
+  }
+}
+
+Engine& ShardedEngine::shard_engine(std::size_t shard) {
+  return *shards_.at(shard)->engine;
+}
+
+stats::StatsDb& ShardedEngine::shard_stats(std::size_t shard) {
+  return *shards_.at(shard)->stats;
+}
+
+store::ReplicatedStore& ShardedEngine::shard_store(std::size_t shard) {
+  return *shards_.at(shard)->db;
+}
+
+PeriodicOptimizer& ShardedEngine::shard_optimizer(std::size_t shard) {
+  return *shards_.at(shard)->optimizer;
+}
+
+cache::CacheStats ShardedEngine::CacheStats() const {
+  cache::CacheStats total;
+  for (const auto& shard : shards_) {
+    if (shard->cache) total += shard->cache->Stats();
+  }
+  return total;
+}
+
+std::size_t ShardedEngine::ObjectCount() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->stats->ObjectCount();
+  return total;
+}
+
+}  // namespace scalia::core

@@ -1,0 +1,174 @@
+// ShardedEngine: N key-hash-partitioned engine shards behind one facade.
+//
+// One Engine over one metadata replica serializes every request on the
+// store's and statistics database's global mutexes; the serving path then
+// cannot scale past one core no matter how many handler threads the network
+// loop has.  This facade partitions the object space by a stable hash of
+// the metadata row key (row_key = MD5(container|key), §III-D.1) across N
+// self-contained shards.  Each shard owns a complete vertical slice:
+//
+//   * its own store::ReplicatedStore (one replica) — its slice of the
+//     metadata KvTable, so metadata writes in different shards never share
+//     a lock;
+//   * its own stats::StatsDb + log agent/aggregator pair — the statistics
+//     pipeline partitions with the keys it measures;
+//   * its own cache::CacheLayer (keys partition, so per-shard caches are
+//     trivially coherent and uncontended);
+//   * its own Engine (sharing the global provider registry and thread
+//     pool — the providers model the outside world and stay shared);
+//   * its own PeriodicOptimizer — the optimization procedure (Fig. 7)
+//     sweeps each shard's candidate set independently; per-shard CAS
+//     commits compose because an object never leaves its shard;
+//   * optionally its own durability journal, streaming into a per-shard
+//     WAL segment directory (durability/sharded_manager.h) with the shard
+//     id stamped in every record header (format v3).
+//
+// The facade implements EngineApi, so the gateway, the network daemon and
+// the benches swap `ScaliaCluster` / `Engine` for `ShardedEngine` without
+// call-site churn: every Put/Get/Delete routes to exactly one shard by key
+// hash — no global lock on the request path — and List fans out and merges.
+//
+// Routing stability: ShardForRowKey is a pure function of (row_key,
+// num_shards) with no process-local salt, so a restart with the same shard
+// count routes every key to the shard that holds its metadata and WAL
+// records.  Restarting with a *different* shard count would strand objects
+// in the wrong shard; the durability manifest pins the count and makes the
+// mismatch a refused-to-open error instead of silent data loss.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_layer.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/engine_api.h"
+#include "core/optimizer.h"
+#include "provider/registry.h"
+#include "stats/pipeline.h"
+#include "stats/stats_db.h"
+#include "store/replicated_store.h"
+
+namespace scalia::durability {
+class Journal;
+}  // namespace scalia::durability
+
+namespace scalia::core {
+
+struct ShardedEngineConfig {
+  /// Number of engine shards.  1 reproduces the unsharded deployment.
+  std::size_t num_shards = 1;
+  EngineConfig engine;
+  OptimizerConfig optimizer;
+  bool enable_cache = true;
+  /// Total cache budget, divided evenly across the shards.
+  common::Bytes cache_capacity = 256 * common::kMiB;
+  std::uint64_t seed = 42;
+};
+
+class ShardedEngine : public EngineApi {
+ public:
+  /// `registry` (the shared provider set) and `pool` (chunk IO + shard
+  /// sweeps) must outlive the facade; `pool` may be null for serial IO.
+  ShardedEngine(ShardedEngineConfig config,
+                provider::ProviderRegistry* registry, common::ThreadPool* pool);
+  ~ShardedEngine() override;
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// The stable routing function: FNV-1a over the row key, mod the shard
+  /// count.  Pure — no process salt — so routing survives restarts.
+  [[nodiscard]] static std::size_t ShardForRowKey(const std::string& row_key,
+                                                  std::size_t num_shards);
+  [[nodiscard]] std::size_t ShardFor(const std::string& row_key) const {
+    return ShardForRowKey(row_key, shards_.size());
+  }
+
+  // ---- EngineApi: each call routes to one shard by key hash -------------
+
+  common::Status Put(common::SimTime now, const std::string& container,
+                     const std::string& key, std::string data,
+                     const std::string& mime,
+                     std::optional<StorageRule> rule = std::nullopt) override;
+  common::Result<std::string> Get(common::SimTime now,
+                                  const std::string& container,
+                                  const std::string& key) override;
+  common::Status Delete(common::SimTime now, const std::string& container,
+                        const std::string& key) override;
+  /// Fans out to every shard and returns the merged, sorted key list.
+  common::Result<std::vector<std::string>> List(
+      common::SimTime now, const std::string& container) override;
+  common::Result<ObjectMetadata> LoadMetadata(
+      common::SimTime now, const std::string& row_key) override;
+
+  // ---- Optimizer-facing passthroughs (routed by row_key) ----------------
+
+  common::Result<bool> ReoptimizeObject(common::SimTime now,
+                                        const std::string& row_key,
+                                        std::size_t decision_periods);
+  common::Status RepairObject(common::SimTime now, const std::string& row_key);
+
+  // ---- Maintenance ------------------------------------------------------
+
+  /// Closes the sampling period ending at `now` in every shard: drains the
+  /// shard's log pipeline, folds aggregates + storage footprints into
+  /// per-object histories, retries deferred deletes.  Shards close in
+  /// parallel on the pool.
+  void EndSamplingPeriod(common::SimTime now);
+
+  /// One optimization procedure (Fig. 7) per shard, swept in parallel on
+  /// the pool; reports are merged.  Shards never contend: each sweeps only
+  /// keys its own statistics database observed.
+  OptimizationReport RunOptimizationProcedure(common::SimTime now);
+
+  /// Retries deferred chunk deletions in every shard.
+  std::size_t ProcessPendingDeletes(common::SimTime now);
+
+  // ---- Durability wiring ------------------------------------------------
+
+  /// Attaches per-shard journals: `journals[k]` (which must carry shard id
+  /// k and outlive the facade) receives shard k's mutations.  Must be sized
+  /// num_shards(); entries may be null to disable journaling per shard.
+  void AttachJournals(const std::vector<durability::Journal*>& journals);
+
+  // ---- Introspection (tests, recovery, billing) -------------------------
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] Engine& shard_engine(std::size_t shard);
+  [[nodiscard]] stats::StatsDb& shard_stats(std::size_t shard);
+  [[nodiscard]] store::ReplicatedStore& shard_store(std::size_t shard);
+  [[nodiscard]] PeriodicOptimizer& shard_optimizer(std::size_t shard);
+
+  /// Aggregate cache statistics across shards.
+  [[nodiscard]] cache::CacheStats CacheStats() const;
+
+  /// Objects tracked across all shard statistics databases.
+  [[nodiscard]] std::size_t ObjectCount() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<store::ReplicatedStore> db;
+    std::unique_ptr<stats::StatsDb> stats;
+    std::unique_ptr<stats::LogAggregator> aggregator;
+    std::unique_ptr<stats::LogAgent> agent;
+    std::unique_ptr<cache::CacheLayer> cache;  // null when disabled
+    std::unique_ptr<Engine> engine;
+    std::unique_ptr<PeriodicOptimizer> optimizer;
+    durability::Journal* journal = nullptr;  // set by AttachJournals
+    std::uint64_t period_counter = 0;
+  };
+
+  /// Runs fn(shard_index) for every shard, on the pool when one is set.
+  void ForEachShard(const std::function<void(std::size_t)>& fn);
+
+  ShardedEngineConfig config_;
+  provider::ProviderRegistry* registry_;
+  common::ThreadPool* pool_;  // may be null => serial shard sweeps
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace scalia::core

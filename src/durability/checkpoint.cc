@@ -11,6 +11,7 @@
 #include <fstream>
 
 #include "common/binary_codec.h"
+#include "durability/fsync.h"
 #include "common/log.h"
 #include "common/sha256.h"
 
@@ -141,30 +142,12 @@ common::Result<CheckpointInfo> CheckpointWriter::Write(
                                       tmp_path.string());
     }
   }
-  // fsync contents before the rename and the directory after it, so the
-  // published name can never point at unflushed bytes after a power loss
-  // (the WAL behind this snapshot is truncated on the strength of it).
-  {
-    const int fd = ::open(tmp_path.c_str(), O_RDONLY);
-    if (fd < 0 || ::fsync(fd) != 0) {
-      if (fd >= 0) ::close(fd);
-      return common::Status::Internal("cannot fsync checkpoint " +
-                                      tmp_path.string());
-    }
-    ::close(fd);
-  }
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    return common::Status::Internal("cannot publish checkpoint " +
-                                    final_path.string() + ": " + ec.message());
-  }
-  {
-    const int fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
-    if (fd < 0 || ::fsync(fd) != 0) {
-      if (fd >= 0) ::close(fd);
-      return common::Status::Internal("cannot fsync checkpoint dir " + dir_);
-    }
-    ::close(fd);
+  // Crash-safe publish (durability/fsync.h): the published name can never
+  // point at unflushed bytes after a power loss — the WAL behind this
+  // snapshot is truncated on the strength of it.
+  if (auto s = PublishAtomically(tmp_path.string(), final_path.string());
+      !s.ok()) {
+    return s;
   }
   SCALIA_LOG(common::LogLevel::kInfo, "checkpoint")
       << "wrote " << final_path.filename().string() << " (" << body.size()

@@ -35,7 +35,20 @@ struct EngineStateRefs {
   store::ReplicatedStore* db = nullptr;
   store::ReplicaId dc = 0;
   stats::StatsDb* stats = nullptr;
+  /// Meter snapshot/restore target.  In a sharded deployment only shard
+  /// 0's refs carry it — the meters are global and restoring them once per
+  /// shard would multiply the counters.
   provider::ProviderRegistry* registry = nullptr;
+  /// Registry replay uses to sweep the staged chunks of an aborted
+  /// migration (kMigrateAbort records).  Chunk keys are globally unique,
+  /// so unlike `registry` this is safe — and needed — on *every* shard;
+  /// falls back to `registry` when unset.
+  provider::ProviderRegistry* sweep_registry = nullptr;
+
+  /// The registry aborted-migration sweeps go to (see sweep_registry).
+  [[nodiscard]] provider::ProviderRegistry* SweepRegistry() const noexcept {
+    return sweep_registry != nullptr ? sweep_registry : registry;
+  }
 };
 
 struct CheckpointInfo {

@@ -1,0 +1,49 @@
+#include "durability/fsync.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+namespace scalia::durability {
+
+common::Status FsyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return common::Status::Internal("cannot open " + path + " for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return common::Status::Internal("fsync failed on " + path);
+  }
+  return common::Status::Ok();
+}
+
+common::Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return common::Status::Internal("cannot open dir " + dir + " for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return common::Status::Internal("fsync failed on dir " + dir);
+  }
+  return common::Status::Ok();
+}
+
+common::Status PublishAtomically(const std::string& tmp,
+                                 const std::string& final_path) {
+  if (auto s = FsyncFile(tmp); !s.ok()) return s;
+  std::error_code ec;
+  std::filesystem::rename(tmp, final_path, ec);
+  if (ec) {
+    return common::Status::Internal("cannot publish " + final_path + ": " +
+                                    ec.message());
+  }
+  return FsyncDir(
+      std::filesystem::path(final_path).parent_path().string());
+}
+
+}  // namespace scalia::durability

@@ -1,0 +1,31 @@
+// The one copy of the crash-safe file-publish protocol.
+//
+// Everything durable in this module publishes files the same way: write a
+// temp file, fsync its contents, rename onto the final name, fsync the
+// parent directory (a rename is not durable until the directory entry is).
+// Checkpoints, WAL segments and the sharded manifest all call these
+// helpers, so a fix to the protocol (EINTR handling, exotic filesystems)
+// lands everywhere at once.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace scalia::durability {
+
+/// fsyncs a regular file's contents.
+common::Status FsyncFile(const std::string& path);
+
+/// fsyncs a directory so freshly created/renamed entries survive power
+/// loss; file-content fsync alone does not persist the directory entry.
+common::Status FsyncDir(const std::string& dir);
+
+/// The full publish: fsync `tmp`, rename it onto `final_path`, fsync the
+/// parent directory.  After an Ok() return the file is durable under its
+/// final name; after a crash at any earlier point the final name is either
+/// absent or still the complete previous version — never a torn file.
+common::Status PublishAtomically(const std::string& tmp,
+                                 const std::string& final_path);
+
+}  // namespace scalia::durability

@@ -17,12 +17,18 @@ namespace scalia::durability {
 
 class Journal {
  public:
-  explicit Journal(Wal* wal) : wal_(wal) {}
+  /// `shard` is stamped into every record header (format v3): a
+  /// ShardedEngine gives shard k's engine a journal with shard id k over
+  /// shard k's own WAL stream; unsharded deployments keep the default 0.
+  explicit Journal(Wal* wal, std::uint32_t shard = 0)
+      : wal_(wal), shard_(shard) {}
 
   [[nodiscard]] Wal* wal() const noexcept { return wal_; }
+  [[nodiscard]] std::uint32_t shard() const noexcept { return shard_; }
 
-  common::Status Append(const WalRecord& record) {
+  common::Status Append(WalRecord record) {
     if (wal_ == nullptr) return common::Status::Ok();
+    record.shard = shard_;
     auto lsn = wal_->Append(record.Encode());
     return lsn.ok() ? common::Status::Ok() : lsn.status();
   }
@@ -101,6 +107,7 @@ class Journal {
 
  private:
   Wal* wal_;
+  std::uint32_t shard_;
 };
 
 }  // namespace scalia::durability

@@ -30,14 +30,15 @@ common::Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
   auto wal = Wal::Open(std::move(wal_config), mgr->commit_pool_.get());
   if (!wal.ok()) return wal.status();
   mgr->wal_ = std::move(*wal);
-  mgr->journal_ = std::make_unique<Journal>(mgr->wal_.get());
+  mgr->journal_ = std::make_unique<Journal>(mgr->wal_.get(),
+                                            mgr->config_.shard.value_or(0));
   mgr->checkpoint_writer_ = std::make_unique<CheckpointWriter>(mgr->config_.dir);
   return mgr;
 }
 
 common::Result<RecoveryReport> DurabilityManager::Recover(common::SimTime now) {
   const RecoveryManager recovery(config_.dir);
-  auto report = recovery.Recover(state_, now);
+  auto report = recovery.Recover(state_, now, config_.shard);
   if (!report.ok()) return report;
   // Wal::Open() already truncated the torn tail off disk; surface what it
   // dropped, since the post-truncation replay above saw a clean log.

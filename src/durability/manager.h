@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "durability/checkpoint.h"
@@ -35,6 +36,13 @@ struct DurabilityConfig {
   /// Run group commits on an internal single-thread pool.  When false,
   /// appends are synchronous (one fsync each) — simpler for tests.
   bool group_commit = true;
+  /// Engine shard this durability stream belongs to.  When set, the journal
+  /// stamps the id into every record header (format v3) and recovery
+  /// refuses records carrying a different id — the guard against WAL
+  /// segment files migrating between shard directories.  Unsharded
+  /// deployments leave it unset (records stamped shard 0, no enforcement,
+  /// v1/v2 logs replay unchanged).
+  std::optional<std::uint32_t> shard;
 };
 
 class DurabilityManager {

@@ -7,8 +7,10 @@ namespace scalia::durability {
 namespace {
 // Bumped when the record layout changes; replay skips newer versions rather
 // than misparsing them.  v2 (PR 4) appended the committed row version's
-// vector clock so replay is causal; v1 records still decode (empty clock).
-constexpr std::uint8_t kRecordVersion = 2;
+// vector clock so replay is causal; v3 (PR 5) appended the engine shard id
+// for per-shard WAL streams.  v1/v2 records still decode (empty clock,
+// shard 0).
+constexpr std::uint8_t kRecordVersion = 3;
 }  // namespace
 
 std::string WalRecord::Encode() const {
@@ -25,6 +27,7 @@ std::string WalRecord::Encode() const {
     w.PutU32(replica);
     w.PutU64(value);
   }
+  w.PutU32(shard);
   return out;
 }
 
@@ -48,6 +51,9 @@ common::Result<WalRecord> WalRecord::Decode(std::string_view bytes) {
       const std::uint64_t value = r.U64();
       rec.clock.Set(replica, value);
     }
+  }
+  if (version >= 3) {
+    rec.shard = r.U32();
   }
   if (!r.ok()) {
     return common::Status::InvalidArgument("truncated WAL record");

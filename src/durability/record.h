@@ -49,6 +49,13 @@ struct WalRecord {
   std::string row_key;       // MD5 metadata row key
   std::uint64_t aux = 0;     // kPeriodStats: the sampling period index
   std::string payload;       // serialized metadata row / PeriodStats CSV
+  /// Engine shard that journaled the record (format v3).  Each shard of a
+  /// ShardedEngine streams into its own WAL segment directory, so replay of
+  /// one stream normally sees one shard id throughout; the header field
+  /// makes a record self-describing if streams are ever merged or a segment
+  /// file is moved, and lets recovery reject a record routed to the wrong
+  /// shard's journal.  v1/v2 records decode with shard 0.
+  std::uint32_t shard = 0;
   /// The committed row version's vector clock (empty for kPeriodStats /
   /// kMigrateAbort and for legacy v1 records).  Replay applies metadata
   /// records *causally* with this clock instead of as blind writes, so the

@@ -82,11 +82,11 @@ common::Result<bool> ApplyRecord(const WalRecord& rec,
       // would revert the write that won the race.  Its *staged* chunks may
       // have survived a crash between the abort and the engine's sweep;
       // finish that sweep here when the providers are reachable.
-      if (state.registry != nullptr) {
+      if (auto* sweep = state.SweepRegistry(); sweep != nullptr) {
         if (auto staged = core::ObjectMetadata::Parse(rec.payload);
             staged.ok()) {
           for (const auto& stripe : staged->stripes) {
-            if (auto* store = state.registry->Find(stripe.provider)) {
+            if (auto* store = sweep->Find(stripe.provider)) {
               // Best-effort: NotFound just means the engine got there first.
               (void)store->Delete(rec.at, staged->ChunkKey(stripe.chunk_index));
             }
@@ -108,7 +108,8 @@ std::string RecoveryManager::wal_dir() const {
 }
 
 common::Result<RecoveryReport> RecoveryManager::Recover(
-    const EngineStateRefs& state, common::SimTime now) const {
+    const EngineStateRefs& state, common::SimTime now,
+    std::optional<std::uint32_t> expected_shard) const {
   if (state.db == nullptr || state.stats == nullptr) {
     return common::Status::InvalidArgument(
         "recovery requires a replicated store and a stats db");
@@ -145,6 +146,10 @@ common::Result<RecoveryReport> RecoveryManager::Recover(
     auto rec = WalRecord::Decode(bytes);
     if (!rec.ok()) {
       ++report.records_skipped;
+      return;
+    }
+    if (expected_shard && rec->shard != *expected_shard) {
+      ++report.records_wrong_shard;
       return;
     }
     auto applied = ApplyRecord(*rec, state);

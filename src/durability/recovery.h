@@ -9,6 +9,7 @@
 // came from.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "durability/checkpoint.h"
@@ -30,6 +31,10 @@ struct RecoveryReport {
   std::uint64_t records_replayed = 0;
   /// Records ignored: already covered by the checkpoint, or unknown kind.
   std::uint64_t records_skipped = 0;
+  /// Records refused because their header named a different engine shard
+  /// than this journal stream belongs to (a segment file moved between
+  /// shard directories); only counted when shard enforcement is on.
+  std::uint64_t records_wrong_shard = 0;
   /// Bytes dropped at the WAL's torn tail.
   common::Bytes wal_bytes_discarded = 0;
   Lsn wal_last_lsn = 0;
@@ -43,9 +48,14 @@ class RecoveryManager {
 
   /// Restores `state` to latest-checkpoint-plus-WAL-replay.  Never fails on
   /// a torn WAL tail (that is the expected crash signature); fails only on
-  /// unreadable directories or when a record cannot be applied.
-  common::Result<RecoveryReport> Recover(const EngineStateRefs& state,
-                                         common::SimTime now) const;
+  /// unreadable directories or when a record cannot be applied.  When
+  /// `expected_shard` is set, records whose v3 header names a different
+  /// engine shard are skipped (counted in records_wrong_shard) instead of
+  /// applied — the guard against a WAL segment file landing in the wrong
+  /// shard's stream directory.
+  common::Result<RecoveryReport> Recover(
+      const EngineStateRefs& state, common::SimTime now,
+      std::optional<std::uint32_t> expected_shard = std::nullopt) const;
 
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
   [[nodiscard]] std::string wal_dir() const;

@@ -1,0 +1,198 @@
+#include "durability/sharded_manager.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "durability/fsync.h"
+
+namespace scalia::durability {
+
+namespace {
+
+constexpr std::string_view kManifestMagic = "scalia-durability-manifest/1";
+
+/// Parses "<magic>\nshards=<N>\n..." and returns N; errors on anything else.
+common::Result<std::size_t> ReadManifestShards(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return common::Status::Internal("cannot read manifest " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestMagic) {
+    return common::Status::InvalidArgument(
+        "bad manifest magic in " + path + ": \"" + line + "\"");
+  }
+  while (std::getline(in, line)) {
+    if (line.rfind("shards=", 0) == 0) {
+      const std::string value = line.substr(7);
+      std::size_t shards = 0;
+      std::istringstream(value) >> shards;
+      if (shards == 0) {
+        return common::Status::InvalidArgument(
+            "bad shard count in manifest " + path + ": \"" + value + "\"");
+      }
+      return shards;
+    }
+  }
+  return common::Status::InvalidArgument("manifest " + path +
+                                         " lacks a shards= line");
+}
+
+common::Status WriteManifest(const std::string& path, std::size_t shards) {
+  // Crash-safe publish (durability/fsync.h): a power loss at any point
+  // leaves either no MANIFEST (next Open rewrites it) or a complete one,
+  // never a torn file that would make the directory permanently refuse to
+  // open.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return common::Status::Internal("cannot write manifest " + tmp);
+    }
+    out << kManifestMagic << "\n"
+        << "shards=" << shards << "\n"
+        << "record_format=3\n";
+    if (!out.flush()) {
+      return common::Status::Internal("cannot flush manifest " + tmp);
+    }
+  }
+  return PublishAtomically(tmp, path);
+}
+
+}  // namespace
+
+std::string ShardedDurabilityManager::ManifestPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / "MANIFEST").string();
+}
+
+std::size_t ShardedDurabilityManager::PinnedShards(const std::string& dir) {
+  const std::string manifest = ManifestPath(dir);
+  if (!std::filesystem::exists(manifest)) return 0;
+  auto pinned = ReadManifestShards(manifest);
+  return pinned.ok() ? *pinned : 0;
+}
+
+common::Result<std::unique_ptr<ShardedDurabilityManager>>
+ShardedDurabilityManager::Open(ShardedDurabilityConfig config,
+                               std::vector<EngineStateRefs> state) {
+  if (config.dir.empty()) {
+    return common::Status::InvalidArgument(
+        "ShardedDurabilityConfig.dir is empty");
+  }
+  if (config.num_shards == 0) {
+    return common::Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (state.size() != config.num_shards) {
+    return common::Status::InvalidArgument(
+        "expected " + std::to_string(config.num_shards) +
+        " EngineStateRefs, got " + std::to_string(state.size()));
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(config.dir, ec);
+  if (ec) {
+    return common::Status::Internal("cannot create " + config.dir + ": " +
+                                    ec.message());
+  }
+
+  // The manifest pins the shard count: key routing is hash(row_key) mod N,
+  // so reopening with a different N would strand objects in shards that no
+  // longer receive their keys.
+  const std::string manifest = ManifestPath(config.dir);
+  if (std::filesystem::exists(manifest)) {
+    auto pinned = ReadManifestShards(manifest);
+    if (!pinned.ok()) return pinned.status();
+    if (*pinned != config.num_shards) {
+      return common::Status::FailedPrecondition(
+          "durability dir " + config.dir + " was written with " +
+          std::to_string(*pinned) + " shard(s); refusing to open with " +
+          std::to_string(config.num_shards) +
+          " (key routing would change and strand objects)");
+    }
+  } else {
+    if (auto s = WriteManifest(manifest, config.num_shards); !s.ok()) {
+      return s;
+    }
+  }
+
+  std::unique_ptr<ShardedDurabilityManager> mgr(
+      new ShardedDurabilityManager(std::move(config)));
+  mgr->shards_.reserve(mgr->config_.num_shards);
+  for (std::size_t k = 0; k < mgr->config_.num_shards; ++k) {
+    DurabilityConfig per_shard;
+    per_shard.dir = (std::filesystem::path(mgr->config_.dir) /
+                     ("shard-" + std::to_string(k)))
+                        .string();
+    per_shard.wal = mgr->config_.wal;
+    per_shard.checkpoint_every = mgr->config_.checkpoint_every;
+    per_shard.group_commit = mgr->config_.group_commit;
+    per_shard.shard = static_cast<std::uint32_t>(k);
+    auto shard_mgr = DurabilityManager::Open(std::move(per_shard), state[k]);
+    if (!shard_mgr.ok()) return shard_mgr.status();
+    mgr->shards_.push_back(std::move(*shard_mgr));
+  }
+  return mgr;
+}
+
+common::Result<ShardedRecoveryReport> ShardedDurabilityManager::Recover(
+    common::SimTime now, common::ThreadPool* pool) {
+  ShardedRecoveryReport report;
+  report.shards = shards_.size();
+  report.per_shard.resize(shards_.size());
+  std::vector<common::Status> failures(shards_.size(), common::Status::Ok());
+
+  // Shard streams are disjoint (each record names its shard, each shard
+  // owns its keys), so the replays are embarrassingly parallel.
+  auto recover_shard = [&](std::size_t k) {
+    auto shard_report = shards_[k]->Recover(now);
+    if (shard_report.ok()) {
+      report.per_shard[k] = *shard_report;
+    } else {
+      failures[k] = shard_report.status();
+    }
+  };
+  if (pool != nullptr && shards_.size() > 1) {
+    pool->ParallelFor(shards_.size(), recover_shard);
+  } else {
+    for (std::size_t k = 0; k < shards_.size(); ++k) recover_shard(k);
+  }
+
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    if (!failures[k].ok()) return failures[k];
+    const RecoveryReport& r = report.per_shard[k];
+    if (r.checkpoint_loaded) ++report.checkpoints_loaded;
+    report.records_replayed += r.records_replayed;
+    report.records_skipped += r.records_skipped;
+    report.records_wrong_shard += r.records_wrong_shard;
+    report.wal_bytes_discarded += r.wal_bytes_discarded;
+  }
+  return report;
+}
+
+std::vector<Journal*> ShardedDurabilityManager::journals() const {
+  std::vector<Journal*> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->journal());
+  return out;
+}
+
+common::Result<std::size_t> ShardedDurabilityManager::MaybeCheckpoint(
+    common::SimTime now) {
+  std::size_t written = 0;
+  for (auto& shard : shards_) {
+    auto wrote = shard->MaybeCheckpoint(now);
+    if (!wrote.ok()) return wrote.status();
+    if (*wrote) ++written;
+  }
+  return written;
+}
+
+common::Status ShardedDurabilityManager::Checkpoint(common::SimTime now) {
+  for (auto& shard : shards_) {
+    if (auto s = shard->Checkpoint(now); !s.ok()) return s;
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace scalia::durability

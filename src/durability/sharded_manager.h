@@ -1,0 +1,122 @@
+// ShardedDurabilityManager: one durability stream per engine shard.
+//
+// A ShardedEngine (core/sharded_engine.h) partitions the object space by
+// key hash; this manager partitions its durability the same way, so shards
+// never contend on a WAL lock or serialize behind one group-commit fsync.
+// Layout under `config.dir`:
+//
+//   <dir>/MANIFEST                       shard-count manifest (see below)
+//   <dir>/shard-<k>/checkpoint-*.ckpt    shard k's versioned snapshots
+//   <dir>/shard-<k>/wal/wal-*.seg        shard k's CRC32-framed WAL stream
+//
+// Each shard-<k> directory is a complete, self-describing DurabilityManager
+// layout: shard k's journal stamps k into every record header (format v3),
+// and shard k's recovery refuses records carrying a different id, so a
+// segment file that migrates between shard directories is skipped and
+// counted, never misapplied.
+//
+// The MANIFEST pins the shard count.  Routing is a pure function of
+// (row_key, num_shards); reopening an N-shard directory with M != N shards
+// would strand every object whose hash moves, so Open() refuses the
+// mismatch instead of silently splitting the keyspace.  Format (text):
+//
+//   scalia-durability-manifest/1
+//   shards=<N>
+//   record_format=3
+//
+// Recovery replays the per-shard journals in parallel on the caller's
+// ThreadPool — shard streams are disjoint by construction, so the replay
+// needs no cross-shard ordering.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "durability/manager.h"
+
+namespace scalia::durability {
+
+struct ShardedDurabilityConfig {
+  /// Durability root directory (created on demand).
+  std::string dir;
+  /// Engine shard count; must match the ShardedEngine's and, once written,
+  /// the MANIFEST's.
+  std::size_t num_shards = 1;
+  /// Per-shard WAL tuning; `wal.dir` is derived per shard and ignored.
+  WalConfig wal;
+  /// Per-shard checkpoint cadence.
+  common::Duration checkpoint_every = common::kDay;
+  /// Group-commit appends per shard (each shard gets its own committer).
+  bool group_commit = true;
+};
+
+/// Aggregate outcome of a sharded recovery, plus the per-shard reports.
+struct ShardedRecoveryReport {
+  std::uint64_t shards = 0;
+  std::uint64_t checkpoints_loaded = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t records_skipped = 0;
+  std::uint64_t records_wrong_shard = 0;
+  common::Bytes wal_bytes_discarded = 0;
+  std::vector<RecoveryReport> per_shard;
+};
+
+class ShardedDurabilityManager {
+ public:
+  /// Opens (creating if needed) the manifest and every shard's stream.
+  /// `state[k]` references shard k's live engine state: its store and
+  /// stats db; the shared provider `registry` only on shard 0 (restoring
+  /// the global meters once per shard would multiply them) but
+  /// `sweep_registry` on *every* shard (aborted-migration sweeps target
+  /// globally-unique chunk keys).  `state.size()` must equal
+  /// `config.num_shards`.  Fails when an existing MANIFEST pins a
+  /// different shard count.
+  static common::Result<std::unique_ptr<ShardedDurabilityManager>> Open(
+      ShardedDurabilityConfig config, std::vector<EngineStateRefs> state);
+
+  /// Restores every shard from its latest checkpoint + WAL replay.  Shards
+  /// recover in parallel on `pool` (serially when null).  Call once, before
+  /// the shards serve traffic.
+  common::Result<ShardedRecoveryReport> Recover(common::SimTime now,
+                                                common::ThreadPool* pool);
+
+  /// The per-shard journals, in shard order — exactly the vector
+  /// core::ShardedEngine::AttachJournals() expects.
+  [[nodiscard]] std::vector<Journal*> journals() const;
+
+  /// Checkpoints every shard whose cadence elapsed; returns how many wrote.
+  common::Result<std::size_t> MaybeCheckpoint(common::SimTime now);
+
+  /// Unconditional checkpoint of every shard (quiesced callers only).
+  common::Status Checkpoint(common::SimTime now);
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] DurabilityManager& shard_manager(std::size_t shard) {
+    return *shards_.at(shard);
+  }
+  [[nodiscard]] const ShardedDurabilityConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// The manifest path under `dir` ("<dir>/MANIFEST").
+  [[nodiscard]] static std::string ManifestPath(const std::string& dir);
+
+  /// The shard count an existing durability directory pins, or 0 when no
+  /// (readable) manifest exists.  Lets a daemon adopt the persisted
+  /// topology instead of defaulting to a machine-dependent value: a data
+  /// dir written on an 8-core host must reopen as 8 shards on any host.
+  [[nodiscard]] static std::size_t PinnedShards(const std::string& dir);
+
+ private:
+  explicit ShardedDurabilityManager(ShardedDurabilityConfig config)
+      : config_(std::move(config)) {}
+
+  ShardedDurabilityConfig config_;
+  std::vector<std::unique_ptr<DurabilityManager>> shards_;
+};
+
+}  // namespace scalia::durability

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/binary_codec.h"
+#include "durability/fsync.h"
 #include "common/crc32.h"
 #include "common/log.h"
 
@@ -58,21 +59,6 @@ common::Result<std::vector<std::pair<Lsn, fs::path>>> ListSegments(
   }
   std::sort(segments.begin(), segments.end());
   return segments;
-}
-
-/// fsyncs a directory so freshly created/renamed entries survive power
-/// loss; file-content fsync alone does not persist the directory entry.
-common::Status SyncDir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) {
-    return common::Status::Internal("cannot open dir " + dir + " for fsync");
-  }
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) {
-    return common::Status::Internal("fsync failed on dir " + dir);
-  }
-  return common::Status::Ok();
 }
 
 std::string EncodeFrameHeader(Lsn lsn, std::string_view payload) {
@@ -192,7 +178,7 @@ common::Status Wal::OpenSegmentLocked(Lsn first_lsn) {
   active_bytes_ = 0;
   // Persist the new directory entry, or a power loss after acked appends
   // could make the whole segment vanish without even a torn tail.
-  if (config_.sync_on_commit) return SyncDir(config_.dir);
+  if (config_.sync_on_commit) return FsyncDir(config_.dir);
   return common::Status::Ok();
 }
 

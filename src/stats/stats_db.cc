@@ -70,6 +70,24 @@ void StatsDb::AppendPeriodStats(const std::string& row_key,
                cls + ";" + stats.ToCsv(), now);
 }
 
+void StatsDb::AppendPeriodForAllObjects(
+    const std::unordered_map<std::string, PeriodStats>& merged,
+    std::uint64_t period, common::SimTime now,
+    const std::function<void(const std::string&, const PeriodStats&)>&
+        on_append) {
+  for (const auto& row_key : AccessedSince(0)) {
+    auto rec = GetObject(row_key);
+    if (!rec) continue;
+    PeriodStats stats;
+    if (auto it = merged.find(row_key); it != merged.end()) {
+      stats = it->second;
+    }
+    stats.storage_gb = common::ToGB(rec->size);
+    AppendPeriodStats(row_key, period, stats, now);
+    if (on_append) on_append(row_key, stats);
+  }
+}
+
 void StatsDb::TouchObject(const std::string& row_key, common::SimTime now) {
   std::lock_guard lock(mu_);
   auto it = objects_.find(row_key);

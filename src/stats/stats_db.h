@@ -8,6 +8,7 @@
 // (§III-D.1) — while an in-memory index keeps placement queries fast.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -51,6 +52,20 @@ class StatsDb {
   /// Appends one sampling period's stats to the object's history.
   void AppendPeriodStats(const std::string& row_key, std::uint64_t period,
                          const PeriodStats& stats, common::SimTime now);
+
+  /// Closes sampling period `period` for *every* live object: objects with
+  /// an entry in `merged` (the drained log-pipeline aggregates) accrue it,
+  /// silent objects accrue a storage-only row — the storage dimension
+  /// always reflects the object's current footprint.  The one place the
+  /// period-accounting rule lives; both cluster and sharded-engine period
+  /// closes call it.  `on_append` (may be empty) observes every appended
+  /// (row_key, stats) pair — the hook durable deployments journal the
+  /// period through, so histories survive a crash between checkpoints.
+  void AppendPeriodForAllObjects(
+      const std::unordered_map<std::string, PeriodStats>& merged,
+      std::uint64_t period, common::SimTime now,
+      const std::function<void(const std::string&, const PeriodStats&)>&
+          on_append = {});
 
   /// Marks an access (updates last_access) without waiting for the period
   /// flush; used by the optimizer's changed-set query.

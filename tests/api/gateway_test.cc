@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "api/auth.h"
+#include "core/engine.h"
 #include "provider/spec.h"
 
 namespace scalia::api {
