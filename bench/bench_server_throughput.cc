@@ -32,9 +32,13 @@
 // (shards, threads) point.
 //
 // Usage: bench_server_throughput [--connections N] [--duration-s S]
-//          [--threads N | --pool-threads N] [--shards N]
+//          [--threads N | --pool-threads N] [--shards N] [--loops N]
 //          [--object-bytes CSV] [--keys-per-conn K]
 //          [--optimize-every N] [--period-ms M]
+//
+// --loops N sets the serving event loops (SO_REUSEPORT acceptors, handlers
+// inline on the loop thread — PR 6's shard-local serving path); it defaults
+// to --shards so the scaling curve exercises loops and shards together.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -65,6 +69,8 @@ struct Options {
   std::size_t pool_threads = std::thread::hardware_concurrency();
   /// Engine shards (key-hash partitions); 1 = the unsharded baseline.
   std::size_t shards = 1;
+  /// Serving event loops (SO_REUSEPORT acceptors); 0 = match --shards.
+  std::size_t loops = 0;
   std::vector<std::size_t> object_bytes = {1024, 4096, 16384};
   std::size_t keys_per_conn = 32;
   /// Run the optimization procedure every N sampling periods during the
@@ -89,6 +95,8 @@ Options ParseOptions(int argc, char** argv) {
       if (const char* v = next()) options.pool_threads = std::strtoul(v, nullptr, 10);
     } else if (arg == "--shards") {
       if (const char* v = next()) options.shards = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--loops") {
+      if (const char* v = next()) options.loops = std::strtoul(v, nullptr, 10);
     } else if (arg == "--keys-per-conn") {
       if (const char* v = next()) options.keys_per_conn = std::strtoul(v, nullptr, 10);
     } else if (arg == "--optimize-every") {
@@ -117,6 +125,7 @@ Options ParseOptions(int argc, char** argv) {
     std::exit(2);
   }
   if (options.pool_threads == 0) options.pool_threads = 4;
+  if (options.loops == 0) options.loops = options.shards;
   return options;
 }
 
@@ -164,7 +173,7 @@ int main(int argc, char** argv) {
   api::S3Gateway gateway(&auth,
                          [&]() -> core::EngineApi& { return engine; });
   net::ServerConfig server_config;
-  server_config.pool = &pool;
+  server_config.num_loops = options.loops;
   server_config.max_connections = options.connections + 8;
   // Wall-clock seconds since process start: the maintenance loop (sampling
   // periods, optimizer rounds) and the request handlers must share one
@@ -188,9 +197,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf("bench_server_throughput: %zu connections, %.1fs, "
-              "%zu pool threads, %zu shards, %zu keys/conn, sizes {",
+              "%zu pool threads, %zu shards, %zu loop(s), %zu keys/conn, "
+              "sizes {",
               options.connections, options.duration_s, options.pool_threads,
-              options.shards, options.keys_per_conn);
+              options.shards, server.num_loops(), options.keys_per_conn);
   for (std::size_t i = 0; i < options.object_bytes.size(); ++i) {
     std::printf("%s%zu", i == 0 ? "" : ",", options.object_bytes[i]);
   }
@@ -371,12 +381,12 @@ int main(int argc, char** argv) {
       "RESULT suite=bench_server_throughput requests=%llu elapsed_s=%.3f "
       "req_per_s=%.1f p50_us=%.1f p95_us=%.1f p99_us=%.1f errors=%llu "
       "optimize_every=%zu migrations=%llu conflicts=%llu "
-      "shards=%zu threads=%zu\n",
+      "shards=%zu threads=%zu loops=%zu\n",
       static_cast<unsigned long long>(requests), elapsed_s, req_per_s, p50,
       p95, p99, static_cast<unsigned long long>(errors),
       options.optimize_every, static_cast<unsigned long long>(migrations),
       static_cast<unsigned long long>(conflicts), options.shards,
-      options.pool_threads);
+      options.pool_threads, server.num_loops());
 
   server.Stop();
   return errors == 0 ? 0 : 1;

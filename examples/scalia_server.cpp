@@ -32,6 +32,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -42,6 +43,7 @@
 #include "common/thread_pool.h"
 #include "core/sharded_engine.h"
 #include "durability/sharded_manager.h"
+#include "durability/wal.h"
 #include "net/server/server.h"
 #include "provider/spec.h"
 
@@ -56,6 +58,9 @@ void OnSignal(int) { g_stop = 1; }
 struct Flags {
   std::uint16_t port = 8080;
   std::string bind = "127.0.0.1";
+  // Serving event loops (SO_REUSEPORT acceptors).  0 = match --shards, so
+  // each engine shard gets roughly one shard-local serving thread.
+  std::size_t loops = 0;
   std::size_t threads = std::thread::hardware_concurrency();
   // Engine shards: key-hash partitions of metadata + stats + WAL.  Default
   // matches the handler threads so the serving path scales with cores —
@@ -85,7 +90,12 @@ void Usage(const char* argv0) {
       "  --port N               TCP port (default 8080; 0 = ephemeral)\n"
       "  --bind ADDR            bind address (default 127.0.0.1;\n"
       "                         0.0.0.0 to serve beyond loopback)\n"
-      "  --threads N            handler thread-pool size (default: cores)\n"
+      "  --loops N              serving event loops, each an SO_REUSEPORT\n"
+      "                         acceptor running handlers shard-locally\n"
+      "                         (default: match --shards)\n"
+      "  --threads N            maintenance thread-pool size for recovery,\n"
+      "                         checkpoints and the optimizer (default:\n"
+      "                         cores)\n"
       "  --shards N             engine shards: key-hash partitions of the\n"
       "                         metadata table, statistics and WAL stream\n"
       "                         (default: cores). A durability dir pins the\n"
@@ -131,6 +141,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->port = static_cast<std::uint16_t>(value);
     } else if (arg == "--bind" && i + 1 < argc) {
       flags->bind = argv[++i];
+    } else if (arg == "--loops" && next_value(&value) && value > 0) {
+      flags->loops = static_cast<std::size_t>(value);
     } else if (arg == "--threads" && next_value(&value) && value > 0) {
       flags->threads = static_cast<std::size_t>(value);
     } else if (arg == "--shards" && next_value(&value) && value > 0) {
@@ -171,11 +183,28 @@ common::SimTime WallClock() {
   return static_cast<common::SimTime>(::time(nullptr));
 }
 
+/// Ties the serving loop's tick flush to WAL group commit: while the
+/// barrier lives on a loop thread, every journal append a handler makes
+/// there defers its fsync into the cohort, and Commit() makes the whole
+/// tick durable — K pipelined PUTs, one fsync per touched shard WAL.
+class DurabilityBarrier : public net::FlushBarrier {
+ public:
+  [[nodiscard]] common::Status Commit() override { return cohort_.Commit(); }
+
+ private:
+  durability::AckCohort cohort_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
   if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  // The library defaults to kWarning to keep test output clean; a daemon
+  // wants its operational lines (per-period serving counters, optimizer
+  // rounds) visible.
+  common::SetLogLevel(common::LogLevel::kInfo);
 
   // A persisted topology beats a machine-dependent default: when the data
   // dir already pins a shard count and --shards was not given, adopt it
@@ -275,17 +304,26 @@ int main(int argc, char** argv) {
                          [&]() -> core::EngineApi& { return engine; });
   for (auto& rule : core::PaperRules()) gateway.RegisterRule(rule);
 
-  // 4. The serving loop: epoll front door on a shared thread pool.  The
-  //    gateway hands every request to the sharded engine, which routes it
-  //    to its shard by key hash — no global lock on the request path.
+  // 4. The serving path: per-shard event loops.  Each loop owns an
+  //    SO_REUSEPORT acceptor and runs handlers inline on its own thread;
+  //    the gateway hands every request to the sharded engine, which routes
+  //    it to its shard by key hash — no global lock, no thread-pool hop on
+  //    the request path.  With durability on, each loop batches its tick's
+  //    WAL fsyncs through an AckCohort barrier before acking.
+  if (flags.loops == 0) flags.loops = flags.shards;
   net::ServerConfig server_config;
   server_config.bind_address = flags.bind;
   server_config.port = flags.port;
+  server_config.num_loops = flags.loops;
   server_config.max_connections = flags.max_connections;
   server_config.idle_timeout_ms = flags.idle_timeout_s * 1000;
   server_config.limits.max_body_bytes = flags.max_body_mb * 1024 * 1024;
-  server_config.pool = &pool;
   server_config.clock = WallClock;
+  if (durability) {
+    server_config.barrier_factory = [] {
+      return std::make_unique<DurabilityBarrier>();
+    };
+  }
   net::HttpServer server(
       std::move(server_config),
       [&gateway](common::SimTime now, const api::HttpRequest& request) {
@@ -300,10 +338,10 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, OnSignal);
 
   std::printf("scalia_server listening on %s:%u "
-              "(%zu handler threads, %zu engine shards%s)\n",
-              flags.bind.c_str(), server.port(), pool.num_threads(),
+              "(%zu serving loop(s), %zu engine shards%s)\n",
+              flags.bind.c_str(), server.port(), server.num_loops(),
               engine.num_shards(),
-              durability ? ", durable" : "");
+              durability ? ", durable with batched acks" : "");
   std::printf("try:\n");
   std::printf("  curl -X PUT --data-binary 'hello scalia' "
               "http://127.0.0.1:%u/demo/hello.txt\n", server.port());
@@ -336,6 +374,23 @@ int main(int argc, char** argv) {
       last_period = now;
       engine.EndSamplingPeriod(now);
       ++periods;
+      // Per-loop serving counters: how evenly SO_REUSEPORT spread the
+      // connections, and each loop's write amplification (bytes/writev).
+      {
+        const net::ServerStats serving = server.stats();
+        std::string per_loop;
+        for (std::size_t i = 0; i < serving.loops.size(); ++i) {
+          const net::LoopStats& loop = serving.loops[i];
+          per_loop += " loop" + std::to_string(i) + "[accepted=" +
+                      std::to_string(loop.connections_accepted) +
+                      " bytes_written=" + std::to_string(loop.bytes_written) +
+                      " writev_calls=" + std::to_string(loop.writev_calls) +
+                      "]";
+        }
+        SCALIA_LOG(common::LogLevel::kInfo, "scalia_server")
+            << "serving: requests=" << serving.requests_served
+            << " writev_calls=" << serving.writev_calls << per_loop;
+      }
       if (flags.optimize_every_periods > 0 &&
           periods % static_cast<std::uint64_t>(
                         flags.optimize_every_periods) == 0) {

@@ -4,6 +4,8 @@
 # 1-shard baseline), with live migration enabled (--optimize-every), and
 # sharded (--shards 8 --threads 8, with and without the optimizer) so the
 # report records the multi-core scaling curve next to the adaptation cost.
+# Schema 5 (PR 6) adds the `loops` field: event loops the server ran
+# (--loops; defaults to the shard count), the third scaling dimension.
 #
 # The output schema is an argument (--schema), not a hardcoded constant, so
 # the CI bench gate (scripts/bench_gate.sh) can parse reports from any PR;
@@ -11,7 +13,7 @@
 # that prints a malformed line is recorded as skipped, never as NaN soup.
 #
 # Usage: scripts/bench_report.sh [--schema N|NAME/N] [output.json]
-#        (default schema: scalia-bench-report/4, output: BENCH_PR5.json)
+#        (default schema: scalia-bench-report/5, output: BENCH_PR6.json)
 # Env:   BUILD_DIR=build
 #        SERVER_BENCH_ARGS="--connections 16 --duration-s 5"  (override)
 #        OPTIMIZE_BENCH_ARGS="--optimize-every 1 --period-ms 500"  (override)
@@ -20,7 +22,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-SCHEMA="scalia-bench-report/4"
+SCHEMA="scalia-bench-report/5"
 OUT=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -38,7 +40,7 @@ while [[ $# -gt 0 ]]; do
       OUT="$1"; shift ;;
   esac
 done
-OUT=${OUT:-BENCH_PR5.json}
+OUT=${OUT:-BENCH_PR6.json}
 SERVER_BENCH_ARGS=${SERVER_BENCH_ARGS:---connections 16 --duration-s 5 --object-bytes 1024,4096}
 OPTIMIZE_BENCH_ARGS=${OPTIMIZE_BENCH_ARGS:---optimize-every 1 --period-ms 500}
 SHARDED_BENCH_ARGS=${SHARDED_BENCH_ARGS:---shards 8 --threads 8}
@@ -104,7 +106,7 @@ validate_result() {  # validate_result <result-line> -> 0 ok / 1 bad
   local line=$1 key value
   [[ "$line" == RESULT\ suite=bench_server_throughput* ]] || return 1
   for key in requests elapsed_s req_per_s p50_us p95_us p99_us errors \
-             optimize_every migrations conflicts shards threads; do
+             optimize_every migrations conflicts shards threads loops; do
     value=$(result_field "$line" "$key")
     [[ "$value" =~ ^[0-9]+(\.[0-9]+)?$ ]] || {
       echo "note: RESULT field $key=\"$value\" is not numeric; run skipped" >&2
@@ -145,6 +147,7 @@ emit_server_suite() {  # emit_server_suite <name> <result-line> <wall-ms>
       "conflicts": $(result_field "$line" conflicts),
       "shards": $(result_field "$line" shards),
       "threads": $(result_field "$line" threads),
+      "loops": $(result_field "$line" loops),
       "skipped": $skipped
     }
 EOF

@@ -81,6 +81,41 @@ std::string EncodeFrameHeader(Lsn lsn, std::string_view payload) {
 
 }  // namespace
 
+namespace {
+/// Innermost cohort open on this thread (nesting restores the outer one).
+thread_local AckCohort* g_current_cohort = nullptr;
+}  // namespace
+
+AckCohort::AckCohort() : outer_(g_current_cohort) { g_current_cohort = this; }
+
+AckCohort::~AckCohort() {
+  // Safety net for callers that unwind without committing; error-aware
+  // callers invoke Commit() themselves and see the status.
+  auto status = Commit();
+  (void)status;
+  g_current_cohort = outer_;
+}
+
+AckCohort* AckCohort::Current() noexcept { return g_current_cohort; }
+
+void AckCohort::Enroll(Wal* wal) {
+  ++deferred_;
+  if (std::find(touched_.begin(), touched_.end(), wal) == touched_.end()) {
+    touched_.push_back(wal);
+  }
+}
+
+common::Status AckCohort::Commit() {
+  common::Status status = common::Status::Ok();
+  for (Wal* wal : touched_) {
+    auto s = wal->SyncCohort();
+    if (status.ok() && !s.ok()) status = s;
+  }
+  touched_.clear();
+  deferred_ = 0;
+  return status;
+}
+
 struct Wal::PendingAppend {
   std::string payload;
   std::promise<common::Result<Lsn>> done;
@@ -198,8 +233,11 @@ common::Status Wal::SyncLocked() {
   if (std::fflush(active_) != 0) {
     return common::Status::Internal("fflush failed on " + active_path_);
   }
-  if (config_.sync_on_commit && ::fsync(fileno(active_)) != 0) {
-    return common::Status::Internal("fsync failed on " + active_path_);
+  if (config_.sync_on_commit) {
+    if (::fsync(fileno(active_)) != 0) {
+      return common::Status::Internal("fsync failed on " + active_path_);
+    }
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
   }
   return common::Status::Ok();
 }
@@ -268,7 +306,47 @@ void Wal::CommitterLoop() {
   }
 }
 
+common::Result<Lsn> Wal::AppendDeferred(std::string payload,
+                                        AckCohort* cohort) {
+  std::lock_guard lock(io_mu_);
+  if (closed_ || failed_ || active_ == nullptr) {
+    return common::Status::FailedPrecondition("WAL is closed or failed");
+  }
+  if (active_bytes_ >= config_.segment_bytes) {
+    // Deferred frames may still sit unsynced in the old segment; they must
+    // reach disk before its FILE* closes, so sync first, then roll.
+    auto s = SyncLocked();
+    if (s.ok()) s = OpenSegmentLocked(next_lsn_);
+    if (!s.ok()) {
+      failed_ = true;
+      return s;
+    }
+  }
+  const Lsn lsn = next_lsn_++;
+  if (auto s = WriteFrameLocked(lsn, payload); !s.ok()) {
+    // Same latch as AppendSync: a torn frame mid-segment would shadow every
+    // later append at replay.
+    failed_ = true;
+    return s;
+  }
+  cohort->Enroll(this);
+  return lsn;
+}
+
+common::Status Wal::SyncCohort() {
+  std::lock_guard lock(io_mu_);
+  if (closed_ || failed_ || active_ == nullptr) {
+    return common::Status::FailedPrecondition("WAL is closed or failed");
+  }
+  auto s = SyncLocked();
+  if (!s.ok()) failed_ = true;
+  return s;
+}
+
 common::Result<Lsn> Wal::Append(std::string payload) {
+  if (AckCohort* cohort = AckCohort::Current()) {
+    return AppendDeferred(std::move(payload), cohort);
+  }
   if (queue_ == nullptr) return AppendSync(std::move(payload));
   auto pending = std::make_shared<PendingAppend>();
   pending->payload = std::move(payload);

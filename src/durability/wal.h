@@ -21,6 +21,7 @@
 // appenders.  Without a pool, appends are synchronous (one fsync each).
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <functional>
 #include <future>
@@ -68,6 +69,57 @@ struct WalReplayReport {
   std::vector<std::string> untrusted_segments;
 };
 
+class Wal;
+
+/// Batched durability acknowledgements — the group-commit ack cohort.
+///
+/// While a cohort is alive on a thread, every Wal::Append() made *from that
+/// thread* (to any Wal) writes its frame but defers the fsync: the append
+/// returns immediately with its LSN, enrolling the touched Wal in the
+/// cohort.  Commit() then fsyncs each touched Wal exactly once, making the
+/// whole cohort durable together — K pipelined PUTs handled in one event-
+/// loop tick cost one fsync, not K.
+///
+/// The contract the serving path must honour: a deferred append is NOT
+/// durable until Commit() returns OK, so nothing may be acknowledged to a
+/// client before then (the per-shard event loop holds responses in its out
+/// queues and flushes them only after the tick's cohort commits).  On a
+/// Commit() failure the records may be torn; the Wal latches itself failed
+/// (like any sync failure) and the caller must drop the unacknowledged
+/// responses.
+///
+/// Cohorts are strictly thread-local and may nest (the inner cohort wins
+/// until destroyed).  The destructor commits a still-open cohort as a
+/// safety net; error-aware callers invoke Commit() themselves.
+class AckCohort {
+ public:
+  AckCohort();
+  ~AckCohort();
+
+  AckCohort(const AckCohort&) = delete;
+  AckCohort& operator=(const AckCohort&) = delete;
+
+  /// One fsync per touched Wal; idempotent (the second call is a no-op
+  /// unless new appends joined in between).
+  common::Status Commit();
+
+  /// Appends deferred since construction (or the last Commit()).
+  [[nodiscard]] std::size_t deferred_records() const noexcept {
+    return deferred_;
+  }
+
+  /// The innermost cohort open on this thread, or nullptr.
+  [[nodiscard]] static AckCohort* Current() noexcept;
+
+ private:
+  friend class Wal;
+  void Enroll(Wal* wal);
+
+  std::vector<Wal*> touched_;
+  std::size_t deferred_ = 0;
+  AckCohort* outer_ = nullptr;
+};
+
 class Wal {
  public:
   /// Frame header: magic + lsn + payload_len + crc32.
@@ -95,11 +147,20 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   /// Appends one record; blocks until it is durable (group-committed with
-  /// any concurrent appends).  Returns the record's LSN.
+  /// any concurrent appends).  Returns the record's LSN.  When an AckCohort
+  /// is open on the calling thread, the frame is written but the fsync is
+  /// deferred to the cohort's Commit() — the record is then durable only
+  /// once that commit succeeds.
   common::Result<Lsn> Append(std::string payload);
 
   /// LSN of the last durable record (0 when none).
   [[nodiscard]] Lsn last_lsn() const;
+
+  /// Actual ::fsync calls issued so far (group commit and cohort batching
+  /// both show up here: K acknowledged appends per fsync, not 1).
+  [[nodiscard]] std::uint64_t fsyncs() const noexcept {
+    return fsyncs_.load(std::memory_order_relaxed);
+  }
 
   /// Closes the active segment and starts a new one; the old segment
   /// becomes eligible for TruncateThrough.  Called before a checkpoint.
@@ -127,6 +188,7 @@ class Wal {
   [[nodiscard]] const WalConfig& config() const noexcept { return config_; }
 
  private:
+  friend class AckCohort;
   struct PendingAppend;
 
   explicit Wal(WalConfig config);
@@ -136,6 +198,10 @@ class Wal {
   common::Status SyncLocked();
   void CommitterLoop();
   common::Result<Lsn> AppendSync(std::string payload);
+  /// Cohort path: writes the frame, defers the fsync to SyncCohort().
+  common::Result<Lsn> AppendDeferred(std::string payload, AckCohort* cohort);
+  /// One fsync covering every deferred frame (AckCohort::Commit).
+  common::Status SyncCohort();
 
   WalConfig config_;
   WalReplayReport open_report_;
@@ -148,6 +214,7 @@ class Wal {
   std::string active_path_;
   common::Bytes active_bytes_ = 0;
   Lsn next_lsn_ = 1;
+  std::atomic<std::uint64_t> fsyncs_{0};
   bool closed_ = false;
   /// Latched on the first frame-write/sync error: a torn frame mid-segment
   /// would shadow every later append at replay, so the log refuses further

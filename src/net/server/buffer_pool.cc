@@ -1,0 +1,67 @@
+#include "net/server/buffer_pool.h"
+
+#include <cstring>
+#include <utility>
+
+namespace scalia::net {
+
+BufferPool::Block& BufferPool::Block::operator=(Block&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = std::exchange(other.pool_, nullptr);
+    mem_ = std::move(other.mem_);
+    capacity_ = std::exchange(other.capacity_, 0);
+    used_ = std::exchange(other.used_, 0);
+  }
+  return *this;
+}
+
+std::size_t BufferPool::Block::Append(std::string_view bytes) {
+  const std::size_t take = std::min(bytes.size(), remaining());
+  if (take > 0) {
+    std::memcpy(mem_.get() + used_, bytes.data(), take);
+    used_ += take;
+  }
+  return take;
+}
+
+void BufferPool::Block::Release() {
+  if (mem_ != nullptr && pool_ != nullptr) {
+    pool_->Return(std::move(mem_));
+  }
+  mem_.reset();
+  pool_ = nullptr;
+  capacity_ = 0;
+  used_ = 0;
+}
+
+BufferPool::BufferPool(Config config) : config_(config) {
+  if (config_.block_bytes == 0) config_.block_bytes = 16 * 1024;
+}
+
+BufferPool::Block BufferPool::Acquire() {
+  std::unique_ptr<char[]> mem;
+  if (!free_.empty()) {
+    mem = std::move(free_.back());
+    free_.pop_back();
+    ++stats_.reuses;
+  } else {
+    mem = std::make_unique<char[]>(config_.block_bytes);
+    ++stats_.allocations;
+  }
+  stats_.free_blocks = free_.size();
+  ++stats_.outstanding;
+  return Block(this, std::move(mem), config_.block_bytes);
+}
+
+void BufferPool::Return(std::unique_ptr<char[]> mem) {
+  if (stats_.outstanding > 0) --stats_.outstanding;
+  if (free_.size() < config_.max_free_blocks) {
+    free_.push_back(std::move(mem));
+  } else {
+    ++stats_.discards;  // list full: let the heap have it back
+  }
+  stats_.free_blocks = free_.size();
+}
+
+}  // namespace scalia::net

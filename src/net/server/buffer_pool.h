@@ -1,0 +1,106 @@
+// Per-event-loop recycling pool of fixed-size output blocks.
+//
+// The serving loop builds every response as a chain of segments (see
+// out_queue.h): serialized header bytes land in pooled blocks, bodies ride
+// along by move.  Allocating those header blocks from the general heap per
+// response made malloc/free a measurable share of the small-object hot path
+// (BENCH_PR3 → PR5 drift); this pool instead recycles blocks through a
+// bounded free list, so the steady state performs no allocation at all.
+//
+// Deliberately NOT thread-safe: each event loop owns one pool and touches
+// it only from its own thread, which is exactly what makes the fast path
+// a pointer swap.  Blocks must not outlive their pool (the loop destroys
+// its connections — and with them every outstanding block — before the
+// pool, by member order).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace scalia::net {
+
+class BufferPool {
+ public:
+  struct Config {
+    /// Capacity of every block.  One block comfortably holds dozens of
+    /// serialized response heads (~100–200 B each).
+    std::size_t block_bytes = 16 * 1024;
+    /// Bound on the free list.  Returns beyond it free the block instead
+    /// (exhaustion back-pressure never blocks: Acquire() simply allocates
+    /// when the list is empty).
+    std::size_t max_free_blocks = 256;
+  };
+
+  struct Stats {
+    std::uint64_t allocations = 0;  // fresh heap blocks handed out
+    std::uint64_t reuses = 0;       // acquisitions served from the free list
+    std::uint64_t discards = 0;     // returns dropped because the list is full
+    std::size_t free_blocks = 0;    // currently parked in the free list
+    std::size_t outstanding = 0;    // handed out and not yet returned
+  };
+
+  /// Movable owner of one block.  Append() fills it; destruction (or reset)
+  /// returns the storage to the pool's free list.
+  class Block {
+   public:
+    Block() = default;
+    Block(Block&& other) noexcept { *this = std::move(other); }
+    Block& operator=(Block&& other) noexcept;
+    ~Block() { Release(); }
+
+    Block(const Block&) = delete;
+    Block& operator=(const Block&) = delete;
+
+    [[nodiscard]] const char* data() const noexcept { return mem_.get(); }
+    [[nodiscard]] std::size_t size() const noexcept { return used_; }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] bool valid() const noexcept { return mem_ != nullptr; }
+    [[nodiscard]] std::size_t remaining() const noexcept {
+      return capacity_ - used_;
+    }
+
+    /// Copies as much of `bytes` as fits; returns how many were taken.
+    std::size_t Append(std::string_view bytes);
+
+    /// Returns the storage to the pool now (idempotent).
+    void Release();
+
+   private:
+    friend class BufferPool;
+    Block(BufferPool* pool, std::unique_ptr<char[]> mem,
+          std::size_t capacity) noexcept
+        : pool_(pool), mem_(std::move(mem)), capacity_(capacity) {}
+
+    BufferPool* pool_ = nullptr;
+    std::unique_ptr<char[]> mem_;
+    std::size_t capacity_ = 0;
+    std::size_t used_ = 0;
+  };
+
+  BufferPool() : BufferPool(Config{}) {}
+  explicit BufferPool(Config config);
+  ~BufferPool() = default;
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// An empty block, recycled when the free list has one.
+  [[nodiscard]] Block Acquire();
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t block_bytes() const noexcept {
+    return config_.block_bytes;
+  }
+
+ private:
+  void Return(std::unique_ptr<char[]> mem);
+
+  Config config_;
+  std::vector<std::unique_ptr<char[]>> free_;
+  Stats stats_;
+};
+
+}  // namespace scalia::net

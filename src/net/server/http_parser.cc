@@ -327,10 +327,10 @@ std::optional<ParsedResponse> ResponseParser::Next(bool head_response) {
   return done;
 }
 
-std::string SerializeResponse(const api::HttpResponse& response,
-                              bool keep_alive) {
+std::string SerializeResponseHead(const api::HttpResponse& response,
+                                  bool keep_alive) {
   std::string wire;
-  wire.reserve(128 + response.body.size());
+  wire.reserve(160);
   wire += "HTTP/1.1 ";
   wire += std::to_string(response.status);
   wire += ' ';
@@ -353,6 +353,12 @@ std::string SerializeResponse(const api::HttpResponse& response,
   wire += keep_alive ? "connection: keep-alive" : "connection: close";
   wire += kCrlf;
   wire += kCrlf;
+  return wire;
+}
+
+std::string SerializeResponse(const api::HttpResponse& response,
+                              bool keep_alive) {
+  std::string wire = SerializeResponseHead(response, keep_alive);
   wire += response.body;
   return wire;
 }

@@ -129,6 +129,13 @@ class ResponseParser {
 [[nodiscard]] std::string SerializeResponse(const api::HttpResponse& response,
                                             bool keep_alive);
 
+/// The head alone — status line, headers, Content-Length, the blank line —
+/// without the body bytes.  The serving loop queues this next to the body
+/// by reference (net/server/out_queue.h) so a response body is gathered by
+/// writev instead of copied into a contiguous wire string.
+[[nodiscard]] std::string SerializeResponseHead(
+    const api::HttpResponse& response, bool keep_alive);
+
 /// Renders a request to the wire: request line (path + re-encoded query),
 /// headers, Content-Length, Connection.
 [[nodiscard]] std::string SerializeRequest(const api::HttpRequest& request,

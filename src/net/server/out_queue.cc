@@ -1,0 +1,101 @@
+#include "net/server/out_queue.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace scalia::net {
+
+namespace {
+
+/// writev with MSG_NOSIGNAL: a peer that reset the connection must surface
+/// as EPIPE, not a process-killing SIGPIPE.
+ssize_t GatherWrite(int fd, const struct iovec* iov, int iovcnt) {
+  struct msghdr msg {};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(iovcnt);
+  return ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+}
+
+}  // namespace
+
+void OutQueue::PushHead(std::string_view bytes) {
+  pending_bytes_ += bytes.size();
+  while (!bytes.empty()) {
+    // Heads pack: keep filling the open tail block while it has room.
+    if (segments_.empty() || !segments_.back().block.valid() ||
+        segments_.back().block.remaining() == 0) {
+      Segment seg;
+      seg.block = pool_->Acquire();
+      segments_.push_back(std::move(seg));
+    }
+    const std::size_t taken = segments_.back().block.Append(bytes);
+    bytes.remove_prefix(taken);
+  }
+}
+
+void OutQueue::PushBody(std::string body) {
+  if (body.empty()) return;
+  pending_bytes_ += body.size();
+  Segment seg;
+  seg.body = std::move(body);
+  segments_.push_back(std::move(seg));
+}
+
+OutQueue::FlushResult OutQueue::Flush(int fd) {
+  FlushResult result;
+  while (pending_bytes_ > 0) {
+    struct iovec iov[kMaxIov];
+    int iovcnt = 0;
+    for (const Segment& seg : segments_) {
+      if (iovcnt == kMaxIov) break;
+      if (seg.size() == 0) continue;
+      iov[iovcnt].iov_base = const_cast<char*>(seg.data());
+      iov[iovcnt].iov_len = seg.size();
+      ++iovcnt;
+    }
+    const ssize_t n = writev_fn_ ? writev_fn_(fd, iov, iovcnt)
+                                 : GatherWrite(fd, iov, iovcnt);
+    if (n > 0) {
+      ++result.writev_calls;
+      result.bytes_written += static_cast<std::size_t>(n);
+      Consume(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      result.status = FlushStatus::kWouldBlock;
+      return result;
+    }
+    result.status = FlushStatus::kError;
+    result.error = n < 0 ? errno : EIO;
+    return result;
+  }
+  result.status = FlushStatus::kDrained;
+  return result;
+}
+
+void OutQueue::Consume(std::size_t n) {
+  pending_bytes_ -= n;
+  while (n > 0) {
+    Segment& front = segments_.front();
+    if (front.size() == 0) {
+      segments_.pop_front();
+      continue;
+    }
+    const std::size_t take = std::min(n, front.size());
+    front.off += take;
+    n -= take;
+    if (front.size() == 0) segments_.pop_front();
+  }
+  // A fully-drained queue frees its segments eagerly (blocks recycle).
+  if (pending_bytes_ == 0) segments_.clear();
+}
+
+void OutQueue::Clear() {
+  segments_.clear();
+  pending_bytes_ = 0;
+}
+
+}  // namespace scalia::net

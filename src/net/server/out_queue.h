@@ -1,0 +1,99 @@
+// Scatter-gather output queue for one connection.
+//
+// Replaces the `outbuf += SerializeResponse(...)` string-append scheme: a
+// response is queued as a *head* segment (status line + headers, copied
+// into pooled BufferPool blocks — several heads share one block) followed
+// by a *body* segment (the handler's body string, moved, never copied).
+// Flush() walks the segment chain and hands up to kMaxIov spans per call
+// to one scatter-gather write, so a pipelined burst of K responses leaves
+// in O(1) syscalls instead of K serialize-copy-send rounds.
+//
+// The gather write is sendmsg(MSG_NOSIGNAL) — writev semantics without the
+// SIGPIPE a dead peer would otherwise raise.  Tests inject short writes
+// through set_writev_fn to exercise partial-flush resume.
+//
+// Single-threaded by design, like the BufferPool it draws from: one event
+// loop owns the connection and is the only caller.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "net/server/buffer_pool.h"
+
+namespace scalia::net {
+
+class OutQueue {
+ public:
+  /// Gather-write hook, writev-shaped.  The default performs
+  /// sendmsg(fd, iov, MSG_NOSIGNAL); tests substitute short writers.
+  using WritevFn = std::function<ssize_t(int fd, const struct iovec* iov,
+                                         int iovcnt)>;
+
+  /// Spans handed to one gather write (well under IOV_MAX everywhere).
+  static constexpr int kMaxIov = 64;
+
+  /// `pool` supplies head blocks and must outlive the queue.
+  explicit OutQueue(BufferPool* pool) : pool_(pool) {}
+
+  void set_writev_fn(WritevFn fn) { writev_fn_ = std::move(fn); }
+
+  /// Queues serialized head bytes (copied into pooled blocks; appends to
+  /// the open tail block when one has room).  Also used whole for small
+  /// self-contained wires such as protocol-error answers.
+  void PushHead(std::string_view bytes);
+
+  /// Queues a response body by move — the bytes are never copied again;
+  /// the gather write reads them in place.
+  void PushBody(std::string body);
+
+  [[nodiscard]] bool empty() const noexcept { return pending_bytes_ == 0; }
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return pending_bytes_;
+  }
+
+  enum class FlushStatus { kDrained, kWouldBlock, kError };
+  struct FlushResult {
+    FlushStatus status = FlushStatus::kDrained;
+    std::size_t bytes_written = 0;
+    std::size_t writev_calls = 0;
+    int error = 0;  // errno when status == kError
+  };
+
+  /// Writes what the socket accepts.  kDrained: everything left and the
+  /// queue is empty.  kWouldBlock: a short write — the caller arms EPOLLOUT
+  /// and resumes later.  kError: a fatal socket error — the caller closes.
+  [[nodiscard]] FlushResult Flush(int fd);
+
+  /// Drops everything queued; pooled blocks return to the pool.
+  void Clear();
+
+ private:
+  struct Segment {
+    BufferPool::Block block;  // head bytes, when pooled
+    std::string body;         // body bytes, when not
+    std::size_t off = 0;      // consumed prefix
+
+    [[nodiscard]] const char* data() const noexcept {
+      return (block.valid() ? block.data() : body.data()) + off;
+    }
+    [[nodiscard]] std::size_t size() const noexcept {
+      return (block.valid() ? block.size() : body.size()) - off;
+    }
+  };
+
+  /// Pops `n` written bytes off the front of the chain.
+  void Consume(std::size_t n);
+
+  BufferPool* pool_;
+  std::deque<Segment> segments_;
+  std::size_t pending_bytes_ = 0;
+  WritevFn writev_fn_;  // empty => sendmsg(MSG_NOSIGNAL)
+};
+
+}  // namespace scalia::net

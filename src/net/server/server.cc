@@ -14,10 +14,14 @@
 #include <chrono>
 #include <cstring>
 #include <ctime>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/log.h"
+#include "net/server/buffer_pool.h"
+#include "net/server/out_queue.h"
 
 namespace scalia::net {
 
@@ -39,6 +43,602 @@ void CloseFd(int& fd) {
 
 }  // namespace
 
+/// One event loop: an acceptor socket, an epoll set, a buffer pool, and
+/// every connection the kernel's SO_REUSEPORT steering handed it.  All of
+/// a connection's life — accept, parse, handle, serialize, flush — happens
+/// on this loop's thread; the only cross-thread traffic is Stop()'s wake
+/// and the relaxed stats counters.
+class HttpServer::EventLoop {
+ public:
+  EventLoop(HttpServer* server, std::size_t index, int listen_fd)
+      : server_(server), index_(index), listen_fd_(listen_fd) {}
+
+  ~EventLoop() { Teardown(); }
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll set + wake eventfd and registers the acceptor.
+  [[nodiscard]] common::Status Init() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (epoll_fd_ < 0 || wake_fd_ < 0) {
+      return common::Status::Internal("epoll/eventfd setup: " + ErrnoString());
+    }
+    epoll_event listen_ev{};
+    listen_ev.events = EPOLLIN;
+    listen_ev.data.u64 = kListenerId;
+    epoll_event wake_ev{};
+    wake_ev.events = EPOLLIN;
+    wake_ev.data.u64 = kWakeId;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &listen_ev) != 0 ||
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake_ev) != 0) {
+      return common::Status::Internal("epoll_ctl(): " + ErrnoString());
+    }
+    return common::Status::Ok();
+  }
+
+  void StartThread() {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  void Wake() {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  }
+
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Closes every connection and the loop's fds.  Only after Join().
+  void Teardown() {
+    for (auto& [id, conn] : conns_) {
+      CloseFd(conn->fd);
+      server_->total_conns_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    conns_.clear();
+    CloseFd(listen_fd_);
+    CloseFd(epoll_fd_);
+    CloseFd(wake_fd_);
+  }
+
+  [[nodiscard]] LoopStats Snapshot() const {
+    LoopStats s;
+    s.connections_accepted = stat_accepted_.load(std::memory_order_relaxed);
+    s.bytes_written = stat_bytes_out_.load(std::memory_order_relaxed);
+    s.writev_calls = stat_writev_calls_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  [[nodiscard]] std::uint64_t rejected() const {
+    return stat_rejected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t timed_out() const {
+    return stat_timed_out_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t requests() const {
+    return stat_requests_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t protocol_errors() const {
+    return stat_protocol_errors_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_in() const {
+    return stat_bytes_in_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    explicit Connection(BufferPool* pool) : outq(pool) {}
+
+    std::uint64_t id = 0;
+    int fd = -1;
+    RequestParser parser;
+    OutQueue outq;
+    /// Write-side back-pressure deferred a dispatch; a complete request
+    /// may still be buffered, so a peer EOF must not close the connection
+    /// before it is served.
+    bool dispatch_deferred = false;
+    bool close_after_flush = false;
+    bool error_close = false;       // closing because of a protocol error
+    /// Lingering close: response flushed + SHUT_WR sent; reads are being
+    /// discarded until peer EOF (or budget), so the client can read the
+    /// error answer before any RST.
+    bool draining = false;
+    std::size_t drain_budget = 0;
+    bool peer_eof = false;
+    bool timed_out = false;  // 408 sent; the next expiry force-closes
+    /// Queued responses this tick, awaiting the barrier commit before
+    /// they may touch the wire.
+    bool tick_pending = false;
+    /// Last client progress (accept, bytes read, response written, flush
+    /// progress) against which the idle deadline is measured.
+    std::chrono::steady_clock::time_point last_activity;
+    std::uint32_t epoll_events = 0;  // currently armed interest set
+  };
+
+  [[nodiscard]] const ServerConfig& config() const {
+    return server_->config_;
+  }
+  [[nodiscard]] bool stopping() const {
+    return server_->stopping_.load(std::memory_order_acquire);
+  }
+
+  void Run() {
+    // The barrier lives on this thread for the loop's whole life, so
+    // thread-local hooks (durability::AckCohort) catch every handler-made
+    // append from the first tick on.
+    if (config().barrier_factory) barrier_ = config().barrier_factory();
+    std::array<epoll_event, 64> events;
+    while (!stopping()) {
+      const int n = ::epoll_wait(epoll_fd_, events.data(),
+                                 static_cast<int>(events.size()),
+                                 NextDeadlineMs());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        SCALIA_LOG(common::LogLevel::kError, "net.server")
+            << "loop " << index_ << " epoll_wait(): " << ErrnoString();
+        break;
+      }
+      for (int i = 0; i < n && !stopping(); ++i) {
+        const std::uint64_t id = events[i].data.u64;
+        if (id == kListenerId) {
+          AcceptReady();
+        } else if (id == kWakeId) {
+          std::uint64_t drained = 0;
+          while (::read(wake_fd_, &drained, sizeof drained) > 0) {
+          }
+        } else {
+          HandleEvent(id, events[i].events);
+        }
+      }
+      // Commit + flush even when stopping: handlers already ran, and a
+      // committed response should reach the client rather than vanish.
+      CommitTickAndFlush();
+      if (!stopping()) SweepIdleConnections();
+    }
+    barrier_.reset();  // destroyed on the loop thread, like it was created
+  }
+
+  /// Milliseconds until the next idle sweep is due (epoll_wait timeout);
+  /// -1 when deadlines are disabled or no connections exist.  O(1): reads
+  /// the deadline cached by the last sweep.
+  [[nodiscard]] int NextDeadlineMs() const {
+    if (config().idle_timeout_ms <= 0 || conns_.empty()) return -1;
+    // Wake when the sweep is next due.  `idle_scan_due_` may be in the past
+    // (a deadline crossed since the last sweep, or the epoch default before
+    // the first one); the clamp turns that into an immediate wake.
+    const long remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            idle_scan_due_ - std::chrono::steady_clock::now())
+            .count();
+    // Cap the sleep (a sweep pass is cheap) so the int cast can never
+    // overflow on an absurd configured timeout.
+    return static_cast<int>(std::clamp(remaining, 1L, 60'000L));
+  }
+
+  /// Expires idle connections: first expiry answers 408 + lingering close
+  /// — but only on an idle wire; a connection stuck behind a half-flushed
+  /// response closes without one (splicing a 408 into the byte stream
+  /// would corrupt the framing for a pipelined client).  A second expiry
+  /// (client still silent) force-closes.  Scans the connection map only
+  /// when the cached earliest deadline has passed.
+  void SweepIdleConnections() {
+    if (config().idle_timeout_ms <= 0 || conns_.empty()) return;
+    const auto now = std::chrono::steady_clock::now();
+    // O(1) on the hot path: the full scan runs only once the earliest
+    // deadline found by the previous scan has passed.  Client activity only
+    // pushes deadlines later, so the cache may wake us early, never late.
+    if (now < idle_scan_due_) return;
+    const auto timeout = std::chrono::milliseconds(config().idle_timeout_ms);
+    auto earliest = now + timeout;  // upper bound: a fresh connection's due
+    std::vector<std::uint64_t> expired;
+    for (const auto& [id, conn] : conns_) {
+      const auto due = conn->last_activity + timeout;
+      if (due <= now) {
+        expired.push_back(id);
+      } else if (due < earliest) {
+        earliest = due;
+      }
+    }
+    idle_scan_due_ = earliest;
+    for (const std::uint64_t id : expired) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      Connection& conn = *it->second;
+      if (conn.timed_out || conn.draining) {
+        // Already answered (408 or a protocol error) and the client is
+        // still silent: stop lingering and reclaim the slot.
+        CloseConnection(id);
+        continue;
+      }
+      stat_timed_out_.fetch_add(1, std::memory_order_relaxed);
+      if (!conn.outq.empty()) {
+        // Half-flushed response on the wire: a 408 appended here would land
+        // mid-stream.  The peer stopped reading for a whole deadline —
+        // close without an answer.
+        CloseConnection(id);
+        continue;
+      }
+      // First expiry: answer 408, then linger so the client can read it.
+      api::HttpResponse timeout_answer;
+      timeout_answer.status = 408;
+      timeout_answer.body = "read/idle deadline exceeded\n";
+      timeout_answer.headers.Set("content-type", "text/plain");
+      conn.outq.PushHead(SerializeResponse(timeout_answer,
+                                           /*keep_alive=*/false));
+      conn.close_after_flush = true;
+      conn.error_close = true;
+      conn.timed_out = true;
+      conn.last_activity = now;  // restart the clock for the linger phase
+      if (FlushWrites(conn)) UpdateInterest(conn);
+    }
+  }
+
+  void AcceptReady() {
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EMFILE || errno == ENFILE) {
+          // Out of file descriptors: mask the listener so the
+          // level-triggered epoll does not busy-spin; CloseConnection
+          // re-arms it when an fd frees up.
+          SCALIA_LOG(common::LogLevel::kWarning, "net.server")
+              << "loop " << index_
+              << " accept4(): out of file descriptors; pausing accepts";
+          epoll_event ev{};
+          ev.data.u64 = kListenerId;
+          if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev) == 0) {
+            accept_paused_ = true;
+          }
+          return;
+        }
+        SCALIA_LOG(common::LogLevel::kError, "net.server")
+            << "loop " << index_ << " accept4(): " << ErrnoString();
+        return;
+      }
+      if (server_->total_conns_.load(std::memory_order_relaxed) >=
+          config().max_connections) {
+        stat_rejected_.fetch_add(1, std::memory_order_relaxed);
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+      auto conn = std::make_unique<Connection>(&pool_);
+      conn->id = next_conn_id_++;
+      conn->fd = fd;
+      conn->parser = RequestParser(config().limits);
+      conn->last_activity = std::chrono::steady_clock::now();
+      conn->epoll_events = EPOLLIN;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = conn->id;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      stat_accepted_.fetch_add(1, std::memory_order_relaxed);
+      server_->total_conns_.fetch_add(1, std::memory_order_relaxed);
+      conns_.emplace(conn->id, std::move(conn));
+    }
+  }
+
+  void HandleEvent(std::uint64_t conn_id, std::uint32_t events) {
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;  // raced with a close
+    Connection& conn = *it->second;
+
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+      CloseConnection(conn_id);
+      return;
+    }
+    if ((events & EPOLLIN) != 0) {
+      if (!ReadReady(conn)) {
+        CloseConnection(conn_id);
+        return;
+      }
+    }
+    // Two rounds: the second dispatch picks up a request that was held back
+    // by write-side back-pressure which the first flush just relieved.
+    for (int round = 0; round < 2; ++round) {
+      DispatchNext(conn);
+      // Responses queued under a barrier wait for the tick commit; the
+      // flush (and interest update) happen in CommitTickAndFlush.  Bytes
+      // already in the queue at EPOLLOUT time were committed by an earlier
+      // tick, so flushing them here is safe.
+      if (conn.tick_pending) return;
+      if (!FlushWrites(conn)) return;
+    }
+    UpdateInterest(conn);
+  }
+
+  /// Reads until EAGAIN (or back-pressure pause); false on a fatal socket
+  /// error — the caller closes.
+  [[nodiscard]] bool ReadReady(Connection& conn) {
+    char buf[64 * 1024];
+    // Once a connection is lingering (408 sent or protocol-error drain),
+    // incoming bytes no longer count as progress: a client trickling one
+    // byte per deadline must not dodge the force-close.
+    if (!conn.draining && !conn.timed_out) {
+      conn.last_activity = std::chrono::steady_clock::now();
+    }
+    if (conn.draining) {
+      // Lingering close: discard whatever the client is still sending
+      // (e.g. the body of a 413-rejected upload) so close() finds an empty
+      // receive buffer and the error answer is not wiped out by an RST.
+      // Bounded by drain_budget against a client that streams forever.
+      for (;;) {
+        const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+        if (n > 0) {
+          const auto discarded = static_cast<std::size_t>(n);
+          if (discarded >= conn.drain_budget) return false;  // budget spent
+          conn.drain_budget -= discarded;
+          continue;
+        }
+        if (n == 0) {
+          conn.peer_eof = true;
+          return true;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        return false;
+      }
+    }
+    // Back-pressure: stop reading once the parser holds a full request's
+    // worth of unconsumed bytes (a complete request always fits below the
+    // threshold, so parsing can always progress).  EPOLLIN is masked by
+    // UpdateInterest, so level-triggered epoll does not spin, and reading
+    // resumes as dispatches drain the buffer.
+    const std::size_t pause_at =
+        config().limits.max_header_bytes + config().limits.max_body_bytes;
+    for (;;) {
+      if (conn.parser.buffered_bytes() >= pause_at) return true;
+      const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        stat_bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                                 std::memory_order_relaxed);
+        conn.parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        if (static_cast<std::size_t>(n) < sizeof buf) return true;
+        continue;
+      }
+      if (n == 0) {
+        conn.peer_eof = true;
+        return true;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;  // reset or another fatal error
+    }
+  }
+
+  /// Runs every buffered request inline on the loop thread — parse, call
+  /// the handler, queue head + body — until the parser runs dry or
+  /// write-side back-pressure defers.  Emits the protocol-error answer
+  /// when the parser has failed.
+  void DispatchNext(Connection& conn) {
+    while (!conn.close_after_flush && !stopping()) {
+      // Write-side back-pressure: a client that pipelines requests without
+      // reading responses must not grow the out queue unboundedly.  A
+      // response body is at most max_body_bytes (PUT-bounded), so gating
+      // here caps the backlog at roughly twice that.  Dispatch resumes
+      // from the EPOLLOUT path once the client drains.
+      if (conn.outq.pending_bytes() >= config().limits.max_body_bytes) {
+        conn.dispatch_deferred = true;
+        return;
+      }
+      conn.dispatch_deferred = false;
+      auto parsed = conn.parser.Next();
+      if (!parsed) {
+        if (conn.parser.error_status() != 0) {
+          stat_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          api::HttpResponse error;
+          error.status = conn.parser.error_status();
+          error.body = conn.parser.error_message() + "\n";
+          error.headers.Set("content-type", "text/plain");
+          conn.outq.PushHead(SerializeResponse(error, /*keep_alive=*/false));
+          conn.close_after_flush = true;
+          conn.error_close = true;
+          MarkTickPending(conn);
+        }
+        return;
+      }
+
+      api::HttpResponse response;
+      try {
+        response = server_->handler_(config().clock(), parsed->request);
+      } catch (const std::exception& e) {
+        response = api::HttpResponse{};
+        response.status = 500;
+        response.body = std::string("handler exception: ") + e.what();
+      } catch (...) {
+        response = api::HttpResponse{};
+        response.status = 500;
+        response.body = "handler exception";
+      }
+      // HEAD answers describe the body without carrying it (RFC 9110
+      // §9.3.2): keep the length, drop the bytes — otherwise a kept-alive
+      // client that rightly skips the body would desync on, e.g., a 404
+      // error body.
+      if (parsed->request.method == api::HttpMethod::kHead &&
+          !response.body.empty()) {
+        if (!response.headers.Contains("content-length")) {
+          response.headers.Set("content-length",
+                               std::to_string(response.body.size()));
+        }
+        response.body.clear();
+      }
+      conn.outq.PushHead(SerializeResponseHead(response, parsed->keep_alive));
+      conn.outq.PushBody(std::move(response.body));
+      stat_requests_.fetch_add(1, std::memory_order_relaxed);
+      conn.last_activity = std::chrono::steady_clock::now();
+      MarkTickPending(conn);
+      if (!parsed->keep_alive) {
+        conn.close_after_flush = true;
+        return;
+      }
+    }
+  }
+
+  /// Barrier mode: records the connection for the end-of-tick commit +
+  /// flush.  Without a barrier, flushing happens inline and this is a
+  /// no-op.
+  void MarkTickPending(Connection& conn) {
+    if (!barrier_) return;
+    if (conn.tick_pending) return;
+    conn.tick_pending = true;
+    tick_pending_.push_back(conn.id);
+  }
+
+  /// End of tick under a barrier: make the tick's responses durable with
+  /// one Commit(), then flush them.  Flushing can relieve back-pressure
+  /// and surface more buffered requests, so the loop repeats — each round
+  /// consumes buffered requests, so it terminates — and a commit failure
+  /// drops the unacknowledged responses by closing their connections.
+  void CommitTickAndFlush() {
+    while (!tick_pending_.empty()) {
+      if (auto s = barrier_->Commit(); !s.ok()) {
+        SCALIA_LOG(common::LogLevel::kError, "net.server")
+            << "loop " << index_ << " flush barrier commit failed ("
+            << s.message() << "); dropping " << tick_pending_.size()
+            << " connection(s) with unacknowledged responses";
+        std::vector<std::uint64_t> ids;
+        ids.swap(tick_pending_);
+        for (const std::uint64_t id : ids) CloseConnection(id);
+        return;
+      }
+      std::vector<std::uint64_t> ids;
+      ids.swap(tick_pending_);
+      for (const std::uint64_t id : ids) {
+        auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
+        Connection& conn = *it->second;
+        conn.tick_pending = false;
+        if (!FlushWrites(conn)) continue;  // closed
+        DispatchNext(conn);  // back-pressure resume; may re-mark the conn
+        if (conn.tick_pending) continue;  // next round commits + flushes
+        UpdateInterest(conn);
+      }
+    }
+  }
+
+  /// Writes what the socket accepts; arms EPOLLOUT on short writes and
+  /// closes once drained if the connection is finished.  False when the
+  /// connection was closed.
+  [[nodiscard]] bool FlushWrites(Connection& conn) {
+    if (!conn.outq.empty()) {
+      const OutQueue::FlushResult result = conn.outq.Flush(conn.fd);
+      if (result.bytes_written > 0) {
+        stat_bytes_out_.fetch_add(result.bytes_written,
+                                  std::memory_order_relaxed);
+        // Like ReadReady: once the connection is lingering, send progress
+        // is not client progress — a trickle-reader must not stretch the
+        // linger.
+        if (!conn.draining && !conn.timed_out) {
+          conn.last_activity = std::chrono::steady_clock::now();
+        }
+      }
+      stat_writev_calls_.fetch_add(result.writev_calls,
+                                   std::memory_order_relaxed);
+      if (result.status == OutQueue::FlushStatus::kWouldBlock) {
+        return true;  // UpdateInterest arms EPOLLOUT for the rest
+      }
+      if (result.status == OutQueue::FlushStatus::kError) {
+        CloseConnection(conn.id);
+        return false;
+      }
+    }
+    if (conn.close_after_flush ||
+        (conn.peer_eof && !conn.dispatch_deferred)) {
+      if (conn.error_close && !conn.peer_eof) {
+        // Answer flushed after a protocol error, but the client may still
+        // be mid-send: half-close and drain instead of closing outright.
+        if (!conn.draining) {
+          ::shutdown(conn.fd, SHUT_WR);
+          conn.draining = true;
+          conn.drain_budget = config().limits.max_body_bytes;
+        }
+        return true;
+      }
+      CloseConnection(conn.id);
+      return false;
+    }
+    return true;
+  }
+
+  void UpdateInterest(Connection& conn) {
+    const std::size_t pause_at =
+        config().limits.max_header_bytes + config().limits.max_body_bytes;
+    const bool paused = conn.parser.buffered_bytes() >= pause_at;
+    std::uint32_t want = 0;
+    if (conn.draining) {
+      want |= EPOLLIN;  // keep discarding until peer EOF
+    } else if (!paused && !conn.close_after_flush && !conn.peer_eof) {
+      want |= EPOLLIN;
+    }
+    if (!conn.outq.empty()) want |= EPOLLOUT;
+    if (want == conn.epoll_events) return;
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.u64 = conn.id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0) {
+      conn.epoll_events = want;
+    }
+  }
+
+  void CloseConnection(std::uint64_t conn_id) {
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+    ::close(it->second->fd);
+    conns_.erase(it);
+    server_->total_conns_.fetch_sub(1, std::memory_order_relaxed);
+    if (accept_paused_) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = kListenerId;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev) == 0) {
+        accept_paused_ = false;
+      }
+    }
+  }
+
+  HttpServer* server_;
+  std::size_t index_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+
+  // Loop-thread-only state.  `pool_` outlives `conns_` (reverse member
+  // destruction) so drained OutQueues can return their blocks.
+  BufferPool pool_;
+  std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake eventfd
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::unique_ptr<FlushBarrier> barrier_;
+  /// Connections with responses queued this tick, awaiting the commit.
+  std::vector<std::uint64_t> tick_pending_;
+  bool accept_paused_ = false;  // listener masked after EMFILE/ENFILE
+  /// When the next idle sweep is due (earliest connection deadline found
+  /// by the last sweep).  Activity only pushes deadlines later, so the
+  /// cache can be early but never late; the epoch default forces a first
+  /// scan.
+  std::chrono::steady_clock::time_point idle_scan_due_{};
+
+  std::atomic<std::uint64_t> stat_accepted_{0};
+  std::atomic<std::uint64_t> stat_rejected_{0};
+  std::atomic<std::uint64_t> stat_timed_out_{0};
+  std::atomic<std::uint64_t> stat_requests_{0};
+  std::atomic<std::uint64_t> stat_protocol_errors_{0};
+  std::atomic<std::uint64_t> stat_bytes_in_{0};
+  std::atomic<std::uint64_t> stat_bytes_out_{0};
+  std::atomic<std::uint64_t> stat_writev_calls_{0};
+};
+
 HttpServer::HttpServer(ServerConfig config, Handler handler)
     : config_(std::move(config)), handler_(std::move(handler)) {
   if (!config_.clock) {
@@ -55,518 +655,132 @@ common::Status HttpServer::Start() {
     return common::Status::FailedPrecondition("server already started");
   }
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    return common::Status::Internal("socket(): " + ErrnoString());
+  std::size_t want_loops = std::max<std::size_t>(1, config_.num_loops);
+  if (want_loops > 1) {
+    // Probe for SO_REUSEPORT before committing to a loop count: without it
+    // the extra acceptors cannot share the port, so degrade to one loop
+    // (correct, just unscaled) instead of failing to start.
+    bool available = false;
+    if (!config_.simulate_reuseport_unavailable) {
+      const int probe = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (probe >= 0) {
+        const int one = 1;
+        available = ::setsockopt(probe, SOL_SOCKET, SO_REUSEPORT, &one,
+                                 sizeof one) == 0;
+        ::close(probe);
+      }
+    }
+    if (!available) {
+      SCALIA_LOG(common::LogLevel::kWarning, "net.server")
+          << "SO_REUSEPORT unavailable; degrading from " << want_loops
+          << " event loops to 1 (accept scaling disabled)";
+      want_loops = 1;
+    }
   }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const bool reuseport = want_loops > 1;
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
   if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
       1) {
-    CloseFd(listen_fd_);
     return common::Status::InvalidArgument("unparseable bind address \"" +
                                            config_.bind_address + "\"");
   }
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0) {
-    const std::string err = ErrnoString();
-    CloseFd(listen_fd_);
-    return common::Status::Unavailable("bind(" + config_.bind_address + ":" +
-                                       std::to_string(config_.port) +
-                                       "): " + err);
-  }
-  if (::listen(listen_fd_, 256) != 0) {
-    const std::string err = ErrnoString();
-    CloseFd(listen_fd_);
-    return common::Status::Internal("listen(): " + err);
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof bound;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) != 0) {
-    const std::string err = ErrnoString();
-    CloseFd(listen_fd_);
-    return common::Status::Internal("getsockname(): " + err);
-  }
-  port_ = ntohs(bound.sin_port);
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    CloseFd(listen_fd_);
-    CloseFd(epoll_fd_);
-    CloseFd(wake_fd_);
-    return common::Status::Internal("epoll/eventfd setup: " + ErrnoString());
+  std::vector<int> listen_fds;
+  auto fail = [&listen_fds](common::Status status) {
+    for (int fd : listen_fds) ::close(fd);
+    return status;
+  };
+
+  for (std::size_t i = 0; i < want_loops; ++i) {
+    const int fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      return fail(common::Status::Internal("socket(): " + ErrnoString()));
+    }
+    listen_fds.push_back(fd);
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (reuseport &&
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+      return fail(
+          common::Status::Internal("setsockopt(SO_REUSEPORT): " +
+                                   ErrnoString()));
+    }
+    // The first socket resolves an ephemeral port; the rest share it.
+    addr.sin_port = htons(i == 0 ? config_.port : port_);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      return fail(common::Status::Unavailable(
+          "bind(" + config_.bind_address + ":" +
+          std::to_string(ntohs(addr.sin_port)) + "): " + ErrnoString()));
+    }
+    if (::listen(fd, 256) != 0) {
+      return fail(common::Status::Internal("listen(): " + ErrnoString()));
+    }
+    if (i == 0) {
+      sockaddr_in bound{};
+      socklen_t bound_len = sizeof bound;
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                        &bound_len) != 0) {
+        return fail(
+            common::Status::Internal("getsockname(): " + ErrnoString()));
+      }
+      port_ = ntohs(bound.sin_port);
+    }
   }
-  epoll_event listen_ev{};
-  listen_ev.events = EPOLLIN;
-  listen_ev.data.u64 = kListenerId;
-  epoll_event wake_ev{};
-  wake_ev.events = EPOLLIN;
-  wake_ev.data.u64 = kWakeId;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &listen_ev) != 0 ||
-      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake_ev) != 0) {
-    CloseFd(listen_fd_);
-    CloseFd(epoll_fd_);
-    CloseFd(wake_fd_);
-    return common::Status::Internal("epoll_ctl(): " + ErrnoString());
+
+  loops_.reserve(want_loops);
+  for (std::size_t i = 0; i < want_loops; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>(this, i, listen_fds[i]));
+    if (auto status = loops_.back()->Init(); !status.ok()) {
+      // Each EventLoop owns its listen fd from construction; destroying
+      // the vector closes everything built so far.
+      loops_.clear();
+      port_ = 0;
+      return status;
+    }
   }
+  listen_fds.clear();  // ownership moved into the loops
 
   stopping_.store(false, std::memory_order_release);
   started_ = true;
-  io_thread_ = std::thread([this] { IoLoop(); });
+  for (auto& loop : loops_) loop->StartThread();
   SCALIA_LOG(common::LogLevel::kInfo, "net.server")
-      << "listening on " << config_.bind_address << ":" << port_;
+      << "listening on " << config_.bind_address << ":" << port_ << " with "
+      << loops_.size() << " event loop(s)";
   return common::Status::Ok();
 }
 
 void HttpServer::Stop() {
   if (!started_) return;
   stopping_.store(true, std::memory_order_release);
-  WakeIo();
-  if (io_thread_.joinable()) io_thread_.join();
-  {
-    std::unique_lock lock(in_flight_mu_);
-    in_flight_cv_.wait(lock, [this] { return in_flight_ == 0; });
-  }
-  // The I/O thread is gone and no handler is running: flush whatever
-  // responses completed during shutdown, best-effort, then tear down.
-  DrainCompletions();
-  for (auto& [id, conn] : conns_) CloseFd(conn->fd);
-  conns_.clear();
-  CloseFd(listen_fd_);
-  CloseFd(epoll_fd_);
-  CloseFd(wake_fd_);
+  for (auto& loop : loops_) loop->Wake();
+  for (auto& loop : loops_) loop->Join();
+  final_stats_ = stats();
+  for (auto& loop : loops_) loop->Teardown();
+  loops_.clear();
   started_ = false;
 }
 
 ServerStats HttpServer::stats() const {
+  if (loops_.empty()) return final_stats_;
   ServerStats s;
-  s.connections_accepted = stat_accepted_.load(std::memory_order_relaxed);
-  s.connections_rejected = stat_rejected_.load(std::memory_order_relaxed);
-  s.connections_timed_out = stat_timed_out_.load(std::memory_order_relaxed);
-  s.requests_served = stat_requests_.load(std::memory_order_relaxed);
-  s.protocol_errors = stat_protocol_errors_.load(std::memory_order_relaxed);
-  s.bytes_in = stat_bytes_in_.load(std::memory_order_relaxed);
-  s.bytes_out = stat_bytes_out_.load(std::memory_order_relaxed);
+  s.loops.reserve(loops_.size());
+  for (const auto& loop : loops_) {
+    const LoopStats per_loop = loop->Snapshot();
+    s.connections_accepted += per_loop.connections_accepted;
+    s.bytes_out += per_loop.bytes_written;
+    s.writev_calls += per_loop.writev_calls;
+    s.connections_rejected += loop->rejected();
+    s.connections_timed_out += loop->timed_out();
+    s.requests_served += loop->requests();
+    s.protocol_errors += loop->protocol_errors();
+    s.bytes_in += loop->bytes_in();
+    s.loops.push_back(per_loop);
+  }
   return s;
-}
-
-void HttpServer::WakeIo() {
-  const std::uint64_t one = 1;
-  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
-}
-
-void HttpServer::IoLoop() {
-  std::array<epoll_event, 64> events;
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(epoll_fd_, events.data(),
-                               static_cast<int>(events.size()),
-                               NextDeadlineMs());
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      SCALIA_LOG(common::LogLevel::kError, "net.server")
-          << "epoll_wait(): " << ErrnoString();
-      break;
-    }
-    for (int i = 0; i < n && !stopping_.load(std::memory_order_acquire);
-         ++i) {
-      const std::uint64_t id = events[i].data.u64;
-      if (id == kListenerId) {
-        AcceptReady();
-      } else if (id == kWakeId) {
-        std::uint64_t drained = 0;
-        while (::read(wake_fd_, &drained, sizeof drained) > 0) {
-        }
-        DrainCompletions();
-      } else {
-        HandleEvent(id, events[i].events);
-      }
-    }
-    if (!stopping_.load(std::memory_order_acquire)) SweepIdleConnections();
-  }
-}
-
-int HttpServer::NextDeadlineMs() const {
-  if (config_.idle_timeout_ms <= 0 || conns_.empty()) return -1;
-  // Wake when the sweep is next due.  `idle_scan_due_` may be in the past
-  // (a deadline crossed since the last sweep, or the epoch default before
-  // the first one); the clamp turns that into an immediate wake.
-  const long remaining =
-      std::chrono::duration_cast<std::chrono::milliseconds>(
-          idle_scan_due_ - std::chrono::steady_clock::now())
-          .count();
-  // Cap the sleep (a sweep pass is cheap) so the int cast can never
-  // overflow on an absurd configured timeout.
-  return static_cast<int>(std::clamp(remaining, 1L, 60'000L));
-}
-
-void HttpServer::SweepIdleConnections() {
-  if (config_.idle_timeout_ms <= 0 || conns_.empty()) return;
-  const auto now = std::chrono::steady_clock::now();
-  // O(1) on the hot path: the full scan runs only once the earliest
-  // deadline found by the previous scan has passed.  Client activity only
-  // pushes deadlines later, so the cache may wake us early, never late.
-  if (now < idle_scan_due_) return;
-  const auto timeout = std::chrono::milliseconds(config_.idle_timeout_ms);
-  auto earliest = now + timeout;  // upper bound: a fresh connection's due
-  std::vector<std::uint64_t> expired;
-  for (const auto& [id, conn] : conns_) {
-    if (conn->busy) continue;
-    const auto due = conn->last_activity + timeout;
-    if (due <= now) {
-      expired.push_back(id);
-    } else if (due < earliest) {
-      earliest = due;
-    }
-  }
-  idle_scan_due_ = earliest;
-  for (const std::uint64_t id : expired) {
-    auto it = conns_.find(id);
-    if (it == conns_.end()) continue;
-    Connection& conn = *it->second;
-    if (conn.timed_out || conn.draining) {
-      // Already answered (408 or a protocol error) and the client is still
-      // silent: stop lingering and reclaim the slot.
-      CloseConnection(id);
-      continue;
-    }
-    // First expiry: answer 408, then linger so the client can read it.
-    stat_timed_out_.fetch_add(1, std::memory_order_relaxed);
-    api::HttpResponse timeout;
-    timeout.status = 408;
-    timeout.body = "read/idle deadline exceeded\n";
-    timeout.headers.Set("content-type", "text/plain");
-    conn.outbuf += SerializeResponse(timeout, /*keep_alive=*/false);
-    conn.close_after_flush = true;
-    conn.error_close = true;
-    conn.timed_out = true;
-    conn.last_activity = now;  // restart the clock for the linger phase
-    if (FlushWrites(conn)) UpdateInterest(conn);
-  }
-}
-
-void HttpServer::AcceptReady() {
-  for (;;) {
-    const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EMFILE || errno == ENFILE) {
-        // Out of file descriptors: mask the listener so the level-triggered
-        // epoll does not busy-spin; CloseConnection re-arms it when an fd
-        // frees up.
-        SCALIA_LOG(common::LogLevel::kWarning, "net.server")
-            << "accept4(): out of file descriptors; pausing accepts";
-        epoll_event ev{};
-        ev.data.u64 = kListenerId;
-        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev) == 0) {
-          accept_paused_ = true;
-        }
-        return;
-      }
-      SCALIA_LOG(common::LogLevel::kError, "net.server")
-          << "accept4(): " << ErrnoString();
-      return;
-    }
-    if (conns_.size() >= config_.max_connections) {
-      stat_rejected_.fetch_add(1, std::memory_order_relaxed);
-      ::close(fd);
-      continue;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-
-    auto conn = std::make_unique<Connection>();
-    conn->id = next_conn_id_++;
-    conn->fd = fd;
-    conn->parser = RequestParser(config_.limits);
-    conn->last_activity = std::chrono::steady_clock::now();
-    conn->epoll_events = EPOLLIN;
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = conn->id;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      ::close(fd);
-      continue;
-    }
-    stat_accepted_.fetch_add(1, std::memory_order_relaxed);
-    conns_.emplace(conn->id, std::move(conn));
-  }
-}
-
-void HttpServer::HandleEvent(std::uint64_t conn_id, std::uint32_t events) {
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;  // raced with a close
-  Connection& conn = *it->second;
-
-  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
-    CloseConnection(conn_id);
-    return;
-  }
-  if ((events & EPOLLIN) != 0) {
-    if (!ReadReady(conn)) {
-      CloseConnection(conn_id);
-      return;
-    }
-  }
-  // Two rounds: the second dispatch picks up a request that was held back
-  // by write-side back-pressure which the first flush just relieved.
-  for (int round = 0; round < 2; ++round) {
-    DispatchNext(conn);
-    if (!FlushWrites(conn)) return;
-  }
-  UpdateInterest(conn);
-}
-
-bool HttpServer::ReadReady(Connection& conn) {
-  char buf[64 * 1024];
-  // Once a connection is lingering (408 sent or protocol-error drain),
-  // incoming bytes no longer count as progress: a client trickling one
-  // byte per deadline must not dodge the force-close.
-  if (!conn.draining && !conn.timed_out) {
-    conn.last_activity = std::chrono::steady_clock::now();
-  }
-  if (conn.draining) {
-    // Lingering close: discard whatever the client is still sending (e.g.
-    // the body of a 413-rejected upload) so close() finds an empty receive
-    // buffer and the error answer is not wiped out by an RST.  Bounded by
-    // drain_budget against a client that streams forever.
-    for (;;) {
-      const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
-      if (n > 0) {
-        const auto discarded = static_cast<std::size_t>(n);
-        if (discarded >= conn.drain_budget) return false;  // budget spent
-        conn.drain_budget -= discarded;
-        continue;
-      }
-      if (n == 0) {
-        conn.peer_eof = true;
-        return true;
-      }
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
-      return false;
-    }
-  }
-  // Back-pressure: stop reading once the parser holds a full request's
-  // worth of unconsumed bytes (a complete request always fits below the
-  // threshold, so parsing can always progress).  EPOLLIN is masked by
-  // UpdateInterest, so level-triggered epoll does not spin, and reading
-  // resumes as dispatches drain the buffer.
-  const std::size_t pause_at =
-      config_.limits.max_header_bytes + config_.limits.max_body_bytes;
-  for (;;) {
-    if (conn.parser.buffered_bytes() >= pause_at) return true;
-    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
-    if (n > 0) {
-      stat_bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
-                               std::memory_order_relaxed);
-      conn.parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
-      if (static_cast<std::size_t>(n) < sizeof buf) return true;
-      continue;
-    }
-    if (n == 0) {
-      conn.peer_eof = true;
-      return true;
-    }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
-    return false;  // reset or another fatal error
-  }
-}
-
-void HttpServer::DispatchNext(Connection& conn) {
-  if (conn.busy || conn.close_after_flush ||
-      stopping_.load(std::memory_order_acquire)) {
-    return;
-  }
-  // Write-side back-pressure: a client that pipelines requests without
-  // reading responses must not grow outbuf unboundedly.  A response body
-  // is at most max_body_bytes (PUT-bounded), so gating here caps the
-  // backlog at roughly twice that.  Dispatch resumes from the EPOLLOUT
-  // path once the client drains.
-  if (conn.outbuf.size() - conn.outbuf_off >= config_.limits.max_body_bytes) {
-    conn.dispatch_deferred = true;
-    return;
-  }
-  conn.dispatch_deferred = false;
-  auto parsed = conn.parser.Next();
-  if (!parsed) {
-    if (conn.parser.error_status() != 0) {
-      stat_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      api::HttpResponse error;
-      error.status = conn.parser.error_status();
-      error.body = conn.parser.error_message() + "\n";
-      error.headers.Set("content-type", "text/plain");
-      conn.outbuf += SerializeResponse(error, /*keep_alive=*/false);
-      conn.close_after_flush = true;
-      conn.error_close = true;
-    }
-    return;
-  }
-
-  conn.busy = true;
-  const std::uint64_t conn_id = conn.id;
-  const bool keep_alive = parsed->keep_alive;
-  {
-    std::lock_guard lock(in_flight_mu_);
-    ++in_flight_;
-  }
-  pool().Submit([this, conn_id, keep_alive,
-                 request = std::move(parsed->request)] {
-    api::HttpResponse response;
-    try {
-      response = handler_(config_.clock(), request);
-    } catch (const std::exception& e) {
-      response = api::HttpResponse{};
-      response.status = 500;
-      response.body = std::string("handler exception: ") + e.what();
-    } catch (...) {
-      response = api::HttpResponse{};
-      response.status = 500;
-      response.body = "handler exception";
-    }
-    // HEAD answers describe the body without carrying it (RFC 9110 §9.3.2):
-    // keep the length, drop the bytes — otherwise a kept-alive client that
-    // rightly skips the body would desync on, e.g., a 404 error body.
-    if (request.method == api::HttpMethod::kHead && !response.body.empty()) {
-      if (!response.headers.Contains("content-length")) {
-        response.headers.Set("content-length",
-                             std::to_string(response.body.size()));
-      }
-      response.body.clear();
-    }
-    Completion completion{conn_id, SerializeResponse(response, keep_alive),
-                          keep_alive};
-    {
-      std::lock_guard lock(completions_mu_);
-      completions_.push_back(std::move(completion));
-    }
-    WakeIo();
-    {
-      // Notify under the lock: Stop() may destroy this server the moment
-      // it observes in_flight_ == 0, so the broadcast must complete before
-      // the mutex is released.
-      std::lock_guard lock(in_flight_mu_);
-      --in_flight_;
-      in_flight_cv_.notify_all();
-    }
-  });
-}
-
-void HttpServer::DrainCompletions() {
-  std::vector<Completion> done;
-  {
-    std::lock_guard lock(completions_mu_);
-    done.swap(completions_);
-  }
-  for (auto& completion : done) {
-    auto it = conns_.find(completion.conn_id);
-    if (it == conns_.end()) continue;  // connection died while handling
-    Connection& conn = *it->second;
-    conn.busy = false;
-    conn.last_activity = std::chrono::steady_clock::now();
-    conn.outbuf += completion.wire;
-    stat_requests_.fetch_add(1, std::memory_order_relaxed);
-    if (!completion.keep_alive) conn.close_after_flush = true;
-    // Two rounds, like HandleEvent: a pipelined request may already be
-    // buffered, and the second dispatch picks up one that write-side
-    // back-pressure held until the first flush drained outbuf.
-    bool alive = true;
-    for (int round = 0; round < 2; ++round) {
-      DispatchNext(conn);
-      if (!FlushWrites(conn)) {
-        alive = false;
-        break;
-      }
-    }
-    if (alive) UpdateInterest(conn);
-  }
-}
-
-bool HttpServer::FlushWrites(Connection& conn) {
-  while (conn.outbuf_off < conn.outbuf.size()) {
-    const ssize_t n =
-        ::send(conn.fd, conn.outbuf.data() + conn.outbuf_off,
-               conn.outbuf.size() - conn.outbuf_off, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn.outbuf_off += static_cast<std::size_t>(n);
-      stat_bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
-                                std::memory_order_relaxed);
-      // Like ReadReady: once the connection is lingering, send progress is
-      // not client progress — a trickle-reader must not stretch the linger.
-      if (!conn.draining && !conn.timed_out) {
-        conn.last_activity = std::chrono::steady_clock::now();
-      }
-      continue;
-    }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      return true;  // UpdateInterest arms EPOLLOUT for the rest
-    }
-    CloseConnection(conn.id);
-    return false;
-  }
-  conn.outbuf.clear();
-  conn.outbuf_off = 0;
-  if (conn.close_after_flush ||
-      (conn.peer_eof && !conn.busy && !conn.dispatch_deferred)) {
-    if (conn.error_close && !conn.peer_eof) {
-      // Answer flushed after a protocol error, but the client may still be
-      // mid-send: half-close and drain instead of closing outright.
-      if (!conn.draining) {
-        ::shutdown(conn.fd, SHUT_WR);
-        conn.draining = true;
-        conn.drain_budget = config_.limits.max_body_bytes;
-      }
-      return true;
-    }
-    CloseConnection(conn.id);
-    return false;
-  }
-  return true;
-}
-
-void HttpServer::UpdateInterest(Connection& conn) {
-  const std::size_t pause_at =
-      config_.limits.max_header_bytes + config_.limits.max_body_bytes;
-  const bool paused = conn.parser.buffered_bytes() >= pause_at;
-  std::uint32_t want = 0;
-  if (conn.draining) {
-    want |= EPOLLIN;  // keep discarding until peer EOF
-  } else if (!paused && !conn.close_after_flush && !conn.peer_eof) {
-    want |= EPOLLIN;
-  }
-  if (conn.outbuf_off < conn.outbuf.size()) want |= EPOLLOUT;
-  if (want == conn.epoll_events) return;
-  epoll_event ev{};
-  ev.events = want;
-  ev.data.u64 = conn.id;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0) {
-    conn.epoll_events = want;
-  }
-}
-
-void HttpServer::CloseConnection(std::uint64_t conn_id) {
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
-  ::close(it->second->fd);
-  conns_.erase(it);
-  if (accept_paused_) {
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = kListenerId;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, listen_fd_, &ev) == 0) {
-      accept_paused_ = false;
-    }
-  }
 }
 
 }  // namespace scalia::net

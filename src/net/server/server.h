@@ -1,49 +1,66 @@
 // Networked front door for the S3-compatible gateway.
 //
 // §III-A's engines are "simple stateless web services"; this server is the
-// serving loop that makes ours one.  A single I/O thread owns a listening
-// TCP socket and an epoll set of non-blocking connections: it accepts,
-// reads, and feeds bytes to each connection's incremental RequestParser.
-// Complete requests are dispatched to the shared common::ThreadPool — the
-// same pool the optimizer and chunk transfers use — where the handler
-// (typically api::S3Gateway::Handle via core::ScaliaCluster::RouteRequest)
-// produces the response; the serialized bytes are handed back to the I/O
-// thread over a completion queue + eventfd wakeup and flushed to the wire,
-// honouring keep-alive and pipelining (one request in flight per
-// connection; later pipelined requests wait buffered, so responses can
-// never reorder).
+// serving loop that makes ours one.  Serving is *shard-local*: the server
+// runs `num_loops` independent event loops, each owning an acceptor socket
+// (SO_REUSEPORT spreads incoming connections across them in the kernel),
+// an epoll set, a BufferPool, and every connection it accepted.  A request
+// is parsed, handled and answered entirely on its loop's thread — no
+// thread-pool hop, no completion queue, no cross-thread wakeup on the hot
+// path.  Responses are queued as head + body segments in a per-connection
+// OutQueue and leave through scatter-gather writes (out_queue.h), so a
+// pipelined burst of K responses costs O(1) syscalls, not K.
 //
+// Durability batches per tick: when a FlushBarrier factory is configured,
+// each loop commits the barrier once per event-loop tick — after handlers
+// ran, before their responses reach the wire — so K pipelined PUTs fsync
+// once (durability::AckCohort) and nothing is acknowledged before it is
+// durable.
+//
+// Keep-alive and pipelining are honoured with in-order responses.
 // Protocol errors answer on the wire (431/413/400/405/501/505, see
-// http_parser.h) and then close.  Stop() is graceful: the listener closes,
-// in-flight handlers drain, and every worker joins before it returns.
+// http_parser.h) and then close.  Stop() is graceful: every loop drains
+// its tick and joins before it returns.
 #pragma once
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "api/http.h"
 #include "common/sim_time.h"
 #include "common/status.h"
-#include "common/thread_pool.h"
 #include "net/server/http_parser.h"
 
 namespace scalia::net {
+
+/// Per-loop durability hook.  Each event loop builds one barrier (on its
+/// own thread, so thread-local machinery like durability::AckCohort
+/// installs correctly) and calls Commit() once per tick, after handlers
+/// ran and before their responses are flushed.  A failed Commit() drops
+/// the tick's unflushed responses and closes their connections — nothing
+/// is ever acknowledged to a client that is not durable.  Commit() must be
+/// cheap when no work was deferred since the last call.
+class FlushBarrier {
+ public:
+  virtual ~FlushBarrier() = default;
+  [[nodiscard]] virtual common::Status Commit() = 0;
+};
 
 struct ServerConfig {
   /// Dotted-quad address to bind ("0.0.0.0" to serve beyond loopback).
   std::string bind_address = "127.0.0.1";
   /// TCP port; 0 picks an ephemeral port (read it back via port()).
   std::uint16_t port = 0;
-  /// Accepted connections beyond this are closed immediately.
+  /// Event loops, each with its own acceptor.  Values > 1 bind the port
+  /// SO_REUSEPORT so the kernel load-balances accepts; when the option is
+  /// unavailable the server degrades to one loop with a logged warning.
+  std::size_t num_loops = 1;
+  /// Accepted connections (across all loops) beyond this are closed
+  /// immediately.
   std::size_t max_connections = 1024;
   /// Read/idle deadline: a connection that makes no progress — sends no
   /// byte of a pending request and has none in flight — for this long is
@@ -51,14 +68,27 @@ struct ServerConfig {
   /// client cannot pin a connection slot.  0 disables the deadline.
   long idle_timeout_ms = 60'000;
   ParserLimits limits;
-  /// Handler pool; nullptr uses common::ThreadPool::Shared().
-  common::ThreadPool* pool = nullptr;
   /// Timestamp handed to the handler per request; defaults to the wall
   /// clock in seconds (examples) — tests pin it for deterministic auth.
   std::function<common::SimTime()> clock;
+  /// When set, every loop creates one FlushBarrier and commits it per
+  /// tick before flushing responses (see FlushBarrier).
+  std::function<std::unique_ptr<FlushBarrier>()> barrier_factory;
+  /// Test hook: pretend SO_REUSEPORT is unavailable, forcing the
+  /// single-loop fallback path.
+  bool simulate_reuseport_unavailable = false;
 };
 
-/// Monotonic counters, readable while serving.
+/// Per-event-loop counters (operational visibility into the kernel's
+/// SO_REUSEPORT accept distribution and each loop's write amplification).
+struct LoopStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t writev_calls = 0;
+};
+
+/// Monotonic counters, readable while serving.  Aggregated across loops;
+/// `loops` breaks the per-loop shares out.
 struct ServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_rejected = 0;  // over max_connections
@@ -67,6 +97,8 @@ struct ServerStats {
   std::uint64_t protocol_errors = 0;       // parser-level error answers
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  std::uint64_t writev_calls = 0;          // gather writes issued
+  std::vector<LoopStats> loops;            // one entry per event loop
 };
 
 class HttpServer {
@@ -80,118 +112,41 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Binds, listens and starts the I/O thread.  Fails on an unparseable
-  /// address or an occupied port.
+  /// Binds the acceptor sockets, resolves the SO_REUSEPORT fallback, and
+  /// starts one I/O thread per loop.  Fails on an unparseable address or
+  /// an occupied port.
   [[nodiscard]] common::Status Start();
 
-  /// Graceful shutdown: stops accepting, lets in-flight handlers finish,
-  /// closes every connection and joins the I/O thread.  Idempotent.
+  /// Graceful shutdown: every loop finishes its tick (committing and
+  /// flushing queued responses), closes its connections and joins.
+  /// Idempotent.
   void Stop();
 
   /// The bound port (resolves port 0 after Start()).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
+  /// Event loops actually serving — config_.num_loops, or 1 after the
+  /// SO_REUSEPORT fallback.  Valid after Start().
+  [[nodiscard]] std::size_t num_loops() const noexcept {
+    return loops_.size();
+  }
+
   [[nodiscard]] ServerStats stats() const;
 
  private:
-  struct Connection {
-    std::uint64_t id = 0;
-    int fd = -1;
-    RequestParser parser;
-    std::string outbuf;
-    std::size_t outbuf_off = 0;
-    bool busy = false;              // one request is with the thread pool
-    /// Write-side back-pressure deferred a dispatch; a complete request
-    /// may still be buffered, so a peer EOF must not close the connection
-    /// before it is served.
-    bool dispatch_deferred = false;
-    bool close_after_flush = false;
-    bool error_close = false;       // closing because of a protocol error
-    /// Lingering close: response flushed + SHUT_WR sent; reads are being
-    /// discarded until peer EOF (or budget), so the client can read the
-    /// error answer before any RST.
-    bool draining = false;
-    std::size_t drain_budget = 0;
-    bool peer_eof = false;
-    bool timed_out = false;  // 408 sent; the next expiry force-closes
-    /// Last client progress (accept, bytes read, response written, flush
-    /// progress) against which the idle deadline is measured.
-    std::chrono::steady_clock::time_point last_activity;
-    std::uint32_t epoll_events = 0;  // currently armed interest set
-  };
-
-  /// A handler result crossing back from a pool thread to the I/O thread.
-  struct Completion {
-    std::uint64_t conn_id = 0;
-    std::string wire;
-    bool keep_alive = true;
-  };
-
-  void IoLoop();
-  void AcceptReady();
-  /// Milliseconds until the next idle sweep is due (epoll_wait timeout);
-  /// -1 when deadlines are disabled or no connections exist.  O(1): reads
-  /// the deadline cached by the last sweep.
-  [[nodiscard]] int NextDeadlineMs() const;
-  /// Expires idle connections: first expiry answers 408 + lingering close,
-  /// a second expiry (client still silent) force-closes.  Scans the
-  /// connection map only when the cached earliest deadline has passed.
-  void SweepIdleConnections();
-  void HandleEvent(std::uint64_t conn_id, std::uint32_t events);
-  /// Reads until EAGAIN (or back-pressure pause); false on a fatal socket
-  /// error — the caller closes.
-  [[nodiscard]] bool ReadReady(Connection& conn);
-  /// Starts the next buffered request if the connection is idle; emits the
-  /// protocol-error answer when the parser has failed.
-  void DispatchNext(Connection& conn);
-  /// Writes what the socket accepts; arms EPOLLOUT on short writes and
-  /// closes once drained if the connection is finished.  False when the
-  /// connection was closed.
-  [[nodiscard]] bool FlushWrites(Connection& conn);
-  void DrainCompletions();
-  void UpdateInterest(Connection& conn);
-  void CloseConnection(std::uint64_t conn_id);
-  void WakeIo();
-
-  [[nodiscard]] common::ThreadPool& pool() const noexcept {
-    return config_.pool != nullptr ? *config_.pool
-                                   : common::ThreadPool::Shared();
-  }
+  class EventLoop;  // one acceptor + epoll set + its connections (server.cc)
 
   ServerConfig config_;
   Handler handler_;
 
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;
   std::uint16_t port_ = 0;
   bool started_ = false;
-  std::thread io_thread_;
   std::atomic<bool> stopping_{false};
-
-  // I/O-thread-only state.
-  std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake eventfd
-  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
-  bool accept_paused_ = false;  // listener masked after EMFILE/ENFILE
-  /// When the next idle sweep is due (earliest connection deadline found by
-  /// the last sweep).  Activity only pushes deadlines later, so the cache
-  /// can be early but never late; the epoch default forces a first scan.
-  std::chrono::steady_clock::time_point idle_scan_due_{};
-
-  std::mutex completions_mu_;
-  std::vector<Completion> completions_;
-
-  std::mutex in_flight_mu_;
-  std::condition_variable in_flight_cv_;
-  std::size_t in_flight_ = 0;
-
-  std::atomic<std::uint64_t> stat_accepted_{0};
-  std::atomic<std::uint64_t> stat_rejected_{0};
-  std::atomic<std::uint64_t> stat_timed_out_{0};
-  std::atomic<std::uint64_t> stat_requests_{0};
-  std::atomic<std::uint64_t> stat_protocol_errors_{0};
-  std::atomic<std::uint64_t> stat_bytes_in_{0};
-  std::atomic<std::uint64_t> stat_bytes_out_{0};
+  /// Live connections across all loops, against max_connections.
+  std::atomic<std::size_t> total_conns_{0};
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  /// Snapshot taken by Stop() so counters survive the loops' teardown.
+  ServerStats final_stats_;
 };
 
 }  // namespace scalia::net

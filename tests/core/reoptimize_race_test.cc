@@ -438,9 +438,7 @@ TEST(ReoptimizeLoopbackRaceTest, WritersNeverLoseAckedPutsUnderMigration) {
   auth.AllowAnonymous("race");
   api::S3Gateway gateway(&auth,
                          [&]() -> Engine& { return cluster.RouteRequest(); });
-  common::ThreadPool pool(4);
   net::ServerConfig server_config;
-  server_config.pool = &pool;
   server_config.clock = [&race_clock] {
     return race_clock.load(std::memory_order_relaxed);
   };

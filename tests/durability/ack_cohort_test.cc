@@ -1,0 +1,271 @@
+// Batched durability acks (PR 6): AckCohort defers per-append fsyncs to one
+// group sync, the destructor is a commit safety net, cohorts nest and span
+// multiple Wals — and, end to end, a pipelined PUT burst through the
+// per-shard serving loop with a FlushBarrier performs fewer fsyncs than it
+// acknowledges requests.
+#include "durability/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/server/server.h"
+
+namespace scalia::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AckCohortTest : public ::testing::Test {
+ protected:
+  AckCohortTest() {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("ack_cohort_test_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  ~AckCohortTest() override { fs::remove_all(dir_); }
+
+  /// Real fsyncs on — the whole point here is counting them.
+  WalConfig Config(const std::string& subdir = "") {
+    WalConfig config;
+    config.dir = subdir.empty() ? dir_ : dir_ + "/" + subdir;
+    config.sync_on_commit = true;
+    return config;
+  }
+
+  std::vector<std::pair<Lsn, std::string>> ReplayAll(const std::string& dir) {
+    std::vector<std::pair<Lsn, std::string>> records;
+    auto report = Wal::Replay(dir, [&](Lsn lsn, std::string_view payload) {
+      records.emplace_back(lsn, std::string(payload));
+    });
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return records;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(AckCohortTest, DeferredAppendsFsyncOnceOnCommit) {
+  auto wal = Wal::Open(Config());
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  const std::uint64_t before = (*wal)->fsyncs();
+  {
+    AckCohort cohort;
+    ASSERT_EQ(AckCohort::Current(), &cohort);
+    for (int i = 0; i < 16; ++i) {
+      auto lsn = (*wal)->Append("deferred-" + std::to_string(i));
+      ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+      EXPECT_EQ(*lsn, static_cast<Lsn>(i + 1));
+    }
+    EXPECT_EQ(cohort.deferred_records(), 16u);
+    // Frames written, nothing synced yet.
+    EXPECT_EQ((*wal)->fsyncs(), before);
+    ASSERT_TRUE(cohort.Commit().ok());
+    EXPECT_EQ((*wal)->fsyncs(), before + 1);
+    EXPECT_EQ(cohort.deferred_records(), 0u);
+    // Idempotent until new appends join.
+    ASSERT_TRUE(cohort.Commit().ok());
+    EXPECT_EQ((*wal)->fsyncs(), before + 1);
+  }
+  EXPECT_EQ(AckCohort::Current(), nullptr);
+  (*wal)->Close();
+  EXPECT_EQ(ReplayAll(dir_).size(), 16u);
+}
+
+TEST_F(AckCohortTest, AppendsOutsideACohortSyncIndividually) {
+  auto wal = Wal::Open(Config());
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  const std::uint64_t before = (*wal)->fsyncs();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*wal)->Append("solo-" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ((*wal)->fsyncs(), before + 4);
+}
+
+TEST_F(AckCohortTest, DestructorCommitsAnOpenCohort) {
+  auto wal = Wal::Open(Config());
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  const std::uint64_t before = (*wal)->fsyncs();
+  {
+    AckCohort cohort;
+    ASSERT_TRUE((*wal)->Append("net-a").ok());
+    ASSERT_TRUE((*wal)->Append("net-b").ok());
+  }  // no explicit Commit(): the destructor is the safety net
+  EXPECT_EQ((*wal)->fsyncs(), before + 1);
+  (*wal)->Close();
+  EXPECT_EQ(ReplayAll(dir_).size(), 2u);
+}
+
+TEST_F(AckCohortTest, NestedCohortsInnerWinsUntilDestroyed) {
+  auto wal = Wal::Open(Config());
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  const std::uint64_t before = (*wal)->fsyncs();
+  AckCohort outer;
+  ASSERT_TRUE((*wal)->Append("outer-1").ok());
+  {
+    AckCohort inner;
+    EXPECT_EQ(AckCohort::Current(), &inner);
+    ASSERT_TRUE((*wal)->Append("inner-1").ok());
+    EXPECT_EQ(inner.deferred_records(), 1u);
+    ASSERT_TRUE(inner.Commit().ok());
+    EXPECT_EQ((*wal)->fsyncs(), before + 1);
+  }
+  EXPECT_EQ(AckCohort::Current(), &outer);
+  ASSERT_TRUE((*wal)->Append("outer-2").ok());
+  EXPECT_EQ(outer.deferred_records(), 2u);
+  ASSERT_TRUE(outer.Commit().ok());
+  EXPECT_EQ((*wal)->fsyncs(), before + 2);
+  (*wal)->Close();
+  const auto records = ReplayAll(dir_);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].second, "outer-1");
+  EXPECT_EQ(records[1].second, "inner-1");
+  EXPECT_EQ(records[2].second, "outer-2");
+}
+
+TEST_F(AckCohortTest, OneCohortSyncsEachTouchedWalOnce) {
+  auto wal_a = Wal::Open(Config("a"));
+  auto wal_b = Wal::Open(Config("b"));
+  ASSERT_TRUE(wal_a.ok() && wal_b.ok());
+  const std::uint64_t before_a = (*wal_a)->fsyncs();
+  const std::uint64_t before_b = (*wal_b)->fsyncs();
+  AckCohort cohort;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE((*wal_a)->Append("a-" + std::to_string(i)).ok());
+    ASSERT_TRUE((*wal_b)->Append("b-" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(cohort.deferred_records(), 16u);
+  ASSERT_TRUE(cohort.Commit().ok());
+  EXPECT_EQ((*wal_a)->fsyncs(), before_a + 1);
+  EXPECT_EQ((*wal_b)->fsyncs(), before_b + 1);
+  (*wal_a)->Close();
+  (*wal_b)->Close();
+  EXPECT_EQ(ReplayAll(dir_ + "/a").size(), 8u);
+  EXPECT_EQ(ReplayAll(dir_ + "/b").size(), 8u);
+}
+
+/// Raw pipelining socket (the HttpClient is strictly request/response).
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof addr) == 0;
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  void Send(std::string_view data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  [[nodiscard]] std::vector<api::HttpResponse> ReadResponses(int count) {
+    std::vector<api::HttpResponse> out;
+    net::ResponseParser parser;
+    char buf[4096];
+    while (static_cast<int>(out.size()) < count) {
+      while (auto parsed = parser.Next(false)) {
+        out.push_back(std::move(parsed->response));
+        if (static_cast<int>(out.size()) == count) return out;
+      }
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+/// The barrier the serving loop commits once per tick — exactly the shape
+/// examples/scalia_server.cpp installs in durable mode.
+class CohortBarrier : public net::FlushBarrier {
+ public:
+  common::Status Commit() override { return cohort_.Commit(); }
+
+ private:
+  AckCohort cohort_;
+};
+
+// The PR-6 acceptance assertion: K pipelined PUTs, each journaled before it
+// is acknowledged, cost fewer fsyncs than K — the event loop's tick barrier
+// group-commits them.
+TEST_F(AckCohortTest, PipelinedPutBurstFsyncsFewerTimesThanRequests) {
+  auto wal = Wal::Open(Config());
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  Wal* wal_ptr = wal->get();
+
+  net::ServerConfig config;
+  config.clock = [] { return common::SimTime{1000}; };
+  config.barrier_factory = [] { return std::make_unique<CohortBarrier>(); };
+  net::HttpServer server(
+      std::move(config),
+      [wal_ptr](common::SimTime, const api::HttpRequest& request) {
+        api::HttpResponse response;
+        // Journal-then-ack, like the engine's PUT path: the append lands in
+        // the loop's cohort; the 201 stays queued until the tick commits.
+        if (!wal_ptr->Append(request.body).ok()) {
+          response.status = 500;
+          return response;
+        }
+        response.status = 201;
+        return response;
+      });
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::uint64_t fsyncs_before = wal_ptr->fsyncs();
+  constexpr int kPuts = 32;
+  std::string burst;
+  for (int i = 0; i < kPuts; ++i) {
+    const std::string body = "object-payload-" + std::to_string(i);
+    burst += "PUT /bucket/obj-" + std::to_string(i) +
+             " HTTP/1.1\r\nContent-Length: " + std::to_string(body.size()) +
+             "\r\n\r\n" + body;
+  }
+  RawConn conn(server.port());
+  ASSERT_TRUE(conn.connected());
+  conn.Send(burst);
+  const auto responses = conn.ReadResponses(kPuts);
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(kPuts));
+  for (const auto& response : responses) EXPECT_EQ(response.status, 201);
+
+  const std::uint64_t fsyncs = wal_ptr->fsyncs() - fsyncs_before;
+  EXPECT_GE(fsyncs, 1u) << "acks were not made durable at all";
+  EXPECT_LT(fsyncs, static_cast<std::uint64_t>(kPuts))
+      << "batched durability acks degenerated to one fsync per request";
+
+  server.Stop();
+  (*wal)->Close();
+  EXPECT_EQ(ReplayAll(dir_).size(), static_cast<std::size_t>(kPuts));
+}
+
+}  // namespace
+}  // namespace scalia::durability

@@ -22,7 +22,6 @@
 
 #include "api/auth.h"
 #include "api/gateway.h"
-#include "common/thread_pool.h"
 #include "core/cluster.h"
 #include "net/client.h"
 #include "net/server/http_parser.h"
@@ -99,10 +98,7 @@ class RawConn {
 /// Server over a handler that echoes method, path and body back.
 class EchoServerTest : public ::testing::Test {
  protected:
-  EchoServerTest() : pool_(4) {}
-
   void StartServer(ServerConfig config = {}) {
-    config.pool = &pool_;
     config.clock = [] { return kNow; };
     server_ = std::make_unique<HttpServer>(
         std::move(config),
@@ -118,7 +114,6 @@ class EchoServerTest : public ::testing::Test {
     ASSERT_NE(server_->port(), 0);
   }
 
-  common::ThreadPool pool_;
   std::unique_ptr<HttpServer> server_;
 };
 
@@ -272,7 +267,7 @@ TEST_F(EchoServerTest, SecondServerOnSamePortFailsCleanly) {
 /// Full stack: HttpClient → HttpServer → S3Gateway → ScaliaCluster.
 class GatewayServerTest : public ::testing::Test {
  protected:
-  GatewayServerTest() : pool_(4) {
+  GatewayServerTest() {
     core::ClusterConfig config;
     config.num_datacenters = 1;
     config.engines_per_dc = 2;
@@ -292,7 +287,6 @@ class GatewayServerTest : public ::testing::Test {
         &auth_, [this]() -> core::Engine& { return cluster_->RouteRequest(); });
 
     ServerConfig server_config;
-    server_config.pool = &pool_;
     server_config.clock = [] { return kNow; };
     server_ = std::make_unique<HttpServer>(
         std::move(server_config),
@@ -325,7 +319,6 @@ class GatewayServerTest : public ::testing::Test {
   const api::Credentials globex_{.access_key_id = "GLOBEX-1",
                                  .secret = "globex-secret",
                                  .tenant = "globex"};
-  common::ThreadPool pool_;
   std::unique_ptr<core::ScaliaCluster> cluster_;
   api::Authenticator auth_;
   std::unique_ptr<api::S3Gateway> gateway_;

@@ -1,0 +1,235 @@
+// Multi-loop serving-path tests (PR 6): SO_REUSEPORT accept distribution
+// across per-shard event loops, the logged single-loop fallback when the
+// option is unavailable, per-loop counter plumbing, and the 408-framing
+// regression — an idle sweep must never splice a 408 into a half-flushed
+// response stream.
+#include "net/server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server/http_parser.h"
+
+namespace scalia::net {
+namespace {
+
+constexpr common::SimTime kNow = 1000;
+
+/// Raw blocking loopback socket; optionally shrinks SO_RCVBUF before
+/// connecting so the kernel cannot swallow a large response behind the
+/// test's back.
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port, int rcvbuf_bytes = 0) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (rcvbuf_bytes > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                   sizeof rcvbuf_bytes);
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof addr) == 0;
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  void Send(std::string_view data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  [[nodiscard]] std::string ReadUntilEof() {
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<api::HttpResponse> ReadResponses(int count) {
+    std::vector<api::HttpResponse> out;
+    ResponseParser parser;
+    char buf[4096];
+    while (static_cast<int>(out.size()) < count) {
+      while (auto parsed = parser.Next(false)) {
+        out.push_back(std::move(parsed->response));
+        if (static_cast<int>(out.size()) == count) return out;
+      }
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+class MultiLoopServerTest : public ::testing::Test {
+ protected:
+  void StartEcho(ServerConfig config) {
+    config.clock = [] { return kNow; };
+    server_ = std::make_unique<HttpServer>(
+        std::move(config),
+        [](common::SimTime, const api::HttpRequest& request) {
+          api::HttpResponse response;
+          response.status = 200;
+          response.headers.Set("x-echo-path", request.path);
+          response.body = "echo:" + request.path;
+          return response;
+        });
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(MultiLoopServerTest, ReuseportSpreadsAcceptsAcrossLoops) {
+  ServerConfig config;
+  config.num_loops = 4;
+  config.max_connections = 256;
+  StartEcho(std::move(config));
+  ASSERT_EQ(server_->num_loops(), 4u);
+
+  constexpr int kConns = 48;
+  for (int i = 0; i < kConns; ++i) {
+    RawConn conn(server_->port());
+    ASSERT_TRUE(conn.connected());
+    conn.Send("GET /spread/" + std::to_string(i) + " HTTP/1.1\r\n\r\n");
+    const auto responses = conn.ReadResponses(1);
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].status, 200);
+  }
+
+  const ServerStats stats = server_->stats();
+  ASSERT_EQ(stats.loops.size(), 4u);
+  std::uint64_t accepted = 0;
+  std::uint64_t loop_bytes = 0;
+  std::uint64_t loop_writev = 0;
+  std::size_t loops_used = 0;
+  for (const LoopStats& loop : stats.loops) {
+    accepted += loop.connections_accepted;
+    loop_bytes += loop.bytes_written;
+    loop_writev += loop.writev_calls;
+    if (loop.connections_accepted > 0) ++loops_used;
+  }
+  EXPECT_EQ(accepted, static_cast<std::uint64_t>(kConns));
+  EXPECT_EQ(stats.connections_accepted, accepted);
+  // The kernel hashes the 4-tuple; 48 distinct source ports landing on a
+  // single loop of four would mean SO_REUSEPORT balancing is not engaged.
+  EXPECT_GE(loops_used, 2u);
+  // Aggregate counters are exactly the per-loop shares summed.
+  EXPECT_EQ(stats.bytes_out, loop_bytes);
+  EXPECT_EQ(stats.writev_calls, loop_writev);
+  EXPECT_EQ(stats.requests_served, static_cast<std::uint64_t>(kConns));
+}
+
+TEST_F(MultiLoopServerTest, FallsBackToOneLoopWhenReuseportUnavailable) {
+  ServerConfig config;
+  config.num_loops = 4;
+  config.simulate_reuseport_unavailable = true;
+  StartEcho(std::move(config));
+
+  // Degraded, warned (log side), and still serving.
+  EXPECT_EQ(server_->num_loops(), 1u);
+  EXPECT_EQ(server_->stats().loops.size(), 1u);
+
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  conn.Send("GET /fallback HTTP/1.1\r\n\r\n");
+  const auto responses = conn.ReadResponses(1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 200);
+  EXPECT_EQ(responses[0].body, "echo:/fallback");
+  EXPECT_EQ(server_->stats().loops[0].connections_accepted, 1u);
+}
+
+TEST_F(MultiLoopServerTest, PipelinedBurstStaysInOrderOnAMultiLoopServer) {
+  ServerConfig config;
+  config.num_loops = 4;
+  StartEcho(std::move(config));
+
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  std::string burst;
+  constexpr int kRequests = 16;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += "GET /pipe/" + std::to_string(i) + " HTTP/1.1\r\n\r\n";
+  }
+  conn.Send(burst);
+  const auto responses = conn.ReadResponses(kRequests);
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(kRequests));
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(responses[i].status, 200);
+    EXPECT_EQ(responses[i].headers.Get("x-echo-path"),
+              "/pipe/" + std::to_string(i));
+  }
+}
+
+// Regression for the PR-6 408 framing fix: a connection whose out-queue is
+// still half-flushed when the idle deadline fires must be closed, never
+// answered 408 — splicing `HTTP/1.1 408` bytes into the middle of an
+// in-flight response corrupts the client's framing.
+TEST_F(MultiLoopServerTest, IdleSweepNeverSplicesA408IntoAHalfFlushedStream) {
+  // Big enough that loopback sndbuf + a 4 KiB client rcvbuf cannot hold it:
+  // the out-queue is guaranteed non-empty when the idle deadline fires.
+  const std::string big_body(64 * 1024 * 1024, 'A');
+  ServerConfig config;
+  config.idle_timeout_ms = 200;
+  config.clock = [] { return kNow; };
+  server_ = std::make_unique<HttpServer>(
+      std::move(config),
+      [&big_body](common::SimTime, const api::HttpRequest&) {
+        api::HttpResponse response;
+        response.status = 200;
+        response.body = big_body;
+        return response;
+      });
+  ASSERT_TRUE(server_->Start().ok());
+
+  RawConn conn(server_->port(), /*rcvbuf_bytes=*/4096);
+  ASSERT_TRUE(conn.connected());
+  conn.Send("GET /huge HTTP/1.1\r\n\r\n");
+  // Read nothing while the deadline expires (the stalled response pins the
+  // out-queue), then drain whatever the kernel buffered until the close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  const std::string stream = conn.ReadUntilEof();
+
+  ASSERT_GE(stream.size(), 15u);
+  EXPECT_EQ(stream.substr(0, 15), "HTTP/1.1 200 OK");
+  EXPECT_EQ(stream.find("HTTP/1.1 408"), std::string::npos)
+      << "408 spliced into a half-flushed response stream";
+  // The connection was cut short, not completed.
+  EXPECT_LT(stream.size(), big_body.size());
+  EXPECT_EQ(server_->stats().connections_timed_out, 1u);
+}
+
+}  // namespace
+}  // namespace scalia::net

@@ -17,7 +17,6 @@
 #include <thread>
 #include <vector>
 
-#include "common/thread_pool.h"
 #include "net/client.h"
 
 namespace scalia::net {
@@ -74,11 +73,8 @@ class RawConn {
 
 class ServerTimeoutTest : public ::testing::Test {
  protected:
-  ServerTimeoutTest() : pool_(2) {}
-
   void StartServer(long idle_timeout_ms) {
     ServerConfig config;
-    config.pool = &pool_;
     config.clock = [] { return kNow; };
     config.idle_timeout_ms = idle_timeout_ms;
     server_ = std::make_unique<HttpServer>(
@@ -93,7 +89,6 @@ class ServerTimeoutTest : public ::testing::Test {
     ASSERT_NE(server_->port(), 0);
   }
 
-  common::ThreadPool pool_;
   std::unique_ptr<HttpServer> server_;
 };
 
