@@ -34,23 +34,46 @@
 // Usage: bench_server_throughput [--connections N] [--duration-s S]
 //          [--threads N | --pool-threads N] [--shards N] [--loops N]
 //          [--object-bytes CSV] [--keys-per-conn K]
-//          [--optimize-every N] [--period-ms M]
+//          [--optimize-every N] [--period-ms M] [--chaos PLAN]
 //
 // --loops N sets the serving event loops (SO_REUSEPORT acceptors, handlers
 // inline on the loop thread — PR 6's shard-local serving path); it defaults
 // to --shards so the scaling curve exercises loops and shards together.
+//
+// --chaos PLAN turns the run into a storm drill: a chaos::FaultPlan (see
+// src/chaos/fault_plan.h for the file format; windows are seconds after the
+// load starts) drives a FaultInjector installed on the provider registry,
+// only the first three catalog providers are registered (so "one provider
+// dark" is a third of the world), and every worker tracks the last *acked*
+// state of each of its keys.  The run then reports SLOs instead of a raw
+// error count:
+//
+//   availability — fraction of responses that were not 5xx
+//   durability   — after the storm heals, every acked PUT reads back with
+//                  exactly the acked bytes (and acked DELETEs stay gone)
+//   degraded_reads / reconstructions — engine k-of-n fallback counters
+//   p99_storm    — p99 latency over requests issued while a fault was live
+//
+// Exit status in chaos mode keys off the SLO floors (availability >= 99.9%,
+// durability == 100%, zero consistency errors), not errors == 0 — 5xx are
+// expected while a third of the providers are dark.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/auth.h"
 #include "api/gateway.h"
+#include "chaos/fault_injector.h"
+#include "chaos/fault_plan.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/sharded_engine.h"
@@ -78,6 +101,8 @@ struct Options {
   std::size_t optimize_every = 0;
   /// Sampling-period length for the maintenance loop, in milliseconds.
   std::size_t period_ms = 500;
+  /// Fault-plan path; empty = chaos mode off.
+  std::string chaos_plan;
 };
 
 Options ParseOptions(int argc, char** argv) {
@@ -103,6 +128,8 @@ Options ParseOptions(int argc, char** argv) {
       if (const char* v = next()) options.optimize_every = std::strtoul(v, nullptr, 10);
     } else if (arg == "--period-ms") {
       if (const char* v = next()) options.period_ms = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--chaos") {
+      if (const char* v = next()) options.chaos_plan = v;
     } else if (arg == "--object-bytes") {
       if (const char* v = next()) {
         options.object_bytes.clear();
@@ -126,13 +153,23 @@ Options ParseOptions(int argc, char** argv) {
   }
   if (options.pool_threads == 0) options.pool_threads = 4;
   if (options.loops == 0) options.loops = options.shards;
+  // A storm without the maintenance loop would never run the availability
+  // sweep, so chaos mode turns the optimizer on unless the user chose a
+  // cadence themselves.
+  if (!options.chaos_plan.empty() && options.optimize_every == 0) {
+    options.optimize_every = 2;
+  }
   return options;
 }
 
 struct WorkerResult {
   std::vector<double> latencies_us;
+  /// Latencies of requests issued while any plan fault was active.
+  std::vector<double> storm_latencies_us;
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;
+  /// 5xx responses (chaos mode only; not counted as errors there).
+  std::uint64_t unavailable = 0;
 };
 
 [[nodiscard]] double Percentile(const std::vector<double>& sorted, double q) {
@@ -148,10 +185,25 @@ struct WorkerResult {
 
 int main(int argc, char** argv) {
   const Options options = ParseOptions(argc, argv);
+  const bool chaos = !options.chaos_plan.empty();
+
+  // Load the fault plan up front so a bad path fails before any setup.
+  chaos::FaultPlan plan;
+  if (chaos) {
+    auto loaded = chaos::FaultPlan::Load(options.chaos_plan);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--chaos: %s\n", loaded.status().ToString().c_str());
+      return 2;
+    }
+    plan = std::move(*loaded);
+  }
 
   // --- the server under load: the sharded engine behind the gateway.
   provider::ProviderRegistry registry;
   common::ThreadPool pool(options.pool_threads);
+  // Created after seeding (its plan is shifted to when the storm may start),
+  // but wired into the optimizer config now; the callback checks for null.
+  std::unique_ptr<chaos::FaultInjector> injector;
   core::ShardedEngineConfig engine_config;
   engine_config.num_shards = options.shards;
   engine_config.engine.default_rule =
@@ -161,8 +213,22 @@ int main(int argc, char** argv) {
                         .allowed_zones = provider::ZoneSet::All(),
                         .lockin = 0.5,
                         .ttl_hint = std::nullopt};
+  if (chaos) {
+    engine_config.optimizer.provider_health =
+        [&injector](common::SimTime now) {
+          return injector ? injector->UnhealthyProviders(now)
+                          : std::vector<provider::ProviderId>{};
+        };
+  }
   core::ShardedEngine engine(engine_config, &registry, &pool);
+  // Chaos mode shrinks the world to the first three catalog providers, so a
+  // single-provider outage darkens a third of it — the committed plans are
+  // written against those ids.
+  std::size_t providers_to_register =
+      chaos ? 3 : std::numeric_limits<std::size_t>::max();
   for (auto& spec : provider::PaperCatalog()) {
+    if (providers_to_register == 0) break;
+    --providers_to_register;
     if (auto s = registry.Register(std::move(spec)); !s.ok()) {
       std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
       return 1;
@@ -230,6 +296,36 @@ int main(int argc, char** argv) {
     engine.shard_store(s).SyncAll();
   }
 
+  // --- chaos: storm clock starts now that seeding is done.  The injector
+  // sees the plan shifted onto the bench's absolute clock and is installed
+  // registry-wide, so every store op from here on routes through it.
+  if (chaos) {
+    injector = std::make_unique<chaos::FaultInjector>(
+        plan.Shifted(bench_clock()), chaos::InjectorOptions{});
+    registry.SetFaultHook(injector.get());
+    std::printf("chaos plan (%zu events, shifted to t=%lld):\n%s",
+                injector->plan().events().size(),
+                static_cast<long long>(bench_clock()),
+                injector->plan().ToString().c_str());
+  }
+
+  // Last state each worker saw *acknowledged* per key: the body of the last
+  // acked PUT, or nullopt after an acked DELETE whose re-PUT was not acked.
+  // A non-2xx response never changes state (the engine commits metadata
+  // before acking, and the bench runs without a journal, so a failed
+  // response means not-applied).  The post-storm readback checks storage
+  // against exactly this.
+  std::vector<std::vector<std::optional<std::string>>> acked(
+      options.connections);
+  for (std::size_t c = 0; c < options.connections; ++c) {
+    acked[c].resize(options.keys_per_conn);
+    for (std::size_t k = 0; k < options.keys_per_conn; ++k) {
+      const std::size_t size =
+          options.object_bytes[k % options.object_bytes.size()];
+      acked[c][k].emplace(size, static_cast<char>('a' + k % 26));
+    }
+  }
+
   // --- closed-loop workers: 80% GET / 15% PUT / 5% DELETE+rePUT.
   std::atomic<bool> stop{false};
   std::vector<WorkerResult> results(options.connections);
@@ -242,6 +338,37 @@ int main(int argc, char** argv) {
       result.latencies_us.reserve(1 << 16);
       common::Xoshiro256 rng(0x5ca11a + c);
       net::HttpClient client("127.0.0.1", server.port());
+      auto& state = acked[c];
+
+      // Issues one request, records its latency (tagged storm when a plan
+      // fault is live at issue time).
+      auto round_trip =
+          [&](const api::HttpRequest& request) -> common::Result<api::HttpResponse> {
+        const bool storm =
+            chaos && injector->plan().AnyFaultActiveAt(bench_clock());
+        const auto op_start = Clock::now();
+        auto response = client.RoundTrip(request);
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() - op_start)
+                .count();
+        ++result.requests;
+        result.latencies_us.push_back(us);
+        if (storm) result.storm_latencies_us.push_back(us);
+        return response;
+      };
+      auto status_of = [](const common::Result<api::HttpResponse>& r) {
+        return r.ok() ? r->status : -1;  // -1 = transport error
+      };
+      // Status accounting under chaos: 5xx are availability events, not
+      // errors; anything else unexpected is a consistency error.
+      auto miss = [&](int status) {
+        if (chaos && status >= 500) {
+          ++result.unavailable;
+        } else {
+          ++result.errors;
+        }
+      };
+
       while (!stop.load(std::memory_order_relaxed)) {
         const std::size_t k = rng() % options.keys_per_conn;
         const std::size_t size =
@@ -255,43 +382,49 @@ int main(int argc, char** argv) {
         // server lost a write — count it as an error.
         api::HttpRequest request;
         request.path = path;
-        int expected = 200;
         if (dice < 80) {
           request.method = api::HttpMethod::kGet;
+          const auto response = round_trip(request);
+          const int status = status_of(response);
+          if (!chaos) {
+            if (status != 200) ++result.errors;
+          } else if (status == 200) {
+            // Read-your-acked-writes: the body must be exactly the last
+            // acked content, whether it came from chunks, a degraded
+            // k-of-n reconstruction, or the cache.
+            if (!state[k] || *state[k] != response->body) ++result.errors;
+          } else if (status == 404) {
+            if (state[k]) ++result.errors;  // acked write answered 404
+          } else {
+            miss(status);
+          }
         } else if (dice < 95) {
           request.method = api::HttpMethod::kPut;
           request.body.assign(size, static_cast<char>('A' + dice % 26));
-          expected = 201;
+          const int status = status_of(round_trip(request));
+          if (status == 201) {
+            if (chaos) state[k] = request.body;
+          } else {
+            miss(status);
+          }
         } else {
           request.method = api::HttpMethod::kDelete;
-          expected = 204;
-        }
-
-        const auto op_start = Clock::now();
-        const auto response = client.RoundTrip(request);
-        const auto op_end = Clock::now();
-        ++result.requests;
-        result.latencies_us.push_back(
-            std::chrono::duration<double, std::micro>(op_end - op_start)
-                .count());
-        if (!response.ok() || response->status != expected) {
-          ++result.errors;
-        }
-        if (request.method == api::HttpMethod::kDelete) {
+          const int status = status_of(round_trip(request));
+          if (status == 204) {
+            if (chaos) state[k].reset();
+          } else {
+            miss(status);
+          }
           // Keep the keyspace stable: immediately re-PUT the key.
           api::HttpRequest reput;
           reput.method = api::HttpMethod::kPut;
           reput.path = path;
           reput.body.assign(size, 'r');
-          const auto reput_start = Clock::now();
-          const auto reput_response = client.RoundTrip(reput);
-          ++result.requests;
-          result.latencies_us.push_back(
-              std::chrono::duration<double, std::micro>(Clock::now() -
-                                                        reput_start)
-                  .count());
-          if (!reput_response.ok() || reput_response->status != 201) {
-            ++result.errors;
+          const int reput_status = status_of(round_trip(reput));
+          if (reput_status == 201) {
+            if (chaos) state[k] = reput.body;
+          } else {
+            miss(reput_status);
           }
         }
       }
@@ -301,11 +434,14 @@ int main(int argc, char** argv) {
   // Maintenance loop: sampling-period closes + live optimizer rounds racing
   // the foreground load (the daemon's §III-A loop, compressed in time).
   std::uint64_t migrations = 0, conflicts = 0, optimizer_errors = 0;
+  std::uint64_t repairs = 0;
   std::thread maintenance;
   if (options.optimize_every > 0) {
     maintenance = std::thread([&] {
       std::uint64_t periods = 0;
-      bool cheapstor_registered = false;
+      // Chaos mode keeps the provider set fixed at three: a fourth provider
+      // appearing mid-storm would mask what the availability sweep does.
+      bool cheapstor_registered = chaos;
       const auto half_way = bench_start + std::chrono::duration_cast<
                                               Clock::duration>(
                                 std::chrono::duration<double>(
@@ -327,6 +463,7 @@ int main(int argc, char** argv) {
           migrations += report.migrations;
           conflicts += report.conflicts;
           optimizer_errors += report.errors;
+          repairs += report.repairs;
         }
       }
     });
@@ -341,19 +478,84 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(Clock::now() - bench_start).count();
 
   // --- aggregate.
-  std::uint64_t requests = 0, errors = 0;
-  std::vector<double> latencies;
+  std::uint64_t requests = 0, errors = 0, unavailable = 0;
+  std::vector<double> latencies, storm_latencies;
   for (const auto& result : results) {
     requests += result.requests;
     errors += result.errors;
+    unavailable += result.unavailable;
     latencies.insert(latencies.end(), result.latencies_us.begin(),
                      result.latencies_us.end());
+    storm_latencies.insert(storm_latencies.end(),
+                           result.storm_latencies_us.begin(),
+                           result.storm_latencies_us.end());
   }
   std::sort(latencies.begin(), latencies.end());
+  std::sort(storm_latencies.begin(), storm_latencies.end());
   const double req_per_s = static_cast<double>(requests) / elapsed_s;
   const double p50 = Percentile(latencies, 0.50);
   const double p95 = Percentile(latencies, 0.95);
   const double p99 = Percentile(latencies, 0.99);
+
+  // --- chaos: wait for the world to heal, then audit storage against the
+  // acked state.  Durability is the fraction of acked objects that read
+  // back with exactly the acked bytes; acked DELETEs must answer 404.
+  double availability_pct = 100.0, durability_pct = 100.0;
+  double p99_storm = 0.0;
+  std::uint64_t acked_objects = 0, readback_ok = 0, readback_bad = 0;
+  if (chaos) {
+    availability_pct =
+        requests == 0
+            ? 100.0
+            : 100.0 * static_cast<double>(requests - unavailable) /
+                  static_cast<double>(requests);
+    p99_storm = Percentile(storm_latencies, 0.99);
+
+    // Heal: past the plan horizon and with every quarantine lifted (give
+    // up after a bounded wait; degraded reads cover a still-dark provider
+    // anyway, this just makes the audit read the calm world).
+    const common::SimTime horizon = injector->plan().Horizon();
+    const auto heal_deadline =
+        Clock::now() + std::chrono::seconds(30);
+    while (Clock::now() < heal_deadline) {
+      const common::SimTime now = bench_clock();
+      if (now >= horizon && injector->UnhealthyProviders(now).empty()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+
+    net::HttpClient auditor("127.0.0.1", server.port());
+    for (std::size_t c = 0; c < options.connections; ++c) {
+      for (std::size_t k = 0; k < options.keys_per_conn; ++k) {
+        api::HttpRequest request;
+        request.method = api::HttpMethod::kGet;
+        request.path =
+            "/bench/c" + std::to_string(c) + "-k" + std::to_string(k);
+        const auto response = auditor.RoundTrip(request);
+        const int status = response.ok() ? response->status : -1;
+        if (acked[c][k]) {
+          ++acked_objects;
+          if (status == 200 && response->body == *acked[c][k]) {
+            ++readback_ok;
+          } else {
+            ++readback_bad;
+            std::fprintf(stderr,
+                         "durability violation: %s status=%d (acked %zu B)\n",
+                         request.path.c_str(), status, acked[c][k]->size());
+          }
+        } else if (status != 404) {
+          // An acked DELETE came back.  Not a durability loss (nothing was
+          // lost — quite the opposite) but a consistency error.
+          ++errors;
+          std::fprintf(stderr, "deleted key resurrected: %s status=%d\n",
+                       request.path.c_str(), status);
+        }
+      }
+    }
+    durability_pct = acked_objects == 0
+                         ? 100.0
+                         : 100.0 * static_cast<double>(readback_ok) /
+                               static_cast<double>(acked_objects);
+  }
 
   const net::ServerStats stats = server.stats();
   std::printf("\n  %-22s %12llu\n", "requests", static_cast<unsigned long long>(requests));
@@ -375,19 +577,80 @@ int main(int argc, char** argv) {
               static_cast<double>(stats.bytes_in) / (1024.0 * 1024.0));
   std::printf("  %-22s %12.1f\n", "server MiB out",
               static_cast<double>(stats.bytes_out) / (1024.0 * 1024.0));
+  // PR 7 satellite: the request parser now reuses one scratch ParsedRequest
+  // per connection instead of allocating fresh strings per request; the
+  // pre-reuse numbers for this same workload live in BENCH_PR6.json.
+  std::printf("  (request-parse scratch reuse: on; before = BENCH_PR6.json)\n");
+
+  const core::Engine::ReadPathCounters read_counters = engine.ReadCounters();
+  if (chaos) {
+    std::printf("\n  chaos SLOs (plan %s, %zu events):\n",
+                options.chaos_plan.c_str(), plan.events().size());
+    std::printf("  %-22s %12.3f\n", "availability (%)", availability_pct);
+    std::printf("  %-22s %12.3f\n", "durability (%)", durability_pct);
+    std::printf("  %-22s %12llu\n", "acked objects",
+                static_cast<unsigned long long>(acked_objects));
+    std::printf("  %-22s %12llu\n", "5xx responses",
+                static_cast<unsigned long long>(unavailable));
+    std::printf("  %-22s %12llu\n", "degraded reads",
+                static_cast<unsigned long long>(read_counters.degraded_reads));
+    std::printf("  %-22s %12llu\n", "reconstructions",
+                static_cast<unsigned long long>(read_counters.reconstructions));
+    std::printf("  %-22s %12llu\n", "availability repairs",
+                static_cast<unsigned long long>(repairs));
+    std::printf("  %-22s %12llu\n", "faults injected",
+                static_cast<unsigned long long>(injector->FaultsInjected()));
+    std::printf("  %-22s %12.1f\n", "p99 under storm (us)", p99_storm);
+  }
 
   // Machine-readable line for scripts/bench_report.sh.
-  std::printf(
-      "RESULT suite=bench_server_throughput requests=%llu elapsed_s=%.3f "
-      "req_per_s=%.1f p50_us=%.1f p95_us=%.1f p99_us=%.1f errors=%llu "
-      "optimize_every=%zu migrations=%llu conflicts=%llu "
-      "shards=%zu threads=%zu loops=%zu\n",
-      static_cast<unsigned long long>(requests), elapsed_s, req_per_s, p50,
-      p95, p99, static_cast<unsigned long long>(errors),
-      options.optimize_every, static_cast<unsigned long long>(migrations),
-      static_cast<unsigned long long>(conflicts), options.shards,
-      options.pool_threads, server.num_loops());
+  if (chaos) {
+    std::printf(
+        "RESULT suite=bench_server_chaos requests=%llu elapsed_s=%.3f "
+        "req_per_s=%.1f p50_us=%.1f p95_us=%.1f p99_us=%.1f errors=%llu "
+        "optimize_every=%zu migrations=%llu conflicts=%llu "
+        "shards=%zu threads=%zu loops=%zu "
+        "availability_pct=%.4f durability_pct=%.4f acked_objects=%llu "
+        "unavailable=%llu degraded_reads=%llu reconstructions=%llu "
+        "repairs=%llu faults_injected=%llu p99_storm_us=%.1f\n",
+        static_cast<unsigned long long>(requests), elapsed_s, req_per_s, p50,
+        p95, p99, static_cast<unsigned long long>(errors),
+        options.optimize_every, static_cast<unsigned long long>(migrations),
+        static_cast<unsigned long long>(conflicts), options.shards,
+        options.pool_threads, server.num_loops(), availability_pct,
+        durability_pct, static_cast<unsigned long long>(acked_objects),
+        static_cast<unsigned long long>(unavailable),
+        static_cast<unsigned long long>(read_counters.degraded_reads),
+        static_cast<unsigned long long>(read_counters.reconstructions),
+        static_cast<unsigned long long>(repairs),
+        static_cast<unsigned long long>(injector->FaultsInjected()),
+        p99_storm);
+  } else {
+    std::printf(
+        "RESULT suite=bench_server_throughput requests=%llu elapsed_s=%.3f "
+        "req_per_s=%.1f p50_us=%.1f p95_us=%.1f p99_us=%.1f errors=%llu "
+        "optimize_every=%zu migrations=%llu conflicts=%llu "
+        "shards=%zu threads=%zu loops=%zu\n",
+        static_cast<unsigned long long>(requests), elapsed_s, req_per_s, p50,
+        p95, p99, static_cast<unsigned long long>(errors),
+        options.optimize_every, static_cast<unsigned long long>(migrations),
+        static_cast<unsigned long long>(conflicts), options.shards,
+        options.pool_threads, server.num_loops());
+  }
 
   server.Stop();
+  if (chaos) {
+    // 5xx during the storm are expected; the floors are the contract.
+    const bool slo_ok =
+        availability_pct >= 99.9 && durability_pct >= 100.0 && errors == 0;
+    if (!slo_ok) {
+      std::fprintf(stderr,
+                   "chaos SLO violated: availability=%.4f%% (floor 99.9) "
+                   "durability=%.4f%% (floor 100) errors=%llu\n",
+                   availability_pct, durability_pct,
+                   static_cast<unsigned long long>(errors));
+    }
+    return slo_ok ? 0 : 1;
+  }
   return errors == 0 ? 0 : 1;
 }

@@ -39,6 +39,8 @@
 #include "api/auth.h"
 #include "api/gateway.h"
 #include "billing/invoice.h"
+#include "chaos/fault_injector.h"
+#include "chaos/fault_plan.h"
 #include "common/log.h"
 #include "common/thread_pool.h"
 #include "core/sharded_engine.h"
@@ -82,6 +84,9 @@ struct Flags {
   // loop, so it needs --sampling-period-s > 0 to fire).
   long checkpoint_every_s = 600;
   bool anonymous = true;
+  // Fault-plan file (see bench/chaos_default.plan); empty = no chaos.
+  // Window times in the file are relative to daemon start.
+  std::string chaos_plan;
 };
 
 void Usage(const char* argv0) {
@@ -119,6 +124,10 @@ void Usage(const char* argv0) {
       "                         (default 1; 0 = off). Migrations commit via\n"
       "                         CAS-on-version, so a concurrent PUT always\n"
       "                         survives a racing migration\n"
+      "  --chaos FILE           inject faults from a fault-plan file\n"
+      "                         (outages, brownouts, partitions, price\n"
+      "                         shocks; window times relative to daemon\n"
+      "                         start — see OPERATIONS.md for the format)\n"
       "  --no-anonymous         require signed requests (demo keys below)\n"
       "  --help                 this text\n",
       argv0);
@@ -163,6 +172,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->sampling_period_s = value;
     } else if (arg == "--optimize-every" && next_value(&value) && value >= 0) {
       flags->optimize_every_periods = value;
+    } else if (arg == "--chaos" && i + 1 < argc) {
+      flags->chaos_plan = argv[++i];
     } else if (arg == "--no-anonymous") {
       flags->anonymous = false;
     } else if (arg == "--help") {
@@ -225,6 +236,23 @@ int main(int argc, char** argv) {
   //    simulator).  The provider registry — the outside world — is shared.
   provider::ProviderRegistry registry;
   common::ThreadPool pool(flags.threads);
+
+  // Chaos (opt-in): the fault plan is parsed before the engine exists so
+  // the optimizer's health feed can be wired into its config.  Plan windows
+  // are written relative to t=0; shifting by the start-time wall clock puts
+  // them on the same clock every request uses.
+  std::unique_ptr<chaos::FaultInjector> injector;
+  if (!flags.chaos_plan.empty()) {
+    auto plan = chaos::FaultPlan::Load(flags.chaos_plan);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "--chaos %s: %s\n", flags.chaos_plan.c_str(),
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    injector = std::make_unique<chaos::FaultInjector>(
+        plan->Shifted(WallClock()), chaos::InjectorOptions{});
+  }
+
   core::ShardedEngineConfig engine_config;
   engine_config.num_shards = flags.shards;
   engine_config.engine.default_rule =
@@ -234,6 +262,12 @@ int main(int argc, char** argv) {
                         .allowed_zones = provider::ZoneSet::All(),
                         .lockin = 0.5,
                         .ttl_hint = std::nullopt};
+  if (injector) {
+    engine_config.optimizer.provider_health =
+        [&injector](common::SimTime now) {
+          return injector->UnhealthyProviders(now);
+        };
+  }
   core::ShardedEngine engine(engine_config, &registry, &pool);
   const auto catalog = provider::PaperCatalog();
   for (auto spec : catalog) {
@@ -241,6 +275,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
       return 1;
     }
+  }
+  if (injector) {
+    registry.SetFaultHook(injector.get());
+    std::printf("chaos: %zu fault event(s) loaded from %s\n",
+                injector->plan().events().size(), flags.chaos_plan.c_str());
   }
 
   // 2. Durability (opt-in): per-shard WAL streams + checkpoints under
@@ -391,6 +430,27 @@ int main(int argc, char** argv) {
             << "serving: requests=" << serving.requests_served
             << " writev_calls=" << serving.writev_calls << per_loop;
       }
+      // Degraded-read counters + injected-world health: how often reads
+      // had to fan out past a dark provider, and who is dark/quarantined
+      // right now (only meaningful — and only logged — under --chaos).
+      if (injector) {
+        const auto counters = engine.ReadCounters();
+        std::string dark;
+        for (const auto& id : injector->UnhealthyProviders(now)) {
+          dark += dark.empty() ? id : ", " + id;
+        }
+        std::string quarantined;
+        for (const auto& health : injector->Health()) {
+          if (health.quarantined) {
+            quarantined += quarantined.empty() ? health.id : ", " + health.id;
+          }
+        }
+        SCALIA_LOG(common::LogLevel::kInfo, "scalia_server")
+            << "chaos: degraded_reads=" << counters.degraded_reads
+            << " reconstructions=" << counters.reconstructions
+            << " faults_injected=" << injector->FaultsInjected()
+            << " dark=[" << dark << "] quarantined=[" << quarantined << "]";
+      }
       if (flags.optimize_every_periods > 0 &&
           periods % static_cast<std::uint64_t>(
                         flags.optimize_every_periods) == 0) {
@@ -428,7 +488,10 @@ int main(int argc, char** argv) {
               static_cast<double>(stats.bytes_in) / (1024.0 * 1024.0),
               static_cast<double>(stats.bytes_out) / (1024.0 * 1024.0));
 
-  // 6. The monthly statement: what each provider would have charged.
+  // 6. The monthly statement: what each provider would have charged.  The
+  //    specs come from the registry *at `now`* rather than the static
+  //    catalog, so a price shock active under --chaos reaches the invoice —
+  //    billing observes the same degraded world the engine served in.
   const common::SimTime now = WallClock();
   billing::Ledger ledger;
   for (const auto& spec : catalog) {
@@ -436,7 +499,7 @@ int main(int argc, char** argv) {
     if (store == nullptr) continue;
     ledger.Accrue(spec.id, store->meter().Totals(now));
   }
-  const billing::Statement statement = ledger.Cut(now, catalog);
+  const billing::Statement statement = ledger.Cut(now, registry.Specs(now));
   std::printf("%s", statement.ToString().c_str());
   return 0;
 }

@@ -13,7 +13,13 @@
 # (16 connections, 5 s, 1–4 KiB objects) so the comparison measures the
 # code, not a workload mismatch.
 #
-# Usage: scripts/bench_gate.sh [baseline.json]   (default: BENCH_PR6.json)
+# PR 7: when the baseline carries a bench_server_chaos suite (schema >= 6),
+# its SLO figures are gated too — availability >= 99.9%, durability == 100%,
+# degraded_reads > 0 (a chaos run that never degraded a read measured
+# nothing).  The live chaos pass itself runs as the smoke.chaos ctest case
+# in the smoke pass below; this check keeps the *committed* report honest.
+#
+# Usage: scripts/bench_gate.sh [baseline.json]   (default: BENCH_PR7.json)
 # Env:   BUILD_DIR=build
 #        REGRESSION_PCT=10         allowed drop vs baseline, in percent
 #        GATE_BENCH_ARGS="--connections 16 --duration-s 5 --object-bytes 1024,4096"
@@ -22,7 +28,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-BASELINE=${1:-BENCH_PR6.json}
+BASELINE=${1:-BENCH_PR7.json}
 REGRESSION_PCT=${REGRESSION_PCT:-10}
 # Must mirror bench_report.sh's SERVER_BENCH_ARGS default: the committed
 # baseline was recorded with this workload.
@@ -84,5 +90,31 @@ print(f"bench_gate: baseline={baseline:.1f} req/s, floor={floor:.1f} "
       f"(-{allowed_pct:.0f}%), current={current:.1f} -> {verdict}")
 if current < floor:
     sys.exit(1)
+
+# Chaos SLO floors against the committed report (schema >= 6 baselines).
+chaos = None
+for suite in report.get("suites", []):
+    if suite.get("suite") == "bench_server_chaos":
+        chaos = suite
+        break
+if chaos is None:
+    print("bench_gate: baseline has no bench_server_chaos suite "
+          "(pre-schema-6); chaos SLO check skipped")
+elif chaos.get("skipped"):
+    sys.exit("bench_gate: baseline's chaos suite is marked skipped — "
+             "regenerate the report with a working chaos run")
+else:
+    availability = float(chaos.get("availability_pct") or 0)
+    durability = float(chaos.get("durability_pct") or 0)
+    degraded = int(chaos.get("degraded_reads") or 0)
+    print(f"bench_gate: chaos SLO availability={availability:.4f}% "
+          f"durability={durability:.4f}% degraded_reads={degraded}")
+    if availability < 99.9:
+        sys.exit("bench_gate: chaos availability below the 99.9% floor")
+    if durability < 100.0:
+        sys.exit("bench_gate: chaos durability below 100%")
+    if degraded <= 0:
+        sys.exit("bench_gate: chaos run recorded no degraded reads — the "
+                 "storm missed the data path, the SLO figures mean nothing")
 EOF
 echo "==> bench gate OK"

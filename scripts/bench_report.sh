@@ -6,23 +6,29 @@
 # report records the multi-core scaling curve next to the adaptation cost.
 # Schema 5 (PR 6) adds the `loops` field: event loops the server ran
 # (--loops; defaults to the shard count), the third scaling dimension.
+# Schema 6 (PR 7) adds a bench_server_chaos suite: the same loopback load
+# with a fault plan active (--chaos), recording the SLO fields —
+# availability_pct (non-5xx fraction), durability_pct (acked PUTs readable
+# after the storm), degraded_reads/reconstructions, and p99 under brownout.
 #
 # The output schema is an argument (--schema), not a hardcoded constant, so
 # the CI bench gate (scripts/bench_gate.sh) can parse reports from any PR;
 # RESULT lines are validated before their fields reach the JSON — a bench
 # that prints a malformed line is recorded as skipped, never as NaN soup.
+# Schemas < 6 omit the chaos suite entirely.
 #
 # Usage: scripts/bench_report.sh [--schema N|NAME/N] [output.json]
-#        (default schema: scalia-bench-report/5, output: BENCH_PR6.json)
+#        (default schema: scalia-bench-report/6, output: BENCH_PR7.json)
 # Env:   BUILD_DIR=build
 #        SERVER_BENCH_ARGS="--connections 16 --duration-s 5"  (override)
 #        OPTIMIZE_BENCH_ARGS="--optimize-every 1 --period-ms 500"  (override)
 #        SHARDED_BENCH_ARGS="--shards 8 --threads 8"  (override)
+#        CHAOS_BENCH_ARGS="--connections 8 --duration-s 8 --chaos bench/chaos_default.plan"
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-SCHEMA="scalia-bench-report/5"
+SCHEMA="scalia-bench-report/6"
 OUT=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -40,10 +46,13 @@ while [[ $# -gt 0 ]]; do
       OUT="$1"; shift ;;
   esac
 done
-OUT=${OUT:-BENCH_PR6.json}
+OUT=${OUT:-BENCH_PR7.json}
 SERVER_BENCH_ARGS=${SERVER_BENCH_ARGS:---connections 16 --duration-s 5 --object-bytes 1024,4096}
 OPTIMIZE_BENCH_ARGS=${OPTIMIZE_BENCH_ARGS:---optimize-every 1 --period-ms 500}
 SHARDED_BENCH_ARGS=${SHARDED_BENCH_ARGS:---shards 8 --threads 8}
+CHAOS_BENCH_ARGS=${CHAOS_BENCH_ARGS:---connections 8 --duration-s 8 --chaos bench/chaos_default.plan}
+# The chaos suite exists from schema 6 on.
+SCHEMA_N=${SCHEMA##*/}
 
 if [[ ! -d "$BUILD_DIR" ]]; then
   cmake -B "$BUILD_DIR" -S .
@@ -115,6 +124,23 @@ validate_result() {  # validate_result <result-line> -> 0 ok / 1 bad
   done
   return 0
 }
+# The chaos RESULT line carries the SLO fields on top of the standard ones.
+validate_chaos_result() {  # validate_chaos_result <result-line> -> 0 ok / 1 bad
+  local line=$1 key value
+  [[ "$line" == RESULT\ suite=bench_server_chaos* ]] || return 1
+  for key in requests elapsed_s req_per_s p50_us p95_us p99_us errors \
+             optimize_every migrations conflicts shards threads loops \
+             availability_pct durability_pct acked_objects unavailable \
+             degraded_reads reconstructions repairs faults_injected \
+             p99_storm_us; do
+    value=$(result_field "$line" "$key")
+    [[ "$value" =~ ^[0-9]+(\.[0-9]+)?$ ]] || {
+      echo "note: chaos RESULT field $key=\"$value\" is not numeric; run skipped" >&2
+      return 1
+    }
+  done
+  return 0
+}
 run_server_bench() {  # run_server_bench <extra-args...>; sets RESULT/MS
   local start
   start=$(now_ms)
@@ -152,6 +178,38 @@ emit_server_suite() {  # emit_server_suite <name> <result-line> <wall-ms>
     }
 EOF
 }
+# The chaos suite object: standard serving fields plus the SLO block.
+emit_chaos_suite() {  # emit_chaos_suite <result-line> <wall-ms>
+  local line=$1 wall=$2 skipped=false
+  [[ -z "$line" ]] && skipped=true
+  cat <<EOF
+    {
+      "suite": "bench_server_chaos",
+      "wall_ms": $wall,
+      "req_per_s": $(result_field "$line" req_per_s),
+      "p50_us": $(result_field "$line" p50_us),
+      "p95_us": $(result_field "$line" p95_us),
+      "p99_us": $(result_field "$line" p99_us),
+      "errors": $(result_field "$line" errors),
+      "optimize_every": $(result_field "$line" optimize_every),
+      "migrations": $(result_field "$line" migrations),
+      "conflicts": $(result_field "$line" conflicts),
+      "shards": $(result_field "$line" shards),
+      "threads": $(result_field "$line" threads),
+      "loops": $(result_field "$line" loops),
+      "availability_pct": $(result_field "$line" availability_pct),
+      "durability_pct": $(result_field "$line" durability_pct),
+      "acked_objects": $(result_field "$line" acked_objects),
+      "unavailable": $(result_field "$line" unavailable),
+      "degraded_reads": $(result_field "$line" degraded_reads),
+      "reconstructions": $(result_field "$line" reconstructions),
+      "repairs": $(result_field "$line" repairs),
+      "faults_injected": $(result_field "$line" faults_injected),
+      "p99_storm_us": $(result_field "$line" p99_storm_us),
+      "skipped": $skipped
+    }
+EOF
+}
 
 # shellcheck disable=SC2086
 run_server_bench $SERVER_BENCH_ARGS
@@ -168,6 +226,25 @@ SHARD_RESULT=$SERVER_RESULT; SHARD_MS=$SERVER_MS
 # shellcheck disable=SC2086
 run_server_bench $SERVER_BENCH_ARGS $SHARDED_BENCH_ARGS $OPTIMIZE_BENCH_ARGS
 SHARD_OPT_RESULT=$SERVER_RESULT; SHARD_OPT_MS=$SERVER_MS
+
+# --- bench_server_chaos (schema >= 6): the same loopback load with a fault
+# --- plan darkening/browning providers mid-run; validated against the
+# --- extended field list so a truncated SLO block records as skipped.
+CHAOS_SUITE_JSON=""
+if [[ "$SCHEMA_N" =~ ^[0-9]+$ ]] && (( SCHEMA_N >= 6 )); then
+  CHAOS_START=$(now_ms)
+  # shellcheck disable=SC2086
+  CHAOS_RESULT=$({ "$BUILD_DIR/bench/bench_server_throughput" $CHAOS_BENCH_ARGS || true; } \
+                 | grep '^RESULT ' || true)
+  CHAOS_MS=$(( $(now_ms) - CHAOS_START ))
+  if [[ -z "$CHAOS_RESULT" ]]; then
+    echo "note: chaos bench produced no RESULT line" >&2
+  elif ! validate_chaos_result "$CHAOS_RESULT"; then
+    CHAOS_RESULT=""
+  fi
+  CHAOS_SUITE_JSON=",
+$(emit_chaos_suite "$CHAOS_RESULT" "$CHAOS_MS")"
+fi
 
 # Shards-over-baseline speedup; meaningless (null) when either run skipped.
 SCALE_X=$(python3 - "$(result_field "$BASE_RESULT" req_per_s)" \
@@ -203,7 +280,7 @@ cat >"$OUT" <<EOF
 $(emit_server_suite bench_server_throughput "$BASE_RESULT" "$BASE_MS"),
 $(emit_server_suite bench_server_throughput_optimized "$OPT_RESULT" "$OPT_MS"),
 $(emit_server_suite bench_server_throughput_sharded "$SHARD_RESULT" "$SHARD_MS"),
-$(emit_server_suite bench_server_throughput_sharded_optimized "$SHARD_OPT_RESULT" "$SHARD_OPT_MS")
+$(emit_server_suite bench_server_throughput_sharded_optimized "$SHARD_OPT_RESULT" "$SHARD_OPT_MS")$CHAOS_SUITE_JSON
   ]
 }
 EOF

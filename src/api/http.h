@@ -47,6 +47,7 @@ class HeaderMap {
     return Find(name) != nullptr;
   }
   [[nodiscard]] std::size_t size() const noexcept { return headers_.size(); }
+  void Clear() noexcept { headers_.clear(); }
 
   [[nodiscard]] auto begin() const { return headers_.begin(); }
   [[nodiscard]] auto end() const { return headers_.end(); }

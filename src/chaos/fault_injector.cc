@@ -1,0 +1,139 @@
+#include "chaos/fault_injector.h"
+
+#include <algorithm>
+
+namespace scalia::chaos {
+
+FaultInjector::FaultInjector(FaultPlan plan, InjectorOptions options)
+    : plan_(std::move(plan)),
+      options_(options),
+      rng_(options.rng_seed != 0 ? options.rng_seed : plan_.seed() + 1) {}
+
+FaultInjector::HealthState& FaultInjector::StateLocked(
+    const provider::ProviderId& id) const {
+  return health_[id];
+}
+
+void FaultInjector::MaybeLiftQuarantineLocked(HealthState& state,
+                                              common::SimTime now) const {
+  if (state.quarantined_until != 0 && now >= state.quarantined_until) {
+    state.quarantined_until = 0;
+    state.ewma = 0.0;  // fresh slate; persistent faults re-build it quickly
+  }
+}
+
+provider::FaultVerdict FaultInjector::OnOp(const provider::ProviderId& id,
+                                           provider::OpKind op,
+                                           common::SimTime now) {
+  provider::FaultVerdict verdict;
+  std::lock_guard lock(mu_);
+  last_seen_now_ = std::max(last_seen_now_, now);
+  HealthState& state = StateLocked(id);
+  MaybeLiftQuarantineLocked(state, now);
+  if (plan_.IsDarkAt(id, now) || state.quarantined_until > now) {
+    verdict.unavailable = true;
+    ++faults_injected_;
+    return verdict;
+  }
+  if (const auto brownout = plan_.BrownoutAt(id, now)) {
+    verdict.latency_us = brownout->latency_ms * 1000;
+    // Brownout errors target the data path; metadata-ish Delete/List keep
+    // only the latency penalty.
+    const bool data_op =
+        op == provider::OpKind::kGet || op == provider::OpKind::kPut;
+    if (data_op && brownout->error_rate > 0.0) {
+      std::uniform_real_distribution<double> unit(0.0, 1.0);
+      if (unit(rng_) < brownout->error_rate) {
+        verdict.fail_op = true;
+        ++faults_injected_;
+      }
+    }
+  }
+  return verdict;
+}
+
+bool FaultInjector::IsDark(const provider::ProviderId& id,
+                           common::SimTime now) const {
+  if (plan_.IsDarkAt(id, now)) return true;
+  std::lock_guard lock(mu_);
+  last_seen_now_ = std::max(last_seen_now_, now);
+  HealthState& state = StateLocked(id);
+  MaybeLiftQuarantineLocked(state, now);
+  return state.quarantined_until > now;
+}
+
+void FaultInjector::RecordOutcome(const provider::ProviderId& id,
+                                  provider::OpKind /*op*/, bool ok) {
+  std::lock_guard lock(mu_);
+  HealthState& state = StateLocked(id);
+  if (state.quarantined_until > last_seen_now_) {
+    // Ops refused because of the quarantine itself must not feed the EWMA,
+    // or the provider could never recover.
+    return;
+  }
+  state.ewma = options_.ewma_alpha * (ok ? 0.0 : 1.0) +
+               (1.0 - options_.ewma_alpha) * state.ewma;
+  if (ok) {
+    ++state.ok_ops;
+  } else {
+    ++state.failed_ops;
+  }
+  if (!ok && state.ewma >= options_.quarantine_error_rate &&
+      state.quarantined_until == 0) {
+    state.quarantined_until = last_seen_now_ + options_.quarantine_s;
+  }
+}
+
+double FaultInjector::PriceMultiplier(const provider::ProviderId& id,
+                                      common::SimTime now) const {
+  return plan_.PriceMultiplierAt(id, now);
+}
+
+std::vector<provider::ProviderId> FaultInjector::UnhealthyProviders(
+    common::SimTime now) const {
+  std::vector<provider::ProviderId> out;
+  std::lock_guard lock(mu_);
+  last_seen_now_ = std::max(last_seen_now_, now);
+  for (auto& [id, state] : health_) {
+    MaybeLiftQuarantineLocked(state, now);
+    if (state.quarantined_until > now || plan_.IsDarkAt(id, now)) {
+      out.push_back(id);
+    }
+  }
+  // A provider the plan darkens may never have been contacted (no health
+  // entry yet); it is unhealthy all the same.
+  for (const auto& event : plan_.events()) {
+    if ((event.kind != FaultKind::kOutage &&
+         event.kind != FaultKind::kPartition) ||
+        !event.ActiveAt(now)) {
+      continue;
+    }
+    for (const auto& id : event.providers) {
+      if (std::find(out.begin(), out.end(), id) == out.end()) {
+        out.push_back(id);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ProviderHealth> FaultInjector::Health() const {
+  std::vector<ProviderHealth> out;
+  std::lock_guard lock(mu_);
+  out.reserve(health_.size());
+  for (const auto& [id, state] : health_) {
+    out.push_back({.id = id,
+                   .error_ewma = state.ewma,
+                   .ok_ops = state.ok_ops,
+                   .failed_ops = state.failed_ops,
+                   .quarantined = state.quarantined_until > last_seen_now_});
+  }
+  return out;
+}
+
+std::uint64_t FaultInjector::FaultsInjected() const {
+  std::lock_guard lock(mu_);
+  return faults_injected_;
+}
+
+}  // namespace scalia::chaos

@@ -1,0 +1,99 @@
+// FaultInjector: drives a FaultPlan through the live provider substrate.
+//
+// Implements provider::FaultHook, so one `registry.SetFaultHook(&injector)`
+// makes the engine, optimizer and billing all observe the same degraded
+// world: outages/partitions turn providers dark (placement avoids them,
+// degraded reads route around them), brownouts inject latency and Get/Put
+// errors, price shocks scale the specs the cost model and invoices read.
+//
+// Beyond replaying the plan, the injector *observes*: every provider-op
+// outcome feeds a per-provider error-rate EWMA.  When the EWMA crosses the
+// quarantine threshold the provider is treated as dark for a fixed spell —
+// the same signal a production health checker would emit — and
+// UnhealthyProviders() hands the optimizer the set to re-place away from via
+// the existing CAS-commit migration path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <random>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "provider/fault_hook.h"
+
+namespace scalia::chaos {
+
+struct InjectorOptions {
+  double ewma_alpha = 0.2;          // weight of the newest outcome
+  double quarantine_error_rate = 0.5;  // EWMA level that triggers quarantine
+  common::SimTime quarantine_s = 5;    // how long a quarantine spell lasts
+  std::uint64_t rng_seed = 0;          // 0: derive from the plan's seed
+};
+
+/// Observed health of one provider, for logs and tests.
+struct ProviderHealth {
+  provider::ProviderId id;
+  double error_ewma = 0.0;
+  std::uint64_t ok_ops = 0;
+  std::uint64_t failed_ops = 0;
+  bool quarantined = false;
+};
+
+class FaultInjector final : public provider::FaultHook {
+ public:
+  explicit FaultInjector(FaultPlan plan, InjectorOptions options = {});
+
+  // provider::FaultHook
+  provider::FaultVerdict OnOp(const provider::ProviderId& id,
+                              provider::OpKind op,
+                              common::SimTime now) override;
+  bool IsDark(const provider::ProviderId& id,
+              common::SimTime now) const override;
+  void RecordOutcome(const provider::ProviderId& id, provider::OpKind op,
+                     bool ok) override;
+  double PriceMultiplier(const provider::ProviderId& id,
+                         common::SimTime now) const override;
+
+  /// Providers to re-place away from at `now`: dark per plan or quarantined
+  /// by observed health.  The optimizer polls this each run.
+  [[nodiscard]] std::vector<provider::ProviderId> UnhealthyProviders(
+      common::SimTime now) const;
+
+  /// Health snapshot for every provider the injector has seen.
+  [[nodiscard]] std::vector<ProviderHealth> Health() const;
+
+  /// Total injected fault verdicts (darkness + brownout errors) so far.
+  [[nodiscard]] std::uint64_t FaultsInjected() const;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  struct HealthState {
+    double ewma = 0.0;
+    std::uint64_t ok_ops = 0;
+    std::uint64_t failed_ops = 0;
+    common::SimTime quarantined_until = 0;  // 0: not quarantined
+  };
+
+  /// Returns the state for `id`, creating it on first contact (mu_ held).
+  HealthState& StateLocked(const provider::ProviderId& id) const;
+
+  /// Expires a finished quarantine spell and resets the EWMA so the provider
+  /// gets a fresh chance (mu_ held).
+  void MaybeLiftQuarantineLocked(HealthState& state, common::SimTime now) const;
+
+  const FaultPlan plan_;
+  const InjectorOptions options_;
+
+  mutable std::mutex mu_;
+  mutable std::map<provider::ProviderId, HealthState> health_;
+  mutable std::mt19937_64 rng_;
+  std::uint64_t faults_injected_ = 0;  // guarded by mu_
+  // Clock high-water mark: RecordOutcome has no `now` param, so quarantine
+  // spells are stamped with the latest time any query has seen.
+  mutable common::SimTime last_seen_now_ = 0;
+};
+
+}  // namespace scalia::chaos

@@ -1,0 +1,282 @@
+#include "chaos/fault_plan.h"
+
+#include <algorithm>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+namespace scalia::chaos {
+namespace {
+
+/// Splits "a,b,c" into parts; empty parts are dropped.
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string part;
+  std::stringstream stream(s);
+  while (std::getline(stream, part, ',')) {
+    if (!part.empty()) out.push_back(part);
+  }
+  return out;
+}
+
+struct LineContext {
+  int number = 0;
+  common::Status Error(const std::string& what) const {
+    return common::Status::InvalidArgument("fault plan line " +
+                                           std::to_string(number) + ": " +
+                                           what);
+  }
+};
+
+/// Parses `key=value` operands into the event fields it recognizes.
+common::Status ApplyOperand(const LineContext& line, const std::string& token,
+                            FaultEvent& event) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return line.Error("expected key=value, got '" + token + "'");
+  }
+  const std::string key = token.substr(0, eq);
+  const std::string value = token.substr(eq + 1);
+  try {
+    if (key == "provider") {
+      event.providers = {value};
+    } else if (key == "providers") {
+      event.providers = SplitCommas(value);
+    } else if (key == "from") {
+      event.from = std::stoll(value);
+    } else if (key == "to") {
+      event.to = std::stoll(value);
+    } else if (key == "latency_ms") {
+      event.latency_ms = std::stoi(value);
+    } else if (key == "error_rate") {
+      event.error_rate = std::stod(value);
+    } else if (key == "multiplier") {
+      event.price_multiplier = std::stod(value);
+    } else {
+      return line.Error("unknown key '" + key + "'");
+    }
+  } catch (const std::exception&) {
+    return line.Error("bad value for '" + key + "': '" + value + "'");
+  }
+  return common::Status::Ok();
+}
+
+common::Status Validate(const LineContext& line, const FaultEvent& event) {
+  if (event.providers.empty()) return line.Error("no provider given");
+  if (event.to <= event.from) {
+    return line.Error("empty window [" + std::to_string(event.from) + ", " +
+                      std::to_string(event.to) + ")");
+  }
+  if (event.error_rate < 0.0 || event.error_rate > 1.0) {
+    return line.Error("error_rate outside [0, 1]");
+  }
+  if (event.latency_ms < 0) return line.Error("negative latency_ms");
+  if (event.price_multiplier <= 0.0) {
+    return line.Error("price multiplier must be positive");
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+bool FaultEvent::Covers(const provider::ProviderId& id) const {
+  return std::find(providers.begin(), providers.end(), id) != providers.end();
+}
+
+common::Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
+  FaultPlan plan;
+  std::stringstream stream(text);
+  std::string raw;
+  LineContext line;
+  while (std::getline(stream, raw)) {
+    ++line.number;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    std::stringstream tokens(raw);
+    std::string word;
+    if (!(tokens >> word)) continue;  // blank or comment-only line
+
+    if (word == "seed" || word.rfind("seed=", 0) == 0) {
+      std::string value;
+      if (word == "seed") {
+        std::string eq;
+        tokens >> eq;
+        if (eq == "=") {
+          tokens >> value;
+        } else if (eq.rfind('=', 0) == 0 && eq.size() > 1) {
+          value = eq.substr(1);  // `seed =N`
+        }
+      } else {
+        value = word.substr(5);  // compact `seed=N`
+      }
+      if (value.empty()) return line.Error("expected 'seed = N'");
+      try {
+        plan.seed_ = std::stoull(value);
+      } catch (const std::exception&) {
+        return line.Error("bad seed '" + value + "'");
+      }
+      continue;
+    }
+
+    FaultEvent event;
+    if (word == "outage") {
+      event.kind = FaultKind::kOutage;
+    } else if (word == "brownout") {
+      event.kind = FaultKind::kBrownout;
+    } else if (word == "partition") {
+      event.kind = FaultKind::kPartition;
+    } else if (word == "price_shock") {
+      event.kind = FaultKind::kPriceShock;
+    } else {
+      return line.Error("unknown directive '" + word + "'");
+    }
+    std::string token;
+    while (tokens >> token) {
+      if (auto s = ApplyOperand(line, token, event); !s.ok()) return s;
+    }
+    if (auto s = Validate(line, event); !s.ok()) return s;
+    plan.Add(std::move(event));
+  }
+  return plan;
+}
+
+common::Result<FaultPlan> FaultPlan::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return common::Status::InvalidArgument("cannot open fault plan: " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+FaultPlan FaultPlan::Generate(const RandomPlanConfig& config) {
+  FaultPlan plan;
+  plan.seed_ = config.seed;
+  if (config.providers.empty() || config.events <= 0 || config.horizon <= 0) {
+    return plan;
+  }
+  std::mt19937_64 rng(config.seed);
+  const common::SimTime slot =
+      std::max<common::SimTime>(1, config.horizon / config.events);
+  std::uniform_int_distribution<int> kind_die(0, 3);
+  std::uniform_int_distribution<std::size_t> provider_die(
+      0, config.providers.size() - 1);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int i = 0; i < config.events; ++i) {
+    const common::SimTime slot_start = i * slot;
+    if (slot_start >= config.horizon) break;
+    FaultEvent event;
+    event.kind = static_cast<FaultKind>(kind_die(rng));
+    event.providers = {config.providers[provider_die(rng)]};
+    // Jittered start and length, confined to the slot so outages never
+    // overlap each other: at most one provider is dark at any instant.
+    const auto jitter =
+        static_cast<common::SimTime>(unit(rng) * static_cast<double>(slot) / 2);
+    event.from = slot_start + jitter;
+    event.to = std::min<common::SimTime>(config.horizon,
+                                         event.from + std::max<common::SimTime>(
+                                                          1, slot - jitter));
+    switch (event.kind) {
+      case FaultKind::kBrownout:
+        event.latency_ms =
+            1 + static_cast<int>(unit(rng) * config.max_latency_ms);
+        event.error_rate = unit(rng) * config.max_error_rate;
+        break;
+      case FaultKind::kPriceShock:
+        event.price_multiplier = 1.0 + unit(rng) *
+                                           (config.max_price_multiplier - 1.0);
+        break;
+      case FaultKind::kPartition:
+        // Single-provider partition: same reachability effect as an outage
+        // but reported as its own kind for log realism.
+        break;
+      case FaultKind::kOutage:
+        break;
+    }
+    plan.Add(std::move(event));
+  }
+  return plan;
+}
+
+void FaultPlan::Add(FaultEvent event) { events_.push_back(std::move(event)); }
+
+bool FaultPlan::IsDarkAt(const provider::ProviderId& id,
+                         common::SimTime t) const {
+  for (const auto& e : events_) {
+    if ((e.kind == FaultKind::kOutage || e.kind == FaultKind::kPartition) &&
+        e.ActiveAt(t) && e.Covers(id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<BrownoutLevel> FaultPlan::BrownoutAt(
+    const provider::ProviderId& id, common::SimTime t) const {
+  std::optional<BrownoutLevel> level;
+  for (const auto& e : events_) {
+    if (e.kind == FaultKind::kBrownout && e.ActiveAt(t) && e.Covers(id)) {
+      if (!level) level.emplace();
+      level->latency_ms = std::max(level->latency_ms, e.latency_ms);
+      level->error_rate = std::max(level->error_rate, e.error_rate);
+    }
+  }
+  return level;
+}
+
+double FaultPlan::PriceMultiplierAt(const provider::ProviderId& id,
+                                    common::SimTime t) const {
+  double mult = 1.0;
+  for (const auto& e : events_) {
+    if (e.kind == FaultKind::kPriceShock && e.ActiveAt(t) && e.Covers(id)) {
+      mult *= e.price_multiplier;
+    }
+  }
+  return mult;
+}
+
+bool FaultPlan::AnyFaultActiveAt(common::SimTime t) const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [t](const FaultEvent& e) { return e.ActiveAt(t); });
+}
+
+FaultPlan FaultPlan::Shifted(common::SimTime delta) const {
+  FaultPlan shifted = *this;
+  for (auto& e : shifted.events_) {
+    e.from += delta;
+    e.to += delta;
+  }
+  return shifted;
+}
+
+common::SimTime FaultPlan::Horizon() const {
+  common::SimTime horizon = 0;
+  for (const auto& e : events_) horizon = std::max(horizon, e.to);
+  return horizon;
+}
+
+std::string FaultPlan::ToString() const {
+  std::stringstream out;
+  if (seed_ != 0) out << "seed = " << seed_ << "\n";
+  for (const auto& e : events_) {
+    out << FaultKindName(e.kind);
+    out << (e.providers.size() > 1 ? " providers=" : " provider=");
+    for (std::size_t i = 0; i < e.providers.size(); ++i) {
+      if (i > 0) out << ',';
+      out << e.providers[i];
+    }
+    out << " from=" << e.from << " to=" << e.to;
+    if (e.kind == FaultKind::kBrownout) {
+      out << " latency_ms=" << e.latency_ms << " error_rate=" << e.error_rate;
+    }
+    if (e.kind == FaultKind::kPriceShock) {
+      out << " multiplier=" << e.price_multiplier;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace scalia::chaos

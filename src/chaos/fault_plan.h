@@ -1,0 +1,144 @@
+// FaultPlan: a declarative schedule of provider faults.
+//
+// Extends provider::FailureSchedule's binary outage windows with the fault
+// classes multi-cloud deployments actually see (PAPERS.md, arXiv 1310.4919):
+//
+//   outage      — provider fully dark over [from, to)
+//   brownout    — provider up but degraded: injected latency on every op and
+//                 an error rate on Get/Put over [from, to)
+//   partition   — a provider *subset* unreachable over [from, to) (a regional
+//                 cut seen identically by every client of this process)
+//   price_shock — pricing multiplied over [from, to) (spot-market spike or
+//                 tariff change); placement and billing both see it
+//
+// Plans load from a flag-file (one directive per line, `key=value` operands,
+// `#` comments — a deliberately TOML-free subset so the parser needs no new
+// dependency) or are generated from a seed for randomized storms.  Times are
+// SimTime seconds relative to run start, matching the bench/daemon clocks.
+//
+//   seed = 42
+//   outage      provider=S3(l)      from=2 to=6
+//   brownout    provider=Azu        from=1 to=7 latency_ms=3 error_rate=0.15
+//   partition   providers=S3(h),RS  from=3 to=5
+//   price_shock provider=Ggl        from=2 to=8 multiplier=4.0
+//
+// The plan itself is immutable once built; all queries are const and
+// lock-free, so the hot provider-op path can consult it from any thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "provider/types.h"
+
+namespace scalia::chaos {
+
+enum class FaultKind { kOutage, kBrownout, kPartition, kPriceShock };
+
+[[nodiscard]] constexpr std::string_view FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kOutage: return "outage";
+    case FaultKind::kBrownout: return "brownout";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kPriceShock: return "price_shock";
+  }
+  return "?";
+}
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kOutage;
+  std::vector<provider::ProviderId> providers;  // one entry except partitions
+  common::SimTime from = 0;
+  common::SimTime to = 0;          // half-open [from, to)
+  int latency_ms = 0;              // brownout: injected per-op latency
+  double error_rate = 0.0;         // brownout: Get/Put failure probability
+  double price_multiplier = 1.0;   // price_shock
+
+  [[nodiscard]] bool ActiveAt(common::SimTime t) const noexcept {
+    return t >= from && t < to;
+  }
+  [[nodiscard]] bool Covers(const provider::ProviderId& id) const;
+};
+
+/// Active brownout parameters for one provider at one instant.
+struct BrownoutLevel {
+  int latency_ms = 0;
+  double error_rate = 0.0;
+};
+
+/// Knobs for the seeded random storm generator.  The generator carves the
+/// horizon into `events` equal slots and drops one fault (kind, provider,
+/// jittered start/length inside the slot) per slot, so at most one provider
+/// is ever dark at a time — a storm the placement math can survive, which is
+/// what a chaos run wants to assert.
+struct RandomPlanConfig {
+  std::uint64_t seed = 1;
+  std::vector<provider::ProviderId> providers;
+  common::SimTime horizon = 60;  // seconds
+  int events = 8;
+  int max_latency_ms = 5;
+  double max_error_rate = 0.3;
+  double max_price_multiplier = 5.0;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses the flag-file format above.  Fails InvalidArgument with a
+  /// line-numbered message on malformed input.
+  static common::Result<FaultPlan> Parse(const std::string& text);
+
+  /// Reads `path` and parses it.
+  static common::Result<FaultPlan> Load(const std::string& path);
+
+  /// Deterministic random storm from `config.seed`.
+  static FaultPlan Generate(const RandomPlanConfig& config);
+
+  void Add(FaultEvent event);
+
+  /// True when an outage or partition covers `id` at `t`.
+  [[nodiscard]] bool IsDarkAt(const provider::ProviderId& id,
+                              common::SimTime t) const;
+
+  /// Worst active brownout for `id` at `t` (max latency, max error rate
+  /// across overlapping events); nullopt when none.
+  [[nodiscard]] std::optional<BrownoutLevel> BrownoutAt(
+      const provider::ProviderId& id, common::SimTime t) const;
+
+  /// Product of active price-shock multipliers for `id` at `t`.
+  [[nodiscard]] double PriceMultiplierAt(const provider::ProviderId& id,
+                                         common::SimTime t) const;
+
+  /// True when any fault of any kind is active at `t` — the bench uses this
+  /// to split latency samples into calm vs. storm populations.
+  [[nodiscard]] bool AnyFaultActiveAt(common::SimTime t) const;
+
+  /// End of the last window; 0 for an empty plan.  After the horizon the
+  /// world is fully healed.
+  [[nodiscard]] common::SimTime Horizon() const;
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] bool Empty() const noexcept { return events_.empty(); }
+
+  /// Copy with every window moved `delta` seconds later.  Plans are written
+  /// relative to load start; the harness shifts them onto its absolute
+  /// clock once seeding is done and the storm may begin.
+  [[nodiscard]] FaultPlan Shifted(common::SimTime delta) const;
+
+  /// One-line-per-event rendering in the input format (diagnostics, logs).
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace scalia::chaos

@@ -98,7 +98,8 @@ PlacementDecision Engine::ChoosePlacement(
 
 common::Result<std::vector<StripeEntry>> Engine::WriteChunks(
     common::SimTime now, const PlacementDecision& decision,
-    const std::string& skey, const std::string& data) {
+    const std::string& skey, const std::string& data,
+    std::vector<provider::ProviderId>* failed_providers) {
   auto chunks = erasure::Chunker::Split(
       data, static_cast<std::size_t>(decision.m), decision.providers.size());
   if (!chunks.ok()) return chunks.status();
@@ -123,9 +124,15 @@ common::Result<std::vector<StripeEntry>> Engine::WriteChunks(
   } else {
     for (std::size_t i = 0; i < decision.providers.size(); ++i) write_one(i);
   }
-  for (const auto& s : statuses) {
-    if (!s.ok()) return s;
+  common::Status failure = common::Status::Ok();
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    if (statuses[i].ok()) continue;
+    if (failure.ok()) failure = statuses[i];
+    if (failed_providers != nullptr) {
+      failed_providers->push_back(decision.providers[i].id);
+    }
   }
+  if (!failure.ok()) return failure;
   return stripes;
 }
 
@@ -173,7 +180,8 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
       uuid = common::Uuid::Generate(uuid_rng_);
     }
     skey = MakeStorageKey(container, key, uuid);
-    auto written = WriteChunks(now, decision, skey, data);
+    std::vector<provider::ProviderId> failed_writes;
+    auto written = WriteChunks(now, decision, skey, data, &failed_writes);
     if (written.ok()) {
       stripes = std::move(*written);
       break;
@@ -191,18 +199,22 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
     if (written.status().code() != common::StatusCode::kUnavailable) {
       return written.status();
     }
-    // Identify newly faulty providers and retry without them.
+    // Identify newly faulty providers and retry without them.  A provider
+    // counts as faulty when it is dark (IsAvailable false) *or* when its
+    // chunk write failed even though it claims to be reachable — a brownout
+    // dropping a fraction of ops looks exactly like that.
     bool excluded_any = false;
+    auto exclude_id = [&](const provider::ProviderId& id) {
+      if (std::find(exclude.begin(), exclude.end(), id) == exclude.end()) {
+        exclude.push_back(id);
+        excluded_any = true;
+      }
+    };
     for (const auto& spec : decision.providers) {
       auto* store = registry_->Find(spec.id);
-      if (store != nullptr && !store->IsAvailable(now)) {
-        if (std::find(exclude.begin(), exclude.end(), spec.id) ==
-            exclude.end()) {
-          exclude.push_back(spec.id);
-          excluded_any = true;
-        }
-      }
+      if (store != nullptr && !store->IsAvailable(now)) exclude_id(spec.id);
     }
+    for (const auto& id : failed_writes) exclude_id(id);
     if (!excluded_any) return written.status();
   }
 
@@ -312,8 +324,11 @@ common::Result<Engine::VersionedMetadata> Engine::LoadMetadataVersioned(
 
 common::Result<std::string> Engine::ReadChunks(common::SimTime now,
                                                const ObjectMetadata& meta) {
-  // Rank stripe providers by read cost; fetch the m cheapest reachable,
-  // falling back to the rest ("other criteria can be considered").
+  // Rank stripe providers by read cost and fetch the m cheapest in one
+  // parallel wave ("other criteria can be considered").  Any miss — dark
+  // provider, brownout error, corrupt blob — degrades the read: the
+  // remaining n-m stripes are fanned out in parallel and the object is
+  // reconstructed inline from any k = m chunks.
   std::vector<provider::ProviderSpec> specs;
   std::vector<std::uint32_t> chunk_indices;
   for (const auto& stripe : meta.stripes) {
@@ -333,21 +348,61 @@ common::Result<std::string> Engine::ReadChunks(common::SimTime now,
   auto order = model.CheapestReadProviders(specs, static_cast<int>(specs.size()),
                                            chunk_gb);
 
-  std::vector<erasure::Chunk> chunks;
-  for (std::size_t rank : order) {
-    if (chunks.size() >= m) break;
-    auto* store = registry_->Find(specs[rank].id);
-    if (store == nullptr || !store->IsAvailable(now)) continue;
-    auto blob = store->Get(now, meta.ChunkKey(chunk_indices[rank]));
-    if (!blob.ok()) continue;
-    auto chunk = erasure::Chunk::Deserialize(*blob);
-    if (!chunk.ok()) continue;
-    chunks.push_back(std::move(*chunk));
+  std::vector<std::optional<erasure::Chunk>> fetched(order.size());
+  auto fetch_wave = [&](const std::vector<std::size_t>& wave) {
+    auto fetch_one = [&](std::size_t w) {
+      const std::size_t rank = wave[w];
+      auto* store = registry_->Find(specs[rank].id);
+      if (store == nullptr || !store->IsAvailable(now)) return;
+      auto blob = store->Get(now, meta.ChunkKey(chunk_indices[rank]));
+      if (!blob.ok()) return;
+      auto chunk = erasure::Chunk::Deserialize(*blob);
+      if (!chunk.ok()) return;
+      fetched[rank] = std::move(*chunk);
+    };
+    if (pool_ != nullptr && wave.size() > 1) {
+      pool_->ParallelFor(wave.size(), fetch_one);
+    } else {
+      for (std::size_t w = 0; w < wave.size(); ++w) fetch_one(w);
+    }
+  };
+
+  // Preferred wave: the m cheapest stripes.
+  std::vector<std::size_t> preferred(order.begin(),
+                                     order.begin() + static_cast<long>(m));
+  fetch_wave(preferred);
+
+  std::size_t have = 0;
+  for (const auto& c : fetched) have += c.has_value() ? 1 : 0;
+  const bool degraded = have < m;
+  if (degraded) {
+    // Degraded read: fan out to every stripe not yet fetched.
+    degraded_reads_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::size_t> fallback;
+    for (std::size_t rank : order) {
+      if (!fetched[rank].has_value()) fallback.push_back(rank);
+    }
+    fetch_wave(fallback);
+    have = 0;
+    for (const auto& c : fetched) have += c.has_value() ? 1 : 0;
+    if (have < m) {
+      return common::Status::Unavailable(
+          "only " + std::to_string(have) + " of required " +
+          std::to_string(m) + " chunks reachable");
+    }
   }
-  if (chunks.size() < m) {
-    return common::Status::Unavailable(
-        "only " + std::to_string(chunks.size()) + " of required " +
-        std::to_string(m) + " chunks reachable");
+
+  std::vector<erasure::Chunk> chunks;
+  chunks.reserve(have);
+  bool used_parity = false;
+  for (auto& c : fetched) {
+    if (!c.has_value()) continue;
+    if (chunks.size() >= m) break;
+    used_parity |= c->index >= static_cast<std::uint32_t>(meta.m);
+    chunks.push_back(std::move(*c));
+  }
+  if (degraded && used_parity) {
+    reconstructions_.fetch_add(1, std::memory_order_relaxed);
   }
   return erasure::Chunker::Join(chunks);
 }

@@ -8,6 +8,8 @@
 // per-object state, so a deployment scales by adding engines.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -149,6 +151,20 @@ class Engine : public EngineApi {
 
   [[nodiscard]] std::size_t PendingDeleteCount() const;
 
+  /// Monotonic counters for the degraded read path.  `degraded_reads` counts
+  /// GETs whose preferred chunk wave failed and that fell back to the k-of-n
+  /// fan-out; `reconstructions` counts the subset that decoded through a
+  /// parity chunk (a true Reed-Solomon rebuild, not just a re-route).
+  struct ReadPathCounters {
+    std::uint64_t degraded_reads = 0;
+    std::uint64_t reconstructions = 0;
+  };
+
+  [[nodiscard]] ReadPathCounters read_counters() const {
+    return {degraded_reads_.load(std::memory_order_relaxed),
+            reconstructions_.load(std::memory_order_relaxed)};
+  }
+
  private:
   /// Places a brand-new or re-placed object; honours class statistics for
   /// first placement (Fig. 6) and excludes `exclude` (faulty providers).
@@ -158,11 +174,17 @@ class Engine : public EngineApi {
       const std::vector<provider::ProviderId>& exclude) const;
 
   /// Writes the chunks of `data` per `decision`; returns stripe entries.
+  /// When `failed_providers` is non-null, providers whose chunk write failed
+  /// are appended to it (so Put's retry loop can exclude browned-out
+  /// providers that still claim to be reachable).
   common::Result<std::vector<StripeEntry>> WriteChunks(
       common::SimTime now, const PlacementDecision& decision,
-      const std::string& skey, const std::string& data);
+      const std::string& skey, const std::string& data,
+      std::vector<provider::ProviderId>* failed_providers = nullptr);
 
-  /// Fetches >= m chunks of `meta`, cheapest providers first.
+  /// Fetches >= m chunks of `meta`, cheapest providers first: a parallel
+  /// wave over the m preferred providers, then — on any miss — a degraded
+  /// k-of-n fan-out to every remaining stripe, reconstructing inline.
   common::Result<std::string> ReadChunks(common::SimTime now,
                                          const ObjectMetadata& meta);
 
@@ -218,6 +240,9 @@ class Engine : public EngineApi {
 
   mutable std::mutex pending_mu_;
   std::vector<PendingDelete> pending_deletes_;
+
+  std::atomic<std::uint64_t> degraded_reads_{0};
+  std::atomic<std::uint64_t> reconstructions_{0};
 };
 
 }  // namespace scalia::core

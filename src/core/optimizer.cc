@@ -140,16 +140,63 @@ OptimizationReport PeriodicOptimizer::RunInner(common::SimTime now) {
     for (std::size_t i = 0; i < workers.size(); ++i) process_shard(i);
   }
 
+  // Availability-driven re-placement (§III-D.3 under live faults): when a
+  // health source is attached and reports unhealthy providers, sweep the
+  // candidate set for objects with stripes there and rebuild them away via
+  // the CAS-commit repair path.  Trend gating does not apply — a dark
+  // provider is an emergency, not a workload drift.
+  std::atomic<std::size_t> repairs{0};
+  if (config_.provider_health) {
+    const std::vector<provider::ProviderId> unhealthy =
+        config_.provider_health(now);
+    if (!unhealthy.empty()) {
+      auto on_unhealthy = [&](const provider::ProviderId& id) {
+        return std::find(unhealthy.begin(), unhealthy.end(), id) !=
+               unhealthy.end();
+      };
+      auto repair_shard = [&](std::size_t worker_idx) {
+        Engine* engine = workers[worker_idx];
+        for (const std::string& row_key : shards[worker_idx]) {
+          auto meta = engine->LoadMetadata(now, row_key);
+          if (!meta.ok()) continue;
+          bool affected = false;
+          for (const auto& stripe : meta->stripes) {
+            affected = affected || on_unhealthy(stripe.provider);
+          }
+          if (!affected) continue;
+          const common::Status repaired = engine->RepairObject(now, row_key);
+          if (repaired.ok()) {
+            repairs.fetch_add(1, std::memory_order_relaxed);
+          } else if (repaired.code() == common::StatusCode::kConflict) {
+            conflicts.fetch_add(1, std::memory_order_relaxed);
+          } else if (repaired.code() != common::StatusCode::kNotFound &&
+                     repaired.code() != common::StatusCode::kUnavailable) {
+            // Unavailable means too few chunks were reachable to rebuild
+            // right now; the next sweep retries once the world heals a bit.
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      };
+      if (pool_ != nullptr && workers.size() > 1) {
+        pool_->ParallelFor(workers.size(), repair_shard);
+      } else {
+        for (std::size_t i = 0; i < workers.size(); ++i) repair_shard(i);
+      }
+    }
+  }
+
   report.trend_changes = trend_changes.load();
   report.recomputations = recomputations.load();
   report.migrations = migrations.load();
   report.conflicts = conflicts.load();
   report.errors = errors.load();
+  report.repairs = repairs.load();
   SCALIA_LOG(common::LogLevel::kInfo, "optimizer")
       << "leader=" << report.leader << " candidates=" << report.candidates
       << " trend_changes=" << report.trend_changes
       << " migrations=" << report.migrations
-      << " conflicts=" << report.conflicts << " errors=" << report.errors;
+      << " conflicts=" << report.conflicts << " repairs=" << report.repairs
+      << " errors=" << report.errors;
   return report;
 }
 

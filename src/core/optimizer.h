@@ -38,6 +38,14 @@ namespace scalia::core {
 struct OptimizerConfig {
   stats::TrendConfig trend;
   DecisionPeriodConfig decision_period;
+  /// Observed provider-health source — typically the chaos injector's
+  /// error-rate EWMA (chaos::FaultInjector::UnhealthyProviders), but any
+  /// health checker fits.  Returns the providers to re-place away from at
+  /// `now`; when set and non-empty, each run sweeps its candidates for
+  /// objects with stripes on unhealthy providers and repairs them through
+  /// the CAS-commit migration path.  Null disables the sweep.
+  std::function<std::vector<provider::ProviderId>(common::SimTime)>
+      provider_health;
 };
 
 struct OptimizationReport {
@@ -52,6 +60,9 @@ struct OptimizationReport {
   /// garbage-collected.
   std::size_t conflicts = 0;
   std::size_t errors = 0;            // migrations failed for other reasons
+  /// Objects rebuilt away from unhealthy providers by the availability
+  /// sweep (see OptimizerConfig::provider_health).
+  std::size_t repairs = 0;
 };
 
 class PeriodicOptimizer {

@@ -161,6 +161,7 @@ OptimizationReport ShardedEngine::RunOptimizationProcedure(
     merged.migrations += report.migrations;
     merged.conflicts += report.conflicts;
     merged.errors += report.errors;
+    merged.repairs += report.repairs;
   }
   return merged;
 }
@@ -207,6 +208,16 @@ cache::CacheStats ShardedEngine::CacheStats() const {
   cache::CacheStats total;
   for (const auto& shard : shards_) {
     if (shard->cache) total += shard->cache->Stats();
+  }
+  return total;
+}
+
+Engine::ReadPathCounters ShardedEngine::ReadCounters() const {
+  Engine::ReadPathCounters total;
+  for (const auto& shard : shards_) {
+    const auto counters = shard->engine->read_counters();
+    total.degraded_reads += counters.degraded_reads;
+    total.reconstructions += counters.reconstructions;
   }
   return total;
 }

@@ -146,6 +146,9 @@ class ShardedEngine : public EngineApi {
   /// Aggregate cache statistics across shards.
   [[nodiscard]] cache::CacheStats CacheStats() const;
 
+  /// Degraded-read-path counters summed across shards.
+  [[nodiscard]] Engine::ReadPathCounters ReadCounters() const;
+
   /// Objects tracked across all shard statistics databases.
   [[nodiscard]] std::size_t ObjectCount() const;
 

@@ -109,8 +109,25 @@ void RequestParser::Fail(int status, std::string message) {
   error_message_ = std::move(message);
 }
 
-bool RequestParser::ParseHeaderBlock(std::string_view block) {
-  pending_ = ParsedRequest{};
+namespace {
+
+/// Clears a scratch request in place: containers empty but keep their heap
+/// capacity (strings shrink lazily, maps drop nodes), so a keep-alive
+/// connection stops paying a fresh allocation set per request.
+void ResetScratch(ParsedRequest* out) {
+  out->request.method = api::HttpMethod::kGet;
+  out->request.path.clear();
+  out->request.query.clear();
+  out->request.headers.Clear();
+  out->request.body.clear();
+  out->keep_alive = true;
+}
+
+}  // namespace
+
+bool RequestParser::ParseHeaderBlock(std::string_view block,
+                                     ParsedRequest* out) {
+  ResetScratch(out);
 
   std::size_t line_end = block.find(kCrlf);
   if (line_end == std::string_view::npos) line_end = block.size();
@@ -149,7 +166,7 @@ bool RequestParser::ParseHeaderBlock(std::string_view block) {
     return false;
   }
 
-  pending_.request.method = *parsed_method;
+  out->request.method = *parsed_method;
   // The query string is split off and decoded here so the wire form matches
   // the in-process convention (path without query + decoded query map) the
   // request signature covers.  The path stays percent-encoded; decoding and
@@ -163,22 +180,22 @@ bool RequestParser::ParseHeaderBlock(std::string_view block) {
       Fail(400, "malformed query string: " + query.status().message());
       return false;
     }
-    pending_.request.query = std::move(query).value();
+    out->request.query = std::move(query).value();
   }
-  pending_.request.path = std::string(path);
+  out->request.path.assign(path);
   if (std::string err = ParseHeaderLines(block.substr(line_end),
-                                         &pending_.request.headers);
+                                         &out->request.headers);
       !err.empty()) {
     Fail(400, std::move(err));
     return false;
   }
 
-  if (pending_.request.headers.Contains("transfer-encoding")) {
+  if (out->request.headers.Contains("transfer-encoding")) {
     Fail(501, "transfer-encoding is not supported");
     return false;
   }
   body_length_ = 0;
-  if (const std::string* cl = pending_.request.headers.Find("content-length")) {
+  if (const std::string* cl = out->request.headers.Find("content-length")) {
     const auto length = ParseContentLength(*cl);
     if (!length) {
       Fail(400, "malformed content-length");
@@ -191,12 +208,12 @@ bool RequestParser::ParseHeaderBlock(std::string_view block) {
     }
     body_length_ = *length;
   }
-  pending_.keep_alive = KeepAliveFor(http_1_0, pending_.request.headers);
+  out->keep_alive = KeepAliveFor(http_1_0, out->request.headers);
   return true;
 }
 
-std::optional<ParsedRequest> RequestParser::Next() {
-  if (error_status_ != 0) return std::nullopt;
+bool RequestParser::Next(ParsedRequest* out) {
+  if (error_status_ != 0) return false;
 
   if (state_ == State::kHeaders) {
     const std::size_t block_end = buffer_.find(kHeaderEnd, consumed_);
@@ -205,27 +222,37 @@ std::optional<ParsedRequest> RequestParser::Next() {
         Fail(431, "request headers exceed " +
                       std::to_string(limits_.max_header_bytes) + " bytes");
       }
-      return std::nullopt;
+      return false;
     }
     const std::size_t block_size = block_end + kHeaderEnd.size() - consumed_;
     if (block_size > limits_.max_header_bytes) {
       Fail(431, "request headers exceed " +
                     std::to_string(limits_.max_header_bytes) + " bytes");
-      return std::nullopt;
+      return false;
     }
     if (!ParseHeaderBlock(
             std::string_view(buffer_).substr(consumed_, block_size -
-                                                            kHeaderEnd.size()))) {
-      return std::nullopt;
+                                                            kHeaderEnd.size()),
+            out)) {
+      return false;
     }
     consumed_ += block_size;
     state_ = State::kBody;
   }
 
-  if (buffered_bytes() < body_length_) return std::nullopt;
-  pending_.request.body = buffer_.substr(consumed_, body_length_);
+  if (buffered_bytes() < body_length_) return false;
+  // assign() reuses the scratch body's existing capacity; the old
+  // buffer_.substr() spelling allocated a fresh body string per request.
+  out->request.body.assign(buffer_, consumed_, body_length_);
   consumed_ += body_length_;
   state_ = State::kHeaders;
+  return true;
+}
+
+std::optional<ParsedRequest> RequestParser::Next() {
+  // Compatibility wrapper over the scratch-reusing overload; pending_ keeps
+  // the header state of a body still in flight between calls.
+  if (!Next(&pending_)) return std::nullopt;
   ParsedRequest done = std::move(pending_);
   pending_ = ParsedRequest{};
   return done;

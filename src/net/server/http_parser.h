@@ -54,6 +54,16 @@ class RequestParser {
   /// needed.  After a protocol error, always nullopt (see error_status).
   [[nodiscard]] std::optional<ParsedRequest> Next();
 
+  /// Allocation-reusing variant: parses the next complete request into
+  /// `*out`, clearing its strings/maps in place so their heap capacity is
+  /// reused across keep-alive requests (the serving loop keeps one scratch
+  /// ParsedRequest per connection).  Returns false when more bytes are
+  /// needed or after a protocol error.  A request whose body is still in
+  /// flight parks its header state in `*out`, so the caller must pass the
+  /// *same* scratch object until a request completes, and must not
+  /// interleave calls to the optional-returning Next().
+  [[nodiscard]] bool Next(ParsedRequest* out);
+
   /// 0 while the stream is healthy; otherwise the HTTP status the server
   /// should answer with before closing the connection.
   [[nodiscard]] int error_status() const noexcept { return error_status_; }
@@ -71,9 +81,9 @@ class RequestParser {
   enum class State { kHeaders, kBody };
 
   void Fail(int status, std::string message);
-  /// Parses the request line + header lines into pending_; returns false
-  /// after calling Fail().
-  bool ParseHeaderBlock(std::string_view block);
+  /// Parses the request line + header lines into `*out` (cleared in place
+  /// first); returns false after calling Fail().
+  bool ParseHeaderBlock(std::string_view block, ParsedRequest* out);
 
   ParserLimits limits_;
   std::string buffer_;

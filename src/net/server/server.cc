@@ -134,6 +134,10 @@ class HttpServer::EventLoop {
     std::uint64_t id = 0;
     int fd = -1;
     RequestParser parser;
+    /// Per-connection parse scratch: RequestParser::Next(&scratch) reuses
+    /// the strings/maps (and their heap capacity) across every keep-alive
+    /// request this connection serves.
+    ParsedRequest scratch;
     OutQueue outq;
     /// Write-side back-pressure deferred a dispatch; a complete request
     /// may still be buffered, so a peer EOF must not close the connection
@@ -432,8 +436,8 @@ class HttpServer::EventLoop {
         return;
       }
       conn.dispatch_deferred = false;
-      auto parsed = conn.parser.Next();
-      if (!parsed) {
+      const bool have_request = conn.parser.Next(&conn.scratch);
+      if (!have_request) {
         if (conn.parser.error_status() != 0) {
           stat_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
           api::HttpResponse error;
@@ -448,9 +452,10 @@ class HttpServer::EventLoop {
         return;
       }
 
+      ParsedRequest& parsed = conn.scratch;
       api::HttpResponse response;
       try {
-        response = server_->handler_(config().clock(), parsed->request);
+        response = server_->handler_(config().clock(), parsed.request);
       } catch (const std::exception& e) {
         response = api::HttpResponse{};
         response.status = 500;
@@ -464,7 +469,7 @@ class HttpServer::EventLoop {
       // §9.3.2): keep the length, drop the bytes — otherwise a kept-alive
       // client that rightly skips the body would desync on, e.g., a 404
       // error body.
-      if (parsed->request.method == api::HttpMethod::kHead &&
+      if (parsed.request.method == api::HttpMethod::kHead &&
           !response.body.empty()) {
         if (!response.headers.Contains("content-length")) {
           response.headers.Set("content-length",
@@ -472,12 +477,12 @@ class HttpServer::EventLoop {
         }
         response.body.clear();
       }
-      conn.outq.PushHead(SerializeResponseHead(response, parsed->keep_alive));
+      conn.outq.PushHead(SerializeResponseHead(response, parsed.keep_alive));
       conn.outq.PushBody(std::move(response.body));
       stat_requests_.fetch_add(1, std::memory_order_relaxed);
       conn.last_activity = std::chrono::steady_clock::now();
       MarkTickPending(conn);
-      if (!parsed->keep_alive) {
+      if (!parsed.keep_alive) {
         conn.close_after_flush = true;
         return;
       }

@@ -17,11 +17,26 @@ class FailureSchedule {
  public:
   FailureSchedule() = default;
 
-  /// Adds outage window [from, to).
+  /// Adds outage window [from, to).  Overlapping and adjacent windows are
+  /// merged on insert, so the stored list is always sorted and disjoint —
+  /// which is what makes the single forward pass in NextAvailable exact
+  /// (a jump can never land back inside an earlier window).
   void AddOutage(common::SimTime from, common::SimTime to) {
-    if (to <= from) return;
-    windows_.push_back({from, to});
-    std::sort(windows_.begin(), windows_.end());
+    if (to <= from) return;  // zero-length or inverted: no outage
+    Window merged{from, to};
+    std::vector<Window> out;
+    out.reserve(windows_.size() + 1);
+    for (const auto& w : windows_) {
+      if (w.to < merged.from || w.from > merged.to) {
+        out.push_back(w);  // strictly before or after, no touch
+      } else {
+        merged.from = std::min(merged.from, w.from);
+        merged.to = std::max(merged.to, w.to);
+      }
+    }
+    out.push_back(merged);
+    std::sort(out.begin(), out.end());
+    windows_ = std::move(out);
   }
 
   [[nodiscard]] bool IsAvailable(common::SimTime t) const noexcept {
@@ -33,7 +48,8 @@ class FailureSchedule {
   }
 
   /// Earliest time >= t at which the provider is available again; returns t
-  /// itself if already available.
+  /// itself if already available.  Windows are disjoint and sorted (merge on
+  /// insert), so one forward pass suffices.
   [[nodiscard]] common::SimTime NextAvailable(common::SimTime t) const {
     common::SimTime cur = t;
     for (const auto& w : windows_) {
@@ -43,6 +59,10 @@ class FailureSchedule {
   }
 
   [[nodiscard]] bool Empty() const noexcept { return windows_.empty(); }
+
+  [[nodiscard]] std::size_t WindowCount() const noexcept {
+    return windows_.size();
+  }
 
  private:
   struct Window {

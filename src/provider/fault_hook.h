@@ -1,0 +1,53 @@
+// FaultHook: the seam between the provider substrate and src/chaos/.
+//
+// A hook installed on the registry (and thereby on every store, including
+// ones registered later) gets to veto or degrade every provider operation:
+// full outages and partitions make a provider dark, brownouts inject latency
+// and a per-op error rate, and price shocks scale the spec pricing that the
+// optimizer and billing read.  The stores report each op outcome back so the
+// hook can maintain observed health (error-rate EWMA) — the signal the
+// optimizer's availability-driven re-placement consumes.
+//
+// The interface lives in provider/ (not chaos/) so the substrate never
+// depends on the chaos subsystem; src/chaos/fault_injector.h implements it.
+#pragma once
+
+#include "common/sim_time.h"
+#include "provider/spec.h"
+
+namespace scalia::provider {
+
+/// Operation classes a hook can distinguish (brownouts typically target the
+/// data path, i.e. Get/Put).
+enum class OpKind { kGet, kPut, kDelete, kList };
+
+/// Per-operation fault decision.
+struct FaultVerdict {
+  bool unavailable = false;  // provider dark: fail with Unavailable
+  bool fail_op = false;      // brownout error: this one op fails
+  int latency_us = 0;        // injected wall-clock latency for this op
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Decision for one operation about to run against `id` at `now`.
+  virtual FaultVerdict OnOp(const ProviderId& id, OpKind op,
+                            common::SimTime now) = 0;
+
+  /// Reachability consult with no operation attached (IsAvailable /
+  /// AvailableSpecs): true when the provider should be treated as dark.
+  virtual bool IsDark(const ProviderId& id, common::SimTime now) const = 0;
+
+  /// Outcome report for the health EWMA.  `ok` is false for injected faults
+  /// and for darkness; organic errors (NotFound, capacity) are not reported.
+  virtual void RecordOutcome(const ProviderId& id, OpKind op, bool ok) = 0;
+
+  /// Multiplier applied to `id`'s pricing at `now` (price shocks); 1.0 when
+  /// no shock is active.
+  virtual double PriceMultiplier(const ProviderId& id,
+                                 common::SimTime now) const = 0;
+};
+
+}  // namespace scalia::provider

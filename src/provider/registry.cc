@@ -19,8 +19,28 @@ common::Status ProviderRegistry::Register(ProviderSpec spec) {
   ProviderId id = spec.id;
   Entry entry;
   entry.store = std::make_unique<SimulatedProviderStore>(std::move(spec));
+  entry.store->SetFaultHook(fault_hook_);
   entries_.emplace_back(std::move(id), std::move(entry));
   return common::Status::Ok();
+}
+
+void ProviderRegistry::SetFaultHook(FaultHook* hook) {
+  std::lock_guard lock(mu_);
+  fault_hook_ = hook;
+  for (auto& [id, entry] : entries_) entry.store->SetFaultHook(hook);
+}
+
+ProviderSpec ProviderRegistry::ShockedSpec(const ProviderSpec& spec,
+                                           common::SimTime now) const {
+  if (fault_hook_ == nullptr) return spec;
+  const double mult = fault_hook_->PriceMultiplier(spec.id, now);
+  if (mult == 1.0) return spec;
+  ProviderSpec shocked = spec;
+  shocked.pricing.storage_gb_month *= mult;
+  shocked.pricing.bw_in_gb *= mult;
+  shocked.pricing.bw_out_gb *= mult;
+  shocked.pricing.ops_per_1000 *= mult;
+  return shocked;
 }
 
 common::Status ProviderRegistry::Unregister(const ProviderId& id) {
@@ -51,13 +71,22 @@ std::vector<ProviderSpec> ProviderRegistry::Specs() const {
   return out;
 }
 
+std::vector<ProviderSpec> ProviderRegistry::Specs(common::SimTime now) const {
+  std::lock_guard lock(mu_);
+  std::vector<ProviderSpec> out;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.registered) out.push_back(ShockedSpec(entry.store->spec(), now));
+  }
+  return out;
+}
+
 std::vector<ProviderSpec> ProviderRegistry::AvailableSpecs(
     common::SimTime now) const {
   std::lock_guard lock(mu_);
   std::vector<ProviderSpec> out;
   for (const auto& [id, entry] : entries_) {
     if (entry.registered && entry.store->IsAvailable(now)) {
-      out.push_back(entry.store->spec());
+      out.push_back(ShockedSpec(entry.store->spec(), now));
     }
   }
   return out;

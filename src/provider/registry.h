@@ -36,6 +36,11 @@ class ProviderRegistry {
   /// Snapshot of the currently registered specs, in registration order.
   [[nodiscard]] std::vector<ProviderSpec> Specs() const;
 
+  /// Same snapshot but priced at `now`: any active price shock from the
+  /// installed fault hook is applied to each spec's pricing, so billing and
+  /// cost reports see the shocked tariffs the optimizer places against.
+  [[nodiscard]] std::vector<ProviderSpec> Specs(common::SimTime now) const;
+
   /// Specs of providers registered *and* reachable at `now`; this is the
   /// P(obj) the placement algorithm sees during failures (§III-D.3: "Scalia
   /// will choose the best placement that does not include the faulty
@@ -45,14 +50,25 @@ class ProviderRegistry {
 
   [[nodiscard]] std::size_t Count() const;
 
+  /// Installs `hook` on every store (including ones registered later) and
+  /// applies its price multipliers to the spec snapshots above, so the
+  /// placement engine, optimizer and billing all price the same degraded
+  /// world.  Pass nullptr to uninstall.  The hook must outlive the registry.
+  void SetFaultHook(FaultHook* hook);
+
  private:
   struct Entry {
     std::unique_ptr<SimulatedProviderStore> store;
     bool registered = true;
   };
 
+  /// Returns `spec` with any active price shock applied (mu_ held).
+  [[nodiscard]] ProviderSpec ShockedSpec(const ProviderSpec& spec,
+                                         common::SimTime now) const;
+
   mutable std::mutex mu_;
   std::vector<std::pair<ProviderId, Entry>> entries_;
+  FaultHook* fault_hook_ = nullptr;  // guarded by mu_
 };
 
 }  // namespace scalia::provider

@@ -1,5 +1,8 @@
 #include "provider/store.h"
 
+#include <chrono>
+#include <thread>
+
 namespace scalia::provider {
 
 common::Status SimulatedProviderStore::CheckReachable(
@@ -8,13 +11,56 @@ common::Status SimulatedProviderStore::CheckReachable(
     return common::Status::Unavailable("provider " + spec_.id +
                                        " is unreachable");
   }
+  if (auto* hook = fault_hook_.load(std::memory_order_acquire);
+      hook != nullptr && hook->IsDark(spec_.id, now)) {
+    return common::Status::Unavailable("provider " + spec_.id +
+                                       " is dark (injected fault)");
+  }
   return common::Status::Ok();
+}
+
+common::Status SimulatedProviderStore::BeginOp(common::SimTime now,
+                                               OpKind op) const {
+  if (!failures_.IsAvailable(now)) {
+    // Scheduled outage window: report as a failed contact so observed health
+    // matches the degraded world.
+    if (auto* hook = fault_hook_.load(std::memory_order_acquire)) {
+      hook->RecordOutcome(spec_.id, op, /*ok=*/false);
+    }
+    return common::Status::Unavailable("provider " + spec_.id +
+                                       " is unreachable");
+  }
+  auto* hook = fault_hook_.load(std::memory_order_acquire);
+  if (hook == nullptr) return common::Status::Ok();
+  const FaultVerdict verdict = hook->OnOp(spec_.id, op, now);
+  if (verdict.latency_us > 0) {
+    // Brownout latency is wall-clock: it lands on whichever thread carries
+    // the chunk I/O, exactly like a slow provider would.
+    std::this_thread::sleep_for(std::chrono::microseconds(verdict.latency_us));
+  }
+  if (verdict.unavailable) {
+    hook->RecordOutcome(spec_.id, op, /*ok=*/false);
+    return common::Status::Unavailable("provider " + spec_.id +
+                                       " is dark (injected fault)");
+  }
+  if (verdict.fail_op) {
+    hook->RecordOutcome(spec_.id, op, /*ok=*/false);
+    return common::Status::Unavailable("provider " + spec_.id +
+                                       " request failed (injected brownout)");
+  }
+  return common::Status::Ok();
+}
+
+void SimulatedProviderStore::EndOp(OpKind op, bool ok) const {
+  if (auto* hook = fault_hook_.load(std::memory_order_acquire)) {
+    hook->RecordOutcome(spec_.id, op, ok);
+  }
 }
 
 common::Status SimulatedProviderStore::Put(common::SimTime now,
                                            const std::string& key,
                                            std::string blob) {
-  if (auto s = CheckReachable(now); !s.ok()) return s;
+  if (auto s = BeginOp(now, OpKind::kPut); !s.ok()) return s;
   if (spec_.max_chunk_size && blob.size() > *spec_.max_chunk_size) {
     return common::Status::InvalidArgument(
         "blob exceeds max chunk size of provider " + spec_.id);
@@ -41,28 +87,34 @@ common::Status SimulatedProviderStore::Put(common::SimTime now,
     meter_.RecordPut(now, blob_size);
     meter_.SetStoredBytes(now, stored_bytes_);
   }
+  EndOp(OpKind::kPut, true);
   return common::Status::Ok();
 }
 
 common::Result<std::string> SimulatedProviderStore::Get(
     common::SimTime now, const std::string& key) {
-  if (auto s = CheckReachable(now); !s.ok()) return s;
+  if (auto s = BeginOp(now, OpKind::kGet); !s.ok()) return s;
   std::lock_guard lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
+    // NotFound is an organic answer, not a provider failure: the provider
+    // responded, so health-wise this contact succeeded.
+    EndOp(OpKind::kGet, true);
     return common::Status::NotFound("key " + key + " not at provider " +
                                     spec_.id);
   }
   meter_.RecordGet(now, static_cast<common::Bytes>(it->second.size()));
+  EndOp(OpKind::kGet, true);
   return it->second;
 }
 
 common::Status SimulatedProviderStore::Delete(common::SimTime now,
                                               const std::string& key) {
-  if (auto s = CheckReachable(now); !s.ok()) return s;
+  if (auto s = BeginOp(now, OpKind::kDelete); !s.ok()) return s;
   std::lock_guard lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
+    EndOp(OpKind::kDelete, true);
     return common::Status::NotFound("key " + key + " not at provider " +
                                     spec_.id);
   }
@@ -70,12 +122,13 @@ common::Status SimulatedProviderStore::Delete(common::SimTime now,
   objects_.erase(it);
   meter_.RecordOp(now);
   meter_.SetStoredBytes(now, stored_bytes_);
+  EndOp(OpKind::kDelete, true);
   return common::Status::Ok();
 }
 
 common::Result<std::vector<std::string>> SimulatedProviderStore::List(
     common::SimTime now, const std::string& prefix) {
-  if (auto s = CheckReachable(now); !s.ok()) return s;
+  if (auto s = BeginOp(now, OpKind::kList); !s.ok()) return s;
   std::lock_guard lock(mu_);
   std::vector<std::string> keys;
   for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
@@ -83,6 +136,7 @@ common::Result<std::vector<std::string>> SimulatedProviderStore::List(
     keys.push_back(it->first);
   }
   meter_.RecordOp(now);
+  EndOp(OpKind::kList, true);
   return keys;
 }
 

@@ -8,6 +8,7 @@
 // real.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <string>
@@ -15,6 +16,7 @@
 
 #include "common/status.h"
 #include "provider/failure.h"
+#include "provider/fault_hook.h"
 #include "provider/spec.h"
 #include "provider/usage_meter.h"
 
@@ -34,7 +36,18 @@ class SimulatedProviderStore {
   [[nodiscard]] const UsageMeter& meter() const noexcept { return meter_; }
 
   [[nodiscard]] bool IsAvailable(common::SimTime now) const {
-    return failures_.IsAvailable(now);
+    if (!failures_.IsAvailable(now)) return false;
+    if (auto* hook = fault_hook_.load(std::memory_order_acquire)) {
+      return !hook->IsDark(spec_.id, now);
+    }
+    return true;
+  }
+
+  /// Installs (or clears, with nullptr) the fault hook consulted on every
+  /// operation.  Normally installed registry-wide via
+  /// ProviderRegistry::SetFaultHook; the hook must outlive the store.
+  void SetFaultHook(FaultHook* hook) {
+    fault_hook_.store(hook, std::memory_order_release);
   }
 
   /// Stores `blob` under `key`.  Fails Unavailable during an outage window,
@@ -59,8 +72,17 @@ class SimulatedProviderStore {
  private:
   common::Status CheckReachable(common::SimTime now) const;
 
+  /// Consults the fault hook for one op: applies injected latency, reports
+  /// darkness/brownout failures to the health EWMA, and returns the status
+  /// the op must fail with (Ok to proceed).
+  common::Status BeginOp(common::SimTime now, OpKind op) const;
+
+  /// Reports a completed (non-injected-fault) op outcome to the hook.
+  void EndOp(OpKind op, bool ok) const;
+
   ProviderSpec spec_;
   FailureSchedule failures_;
+  std::atomic<FaultHook*> fault_hook_{nullptr};
   UsageMeter meter_;
   mutable std::mutex mu_;
   std::map<std::string, std::string> objects_;

@@ -1,0 +1,155 @@
+// TSan suite: degraded reads raced against writers while a provider goes
+// dark mid-flight (the fault hook is installed registry-wide *during* the
+// run, exercising the store's atomic hook seam under load).
+//
+// Invariants checked:
+//   - every response is well-formed: an acked write is never answered with
+//     another object's bytes, and the final audit finds every acked write
+//     readable even with the provider still dark (degraded k-of-n reads);
+//   - no data race anywhere on the hook install / injector health paths
+//     (the point of running this under verify.sh --tsan; the name carries
+//     "Race" so the TSan pass selects it).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/fault_injector.h"
+#include "core/sharded_engine.h"
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+constexpr int kWriters = 3;
+constexpr int kReaders = 3;
+constexpr int kKeysPerWriter = 4;
+constexpr int kWritesPerWriter = 40;
+
+std::string KeyOf(int writer, int key) {
+  return "w" + std::to_string(writer) + "-k" + std::to_string(key);
+}
+
+TEST(DegradedReadRaceTest, WritersAndReadersSurviveMidFlightDarkness) {
+  provider::ProviderRegistry registry;
+  std::size_t remaining = 3;
+  for (auto& spec : provider::PaperCatalog()) {
+    if (remaining-- == 0) break;
+    ASSERT_TRUE(registry.Register(std::move(spec)).ok());
+  }
+  common::ThreadPool pool(4);
+  ShardedEngineConfig config;
+  config.num_shards = 2;
+  config.enable_cache = false;  // every read must traverse the chunk path
+  config.engine.default_rule =
+      StorageRule{.name = "default",
+                  .durability = 0.999999,
+                  .availability = 0.9999,
+                  .allowed_zones = provider::ZoneSet::All(),
+                  .lockin = 1.0,
+                  .ttl_hint = std::nullopt};
+  ShardedEngine engine(config, &registry, &pool);
+
+  // Seed every key so readers always have something to fetch.  "sentinel"
+  // is never rewritten: its placement predates the storm, so the final
+  // audit is guaranteed at least one degraded read.
+  const std::string seed_body(40 * common::kKB, 's');
+  for (int w = 0; w < kWriters; ++w) {
+    for (int k = 0; k < kKeysPerWriter; ++k) {
+      ASSERT_TRUE(engine.Put(1, "b", KeyOf(w, k), seed_body, "bin").ok());
+    }
+  }
+  ASSERT_TRUE(engine.Put(1, "b", "sentinel", seed_body, "bin").ok());
+
+  // Last body each writer saw acked, per key.  Written only by the owning
+  // writer thread, read after join.
+  std::vector<std::vector<std::string>> acked(
+      kWriters, std::vector<std::string>(kKeysPerWriter, seed_body));
+
+  std::atomic<bool> writers_done{false};
+  std::atomic<common::SimTime> clock{2};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kWritesPerWriter; ++i) {
+        const int k = i % kKeysPerWriter;
+        const std::string body(30 * common::kKB + i,
+                               static_cast<char>('a' + (i % 26)));
+        const common::SimTime now = clock.fetch_add(1) + 1;
+        if (engine.Put(now, "b", KeyOf(w, k), body, "bin").ok()) {
+          acked[w][k] = body;
+        }
+      }
+    });
+  }
+  std::atomic<std::uint64_t> read_attempts{0};
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      std::uint64_t i = static_cast<std::uint64_t>(r);
+      while (!writers_done.load(std::memory_order_relaxed)) {
+        const int w = static_cast<int>(i % kWriters);
+        const int k = static_cast<int>((i / kWriters) % kKeysPerWriter);
+        const common::SimTime now = clock.load(std::memory_order_relaxed);
+        // Transient failures are tolerated (a write may be mid-commit, the
+        // storm mid-install); torn or foreign bytes are not.
+        if (auto got = engine.Get(now, "b", KeyOf(w, k)); got.ok()) {
+          EXPECT_FALSE(got->empty());
+        }
+        read_attempts.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+
+  // Mid-flight: darken one provider for the rest of the run, installed
+  // while writers and readers are live.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto sentinel_meta =
+      engine.LoadMetadata(clock.load(), MakeRowKey("b", "sentinel"));
+  ASSERT_TRUE(sentinel_meta.ok());
+  chaos::FaultPlan plan;
+  chaos::FaultEvent outage;
+  outage.kind = chaos::FaultKind::kOutage;
+  outage.providers = {sentinel_meta->stripes.front().provider};
+  outage.from = 0;
+  outage.to = 1000000;
+  plan.Add(std::move(outage));
+  chaos::InjectorOptions options;
+  options.quarantine_error_rate = 2.0;  // plan darkness only
+  auto injector = std::make_unique<chaos::FaultInjector>(std::move(plan),
+                                                         options);
+  registry.SetFaultHook(injector.get());
+
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  writers_done.store(true, std::memory_order_relaxed);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+  EXPECT_GT(read_attempts.load(), 0u);
+
+  // Audit with the provider STILL dark: every acked write must read back
+  // exactly — this is what the degraded k-of-n path guarantees.
+  const common::SimTime audit_now = clock.load() + 1;
+  for (int w = 0; w < kWriters; ++w) {
+    for (int k = 0; k < kKeysPerWriter; ++k) {
+      auto got = engine.Get(audit_now, "b", KeyOf(w, k));
+      ASSERT_TRUE(got.ok())
+          << KeyOf(w, k) << ": " << got.status().ToString();
+      EXPECT_EQ(*got, acked[w][k]) << KeyOf(w, k);
+    }
+  }
+  auto sentinel = engine.Get(audit_now, "b", "sentinel");
+  ASSERT_TRUE(sentinel.ok()) << sentinel.status().ToString();
+  EXPECT_EQ(*sentinel, seed_body);
+  const auto counters = engine.ReadCounters();
+  EXPECT_GT(counters.degraded_reads, 0u)
+      << "the dark provider never forced a degraded read — the storm "
+         "missed the data path";
+  registry.SetFaultHook(nullptr);
+}
+
+}  // namespace
+}  // namespace scalia::core

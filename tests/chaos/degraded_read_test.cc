@@ -1,0 +1,225 @@
+// Degraded k-of-n reads under injected faults, and the availability-driven
+// re-placement sweep (the chaos tentpole's serving-path guarantees).
+//
+// The world mirrors the chaos bench: the first three catalog providers, the
+// default rule (availability 0.9999 against per-provider 0.999), so every
+// feasible placement has n >= m+1 and a single dark provider never blocks a
+// read — it only forces the engine down the degraded fan-out path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chaos/fault_injector.h"
+#include "core/engine.h"
+#include "core/sharded_engine.h"
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+StorageRule DefaultRule() {
+  return StorageRule{.name = "default",
+                     .durability = 0.999999,
+                     .availability = 0.9999,
+                     .allowed_zones = provider::ZoneSet::All(),
+                     .lockin = 1.0,
+                     .ttl_hint = std::nullopt};
+}
+
+void RegisterChaosWorld(provider::ProviderRegistry& registry) {
+  std::size_t remaining = 3;
+  for (auto& spec : provider::PaperCatalog()) {
+    if (remaining-- == 0) break;
+    ASSERT_TRUE(registry.Register(std::move(spec)).ok());
+  }
+}
+
+chaos::FaultPlan OutagePlan(const provider::ProviderId& id,
+                            common::SimTime from, common::SimTime to) {
+  chaos::FaultPlan plan;
+  chaos::FaultEvent event;
+  event.kind = chaos::FaultKind::kOutage;
+  event.providers = {id};
+  event.from = from;
+  event.to = to;
+  plan.Add(std::move(event));
+  return plan;
+}
+
+/// Quarantine disabled: these tests schedule darkness explicitly and must
+/// not have observed-health spells extend it past the plan window.
+chaos::InjectorOptions NoQuarantine() {
+  chaos::InjectorOptions options;
+  options.quarantine_error_rate = 2.0;  // EWMA can never reach it
+  return options;
+}
+
+class DegradedReadTest : public ::testing::Test {
+ protected:
+  DegradedReadTest()
+      : db_(1),
+        stats_db_(&db_, 0),
+        cache_(16 * common::kMiB, nullptr),
+        agent_(&aggregator_),
+        pool_(2) {
+    RegisterChaosWorld(registry_);
+    EngineConfig config;
+    config.default_rule = DefaultRule();
+    engine_ = std::make_unique<Engine>("e0", &registry_, &db_, 0, &cache_,
+                                       &stats_db_, &agent_, &pool_, config,
+                                       /*seed=*/11);
+  }
+
+  provider::ProviderRegistry registry_;
+  store::ReplicatedStore db_;
+  stats::StatsDb stats_db_;
+  cache::CacheLayer cache_;
+  stats::LogAggregator aggregator_;
+  stats::LogAgent agent_;
+  common::ThreadPool pool_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(DegradedReadTest, DarkDataChunkProviderForcesReconstruction) {
+  const std::string data(100 * common::kKB, 'x');
+  ASSERT_TRUE(engine_->Put(0, "b", "obj", data, "image/png").ok());
+  auto meta = engine_->LoadMetadata(0, MakeRowKey("b", "obj"));
+  ASSERT_TRUE(meta.ok());
+  ASSERT_GT(meta->stripes.size(), static_cast<std::size_t>(meta->m))
+      << "rule must force n >= m+1 for this test to mean anything";
+
+  // Darken a provider holding a *data* chunk: any m surviving chunks then
+  // necessarily include parity, so the read must reconstruct.
+  const auto data_stripe = std::find_if(
+      meta->stripes.begin(), meta->stripes.end(), [&](const auto& s) {
+        return s.chunk_index < static_cast<std::uint32_t>(meta->m);
+      });
+  ASSERT_NE(data_stripe, meta->stripes.end());
+  chaos::FaultInjector injector(OutagePlan(data_stripe->provider, 10, 20),
+                                NoQuarantine());
+  registry_.SetFaultHook(&injector);
+
+  cache_.cache().Clear();
+  auto got = engine_->Get(15, "b", "obj");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, data);
+  EXPECT_EQ(engine_->read_counters().degraded_reads, 1u);
+  EXPECT_EQ(engine_->read_counters().reconstructions, 1u);
+
+  // After the window the same read is clean again: counters stay put.
+  cache_.cache().Clear();
+  ASSERT_TRUE(engine_->Get(25, "b", "obj").ok());
+  EXPECT_EQ(engine_->read_counters().degraded_reads, 1u);
+  EXPECT_EQ(engine_->read_counters().reconstructions, 1u);
+}
+
+TEST_F(DegradedReadTest, AnySingleDarkProviderStillServesTheObject) {
+  const std::string data(100 * common::kKB, 'y');
+  ASSERT_TRUE(engine_->Put(0, "b", "obj", data, "image/png").ok());
+  auto meta = engine_->LoadMetadata(0, MakeRowKey("b", "obj"));
+  ASSERT_TRUE(meta.ok());
+
+  // Whichever single stripe member goes dark — data or parity — the read
+  // still answers with the exact bytes.
+  common::SimTime window_start = 100;
+  for (const auto& stripe : meta->stripes) {
+    chaos::FaultInjector injector(
+        OutagePlan(stripe.provider, window_start, window_start + 10),
+        NoQuarantine());
+    registry_.SetFaultHook(&injector);
+    cache_.cache().Clear();
+    auto got = engine_->Get(window_start + 5, "b", "obj");
+    ASSERT_TRUE(got.ok()) << stripe.provider << ": "
+                          << got.status().ToString();
+    EXPECT_EQ(*got, data) << stripe.provider;
+    window_start += 100;
+  }
+  registry_.SetFaultHook(nullptr);
+}
+
+TEST_F(DegradedReadTest, CleanReadsLeaveCountersUntouched) {
+  const std::string data(64 * common::kKB, 'z');
+  ASSERT_TRUE(engine_->Put(0, "b", "obj", data, "image/png").ok());
+  cache_.cache().Clear();
+  ASSERT_TRUE(engine_->Get(1, "b", "obj").ok());
+  EXPECT_EQ(engine_->read_counters().degraded_reads, 0u);
+  EXPECT_EQ(engine_->read_counters().reconstructions, 0u);
+}
+
+TEST(AvailabilitySweepTest, OptimizerRepairsAwayFromDarkProvider) {
+  provider::ProviderRegistry registry;
+  RegisterChaosWorld(registry);
+  common::ThreadPool pool(4);
+
+  // The injector is created after the engine (the plan darkens a provider
+  // chosen from actual placements), so the health callback indirects.
+  std::unique_ptr<chaos::FaultInjector> injector;
+  ShardedEngineConfig config;
+  config.num_shards = 2;
+  config.enable_cache = false;  // reads must hit chunks, not the cache
+  config.engine.default_rule = DefaultRule();
+  config.optimizer.provider_health =
+      [&injector](common::SimTime now) {
+        return injector ? injector->UnhealthyProviders(now)
+                        : std::vector<provider::ProviderId>{};
+      };
+  ShardedEngine engine(config, &registry, &pool);
+
+  const std::string data(80 * common::kKB, 'r');
+  constexpr int kObjects = 6;
+  for (int i = 0; i < kObjects; ++i) {
+    const std::string key = "obj" + std::to_string(i);
+    ASSERT_TRUE(engine.Put(0, "b", key, data, "image/png").ok());
+    ASSERT_TRUE(engine.Get(1, "b", key).ok());  // access => sweep candidate
+  }
+
+  // Prime the trend state with a healthy-world run: a first-ever optimizer
+  // pass sees every object's trend "change" and migrates it, which would
+  // fix placements before the sweep even looks.  After priming, steady
+  // traffic keeps trends flat and only the availability sweep can act.
+  engine.EndSamplingPeriod(2);
+  (void)engine.RunOptimizationProcedure(2);
+  for (int i = 0; i < kObjects; ++i) {
+    ASSERT_TRUE(engine.Get(3, "b", "obj" + std::to_string(i)).ok());
+  }
+
+  // Find a provider that actually holds chunks, then darken it for a long
+  // window so the sweep (not the window's end) must fix the reads.
+  auto meta = engine.LoadMetadata(4, MakeRowKey("b", "obj0"));
+  ASSERT_TRUE(meta.ok());
+  const provider::ProviderId dark = meta->stripes.front().provider;
+  injector = std::make_unique<chaos::FaultInjector>(
+      OutagePlan(dark, 5, 1000000), NoQuarantine());
+  registry.SetFaultHook(injector.get());
+
+  engine.EndSamplingPeriod(10);
+  const auto report = engine.RunOptimizationProcedure(10);
+  EXPECT_GT(report.repairs, 0u)
+      << "sweep did not rebuild any placement (candidates="
+      << report.candidates << " conflicts=" << report.conflicts
+      << " migrations=" << report.migrations << " errors=" << report.errors
+      << " leader=" << report.leader << ")";
+  EXPECT_EQ(report.errors, 0u);
+
+  // Every object now reads degradation-free with the provider still dark,
+  // and no stripe references it anymore.
+  const auto before = engine.ReadCounters();
+  for (int i = 0; i < kObjects; ++i) {
+    const std::string key = "obj" + std::to_string(i);
+    auto got = engine.Get(20, "b", key);
+    ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+    EXPECT_EQ(*got, data);
+    auto repaired = engine.LoadMetadata(20, MakeRowKey("b", key));
+    ASSERT_TRUE(repaired.ok());
+    for (const auto& stripe : repaired->stripes) {
+      EXPECT_NE(stripe.provider, dark) << key;
+    }
+  }
+  const auto after = engine.ReadCounters();
+  EXPECT_EQ(after.degraded_reads, before.degraded_reads)
+      << "post-repair reads should not be degraded";
+  registry.SetFaultHook(nullptr);
+}
+
+}  // namespace
+}  // namespace scalia::core

@@ -1,0 +1,108 @@
+// FaultInjector verdicts, the health EWMA, and quarantine entry/recovery.
+#include <gtest/gtest.h>
+
+#include "chaos/fault_injector.h"
+
+namespace scalia::chaos {
+namespace {
+
+using provider::OpKind;
+
+FaultPlan MustParse(const std::string& text) {
+  auto plan = FaultPlan::Parse(text);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+TEST(FaultInjectorTest, OutageYieldsUnavailableVerdictsInsideTheWindow) {
+  FaultInjector injector(MustParse("outage provider=X from=5 to=10\n"));
+  EXPECT_FALSE(injector.OnOp("X", OpKind::kGet, 4).unavailable);
+  const auto verdict = injector.OnOp("X", OpKind::kGet, 5);
+  EXPECT_TRUE(verdict.unavailable);
+  EXPECT_FALSE(verdict.fail_op);
+  EXPECT_TRUE(injector.IsDark("X", 7));
+  EXPECT_FALSE(injector.IsDark("X", 10));  // half-open
+  EXPECT_FALSE(injector.IsDark("Y", 7));
+  EXPECT_EQ(injector.FaultsInjected(), 1u);
+}
+
+TEST(FaultInjectorTest, BrownoutInjectsLatencyAlwaysAndErrorsOnDataOps) {
+  // error_rate=1.0 makes the coin deterministic.
+  FaultInjector injector(MustParse(
+      "brownout provider=X from=0 to=10 latency_ms=3 error_rate=1.0\n"));
+  const auto get = injector.OnOp("X", OpKind::kGet, 1);
+  EXPECT_FALSE(get.unavailable);
+  EXPECT_TRUE(get.fail_op);
+  EXPECT_EQ(get.latency_us, 3000);
+  // Delete/List keep the latency penalty but never the injected error.
+  const auto del = injector.OnOp("X", OpKind::kDelete, 1);
+  EXPECT_FALSE(del.fail_op);
+  EXPECT_EQ(del.latency_us, 3000);
+  // A browned-out provider is not dark: placement may still choose it.
+  EXPECT_FALSE(injector.IsDark("X", 1));
+}
+
+TEST(FaultInjectorTest, PriceMultiplierFollowsThePlan) {
+  FaultInjector injector(
+      MustParse("price_shock provider=X from=2 to=4 multiplier=3.0\n"));
+  EXPECT_DOUBLE_EQ(injector.PriceMultiplier("X", 1), 1.0);
+  EXPECT_DOUBLE_EQ(injector.PriceMultiplier("X", 3), 3.0);
+  EXPECT_DOUBLE_EQ(injector.PriceMultiplier("Y", 3), 1.0);
+}
+
+TEST(FaultInjectorTest, RepeatedFailuresQuarantineTheProvider) {
+  InjectorOptions options;
+  options.ewma_alpha = 0.5;
+  options.quarantine_error_rate = 0.5;
+  options.quarantine_s = 5;
+  FaultInjector injector(FaultPlan{}, options);
+
+  // Healthy traffic first: no quarantine.
+  (void)injector.OnOp("X", OpKind::kGet, 1);
+  injector.RecordOutcome("X", OpKind::kGet, true);
+  EXPECT_FALSE(injector.IsDark("X", 1));
+
+  // Two consecutive organic failures push the EWMA to 0.75 >= 0.5.
+  injector.RecordOutcome("X", OpKind::kGet, false);
+  injector.RecordOutcome("X", OpKind::kGet, false);
+  EXPECT_TRUE(injector.IsDark("X", 1));  // quarantined, plan is empty
+  ASSERT_EQ(injector.UnhealthyProviders(1).size(), 1u);
+  EXPECT_EQ(injector.UnhealthyProviders(1)[0], "X");
+
+  // While quarantined, refused-op outcomes must not extend the spell.
+  injector.RecordOutcome("X", OpKind::kGet, false);
+
+  // The spell lifts after quarantine_s, with a fresh EWMA.
+  EXPECT_FALSE(injector.IsDark("X", 1 + options.quarantine_s));
+  EXPECT_TRUE(injector.UnhealthyProviders(1 + options.quarantine_s).empty());
+  for (const auto& health : injector.Health()) {
+    if (health.id == "X") {
+      EXPECT_FALSE(health.quarantined);
+      EXPECT_DOUBLE_EQ(health.error_ewma, 0.0);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, UnhealthyIncludesPlanDarkProvidersNeverContacted) {
+  FaultInjector injector(MustParse("outage provider=Ghost from=0 to=10\n"));
+  // No op ever touched "Ghost", yet the optimizer must re-place away from it.
+  const auto unhealthy = injector.UnhealthyProviders(5);
+  ASSERT_EQ(unhealthy.size(), 1u);
+  EXPECT_EQ(unhealthy[0], "Ghost");
+  EXPECT_TRUE(injector.UnhealthyProviders(10).empty());
+}
+
+TEST(FaultInjectorTest, HealthSnapshotCountsOutcomes) {
+  FaultInjector injector(FaultPlan{});
+  injector.RecordOutcome("X", OpKind::kPut, true);
+  injector.RecordOutcome("X", OpKind::kPut, true);
+  injector.RecordOutcome("X", OpKind::kGet, false);
+  const auto health = injector.Health();
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0].ok_ops, 2u);
+  EXPECT_EQ(health[0].failed_ops, 1u);
+  EXPECT_GT(health[0].error_ewma, 0.0);
+}
+
+}  // namespace
+}  // namespace scalia::chaos

@@ -1,0 +1,167 @@
+// FaultPlan parsing, queries, and the seeded storm generator.
+#include <gtest/gtest.h>
+
+#include "chaos/fault_plan.h"
+
+namespace scalia::chaos {
+namespace {
+
+TEST(FaultPlanParseTest, ParsesEveryDirective) {
+  const auto plan = FaultPlan::Parse(
+      "# a comment line\n"
+      "seed = 42\n"
+      "outage      provider=S3(l)      from=2 to=6\n"
+      "brownout    provider=Azu        from=1 to=7 latency_ms=3 "
+      "error_rate=0.15\n"
+      "partition   providers=S3(h),RS  from=3 to=5\n"
+      "price_shock provider=Ggl        from=2 to=8 multiplier=4.0\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->seed(), 42u);
+  ASSERT_EQ(plan->events().size(), 4u);
+  EXPECT_EQ(plan->events()[0].kind, FaultKind::kOutage);
+  EXPECT_EQ(plan->events()[2].kind, FaultKind::kPartition);
+  EXPECT_EQ(plan->events()[2].providers.size(), 2u);
+  EXPECT_EQ(plan->Horizon(), 8);
+
+  EXPECT_TRUE(plan->IsDarkAt("S3(l)", 2));
+  EXPECT_FALSE(plan->IsDarkAt("S3(l)", 6));  // half-open window
+  // The partition darkens both named providers, nobody else.
+  EXPECT_TRUE(plan->IsDarkAt("S3(h)", 4));
+  EXPECT_TRUE(plan->IsDarkAt("RS", 4));
+  EXPECT_FALSE(plan->IsDarkAt("Ggl", 4));
+
+  const auto brownout = plan->BrownoutAt("Azu", 3);
+  ASSERT_TRUE(brownout.has_value());
+  EXPECT_EQ(brownout->latency_ms, 3);
+  EXPECT_DOUBLE_EQ(brownout->error_rate, 0.15);
+  EXPECT_FALSE(plan->BrownoutAt("Azu", 7).has_value());
+
+  EXPECT_DOUBLE_EQ(plan->PriceMultiplierAt("Ggl", 5), 4.0);
+  EXPECT_DOUBLE_EQ(plan->PriceMultiplierAt("Ggl", 8), 1.0);
+  EXPECT_DOUBLE_EQ(plan->PriceMultiplierAt("Azu", 5), 1.0);
+
+  EXPECT_TRUE(plan->AnyFaultActiveAt(1));
+  EXPECT_FALSE(plan->AnyFaultActiveAt(8));
+}
+
+TEST(FaultPlanParseTest, AcceptsCompactSeedSpellings) {
+  for (const char* text : {"seed = 9\n", "seed =9\n", "seed=9\n"}) {
+    const auto plan = FaultPlan::Parse(text);
+    ASSERT_TRUE(plan.ok()) << text;
+    EXPECT_EQ(plan->seed(), 9u) << text;
+  }
+}
+
+TEST(FaultPlanParseTest, RejectsMalformedInputWithLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"outage from=1 to=2\n", "no provider"},
+      {"outage provider=X from=2 to=2\n", "empty window"},
+      {"outage provider=X from=3 to=1\n", "empty window"},
+      {"brownout provider=X from=1 to=2 error_rate=1.5\n", "error_rate"},
+      {"brownout provider=X from=1 to=2 latency_ms=-1\n", "latency_ms"},
+      {"price_shock provider=X from=1 to=2 multiplier=0\n", "multiplier"},
+      {"eclipse provider=X from=1 to=2\n", "unknown directive"},
+      {"outage provider=X from=banana to=2\n", "bad value"},
+      {"# fine\n\noutage gibberish\n", "line 3"},
+  };
+  for (const auto& c : cases) {
+    const auto plan = FaultPlan::Parse(c.text);
+    ASSERT_FALSE(plan.ok()) << c.text;
+    EXPECT_NE(plan.status().ToString().find(c.needle), std::string::npos)
+        << plan.status().ToString();
+  }
+}
+
+TEST(FaultPlanParseTest, EmptyAndCommentOnlyInputsYieldEmptyPlans) {
+  const auto plan = FaultPlan::Parse("# nothing\n\n   \n");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->Empty());
+  EXPECT_EQ(plan->Horizon(), 0);
+  EXPECT_FALSE(plan->AnyFaultActiveAt(0));
+}
+
+TEST(FaultPlanTest, ShiftedMovesEveryWindow) {
+  const auto plan =
+      FaultPlan::Parse("outage provider=X from=1 to=3\n"
+                       "brownout provider=Y from=2 to=4 latency_ms=1\n");
+  ASSERT_TRUE(plan.ok());
+  const FaultPlan shifted = plan->Shifted(10);
+  EXPECT_FALSE(shifted.IsDarkAt("X", 1));
+  EXPECT_TRUE(shifted.IsDarkAt("X", 11));
+  EXPECT_EQ(shifted.Horizon(), 14);
+  // The original is untouched.
+  EXPECT_TRUE(plan->IsDarkAt("X", 1));
+}
+
+TEST(FaultPlanTest, OverlappingBrownoutsCombineWorstCase) {
+  const auto plan = FaultPlan::Parse(
+      "brownout provider=X from=0 to=10 latency_ms=5 error_rate=0.1\n"
+      "brownout provider=X from=2 to=4  latency_ms=2 error_rate=0.4\n");
+  ASSERT_TRUE(plan.ok());
+  const auto level = plan->BrownoutAt("X", 3);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(level->latency_ms, 5);          // max across events
+  EXPECT_DOUBLE_EQ(level->error_rate, 0.4); // max across events
+}
+
+TEST(FaultPlanTest, StackedPriceShocksMultiply) {
+  const auto plan = FaultPlan::Parse(
+      "price_shock provider=X from=0 to=10 multiplier=2.0\n"
+      "price_shock provider=X from=5 to=10 multiplier=3.0\n");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->PriceMultiplierAt("X", 2), 2.0);
+  EXPECT_DOUBLE_EQ(plan->PriceMultiplierAt("X", 7), 6.0);
+}
+
+TEST(FaultPlanGenerateTest, SameSeedSamePlan) {
+  RandomPlanConfig config;
+  config.seed = 1234;
+  config.providers = {"A", "B", "C"};
+  config.horizon = 40;
+  config.events = 6;
+  const FaultPlan one = FaultPlan::Generate(config);
+  const FaultPlan two = FaultPlan::Generate(config);
+  EXPECT_EQ(one.ToString(), two.ToString());
+  EXPECT_FALSE(one.Empty());
+  EXPECT_LE(one.Horizon(), config.horizon);
+
+  config.seed = 1235;
+  const FaultPlan other = FaultPlan::Generate(config);
+  EXPECT_NE(one.ToString(), other.ToString());
+}
+
+TEST(FaultPlanGenerateTest, AtMostOneProviderDarkAtATime) {
+  RandomPlanConfig config;
+  config.seed = 77;
+  config.providers = {"A", "B", "C"};
+  config.horizon = 60;
+  config.events = 10;
+  const FaultPlan plan = FaultPlan::Generate(config);
+  for (common::SimTime t = 0; t < config.horizon; ++t) {
+    int dark = 0;
+    for (const auto& id : config.providers) {
+      dark += plan.IsDarkAt(id, t) ? 1 : 0;
+    }
+    EXPECT_LE(dark, 1) << "t=" << t;
+  }
+}
+
+TEST(FaultPlanTest, RoundTripsThroughToString) {
+  const auto plan = FaultPlan::Parse(
+      "seed = 5\n"
+      "outage provider=X from=1 to=3\n"
+      "brownout provider=Y from=2 to=4 latency_ms=1 error_rate=0.25\n"
+      "price_shock provider=Z from=0 to=9 multiplier=2.5\n");
+  ASSERT_TRUE(plan.ok());
+  const auto reparsed = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->ToString(), plan->ToString());
+  EXPECT_EQ(reparsed->seed(), 5u);
+}
+
+}  // namespace
+}  // namespace scalia::chaos

@@ -1,0 +1,100 @@
+// FailureSchedule merge-on-insert semantics.
+//
+// AddOutage merges overlapping and adjacent windows so the stored list is
+// always sorted and disjoint — the invariant NextAvailable's single forward
+// pass depends on.  These tests pin the edge cases: adjacency, nesting,
+// zero-length windows, and chains collapsed by a bridging insert.
+#include <gtest/gtest.h>
+
+#include "provider/failure.h"
+
+namespace scalia::provider {
+namespace {
+
+TEST(FailureScheduleTest, DisjointWindowsStaySeparate) {
+  FailureSchedule schedule;
+  schedule.AddOutage(10, 20);
+  schedule.AddOutage(40, 50);
+  EXPECT_EQ(schedule.WindowCount(), 2u);
+  EXPECT_TRUE(schedule.IsAvailable(25));
+  EXPECT_FALSE(schedule.IsAvailable(15));
+  EXPECT_FALSE(schedule.IsAvailable(45));
+}
+
+TEST(FailureScheduleTest, OverlappingWindowsMerge) {
+  FailureSchedule schedule;
+  schedule.AddOutage(10, 30);
+  schedule.AddOutage(20, 40);
+  EXPECT_EQ(schedule.WindowCount(), 1u);
+  EXPECT_FALSE(schedule.IsAvailable(10));
+  EXPECT_FALSE(schedule.IsAvailable(39));
+  EXPECT_TRUE(schedule.IsAvailable(40));  // half-open
+  EXPECT_EQ(schedule.NextAvailable(15), 40);
+}
+
+TEST(FailureScheduleTest, AdjacentWindowsMerge) {
+  // [10, 20) + [20, 30): t=20 is available in neither-merged terms? No —
+  // 20 is outside the first (half-open) and inside the second, so the
+  // provider never actually recovers between them.  Merged they must form
+  // one [10, 30) window.
+  FailureSchedule schedule;
+  schedule.AddOutage(10, 20);
+  schedule.AddOutage(20, 30);
+  EXPECT_EQ(schedule.WindowCount(), 1u);
+  EXPECT_FALSE(schedule.IsAvailable(20));
+  EXPECT_EQ(schedule.NextAvailable(10), 30);
+}
+
+TEST(FailureScheduleTest, NestedWindowIsAbsorbed) {
+  FailureSchedule schedule;
+  schedule.AddOutage(10, 50);
+  schedule.AddOutage(20, 30);  // strictly inside
+  EXPECT_EQ(schedule.WindowCount(), 1u);
+  EXPECT_EQ(schedule.NextAvailable(10), 50);
+
+  // And the mirror image: the outer window arrives second.
+  FailureSchedule outer_last;
+  outer_last.AddOutage(20, 30);
+  outer_last.AddOutage(10, 50);
+  EXPECT_EQ(outer_last.WindowCount(), 1u);
+  EXPECT_EQ(outer_last.NextAvailable(10), 50);
+}
+
+TEST(FailureScheduleTest, ZeroLengthAndInvertedWindowsAreNoOps) {
+  FailureSchedule schedule;
+  schedule.AddOutage(10, 10);  // zero-length
+  schedule.AddOutage(30, 20);  // inverted
+  EXPECT_TRUE(schedule.Empty());
+  EXPECT_EQ(schedule.WindowCount(), 0u);
+  EXPECT_TRUE(schedule.IsAvailable(10));
+  EXPECT_EQ(schedule.NextAvailable(10), 10);
+}
+
+TEST(FailureScheduleTest, BridgingInsertCollapsesAChain) {
+  FailureSchedule schedule;
+  schedule.AddOutage(0, 10);
+  schedule.AddOutage(20, 30);
+  schedule.AddOutage(40, 50);
+  ASSERT_EQ(schedule.WindowCount(), 3u);
+  // One insert touching all three (adjacent to the first, spanning the
+  // middle, overlapping the last) collapses the chain.
+  schedule.AddOutage(10, 45);
+  EXPECT_EQ(schedule.WindowCount(), 1u);
+  EXPECT_FALSE(schedule.IsAvailable(0));
+  EXPECT_FALSE(schedule.IsAvailable(49));
+  EXPECT_EQ(schedule.NextAvailable(0), 50);
+}
+
+TEST(FailureScheduleTest, NextAvailableJumpsAcrossDisjointWindows) {
+  FailureSchedule schedule;
+  schedule.AddOutage(10, 20);
+  schedule.AddOutage(20, 25);  // merges with the first
+  schedule.AddOutage(30, 35);
+  EXPECT_EQ(schedule.WindowCount(), 2u);
+  EXPECT_EQ(schedule.NextAvailable(5), 5);    // already available
+  EXPECT_EQ(schedule.NextAvailable(12), 25);  // lands in the gap
+  EXPECT_EQ(schedule.NextAvailable(32), 35);
+}
+
+}  // namespace
+}  // namespace scalia::provider
