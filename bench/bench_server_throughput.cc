@@ -57,6 +57,20 @@
 // Exit status in chaos mode keys off the SLO floors (availability >= 99.9%,
 // durability == 100%, zero consistency errors), not errors == 0 — 5xx are
 // expected while a third of the providers are dark.
+//
+// --day SCHEDULE replays a compressed day in the life of the service: the
+// §IV-C diurnal curve with a §IV-B flash crowd (capacity/day_schedule.h;
+// "default" generates it, a path loads one fraction per line), each period
+// --period-ms long, rate-paced to --day-peak-rps at the peak.  The run
+// exercises the whole adaptive-capacity loop live: a
+// capacity::CapacityController resizes the chunk-I/O pool, the cache
+// budget and the optimizer cadence from per-period load forecasts, and a
+// capacity::AdmissionController (--slo-p99-ms) 429-sheds the cheapest
+// tenants when any shard's p99 breaches the target.  The RESULT line
+// reports suite=bench_server_day with slo_attainment (fraction of periods
+// whose p99 met the target), shed_requests, scale_events and the peak vs
+// trough served throughput; exit status keys off --day-attainment-floor
+// and the same byte-exact acked-state readback as chaos mode.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -72,8 +86,12 @@
 
 #include "api/auth.h"
 #include "api/gateway.h"
+#include "capacity/admission.h"
+#include "capacity/day_schedule.h"
+#include "capacity/predictor.h"
 #include "chaos/fault_injector.h"
 #include "chaos/fault_plan.h"
+#include "common/money.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/sharded_engine.h"
@@ -103,6 +121,17 @@ struct Options {
   std::size_t period_ms = 500;
   /// Fault-plan path; empty = chaos mode off.
   std::string chaos_plan;
+  /// Day schedule: "default" generates the diurnal+flash curve, any other
+  /// value loads a schedule file; empty = day mode off.
+  std::string day;
+  /// Offered load at the schedule's peak period (req/s across all
+  /// connections); the trough is peak x the period's fraction.
+  double day_peak_rps = 3000.0;
+  /// Per-shard p99 target for admission control; <= 0 defaults to 25 ms in
+  /// day mode.
+  double slo_p99_ms = 0.0;
+  /// Day mode exits nonzero when slo_attainment lands below this.
+  double day_attainment_floor = 0.7;
 };
 
 Options ParseOptions(int argc, char** argv) {
@@ -130,6 +159,16 @@ Options ParseOptions(int argc, char** argv) {
       if (const char* v = next()) options.period_ms = std::strtoul(v, nullptr, 10);
     } else if (arg == "--chaos") {
       if (const char* v = next()) options.chaos_plan = v;
+    } else if (arg == "--day") {
+      if (const char* v = next()) options.day = v;
+    } else if (arg == "--day-peak-rps") {
+      if (const char* v = next()) options.day_peak_rps = std::strtod(v, nullptr);
+    } else if (arg == "--slo-p99-ms") {
+      if (const char* v = next()) options.slo_p99_ms = std::strtod(v, nullptr);
+    } else if (arg == "--day-attainment-floor") {
+      if (const char* v = next()) {
+        options.day_attainment_floor = std::strtod(v, nullptr);
+      }
     } else if (arg == "--object-bytes") {
       if (const char* v = next()) {
         options.object_bytes.clear();
@@ -159,6 +198,17 @@ Options ParseOptions(int argc, char** argv) {
   if (!options.chaos_plan.empty() && options.optimize_every == 0) {
     options.optimize_every = 2;
   }
+  if (!options.day.empty()) {
+    if (!options.chaos_plan.empty()) {
+      std::fprintf(stderr, "--day and --chaos are mutually exclusive\n");
+      std::exit(2);
+    }
+    if (options.slo_p99_ms <= 0.0) options.slo_p99_ms = 25.0;
+    if (options.day_peak_rps <= 0.0) {
+      std::fprintf(stderr, "--day-peak-rps must be > 0\n");
+      std::exit(2);
+    }
+  }
   return options;
 }
 
@@ -186,6 +236,10 @@ struct WorkerResult {
 int main(int argc, char** argv) {
   const Options options = ParseOptions(argc, argv);
   const bool chaos = !options.chaos_plan.empty();
+  const bool day = !options.day.empty();
+  // Day mode and chaos mode both track acked state for the final
+  // byte-exact readback audit.
+  const bool track = chaos || day;
 
   // Load the fault plan up front so a bad path fails before any setup.
   chaos::FaultPlan plan;
@@ -196,6 +250,21 @@ int main(int argc, char** argv) {
       return 2;
     }
     plan = std::move(*loaded);
+  }
+
+  // Likewise the day schedule: a bad file fails before any setup.
+  capacity::DaySchedule schedule;
+  if (day) {
+    if (options.day == "default") {
+      schedule = capacity::DaySchedule::Compressed();
+    } else {
+      auto loaded = capacity::DaySchedule::Load(options.day);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "--day: %s\n", loaded.status().ToString().c_str());
+        return 2;
+      }
+      schedule = std::move(*loaded);
+    }
   }
 
   // --- the server under load: the sharded engine behind the gateway.
@@ -238,6 +307,31 @@ int main(int argc, char** argv) {
   auth.AllowAnonymous("bench");
   api::S3Gateway gateway(&auth,
                          [&]() -> core::EngineApi& { return engine; });
+
+  // Day mode: the adaptive-capacity loop.  The admission controller is
+  // attached to the gateway only after seeding (seed PUTs must never be
+  // shed); the capacity controller is driven by the day maintenance loop.
+  capacity::AdmissionConfig admission_config;
+  admission_config.slo_p99_ms = options.slo_p99_ms;
+  admission_config.num_shards = options.shards;
+  capacity::AdmissionController admission(admission_config);
+  capacity::CapacityConfig capacity_config;
+  capacity_config.min_threads = 1;
+  capacity_config.max_threads = std::max<std::size_t>(1, options.pool_threads);
+  capacity_config.rate_per_thread =
+      std::max(1.0, options.day_peak_rps /
+                        static_cast<double>(capacity_config.max_threads));
+  capacity_config.min_cache_bytes = 16 * common::kMiB;
+  capacity_config.max_cache_bytes = engine_config.cache_capacity;
+  capacity::CapacityController capacity_controller(capacity_config);
+  if (day) {
+    // Two value tiers: the anonymous bench tenant is the cheap one, and a
+    // reserved high-value platform tier sits above it, so a p99 breach
+    // sheds "bench" while the controller's top tier keeps the latency
+    // signal alive.
+    admission.SetTenantBudget("bench", common::Money(10.0));
+    admission.SetTenantBudget("platform", common::Money(1000.0));
+  }
   net::ServerConfig server_config;
   server_config.num_loops = options.loops;
   server_config.max_connections = options.connections + 8;
@@ -309,6 +403,16 @@ int main(int argc, char** argv) {
                 injector->plan().ToString().c_str());
   }
 
+  // Day mode: seeding ran unthrottled; from here on the gateway asks the
+  // admission controller before every request.
+  if (day) {
+    gateway.SetAdmissionController(&admission);
+    std::printf("day schedule (%zu periods of %zu ms, peak %.0f req/s, "
+                "p99 SLO %.1f ms):\n%s",
+                schedule.periods(), options.period_ms, options.day_peak_rps,
+                options.slo_p99_ms, schedule.ToString().c_str());
+  }
+
   // Last state each worker saw *acknowledged* per key: the body of the last
   // acked PUT, or nullopt after an acked DELETE whose re-PUT was not acked.
   // A non-2xx response never changes state (the engine commits metadata
@@ -329,6 +433,16 @@ int main(int argc, char** argv) {
   // --- closed-loop workers: 80% GET / 15% PUT / 5% DELETE+rePUT.
   std::atomic<bool> stop{false};
   std::vector<WorkerResult> results(options.connections);
+  // Day mode: the period the day driver is currently replaying, and one
+  // SLO tracker per worker (merged after the join).
+  std::atomic<std::size_t> current_period{0};
+  std::vector<capacity::SloTracker> day_trackers;
+  if (day) {
+    day_trackers.reserve(options.connections);
+    for (std::size_t c = 0; c < options.connections; ++c) {
+      day_trackers.emplace_back(schedule.periods(), options.slo_p99_ms);
+    }
+  }
   std::vector<std::thread> workers;
   workers.reserve(options.connections);
   const auto bench_start = Clock::now();
@@ -341,7 +455,8 @@ int main(int argc, char** argv) {
       auto& state = acked[c];
 
       // Issues one request, records its latency (tagged storm when a plan
-      // fault is live at issue time).
+      // fault is live at issue time; tagged into the current day period
+      // with its shed bit in day mode).
       auto round_trip =
           [&](const api::HttpRequest& request) -> common::Result<api::HttpResponse> {
         const bool storm =
@@ -354,22 +469,34 @@ int main(int argc, char** argv) {
         ++result.requests;
         result.latencies_us.push_back(us);
         if (storm) result.storm_latencies_us.push_back(us);
+        if (day) {
+          const bool was_shed = response.ok() && response->status == 429;
+          day_trackers[c].Record(current_period.load(std::memory_order_relaxed),
+                                 us, was_shed);
+        }
         return response;
       };
       auto status_of = [](const common::Result<api::HttpResponse>& r) {
         return r.ok() ? r->status : -1;  // -1 = transport error
       };
-      // Status accounting under chaos: 5xx are availability events, not
-      // errors; anything else unexpected is a consistency error.
-      auto miss = [&](int status) {
+      // Status accounting: under chaos 5xx are availability events, not
+      // errors; in day mode a 429 is an intended shed (already counted by
+      // the tracker).  Anything else unexpected is a consistency error —
+      // logged, because a one-in-thousands flake is undebuggable from a
+      // bare count.
+      auto miss = [&](int status, const char* op, const std::string& path) {
+        if (day && status == 429) return;
         if (chaos && status >= 500) {
           ++result.unavailable;
         } else {
           ++result.errors;
+          std::fprintf(stderr, "consistency error: %s %s status=%d\n", op,
+                       path.c_str(), status);
         }
       };
 
       while (!stop.load(std::memory_order_relaxed)) {
+        const auto iteration_start = Clock::now();
         const std::size_t k = rng() % options.keys_per_conn;
         const std::size_t size =
             options.object_bytes[rng() % options.object_bytes.size()];
@@ -386,34 +513,49 @@ int main(int argc, char** argv) {
           request.method = api::HttpMethod::kGet;
           const auto response = round_trip(request);
           const int status = status_of(response);
-          if (!chaos) {
+          if (!track) {
             if (status != 200) ++result.errors;
           } else if (status == 200) {
             // Read-your-acked-writes: the body must be exactly the last
             // acked content, whether it came from chunks, a degraded
             // k-of-n reconstruction, or the cache.
-            if (!state[k] || *state[k] != response->body) ++result.errors;
+            if (!state[k] || *state[k] != response->body) {
+              ++result.errors;
+              std::fprintf(stderr,
+                           "consistency error: GET %s got %zu B, acked %s\n",
+                           path.c_str(), response->body.size(),
+                           state[k] ? std::to_string(state[k]->size()).c_str()
+                                    : "deleted");
+            }
           } else if (status == 404) {
-            if (state[k]) ++result.errors;  // acked write answered 404
+            if (state[k]) {
+              ++result.errors;  // acked write answered 404
+              std::fprintf(stderr, "consistency error: GET %s 404, acked %zu B\n",
+                           path.c_str(), state[k]->size());
+            }
           } else {
-            miss(status);
+            miss(status, "GET", path);
           }
         } else if (dice < 95) {
           request.method = api::HttpMethod::kPut;
           request.body.assign(size, static_cast<char>('A' + dice % 26));
           const int status = status_of(round_trip(request));
           if (status == 201) {
-            if (chaos) state[k] = request.body;
+            if (track) state[k] = request.body;
           } else {
-            miss(status);
+            miss(status, "PUT", path);
           }
         } else {
           request.method = api::HttpMethod::kDelete;
           const int status = status_of(round_trip(request));
           if (status == 204) {
-            if (chaos) state[k].reset();
+            if (track) state[k].reset();
+          } else if (track && status == 404 && !state[k]) {
+            // Consistent: the key is acked-deleted already — the previous
+            // round's rePUT was shed (day) or failed (chaos), so this
+            // DELETE found nothing.  Not an error.
           } else {
-            miss(status);
+            miss(status, "DELETE", path);
           }
           // Keep the keyspace stable: immediately re-PUT the key.
           api::HttpRequest reput;
@@ -422,10 +564,27 @@ int main(int argc, char** argv) {
           reput.body.assign(size, 'r');
           const int reput_status = status_of(round_trip(reput));
           if (reput_status == 201) {
-            if (chaos) state[k] = reput.body;
+            if (track) state[k] = reput.body;
           } else {
-            miss(reput_status);
+            miss(reput_status, "rePUT", path);
           }
+        }
+
+        if (day) {
+          // Rate pacing: each worker serves its 1/connections share of the
+          // current period's offered load; the next request leaves one
+          // inter-arrival interval after this iteration began (or
+          // immediately when the server is the bottleneck).
+          const std::size_t p = std::min(
+              current_period.load(std::memory_order_relaxed),
+              schedule.periods() - 1);
+          const double rate = options.day_peak_rps *
+                              schedule.fractions()[p] /
+                              static_cast<double>(options.connections);
+          std::this_thread::sleep_until(
+              iteration_start +
+              std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(1.0 / std::max(1.0, rate))));
         }
       }
     });
@@ -436,7 +595,56 @@ int main(int argc, char** argv) {
   std::uint64_t migrations = 0, conflicts = 0, optimizer_errors = 0;
   std::uint64_t repairs = 0;
   std::thread maintenance;
-  if (options.optimize_every > 0) {
+  if (day) {
+    // Day driver: replays the schedule one period per --period-ms tick and
+    // closes the adaptive-capacity loop after each — observed offered rate
+    // in, forecast out, pool/cache/optimizer-cadence resized when the plan
+    // moves.  Sets `stop` itself after the last period.
+    maintenance = std::thread([&] {
+      const double period_s =
+          static_cast<double>(options.period_ms) / 1000.0;
+      std::uint64_t last_requests = 0;
+      std::size_t cadence = capacity_controller.plan().optimize_every;
+      for (std::size_t p = 0;
+           p < schedule.periods() && !stop.load(std::memory_order_relaxed);
+           ++p) {
+        current_period.store(p, std::memory_order_relaxed);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.period_ms));
+
+        const net::ServerStats period_stats = server.stats();
+        const double observed_rate =
+            static_cast<double>(period_stats.requests_served - last_requests) /
+            period_s;
+        last_requests = period_stats.requests_served;
+        if (capacity_controller.OnPeriodClose(observed_rate)) {
+          const capacity::CapacityPlan& next = capacity_controller.plan();
+          pool.Resize(next.pool_threads);
+          engine.SetCacheCapacity(next.cache_bytes);
+          cadence = next.optimize_every;
+          std::printf("  period %2zu: rate %.0f -> forecast %.0f, "
+                      "plan {threads %zu, cache %zu MiB, optimize 1/%zu}\n",
+                      p, observed_rate,
+                      capacity_controller.predictor().forecast(),
+                      next.pool_threads,
+                      static_cast<std::size_t>(next.cache_bytes /
+                                               common::kMiB),
+                      next.optimize_every);
+        }
+
+        const common::SimTime now = bench_clock();
+        engine.EndSamplingPeriod(now);
+        if (cadence > 0 && (p + 1) % cadence == 0) {
+          const auto report = engine.RunOptimizationProcedure(now);
+          migrations += report.migrations;
+          conflicts += report.conflicts;
+          optimizer_errors += report.errors;
+          repairs += report.repairs;
+        }
+      }
+      stop.store(true, std::memory_order_relaxed);
+    });
+  } else if (options.optimize_every > 0) {
     maintenance = std::thread([&] {
       std::uint64_t periods = 0;
       // Chaos mode keeps the provider set fixed at three: a fourth provider
@@ -469,8 +677,13 @@ int main(int argc, char** argv) {
     });
   }
 
-  std::this_thread::sleep_for(
-      std::chrono::duration<double>(options.duration_s));
+  if (day) {
+    // The day driver owns the run length: it stops after the last period.
+    maintenance.join();
+  } else {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options.duration_s));
+  }
   stop.store(true, std::memory_order_relaxed);
   for (auto& worker : workers) worker.join();
   if (maintenance.joinable()) maintenance.join();
@@ -522,6 +735,11 @@ int main(int argc, char** argv) {
       if (now >= horizon && injector->UnhealthyProviders(now).empty()) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(200));
     }
+  }
+  if (track) {
+    // Day mode: the audit reads the calm world — a lingering shed level
+    // must not 429 the auditor.
+    if (day) gateway.SetAdmissionController(nullptr);
 
     net::HttpClient auditor("127.0.0.1", server.port());
     for (std::size_t c = 0; c < options.connections; ++c) {
@@ -582,6 +800,41 @@ int main(int argc, char** argv) {
   // pre-reuse numbers for this same workload live in BENCH_PR6.json.
   std::printf("  (request-parse scratch reuse: on; before = BENCH_PR6.json)\n");
 
+  // Day mode: merge the per-worker SLO trackers and pull the adaptive-loop
+  // counters.
+  capacity::SloTracker::Report day_report;
+  capacity::AdmissionStats admission_stats;
+  if (day) {
+    capacity::SloTracker merged(schedule.periods(), options.slo_p99_ms);
+    for (const auto& tracker : day_trackers) merged.Merge(tracker);
+    day_report = merged.Finish();
+    admission_stats = admission.Stats();
+
+    const double period_s = static_cast<double>(options.period_ms) / 1000.0;
+    const double peak_rps =
+        static_cast<double>(day_report.peak_period_requests) / period_s;
+    const double trough_rps =
+        static_cast<double>(day_report.trough_period_requests) / period_s;
+    std::printf("\n  day SLOs (%zu periods, p99 target %.1f ms):\n",
+                schedule.periods(), options.slo_p99_ms);
+    std::printf("  %-22s %12.3f\n", "SLO attainment", day_report.slo_attainment);
+    std::printf("  %-22s %12llu\n", "shed requests",
+                static_cast<unsigned long long>(admission_stats.shed));
+    std::printf("  %-22s %12llu\n", "probe admissions",
+                static_cast<unsigned long long>(admission_stats.probes));
+    std::printf("  %-22s %12llu\n", "shed escalations",
+                static_cast<unsigned long long>(admission_stats.escalations));
+    std::printf("  %-22s %12llu\n", "scale events",
+                static_cast<unsigned long long>(
+                    capacity_controller.scale_events()));
+    std::printf("  %-22s %12zu\n", "final pool threads", pool.num_threads());
+    std::printf("  %-22s %12.1f\n", "peak (req/s)", peak_rps);
+    std::printf("  %-22s %12.1f\n", "trough (req/s)", trough_rps);
+    std::printf("  %-22s %12.3f\n", "durability (%)", durability_pct);
+    std::printf("  %-22s %12llu\n", "server 429s",
+                static_cast<unsigned long long>(stats.requests_throttled));
+  }
+
   const core::Engine::ReadPathCounters read_counters = engine.ReadCounters();
   if (chaos) {
     std::printf("\n  chaos SLOs (plan %s, %zu events):\n",
@@ -625,6 +878,29 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(repairs),
         static_cast<unsigned long long>(injector->FaultsInjected()),
         p99_storm);
+  } else if (day) {
+    const double period_s = static_cast<double>(options.period_ms) / 1000.0;
+    std::printf(
+        "RESULT suite=bench_server_day requests=%llu elapsed_s=%.3f "
+        "req_per_s=%.1f p50_us=%.1f p95_us=%.1f p99_us=%.1f errors=%llu "
+        "shards=%zu threads=%zu loops=%zu periods=%zu period_ms=%zu "
+        "slo_p99_ms=%.1f slo_attainment=%.4f shed_requests=%llu "
+        "probe_admissions=%llu shed_escalations=%llu scale_events=%llu "
+        "peak_req_per_s=%.1f trough_req_per_s=%.1f durability_pct=%.4f "
+        "acked_objects=%llu migrations=%llu conflicts=%llu\n",
+        static_cast<unsigned long long>(requests), elapsed_s, req_per_s, p50,
+        p95, p99, static_cast<unsigned long long>(errors), options.shards,
+        options.pool_threads, server.num_loops(), schedule.periods(),
+        options.period_ms, options.slo_p99_ms, day_report.slo_attainment,
+        static_cast<unsigned long long>(admission_stats.shed),
+        static_cast<unsigned long long>(admission_stats.probes),
+        static_cast<unsigned long long>(admission_stats.escalations),
+        static_cast<unsigned long long>(capacity_controller.scale_events()),
+        static_cast<double>(day_report.peak_period_requests) / period_s,
+        static_cast<double>(day_report.trough_period_requests) / period_s,
+        durability_pct, static_cast<unsigned long long>(acked_objects),
+        static_cast<unsigned long long>(migrations),
+        static_cast<unsigned long long>(conflicts));
   } else {
     std::printf(
         "RESULT suite=bench_server_throughput requests=%llu elapsed_s=%.3f "
@@ -649,6 +925,21 @@ int main(int argc, char** argv) {
                    "durability=%.4f%% (floor 100) errors=%llu\n",
                    availability_pct, durability_pct,
                    static_cast<unsigned long long>(errors));
+    }
+    return slo_ok ? 0 : 1;
+  }
+  if (day) {
+    // 429 sheds are the mechanism, not a failure; the floors are SLO
+    // attainment, zero consistency errors and byte-exact acked readback.
+    const bool slo_ok =
+        day_report.slo_attainment >= options.day_attainment_floor &&
+        durability_pct >= 100.0 && errors == 0;
+    if (!slo_ok) {
+      std::fprintf(stderr,
+                   "day SLO violated: attainment=%.4f (floor %.4f) "
+                   "durability=%.4f%% (floor 100) errors=%llu\n",
+                   day_report.slo_attainment, options.day_attainment_floor,
+                   durability_pct, static_cast<unsigned long long>(errors));
     }
     return slo_ok ? 0 : 1;
   }

@@ -39,9 +39,12 @@
 #include "api/auth.h"
 #include "api/gateway.h"
 #include "billing/invoice.h"
+#include "capacity/admission.h"
+#include "capacity/predictor.h"
 #include "chaos/fault_injector.h"
 #include "chaos/fault_plan.h"
 #include "common/log.h"
+#include "common/money.h"
 #include "common/thread_pool.h"
 #include "core/sharded_engine.h"
 #include "durability/sharded_manager.h"
@@ -87,6 +90,10 @@ struct Flags {
   // Fault-plan file (see bench/chaos_default.plan); empty = no chaos.
   // Window times in the file are relative to daemon start.
   std::string chaos_plan;
+  // Per-shard p99 latency target (milliseconds) for SLO-aware admission
+  // control: when any shard's p99 estimate breaches it, the gateway
+  // 429-sheds tenants in ascending budget order.  0 disables (default).
+  double slo_p99_ms = 0.0;
 };
 
 void Usage(const char* argv0) {
@@ -128,6 +135,11 @@ void Usage(const char* argv0) {
       "                         (outages, brownouts, partitions, price\n"
       "                         shocks; window times relative to daemon\n"
       "                         start — see OPERATIONS.md for the format)\n"
+      "  --slo-p99-ms N         SLO-aware admission control: when any\n"
+      "                         shard's p99 latency estimate breaches N ms,\n"
+      "                         shed (429 + Retry-After) tenants in\n"
+      "                         ascending budget order until it recovers\n"
+      "                         (default 0 = off)\n"
       "  --no-anonymous         require signed requests (demo keys below)\n"
       "  --help                 this text\n",
       argv0);
@@ -174,6 +186,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->optimize_every_periods = value;
     } else if (arg == "--chaos" && i + 1 < argc) {
       flags->chaos_plan = argv[++i];
+    } else if (arg == "--slo-p99-ms" && i + 1 < argc) {
+      flags->slo_p99_ms = std::atof(argv[++i]);
     } else if (arg == "--no-anonymous") {
       flags->anonymous = false;
     } else if (arg == "--help") {
@@ -343,6 +357,36 @@ int main(int argc, char** argv) {
                          [&]() -> core::EngineApi& { return engine; });
   for (auto& rule : core::PaperRules()) gateway.RegisterRule(rule);
 
+  // SLO-aware admission control (opt-in via --slo-p99-ms): tenant value =
+  // monthly budget in USD, the same number core/budget.h caps spending
+  // with and the billing ledger invoices against, so "shed the cheapest
+  // first" means exactly what the bill says.  Anonymous traffic carries no
+  // budget and ranks below every paying tenant.
+  capacity::AdmissionConfig admission_config;
+  admission_config.slo_p99_ms = flags.slo_p99_ms;
+  admission_config.num_shards = flags.shards;
+  capacity::AdmissionController admission(admission_config);
+  if (admission.enabled()) {
+    admission.SetTenantBudget(acme.tenant, common::Money(100.0));
+    admission.SetTenantBudget(globex.tenant, common::Money(500.0));
+    if (flags.anonymous) {
+      admission.SetTenantBudget("anonymous", common::Money(0.0));
+    }
+    gateway.SetAdmissionController(&admission);
+    std::printf("admission control: p99 SLO %.1f ms, shedding in ascending "
+                "budget order\n", flags.slo_p99_ms);
+  }
+
+  // Predictive capacity scaling rides the sampling-period loop: forecast
+  // next period's request rate from the closed periods, resize the
+  // chunk-I/O pool and cache budget ahead of it, back the optimizer off
+  // under predicted peak load.
+  capacity::CapacityConfig capacity_config;
+  capacity_config.max_threads =
+      std::max<std::size_t>(flags.threads, 1);
+  capacity_config.max_cache_bytes = engine_config.cache_capacity;
+  capacity::CapacityController capacity_controller(capacity_config);
+
   // 4. The serving path: per-shard event loops.  Each loop owns an
   //    SO_REUSEPORT acceptor and runs handlers inline on its own thread;
   //    the gateway hands every request to the sharded engine, which routes
@@ -405,6 +449,14 @@ int main(int argc, char** argv) {
   //    counter) and the acked write always survives.
   common::SimTime last_period = WallClock();
   std::uint64_t periods = 0;
+  std::uint64_t last_period_requests = 0;
+  // The optimizer cadence starts at the flag and yields to the capacity
+  // plan: under predicted peak load the optimizer backs off, in the trough
+  // it runs every period.
+  std::uint64_t optimize_cadence =
+      flags.optimize_every_periods > 0
+          ? static_cast<std::uint64_t>(flags.optimize_every_periods)
+          : 0;
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     const common::SimTime now = WallClock();
@@ -415,8 +467,8 @@ int main(int argc, char** argv) {
       ++periods;
       // Per-loop serving counters: how evenly SO_REUSEPORT spread the
       // connections, and each loop's write amplification (bytes/writev).
+      const net::ServerStats serving = server.stats();
       {
-        const net::ServerStats serving = server.stats();
         std::string per_loop;
         for (std::size_t i = 0; i < serving.loops.size(); ++i) {
           const net::LoopStats& loop = serving.loops[i];
@@ -429,6 +481,49 @@ int main(int argc, char** argv) {
         SCALIA_LOG(common::LogLevel::kInfo, "scalia_server")
             << "serving: requests=" << serving.requests_served
             << " writev_calls=" << serving.writev_calls << per_loop;
+      }
+      // Predictive scaling: feed the period's observed request rate, and
+      // when the forecast moves the plan past its hysteresis band resize
+      // the chunk-I/O pool + cache budget and retune the optimizer cadence
+      // before the load arrives.
+      {
+        const double observed_rate =
+            static_cast<double>(serving.requests_served -
+                                last_period_requests) /
+            static_cast<double>(flags.sampling_period_s);
+        last_period_requests = serving.requests_served;
+        if (capacity_controller.OnPeriodClose(observed_rate)) {
+          const capacity::CapacityPlan& plan = capacity_controller.plan();
+          pool.Resize(plan.pool_threads);
+          engine.SetCacheCapacity(plan.cache_bytes);
+          if (flags.optimize_every_periods > 0) {
+            optimize_cadence = plan.optimize_every;
+          }
+          SCALIA_LOG(common::LogLevel::kInfo, "scalia_server")
+              << "capacity: rate=" << observed_rate << " req/s forecast="
+              << capacity_controller.predictor().forecast()
+              << " -> pool_threads=" << plan.pool_threads
+              << " cache_mib=" << plan.cache_bytes / common::kMiB
+              << " optimize_every=" << plan.optimize_every
+              << " (scale event " << capacity_controller.scale_events()
+              << ")";
+        }
+      }
+      // Admission-control visibility: what was shed this period and from
+      // whom (only meaningful — and only logged — with --slo-p99-ms).
+      if (admission.enabled()) {
+        const capacity::AdmissionStats shed_stats = admission.Stats();
+        std::string by_tenant;
+        for (const auto& [tenant, count] : admission.ShedByTenant()) {
+          by_tenant += " " + tenant + "=" + std::to_string(count);
+        }
+        SCALIA_LOG(common::LogLevel::kInfo, "scalia_server")
+            << "admission: shed_level=" << shed_stats.shed_level
+            << " shed=" << shed_stats.shed
+            << " throttled_429=" << serving.requests_throttled
+            << " probes=" << shed_stats.probes
+            << " max_p99_us=" << shed_stats.max_p99_us
+            << " by_tenant=[" << by_tenant << " ]";
       }
       // Degraded-read counters + injected-world health: how often reads
       // had to fan out past a dark provider, and who is dark/quarantined
@@ -451,9 +546,7 @@ int main(int argc, char** argv) {
             << " faults_injected=" << injector->FaultsInjected()
             << " dark=[" << dark << "] quarantined=[" << quarantined << "]";
       }
-      if (flags.optimize_every_periods > 0 &&
-          periods % static_cast<std::uint64_t>(
-                        flags.optimize_every_periods) == 0) {
+      if (optimize_cadence > 0 && periods % optimize_cadence == 0) {
         const auto report = engine.RunOptimizationProcedure(now);
         SCALIA_LOG(common::LogLevel::kInfo, "scalia_server")
             << "optimization round: " << report.candidates << " candidates, "

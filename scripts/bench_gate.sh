@@ -19,17 +19,25 @@
 # nothing).  The live chaos pass itself runs as the smoke.chaos ctest case
 # in the smoke pass below; this check keeps the *committed* report honest.
 #
-# Usage: scripts/bench_gate.sh [baseline.json]   (default: BENCH_PR7.json)
+# PR 8: a schema >= 7 baseline's bench_server_day suite is gated the same
+# way — slo_attainment >= DAY_ATTAINMENT_FLOOR, durability == 100%, and
+# scale_events > 0 (a day replay that never resized measured a fixed-
+# capacity server, not the adaptive loop).  The live day pass runs as the
+# smoke.day_replay ctest case.
+#
+# Usage: scripts/bench_gate.sh [baseline.json]   (default: BENCH_PR8.json)
 # Env:   BUILD_DIR=build
 #        REGRESSION_PCT=10         allowed drop vs baseline, in percent
 #        GATE_BENCH_ARGS="--connections 16 --duration-s 5 --object-bytes 1024,4096"
+#        DAY_ATTAINMENT_FLOOR=0.7  minimum slo_attainment in the baseline
 #        SKIP_SMOKE=0              1 skips the ctest smoke pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-BASELINE=${1:-BENCH_PR7.json}
+BASELINE=${1:-BENCH_PR8.json}
 REGRESSION_PCT=${REGRESSION_PCT:-10}
+DAY_ATTAINMENT_FLOOR=${DAY_ATTAINMENT_FLOOR:-0.7}
 # Must mirror bench_report.sh's SERVER_BENCH_ARGS default: the committed
 # baseline was recorded with this workload.
 GATE_BENCH_ARGS=${GATE_BENCH_ARGS:---connections 16 --duration-s 5 --object-bytes 1024,4096}
@@ -67,10 +75,11 @@ if [[ "$ERRORS" != "0" ]]; then
   exit 1
 fi
 
-python3 - "$BASELINE" "$CURRENT" "$REGRESSION_PCT" <<'EOF'
+python3 - "$BASELINE" "$CURRENT" "$REGRESSION_PCT" "$DAY_ATTAINMENT_FLOOR" <<'EOF'
 import json, sys
 
 baseline_path, current, allowed_pct = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+day_attainment_floor = float(sys.argv[4])
 with open(baseline_path) as f:
     report = json.load(f)
 
@@ -116,5 +125,37 @@ else:
     if degraded <= 0:
         sys.exit("bench_gate: chaos run recorded no degraded reads — the "
                  "storm missed the data path, the SLO figures mean nothing")
+
+# Day-replay SLO-attainment floor against the committed report (schema >= 7
+# baselines) — sits next to the throughput and chaos floors.
+day = None
+for suite in report.get("suites", []):
+    if suite.get("suite") == "bench_server_day":
+        day = suite
+        break
+if day is None:
+    print("bench_gate: baseline has no bench_server_day suite "
+          "(pre-schema-7); day SLO check skipped")
+elif day.get("skipped"):
+    sys.exit("bench_gate: baseline's day suite is marked skipped — "
+             "regenerate the report with a working day replay")
+else:
+    attainment = float(day.get("slo_attainment") or 0)
+    durability = float(day.get("durability_pct") or 0)
+    scale_events = int(day.get("scale_events") or 0)
+    shed = int(day.get("shed_requests") or 0)
+    print(f"bench_gate: day SLO attainment={attainment:.4f} "
+          f"(floor {day_attainment_floor:.2f}) durability={durability:.4f}% "
+          f"scale_events={scale_events} shed_requests={shed}")
+    if attainment < day_attainment_floor:
+        sys.exit(f"bench_gate: day SLO attainment below the "
+                 f"{day_attainment_floor:.2f} floor")
+    if durability < 100.0:
+        sys.exit("bench_gate: day durability below 100% — an acked write "
+                 "did not read back")
+    if scale_events <= 0:
+        sys.exit("bench_gate: day replay recorded no scale events — the "
+                 "capacity controller never acted, the attainment figure "
+                 "measured a static deployment")
 EOF
 echo "==> bench gate OK"

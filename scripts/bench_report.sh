@@ -10,25 +10,31 @@
 # with a fault plan active (--chaos), recording the SLO fields —
 # availability_pct (non-5xx fraction), durability_pct (acked PUTs readable
 # after the storm), degraded_reads/reconstructions, and p99 under brownout.
+# Schema 7 (PR 8) adds a bench_server_day suite: the compressed diurnal+
+# flash day replay (--day) with the adaptive-capacity figures —
+# slo_attainment (fraction of periods meeting the p99 target),
+# shed_requests/probe_admissions (SLO admission control), scale_events
+# (capacity-controller resizes), and peak vs. trough throughput.
 #
 # The output schema is an argument (--schema), not a hardcoded constant, so
 # the CI bench gate (scripts/bench_gate.sh) can parse reports from any PR;
 # RESULT lines are validated before their fields reach the JSON — a bench
 # that prints a malformed line is recorded as skipped, never as NaN soup.
-# Schemas < 6 omit the chaos suite entirely.
+# Schemas < 6 omit the chaos suite; schemas < 7 omit the day suite.
 #
 # Usage: scripts/bench_report.sh [--schema N|NAME/N] [output.json]
-#        (default schema: scalia-bench-report/6, output: BENCH_PR7.json)
+#        (default schema: scalia-bench-report/7, output: BENCH_PR8.json)
 # Env:   BUILD_DIR=build
 #        SERVER_BENCH_ARGS="--connections 16 --duration-s 5"  (override)
 #        OPTIMIZE_BENCH_ARGS="--optimize-every 1 --period-ms 500"  (override)
 #        SHARDED_BENCH_ARGS="--shards 8 --threads 8"  (override)
 #        CHAOS_BENCH_ARGS="--connections 8 --duration-s 8 --chaos bench/chaos_default.plan"
+#        DAY_BENCH_ARGS="--connections 8 --day default --periods 12 --period-ms 800 ..."
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-SCHEMA="scalia-bench-report/6"
+SCHEMA="scalia-bench-report/7"
 OUT=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -39,19 +45,20 @@ while [[ $# -gt 0 ]]; do
       [[ "$SCHEMA" =~ ^[0-9]+$ ]] && SCHEMA="scalia-bench-report/$SCHEMA"
       ;;
     --help)
-      sed -n '2,18p' "$0"; exit 0 ;;
+      sed -n '2,24p' "$0"; exit 0 ;;
     -*)
       echo "unknown flag: $1" >&2; exit 2 ;;
     *)
       OUT="$1"; shift ;;
   esac
 done
-OUT=${OUT:-BENCH_PR7.json}
+OUT=${OUT:-BENCH_PR8.json}
 SERVER_BENCH_ARGS=${SERVER_BENCH_ARGS:---connections 16 --duration-s 5 --object-bytes 1024,4096}
 OPTIMIZE_BENCH_ARGS=${OPTIMIZE_BENCH_ARGS:---optimize-every 1 --period-ms 500}
 SHARDED_BENCH_ARGS=${SHARDED_BENCH_ARGS:---shards 8 --threads 8}
 CHAOS_BENCH_ARGS=${CHAOS_BENCH_ARGS:---connections 8 --duration-s 8 --chaos bench/chaos_default.plan}
-# The chaos suite exists from schema 6 on.
+DAY_BENCH_ARGS=${DAY_BENCH_ARGS:---connections 8 --shards 4 --threads 4 --day default --period-ms 500 --day-peak-rps 2000 --slo-p99-ms 50 --object-bytes 1024}
+# The chaos suite exists from schema 6 on, the day suite from schema 7 on.
 SCHEMA_N=${SCHEMA##*/}
 
 if [[ ! -d "$BUILD_DIR" ]]; then
@@ -119,6 +126,24 @@ validate_result() {  # validate_result <result-line> -> 0 ok / 1 bad
     value=$(result_field "$line" "$key")
     [[ "$value" =~ ^[0-9]+(\.[0-9]+)?$ ]] || {
       echo "note: RESULT field $key=\"$value\" is not numeric; run skipped" >&2
+      return 1
+    }
+  done
+  return 0
+}
+# The day RESULT line carries the adaptive-capacity fields; note it has no
+# optimize_every (the capacity controller owns the cadence mid-run).
+validate_day_result() {  # validate_day_result <result-line> -> 0 ok / 1 bad
+  local line=$1 key value
+  [[ "$line" == RESULT\ suite=bench_server_day* ]] || return 1
+  for key in requests elapsed_s req_per_s p50_us p95_us p99_us errors \
+             shards threads loops periods period_ms slo_p99_ms \
+             slo_attainment shed_requests probe_admissions shed_escalations \
+             scale_events peak_req_per_s trough_req_per_s durability_pct \
+             acked_objects migrations conflicts; do
+    value=$(result_field "$line" "$key")
+    [[ "$value" =~ ^[0-9]+(\.[0-9]+)?$ ]] || {
+      echo "note: day RESULT field $key=\"$value\" is not numeric; run skipped" >&2
       return 1
     }
   done
@@ -211,6 +236,41 @@ emit_chaos_suite() {  # emit_chaos_suite <result-line> <wall-ms>
 EOF
 }
 
+# The day suite object: serving fields plus the adaptive-capacity block.
+emit_day_suite() {  # emit_day_suite <result-line> <wall-ms>
+  local line=$1 wall=$2 skipped=false
+  [[ -z "$line" ]] && skipped=true
+  cat <<EOF
+    {
+      "suite": "bench_server_day",
+      "wall_ms": $wall,
+      "req_per_s": $(result_field "$line" req_per_s),
+      "p50_us": $(result_field "$line" p50_us),
+      "p95_us": $(result_field "$line" p95_us),
+      "p99_us": $(result_field "$line" p99_us),
+      "errors": $(result_field "$line" errors),
+      "migrations": $(result_field "$line" migrations),
+      "conflicts": $(result_field "$line" conflicts),
+      "shards": $(result_field "$line" shards),
+      "threads": $(result_field "$line" threads),
+      "loops": $(result_field "$line" loops),
+      "periods": $(result_field "$line" periods),
+      "period_ms": $(result_field "$line" period_ms),
+      "slo_p99_ms": $(result_field "$line" slo_p99_ms),
+      "slo_attainment": $(result_field "$line" slo_attainment),
+      "shed_requests": $(result_field "$line" shed_requests),
+      "probe_admissions": $(result_field "$line" probe_admissions),
+      "shed_escalations": $(result_field "$line" shed_escalations),
+      "scale_events": $(result_field "$line" scale_events),
+      "peak_req_per_s": $(result_field "$line" peak_req_per_s),
+      "trough_req_per_s": $(result_field "$line" trough_req_per_s),
+      "durability_pct": $(result_field "$line" durability_pct),
+      "acked_objects": $(result_field "$line" acked_objects),
+      "skipped": $skipped
+    }
+EOF
+}
+
 # shellcheck disable=SC2086
 run_server_bench $SERVER_BENCH_ARGS
 BASE_RESULT=$SERVER_RESULT; BASE_MS=$SERVER_MS
@@ -244,6 +304,25 @@ if [[ "$SCHEMA_N" =~ ^[0-9]+$ ]] && (( SCHEMA_N >= 6 )); then
   fi
   CHAOS_SUITE_JSON=",
 $(emit_chaos_suite "$CHAOS_RESULT" "$CHAOS_MS")"
+fi
+
+# --- bench_server_day (schema >= 7): the compressed diurnal+flash replay
+# --- with predictive scaling and SLO admission control live; validated
+# --- against the adaptive-capacity field list.
+DAY_SUITE_JSON=""
+if [[ "$SCHEMA_N" =~ ^[0-9]+$ ]] && (( SCHEMA_N >= 7 )); then
+  DAY_START=$(now_ms)
+  # shellcheck disable=SC2086
+  DAY_RESULT=$({ "$BUILD_DIR/bench/bench_server_throughput" $DAY_BENCH_ARGS || true; } \
+               | grep '^RESULT ' || true)
+  DAY_MS=$(( $(now_ms) - DAY_START ))
+  if [[ -z "$DAY_RESULT" ]]; then
+    echo "note: day bench produced no RESULT line" >&2
+  elif ! validate_day_result "$DAY_RESULT"; then
+    DAY_RESULT=""
+  fi
+  DAY_SUITE_JSON=",
+$(emit_day_suite "$DAY_RESULT" "$DAY_MS")"
 fi
 
 # Shards-over-baseline speedup; meaningless (null) when either run skipped.
@@ -280,7 +359,7 @@ cat >"$OUT" <<EOF
 $(emit_server_suite bench_server_throughput "$BASE_RESULT" "$BASE_MS"),
 $(emit_server_suite bench_server_throughput_optimized "$OPT_RESULT" "$OPT_MS"),
 $(emit_server_suite bench_server_throughput_sharded "$SHARD_RESULT" "$SHARD_MS"),
-$(emit_server_suite bench_server_throughput_sharded_optimized "$SHARD_OPT_RESULT" "$SHARD_OPT_MS")$CHAOS_SUITE_JSON
+$(emit_server_suite bench_server_throughput_sharded_optimized "$SHARD_OPT_RESULT" "$SHARD_OPT_MS")$CHAOS_SUITE_JSON$DAY_SUITE_JSON
   ]
 }
 EOF

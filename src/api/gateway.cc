@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "capacity/admission.h"
 #include "common/string_util.h"
 #include "common/units.h"
 
@@ -60,25 +61,57 @@ HttpResponse S3Gateway::Handle(common::SimTime now,
       return ErrorResponse(common::Status::InvalidArgument(
           "only GET (list) is supported on containers"));
     }
-    return HandleList(now, container);
+    // Lists have no single row key; the container name attributes their
+    // latency to a stable (if arbitrary) shard slot.
+    return Admitted(*tenant, container,
+                    [&] { return HandleList(now, container); });
   }
   if (segments.size() != 2) {
     return ErrorResponse(
         common::Status::InvalidArgument("expected /container/key"));
   }
   const std::string& key = segments[1];
+  const std::string row_key = core::MakeRowKey(container, key);
 
-  switch (request.method) {
-    case HttpMethod::kPut:
-      return HandleObjectPut(now, container, key, request);
-    case HttpMethod::kGet:
-      return HandleObjectGet(now, container, key, /*head_only=*/false);
-    case HttpMethod::kHead:
-      return HandleObjectGet(now, container, key, /*head_only=*/true);
-    case HttpMethod::kDelete:
-      return HandleObjectDelete(now, container, key);
+  return Admitted(*tenant, row_key, [&]() -> HttpResponse {
+    switch (request.method) {
+      case HttpMethod::kPut:
+        return HandleObjectPut(now, container, key, request);
+      case HttpMethod::kGet:
+        return HandleObjectGet(now, container, key, /*head_only=*/false);
+      case HttpMethod::kHead:
+        return HandleObjectGet(now, container, key, /*head_only=*/true);
+      case HttpMethod::kDelete:
+        return HandleObjectDelete(now, container, key);
+    }
+    return ErrorResponse(common::Status::InvalidArgument("bad method"));
+  });
+}
+
+HttpResponse S3Gateway::Admitted(const std::string& tenant,
+                                 const std::string& row_key,
+                                 const std::function<HttpResponse()>& dispatch) {
+  if (admission_ == nullptr || !admission_->enabled()) return dispatch();
+
+  const capacity::AdmissionDecision decision =
+      admission_->Admit(tenant, row_key);
+  if (!decision.admit) {
+    // Shed strictly *before* any engine work: a 429 must not journal to
+    // the WAL, must not move the usage meters, and must not feed the p99
+    // estimate (a storm of fast rejections would talk the controller into
+    // believing the SLO recovered).
+    HttpResponse response = ErrorResponse(common::Status::ResourceExhausted(
+        "shed: p99 SLO breached, retry later"));
+    response.headers.Set("retry-after",
+                         std::to_string(decision.retry_after_s));
+    return response;
   }
-  return ErrorResponse(common::Status::InvalidArgument("bad method"));
+
+  const std::uint64_t start_us = admission_->NowUs();
+  HttpResponse response = dispatch();
+  admission_->RecordLatency(
+      row_key, static_cast<double>(admission_->NowUs() - start_us));
+  return response;
 }
 
 HttpResponse S3Gateway::HandleObjectPut(common::SimTime now,

@@ -30,6 +30,10 @@
 #include "core/metadata.h"
 #include "core/rule.h"
 
+namespace scalia::capacity {
+class AdmissionController;
+}  // namespace scalia::capacity
+
 namespace scalia::api {
 
 /// Maps a Status onto the HTTP code the gateway responds with.
@@ -48,6 +52,16 @@ class S3Gateway {
   /// Registers a named storage rule clients may select with x-scalia-rule
   /// (the paper's per-class / per-object rules, Fig. 2).
   void RegisterRule(core::StorageRule rule);
+
+  /// Attaches SLO-aware admission control (capacity/admission.h): after
+  /// authentication and routing, every request asks the controller before
+  /// any engine work happens.  A shed answers 429 + Retry-After without
+  /// touching the engine, the WAL or the usage meters; an admitted
+  /// request's engine-dispatch latency feeds the controller's per-shard
+  /// p99 estimate.  Null (the default) disables admission entirely.
+  void SetAdmissionController(capacity::AdmissionController* admission) {
+    admission_ = admission;
+  }
 
   /// Serves one request at simulated time `now`.
   [[nodiscard]] HttpResponse Handle(common::SimTime now,
@@ -71,8 +85,16 @@ class S3Gateway {
   [[nodiscard]] static HttpResponse ErrorResponse(
       const common::Status& status);
 
+  /// Runs `dispatch` through admission control: shed answers 429 before
+  /// any engine work; admitted dispatches are latency-bracketed into the
+  /// controller's per-shard p99 estimate for `row_key`'s shard.
+  [[nodiscard]] HttpResponse Admitted(
+      const std::string& tenant, const std::string& row_key,
+      const std::function<HttpResponse()>& dispatch);
+
   Authenticator* auth_;  // not owned
   RouteFn route_;
+  capacity::AdmissionController* admission_ = nullptr;  // not owned
 
   std::mutex rules_mu_;
   std::map<std::string, core::StorageRule> rules_;

@@ -48,6 +48,9 @@ class CacheLayer {
   /// Bus-delivered invalidation.
   void InvalidateLocal(const std::string& key) { cache_.Invalidate(key); }
 
+  /// Rebudgets the underlying cache (capacity-controller resize path).
+  void SetCapacity(common::Bytes capacity) { cache_.SetCapacity(capacity); }
+
   [[nodiscard]] CacheStats Stats() const { return cache_.Stats(); }
   [[nodiscard]] LruCache& cache() noexcept { return cache_; }
 

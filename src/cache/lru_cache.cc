@@ -4,8 +4,9 @@ namespace scalia::cache {
 
 LruCache::LruCache(common::Bytes capacity_bytes, std::size_t shards) {
   const std::size_t n = shards == 0 ? 1 : shards;
-  shard_capacity_ = capacity_bytes / n;
-  if (shard_capacity_ == 0) shard_capacity_ = capacity_bytes;
+  common::Bytes per_shard = capacity_bytes / n;
+  if (per_shard == 0) per_shard = capacity_bytes;
+  shard_capacity_.store(per_shard, std::memory_order_relaxed);
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -38,7 +39,9 @@ std::optional<std::string> LruCache::Get(const std::string& key) {
 void LruCache::Put(const std::string& key, std::string value) {
   Shard& s = ShardFor(key);
   const auto value_size = static_cast<common::Bytes>(value.size());
-  if (value_size > shard_capacity_) return;  // too large to cache
+  const common::Bytes capacity =
+      shard_capacity_.load(std::memory_order_relaxed);
+  if (value_size > capacity) return;  // too large to cache
   std::lock_guard lock(s.mu);
   auto it = s.index.find(key);
   if (it != s.index.end()) {
@@ -52,12 +55,28 @@ void LruCache::Put(const std::string& key, std::string value) {
     s.bytes += value_size;
     ++s.stats.insertions;
   }
-  while (s.bytes > shard_capacity_ && !s.lru.empty()) {
+  EvictToFitLocked(s, capacity);
+}
+
+void LruCache::EvictToFitLocked(Shard& s, common::Bytes capacity) {
+  while (s.bytes > capacity && !s.lru.empty()) {
     const Entry& victim = s.lru.back();
     s.bytes -= static_cast<common::Bytes>(victim.value.size());
     s.index.erase(victim.key);
     s.lru.pop_back();
     ++s.stats.evictions;
+  }
+}
+
+void LruCache::SetCapacity(common::Bytes capacity_bytes) {
+  common::Bytes per_shard = capacity_bytes / shards_.size();
+  if (per_shard == 0) per_shard = capacity_bytes;
+  shard_capacity_.store(per_shard, std::memory_order_relaxed);
+  // Shrink each shard down to the new budget; concurrent Puts that loaded
+  // the old capacity may overshoot one value, the next Put corrects it.
+  for (auto& s : shards_) {
+    std::lock_guard lock(s->mu);
+    EvictToFitLocked(*s, per_shard);
   }
 }
 

@@ -6,6 +6,7 @@
 // stateless engines hit the cache concurrently.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -59,6 +60,15 @@ class LruCache {
 
   void Clear();
 
+  /// Rebudgets the cache to `capacity_bytes` total, evicting LRU entries
+  /// from each shard until it fits the new per-shard slice.  Safe to call
+  /// while readers/writers run (the capacity controller resizes live).
+  void SetCapacity(common::Bytes capacity_bytes);
+
+  [[nodiscard]] common::Bytes CapacityBytes() const noexcept {
+    return shard_capacity_.load(std::memory_order_relaxed) * shards_.size();
+  }
+
   [[nodiscard]] CacheStats Stats() const;
   [[nodiscard]] common::Bytes SizeBytes() const;
   [[nodiscard]] std::size_t EntryCount() const;
@@ -77,8 +87,10 @@ class LruCache {
   };
 
   [[nodiscard]] Shard& ShardFor(const std::string& key);
+  static void EvictToFitLocked(Shard& s, common::Bytes capacity);
 
-  common::Bytes shard_capacity_;
+  /// Per-shard byte budget; atomic because SetCapacity may race Put/Get.
+  std::atomic<common::Bytes> shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -1,0 +1,184 @@
+#include "capacity/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "core/sharded_engine.h"
+
+namespace scalia::capacity {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(std::move(config)) {
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  shards_.resize(config_.num_shards);
+}
+
+void AdmissionController::SetTenantValue(const std::string& tenant,
+                                         double value) {
+  std::lock_guard lock(mu_);
+  tenants_[tenant].value = value;
+}
+
+std::uint64_t AdmissionController::NowUs() const {
+  if (config_.now_us) return config_.now_us();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t AdmissionController::ShardOf(const std::string& row_key) const {
+  // The engine's own routing hash, so the latency a request contributes is
+  // attributed to exactly the shard that served it.
+  return core::ShardedEngine::ShardForRowKey(row_key, shards_.size());
+}
+
+bool AdmissionController::AnyShardAboveLocked(double threshold_us) const {
+  for (const ShardState& shard : shards_) {
+    if (shard.samples >= config_.min_samples && shard.p99_us > threshold_us) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t AdmissionController::RankLocked(const std::string& tenant) const {
+  double value = config_.default_tenant_value;
+  if (auto it = tenants_.find(tenant); it != tenants_.end()) {
+    value = it->second.value;
+  }
+  // Tier rank = number of distinct values strictly below this tenant's;
+  // tenants sharing a value share the fate of their tier.
+  std::vector<double> below;
+  for (const auto& [name, state] : tenants_) {
+    if (state.value < value) below.push_back(state.value);
+  }
+  std::sort(below.begin(), below.end());
+  below.erase(std::unique(below.begin(), below.end()), below.end());
+  return below.size();
+}
+
+AdmissionDecision AdmissionController::Admit(const std::string& tenant,
+                                             const std::string& row_key) {
+  (void)row_key;  // routing only matters for latency attribution
+  if (!enabled()) return {};
+  std::lock_guard lock(mu_);
+  if (shed_level_ > 0 && RankLocked(tenant) < shed_level_) {
+    ++shed_decisions_;
+    if (config_.probe_every > 0 &&
+        shed_decisions_ % config_.probe_every == 0) {
+      // Probe: let this one through so the shard estimates keep seeing
+      // real latencies from shed tiers — without it, a fully shed tenant
+      // mix could never demonstrate recovery.
+      ++probes_;
+      ++admitted_;
+      return {};
+    }
+    ++shed_;
+    ++tenants_[tenant].shed;  // creates the default-value entry if unknown
+    return {.admit = false, .retry_after_s = config_.retry_after_s};
+  }
+  ++admitted_;
+  return {};
+}
+
+void AdmissionController::RecordLatency(const std::string& row_key,
+                                        double latency_us) {
+  RecordLatencyOnShard(ShardOf(row_key), latency_us);
+}
+
+void AdmissionController::RecordLatencyOnShard(std::size_t shard,
+                                               double latency_us) {
+  if (!enabled()) return;
+  if (!std::isfinite(latency_us) || latency_us < 0.0) return;
+  std::lock_guard lock(mu_);
+  ShardState& state = shards_[shard % shards_.size()];
+  if (state.samples == 0) {
+    state.p99_us = latency_us;
+  } else {
+    // Stochastic quantile EWMA: up-moves use the full gain, down-moves the
+    // gain scaled by (1-q)/q, so the estimate settles where a (1-q)
+    // fraction of samples lands above it.
+    const double q = config_.quantile;
+    if (latency_us > state.p99_us) {
+      state.p99_us += config_.gain * (latency_us - state.p99_us);
+    } else {
+      state.p99_us -=
+          config_.gain * ((1.0 - q) / q) * (state.p99_us - latency_us);
+    }
+  }
+  ++state.samples;
+  ++samples_since_move_;
+  MaybeMoveShedLevelLocked();
+}
+
+void AdmissionController::MaybeMoveShedLevelLocked() {
+  if (samples_since_move_ < config_.escalation_every_samples) return;
+
+  const double target_us = config_.slo_p99_ms * 1000.0;
+  // The highest-value tier is never shed: with every tier dark no admitted
+  // samples would flow, the sample-counted cadence would freeze, and the
+  // controller could never observe recovery.
+  std::vector<double> values;
+  values.reserve(tenants_.size());
+  for (const auto& [name, state] : tenants_) values.push_back(state.value);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  const std::size_t max_level = values.empty() ? 0 : values.size() - 1;
+
+  if (AnyShardAboveLocked(target_us)) {
+    if (shed_level_ < max_level) {
+      ++shed_level_;
+      ++escalations_;
+      samples_since_move_ = 0;
+    }
+  } else if (shed_level_ > 0 &&
+             !AnyShardAboveLocked(config_.recover_fraction * target_us)) {
+    --shed_level_;
+    ++de_escalations_;
+    samples_since_move_ = 0;
+  }
+  // Inside the hysteresis band (or already at the cap) the level holds and
+  // the window stays elapsed, so the next decisive sample moves it.
+}
+
+double AdmissionController::ShardP99Us(std::size_t shard) const {
+  std::lock_guard lock(mu_);
+  return shards_[shard % shards_.size()].p99_us;
+}
+
+AdmissionStats AdmissionController::Stats() const {
+  std::lock_guard lock(mu_);
+  AdmissionStats stats;
+  stats.admitted = admitted_;
+  stats.shed = shed_;
+  stats.probes = probes_;
+  stats.shed_level = shed_level_;
+  stats.escalations = escalations_;
+  stats.de_escalations = de_escalations_;
+  for (const ShardState& shard : shards_) {
+    if (shard.samples >= config_.min_samples) {
+      stats.max_p99_us = std::max(stats.max_p99_us, shard.p99_us);
+    }
+  }
+  return stats;
+}
+
+std::uint64_t AdmissionController::shed_requests() const {
+  std::lock_guard lock(mu_);
+  return shed_;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+AdmissionController::ShedByTenant() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, state] : tenants_) {
+    if (state.shed > 0) out.emplace_back(name, state.shed);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace scalia::capacity

@@ -1,0 +1,163 @@
+// SLO-aware admission control: shed the lowest-value traffic first.
+//
+// Sits on the gateway hot path at the net/server -> core::EngineApi
+// boundary (api::S3Gateway::SetAdmissionController): every admitted
+// request's engine-dispatch latency feeds a per-shard p99 estimate, and
+// when any shard's estimate breaches the SLO target the controller starts
+// 429-throttling tenants in ascending value order — the per-tenant value
+// comes from the same monthly budgets core/budget.h and billing/ price
+// placements with, so "value" means exactly what the billing pipeline
+// bills.  Higher-value tenants keep full service until shedding the
+// cheaper ones has not recovered the SLO.
+//
+// The p99 estimate per shard is a stochastic quantile EWMA: each sample
+// moves the estimate up by gain x (sample - est) when it exceeds the
+// estimate and down by gain x (1-q)/q x (est - sample) otherwise, so the
+// estimate settles where ~1% of samples land above it.  Shed responses
+// never feed the estimate — a storm of fast 429s must not talk the
+// controller into believing the SLO recovered.
+//
+// Escalation runs on a *sample-counted* cadence with hysteresis (breach
+// above the target escalates one tenant tier; recovery below
+// recover_fraction x target de-escalates one tier), so the control loop is
+// fully deterministic under injected latencies: no clocks, no threads, no
+// wall-time coupling anywhere in the decision path.  The only time source
+// is the injectable now_us used to *measure* latencies, and tests inject
+// that too.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/money.h"
+
+namespace scalia::capacity {
+
+struct AdmissionConfig {
+  /// The p99 latency target, in milliseconds.  <= 0 disables admission
+  /// control entirely (every request admits).
+  double slo_p99_ms = 0.0;
+  /// Hysteresis: de-escalation requires every shard's p99 below
+  /// recover_fraction x target, not merely below the target.
+  double recover_fraction = 0.8;
+  /// Quantile tracked (0.99 = p99) and the EWMA step gain.
+  double quantile = 0.99;
+  double gain = 0.05;
+  /// Samples on a shard before its estimate participates in breach
+  /// decisions (a cold estimate is noise).
+  std::size_t min_samples = 64;
+  /// Admitted samples between two shed-level moves (the deterministic
+  /// stand-in for a wall-clock evaluation interval).
+  std::size_t escalation_every_samples = 256;
+  /// Every Nth would-be-shed request is admitted anyway as a *probe*, so
+  /// the latency estimate keeps seeing real samples from shed tiers and
+  /// recovery stays observable even when every tier below the top is dark.
+  /// 0 disables probing.
+  std::size_t probe_every = 16;
+  /// Retry-After value stamped on every 429.
+  long retry_after_s = 1;
+  /// Engine shards (the per-shard p99 slots); row keys map onto shards
+  /// with the engine's own routing hash.
+  std::size_t num_shards = 1;
+  /// Tenants with no registered value rank below every registered one.
+  double default_tenant_value = 0.0;
+  /// Latency time source in microseconds — injectable for deterministic
+  /// tests; null uses std::chrono::steady_clock.
+  std::function<std::uint64_t()> now_us;
+};
+
+struct AdmissionDecision {
+  bool admit = true;
+  long retry_after_s = 0;
+};
+
+struct AdmissionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t probes = 0;
+  /// Tenant tiers currently shed (0 = SLO healthy).
+  std::size_t shed_level = 0;
+  std::uint64_t escalations = 0;
+  std::uint64_t de_escalations = 0;
+  /// Worst per-shard p99 estimate, in microseconds.
+  double max_p99_us = 0.0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Registers/overwrites a tenant's value (ascending order = shed order).
+  void SetTenantValue(const std::string& tenant, double value);
+  /// The budget-derived flavour: value = the tenant's monthly budget in
+  /// USD, the number the billing ledger invoices against.
+  void SetTenantBudget(const std::string& tenant, common::Money monthly) {
+    SetTenantValue(tenant, monthly.usd());
+  }
+
+  /// Admission check for `tenant` on the shard serving `row_key`.  Never
+  /// blocks; a shed decision carries the Retry-After to answer with.
+  [[nodiscard]] AdmissionDecision Admit(const std::string& tenant,
+                                        const std::string& row_key);
+
+  /// Feeds one admitted request's engine-dispatch latency (microseconds),
+  /// attributed to the shard serving `row_key`.
+  void RecordLatency(const std::string& row_key, double latency_us);
+  /// Shard-addressed variant (tests and embedders that already routed).
+  void RecordLatencyOnShard(std::size_t shard, double latency_us);
+
+  /// Microseconds from the configured time source (the gateway brackets
+  /// the engine dispatch with this).
+  [[nodiscard]] std::uint64_t NowUs() const;
+
+  [[nodiscard]] std::size_t ShardOf(const std::string& row_key) const;
+  [[nodiscard]] double ShardP99Us(std::size_t shard) const;
+  [[nodiscard]] AdmissionStats Stats() const;
+  [[nodiscard]] std::uint64_t shed_requests() const;
+  /// Per-tenant shed counts (for the daemon's sampling-period log).
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  ShedByTenant() const;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return config_.slo_p99_ms > 0.0;
+  }
+  [[nodiscard]] const AdmissionConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct ShardState {
+    double p99_us = 0.0;
+    std::uint64_t samples = 0;
+  };
+  struct TenantState {
+    double value = 0.0;
+    std::uint64_t shed = 0;
+  };
+
+  /// True when any warmed-up shard's estimate exceeds `threshold_us`.
+  [[nodiscard]] bool AnyShardAboveLocked(double threshold_us) const;
+  /// Ascending-value rank of `tenant` (0 = cheapest); tenants sharing a
+  /// value share the fate of their tier.
+  [[nodiscard]] std::size_t RankLocked(const std::string& tenant) const;
+  void MaybeMoveShedLevelLocked();
+
+  AdmissionConfig config_;
+  mutable std::mutex mu_;
+  std::vector<ShardState> shards_;
+  std::unordered_map<std::string, TenantState> tenants_;
+  std::size_t shed_level_ = 0;
+  std::uint64_t samples_since_move_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t shed_decisions_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t escalations_ = 0;
+  std::uint64_t de_escalations_ = 0;
+};
+
+}  // namespace scalia::capacity

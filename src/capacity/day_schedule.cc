@@ -1,0 +1,175 @@
+#include "capacity/day_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "workload/diurnal.h"
+
+namespace scalia::capacity {
+
+DaySchedule DaySchedule::Compressed(DayScheduleConfig config) {
+  if (config.periods == 0) config.periods = 1;
+
+  // 24 hourly expected-visit counts from the paper's diurnal mixture; the
+  // absolute visits_per_day cancels in the normalization below.
+  const workload::DiurnalTrafficModel model(/*visits_per_day=*/2500.0);
+  const std::vector<double> hourly = model.ExpectedSeries(24);
+
+  // Compress 24 hours onto `periods` slots by sampling the hour each
+  // period's midpoint lands on.
+  std::vector<double> raw(config.periods, 0.0);
+  for (std::size_t p = 0; p < config.periods; ++p) {
+    const double hour =
+        (static_cast<double>(p) + 0.5) * 24.0 /
+        static_cast<double>(config.periods);
+    raw[p] = hourly[static_cast<std::size_t>(hour) % 24];
+  }
+
+  // Graft the flash crowd on: a Slashdot-style sharp ramp to the full
+  // multiple, then a slower decay over the same number of periods.
+  if (config.flash_periods > 0 && config.flash_multiple > 1.0) {
+    for (std::size_t i = 0; i < 2 * config.flash_periods; ++i) {
+      const std::size_t p = config.flash_start_period + i;
+      if (p >= raw.size()) break;
+      double boost;
+      if (i < config.flash_periods) {  // ramp
+        boost = 1.0 + (config.flash_multiple - 1.0) *
+                          static_cast<double>(i + 1) /
+                          static_cast<double>(config.flash_periods);
+      } else {  // decay, never dropping below the diurnal baseline
+        boost = 1.0 + (config.flash_multiple - 1.0) *
+                          static_cast<double>(2 * config.flash_periods - i) /
+                          static_cast<double>(2 * config.flash_periods);
+      }
+      raw[p] *= boost;
+    }
+  }
+
+  const double peak = *std::max_element(raw.begin(), raw.end());
+  DaySchedule schedule;
+  schedule.fractions_.reserve(raw.size());
+  for (double r : raw) {
+    schedule.fractions_.push_back(
+        std::max(config.min_fraction, peak > 0.0 ? r / peak : 1.0));
+  }
+  return schedule;
+}
+
+common::Result<DaySchedule> DaySchedule::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return common::Status::NotFound("day schedule file: " + path);
+  }
+  DaySchedule schedule;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ss(line);
+    double fraction = 0.0;
+    if (!(ss >> fraction)) continue;  // blank / comment-only line
+    std::string trailing;
+    if (ss >> trailing) {
+      return common::Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) + ": trailing token '" +
+          trailing + "'");
+    }
+    if (!std::isfinite(fraction) || fraction <= 0.0 || fraction > 10.0) {
+      return common::Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) +
+          ": fraction must be finite and in (0, 10]");
+    }
+    schedule.fractions_.push_back(fraction);
+  }
+  if (schedule.fractions_.empty()) {
+    return common::Status::InvalidArgument(path + ": no periods in schedule");
+  }
+  return schedule;
+}
+
+double DaySchedule::PeakFraction() const {
+  if (fractions_.empty()) return 0.0;
+  return *std::max_element(fractions_.begin(), fractions_.end());
+}
+
+std::string DaySchedule::ToString() const {
+  std::string out;
+  for (std::size_t p = 0; p < fractions_.size(); ++p) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "period %2zu: %.2f  ", p, fractions_[p]);
+    out += line;
+    const auto bars = static_cast<std::size_t>(fractions_[p] * 20.0);
+    out.append(bars, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+SloTracker::SloTracker(std::size_t periods, double slo_p99_ms)
+    : slo_p99_ms_(slo_p99_ms), latencies_(periods), shed_(periods, 0) {}
+
+void SloTracker::Record(std::size_t period, double latency_us, bool shed) {
+  if (period >= latencies_.size()) return;
+  if (shed) {
+    ++shed_[period];
+    return;
+  }
+  latencies_[period].push_back(latency_us);
+}
+
+void SloTracker::Merge(const SloTracker& other) {
+  const std::size_t n = std::min(latencies_.size(), other.latencies_.size());
+  for (std::size_t p = 0; p < n; ++p) {
+    latencies_[p].insert(latencies_[p].end(), other.latencies_[p].begin(),
+                         other.latencies_[p].end());
+    shed_[p] += other.shed_[p];
+  }
+}
+
+SloTracker::Report SloTracker::Finish() const {
+  Report report;
+  report.periods.resize(latencies_.size());
+  std::size_t nonempty = 0;
+  std::size_t met = 0;
+  bool first = true;
+  for (std::size_t p = 0; p < latencies_.size(); ++p) {
+    PeriodReport& period = report.periods[p];
+    period.shed = shed_[p];
+    period.requests = latencies_[p].size();
+    report.total_requests += period.requests;
+    report.total_shed += period.shed;
+    if (period.requests == 0) continue;
+
+    // Exact per-period p99 (nearest-rank on the sorted sample).
+    std::vector<double> sorted = latencies_[p];
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(0.99 * static_cast<double>(sorted.size())));
+    period.p99_us = sorted[std::min(rank == 0 ? 0 : rank - 1,
+                                    sorted.size() - 1)];
+
+    ++nonempty;
+    if (period.p99_us <= slo_p99_ms_ * 1000.0) ++met;
+    if (first) {
+      report.peak_period_requests = period.requests;
+      report.trough_period_requests = period.requests;
+      first = false;
+    } else {
+      report.peak_period_requests =
+          std::max(report.peak_period_requests, period.requests);
+      report.trough_period_requests =
+          std::min(report.trough_period_requests, period.requests);
+    }
+  }
+  report.slo_attainment =
+      nonempty == 0 ? 0.0
+                    : static_cast<double>(met) / static_cast<double>(nonempty);
+  return report;
+}
+
+}  // namespace scalia::capacity

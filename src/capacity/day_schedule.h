@@ -1,0 +1,105 @@
+// A compressed day-in-the-life load schedule.
+//
+// The serving-tier counterpart of the paper's workload models: 24 hours of
+// the §IV-C diurnal website curve (workload/diurnal.h), with a §IV-B
+// Slashdot-style flash crowd grafted onto the evening peak, compressed to
+// N bench periods.  Each period carries a rate *fraction* relative to the
+// schedule's peak, so the replayer picks the absolute peak rate (req/s)
+// and the period length independently — the same schedule drives a 10 s
+// smoke run and a minutes-long bench.
+//
+// Schedules are deterministic (the generator is a pure function of its
+// arguments) and serializable to a line-oriented file — one fraction per
+// line, '#' comments — so day runs can replay custom curves too.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scalia::capacity {
+
+struct DayScheduleConfig {
+  /// Periods the 24 h curve is compressed into.
+  std::size_t periods = 24;
+  /// Flash crowd: multiplies the diurnal fraction at the flash periods by
+  /// ramping to `flash_multiple` over `flash_periods`, Slashdot-style
+  /// (sharp ramp, slower decay).  0 periods disables the flash.
+  std::size_t flash_start_period = 18;
+  std::size_t flash_periods = 3;
+  double flash_multiple = 1.8;
+  /// Floor on every period's fraction (a real site never goes fully dark;
+  /// 0 would also make rate pacing degenerate).
+  double min_fraction = 0.05;
+};
+
+class DaySchedule {
+ public:
+  /// The default compressed diurnal+flash curve.
+  [[nodiscard]] static DaySchedule Compressed(DayScheduleConfig config = {});
+
+  /// Loads a schedule file: one fraction per line, '#' comments and blank
+  /// lines ignored.  Fractions must be finite, in (0, 10]; errors carry
+  /// the offending line number.
+  [[nodiscard]] static common::Result<DaySchedule> Load(
+      const std::string& path);
+
+  [[nodiscard]] const std::vector<double>& fractions() const noexcept {
+    return fractions_;
+  }
+  [[nodiscard]] std::size_t periods() const noexcept {
+    return fractions_.size();
+  }
+  /// The peak period's fraction (normally 1.0 for generated schedules).
+  [[nodiscard]] double PeakFraction() const;
+
+  /// One line per period: "period 7: 0.43  ########".
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<double> fractions_;
+};
+
+/// Per-period SLO bookkeeping for a day replay: feed each request's
+/// (period, latency, shed) outcome, then read attainment and the peak vs.
+/// trough throughput.  Not thread-safe; replayers merge per-worker
+/// trackers with Merge().
+class SloTracker {
+ public:
+  SloTracker(std::size_t periods, double slo_p99_ms);
+
+  void Record(std::size_t period, double latency_us, bool shed);
+  void Merge(const SloTracker& other);
+
+  struct PeriodReport {
+    std::uint64_t requests = 0;  // admitted (shed excluded)
+    std::uint64_t shed = 0;
+    double p99_us = 0.0;
+  };
+  struct Report {
+    std::vector<PeriodReport> periods;
+    /// Fraction of nonempty periods whose p99 met the target.
+    double slo_attainment = 0.0;
+    std::uint64_t total_requests = 0;
+    std::uint64_t total_shed = 0;
+    /// Highest and lowest per-period admitted request counts (the bench
+    /// divides by the period length for req/s).
+    std::uint64_t peak_period_requests = 0;
+    std::uint64_t trough_period_requests = 0;
+  };
+  [[nodiscard]] Report Finish() const;
+
+  [[nodiscard]] std::size_t periods() const noexcept {
+    return latencies_.size();
+  }
+
+ private:
+  double slo_p99_ms_;
+  std::vector<std::vector<double>> latencies_;  // per period, admitted only
+  std::vector<std::uint64_t> shed_;
+};
+
+}  // namespace scalia::capacity

@@ -1,0 +1,107 @@
+#include "capacity/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scalia::capacity {
+
+LoadPredictor::LoadPredictor(PredictorConfig config)
+    : config_(config), trend_(config.trend) {}
+
+double LoadPredictor::Observe(double rate) {
+  if (!std::isfinite(rate) || rate < 0.0) rate = 0.0;
+  observed_max_ = std::max(observed_max_, rate);
+
+  const double sma_before = trend_.CurrentSma();
+  const bool had_sma = trend_.Observations() > 0;
+  trend_changed_ = trend_.Observe(rate);
+  const double sma = trend_.CurrentSma();
+
+  // Linear extrapolation of the moving average by its momentum: the next
+  // period is expected to continue the ramp the window is on.  With no
+  // previous SMA the best forecast is the sample itself.
+  double forecast = sma;
+  if (had_sma) forecast = sma + (sma - sma_before);
+
+  const double cap = config_.max_forecast_multiple * observed_max_;
+  forecast = std::clamp(forecast, 0.0, cap);
+  if (!std::isfinite(forecast)) forecast = 0.0;
+  forecast_ = forecast;
+  return forecast_;
+}
+
+CapacityController::CapacityController(CapacityConfig config)
+    : config_(config), predictor_(config.predictor) {
+  plan_ = PlanFor(0.0);
+}
+
+CapacityPlan CapacityController::PlanFor(double forecast) const {
+  CapacityPlan plan;
+  const double per_thread = std::max(1.0, config_.rate_per_thread);
+  const auto threads =
+      static_cast<std::size_t>(std::ceil(forecast / per_thread));
+  plan.pool_threads =
+      std::clamp(threads, config_.min_threads, config_.max_threads);
+
+  // Cache budget and optimizer cadence scale with the forecast's position
+  // inside the provisioned range: at the trough the cache is small and the
+  // optimizer runs every period; toward the peak the cache grows (hits are
+  // the cheapest capacity there is) and the optimizer backs off to leave
+  // the CPU to serving.
+  const double saturation_rate =
+      per_thread * static_cast<double>(config_.max_threads);
+  const double load = std::clamp(forecast / saturation_rate, 0.0, 1.0);
+  plan.cache_bytes =
+      config_.min_cache_bytes +
+      static_cast<common::Bytes>(
+          load * static_cast<double>(config_.max_cache_bytes -
+                                     config_.min_cache_bytes));
+  const double cadence_span = static_cast<double>(
+      config_.max_optimize_every - config_.min_optimize_every);
+  plan.optimize_every =
+      config_.min_optimize_every +
+      static_cast<std::size_t>(std::lround(load * cadence_span));
+  return plan;
+}
+
+bool CapacityController::OnPeriodClose(double observed_rate) {
+  const double forecast = predictor_.Observe(observed_rate);
+  ++periods_since_resize_;
+
+  if (has_plan_) {
+    // Hysteresis: ignore forecast drift smaller than the configured
+    // fraction of the forecast that set the current plan (floored at one
+    // per-thread unit so a 0-forecast baseline can still scale up), and
+    // never resize during the cooldown.
+    const double reference =
+        std::max(plan_forecast_, std::max(1.0, config_.rate_per_thread));
+    if (std::abs(forecast - plan_forecast_) <=
+        config_.hysteresis * reference) {
+      return false;
+    }
+    if (periods_since_resize_ < config_.cooldown_periods) return false;
+  }
+
+  const CapacityPlan next = PlanFor(forecast);
+  const bool unchanged = has_plan_ &&
+                         next.pool_threads == plan_.pool_threads &&
+                         next.cache_bytes == plan_.cache_bytes &&
+                         next.optimize_every == plan_.optimize_every;
+  // A forecast that moved past the hysteresis band but quantizes to the
+  // same plan re-anchors the reference without counting a scale event —
+  // otherwise a rate sitting on a plan boundary would evaluate (and
+  // jitter around) that boundary forever.
+  if (unchanged) {
+    plan_forecast_ = forecast;
+    return false;
+  }
+
+  plan_ = next;
+  plan_forecast_ = forecast;
+  has_plan_ = true;
+  periods_since_resize_ = 0;
+  ++scale_events_;
+  return true;
+}
+
+}  // namespace scalia::capacity

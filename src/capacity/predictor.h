@@ -1,0 +1,131 @@
+// Predictive capacity scaling (ROADMAP "Adaptive capacity"; ADS, arXiv
+// 1711.02150): scale the serving tier *ahead* of predicted demand instead
+// of reacting after the SLO breaks.
+//
+// The LoadPredictor reuses the paper's SMA-momentum trend machinery
+// (stats/trend.h) over per-period request-rate samples: the forecast for
+// the next sampling period is the current moving average extrapolated by
+// its momentum, clamped to [0, max_forecast_multiple x observed max] so a
+// single wild sample can never demand unbounded capacity.
+//
+// The CapacityController maps that forecast onto the three capacity knobs
+// the serving tier owns — chunk-I/O thread-pool size, total cache budget,
+// optimizer cadence — and applies *hysteresis*: a new plan is emitted only
+// when the forecast moved more than `hysteresis` (relative) away from the
+// forecast that set the current plan, and never more often than one resize
+// per `cooldown_periods`.  On a constant-rate stream the controller
+// provably settles after its first plan and never oscillates (the
+// predictor property test asserts exactly this).
+//
+// Deterministic by construction: both classes are pure sample-in/plan-out
+// state machines — no clocks, no threads, no wall-clock sleeps — so the
+// whole control loop unit-tests with injected load samples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/units.h"
+#include "stats/trend.h"
+
+namespace scalia::capacity {
+
+struct PredictorConfig {
+  /// Trend window/limit over the per-period request-rate samples (the
+  /// paper's "ma: 3" SMA reused at serving-tier granularity).
+  stats::TrendConfig trend;
+  /// Forecasts are clamped to this multiple of the largest rate observed
+  /// so far — prediction may lead demand, not invent it.
+  double max_forecast_multiple = 4.0;
+};
+
+/// Forecasts the next period's request rate from the closed periods so far.
+class LoadPredictor {
+ public:
+  explicit LoadPredictor(PredictorConfig config = {});
+
+  /// Feeds the just-finished period's observed rate (req/s; negative or
+  /// non-finite samples are treated as 0) and returns the forecast for the
+  /// next period.  The forecast is always finite, non-negative and at most
+  /// max_forecast_multiple x the observed maximum.
+  double Observe(double rate);
+
+  [[nodiscard]] double forecast() const noexcept { return forecast_; }
+  [[nodiscard]] double observed_max() const noexcept { return observed_max_; }
+  [[nodiscard]] std::size_t observations() const noexcept {
+    return trend_.Observations();
+  }
+  /// Whether the last Observe() tripped the SMA-momentum trend detector.
+  [[nodiscard]] bool trend_changed() const noexcept { return trend_changed_; }
+
+ private:
+  PredictorConfig config_;
+  stats::TrendDetector trend_;
+  double observed_max_ = 0.0;
+  double forecast_ = 0.0;
+  bool trend_changed_ = false;
+};
+
+/// The capacity knobs one plan sets.
+struct CapacityPlan {
+  /// Chunk-I/O thread-pool size (common::ThreadPool::Resize target).
+  std::size_t pool_threads = 1;
+  /// Total cache budget across shards (ShardedEngine::SetCacheCapacity).
+  common::Bytes cache_bytes = 0;
+  /// Periods between optimization-procedure runs: under predicted peak
+  /// load the optimizer yields CPU to serving (longer cadence), in the
+  /// trough it runs every period.
+  std::size_t optimize_every = 1;
+};
+
+struct CapacityConfig {
+  PredictorConfig predictor;
+  /// Request rate one chunk-I/O thread is provisioned for.
+  double rate_per_thread = 4000.0;
+  std::size_t min_threads = 1;
+  std::size_t max_threads = 16;
+  /// Cache budget scales linearly between min and max as the forecast
+  /// moves from 0 to the rate that saturates max_threads.
+  common::Bytes min_cache_bytes = 64 * common::kMiB;
+  common::Bytes max_cache_bytes = 512 * common::kMiB;
+  std::size_t min_optimize_every = 1;
+  std::size_t max_optimize_every = 8;
+  /// Relative forecast move (vs. the forecast that set the current plan)
+  /// required before a new plan is emitted.
+  double hysteresis = 0.25;
+  /// Minimum closed periods between two plan changes.
+  std::size_t cooldown_periods = 2;
+};
+
+/// Closes the loop: per-period observed rate in, capacity plan out.
+class CapacityController {
+ public:
+  explicit CapacityController(CapacityConfig config = {});
+
+  /// Feeds the just-finished period's observed rate.  Returns true when
+  /// the plan changed (one scale event); read the new plan via plan().
+  bool OnPeriodClose(double observed_rate);
+
+  [[nodiscard]] const CapacityPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const LoadPredictor& predictor() const noexcept {
+    return predictor_;
+  }
+  /// Plan changes emitted so far (the bench's scale_events figure).
+  [[nodiscard]] std::uint64_t scale_events() const noexcept {
+    return scale_events_;
+  }
+
+  /// The plan a given forecast maps to (pure; exposed for tests).
+  [[nodiscard]] CapacityPlan PlanFor(double forecast) const;
+
+ private:
+  CapacityConfig config_;
+  LoadPredictor predictor_;
+  CapacityPlan plan_;
+  double plan_forecast_ = 0.0;   // forecast that set the current plan
+  bool has_plan_ = false;
+  std::size_t periods_since_resize_ = 0;
+  std::uint64_t scale_events_ = 0;
+};
+
+}  // namespace scalia::capacity

@@ -8,33 +8,66 @@ namespace scalia::common {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
+  std::lock_guard lock(mu_);
   workers_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
+  for (std::size_t i = 0; i < n; ++i) SpawnLocked();
+  active_threads_.store(workers_.size(), std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool() {
+  std::vector<Worker> workers;
   {
     std::lock_guard lock(mu_);
     stop_ = true;
+    workers = std::move(workers_);
+    workers_.clear();
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers) w.thread.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::SpawnLocked() {
+  auto retire = std::make_shared<std::atomic<bool>>(false);
+  workers_.push_back(Worker{
+      std::thread([this, retire] { WorkerLoop(retire); }), retire});
+}
+
+void ThreadPool::WorkerLoop(std::shared_ptr<std::atomic<bool>> retire) {
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      cv_.wait(lock, [&] {
+        return stop_ || retire->load(std::memory_order_relaxed) ||
+               !queue_.empty();
+      });
+      // A retiring worker leaves even with work queued: the survivors own
+      // the queue, and Resize() is joining us.
+      if (retire->load(std::memory_order_relaxed)) return;
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
   }
+}
+
+void ThreadPool::Resize(std::size_t num_threads) {
+  const std::size_t target = std::max<std::size_t>(1, num_threads);
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard lock(mu_);
+    if (stop_) return;
+    while (workers_.size() > target) {
+      workers_.back().retire->store(true, std::memory_order_relaxed);
+      to_join.push_back(std::move(workers_.back().thread));
+      workers_.pop_back();
+    }
+    while (workers_.size() < target) SpawnLocked();
+    active_threads_.store(workers_.size(), std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+  for (auto& t : to_join) t.join();
 }
 
 void ThreadPool::ParallelFor(std::size_t n,

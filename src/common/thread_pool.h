@@ -1,16 +1,20 @@
-// Fixed-size thread pool.
+// Resizable thread pool.
 //
 // Backs the parallel pieces of Scalia: the periodic optimizer fans per-engine
 // key shards out to workers (Fig. 7), map-reduce statistics jobs aggregate
 // class statistics in parallel (§III-C.2), and engines upload/download the n
-// chunks of an object concurrently.
+// chunks of an object concurrently.  The capacity controller
+// (capacity/predictor.h) resizes the chunk-I/O pool between sampling periods
+// to track predicted load.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -46,8 +50,15 @@ class ThreadPool {
   /// failing partition.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Grows or shrinks the pool to `num_threads` workers (min 1).  Safe to
+  /// call while other threads Submit/ParallelFor; shrinking retires the
+  /// youngest workers after they finish their in-flight task and joins them
+  /// before returning.  Queued work is never dropped — the surviving
+  /// workers drain it.  Must not be called from inside a pool task.
+  void Resize(std::size_t num_threads);
+
   [[nodiscard]] std::size_t num_threads() const noexcept {
-    return workers_.size();
+    return active_threads_.load(std::memory_order_relaxed);
   }
 
   /// A process-wide pool sized to the hardware concurrency, for callers that
@@ -55,13 +66,22 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  struct Worker {
+    std::thread thread;
+    /// Set (under mu_) to retire this worker on shrink; shared so the
+    /// worker can keep checking it after Resize() released the slot.
+    std::shared_ptr<std::atomic<bool>> retire;
+  };
+
+  void WorkerLoop(std::shared_ptr<std::atomic<bool>> retire);
+  void SpawnLocked();
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
-  std::vector<std::thread> workers_;
+  std::vector<Worker> workers_;
+  std::atomic<std::size_t> active_threads_{0};
 };
 
 }  // namespace scalia::common

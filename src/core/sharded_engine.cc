@@ -212,6 +212,13 @@ cache::CacheStats ShardedEngine::CacheStats() const {
   return total;
 }
 
+void ShardedEngine::SetCacheCapacity(common::Bytes total) {
+  const common::Bytes per_shard = total / shards_.size();
+  for (const auto& shard : shards_) {
+    if (shard->cache) shard->cache->SetCapacity(per_shard);
+  }
+}
+
 Engine::ReadPathCounters ShardedEngine::ReadCounters() const {
   Engine::ReadPathCounters total;
   for (const auto& shard : shards_) {

@@ -146,6 +146,10 @@ class ShardedEngine : public EngineApi {
   /// Aggregate cache statistics across shards.
   [[nodiscard]] cache::CacheStats CacheStats() const;
 
+  /// Rebudgets the total cache capacity, divided evenly across shards
+  /// (capacity-controller resize path; no-op when caching is disabled).
+  void SetCacheCapacity(common::Bytes total);
+
   /// Degraded-read-path counters summed across shards.
   [[nodiscard]] Engine::ReadPathCounters ReadCounters() const;
 

@@ -108,6 +108,7 @@ class HttpServer::EventLoop {
     s.connections_accepted = stat_accepted_.load(std::memory_order_relaxed);
     s.bytes_written = stat_bytes_out_.load(std::memory_order_relaxed);
     s.writev_calls = stat_writev_calls_.load(std::memory_order_relaxed);
+    s.requests_throttled = stat_throttled_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -480,6 +481,9 @@ class HttpServer::EventLoop {
       conn.outq.PushHead(SerializeResponseHead(response, parsed.keep_alive));
       conn.outq.PushBody(std::move(response.body));
       stat_requests_.fetch_add(1, std::memory_order_relaxed);
+      if (response.status == 429) {
+        stat_throttled_.fetch_add(1, std::memory_order_relaxed);
+      }
       conn.last_activity = std::chrono::steady_clock::now();
       MarkTickPending(conn);
       if (!parsed.keep_alive) {
@@ -638,6 +642,7 @@ class HttpServer::EventLoop {
   std::atomic<std::uint64_t> stat_rejected_{0};
   std::atomic<std::uint64_t> stat_timed_out_{0};
   std::atomic<std::uint64_t> stat_requests_{0};
+  std::atomic<std::uint64_t> stat_throttled_{0};
   std::atomic<std::uint64_t> stat_protocol_errors_{0};
   std::atomic<std::uint64_t> stat_bytes_in_{0};
   std::atomic<std::uint64_t> stat_bytes_out_{0};
@@ -781,6 +786,7 @@ ServerStats HttpServer::stats() const {
     s.connections_rejected += loop->rejected();
     s.connections_timed_out += loop->timed_out();
     s.requests_served += loop->requests();
+    s.requests_throttled += per_loop.requests_throttled;
     s.protocol_errors += loop->protocol_errors();
     s.bytes_in += loop->bytes_in();
     s.loops.push_back(per_loop);

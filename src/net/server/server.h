@@ -85,6 +85,7 @@ struct LoopStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t writev_calls = 0;
+  std::uint64_t requests_throttled = 0;  // 429 responses (admission sheds)
 };
 
 /// Monotonic counters, readable while serving.  Aggregated across loops;
@@ -94,6 +95,7 @@ struct ServerStats {
   std::uint64_t connections_rejected = 0;  // over max_connections
   std::uint64_t connections_timed_out = 0;  // idle/read deadline expiries
   std::uint64_t requests_served = 0;       // handler responses written
+  std::uint64_t requests_throttled = 0;    // 429s (SLO admission sheds)
   std::uint64_t protocol_errors = 0;       // parser-level error answers
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;

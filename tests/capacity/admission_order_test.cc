@@ -1,0 +1,234 @@
+// Shed-ordering over a real loopback socket: three tenants with distinct
+// monthly budgets behind net::HttpServer -> api::S3Gateway ->
+// core::ShardedEngine, with the admission controller's clock injected
+// (now_us = 0) so the only latency signal is what the test itself feeds
+// via RecordLatencyOnShard.  A forced p99 breach must 429 the
+// lowest-value tenant first, then the middle one, and never the top one —
+// and every 429 must carry Retry-After.
+#include "capacity/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "api/auth.h"
+#include "api/gateway.h"
+#include "common/money.h"
+#include "core/sharded_engine.h"
+#include "net/client.h"
+#include "net/server/server.h"
+#include "provider/spec.h"
+
+namespace scalia::capacity {
+namespace {
+
+constexpr common::SimTime kNow = 1000;
+constexpr double kBreachUs = 50'000.0;  // 50 ms against a 1 ms target
+
+class AdmissionOrderTest : public ::testing::Test {
+ protected:
+  AdmissionOrderTest() {
+    for (auto& spec : provider::PaperCatalog()) {
+      EXPECT_TRUE(registry_.Register(std::move(spec)).ok());
+    }
+    core::ShardedEngineConfig config;
+    config.num_shards = 1;
+    engine_ = std::make_unique<core::ShardedEngine>(config, &registry_,
+                                                    nullptr);
+    for (const auto& creds : {bronze_, silver_, gold_}) {
+      auth_.AddCredentials(creds);
+    }
+    gateway_ = std::make_unique<api::S3Gateway>(
+        &auth_, [this]() -> core::EngineApi& { return *engine_; });
+
+    AdmissionConfig admission_config;
+    admission_config.slo_p99_ms = 1.0;
+    admission_config.gain = 0.5;
+    admission_config.min_samples = 4;
+    admission_config.escalation_every_samples = 4;
+    admission_config.probe_every = 0;  // pure ordering, no probe admissions
+    admission_config.retry_after_s = 7;
+    admission_config.num_shards = engine_->num_shards();
+    admission_config.now_us = [] { return std::uint64_t{0}; };
+    admission_ = std::make_unique<AdmissionController>(admission_config);
+    // Value = the budget the billing ledger would invoice against.
+    admission_->SetTenantBudget("bronze", common::Money(10.0));
+    admission_->SetTenantBudget("silver", common::Money(100.0));
+    admission_->SetTenantBudget("gold", common::Money(1000.0));
+    gateway_->SetAdmissionController(admission_.get());
+
+    net::ServerConfig server_config;
+    server_config.clock = [] { return kNow; };
+    server_ = std::make_unique<net::HttpServer>(
+        std::move(server_config),
+        [this](common::SimTime now, const api::HttpRequest& request) {
+          return gateway_->Handle(now, request);
+        });
+    EXPECT_TRUE(server_->Start().ok());
+  }
+
+  ~AdmissionOrderTest() override { server_->Stop(); }
+
+  api::HttpResponse Call(net::HttpClient& client,
+                         const api::Credentials& creds,
+                         api::HttpMethod method, const std::string& path,
+                         std::string body = {}) {
+    api::HttpRequest request;
+    request.method = method;
+    request.path = path;
+    request.body = std::move(body);
+    request.query["nonce"] =
+        std::to_string(nonce_.fetch_add(1, std::memory_order_relaxed));
+    api::RequestSigner(creds).Sign(&request, kNow);
+    auto response = client.RoundTrip(request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? *response : api::HttpResponse{};
+  }
+
+  /// Feeds `samples` breach-grade latencies straight into the shard
+  /// estimate — the deterministic stand-in for a slow backend.
+  void ForceBreach(std::size_t samples) {
+    for (std::size_t i = 0; i < samples; ++i) {
+      admission_->RecordLatencyOnShard(0, kBreachUs);
+    }
+  }
+
+  const api::Credentials bronze_{.access_key_id = "BRONZE-1",
+                                 .secret = "s-bronze",
+                                 .tenant = "bronze"};
+  const api::Credentials silver_{.access_key_id = "SILVER-1",
+                                 .secret = "s-silver",
+                                 .tenant = "silver"};
+  const api::Credentials gold_{.access_key_id = "GOLD-1",
+                               .secret = "s-gold",
+                               .tenant = "gold"};
+  provider::ProviderRegistry registry_;
+  std::unique_ptr<core::ShardedEngine> engine_;
+  api::Authenticator auth_;
+  std::unique_ptr<api::S3Gateway> gateway_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<net::HttpServer> server_;
+  std::atomic<std::uint64_t> nonce_{0};
+};
+
+TEST_F(AdmissionOrderTest, ShedsAscendingByValueAndStampsRetryAfter) {
+  net::HttpClient client("127.0.0.1", server_->port());
+
+  // SLO healthy: everyone writes.
+  for (const auto* creds : {&bronze_, &silver_, &gold_}) {
+    EXPECT_EQ(Call(client, *creds, api::HttpMethod::kPut,
+                   "/docs/seed-" + creds->tenant, "hello")
+                  .status,
+              201)
+        << creds->tenant;
+  }
+
+  // One escalation interval of breach-grade samples: shed level 1 — the
+  // cheapest tier sheds, everyone else keeps full service.
+  ForceBreach(4);
+  const auto bronze_shed =
+      Call(client, bronze_, api::HttpMethod::kPut, "/docs/b1", "x");
+  EXPECT_EQ(bronze_shed.status, 429);
+  EXPECT_EQ(bronze_shed.headers.Get("retry-after"), "7");
+  EXPECT_EQ(Call(client, silver_, api::HttpMethod::kPut, "/docs/s1", "x")
+                .status,
+            201);
+  EXPECT_EQ(Call(client, gold_, api::HttpMethod::kPut, "/docs/g1", "x")
+                .status,
+            201);
+
+  // Still breached after shedding bronze: the next interval takes silver
+  // too.  Gold — the top tier — is never shed, whatever the estimate does.
+  ForceBreach(4);
+  const auto silver_shed =
+      Call(client, silver_, api::HttpMethod::kPut, "/docs/s2", "x");
+  EXPECT_EQ(silver_shed.status, 429);
+  EXPECT_EQ(silver_shed.headers.Get("retry-after"), "7");
+  ForceBreach(16);  // keep breaching: there is no level above "all but top"
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(Call(client, gold_, api::HttpMethod::kPut,
+                   "/docs/g-" + std::to_string(i), "x")
+                  .status,
+              201)
+        << i;
+  }
+
+  // Every 429 carried Retry-After, and the server's throttle counter saw
+  // each of them (two sheds above).
+  const auto stats = admission_->Stats();
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.shed_level, 2u);
+  EXPECT_GE(stats.escalations, 2u);
+  EXPECT_EQ(server_->stats().requests_throttled, 2u);
+
+  const auto by_tenant = admission_->ShedByTenant();
+  std::uint64_t bronze_count = 0, silver_count = 0, gold_count = 0;
+  for (const auto& [tenant, count] : by_tenant) {
+    if (tenant == "bronze") bronze_count = count;
+    if (tenant == "silver") silver_count = count;
+    if (tenant == "gold") gold_count = count;
+  }
+  EXPECT_EQ(bronze_count, 1u);
+  EXPECT_EQ(silver_count, 1u);
+  EXPECT_EQ(gold_count, 0u);
+}
+
+TEST(AdmissionRecoveryTest, RecoveryDeEscalatesInReverseOrder) {
+  // Direct (no sockets) — the median-tracking configuration makes the
+  // estimate follow injected recovery samples fast enough to watch the
+  // levels unwind.
+  AdmissionConfig config;
+  config.slo_p99_ms = 1.0;
+  config.quantile = 0.5;
+  config.gain = 0.5;
+  config.min_samples = 4;
+  config.escalation_every_samples = 4;
+  config.probe_every = 0;
+  config.num_shards = 1;
+  config.now_us = [] { return std::uint64_t{0}; };
+  AdmissionController admission(config);
+  admission.SetTenantValue("cheap", 1.0);
+  admission.SetTenantValue("dear", 100.0);
+
+  for (int i = 0; i < 8; ++i) admission.RecordLatencyOnShard(0, kBreachUs);
+  EXPECT_EQ(admission.Stats().shed_level, 1u);
+  EXPECT_FALSE(admission.Admit("cheap", "row").admit);
+  EXPECT_TRUE(admission.Admit("dear", "row").admit);
+
+  // Healthy samples decay the estimate below recover_fraction x target;
+  // each escalation interval then unwinds one level.
+  for (int i = 0; i < 64; ++i) admission.RecordLatencyOnShard(0, 10.0);
+  const auto stats = admission.Stats();
+  EXPECT_EQ(stats.shed_level, 0u);
+  EXPECT_GE(stats.de_escalations, 1u);
+  EXPECT_TRUE(admission.Admit("cheap", "row").admit);
+}
+
+TEST(AdmissionProbeTest, ProbeAdmissionsKeepTheSignalAlive) {
+  AdmissionConfig config;
+  config.slo_p99_ms = 1.0;
+  config.gain = 0.5;
+  config.min_samples = 4;
+  config.escalation_every_samples = 4;
+  config.probe_every = 3;  // every 3rd would-be shed admits as a probe
+  config.num_shards = 1;
+  config.now_us = [] { return std::uint64_t{0}; };
+  AdmissionController admission(config);
+  admission.SetTenantValue("cheap", 1.0);
+  admission.SetTenantValue("dear", 100.0);
+  for (int i = 0; i < 8; ++i) admission.RecordLatencyOnShard(0, kBreachUs);
+
+  std::uint64_t admitted = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (admission.Admit("cheap", "row").admit) ++admitted;
+  }
+  const auto stats = admission.Stats();
+  EXPECT_GT(stats.probes, 0u);
+  EXPECT_EQ(stats.probes, admitted);
+  EXPECT_LT(admitted, 30u) << "probing must not defeat shedding";
+}
+
+}  // namespace
+}  // namespace scalia::capacity

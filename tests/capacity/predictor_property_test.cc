@@ -1,0 +1,178 @@
+// Property tests for the load predictor and capacity controller
+// (capacity/predictor.h): randomized-but-seeded ramp/spike/flat/noise
+// sample streams, with the invariants every forecast must hold —
+// finiteness, non-negativity, the observed-max clamp — plus the
+// hysteresis guarantee that a constant-rate stream never makes the
+// controller oscillate.
+#include "capacity/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace scalia::capacity {
+namespace {
+
+/// One seeded stream shape; rates are req/s.
+std::vector<double> MakeStream(const std::string& shape, std::uint64_t seed,
+                               std::size_t periods) {
+  common::Xoshiro256 rng(seed);
+  const auto uniform = [&rng](double lo, double hi) {
+    const double u = static_cast<double>(rng()) /
+                     static_cast<double>(common::Xoshiro256::max());
+    return lo + u * (hi - lo);
+  };
+  std::vector<double> stream;
+  stream.reserve(periods);
+  const double base = uniform(100.0, 5000.0);
+  for (std::size_t p = 0; p < periods; ++p) {
+    double rate = base;
+    if (shape == "ramp") {
+      rate = base * (1.0 + 4.0 * static_cast<double>(p) /
+                               static_cast<double>(periods));
+    } else if (shape == "spike") {
+      rate = (p == periods / 2) ? base * 20.0 : base;
+    } else if (shape == "noise") {
+      rate = base * uniform(0.2, 3.0);
+    }  // "flat": base throughout
+    stream.push_back(rate);
+  }
+  return stream;
+}
+
+TEST(PredictorPropertyTest, ForecastsFiniteNonNegativeAndClamped) {
+  const std::vector<std::string> shapes = {"ramp", "spike", "flat", "noise"};
+  for (const auto& shape : shapes) {
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+      PredictorConfig config;
+      config.max_forecast_multiple = 4.0;
+      LoadPredictor predictor(config);
+      for (const double rate : MakeStream(shape, seed, 64)) {
+        const double forecast = predictor.Observe(rate);
+        ASSERT_TRUE(std::isfinite(forecast))
+            << shape << " seed=" << seed << " rate=" << rate;
+        ASSERT_GE(forecast, 0.0) << shape << " seed=" << seed;
+        ASSERT_LE(forecast,
+                  config.max_forecast_multiple * predictor.observed_max())
+            << shape << " seed=" << seed << " rate=" << rate;
+      }
+    }
+  }
+}
+
+TEST(PredictorPropertyTest, TighterClampMultipleIsHonoured) {
+  PredictorConfig config;
+  config.max_forecast_multiple = 1.5;
+  LoadPredictor predictor(config);
+  // A steep ramp makes the momentum extrapolation want to overshoot; the
+  // clamp must keep every forecast within 1.5x the largest observed rate.
+  for (int p = 0; p < 40; ++p) {
+    const double forecast = predictor.Observe(100.0 * (p + 1));
+    ASSERT_LE(forecast, 1.5 * predictor.observed_max()) << "period " << p;
+  }
+}
+
+TEST(PredictorPropertyTest, HostileSamplesAreSanitized) {
+  LoadPredictor predictor;
+  const double hostile[] = {-5.0, std::numeric_limits<double>::quiet_NaN(),
+                            std::numeric_limits<double>::infinity(),
+                            -std::numeric_limits<double>::infinity()};
+  for (const double rate : hostile) {
+    const double forecast = predictor.Observe(rate);
+    ASSERT_TRUE(std::isfinite(forecast)) << rate;
+    ASSERT_GE(forecast, 0.0) << rate;
+  }
+  EXPECT_EQ(predictor.observed_max(), 0.0);
+}
+
+TEST(PredictorPropertyTest, ConstantRateStreamNeverOscillates) {
+  // Hysteresis guarantee: once the controller has planned for a constant
+  // rate, it emits no further scale events — ever.  The first few closes
+  // may re-plan while the SMA warms up; after the trend window is full the
+  // forecast is pinned and the plan must be too.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    common::Xoshiro256 rng(seed);
+    const double rate =
+        200.0 + static_cast<double>(rng() % 100000);  // 200..100200 req/s
+    CapacityConfig config;
+    config.rate_per_thread = 1000.0;
+    CapacityController controller(config);
+    const std::size_t warmup =
+        config.predictor.trend.window + config.cooldown_periods + 2;
+    for (std::size_t p = 0; p < warmup; ++p) controller.OnPeriodClose(rate);
+    const std::uint64_t settled = controller.scale_events();
+    for (std::size_t p = 0; p < 500; ++p) {
+      ASSERT_FALSE(controller.OnPeriodClose(rate))
+          << "seed=" << seed << " resize on constant rate at period " << p;
+    }
+    EXPECT_EQ(controller.scale_events(), settled) << "seed=" << seed;
+  }
+}
+
+TEST(PredictorPropertyTest, PlansStayWithinConfiguredBounds) {
+  CapacityConfig config;
+  config.rate_per_thread = 500.0;
+  config.min_threads = 2;
+  config.max_threads = 8;
+  config.min_cache_bytes = 32 * common::kMiB;
+  config.max_cache_bytes = 128 * common::kMiB;
+  CapacityController controller(config);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (const auto& shape : {"ramp", "spike", "noise"}) {
+      for (const double rate : MakeStream(shape, seed, 48)) {
+        controller.OnPeriodClose(rate);
+        const CapacityPlan& plan = controller.plan();
+        ASSERT_GE(plan.pool_threads, config.min_threads);
+        ASSERT_LE(plan.pool_threads, config.max_threads);
+        ASSERT_GE(plan.cache_bytes, config.min_cache_bytes);
+        ASSERT_LE(plan.cache_bytes, config.max_cache_bytes);
+        ASSERT_GE(plan.optimize_every, config.min_optimize_every);
+        ASSERT_LE(plan.optimize_every, config.max_optimize_every);
+      }
+    }
+  }
+}
+
+TEST(PredictorPropertyTest, CooldownBoundsScaleEventRate) {
+  // Even a worst-case alternating load cannot produce more than one scale
+  // event per cooldown window.
+  CapacityConfig config;
+  config.rate_per_thread = 100.0;
+  config.cooldown_periods = 4;
+  CapacityController controller(config);
+  constexpr std::size_t kPeriods = 200;
+  for (std::size_t p = 0; p < kPeriods; ++p) {
+    controller.OnPeriodClose(p % 2 == 0 ? 100.0 : 5000.0);
+  }
+  EXPECT_LE(controller.scale_events(), kPeriods / config.cooldown_periods + 1);
+}
+
+TEST(PredictorPropertyTest, RampForecastLeadsDemand) {
+  // The point of the predictor: on a steady ramp the momentum term cancels
+  // the moving average's lag, so the forecast never trails the rate just
+  // observed (a plain SMA would) and strictly leads the trailing mean.
+  PredictorConfig config;
+  LoadPredictor predictor(config);
+  std::vector<double> rates;
+  double forecast = 0.0;
+  for (int p = 0; p < 12; ++p) {
+    rates.push_back(1000.0 + 500.0 * p);
+    forecast = predictor.Observe(rates.back());
+  }
+  EXPECT_GE(forecast, rates.back());
+  const std::size_t window = config.trend.window;
+  double trailing_mean = 0.0;
+  for (std::size_t i = rates.size() - window; i < rates.size(); ++i) {
+    trailing_mean += rates[i];
+  }
+  trailing_mean /= static_cast<double>(window);
+  EXPECT_GT(forecast, trailing_mean);
+}
+
+}  // namespace
+}  // namespace scalia::capacity

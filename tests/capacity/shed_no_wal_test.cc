@@ -1,0 +1,177 @@
+// Regression for the shed-before-engine invariant: a request answered 429
+// by the admission controller must leave *no* trace below the gateway —
+// no WAL journal record or fsync, no provider usage-meter movement, no
+// statistics-database entry.  The gateway enforces this by construction
+// (S3Gateway::Admitted sheds before dispatch); this test pins the
+// behaviour against a durability-enabled sharded engine so a future
+// reordering of the hot path fails loudly.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/auth.h"
+#include "api/gateway.h"
+#include "capacity/admission.h"
+#include "common/money.h"
+#include "core/sharded_engine.h"
+#include "durability/sharded_manager.h"
+#include "provider/spec.h"
+
+namespace scalia::capacity {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr common::SimTime kNow = 1000;
+constexpr std::size_t kShards = 2;
+
+class ShedNoWalTest : public ::testing::Test {
+ protected:
+  ShedNoWalTest() {
+    dir_ = (fs::path(::testing::TempDir()) / "shed_no_wal_test").string();
+    fs::remove_all(dir_);
+    for (auto& spec : provider::PaperCatalog()) {
+      EXPECT_TRUE(registry_.Register(std::move(spec)).ok());
+    }
+    core::ShardedEngineConfig config;
+    config.num_shards = kShards;
+    engine_ = std::make_unique<core::ShardedEngine>(config, &registry_,
+                                                    nullptr);
+
+    durability::ShardedDurabilityConfig durability_config;
+    durability_config.dir = dir_;
+    durability_config.num_shards = kShards;
+    durability_config.wal.sync_on_commit = true;  // fsyncs() must count
+    durability_config.group_commit = false;
+    std::vector<durability::EngineStateRefs> state(kShards);
+    for (std::size_t s = 0; s < kShards; ++s) {
+      state[s] = {.db = &engine_->shard_store(s),
+                  .dc = 0,
+                  .stats = &engine_->shard_stats(s),
+                  .registry = nullptr,
+                  .sweep_registry = &registry_};
+    }
+    auto opened = durability::ShardedDurabilityManager::Open(
+        std::move(durability_config), std::move(state));
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    durability_ = std::move(*opened);
+    engine_->AttachJournals(durability_->journals());
+
+    auth_.AddCredentials(creds_);
+    gateway_ = std::make_unique<api::S3Gateway>(
+        &auth_, [this]() -> core::EngineApi& { return *engine_; });
+
+    AdmissionConfig admission_config;
+    admission_config.slo_p99_ms = 1.0;
+    admission_config.gain = 0.5;
+    admission_config.min_samples = 4;
+    admission_config.escalation_every_samples = 4;
+    admission_config.probe_every = 0;
+    admission_config.num_shards = kShards;
+    admission_config.now_us = [] { return std::uint64_t{0}; };
+    admission_ = std::make_unique<AdmissionController>(admission_config);
+    admission_->SetTenantBudget("acme", common::Money(10.0));
+    admission_->SetTenantBudget("vip", common::Money(1000.0));
+    gateway_->SetAdmissionController(admission_.get());
+  }
+
+  ~ShedNoWalTest() override {
+    durability_.reset();
+    fs::remove_all(dir_);
+  }
+
+  api::HttpResponse Call(api::HttpMethod method, const std::string& path,
+                         std::string body = {}) {
+    api::HttpRequest request;
+    request.method = method;
+    request.path = path;
+    request.body = std::move(body);
+    request.query["nonce"] = std::to_string(nonce_++);
+    api::RequestSigner(creds_).Sign(&request, kNow);
+    return gateway_->Handle(kNow, request);
+  }
+
+  [[nodiscard]] std::uint64_t TotalFsyncs() const {
+    std::uint64_t total = 0;
+    for (const auto* journal : durability_->journals()) {
+      total += journal->wal()->fsyncs();
+    }
+    return total;
+  }
+
+  /// Summed provider usage (ops + transfer volumes) across the catalog —
+  /// what a shed request must not move.
+  [[nodiscard]] provider::PeriodUsage TotalUsage() {
+    provider::PeriodUsage total;
+    for (const auto& spec : registry_.Specs()) {
+      total += registry_.Find(spec.id)->meter().Totals(kNow);
+    }
+    return total;
+  }
+
+  const api::Credentials creds_{.access_key_id = "ACME-1",
+                                .secret = "acme-secret",
+                                .tenant = "acme"};
+  std::string dir_;
+  provider::ProviderRegistry registry_;
+  std::unique_ptr<core::ShardedEngine> engine_;
+  std::unique_ptr<durability::ShardedDurabilityManager> durability_;
+  api::Authenticator auth_;
+  std::unique_ptr<api::S3Gateway> gateway_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::uint64_t nonce_ = 0;
+};
+
+TEST_F(ShedNoWalTest, A429LeavesNoWalStatsOrUsageTrace) {
+  // Healthy baseline: an admitted PUT journals and meters as usual.
+  ASSERT_EQ(Call(api::HttpMethod::kPut, "/docs/seed", "payload").status, 201);
+  const std::uint64_t fsyncs_after_seed = TotalFsyncs();
+  EXPECT_GT(fsyncs_after_seed, 0u)
+      << "baseline PUT must fsync, or the unchanged-counter assertions "
+         "below are vacuous";
+  const provider::PeriodUsage usage_after_seed = TotalUsage();
+  EXPECT_GT(usage_after_seed.ops, 0.0);
+
+  // Force the breach: the acme tenant (the only tier below "vip") sheds.
+  for (int i = 0; i < 8; ++i) {
+    admission_->RecordLatencyOnShard(0, 50'000.0);
+  }
+  const std::uint64_t fsyncs_before_burst = TotalFsyncs();
+  const provider::PeriodUsage usage_before_burst = TotalUsage();
+  const std::size_t objects_before_burst = engine_->ObjectCount();
+
+  // A burst of writes, reads and deletes — every one must answer 429 with
+  // Retry-After, and none may reach the WAL, the meters or the stats dbs.
+  constexpr int kBurst = 20;
+  for (int i = 0; i < kBurst; ++i) {
+    const std::string key = "/docs/shed-" + std::to_string(i);
+    const auto put = Call(api::HttpMethod::kPut, key, "shed-me");
+    ASSERT_EQ(put.status, 429) << i;
+    EXPECT_FALSE(put.headers.Get("retry-after").empty()) << i;
+    ASSERT_EQ(Call(api::HttpMethod::kGet, key).status, 429) << i;
+    ASSERT_EQ(Call(api::HttpMethod::kDelete, key).status, 429) << i;
+  }
+
+  EXPECT_EQ(TotalFsyncs(), fsyncs_before_burst)
+      << "shed requests journaled to the WAL";
+  const provider::PeriodUsage usage_after_burst = TotalUsage();
+  EXPECT_EQ(usage_after_burst.ops, usage_before_burst.ops)
+      << "shed requests moved the provider ops meters";
+  EXPECT_EQ(usage_after_burst.bw_in_gb, usage_before_burst.bw_in_gb);
+  EXPECT_EQ(usage_after_burst.bw_out_gb, usage_before_burst.bw_out_gb);
+  EXPECT_EQ(engine_->ObjectCount(), objects_before_burst)
+      << "shed PUTs created objects";
+  EXPECT_EQ(admission_->Stats().shed, static_cast<std::uint64_t>(3 * kBurst));
+
+  // The seed object is untouched by the whole episode.
+  gateway_->SetAdmissionController(nullptr);
+  const auto got = Call(api::HttpMethod::kGet, "/docs/seed");
+  ASSERT_EQ(got.status, 200);
+  EXPECT_EQ(got.body, "payload");
+}
+
+}  // namespace
+}  // namespace scalia::capacity
