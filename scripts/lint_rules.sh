@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Project-specific greppable lints: the house invariants the code comments
+# promise, enforced. Each rule is a pattern that must not appear outside an
+# explicit allowlist; every allowlist entry carries the justification for
+# why that one file may break the rule. Run with no arguments to lint the
+# repo (exit 1 on any violation), or with --self-test to prove each rule
+# still fires on the deliberate violations in tests/tooling/fixtures/.
+#
+# The rules and why they exist:
+#   raw-clock       src/ must take time as an injectable now/now_us, never
+#                   read a std::chrono clock directly — determinism under
+#                   simulation and in tests depends on one clock seam.
+#   raw-fsync       durability/fsync.cc is the single implementation of the
+#                   crash-safe publish protocol (PR 5); a second raw fsync
+#                   call site would fork the protocol.
+#   test-sleep      tests wait on conditions, not durations; sleep_for in
+#                   tests/ is allowed only in the WaitUntil poll helper and
+#                   in suites whose behavior under test *is* a duration.
+#   nondeterminism  rand() and std::random_device are unseedable; all
+#                   randomness flows through common/rng.h with a test-fixed
+#                   seed so every suite replays identically.
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+FIXTURES="$REPO_ROOT/tests/tooling/fixtures"
+TREE="$REPO_ROOT"  # overridden by the end-to-end self-test
+violations=0
+
+# scan <rule> <egrep-pattern> <dir> [allowlisted-file ...]
+# Greps *.h/*.cc under $TREE/<dir>, drops allowlisted files, and reports
+# everything left as a violation.
+scan() {
+  local rule="$1" pattern="$2" dir="$3"
+  shift 3
+  [[ -d "$TREE/$dir" ]] || return 0
+  local hits
+  hits="$(cd "$TREE" && grep -rnE "$pattern" "$dir" \
+            --include='*.h' --include='*.cc' || true)"
+  local file
+  for file in "$@"; do
+    hits="$(printf '%s\n' "$hits" | grep -v "^$file:" || true)"
+  done
+  hits="$(printf '%s\n' "$hits" | grep -v '^$' || true)"
+  if [[ -n "$hits" ]]; then
+    echo "lint_rules[$rule]: pattern '$pattern' outside the allowlist:" >&2
+    printf '%s\n' "$hits" >&2
+    violations=$((violations + 1))
+  fi
+}
+
+run_lints() {
+  # Allowlist: net/server/server.cc — the epoll loop's idle-deadline
+  # arithmetic is pure monotonic-duration bookkeeping (when to sweep, not
+  # what time a request happened); request-visible time flows through the
+  # injectable ServerConfig::clock seam the timeout tests drive.
+  # Allowlist: capacity/admission.cc — NowUs() is the documented fallback
+  # when no AdmissionConfig::now_us is injected; the decision path itself
+  # is sample-counted and clock-free, and tests always inject now_us.
+  scan raw-clock '_clock::now\(\)' src \
+    src/net/server/server.cc \
+    src/capacity/admission.cc
+
+  # Allowlist: durability/fsync.cc — the single implementation. Everything
+  # else (wal.cc included, via FsyncFd) calls through durability/fsync.h.
+  scan raw-fsync '\b(fsync|fdatasync)\s*\(' src \
+    src/durability/fsync.cc
+
+  # Allowlist: tests/support/wait.h — WaitUntil's poll nap, the one sleep
+  # every condition wait shares.
+  # Allowlist: tests/net/server_timeout_test.cc — the subject under test is
+  # the idle deadline itself; its keep-alive gaps, idle sit and byte
+  # trickle are durations by definition and cannot be condition waits.
+  scan test-sleep 'sleep_for' tests \
+    tests/support/wait.h \
+    tests/net/server_timeout_test.cc
+
+  # No allowlist: nothing in the tree may use unseedable randomness.
+  scan nondeterminism '\brand\(\)|std::random_device' src
+  scan nondeterminism '\brand\(\)|std::random_device' tests
+}
+
+# Each fixture deliberately violates exactly one rule. First prove each
+# pattern still matches its fixture, then prove the lint as a whole exits
+# nonzero on a tree containing them. (Fixtures are *.cc.fixture so the
+# normal run's *.cc include glob never sees them; the staged copies get
+# real extensions.)
+self_test() {
+  local failures=0
+  expect_catch() {
+    local rule="$1" pattern="$2" fixture="$3"
+    if grep -qE "$pattern" "$FIXTURES/$fixture"; then
+      echo "self-test[$rule]: OK ($fixture trips the pattern)"
+    else
+      echo "self-test[$rule]: FAIL — $fixture no longer trips '$pattern'" >&2
+      failures=$((failures + 1))
+    fi
+  }
+  expect_catch raw-clock '_clock::now\(\)' bad_clock.cc.fixture
+  expect_catch raw-fsync '\b(fsync|fdatasync)\s*\(' bad_fsync.cc.fixture
+  expect_catch test-sleep 'sleep_for' bad_sleep.cc.fixture
+  expect_catch nondeterminism '\brand\(\)|std::random_device' \
+    bad_rand.cc.fixture
+
+  local staging
+  staging="$(mktemp -d)"
+  mkdir -p "$staging/src" "$staging/tests"
+  cp "$FIXTURES/bad_clock.cc.fixture" "$staging/src/bad_clock.cc"
+  cp "$FIXTURES/bad_fsync.cc.fixture" "$staging/src/bad_fsync.cc"
+  cp "$FIXTURES/bad_rand.cc.fixture" "$staging/src/bad_rand.cc"
+  cp "$FIXTURES/bad_sleep.cc.fixture" "$staging/tests/bad_sleep.cc"
+  TREE="$staging" violations=0
+  run_lints 2>/dev/null
+  TREE="$REPO_ROOT"
+  if [[ $violations -ge 4 ]]; then
+    echo "self-test[end-to-end]: OK (lint reports $violations violating" \
+         "rule(s) on the staged tree)"
+  else
+    echo "self-test[end-to-end]: FAIL — staged violating tree only" \
+         "tripped $violations rule(s)" >&2
+    failures=$((failures + 1))
+  fi
+  rm -rf "$staging"
+
+  if [[ $failures -ne 0 ]]; then
+    echo "lint_rules --self-test: $failures check(s) failed" >&2
+    return 1
+  fi
+  echo "lint_rules --self-test: all rules fire on their fixtures"
+}
+
+case "${1:-}" in
+  --self-test)
+    self_test
+    ;;
+  '')
+    run_lints
+    if [[ $violations -ne 0 ]]; then
+      echo "lint_rules: $violations rule(s) violated" >&2
+      exit 1
+    fi
+    echo "lint_rules: clean"
+    ;;
+  *)
+    echo "usage: $0 [--self-test]" >&2
+    exit 2
+    ;;
+esac

@@ -5,26 +5,34 @@
 # every race/conflict suite (migration-vs-Put CAS races, concurrent
 # ApplyIfLatest, the sharded optimizer sweep) under ThreadSanitizer.
 #
+# --only tidy is the static-analysis gate: scripts/lint_rules.sh (plus its
+# fixture self-test), then — when clang-18 is installed — a full build under
+# clang's -Wthread-safety -Werror via the `tidy` preset and clang-tidy over
+# src/ with the committed .clang-tidy.  Without clang-18 the clang layers
+# are skipped with a warning (the CI static-analysis job always has it).
+#
 # The GitHub Actions matrix (.github/workflows/ci.yml) runs one pass per
 # job via --only; locally the default remains Release + ASan.
-# Usage: scripts/verify.sh [--skip-asan] [--tsan] [--only release|asan|tsan]
+# Usage: scripts/verify.sh [--skip-asan] [--tsan] [--only release|asan|tsan|tidy]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_RELEASE=1
 RUN_ASAN=1
 RUN_TSAN=0
+RUN_TIDY=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --skip-asan) RUN_ASAN=0; shift ;;
     --tsan) RUN_TSAN=1; shift ;;
     --only)
-      [[ $# -ge 2 ]] || { echo "--only needs release|asan|tsan" >&2; exit 2; }
-      RUN_RELEASE=0; RUN_ASAN=0; RUN_TSAN=0
+      [[ $# -ge 2 ]] || { echo "--only needs release|asan|tsan|tidy" >&2; exit 2; }
+      RUN_RELEASE=0; RUN_ASAN=0; RUN_TSAN=0; RUN_TIDY=0
       case "$2" in
         release) RUN_RELEASE=1 ;;
         asan) RUN_ASAN=1 ;;
         tsan) RUN_TSAN=1 ;;
+        tidy) RUN_TIDY=1 ;;
         *) echo "unknown --only mode: $2" >&2; exit 2 ;;
       esac
       shift 2 ;;
@@ -55,6 +63,35 @@ if [[ "$RUN_TSAN" -eq 1 ]]; then
   # the sharded optimizer sweep racing writers.
   ctest --preset tsan -L '^net$'
   ctest --preset tsan -R '(Race|Conflict)'
+fi
+
+if [[ "$RUN_TIDY" -eq 1 ]]; then
+  echo "==> static analysis: project lint rules + fixture self-test"
+  scripts/lint_rules.sh
+  scripts/lint_rules.sh --self-test
+
+  TIDY_CXX="${TIDY_CXX:-clang++-18}"
+  TIDY_BIN="${CLANG_TIDY:-clang-tidy-18}"
+  if command -v "$TIDY_CXX" >/dev/null 2>&1 && \
+     command -v "$TIDY_BIN" >/dev/null 2>&1; then
+    echo "==> static analysis: clang -Wthread-safety -Werror (tidy preset)"
+    cmake --preset tidy
+    cmake --build --preset tidy -j "$(nproc)"
+
+    echo "==> static analysis: clang-tidy over src/"
+    RUNNER="${RUN_CLANG_TIDY:-run-clang-tidy-18}"
+    if command -v "$RUNNER" >/dev/null 2>&1; then
+      "$RUNNER" -clang-tidy-binary "$(command -v "$TIDY_BIN")" \
+        -p build-tidy -quiet "$(pwd)/src/.*\.cc"
+    else
+      find src -name '*.cc' -print0 | \
+        xargs -0 -P "$(nproc)" -n 8 "$TIDY_BIN" -p build-tidy --quiet
+    fi
+  else
+    echo "==> WARNING: $TIDY_CXX / $TIDY_BIN not found; skipping the clang" >&2
+    echo "    thread-safety build and clang-tidy (the lint rules above" >&2
+    echo "    still ran; CI's static-analysis job runs the full gate)" >&2
+  fi
 fi
 
 echo "==> verify OK"

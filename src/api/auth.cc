@@ -39,12 +39,12 @@ void RequestSigner::Sign(HttpRequest* request, common::SimTime now) const {
 }
 
 void Authenticator::AddCredentials(Credentials creds) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   keys_[creds.access_key_id] = std::move(creds);
 }
 
 common::Status Authenticator::RevokeKey(const std::string& access_key_id) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   if (keys_.erase(access_key_id) == 0) {
     return common::Status::NotFound("unknown access key " + access_key_id);
   }
@@ -52,12 +52,12 @@ common::Status Authenticator::RevokeKey(const std::string& access_key_id) {
 }
 
 std::size_t Authenticator::KeyCount() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return keys_.size();
 }
 
 void Authenticator::AllowAnonymous(std::string tenant) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   anonymous_tenant_ = std::move(tenant);
 }
 
@@ -65,7 +65,7 @@ common::Result<std::string> Authenticator::Verify(const HttpRequest& request,
                                                   common::SimTime now) {
   const std::string auth = request.headers.Get("authorization");
   if (auth.empty()) {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     if (anonymous_tenant_) return *anonymous_tenant_;
   }
   constexpr std::string_view kScheme = "SCALIA ";
@@ -97,7 +97,7 @@ common::Result<std::string> Authenticator::Verify(const HttpRequest& request,
   // serialize every signed request.
   Credentials creds;
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = keys_.find(key_id);
     if (it == keys_.end()) {
       return common::Status::Unauthenticated("unknown access key " + key_id);
@@ -134,7 +134,7 @@ common::Result<std::string> Authenticator::Verify(const HttpRequest& request,
 
   // Replay rejection inside the skew window.
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     while (!seen_order_.empty() &&
            seen_order_.front().first < now - 2 * max_skew_) {
       seen_signatures_.erase(seen_order_.front().second);

@@ -17,15 +17,16 @@
 #pragma once
 
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "api/http.h"
+#include "common/mutex.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace scalia::api {
 
@@ -81,11 +82,12 @@ class Authenticator {
 
  private:
   common::Duration max_skew_;
-  mutable std::mutex mu_;
-  std::optional<std::string> anonymous_tenant_;
-  std::unordered_map<std::string, Credentials> keys_;
-  std::unordered_set<std::string> seen_signatures_;
-  std::deque<std::pair<common::SimTime, std::string>> seen_order_;
+  mutable common::Mutex mu_;
+  std::optional<std::string> anonymous_tenant_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, Credentials> keys_ GUARDED_BY(mu_);
+  std::unordered_set<std::string> seen_signatures_ GUARDED_BY(mu_);
+  std::deque<std::pair<common::SimTime, std::string>> seen_order_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace scalia::api

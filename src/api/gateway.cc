@@ -27,7 +27,7 @@ S3Gateway::S3Gateway(Authenticator* auth, RouteFn route)
     : auth_(auth), route_(std::move(route)) {}
 
 void S3Gateway::RegisterRule(core::StorageRule rule) {
-  std::lock_guard lock(rules_mu_);
+  common::MutexLock lock(rules_mu_);
   rules_[rule.name] = std::move(rule);
 }
 
@@ -121,7 +121,7 @@ HttpResponse S3Gateway::HandleObjectPut(common::SimTime now,
   std::optional<core::StorageRule> rule;
   if (const std::string* rule_name =
           request.headers.Find("x-scalia-rule")) {
-    std::lock_guard lock(rules_mu_);
+    common::MutexLock lock(rules_mu_);
     auto it = rules_.find(*rule_name);
     if (it == rules_.end()) {
       return ErrorResponse(

@@ -20,12 +20,13 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "api/auth.h"
 #include "api/http.h"
+#include "common/mutex.h"
 #include "common/sim_time.h"
+#include "common/thread_annotations.h"
 #include "core/engine_api.h"
 #include "core/metadata.h"
 #include "core/rule.h"
@@ -96,8 +97,8 @@ class S3Gateway {
   RouteFn route_;
   capacity::AdmissionController* admission_ = nullptr;  // not owned
 
-  std::mutex rules_mu_;
-  std::map<std::string, core::StorageRule> rules_;
+  common::Mutex rules_mu_;
+  std::map<std::string, core::StorageRule> rules_ GUARDED_BY(rules_mu_);
 };
 
 }  // namespace scalia::api

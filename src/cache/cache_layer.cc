@@ -3,14 +3,14 @@
 namespace scalia::cache {
 
 void InvalidationBus::Subscribe(CacheLayer* layer) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   layers_.push_back(layer);
 }
 
 void InvalidationBus::Broadcast(const std::string& key) {
   std::vector<CacheLayer*> layers;
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     layers = layers_;
   }
   for (CacheLayer* l : layers) l->InvalidateLocal(key);

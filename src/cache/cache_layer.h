@@ -8,11 +8,12 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cache/lru_cache.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace scalia::cache {
 
@@ -27,8 +28,8 @@ class InvalidationBus {
   void Broadcast(const std::string& key);
 
  private:
-  std::mutex mu_;
-  std::vector<CacheLayer*> layers_;
+  common::Mutex mu_;
+  std::vector<CacheLayer*> layers_ GUARDED_BY(mu_);
 };
 
 class CacheLayer {

@@ -10,7 +10,7 @@ namespace scalia::cache {
 
 std::optional<std::string> EdgeCache::Get(common::SimTime now,
                                           const std::string& key) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.edge_misses;
@@ -33,7 +33,7 @@ std::optional<std::string> EdgeCache::Get(common::SimTime now,
 void EdgeCache::Fill(common::SimTime now, const std::string& key,
                      std::string body) {
   if (body.size() > capacity_) return;  // never cacheable
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     bytes_ -= it->second->body.size();
@@ -60,7 +60,7 @@ void EdgeCache::EvictToFitLocked() {
 }
 
 void EdgeCache::Purge(const std::string& key) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return;
   bytes_ -= it->second->body.size();
@@ -70,7 +70,7 @@ void EdgeCache::Purge(const std::string& key) {
 }
 
 void EdgeCache::Clear() {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   stats_.purges += lru_.size();
   lru_.clear();
   index_.clear();
@@ -78,17 +78,17 @@ void EdgeCache::Clear() {
 }
 
 CdnStats EdgeCache::Stats() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return stats_;
 }
 
 common::Bytes EdgeCache::SizeBytes() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return bytes_;
 }
 
 std::size_t EdgeCache::EntryCount() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return lru_.size();
 }
 

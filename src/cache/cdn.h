@@ -15,12 +15,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/sim_time.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "net/geo.h"
 
@@ -99,15 +100,16 @@ class EdgeCache {
     common::SimTime filled_at = 0;
   };
 
-  void EvictToFitLocked();
+  void EvictToFitLocked() REQUIRES(mu_);
 
   common::Bytes capacity_;
   common::Duration ttl_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  common::Bytes bytes_ = 0;
-  CdnStats stats_;
+  mutable common::Mutex mu_;
+  std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      GUARDED_BY(mu_);
+  common::Bytes bytes_ GUARDED_BY(mu_) = 0;
+  CdnStats stats_ GUARDED_BY(mu_);
 };
 
 class Cdn {

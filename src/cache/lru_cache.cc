@@ -24,7 +24,7 @@ LruCache::Shard& LruCache::ShardFor(const std::string& key) {
 
 std::optional<std::string> LruCache::Get(const std::string& key) {
   Shard& s = ShardFor(key);
-  std::lock_guard lock(s.mu);
+  common::MutexLock lock(s.mu);
   auto it = s.index.find(key);
   if (it == s.index.end()) {
     ++s.stats.misses;
@@ -42,7 +42,7 @@ void LruCache::Put(const std::string& key, std::string value) {
   const common::Bytes capacity =
       shard_capacity_.load(std::memory_order_relaxed);
   if (value_size > capacity) return;  // too large to cache
-  std::lock_guard lock(s.mu);
+  common::MutexLock lock(s.mu);
   auto it = s.index.find(key);
   if (it != s.index.end()) {
     s.bytes -= static_cast<common::Bytes>(it->second->value.size());
@@ -75,14 +75,14 @@ void LruCache::SetCapacity(common::Bytes capacity_bytes) {
   // Shrink each shard down to the new budget; concurrent Puts that loaded
   // the old capacity may overshoot one value, the next Put corrects it.
   for (auto& s : shards_) {
-    std::lock_guard lock(s->mu);
+    common::MutexLock lock(s->mu);
     EvictToFitLocked(*s, per_shard);
   }
 }
 
 void LruCache::Invalidate(const std::string& key) {
   Shard& s = ShardFor(key);
-  std::lock_guard lock(s.mu);
+  common::MutexLock lock(s.mu);
   auto it = s.index.find(key);
   if (it == s.index.end()) return;
   s.bytes -= static_cast<common::Bytes>(it->second->value.size());
@@ -93,7 +93,7 @@ void LruCache::Invalidate(const std::string& key) {
 
 void LruCache::Clear() {
   for (auto& s : shards_) {
-    std::lock_guard lock(s->mu);
+    common::MutexLock lock(s->mu);
     s->lru.clear();
     s->index.clear();
     s->bytes = 0;
@@ -103,7 +103,7 @@ void LruCache::Clear() {
 CacheStats LruCache::Stats() const {
   CacheStats total;
   for (const auto& s : shards_) {
-    std::lock_guard lock(s->mu);
+    common::MutexLock lock(s->mu);
     total += s->stats;
   }
   return total;
@@ -112,7 +112,7 @@ CacheStats LruCache::Stats() const {
 common::Bytes LruCache::SizeBytes() const {
   common::Bytes total = 0;
   for (const auto& s : shards_) {
-    std::lock_guard lock(s->mu);
+    common::MutexLock lock(s->mu);
     total += s->bytes;
   }
   return total;
@@ -121,7 +121,7 @@ common::Bytes LruCache::SizeBytes() const {
 std::size_t LruCache::EntryCount() const {
   std::size_t total = 0;
   for (const auto& s : shards_) {
-    std::lock_guard lock(s->mu);
+    common::MutexLock lock(s->mu);
     total += s->index.size();
   }
   return total;

@@ -10,12 +10,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 
 namespace scalia::cache {
@@ -79,15 +80,17 @@ class LruCache {
     std::string value;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recent
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    common::Bytes bytes = 0;
-    CacheStats stats;
+    mutable common::Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        GUARDED_BY(mu);
+    common::Bytes bytes GUARDED_BY(mu) = 0;
+    CacheStats stats GUARDED_BY(mu);
   };
 
   [[nodiscard]] Shard& ShardFor(const std::string& key);
-  static void EvictToFitLocked(Shard& s, common::Bytes capacity);
+  static void EvictToFitLocked(Shard& s, common::Bytes capacity)
+      REQUIRES(s.mu);
 
   /// Per-shard byte budget; atomic because SetCapacity may race Put/Get.
   std::atomic<common::Bytes> shard_capacity_;

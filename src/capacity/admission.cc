@@ -16,7 +16,7 @@ AdmissionController::AdmissionController(AdmissionConfig config)
 
 void AdmissionController::SetTenantValue(const std::string& tenant,
                                          double value) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   tenants_[tenant].value = value;
 }
 
@@ -30,8 +30,9 @@ std::uint64_t AdmissionController::NowUs() const {
 
 std::size_t AdmissionController::ShardOf(const std::string& row_key) const {
   // The engine's own routing hash, so the latency a request contributes is
-  // attributed to exactly the shard that served it.
-  return core::ShardedEngine::ShardForRowKey(row_key, shards_.size());
+  // attributed to exactly the shard that served it.  config_.num_shards is
+  // immutable after construction, so no lock is needed on this hot path.
+  return core::ShardedEngine::ShardForRowKey(row_key, config_.num_shards);
 }
 
 bool AdmissionController::AnyShardAboveLocked(double threshold_us) const {
@@ -63,7 +64,7 @@ AdmissionDecision AdmissionController::Admit(const std::string& tenant,
                                              const std::string& row_key) {
   (void)row_key;  // routing only matters for latency attribution
   if (!enabled()) return {};
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   if (shed_level_ > 0 && RankLocked(tenant) < shed_level_) {
     ++shed_decisions_;
     if (config_.probe_every > 0 &&
@@ -92,7 +93,7 @@ void AdmissionController::RecordLatencyOnShard(std::size_t shard,
                                                double latency_us) {
   if (!enabled()) return;
   if (!std::isfinite(latency_us) || latency_us < 0.0) return;
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   ShardState& state = shards_[shard % shards_.size()];
   if (state.samples == 0) {
     state.p99_us = latency_us;
@@ -144,12 +145,12 @@ void AdmissionController::MaybeMoveShedLevelLocked() {
 }
 
 double AdmissionController::ShardP99Us(std::size_t shard) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return shards_[shard % shards_.size()].p99_us;
 }
 
 AdmissionStats AdmissionController::Stats() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   AdmissionStats stats;
   stats.admitted = admitted_;
   stats.shed = shed_;
@@ -166,13 +167,13 @@ AdmissionStats AdmissionController::Stats() const {
 }
 
 std::uint64_t AdmissionController::shed_requests() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return shed_;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>>
 AdmissionController::ShedByTenant() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   for (const auto& [name, state] : tenants_) {
     if (state.shed > 0) out.emplace_back(name, state.shed);

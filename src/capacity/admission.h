@@ -28,12 +28,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/money.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace scalia::capacity {
 
@@ -140,24 +141,26 @@ class AdmissionController {
   };
 
   /// True when any warmed-up shard's estimate exceeds `threshold_us`.
-  [[nodiscard]] bool AnyShardAboveLocked(double threshold_us) const;
+  [[nodiscard]] bool AnyShardAboveLocked(double threshold_us) const
+      REQUIRES(mu_);
   /// Ascending-value rank of `tenant` (0 = cheapest); tenants sharing a
   /// value share the fate of their tier.
-  [[nodiscard]] std::size_t RankLocked(const std::string& tenant) const;
-  void MaybeMoveShedLevelLocked();
+  [[nodiscard]] std::size_t RankLocked(const std::string& tenant) const
+      REQUIRES(mu_);
+  void MaybeMoveShedLevelLocked() REQUIRES(mu_);
 
   AdmissionConfig config_;
-  mutable std::mutex mu_;
-  std::vector<ShardState> shards_;
-  std::unordered_map<std::string, TenantState> tenants_;
-  std::size_t shed_level_ = 0;
-  std::uint64_t samples_since_move_ = 0;
-  std::uint64_t admitted_ = 0;
-  std::uint64_t shed_ = 0;
-  std::uint64_t shed_decisions_ = 0;
-  std::uint64_t probes_ = 0;
-  std::uint64_t escalations_ = 0;
-  std::uint64_t de_escalations_ = 0;
+  mutable common::Mutex mu_;
+  std::vector<ShardState> shards_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, TenantState> tenants_ GUARDED_BY(mu_);
+  std::size_t shed_level_ GUARDED_BY(mu_) = 0;
+  std::uint64_t samples_since_move_ GUARDED_BY(mu_) = 0;
+  std::uint64_t admitted_ GUARDED_BY(mu_) = 0;
+  std::uint64_t shed_ GUARDED_BY(mu_) = 0;
+  std::uint64_t shed_decisions_ GUARDED_BY(mu_) = 0;
+  std::uint64_t probes_ GUARDED_BY(mu_) = 0;
+  std::uint64_t escalations_ GUARDED_BY(mu_) = 0;
+  std::uint64_t de_escalations_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace scalia::capacity

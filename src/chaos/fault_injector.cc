@@ -26,7 +26,7 @@ provider::FaultVerdict FaultInjector::OnOp(const provider::ProviderId& id,
                                            provider::OpKind op,
                                            common::SimTime now) {
   provider::FaultVerdict verdict;
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   last_seen_now_ = std::max(last_seen_now_, now);
   HealthState& state = StateLocked(id);
   MaybeLiftQuarantineLocked(state, now);
@@ -55,7 +55,7 @@ provider::FaultVerdict FaultInjector::OnOp(const provider::ProviderId& id,
 bool FaultInjector::IsDark(const provider::ProviderId& id,
                            common::SimTime now) const {
   if (plan_.IsDarkAt(id, now)) return true;
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   last_seen_now_ = std::max(last_seen_now_, now);
   HealthState& state = StateLocked(id);
   MaybeLiftQuarantineLocked(state, now);
@@ -64,7 +64,7 @@ bool FaultInjector::IsDark(const provider::ProviderId& id,
 
 void FaultInjector::RecordOutcome(const provider::ProviderId& id,
                                   provider::OpKind /*op*/, bool ok) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   HealthState& state = StateLocked(id);
   if (state.quarantined_until > last_seen_now_) {
     // Ops refused because of the quarantine itself must not feed the EWMA,
@@ -92,7 +92,7 @@ double FaultInjector::PriceMultiplier(const provider::ProviderId& id,
 std::vector<provider::ProviderId> FaultInjector::UnhealthyProviders(
     common::SimTime now) const {
   std::vector<provider::ProviderId> out;
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   last_seen_now_ = std::max(last_seen_now_, now);
   for (auto& [id, state] : health_) {
     MaybeLiftQuarantineLocked(state, now);
@@ -119,7 +119,7 @@ std::vector<provider::ProviderId> FaultInjector::UnhealthyProviders(
 
 std::vector<ProviderHealth> FaultInjector::Health() const {
   std::vector<ProviderHealth> out;
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   out.reserve(health_.size());
   for (const auto& [id, state] : health_) {
     out.push_back({.id = id,
@@ -132,7 +132,7 @@ std::vector<ProviderHealth> FaultInjector::Health() const {
 }
 
 std::uint64_t FaultInjector::FaultsInjected() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return faults_injected_;
 }
 

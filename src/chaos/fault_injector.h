@@ -16,11 +16,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <random>
 #include <vector>
 
 #include "chaos/fault_plan.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "provider/fault_hook.h"
 
 namespace scalia::chaos {
@@ -77,23 +78,25 @@ class FaultInjector final : public provider::FaultHook {
     common::SimTime quarantined_until = 0;  // 0: not quarantined
   };
 
-  /// Returns the state for `id`, creating it on first contact (mu_ held).
-  HealthState& StateLocked(const provider::ProviderId& id) const;
+  /// Returns the state for `id`, creating it on first contact.
+  HealthState& StateLocked(const provider::ProviderId& id) const
+      REQUIRES(mu_);
 
   /// Expires a finished quarantine spell and resets the EWMA so the provider
-  /// gets a fresh chance (mu_ held).
-  void MaybeLiftQuarantineLocked(HealthState& state, common::SimTime now) const;
+  /// gets a fresh chance.
+  void MaybeLiftQuarantineLocked(HealthState& state, common::SimTime now) const
+      REQUIRES(mu_);
 
   const FaultPlan plan_;
   const InjectorOptions options_;
 
-  mutable std::mutex mu_;
-  mutable std::map<provider::ProviderId, HealthState> health_;
-  mutable std::mt19937_64 rng_;
-  std::uint64_t faults_injected_ = 0;  // guarded by mu_
+  mutable common::Mutex mu_;
+  mutable std::map<provider::ProviderId, HealthState> health_ GUARDED_BY(mu_);
+  mutable std::mt19937_64 rng_ GUARDED_BY(mu_);
+  std::uint64_t faults_injected_ GUARDED_BY(mu_) = 0;
   // Clock high-water mark: RecordOutcome has no `now` param, so quarantine
   // spells are stamped with the latest time any query has seen.
-  mutable common::SimTime last_seen_now_ = 0;
+  mutable common::SimTime last_seen_now_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace scalia::chaos

@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace scalia::common {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-std::mutex g_log_mu;
+// Serialises whole lines onto stderr; no fields are guarded — the stream
+// itself is the shared resource.
+Mutex g_log_mu;
 
 constexpr const char* LevelName(LogLevel l) {
   switch (l) {
@@ -29,7 +32,7 @@ LogLevel GetLogLevel() { return g_level.load(); }
 void LogMessage(LogLevel level, std::string_view component,
                 std::string_view message) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
-  std::lock_guard lock(g_log_mu);
+  MutexLock lock(g_log_mu);
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", LevelName(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

@@ -1,0 +1,145 @@
+// Annotation-aware mutex wrappers.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no thread-safety
+// annotations, so locking through them is invisible to clang's
+// -Wthread-safety analysis.  These thin wrappers make every acquisition
+// visible: `common::Mutex` is a CAPABILITY over std::mutex,
+// `common::MutexLock` the SCOPED_CAPABILITY guard, `common::SharedMutex` /
+// `ReaderMutexLock` the shared-capability pair over std::shared_mutex, and
+// `common::CondVar` a condition variable whose Wait REQUIRES the mutex so
+// guarded fields read in the wait loop are provably under the lock.
+//
+// Style note for wait loops: write the predicate as an explicit
+//
+//   common::MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(mu_);
+//
+// rather than passing a predicate lambda — the analysis cannot see that a
+// lambda's body runs with the lock held, but it follows the while-loop
+// form exactly.
+//
+// All wrappers are zero-overhead: CondVar::Wait adopts/releases the native
+// handle around std::condition_variable::wait, no extra state, no extra
+// atomics.  Under GCC the annotations vanish (thread_annotations.h) and
+// these are plain forwarding wrappers.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace scalia::common {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // Wait() adopts the native handle
+  std::mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex (the std::lock_guard analogue).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive (writer) lock over SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to common::Mutex.  Wait/WaitFor REQUIRES the
+/// mutex, so the analysis proves the caller holds it — and the explicit
+/// while-loop style keeps every guarded-field read inside the annotated
+/// critical section.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
+  /// Spurious wakeups happen; always call in a `while (!predicate)` loop.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // the caller's scope still owns the lock
+  }
+
+  /// Wait with a timeout; returns std::cv_status::timeout if it elapsed.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status;
+  }
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace scalia::common

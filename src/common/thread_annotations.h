@@ -1,0 +1,89 @@
+// Clang thread-safety annotation macros.
+//
+// The serving stack is genuinely concurrent — per-shard event loops, a
+// resizable ThreadPool, fleet-wide fault-hook swaps — and every locking
+// invariant used to live only in comments and in whatever interleavings
+// TSan happened to witness.  These macros move the invariants into the
+// type system: fields declare which lock guards them (GUARDED_BY),
+// methods declare which locks they need (REQUIRES) or must not hold
+// (EXCLUDES), and clang's `-Wthread-safety` analysis proves every access
+// path consistent at compile time — including paths no test schedules.
+//
+// Under GCC (which has no thread-safety analysis) every macro expands to
+// nothing, so the annotations cost nothing outside clang builds; see
+// tests/common/thread_annotations_test.cc for the degradation proof.
+// The `tidy` CMake preset + scripts/verify.sh --only tidy run the clang
+// pass with -Wthread-safety -Wthread-safety-beta -Werror.
+//
+// Spelling follows the canonical mutex.h from the clang Thread Safety
+// Analysis documentation (and Abseil's absl/base/thread_annotations.h).
+#pragma once
+
+#if defined(__clang__)
+#define SCALIA_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SCALIA_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+// Declares a type to be a capability (a lock). Used on common::Mutex.
+#define CAPABILITY(x) SCALIA_THREAD_ANNOTATION__(capability(x))
+
+// Declares an RAII class that acquires a capability in its constructor and
+// releases it in its destructor. Used on common::MutexLock.
+#define SCOPED_CAPABILITY SCALIA_THREAD_ANNOTATION__(scoped_lockable)
+
+// Declares that a field may only be read/written while holding `x`.
+#define GUARDED_BY(x) SCALIA_THREAD_ANNOTATION__(guarded_by(x))
+
+// Declares that the *pointee* of a pointer field is guarded by `x`.
+#define PT_GUARDED_BY(x) SCALIA_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Declares that callers must hold the given capabilities (exclusively /
+// shared) before calling, and that the function does not release them.
+#define REQUIRES(...) \
+  SCALIA_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SCALIA_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+// Declares that the function acquires / releases the given capabilities.
+#define ACQUIRE(...) \
+  SCALIA_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  SCALIA_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  SCALIA_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  SCALIA_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  SCALIA_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+// Declares a try-lock: acquires the capability iff the return value equals
+// the first argument.
+#define TRY_ACQUIRE(...) \
+  SCALIA_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  SCALIA_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+// Declares that callers must NOT hold the given capabilities (the function
+// acquires them itself; calling with them held would self-deadlock on our
+// non-recursive mutexes).
+#define EXCLUDES(...) SCALIA_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// Lock-ordering declarations (deadlock prevention, -Wthread-safety-beta).
+#define ACQUIRED_BEFORE(...) \
+  SCALIA_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  SCALIA_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+// Declares that the function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) SCALIA_THREAD_ANNOTATION__(lock_returned(x))
+
+// Asserts at runtime that the calling thread holds the capability, telling
+// the analysis so (for call sites the analysis cannot follow).
+#define ASSERT_CAPABILITY(x) \
+  SCALIA_THREAD_ANNOTATION__(assert_capability(x))
+
+// Escape hatch: disables analysis inside one function. Every use must carry
+// a comment explaining why the invariant holds anyway.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SCALIA_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <exception>
 
+#include "common/mutex.h"
+
 namespace scalia::common {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) SpawnLocked();
   active_threads_.store(workers_.size(), std::memory_order_relaxed);
@@ -17,12 +19,12 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 ThreadPool::~ThreadPool() {
   std::vector<Worker> workers;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
     workers = std::move(workers_);
     workers_.clear();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers) w.thread.join();
 }
 
@@ -36,11 +38,11 @@ void ThreadPool::WorkerLoop(std::shared_ptr<std::atomic<bool>> retire) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [&] {
-        return stop_ || retire->load(std::memory_order_relaxed) ||
-               !queue_.empty();
-      });
+      MutexLock lock(mu_);
+      while (!stop_ && !retire->load(std::memory_order_relaxed) &&
+             queue_.empty()) {
+        cv_.Wait(mu_);
+      }
       // A retiring worker leaves even with work queued: the survivors own
       // the queue, and Resize() is joining us.
       if (retire->load(std::memory_order_relaxed)) return;
@@ -56,7 +58,7 @@ void ThreadPool::Resize(std::size_t num_threads) {
   const std::size_t target = std::max<std::size_t>(1, num_threads);
   std::vector<std::thread> to_join;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) return;
     while (workers_.size() > target) {
       workers_.back().retire->store(true, std::memory_order_relaxed);
@@ -66,7 +68,7 @@ void ThreadPool::Resize(std::size_t num_threads) {
     while (workers_.size() < target) SpawnLocked();
     active_threads_.store(workers_.size(), std::memory_order_relaxed);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : to_join) t.join();
 }
 
@@ -87,9 +89,9 @@ void ThreadPool::ParallelFor(std::size_t n,
     const std::function<void(std::size_t)> body;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr first_error;
+    Mutex mu;
+    CondVar cv;
+    std::exception_ptr first_error GUARDED_BY(mu);
   };
   auto state = std::make_shared<State>(n, fn);
 
@@ -100,12 +102,12 @@ void ThreadPool::ParallelFor(std::size_t n,
       try {
         s->body(i);
       } catch (...) {
-        std::lock_guard lock(s->mu);
+        MutexLock lock(s->mu);
         if (!s->first_error) s->first_error = std::current_exception();
       }
       if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->total) {
-        std::lock_guard lock(s->mu);
-        s->cv.notify_all();
+        MutexLock lock(s->mu);
+        s->cv.NotifyAll();
       }
     }
   };
@@ -113,19 +115,23 @@ void ThreadPool::ParallelFor(std::size_t n,
   const std::size_t helpers = std::min(n - 1, num_threads());
   if (helpers > 0) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       for (std::size_t p = 0; p < helpers; ++p) {
         queue_.emplace_back([state, run_items] { run_items(state); });
       }
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   run_items(state);
 
-  std::unique_lock lock(state->mu);
-  state->cv.wait(lock, [&] { return state->done.load() >= state->total; });
-  if (state->first_error) std::rethrow_exception(state->first_error);
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(state->mu);
+    while (state->done.load() < state->total) state->cv.Wait(state->mu);
+    first_error = state->first_error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::Shared() {

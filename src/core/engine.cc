@@ -176,7 +176,7 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
           "' for object " + container + "/" + key);
     }
     {
-      std::lock_guard lock(uuid_mu_);
+      common::MutexLock lock(uuid_mu_);
       uuid = common::Uuid::Generate(uuid_rng_);
     }
     skey = MakeStorageKey(container, key, uuid);
@@ -443,13 +443,13 @@ void Engine::DeleteChunks(common::SimTime now, const ObjectMetadata& meta) {
     auto* store = registry_->Find(stripe.provider);
     const std::string chunk_key = meta.ChunkKey(stripe.chunk_index);
     if (store == nullptr || !store->IsAvailable(now)) {
-      std::lock_guard lock(pending_mu_);
+      common::MutexLock lock(pending_mu_);
       pending_deletes_.push_back({stripe.provider, chunk_key});
       continue;
     }
     const auto status = store->Delete(now, chunk_key);
     if (status.code() == common::StatusCode::kUnavailable) {
-      std::lock_guard lock(pending_mu_);
+      common::MutexLock lock(pending_mu_);
       pending_deletes_.push_back({stripe.provider, chunk_key});
     }
   }
@@ -692,7 +692,7 @@ common::Result<bool> Engine::ReoptimizeObject(common::SimTime now,
 
   common::Uuid uuid;
   {
-    std::lock_guard lock(uuid_mu_);
+    common::MutexLock lock(uuid_mu_);
     uuid = common::Uuid::Generate(uuid_rng_);
   }
   const std::string skey = MakeStorageKey(meta.container, meta.key, uuid);
@@ -794,7 +794,7 @@ common::Status Engine::RepairObject(common::SimTime now,
     }
     common::Uuid uuid;
     {
-      std::lock_guard lock(uuid_mu_);
+      common::MutexLock lock(uuid_mu_);
       uuid = common::Uuid::Generate(uuid_rng_);
     }
     const std::string skey = MakeStorageKey(meta.container, meta.key, uuid);
@@ -855,7 +855,7 @@ common::Status Engine::RepairObject(common::SimTime now,
     return s;
   }
   {
-    std::lock_guard lock(pending_mu_);
+    common::MutexLock lock(pending_mu_);
     for (auto& pd : deferred) pending_deletes_.push_back(std::move(pd));
   }
   SCALIA_LOG(common::LogLevel::kInfo, "engine")
@@ -867,7 +867,7 @@ common::Status Engine::RepairObject(common::SimTime now,
 std::size_t Engine::ProcessPendingDeletes(common::SimTime now) {
   std::vector<PendingDelete> pending;
   {
-    std::lock_guard lock(pending_mu_);
+    common::MutexLock lock(pending_mu_);
     pending.swap(pending_deletes_);
   }
   std::size_t completed = 0;
@@ -889,13 +889,13 @@ std::size_t Engine::ProcessPendingDeletes(common::SimTime now) {
       still_pending.push_back(std::move(pd));
     }
   }
-  std::lock_guard lock(pending_mu_);
+  common::MutexLock lock(pending_mu_);
   for (auto& pd : still_pending) pending_deletes_.push_back(std::move(pd));
   return completed;
 }
 
 std::size_t Engine::PendingDeleteCount() const {
-  std::lock_guard lock(pending_mu_);
+  common::MutexLock lock(pending_mu_);
   return pending_deletes_.size();
 }
 

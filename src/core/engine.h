@@ -12,14 +12,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cache/cache_layer.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/engine_api.h"
 #include "core/metadata.h"
@@ -235,11 +236,11 @@ class Engine : public EngineApi {
   PlacementSearch search_;
   MigrationPlanner migration_;
 
-  mutable std::mutex uuid_mu_;
-  common::Xoshiro256 uuid_rng_;
+  mutable common::Mutex uuid_mu_;
+  common::Xoshiro256 uuid_rng_ GUARDED_BY(uuid_mu_);
 
-  mutable std::mutex pending_mu_;
-  std::vector<PendingDelete> pending_deletes_;
+  mutable common::Mutex pending_mu_;
+  std::vector<PendingDelete> pending_deletes_ GUARDED_BY(pending_mu_);
 
   std::atomic<std::uint64_t> degraded_reads_{0};
   std::atomic<std::uint64_t> reconstructions_{0};

@@ -8,17 +8,19 @@
 #pragma once
 
 #include <algorithm>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace scalia::core {
 
 class LeaderElection {
  public:
   void RegisterMember(const std::string& id) {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     for (const auto& m : members_) {
       if (m.id == id) return;
     }
@@ -28,7 +30,7 @@ class LeaderElection {
   }
 
   void SetAlive(const std::string& id, bool alive) {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     for (auto& m : members_) {
       if (m.id == id) {
         m.alive = alive;
@@ -38,7 +40,7 @@ class LeaderElection {
   }
 
   [[nodiscard]] bool IsAlive(const std::string& id) const {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     for (const auto& m : members_) {
       if (m.id == id) return m.alive;
     }
@@ -47,7 +49,7 @@ class LeaderElection {
 
   /// The current leader: smallest-id alive member; nullopt if none alive.
   [[nodiscard]] std::optional<std::string> Leader() const {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     for (const auto& m : members_) {
       if (m.alive) return m.id;
     }
@@ -56,7 +58,7 @@ class LeaderElection {
 
   /// All alive members, in id order (the optimizer's worker set E).
   [[nodiscard]] std::vector<std::string> AliveMembers() const {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     std::vector<std::string> out;
     for (const auto& m : members_) {
       if (m.alive) out.push_back(m.id);
@@ -69,8 +71,8 @@ class LeaderElection {
     std::string id;
     bool alive = true;
   };
-  mutable std::mutex mu_;
-  std::vector<Member> members_;
+  mutable common::Mutex mu_;
+  std::vector<Member> members_ GUARDED_BY(mu_);
 };
 
 }  // namespace scalia::core

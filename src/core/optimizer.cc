@@ -10,7 +10,7 @@ namespace scalia::core {
 
 PeriodicOptimizer::ObjectControl& PeriodicOptimizer::ControlFor(
     const std::string& row_key) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = controls_.find(row_key);
   if (it == controls_.end()) {
     it = controls_
@@ -21,7 +21,7 @@ PeriodicOptimizer::ObjectControl& PeriodicOptimizer::ControlFor(
 }
 
 std::size_t PeriodicOptimizer::TrackedObjects() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return controls_.size();
 }
 
@@ -56,7 +56,7 @@ OptimizationReport PeriodicOptimizer::RunInner(common::SimTime now) {
   // extended with still-warm objects (see header).
   std::vector<std::string> candidates = stats_db_->AccessedSince(last_run_);
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     for (const auto& key : warm_) {
       if (std::find(candidates.begin(), candidates.end(), key) ==
           candidates.end()) {
@@ -92,7 +92,7 @@ OptimizationReport PeriodicOptimizer::RunInner(common::SimTime now) {
       const double activity = history.Latest().ops;
       const bool changed = control.trend.Observe(activity);
       {
-        std::lock_guard lock(mu_);
+        common::MutexLock lock(mu_);
         if (control.trend.CurrentSma() > 0.0) {
           warm_.insert(row_key);
         } else {

@@ -17,12 +17,13 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/decision_period.h"
 #include "core/engine.h"
@@ -112,9 +113,11 @@ class PeriodicOptimizer {
   std::vector<Engine*> engines_;
   LeaderElection election_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<ObjectControl>> controls_;
-  std::unordered_set<std::string> warm_;  // nonzero SMA after last access
+  mutable common::Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<ObjectControl>> controls_
+      GUARDED_BY(mu_);
+  // Nonzero SMA after last access.
+  std::unordered_set<std::string> warm_ GUARDED_BY(mu_);
   common::SimTime last_run_ = 0;
 };
 

@@ -7,17 +7,21 @@
 
 namespace scalia::durability {
 
+common::Status FsyncFd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    return common::Status::Internal("fsync failed on " + what);
+  }
+  return common::Status::Ok();
+}
+
 common::Status FsyncFile(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return common::Status::Internal("cannot open " + path + " for fsync");
   }
-  const int rc = ::fsync(fd);
+  auto status = FsyncFd(fd, path);
   ::close(fd);
-  if (rc != 0) {
-    return common::Status::Internal("fsync failed on " + path);
-  }
-  return common::Status::Ok();
+  return status;
 }
 
 common::Status FsyncDir(const std::string& dir) {

@@ -14,6 +14,11 @@
 
 namespace scalia::durability {
 
+/// fsyncs an already-open descriptor (`what` names it in error messages).
+/// The WAL's group-commit hot path holds its segment open and syncs through
+/// this seam instead of reopening by name on every commit.
+common::Status FsyncFd(int fd, const std::string& what);
+
 /// fsyncs a regular file's contents.
 common::Status FsyncFile(const std::string& path);
 

@@ -178,10 +178,10 @@ common::Result<std::unique_ptr<Wal>> Wal::Open(WalConfig config,
   for (const auto& [first_lsn, path] : *survivors) {
     next = std::max(next, first_lsn);
   }
-  wal->next_lsn_ = next;
   wal->commit_pool_ = pool;
   {
-    std::lock_guard lock(wal->io_mu_);
+    common::MutexLock lock(wal->io_mu_);
+    wal->next_lsn_ = next;
     if (auto s = wal->OpenSegmentLocked(wal->next_lsn_); !s.ok()) return s;
   }
   if (pool != nullptr) {
@@ -234,16 +234,16 @@ common::Status Wal::SyncLocked() {
     return common::Status::Internal("fflush failed on " + active_path_);
   }
   if (config_.sync_on_commit) {
-    if (::fsync(fileno(active_)) != 0) {
-      return common::Status::Internal("fsync failed on " + active_path_);
-    }
+    // Through the single fsync seam (durability/fsync.h) on the held
+    // descriptor — the segment stays open across commits.
+    if (auto s = FsyncFd(fileno(active_), active_path_); !s.ok()) return s;
     fsyncs_.fetch_add(1, std::memory_order_relaxed);
   }
   return common::Status::Ok();
 }
 
 common::Result<Lsn> Wal::AppendSync(std::string payload) {
-  std::lock_guard lock(io_mu_);
+  common::MutexLock lock(io_mu_);
   if (closed_ || failed_ || active_ == nullptr) {
     return common::Status::FailedPrecondition("WAL is closed or failed");
   }
@@ -277,7 +277,7 @@ void Wal::CommitterLoop() {
       batch.push_back(std::move(*next));
     }
 
-    std::lock_guard lock(io_mu_);
+    common::MutexLock lock(io_mu_);
     common::Status batch_status = common::Status::Ok();
     std::vector<Lsn> lsns(batch.size(), 0);
     if (failed_ || active_ == nullptr) {
@@ -308,7 +308,7 @@ void Wal::CommitterLoop() {
 
 common::Result<Lsn> Wal::AppendDeferred(std::string payload,
                                         AckCohort* cohort) {
-  std::lock_guard lock(io_mu_);
+  common::MutexLock lock(io_mu_);
   if (closed_ || failed_ || active_ == nullptr) {
     return common::Status::FailedPrecondition("WAL is closed or failed");
   }
@@ -334,7 +334,7 @@ common::Result<Lsn> Wal::AppendDeferred(std::string payload,
 }
 
 common::Status Wal::SyncCohort() {
-  std::lock_guard lock(io_mu_);
+  common::MutexLock lock(io_mu_);
   if (closed_ || failed_ || active_ == nullptr) {
     return common::Status::FailedPrecondition("WAL is closed or failed");
   }
@@ -358,12 +358,12 @@ common::Result<Lsn> Wal::Append(std::string payload) {
 }
 
 Lsn Wal::last_lsn() const {
-  std::lock_guard lock(io_mu_);
+  common::MutexLock lock(io_mu_);
   return next_lsn_ - 1;
 }
 
 common::Status Wal::RollSegment() {
-  std::lock_guard lock(io_mu_);
+  common::MutexLock lock(io_mu_);
   if (closed_ || failed_ || active_ == nullptr) {
     return common::Status::FailedPrecondition("WAL is closed or failed");
   }
@@ -372,7 +372,7 @@ common::Status Wal::RollSegment() {
 }
 
 common::Status Wal::EnsureNextLsnAtLeast(Lsn next_min) {
-  std::lock_guard lock(io_mu_);
+  common::MutexLock lock(io_mu_);
   if (closed_ || failed_ || active_ == nullptr) {
     return common::Status::FailedPrecondition("WAL is closed or failed");
   }
@@ -389,7 +389,7 @@ common::Status Wal::EnsureNextLsnAtLeast(Lsn next_min) {
 }
 
 common::Status Wal::TruncateThrough(Lsn through) {
-  std::lock_guard lock(io_mu_);
+  common::MutexLock lock(io_mu_);
   auto segments = ListSegments(config_.dir);
   if (!segments.ok()) return segments.status();
   // A segment is deletable when its successor starts at or before
@@ -419,7 +419,7 @@ void Wal::Close() {
     queue_->Close();
     if (committer_done_.valid()) committer_done_.wait();
   }
-  std::lock_guard lock(io_mu_);
+  common::MutexLock lock(io_mu_);
   if (active_ != nullptr) {
     std::fflush(active_);
     std::fclose(active_);

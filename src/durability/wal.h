@@ -26,13 +26,14 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
 
@@ -193,9 +194,10 @@ class Wal {
 
   explicit Wal(WalConfig config);
 
-  common::Status OpenSegmentLocked(Lsn first_lsn);
-  common::Status WriteFrameLocked(Lsn lsn, std::string_view payload);
-  common::Status SyncLocked();
+  common::Status OpenSegmentLocked(Lsn first_lsn) REQUIRES(io_mu_);
+  common::Status WriteFrameLocked(Lsn lsn, std::string_view payload)
+      REQUIRES(io_mu_);
+  common::Status SyncLocked() REQUIRES(io_mu_);
   void CommitterLoop();
   common::Result<Lsn> AppendSync(std::string payload);
   /// Cohort path: writes the frame, defers the fsync to SyncCohort().
@@ -209,17 +211,17 @@ class Wal {
   std::unique_ptr<common::BoundedQueue<std::shared_ptr<PendingAppend>>> queue_;
   std::future<void> committer_done_;
 
-  mutable std::mutex io_mu_;  // guards the active segment + next_lsn_
-  std::FILE* active_ = nullptr;
-  std::string active_path_;
-  common::Bytes active_bytes_ = 0;
-  Lsn next_lsn_ = 1;
+  mutable common::Mutex io_mu_;  // guards the active segment + next_lsn_
+  std::FILE* active_ GUARDED_BY(io_mu_) = nullptr;
+  std::string active_path_ GUARDED_BY(io_mu_);
+  common::Bytes active_bytes_ GUARDED_BY(io_mu_) = 0;
+  Lsn next_lsn_ GUARDED_BY(io_mu_) = 1;
   std::atomic<std::uint64_t> fsyncs_{0};
-  bool closed_ = false;
+  bool closed_ GUARDED_BY(io_mu_) = false;
   /// Latched on the first frame-write/sync error: a torn frame mid-segment
   /// would shadow every later append at replay, so the log refuses further
   /// appends until reopened (which truncates the tear).
-  bool failed_ = false;
+  bool failed_ GUARDED_BY(io_mu_) = false;
 };
 
 }  // namespace scalia::durability

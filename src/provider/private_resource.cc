@@ -64,7 +64,7 @@ common::Status PrivateResourceService::Authenticate(const SignedRequest& req,
   }
   // Replay protection: a given signature is accepted at most once within the
   // window.
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   while (!seen_order_.empty() &&
          seen_order_.front().first + replay_window_ < now) {
     seen_signatures_.erase(seen_order_.front().second);

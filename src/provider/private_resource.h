@@ -10,10 +10,10 @@
 #pragma once
 
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 
+#include "common/mutex.h"
 #include "common/sha256.h"
 #include "common/sim_time.h"
 #include "common/status.h"
@@ -71,10 +71,11 @@ class PrivateResourceService {
   SimulatedProviderStore store_;
   std::string token_;
   common::Duration replay_window_;
-  std::mutex mu_;
+  common::Mutex mu_;
   // Recent signatures within the replay window, with eviction order.
-  std::unordered_set<std::string> seen_signatures_;
-  std::deque<std::pair<common::SimTime, std::string>> seen_order_;
+  std::unordered_set<std::string> seen_signatures_ GUARDED_BY(mu_);
+  std::deque<std::pair<common::SimTime, std::string>> seen_order_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace scalia::provider

@@ -5,7 +5,7 @@
 namespace scalia::provider {
 
 common::Status ProviderRegistry::Register(ProviderSpec spec) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& [id, entry] : entries_) {
     if (id == spec.id) {
       if (entry.registered) {
@@ -25,7 +25,7 @@ common::Status ProviderRegistry::Register(ProviderSpec spec) {
 }
 
 void ProviderRegistry::SetFaultHook(FaultHook* hook) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   fault_hook_ = hook;
   for (auto& [id, entry] : entries_) entry.store->SetFaultHook(hook);
 }
@@ -44,7 +44,7 @@ ProviderSpec ProviderRegistry::ShockedSpec(const ProviderSpec& spec,
 }
 
 common::Status ProviderRegistry::Unregister(const ProviderId& id) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& [eid, entry] : entries_) {
     if (eid == id && entry.registered) {
       entry.registered = false;
@@ -55,7 +55,7 @@ common::Status ProviderRegistry::Unregister(const ProviderId& id) {
 }
 
 SimulatedProviderStore* ProviderRegistry::Find(const ProviderId& id) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& [eid, entry] : entries_) {
     if (eid == id) return entry.store.get();
   }
@@ -63,7 +63,7 @@ SimulatedProviderStore* ProviderRegistry::Find(const ProviderId& id) {
 }
 
 std::vector<ProviderSpec> ProviderRegistry::Specs() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<ProviderSpec> out;
   for (const auto& [id, entry] : entries_) {
     if (entry.registered) out.push_back(entry.store->spec());
@@ -72,7 +72,7 @@ std::vector<ProviderSpec> ProviderRegistry::Specs() const {
 }
 
 std::vector<ProviderSpec> ProviderRegistry::Specs(common::SimTime now) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<ProviderSpec> out;
   for (const auto& [id, entry] : entries_) {
     if (entry.registered) out.push_back(ShockedSpec(entry.store->spec(), now));
@@ -82,7 +82,7 @@ std::vector<ProviderSpec> ProviderRegistry::Specs(common::SimTime now) const {
 
 std::vector<ProviderSpec> ProviderRegistry::AvailableSpecs(
     common::SimTime now) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<ProviderSpec> out;
   for (const auto& [id, entry] : entries_) {
     if (entry.registered && entry.store->IsAvailable(now)) {
@@ -93,7 +93,7 @@ std::vector<ProviderSpec> ProviderRegistry::AvailableSpecs(
 }
 
 std::size_t ProviderRegistry::Count() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return static_cast<std::size_t>(
       std::count_if(entries_.begin(), entries_.end(),
                     [](const auto& e) { return e.second.registered; }));

@@ -8,11 +8,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "provider/store.h"
 
 namespace scalia::provider {
@@ -62,13 +63,14 @@ class ProviderRegistry {
     bool registered = true;
   };
 
-  /// Returns `spec` with any active price shock applied (mu_ held).
+  /// Returns `spec` with any active price shock applied.
   [[nodiscard]] ProviderSpec ShockedSpec(const ProviderSpec& spec,
-                                         common::SimTime now) const;
+                                         common::SimTime now) const
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::pair<ProviderId, Entry>> entries_;
-  FaultHook* fault_hook_ = nullptr;  // guarded by mu_
+  mutable common::Mutex mu_;
+  std::vector<std::pair<ProviderId, Entry>> entries_ GUARDED_BY(mu_);
+  FaultHook* fault_hook_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace scalia::provider

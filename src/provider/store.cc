@@ -67,7 +67,7 @@ common::Status SimulatedProviderStore::Put(common::SimTime now,
   }
   const auto blob_size = static_cast<common::Bytes>(blob.size());
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     common::Bytes new_total = stored_bytes_ + blob_size;
     if (auto it = objects_.find(key); it != objects_.end()) {
       new_total -= static_cast<common::Bytes>(it->second.size());
@@ -94,7 +94,7 @@ common::Status SimulatedProviderStore::Put(common::SimTime now,
 common::Result<std::string> SimulatedProviderStore::Get(
     common::SimTime now, const std::string& key) {
   if (auto s = BeginOp(now, OpKind::kGet); !s.ok()) return s;
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     // NotFound is an organic answer, not a provider failure: the provider
@@ -111,7 +111,7 @@ common::Result<std::string> SimulatedProviderStore::Get(
 common::Status SimulatedProviderStore::Delete(common::SimTime now,
                                               const std::string& key) {
   if (auto s = BeginOp(now, OpKind::kDelete); !s.ok()) return s;
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     EndOp(OpKind::kDelete, true);
@@ -129,7 +129,7 @@ common::Status SimulatedProviderStore::Delete(common::SimTime now,
 common::Result<std::vector<std::string>> SimulatedProviderStore::List(
     common::SimTime now, const std::string& prefix) {
   if (auto s = BeginOp(now, OpKind::kList); !s.ok()) return s;
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<std::string> keys;
   for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -141,12 +141,12 @@ common::Result<std::vector<std::string>> SimulatedProviderStore::List(
 }
 
 std::size_t SimulatedProviderStore::ObjectCount() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return objects_.size();
 }
 
 common::Bytes SimulatedProviderStore::StoredBytes() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return stored_bytes_;
 }
 

@@ -10,11 +10,12 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "provider/failure.h"
 #include "provider/fault_hook.h"
 #include "provider/spec.h"
@@ -84,9 +85,9 @@ class SimulatedProviderStore {
   FailureSchedule failures_;
   std::atomic<FaultHook*> fault_hook_{nullptr};
   UsageMeter meter_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> objects_;
-  common::Bytes stored_bytes_ = 0;
+  mutable common::Mutex mu_;
+  std::map<std::string, std::string> objects_ GUARDED_BY(mu_);
+  common::Bytes stored_bytes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace scalia::provider

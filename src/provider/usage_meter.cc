@@ -12,7 +12,7 @@ void UsageMeter::AccrueStorageLocked(common::SimTime now) {
 }
 
 void UsageMeter::RecordPut(common::SimTime now, common::Bytes bytes) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   AccrueStorageLocked(now);
   const double gb = common::ToGB(bytes);
   period_.bw_in_gb += gb;
@@ -22,7 +22,7 @@ void UsageMeter::RecordPut(common::SimTime now, common::Bytes bytes) {
 }
 
 void UsageMeter::RecordGet(common::SimTime now, common::Bytes bytes) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   AccrueStorageLocked(now);
   const double gb = common::ToGB(bytes);
   period_.bw_out_gb += gb;
@@ -32,25 +32,25 @@ void UsageMeter::RecordGet(common::SimTime now, common::Bytes bytes) {
 }
 
 void UsageMeter::RecordOp(common::SimTime now) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   AccrueStorageLocked(now);
   period_.ops += 1.0;
   totals_.ops += 1.0;
 }
 
 void UsageMeter::SetStoredBytes(common::SimTime now, common::Bytes bytes) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   AccrueStorageLocked(now);
   stored_ = bytes;
 }
 
 common::Bytes UsageMeter::stored_bytes() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return stored_;
 }
 
 PeriodUsage UsageMeter::EndPeriod(common::SimTime now) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   AccrueStorageLocked(now);
   PeriodUsage out = period_;
   out.storage_gb_hours =
@@ -62,7 +62,7 @@ PeriodUsage UsageMeter::EndPeriod(common::SimTime now) {
 }
 
 UsageMeterSnapshot UsageMeter::Snapshot() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   UsageMeterSnapshot snap;
   snap.period_start = period_start_;
   snap.last_storage_change = last_storage_change_;
@@ -75,7 +75,7 @@ UsageMeterSnapshot UsageMeter::Snapshot() const {
 }
 
 void UsageMeter::Restore(const UsageMeterSnapshot& snapshot) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   period_start_ = snapshot.period_start;
   last_storage_change_ = snapshot.last_storage_change;
   stored_ = snapshot.stored;
@@ -86,7 +86,7 @@ void UsageMeter::Restore(const UsageMeterSnapshot& snapshot) {
 }
 
 PeriodUsage UsageMeter::Totals(common::SimTime now) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   const_cast<UsageMeter*>(this)->AccrueStorageLocked(now);
   PeriodUsage out = totals_;
   out.storage_gb_hours = total_byte_hours_ / static_cast<double>(common::kGB);

@@ -7,10 +7,11 @@
 // counters into a PeriodUsage at each sampling boundary.
 #pragma once
 
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/sim_time.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "provider/pricing.h"
 
@@ -54,16 +55,16 @@ class UsageMeter {
   void Restore(const UsageMeterSnapshot& snapshot);
 
  private:
-  void AccrueStorageLocked(common::SimTime now);
+  void AccrueStorageLocked(common::SimTime now) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  common::SimTime period_start_;
-  common::SimTime last_storage_change_;
-  common::Bytes stored_ = 0;
-  double period_byte_hours_ = 0.0;
-  PeriodUsage period_{};
-  PeriodUsage totals_{};
-  double total_byte_hours_ = 0.0;
+  mutable common::Mutex mu_;
+  common::SimTime period_start_ GUARDED_BY(mu_);
+  common::SimTime last_storage_change_ GUARDED_BY(mu_);
+  common::Bytes stored_ GUARDED_BY(mu_) = 0;
+  double period_byte_hours_ GUARDED_BY(mu_) = 0.0;
+  PeriodUsage period_ GUARDED_BY(mu_){};
+  PeriodUsage totals_ GUARDED_BY(mu_){};
+  double total_byte_hours_ GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace scalia::provider

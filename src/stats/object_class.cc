@@ -14,26 +14,26 @@ ClassStats::ClassStats(common::Duration max_lifetime)
     : lifetimes_(0.0, common::ToHours(max_lifetime), BinCount(max_lifetime)) {}
 
 void ClassStats::RecordLifetime(common::Duration lifetime) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   lifetimes_.Add(common::ToHours(lifetime));
   ++lifetime_count_;
 }
 
 void ClassStats::RecordUsage(const PeriodStats& s) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   usage_sum_ += s;
   ++usage_count_;
 }
 
 common::Duration ClassStats::ExpectedLifetime() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   if (lifetime_count_ == 0) return 0;
   return common::FromHours(lifetimes_.Mean());
 }
 
 common::Duration ClassStats::ExpectedTimeLeftToLive(
     common::Duration age) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   if (lifetime_count_ == 0) return 0;
   const double age_h = common::ToHours(age);
   const double residual = lifetimes_.ExpectedResidualAbove(age_h);
@@ -44,7 +44,7 @@ common::Duration ClassStats::ExpectedTimeLeftToLive(
 }
 
 std::optional<PeriodStats> ClassStats::MeanUsage() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   if (usage_count_ == 0) return std::nullopt;
   PeriodStats mean = usage_sum_;
   mean.Scale(1.0 / static_cast<double>(usage_count_));
@@ -52,7 +52,7 @@ std::optional<PeriodStats> ClassStats::MeanUsage() const {
 }
 
 void ClassStats::SerializeTo(common::BinaryWriter& out) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   out.PutU64(lifetime_count_);
   out.PutU64(usage_count_);
   out.PutDouble(usage_sum_.storage_gb);
@@ -70,7 +70,7 @@ void ClassStats::SerializeTo(common::BinaryWriter& out) const {
 }
 
 common::Status ClassStats::RestoreFrom(common::BinaryReader& in) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   lifetime_count_ = in.U64();
   usage_count_ = in.U64();
   usage_sum_.storage_gb = in.Double();
@@ -108,17 +108,17 @@ common::Status ClassStats::RestoreFrom(common::BinaryReader& in) {
 }
 
 std::uint64_t ClassStats::lifetime_samples() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return lifetime_count_;
 }
 
 std::uint64_t ClassStats::usage_samples() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return usage_count_;
 }
 
 ClassStats& ClassRegistry::ForClass(const ClassId& cls) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = classes_.find(cls);
   if (it == classes_.end()) {
     it = classes_.emplace(cls, std::make_unique<ClassStats>(max_lifetime_))
@@ -128,18 +128,18 @@ ClassStats& ClassRegistry::ForClass(const ClassId& cls) {
 }
 
 const ClassStats* ClassRegistry::Find(const ClassId& cls) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = classes_.find(cls);
   return it == classes_.end() ? nullptr : it->second.get();
 }
 
 std::size_t ClassRegistry::ClassCount() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return classes_.size();
 }
 
 void ClassRegistry::SerializeTo(common::BinaryWriter& out) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   out.PutU32(static_cast<std::uint32_t>(classes_.size()));
   for (const auto& [cls, stats] : classes_) {
     out.PutString(cls);
@@ -148,7 +148,7 @@ void ClassRegistry::SerializeTo(common::BinaryWriter& out) const {
 }
 
 common::Status ClassRegistry::RestoreFrom(common::BinaryReader& in) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   classes_.clear();
   const std::uint32_t count = in.U32();
   for (std::uint32_t i = 0; i < count; ++i) {

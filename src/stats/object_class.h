@@ -9,7 +9,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -17,8 +16,10 @@
 #include "common/binary_codec.h"
 #include "common/histogram.h"
 #include "common/md5.h"
+#include "common/mutex.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "stats/period_stats.h"
 
@@ -76,11 +77,11 @@ class ClassStats {
   common::Status RestoreFrom(common::BinaryReader& in);
 
  private:
-  mutable std::mutex mu_;
-  common::Histogram lifetimes_;
-  std::uint64_t lifetime_count_ = 0;
-  PeriodStats usage_sum_;
-  std::uint64_t usage_count_ = 0;
+  mutable common::Mutex mu_;
+  common::Histogram lifetimes_ GUARDED_BY(mu_);
+  std::uint64_t lifetime_count_ GUARDED_BY(mu_) = 0;
+  PeriodStats usage_sum_ GUARDED_BY(mu_);
+  std::uint64_t usage_count_ GUARDED_BY(mu_) = 0;
 };
 
 /// Registry of all known classes; thread-safe.
@@ -104,8 +105,9 @@ class ClassRegistry {
 
  private:
   common::Duration max_lifetime_;
-  mutable std::mutex mu_;
-  std::unordered_map<ClassId, std::unique_ptr<ClassStats>> classes_;
+  mutable common::Mutex mu_;
+  std::unordered_map<ClassId, std::unique_ptr<ClassStats>> classes_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace scalia::stats

@@ -37,7 +37,7 @@ void LogAggregator::Pump() {
 }
 
 void LogAggregator::Fold(const AccessEvent& e) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   PeriodStats& s = aggregates_[e.row_key];
   const double gb = common::ToGB(e.bytes);
   switch (e.kind) {
@@ -60,14 +60,14 @@ void LogAggregator::Fold(const AccessEvent& e) {
 }
 
 std::unordered_map<std::string, PeriodStats> LogAggregator::Flush() {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto out = std::move(aggregates_);
   aggregates_.clear();
   return out;
 }
 
 std::vector<std::string> LogAggregator::TakeTouched() {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<std::string> keys;
   keys.reserve(touched_.size());
   for (const auto& [k, v] : touched_) keys.push_back(k);

@@ -12,14 +12,15 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/mutex.h"
 #include "common/sim_time.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "stats/period_stats.h"
 
@@ -87,9 +88,9 @@ class LogAggregator {
   void DrainLoop();
 
   common::BoundedQueue<AccessEvent> queue_;
-  std::mutex mu_;
-  std::unordered_map<std::string, PeriodStats> aggregates_;
-  std::unordered_map<std::string, bool> touched_;
+  common::Mutex mu_;
+  std::unordered_map<std::string, PeriodStats> aggregates_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, bool> touched_ GUARDED_BY(mu_);
   std::thread background_;
   std::atomic<bool> stopping_{false};
 };

@@ -17,7 +17,7 @@ void StatsDb::RecordObjectCreated(const std::string& row_key,
                                   const ClassId& cls, common::Bytes size,
                                   common::SimTime now) {
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     ObjectRecord rec;
     rec.class_id = cls;
     rec.size = size;
@@ -36,7 +36,7 @@ void StatsDb::RecordObjectDeleted(const std::string& row_key,
   ClassId cls;
   common::Duration lifetime = 0;
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = objects_.find(row_key);
     if (it == objects_.end()) return;
     cls = it->second.class_id;
@@ -53,7 +53,7 @@ void StatsDb::AppendPeriodStats(const std::string& row_key,
                                 common::SimTime now) {
   ClassId cls;
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     auto hit = histories_.find(row_key);
     if (hit == histories_.end()) return;  // deleted or unknown object
     hit->second.Append(stats);
@@ -89,28 +89,28 @@ void StatsDb::AppendPeriodForAllObjects(
 }
 
 void StatsDb::TouchObject(const std::string& row_key, common::SimTime now) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = objects_.find(row_key);
   if (it != objects_.end()) it->second.last_access = now;
 }
 
 std::optional<ObjectRecord> StatsDb::GetObject(
     const std::string& row_key) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = objects_.find(row_key);
   if (it == objects_.end()) return std::nullopt;
   return it->second;
 }
 
 AccessHistory StatsDb::GetHistory(const std::string& row_key) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = histories_.find(row_key);
   if (it == histories_.end()) return AccessHistory(max_history_);
   return it->second;
 }
 
 std::vector<std::string> StatsDb::AccessedSince(common::SimTime since) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<std::string> keys;
   for (const auto& [key, rec] : objects_) {
     if (rec.last_access >= since) keys.push_back(key);
@@ -119,12 +119,12 @@ std::vector<std::string> StatsDb::AccessedSince(common::SimTime since) const {
 }
 
 std::size_t StatsDb::ObjectCount() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return objects_.size();
 }
 
 void StatsDb::SerializeTo(common::BinaryWriter& out) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   out.PutU32(static_cast<std::uint32_t>(objects_.size()));
   for (const auto& [row_key, rec] : objects_) {
     out.PutString(row_key);
@@ -151,7 +151,7 @@ void StatsDb::SerializeTo(common::BinaryWriter& out) const {
 }
 
 common::Status StatsDb::RestoreFrom(common::BinaryReader& in) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   objects_.clear();
   histories_.clear();
   const std::uint32_t num_objects = in.U32();

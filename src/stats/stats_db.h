@@ -10,14 +10,15 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/binary_codec.h"
+#include "common/mutex.h"
 #include "common/sim_time.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
 #include "stats/access_history.h"
@@ -109,9 +110,9 @@ class StatsDb {
   store::ReplicaId dc_;
   std::size_t max_history_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, ObjectRecord> objects_;
-  std::unordered_map<std::string, AccessHistory> histories_;
+  mutable common::Mutex mu_;
+  std::unordered_map<std::string, ObjectRecord> objects_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, AccessHistory> histories_ GUARDED_BY(mu_);
   ClassRegistry classes_;
 };
 

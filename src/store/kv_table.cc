@@ -17,7 +17,7 @@ std::size_t KvTable::ShardIndex(const std::string& key) const {
 
 std::vector<Version> KvTable::Apply(const std::string& key, Version v) {
   Shard& shard = shards_[ShardIndex(key)];
-  std::lock_guard lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   return shard.rows[key].Apply(std::move(v));
 }
 
@@ -31,7 +31,7 @@ WriteOutcome KvTable::PutVersioned(const std::string& key, std::string value,
                                    ReplicaId replica,
                                    common::SimTime timestamp) {
   Shard& shard = shards_[ShardIndex(key)];
-  std::lock_guard lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   MvccRow& row = shard.rows[key];
   Version v;
   v.value = std::move(value);
@@ -56,7 +56,7 @@ WriteOutcome KvTable::DeleteVersioned(const std::string& key,
                                       ReplicaId replica,
                                       common::SimTime timestamp) {
   Shard& shard = shards_[ShardIndex(key)];
-  std::lock_guard lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   MvccRow& row = shard.rows[key];
   Version v;
   v.timestamp = timestamp;
@@ -74,7 +74,7 @@ CasOutcome KvTable::PutIfLatest(const std::string& key, std::string value,
                                 ReplicaId replica, common::SimTime timestamp,
                                 const VectorClock& expected) {
   Shard& shard = shards_[ShardIndex(key)];
-  std::lock_guard lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   Version v;
   v.value = std::move(value);
   v.timestamp = timestamp;
@@ -87,14 +87,14 @@ CasOutcome KvTable::PutIfLatest(const std::string& key, std::string value,
 CasOutcome KvTable::ApplyIfLatest(const std::string& key,
                                   const VectorClock& expected, Version v) {
   Shard& shard = shards_[ShardIndex(key)];
-  std::lock_guard lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   return shard.rows[key].ApplyIfLatest(expected, std::move(v));
 }
 
 std::optional<ReadResult> KvTable::Get(const std::string& key,
                                        bool include_tombstones) const {
   const Shard& shard = shards_[ShardIndex(key)];
-  std::lock_guard lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   auto it = shard.rows.find(key);
   if (it == shard.rows.end()) return std::nullopt;
   auto latest = it->second.Latest();
@@ -111,7 +111,7 @@ std::optional<ReadResult> KvTable::Get(const std::string& key,
 
 std::vector<Version> KvTable::ResolveConflict(const std::string& key) {
   Shard& shard = shards_[ShardIndex(key)];
-  std::lock_guard lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   auto it = shard.rows.find(key);
   if (it == shard.rows.end()) return {};
   return it->second.ResolveLastWriterWins();
@@ -119,7 +119,7 @@ std::vector<Version> KvTable::ResolveConflict(const std::string& key) {
 
 std::vector<Version> KvTable::LiveVersions(const std::string& key) const {
   const Shard& shard = shards_[ShardIndex(key)];
-  std::lock_guard lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   auto it = shard.rows.find(key);
   if (it == shard.rows.end()) return {};
   return it->second.live();
@@ -128,7 +128,7 @@ std::vector<Version> KvTable::LiveVersions(const std::string& key) const {
 std::vector<std::string> KvTable::ScanKeys(const std::string& prefix) const {
   std::vector<std::string> out;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard.mu);
+    common::MutexLock lock(shard.mu);
     for (auto it = shard.rows.lower_bound(prefix); it != shard.rows.end();
          ++it) {
       if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -145,7 +145,7 @@ void KvTable::VisitShard(
     const std::function<void(const std::string&, const Version&)>& visitor)
     const {
   const Shard& shard = shards_[shard_index % kShards];
-  std::lock_guard lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   for (const auto& [key, row] : shard.rows) {
     auto latest = row.Latest();
     if (latest && !latest->tombstone) visitor(key, *latest);
@@ -155,7 +155,7 @@ void KvTable::VisitShard(
 std::size_t KvTable::KeyCount() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard.mu);
+    common::MutexLock lock(shard.mu);
     for (const auto& [key, row] : shard.rows) {
       auto latest = row.Latest();
       if (latest && !latest->tombstone) ++n;

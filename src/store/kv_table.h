@@ -8,11 +8,12 @@
 #include <array>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "store/mvcc.h"
 
 namespace scalia::store {
@@ -104,8 +105,8 @@ class KvTable {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::map<std::string, MvccRow> rows;
+    mutable common::Mutex mu;
+    std::map<std::string, MvccRow> rows GUARDED_BY(mu);
   };
 
   [[nodiscard]] std::size_t ShardIndex(const std::string& key) const;

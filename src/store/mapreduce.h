@@ -9,10 +9,10 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "store/kv_table.h"
 
@@ -33,7 +33,7 @@ class MapReduceJob {
 
   /// Runs the job over `table` using `pool`; returns reduced results.
   std::map<K2, V2> Run(const KvTable& table, common::ThreadPool& pool) const {
-    std::mutex merge_mu;
+    common::Mutex merge_mu;
     std::map<K2, std::vector<V2>> groups;
 
     pool.ParallelFor(KvTable::kShards, [&](std::size_t shard) {
@@ -44,7 +44,7 @@ class MapReduceJob {
                   local[std::move(k)].push_back(std::move(val));
                 });
       });
-      std::lock_guard lock(merge_mu);
+      common::MutexLock lock(merge_mu);
       for (auto& [k, vals] : local) {
         auto& dst = groups[k];
         dst.insert(dst.end(), std::make_move_iterator(vals.begin()),

@@ -6,12 +6,12 @@ ReplicatedStore::ReplicatedStore(std::size_t num_datacenters)
     : replicas_(num_datacenters) {}
 
 void ReplicatedStore::SetDatacenterUp(ReplicaId dc, bool up) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   replicas_.at(dc).up = up;
 }
 
 bool ReplicatedStore::IsDatacenterUp(ReplicaId dc) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return replicas_.at(dc).up;
 }
 
@@ -40,7 +40,7 @@ common::Result<WriteOutcome> ReplicatedStore::Put(ReplicaId dc,
                                                   common::SimTime timestamp) {
   KvTable* t = nullptr;
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     Replica& r = replicas_.at(dc);
     if (!r.up) {
       return common::Status::Unavailable("datacenter " + std::to_string(dc) +
@@ -51,7 +51,7 @@ common::Result<WriteOutcome> ReplicatedStore::Put(ReplicaId dc,
   WriteOutcome outcome = t->PutVersioned(key, std::move(value), dc, timestamp);
   // Replicate the version we just created (the committed copy is taken
   // under the shard lock, so a concurrent superseding write cannot hide it).
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   EnqueueReplication(dc, table, key, outcome.committed);
   return outcome;
 }
@@ -62,7 +62,7 @@ common::Result<WriteOutcome> ReplicatedStore::Delete(ReplicaId dc,
                                                      common::SimTime timestamp) {
   KvTable* t = nullptr;
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     Replica& r = replicas_.at(dc);
     if (!r.up) {
       return common::Status::Unavailable("datacenter " + std::to_string(dc) +
@@ -71,7 +71,7 @@ common::Result<WriteOutcome> ReplicatedStore::Delete(ReplicaId dc,
     t = &TableRef(r, table);
   }
   WriteOutcome outcome = t->DeleteVersioned(key, dc, timestamp);
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   EnqueueReplication(dc, table, key, outcome.committed);
   return outcome;
 }
@@ -82,7 +82,7 @@ common::Status ReplicatedStore::ApplyVersion(ReplicaId dc,
                                              Version v) {
   KvTable* t = nullptr;
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     Replica& r = replicas_.at(dc);
     if (!r.up) {
       return common::Status::Unavailable("datacenter " + std::to_string(dc) +
@@ -92,7 +92,7 @@ common::Status ReplicatedStore::ApplyVersion(ReplicaId dc,
   }
   Version replicated = v;
   t->Apply(key, std::move(v));
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   EnqueueReplication(dc, table, key, replicated);
   return common::Status::Ok();
 }
@@ -103,7 +103,7 @@ common::Result<CasOutcome> ReplicatedStore::PutIfLatest(
     const VectorClock& expected) {
   KvTable* t = nullptr;
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     Replica& r = replicas_.at(dc);
     if (!r.up) {
       return common::Status::Unavailable("datacenter " + std::to_string(dc) +
@@ -114,7 +114,7 @@ common::Result<CasOutcome> ReplicatedStore::PutIfLatest(
   CasOutcome outcome =
       t->PutIfLatest(key, std::move(value), dc, timestamp, expected);
   if (outcome.applied && outcome.committed) {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     EnqueueReplication(dc, table, key, *outcome.committed);
   }
   return outcome;
@@ -125,7 +125,7 @@ common::Result<ReadResult> ReplicatedStore::Get(ReplicaId dc,
                                                 const std::string& key) const {
   const KvTable* t = nullptr;
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     const Replica& r = replicas_.at(dc);
     if (!r.up) {
       return common::Status::Unavailable("datacenter " + std::to_string(dc) +
@@ -146,7 +146,7 @@ common::Result<std::vector<Version>> ReplicatedStore::Resolve(
     ReplicaId dc, const std::string& table, const std::string& key) {
   KvTable* t = nullptr;
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     Replica& r = replicas_.at(dc);
     if (!r.up) {
       return common::Status::Unavailable("datacenter down");
@@ -157,7 +157,7 @@ common::Result<std::vector<Version>> ReplicatedStore::Resolve(
   if (!losers.empty()) {
     // Replicate the resolution so every replica converges on the winner.
     auto winner = t->LiveVersions(key);
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     for (const auto& v : winner) EnqueueReplication(dc, table, key, v);
   }
   return losers;
@@ -169,7 +169,7 @@ std::size_t ReplicatedStore::Pump(std::size_t max_records) {
     ReplicationRecord rec;
     KvTable* t = nullptr;
     {
-      std::lock_guard lock(mu_);
+      common::MutexLock lock(mu_);
       // Find the first record whose target DC is up; leave records for down
       // DCs queued (they deliver after recovery — eventual consistency).
       auto it = queue_.begin();
@@ -188,7 +188,7 @@ std::size_t ReplicatedStore::Pump(std::size_t max_records) {
 void ReplicatedStore::SyncAll() {
   while (true) {
     {
-      std::lock_guard lock(mu_);
+      common::MutexLock lock(mu_);
       bool any_deliverable = false;
       for (const auto& rec : queue_) {
         if (replicas_.at(rec.target).up) {
@@ -203,20 +203,20 @@ void ReplicatedStore::SyncAll() {
 }
 
 std::size_t ReplicatedStore::PendingReplication() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return queue_.size();
 }
 
 const KvTable* ReplicatedStore::Table(ReplicaId dc,
                                       const std::string& table) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   const Replica& r = replicas_.at(dc);
   auto it = r.tables.find(table);
   return it == r.tables.end() ? nullptr : it->second.get();
 }
 
 KvTable* ReplicatedStore::MutableTable(ReplicaId dc, const std::string& table) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return &TableRef(replicas_.at(dc), table);
 }
 

@@ -15,12 +15,13 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "store/kv_table.h"
 
 namespace scalia::store {
@@ -109,13 +110,14 @@ class ReplicatedStore {
     std::unordered_map<std::string, std::unique_ptr<KvTable>> tables;
   };
 
-  KvTable& TableRef(Replica& r, const std::string& table);
+  KvTable& TableRef(Replica& r, const std::string& table) REQUIRES(mu_);
   void EnqueueReplication(ReplicaId source, const std::string& table,
-                          const std::string& key, const Version& v);
+                          const std::string& key, const Version& v)
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;  // guards replicas_ map shape + queue + up flags
-  std::vector<Replica> replicas_;
-  std::deque<ReplicationRecord> queue_;
+  mutable common::Mutex mu_;  // guards replicas_ map shape + queue + up flags
+  std::vector<Replica> replicas_ GUARDED_BY(mu_);
+  std::deque<ReplicationRecord> queue_ GUARDED_BY(mu_);
 };
 
 }  // namespace scalia::store

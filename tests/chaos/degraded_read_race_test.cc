@@ -19,6 +19,7 @@
 
 #include "chaos/fault_injector.h"
 #include "core/sharded_engine.h"
+#include "support/wait.h"
 #include "provider/spec.h"
 
 namespace scalia::core {
@@ -107,8 +108,9 @@ TEST(DegradedReadRaceTest, WritersAndReadersSurviveMidFlightDarkness) {
   }
 
   // Mid-flight: darken one provider for the rest of the run, installed
-  // while writers and readers are live.
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // once writers and readers are demonstrably live.
+  ASSERT_TRUE(testing::WaitUntil(
+      [&] { return read_attempts.load(std::memory_order_relaxed) > 0; }));
   auto sentinel_meta =
       engine.LoadMetadata(clock.load(), MakeRowKey("b", "sentinel"));
   ASSERT_TRUE(sentinel_meta.ok());

@@ -32,6 +32,7 @@
 #include "net/client.h"
 #include "net/server/server.h"
 #include "provider/spec.h"
+#include "support/wait.h"
 
 namespace scalia::core {
 namespace {
@@ -491,9 +492,8 @@ TEST(ReoptimizeLoopbackRaceTest, WritersNeverLoseAckedPutsUnderMigration) {
   }
   // Let every writer land at least one acked PUT before migrating, so the
   // migrator never spins on not-yet-created rows.
-  for (int i = 0; i < 1000 && acked_puts.load() < kWriters; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
+  ASSERT_TRUE(
+      testing::WaitUntil([&] { return acked_puts.load() >= kWriters; }));
 
   std::uint64_t migrations = 0, conflicts = 0;
   int rounds_run = 0;
@@ -514,7 +514,11 @@ TEST(ReoptimizeLoopbackRaceTest, WritersNeverLoseAckedPutsUnderMigration) {
     if (round + 1 >= kMinRounds && migrations + conflicts >= kEnoughEvents) {
       break;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // Pace rounds on writer progress, not wall time: wait (bounded) for
+    // more acked PUTs so each round migrates under fresh writes.
+    const auto acked_before = acked_puts.load();
+    testing::WaitUntil([&] { return acked_puts.load() > acked_before; },
+                       std::chrono::milliseconds(100));
   }
   stop.store(true, std::memory_order_relaxed);
   for (auto& writer : writers) writer.join();

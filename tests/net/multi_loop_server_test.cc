@@ -12,13 +12,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <chrono>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "net/server/http_parser.h"
+#include "support/wait.h"
 
 namespace scalia::net {
 namespace {
@@ -219,7 +218,8 @@ TEST_F(MultiLoopServerTest, IdleSweepNeverSplicesA408IntoAHalfFlushedStream) {
   conn.Send("GET /huge HTTP/1.1\r\n\r\n");
   // Read nothing while the deadline expires (the stalled response pins the
   // out-queue), then drain whatever the kernel buffered until the close.
-  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  ASSERT_TRUE(testing::WaitUntil(
+      [&] { return server_->stats().connections_timed_out >= 1; }));
   const std::string stream = conn.ReadUntilEof();
 
   ASSERT_GE(stream.size(), 15u);

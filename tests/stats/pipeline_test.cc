@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "stats/stats_db.h"
+#include "support/wait.h"
 
 namespace scalia::stats {
 namespace {
@@ -70,10 +71,8 @@ TEST(PipelineTest, BackgroundThreadDrains) {
                .timestamp = i});
   }
   // Wait for the background drain to catch up.
-  for (int spin = 0; spin < 100; ++spin) {
-    if (aggregator.queue().Size() == 0) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
+  ASSERT_TRUE(
+      testing::WaitUntil([&] { return aggregator.queue().Size() == 0; }));
   aggregator.Pump();
   const auto flushed = aggregator.Flush();
   ASSERT_EQ(flushed.size(), 1u);

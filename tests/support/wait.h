@@ -1,0 +1,32 @@
+// The one place tests are allowed to sleep.
+//
+// Tests must wait on *conditions*, not durations: a raw sleep_for encodes a
+// guess about scheduler timing that either flakes under load or wastes the
+// whole budget on fast machines.  WaitUntil polls a predicate with a short
+// nap between probes and a generous deadline, so tests state what they are
+// waiting *for* and the budget only matters on failure.  scripts/
+// lint_rules.sh allowlists exactly this header's sleep_for; new wall-clock
+// waits elsewhere in tests/ fail the static-analysis gate.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+namespace scalia::testing {
+
+/// Polls `pred` until it returns true or `timeout` elapses; returns the
+/// predicate's final value.  The default deadline is deliberately large —
+/// it is a failure bound, not an expected duration.
+template <typename Pred>
+bool WaitUntil(Pred&& pred,
+               std::chrono::milliseconds timeout = std::chrono::seconds(10),
+               std::chrono::milliseconds poll = std::chrono::milliseconds(2)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return pred();
+    std::this_thread::sleep_for(poll);  // lint allowlist: the single poll nap
+  }
+  return true;
+}
+
+}  // namespace scalia::testing
