@@ -35,6 +35,13 @@
 //          [--threads N | --pool-threads N] [--shards N] [--loops N]
 //          [--object-bytes CSV] [--keys-per-conn K]
 //          [--optimize-every N] [--period-ms M] [--chaos PLAN]
+//          [--filters none|chunk|dedup|compress|encrypt]
+//
+// --filters STAGE routes every body through the data-reduction pipeline
+// with that stage prefix on every rule; the throughput RESULT line then
+// reports the aggregate reduction_ratio (stored/raw across all shards) and
+// dedup_hits so the filtered suite of bench_report.sh (schema >= 8) can
+// gate them.
 //
 // --loops N sets the serving event loops (SO_REUSEPORT acceptors, handlers
 // inline on the loop thread — PR 6's shard-local serving path); it defaults
@@ -132,7 +139,20 @@ struct Options {
   double slo_p99_ms = 0.0;
   /// Day mode exits nonzero when slo_attainment lands below this.
   double day_attainment_floor = 0.7;
+  /// Filter-pipeline stage prefix applied to every storage rule
+  /// (none|chunk|dedup|compress|encrypt); "none" bypasses the pipeline.
+  std::string filters = "none";
 };
+
+/// Parses a --filters value; nullopt on an unknown stage name.
+std::optional<filter::FilterStage> ParseFilterStage(const std::string& name) {
+  if (name == "none") return filter::FilterStage::kNone;
+  if (name == "chunk") return filter::FilterStage::kChunk;
+  if (name == "dedup") return filter::FilterStage::kDedup;
+  if (name == "compress") return filter::FilterStage::kCompress;
+  if (name == "encrypt") return filter::FilterStage::kEncrypt;
+  return std::nullopt;
+}
 
 Options ParseOptions(int argc, char** argv) {
   Options options;
@@ -159,6 +179,13 @@ Options ParseOptions(int argc, char** argv) {
       if (const char* v = next()) options.period_ms = std::strtoul(v, nullptr, 10);
     } else if (arg == "--chaos") {
       if (const char* v = next()) options.chaos_plan = v;
+    } else if (arg == "--filters") {
+      if (const char* v = next()) options.filters = v;
+      if (!ParseFilterStage(options.filters)) {
+        std::fprintf(stderr, "--filters: unknown stage '%s'\n",
+                     options.filters.c_str());
+        std::exit(2);
+      }
     } else if (arg == "--day") {
       if (const char* v = next()) options.day = v;
     } else if (arg == "--day-peak-rps") {
@@ -289,7 +316,19 @@ int main(int argc, char** argv) {
                           : std::vector<provider::ProviderId>{};
         };
   }
+  const filter::FilterStage filter_stage = *ParseFilterStage(options.filters);
+  if (filter_stage != filter::FilterStage::kNone) {
+    filter::PipelineConfig filter_config;
+    filter_config.policy.default_stage = filter_stage;
+    engine_config.filters = filter_config;
+  }
   core::ShardedEngine engine(engine_config, &registry, &pool);
+  // The anonymous bench tenant encrypts under a key derived from the
+  // keyring's master secret; a fixed per-tenant secret keeps runs
+  // reproducible across schema revisions.
+  if (auto* keyring = engine.tenant_keyring()) {
+    keyring->SetTenantSecret("bench", "bench-secret");
+  }
   // Chaos mode shrinks the world to the first three catalog providers, so a
   // single-provider outage darkens a third of it — the committed plans are
   // written against those ids.
@@ -902,16 +941,27 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(migrations),
         static_cast<unsigned long long>(conflicts));
   } else {
+    // reduction_ratio is aggregate stored/raw across every shard's filter
+    // pipeline; 1.0 when --filters none (the pipeline never ran).
+    const filter::Pipeline::Totals filter_totals = engine.FilterTotals();
+    const double reduction_ratio =
+        filter_totals.raw_bytes > 0
+            ? static_cast<double>(filter_totals.stored_bytes) /
+                  static_cast<double>(filter_totals.raw_bytes)
+            : 1.0;
     std::printf(
         "RESULT suite=bench_server_throughput requests=%llu elapsed_s=%.3f "
         "req_per_s=%.1f p50_us=%.1f p95_us=%.1f p99_us=%.1f errors=%llu "
         "optimize_every=%zu migrations=%llu conflicts=%llu "
-        "shards=%zu threads=%zu loops=%zu\n",
+        "shards=%zu threads=%zu loops=%zu "
+        "filters=%s reduction_ratio=%.4f dedup_hits=%llu\n",
         static_cast<unsigned long long>(requests), elapsed_s, req_per_s, p50,
         p95, p99, static_cast<unsigned long long>(errors),
         options.optimize_every, static_cast<unsigned long long>(migrations),
         static_cast<unsigned long long>(conflicts), options.shards,
-        options.pool_threads, server.num_loops());
+        options.pool_threads, server.num_loops(), options.filters.c_str(),
+        reduction_ratio,
+        static_cast<unsigned long long>(filter_totals.dedup_hits));
   }
 
   server.Stop();

@@ -49,6 +49,7 @@
 #include "core/sharded_engine.h"
 #include "durability/sharded_manager.h"
 #include "durability/wal.h"
+#include "filter/pipeline.h"
 #include "net/server/server.h"
 #include "provider/spec.h"
 
@@ -94,7 +95,21 @@ struct Flags {
   // control: when any shard's p99 estimate breaches it, the gateway
   // 429-sheds tenants in ascending budget order.  0 disables (default).
   double slo_p99_ms = 0.0;
+  // Filter-pipeline stage prefix applied to every storage rule:
+  // none|chunk|dedup|compress|encrypt (each stage implies the earlier
+  // ones).  "none" (default) stores bodies verbatim.
+  std::string filters = "none";
 };
+
+/// Parses a --filters value; nullopt on an unknown stage name.
+std::optional<filter::FilterStage> ParseFilterStage(const std::string& name) {
+  if (name == "none") return filter::FilterStage::kNone;
+  if (name == "chunk") return filter::FilterStage::kChunk;
+  if (name == "dedup") return filter::FilterStage::kDedup;
+  if (name == "compress") return filter::FilterStage::kCompress;
+  if (name == "encrypt") return filter::FilterStage::kEncrypt;
+  return std::nullopt;
+}
 
 void Usage(const char* argv0) {
   std::printf(
@@ -140,6 +155,12 @@ void Usage(const char* argv0) {
       "                         shed (429 + Retry-After) tenants in\n"
       "                         ascending budget order until it recovers\n"
       "                         (default 0 = off)\n"
+      "  --filters STAGE        data-reduction pipeline stage prefix for\n"
+      "                         every object: none|chunk|dedup|compress|\n"
+      "                         encrypt (each implies the earlier stages;\n"
+      "                         encrypt wraps per-object keys with tenant\n"
+      "                         keys derived from the auth secrets).\n"
+      "                         Default none — bodies stored verbatim\n"
       "  --no-anonymous         require signed requests (demo keys below)\n"
       "  --help                 this text\n",
       argv0);
@@ -188,6 +209,13 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->chaos_plan = argv[++i];
     } else if (arg == "--slo-p99-ms" && i + 1 < argc) {
       flags->slo_p99_ms = std::atof(argv[++i]);
+    } else if (arg == "--filters" && i + 1 < argc) {
+      flags->filters = argv[++i];
+      if (!ParseFilterStage(flags->filters)) {
+        std::fprintf(stderr, "--filters: unknown stage '%s'\n",
+                     flags->filters.c_str());
+        return false;
+      }
     } else if (arg == "--no-anonymous") {
       flags->anonymous = false;
     } else if (arg == "--help") {
@@ -282,7 +310,17 @@ int main(int argc, char** argv) {
           return injector->UnhealthyProviders(now);
         };
   }
+  const filter::FilterStage filter_stage = *ParseFilterStage(flags.filters);
+  if (filter_stage != filter::FilterStage::kNone) {
+    filter::PipelineConfig filter_config;
+    filter_config.policy.default_stage = filter_stage;
+    engine_config.filters = filter_config;
+  }
   core::ShardedEngine engine(engine_config, &registry, &pool);
+  if (filter_stage != filter::FilterStage::kNone) {
+    std::printf("filter pipeline: stage prefix '%s' on every rule\n",
+                flags.filters.c_str());
+  }
   const auto catalog = provider::PaperCatalog();
   for (auto spec : catalog) {
     if (auto s = registry.Register(std::move(spec)); !s.ok()) {
@@ -316,6 +354,9 @@ int main(int argc, char** argv) {
       // Aborted-migration sweeps (kMigrateAbort replay) target globally
       // unique chunk keys — every shard needs them.
       state[s].sweep_registry = &registry;
+      // Each shard's dedup index checkpoints and recovers with the shard
+      // (null when --filters is off: section 4 then restores nothing).
+      state[s].filter_index = engine.shard_dedup_index(s);
     }
     auto opened = durability::ShardedDurabilityManager::Open(
         std::move(durability_config), std::move(state));
@@ -353,6 +394,14 @@ int main(int argc, char** argv) {
   auth.AddCredentials(acme);
   auth.AddCredentials(globex);
   if (flags.anonymous) auth.AllowAnonymous("anonymous");
+  // Tenant keys for the pipeline's envelope encryption derive from the same
+  // secrets the gateway authenticates with; tenants without a registered
+  // secret (e.g. anonymous) fall back to keys derived from the keyring's
+  // master secret (see filter/crypto.h and OPERATIONS.md).
+  if (auto* keyring = engine.tenant_keyring()) {
+    keyring->SetTenantSecret(acme.tenant, acme.secret);
+    keyring->SetTenantSecret(globex.tenant, globex.secret);
+  }
   api::S3Gateway gateway(&auth,
                          [&]() -> core::EngineApi& { return engine; });
   for (auto& rule : core::PaperRules()) gateway.RegisterRule(rule);

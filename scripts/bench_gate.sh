@@ -25,19 +25,27 @@
 # capacity server, not the adaptive loop).  The live day pass runs as the
 # smoke.day_replay ctest case.
 #
-# Usage: scripts/bench_gate.sh [baseline.json]   (default: BENCH_PR8.json)
+# PR 10: a schema >= 8 baseline's bench_server_filtered suite is gated on
+# the data-reduction figures — reduction_ratio in (0, REDUCTION_CEILING]
+# (the seeded corpus is highly repetitive, so a full filter prefix that
+# does not shrink it measured a broken pipeline), dedup_hits > 0, and
+# errors == 0 (every filtered body decoded byte-exact under load).
+#
+# Usage: scripts/bench_gate.sh [baseline.json]   (default: BENCH_PR10.json)
 # Env:   BUILD_DIR=build
 #        REGRESSION_PCT=10         allowed drop vs baseline, in percent
 #        GATE_BENCH_ARGS="--connections 16 --duration-s 5 --object-bytes 1024,4096"
 #        DAY_ATTAINMENT_FLOOR=0.7  minimum slo_attainment in the baseline
+#        REDUCTION_CEILING=0.9     maximum reduction_ratio in the baseline
 #        SKIP_SMOKE=0              1 skips the ctest smoke pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-BASELINE=${1:-BENCH_PR8.json}
+BASELINE=${1:-BENCH_PR10.json}
 REGRESSION_PCT=${REGRESSION_PCT:-10}
 DAY_ATTAINMENT_FLOOR=${DAY_ATTAINMENT_FLOOR:-0.7}
+REDUCTION_CEILING=${REDUCTION_CEILING:-0.9}
 # Must mirror bench_report.sh's SERVER_BENCH_ARGS default: the committed
 # baseline was recorded with this workload.
 GATE_BENCH_ARGS=${GATE_BENCH_ARGS:---connections 16 --duration-s 5 --object-bytes 1024,4096}
@@ -75,11 +83,13 @@ if [[ "$ERRORS" != "0" ]]; then
   exit 1
 fi
 
-python3 - "$BASELINE" "$CURRENT" "$REGRESSION_PCT" "$DAY_ATTAINMENT_FLOOR" <<'EOF'
+python3 - "$BASELINE" "$CURRENT" "$REGRESSION_PCT" "$DAY_ATTAINMENT_FLOOR" \
+        "$REDUCTION_CEILING" <<'EOF'
 import json, sys
 
 baseline_path, current, allowed_pct = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
 day_attainment_floor = float(sys.argv[4])
+reduction_ceiling = float(sys.argv[5])
 with open(baseline_path) as f:
     report = json.load(f)
 
@@ -157,5 +167,37 @@ else:
         sys.exit("bench_gate: day replay recorded no scale events — the "
                  "capacity controller never acted, the attainment figure "
                  "measured a static deployment")
+
+# Data-reduction floors against the committed report (schema >= 8
+# baselines): the filtered suite must show the pipeline actually reducing
+# the (repetitive) bench corpus and deduplicating under load.
+filtered = None
+for suite in report.get("suites", []):
+    if suite.get("suite") == "bench_server_filtered":
+        filtered = suite
+        break
+if filtered is None:
+    print("bench_gate: baseline has no bench_server_filtered suite "
+          "(pre-schema-8); reduction check skipped")
+elif filtered.get("skipped"):
+    sys.exit("bench_gate: baseline's filtered suite is marked skipped — "
+             "regenerate the report with a working filtered run")
+else:
+    ratio = float(filtered.get("reduction_ratio") or 0)
+    dedup_hits = int(filtered.get("dedup_hits") or 0)
+    errors = int(filtered.get("errors") or 0)
+    print(f"bench_gate: filtered reduction_ratio={ratio:.4f} "
+          f"(ceiling {reduction_ceiling:.2f}) dedup_hits={dedup_hits} "
+          f"errors={errors}")
+    if not (0.0 < ratio <= reduction_ceiling):
+        sys.exit(f"bench_gate: filtered reduction_ratio outside "
+                 f"(0, {reduction_ceiling:.2f}] — the pipeline did not "
+                 f"reduce the repetitive bench corpus")
+    if dedup_hits <= 0:
+        sys.exit("bench_gate: filtered run recorded no dedup hits — the "
+                 "index never matched a chunk under load")
+    if errors != 0:
+        sys.exit("bench_gate: filtered run reported request errors — "
+                 "filtered bodies failed to decode under load")
 EOF
 echo "==> bench gate OK"

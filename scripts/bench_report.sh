@@ -15,26 +15,33 @@
 # slo_attainment (fraction of periods meeting the p99 target),
 # shed_requests/probe_admissions (SLO admission control), scale_events
 # (capacity-controller resizes), and peak vs. trough throughput.
+# Schema 8 (PR 10) adds a bench_server_filtered suite: the sharded load
+# with the data-reduction filter pipeline on (--filters encrypt = the full
+# chunk+dedup+compress+encrypt prefix), recording reduction_ratio
+# (aggregate stored/raw bytes) and dedup_hits next to the serving figures,
+# so the bench gate can hold the reduction the pipeline claims.
 #
 # The output schema is an argument (--schema), not a hardcoded constant, so
 # the CI bench gate (scripts/bench_gate.sh) can parse reports from any PR;
 # RESULT lines are validated before their fields reach the JSON — a bench
 # that prints a malformed line is recorded as skipped, never as NaN soup.
-# Schemas < 6 omit the chaos suite; schemas < 7 omit the day suite.
+# Schemas < 6 omit the chaos suite; schemas < 7 omit the day suite;
+# schemas < 8 omit the filtered suite.
 #
 # Usage: scripts/bench_report.sh [--schema N|NAME/N] [output.json]
-#        (default schema: scalia-bench-report/7, output: BENCH_PR8.json)
+#        (default schema: scalia-bench-report/8, output: BENCH_PR10.json)
 # Env:   BUILD_DIR=build
 #        SERVER_BENCH_ARGS="--connections 16 --duration-s 5"  (override)
 #        OPTIMIZE_BENCH_ARGS="--optimize-every 1 --period-ms 500"  (override)
 #        SHARDED_BENCH_ARGS="--shards 8 --threads 8"  (override)
 #        CHAOS_BENCH_ARGS="--connections 8 --duration-s 8 --chaos bench/chaos_default.plan"
 #        DAY_BENCH_ARGS="--connections 8 --day default --periods 12 --period-ms 800 ..."
+#        FILTERED_BENCH_ARGS="--shards 4 --threads 4 --filters encrypt ..."
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-SCHEMA="scalia-bench-report/7"
+SCHEMA="scalia-bench-report/8"
 OUT=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -45,20 +52,22 @@ while [[ $# -gt 0 ]]; do
       [[ "$SCHEMA" =~ ^[0-9]+$ ]] && SCHEMA="scalia-bench-report/$SCHEMA"
       ;;
     --help)
-      sed -n '2,24p' "$0"; exit 0 ;;
+      sed -n '2,36p' "$0"; exit 0 ;;
     -*)
       echo "unknown flag: $1" >&2; exit 2 ;;
     *)
       OUT="$1"; shift ;;
   esac
 done
-OUT=${OUT:-BENCH_PR8.json}
+OUT=${OUT:-BENCH_PR10.json}
 SERVER_BENCH_ARGS=${SERVER_BENCH_ARGS:---connections 16 --duration-s 5 --object-bytes 1024,4096}
 OPTIMIZE_BENCH_ARGS=${OPTIMIZE_BENCH_ARGS:---optimize-every 1 --period-ms 500}
 SHARDED_BENCH_ARGS=${SHARDED_BENCH_ARGS:---shards 8 --threads 8}
 CHAOS_BENCH_ARGS=${CHAOS_BENCH_ARGS:---connections 8 --duration-s 8 --chaos bench/chaos_default.plan}
 DAY_BENCH_ARGS=${DAY_BENCH_ARGS:---connections 8 --shards 4 --threads 4 --day default --period-ms 500 --day-peak-rps 2000 --slo-p99-ms 50 --object-bytes 1024}
-# The chaos suite exists from schema 6 on, the day suite from schema 7 on.
+FILTERED_BENCH_ARGS=${FILTERED_BENCH_ARGS:---connections 8 --duration-s 5 --shards 4 --threads 4 --filters encrypt --object-bytes 1024,4096}
+# The chaos suite exists from schema 6 on, the day suite from schema 7 on,
+# the filtered suite from schema 8 on.
 SCHEMA_N=${SCHEMA##*/}
 
 if [[ ! -d "$BUILD_DIR" ]]; then
@@ -123,6 +132,26 @@ validate_result() {  # validate_result <result-line> -> 0 ok / 1 bad
   [[ "$line" == RESULT\ suite=bench_server_throughput* ]] || return 1
   for key in requests elapsed_s req_per_s p50_us p95_us p99_us errors \
              optimize_every migrations conflicts shards threads loops; do
+    value=$(result_field "$line" "$key")
+    [[ "$value" =~ ^[0-9]+(\.[0-9]+)?$ ]] || {
+      echo "note: RESULT field $key=\"$value\" is not numeric; run skipped" >&2
+      return 1
+    }
+  done
+  return 0
+}
+# A filtered run is the standard throughput line plus the data-reduction
+# fields; `filters` itself is a stage name, so it is checked as an enum
+# rather than a number.
+validate_filtered_result() {  # validate_filtered_result <line> -> 0 ok / 1 bad
+  local line=$1 key value
+  validate_result "$line" || return 1
+  value=$(result_field "$line" filters)
+  [[ "$value" =~ ^(none|chunk|dedup|compress|encrypt)$ ]] || {
+    echo "note: RESULT field filters=\"$value\" is not a stage; run skipped" >&2
+    return 1
+  }
+  for key in reduction_ratio dedup_hits; do
     value=$(result_field "$line" "$key")
     [[ "$value" =~ ^[0-9]+(\.[0-9]+)?$ ]] || {
       echo "note: RESULT field $key=\"$value\" is not numeric; run skipped" >&2
@@ -199,6 +228,33 @@ emit_server_suite() {  # emit_server_suite <name> <result-line> <wall-ms>
       "shards": $(result_field "$line" shards),
       "threads": $(result_field "$line" threads),
       "loops": $(result_field "$line" loops),
+      "skipped": $skipped
+    }
+EOF
+}
+# The filtered suite object: serving fields plus the data-reduction block.
+emit_filtered_suite() {  # emit_filtered_suite <result-line> <wall-ms>
+  local line=$1 wall=$2 skipped=false filters_value
+  [[ -z "$line" ]] && skipped=true
+  filters_value=$(result_field "$line" filters)
+  cat <<EOF
+    {
+      "suite": "bench_server_filtered",
+      "wall_ms": $wall,
+      "req_per_s": $(result_field "$line" req_per_s),
+      "p50_us": $(result_field "$line" p50_us),
+      "p95_us": $(result_field "$line" p95_us),
+      "p99_us": $(result_field "$line" p99_us),
+      "errors": $(result_field "$line" errors),
+      "optimize_every": $(result_field "$line" optimize_every),
+      "migrations": $(result_field "$line" migrations),
+      "conflicts": $(result_field "$line" conflicts),
+      "shards": $(result_field "$line" shards),
+      "threads": $(result_field "$line" threads),
+      "loops": $(result_field "$line" loops),
+      "filters": "$filters_value",
+      "reduction_ratio": $(result_field "$line" reduction_ratio),
+      "dedup_hits": $(result_field "$line" dedup_hits),
       "skipped": $skipped
     }
 EOF
@@ -325,6 +381,24 @@ if [[ "$SCHEMA_N" =~ ^[0-9]+$ ]] && (( SCHEMA_N >= 7 )); then
 $(emit_day_suite "$DAY_RESULT" "$DAY_MS")"
 fi
 
+# --- bench_server_filtered (schema >= 8): the sharded load with the full
+# --- filter prefix on every rule; validated against the reduction fields.
+FILTERED_SUITE_JSON=""
+if [[ "$SCHEMA_N" =~ ^[0-9]+$ ]] && (( SCHEMA_N >= 8 )); then
+  FILTERED_START=$(now_ms)
+  # shellcheck disable=SC2086
+  FILTERED_RESULT=$({ "$BUILD_DIR/bench/bench_server_throughput" $FILTERED_BENCH_ARGS || true; } \
+                    | grep '^RESULT ' || true)
+  FILTERED_MS=$(( $(now_ms) - FILTERED_START ))
+  if [[ -z "$FILTERED_RESULT" ]]; then
+    echo "note: filtered bench produced no RESULT line" >&2
+  elif ! validate_filtered_result "$FILTERED_RESULT"; then
+    FILTERED_RESULT=""
+  fi
+  FILTERED_SUITE_JSON=",
+$(emit_filtered_suite "$FILTERED_RESULT" "$FILTERED_MS")"
+fi
+
 # Shards-over-baseline speedup; meaningless (null) when either run skipped.
 SCALE_X=$(python3 - "$(result_field "$BASE_RESULT" req_per_s)" \
                     "$(result_field "$SHARD_RESULT" req_per_s)" <<'EOF'
@@ -359,7 +433,7 @@ cat >"$OUT" <<EOF
 $(emit_server_suite bench_server_throughput "$BASE_RESULT" "$BASE_MS"),
 $(emit_server_suite bench_server_throughput_optimized "$OPT_RESULT" "$OPT_MS"),
 $(emit_server_suite bench_server_throughput_sharded "$SHARD_RESULT" "$SHARD_MS"),
-$(emit_server_suite bench_server_throughput_sharded_optimized "$SHARD_OPT_RESULT" "$SHARD_OPT_MS")$CHAOS_SUITE_JSON$DAY_SUITE_JSON
+$(emit_server_suite bench_server_throughput_sharded_optimized "$SHARD_OPT_RESULT" "$SHARD_OPT_MS")$CHAOS_SUITE_JSON$DAY_SUITE_JSON$FILTERED_SUITE_JSON
   ]
 }
 EOF

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Line-coverage gate: instrumented build + full unit-test pass + a committed
+# coverage floor over src/.  The CI coverage job runs this and fails when
+# line coverage of src/ drops below COVERAGE_FLOOR percent — the tripwire
+# for "this PR added a subsystem but not its tests".
+#
+# Report backends, in order of preference:
+#   gcovr     (CI installs it via apt) — also writes an HTML report to
+#             COVERAGE_HTML_DIR for the job artifact
+#   gcov JSON (bundled with gcc; no extra packages) — text summary only,
+#             so the gate still enforces the floor on a bare toolchain
+#
+# The smoke label (bench binaries under load) is excluded: the benches
+# exercise the same code the unit suites cover, cost minutes of wall clock,
+# and coverage-instrumented binaries distort the timings they assert on.
+#
+# Usage: scripts/coverage_gate.sh
+# Env:   COVERAGE_BUILD_DIR=build-coverage
+#        COVERAGE_FLOOR=80         minimum line coverage of src/, percent
+#        COVERAGE_HTML_DIR=coverage-html
+#        CTEST_PARALLEL=$(nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${COVERAGE_BUILD_DIR:-build-coverage}
+FLOOR=${COVERAGE_FLOOR:-80}
+HTML_DIR=${COVERAGE_HTML_DIR:-coverage-html}
+CTEST_PARALLEL=${CTEST_PARALLEL:-$(nproc)}
+
+echo "==> coverage gate: instrumented build ($BUILD_DIR)"
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="--coverage" \
+  -DCMAKE_EXE_LINKER_FLAGS="--coverage" >/dev/null
+cmake --build "$BUILD_DIR" -j >/dev/null
+
+echo "==> coverage gate: unit suites (smoke label excluded)"
+(cd "$BUILD_DIR" && ctest -LE '^smoke$' -j "$CTEST_PARALLEL" \
+  --output-on-failure)
+
+if command -v gcovr >/dev/null 2>&1; then
+  echo "==> coverage gate: gcovr report (html -> $HTML_DIR)"
+  mkdir -p "$HTML_DIR"
+  gcovr --root . --filter 'src/' "$BUILD_DIR" \
+    --html-details "$HTML_DIR/index.html" \
+    --print-summary >coverage-summary.txt
+  cat coverage-summary.txt
+  PCT=$(sed -n 's/^lines: \([0-9.]*\)%.*/\1/p' coverage-summary.txt)
+else
+  echo "note: gcovr not installed; falling back to gcov JSON aggregation" >&2
+  PCT=$(python3 - "$BUILD_DIR" <<'EOF'
+import gzip, json, os, subprocess, sys
+
+# Absolute: gcov runs with cwd=build_dir (its .gcov.json.gz land there),
+# so relative .gcda paths from the repo root would not resolve.
+build_dir = os.path.abspath(sys.argv[1])
+gcda = []
+for root, _, files in os.walk(build_dir):
+    # Only object trees of src/ translation units; test/bench objects would
+    # count their own bodies, not the product code under test.
+    if f"{os.sep}src{os.sep}" not in root + os.sep:
+        continue
+    gcda += [os.path.join(root, f) for f in files if f.endswith(".gcda")]
+if not gcda:
+    sys.exit("coverage_gate: no .gcda files under src/ object trees")
+
+covered, total = 0, 0
+seen = set()
+for path in gcda:
+    subprocess.run(
+        ["gcov", "--json-format", "--object-directory",
+         os.path.dirname(path), path],
+        cwd=build_dir, check=True, capture_output=True)
+for name in os.listdir(build_dir):
+    if not name.endswith(".gcov.json.gz"):
+        continue
+    with gzip.open(os.path.join(build_dir, name)) as f:
+        data = json.load(f)
+    for unit in data.get("files", []):
+        source = unit.get("file", "")
+        if "/src/" not in "/" + source or source in seen:
+            continue
+        seen.add(source)
+        for line in unit.get("lines", []):
+            total += 1
+            if line.get("count", 0) > 0:
+                covered += 1
+    os.remove(os.path.join(build_dir, name))
+if total == 0:
+    sys.exit("coverage_gate: gcov reported no executable lines in src/")
+print(f"{100.0 * covered / total:.1f}")
+EOF
+)
+fi
+
+python3 - "$PCT" "$FLOOR" <<'EOF'
+import sys
+pct, floor = float(sys.argv[1]), float(sys.argv[2])
+verdict = "PASS" if pct >= floor else "FAIL"
+print(f"coverage_gate: src/ line coverage {pct:.1f}% "
+      f"(floor {floor:.1f}%) -> {verdict}")
+sys.exit(0 if pct >= floor else 1)
+EOF
+echo "==> coverage gate OK"

@@ -19,6 +19,10 @@
 #   nondeterminism  rand() and std::random_device are unseedable; all
 #                   randomness flows through common/rng.h with a test-fixed
 #                   seed so every suite replays identically.
+#   cipher-seam     the raw cipher primitives (CtrKeystreamXor, WrapDataKey)
+#                   live behind ObjectCipher/TenantKeyring in
+#                   src/filter/crypto.{h,cc}; a second call site would fork
+#                   the envelope protocol and skip the authentication tag.
 set -u
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -77,6 +81,13 @@ run_lints() {
   # No allowlist: nothing in the tree may use unseedable randomness.
   scan nondeterminism '\brand\(\)|std::random_device' src
   scan nondeterminism '\brand\(\)|std::random_device' tests
+
+  # Allowlist: src/filter/crypto.{h,cc} — the single implementation of the
+  # envelope protocol (wrap, per-chunk keystream, HMAC tag).  Everyone else
+  # encrypts through ObjectCipher, which cannot skip the tag.
+  scan cipher-seam '\b(CtrKeystreamXor|WrapDataKey)\s*\(' src \
+    src/filter/crypto.h \
+    src/filter/crypto.cc
 }
 
 # Each fixture deliberately violates exactly one rule. First prove each
@@ -100,6 +111,8 @@ self_test() {
   expect_catch test-sleep 'sleep_for' bad_sleep.cc.fixture
   expect_catch nondeterminism '\brand\(\)|std::random_device' \
     bad_rand.cc.fixture
+  expect_catch cipher-seam '\b(CtrKeystreamXor|WrapDataKey)\s*\(' \
+    bad_cipher.cc.fixture
 
   local staging
   staging="$(mktemp -d)"
@@ -108,10 +121,11 @@ self_test() {
   cp "$FIXTURES/bad_fsync.cc.fixture" "$staging/src/bad_fsync.cc"
   cp "$FIXTURES/bad_rand.cc.fixture" "$staging/src/bad_rand.cc"
   cp "$FIXTURES/bad_sleep.cc.fixture" "$staging/tests/bad_sleep.cc"
+  cp "$FIXTURES/bad_cipher.cc.fixture" "$staging/src/bad_cipher.cc"
   TREE="$staging" violations=0
   run_lints 2>/dev/null
   TREE="$REPO_ROOT"
-  if [[ $violations -ge 4 ]]; then
+  if [[ $violations -ge 5 ]]; then
     echo "self-test[end-to-end]: OK (lint reports $violations violating" \
          "rule(s) on the staged tree)"
   else

@@ -170,7 +170,9 @@ HttpResponse S3Gateway::HandleObjectGet(common::SimTime now,
     HttpResponse response;
     response.status = 200;
     response.headers.Set("content-type", meta->mime);
-    response.headers.Set("content-length", std::to_string(meta->size));
+    // HEAD advertises the size a GET body would have — the logical size;
+    // meta->size is the post-filter stored footprint.
+    response.headers.Set("content-length", std::to_string(meta->LogicalSize()));
     response.headers.Set("x-scalia-erasure-m", std::to_string(meta->m));
     response.headers.Set("x-scalia-erasure-n",
                          std::to_string(meta->stripes.size()));

@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "durability/journal.h"
 #include "erasure/chunker.h"
+#include "filter/pipeline.h"
 
 namespace scalia::core {
 
@@ -15,6 +16,13 @@ PriceModel MakeModel(const EngineConfig& config) {
   return PriceModel(
       PriceModelConfig{.sampling_period = config.sampling_period,
                        .billing = config.billing});
+}
+
+/// The gateway scopes containers as "<tenant>:<container>"; the tenant
+/// prefix keys the filter pipeline's per-tenant envelope encryption.  A
+/// container without the separator (direct engine use) is its own tenant.
+std::string TenantOf(const std::string& container) {
+  return container.substr(0, container.find(':'));
 }
 
 }  // namespace
@@ -80,7 +88,8 @@ stats::PeriodStats Engine::ForecastUsage(const std::string& row_key,
 PlacementDecision Engine::ChoosePlacement(
     common::SimTime now, const StorageRule& rule, common::Bytes size,
     const stats::PeriodStats& per_period, std::size_t decision_periods,
-    const std::vector<provider::ProviderId>& exclude) const {
+    const std::vector<provider::ProviderId>& exclude,
+    double reduction_ratio) const {
   std::vector<provider::ProviderSpec> specs = registry_->AvailableSpecs(now);
   if (!exclude.empty()) {
     std::erase_if(specs, [&](const provider::ProviderSpec& s) {
@@ -93,7 +102,16 @@ PlacementDecision Engine::ChoosePlacement(
   request.per_period = per_period;
   request.decision_periods = decision_periods;
   request.free_capacity = FreeCapacities(specs);
+  request.reduction_ratio = reduction_ratio;
   return search_.FindBest(specs, request);
+}
+
+double Engine::ClassReductionRatio(const std::string& class_id) const {
+  if (filters_ == nullptr) return 1.0;
+  if (const auto* cls = stats_db_->classes().Find(class_id)) {
+    if (auto ratio = cls->MeanReductionRatio()) return *ratio;
+  }
+  return 1.0;
 }
 
 common::Result<std::vector<StripeEntry>> Engine::WriteChunks(
@@ -145,6 +163,28 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
   const auto size = static_cast<common::Bytes>(data.size());
   const std::string class_id = stats::ClassifyObject(mime, size);
 
+  // Filter pipeline: chunk/dedup/compress/encrypt the body per the rule's
+  // configured stage.  `size` and everything statistics-facing stay
+  // LOGICAL; only the stored body and meta.size become physical.  The
+  // returned dedup refs are acquired — every failure path from here to the
+  // metadata commit must release them.
+  filter::EncodeResult encoded;
+  encoded.blob = std::move(data);
+  if (filters_ != nullptr) {
+    auto enc = filters_->Encode(TenantOf(container), effective_rule.name,
+                                encoded.blob);
+    if (!enc.ok()) return enc.status();
+    encoded = std::move(*enc);
+  }
+  const std::string& body = encoded.blob;
+  const auto stored_size = static_cast<common::Bytes>(body.size());
+  const bool filtered = encoded.stage != filter::FilterStage::kNone;
+  auto release_refs = [&] {
+    if (filters_ != nullptr && !encoded.refs.empty()) {
+      filters_->ReleaseRefs(encoded.refs);
+    }
+  };
+
   // Decision horizon: the user's TTL hint, else the class's expected
   // lifetime, else the configured default.
   std::size_t decision_periods = config_.default_decision_periods;
@@ -169,8 +209,10 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
   std::string skey;
   for (;;) {
     decision = ChoosePlacement(now, effective_rule, size, forecast,
-                               decision_periods, exclude);
+                               decision_periods, exclude,
+                               ClassReductionRatio(class_id));
     if (!decision.feasible) {
+      release_refs();
       return common::Status::FailedPrecondition(
           "no provider set satisfies rule '" + effective_rule.name +
           "' for object " + container + "/" + key);
@@ -181,7 +223,7 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
     }
     skey = MakeStorageKey(container, key, uuid);
     std::vector<provider::ProviderId> failed_writes;
-    auto written = WriteChunks(now, decision, skey, data, &failed_writes);
+    auto written = WriteChunks(now, decision, skey, body, &failed_writes);
     if (written.ok()) {
       stripes = std::move(*written);
       break;
@@ -197,6 +239,7 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
       SweepPartialStage(now, std::move(attempt), decision);
     }
     if (written.status().code() != common::StatusCode::kUnavailable) {
+      release_refs();
       return written.status();
     }
     // Identify newly faulty providers and retry without them.  A provider
@@ -215,7 +258,10 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
       if (store != nullptr && !store->IsAvailable(now)) exclude_id(spec.id);
     }
     for (const auto& id : failed_writes) exclude_id(id);
-    if (!excluded_any) return written.status();
+    if (!excluded_any) {
+      release_refs();
+      return written.status();
+    }
   }
 
   // The previous state only decides created_at and created-vs-updated
@@ -228,8 +274,8 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
   meta.container = container;
   meta.key = key;
   meta.mime = mime;
-  meta.size = size;
-  meta.checksum_hex = common::Md5::HexHash(data);
+  meta.size = stored_size;
+  meta.checksum_hex = common::Md5::HexHash(body);
   meta.rule_name = effective_rule.name;
   meta.class_id = class_id;
   meta.uuid = uuid;
@@ -238,10 +284,37 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
   meta.stripes = std::move(stripes);
   meta.created_at = previous.ok() ? previous->created_at : now;
   meta.updated_at = now;
+  if (filtered) {
+    meta.logical_size = size;
+    meta.filter_stage = static_cast<int>(encoded.stage);
+    meta.dedup_refs = encoded.refs;
+  }
+
+  // Chunk payloads journal BEFORE the metadata row that references them:
+  // the WAL's only failure mode is suffix loss, so a crash can lose a
+  // reference to a surviving chunk but never a chunk under a surviving
+  // reference.  A failed append aborts the put — the row was never
+  // committed, so sweep the staged provider chunks and drop the refs.
+  if (journal_ != nullptr) {
+    for (auto& chunk : encoded.new_chunks) {
+      if (auto s = journal_->LogFilterChunk(chunk.hash,
+                                            std::move(chunk.payload), now);
+          !s.ok()) {
+        ObjectMetadata staged;
+        staged.container = container;
+        staged.key = key;
+        staged.skey = skey;
+        SweepPartialStage(now, std::move(staged), decision);
+        release_refs();
+        return s;
+      }
+    }
+  }
 
   const std::string serialized = meta.Serialize();
   auto superseded = db_->Put(dc_, "metadata", row_key, serialized, now);
   if (!superseded.ok()) {
+    release_refs();
     return superseded.status();
   }
   // Journal the committed mutation *before* the destructive side effect
@@ -259,11 +332,13 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
   if (journaled.ok()) {
     // Update: discard the chunks of exactly the placements this commit
     // superseded (§III-D.1) — not a pre-read snapshot, which a migration
-    // committing in between would make stale (orphaning its chunks).
+    // committing in between would make stale (orphaning its chunks).  The
+    // superseded versions' dedup refs die with them.
     for (const auto& old : superseded->superseded) {
       if (old.tombstone) continue;
       if (auto old_meta = ObjectMetadata::Parse(old.value); old_meta.ok()) {
         DeleteChunks(now, *old_meta);
+        if (filters_ != nullptr) filters_->ReleaseRefs(old_meta->dedup_refs);
       }
     }
   }
@@ -271,6 +346,12 @@ common::Status Engine::Put(common::SimTime now, const std::string& container,
     stats_db_->RecordObjectCreated(row_key, class_id, size, now);
   }
   stats_db_->TouchObject(row_key, now);
+  if (filtered) {
+    // Close the loop: the achieved reduction feeds the class's mean ratio,
+    // which the next placement of this class prices with (see
+    // ChoosePlacement's reduction_ratio).
+    stats_db_->classes().ForClass(class_id).RecordReduction(size, stored_size);
+  }
 
   if (cache_ != nullptr) cache_->InvalidateEverywhere(row_key);
   if (log_agent_ != nullptr) {
@@ -308,6 +389,7 @@ common::Result<Engine::VersionedMetadata> Engine::LoadMetadataVersioned(
         if (loser.tombstone) continue;
         if (auto meta = ObjectMetadata::Parse(loser.value); meta.ok()) {
           DeleteChunks(now, *meta);
+          if (filters_ != nullptr) filters_->ReleaseRefs(meta->dedup_refs);
         }
       }
     }
@@ -427,6 +509,20 @@ common::Result<std::string> Engine::Get(common::SimTime now,
   if (!meta.ok()) return meta.status();
   auto data = ReadChunks(now, *meta);
   if (!data.ok()) return data.status();
+  if (meta->filter_stage != 0) {
+    // The reassembled blob is filter-encoded; decode back to the logical
+    // bytes before anything downstream (cache, access log, the client)
+    // sees it.  The metadata row — not the blob's magic — is the source of
+    // truth for whether decoding applies.
+    if (filters_ == nullptr) {
+      return common::Status::FailedPrecondition(
+          "object " + container + "/" + key +
+          " is filter-encoded but no filter pipeline is attached");
+    }
+    auto decoded = filters_->Decode(TenantOf(container), *data);
+    if (!decoded.ok()) return decoded.status();
+    data = std::move(decoded);
+  }
   if (cache_ != nullptr) cache_->Fill(row_key, *data);
   if (log_agent_ != nullptr) {
     log_agent_->Log({.row_key = row_key,
@@ -540,11 +636,13 @@ common::Status Engine::Delete(common::SimTime now,
   }
   if (journaled.ok()) {
     // GC what the tombstone actually superseded, which may be a placement
-    // a migration committed after our load (see Put).
+    // a migration committed after our load (see Put).  Dedup refs die with
+    // the version; the index frees chunks whose last reference this was.
     for (const auto& old : superseded->superseded) {
       if (old.tombstone) continue;
       if (auto old_meta = ObjectMetadata::Parse(old.value); old_meta.ok()) {
         DeleteChunks(now, *old_meta);
+        if (filters_ != nullptr) filters_->ReleaseRefs(old_meta->dedup_refs);
       }
     }
   }
@@ -587,9 +685,11 @@ common::Result<PlacementDecision> Engine::EvaluatePlacement(
   const stats::AccessHistory history = stats_db_->GetHistory(row_key);
   stats::PeriodStats per_period = history.AverageOver(decision_periods);
   if (history.empty()) {
-    per_period = ForecastUsage(row_key, meta->class_id, meta->size);
+    per_period = ForecastUsage(row_key, meta->class_id, meta->LogicalSize());
   }
-  per_period.storage_gb = common::ToGB(meta->size);
+  // Usage terms stay logical (the access log records logical bytes); the
+  // class's reduction ratio scales them to billable inside the search.
+  per_period.storage_gb = common::ToGB(meta->LogicalSize());
   StorageRule rule = config_.default_rule;
   for (const auto& candidate : PaperRules()) {
     if (candidate.name == meta->rule_name) {
@@ -598,7 +698,7 @@ common::Result<PlacementDecision> Engine::EvaluatePlacement(
     }
   }
   return ChoosePlacement(now, rule, meta->size, per_period, decision_periods,
-                         {});
+                         {}, ClassReductionRatio(meta->class_id));
 }
 
 common::Result<bool> Engine::ReoptimizeObject(common::SimTime now,
@@ -613,9 +713,9 @@ common::Result<bool> Engine::ReoptimizeObject(common::SimTime now,
   const stats::AccessHistory history = stats_db_->GetHistory(row_key);
   stats::PeriodStats per_period = history.AverageOver(decision_periods);
   if (history.empty()) {
-    per_period = ForecastUsage(row_key, meta.class_id, meta.size);
+    per_period = ForecastUsage(row_key, meta.class_id, meta.LogicalSize());
   }
-  per_period.storage_gb = common::ToGB(meta.size);
+  per_period.storage_gb = common::ToGB(meta.LogicalSize());
 
   // Rule reconstruction: the engine stores the rule name with the object;
   // the default rule applies unless a named paper rule matches.
@@ -627,8 +727,9 @@ common::Result<bool> Engine::ReoptimizeObject(common::SimTime now,
     }
   }
 
-  PlacementDecision target = ChoosePlacement(now, rule, meta.size, per_period,
-                                             decision_periods, {});
+  PlacementDecision target =
+      ChoosePlacement(now, rule, meta.size, per_period, decision_periods, {},
+                      ClassReductionRatio(meta.class_id));
   if (!target.feasible) {
     return common::Status::FailedPrecondition("no feasible placement");
   }
@@ -784,10 +885,11 @@ common::Status Engine::RepairObject(common::SimTime now,
       }
     }
     const stats::PeriodStats forecast =
-        ForecastUsage(row_key, meta.class_id, meta.size);
+        ForecastUsage(row_key, meta.class_id, meta.LogicalSize());
     PlacementDecision target =
         ChoosePlacement(now, rule, meta.size, forecast,
-                        config_.default_decision_periods, {});
+                        config_.default_decision_periods, {},
+                        ClassReductionRatio(meta.class_id));
     if (!target.feasible) {
       return common::Status::Unavailable(
           "no replacement providers and no feasible re-placement");

@@ -36,6 +36,10 @@ namespace scalia::durability {
 class Journal;
 }  // namespace scalia::durability
 
+namespace scalia::filter {
+class Pipeline;
+}  // namespace scalia::filter
+
 namespace scalia::core {
 
 struct EngineConfig {
@@ -74,6 +78,16 @@ class Engine : public EngineApi {
   /// disables journaling.  The journal must outlive the engine.
   void AttachJournal(durability::Journal* journal) noexcept {
     journal_ = journal;
+  }
+
+  /// Routes Put/Get bodies through the data-reduction filter pipeline
+  /// (chunk/dedup/compress/encrypt per storage rule).  Null (the default)
+  /// bypasses filtering entirely — bodies are stored verbatim, exactly the
+  /// pre-pipeline behavior.  The pipeline (and its dedup index) must
+  /// outlive the engine; in a sharded deployment each shard attaches its
+  /// own pipeline over its own index.
+  void AttachFilters(filter::Pipeline* filters) noexcept {
+    filters_ = filters;
   }
 
   /// Stores (or updates) an object.  `rule` overrides the default; a
@@ -122,6 +136,10 @@ class Engine : public EngineApi {
       common::SimTime now, const std::string& row_key,
       std::size_t decision_periods);
 
+  /// Mean reduction ratio of `class_id` from the stats db; 1.0 when the
+  /// pipeline is off or the class has no reduction samples yet.
+  [[nodiscard]] double ClassReductionRatio(const std::string& class_id) const;
+
   /// Recomputes the best placement for `row_key` from its access history
   /// and migrates if the cost-benefit analysis approves.  Returns true when
   /// a migration was performed.  The commit is optimistic: the new chunks
@@ -169,10 +187,14 @@ class Engine : public EngineApi {
  private:
   /// Places a brand-new or re-placed object; honours class statistics for
   /// first placement (Fig. 6) and excludes `exclude` (faulty providers).
+  /// `reduction_ratio` is the class's observed stored/raw ratio (1.0 = no
+  /// signal); it scales the per-GB cost terms inside the search while
+  /// `size` and `per_period` stay logical.
   [[nodiscard]] PlacementDecision ChoosePlacement(
       common::SimTime now, const StorageRule& rule, common::Bytes size,
       const stats::PeriodStats& per_period, std::size_t decision_periods,
-      const std::vector<provider::ProviderId>& exclude) const;
+      const std::vector<provider::ProviderId>& exclude,
+      double reduction_ratio = 1.0) const;
 
   /// Writes the chunks of `data` per `decision`; returns stripe entries.
   /// When `failed_providers` is non-null, providers whose chunk write failed
@@ -231,6 +253,7 @@ class Engine : public EngineApi {
   stats::LogAgent* log_agent_;    // may be null
   common::ThreadPool* pool_;      // may be null => serial chunk IO
   durability::Journal* journal_ = nullptr;  // may be null (no journaling)
+  filter::Pipeline* filters_ = nullptr;     // may be null (no filtering)
   std::function<void()> commit_race_hook_;  // test-only, see SetCommitRaceHook
   EngineConfig config_;
   PlacementSearch search_;

@@ -41,6 +41,19 @@ std::string ObjectMetadata::Serialize() const {
     stripe_str += std::to_string(s.chunk_index) + ":" + s.provider;
   }
   emit("stripes", stripe_str);
+  // Filter-pipeline fields (PR 10): omitted when the blob is verbatim, so
+  // pre-filter rows and filter-free deployments serialize byte-identically
+  // to the old format.
+  if (filter_stage != 0) emit("filters", std::to_string(filter_stage));
+  if (logical_size != 0) emit("logical_size", std::to_string(logical_size));
+  if (!dedup_refs.empty()) {
+    std::string refs_str;
+    for (const auto& r : dedup_refs) {
+      if (!refs_str.empty()) refs_str += ",";
+      refs_str += r;
+    }
+    emit("dedup_refs", refs_str);
+  }
   return out;
 }
 
@@ -98,6 +111,14 @@ common::Result<ObjectMetadata> ObjectMetadata::Parse(
             static_cast<std::uint32_t>(to_i64(part.substr(0, colon)));
         entry.provider = part.substr(colon + 1);
         meta.stripes.push_back(std::move(entry));
+      }
+    } else if (k == "filters") {
+      meta.filter_stage = static_cast<int>(to_i64(v));
+    } else if (k == "logical_size") {
+      meta.logical_size = static_cast<common::Bytes>(to_i64(v));
+    } else if (k == "dedup_refs") {
+      for (const auto& part : common::Split(v, ',')) {
+        if (!part.empty()) meta.dedup_refs.push_back(part);
       }
     }
   }

@@ -30,9 +30,18 @@ struct ObjectMetadata {
   std::string key;
   std::string mime;
   common::Bytes size = 0;
-  std::string checksum_hex;  // MD5 of the object bytes
+  std::string checksum_hex;  // MD5 of the stored (post-filter) bytes
   std::string rule_name;
   std::string class_id;
+  /// Size of the object as the client wrote it, before the data-reduction
+  /// filter pipeline.  Zero on pre-filter rows (then size is logical too).
+  common::Bytes logical_size = 0;
+  /// Highest filter stage the stored blob was encoded with
+  /// (filter::FilterStage as an int); 0 = stored verbatim.
+  int filter_stage = 0;
+  /// Dedup-index chunk hashes this version references (hex, duplicates
+  /// kept); released when the version is superseded or deleted.
+  std::vector<std::string> dedup_refs;
   common::Uuid uuid;
   std::string skey;
   int m = 0;
@@ -41,6 +50,12 @@ struct ObjectMetadata {
   common::SimTime updated_at = 0;
 
   [[nodiscard]] std::size_t n() const noexcept { return stripes.size(); }
+
+  /// Client-visible object size: the pre-filter byte count when the blob
+  /// went through the pipeline, else the stored size.
+  [[nodiscard]] common::Bytes LogicalSize() const noexcept {
+    return logical_size > 0 ? logical_size : size;
+  }
 
   /// Key of chunk `index` at its provider.
   [[nodiscard]] std::string ChunkKey(std::uint32_t index) const {

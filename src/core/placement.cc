@@ -1,6 +1,7 @@
 #include "core/placement.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/reliability.h"
 
@@ -97,8 +98,20 @@ PlacementDecision PlacementSearch::EvaluateSet(
   decision.sets_feasible = 1;
   decision.providers.assign(pset.begin(), pset.end());
   decision.m = th;
-  decision.expected_cost = model_.ExpectedCost(
-      pset, th, request.per_period, request.decision_periods);
+  // Reduction-aware pricing: what providers bill for is the *stored* bytes
+  // the filter pipeline leaves, not the logical bytes the client wrote.
+  // Scale the GB terms by the class's observed reduction ratio; ops are
+  // per-request and never shrink.  Non-finite or non-positive ratios (no
+  // signal) price at par.
+  stats::PeriodStats billable = request.per_period;
+  const double ratio = request.reduction_ratio;
+  if (std::isfinite(ratio) && ratio > 0.0 && ratio != 1.0) {
+    billable.storage_gb *= ratio;
+    billable.bw_in_gb *= ratio;
+    billable.bw_out_gb *= ratio;
+  }
+  decision.expected_cost =
+      model_.ExpectedCost(pset, th, billable, request.decision_periods);
   // Best achievable read latency: reads can route to the m lowest-latency
   // members; the parallel chunk fetches complete when the slowest of those
   // m returns.

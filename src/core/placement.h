@@ -42,6 +42,15 @@ struct PlacementRequest {
   /// unlimited everywhere.  Private resources use this (§III-E).
   std::vector<common::Bytes> free_capacity;
 
+  /// Expected stored-bytes-per-logical-byte after the data-reduction filter
+  /// pipeline for this object's class (stats::ClassStats::
+  /// MeanReductionRatio).  The cost model scales the per-GB terms (storage
+  /// and bandwidth) by it while operation counts stay untouched, so a
+  /// highly-dedupable class can afford a pricier-per-GB but cheaper-per-op
+  /// provider and an incompressible class shifts to cheap cold storage.
+  /// 1.0 = no reduction observed; per_period and object_size stay LOGICAL.
+  double reduction_ratio = 1.0;
+
   PlacementObjective objective = PlacementObjective::kMinimizeCost;
   /// With kMinimizeLatency: only consider sets whose expected cost stays
   /// within `cost_cap_factor` times the cheapest feasible set's cost

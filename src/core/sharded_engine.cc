@@ -38,6 +38,18 @@ ShardedEngine::ShardedEngine(ShardedEngineConfig config,
         "shard" + std::to_string(s), registry_, shard->db.get(), /*dc=*/0,
         shard->cache.get(), shard->stats.get(), shard->agent.get(), pool_,
         config_.engine, seeder.Next());
+    if (config_.filters) {
+      shard->dedup = std::make_unique<filter::DedupIndex>();
+      // Per-shard key/nonce streams: shards drawing from identical RNG
+      // sequences would hand the same (data key, nonce) pair to different
+      // objects — a two-time pad.
+      filter::PipelineConfig fc = *config_.filters;
+      fc.seed = common::SplitMix64(fc.seed ^ (0x9E3779B97F4A7C15ull * (s + 1)))
+                    .Next();
+      shard->filters = std::make_unique<filter::Pipeline>(
+          fc, shard->dedup.get(), &keyring_);
+      shard->engine->AttachFilters(shard->filters.get());
+    }
     shard->optimizer = std::make_unique<PeriodicOptimizer>(
         config_.optimizer, shard->stats.get(), /*pool=*/nullptr);
     shard->optimizer->AddEngine(shard->engine.get());
@@ -204,6 +216,10 @@ PeriodicOptimizer& ShardedEngine::shard_optimizer(std::size_t shard) {
   return *shards_.at(shard)->optimizer;
 }
 
+filter::DedupIndex* ShardedEngine::shard_dedup_index(std::size_t shard) {
+  return shards_.at(shard)->dedup.get();
+}
+
 cache::CacheStats ShardedEngine::CacheStats() const {
   cache::CacheStats total;
   for (const auto& shard : shards_) {
@@ -225,6 +241,19 @@ Engine::ReadPathCounters ShardedEngine::ReadCounters() const {
     const auto counters = shard->engine->read_counters();
     total.degraded_reads += counters.degraded_reads;
     total.reconstructions += counters.reconstructions;
+  }
+  return total;
+}
+
+filter::Pipeline::Totals ShardedEngine::FilterTotals() const {
+  filter::Pipeline::Totals total;
+  for (const auto& shard : shards_) {
+    if (!shard->filters) continue;
+    const auto t = shard->filters->totals();
+    total.objects += t.objects;
+    total.raw_bytes += t.raw_bytes;
+    total.stored_bytes += t.stored_bytes;
+    total.dedup_hits += t.dedup_hits;
   }
   return total;
 }

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,7 @@
 #include "core/engine.h"
 #include "core/engine_api.h"
 #include "core/optimizer.h"
+#include "filter/pipeline.h"
 #include "provider/registry.h"
 #include "stats/pipeline.h"
 #include "stats/stats_db.h"
@@ -65,6 +67,13 @@ struct ShardedEngineConfig {
   /// Total cache budget, divided evenly across the shards.
   common::Bytes cache_capacity = 256 * common::kMiB;
   std::uint64_t seed = 42;
+  /// Data-reduction filter pipeline (chunk/dedup/compress/encrypt).  When
+  /// set, each shard constructs its own filter::Pipeline over its own
+  /// DedupIndex (dedup scope is per-shard: objects route to shards by key
+  /// hash, so identical chunks land in the same shard only when their
+  /// objects do); the tenant keyring is shared across shards.  Unset (the
+  /// default) stores bodies verbatim.
+  std::optional<filter::PipelineConfig> filters;
 };
 
 class ShardedEngine : public EngineApi {
@@ -143,6 +152,16 @@ class ShardedEngine : public EngineApi {
   [[nodiscard]] store::ReplicatedStore& shard_store(std::size_t shard);
   [[nodiscard]] PeriodicOptimizer& shard_optimizer(std::size_t shard);
 
+  /// Shard k's dedup index, for durability wiring (EngineStateRefs
+  /// .filter_index); null when the filter pipeline is off.
+  [[nodiscard]] filter::DedupIndex* shard_dedup_index(std::size_t shard);
+
+  /// The shared tenant keyring (null when the filter pipeline is off); the
+  /// server seeds per-tenant secrets into it from the auth credential set.
+  [[nodiscard]] filter::TenantKeyring* tenant_keyring() noexcept {
+    return config_.filters ? &keyring_ : nullptr;
+  }
+
   /// Aggregate cache statistics across shards.
   [[nodiscard]] cache::CacheStats CacheStats() const;
 
@@ -152,6 +171,11 @@ class ShardedEngine : public EngineApi {
 
   /// Degraded-read-path counters summed across shards.
   [[nodiscard]] Engine::ReadPathCounters ReadCounters() const;
+
+  /// Filter-pipeline Encode() totals summed across shards; all zeros when
+  /// the pipeline is off.  The benches derive `reduction_ratio`
+  /// (stored/raw) and `dedup_hits` from these.
+  [[nodiscard]] filter::Pipeline::Totals FilterTotals() const;
 
   /// Objects tracked across all shard statistics databases.
   [[nodiscard]] std::size_t ObjectCount() const;
@@ -163,6 +187,8 @@ class ShardedEngine : public EngineApi {
     std::unique_ptr<stats::LogAggregator> aggregator;
     std::unique_ptr<stats::LogAgent> agent;
     std::unique_ptr<cache::CacheLayer> cache;  // null when disabled
+    std::unique_ptr<filter::DedupIndex> dedup;     // null when filters off
+    std::unique_ptr<filter::Pipeline> filters;     // null when filters off
     std::unique_ptr<Engine> engine;
     std::unique_ptr<PeriodicOptimizer> optimizer;
     durability::Journal* journal = nullptr;  // set by AttachJournals
@@ -175,6 +201,7 @@ class ShardedEngine : public EngineApi {
   ShardedEngineConfig config_;
   provider::ProviderRegistry* registry_;
   common::ThreadPool* pool_;  // may be null => serial shard sweeps
+  filter::TenantKeyring keyring_;  // shared by every shard's pipeline
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -11,9 +11,10 @@
 #include <fstream>
 
 #include "common/binary_codec.h"
-#include "durability/fsync.h"
 #include "common/log.h"
 #include "common/sha256.h"
+#include "durability/fsync.h"
+#include "filter/dedup_index.h"
 
 namespace scalia::durability {
 
@@ -22,7 +23,12 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr std::uint32_t kCheckpointMagic = 0x504B4353;  // "SCKP"
-constexpr std::uint32_t kCheckpointVersion = 1;
+// v1: metadata rows + stats + billing meters.
+// v2 (PR 10): per-class stats gain the data-reduction sums, and a fourth
+// section snapshots the filter pipeline's dedup index.  v1 files stay
+// loadable (their stats decode without the reduction fields and the index
+// starts empty — WAL replay and the refcount rebuild repopulate it).
+constexpr std::uint32_t kCheckpointVersion = 2;
 constexpr const char* kCheckpointPrefix = "checkpoint-";
 constexpr const char* kCheckpointSuffix = ".ckpt";
 
@@ -128,6 +134,16 @@ common::Result<CheckpointInfo> CheckpointWriter::Write(
     w.PutU32(0);
   }
 
+  // Section 4 (v2): the dedup index — payloads AND refcounts.  A checkpoint
+  // is a consistent cut, so unlike the WAL (which never journals refcounts)
+  // the counts here are authoritative for rows the checkpoint covers;
+  // post-replay recovery still rebuilds them when WAL records follow.
+  if (state.filter_index != nullptr) {
+    state.filter_index->SerializeTo(w);
+  } else {
+    w.PutU32(0);  // empty index in the same encoding
+  }
+
   // Integrity trailer over everything above.
   const common::Sha256Digest digest = common::Sha256::Hash(body);
   body.append(reinterpret_cast<const char*>(digest.data()), digest.size());
@@ -213,7 +229,7 @@ common::Result<CheckpointInfo> CheckpointLoader::LoadInto(
     return common::Status::InvalidArgument("bad checkpoint magic: " + path);
   }
   const std::uint32_t version = r.U32();
-  if (version != kCheckpointVersion) {
+  if (version < 1 || version > kCheckpointVersion) {
     return common::Status::InvalidArgument(
         "unsupported checkpoint version " + std::to_string(version));
   }
@@ -239,8 +255,12 @@ common::Result<CheckpointInfo> CheckpointLoader::LoadInto(
     if (!applied.ok()) return applied.status();
   }
 
-  // Section 2: the statistics database.
-  if (auto s = state.stats->RestoreFrom(r); !s.ok()) return s;
+  // Section 2: the statistics database.  v1 predates the per-class
+  // reduction sums; its layout decodes without them.
+  if (auto s = state.stats->RestoreFrom(r, /*with_reduction=*/version >= 2);
+      !s.ok()) {
+    return s;
+  }
 
   // Section 3: billing meters (ignored when no registry was supplied —
   // e.g. when the simulated providers, and thus their meters, survived).
@@ -269,6 +289,13 @@ common::Result<CheckpointInfo> CheckpointLoader::LoadInto(
         store->meter().Restore(snap);
       }
     }
+  }
+
+  // Section 4 (v2): the dedup index.  Without an index to restore into the
+  // section is left unconsumed — it is the last section before the (already
+  // verified) digest trailer, so nothing downstream misparses.
+  if (version >= 2 && state.filter_index != nullptr) {
+    if (auto s = state.filter_index->RestoreFrom(r); !s.ok()) return s;
   }
   return info;
 }

@@ -26,6 +26,10 @@
 #include "stats/stats_db.h"
 #include "store/replicated_store.h"
 
+namespace scalia::filter {
+class DedupIndex;
+}  // namespace scalia::filter
+
 namespace scalia::durability {
 
 /// The engine-state components a checkpoint covers; also the targets a
@@ -44,6 +48,13 @@ struct EngineStateRefs {
   /// so unlike `registry` this is safe — and needed — on *every* shard;
   /// falls back to `registry` when unset.
   provider::ProviderRegistry* sweep_registry = nullptr;
+
+  /// The filter pipeline's dedup index (null when filtering is off).
+  /// Checkpoints serialize it as format-v2 section 4; recovery restores it,
+  /// replays kFilterChunk records into it, then rebuilds its refcounts from
+  /// the restored metadata rows' dedup_refs lists.  Per-shard, like the
+  /// index itself.
+  filter::DedupIndex* filter_index = nullptr;
 
   /// The registry aborted-migration sweeps go to (see sweep_registry).
   [[nodiscard]] provider::ProviderRegistry* SweepRegistry() const noexcept {

@@ -94,6 +94,22 @@ class Journal {
                    .clock = std::move(clock)});
   }
 
+  /// The filter pipeline admitted `hash_hex` as a brand-new dedup chunk with
+  /// raw bytes `payload`.  Must be logged BEFORE the metadata upsert that
+  /// references the chunk: the WAL's suffix-loss failure mode then only ever
+  /// drops a reference to a surviving chunk, never a chunk under a surviving
+  /// reference (refcounts themselves are not journaled — recovery rebuilds
+  /// them from the live metadata table's dedup_refs).
+  common::Status LogFilterChunk(const std::string& hash_hex,
+                                std::string payload, common::SimTime at) {
+    return Append({.kind = WalRecordKind::kFilterChunk,
+                   .at = at,
+                   .row_key = hash_hex,
+                   .aux = 0,
+                   .payload = std::move(payload),
+                   .clock = {}});
+  }
+
   common::Status LogPeriodStats(const std::string& row_key,
                                 std::uint64_t period, std::string stats_csv,
                                 common::SimTime at) {

@@ -29,6 +29,13 @@ enum class WalRecordKind : std::uint8_t {
                       // is the *staged* (never-committed) placement whose
                       // chunks were garbage-collected — replay must never
                       // apply it to the metadata table
+  kFilterChunk = 7,  // the filter pipeline admitted a new dedup chunk:
+                     // row_key is the 64-char SHA-256 hex, payload the raw
+                     // chunk bytes.  Journaled BEFORE the referencing
+                     // metadata upsert, so a torn tail can lose a reference
+                     // to a chunk but never a chunk under a reference;
+                     // refcounts are rebuilt from the metadata table after
+                     // replay (durability/recovery.cc)
 };
 
 [[nodiscard]] constexpr std::string_view WalRecordKindName(WalRecordKind k) {
@@ -39,6 +46,7 @@ enum class WalRecordKind : std::uint8_t {
     case WalRecordKind::kRepair: return "repair";
     case WalRecordKind::kPeriodStats: return "period-stats";
     case WalRecordKind::kMigrateAbort: return "migrate-abort";
+    case WalRecordKind::kFilterChunk: return "filter-chunk";
   }
   return "unknown";
 }

@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "core/metadata.h"
 #include "durability/record.h"
+#include "filter/dedup_index.h"
 #include "stats/period_stats.h"
 
 namespace scalia::durability {
@@ -56,7 +57,8 @@ common::Result<bool> ApplyRecord(const WalRecord& rec,
         auto meta = core::ObjectMetadata::Parse(rec.payload);
         if (meta.ok()) {
           state.stats->RecordObjectCreated(rec.row_key, meta->class_id,
-                                           meta->size, meta->created_at);
+                                           meta->LogicalSize(),
+                                           meta->created_at);
         }
       }
       state.stats->TouchObject(rec.row_key, rec.at);
@@ -95,8 +97,54 @@ common::Result<bool> ApplyRecord(const WalRecord& rec,
       }
       return true;
     }
+    case WalRecordKind::kFilterChunk: {
+      // A dedup chunk admitted after the checkpoint.  Inserted with
+      // refcount zero: the record precedes every row that references it,
+      // and the post-replay rebuild assigns the true count (or sweeps the
+      // chunk if its would-be referencing upsert was lost in the torn
+      // tail).  Without an index the deployment runs unfiltered; skip.
+      if (state.filter_index != nullptr) {
+        state.filter_index->RestoreChunk(rec.row_key, rec.payload);
+        return true;
+      }
+      return false;
+    }
   }
   return false;  // unknown kind: journal written by a newer version
+}
+
+/// Post-replay refcount rebuild: refcounts are never journaled (only chunk
+/// payloads are), so after checkpoint + replay they are re-derived from the
+/// single source of truth — the live metadata rows' dedup_refs lists.  A
+/// row referencing a chunk the index does not hold is real corruption (the
+/// WAL ordering guarantees chunk-before-reference); a chunk no row
+/// references is the benign torn-tail signature and is swept.
+common::Result<std::size_t> RebuildDedupRefs(const EngineStateRefs& state) {
+  filter::DedupIndex& index = *state.filter_index;
+  index.RebuildRefsBegin();
+  const store::KvTable* table = state.db->Table(state.dc, "metadata");
+  common::Status error = common::Status::Ok();
+  if (table != nullptr) {
+    for (std::size_t shard = 0; shard < store::KvTable::kShards; ++shard) {
+      table->VisitShard(
+          shard, [&](const std::string& key, const store::Version& v) {
+            if (!error.ok()) return;
+            auto meta = core::ObjectMetadata::Parse(v.value);
+            if (!meta.ok()) return;  // non-object rows carry no refs
+            for (const auto& hash : meta->dedup_refs) {
+              if (!index.AddRef(hash)) {
+                error = common::Status::Internal(
+                    "dedup corruption: object " + key +
+                    " references missing chunk " + hash);
+                return;
+              }
+            }
+          });
+      if (!error.ok()) break;
+    }
+  }
+  if (!error.ok()) return error;
+  return index.SweepUnreferenced();
 }
 
 }  // namespace
@@ -167,6 +215,13 @@ common::Result<RecoveryReport> RecoveryManager::Recover(
   if (!apply_error.ok()) return apply_error;
   report.wal_bytes_discarded = replay->discarded_bytes;
   report.wal_last_lsn = replay->last_lsn;
+
+  // Step 3: dedup-index refcount rebuild (see RebuildDedupRefs).
+  if (state.filter_index != nullptr) {
+    auto swept = RebuildDedupRefs(state);
+    if (!swept.ok()) return swept.status();
+    report.dedup_chunks_swept = *swept;
+  }
 
   SCALIA_LOG(common::LogLevel::kInfo, "recovery")
       << (report.checkpoint_loaded

@@ -38,6 +38,10 @@ struct RecoveryReport {
   /// Bytes dropped at the WAL's torn tail.
   common::Bytes wal_bytes_discarded = 0;
   Lsn wal_last_lsn = 0;
+  /// Dedup chunks dropped by the post-replay refcount rebuild because no
+  /// live metadata row references them — the expected signature of a crash
+  /// between a kFilterChunk append and its referencing upsert.
+  std::uint64_t dedup_chunks_swept = 0;
 };
 
 class RecoveryManager {

@@ -1,0 +1,49 @@
+#include "filter/cdc.h"
+
+#include <array>
+
+#include "common/rng.h"
+
+namespace scalia::filter {
+
+namespace {
+
+/// 256-entry gear table from a fixed seed: boundaries (and therefore dedup
+/// hashes) must be identical on every host and in every run.
+std::array<std::uint64_t, 256> MakeGearTable() {
+  std::array<std::uint64_t, 256> table{};
+  common::SplitMix64 seq(0x5343414C49414744ull);  // "SCALIAGD"
+  for (auto& entry : table) entry = seq.Next();
+  return table;
+}
+
+}  // namespace
+
+std::vector<ChunkSpan> ContentDefinedChunks(std::string_view data,
+                                            const CdcConfig& config) {
+  static const std::array<std::uint64_t, 256> kGear = MakeGearTable();
+  std::vector<ChunkSpan> spans;
+  if (data.empty()) return spans;
+  const std::size_t min_chunk = config.min_chunk > 0 ? config.min_chunk : 1;
+  const std::size_t max_chunk =
+      config.max_chunk > min_chunk ? config.max_chunk : min_chunk;
+
+  std::size_t start = 0;
+  std::uint64_t hash = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    hash = (hash << 1) + kGear[static_cast<std::uint8_t>(data[i])];
+    const std::size_t length = i - start + 1;
+    if (length < min_chunk) continue;
+    if ((hash & config.mask) == 0 || length >= max_chunk) {
+      spans.push_back({start, length});
+      start = i + 1;
+      hash = 0;
+    }
+  }
+  if (start < data.size()) {
+    spans.push_back({start, data.size() - start});
+  }
+  return spans;
+}
+
+}  // namespace scalia::filter

@@ -1,0 +1,39 @@
+// Content-defined chunking for the data-reduction filter pipeline.
+//
+// Splits an object into variable-size chunks whose boundaries depend only
+// on the *content* (a gear rolling hash), not on byte offsets: inserting a
+// few bytes near the front of a file shifts every fixed-size block but
+// leaves most content-defined chunks — and therefore their SHA-256 dedup
+// identities — untouched.  The gear table is derived from a fixed seed, so
+// chunk boundaries are stable across processes and restarts (dedup hashes
+// must never depend on when the process started).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace scalia::filter {
+
+struct CdcConfig {
+  /// No cut point before this many bytes (bounds per-chunk overhead).
+  std::size_t min_chunk = 4 * 1024;
+  /// A chunk is force-cut at this size even without a content boundary.
+  std::size_t max_chunk = 64 * 1024;
+  /// Boundary test: cut when (hash & mask) == 0; a mask with k low bits
+  /// set yields an expected chunk size near min_chunk + 2^k bytes.
+  std::uint64_t mask = (1ull << 13) - 1;  // ~12 KiB expected
+};
+
+/// Byte ranges [offset, offset + length) of each chunk, in order.  The
+/// ranges partition the input exactly; an empty input yields no chunks.
+struct ChunkSpan {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+/// Deterministic content-defined split of `data` under `config`.
+[[nodiscard]] std::vector<ChunkSpan> ContentDefinedChunks(
+    std::string_view data, const CdcConfig& config = {});
+
+}  // namespace scalia::filter

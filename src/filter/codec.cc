@@ -1,0 +1,142 @@
+#include "filter/codec.h"
+
+#include <array>
+#include <cstring>
+
+namespace scalia::filter {
+
+// Token stream: a control byte selects a literal run or a back-reference.
+//   0xxxxxxx                 -> literal run of (x + 1) bytes follows (1..128)
+//   1xxxxxxx dist_lo dist_hi -> copy (x + kMinMatch) bytes from `dist` bytes
+//                               back (dist 1..65535, little-endian)
+// Matches shorter than kMinMatch never pay for themselves (3 token bytes).
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 127 + kMinMatch;
+constexpr std::size_t kWindow = 64 * 1024 - 1;
+constexpr std::size_t kHashBits = 14;
+
+std::uint32_t HashQuad(const char* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLiterals(std::string_view raw, std::size_t from, std::size_t to,
+                  std::string* out) {
+  while (from < to) {
+    const std::size_t run = std::min<std::size_t>(128, to - from);
+    out->push_back(static_cast<char>(run - 1));
+    out->append(raw.data() + from, run);
+    from += run;
+  }
+}
+
+}  // namespace
+
+CodecId CompressChunk(std::string_view raw, std::string* out) {
+  out->clear();
+  if (raw.size() < kMinMatch + 1) {
+    out->assign(raw);
+    return CodecId::kNone;
+  }
+  std::string packed;
+  packed.reserve(raw.size());
+  // Single-slot hash table of the last position each 4-byte prefix hash was
+  // seen at; greedy extension, no lazy matching — speed over ratio.
+  std::array<std::size_t, 1u << kHashBits> last_pos;
+  last_pos.fill(raw.size());  // sentinel: "never seen"
+
+  std::size_t literal_start = 0;
+  std::size_t i = 0;
+  while (i + kMinMatch <= raw.size()) {
+    const std::uint32_t h = HashQuad(raw.data() + i);
+    const std::size_t candidate = last_pos[h];
+    last_pos[h] = i;
+    std::size_t match_len = 0;
+    if (candidate < i && i - candidate <= kWindow) {
+      const std::size_t limit = std::min(kMaxMatch, raw.size() - i);
+      while (match_len < limit &&
+             raw[candidate + match_len] == raw[i + match_len]) {
+        ++match_len;
+      }
+    }
+    if (match_len >= kMinMatch) {
+      EmitLiterals(raw, literal_start, i, &packed);
+      const std::size_t dist = i - candidate;
+      packed.push_back(
+          static_cast<char>(0x80 | (match_len - kMinMatch)));
+      packed.push_back(static_cast<char>(dist & 0xff));
+      packed.push_back(static_cast<char>((dist >> 8) & 0xff));
+      i += match_len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  EmitLiterals(raw, literal_start, raw.size(), &packed);
+
+  if (packed.size() < raw.size()) {
+    *out = std::move(packed);
+    return CodecId::kLz;
+  }
+  out->assign(raw);
+  return CodecId::kNone;
+}
+
+common::Result<std::string> DecompressChunk(CodecId codec,
+                                            std::string_view payload,
+                                            std::size_t raw_size) {
+  if (codec == CodecId::kNone) {
+    if (payload.size() != raw_size) {
+      return common::Status::InvalidArgument(
+          "stored chunk size disagrees with its header");
+    }
+    return std::string(payload);
+  }
+  if (codec != CodecId::kLz) {
+    return common::Status::InvalidArgument("unknown codec id " +
+                                           std::to_string(static_cast<int>(
+                                               codec)));
+  }
+  std::string out;
+  out.reserve(raw_size);
+  std::size_t i = 0;
+  while (i < payload.size()) {
+    const auto control = static_cast<std::uint8_t>(payload[i++]);
+    if ((control & 0x80) == 0) {
+      const std::size_t run = static_cast<std::size_t>(control) + 1;
+      if (i + run > payload.size() || out.size() + run > raw_size) {
+        return common::Status::InvalidArgument("corrupt LZ literal run");
+      }
+      out.append(payload.data() + i, run);
+      i += run;
+    } else {
+      const std::size_t len = (control & 0x7f) + kMinMatch;
+      if (i + 2 > payload.size()) {
+        return common::Status::InvalidArgument("truncated LZ match token");
+      }
+      const std::size_t dist =
+          static_cast<std::uint8_t>(payload[i]) |
+          (static_cast<std::size_t>(static_cast<std::uint8_t>(payload[i + 1]))
+           << 8);
+      i += 2;
+      if (dist == 0 || dist > out.size() || out.size() + len > raw_size) {
+        return common::Status::InvalidArgument("corrupt LZ match");
+      }
+      // Byte-at-a-time copy: overlapping matches (dist < len) are the RLE
+      // idiom and must see the bytes the copy itself appends.
+      for (std::size_t k = 0; k < len; ++k) {
+        out.push_back(out[out.size() - dist]);
+      }
+    }
+  }
+  if (out.size() != raw_size) {
+    return common::Status::InvalidArgument(
+        "LZ stream decoded to the wrong size");
+  }
+  return out;
+}
+
+}  // namespace scalia::filter

@@ -1,0 +1,36 @@
+// Pluggable per-chunk compression codecs for the filter pipeline.
+//
+// A codec is a pure, stateless transform: Encode() may return the input
+// unchanged (with CodecId::kNone) when compression would not shrink it, so
+// stored payloads are never larger than their raw bytes plus the one codec
+// byte the pipeline spends per chunk.  Decode() is hardened against hostile
+// inputs — every length and distance is bounds-checked and a malformed
+// stream yields an error, never an out-of-bounds access or unbounded
+// allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace scalia::filter {
+
+enum class CodecId : std::uint8_t {
+  kNone = 0,  // payload stored verbatim
+  kLz = 1,    // greedy LZ77, 64 KiB window (see codec.cc)
+};
+
+/// Compresses `raw` with the house LZ codec; falls back to kNone when the
+/// compressed form is not strictly smaller.  Returns the chosen codec and
+/// writes the payload into `out`.
+CodecId CompressChunk(std::string_view raw, std::string* out);
+
+/// Inverse of CompressChunk.  `raw_size` is the expected decoded size from
+/// the chunk header; the decode fails rather than exceeding it.
+common::Result<std::string> DecompressChunk(CodecId codec,
+                                            std::string_view payload,
+                                            std::size_t raw_size);
+
+}  // namespace scalia::filter

@@ -1,0 +1,132 @@
+#include "filter/crypto.h"
+
+#include <cstring>
+
+namespace scalia::filter {
+
+namespace {
+
+// ---- Raw cipher primitives ------------------------------------------------
+// Only this file may reference these (lint rule `cipher-seam`); everything
+// else goes through ObjectCipher.
+
+/// XORs `data` with a SHA-256 CTR keystream: block i is
+/// SHA256(key | nonce | stream_id | i).  XOR makes it its own inverse.
+std::string CtrKeystreamXor(const common::Sha256Digest& key,
+                            const std::array<std::uint8_t, 16>& nonce,
+                            std::uint64_t stream_id, std::string_view data) {
+  std::string out(data);
+  std::uint64_t counter = 0;
+  for (std::size_t off = 0; off < out.size(); off += 32, ++counter) {
+    common::Sha256 block;
+    block.Update(key.data(), key.size());
+    block.Update(nonce.data(), nonce.size());
+    std::uint8_t trailer[16];
+    for (int b = 0; b < 8; ++b) {
+      trailer[b] = static_cast<std::uint8_t>(stream_id >> (8 * b));
+      trailer[8 + b] = static_cast<std::uint8_t>(counter >> (8 * b));
+    }
+    block.Update(trailer, sizeof(trailer));
+    const common::Sha256Digest keystream = block.Finish();
+    const std::size_t n = std::min<std::size_t>(32, out.size() - off);
+    for (std::size_t b = 0; b < n; ++b) {
+      out[off + b] = static_cast<char>(
+          static_cast<std::uint8_t>(out[off + b]) ^ keystream[b]);
+    }
+  }
+  return out;
+}
+
+/// Wraps/unwraps a data key under the tenant key: XOR with
+/// HMAC(tenant_key, "scalia-key-wrap" | nonce).  Self-inverse.
+std::array<std::uint8_t, 32> WrapDataKey(
+    const TenantKey& tenant_key, const std::array<std::uint8_t, 16>& nonce,
+    const std::array<std::uint8_t, 32>& key) {
+  std::string msg = "scalia-key-wrap";
+  msg.append(reinterpret_cast<const char*>(nonce.data()), nonce.size());
+  const common::Sha256Digest pad = common::HmacSha256(
+      std::string_view(reinterpret_cast<const char*>(tenant_key.data()),
+                       tenant_key.size()),
+      msg);
+  std::array<std::uint8_t, 32> out{};
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = key[i] ^ pad[i];
+  return out;
+}
+
+std::string_view KeyView(const common::Sha256Digest& key) {
+  return {reinterpret_cast<const char*>(key.data()), key.size()};
+}
+
+}  // namespace
+
+TenantKey DeriveTenantKey(std::string_view secret_material,
+                          std::string_view tenant) {
+  return common::HmacSha256(secret_material,
+                            "scalia-tenant-key|" + std::string(tenant));
+}
+
+TenantKeyring::TenantKeyring(std::string master_secret)
+    : master_secret_(std::move(master_secret)) {}
+
+void TenantKeyring::SetTenantSecret(const std::string& tenant,
+                                    std::string_view secret) {
+  common::MutexLock lock(mu_);
+  keys_[tenant] = DeriveTenantKey(secret, tenant);
+}
+
+TenantKey TenantKeyring::KeyFor(const std::string& tenant) const {
+  {
+    common::MutexLock lock(mu_);
+    if (auto it = keys_.find(tenant); it != keys_.end()) return it->second;
+  }
+  return DeriveTenantKey(master_secret_, tenant);
+}
+
+ObjectCipher ObjectCipher::NewObject(const TenantKey& tenant_key,
+                                     common::Xoshiro256& rng) {
+  ObjectCipher cipher;
+  for (std::size_t i = 0; i < cipher.data_key_.size(); i += 8) {
+    const std::uint64_t word = rng();
+    for (std::size_t b = 0; b < 8; ++b) {
+      cipher.data_key_[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  for (std::size_t i = 0; i < cipher.envelope_.nonce.size(); i += 8) {
+    const std::uint64_t word = rng();
+    for (std::size_t b = 0; b < 8; ++b) {
+      cipher.envelope_.nonce[i + b] =
+          static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  std::array<std::uint8_t, 32> key_bytes{};
+  std::memcpy(key_bytes.data(), cipher.data_key_.data(), key_bytes.size());
+  cipher.envelope_.wrapped_key =
+      WrapDataKey(tenant_key, cipher.envelope_.nonce, key_bytes);
+  return cipher;
+}
+
+ObjectCipher ObjectCipher::Open(const TenantKey& tenant_key,
+                                const KeyEnvelope& envelope) {
+  ObjectCipher cipher;
+  cipher.envelope_ = envelope;
+  const std::array<std::uint8_t, 32> key_bytes =
+      WrapDataKey(tenant_key, envelope.nonce, envelope.wrapped_key);
+  std::memcpy(cipher.data_key_.data(), key_bytes.data(), key_bytes.size());
+  return cipher;
+}
+
+std::string ObjectCipher::Crypt(std::uint64_t ordinal,
+                                std::string_view payload) const {
+  return CtrKeystreamXor(data_key_, envelope_.nonce, ordinal, payload);
+}
+
+common::Sha256Digest ObjectCipher::Seal(std::string_view blob_prefix) const {
+  return common::HmacSha256(KeyView(data_key_), blob_prefix);
+}
+
+bool ObjectCipher::VerifyTag(std::string_view blob_prefix,
+                             const common::Sha256Digest& tag) const {
+  return common::DigestEquals(Seal(blob_prefix), tag);
+}
+
+}  // namespace scalia::filter

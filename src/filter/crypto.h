@@ -1,0 +1,107 @@
+// Per-tenant envelope encryption for the filter pipeline — the repo's ONE
+// encryption seam.
+//
+// Scheme: every filtered object gets a fresh random 256-bit data key; the
+// chunk payloads are encrypted under it with a SHA-256-based CTR stream
+// (one keystream per chunk ordinal), and the data key itself travels inside
+// the blob *wrapped* (XORed with a keystream derived from the tenant key
+// and the object nonce).  An HMAC-SHA256 tag over the whole blob, keyed by
+// the data key, authenticates the ciphertext before anything is decoded.
+// Tenant keys are derived from the tenant's api/auth secret material via
+// TenantKeyring, so possession of the gateway credential config is what
+// unlocks a tenant's data.
+//
+// House rule (scripts/lint_rules.sh, rule `cipher-seam`): the raw cipher
+// primitives CtrKeystreamXor()/WrapDataKey() may only be referenced from
+// src/filter/crypto.{h,cc}.  Everything else uses the ObjectCipher /
+// TenantKeyring envelope API below, so key handling cannot fork.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/sha256.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace scalia::filter {
+
+using TenantKey = common::Sha256Digest;
+
+/// The per-object key material that rides inside the blob header.
+struct KeyEnvelope {
+  std::array<std::uint8_t, 16> nonce{};
+  std::array<std::uint8_t, 32> wrapped_key{};
+};
+inline constexpr std::size_t kEnvelopeBytes = 16 + 32;
+inline constexpr std::size_t kTagBytes = 32;
+
+/// Derives a tenant's root key from secret material (an api/auth credential
+/// secret, or the keyring's master secret for tenants without one).
+[[nodiscard]] TenantKey DeriveTenantKey(std::string_view secret_material,
+                                        std::string_view tenant);
+
+/// Thread-safe tenant -> key map the server fills from the same credential
+/// config that feeds api::Authenticator.  Tenants without an explicit
+/// secret fall back to a key derived from the master secret, so encryption
+/// works (with a deployment-wide key) even before per-tenant secrets are
+/// provisioned.
+class TenantKeyring {
+ public:
+  explicit TenantKeyring(std::string master_secret = "scalia-dev-master");
+
+  /// Registers (or replaces) `tenant`'s secret material.
+  void SetTenantSecret(const std::string& tenant, std::string_view secret);
+
+  [[nodiscard]] TenantKey KeyFor(const std::string& tenant) const;
+
+ private:
+  std::string master_secret_;
+  mutable common::Mutex mu_;
+  std::unordered_map<std::string, TenantKey> keys_ GUARDED_BY(mu_);
+};
+
+/// One object's encrypt/decrypt context: data key + nonce, bound to a
+/// tenant key through the wrapped envelope.
+class ObjectCipher {
+ public:
+  /// Fresh data key + nonce for a new object, drawn from `rng` (seeded,
+  /// like all randomness in the repo).
+  [[nodiscard]] static ObjectCipher NewObject(const TenantKey& tenant_key,
+                                              common::Xoshiro256& rng);
+
+  /// Reconstructs the cipher of an existing object from its envelope.
+  /// Unwrapping cannot fail on its own (XOR is total); the HMAC check in
+  /// VerifyTag is what rejects a wrong tenant key or a tampered blob.
+  [[nodiscard]] static ObjectCipher Open(const TenantKey& tenant_key,
+                                         const KeyEnvelope& envelope);
+
+  [[nodiscard]] const KeyEnvelope& envelope() const noexcept {
+    return envelope_;
+  }
+
+  /// XORs `payload` with the keystream of chunk `ordinal`; its own inverse.
+  [[nodiscard]] std::string Crypt(std::uint64_t ordinal,
+                                  std::string_view payload) const;
+
+  /// HMAC-SHA256 over `blob_prefix` (every blob byte before the tag),
+  /// keyed by the data key.
+  [[nodiscard]] common::Sha256Digest Seal(std::string_view blob_prefix) const;
+
+  /// Constant-time tag check.
+  [[nodiscard]] bool VerifyTag(std::string_view blob_prefix,
+                               const common::Sha256Digest& tag) const;
+
+ private:
+  ObjectCipher() = default;
+
+  common::Sha256Digest data_key_{};
+  KeyEnvelope envelope_;
+};
+
+}  // namespace scalia::filter

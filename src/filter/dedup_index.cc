@@ -1,0 +1,130 @@
+#include "filter/dedup_index.h"
+
+#include <algorithm>
+
+namespace scalia::filter {
+
+bool DedupIndex::Acquire(const ChunkHashHex& hash, std::string_view payload) {
+  common::MutexLock lock(mu_);
+  auto [it, inserted] = chunks_.try_emplace(hash);
+  if (inserted) {
+    it->second.payload.assign(payload);
+    stored_bytes_ += payload.size();
+  }
+  ++it->second.refs;
+  return inserted;
+}
+
+void DedupIndex::Release(const ChunkHashHex& hash) {
+  common::MutexLock lock(mu_);
+  auto it = chunks_.find(hash);
+  if (it == chunks_.end()) return;
+  if (it->second.refs > 0) --it->second.refs;
+  if (it->second.refs == 0) {
+    stored_bytes_ -= it->second.payload.size();
+    chunks_.erase(it);
+  }
+}
+
+bool DedupIndex::Contains(const ChunkHashHex& hash) const {
+  common::MutexLock lock(mu_);
+  return chunks_.contains(hash);
+}
+
+std::optional<std::string> DedupIndex::Lookup(const ChunkHashHex& hash) const {
+  common::MutexLock lock(mu_);
+  auto it = chunks_.find(hash);
+  if (it == chunks_.end()) return std::nullopt;
+  return it->second.payload;
+}
+
+std::uint64_t DedupIndex::RefCount(const ChunkHashHex& hash) const {
+  common::MutexLock lock(mu_);
+  auto it = chunks_.find(hash);
+  return it == chunks_.end() ? 0 : it->second.refs;
+}
+
+std::size_t DedupIndex::ChunkCount() const {
+  common::MutexLock lock(mu_);
+  return chunks_.size();
+}
+
+common::Bytes DedupIndex::StoredBytes() const {
+  common::MutexLock lock(mu_);
+  return stored_bytes_;
+}
+
+void DedupIndex::RestoreChunk(const ChunkHashHex& hash, std::string payload) {
+  common::MutexLock lock(mu_);
+  auto [it, inserted] = chunks_.try_emplace(hash);
+  if (!inserted) return;  // checkpoint already carried it; WAL re-insert
+  stored_bytes_ += payload.size();
+  it->second.payload = std::move(payload);
+  it->second.refs = 0;
+}
+
+void DedupIndex::RebuildRefsBegin() {
+  common::MutexLock lock(mu_);
+  for (auto& [hash, entry] : chunks_) entry.refs = 0;
+}
+
+bool DedupIndex::AddRef(const ChunkHashHex& hash) {
+  common::MutexLock lock(mu_);
+  auto it = chunks_.find(hash);
+  if (it == chunks_.end()) return false;
+  ++it->second.refs;
+  return true;
+}
+
+std::size_t DedupIndex::SweepUnreferenced() {
+  common::MutexLock lock(mu_);
+  std::size_t swept = 0;
+  for (auto it = chunks_.begin(); it != chunks_.end();) {
+    if (it->second.refs == 0) {
+      stored_bytes_ -= it->second.payload.size();
+      it = chunks_.erase(it);
+      ++swept;
+    } else {
+      ++it;
+    }
+  }
+  return swept;
+}
+
+void DedupIndex::SerializeTo(common::BinaryWriter& out) const {
+  common::MutexLock lock(mu_);
+  // Deterministic order for byte-identical checkpoints.
+  std::vector<const std::pair<const ChunkHashHex, Entry>*> sorted;
+  sorted.reserve(chunks_.size());
+  for (const auto& kv : chunks_) sorted.push_back(&kv);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  out.PutU32(static_cast<std::uint32_t>(sorted.size()));
+  for (const auto* kv : sorted) {
+    out.PutString(kv->first);
+    out.PutU64(kv->second.refs);
+    out.PutString(kv->second.payload);
+  }
+}
+
+common::Status DedupIndex::RestoreFrom(common::BinaryReader& in) {
+  common::MutexLock lock(mu_);
+  chunks_.clear();
+  stored_bytes_ = 0;
+  const std::uint32_t count = in.U32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ChunkHashHex hash = in.String();
+    Entry entry;
+    entry.refs = in.U64();
+    entry.payload = in.String();
+    if (!in.ok()) break;
+    stored_bytes_ += entry.payload.size();
+    chunks_.emplace(std::move(hash), std::move(entry));
+  }
+  if (!in.ok()) {
+    return common::Status::InvalidArgument("corrupt dedup-index snapshot");
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace scalia::filter

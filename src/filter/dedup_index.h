@@ -1,0 +1,100 @@
+// The SHA-256 dedup index: chunk hash -> {payload, refcount}.
+//
+// The index is the engine-local chunk store deduplication resolves against:
+// the first object to store a chunk registers its raw bytes here, and every
+// later object whose CDC split produces the same hash stores a 33-byte
+// reference instead of re-uploading the chunk to the providers.  Refcounts
+// track how many *live object versions* reference each chunk; a chunk's
+// payload is dropped when its last reference dies.
+//
+// Durability: chunk payload inserts are journaled as WAL kFilterChunk
+// records *before* the metadata upsert that references them (so a torn WAL
+// tail can lose a reference to a chunk, never a chunk under a reference),
+// and the whole index rides in checkpoint format v2.  Refcounts themselves
+// are never journaled — recovery rebuilds them by scanning the restored
+// metadata rows' dedup_refs lists (durability/recovery.cc), which makes
+// them correct by construction after any crash, then sweeps chunks no live
+// row references.
+//
+// Like the in-memory provider stores and the cache, payloads live in the
+// trusted engine tier in plaintext; only provider-bound bytes are
+// encrypted (see crypto.h).  In a sharded engine each shard owns its own
+// index (objects route to shards by row-key hash, so dedup scope is
+// per-shard).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/binary_codec.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/units.h"
+
+namespace scalia::filter {
+
+/// A chunk hash as a 64-char lowercase hex string — the form metadata rows
+/// and WAL records carry.
+using ChunkHashHex = std::string;
+
+class DedupIndex {
+ public:
+  /// Registers one reference to `hash`, inserting `payload` when the chunk
+  /// is new.  Returns true when this call inserted the payload (the caller
+  /// must then journal a kFilterChunk record before any row references it).
+  bool Acquire(const ChunkHashHex& hash, std::string_view payload);
+
+  /// Drops one reference; the payload is freed when the count reaches zero.
+  /// Unknown hashes are ignored (a recovery sweep may already have run).
+  void Release(const ChunkHashHex& hash);
+
+  [[nodiscard]] bool Contains(const ChunkHashHex& hash) const;
+  [[nodiscard]] std::optional<std::string> Lookup(
+      const ChunkHashHex& hash) const;
+  [[nodiscard]] std::uint64_t RefCount(const ChunkHashHex& hash) const;
+
+  [[nodiscard]] std::size_t ChunkCount() const;
+  [[nodiscard]] common::Bytes StoredBytes() const;
+
+  // ---- Recovery hooks (durability/recovery.cc) --------------------------
+
+  /// WAL replay: (re)inserts a chunk payload with refcount zero.  The
+  /// post-replay RebuildRefsBegin/AddRef/SweepUnreferenced pass assigns the
+  /// true counts.
+  void RestoreChunk(const ChunkHashHex& hash, std::string payload);
+
+  /// Zeroes every refcount (payloads stay) ahead of a rebuild scan.
+  void RebuildRefsBegin();
+
+  /// Counts one live metadata reference during the rebuild scan.  A
+  /// reference to an unknown hash is reported back (returns false): it
+  /// means a row survived whose chunk did not — recovery treats that as
+  /// the corruption it is.
+  bool AddRef(const ChunkHashHex& hash);
+
+  /// Drops every chunk the rebuild scan found no references to; returns
+  /// how many were swept.
+  std::size_t SweepUnreferenced();
+
+  // ---- Checkpoint hooks (durability/checkpoint.cc, format v2) -----------
+
+  void SerializeTo(common::BinaryWriter& out) const;
+  common::Status RestoreFrom(common::BinaryReader& in);
+
+ private:
+  struct Entry {
+    std::string payload;
+    std::uint64_t refs = 0;
+  };
+
+  mutable common::Mutex mu_;
+  std::unordered_map<ChunkHashHex, Entry> chunks_ GUARDED_BY(mu_);
+  common::Bytes stored_bytes_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace scalia::filter

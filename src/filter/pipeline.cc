@@ -1,0 +1,278 @@
+#include "filter/pipeline.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/sha256.h"
+#include "filter/codec.h"
+
+namespace scalia::filter {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x544C4653;  // "SFLT" little-endian
+constexpr std::uint8_t kVersion = 1;
+/// Hostile-input allocation bound: no honest encoder emits chunks beyond
+/// CdcConfig::max_chunk, so a header claiming more than this is corrupt.
+constexpr std::uint64_t kMaxChunkRawLen = 256ull * 1024 * 1024;
+
+std::string_view DigestView(const common::Sha256Digest& d) {
+  return {reinterpret_cast<const char*>(d.data()), d.size()};
+}
+
+}  // namespace
+
+Pipeline::Pipeline(PipelineConfig config, DedupIndex* index,
+                   TenantKeyring* keyring)
+    : config_(std::move(config)),
+      index_(index),
+      keyring_(keyring),
+      rng_(config_.seed) {}
+
+bool Pipeline::IsEncoded(std::string_view blob) {
+  if (blob.size() < 4) return false;
+  std::uint32_t magic = 0;
+  for (int i = 3; i >= 0; --i) {
+    magic = (magic << 8) | static_cast<std::uint8_t>(blob[i]);
+  }
+  return magic == kMagic;
+}
+
+common::Result<EncodeResult> Pipeline::Encode(const std::string& tenant,
+                                              const std::string& rule_name,
+                                              std::string_view data) {
+  EncodeResult result;
+  result.stage = StageFor(rule_name);
+  result.raw_bytes = static_cast<common::Bytes>(data.size());
+  if (result.stage == FilterStage::kNone) {
+    result.blob.assign(data);
+    result.stored_bytes = result.raw_bytes;
+    RecordTotals(result);
+    return result;
+  }
+  if (result.stage >= FilterStage::kDedup && index_ == nullptr) {
+    return common::Status::FailedPrecondition(
+        "filter policy enables dedup but no index is attached");
+  }
+  if (result.stage >= FilterStage::kEncrypt && keyring_ == nullptr) {
+    return common::Status::FailedPrecondition(
+        "filter policy enables encryption but no keyring is attached");
+  }
+
+  const std::vector<ChunkSpan> spans = ContentDefinedChunks(data, config_.cdc);
+
+  std::optional<ObjectCipher> cipher;
+  if (result.stage >= FilterStage::kEncrypt) {
+    const TenantKey tenant_key = keyring_->KeyFor(tenant);
+    common::MutexLock lock(rng_mu_);
+    cipher = ObjectCipher::NewObject(tenant_key, rng_);
+  }
+
+  common::BinaryWriter w(&result.blob);
+  w.PutU32(kMagic);
+  w.PutU8(kVersion);
+  w.PutU8(static_cast<std::uint8_t>(result.stage));
+  w.PutU64(data.size());
+  if (cipher) {
+    const KeyEnvelope& env = cipher->envelope();
+    w.PutString(std::string_view(
+        reinterpret_cast<const char*>(env.nonce.data()), env.nonce.size()));
+    w.PutString(std::string_view(
+        reinterpret_cast<const char*>(env.wrapped_key.data()),
+        env.wrapped_key.size()));
+  }
+  w.PutU32(static_cast<std::uint32_t>(spans.size()));
+
+  std::string payload;
+  for (std::size_t ordinal = 0; ordinal < spans.size(); ++ordinal) {
+    const std::string_view chunk =
+        data.substr(spans[ordinal].offset, spans[ordinal].length);
+    const common::Sha256Digest digest = common::Sha256::Hash(chunk);
+    const ChunkHashHex hex = common::ToHex(digest);
+
+    bool as_ref = false;
+    if (result.stage >= FilterStage::kDedup) {
+      const bool inserted = index_->Acquire(hex, chunk);
+      result.refs.push_back(hex);
+      if (inserted) {
+        result.new_chunks.push_back({hex, std::string(chunk)});
+      } else {
+        as_ref = true;
+        ++result.dedup_hits;
+      }
+    }
+
+    w.PutU8(as_ref ? 1 : 0);
+    w.PutString(DigestView(digest));
+    w.PutU32(static_cast<std::uint32_t>(chunk.size()));
+    if (!as_ref) {
+      CodecId codec = CodecId::kNone;
+      if (result.stage >= FilterStage::kCompress) {
+        codec = CompressChunk(chunk, &payload);
+      } else {
+        payload.assign(chunk);
+      }
+      if (cipher) payload = cipher->Crypt(ordinal, payload);
+      w.PutU8(static_cast<std::uint8_t>(codec));
+      w.PutString(payload);
+    }
+  }
+
+  if (cipher) {
+    const common::Sha256Digest tag = cipher->Seal(result.blob);
+    result.blob.append(DigestView(tag));
+  }
+  result.chunk_count = spans.size();
+  result.stored_bytes = static_cast<common::Bytes>(result.blob.size());
+  RecordTotals(result);
+  return result;
+}
+
+void Pipeline::RecordTotals(const EncodeResult& result) {
+  objects_.fetch_add(1, std::memory_order_relaxed);
+  raw_bytes_.fetch_add(result.raw_bytes, std::memory_order_relaxed);
+  stored_bytes_.fetch_add(result.stored_bytes, std::memory_order_relaxed);
+  dedup_hits_.fetch_add(result.dedup_hits, std::memory_order_relaxed);
+}
+
+common::Result<std::string> Pipeline::Decode(const std::string& tenant,
+                                             std::string_view blob) const {
+  if (!IsEncoded(blob)) return std::string(blob);
+
+  // Header pass: stage + envelope, to know where the entry stream ends.
+  common::BinaryReader header(blob);
+  header.U32();  // magic, checked by IsEncoded
+  const std::uint8_t version = header.U8();
+  if (version != kVersion) {
+    return common::Status::InvalidArgument("unsupported filter blob version " +
+                                           std::to_string(version));
+  }
+  const auto stage = static_cast<FilterStage>(header.U8());
+  if (stage < FilterStage::kChunk || stage > FilterStage::kEncrypt) {
+    return common::Status::InvalidArgument("filter blob with invalid stage");
+  }
+  const std::uint64_t raw_size = header.U64();
+
+  std::optional<ObjectCipher> cipher;
+  std::string_view body = blob;
+  if (stage >= FilterStage::kEncrypt) {
+    if (keyring_ == nullptr) {
+      return common::Status::FailedPrecondition(
+          "encrypted blob but no keyring is attached");
+    }
+    const std::string nonce = header.String();
+    const std::string wrapped = header.String();
+    KeyEnvelope env;
+    if (!header.ok() || nonce.size() != env.nonce.size() ||
+        wrapped.size() != env.wrapped_key.size() ||
+        blob.size() < kTagBytes) {
+      return common::Status::InvalidArgument("corrupt filter blob envelope");
+    }
+    std::copy(nonce.begin(), nonce.end(), env.nonce.begin());
+    std::copy(wrapped.begin(), wrapped.end(), env.wrapped_key.begin());
+    cipher = ObjectCipher::Open(keyring_->KeyFor(tenant), env);
+    body = blob.substr(0, blob.size() - kTagBytes);
+    common::Sha256Digest tag;
+    std::copy(blob.end() - static_cast<long>(kTagBytes), blob.end(),
+              tag.begin());
+    if (!cipher->VerifyTag(body, tag)) {
+      return common::Status::InvalidArgument(
+          "filter blob authentication failed (wrong tenant key or tampered "
+          "ciphertext)");
+    }
+  }
+  if (!header.ok()) {
+    return common::Status::InvalidArgument("truncated filter blob header");
+  }
+
+  // Entry pass over the authenticated body.
+  common::BinaryReader r(body);
+  r.U32();  // magic
+  r.U8();   // version
+  r.U8();   // stage
+  r.U64();  // raw size
+  if (stage >= FilterStage::kEncrypt) {
+    r.String();  // nonce
+    r.String();  // wrapped key
+  }
+  const std::uint32_t chunk_count = r.U32();
+
+  std::string out;
+  for (std::uint32_t ordinal = 0; ordinal < chunk_count; ++ordinal) {
+    const std::uint8_t kind = r.U8();
+    const std::string digest_bytes = r.String();
+    const std::uint64_t raw_len = r.U32();
+    if (!r.ok() || kind > 1 || digest_bytes.size() != 32 ||
+        raw_len > kMaxChunkRawLen || out.size() + raw_len > raw_size) {
+      return common::Status::InvalidArgument("corrupt filter chunk entry");
+    }
+    common::Sha256Digest digest;
+    std::copy(digest_bytes.begin(), digest_bytes.end(), digest.begin());
+
+    std::string chunk;
+    if (kind == 1) {
+      if (index_ == nullptr) {
+        return common::Status::FailedPrecondition(
+            "deduplicated blob but no index is attached");
+      }
+      auto payload = index_->Lookup(common::ToHex(digest));
+      if (!payload) {
+        return common::Status::Internal("dedup chunk " +
+                                        common::ToHex(digest) +
+                                        " missing from the index");
+      }
+      chunk = std::move(*payload);
+      if (chunk.size() != raw_len) {
+        return common::Status::Internal("dedup chunk size mismatch");
+      }
+    } else {
+      const auto codec = static_cast<CodecId>(r.U8());
+      std::string payload = r.String();
+      if (!r.ok()) {
+        return common::Status::InvalidArgument("truncated filter chunk");
+      }
+      if (cipher) payload = cipher->Crypt(ordinal, payload);
+      auto decoded = DecompressChunk(codec, payload,
+                                     static_cast<std::size_t>(raw_len));
+      if (!decoded.ok()) return decoded.status();
+      chunk = std::move(*decoded);
+    }
+    if (!common::DigestEquals(common::Sha256::Hash(chunk), digest)) {
+      return common::Status::Internal("filter chunk hash mismatch");
+    }
+    out.append(chunk);
+  }
+  if (!r.ok() || r.remaining() != 0 || out.size() != raw_size) {
+    return common::Status::InvalidArgument(
+        "filter blob did not decode to its declared size");
+  }
+  return out;
+}
+
+void Pipeline::ReleaseRefs(const std::vector<ChunkHashHex>& refs) {
+  if (index_ == nullptr) return;
+  for (const auto& hash : refs) index_->Release(hash);
+}
+
+std::vector<ChunkHashHex> ParseDedupRefs(std::string_view csv) {
+  std::vector<ChunkHashHex> refs;
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    std::size_t end = csv.find(',', start);
+    if (end == std::string_view::npos) end = csv.size();
+    if (end > start) refs.emplace_back(csv.substr(start, end - start));
+    start = end + 1;
+  }
+  return refs;
+}
+
+std::string JoinDedupRefs(const std::vector<ChunkHashHex>& refs) {
+  std::string out;
+  for (const auto& r : refs) {
+    if (!out.empty()) out += ',';
+    out += r;
+  }
+  return out;
+}
+
+}  // namespace scalia::filter

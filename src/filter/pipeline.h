@@ -1,0 +1,174 @@
+// The data-reduction filter pipeline: chunk -> dedup -> compress -> encrypt.
+//
+// Sits between the gateway and the erasure chunker (Engine::Put encodes the
+// object body through it before placement; Engine::Get decodes after chunk
+// reassembly).  The four stages compose in a fixed order and any *prefix*
+// may be enabled per storage rule:
+//
+//   kNone     the body passes through untouched (legacy behavior)
+//   kChunk    content-defined chunking + a self-describing header; every
+//             chunk is stored inline (enables later stages' format)
+//   kDedup    chunks already in the DedupIndex store as 33-byte references
+//             instead of payloads; first-seen chunks register their bytes
+//   kCompress inline payloads are LZ-compressed when that shrinks them
+//   kEncrypt  inline payloads are encrypted under a per-object data key
+//             wrapped by the tenant key; an HMAC tag seals the blob
+//
+// The blob is self-describing (magic, version, stage byte, per-chunk
+// entries), so Decode needs no out-of-band stage information and a reader
+// can always tell which filters produced a blob.  Migrations and repairs
+// move the encoded blob byte-for-byte; only Put/Get cross the pipeline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/units.h"
+#include "filter/cdc.h"
+#include "filter/crypto.h"
+#include "filter/dedup_index.h"
+
+namespace scalia::filter {
+
+/// Highest enabled stage; each level implies all earlier ones.
+enum class FilterStage : std::uint8_t {
+  kNone = 0,
+  kChunk = 1,
+  kDedup = 2,
+  kCompress = 3,
+  kEncrypt = 4,
+};
+
+[[nodiscard]] constexpr std::string_view FilterStageName(FilterStage s) {
+  switch (s) {
+    case FilterStage::kNone: return "none";
+    case FilterStage::kChunk: return "chunk";
+    case FilterStage::kDedup: return "dedup";
+    case FilterStage::kCompress: return "compress";
+    case FilterStage::kEncrypt: return "encrypt";
+  }
+  return "unknown";
+}
+
+/// Which stage prefix applies to which storage rule (storage classes are
+/// keyed by rule name throughout the engine).
+struct FilterPolicy {
+  FilterStage default_stage = FilterStage::kNone;
+  std::unordered_map<std::string, FilterStage> per_rule;
+
+  [[nodiscard]] FilterStage StageFor(const std::string& rule_name) const {
+    auto it = per_rule.find(rule_name);
+    return it == per_rule.end() ? default_stage : it->second;
+  }
+};
+
+/// A chunk payload Encode() newly registered in the dedup index; the engine
+/// journals one kFilterChunk WAL record per entry *before* the metadata
+/// upsert that references it.
+struct NewChunk {
+  ChunkHashHex hash;
+  std::string payload;  // raw chunk bytes, as the index stores them
+};
+
+struct EncodeResult {
+  std::string blob;            // what gets erasure-coded and placed
+  FilterStage stage = FilterStage::kNone;
+  common::Bytes raw_bytes = 0;     // logical (pre-filter) size
+  common::Bytes stored_bytes = 0;  // blob size
+  std::uint64_t chunk_count = 0;
+  std::uint64_t dedup_hits = 0;    // chunks stored as references
+  /// Dedup references this object now holds (one per chunk, duplicates
+  /// kept); persisted in the metadata row as `dedup_refs` and released when
+  /// the version dies.  Empty below kDedup.
+  std::vector<ChunkHashHex> refs;
+  std::vector<NewChunk> new_chunks;
+};
+
+struct PipelineConfig {
+  FilterPolicy policy;
+  CdcConfig cdc;
+  /// Seed for data keys and nonces (deterministic tests inject one).
+  std::uint64_t seed = 0x5343464C54ull;  // "SCFLT"
+};
+
+class Pipeline {
+ public:
+  /// `index` may be null only if no rule ever enables kDedup or beyond.
+  Pipeline(PipelineConfig config, DedupIndex* index, TenantKeyring* keyring);
+
+  [[nodiscard]] const FilterPolicy& policy() const noexcept {
+    return config_.policy;
+  }
+  [[nodiscard]] FilterStage StageFor(const std::string& rule_name) const {
+    return config_.policy.StageFor(rule_name);
+  }
+  [[nodiscard]] DedupIndex* index() const noexcept { return index_; }
+
+  /// Encodes `data` under the stage configured for `rule_name`.  Stage
+  /// kNone returns the input unchanged with no index side effects.  On
+  /// success the returned refs are *acquired* — a caller abandoning the
+  /// write must ReleaseRefs() them or they leak.
+  common::Result<EncodeResult> Encode(const std::string& tenant,
+                                      const std::string& rule_name,
+                                      std::string_view data);
+
+  /// Decodes a blob produced by Encode back to the original bytes.  Blobs
+  /// whose header says kNone-era (no magic) pass through unchanged, so
+  /// objects stored before the pipeline existed still read correctly.
+  common::Result<std::string> Decode(const std::string& tenant,
+                                     std::string_view blob) const;
+
+  /// True when `blob` starts with the pipeline magic (i.e. Decode will do
+  /// more than pass it through).
+  [[nodiscard]] static bool IsEncoded(std::string_view blob);
+
+  /// Releases one reference per listed hash (failed puts, superseded or
+  /// deleted versions).
+  void ReleaseRefs(const std::vector<ChunkHashHex>& refs);
+
+  /// Cumulative Encode() totals since construction; the benches derive the
+  /// aggregate reduction ratio (stored/raw) and dedup hit count from these.
+  struct Totals {
+    std::uint64_t objects = 0;
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t stored_bytes = 0;
+    std::uint64_t dedup_hits = 0;
+  };
+  [[nodiscard]] Totals totals() const {
+    return {objects_.load(std::memory_order_relaxed),
+            raw_bytes_.load(std::memory_order_relaxed),
+            stored_bytes_.load(std::memory_order_relaxed),
+            dedup_hits_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  void RecordTotals(const EncodeResult& result);
+
+  PipelineConfig config_;
+  DedupIndex* index_;
+  TenantKeyring* keyring_;
+
+  mutable common::Mutex rng_mu_;
+  common::Xoshiro256 rng_ GUARDED_BY(rng_mu_);
+
+  std::atomic<std::uint64_t> objects_{0};
+  std::atomic<std::uint64_t> raw_bytes_{0};
+  std::atomic<std::uint64_t> stored_bytes_{0};
+  std::atomic<std::uint64_t> dedup_hits_{0};
+};
+
+/// Parses a comma-separated dedup_refs metadata field ("h1,h2,...").
+[[nodiscard]] std::vector<ChunkHashHex> ParseDedupRefs(std::string_view csv);
+
+/// Inverse of ParseDedupRefs.
+[[nodiscard]] std::string JoinDedupRefs(const std::vector<ChunkHashHex>& refs);
+
+}  // namespace scalia::filter

@@ -25,6 +25,26 @@ void ClassStats::RecordUsage(const PeriodStats& s) {
   ++usage_count_;
 }
 
+void ClassStats::RecordReduction(common::Bytes raw_bytes,
+                                 common::Bytes stored_bytes) {
+  if (raw_bytes == 0) return;  // empty objects carry no reduction signal
+  common::MutexLock lock(mu_);
+  raw_bytes_sum_ += static_cast<double>(raw_bytes);
+  stored_bytes_sum_ += static_cast<double>(stored_bytes);
+  ++reduction_count_;
+}
+
+std::optional<double> ClassStats::MeanReductionRatio() const {
+  common::MutexLock lock(mu_);
+  if (reduction_count_ == 0 || raw_bytes_sum_ <= 0.0) return std::nullopt;
+  return stored_bytes_sum_ / raw_bytes_sum_;
+}
+
+std::uint64_t ClassStats::reduction_samples() const {
+  common::MutexLock lock(mu_);
+  return reduction_count_;
+}
+
 common::Duration ClassStats::ExpectedLifetime() const {
   common::MutexLock lock(mu_);
   if (lifetime_count_ == 0) return 0;
@@ -61,6 +81,9 @@ void ClassStats::SerializeTo(common::BinaryWriter& out) const {
   out.PutDouble(usage_sum_.ops);
   out.PutDouble(usage_sum_.reads);
   out.PutDouble(usage_sum_.writes);
+  out.PutU64(reduction_count_);
+  out.PutDouble(raw_bytes_sum_);
+  out.PutDouble(stored_bytes_sum_);
   out.PutDouble(lifetimes_.lo());
   out.PutDouble(lifetimes_.hi());
   out.PutU32(static_cast<std::uint32_t>(lifetimes_.num_bins()));
@@ -69,7 +92,8 @@ void ClassStats::SerializeTo(common::BinaryWriter& out) const {
   }
 }
 
-common::Status ClassStats::RestoreFrom(common::BinaryReader& in) {
+common::Status ClassStats::RestoreFrom(common::BinaryReader& in,
+                                       bool with_reduction) {
   common::MutexLock lock(mu_);
   lifetime_count_ = in.U64();
   usage_count_ = in.U64();
@@ -79,6 +103,15 @@ common::Status ClassStats::RestoreFrom(common::BinaryReader& in) {
   usage_sum_.ops = in.Double();
   usage_sum_.reads = in.Double();
   usage_sum_.writes = in.Double();
+  if (with_reduction) {
+    reduction_count_ = in.U64();
+    raw_bytes_sum_ = in.Double();
+    stored_bytes_sum_ = in.Double();
+  } else {
+    reduction_count_ = 0;
+    raw_bytes_sum_ = 0.0;
+    stored_bytes_sum_ = 0.0;
+  }
   // The serialized histogram may have different bounds than ours (the
   // max-lifetime knob can change between runs): replay each bin's mass at
   // its center, letting Add() clamp into our range.
@@ -147,14 +180,15 @@ void ClassRegistry::SerializeTo(common::BinaryWriter& out) const {
   }
 }
 
-common::Status ClassRegistry::RestoreFrom(common::BinaryReader& in) {
+common::Status ClassRegistry::RestoreFrom(common::BinaryReader& in,
+                                          bool with_reduction) {
   common::MutexLock lock(mu_);
   classes_.clear();
   const std::uint32_t count = in.U32();
   for (std::uint32_t i = 0; i < count; ++i) {
     ClassId cls = in.String();
     auto stats = std::make_unique<ClassStats>(max_lifetime_);
-    if (auto s = stats->RestoreFrom(in); !s.ok()) return s;
+    if (auto s = stats->RestoreFrom(in, with_reduction); !s.ok()) return s;
     classes_.emplace(std::move(cls), std::move(stats));
   }
   if (!in.ok()) {

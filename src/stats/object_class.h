@@ -51,6 +51,12 @@ class ClassStats {
   /// Records one sampling period's usage of one object of this class.
   void RecordUsage(const PeriodStats& s);
 
+  /// Records the achieved data reduction of one stored object of this
+  /// class: `raw_bytes` as the client wrote it, `stored_bytes` after the
+  /// filter pipeline (dedup + compression); feeds the reduction-aware
+  /// per-GB cost terms of the placement optimizer.
+  void RecordReduction(common::Bytes raw_bytes, common::Bytes stored_bytes);
+
   /// Expected lifetime of a brand-new object (Fig. 5 right, age 0).
   [[nodiscard]] common::Duration ExpectedLifetime() const;
 
@@ -64,6 +70,14 @@ class ClassStats {
   /// at least one usage sample was recorded.
   [[nodiscard]] std::optional<PeriodStats> MeanUsage() const;
 
+  /// Mean stored-bytes-per-raw-byte over every reduction sample (< 1 when
+  /// the class deduplicates/compresses well, slightly > 1 for
+  /// incompressible data paying the filter framing overhead).  nullopt
+  /// until a reduction was recorded.
+  [[nodiscard]] std::optional<double> MeanReductionRatio() const;
+
+  [[nodiscard]] std::uint64_t reduction_samples() const;
+
   [[nodiscard]] std::uint64_t lifetime_samples() const;
   [[nodiscard]] std::uint64_t usage_samples() const;
   [[nodiscard]] const common::Histogram& lifetime_histogram() const {
@@ -71,10 +85,14 @@ class ClassStats {
   }
 
   /// Checkpoint support: binary-appends this class's aggregates (lifetime
-  /// histogram, usage sum and both sample counts) / restores them,
-  /// replacing the current contents.
+  /// histogram, usage sum, reduction sums and the sample counts) /
+  /// restores them, replacing the current contents.  `with_reduction`
+  /// selects the on-disk layout: checkpoint format v2 carries the
+  /// reduction sums, v1 (written before the filter pipeline existed)
+  /// does not — loaders pass false to read old files.
   void SerializeTo(common::BinaryWriter& out) const;
-  common::Status RestoreFrom(common::BinaryReader& in);
+  common::Status RestoreFrom(common::BinaryReader& in,
+                             bool with_reduction = true);
 
  private:
   mutable common::Mutex mu_;
@@ -82,6 +100,9 @@ class ClassStats {
   std::uint64_t lifetime_count_ GUARDED_BY(mu_) = 0;
   PeriodStats usage_sum_ GUARDED_BY(mu_);
   std::uint64_t usage_count_ GUARDED_BY(mu_) = 0;
+  double raw_bytes_sum_ GUARDED_BY(mu_) = 0.0;
+  double stored_bytes_sum_ GUARDED_BY(mu_) = 0.0;
+  std::uint64_t reduction_count_ GUARDED_BY(mu_) = 0;
 };
 
 /// Registry of all known classes; thread-safe.
@@ -100,8 +121,11 @@ class ClassRegistry {
 
   /// Checkpoint support: binary-appends every class's aggregates / rebuilds
   /// the registry from them (dropping any current contents).
+  /// `with_reduction` mirrors ClassStats::RestoreFrom (false = checkpoint
+  /// format v1, before the reduction sums existed).
   void SerializeTo(common::BinaryWriter& out) const;
-  common::Status RestoreFrom(common::BinaryReader& in);
+  common::Status RestoreFrom(common::BinaryReader& in,
+                             bool with_reduction = true);
 
  private:
   common::Duration max_lifetime_;

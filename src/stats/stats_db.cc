@@ -150,7 +150,8 @@ void StatsDb::SerializeTo(common::BinaryWriter& out) const {
   classes_.SerializeTo(out);
 }
 
-common::Status StatsDb::RestoreFrom(common::BinaryReader& in) {
+common::Status StatsDb::RestoreFrom(common::BinaryReader& in,
+                                    bool with_reduction) {
   common::MutexLock lock(mu_);
   objects_.clear();
   histories_.clear();
@@ -187,7 +188,7 @@ common::Status StatsDb::RestoreFrom(common::BinaryReader& in) {
     }
     histories_.emplace(std::move(row_key), std::move(history));
   }
-  return classes_.RestoreFrom(in);
+  return classes_.RestoreFrom(in, with_reduction);
 }
 
 std::size_t StatsDb::RefreshClassStatsMapReduce(common::ThreadPool& pool) {

@@ -100,7 +100,10 @@ class StatsDb {
   /// in-memory state; the replicated write-through rows are *not* restored
   /// here — they are derived data the next period flush regenerates).
   void SerializeTo(common::BinaryWriter& out) const;
-  common::Status RestoreFrom(common::BinaryReader& in);
+  /// `with_reduction` mirrors ClassRegistry::RestoreFrom (false = the v1
+  /// checkpoint layout without per-class reduction sums).
+  common::Status RestoreFrom(common::BinaryReader& in,
+                             bool with_reduction = true);
 
  private:
   void WriteThrough(const std::string& key, const std::string& value,

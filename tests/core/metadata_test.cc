@@ -49,6 +49,29 @@ TEST(MetadataTest, SerializeParseRoundTrip) {
   EXPECT_EQ(parsed->stripes[2].provider, "provider_7");
 }
 
+TEST(MetadataTest, FilterFieldsRoundTripAndStayOffTheLegacyWire) {
+  // Unfiltered objects serialize byte-identically to the pre-pipeline
+  // format: a rolling upgrade's old readers must keep parsing new writers.
+  const ObjectMetadata legacy = SampleMeta();
+  EXPECT_EQ(legacy.Serialize().find("filter"), std::string::npos);
+  EXPECT_EQ(legacy.Serialize().find("logical_size"), std::string::npos);
+  EXPECT_EQ(legacy.Serialize().find("dedup_refs"), std::string::npos);
+  EXPECT_EQ(legacy.LogicalSize(), legacy.size);
+
+  ObjectMetadata meta = SampleMeta();
+  meta.size = 1000;  // stored (post-filter) footprint
+  meta.logical_size = 5000;
+  meta.filter_stage = 2;
+  meta.dedup_refs = {std::string(64, 'a'), std::string(64, 'b')};
+  auto parsed = ObjectMetadata::Parse(meta.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size, 1000u);
+  EXPECT_EQ(parsed->logical_size, 5000u);
+  EXPECT_EQ(parsed->LogicalSize(), 5000u);
+  EXPECT_EQ(parsed->filter_stage, 2);
+  EXPECT_EQ(parsed->dedup_refs, meta.dedup_refs);
+}
+
 TEST(MetadataTest, ChunkKeyAndProviders) {
   const ObjectMetadata meta = SampleMeta();
   EXPECT_EQ(meta.ChunkKey(2), meta.skey + ".2");

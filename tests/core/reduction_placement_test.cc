@@ -1,0 +1,178 @@
+// The reduction-aware placement loop: observed dedup/compression ratios
+// scale the per-GB cost terms (storage, bandwidth) while operation counts
+// stay logical, so the cheapest provider set genuinely *flips* for classes
+// that reduce well.  Covers the closed loop at two levels: the placement
+// search fed an explicit ratio, and the engine deriving the ratio from its
+// class statistics.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/engine.h"
+#include "core/placement.h"
+#include "filter/pipeline.h"
+#include "provider/registry.h"
+#include "provider/spec.h"
+
+namespace scalia::core {
+namespace {
+
+using common::kHour;
+
+/// Two providers with opposite price structures: "G" sells cheap GBs and
+/// expensive operations, "O" the reverse.  Zero bandwidth prices keep the
+/// arithmetic to the two terms under test.
+provider::ProviderSpec GbCheap() {
+  provider::ProviderSpec spec;
+  spec.id = "G";
+  spec.sla.durability = 0.999999;
+  spec.sla.availability = 0.999;
+  spec.zones = provider::ZoneSet::All();
+  spec.pricing.storage_gb_month = 0.02;
+  spec.pricing.ops_per_1000 = 0.10;
+  return spec;
+}
+
+provider::ProviderSpec OpsCheap() {
+  provider::ProviderSpec spec = GbCheap();
+  spec.id = "O";
+  spec.pricing.storage_gb_month = 0.30;
+  spec.pricing.ops_per_1000 = 0.0;
+  return spec;
+}
+
+/// Relaxed enough that single-provider sets are feasible — the flip is then
+/// a pure cost comparison, undiluted by redundancy constraints.
+StorageRule FlipRule() {
+  return StorageRule{.name = "flip",
+                     .durability = 0.99,
+                     .availability = 0.9,
+                     .allowed_zones = provider::ZoneSet::All(),
+                     .lockin = 1.0,
+                     .ttl_hint = std::nullopt};
+}
+
+TEST(ReductionPlacementTest, SearchFlipsOnReductionRatioAlone) {
+  const std::vector<provider::ProviderSpec> market = {GbCheap(), OpsCheap()};
+  const PlacementSearch search(PriceModel(PriceModelConfig{
+      .sampling_period = kHour,
+      .billing = provider::StorageBillingMode::kPerPeriod}));
+
+  PlacementRequest request;
+  request.rule = FlipRule();
+  request.object_size = common::kGiB;
+  request.per_period.storage_gb = 1.0;
+  request.per_period.ops = 1000;
+  request.decision_periods = 24;
+
+  // Stored bytes == logical bytes: the storage gap (0.28 $/GB/period)
+  // dwarfs G's op premium (0.10 $/period) — cheap GBs win.
+  const auto raw = search.FindBest(market, request);
+  ASSERT_TRUE(raw.feasible);
+  EXPECT_EQ(raw.ProviderIds(), (std::vector<provider::ProviderId>{"G"}));
+
+  // A 10x-reducing class pays for a tenth of the GBs but all of the ops:
+  // the op premium now dominates and the set flips.  Nothing else changed.
+  request.reduction_ratio = 0.1;
+  const auto reduced = search.FindBest(market, request);
+  ASSERT_TRUE(reduced.feasible);
+  EXPECT_EQ(reduced.ProviderIds(), (std::vector<provider::ProviderId>{"O"}));
+  EXPECT_LT(reduced.expected_cost.usd(), raw.expected_cost.usd());
+}
+
+TEST(ReductionPlacementTest, OpsAreNeverScaledByTheRatio) {
+  // Reduction shrinks bytes, not request counts.  A ratio on an ops-only
+  // workload must leave the cost untouched.
+  const std::vector<provider::ProviderSpec> market = {GbCheap()};
+  const PlacementSearch search(PriceModel(PriceModelConfig{}));
+  PlacementRequest request;
+  request.rule = FlipRule();
+  request.object_size = 1;
+  request.per_period.ops = 500;
+  const auto raw = search.FindBest(market, request);
+  request.reduction_ratio = 0.01;
+  const auto reduced = search.FindBest(market, request);
+  ASSERT_TRUE(raw.feasible);
+  ASSERT_TRUE(reduced.feasible);
+  EXPECT_DOUBLE_EQ(raw.expected_cost.usd(), reduced.expected_cost.usd());
+}
+
+TEST(ReductionPlacementTest, DegenerateRatiosFallBackToLogicalCost) {
+  const std::vector<provider::ProviderSpec> market = {GbCheap(), OpsCheap()};
+  const PlacementSearch search(PriceModel(PriceModelConfig{}));
+  PlacementRequest request;
+  request.rule = FlipRule();
+  request.object_size = common::kGiB;
+  request.per_period.storage_gb = 1.0;
+  request.per_period.ops = 1000;
+  const auto baseline = search.FindBest(market, request);
+  for (const double hostile : {0.0, -1.0,
+                               std::numeric_limits<double>::quiet_NaN(),
+                               std::numeric_limits<double>::infinity()}) {
+    request.reduction_ratio = hostile;
+    const auto decision = search.FindBest(market, request);
+    ASSERT_TRUE(decision.feasible) << hostile;
+    EXPECT_EQ(decision.ProviderIds(), baseline.ProviderIds()) << hostile;
+    EXPECT_DOUBLE_EQ(decision.expected_cost.usd(),
+                     baseline.expected_cost.usd())
+        << hostile;
+  }
+}
+
+// ---- The closed loop: class statistics -> engine -> placement ------------
+
+TEST(ReductionPlacementTest, EngineFlipsPlacementFromObservedClassRatio) {
+  provider::ProviderRegistry registry;
+  ASSERT_TRUE(registry.Register(GbCheap()).ok());
+  ASSERT_TRUE(registry.Register(OpsCheap()).ok());
+  store::ReplicatedStore db(1);
+  stats::StatsDb stats(&db, 0);
+  EngineConfig config;
+  config.default_rule = FlipRule();
+  Engine engine("e0", &registry, &db, 0, nullptr, &stats, nullptr, nullptr,
+                config, /*seed=*/7);
+
+  // A pipeline must be attached for the engine to consult class reduction
+  // statistics at all (unfiltered deployments always price logically).
+  filter::DedupIndex index;
+  filter::TenantKeyring keyring;
+  filter::Pipeline pipeline(filter::PipelineConfig{}, &index, &keyring);
+  engine.AttachFilters(&pipeline);
+
+  common::Xoshiro256 rng(8);
+  std::string body(common::kMiB, '\0');
+  for (auto& c : body) c = static_cast<char>(rng() & 0xFF);
+  ASSERT_TRUE(engine.Put(0, "t:b", "obj", body, "app/bin").ok());
+  const std::string row_key = MakeRowKey("t:b", "obj");
+  auto meta = engine.LoadMetadata(0, row_key);
+  ASSERT_TRUE(meta.ok());
+
+  // One observed period with a single op: storage ~0.001 GB makes G's
+  // storage edge (0.28 * 0.001) beat its op premium (1 * 1e-4) at ratio 1.
+  stats::PeriodStats period;
+  period.ops = 1.0;
+  stats.AppendPeriodStats(row_key, 0, period, kHour);
+
+  auto before = engine.EvaluatePlacement(kHour, row_key, 24);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(before->ProviderIds(), (std::vector<provider::ProviderId>{"G"}));
+
+  // The filter pipeline reports this class reducing 10x.  Nothing about
+  // the object, its history or the market changes — only the observed
+  // ratio — and the cheapest placement flips to the op-friendly provider.
+  for (int i = 0; i < 8; ++i) {
+    stats.classes().ForClass(meta->class_id).RecordReduction(1000000, 100000);
+  }
+  EXPECT_NEAR(engine.ClassReductionRatio(meta->class_id), 0.1, 1e-9);
+
+  auto after = engine.EvaluatePlacement(kHour, row_key, 24);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->ProviderIds(), (std::vector<provider::ProviderId>{"O"}));
+}
+
+}  // namespace
+}  // namespace scalia::core

@@ -1,0 +1,134 @@
+#include "filter/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace scalia::filter {
+namespace {
+
+std::string RandomBytes(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::string out(n, '\0');
+  for (auto& c : out) c = static_cast<char>(rng() & 0xFF);
+  return out;
+}
+
+/// Text-like data with plenty of repeats — the compressible case.
+std::string RepetitiveBytes(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  const std::string words[] = {"storage ", "scalia ", "placement ",
+                               "provider ", "chunk "};
+  std::string out;
+  while (out.size() < n) out += words[rng.NextBounded(5)];
+  out.resize(n);
+  return out;
+}
+
+std::string RoundTrip(const std::string& raw) {
+  std::string payload;
+  const CodecId codec = CompressChunk(raw, &payload);
+  auto decoded = DecompressChunk(codec, payload, raw.size());
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return decoded.ok() ? *decoded : std::string();
+}
+
+TEST(CodecTest, EmptyInputRoundTrips) {
+  EXPECT_EQ(RoundTrip(""), "");
+}
+
+TEST(CodecTest, RoundTripPropertyAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::string random = RandomBytes(1000 + seed * 997, seed);
+    EXPECT_EQ(RoundTrip(random), random) << "random seed=" << seed;
+    const std::string text = RepetitiveBytes(1000 + seed * 997, seed);
+    EXPECT_EQ(RoundTrip(text), text) << "text seed=" << seed;
+  }
+}
+
+TEST(CodecTest, GiantBufferRoundTrips) {
+  const std::string giant = RepetitiveBytes(8 * 1024 * 1024, 3);
+  EXPECT_EQ(RoundTrip(giant), giant);
+}
+
+TEST(CodecTest, RepetitiveInputActuallyShrinks) {
+  const std::string text = RepetitiveBytes(65536, 5);
+  std::string payload;
+  const CodecId codec = CompressChunk(text, &payload);
+  EXPECT_EQ(codec, CodecId::kLz);
+  EXPECT_LT(payload.size(), text.size() / 2);
+}
+
+TEST(CodecTest, IncompressibleInputFallsBackToNone) {
+  // Uniform random bytes cannot shrink; the codec must store them verbatim
+  // rather than pay LZ token overhead.
+  const std::string random = RandomBytes(65536, 6);
+  std::string payload;
+  const CodecId codec = CompressChunk(random, &payload);
+  EXPECT_EQ(codec, CodecId::kNone);
+  EXPECT_EQ(payload, random);
+}
+
+TEST(CodecTest, NoneCodecSizeMismatchRejected) {
+  auto decoded = DecompressChunk(CodecId::kNone, "abc", 4);
+  EXPECT_FALSE(decoded.ok());
+}
+
+// ---- Hostile-input hardening: no crash, no OOB, an error status ----------
+
+TEST(CodecTest, TruncatedLzStreamRejected) {
+  const std::string text = RepetitiveBytes(65536, 7);
+  std::string payload;
+  ASSERT_EQ(CompressChunk(text, &payload), CodecId::kLz);
+  for (std::size_t cut : {0ul, 1ul, payload.size() / 2, payload.size() - 1}) {
+    auto decoded =
+        DecompressChunk(CodecId::kLz, payload.substr(0, cut), text.size());
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(CodecTest, BitflippedLzStreamsNeverCrash) {
+  // Flip every byte of a real compressed stream in turn; every variant must
+  // either decode to *something* of the declared size or fail cleanly.
+  const std::string text = RepetitiveBytes(4096, 8);
+  std::string payload;
+  ASSERT_EQ(CompressChunk(text, &payload), CodecId::kLz);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    std::string hostile = payload;
+    hostile[i] = static_cast<char>(hostile[i] ^ 0xFF);
+    auto decoded = DecompressChunk(CodecId::kLz, hostile, text.size());
+    if (decoded.ok()) {
+      EXPECT_EQ(decoded->size(), text.size()) << "i=" << i;
+    }
+  }
+}
+
+TEST(CodecTest, RandomGarbageAsLzStreamNeverCrashes) {
+  for (std::uint64_t seed = 50; seed < 80; ++seed) {
+    const std::string garbage = RandomBytes(1 + seed * 13 % 5000, seed);
+    auto decoded = DecompressChunk(CodecId::kLz, garbage, 4096);
+    if (decoded.ok()) {
+      EXPECT_LE(decoded->size(), 4096u);
+    }
+  }
+}
+
+TEST(CodecTest, UnknownCodecIdRejected) {
+  auto decoded = DecompressChunk(static_cast<CodecId>(200), "xx", 2);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(CodecTest, DeclaredSizeBoundsAllocation) {
+  // A stream claiming to decode far past raw_size must be cut off at the
+  // declared size, not ballooned.
+  const std::string text = RepetitiveBytes(65536, 9);
+  std::string payload;
+  ASSERT_EQ(CompressChunk(text, &payload), CodecId::kLz);
+  auto decoded = DecompressChunk(CodecId::kLz, payload, 100);
+  EXPECT_FALSE(decoded.ok());  // declared 100, stream produces 65536
+}
+
+}  // namespace
+}  // namespace scalia::filter
